@@ -1,0 +1,116 @@
+//! Aggregate workload quantities feeding the analytical model.
+
+use fedoq_sim::SystemParams;
+use fedoq_workload::WorkloadParams;
+
+/// Expected-value aggregates of one experiment point.
+///
+/// Fields are public — experiments sweep them directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticInputs {
+    /// Table-1 unit costs.
+    pub params: SystemParams,
+    /// Number of component databases (`N_db`).
+    pub n_db: f64,
+    /// Number of chained global classes (`N_c`).
+    pub n_classes: f64,
+    /// Average objects per constituent class per database (`N_o`).
+    pub objects: f64,
+    /// Average predicates per involved class (`N_p`).
+    pub preds_per_class: f64,
+    /// Average attributes projected per class (key + predicates + targets
+    /// + reference).
+    pub attrs_per_class: f64,
+    /// Per-site local selectivity of one class's local predicates
+    /// (`R_pps`).
+    pub local_selectivity: f64,
+    /// Probability an entity has isomeric copies (`R_iso`).
+    pub iso_ratio: f64,
+    /// Copies per replicated entity (`N_iso`).
+    pub n_iso: f64,
+    /// Probability that one predicate is unsolved at one site (missing
+    /// attribute or null).
+    pub unsolved_ratio: f64,
+}
+
+impl AnalyticInputs {
+    /// Builds aggregates from a [`WorkloadParams`] by taking range
+    /// midpoints — the expectation of the paper's 500-sample draw.
+    pub fn from_workload(params: &WorkloadParams, system: SystemParams) -> AnalyticInputs {
+        let mid_usize =
+            |r: &std::ops::RangeInclusive<usize>| (*r.start() as f64 + *r.end() as f64) / 2.0;
+        let preds = mid_usize(&params.preds_per_class);
+        // E[N_pa] = N_p/2, so on average half the predicate attributes are
+        // missing per site; nulls add the sampled R_m on top.
+        let null_mid = (params.null_ratio.start() + params.null_ratio.end()) / 2.0;
+        let unsolved_ratio = (0.5 + null_mid).min(1.0);
+        let per_pred_sel = match params.forced_selectivity {
+            Some(s) => s,
+            None if preds < 0.5 => 1.0,
+            None => 0.45f64.powf(preds.sqrt()).powf(1.0 / preds.max(1.0)),
+        };
+        // Local predicates are roughly half the class's predicates.
+        let local_selectivity = per_pred_sel.powf(preds / 2.0);
+        AnalyticInputs {
+            params: system,
+            n_db: params.n_db as f64,
+            n_classes: mid_usize(&params.n_classes),
+            objects: mid_usize(&params.objects_per_class),
+            preds_per_class: preds,
+            // key + present predicate attrs (≈ N_p/2) + two targets + ref.
+            attrs_per_class: 1.0 + preds / 2.0 + 2.0 + 1.0,
+            local_selectivity,
+            iso_ratio: params.effective_iso_ratio(),
+            n_iso: params.n_iso as f64,
+            unsolved_ratio,
+        }
+    }
+
+    /// Expected bytes of one shipped object projected on the involved
+    /// attributes.
+    pub fn object_bytes(&self) -> f64 {
+        self.params.loid_bytes as f64 + self.attrs_per_class * self.params.attr_bytes as f64
+    }
+
+    /// Expected assistants per unsolved item.
+    pub fn assistants_per_item(&self) -> f64 {
+        self.iso_ratio * (self.n_iso - 1.0)
+    }
+
+    /// Per-site survivor count after local predicate evaluation.
+    pub fn survivors(&self) -> f64 {
+        self.objects * self.local_selectivity.powf(self.n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_workload_takes_midpoints() {
+        let a = AnalyticInputs::from_workload(
+            &WorkloadParams::paper_default(),
+            SystemParams::paper_default(),
+        );
+        assert_eq!(a.n_db, 3.0);
+        assert_eq!(a.n_classes, 2.5);
+        assert_eq!(a.objects, 5500.0);
+        assert_eq!(a.preds_per_class, 1.5);
+        assert!((a.iso_ratio - 0.19).abs() < 1e-12);
+        assert!(a.unsolved_ratio > 0.5 && a.unsolved_ratio < 0.7);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let a = AnalyticInputs::from_workload(
+            &WorkloadParams::paper_default(),
+            SystemParams::paper_default(),
+        );
+        // loid 16 + attrs*(32).
+        assert!(a.object_bytes() > 16.0);
+        assert!(a.assistants_per_item() > 0.0 && a.assistants_per_item() < 1.0);
+        assert!(a.survivors() < a.objects);
+        assert!(a.survivors() > 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Closed-form expected-cost model for the FedOQ strategies.
+//!
+//! The paper's own evaluation is a parameterized simulation; this crate
+//! provides the matching *analytical* estimate: expected total execution
+//! time and response time for CA, BL, and PL as functions of the Table-1
+//! unit costs and Table-2 workload aggregates. The formulas mirror the
+//! executed simulation's charging rules (see `fedoq-core`) with sampled
+//! quantities replaced by their expectations, so the model predicts the
+//! *shape* of Figures 9–11 — who wins, how curves grow, where crossovers
+//! fall — and the experiment harness cross-checks it against the executed
+//! simulation.
+
+pub mod inputs;
+pub mod model;
+pub mod sweep;
+
+pub use inputs::AnalyticInputs;
+pub use model::{estimate, StrategyKind, TimeEstimate};
+pub use sweep::{predict_fig10, predict_fig11, predict_fig9, PredictedPoint};

@@ -1,0 +1,262 @@
+//! The expected-cost formulas.
+//!
+//! Every term mirrors a charge the executed simulation makes; see the
+//! per-strategy functions. Times are in microseconds, matching
+//! `fedoq_sim::QueryMetrics`.
+
+use crate::inputs::AnalyticInputs;
+use std::fmt;
+
+/// Which strategy to estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Centralized (CA).
+    Centralized,
+    /// Basic localized (BL).
+    BasicLocalized,
+    /// Parallel localized (PL).
+    ParallelLocalized,
+}
+
+impl StrategyKind {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Centralized,
+        StrategyKind::BasicLocalized,
+        StrategyKind::ParallelLocalized,
+    ];
+
+    /// The short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Centralized => "CA",
+            StrategyKind::BasicLocalized => "BL",
+            StrategyKind::ParallelLocalized => "PL",
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An expected total-execution / response time pair, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeEstimate {
+    /// Expected total execution time (sum of all busy time), µs.
+    pub total_us: f64,
+    /// Expected response time (parallel makespan), µs.
+    pub response_us: f64,
+}
+
+impl fmt::Display for TimeEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {:.1} ms, response {:.1} ms", self.total_us / 1e3, self.response_us / 1e3)
+    }
+}
+
+/// Estimates the expected execution times of `strategy` under `inputs`.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_analytic::{estimate, AnalyticInputs, StrategyKind};
+/// use fedoq_sim::SystemParams;
+/// use fedoq_workload::WorkloadParams;
+///
+/// let inputs = AnalyticInputs::from_workload(
+///     &WorkloadParams::paper_default(), SystemParams::paper_default());
+/// let ca = estimate(StrategyKind::Centralized, &inputs);
+/// let bl = estimate(StrategyKind::BasicLocalized, &inputs);
+/// // The paper's headline: BL beats CA on both measures at the defaults.
+/// assert!(bl.total_us < ca.total_us);
+/// assert!(bl.response_us < ca.response_us);
+/// ```
+pub fn estimate(strategy: StrategyKind, inputs: &AnalyticInputs) -> TimeEstimate {
+    match strategy {
+        StrategyKind::Centralized => centralized(inputs),
+        StrategyKind::BasicLocalized => localized(inputs, false),
+        StrategyKind::ParallelLocalized => localized(inputs, true),
+    }
+}
+
+/// CA: ship everything, integrate, evaluate.
+fn centralized(a: &AnalyticInputs) -> TimeEstimate {
+    let p = &a.params;
+    // Per-database shipped bytes: every involved constituent extent,
+    // projected.
+    let bytes_per_db = a.n_classes * a.objects * a.object_bytes();
+    let disk_per_db = bytes_per_db * p.disk_us_per_byte;
+    let net_total = a.n_db * bytes_per_db * p.net_us_per_byte;
+    // Integration: per object, a GOid probe, a join probe, and one merge
+    // comparison per projected attribute.
+    let total_objects = a.n_db * a.n_classes * a.objects;
+    let integrate_cpu = total_objects * (2.0 + a.attrs_per_class) * p.cpu_us_per_cmp;
+    // Evaluation at the global site: per root entity, each predicate walks
+    // its path (≈ class depth / 2 probes) and compares once.
+    let entities = a.n_db * a.objects / copies(a);
+    let eval_cpu = entities
+        * a.n_classes
+        * a.preds_per_class
+        * (1.0 + a.n_classes / 2.0)
+        * p.cpu_us_per_cmp;
+    let total = a.n_db * disk_per_db + net_total + integrate_cpu + eval_cpu;
+    // Response: disks run in parallel; the shared link serializes all
+    // transfers; the global site then integrates and evaluates.
+    let response = disk_per_db + net_total + integrate_cpu + eval_cpu;
+    TimeEstimate { total_us: total, response_us: response }
+}
+
+/// BL / PL: local evaluation, assistant checking, certification.
+fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
+    let p = &a.params;
+    // Local scan: read the root extent plus the branch objects each
+    // object's predicate walks dereference.
+    let scan_bytes = a.objects * a.object_bytes()
+        + a.objects * (a.n_classes - 1.0).max(0.0) * a.object_bytes() * a.local_selectivity;
+    let scan_disk = scan_bytes * p.disk_us_per_byte;
+    let scan_cpu =
+        a.objects * a.n_classes * a.preds_per_class * 0.5 * p.cpu_us_per_cmp;
+
+    // Unsolved items and assistants.
+    let survivors = a.survivors();
+    let unsolved_per_row = a.n_classes * a.preds_per_class * a.unsolved_ratio;
+    // BL looks up assistants for survivors only; PL for every object.
+    let checked_rows = if parallel { a.objects } else { survivors };
+    let checks = checked_rows * unsolved_per_row * a.assistants_per_item();
+    let lookup_cpu = checked_rows * unsolved_per_row * (1.0 + a.n_iso) * p.cpu_us_per_cmp;
+    // PL additionally walks prefixes for every object during its static
+    // pass (extra disk).
+    let static_disk = if parallel {
+        a.objects * (a.n_classes - 1.0).max(0.0) * 0.5 * a.object_bytes() * p.disk_us_per_byte
+    } else {
+        0.0
+    };
+
+    // Check requests and processing at the target sites.
+    let request_bytes = checks * (2.0 * p.loid_bytes as f64 + p.predicate_bytes() as f64);
+    let check_disk = checks * a.object_bytes() * p.disk_us_per_byte;
+    let check_cpu = checks * 2.0 * p.cpu_us_per_cmp;
+    let reply_bytes = checks * (2.0 * p.loid_bytes as f64 + 1.0);
+
+    // Local results to the global site.
+    let result_bytes = survivors
+        * (p.goid_bytes as f64
+            + p.loid_bytes as f64
+            + 2.0 * p.attr_bytes as f64
+            + unsolved_per_row * (p.loid_bytes as f64 + 1.0));
+
+    // Certification at the global site.
+    let certify_cpu = a.n_db
+        * survivors
+        * (1.0 + a.n_iso + a.preds_per_class + 2.0)
+        * p.cpu_us_per_cmp;
+
+    let net_total =
+        a.n_db * (request_bytes + reply_bytes + result_bytes) * p.net_us_per_byte;
+    let per_db_work = scan_disk + scan_cpu + lookup_cpu + static_disk + check_disk + check_cpu;
+    let total = a.n_db * per_db_work + net_total + certify_cpu;
+
+    // Response: sites work in parallel; the shared link serializes the
+    // messages; checking at a target site overlaps other sites' work but
+    // still queues behind the target's own scan. PL overlaps the check
+    // processing with local evaluation (its requests are on the wire
+    // early); BL serializes lookup after its own scan.
+    let check_wait = if parallel {
+        // Checking starts as soon as the target finishes its own work.
+        check_disk + check_cpu
+    } else {
+        // Requests only leave after scan + lookup at the source.
+        (check_disk + check_cpu) + (request_bytes * p.net_us_per_byte)
+    };
+    let response =
+        scan_disk + scan_cpu + lookup_cpu + static_disk + check_wait + net_total + certify_cpu;
+    TimeEstimate { total_us: total, response_us: response }
+}
+
+fn copies(a: &AnalyticInputs) -> f64 {
+    1.0 + a.iso_ratio * (a.n_iso - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_sim::SystemParams;
+    use fedoq_workload::WorkloadParams;
+
+    fn defaults() -> AnalyticInputs {
+        AnalyticInputs::from_workload(
+            &WorkloadParams::paper_default(),
+            SystemParams::paper_default(),
+        )
+    }
+
+    #[test]
+    fn bl_beats_ca_at_the_defaults() {
+        let a = defaults();
+        let ca = estimate(StrategyKind::Centralized, &a);
+        let bl = estimate(StrategyKind::BasicLocalized, &a);
+        let pl = estimate(StrategyKind::ParallelLocalized, &a);
+        assert!(bl.total_us < ca.total_us, "bl {bl} vs ca {ca}");
+        assert!(bl.response_us < ca.response_us);
+        assert!(pl.response_us < ca.response_us);
+        // PL does strictly more lookup work than BL.
+        assert!(pl.total_us > bl.total_us);
+    }
+
+    #[test]
+    fn times_grow_with_object_count() {
+        let mut a = defaults();
+        let small: Vec<_> = StrategyKind::ALL.iter().map(|s| estimate(*s, &a)).collect();
+        a.objects *= 2.0;
+        let large: Vec<_> = StrategyKind::ALL.iter().map(|s| estimate(*s, &a)).collect();
+        for (s, l) in small.iter().zip(&large) {
+            assert!(l.total_us > s.total_us);
+            assert!(l.response_us > s.response_us);
+        }
+    }
+
+    #[test]
+    fn localized_grows_faster_with_databases() {
+        let mut a = defaults();
+        let ca2 = estimate(StrategyKind::Centralized, &a);
+        let pl2 = estimate(StrategyKind::ParallelLocalized, &a);
+        a.n_db = 8.0;
+        a.iso_ratio = 1.0 - 0.9f64.powi(7);
+        let ca8 = estimate(StrategyKind::Centralized, &a);
+        let pl8 = estimate(StrategyKind::ParallelLocalized, &a);
+        // PL's growth rate exceeds CA's (the paper's Figure-10 effect).
+        assert!(pl8.total_us / pl2.total_us > ca8.total_us / ca2.total_us);
+    }
+
+    #[test]
+    fn ca_is_flat_in_selectivity_but_localized_is_not() {
+        let mut a = defaults();
+        a.local_selectivity = 0.2;
+        let ca_low = estimate(StrategyKind::Centralized, &a);
+        let bl_low = estimate(StrategyKind::BasicLocalized, &a);
+        a.local_selectivity = 0.9;
+        let ca_high = estimate(StrategyKind::Centralized, &a);
+        let bl_high = estimate(StrategyKind::BasicLocalized, &a);
+        assert_eq!(ca_low.total_us, ca_high.total_us);
+        assert!(bl_high.total_us > bl_low.total_us);
+    }
+
+    #[test]
+    fn response_never_exceeds_total() {
+        let a = defaults();
+        for s in StrategyKind::ALL {
+            let e = estimate(s, &a);
+            assert!(e.response_us <= e.total_us, "{s}: {e}");
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(StrategyKind::Centralized.to_string(), "CA");
+        assert_eq!(StrategyKind::BasicLocalized.name(), "BL");
+        assert_eq!(StrategyKind::ParallelLocalized.name(), "PL");
+    }
+}

@@ -1,0 +1,118 @@
+//! Analytic predictions of the paper's figures.
+//!
+//! Each function sweeps the same parameter as the corresponding executed
+//! experiment in `fedoq-bench`, returning per-strategy [`TimeEstimate`]s
+//! so the harness can print the predicted curves next to the measured
+//! ones. Predictions are shape-level: orderings, growth directions, and
+//! crossovers (see EXPERIMENTS.md for the comparison).
+
+use crate::inputs::AnalyticInputs;
+use crate::model::{estimate, StrategyKind, TimeEstimate};
+use fedoq_sim::SystemParams;
+use fedoq_workload::WorkloadParams;
+
+/// One predicted sweep point: the swept value and CA/BL/PL estimates
+/// (ordered like [`StrategyKind::ALL`]).
+pub type PredictedPoint = (f64, [TimeEstimate; 3]);
+
+fn predict(inputs: &AnalyticInputs) -> [TimeEstimate; 3] {
+    [
+        estimate(StrategyKind::Centralized, inputs),
+        estimate(StrategyKind::BasicLocalized, inputs),
+        estimate(StrategyKind::ParallelLocalized, inputs),
+    ]
+}
+
+/// Predicted Figure 9: times vs. objects per constituent class.
+pub fn predict_fig9() -> Vec<PredictedPoint> {
+    [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0]
+        .into_iter()
+        .map(|objects| {
+            let mut inputs = AnalyticInputs::from_workload(
+                &WorkloadParams::paper_default(),
+                SystemParams::paper_default(),
+            );
+            inputs.objects = objects;
+            (objects, predict(&inputs))
+        })
+        .collect()
+}
+
+/// Predicted Figure 10: times vs. number of component databases
+/// (`R_iso` follows the paper's formula).
+pub fn predict_fig10() -> Vec<PredictedPoint> {
+    (2..=8)
+        .map(|n_db| {
+            let mut params = WorkloadParams::paper_default();
+            params.n_db = n_db;
+            let inputs = AnalyticInputs::from_workload(&params, SystemParams::paper_default());
+            (n_db as f64, predict(&inputs))
+        })
+        .collect()
+}
+
+/// Predicted Figure 11: times vs. local predicate selectivity
+/// (`N_o` restricted to 1000–2000 as in the paper).
+pub fn predict_fig11() -> Vec<PredictedPoint> {
+    [0.1, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(|selectivity| {
+            let mut params = WorkloadParams::paper_default();
+            params.objects_per_class = 1000..=2000;
+            params.forced_selectivity = Some(selectivity);
+            let mut inputs = AnalyticInputs::from_workload(&params, SystemParams::paper_default());
+            // The forced value is the per-predicate selectivity; the
+            // class-level local selectivity compounds over the local
+            // predicates (≈ N_p/2 of them).
+            inputs.local_selectivity = selectivity.powf(inputs.preds_per_class / 2.0);
+            (selectivity, predict(&inputs))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_prediction_grows_and_orders_like_the_paper() {
+        let points = predict_fig9();
+        assert_eq!(points.len(), 6);
+        for (_, [ca, bl, pl]) in &points {
+            assert!(bl.total_us < ca.total_us);
+            assert!(bl.response_us < ca.response_us);
+            assert!(pl.response_us < ca.response_us);
+        }
+        let first = &points.first().unwrap().1;
+        let last = &points.last().unwrap().1;
+        for i in 0..3 {
+            assert!(last[i].total_us > first[i].total_us);
+        }
+    }
+
+    #[test]
+    fn fig10_prediction_reproduces_the_pl_crossover() {
+        let points = predict_fig10();
+        let at = |n: f64| {
+            points
+                .iter()
+                .find(|(x, _)| *x == n)
+                .map(|(_, e)| e)
+                .unwrap()
+        };
+        // PL below CA with few sites, above with many — the crossover.
+        assert!(at(2.0)[2].total_us < at(2.0)[0].total_us);
+        assert!(at(8.0)[2].total_us > at(8.0)[0].total_us);
+    }
+
+    #[test]
+    fn fig11_prediction_keeps_ca_flat() {
+        let points = predict_fig11();
+        let ca_first = points.first().unwrap().1[0].total_us;
+        let ca_last = points.last().unwrap().1[0].total_us;
+        assert_eq!(ca_first, ca_last);
+        let bl_first = points.first().unwrap().1[1].total_us;
+        let bl_last = points.last().unwrap().1[1].total_us;
+        assert!(bl_last > bl_first);
+    }
+}

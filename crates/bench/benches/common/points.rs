@@ -1,0 +1,101 @@
+// Shared helpers for the per-figure Criterion benches: each figure is
+// represented by a few characteristic sweep points, and every strategy
+// executes one pre-generated sample per point.
+
+use criterion::{BenchmarkId, Criterion};
+use fedoq_core::{
+    run_strategy, BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized,
+};
+use fedoq_query::bind;
+use fedoq_sim::SystemParams;
+use fedoq_workload::WorkloadParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Benchmark-time workload scale (the figures binary runs full scale).
+const SCALE: f64 = 0.03;
+
+/// One labelled sweep point.
+pub struct Point {
+    pub label: String,
+    pub params: WorkloadParams,
+}
+
+/// Figure 9's characteristic points: small, default, and large extents.
+#[allow(dead_code)]
+pub fn fig9_points() -> Vec<Point> {
+    [1000.0f64, 3000.0, 6000.0]
+        .into_iter()
+        .map(|objects| {
+            let mut p = WorkloadParams::paper_default();
+            let lo = ((objects * 0.9 * SCALE).round() as usize).max(1);
+            let hi = ((objects * 1.1 * SCALE).round() as usize).max(lo);
+            p.objects_per_class = lo..=hi;
+            Point { label: format!("objects={objects}"), params: p }
+        })
+        .collect()
+}
+
+/// Figure 10's characteristic points: few and many component databases.
+#[allow(dead_code)]
+pub fn fig10_points() -> Vec<Point> {
+    [2usize, 5, 8]
+        .into_iter()
+        .map(|n_db| {
+            let mut p = WorkloadParams::paper_default().scaled(SCALE);
+            p.n_db = n_db;
+            Point { label: format!("n_db={n_db}"), params: p }
+        })
+        .collect()
+}
+
+/// Figure 11's characteristic points: low and high local selectivity.
+#[allow(dead_code)]
+pub fn fig11_points() -> Vec<Point> {
+    [0.1f64, 0.5, 0.9]
+        .into_iter()
+        .map(|sel| {
+            let mut p = WorkloadParams::paper_default().scaled(SCALE);
+            p.preds_per_class = 1..=3;
+            p.forced_selectivity = Some(sel);
+            Point { label: format!("selectivity={sel}"), params: p }
+        })
+        .collect()
+}
+
+fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+    ]
+}
+
+/// Benches every strategy at every point of one figure.
+pub fn bench_points(c: &mut Criterion, figure: &str, points: Vec<Point>) {
+    for (i, point) in points.into_iter().enumerate() {
+        let seed = 0xBE_ACE + i as u64;
+        let config = point.params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq_workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        let mut group = c.benchmark_group(format!("{figure}/{}", point.label));
+        for strategy in strategies() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(strategy.name()),
+                &strategy,
+                |b, strategy| {
+                    b.iter(|| {
+                        run_strategy(
+                            strategy.as_ref(),
+                            &sample.federation,
+                            &query,
+                            SystemParams::paper_default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion benchmark backing Figure 11: executes each strategy at
+//! representative sweep points (scaled down for wall-clock benching).
+//! The actual figure data comes from the `figures` binary, which runs
+//! the full Monte-Carlo sweep; this bench tracks the engine's throughput
+//! at the same workload shape.
+
+mod common {
+    include!("common/points.rs");
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_points(c, "fig11", common::fig11_points());
+}
+
+
+/// Trimmed sampling so the full suite completes in minutes; override
+/// with Criterion's CLI flags when deeper measurement is needed.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

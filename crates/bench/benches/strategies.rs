@@ -1,0 +1,85 @@
+//! Criterion benchmark: wall-clock cost of executing each strategy
+//! (including its cost-accounting simulation) on the paper's university
+//! example and on a default Table-2 synthetic federation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoq_core::{
+    run_strategy, BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized,
+};
+use fedoq_query::bind;
+use fedoq_sim::SystemParams;
+use fedoq_workload::{generate, university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::with_signatures()),
+    ]
+}
+
+fn bench_university(c: &mut Criterion) {
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    let mut group = c.benchmark_group("university_q1");
+    for strategy in strategies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    run_strategy(strategy.as_ref(), &fed, &query, SystemParams::paper_default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let params = WorkloadParams::paper_default().scaled(0.05); // ~275 objects/class/db
+    let config = params.sample(&mut StdRng::seed_from_u64(42));
+    let sample = generate(&config, 42);
+    let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+    let mut group = c.benchmark_group("synthetic_default");
+    for strategy in strategies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    run_strategy(
+                        strategy.as_ref(),
+                        &sample.federation,
+                        &query,
+                        SystemParams::paper_default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Trimmed sampling so the full suite completes in minutes; override
+/// with Criterion's CLI flags when deeper measurement is needed.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_university, bench_synthetic
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the substrates themselves: local scan
+//! throughput, signature probes, GOid-table lookups, parsing/binding, and
+//! persistence encode/decode. These track the engine's raw speed,
+//! independent of the simulated cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedoq_object::{CmpOp, ObjectSignature, Value};
+use fedoq_query::{bind, parse};
+use fedoq_store::{load_db, save_db, LocalQuery};
+use fedoq_workload::{university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_federation() -> fedoq_workload::GeneratedSample {
+    let params = WorkloadParams::paper_default().scaled(0.2); // ~1100 objects/class/db
+    let config = params.sample(&mut StdRng::seed_from_u64(7));
+    fedoq_workload::generate(&config, 7)
+}
+
+fn bench_local_scan(c: &mut Criterion) {
+    let sample = sample_federation();
+    let db = &sample.federation.dbs()[0];
+    let query = LocalQuery::build(
+        db,
+        "C1",
+        &[("key", CmpOp::Ge, Value::Int(0)), ("t0", CmpOp::Lt, Value::Int(500))],
+        &["t0", "t1"],
+    )
+    .expect("generated schema has key and targets");
+    c.bench_function("substrate/local_scan", |b| b.iter(|| query.execute(db)));
+}
+
+fn bench_signature_probes(c: &mut Criterion) {
+    let mut sig = ObjectSignature::new();
+    for i in 0..8 {
+        sig.insert("attr", &Value::Int(i));
+    }
+    sig.insert_null("other");
+    c.bench_function("substrate/signature_probe", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..64i64 {
+                if sig.may_contain("attr", &Value::Int(i)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_goid_lookup(c: &mut Criterion) {
+    let sample = sample_federation();
+    let fed = &sample.federation;
+    let class = fed.global_schema().class_id("C1").unwrap();
+    let table = fed.catalog().table(class);
+    let loids: Vec<_> = fed.dbs()[0].extent_by_name("C1").unwrap().loids().collect();
+    c.bench_function("substrate/goid_lookup", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &l in &loids {
+                if table.goid_of(l).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+}
+
+fn bench_parse_and_bind(c: &mut Criterion) {
+    let fed = university::federation().unwrap();
+    c.bench_function("substrate/parse_bind_q1", |b| {
+        b.iter(|| {
+            let q = parse(university::Q1).unwrap();
+            bind(&q, fed.global_schema()).unwrap()
+        })
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let sample = sample_federation();
+    let db = &sample.federation.dbs()[0];
+    let mut encoded = Vec::new();
+    save_db(db, &mut encoded).unwrap();
+    c.bench_function("substrate/persist_save", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buffer| {
+                save_db(db, &mut buffer).unwrap();
+                buffer
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("substrate/persist_load", |b| {
+        b.iter(|| load_db(&mut encoded.as_slice()).unwrap())
+    });
+}
+
+
+/// Trimmed sampling so the full suite completes in minutes; override
+/// with Criterion's CLI flags when deeper measurement is needed.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_local_scan,
+    bench_signature_probes,
+    bench_goid_lookup,
+    bench_parse_and_bind,
+    bench_persistence
+}
+criterion_main!(benches);

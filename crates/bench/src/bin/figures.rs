@@ -1,0 +1,176 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! figures [--table1] [--table2] [--fig8] [--fig9] [--fig10] [--fig11]
+//!         [--ablation] [--niso] [--net-ablation] [--analytic] [--all]
+//! ```
+//!
+//! Each figure prints both sub-figures — (a) total execution time and
+//! (b) response time — as aligned tables, and writes the full data to
+//! `results/<id>.csv`. Sample count and workload scale come from
+//! `FEDOQ_SAMPLES` and `FEDOQ_SCALE` (see `fedoq-bench`).
+
+use fedoq_analytic::{estimate, predict_fig10, predict_fig11, predict_fig9, AnalyticInputs, PredictedPoint, StrategyKind};
+use fedoq_bench::{fig10, fig11, fig9, network_ablation, niso_sweep, render_table, signature_ablation, Measure, Settings};
+use fedoq_sim::SystemParams;
+use fedoq_workload::WorkloadParams;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let settings = Settings::from_env();
+    println!(
+        "settings: {} samples per point, scale {} (paper: 500 samples, scale 1.0)\n",
+        settings.samples, settings.scale
+    );
+
+    if want("--table1") {
+        print_table1();
+    }
+    if want("--table2") {
+        print_table2();
+    }
+    if want("--fig8") {
+        print_fig8();
+    }
+    for (flag, runner) in [
+        ("--fig9", fig9 as fn(Settings) -> fedoq_bench::ExperimentResult),
+        ("--fig10", fig10),
+        ("--fig11", fig11),
+    ] {
+        if want(flag) {
+            run_figure(runner, settings);
+        }
+    }
+    if want("--ablation") {
+        let result = signature_ablation(settings);
+        println!("{}", render_table(&result, Measure::Total));
+        println!("{}", render_table(&result, Measure::Response));
+        println!("{}", render_table(&result, Measure::NetBytes));
+        save(&result);
+    }
+    if want("--niso") {
+        let result = niso_sweep(settings);
+        println!("{}", render_table(&result, Measure::Total));
+        println!("{}", render_table(&result, Measure::Response));
+        save(&result);
+    }
+    if want("--net-ablation") {
+        let result = network_ablation(settings);
+        println!("{}", render_table(&result, Measure::Total));
+        println!("{}", render_table(&result, Measure::Response));
+        save(&result);
+    }
+    if want("--analytic") || all {
+        print_analytic();
+    }
+}
+
+fn run_figure(runner: fn(Settings) -> fedoq_bench::ExperimentResult, settings: Settings) {
+    let start = std::time::Instant::now();
+    let result = runner(settings);
+    println!("{}", render_table(&result, Measure::Total));
+    println!("{}", render_table(&result, Measure::Response));
+    save(&result);
+    println!("[{} done in {:.1}s]\n", result.id, start.elapsed().as_secs_f64());
+}
+
+fn save(result: &fedoq_bench::ExperimentResult) {
+    let path = PathBuf::from("results").join(format!("{}.csv", result.id));
+    match fedoq_bench::write_csv(result, &path) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn print_table1() {
+    let p = SystemParams::paper_default();
+    println!("Table 1 — system parameters");
+    println!("  S_a    average size of attributes          {} bytes", p.attr_bytes);
+    println!("  S_GOid size of GOid                        {} bytes", p.goid_bytes);
+    println!("  S_LOid size of LOid                        {} bytes", p.loid_bytes);
+    println!("  S_s    size of object signatures           {} bytes", p.signature_bytes);
+    println!("  T_d    average disk access time            {} µs/byte", p.disk_us_per_byte);
+    println!("  T_net  average network transfer time       {} µs/byte", p.net_us_per_byte);
+    println!("  T_c    average cpu processing time         {} µs/comparison", p.cpu_us_per_cmp);
+    println!("  N_iso  average isomeric objects per entity {}", p.avg_isomeric);
+    println!();
+}
+
+fn print_table2() {
+    let p = WorkloadParams::paper_default();
+    println!("Table 2 — database and query parameters (defaults)");
+    println!("  N_db   component databases                 {}", p.n_db);
+    println!("  N_c    global classes involved             {:?}", p.n_classes);
+    println!("  N_p^k  predicates per class                {:?}", p.preds_per_class);
+    println!("  N_o    objects per constituent class       {:?}", p.objects_per_class);
+    println!("  R_r    ratio of objects referenced         {:?}", p.ref_ratio);
+    println!("  N_ta   target attributes                   {:?}", p.target_attrs);
+    println!("  R_m    injected-null ratio                 {:?}", p.null_ratio);
+    println!("  R_iso  entities with isomeric copies       {:.3}", p.effective_iso_ratio());
+    println!("  N_iso  copies per replicated entity        {}", p.n_iso);
+    println!("  R_ps   class selectivity                   0.45^sqrt(N_p)");
+    println!();
+}
+
+/// Figure 8 — the executing flows of the three algorithms, rendered as
+/// real timelines of Q1 over the paper's university federation.
+fn print_fig8() {
+    use fedoq_core::{BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized};
+    use fedoq_sim::{timeline, Simulation};
+    use fedoq_workload::university;
+
+    println!("Figure 8 — executing flows (Q1 over the university federation)\n");
+    let fed = university::federation().expect("university federation builds");
+    let q1 = fed.parse_and_bind(university::Q1).expect("Q1 binds");
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        let mut sim = Simulation::new(SystemParams::paper_default(), fed.num_dbs());
+        strategy.execute(&fed, &q1, &mut sim).expect("Q1 executes");
+        println!("{} ({}):", strategy.name(), match strategy.name() {
+            "CA" => "O -> I -> P",
+            "BL" => "P -> O -> I",
+            _ => "O -> P -> I",
+        });
+        println!("{}", timeline::render(sim.ledger(), fed.num_dbs()));
+    }
+}
+
+fn print_analytic() {
+    println!("Analytic expected-cost model (Table-2 defaults)");
+    let inputs =
+        AnalyticInputs::from_workload(&WorkloadParams::paper_default(), SystemParams::paper_default());
+    for kind in StrategyKind::ALL {
+        println!("  {kind}: {}", estimate(kind, &inputs));
+    }
+    println!();
+    for (label, points) in [
+        ("fig9 (objects)", predict_fig9()),
+        ("fig10 (databases)", predict_fig10()),
+        ("fig11 (selectivity)", predict_fig11()),
+    ] {
+        print_prediction(label, &points);
+    }
+}
+
+fn print_prediction(label: &str, points: &[PredictedPoint]) {
+    println!("analytic prediction — {label}: total s (response s)");
+    println!("{:>12} {:>22} {:>22} {:>22}", "x", "CA", "BL", "PL");
+    for (x, estimates) in points {
+        let cell = |e: &fedoq_analytic::TimeEstimate| {
+            format!("{:.1} ({:.1})", e.total_us / 1e6, e.response_us / 1e6)
+        };
+        println!(
+            "{x:>12} {:>22} {:>22} {:>22}",
+            cell(&estimates[0]),
+            cell(&estimates[1]),
+            cell(&estimates[2])
+        );
+    }
+    println!();
+}

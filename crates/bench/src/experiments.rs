@@ -1,0 +1,405 @@
+//! The figure sweeps.
+
+use fedoq_core::{
+    run_strategy, run_strategy_with_network, BasicLocalized, Centralized, ExecutionStrategy,
+    ParallelLocalized,
+};
+use fedoq_sim::NetworkModel;
+use fedoq_query::bind;
+use fedoq_sim::{QueryMetrics, SystemParams};
+use fedoq_workload::{generate, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Harness settings: sample count and workload scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settings {
+    /// Random configurations per sweep point (the paper uses 500).
+    pub samples: usize,
+    /// Object-count scale factor (1.0 = the paper's sizes).
+    pub scale: f64,
+}
+
+impl Settings {
+    /// Reads `FEDOQ_SAMPLES` and `FEDOQ_SCALE` from the environment,
+    /// falling back to 120 samples at full scale.
+    pub fn from_env() -> Settings {
+        let samples = std::env::var("FEDOQ_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120);
+        let scale = std::env::var("FEDOQ_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        Settings { samples, scale }
+    }
+
+    /// A tiny setting for tests.
+    pub fn smoke() -> Settings {
+        Settings { samples: 4, scale: 0.01 }
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings::from_env()
+    }
+}
+
+/// Average metrics of every strategy at one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value at this point.
+    pub x: f64,
+    /// Average metrics per strategy, parallel to the experiment's series.
+    pub metrics: Vec<QueryMetrics>,
+    /// Sample dispersion per strategy (same order).
+    pub dispersion: Vec<Dispersion>,
+}
+
+/// Sample standard deviations of the two reported measures.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dispersion {
+    /// Standard deviation of the total execution time, µs.
+    pub total_std_us: f64,
+    /// Standard deviation of the response time, µs.
+    pub response_std_us: f64,
+}
+
+impl Dispersion {
+    /// Computes per-strategy standard deviations from raw per-sample
+    /// measurements (`samples[strategy][sample]`).
+    pub fn from_samples(samples: &[Vec<QueryMetrics>]) -> Vec<Dispersion> {
+        samples
+            .iter()
+            .map(|runs| {
+                let n = runs.len() as f64;
+                if n < 2.0 {
+                    return Dispersion::default();
+                }
+                let mean_total: f64 =
+                    runs.iter().map(|m| m.total_execution_us).sum::<f64>() / n;
+                let mean_resp: f64 = runs.iter().map(|m| m.response_us).sum::<f64>() / n;
+                let var_total = runs
+                    .iter()
+                    .map(|m| (m.total_execution_us - mean_total).powi(2))
+                    .sum::<f64>()
+                    / (n - 1.0);
+                let var_resp = runs
+                    .iter()
+                    .map(|m| (m.response_us - mean_resp).powi(2))
+                    .sum::<f64>()
+                    / (n - 1.0);
+                Dispersion {
+                    total_std_us: var_total.sqrt(),
+                    response_std_us: var_resp.sqrt(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One strategy's identity within an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategySeries {
+    /// Short name ("CA", "BL", "PL", "BL-S", "PL-S").
+    pub name: &'static str,
+}
+
+/// A regenerated figure: strategy series over a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Which paper artifact this regenerates (e.g. `"fig9"`).
+    pub id: &'static str,
+    /// Label of the swept parameter.
+    pub x_label: &'static str,
+    /// The strategies measured.
+    pub series: Vec<StrategySeries>,
+    /// One entry per sweep value.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ExperimentResult {
+    /// The averaged metric of `series_idx` at `point_idx`.
+    pub fn metric(&self, point_idx: usize, series_idx: usize) -> &QueryMetrics {
+        &self.points[point_idx].metrics[series_idx]
+    }
+
+    /// Index of the named series.
+    pub fn series_index(&self, name: &str) -> Option<usize> {
+        self.series.iter().position(|s| s.name == name)
+    }
+}
+
+fn base_strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+    ]
+}
+
+/// Runs `samples` random configurations of `params`, executing every
+/// strategy on each, and returns the per-strategy averages.
+///
+/// Sampling is seeded from `base_seed` so experiments are reproducible
+/// and the strategies are compared on identical workloads.
+pub fn run_point(
+    params: &WorkloadParams,
+    strategies: &[Box<dyn ExecutionStrategy>],
+    samples: usize,
+    base_seed: u64,
+) -> Vec<QueryMetrics> {
+    run_point_detailed(params, strategies, samples, base_seed).0
+}
+
+/// Like [`run_point`], also returning the per-strategy dispersion of the
+/// two reported measures.
+pub fn run_point_detailed(
+    params: &WorkloadParams,
+    strategies: &[Box<dyn ExecutionStrategy>],
+    samples: usize,
+    base_seed: u64,
+) -> (Vec<QueryMetrics>, Vec<Dispersion>) {
+    let mut sums = vec![QueryMetrics::default(); strategies.len()];
+    let mut raw: Vec<Vec<QueryMetrics>> = vec![Vec::with_capacity(samples); strategies.len()];
+    for i in 0..samples {
+        let seed = base_seed.wrapping_mul(1000).wrapping_add(i as u64);
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema())
+            .expect("generated queries always bind");
+        let mut answers = Vec::with_capacity(strategies.len());
+        for (s, strategy) in strategies.iter().enumerate() {
+            let (answer, metrics) = run_strategy(
+                strategy.as_ref(),
+                &sample.federation,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .expect("generated federations execute");
+            sums[s] = sums[s].add(&metrics);
+            raw[s].push(metrics);
+            answers.push(answer);
+        }
+        // Cross-validate: every strategy classified identically.
+        for pair in answers.windows(2) {
+            assert!(
+                pair[0].same_classification(&pair[1]),
+                "strategies disagreed on seed {seed}"
+            );
+        }
+    }
+    let means = sums.into_iter().map(|m| m.scale_down(samples as u64)).collect();
+    (means, Dispersion::from_samples(&raw))
+}
+
+fn sweep(
+    id: &'static str,
+    x_label: &'static str,
+    xs: &[f64],
+    strategies: Vec<Box<dyn ExecutionStrategy>>,
+    settings: Settings,
+    make_params: impl Fn(f64) -> WorkloadParams,
+) -> ExperimentResult {
+    let series = strategies
+        .iter()
+        .map(|s| StrategySeries { name: s.name() })
+        .collect();
+    let mut points = Vec::with_capacity(xs.len());
+    for (i, &x) in xs.iter().enumerate() {
+        let params = make_params(x);
+        let (metrics, dispersion) =
+            run_point_detailed(&params, &strategies, settings.samples, 0xF1D0 + i as u64);
+        points.push(SweepPoint { x, metrics, dispersion });
+    }
+    ExperimentResult { id, x_label, series, points }
+}
+
+/// Figure 9: total execution time (a) and response time (b) as the
+/// average number of objects per constituent class grows.
+pub fn fig9(settings: Settings) -> ExperimentResult {
+    let xs = [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0];
+    sweep("fig9", "objects per constituent class", &xs, base_strategies(), settings, move |x| {
+        let mut p = WorkloadParams::paper_default();
+        let lo = ((x * 0.9 * settings.scale).round() as usize).max(1);
+        let hi = ((x * 1.1 * settings.scale).round() as usize).max(1);
+        p.objects_per_class = lo..=hi.max(lo);
+        p
+    })
+}
+
+/// Figure 10: the same measures as the number of component databases
+/// grows (`R_iso` follows the paper's `1 − 0.9^(N_db−1)`).
+pub fn fig10(settings: Settings) -> ExperimentResult {
+    let xs = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+    sweep("fig10", "component databases", &xs, base_strategies(), settings, move |x| {
+        let mut p = WorkloadParams::paper_default().scaled(settings.scale);
+        p.n_db = x as usize;
+        p
+    })
+}
+
+/// Figure 11: the same measures as the selectivity of the local
+/// predicates grows (`N_o` restricted to 1000–2000 as in the paper).
+pub fn fig11(settings: Settings) -> ExperimentResult {
+    let xs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    sweep("fig11", "local predicate selectivity", &xs, base_strategies(), settings, move |x| {
+        let mut p = WorkloadParams::paper_default();
+        let lo = ((1000.0 * settings.scale).round() as usize).max(1);
+        let hi = ((2000.0 * settings.scale).round() as usize).max(lo + 1);
+        p.objects_per_class = lo..=hi;
+        p.preds_per_class = 1..=3;
+        p.forced_selectivity = Some(x);
+        p
+    })
+}
+
+/// Extension ablation: BL/PL against their signature-assisted variants on
+/// equality-predicate workloads (the paper's `R_ss` proposal).
+pub fn signature_ablation(settings: Settings) -> ExperimentResult {
+    let xs = [1000.0, 3000.0, 5000.0];
+    let strategies: Vec<Box<dyn ExecutionStrategy>> = vec![
+        Box::new(BasicLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(ParallelLocalized::with_signatures()),
+    ];
+    sweep(
+        "signature_ablation",
+        "objects per constituent class",
+        &xs,
+        strategies,
+        settings,
+        move |x| {
+            let mut p = WorkloadParams::paper_default();
+            let lo = ((x * 0.9 * settings.scale).round() as usize).max(1);
+            let hi = ((x * 1.1 * settings.scale).round() as usize).max(lo);
+            p.objects_per_class = lo..=hi;
+            p.eq_predicates = true;
+            p.preds_per_class = 1..=3;
+            p
+        },
+    )
+}
+
+/// Isomerism sweep (beyond the paper's figures): vary the number of
+/// copies per replicated entity at a fixed federation size. Assistant
+/// volume — the localized strategies' main cost — scales directly with
+/// it.
+pub fn niso_sweep(settings: Settings) -> ExperimentResult {
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    sweep("niso_sweep", "copies per replicated entity", &xs, base_strategies(), settings, move |x| {
+        let mut p = WorkloadParams::paper_default().scaled(settings.scale);
+        p.n_db = 4;
+        p.n_iso = x as usize;
+        // Hold the replicated fraction fixed so only the copy count moves.
+        p.iso_ratio = Some(0.3);
+        p
+    })
+}
+
+/// Network-model ablation: the Figure-10 sweep repeated under
+/// point-to-point links instead of the paper's shared medium. Probes the
+/// one measured deviation from the paper (PL's response crossing CA at
+/// 7–8 databases under bus contention).
+pub fn network_ablation(settings: Settings) -> ExperimentResult {
+    let xs = [2.0, 4.0, 6.0, 8.0];
+    let strategies = base_strategies();
+    let series = strategies
+        .iter()
+        .map(|s| StrategySeries { name: s.name() })
+        .collect();
+    let mut points = Vec::with_capacity(xs.len());
+    for (i, &x) in xs.iter().enumerate() {
+        let mut params = WorkloadParams::paper_default().scaled(settings.scale);
+        params.n_db = x as usize;
+        let (metrics, dispersion) = run_point_with_network(
+            &params,
+            &strategies,
+            settings.samples,
+            0xF1D0 + i as u64,
+            NetworkModel::PointToPoint,
+        );
+        points.push(SweepPoint { x, metrics, dispersion });
+    }
+    ExperimentResult {
+        id: "network_ablation",
+        x_label: "component databases (p2p links)",
+        series,
+        points,
+    }
+}
+
+fn run_point_with_network(
+    params: &WorkloadParams,
+    strategies: &[Box<dyn ExecutionStrategy>],
+    samples: usize,
+    base_seed: u64,
+    network: NetworkModel,
+) -> (Vec<QueryMetrics>, Vec<Dispersion>) {
+    let mut sums = vec![QueryMetrics::default(); strategies.len()];
+    let mut raw: Vec<Vec<QueryMetrics>> = vec![Vec::with_capacity(samples); strategies.len()];
+    for i in 0..samples {
+        let seed = base_seed.wrapping_mul(1000).wrapping_add(i as u64);
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema())
+            .expect("generated queries always bind");
+        for (s, strategy) in strategies.iter().enumerate() {
+            let (_, metrics) = run_strategy_with_network(
+                strategy.as_ref(),
+                &sample.federation,
+                &query,
+                SystemParams::paper_default(),
+                network,
+            )
+            .expect("generated federations execute");
+            sums[s] = sums[s].add(&metrics);
+            raw[s].push(metrics);
+        }
+    }
+    let means = sums.into_iter().map(|m| m.scale_down(samples as u64)).collect();
+    (means, Dispersion::from_samples(&raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_averages_over_identical_workloads() {
+        let params = WorkloadParams::paper_default().scaled(0.01);
+        let metrics = run_point(&params, &base_strategies(), 3, 7);
+        assert_eq!(metrics.len(), 3);
+        for m in &metrics {
+            assert!(m.total_execution_us > 0.0);
+            assert!(m.response_us > 0.0);
+            assert!(m.total_execution_us >= m.response_us);
+        }
+    }
+
+    #[test]
+    fn fig9_smoke_produces_growing_curves() {
+        let mut settings = Settings::smoke();
+        settings.samples = 3;
+        let result = fig9(settings);
+        assert_eq!(result.points.len(), 6);
+        assert_eq!(result.series.len(), 3);
+        let ca = result.series_index("CA").unwrap();
+        // CA's total time grows with object count.
+        assert!(
+            result.metric(5, ca).total_execution_us > result.metric(0, ca).total_execution_us
+        );
+    }
+
+    #[test]
+    fn series_lookup() {
+        let settings = Settings { samples: 1, scale: 0.005 };
+        let result = fig10(Settings { samples: 1, scale: 0.005 });
+        assert_eq!(result.series_index("BL"), Some(1));
+        assert_eq!(result.series_index("nope"), None);
+        let _ = settings;
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 4).
+//!
+//! Each figure is a sweep of one Table-2 parameter; at every sweep point
+//! the harness draws `samples` random configurations (the paper uses
+//! 500), generates a federation + query per configuration, executes every
+//! strategy on the *same* samples (paired comparison), and averages the
+//! measured total execution time and response time.
+//!
+//! Environment knobs (read by [`Settings::from_env`]):
+//!
+//! * `FEDOQ_SAMPLES` — configurations per sweep point (default 120;
+//!   paper-faithful 500);
+//! * `FEDOQ_SCALE` — object-count scale factor (default 1.0 = the paper's
+//!   5000–6000 objects per constituent class).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    fig10, fig11, fig9, network_ablation, niso_sweep, run_point, run_point_detailed,
+    signature_ablation, Dispersion,
+    ExperimentResult, Settings, StrategySeries, SweepPoint,
+};
+pub use report::{render_table, write_csv, Measure};

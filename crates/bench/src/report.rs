@@ -1,0 +1,173 @@
+//! Rendering experiment results as aligned tables and CSV files.
+
+use crate::experiments::ExperimentResult;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Which measure of a figure to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Sub-figure (a): total execution time, in seconds.
+    Total,
+    /// Sub-figure (b): response time, in seconds.
+    Response,
+    /// Network bytes (supporting data, not a paper sub-figure).
+    NetBytes,
+}
+
+impl Measure {
+    fn label(self) -> &'static str {
+        match self {
+            Measure::Total => "total execution time (s)",
+            Measure::Response => "response time (s)",
+            Measure::NetBytes => "network bytes",
+        }
+    }
+
+    fn value(self, m: &fedoq_sim::QueryMetrics) -> f64 {
+        match self {
+            Measure::Total => m.total_execution_us / 1e6,
+            Measure::Response => m.response_us / 1e6,
+            Measure::NetBytes => m.bytes_transferred as f64,
+        }
+    }
+}
+
+/// Renders one measure of a figure as an aligned text table, one row per
+/// sweep value and one column per strategy.
+pub fn render_table(result: &ExperimentResult, measure: Measure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", result.id, measure.label());
+    let _ = write!(out, "{:>28}", result.x_label);
+    for s in &result.series {
+        let _ = write!(out, "{:>12}", s.name);
+    }
+    let _ = writeln!(out);
+    for point in &result.points {
+        let _ = write!(out, "{:>28}", trim_float(point.x));
+        for m in &point.metrics {
+            let v = measure.value(m);
+            if v >= 1000.0 {
+                let _ = write!(out, "{v:>12.0}");
+            } else {
+                let _ = write!(out, "{v:>12.3}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a figure's full data (both measures plus supporting counters)
+/// as CSV.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_csv(result: &ExperimentResult, path: &Path) -> io::Result<()> {
+    let mut out = String::new();
+    let _ = write!(out, "x");
+    for s in &result.series {
+        let _ = write!(
+            out,
+            ",{n}_total_s,{n}_total_std_s,{n}_response_s,{n}_response_std_s,\
+             {n}_net_bytes,{n}_comparisons",
+            n = s.name
+        );
+    }
+    let _ = writeln!(out);
+    for point in &result.points {
+        let _ = write!(out, "{}", trim_float(point.x));
+        for (m, d) in point.metrics.iter().zip(&point.dispersion) {
+            let _ = write!(
+                out,
+                ",{:.6},{:.6},{:.6},{:.6},{},{}",
+                m.total_execution_us / 1e6,
+                d.total_std_us / 1e6,
+                m.response_us / 1e6,
+                d.response_std_us / 1e6,
+                m.bytes_transferred,
+                m.comparisons
+            );
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, out)
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{StrategySeries, SweepPoint};
+    use fedoq_sim::QueryMetrics;
+
+    fn sample_result() -> ExperimentResult {
+        let m = |t: f64, r: f64| QueryMetrics {
+            total_execution_us: t,
+            response_us: r,
+            bytes_transferred: 10,
+            comparisons: 5,
+            ..QueryMetrics::default()
+        };
+        ExperimentResult {
+            id: "fig9",
+            x_label: "objects",
+            series: vec![StrategySeries { name: "CA" }, StrategySeries { name: "BL" }],
+            points: vec![
+                SweepPoint {
+                    x: 1000.0,
+                    metrics: vec![m(2e6, 1e6), m(1e6, 0.5e6)],
+                    dispersion: vec![Default::default(); 2],
+                },
+                SweepPoint {
+                    x: 2000.0,
+                    metrics: vec![m(4e6, 2e6), m(2e6, 1e6)],
+                    dispersion: vec![Default::default(); 2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = render_table(&sample_result(), Measure::Total);
+        assert!(t.contains("fig9"));
+        assert!(t.contains("CA"));
+        assert!(t.contains("BL"));
+        assert!(t.contains("1000"));
+        assert!(t.contains("4.000"));
+        let t = render_table(&sample_result(), Measure::Response);
+        assert!(t.contains("0.500"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("fedoq_csv_test");
+        let path = dir.join("fig9.csv");
+        write_csv(&sample_result(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let header = content.lines().next().unwrap();
+        assert!(header.starts_with("x,CA_total_s,CA_total_std_s,CA_response_s"));
+        assert!(header.contains("BL_net_bytes"));
+        assert!(content.contains("1000,2.000000,0.000000,1.000000,0.000000,10,5"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.3), "0.3");
+    }
+}

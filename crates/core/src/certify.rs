@@ -1,0 +1,203 @@
+//! Certification: turning local maybe results into certain results.
+//!
+//! The global site integrates the per-site local results by GOid and
+//! applies the paper's certification rule:
+//!
+//! > An unsolved object can be turned into a solved object if its
+//! > assistant objects jointly satisfy all the unsolved predicates on it.
+//! > The object is eliminated when any of its assistant objects violates
+//! > an unsolved predicate.
+//!
+//! Three signals certify or eliminate an entity:
+//!
+//! 1. **Cross-site merging** — an isomeric copy's local result already
+//!    carries a `True` verdict for a predicate unsolved here;
+//! 2. **Absence elimination** — a queried site hosts an isomeric copy of
+//!    the entity inside its local root class, but that copy is not in the
+//!    site's local results: some local predicate was false there, and the
+//!    query is conjunctive, so the entity is eliminated (the paper's
+//!    elimination of `s1`);
+//! 3. **Check replies** — assistant objects of the *unsolved items*
+//!    (nested branch objects holding the missing data) answered the
+//!    remaining predicate `True` (solve) or `False` (eliminate).
+
+use crate::federation::Federation;
+use crate::localized::{LocalRow, TargetReplies, UnsolvedEntry};
+use crate::result::{MaybeRow, QueryAnswer, ResultRow};
+use fedoq_object::{DbId, GOid, LOid, Truth, Value};
+use fedoq_query::{BoundQuery, PredId};
+use fedoq_sim::{Phase, Simulation, Site};
+use std::collections::HashMap;
+
+/// Accumulated verdicts from assistant checks, keyed by the unsolved item
+/// and the predicate checked.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CheckReplies {
+    verdicts: HashMap<(LOid, PredId), Vec<Truth>>,
+}
+
+impl CheckReplies {
+    /// An empty reply store.
+    pub(crate) fn new() -> CheckReplies {
+        CheckReplies::default()
+    }
+
+    /// Records one assistant's verdict for `(item, pred)`.
+    pub(crate) fn record(&mut self, item: LOid, pred: PredId, verdict: Truth) {
+        self.verdicts.entry((item, pred)).or_default().push(verdict);
+    }
+
+    /// All verdicts recorded for `(item, pred)`.
+    pub(crate) fn verdicts(&self, item: LOid, pred: PredId) -> &[Truth] {
+        self.verdicts
+            .get(&(item, pred))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of recorded verdicts (for tests and metrics).
+    #[allow(dead_code)] // exercised by unit tests
+    pub(crate) fn len(&self) -> usize {
+        self.verdicts.values().map(Vec::len).sum()
+    }
+}
+
+/// Certifies the merged local results at the global site (phase I) and
+/// assembles the final answer.
+pub(crate) fn certify(
+    fed: &Federation,
+    query: &BoundQuery,
+    site_rows: Vec<(DbId, Vec<LocalRow>)>,
+    replies: &CheckReplies,
+    target_replies: &TargetReplies,
+    queried_dbs: &[DbId],
+    sim: &mut Simulation,
+) -> QueryAnswer {
+    let mut comparisons = 0u64;
+    let table = fed.catalog().table(query.range());
+
+    // Group the local rows by entity. Rows within a group are ordered by
+    // (site, local oid) so target merging is deterministic.
+    let mut groups: HashMap<GOid, Vec<(DbId, LocalRow)>> = HashMap::new();
+    for (db, rows) in site_rows {
+        for row in rows {
+            comparisons += 1; // hash probe into the merge table
+            groups.entry(row.goid).or_default().push((db, row));
+        }
+    }
+    for group in groups.values_mut() {
+        group.sort_by_key(|(db, row)| (*db, row.root_loid));
+    }
+
+    let mut entities: Vec<GOid> = groups.keys().copied().collect();
+    entities.sort();
+
+    let mut certain = Vec::new();
+    let mut maybe = Vec::new();
+    'entities: for goid in entities {
+        let group = &groups[&goid];
+
+        // Absence elimination: every queried site hosting an isomeric copy
+        // must have returned it.
+        for &loid in table.loids_of(goid) {
+            comparisons += 1;
+            if queried_dbs.contains(&loid.db())
+                && !group.iter().any(|(db, _)| *db == loid.db())
+            {
+                continue 'entities;
+            }
+        }
+
+        // Merge per-predicate verdicts across the sites' rows.
+        let mut verdicts = vec![Truth::Unknown; query.predicates().len()];
+        for (_, row) in group {
+            for (i, v) in row.verdicts.iter().enumerate() {
+                comparisons += 1;
+                if v.is_true() {
+                    verdicts[i] = Truth::True;
+                }
+            }
+        }
+
+        // Apply the certification rule to each unsolved item.
+        for (_, row) in group {
+            for UnsolvedEntry { pred, item } in &row.unsolved {
+                let Some(item_loid) = item else {
+                    continue; // root-level: cross-site merging covers it
+                };
+                for verdict in replies.verdicts(*item_loid, *pred) {
+                    comparisons += 1;
+                    match verdict {
+                        Truth::True => verdicts[pred.index()] = Truth::True,
+                        Truth::False => continue 'entities, // violation
+                        Truth::Unknown => {}
+                    }
+                }
+            }
+        }
+
+        // Merge the targets: first non-null projection across the rows,
+        // then (target completion) values fetched from assistants.
+        let n_targets = query.targets().len();
+        let mut targets = vec![Value::Null; n_targets];
+        for (_, row) in group {
+            for (slot, value) in row.targets.iter().enumerate() {
+                comparisons += 1;
+                if targets[slot].is_null() && !value.is_null() {
+                    targets[slot] = value.clone();
+                }
+            }
+        }
+        for (_, row) in group {
+            for (slot, item) in row.target_items.iter().enumerate() {
+                let Some((item_loid, _)) = item else { continue };
+                if !targets[slot].is_null() {
+                    continue;
+                }
+                if let Some(values) = target_replies.get(&(*item_loid, slot)) {
+                    for value in values {
+                        comparisons += 1;
+                        if !value.is_null() {
+                            targets[slot] = value.clone();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        let unsolved: Vec<PredId> = verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_true())
+            .map(|(i, _)| PredId::new(i))
+            .collect();
+        let row = ResultRow::new(goid, targets);
+        if unsolved.is_empty() {
+            certain.push(row);
+        } else {
+            maybe.push(MaybeRow::new(row, unsolved));
+        }
+    }
+
+    sim.cpu(Site::Global, comparisons, Phase::I);
+    QueryAnswer::new(certain, maybe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replies_accumulate_per_item_and_pred() {
+        let mut r = CheckReplies::new();
+        let item = LOid::new(DbId::new(0), 1);
+        r.record(item, PredId::new(0), Truth::True);
+        r.record(item, PredId::new(0), Truth::Unknown);
+        r.record(item, PredId::new(1), Truth::False);
+        assert_eq!(r.verdicts(item, PredId::new(0)), &[Truth::True, Truth::Unknown]);
+        assert_eq!(r.verdicts(item, PredId::new(1)), &[Truth::False]);
+        assert!(r.verdicts(LOid::new(DbId::new(1), 1), PredId::new(0)).is_empty());
+        assert_eq!(r.len(), 3);
+    }
+}

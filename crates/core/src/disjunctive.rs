@@ -1,0 +1,222 @@
+//! Disjunctive-query execution — the paper's future-work extension.
+//!
+//! A [`DnfQuery`] runs as the union of its conjunctive branches, each
+//! executed by the chosen strategy within one shared simulation (so the
+//! metrics cover the whole disjunction). Under Kleene semantics the
+//! branch answers merge as a three-valued OR per entity:
+//!
+//! * **certain** in any branch → certain;
+//! * **maybe** in some branch and certain in none → maybe, with the
+//!   unsolved conjuncts renumbered into the DNF query's global conjunct
+//!   numbering ([`DnfQuery::branch_offset`]);
+//! * absent from every branch → eliminated.
+
+use crate::error::ExecError;
+use crate::federation::Federation;
+use crate::result::{MaybeRow, QueryAnswer, ResultRow};
+use crate::strategy::ExecutionStrategy;
+use fedoq_object::{GOid, Value};
+use fedoq_query::{bind, DnfQuery, PredId};
+use fedoq_sim::Simulation;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Executes a disjunctive query with `strategy`, one branch at a time,
+/// and merges the branch answers.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Query`] if a branch fails to bind (e.g. a
+/// predicate on an attribute the global schema lacks) and propagates the
+/// strategy's errors.
+///
+/// # Example
+///
+/// ```no_run
+/// use fedoq_core::{run_disjunctive, BasicLocalized, Federation};
+/// use fedoq_query::parse_dnf;
+/// use fedoq_sim::{Simulation, SystemParams};
+/// # fn get_fed() -> Federation { unimplemented!() }
+/// let fed = get_fed();
+/// let query = parse_dnf("SELECT X.name FROM Student X WHERE X.age < 25 OR X.age > 60")?;
+/// let mut sim = Simulation::new(SystemParams::paper_default(), fed.num_dbs());
+/// let answer = run_disjunctive(&BasicLocalized::new(), &fed, &query, &mut sim)?;
+/// println!("{answer}: {}", sim.metrics());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_disjunctive<S: ExecutionStrategy + ?Sized>(
+    strategy: &S,
+    fed: &Federation,
+    query: &DnfQuery,
+    sim: &mut Simulation,
+) -> Result<QueryAnswer, ExecError> {
+    let mut branch_answers = Vec::with_capacity(query.num_branches());
+    for branch in query.branches() {
+        let bound = bind(&branch, fed.global_schema())?;
+        branch_answers.push(strategy.execute(fed, &bound, sim)?);
+    }
+    Ok(merge_branches(query, &branch_answers))
+}
+
+/// Merges per-branch answers under three-valued OR.
+pub(crate) fn merge_branches(query: &DnfQuery, branches: &[QueryAnswer]) -> QueryAnswer {
+    // Entity -> best-known state. Certain dominates maybe.
+    let mut certain: HashMap<GOid, Vec<Value>> = HashMap::new();
+    let mut maybe: HashMap<GOid, (Vec<Value>, BTreeSet<PredId>)> = HashMap::new();
+
+    for (b, answer) in branches.iter().enumerate() {
+        let offset = query.branch_offset(b);
+        for row in answer.certain() {
+            maybe.remove(&row.goid());
+            certain.entry(row.goid()).or_insert_with(|| row.values().to_vec());
+        }
+        for m in answer.maybe() {
+            if certain.contains_key(&m.goid()) {
+                continue;
+            }
+            let entry = maybe
+                .entry(m.goid())
+                .or_insert_with(|| (m.row().values().to_vec(), BTreeSet::new()));
+            for p in m.unsolved() {
+                entry.1.insert(PredId::new(offset + p.index()));
+            }
+            // Prefer non-null target values from any branch.
+            for (slot, value) in m.row().values().iter().enumerate() {
+                if entry.0[slot].is_null() && !value.is_null() {
+                    entry.0[slot] = value.clone();
+                }
+            }
+        }
+    }
+
+    let certain_rows = certain
+        .into_iter()
+        .map(|(goid, values)| ResultRow::new(goid, values))
+        .collect();
+    let maybe_rows = maybe
+        .into_iter()
+        .map(|(goid, (values, unsolved))| MaybeRow::new(ResultRow::new(goid, values), unsolved))
+        .collect();
+    QueryAnswer::new(certain_rows, maybe_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::run_strategy;
+    use crate::{BasicLocalized, Centralized, ParallelLocalized};
+    use fedoq_object::DbId;
+    use fedoq_query::parse_dnf;
+    use fedoq_schema::Correspondences;
+    use fedoq_sim::SystemParams;
+    use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+
+    /// DB0 knows ages, DB1 knows cities; students keyed by sid.
+    fn fed() -> Federation {
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("sid", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["sid"])])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("sid", AttrType::int())
+            .attr("city", AttrType::text())
+            .key(["sid"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        // 1: age 20 (young) — certain via the first branch.
+        db0.insert_named("Student", &[("sid", Value::Int(1)), ("age", Value::Int(20))]).unwrap();
+        // 2: age 40, city Taipei — certain via the second branch only.
+        db0.insert_named("Student", &[("sid", Value::Int(2)), ("age", Value::Int(40))]).unwrap();
+        db1.insert_named("Student", &[("sid", Value::Int(2)), ("city", Value::text("Taipei"))])
+            .unwrap();
+        // 3: age 40, city unknown — maybe (second branch unknown).
+        db0.insert_named("Student", &[("sid", Value::Int(3)), ("age", Value::Int(40))]).unwrap();
+        // 4: age 40, city HsinChu — eliminated by both branches.
+        db0.insert_named("Student", &[("sid", Value::Int(4)), ("age", Value::Int(40))]).unwrap();
+        db1.insert_named("Student", &[("sid", Value::Int(4)), ("city", Value::text("HsinChu"))])
+            .unwrap();
+        Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
+    }
+
+    const DNF: &str =
+        "SELECT X.sid FROM Student X WHERE X.age < 25 OR X.city = 'Taipei'";
+
+    #[test]
+    fn kleene_or_merge_across_branches() {
+        let f = fed();
+        let q = parse_dnf(DNF).unwrap();
+        for strategy in [
+            &Centralized as &dyn ExecutionStrategy,
+            &BasicLocalized::new(),
+            &ParallelLocalized::new(),
+        ] {
+            let mut sim = Simulation::new(SystemParams::paper_default(), f.num_dbs());
+            let answer = run_disjunctive(strategy, &f, &q, &mut sim).unwrap();
+            let certain: Vec<i64> = answer
+                .certain()
+                .iter()
+                .map(|r| match &r.values()[0] {
+                    Value::Int(v) => *v,
+                    other => panic!("unexpected {other}"),
+                })
+                .collect();
+            assert_eq!(certain, vec![1, 2], "{}", strategy.name());
+            assert_eq!(answer.maybe().len(), 1, "{}", strategy.name());
+            assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(3)]);
+            // The unsolved conjunct is the second branch's city predicate,
+            // reported in global numbering (offset 1).
+            let unsolved: Vec<usize> =
+                answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+            assert_eq!(unsolved, vec![1], "{}", strategy.name());
+            // Entity 4 is gone entirely.
+            assert_eq!(answer.len(), 3);
+            let m = sim.metrics();
+            assert!(m.total_execution_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn certain_in_any_branch_dominates_maybe() {
+        let f = fed();
+        // Entity 3 is maybe under the city branch but *certain* under a
+        // wider age branch — the merge must report it certain once.
+        let q = parse_dnf("SELECT X.sid FROM Student X WHERE X.age >= 35 OR X.city = 'Taipei'")
+            .unwrap();
+        let mut sim = Simulation::new(SystemParams::paper_default(), f.num_dbs());
+        let answer = run_disjunctive(&Centralized, &f, &q, &mut sim).unwrap();
+        assert_eq!(answer.certain().len(), 3); // 2, 3, 4
+        // Entity 1 fails the age branch but nobody knows its city: the
+        // city branch keeps it maybe.
+        assert_eq!(answer.maybe().len(), 1);
+        assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(1)]);
+        let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+        assert_eq!(unsolved, vec![1]);
+    }
+
+    #[test]
+    fn single_branch_equals_conjunctive_execution() {
+        let f = fed();
+        let dnf = parse_dnf("SELECT X.sid FROM Student X WHERE X.age < 25").unwrap();
+        let mut sim = Simulation::new(SystemParams::paper_default(), f.num_dbs());
+        let via_dnf = run_disjunctive(&BasicLocalized::new(), &f, &dnf, &mut sim).unwrap();
+        let bound = f.parse_and_bind("SELECT X.sid FROM Student X WHERE X.age < 25").unwrap();
+        let (direct, _) =
+            run_strategy(&BasicLocalized::new(), &f, &bound, SystemParams::paper_default())
+                .unwrap();
+        assert_eq!(via_dnf, direct);
+    }
+
+    #[test]
+    fn metrics_accumulate_over_branches() {
+        let f = fed();
+        let one = parse_dnf("SELECT X.sid FROM Student X WHERE X.age < 25").unwrap();
+        let two = parse_dnf(DNF).unwrap();
+        let mut sim1 = Simulation::new(SystemParams::paper_default(), f.num_dbs());
+        run_disjunctive(&Centralized, &f, &one, &mut sim1).unwrap();
+        let mut sim2 = Simulation::new(SystemParams::paper_default(), f.num_dbs());
+        run_disjunctive(&Centralized, &f, &two, &mut sim2).unwrap();
+        assert!(sim2.metrics().total_execution_us > sim1.metrics().total_execution_us);
+    }
+}

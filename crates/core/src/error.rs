@@ -1,0 +1,81 @@
+//! Error type for federation construction and strategy execution.
+
+use fedoq_query::QueryError;
+use fedoq_schema::SchemaError;
+use fedoq_store::StoreError;
+use std::fmt;
+
+/// Errors raised while building a [`crate::Federation`] or executing a
+/// strategy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Schema integration or isomerism identification failed.
+    Schema(SchemaError),
+    /// A component database rejected an operation.
+    Store(StoreError),
+    /// Parsing or binding the query failed.
+    Query(QueryError),
+    /// The federation violated an invariant the strategies rely on.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Schema(e) => write!(f, "schema integration failed: {e}"),
+            ExecError::Store(e) => write!(f, "component database error: {e}"),
+            ExecError::Query(e) => write!(f, "query error: {e}"),
+            ExecError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Schema(e) => Some(e),
+            ExecError::Store(e) => Some(e),
+            ExecError::Query(e) => Some(e),
+            ExecError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<SchemaError> for ExecError {
+    fn from(e: SchemaError) -> Self {
+        ExecError::Schema(e)
+    }
+}
+
+impl From<StoreError> for ExecError {
+    fn from(e: StoreError) -> Self {
+        ExecError::Store(e)
+    }
+}
+
+impl From<QueryError> for ExecError {
+    fn from(e: QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = ExecError::from(QueryError::EmptyQuery);
+        assert!(e.to_string().contains("query error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ExecError::Internal("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        check(ExecError::Internal("x".into()));
+    }
+}

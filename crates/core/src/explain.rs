@@ -1,0 +1,181 @@
+//! EXPLAIN: a textual account of how a query would execute.
+//!
+//! [`explain`] describes, without executing anything, what each strategy
+//! would do for a bound query: which sites host the range class, how the
+//! conjuncts decompose per site (local vs unsolved and where the unsolved
+//! items live), what the centralized strategy would ship, and which
+//! target projections are local. It is the federated analogue of a
+//! relational `EXPLAIN`, used by `fedoq-shell`'s `explain` command.
+
+use crate::federation::Federation;
+use fedoq_query::{plan_for_db, BoundQuery};
+use std::fmt::Write as _;
+
+/// Renders the execution plan of `query` over `fed`.
+///
+/// # Example
+///
+/// ```no_run
+/// use fedoq_core::{explain, Federation};
+/// # fn get_fed() -> Federation { unimplemented!() }
+/// let fed = get_fed();
+/// let query = fed.parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30")?;
+/// println!("{}", explain(&fed, &query));
+/// # Ok::<(), fedoq_core::ExecError>(())
+/// ```
+pub fn explain(fed: &Federation, query: &BoundQuery) -> String {
+    let schema = fed.global_schema();
+    let mut out = String::new();
+
+    // Header: range class and hosting sites.
+    let range = schema.class(query.range());
+    let hosts: Vec<String> = range
+        .hosting_dbs()
+        .map(|db| fed.db(db).name().to_owned())
+        .collect();
+    let _ = writeln!(out, "range class {} hosted by {}", range.name(), hosts.join(", "));
+
+    // Conjuncts.
+    if query.predicates().is_empty() {
+        let _ = writeln!(out, "no predicates: every entity is a certain result");
+    } else {
+        let _ = writeln!(out, "conjuncts:");
+        for pred in query.predicates() {
+            let _ = writeln!(out, "  {}: {}", pred.id(), pred);
+        }
+    }
+
+    // Centralized shipping estimate.
+    let mut involved = query.involved_slots();
+    involved.entry(query.range()).or_default();
+    let mut ship_objects = 0usize;
+    let mut class_names: Vec<&str> = Vec::new();
+    for &class_id in involved.keys() {
+        let class = schema.class(class_id);
+        class_names.push(class.name());
+        for constituent in class.constituents() {
+            ship_objects += fed.db(constituent.db()).extent(constituent.class()).len();
+        }
+    }
+    class_names.sort_unstable();
+    let _ = writeln!(
+        out,
+        "CA would ship {} classes ({}) — {} objects to the global site",
+        involved.len(),
+        class_names.join(", "),
+        ship_objects
+    );
+
+    // Per-site localized plans.
+    let _ = writeln!(out, "localized decomposition:");
+    for db in fed.dbs() {
+        match plan_for_db(query, schema, db.id()) {
+            None => {
+                let _ = writeln!(out, "  {}: no local query (does not host {})", db.name(), range.name());
+            }
+            Some(plan) => {
+                let locals: Vec<String> =
+                    plan.local_preds().map(|id| id.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}: local [{}]{}",
+                    db.name(),
+                    locals.join(", "),
+                    if plan.is_fully_local() { " — fully local" } else { "" }
+                );
+                for truncated in plan.truncated_preds(query) {
+                    let item_class = schema.class(truncated.item_class);
+                    let _ = writeln!(
+                        out,
+                        "      {} unsolved here: missing data at {} (prefix {} steps); \
+                         assistants of its {} objects will be checked",
+                        truncated.pred,
+                        item_class.name(),
+                        truncated.prefix_len,
+                        item_class.name(),
+                    );
+                }
+                for (i, target) in query.targets().iter().enumerate() {
+                    if plan.target_prefix_len(i) < target.len() {
+                        let _ = writeln!(
+                            out,
+                            "      target {} not projectable here (prefix {}/{})",
+                            target.path(),
+                            plan.target_prefix_len(i),
+                            target.len()
+                        );
+                    }
+                }
+                let _ = writeln!(out, "      {}", plan.describe(query));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::{DbId, Value};
+    use fedoq_schema::Correspondences;
+    use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+
+    fn fed() -> Federation {
+        let s0 = ComponentSchema::new(vec![
+            ClassDef::new("Dept").attr("name", AttrType::text()).key(["name"]),
+            ClassDef::new("Emp")
+                .attr("id", AttrType::int())
+                .attr("dept", AttrType::complex("Dept"))
+                .key(["id"]),
+        ])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Emp")
+            .attr("id", AttrType::int())
+            .attr("salary", AttrType::int())
+            .key(["id"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "HQ", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "Payroll", s1);
+        let d = db0.insert_named("Dept", &[("name", Value::text("CS"))]).unwrap();
+        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))]).unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))]).unwrap();
+        Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
+    }
+
+    #[test]
+    fn explain_names_hosts_conjuncts_and_plans() {
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.id FROM Emp X WHERE X.dept.name = 'CS' AND X.salary > 60")
+            .unwrap();
+        let plan = explain(&f, &q);
+        assert!(plan.contains("range class Emp hosted by HQ, Payroll"));
+        assert!(plan.contains("p0: dept.name = CS"));
+        assert!(plan.contains("p1: salary > 60"));
+        // HQ evaluates the dept predicate, salary is unsolved there.
+        assert!(plan.contains("HQ: local [p0]"));
+        assert!(plan.contains("p1 unsolved here"));
+        // Payroll evaluates salary, dept is unsolved there.
+        assert!(plan.contains("Payroll: local [p1]"));
+        // Shipping estimate covers Emp and Dept.
+        assert!(plan.contains("CA would ship 2 classes (Dept, Emp) — 3 objects"));
+    }
+
+    #[test]
+    fn explain_handles_predicate_free_queries_and_non_hosts() {
+        let f = fed();
+        let q = f.parse_and_bind("SELECT X.name FROM Dept X").unwrap();
+        let plan = explain(&f, &q);
+        assert!(plan.contains("no predicates"));
+        assert!(plan.contains("Payroll: no local query (does not host Dept)"));
+    }
+
+    #[test]
+    fn explain_reports_unprojectable_targets() {
+        let f = fed();
+        let q = f.parse_and_bind("SELECT X.salary FROM Emp X WHERE X.id >= 0").unwrap();
+        let plan = explain(&f, &q);
+        assert!(plan.contains("target salary not projectable here (prefix 0/1)"));
+        assert!(plan.contains("fully local"));
+    }
+}

@@ -1,0 +1,280 @@
+//! The federation: component databases, global schema, GOid tables, and
+//! the replicated signature catalog.
+
+use crate::error::ExecError;
+use fedoq_object::{DbId, LOid, ObjectSignature};
+use fedoq_query::{bind, parse, BoundQuery};
+use fedoq_schema::{identify_isomerism, integrate, Correspondences, GlobalSchema, GoidCatalog};
+use fedoq_store::ComponentDb;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A distributed heterogeneous object database federation.
+///
+/// Owns the component databases, the integrated global schema, the GOid
+/// mapping tables (logically replicated at every site), and the object
+/// signatures (the auxiliary structure for the signature-assisted
+/// strategies).
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    dbs: Vec<ComponentDb>,
+    global: GlobalSchema,
+    catalog: GoidCatalog,
+    signatures: HashMap<LOid, ObjectSignature>,
+}
+
+impl Federation {
+    /// Integrates the component schemas, identifies isomeric objects, and
+    /// builds the signature catalog.
+    ///
+    /// `dbs[i]` must have id `DbId::new(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Schema`] when integration or isomerism
+    /// identification fails, and [`ExecError::Internal`] when database ids
+    /// are out of order.
+    pub fn new(dbs: Vec<ComponentDb>, corr: &Correspondences) -> Result<Federation, ExecError> {
+        for (i, db) in dbs.iter().enumerate() {
+            if db.id().index() != i {
+                return Err(ExecError::Internal(format!(
+                    "database at position {i} has id {}",
+                    db.id()
+                )));
+            }
+        }
+        let schemas: Vec<(DbId, &fedoq_store::ComponentSchema)> =
+            dbs.iter().map(|d| (d.id(), d.schema())).collect();
+        let global = integrate(&schemas, corr)?;
+        let db_refs: Vec<&ComponentDb> = dbs.iter().collect();
+        let catalog = identify_isomerism(&db_refs, &global)?;
+        let signatures = build_signatures(&dbs);
+        Ok(Federation { dbs, global, catalog, signatures })
+    }
+
+    /// Assembles a federation from prebuilt parts (used by generators that
+    /// construct the catalog directly).
+    pub fn from_parts(dbs: Vec<ComponentDb>, global: GlobalSchema, catalog: GoidCatalog) -> Federation {
+        let signatures = build_signatures(&dbs);
+        Federation { dbs, global, catalog, signatures }
+    }
+
+    /// Number of component databases.
+    pub fn num_dbs(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// One component database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn db(&self, id: DbId) -> &ComponentDb {
+        &self.dbs[id.index()]
+    }
+
+    /// All component databases in id order.
+    pub fn dbs(&self) -> &[ComponentDb] {
+        &self.dbs
+    }
+
+    /// The integrated global schema.
+    pub fn global_schema(&self) -> &GlobalSchema {
+        &self.global
+    }
+
+    /// The GOid mapping tables (replicated at every site).
+    pub fn catalog(&self) -> &GoidCatalog {
+        &self.catalog
+    }
+
+    /// The signature of a local object, if it exists.
+    pub fn signature(&self, loid: LOid) -> Option<&ObjectSignature> {
+        self.signatures.get(&loid)
+    }
+
+    /// Parses an SQL/X query string and binds it against the global
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Query`] for lexical, syntactic, or binding
+    /// problems.
+    pub fn parse_and_bind(&self, sql: &str) -> Result<BoundQuery, ExecError> {
+        let query = parse(sql)?;
+        Ok(bind(&query, &self.global)?)
+    }
+
+    /// Persists every component database under `dir` (one `db<N>.fedoq`
+    /// file per site). Integration metadata is *not* stored: it is
+    /// re-derived on load, exactly as a restarted federation would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Internal`] wrapping filesystem or encoding
+    /// failures.
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<(), ExecError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ExecError::Internal(format!("creating {}: {e}", dir.display())))?;
+        for db in &self.dbs {
+            let path = dir.join(format!("db{}.fedoq", db.id().index()));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| ExecError::Internal(format!("creating {}: {e}", path.display())))?;
+            let mut writer = std::io::BufWriter::new(file);
+            fedoq_store::save_db(db, &mut writer)
+                .map_err(|e| ExecError::Internal(format!("writing {}: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+
+    /// Loads the databases saved by [`Federation::save_to_dir`] and
+    /// re-integrates them under `corr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Internal`] for filesystem/decoding failures
+    /// and [`ExecError::Schema`] if re-integration fails.
+    pub fn load_from_dir(
+        dir: &std::path::Path,
+        corr: &Correspondences,
+    ) -> Result<Federation, ExecError> {
+        let mut dbs = Vec::new();
+        for index in 0.. {
+            let path = dir.join(format!("db{index}.fedoq"));
+            if !path.exists() {
+                break;
+            }
+            let file = std::fs::File::open(&path)
+                .map_err(|e| ExecError::Internal(format!("opening {}: {e}", path.display())))?;
+            let mut reader = std::io::BufReader::new(file);
+            let db = fedoq_store::load_db(&mut reader)
+                .map_err(|e| ExecError::Internal(format!("reading {}: {e}", path.display())))?;
+            dbs.push(db);
+        }
+        if dbs.is_empty() {
+            return Err(ExecError::Internal(format!(
+                "no db<N>.fedoq files under {}",
+                dir.display()
+            )));
+        }
+        Federation::new(dbs, corr)
+    }
+}
+
+impl fmt::Display for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "federation of {} databases, {} global classes, {} entities",
+            self.dbs.len(),
+            self.global.len(),
+            self.catalog.total_entities()
+        )
+    }
+}
+
+/// Builds each object's signature from its non-null attribute values plus
+/// null markers (see `fedoq_object::signature` for why nulls need
+/// markers).
+fn build_signatures(dbs: &[ComponentDb]) -> HashMap<LOid, ObjectSignature> {
+    let mut out = HashMap::new();
+    for db in dbs {
+        for (class_id, class) in db.schema().iter() {
+            for object in db.extent(class_id).iter() {
+                let mut sig = ObjectSignature::new();
+                for (attr, value) in class.attrs().iter().zip(object.values()) {
+                    if value.is_null() {
+                        sig.insert_null(attr.name());
+                    } else {
+                        sig.insert(attr.name(), value);
+                    }
+                }
+                out.insert(object.loid(), sig);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::Value;
+    use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+
+    fn two_db_fed() -> Federation {
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("sex", AttrType::text())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        db0.insert_named("Student", &[("s-no", Value::Int(1)), ("age", Value::Int(31))]).unwrap();
+        db1.insert_named("Student", &[("s-no", Value::Int(1)), ("sex", Value::text("m"))]).unwrap();
+        db1.insert_named("Student", &[("s-no", Value::Int(2))]).unwrap();
+        Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
+    }
+
+    #[test]
+    fn construction_wires_everything() {
+        let fed = two_db_fed();
+        assert_eq!(fed.num_dbs(), 2);
+        assert_eq!(fed.global_schema().len(), 1);
+        // Entity 1 is isomeric across both dbs; entity 2 is a singleton.
+        let class = fed.global_schema().class_id("Student").unwrap();
+        assert_eq!(fed.catalog().table(class).len(), 2);
+        assert!(fed.to_string().contains("2 databases"));
+    }
+
+    #[test]
+    fn db_ids_must_match_positions() {
+        let s = ComponentSchema::new(vec![ClassDef::new("C")]).unwrap();
+        let db_wrong = ComponentDb::new(DbId::new(5), "DB5", s);
+        let err = Federation::new(vec![db_wrong], &Correspondences::new()).unwrap_err();
+        assert!(matches!(err, ExecError::Internal(_)));
+    }
+
+    #[test]
+    fn signatures_cover_all_objects() {
+        let fed = two_db_fed();
+        for db in fed.dbs() {
+            for (class_id, _) in db.schema().iter() {
+                for o in db.extent(class_id).iter() {
+                    assert!(fed.signature(o.loid()).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_contents_reflect_values_and_nulls() {
+        let fed = two_db_fed();
+        let db1 = fed.db(DbId::new(1));
+        let student2 = db1
+            .extent_by_name("Student")
+            .unwrap()
+            .iter()
+            .find(|o| o.value(0) == &Value::Int(2))
+            .unwrap();
+        let sig = fed.signature(student2.loid()).unwrap();
+        assert!(sig.may_contain("s-no", &Value::Int(2)));
+        assert!(sig.may_be_null("sex"));
+        assert!(!sig.may_contain("s-no", &Value::Int(99)));
+    }
+
+    #[test]
+    fn parse_and_bind_round_trip() {
+        let fed = two_db_fed();
+        let q = fed.parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age > 30").unwrap();
+        assert_eq!(q.predicates().len(), 1);
+        assert!(fed.parse_and_bind("SELECT X.y FROM Nope X").is_err());
+    }
+}

@@ -1,0 +1,1033 @@
+//! The localized approaches: BL (P → O → I) and PL (O → P → I).
+//!
+//! The global query is decomposed into local queries. Each site evaluates
+//! its *local predicates* (predicates it can navigate) over its local root
+//! class, producing local maybe rows; predicates blocked by missing
+//! attributes or nulls stay *unsolved*, and the site looks up the
+//! *assistant objects* (isomeric copies that might hold the missing data)
+//! in the replicated GOid mapping tables, sending check requests to the
+//! sites owning them. The global site finally *certifies* the merged local
+//! results with the check replies (see [`crate::certify`]).
+//!
+//! **BL** performs assistant lookup *after* local evaluation, so only the
+//! surviving maybe results generate checks. **PL** performs the lookup for
+//! every candidate object *before* local evaluation, putting its check
+//! requests on the wire early so remote checking overlaps local predicate
+//! evaluation — at the price of checking objects that local evaluation
+//! would have eliminated.
+//!
+//! With `use_signatures`, a site first probes the replicated object
+//! signatures before requesting a check: an equality predicate whose value
+//! bits and null marker are both absent from the assistant's signature is
+//! a definite violation — the row is eliminated locally and nothing is
+//! transferred. Signature pruning never changes answers.
+
+use crate::certify::{certify, CheckReplies};
+use crate::error::ExecError;
+use crate::federation::Federation;
+use crate::result::QueryAnswer;
+use crate::strategy::ExecutionStrategy;
+use fedoq_object::{CmpOp, DbId, GOid, GlobalClassId, LOid, Object, Path, Truth, Value};
+use fedoq_query::{plan_for_db, BoundQuery, PredDisposition, PredId, SitePlan};
+use fedoq_sim::{MessageToken, Phase, Simulation, Site, SystemParams};
+use fedoq_store::{CompiledPath, CompiledPredicate, ComponentDb, EvalCounter};
+use std::collections::{HashMap, HashSet};
+
+/// The basic localized strategy (the paper's algorithm **BL**).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BasicLocalized {
+    /// Prune assistant checks with replicated object signatures.
+    pub use_signatures: bool,
+    /// Fetch locally-unprojectable target values from assistant objects
+    /// (FedOQ extension; the paper projects local attributes only).
+    pub complete_targets: bool,
+}
+
+impl BasicLocalized {
+    /// BL without signatures (the paper's base algorithm).
+    pub fn new() -> BasicLocalized {
+        BasicLocalized::default()
+    }
+
+    /// BL with signature pruning (the paper's proposed extension).
+    pub fn with_signatures() -> BasicLocalized {
+        BasicLocalized { use_signatures: true, ..BasicLocalized::default() }
+    }
+
+    /// Enables target completion (chainable).
+    pub fn completing_targets(mut self) -> BasicLocalized {
+        self.complete_targets = true;
+        self
+    }
+}
+
+impl ExecutionStrategy for BasicLocalized {
+    fn name(&self) -> &'static str {
+        if self.use_signatures {
+            "BL-S"
+        } else {
+            "BL"
+        }
+    }
+
+    fn execute(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+    ) -> Result<QueryAnswer, ExecError> {
+        execute_localized(
+            fed,
+            query,
+            sim,
+            Mode::Basic,
+            Config { use_signatures: self.use_signatures, complete_targets: self.complete_targets },
+        )
+    }
+}
+
+/// The parallel localized strategy (the paper's algorithm **PL**).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelLocalized {
+    /// Prune assistant checks with replicated object signatures.
+    pub use_signatures: bool,
+    /// Fetch locally-unprojectable target values from assistant objects
+    /// (FedOQ extension; the paper projects local attributes only).
+    pub complete_targets: bool,
+}
+
+impl ParallelLocalized {
+    /// PL without signatures (the paper's base algorithm).
+    pub fn new() -> ParallelLocalized {
+        ParallelLocalized::default()
+    }
+
+    /// PL with signature pruning (the paper's proposed extension).
+    pub fn with_signatures() -> ParallelLocalized {
+        ParallelLocalized { use_signatures: true, ..ParallelLocalized::default() }
+    }
+
+    /// Enables target completion (chainable).
+    pub fn completing_targets(mut self) -> ParallelLocalized {
+        self.complete_targets = true;
+        self
+    }
+}
+
+impl ExecutionStrategy for ParallelLocalized {
+    fn name(&self) -> &'static str {
+        if self.use_signatures {
+            "PL-S"
+        } else {
+            "PL"
+        }
+    }
+
+    fn execute(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+    ) -> Result<QueryAnswer, ExecError> {
+        execute_localized(
+            fed,
+            query,
+            sim,
+            Mode::Parallel,
+            Config { use_signatures: self.use_signatures, complete_targets: self.complete_targets },
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Basic,
+    Parallel,
+}
+
+/// Per-execution options shared by BL and PL.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Config {
+    use_signatures: bool,
+    complete_targets: bool,
+}
+
+/// One local result row produced at a component database.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalRow {
+    /// The root object this row came from.
+    pub root_loid: LOid,
+    /// Its entity (from the GOid mapping table).
+    pub goid: GOid,
+    /// Per-conjunct verdict: `True` (locally satisfied) or `Unknown`
+    /// (unsolved); rows with a `False` verdict are never produced.
+    pub verdicts: Vec<Truth>,
+    /// The unsolved predicates and their items.
+    pub unsolved: Vec<UnsolvedEntry>,
+    /// Locally projected target values (null where not projectable).
+    pub targets: Vec<Value>,
+    /// For each target, the nested item whose assistants can supply the
+    /// value when it is not locally projectable, with the step index where
+    /// the unprojectable remainder begins (target completion).
+    pub target_items: Vec<Option<(LOid, usize)>>,
+}
+
+/// One unsolved predicate on one local row.
+#[derive(Debug, Clone)]
+pub(crate) struct UnsolvedEntry {
+    /// Which conjunct is unsolved.
+    pub pred: PredId,
+    /// The unsolved item holding the missing data: a nested branch object,
+    /// or `None` when the root object itself is the item (certified by
+    /// merging the other sites' local results rather than by checks).
+    pub item: Option<LOid>,
+}
+
+/// A request to check one assistant object against one unsolved predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CheckRequest {
+    item: LOid,
+    assistant: LOid,
+    pred: PredId,
+    /// Step index of the predicate's bound path where the unsolved
+    /// remainder begins (the item's class is `path.class(start)`). The
+    /// receiving site translates the remainder into its own attribute
+    /// names — sites may name corresponding attributes differently.
+    start: usize,
+}
+
+/// A request to fetch a target value from an assistant object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TargetRequest {
+    item: LOid,
+    assistant: LOid,
+    /// Select-list position of the target.
+    target: usize,
+    /// Step index of the target's bound path where the unprojectable
+    /// remainder begins.
+    start: usize,
+}
+
+/// Output of the PL-only static phase-O pass over all candidate objects.
+#[derive(Debug, Default)]
+struct StaticScan {
+    requests: Vec<CheckRequest>,
+    state: StaticState,
+}
+
+/// The part of the static pass the evaluation pass consumes.
+#[derive(Debug, Default)]
+struct StaticState {
+    /// `(root serial, conjunct) -> (item, remainder start step)`, reused
+    /// by the evaluation pass so prefixes are not walked twice.
+    items: HashMap<(u64, usize), (Option<LOid>, usize)>,
+    /// Root objects a signature already proved violating.
+    sig_eliminated: HashSet<u64>,
+}
+
+struct SiteOutput {
+    db: DbId,
+    rows: Vec<LocalRow>,
+    /// Check requests issued after local evaluation (all of BL's, plus
+    /// PL's null-caused ones).
+    dynamic_requests: Vec<CheckRequest>,
+    /// Target-value fetches (only with target completion enabled).
+    target_requests: Vec<TargetRequest>,
+}
+
+/// Everything precompiled once per site before scanning.
+struct SiteContext<'a> {
+    db: &'a ComponentDb,
+    plan: &'a SitePlan,
+    /// Compiled local predicates, indexed like the query's conjuncts
+    /// (`None` where the predicate is truncated here).
+    local_preds: Vec<Option<CompiledPredicate>>,
+    /// For each truncated predicate: its id and the compiled navigable
+    /// prefix (`None` when the root itself holds the missing attribute).
+    truncated: Vec<(PredId, Option<CompiledPath>)>,
+    /// Compiled target projections with their global domain when the
+    /// terminal is complex (`None` where not locally projectable).
+    targets: Vec<Option<(CompiledPath, Option<GlobalClassId>)>>,
+    /// For unprojectable targets with a non-empty navigable prefix: the
+    /// compiled prefix (target completion resolves items through it).
+    target_prefixes: Vec<Option<CompiledPath>>,
+    /// Disk width (projected attributes) of the root class here.
+    root_width: usize,
+}
+
+fn build_context<'a>(
+    fed: &'a Federation,
+    query: &BoundQuery,
+    plan: &'a SitePlan,
+) -> Result<SiteContext<'a>, ExecError> {
+    let db_id = plan.db();
+    let db = fed.db(db_id);
+    let root = plan.root_constituent();
+    let involved = query.involved_slots();
+    let schema = fed.global_schema();
+
+    let mut local_preds = Vec::with_capacity(query.predicates().len());
+    let mut truncated = Vec::new();
+    for pred in query.predicates() {
+        match plan.disposition(pred.id()) {
+            PredDisposition::Local => {
+                let local_path = translate_steps(fed, db_id, pred.path(), 0, pred.path().len())
+                    .ok_or_else(|| ExecError::Internal("local predicate lost".into()))?;
+                let compiled = CompiledPredicate::compile(
+                    db,
+                    root,
+                    &local_path,
+                    pred.op(),
+                    pred.literal().clone(),
+                )
+                .map_err(|e| ExecError::Internal(format!("local predicate lost: {e}")))?;
+                local_preds.push(Some(compiled));
+            }
+            PredDisposition::Truncated { prefix_len } => {
+                local_preds.push(None);
+                let prefix = if prefix_len == 0 {
+                    None
+                } else {
+                    let prefix_path = translate_steps(fed, db_id, pred.path(), 0, prefix_len)
+                        .ok_or_else(|| ExecError::Internal("prefix lost".into()))?;
+                    Some(
+                        CompiledPath::compile(db, root, &prefix_path)
+                            .map_err(|e| ExecError::Internal(format!("prefix lost: {e}")))?,
+                    )
+                };
+                truncated.push((pred.id(), prefix));
+            }
+        }
+    }
+
+    let mut targets = Vec::with_capacity(query.targets().len());
+    let mut target_prefixes = Vec::with_capacity(query.targets().len());
+    for (i, target) in query.targets().iter().enumerate() {
+        let prefix_len = plan.target_prefix_len(i);
+        if prefix_len == target.len() {
+            let local_path = translate_steps(fed, db_id, target, 0, target.len())
+                .ok_or_else(|| ExecError::Internal("target lost".into()))?;
+            let compiled = CompiledPath::compile(db, root, &local_path)
+                .map_err(|e| ExecError::Internal(format!("target lost: {e}")))?;
+            targets.push(Some((compiled, target.terminal_domain())));
+            target_prefixes.push(None);
+        } else {
+            targets.push(None);
+            target_prefixes.push(if prefix_len == 0 {
+                None
+            } else {
+                let prefix_path = translate_steps(fed, db_id, target, 0, prefix_len)
+                    .ok_or_else(|| ExecError::Internal("target prefix lost".into()))?;
+                Some(
+                    CompiledPath::compile(db, root, &prefix_path)
+                        .map_err(|e| ExecError::Internal(format!("target prefix lost: {e}")))?,
+                )
+            });
+        }
+    }
+
+    let range_class = schema.class(query.range());
+    let constituent = range_class
+        .constituent_for(db_id)
+        .ok_or_else(|| ExecError::Internal("plan for non-hosting site".into()))?;
+    let root_width = involved
+        .get(&query.range())
+        .map(|slots| slots.iter().filter(|&&g| !constituent.is_missing(g)).count())
+        .unwrap_or(0);
+
+    Ok(SiteContext { db, plan, local_preds, truncated, targets, target_prefixes, root_width })
+}
+
+/// Resolves the unsolved item of a truncated predicate on one object by
+/// walking the navigable prefix: the deepest object reached holds the
+/// missing data, and the returned step index marks where the unsolved
+/// remainder of the path begins.
+fn resolve_item(
+    ctx: &SiteContext<'_>,
+    object: &Object,
+    prefix: &Option<CompiledPath>,
+    counter: &mut EvalCounter,
+) -> (Option<LOid>, usize) {
+    match prefix {
+        None => (None, 0),
+        Some(compiled) => {
+            let walk = compiled.walk(ctx.db, object, counter);
+            match walk.value.as_ref_loid() {
+                Some(item) => (Some(item), compiled.len()),
+                // A null blocked the prefix walk part-way: the deepest
+                // visited object (or the root) is the item.
+                None => (walk.visited.last().copied(), walk.visited.len()),
+            }
+        }
+    }
+}
+
+/// Translates steps `[start, end)` of a bound path into `db`'s local
+/// attribute names; `None` when any step's attribute is missing there.
+fn translate_steps(
+    fed: &Federation,
+    db: DbId,
+    path: &fedoq_query::BoundPath,
+    start: usize,
+    end: usize,
+) -> Option<Path> {
+    let schema = fed.global_schema();
+    let mut names = Vec::with_capacity(end - start);
+    for i in start..end {
+        names.push(local_attr_name(fed, db, path.class(i), path.slot(i))?);
+    }
+    let _ = schema;
+    Some(Path::new(names))
+}
+
+/// The local name `db` uses for global attribute `slot` of `class`.
+fn local_attr_name(
+    fed: &Federation,
+    db: DbId,
+    class: GlobalClassId,
+    slot: usize,
+) -> Option<String> {
+    let constituent = fed.global_schema().class(class).constituent_for(db)?;
+    let local_slot = constituent.local_slot(slot)?;
+    let def = fed.db(db).schema().class(constituent.class());
+    Some(def.attrs()[local_slot].name().to_owned())
+}
+
+/// Expands one unsolved item into check requests against its assistants,
+/// consulting the GOid tables, the other sites' schemas, and (optionally)
+/// the replicated signatures.
+///
+/// Returns `false` if a signature proves a violation — the caller must
+/// eliminate the row/object.
+#[allow(clippy::too_many_arguments)]
+fn requests_for_item(
+    fed: &Federation,
+    query: &BoundQuery,
+    item: LOid,
+    pred: PredId,
+    start: usize,
+    use_signatures: bool,
+    comparisons: &mut u64,
+    seen: &mut HashSet<CheckRequest>,
+    out: &mut Vec<CheckRequest>,
+) -> bool {
+    let bound_pred = query.predicate(pred);
+    let item_class = bound_pred.path().class(start);
+    let first_slot = bound_pred.path().slot(start);
+    let table = fed.catalog().table(item_class);
+    *comparisons += 1; // GOid-table probe for the item
+    let class = fed.global_schema().class(item_class);
+    for assistant in table.siblings(item) {
+        // Consult the remote schema: only ask sites whose constituent can
+        // start evaluating the remaining path.
+        *comparisons += 1;
+        let Some(constituent) = class.constituent_for(assistant.db()) else {
+            continue;
+        };
+        if constituent.is_missing(first_slot) {
+            continue;
+        }
+        let single_step = start + 1 == bound_pred.path().len();
+        if use_signatures && single_step && bound_pred.op() == CmpOp::Eq {
+            *comparisons += 2; // value-bits probe + null-marker probe
+            let attr = local_attr_name(fed, assistant.db(), item_class, first_slot);
+            if let (Some(sig), Some(attr)) = (fed.signature(assistant), attr) {
+                // A value-bit miss means the assistant does not hold the
+                // literal; without the null marker that is a definite
+                // violation — the certification rule says any violating
+                // assistant eliminates the result. With the marker set,
+                // only the remote check can distinguish False from
+                // Unknown, so the request still goes out.
+                if !sig.may_contain(&attr, bound_pred.literal()) && !sig.may_be_null(&attr) {
+                    return false;
+                }
+            }
+        }
+        let request = CheckRequest { item, assistant, pred, start };
+        *comparisons += 1; // dedup probe (shared branch items)
+        if seen.insert(request) {
+            out.push(request);
+        }
+    }
+    true
+}
+
+/// PL's step C1: for every candidate object, resolve the items of the
+/// statically unsolved predicates and emit their check requests — before
+/// any predicate is evaluated (phase O ahead of phase P).
+fn scan_static(
+    fed: &Federation,
+    query: &BoundQuery,
+    ctx: &SiteContext<'_>,
+    sim: &mut Simulation,
+    config: Config,
+) -> StaticScan {
+    let mut scan = StaticScan::default();
+    if ctx.truncated.is_empty() {
+        return scan;
+    }
+    let site = Site::Db(ctx.db.id());
+    let params = *sim.params();
+    let extent = ctx.db.extent(ctx.plan.root_constituent());
+    let mut counter = EvalCounter::new();
+    let mut comparisons = 0u64;
+    let mut seen = HashSet::new();
+    for object in extent.iter() {
+        for (pred, prefix) in &ctx.truncated {
+            let (item, start) = resolve_item(ctx, object, prefix, &mut counter);
+            if let Some(item_loid) = item {
+                let ok = requests_for_item(
+                    fed,
+                    query,
+                    item_loid,
+                    *pred,
+                    start,
+                    config.use_signatures,
+                    &mut comparisons,
+                    &mut seen,
+                    &mut scan.requests,
+                );
+                if !ok {
+                    scan.state.sig_eliminated.insert(object.loid().serial());
+                }
+            }
+            scan.state
+                .items
+                .insert((object.loid().serial(), pred.index()), (item, start));
+        }
+    }
+    sim.disk(site, counter.objects_fetched * params.object_bytes(1), Phase::O);
+    sim.cpu(site, comparisons + counter.comparisons, Phase::O);
+    scan
+}
+
+/// Steps BL_C1/BL_C2 (and PL_C2): evaluate the local predicates over the
+/// root extent (phase P), then look up assistants for the unsolved data
+/// local evaluation surfaced (phase O).
+fn scan_eval(
+    fed: &Federation,
+    query: &BoundQuery,
+    ctx: &SiteContext<'_>,
+    sim: &mut Simulation,
+    config: Config,
+    mut static_state: StaticState,
+) -> SiteOutput {
+    let db_id = ctx.db.id();
+    let site = Site::Db(db_id);
+    let extent = ctx.db.extent(ctx.plan.root_constituent());
+    let range_table = fed.catalog().table(query.range());
+    let params = *sim.params();
+
+    // --- Phase P.
+    let mut counter = EvalCounter::new();
+    // Row plus, per unsolved entry, its remainder start step and whether
+    // its checks were already issued by the static pass.
+    type RowRemainders = Vec<(Option<LOid>, usize, bool)>;
+    let mut rows: Vec<(LocalRow, RowRemainders)> = Vec::new();
+    let mut scan_bytes = 0u64;
+    for object in extent.iter() {
+        scan_bytes += params.object_bytes(ctx.root_width);
+        if static_state.sig_eliminated.contains(&object.loid().serial()) {
+            continue;
+        }
+        let mut verdicts = vec![Truth::Unknown; query.predicates().len()];
+        let mut unsolved: Vec<(PredId, Option<LOid>, usize, bool)> = Vec::new();
+        let mut eliminated = false;
+        for (i, compiled) in ctx.local_preds.iter().enumerate() {
+            let Some(pred) = compiled else { continue };
+            let (verdict, walk) = pred.eval(ctx.db, object, &mut counter);
+            match verdict {
+                Truth::True => verdicts[i] = Truth::True,
+                Truth::False => {
+                    eliminated = true;
+                    break;
+                }
+                Truth::Unknown => {
+                    // A null blocked the walk: the deepest visited object
+                    // holds the missing data, and the remainder starts at
+                    // its depth.
+                    unsolved.push((
+                        PredId::new(i),
+                        walk.visited.last().copied(),
+                        walk.visited.len(),
+                        false,
+                    ));
+                }
+            }
+        }
+        if eliminated {
+            continue;
+        }
+        // Statically unsolved predicates: reuse the static pass (PL) or
+        // resolve items now (BL).
+        for (pred, prefix) in &ctx.truncated {
+            match static_state.items.remove(&(object.loid().serial(), pred.index())) {
+                Some((item, start)) => unsolved.push((*pred, item, start, true)),
+                None => {
+                    let (item, start) = resolve_item(ctx, object, prefix, &mut counter);
+                    unsolved.push((*pred, item, start, false));
+                }
+            }
+        }
+
+        // Project targets; with target completion, resolve the nested
+        // item whose assistants can supply an unprojectable value.
+        let mut targets = Vec::with_capacity(ctx.targets.len());
+        let mut target_items = vec![None; ctx.targets.len()];
+        for (t, compiled) in ctx.targets.iter().enumerate() {
+            match compiled {
+                None => {
+                    targets.push(Value::Null);
+                    if let (true, Some(prefix)) =
+                        (config.complete_targets, &ctx.target_prefixes[t])
+                    {
+                        {
+                            let walk = prefix.walk(ctx.db, object, &mut counter);
+                            target_items[t] = match walk.value.as_ref_loid() {
+                                Some(item) => Some((item, prefix.len())),
+                                // A null blocked the prefix: the deepest
+                                // visited object is the item.
+                                None => walk
+                                    .visited
+                                    .last()
+                                    .map(|&item| (item, walk.visited.len())),
+                            };
+                        }
+                    }
+                }
+                Some((path, terminal_domain)) => {
+                    let walk = path.walk(ctx.db, object, &mut counter);
+                    match terminal_domain {
+                        Some(domain) => {
+                            counter.comparisons += 1; // LOid -> GOid probe
+                            let translated = walk
+                                .value
+                                .as_ref_loid()
+                                .and_then(|l| fed.catalog().table(*domain).goid_of(l))
+                                .map(Value::GRef)
+                                .unwrap_or(Value::Null);
+                            targets.push(translated);
+                        }
+                        None => targets.push(walk.value),
+                    }
+                }
+            }
+        }
+
+        counter.comparisons += 1; // root GOid probe
+        let Some(goid) = range_table.goid_of(object.loid()) else {
+            continue;
+        };
+        let entries = unsolved
+            .iter()
+            .map(|(pred, item, _, _)| UnsolvedEntry { pred: *pred, item: *item })
+            .collect();
+        let remainders = unsolved
+            .into_iter()
+            .map(|(_, item, start, from_static)| (item, start, from_static))
+            .collect();
+        rows.push((
+            LocalRow {
+                root_loid: object.loid(),
+                goid,
+                verdicts,
+                unsolved: entries,
+                targets,
+                target_items,
+            },
+            remainders,
+        ));
+    }
+    sim.disk(site, scan_bytes + counter.objects_fetched * params.object_bytes(1), Phase::P);
+    sim.cpu(site, counter.comparisons, Phase::P);
+
+    // --- Phase O: assistant lookup for what evaluation surfaced.
+    let mut comparisons = 0u64;
+    let mut dynamic_requests = Vec::new();
+    let mut target_requests = Vec::new();
+    let mut seen = HashSet::new();
+    let mut target_seen: HashSet<TargetRequest> = HashSet::new();
+    let mut final_rows = Vec::with_capacity(rows.len());
+    'rows: for (row, remainders) in rows {
+        for (entry, (item, start, from_static)) in row.unsolved.iter().zip(&remainders) {
+            if *from_static {
+                continue; // PL issued these checks before evaluation
+            }
+            let Some(item_loid) = item else { continue };
+            let ok = requests_for_item(
+                fed,
+                query,
+                *item_loid,
+                entry.pred,
+                *start,
+                config.use_signatures,
+                &mut comparisons,
+                &mut seen,
+                &mut dynamic_requests,
+            );
+            if !ok {
+                continue 'rows; // signature proved a violation
+            }
+        }
+        if config.complete_targets {
+            for (t, item) in row.target_items.iter().enumerate() {
+                let Some((item_loid, start)) = item else { continue };
+                let (item_loid, start) = (item_loid, *start);
+                let bound = &query.targets()[t];
+                let item_class = bound.class(start);
+                let first_slot = bound.slot(start);
+                let class = fed.global_schema().class(item_class);
+                comparisons += 1; // GOid-table probe for the item
+                for assistant in fed.catalog().table(item_class).siblings(*item_loid) {
+                    comparisons += 1; // remote-schema presence probe
+                    let present = class
+                        .constituent_for(assistant.db())
+                        .map(|c| !c.is_missing(first_slot))
+                        .unwrap_or(false);
+                    if !present {
+                        continue;
+                    }
+                    let request =
+                        TargetRequest { item: *item_loid, assistant, target: t, start };
+                    comparisons += 1; // dedup probe
+                    if target_seen.insert(request) {
+                        target_requests.push(request);
+                    }
+                }
+            }
+        }
+        final_rows.push(row);
+    }
+    sim.cpu(site, comparisons, Phase::O);
+
+    SiteOutput { db: db_id, rows: final_rows, dynamic_requests, target_requests }
+}
+
+/// Bytes of one local-results message: per row, the entity id, the local
+/// oid, the projected targets, and one oid + tag per unsolved entry.
+fn result_message_bytes(rows: &[LocalRow], params: &SystemParams) -> u64 {
+    rows.iter()
+        .map(|row| {
+            params.goid_bytes
+                + params.loid_bytes
+                + row.targets.len() as u64 * params.attr_bytes
+                + row.unsolved.len() as u64 * (params.loid_bytes + 1)
+        })
+        .sum()
+}
+
+/// Bytes of one check-request batch: assistant oid + item oid + predicate.
+fn request_message_bytes(count: usize, params: &SystemParams) -> u64 {
+    count as u64 * (2 * params.loid_bytes + params.predicate_bytes())
+}
+
+/// Groups requests by the database owning the assistants.
+fn group_by_target(requests: &[CheckRequest]) -> HashMap<DbId, Vec<&CheckRequest>> {
+    let mut out: HashMap<DbId, Vec<&CheckRequest>> = HashMap::new();
+    for r in requests {
+        out.entry(r.assistant.db()).or_default().push(r);
+    }
+    out
+}
+
+/// Sends one wave of check-request batches; returns `(target, token,
+/// batch)` triples for later processing.
+fn send_request_wave<'a>(
+    sources: &[(DbId, &'a [CheckRequest])],
+    sim: &mut Simulation,
+) -> Vec<(DbId, MessageToken, Vec<&'a CheckRequest>)> {
+    let params = *sim.params();
+    let mut sends = Vec::new();
+    let mut meta = Vec::new();
+    for (source, requests) in sources {
+        let mut grouped: Vec<_> = group_by_target(requests).into_iter().collect();
+        grouped.sort_by_key(|(db, _)| *db); // deterministic wire order
+        for (target, batch) in grouped {
+            let bytes = request_message_bytes(batch.len(), &params);
+            sends.push((Site::Db(*source), Site::Db(target), bytes, Phase::O));
+            meta.push((target, batch));
+        }
+    }
+    let tokens = sim.send_batch(sends);
+    meta.into_iter()
+        .zip(tokens)
+        .map(|((target, batch), token)| (target, token, batch))
+        .collect()
+}
+
+/// Processes one wave of check requests at their target sites: fetch each
+/// assistant, evaluate the remaining predicate, and send the verdicts to
+/// the global site (steps BL_C3 / PL_C3).
+fn process_check_wave(
+    fed: &Federation,
+    query: &BoundQuery,
+    waves: Vec<(DbId, MessageToken, Vec<&CheckRequest>)>,
+    sim: &mut Simulation,
+    replies: &mut CheckReplies,
+) {
+    let params = *sim.params();
+    let mut reply_sends = Vec::new();
+    for (target, token, batch) in waves {
+        let site = Site::Db(target);
+        sim.recv(site, token);
+        let db = fed.db(target);
+        let mut counter = EvalCounter::new();
+        let mut read_bytes = 0u64;
+        for request in &batch {
+            read_bytes += params.object_bytes(1);
+            counter.comparisons += 1; // locate the assistant by LOid
+            let verdict = check_assistant(fed, query, db, request, &mut counter);
+            replies.record(request.item, request.pred, verdict);
+        }
+        sim.disk(site, read_bytes + counter.objects_fetched * params.object_bytes(1), Phase::O);
+        sim.cpu(site, counter.comparisons, Phase::O);
+        let bytes = batch.len() as u64 * (2 * params.loid_bytes + 1);
+        reply_sends.push((site, Site::Global, bytes, Phase::O));
+    }
+    let tokens = sim.send_batch(reply_sends);
+    sim.recv_all(Site::Global, tokens);
+}
+
+/// Processes target-value fetches at their target sites and sends the
+/// values to the global site (target-completion extension).
+fn process_target_wave(
+    fed: &Federation,
+    query: &BoundQuery,
+    waves: Vec<(DbId, MessageToken, Vec<&TargetRequest>)>,
+    sim: &mut Simulation,
+    replies: &mut TargetReplies,
+) {
+    let params = *sim.params();
+    let mut reply_sends = Vec::new();
+    for (target_db, token, batch) in waves {
+        let site = Site::Db(target_db);
+        sim.recv(site, token);
+        let db = fed.db(target_db);
+        let mut counter = EvalCounter::new();
+        let mut read_bytes = 0u64;
+        for request in &batch {
+            read_bytes += params.object_bytes(1);
+            counter.comparisons += 1; // locate the assistant by LOid
+            let bound = &query.targets()[request.target];
+            let value = match db.object(request.assistant) {
+                Some(object) => {
+                    match translate_steps(fed, target_db, bound, request.start, bound.len()) {
+                        Some(remaining) => {
+                            match CompiledPath::compile(db, object.class(), &remaining) {
+                                Ok(path) => path.walk(db, object, &mut counter).value,
+                                Err(_) => Value::Null,
+                            }
+                        }
+                        None => Value::Null,
+                    }
+                }
+                None => Value::Null,
+            };
+            // Complex terminals would need a further GOid translation;
+            // completion covers primitive target values.
+            let value = match value {
+                Value::Ref(_) => Value::Null,
+                other => other,
+            };
+            replies.entry((request.item, request.target)).or_default().push(value);
+        }
+        sim.disk(site, read_bytes + counter.objects_fetched * params.object_bytes(1), Phase::O);
+        sim.cpu(site, counter.comparisons, Phase::O);
+        let bytes = batch.len() as u64 * (2 * params.loid_bytes + params.attr_bytes);
+        reply_sends.push((site, Site::Global, bytes, Phase::O));
+    }
+    let tokens = sim.send_batch(reply_sends);
+    sim.recv_all(Site::Global, tokens);
+}
+
+/// Fetched target values, keyed by `(item, select-list position)`.
+pub(crate) type TargetReplies = HashMap<(LOid, usize), Vec<Value>>;
+
+/// Evaluates one remaining predicate on one assistant object, translating
+/// the path remainder into the target site's own attribute names.
+fn check_assistant(
+    fed: &Federation,
+    query: &BoundQuery,
+    db: &ComponentDb,
+    request: &CheckRequest,
+    counter: &mut EvalCounter,
+) -> Truth {
+    let Some(object) = db.object(request.assistant) else {
+        return Truth::Unknown; // stale mapping-table entry
+    };
+    let bound = query.predicate(request.pred);
+    let Some(remaining) =
+        translate_steps(fed, db.id(), bound.path(), request.start, bound.path().len())
+    else {
+        // This site is missing a deeper attribute on the path: the check
+        // cannot decide either way.
+        return Truth::Unknown;
+    };
+    let compiled = CompiledPredicate::compile(
+        db,
+        object.class(),
+        &remaining,
+        bound.op(),
+        bound.literal().clone(),
+    );
+    match compiled {
+        Ok(pred) => pred.eval(db, object, counter).0,
+        Err(_) => Truth::Unknown,
+    }
+}
+
+/// Shared orchestration of BL and PL.
+fn execute_localized(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    mode: Mode,
+    config: Config,
+) -> Result<QueryAnswer, ExecError> {
+    let schema = fed.global_schema();
+    let params = *sim.params();
+
+    // Step BL_G1 / PL_G1: ship local queries to the hosting sites.
+    let mut plans = Vec::new();
+    for db in fed.dbs() {
+        if let Some(plan) = plan_for_db(query, schema, db.id()) {
+            plans.push(plan);
+        }
+    }
+    let queried_dbs: Vec<DbId> = plans.iter().map(|p| p.db()).collect();
+    let query_sends = plans
+        .iter()
+        .map(|p| (Site::Global, Site::Db(p.db()), 2 * params.attr_bytes, Phase::Ship))
+        .collect();
+    let tokens = sim.send_batch(query_sends);
+    for (plan, token) in plans.iter().zip(tokens) {
+        sim.recv(Site::Db(plan.db()), token);
+    }
+
+    let mut contexts = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        contexts.push(build_context(fed, query, plan)?);
+    }
+
+    // PL: run the static phase-O pass at every site, then put its check
+    // requests on the wire *before* charging phase P anywhere — the wire
+    // sees them at each site's phase-O completion time.
+    let mut static_requests: Vec<Vec<CheckRequest>> = Vec::with_capacity(contexts.len());
+    let mut static_states: Vec<StaticState> = Vec::with_capacity(contexts.len());
+    for ctx in &contexts {
+        let scan = match mode {
+            Mode::Basic => StaticScan::default(),
+            Mode::Parallel => scan_static(fed, query, ctx, sim, config),
+        };
+        static_requests.push(scan.requests);
+        static_states.push(scan.state);
+    }
+    let static_sources: Vec<(DbId, &[CheckRequest])> = contexts
+        .iter()
+        .zip(&static_requests)
+        .map(|(ctx, requests)| (ctx.db.id(), requests.as_slice()))
+        .collect();
+    let static_waves = send_request_wave(&static_sources, sim);
+
+    let mut replies = CheckReplies::new();
+
+    // Local evaluation everywhere.
+    let mut outputs = Vec::with_capacity(contexts.len());
+    for (ctx, state) in contexts.iter().zip(static_states) {
+        outputs.push(scan_eval(fed, query, ctx, sim, config, state));
+    }
+
+    // Post-evaluation check requests, target fetches, and local results.
+    let dynamic_sources: Vec<(DbId, &[CheckRequest])> = outputs
+        .iter()
+        .map(|o| (o.db, o.dynamic_requests.as_slice()))
+        .collect();
+    let dynamic_waves = send_request_wave(&dynamic_sources, sim);
+    let mut target_sends = Vec::new();
+    let mut target_meta = Vec::new();
+    for output in &outputs {
+        let mut grouped: HashMap<DbId, Vec<&TargetRequest>> = HashMap::new();
+        for r in &output.target_requests {
+            grouped.entry(r.assistant.db()).or_default().push(r);
+        }
+        let mut grouped: Vec<_> = grouped.into_iter().collect();
+        grouped.sort_by_key(|(db, _)| *db);
+        for (target, batch) in grouped {
+            let bytes =
+                batch.len() as u64 * (2 * params.loid_bytes + params.predicate_bytes());
+            target_sends.push((Site::Db(output.db), Site::Db(target), bytes, Phase::O));
+            target_meta.push((target, batch));
+        }
+    }
+    let target_tokens = sim.send_batch(target_sends);
+    let target_waves: Vec<_> = target_meta
+        .into_iter()
+        .zip(target_tokens)
+        .map(|((t, b), token)| (t, token, b))
+        .collect();
+    let result_sends = outputs
+        .iter()
+        .map(|o| {
+            (
+                Site::Db(o.db),
+                Site::Global,
+                result_message_bytes(&o.rows, &params),
+                Phase::I,
+            )
+        })
+        .collect();
+    let tokens = sim.send_batch(result_sends);
+    sim.recv_all(Site::Global, tokens);
+
+    // Remote checking (PL's static wave first — it arrived first).
+    process_check_wave(fed, query, static_waves, sim, &mut replies);
+    process_check_wave(fed, query, dynamic_waves, sim, &mut replies);
+    let mut target_replies = TargetReplies::new();
+    process_target_wave(fed, query, target_waves, sim, &mut target_replies);
+
+    // Step BL_G2 / PL_G2: certification at the global site (phase I).
+    let site_rows: Vec<(DbId, Vec<LocalRow>)> =
+        outputs.into_iter().map(|o| (o.db, o.rows)).collect();
+    Ok(certify(fed, query, site_rows, &replies, &target_replies, &queried_dbs, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_flags() {
+        assert!(!BasicLocalized::new().use_signatures);
+        assert!(!BasicLocalized::new().complete_targets);
+        assert!(BasicLocalized::with_signatures().use_signatures);
+        assert!(BasicLocalized::new().completing_targets().complete_targets);
+        let both = BasicLocalized::with_signatures().completing_targets();
+        assert!(both.use_signatures && both.complete_targets);
+        assert!(ParallelLocalized::with_signatures().use_signatures);
+        assert!(ParallelLocalized::new().completing_targets().complete_targets);
+        assert_eq!(BasicLocalized::default(), BasicLocalized::new());
+        assert_eq!(ParallelLocalized::default(), ParallelLocalized::new());
+    }
+
+    #[test]
+    fn strategy_names_reflect_signature_use() {
+        use crate::strategy::ExecutionStrategy as _;
+        assert_eq!(BasicLocalized::new().name(), "BL");
+        assert_eq!(BasicLocalized::with_signatures().name(), "BL-S");
+        assert_eq!(ParallelLocalized::new().name(), "PL");
+        assert_eq!(ParallelLocalized::with_signatures().name(), "PL-S");
+    }
+
+    #[test]
+    fn dedup_drops_repeated_requests() {
+        let mut seen = HashSet::new();
+        let item = LOid::new(DbId::new(0), 1);
+        let assistant = LOid::new(DbId::new(1), 2);
+        let request = CheckRequest { item, assistant, pred: PredId::new(0), start: 1 };
+        assert!(seen.insert(request));
+        assert!(!seen.insert(request));
+        // A different start (same item/assistant/pred) is a distinct check.
+        let other = CheckRequest { item, assistant, pred: PredId::new(0), start: 0 };
+        assert!(seen.insert(other));
+    }
+}

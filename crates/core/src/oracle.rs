@@ -1,0 +1,209 @@
+//! An omniscient, zero-cost evaluator used to validate the strategies.
+//!
+//! The oracle answers a bound query by consulting every component
+//! database directly (no shipping, no phases, no cost model) with the
+//! federation's merge semantics: an attribute of an entity is the first
+//! non-null value among its isomeric copies. All three strategies must
+//! produce the oracle's classification; the property-based integration
+//! tests enforce this.
+
+use crate::federation::Federation;
+use crate::result::{MaybeRow, QueryAnswer, ResultRow};
+use fedoq_object::{GOid, GlobalClassId, Truth, Value};
+use fedoq_query::{bind, BoundPath, BoundQuery, DnfQuery};
+
+/// Computes the ground-truth answer for `query` over `fed`.
+///
+/// # Example
+///
+/// ```no_run
+/// use fedoq_core::{oracle_answer, Federation};
+/// # fn get_fed() -> Federation { unimplemented!() }
+/// let fed = get_fed();
+/// let query = fed.parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30")?;
+/// let truth = oracle_answer(&fed, &query);
+/// # Ok::<(), fedoq_core::ExecError>(())
+/// ```
+pub fn oracle_answer(fed: &Federation, query: &BoundQuery) -> QueryAnswer {
+    let table = fed.catalog().table(query.range());
+    let mut roots: Vec<GOid> = table.iter().map(|(g, _)| g).collect();
+    roots.sort();
+
+    let mut certain = Vec::new();
+    let mut maybe = Vec::new();
+    for goid in roots {
+        let mut eliminated = false;
+        let mut unsolved = Vec::new();
+        for pred in query.predicates() {
+            let value = walk(fed, goid, pred.path());
+            match value.compare(pred.op(), pred.literal()) {
+                Truth::True => {}
+                Truth::False => {
+                    eliminated = true;
+                    break;
+                }
+                Truth::Unknown => unsolved.push(pred.id()),
+            }
+        }
+        if eliminated {
+            continue;
+        }
+        let values = query.targets().iter().map(|t| walk(fed, goid, t)).collect();
+        let row = ResultRow::new(goid, values);
+        if unsolved.is_empty() {
+            certain.push(row);
+        } else {
+            maybe.push(MaybeRow::new(row, unsolved));
+        }
+    }
+    QueryAnswer::new(certain, maybe)
+}
+
+/// Ground truth for a disjunctive query: the Kleene-OR merge of the
+/// per-branch oracle answers.
+///
+/// # Panics
+///
+/// Panics if a branch fails to bind against the federation's global
+/// schema (callers validate queries first).
+pub fn oracle_disjunctive(fed: &Federation, query: &DnfQuery) -> QueryAnswer {
+    let answers: Vec<QueryAnswer> = query
+        .branches()
+        .iter()
+        .map(|branch| {
+            let bound = bind(branch, fed.global_schema()).expect("branch binds");
+            oracle_answer(fed, &bound)
+        })
+        .collect();
+    crate::disjunctive::merge_branches(query, &answers)
+}
+
+/// The merged value of one global attribute of one entity: the first
+/// non-null value among the entity's isomeric copies, with local
+/// references lifted to global identities.
+fn merged_value(fed: &Federation, class: GlobalClassId, goid: GOid, slot: usize) -> Value {
+    let global_class = fed.global_schema().class(class);
+    let domain = global_class.attr(slot).ty().domain();
+    for &loid in fed.catalog().table(class).loids_of(goid) {
+        let Some(constituent) = global_class.constituent_for(loid.db()) else {
+            continue;
+        };
+        let Some(local) = constituent.local_slot(slot) else {
+            continue;
+        };
+        let Some(object) = fed.db(loid.db()).object(loid) else {
+            continue;
+        };
+        let value = object.value(local);
+        if value.is_null() {
+            continue;
+        }
+        return match (domain, value) {
+            (Some(d), Value::Ref(target)) => fed
+                .catalog()
+                .table(d)
+                .goid_of(*target)
+                .map(Value::GRef)
+                .unwrap_or(Value::Null),
+            _ => value.clone(),
+        };
+    }
+    Value::Null
+}
+
+/// Walks a bound path through merged entities.
+fn walk(fed: &Federation, root: GOid, path: &BoundPath) -> Value {
+    let mut goid = root;
+    let n = path.len();
+    for i in 0..n {
+        let value = merged_value(fed, path.class(i), goid, path.slot(i));
+        if i + 1 == n {
+            return value;
+        }
+        match value {
+            Value::GRef(next) => goid = next,
+            _ => return Value::Null,
+        }
+    }
+    unreachable!("paths are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::run_strategy;
+    use crate::Centralized;
+    use fedoq_object::DbId;
+    use fedoq_schema::Correspondences;
+    use fedoq_sim::SystemParams;
+    use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+
+    fn fed() -> Federation {
+        let s0 = ComponentSchema::new(vec![
+            ClassDef::new("Dept").attr("name", AttrType::text()).key(["name"]),
+            ClassDef::new("Emp")
+                .attr("id", AttrType::int())
+                .attr("dept", AttrType::complex("Dept"))
+                .key(["id"]),
+        ])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Emp")
+            .attr("id", AttrType::int())
+            .attr("salary", AttrType::int())
+            .key(["id"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        let d = db0.insert_named("Dept", &[("name", Value::text("CS"))]).unwrap();
+        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))]).unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))]).unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(2)), ("salary", Value::Int(50))]).unwrap();
+        Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
+    }
+
+    #[test]
+    fn oracle_merges_across_copies_and_classes() {
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.id FROM Emp X WHERE X.dept.name = 'CS' AND X.salary > 60")
+            .unwrap();
+        let a = oracle_answer(&f, &q);
+        // Entity 1: dept CS (DB0) + salary 90 (DB1) => certain.
+        assert_eq!(a.certain().len(), 1);
+        assert_eq!(a.certain()[0].values(), &[Value::Int(1)]);
+        // Entity 2: salary 50 => eliminated (dept unknown is irrelevant).
+        assert!(a.maybe().is_empty());
+    }
+
+    #[test]
+    fn oracle_agrees_with_centralized() {
+        let f = fed();
+        for sql in [
+            "SELECT X.id FROM Emp X WHERE X.salary > 60",
+            "SELECT X.id FROM Emp X WHERE X.dept.name = 'CS'",
+            "SELECT X.salary FROM Emp X WHERE X.dept.name != 'EE'",
+            "SELECT X.id FROM Emp X",
+        ] {
+            let q = f.parse_and_bind(sql).unwrap();
+            let oracle = oracle_answer(&f, &q);
+            let (ca, _) = run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
+            assert!(oracle.same_classification(&ca), "disagreement on {sql}");
+            // CA materializes the same merged values, so full equality holds.
+            assert_eq!(oracle, ca, "value disagreement on {sql}");
+        }
+    }
+
+    #[test]
+    fn maybe_results_report_unsolved_predicates() {
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.id FROM Emp X WHERE X.dept.name = 'CS' AND X.salary > 10")
+            .unwrap();
+        let a = oracle_answer(&f, &q);
+        assert_eq!(a.certain().len(), 1);
+        assert_eq!(a.maybe().len(), 1); // entity 2: dept unknown, salary ok
+        let unsolved: Vec<_> = a.maybe()[0].unsolved().collect();
+        assert_eq!(unsolved.len(), 1);
+        assert_eq!(unsolved[0].index(), 0);
+    }
+}

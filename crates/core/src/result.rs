@@ -1,0 +1,241 @@
+//! Query answers: certain results and maybe results.
+//!
+//! Following Codd's maybe semantics, an answer partitions the surviving
+//! root entities into **certain** results (every predicate true) and
+//! **maybe** results (no predicate false, at least one unknown because of
+//! missing data). Each maybe result records *which* conjuncts stayed
+//! unsolved — the informative answer the paper aims for.
+
+use fedoq_object::{GOid, Value};
+use fedoq_query::PredId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One result tuple: the root entity and its projected target values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    goid: GOid,
+    values: Vec<Value>,
+}
+
+impl ResultRow {
+    /// Creates a result row.
+    pub fn new(goid: GOid, values: Vec<Value>) -> ResultRow {
+        ResultRow { goid, values }
+    }
+
+    /// The root entity's global identifier.
+    pub fn goid(&self) -> GOid {
+        self.goid
+    }
+
+    /// The target values in select-list order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl fmt::Display for ResultRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.goid)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A maybe result: a row plus the conjuncts left unsolved by missing data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaybeRow {
+    row: ResultRow,
+    unsolved: BTreeSet<PredId>,
+}
+
+impl MaybeRow {
+    /// Creates a maybe row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unsolved` is empty — a row with nothing unsolved is a
+    /// certain result, not a maybe result.
+    pub fn new<I: IntoIterator<Item = PredId>>(row: ResultRow, unsolved: I) -> MaybeRow {
+        let unsolved: BTreeSet<PredId> = unsolved.into_iter().collect();
+        assert!(!unsolved.is_empty(), "a maybe result must have an unsolved predicate");
+        MaybeRow { row, unsolved }
+    }
+
+    /// The underlying row.
+    pub fn row(&self) -> &ResultRow {
+        &self.row
+    }
+
+    /// The root entity's global identifier.
+    pub fn goid(&self) -> GOid {
+        self.row.goid()
+    }
+
+    /// The unsolved conjuncts, ascending.
+    pub fn unsolved(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.unsolved.iter().copied()
+    }
+
+    /// `true` iff `pred` is unsolved for this row.
+    pub fn is_unsolved(&self, pred: PredId) -> bool {
+        self.unsolved.contains(&pred)
+    }
+}
+
+impl fmt::Display for MaybeRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} maybe[", self.row)?;
+        for (i, p) in self.unsolved.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// The full answer to one global query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryAnswer {
+    certain: Vec<ResultRow>,
+    maybe: Vec<MaybeRow>,
+}
+
+impl QueryAnswer {
+    /// Assembles an answer, normalizing row order by GOid so equal answers
+    /// compare equal regardless of production order.
+    pub fn new(mut certain: Vec<ResultRow>, mut maybe: Vec<MaybeRow>) -> QueryAnswer {
+        certain.sort_by_key(ResultRow::goid);
+        maybe.sort_by_key(MaybeRow::goid);
+        QueryAnswer { certain, maybe }
+    }
+
+    /// The certain results, ascending by GOid.
+    pub fn certain(&self) -> &[ResultRow] {
+        &self.certain
+    }
+
+    /// The maybe results, ascending by GOid.
+    pub fn maybe(&self) -> &[MaybeRow] {
+        &self.maybe
+    }
+
+    /// Total number of returned rows.
+    pub fn len(&self) -> usize {
+        self.certain.len() + self.maybe.len()
+    }
+
+    /// `true` iff nothing was returned.
+    pub fn is_empty(&self) -> bool {
+        self.certain.is_empty() && self.maybe.is_empty()
+    }
+
+    /// GOids of the certain results.
+    pub fn certain_goids(&self) -> BTreeSet<GOid> {
+        self.certain.iter().map(ResultRow::goid).collect()
+    }
+
+    /// GOids of the maybe results.
+    pub fn maybe_goids(&self) -> BTreeSet<GOid> {
+        self.maybe.iter().map(MaybeRow::goid).collect()
+    }
+
+    /// `true` iff both answers return the same entities with the same
+    /// certainty and the same unsolved conjunct sets (target values are not
+    /// compared — localized strategies project only locally available
+    /// attributes; see DESIGN.md).
+    pub fn same_classification(&self, other: &QueryAnswer) -> bool {
+        self.certain_goids() == other.certain_goids()
+            && self.maybe.len() == other.maybe.len()
+            && self
+                .maybe
+                .iter()
+                .zip(&other.maybe)
+                .all(|(a, b)| a.goid() == b.goid() && a.unsolved == b.unsolved)
+    }
+}
+
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} certain, {} maybe", self.certain.len(), self.maybe.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(g: u64, v: i64) -> ResultRow {
+        ResultRow::new(GOid::new(g), vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn answers_normalize_order() {
+        let a = QueryAnswer::new(
+            vec![row(2, 2), row(1, 1)],
+            vec![MaybeRow::new(row(4, 4), [PredId::new(0)])],
+        );
+        let b = QueryAnswer::new(
+            vec![row(1, 1), row(2, 2)],
+            vec![MaybeRow::new(row(4, 4), [PredId::new(0)])],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.certain()[0].goid(), GOid::new(1));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn classification_comparison() {
+        let a = QueryAnswer::new(vec![row(1, 1)], vec![MaybeRow::new(row(2, 2), [PredId::new(0)])]);
+        // Same entities/unsolved sets, different target values.
+        let b = QueryAnswer::new(
+            vec![ResultRow::new(GOid::new(1), vec![Value::Null])],
+            vec![MaybeRow::new(ResultRow::new(GOid::new(2), vec![]), [PredId::new(0)])],
+        );
+        assert!(a.same_classification(&b));
+        // Different unsolved set.
+        let c = QueryAnswer::new(vec![row(1, 1)], vec![MaybeRow::new(row(2, 2), [PredId::new(1)])]);
+        assert!(!a.same_classification(&c));
+        // Maybe entity promoted to certain.
+        let d = QueryAnswer::new(vec![row(1, 1), row(2, 2)], vec![]);
+        assert!(!a.same_classification(&d));
+    }
+
+    #[test]
+    fn goid_sets() {
+        let a = QueryAnswer::new(vec![row(3, 0)], vec![MaybeRow::new(row(5, 0), [PredId::new(2)])]);
+        assert!(a.certain_goids().contains(&GOid::new(3)));
+        assert!(a.maybe_goids().contains(&GOid::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsolved predicate")]
+    fn maybe_row_requires_unsolved() {
+        let _ = MaybeRow::new(row(1, 1), []);
+    }
+
+    #[test]
+    fn maybe_row_accessors_and_display() {
+        let m = MaybeRow::new(row(7, 9), [PredId::new(1), PredId::new(0)]);
+        assert_eq!(m.unsolved().collect::<Vec<_>>(), vec![PredId::new(0), PredId::new(1)]);
+        assert!(m.is_unsolved(PredId::new(0)));
+        assert!(!m.is_unsolved(PredId::new(2)));
+        assert_eq!(m.to_string(), "g7(9) maybe[p0,p1]");
+    }
+
+    #[test]
+    fn display_summary() {
+        let a = QueryAnswer::new(vec![row(1, 1)], vec![]);
+        assert_eq!(a.to_string(), "1 certain, 0 maybe");
+        assert_eq!(a.certain()[0].to_string(), "g1(1)");
+    }
+}

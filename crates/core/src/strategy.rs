@@ -1,0 +1,80 @@
+//! The execution-strategy interface.
+
+use crate::error::ExecError;
+use crate::federation::Federation;
+use crate::result::QueryAnswer;
+use fedoq_query::BoundQuery;
+use fedoq_sim::{NetworkModel, QueryMetrics, Simulation, SystemParams};
+
+/// A query execution strategy for global queries over missing data.
+///
+/// Implementations execute the query for real over the federation's data
+/// while charging every comparison, disk byte, and network byte to the
+/// [`Simulation`] — the answer is exact, and the metrics reflect the work
+/// the strategy actually performed.
+pub trait ExecutionStrategy {
+    /// Short name used in experiment output (`"CA"`, `"BL"`, `"PL"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Executes `query` over `fed`, narrating costs to `sim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the federation violates an invariant the
+    /// strategy relies on (e.g. a constituent class disappearing between
+    /// binding and execution). Well-formed federations never error.
+    fn execute(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+    ) -> Result<QueryAnswer, ExecError>;
+}
+
+/// Convenience wrapper: runs `strategy` in a fresh simulation and returns
+/// the answer with its metrics.
+///
+/// # Errors
+///
+/// Propagates the strategy's [`ExecError`].
+///
+/// # Example
+///
+/// ```no_run
+/// use fedoq_core::{run_strategy, Centralized, Federation};
+/// use fedoq_sim::SystemParams;
+/// # fn get_fed() -> Federation { unimplemented!() }
+/// let fed = get_fed();
+/// let query = fed.parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30")?;
+/// let (answer, metrics) = run_strategy(&Centralized, &fed, &query, SystemParams::paper_default())?;
+/// println!("{answer}: {metrics}");
+/// # Ok::<(), fedoq_core::ExecError>(())
+/// ```
+pub fn run_strategy<S: ExecutionStrategy + ?Sized>(
+    strategy: &S,
+    fed: &Federation,
+    query: &BoundQuery,
+    params: SystemParams,
+) -> Result<(QueryAnswer, QueryMetrics), ExecError> {
+    run_strategy_with_network(strategy, fed, query, params, NetworkModel::SharedBus)
+}
+
+/// Like [`run_strategy`] with an explicit network arbitration model —
+/// used by the network-model ablation (the paper assumes a shared
+/// medium; point-to-point links change where contention bites).
+///
+/// # Errors
+///
+/// Propagates the strategy's [`ExecError`].
+pub fn run_strategy_with_network<S: ExecutionStrategy + ?Sized>(
+    strategy: &S,
+    fed: &Federation,
+    query: &BoundQuery,
+    params: SystemParams,
+    network: NetworkModel,
+) -> Result<(QueryAnswer, QueryMetrics), ExecError> {
+    let mut sim = Simulation::with_network(params, fed.num_dbs(), network);
+    let answer = strategy.execute(fed, query, &mut sim)?;
+    let metrics = sim.metrics();
+    Ok((answer, metrics))
+}

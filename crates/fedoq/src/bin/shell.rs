@@ -1,0 +1,223 @@
+//! `fedoq-shell` — an interactive shell over a FedOQ federation.
+//!
+//! ```text
+//! fedoq-shell [--generate <seed>]
+//! ```
+//!
+//! Starts on the paper's university federation (or a Table-2 synthetic
+//! one with `--generate`) and accepts SQL/X queries — including
+//! disjunctive ones — plus introspection commands. Type `help` inside.
+
+use fedoq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufRead, Write};
+
+struct Shell {
+    fed: Federation,
+    strategy_name: String,
+    last_ledger: Option<fedoq::sim::Ledger>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fed = match args.first().map(String::as_str) {
+        Some("--generate") => {
+            let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let params = WorkloadParams::paper_default().scaled(0.02);
+            let config = params.sample(&mut StdRng::seed_from_u64(seed));
+            let sample = fedoq::workload::generate(&config, seed);
+            println!("generated federation (seed {seed}): {}", sample.federation);
+            println!("try: {}", sample.query);
+            sample.federation
+        }
+        Some(other) if other != "--university" => {
+            eprintln!("unknown option {other}; usage: fedoq-shell [--generate <seed>]");
+            std::process::exit(2);
+        }
+        _ => {
+            let fed = fedoq::workload::university::federation()?;
+            println!("loaded the paper's university federation: {fed}");
+            println!("try: {}", fedoq::workload::university::Q1);
+            fed
+        }
+    };
+    let mut shell = Shell { fed, strategy_name: "BL".to_owned(), last_ledger: None };
+    println!("strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)", shell.strategy_name);
+    println!("type `help` for commands, `quit` to exit\n");
+
+    let stdin = io::stdin();
+    loop {
+        print!("fedoq> ");
+        io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match shell.dispatch(line) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+impl Shell {
+    /// Handles one input line; returns `Ok(true)` to exit.
+    fn dispatch(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+        let mut words = line.split_whitespace();
+        match words.next().map(str::to_ascii_lowercase).as_deref() {
+            Some("quit") | Some("exit") => return Ok(true),
+            Some("help") => self.help(),
+            Some("schema") => self.schema(),
+            Some("dbs") => self.dbs(),
+            Some("goids") => match words.next() {
+                Some(class) => self.goids(class),
+                None => println!("usage: goids <GlobalClass>"),
+            },
+            Some("plan") => {
+                let sql = line[4..].trim();
+                if sql.is_empty() {
+                    println!("usage: plan SELECT ...");
+                } else {
+                    self.plan(sql)?;
+                }
+            }
+            Some("explain") => {
+                let sql = line[7..].trim();
+                if sql.is_empty() {
+                    println!("usage: explain SELECT ...");
+                } else {
+                    let bound = self.fed.parse_and_bind(sql)?;
+                    print!("{}", explain(&self.fed, &bound));
+                }
+            }
+            Some("timeline") => match &self.last_ledger {
+                Some(ledger) => {
+                    print!("{}", fedoq::sim::timeline::render(ledger, self.fed.num_dbs()));
+                }
+                None => println!("run a query first"),
+            },
+            Some("save") => match words.next() {
+                Some(dir) => {
+                    self.fed.save_to_dir(std::path::Path::new(dir))?;
+                    println!("saved {} database(s) under {dir}", self.fed.num_dbs());
+                }
+                None => println!("usage: save <dir>"),
+            },
+            Some("load") => match words.next() {
+                Some(dir) => {
+                    self.fed = Federation::load_from_dir(
+                        std::path::Path::new(dir),
+                        &Correspondences::new(),
+                    )?;
+                    println!("loaded: {}", self.fed);
+                }
+                None => println!("usage: load <dir>"),
+            },
+            Some("strategy") => match words.next() {
+                Some(name) if self.make_strategy_by(name).is_some() => {
+                    self.strategy_name = name.to_ascii_uppercase();
+                    println!("strategy set to {}", self.strategy_name);
+                }
+                _ => println!("usage: strategy CA|BL|PL|BL-S|PL-S"),
+            },
+            Some("select") => self.query(line)?,
+            _ => println!("unrecognized input; type `help`"),
+        }
+        Ok(false)
+    }
+
+    fn help(&self) {
+        println!(
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+        );
+    }
+
+    fn schema(&self) {
+        for (_, class) in self.fed.global_schema().iter() {
+            let attrs: Vec<&str> = class.attrs().iter().map(|a| a.name()).collect();
+            println!("{}({})", class.name(), attrs.join(", "));
+            for constituent in class.constituents() {
+                let missing: Vec<&str> =
+                    constituent.missing_attrs().map(|g| class.attr(g).name()).collect();
+                let db = self.fed.db(constituent.db());
+                if missing.is_empty() {
+                    println!("  {}: complete", db.name());
+                } else {
+                    println!("  {}: missing {}", db.name(), missing.join(", "));
+                }
+            }
+        }
+    }
+
+    fn dbs(&self) {
+        for db in self.fed.dbs() {
+            println!("{db}");
+        }
+    }
+
+    fn goids(&self, class_name: &str) {
+        let Some(class_id) = self.fed.global_schema().class_id(class_name) else {
+            println!("unknown global class {class_name:?}");
+            return;
+        };
+        let table = self.fed.catalog().table(class_id);
+        let mut entries: Vec<(GOid, Vec<LOid>)> =
+            table.iter().map(|(g, ls)| (g, ls.to_vec())).collect();
+        entries.sort();
+        for (g, loids) in entries {
+            let copies: Vec<String> = loids.iter().map(|l| l.to_string()).collect();
+            println!("{g} = {{{}}}", copies.join(", "));
+        }
+    }
+
+    fn plan(&self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let bound = self.fed.parse_and_bind(sql)?;
+        for db in self.fed.dbs() {
+            match plan_for_db(&bound, self.fed.global_schema(), db.id()) {
+                Some(plan) => println!("{}", plan.describe(&bound)),
+                None => println!("-- {} hosts no constituent of the range class", db.name()),
+            }
+        }
+        Ok(())
+    }
+
+    fn make_strategy_by(&self, name: &str) -> Option<Box<dyn ExecutionStrategy>> {
+        match name.to_ascii_uppercase().as_str() {
+            "CA" => Some(Box::new(Centralized)),
+            "BL" => Some(Box::new(BasicLocalized::new())),
+            "PL" => Some(Box::new(ParallelLocalized::new())),
+            "BL-S" => Some(Box::new(BasicLocalized::with_signatures())),
+            "PL-S" => Some(Box::new(ParallelLocalized::with_signatures())),
+            _ => None,
+        }
+    }
+
+    fn query(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let strategy = self
+            .make_strategy_by(&self.strategy_name)
+            .expect("configured strategy is valid");
+        let dnf = parse_dnf(sql)?;
+        let mut sim = Simulation::new(SystemParams::paper_default(), self.fed.num_dbs());
+        let answer = run_disjunctive(strategy.as_ref(), &self.fed, &dnf, &mut sim)?;
+        for row in answer.certain() {
+            println!("certain  {row}");
+        }
+        for row in answer.maybe() {
+            let unsolved: Vec<String> = row.unsolved().map(|p| p.to_string()).collect();
+            println!("maybe    {}  [unsolved: {}]", row.row(), unsolved.join(","));
+        }
+        if answer.is_empty() {
+            println!("(no results)");
+        }
+        println!("-- {} via {}: {}", answer, self.strategy_name, sim.metrics());
+        self.last_ledger = Some(sim.ledger().clone());
+        Ok(())
+    }
+}

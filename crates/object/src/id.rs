@@ -1,0 +1,221 @@
+//! Typed identifiers for databases, classes, and objects.
+//!
+//! The paper distinguishes *local object identifiers* (LOids), which are
+//! only meaningful inside one component database, from *global object
+//! identifiers* (GOids), which name a real-world entity across the whole
+//! federation. Isomeric objects — copies of the same entity stored in
+//! different component databases — share one GOid; the association is kept
+//! in the replicated GOid mapping tables (see `fedoq-schema`).
+
+use std::fmt;
+
+/// Identifier of a component database (a site) in the federation.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::DbId;
+/// let db = DbId::new(2);
+/// assert_eq!(db.index(), 2);
+/// assert_eq!(db.to_string(), "DB2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DbId(u16);
+
+impl DbId {
+    /// Creates a database id from its zero-based site index.
+    pub fn new(index: u16) -> Self {
+        DbId(index)
+    }
+
+    /// Returns the zero-based site index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Returns the raw index as `u16`.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for DbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DB{}", self.0)
+    }
+}
+
+impl From<u16> for DbId {
+    fn from(v: u16) -> Self {
+        DbId(v)
+    }
+}
+
+/// Identifier of a class *within one component database*.
+///
+/// A `ClassId` is only meaningful together with the [`DbId`] of the
+/// database whose schema defines the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Creates a class id from its position in the component schema.
+    pub fn new(index: u32) -> Self {
+        ClassId(index)
+    }
+
+    /// Returns the zero-based position in the component schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a class in the integrated *global* schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalClassId(u32);
+
+impl GlobalClassId {
+    /// Creates a global class id from its position in the global schema.
+    pub fn new(index: u32) -> Self {
+        GlobalClassId(index)
+    }
+
+    /// Returns the zero-based position in the global schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A local object identifier: unique within the federation because it
+/// carries the owning database.
+///
+/// The paper writes these as `s1`, `t2'`, `d3''`; we write `o<serial>@DB<n>`.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, LOid};
+/// let loid = LOid::new(DbId::new(1), 42);
+/// assert_eq!(loid.db(), DbId::new(1));
+/// assert_eq!(loid.serial(), 42);
+/// assert_eq!(loid.to_string(), "o42@DB1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LOid {
+    db: DbId,
+    serial: u64,
+}
+
+impl LOid {
+    /// Creates a local object identifier owned by `db`.
+    pub fn new(db: DbId, serial: u64) -> Self {
+        LOid { db, serial }
+    }
+
+    /// The component database that owns this object.
+    pub fn db(self) -> DbId {
+        self.db
+    }
+
+    /// The per-database serial number.
+    pub fn serial(self) -> u64 {
+        self.serial
+    }
+}
+
+impl fmt::Display for LOid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}@{}", self.serial, self.db)
+    }
+}
+
+/// A global object identifier naming one real-world entity.
+///
+/// All isomeric objects (copies of the entity in different component
+/// databases) map to the same `GOid` via the GOid mapping tables.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::GOid;
+/// let g = GOid::new(7);
+/// assert_eq!(g.to_string(), "g7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GOid(u64);
+
+impl GOid {
+    /// Creates a global object identifier from a federation-wide serial.
+    pub fn new(serial: u64) -> Self {
+        GOid(serial)
+    }
+
+    /// Returns the federation-wide serial number.
+    pub fn serial(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for GOid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn db_id_round_trip() {
+        let db = DbId::new(3);
+        assert_eq!(db.index(), 3);
+        assert_eq!(db.raw(), 3);
+        assert_eq!(DbId::from(3u16), db);
+    }
+
+    #[test]
+    fn display_forms_are_compact_and_distinct() {
+        assert_eq!(DbId::new(0).to_string(), "DB0");
+        assert_eq!(ClassId::new(5).to_string(), "c5");
+        assert_eq!(GlobalClassId::new(5).to_string(), "G5");
+        assert_eq!(GOid::new(12).to_string(), "g12");
+        assert_eq!(LOid::new(DbId::new(2), 9).to_string(), "o9@DB2");
+    }
+
+    #[test]
+    fn loids_differ_across_databases() {
+        let a = LOid::new(DbId::new(0), 1);
+        let b = LOid::new(DbId::new(1), 1);
+        assert_ne!(a, b);
+        let set: HashSet<_> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn loid_ordering_is_db_major() {
+        let a = LOid::new(DbId::new(0), 100);
+        let b = LOid::new(DbId::new(1), 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn goid_is_hashable_and_ordered() {
+        let mut v = vec![GOid::new(3), GOid::new(1), GOid::new(2)];
+        v.sort();
+        assert_eq!(v, vec![GOid::new(1), GOid::new(2), GOid::new(3)]);
+    }
+}

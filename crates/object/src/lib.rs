@@ -1,0 +1,46 @@
+//! Object-model substrate for the FedOQ federation.
+//!
+//! This crate defines the vocabulary shared by every other FedOQ crate:
+//!
+//! * typed identifiers for databases, classes, and objects — local object
+//!   identifiers ([`LOid`]) and global object identifiers ([`GOid`]) as used
+//!   by the paper's GOid mapping tables ([`id`]);
+//! * the attribute [`Value`] model, including SQL-style nulls and references
+//!   to other objects ([`value`]);
+//! * Kleene three-valued logic ([`Truth`]) which gives *maybe results* their
+//!   semantics ([`truth`]);
+//! * dotted [`Path`] expressions (`advisor.department.name`) used by nested
+//!   predicates ([`path`]);
+//! * in-memory [`Object`] instances ([`object`]);
+//! * compact [`ObjectSignature`]s, the auxiliary structure the paper
+//!   proposes for reducing assistant-object transfer ([`signature`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_object::{CmpOp, Truth, Value};
+//!
+//! // Comparing against a null yields Unknown, not false: this is what
+//! // makes an object a *maybe* result instead of eliminating it.
+//! let city = Value::Null;
+//! let verdict = city.compare(CmpOp::Eq, &Value::text("Taipei"));
+//! assert_eq!(verdict, Truth::Unknown);
+//!
+//! // Conjunction follows Kleene logic.
+//! assert_eq!(Truth::True.and(Truth::Unknown), Truth::Unknown);
+//! assert_eq!(Truth::False.and(Truth::Unknown), Truth::False);
+//! ```
+
+pub mod id;
+pub mod object;
+pub mod path;
+pub mod signature;
+pub mod truth;
+pub mod value;
+
+pub use id::{ClassId, DbId, GOid, GlobalClassId, LOid};
+pub use object::Object;
+pub use path::{ParsePathError, Path};
+pub use signature::ObjectSignature;
+pub use truth::Truth;
+pub use value::{CmpOp, Value, ValueKind};

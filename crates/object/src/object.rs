@@ -1,0 +1,163 @@
+//! In-memory object instances.
+//!
+//! An [`Object`] is one row of a class extent: a local oid plus a vector of
+//! attribute [`Value`]s aligned with the owning class's attribute order
+//! (the schema lives in `fedoq-store`). Attributes the class does not
+//! define — the paper's *missing attributes* — are simply not present in
+//! the vector; attributes the class defines but the instance lacks hold
+//! [`Value::Null`].
+
+use crate::id::{ClassId, LOid};
+use crate::value::Value;
+use std::fmt;
+
+/// One object instance inside a component database.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{ClassId, DbId, LOid, Object, Value};
+///
+/// let loid = LOid::new(DbId::new(0), 1);
+/// let obj = Object::new(loid, ClassId::new(0), vec![Value::text("John"), Value::Int(31)]);
+/// assert_eq!(obj.value(0), &Value::text("John"));
+/// assert_eq!(obj.arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    loid: LOid,
+    class: ClassId,
+    values: Vec<Value>,
+}
+
+impl Object {
+    /// Creates an object with its attribute values in class order.
+    pub fn new(loid: LOid, class: ClassId, values: Vec<Value>) -> Object {
+        Object { loid, class, values }
+    }
+
+    /// The object's local identifier.
+    pub fn loid(&self) -> LOid {
+        self.loid
+    }
+
+    /// The class (within the owning database) this object belongs to.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of attribute slots.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value in slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for this object's class.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The value in slot `idx`, or `None` if out of bounds.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Replaces the value in slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set(&mut self, idx: usize, value: Value) {
+        self.values[idx] = value;
+    }
+
+    /// Iterates over the attribute values in class order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// `true` iff any defined attribute holds a null — i.e. the object has
+    /// instance-level missing data even before schema-level missing
+    /// attributes are considered.
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+
+    /// Consumes the object and returns its value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.loid)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::DbId;
+
+    fn sample() -> Object {
+        Object::new(
+            LOid::new(DbId::new(1), 5),
+            ClassId::new(2),
+            vec![Value::text("Tony"), Value::Null, Value::Int(28)],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let o = sample();
+        assert_eq!(o.loid(), LOid::new(DbId::new(1), 5));
+        assert_eq!(o.class(), ClassId::new(2));
+        assert_eq!(o.arity(), 3);
+        assert_eq!(o.value(2), &Value::Int(28));
+        assert_eq!(o.get(3), None);
+    }
+
+    #[test]
+    fn has_null_detects_instance_missing_data() {
+        assert!(sample().has_null());
+        let full = Object::new(
+            LOid::new(DbId::new(0), 0),
+            ClassId::new(0),
+            vec![Value::Int(1)],
+        );
+        assert!(!full.has_null());
+    }
+
+    #[test]
+    fn set_replaces_value() {
+        let mut o = sample();
+        o.set(1, Value::text("male"));
+        assert_eq!(o.value(1), &Value::text("male"));
+        assert!(!o.has_null());
+    }
+
+    #[test]
+    fn display_shows_loid_and_values() {
+        let s = sample().to_string();
+        assert_eq!(s, "o5@DB1(Tony, -, 28)");
+    }
+
+    #[test]
+    fn into_values_round_trip() {
+        let o = sample();
+        let vals = o.clone().into_values();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(&vals[0], o.value(0));
+    }
+}

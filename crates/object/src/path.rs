@@ -1,0 +1,218 @@
+//! Dotted path expressions for nested predicates.
+//!
+//! The paper's global queries contain *nested predicates* such as
+//! `X.advisor.department.name = CS`: the path walks the class composition
+//! hierarchy from the range class (`Student`) through complex attributes
+//! (`advisor`, `department`) to a primitive attribute (`name`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A non-empty sequence of attribute names forming a path expression.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::Path;
+///
+/// let p: Path = "advisor.department.name".parse()?;
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.first(), "advisor");
+/// assert_eq!(p.last(), "name");
+/// assert_eq!(p.to_string(), "advisor.department.name");
+/// # Ok::<(), fedoq_object::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    steps: Vec<String>,
+}
+
+/// Error returned when parsing an empty or malformed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    input: String,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path expression: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl Path {
+    /// Creates a path from attribute-name steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty — a path expression always names at least
+    /// one attribute.
+    pub fn new<I, S>(steps: I) -> Path
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let steps: Vec<String> = steps.into_iter().map(Into::into).collect();
+        assert!(!steps.is_empty(), "a path expression must have at least one step");
+        Path { steps }
+    }
+
+    /// Creates a single-step path.
+    pub fn attr(name: impl Into<String>) -> Path {
+        Path { steps: vec![name.into()] }
+    }
+
+    /// Number of steps in the path.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `false` always — paths are non-empty by construction. Provided for
+    /// API completeness alongside [`Path::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The first attribute name (an attribute of the range class).
+    pub fn first(&self) -> &str {
+        &self.steps[0]
+    }
+
+    /// The final attribute name (the attribute the predicate compares).
+    pub fn last(&self) -> &str {
+        self.steps.last().expect("paths are non-empty")
+    }
+
+    /// The steps as string slices.
+    pub fn steps(&self) -> impl Iterator<Item = &str> {
+        self.steps.iter().map(String::as_str)
+    }
+
+    /// The step at `i`, if in range.
+    pub fn step(&self, i: usize) -> Option<&str> {
+        self.steps.get(i).map(String::as_str)
+    }
+
+    /// All steps except the last: the complex-attribute prefix that walks
+    /// through branch classes.
+    pub fn branch_prefix(&self) -> impl Iterator<Item = &str> {
+        self.steps[..self.steps.len() - 1].iter().map(String::as_str)
+    }
+
+    /// Returns the sub-path that remains after removing the first `n`
+    /// steps, or `None` if fewer than one step would remain.
+    pub fn strip_prefix(&self, n: usize) -> Option<Path> {
+        if n >= self.steps.len() {
+            return None;
+        }
+        Some(Path { steps: self.steps[n..].to_vec() })
+    }
+
+    /// `true` if `prefix` is a (proper or improper) prefix of this path.
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        self.steps.len() >= prefix.steps.len()
+            && self.steps[..prefix.steps.len()] == prefix.steps[..]
+    }
+
+    /// A new path with one step appended.
+    pub fn child(&self, name: impl Into<String>) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(name.into());
+        Path { steps }
+    }
+}
+
+impl FromStr for Path {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let steps: Vec<String> = s.split('.').map(str::trim).map(String::from).collect();
+        if steps.is_empty() || steps.iter().any(|p| p.is_empty()) {
+            return Err(ParsePathError { input: s.to_owned() });
+        }
+        Ok(Path { steps })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.steps.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: Path = "advisor.department.name".parse().unwrap();
+        assert_eq!(p.to_string(), "advisor.department.name");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.first(), "advisor");
+        assert_eq!(p.last(), "name");
+    }
+
+    #[test]
+    fn parse_single_step() {
+        let p: Path = "age".parse().unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.first(), "age");
+        assert_eq!(p.last(), "age");
+        assert_eq!(p.branch_prefix().count(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_blank_steps() {
+        assert!("".parse::<Path>().is_err());
+        assert!("a..b".parse::<Path>().is_err());
+        assert!(".a".parse::<Path>().is_err());
+        assert!("a.".parse::<Path>().is_err());
+        let err = "a..b".parse::<Path>().unwrap_err();
+        assert!(err.to_string().contains("a..b"));
+    }
+
+    #[test]
+    fn parse_trims_whitespace_around_steps() {
+        let p: Path = " advisor . name ".parse().unwrap();
+        assert_eq!(p.to_string(), "advisor.name");
+    }
+
+    #[test]
+    fn branch_prefix_excludes_terminal_attribute() {
+        let p: Path = "advisor.department.name".parse().unwrap();
+        let prefix: Vec<&str> = p.branch_prefix().collect();
+        assert_eq!(prefix, vec!["advisor", "department"]);
+    }
+
+    #[test]
+    fn strip_prefix_and_starts_with() {
+        let p: Path = "advisor.department.name".parse().unwrap();
+        let q = p.strip_prefix(1).unwrap();
+        assert_eq!(q.to_string(), "department.name");
+        assert!(p.starts_with(&Path::attr("advisor")));
+        assert!(p.starts_with(&"advisor.department".parse().unwrap()));
+        assert!(!p.starts_with(&Path::attr("name")));
+        assert!(p.strip_prefix(3).is_none());
+    }
+
+    #[test]
+    fn child_appends() {
+        let p = Path::attr("advisor").child("speciality");
+        assert_eq!(p.to_string(), "advisor.speciality");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn new_rejects_empty() {
+        let _ = Path::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_steps() {
+        let a: Path = "a.b".parse().unwrap();
+        let b: Path = "a.c".parse().unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Object signatures: the auxiliary structure for reducing data transfer.
+//!
+//! The paper's conclusion (and Table 2's `R_ss` parameter) propose keeping
+//! compact *object signatures* so that localized strategies can prefilter
+//! assistant objects before shipping them between sites. We implement a
+//! 256-bit superimposed-coding signature (matching the paper's `S_s = 32`
+//! bytes): each `(attribute, value)` pair sets `K` hash-derived bits.
+//!
+//! A signature answers *may this object satisfy `attr = literal`?* with no
+//! false negatives: if the bit test fails, the object definitely does not
+//! carry that value, so the assistant check can be skipped without being
+//! transferred or evaluated. Nulls set no bits, so a null attribute always
+//! *may* match — which is exactly right, because a null must surface as an
+//! `Unknown` verdict rather than be pruned.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Number of bits per signature (32 bytes, the paper's `S_s`).
+pub const SIGNATURE_BITS: usize = 256;
+
+/// Hash functions (bits set) per `(attribute, value)` pair.
+const K: usize = 3;
+
+/// A 256-bit superimposed-coding signature of one object's attribute values.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{ObjectSignature, Value};
+///
+/// let mut sig = ObjectSignature::new();
+/// sig.insert("speciality", &Value::text("database"));
+/// assert!(sig.may_contain("speciality", &Value::text("database")));
+/// // No false negatives; false positives are possible but rare.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ObjectSignature {
+    bits: [u64; SIGNATURE_BITS / 64],
+}
+
+impl ObjectSignature {
+    /// Creates an empty signature (matches nothing except via nulls).
+    pub fn new() -> ObjectSignature {
+        ObjectSignature::default()
+    }
+
+    /// Builds a signature from `(attribute, value)` pairs, skipping nulls.
+    pub fn from_pairs<'a, I>(pairs: I) -> ObjectSignature
+    where
+        I: IntoIterator<Item = (&'a str, &'a Value)>,
+    {
+        let mut sig = ObjectSignature::new();
+        for (attr, value) in pairs {
+            sig.insert(attr, value);
+        }
+        sig
+    }
+
+    /// Superimposes the signature bits for one `(attribute, value)` pair.
+    /// Nulls are skipped: a null can never be pruned by a signature test.
+    pub fn insert(&mut self, attr: &str, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        for bit in Self::bit_positions(attr, value) {
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Tests whether the object *may* hold `value` for `attr`.
+    ///
+    /// Returns `true` (do not prune) when `value` is null, and may return
+    /// `true` spuriously (a false positive) — the actual check at the
+    /// owning site resolves it. It never returns `false` for a pair that
+    /// was inserted.
+    pub fn may_contain(&self, attr: &str, value: &Value) -> bool {
+        if value.is_null() {
+            return true;
+        }
+        Self::bit_positions(attr, value)
+            .into_iter()
+            .all(|bit| self.bits[bit / 64] & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Marks `attr` as holding a null in this object.
+    ///
+    /// Null-awareness is what makes signature pruning *sound* for
+    /// three-valued semantics: a probe that misses both the value bits and
+    /// the null marker proves the attribute holds some other non-null
+    /// value (a definite `False`), whereas a set null marker means the
+    /// comparison could still be `Unknown` and must be checked remotely.
+    pub fn insert_null(&mut self, attr: &str) {
+        for bit in Self::bit_positions(attr, &NULL_MARKER) {
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Tests whether `attr` *may* hold a null in this object.
+    /// No false negatives: if [`ObjectSignature::insert_null`] was called
+    /// for `attr`, this returns `true`.
+    pub fn may_be_null(&self, attr: &str) -> bool {
+        Self::bit_positions(attr, &NULL_MARKER)
+            .into_iter()
+            .all(|bit| self.bits[bit / 64] & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of bits set (used to estimate the false-positive rate).
+    pub fn popcount(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Size of the signature in bytes (the paper's `S_s`).
+    pub fn byte_size() -> u64 {
+        (SIGNATURE_BITS / 8) as u64
+    }
+
+    fn bit_positions(attr: &str, value: &Value) -> [usize; K] {
+        let h = hash_pair(attr, value);
+        // Derive K independent positions from one 64-bit hash by splitting
+        // it (Kirsch–Mitzenmacher double hashing).
+        let h1 = (h & 0xFFFF_FFFF) as usize;
+        let h2 = (h >> 32) as usize | 1; // odd, so the stride cycles all bits
+        let mut out = [0usize; K];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (h1 + i * h2) % SIGNATURE_BITS;
+        }
+        out
+    }
+}
+
+impl fmt::Display for ObjectSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig[{} bits set]", self.popcount())
+    }
+}
+
+/// Distinguished value whose hash encoding marks "this attribute is null".
+/// `hash_pair` encodes `Value::Null` with its own tag, and the ordinary
+/// `insert`/`may_contain` paths never feed a null to `bit_positions`, so
+/// these bit positions are reserved for the null marker.
+const NULL_MARKER: Value = Value::Null;
+
+/// FNV-1a over the attribute name and a canonical encoding of the value.
+fn hash_pair(attr: &str, value: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(attr.as_bytes());
+    eat(&[0xFF]); // separator between attribute and value encodings
+    match value {
+        Value::Null => eat(b"\x00null"),
+        Value::Int(v) => {
+            eat(b"\x01");
+            eat(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            eat(b"\x02");
+            eat(&v.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            eat(b"\x03");
+            eat(s.as_bytes());
+        }
+        Value::Bool(v) => eat(if *v { b"\x04\x01" } else { b"\x04\x00" }),
+        Value::Ref(l) => {
+            eat(b"\x05");
+            eat(&(l.db().raw()).to_le_bytes());
+            eat(&l.serial().to_le_bytes());
+        }
+        Value::GRef(g) => {
+            eat(b"\x06");
+            eat(&g.serial().to_le_bytes());
+        }
+        Value::List(items) => {
+            eat(b"\x07");
+            for item in items {
+                eat(&hash_pair("", item).to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inserted_pairs_are_always_found() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("name", &Value::text("Kelly"));
+        sig.insert("speciality", &Value::text("database"));
+        assert!(sig.may_contain("name", &Value::text("Kelly")));
+        assert!(sig.may_contain("speciality", &Value::text("database")));
+    }
+
+    #[test]
+    fn absent_pairs_are_usually_pruned() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("speciality", &Value::text("network"));
+        // With 3 bits set out of 256 the false-positive probability for a
+        // single probe is astronomically small; these specific probes miss.
+        assert!(!sig.may_contain("speciality", &Value::text("database")));
+        assert!(!sig.may_contain("name", &Value::text("network")));
+    }
+
+    #[test]
+    fn attribute_name_participates_in_hash() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("a", &Value::Int(1));
+        assert!(sig.may_contain("a", &Value::Int(1)));
+        assert!(!sig.may_contain("b", &Value::Int(1)));
+    }
+
+    #[test]
+    fn nulls_set_no_bits_and_never_prune() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("x", &Value::Null);
+        assert_eq!(sig.popcount(), 0);
+        assert!(sig.may_contain("x", &Value::Null));
+        assert!(sig.may_contain("y", &Value::Null));
+    }
+
+    #[test]
+    fn null_marker_round_trip() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("speciality", &Value::text("network"));
+        sig.insert_null("department");
+        assert!(sig.may_be_null("department"));
+        assert!(!sig.may_be_null("speciality"));
+        // The null marker does not make value probes succeed.
+        assert!(!sig.may_contain("department", &Value::text("CS")));
+    }
+
+    #[test]
+    fn byte_size_matches_table_1() {
+        assert_eq!(ObjectSignature::byte_size(), 32);
+    }
+
+    #[test]
+    fn from_pairs_builder() {
+        let name = Value::text("Abel");
+        let dept = Value::text("EE");
+        let sig = ObjectSignature::from_pairs([("name", &name), ("dept", &dept)]);
+        assert!(sig.may_contain("name", &name));
+        assert!(sig.may_contain("dept", &dept));
+    }
+
+    #[test]
+    fn distinct_value_kinds_hash_differently() {
+        let mut sig = ObjectSignature::new();
+        sig.insert("k", &Value::Int(1));
+        assert!(!sig.may_contain("k", &Value::text("1")));
+        assert!(!sig.may_contain("k", &Value::Bool(true)));
+    }
+
+    proptest! {
+        #[test]
+        fn no_false_negatives(pairs in proptest::collection::vec(("[a-c]", -50i64..50), 1..20)) {
+            let values: Vec<(String, Value)> =
+                pairs.into_iter().map(|(a, v)| (a, Value::Int(v))).collect();
+            let sig = ObjectSignature::from_pairs(
+                values.iter().map(|(a, v)| (a.as_str(), v)),
+            );
+            for (a, v) in &values {
+                prop_assert!(sig.may_contain(a, v));
+            }
+        }
+
+        #[test]
+        fn popcount_bounded_by_inserts(n in 1usize..40) {
+            let mut sig = ObjectSignature::new();
+            for i in 0..n {
+                sig.insert("attr", &Value::Int(i as i64));
+            }
+            prop_assert!(sig.popcount() as usize <= 3 * n);
+            prop_assert!(sig.popcount() > 0);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Kleene three-valued logic.
+//!
+//! Predicates over missing data cannot always be decided: comparing a null
+//! (or a value reached through a missing attribute) yields [`Truth::Unknown`].
+//! A conjunctive query then classifies each object as
+//!
+//! * **certain** — every predicate is [`Truth::True`];
+//! * **eliminated** — at least one predicate is [`Truth::False`];
+//! * **maybe** — no predicate is false but at least one is unknown.
+//!
+//! This module implements the strong Kleene connectives used throughout the
+//! paper (following Codd's extension of the relational model with maybe
+//! results).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A three-valued logic value: `True`, `False`, or `Unknown`.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::Truth;
+///
+/// assert_eq!(Truth::True.and(Truth::Unknown), Truth::Unknown);
+/// assert_eq!(Truth::False.or(Truth::Unknown), Truth::Unknown);
+/// assert_eq!(Truth::Unknown.negate(), Truth::Unknown);
+/// assert_eq!(Truth::all([Truth::True, Truth::True]), Truth::True);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Truth {
+    /// The predicate is definitely false.
+    False,
+    /// The predicate cannot be decided because of missing data.
+    #[default]
+    Unknown,
+    /// The predicate is definitely true.
+    True,
+}
+
+impl Truth {
+    /// Strong Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Strong Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation (`Unknown` stays `Unknown`).
+    ///
+    /// Named `negate` because [`Not::not`] is also implemented and `!t`
+    /// reads naturally at call sites.
+    pub fn negate(self) -> Truth {
+        use Truth::*;
+        match self {
+            True => False,
+            False => True,
+            Unknown => Unknown,
+        }
+    }
+
+    /// Conjunction of an iterator of truths (`True` for an empty iterator,
+    /// matching the identity of `and`).
+    pub fn all<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::True, Truth::and)
+    }
+
+    /// Disjunction of an iterator of truths (`False` for an empty iterator).
+    pub fn any<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::False, Truth::or)
+    }
+
+    /// `true` iff this is [`Truth::True`].
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// `true` iff this is [`Truth::False`].
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// `true` iff this is [`Truth::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+
+    /// Converts to `Some(bool)` when decided, `None` when unknown.
+    pub fn decided(self) -> Option<bool> {
+        match self {
+            Truth::True => Some(true),
+            Truth::False => Some(false),
+            Truth::Unknown => None,
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl BitAnd for Truth {
+    type Output = Truth;
+    fn bitand(self, rhs: Truth) -> Truth {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for Truth {
+    type Output = Truth;
+    fn bitor(self, rhs: Truth) -> Truth {
+        self.or(rhs)
+    }
+}
+
+impl Not for Truth {
+    type Output = Truth;
+    fn not(self) -> Truth {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use Truth::*;
+
+    const ALL: [Truth; 3] = [False, Unknown, True];
+
+    fn arb_truth() -> impl Strategy<Value = Truth> {
+        prop_oneof![Just(False), Just(Unknown), Just(True)]
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn negation_is_involutive_on_decided_values() {
+        assert_eq!(True.negate(), False);
+        assert_eq!(False.negate(), True);
+        assert_eq!(Unknown.negate(), Unknown);
+        for t in ALL {
+            assert_eq!(t.negate().negate(), t);
+        }
+    }
+
+    #[test]
+    fn operator_sugar_matches_methods() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, a.and(b));
+                assert_eq!(a | b, a.or(b));
+            }
+            assert_eq!(!a, a.negate());
+        }
+    }
+
+    #[test]
+    fn all_and_any_identities() {
+        assert_eq!(Truth::all([]), True);
+        assert_eq!(Truth::any([]), False);
+        assert_eq!(Truth::all([True, Unknown, True]), Unknown);
+        assert_eq!(Truth::all([True, False, Unknown]), False);
+        assert_eq!(Truth::any([False, Unknown]), Unknown);
+        assert_eq!(Truth::any([False, True, Unknown]), True);
+    }
+
+    #[test]
+    fn decided_and_predicates() {
+        assert_eq!(True.decided(), Some(true));
+        assert_eq!(False.decided(), Some(false));
+        assert_eq!(Unknown.decided(), None);
+        assert!(True.is_true() && !True.is_false() && !True.is_unknown());
+        assert!(Unknown.is_unknown());
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(Truth::from(true), True);
+        assert_eq!(Truth::from(false), False);
+    }
+
+    #[test]
+    fn ordering_places_unknown_between_false_and_true() {
+        assert!(False < Unknown && Unknown < True);
+    }
+
+    proptest! {
+        #[test]
+        fn and_is_commutative_and_associative(a in arb_truth(), b in arb_truth(), c in arb_truth()) {
+            prop_assert_eq!(a.and(b), b.and(a));
+            prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+        }
+
+        #[test]
+        fn or_is_commutative_and_associative(a in arb_truth(), b in arb_truth(), c in arb_truth()) {
+            prop_assert_eq!(a.or(b), b.or(a));
+            prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+        }
+
+        #[test]
+        fn de_morgan_holds(a in arb_truth(), b in arb_truth()) {
+            prop_assert_eq!(a.and(b).negate(), a.negate().or(b.negate()));
+            prop_assert_eq!(a.or(b).negate(), a.negate().and(b.negate()));
+        }
+
+        #[test]
+        fn kleene_min_max_model(a in arb_truth(), b in arb_truth()) {
+            // Kleene logic is min/max over False < Unknown < True.
+            prop_assert_eq!(a.and(b), a.min(b));
+            prop_assert_eq!(a.or(b), a.max(b));
+        }
+
+        #[test]
+        fn distributivity(a in arb_truth(), b in arb_truth(), c in arb_truth()) {
+            prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+            prop_assert_eq!(a.or(b.and(c)), a.or(b).and(a.or(c)));
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Attribute values, including nulls and object references.
+//!
+//! A [`Value`] is the content of one attribute slot of an object.
+//! Primitive attributes hold [`Value::Int`], [`Value::Float`],
+//! [`Value::Text`], or [`Value::Bool`]; complex attributes hold a reference
+//! to another object, either by local oid ([`Value::Ref`]) inside a
+//! component database or by global oid ([`Value::GRef`]) after integration
+//! (the centralized strategy transforms LOids into GOids when it
+//! materializes global classes). [`Value::Null`] represents a null value —
+//! one of the paper's two sources of missing data. [`Value::List`] supports
+//! the multi-valued-attribute extension sketched in the paper's conclusion.
+
+use crate::id::{GOid, LOid};
+use crate::truth::Truth;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators usable in predicates (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an [`Ordering`].
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Whether this operator is an equality test (usable with signatures).
+    pub fn is_equality(self) -> bool {
+        self == CmpOp::Eq
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The dynamic kind of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// The null marker.
+    Null,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Local object reference.
+    Ref,
+    /// Global object reference.
+    GRef,
+    /// Multi-valued attribute.
+    List,
+}
+
+/// The value stored in one attribute slot of an object.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{CmpOp, Truth, Value};
+///
+/// let age = Value::Int(31);
+/// assert_eq!(age.compare(CmpOp::Ge, &Value::Int(30)), Truth::True);
+/// assert_eq!(Value::Null.compare(CmpOp::Ge, &Value::Int(30)), Truth::Unknown);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// The null marker: the attribute exists but its value is missing.
+    #[default]
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Reference to another object in the *same* component database.
+    Ref(LOid),
+    /// Reference to a global object (used in materialized global classes).
+    GRef(GOid),
+    /// Multi-valued attribute (extension; see the paper's conclusion).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Returns the dynamic kind of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Text(_) => ValueKind::Text,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Ref(_) => ValueKind::Ref,
+            Value::GRef(_) => ValueKind::GRef,
+            Value::List(_) => ValueKind::List,
+        }
+    }
+
+    /// `true` iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the referenced local oid, if this is a [`Value::Ref`].
+    pub fn as_ref_loid(&self) -> Option<LOid> {
+        match self {
+            Value::Ref(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Returns the referenced global oid, if this is a [`Value::GRef`].
+    pub fn as_gref(&self) -> Option<GOid> {
+        match self {
+            Value::GRef(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Three-valued ordering between two values.
+    ///
+    /// Returns `None` when either side is null or the kinds are not
+    /// comparable (e.g. text against int). Ints and floats compare
+    /// numerically. References compare by identity only through
+    /// [`Value::compare`] with `=`/`!=`.
+    pub fn partial_order(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Ref(a), Ref(b)) => Some(a.cmp(b)),
+            (GRef(a), GRef(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Compares two values under three-valued semantics.
+    ///
+    /// Any comparison involving a null yields [`Truth::Unknown`] — this is
+    /// exactly what turns objects with missing data into maybe results.
+    /// Incomparable kinds also yield `Unknown` (a heterogeneous federation
+    /// cannot always reconcile domains; see DeMichiel's partial values).
+    /// Lists compare with existential semantics for `=` (any element equal)
+    /// and universal semantics for `!=`.
+    pub fn compare(&self, op: CmpOp, other: &Value) -> Truth {
+        use Value::*;
+        if self.is_null() || other.is_null() {
+            return Truth::Unknown;
+        }
+        if let List(items) = self {
+            return match op {
+                CmpOp::Eq => Truth::any(items.iter().map(|v| v.compare(CmpOp::Eq, other))),
+                CmpOp::Ne => Truth::all(items.iter().map(|v| v.compare(CmpOp::Ne, other))),
+                _ => Truth::Unknown,
+            };
+        }
+        if let List(_) = other {
+            let flipped = match op {
+                CmpOp::Eq => CmpOp::Eq,
+                CmpOp::Ne => CmpOp::Ne,
+                _ => return Truth::Unknown,
+            };
+            return other.compare(flipped, self);
+        }
+        match self.partial_order(other) {
+            Some(ord) => Truth::from(op.eval(ord)),
+            None => match op {
+                // Distinct kinds are never equal, but ordering them is
+                // undefined.
+                CmpOp::Eq if self.kind() != other.kind() => Truth::False,
+                CmpOp::Ne if self.kind() != other.kind() => Truth::True,
+                _ => Truth::Unknown,
+            },
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<LOid> for Value {
+    fn from(v: LOid) -> Self {
+        Value::Ref(v)
+    }
+}
+
+impl From<GOid> for Value {
+    fn from(v: GOid) -> Self {
+        Value::GRef(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("-"),
+            Value::Int(v) => write!(f, "{v}"),
+            // `{:?}` keeps a decimal point ("2.0", not "2"), so floats
+            // remain distinguishable from ints when rendered into queries.
+            Value::Float(v) => write!(f, "{v:?}"),
+            Value::Text(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Ref(l) => write!(f, "{l}"),
+            Value::GRef(g) => write!(f, "{g}"),
+            Value::List(items) => {
+                f.write_str("{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::DbId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(Value::Null.compare(op, &Value::Int(1)), Truth::Unknown);
+            assert_eq!(Value::Int(1).compare(op, &Value::Null), Truth::Unknown);
+            assert_eq!(Value::Null.compare(op, &Value::Null), Truth::Unknown);
+        }
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        assert_eq!(Value::Int(2).compare(CmpOp::Lt, &Value::Int(3)), Truth::True);
+        assert_eq!(Value::Int(3).compare(CmpOp::Lt, &Value::Int(3)), Truth::False);
+        assert_eq!(Value::Int(3).compare(CmpOp::Le, &Value::Int(3)), Truth::True);
+        assert_eq!(Value::Int(4).compare(CmpOp::Ne, &Value::Int(3)), Truth::True);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_coerces() {
+        assert_eq!(Value::Int(2).compare(CmpOp::Lt, &Value::Float(2.5)), Truth::True);
+        assert_eq!(Value::Float(2.5).compare(CmpOp::Gt, &Value::Int(2)), Truth::True);
+        assert_eq!(Value::Float(2.0).compare(CmpOp::Eq, &Value::Int(2)), Truth::True);
+    }
+
+    #[test]
+    fn text_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::text("Taipei").compare(CmpOp::Eq, &Value::text("Taipei")),
+            Truth::True
+        );
+        assert_eq!(
+            Value::text("HsinChu").compare(CmpOp::Lt, &Value::text("Taipei")),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn cross_kind_equality_is_false_ordering_unknown() {
+        assert_eq!(Value::text("1").compare(CmpOp::Eq, &Value::Int(1)), Truth::False);
+        assert_eq!(Value::text("1").compare(CmpOp::Ne, &Value::Int(1)), Truth::True);
+        assert_eq!(Value::text("1").compare(CmpOp::Lt, &Value::Int(1)), Truth::Unknown);
+    }
+
+    #[test]
+    fn reference_identity_comparison() {
+        let a = LOid::new(DbId::new(0), 1);
+        let b = LOid::new(DbId::new(0), 2);
+        assert_eq!(Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(a)), Truth::True);
+        assert_eq!(Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(b)), Truth::False);
+        assert_eq!(
+            Value::GRef(GOid::new(1)).compare(CmpOp::Ne, &Value::GRef(GOid::new(2))),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn list_equality_is_existential() {
+        let multi = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(multi.compare(CmpOp::Eq, &Value::Int(2)), Truth::True);
+        assert_eq!(multi.compare(CmpOp::Eq, &Value::Int(5)), Truth::False);
+        assert_eq!(multi.compare(CmpOp::Ne, &Value::Int(5)), Truth::True);
+        assert_eq!(Value::Int(2).compare(CmpOp::Eq, &multi), Truth::True);
+        // A null element makes a failed membership test unknown.
+        let with_null = Value::List(vec![Value::Int(1), Value::Null]);
+        assert_eq!(with_null.compare(CmpOp::Eq, &Value::Int(5)), Truth::Unknown);
+    }
+
+    #[test]
+    fn list_ordering_is_unknown() {
+        let multi = Value::List(vec![Value::Int(1)]);
+        assert_eq!(multi.compare(CmpOp::Lt, &Value::Int(5)), Truth::Unknown);
+        assert_eq!(Value::Int(5).compare(CmpOp::Gt, &multi), Truth::Unknown);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::text("x"));
+        let l = LOid::new(DbId::new(1), 7);
+        assert_eq!(Value::from(l), Value::Ref(l));
+        assert_eq!(Value::from(GOid::new(7)), Value::GRef(GOid::new(7)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "-");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::text("CS").to_string(), "CS");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "{1, 2}"
+        );
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(Value::default().is_null());
+    }
+
+    fn arb_scalar() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            (-1.0e6..1.0e6f64).prop_map(Value::Float),
+            "[a-z]{0,6}".prop_map(Value::Text),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn eq_is_reflexive_unless_null(v in arb_scalar()) {
+            let expected = if v.is_null() { Truth::Unknown } else { Truth::True };
+            prop_assert_eq!(v.compare(CmpOp::Eq, &v), expected);
+        }
+
+        #[test]
+        fn ne_is_negation_of_eq(a in arb_scalar(), b in arb_scalar()) {
+            prop_assert_eq!(a.compare(CmpOp::Ne, &b), a.compare(CmpOp::Eq, &b).negate());
+        }
+
+        #[test]
+        fn lt_gt_are_converses(a in arb_scalar(), b in arb_scalar()) {
+            prop_assert_eq!(a.compare(CmpOp::Lt, &b), b.compare(CmpOp::Gt, &a));
+            prop_assert_eq!(a.compare(CmpOp::Le, &b), b.compare(CmpOp::Ge, &a));
+        }
+
+        #[test]
+        fn le_is_lt_or_eq(a in arb_scalar(), b in arb_scalar()) {
+            let le = a.compare(CmpOp::Le, &b);
+            let lt_or_eq = a.compare(CmpOp::Lt, &b).or(a.compare(CmpOp::Eq, &b));
+            prop_assert_eq!(le, lt_or_eq);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The abstract syntax of global queries.
+//!
+//! A [`Query`] ranges over one global class with a variable, selects a
+//! list of (possibly nested) target paths, and filters with conjunctive
+//! predicates — the query class studied by the paper.
+
+use fedoq_object::{CmpOp, Path, Value};
+use std::fmt;
+
+/// One conjunct: `path op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    path: Path,
+    op: CmpOp,
+    literal: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(path: Path, op: CmpOp, literal: Value) -> Predicate {
+        Predicate { path, op, literal }
+    }
+
+    /// The path expression relative to the range variable.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The literal compared against.
+    pub fn literal(&self) -> &Value {
+        &self.literal
+    }
+
+    /// `true` iff the path is nested (walks through branch classes).
+    pub fn is_nested(&self) -> bool {
+        self.path.len() > 1
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.path, self.op, display_literal(&self.literal))
+    }
+}
+
+/// A global query: `SELECT targets FROM RangeClass Var WHERE conjuncts`.
+///
+/// As in unquoted SQL, class/variable/attribute names must not collide
+/// with the reserved words (`SELECT`, `FROM`, `WHERE`, `AND`, `OR`,
+/// `TRUE`, `FALSE`); such names render to text the parser cannot read
+/// back.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{CmpOp, Value};
+/// use fedoq_query::Query;
+///
+/// let q = Query::new("Student")
+///     .target("name")
+///     .target("advisor.name")
+///     .filter("address.city", CmpOp::Eq, Value::text("Taipei"));
+/// assert_eq!(
+///     q.to_string(),
+///     "SELECT X.name, X.advisor.name FROM Student X WHERE X.address.city = 'Taipei'"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    range_class: String,
+    var: String,
+    targets: Vec<Path>,
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Creates an empty query over `range_class` with the conventional
+    /// variable `X`.
+    pub fn new(range_class: impl Into<String>) -> Query {
+        Query::with_var(range_class, "X")
+    }
+
+    /// Creates an empty query with an explicit range variable.
+    pub fn with_var(range_class: impl Into<String>, var: impl Into<String>) -> Query {
+        Query {
+            range_class: range_class.into(),
+            var: var.into(),
+            targets: Vec::new(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Adds a target path (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not a valid dotted path.
+    pub fn target(mut self, path: &str) -> Query {
+        self.targets.push(path.parse().expect("invalid target path"));
+        self
+    }
+
+    /// Adds a conjunct `path op literal` (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not a valid dotted path.
+    pub fn filter(mut self, path: &str, op: CmpOp, literal: Value) -> Query {
+        self.predicates
+            .push(Predicate::new(path.parse().expect("invalid predicate path"), op, literal));
+        self
+    }
+
+    /// Adds an already-built predicate (chainable).
+    pub fn predicate(mut self, pred: Predicate) -> Query {
+        self.predicates.push(pred);
+        self
+    }
+
+    /// The global range class name.
+    pub fn range_class(&self) -> &str {
+        &self.range_class
+    }
+
+    /// The range variable.
+    pub fn var(&self) -> &str {
+        &self.var
+    }
+
+    /// The target paths.
+    pub fn targets(&self) -> &[Path] {
+        &self.targets
+    }
+
+    /// The conjunctive predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.targets.is_empty() {
+            write!(f, "{}", self.var)?;
+        }
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}.{}", self.var, t)?;
+        }
+        write!(f, " FROM {} {}", self.range_class, self.var)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            f.write_str(if i == 0 { " WHERE " } else { " AND " })?;
+            write!(f, "{}.{} {} {}", self.var, p.path(), p.op(), display_literal(p.literal()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a literal in SQL syntax (single-quoted strings).
+fn display_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_targets_and_predicates() {
+        let q = Query::new("Student")
+            .target("name")
+            .filter("age", CmpOp::Ge, Value::Int(30))
+            .filter("advisor.speciality", CmpOp::Eq, Value::text("database"));
+        assert_eq!(q.range_class(), "Student");
+        assert_eq!(q.var(), "X");
+        assert_eq!(q.targets().len(), 1);
+        assert_eq!(q.predicates().len(), 2);
+        assert!(!q.predicates()[0].is_nested());
+        assert!(q.predicates()[1].is_nested());
+    }
+
+    #[test]
+    fn display_is_sqlx_like() {
+        let q = Query::with_var("Teacher", "T")
+            .target("name")
+            .filter("department.name", CmpOp::Ne, Value::text("CS"));
+        assert_eq!(
+            q.to_string(),
+            "SELECT T.name FROM Teacher T WHERE T.department.name != 'CS'"
+        );
+    }
+
+    #[test]
+    fn display_without_targets_selects_variable() {
+        let q = Query::new("Student").filter("age", CmpOp::Lt, Value::Int(30));
+        assert_eq!(q.to_string(), "SELECT X FROM Student X WHERE X.age < 30");
+    }
+
+    #[test]
+    fn display_escapes_quotes_in_literals() {
+        let q = Query::new("C").filter("name", CmpOp::Eq, Value::text("O'Brien"));
+        assert!(q.to_string().contains("'O''Brien'"));
+    }
+
+    #[test]
+    fn predicate_accessors() {
+        let p = Predicate::new("a.b".parse().unwrap(), CmpOp::Le, Value::Int(3));
+        assert_eq!(p.path().to_string(), "a.b");
+        assert_eq!(p.op(), CmpOp::Le);
+        assert_eq!(p.literal(), &Value::Int(3));
+        assert_eq!(p.to_string(), "a.b <= 3");
+    }
+}

@@ -1,0 +1,455 @@
+//! Binding: resolving a parsed query against the global schema.
+//!
+//! Binding turns attribute names into global class/slot chains, checks
+//! that non-terminal steps are complex, and rejects predicates whose
+//! terminal attribute is complex (objects cannot be compared to literals).
+
+use crate::ast::Query;
+use crate::error::QueryError;
+use fedoq_object::{CmpOp, GlobalClassId, Path, Value, ValueKind};
+use fedoq_schema::{GlobalAttrType, GlobalSchema};
+use fedoq_store::PrimitiveType;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Identifier of a predicate within one bound query (its conjunct index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(usize);
+
+impl PredId {
+    /// Creates a predicate id from its conjunct index.
+    pub fn new(index: usize) -> PredId {
+        PredId(index)
+    }
+
+    /// The conjunct index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A path resolved against the global schema: for each step, the global
+/// class it reads from and the attribute slot it reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundPath {
+    path: Path,
+    classes: Vec<GlobalClassId>,
+    slots: Vec<usize>,
+    terminal_domain: Option<GlobalClassId>,
+}
+
+impl BoundPath {
+    /// The source path expression.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `false` — bound paths are non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The global class step `i` reads from (`class(0)` is the range class).
+    pub fn class(&self, i: usize) -> GlobalClassId {
+        self.classes[i]
+    }
+
+    /// The global attribute slot step `i` reads.
+    pub fn slot(&self, i: usize) -> usize {
+        self.slots[i]
+    }
+
+    /// `true` iff the terminal attribute is complex (allowed for targets
+    /// only).
+    pub fn terminal_complex(&self) -> bool {
+        self.terminal_domain.is_some()
+    }
+
+    /// The global domain class of the terminal attribute, if complex.
+    pub fn terminal_domain(&self) -> Option<GlobalClassId> {
+        self.terminal_domain
+    }
+
+    /// `(class, slot)` pairs for every step.
+    pub fn steps(&self) -> impl Iterator<Item = (GlobalClassId, usize)> + '_ {
+        self.classes.iter().copied().zip(self.slots.iter().copied())
+    }
+}
+
+/// A bound conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundPredicate {
+    id: PredId,
+    path: BoundPath,
+    op: CmpOp,
+    literal: Value,
+}
+
+impl BoundPredicate {
+    /// The predicate's id (conjunct index).
+    pub fn id(&self) -> PredId {
+        self.id
+    }
+
+    /// The bound path.
+    pub fn path(&self) -> &BoundPath {
+        &self.path
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The literal.
+    pub fn literal(&self) -> &Value {
+        &self.literal
+    }
+}
+
+impl fmt::Display for BoundPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.path.path(), self.op, self.literal)
+    }
+}
+
+/// A query resolved against the global schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundQuery {
+    source: Query,
+    range: GlobalClassId,
+    targets: Vec<BoundPath>,
+    predicates: Vec<BoundPredicate>,
+}
+
+impl BoundQuery {
+    /// The original query.
+    pub fn source(&self) -> &Query {
+        &self.source
+    }
+
+    /// The global range class.
+    pub fn range(&self) -> GlobalClassId {
+        self.range
+    }
+
+    /// The bound target paths.
+    pub fn targets(&self) -> &[BoundPath] {
+        &self.targets
+    }
+
+    /// The bound predicates in conjunct order.
+    pub fn predicates(&self) -> &[BoundPredicate] {
+        &self.predicates
+    }
+
+    /// The predicate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn predicate(&self, id: PredId) -> &BoundPredicate {
+        &self.predicates[id.index()]
+    }
+
+    /// All global classes the query touches (range first, then branch
+    /// classes in first-use order).
+    pub fn involved_classes(&self) -> Vec<GlobalClassId> {
+        let mut out = vec![self.range];
+        let mut push = |c: GlobalClassId| {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        for p in &self.predicates {
+            for (class, _) in p.path().steps() {
+                push(class);
+            }
+            if let Some(domain) = p.path().terminal_domain() {
+                push(domain);
+            }
+        }
+        for t in &self.targets {
+            for (class, _) in t.steps() {
+                push(class);
+            }
+            if let Some(domain) = t.terminal_domain() {
+                push(domain);
+            }
+        }
+        out
+    }
+
+    /// Per global class, the attribute slots the query reads — the
+    /// projection the centralized strategy ships. Complex slots used for
+    /// navigation are included.
+    pub fn involved_slots(&self) -> HashMap<GlobalClassId, BTreeSet<usize>> {
+        let mut out: HashMap<GlobalClassId, BTreeSet<usize>> = HashMap::new();
+        for path in self.targets.iter().chain(self.predicates.iter().map(|p| &p.path)) {
+            for (class, slot) in path.steps() {
+                out.entry(class).or_default().insert(slot);
+            }
+        }
+        out
+    }
+}
+
+/// Resolves `query` against `schema`.
+///
+/// # Errors
+///
+/// * [`QueryError::UnknownClass`] — range class not integrated;
+/// * [`QueryError::UnknownAttribute`] — a step names no global attribute;
+/// * [`QueryError::NotComplex`] — a non-terminal step is primitive;
+/// * [`QueryError::ComplexTerminal`] — a predicate compares an object.
+///
+/// # Example
+///
+/// See the crate-level documentation of [`crate`].
+pub fn bind(query: &Query, schema: &GlobalSchema) -> Result<BoundQuery, QueryError> {
+    let range = schema
+        .class_id(query.range_class())
+        .ok_or_else(|| QueryError::UnknownClass(query.range_class().to_owned()))?;
+    let mut targets = Vec::with_capacity(query.targets().len());
+    for t in query.targets() {
+        targets.push(bind_path(t, range, schema, true)?);
+    }
+    let mut predicates = Vec::with_capacity(query.predicates().len());
+    for (i, p) in query.predicates().iter().enumerate() {
+        let path = bind_path(p.path(), range, schema, false)?;
+        check_literal(&path, p.literal(), schema)?;
+        predicates.push(BoundPredicate {
+            id: PredId::new(i),
+            path,
+            op: p.op(),
+            literal: p.literal().clone(),
+        });
+    }
+    Ok(BoundQuery { source: query.clone(), range, targets, predicates })
+}
+
+/// Rejects comparisons that could never be decided: the terminal
+/// attribute's primitive type must be comparable with the literal's kind
+/// (ints and floats interchange; everything else matches exactly).
+fn check_literal(
+    path: &BoundPath,
+    literal: &Value,
+    schema: &GlobalSchema,
+) -> Result<(), QueryError> {
+    let last = path.len() - 1;
+    let class = schema.class(path.class(last));
+    let GlobalAttrType::Primitive(ty) = class.attr(path.slot(last)).ty() else {
+        return Ok(()); // complex terminals are rejected separately
+    };
+    let compatible = matches!(
+        (ty, literal.kind()),
+        (PrimitiveType::Int | PrimitiveType::Float, ValueKind::Int | ValueKind::Float)
+            | (PrimitiveType::Text, ValueKind::Text)
+            | (PrimitiveType::Bool, ValueKind::Bool)
+    );
+    if compatible {
+        Ok(())
+    } else {
+        Err(QueryError::LiteralTypeMismatch {
+            class: class.name().to_owned(),
+            attr: class.attr(path.slot(last)).name().to_owned(),
+            literal: literal.to_string(),
+        })
+    }
+}
+
+fn bind_path(
+    path: &Path,
+    range: GlobalClassId,
+    schema: &GlobalSchema,
+    allow_complex_terminal: bool,
+) -> Result<BoundPath, QueryError> {
+    let mut classes = Vec::with_capacity(path.len());
+    let mut slots = Vec::with_capacity(path.len());
+    let mut class = range;
+    let n = path.len();
+    let mut terminal_domain = None;
+    for (i, attr) in path.steps().enumerate() {
+        let def = schema.class(class);
+        let slot = def.attr_index(attr).ok_or_else(|| QueryError::UnknownAttribute {
+            class: def.name().to_owned(),
+            attr: attr.to_owned(),
+        })?;
+        classes.push(class);
+        slots.push(slot);
+        let ty = def.attr(slot).ty();
+        if i + 1 < n {
+            match ty {
+                GlobalAttrType::Complex(domain) => class = domain,
+                GlobalAttrType::Primitive(_) => {
+                    return Err(QueryError::NotComplex {
+                        class: def.name().to_owned(),
+                        attr: attr.to_owned(),
+                    })
+                }
+            }
+        } else if let GlobalAttrType::Complex(domain) = ty {
+            if !allow_complex_terminal {
+                return Err(QueryError::ComplexTerminal {
+                    class: def.name().to_owned(),
+                    attr: attr.to_owned(),
+                });
+            }
+            terminal_domain = Some(domain);
+        }
+    }
+    Ok(BoundPath { path: path.clone(), classes, slots, terminal_domain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use fedoq_object::DbId;
+    use fedoq_schema::{integrate, Correspondences};
+    use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+
+    fn global() -> GlobalSchema {
+        let db0 = ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("age", AttrType::int())
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        let db1 = ComponentSchema::new(vec![
+            ClassDef::new("Address").attr("city", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("speciality", AttrType::text()),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("address", AttrType::complex("Address"))
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        integrate(&[(DbId::new(0), &db0), (DbId::new(1), &db1)], &Correspondences::new()).unwrap()
+    }
+
+    #[test]
+    fn binds_nested_paths_with_class_chain() {
+        let g = global();
+        let q = parse(
+            "SELECT X.name FROM Student X WHERE X.advisor.department.name = 'CS'",
+        )
+        .unwrap();
+        let b = bind(&q, &g).unwrap();
+        assert_eq!(b.range(), g.class_id("Student").unwrap());
+        let p = &b.predicates()[0];
+        assert_eq!(p.id(), PredId::new(0));
+        assert_eq!(p.path().len(), 3);
+        assert_eq!(p.path().class(0), g.class_id("Student").unwrap());
+        assert_eq!(p.path().class(1), g.class_id("Teacher").unwrap());
+        assert_eq!(p.path().class(2), g.class_id("Department").unwrap());
+    }
+
+    #[test]
+    fn unknown_class_and_attribute() {
+        let g = global();
+        let q = parse("SELECT X.name FROM Course X").unwrap();
+        assert_eq!(bind(&q, &g).unwrap_err(), QueryError::UnknownClass("Course".into()));
+        let q = parse("SELECT X.phone FROM Student X").unwrap();
+        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::UnknownAttribute { .. }));
+        let q = parse("SELECT X.name FROM Student X WHERE X.advisor.rank = 3").unwrap();
+        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn navigation_through_primitive_rejected() {
+        let g = global();
+        let q = parse("SELECT X.age.years FROM Student X").unwrap();
+        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::NotComplex { .. }));
+    }
+
+    #[test]
+    fn complex_terminal_allowed_in_targets_only() {
+        let g = global();
+        let q = parse("SELECT X.advisor FROM Student X").unwrap();
+        let b = bind(&q, &g).unwrap();
+        assert!(b.targets()[0].terminal_complex());
+        let q = parse("SELECT X.name FROM Student X WHERE X.advisor = 'Kelly'").unwrap();
+        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::ComplexTerminal { .. }));
+    }
+
+    #[test]
+    fn involved_classes_and_slots() {
+        let g = global();
+        let q = parse(
+            "SELECT X.name, X.advisor.name FROM Student X \
+             WHERE X.address.city = 'Taipei' AND X.advisor.speciality = 'database' \
+             AND X.advisor.department.name = 'CS'",
+        )
+        .unwrap();
+        let b = bind(&q, &g).unwrap();
+        let classes = b.involved_classes();
+        let expect: Vec<_> = ["Student", "Address", "Teacher", "Department"]
+            .iter()
+            .map(|n| g.class_id(n).unwrap())
+            .collect();
+        assert_eq!(classes.len(), 4);
+        for c in expect {
+            assert!(classes.contains(&c));
+        }
+        assert_eq!(classes[0], g.class_id("Student").unwrap());
+
+        let slots = b.involved_slots();
+        let student = g.class_by_name("Student").unwrap();
+        let sset = &slots[&g.class_id("Student").unwrap()];
+        assert!(sset.contains(&student.attr_index("name").unwrap()));
+        assert!(sset.contains(&student.attr_index("advisor").unwrap()));
+        assert!(sset.contains(&student.attr_index("address").unwrap()));
+        assert!(!sset.contains(&student.attr_index("s-no").unwrap()));
+    }
+
+    #[test]
+    fn incompatible_literals_are_rejected_at_bind_time() {
+        let g = global();
+        // Text attribute against an integer literal.
+        let q = parse("SELECT X.name FROM Student X WHERE X.name = 7").unwrap();
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::LiteralTypeMismatch { .. }
+        ));
+        // Int attribute against a string literal.
+        let q = parse("SELECT X.name FROM Student X WHERE X.age = 'old'").unwrap();
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::LiteralTypeMismatch { .. }
+        ));
+        // Int against float is fine (numeric coercion).
+        let q = parse("SELECT X.name FROM Student X WHERE X.age > 20.5").unwrap();
+        assert!(bind(&q, &g).is_ok());
+    }
+
+    #[test]
+    fn predicate_lookup_by_id() {
+        let g = global();
+        let q = parse("SELECT X.name FROM Student X WHERE X.age > 20 AND X.name != 'Bob'").unwrap();
+        let b = bind(&q, &g).unwrap();
+        assert_eq!(b.predicate(PredId::new(1)).literal(), &Value::text("Bob"));
+        assert_eq!(b.predicates().len(), 2);
+        assert_eq!(b.source().predicates().len(), 2);
+    }
+}

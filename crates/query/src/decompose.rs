@@ -1,0 +1,337 @@
+//! Per-site query decomposition.
+//!
+//! For each component database hosting a constituent of the range class,
+//! the localized strategies build a *local query* (the paper's Q1′/Q1″):
+//!
+//! * predicates whose whole path is locally navigable are **local
+//!   predicates** — the site can evaluate them;
+//! * predicates blocked by a missing attribute are **statically unsolved**
+//!   there: they are removed from the local query, and the longest locally
+//!   navigable prefix is projected instead so the *unsolved items* (the
+//!   nested objects holding the missing data) can be certified later.
+
+use crate::bind::{BoundPath, BoundQuery, PredId};
+use fedoq_object::{ClassId, DbId, GlobalClassId};
+use fedoq_schema::GlobalSchema;
+use std::fmt;
+
+/// How one predicate executes at one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredDisposition {
+    /// The whole path is locally navigable: a *local predicate*.
+    Local,
+    /// A missing attribute blocks the path after `prefix_len` navigable
+    /// steps (possibly zero). The predicate is *unsolved* at this site.
+    Truncated {
+        /// Number of leading steps the site can navigate (all complex).
+        prefix_len: usize,
+    },
+}
+
+impl PredDisposition {
+    /// `true` iff the predicate is a local predicate here.
+    pub fn is_local(self) -> bool {
+        matches!(self, PredDisposition::Local)
+    }
+}
+
+/// A statically unsolved predicate at one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedPred {
+    /// Which conjunct.
+    pub pred: PredId,
+    /// Locally navigable prefix length (0 = the range class itself holds
+    /// the missing attribute).
+    pub prefix_len: usize,
+    /// Global class holding the missing attribute (the unsolved items'
+    /// class).
+    pub item_class: GlobalClassId,
+}
+
+/// The local-query plan for one component database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitePlan {
+    db: DbId,
+    root_constituent: ClassId,
+    dispositions: Vec<PredDisposition>,
+    target_prefix_lens: Vec<usize>,
+}
+
+impl SitePlan {
+    /// The site this plan is for.
+    pub fn db(&self) -> DbId {
+        self.db
+    }
+
+    /// The local root class (this site's constituent of the range class).
+    pub fn root_constituent(&self) -> ClassId {
+        self.root_constituent
+    }
+
+    /// Disposition of predicate `id` at this site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn disposition(&self, id: PredId) -> PredDisposition {
+        self.dispositions[id.index()]
+    }
+
+    /// Ids of the local predicates, in conjunct order.
+    pub fn local_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.dispositions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_local())
+            .map(|(i, _)| PredId::new(i))
+    }
+
+    /// The statically unsolved predicates, in conjunct order.
+    pub fn truncated_preds<'a>(
+        &'a self,
+        bound: &'a BoundQuery,
+    ) -> impl Iterator<Item = TruncatedPred> + 'a {
+        self.dispositions.iter().enumerate().filter_map(move |(i, d)| match d {
+            PredDisposition::Local => None,
+            PredDisposition::Truncated { prefix_len } => {
+                let path = bound.predicates()[i].path();
+                Some(TruncatedPred {
+                    pred: PredId::new(i),
+                    prefix_len: *prefix_len,
+                    item_class: path.class(*prefix_len),
+                })
+            }
+        })
+    }
+
+    /// `true` iff every predicate is local here (no missing attributes on
+    /// the query's paths at this site).
+    pub fn is_fully_local(&self) -> bool {
+        self.dispositions.iter().all(|d| d.is_local())
+    }
+
+    /// Locally projectable prefix length of target `i` (equals the
+    /// target's path length when fully projectable).
+    pub fn target_prefix_len(&self, i: usize) -> usize {
+        self.target_prefix_lens[i]
+    }
+
+    /// Renders the local query in the paper's Q1′ style, for display.
+    pub fn describe(&self, bound: &BoundQuery) -> String {
+        let src = bound.source();
+        let var = src.var();
+        let mut out = format!("Select {var}.Oid");
+        for t in src.targets() {
+            out.push_str(&format!(", {var}.{t}"));
+        }
+        out.push_str(&format!(" From {}@{} {var}", src.range_class(), self.db));
+        let locals: Vec<String> = self
+            .local_preds()
+            .map(|id| {
+                let p = &src.predicates()[id.index()];
+                format!("{var}.{p}")
+            })
+            .collect();
+        if !locals.is_empty() {
+            out.push_str(" Where ");
+            out.push_str(&locals.join(" and "));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SitePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let locals = self.dispositions.iter().filter(|d| d.is_local()).count();
+        write!(
+            f,
+            "plan@{}: {}/{} predicates local",
+            self.db,
+            locals,
+            self.dispositions.len()
+        )
+    }
+}
+
+/// Builds the local-query plan of `db` for `bound`, or `None` when `db`
+/// hosts no constituent of the range class (it receives no local query).
+pub fn plan_for_db(bound: &BoundQuery, schema: &GlobalSchema, db: DbId) -> Option<SitePlan> {
+    let range = schema.class(bound.range());
+    let root_constituent = range.constituent_for(db)?.class();
+    let dispositions = bound
+        .predicates()
+        .iter()
+        .map(|p| classify(p.path(), schema, db))
+        .collect();
+    let target_prefix_lens = bound
+        .targets()
+        .iter()
+        .map(|t| navigable_prefix(t, schema, db))
+        .collect();
+    Some(SitePlan { db, root_constituent, dispositions, target_prefix_lens })
+}
+
+fn classify(path: &BoundPath, schema: &GlobalSchema, db: DbId) -> PredDisposition {
+    let prefix = navigable_prefix(path, schema, db);
+    if prefix == path.len() {
+        PredDisposition::Local
+    } else {
+        PredDisposition::Truncated { prefix_len: prefix }
+    }
+}
+
+/// Number of leading steps of `path` that `db` can navigate: the step's
+/// class must have a constituent at `db` that defines the step's
+/// attribute.
+fn navigable_prefix(path: &BoundPath, schema: &GlobalSchema, db: DbId) -> usize {
+    for (i, (class, slot)) in path.steps().enumerate() {
+        let present = schema
+            .class(class)
+            .constituent_for(db)
+            .map(|c| !c.is_missing(slot))
+            .unwrap_or(false);
+        if !present {
+            return i;
+        }
+    }
+    path.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::parse::parse;
+    use fedoq_schema::{integrate, Correspondences};
+    use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+
+    /// DB0 mirrors the paper's DB1 (no address, no speciality); DB1 mirrors
+    /// the paper's DB2 (no department on Teacher, no age on Student).
+    fn setting() -> (GlobalSchema, BoundQuery) {
+        let db0 = ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("age", AttrType::int())
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        let db1 = ComponentSchema::new(vec![
+            ClassDef::new("Address").attr("city", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("speciality", AttrType::text()),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("address", AttrType::complex("Address"))
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        let schema =
+            integrate(&[(DbId::new(0), &db0), (DbId::new(1), &db1)], &Correspondences::new())
+                .unwrap();
+        let q = parse(
+            "Select X.name, X.advisor.name From Student X \
+             Where X.address.city = 'Taipei' and X.advisor.speciality = 'database' \
+             and X.advisor.department.name = 'CS'",
+        )
+        .unwrap();
+        let bound = bind(&q, &schema).unwrap();
+        (schema, bound)
+    }
+
+    #[test]
+    fn db0_keeps_department_predicate_only() {
+        let (schema, bound) = setting();
+        let plan = plan_for_db(&bound, &schema, DbId::new(0)).unwrap();
+        // address.city: address missing at root => prefix 0.
+        assert_eq!(
+            plan.disposition(PredId::new(0)),
+            PredDisposition::Truncated { prefix_len: 0 }
+        );
+        // advisor.speciality: advisor navigable, speciality missing => prefix 1.
+        assert_eq!(
+            plan.disposition(PredId::new(1)),
+            PredDisposition::Truncated { prefix_len: 1 }
+        );
+        // advisor.department.name: fully navigable.
+        assert_eq!(plan.disposition(PredId::new(2)), PredDisposition::Local);
+        assert_eq!(plan.local_preds().collect::<Vec<_>>(), vec![PredId::new(2)]);
+        assert!(!plan.is_fully_local());
+
+        let truncated: Vec<TruncatedPred> = plan.truncated_preds(&bound).collect();
+        assert_eq!(truncated.len(), 2);
+        assert_eq!(truncated[0].item_class, schema.class_id("Student").unwrap());
+        assert_eq!(truncated[1].item_class, schema.class_id("Teacher").unwrap());
+    }
+
+    #[test]
+    fn db1_keeps_city_and_speciality() {
+        let (schema, bound) = setting();
+        let plan = plan_for_db(&bound, &schema, DbId::new(1)).unwrap();
+        assert_eq!(plan.disposition(PredId::new(0)), PredDisposition::Local);
+        assert_eq!(plan.disposition(PredId::new(1)), PredDisposition::Local);
+        assert_eq!(
+            plan.disposition(PredId::new(2)),
+            PredDisposition::Truncated { prefix_len: 1 }
+        );
+        let truncated: Vec<TruncatedPred> = plan.truncated_preds(&bound).collect();
+        assert_eq!(truncated[0].item_class, schema.class_id("Teacher").unwrap());
+    }
+
+    #[test]
+    fn no_root_constituent_means_no_plan() {
+        let (schema, bound) = setting();
+        assert!(plan_for_db(&bound, &schema, DbId::new(7)).is_none());
+    }
+
+    #[test]
+    fn targets_project_navigable_prefixes() {
+        let (schema, bound) = setting();
+        let plan0 = plan_for_db(&bound, &schema, DbId::new(0)).unwrap();
+        // X.name fully projectable, X.advisor.name fully projectable.
+        assert_eq!(plan0.target_prefix_len(0), 1);
+        assert_eq!(plan0.target_prefix_len(1), 2);
+    }
+
+    #[test]
+    fn describe_renders_paper_style_local_query() {
+        let (schema, bound) = setting();
+        let plan0 = plan_for_db(&bound, &schema, DbId::new(0)).unwrap();
+        let text = plan0.describe(&bound);
+        assert_eq!(
+            text,
+            "Select X.Oid, X.name, X.advisor.name From Student@DB0 X \
+             Where X.advisor.department.name = 'CS'"
+        );
+        let plan1 = plan_for_db(&bound, &schema, DbId::new(1)).unwrap();
+        let text = plan1.describe(&bound);
+        assert!(text.contains("X.address.city = 'Taipei'"));
+        assert!(text.contains("X.advisor.speciality = 'database'"));
+        assert!(!text.contains("department"));
+    }
+
+    #[test]
+    fn fully_local_plan() {
+        let (schema, bound) = setting();
+        // A query touching only universally-present attributes.
+        let q = parse("SELECT X.name FROM Student X WHERE X.s-no >= 0").unwrap();
+        let b = bind(&q, &schema).unwrap();
+        let plan = plan_for_db(&b, &schema, DbId::new(0)).unwrap();
+        assert!(plan.is_fully_local());
+        assert_eq!(plan.truncated_preds(&b).count(), 0);
+        let _ = bound; // silence unused warning helpers
+    }
+
+    #[test]
+    fn display_summary() {
+        let (schema, bound) = setting();
+        let plan = plan_for_db(&bound, &schema, DbId::new(0)).unwrap();
+        assert_eq!(plan.to_string(), "plan@DB0: 1/3 predicates local");
+    }
+}

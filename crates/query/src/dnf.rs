@@ -1,0 +1,280 @@
+//! Disjunctive queries — the paper's future-work extension.
+//!
+//! The paper assumes conjunctive predicates and notes that "the proposed
+//! algorithms will be extended in the future to process the global
+//! queries containing predicates in disjunctive form". FedOQ supports
+//! disjunctive normal form: `WHERE conj OR conj OR …` where each `conj`
+//! is a conjunction (`AND` binds tighter than `OR`, no parentheses).
+//!
+//! A DNF query executes as the union of its conjunctive branches: under
+//! Kleene semantics an entity is **certain** if any branch holds
+//! certainly, **eliminated** if every branch is false, and **maybe**
+//! otherwise — exactly the merge `fedoq_core::run_disjunctive` performs.
+
+use crate::ast::{Predicate, Query};
+use crate::error::QueryError;
+use crate::lex::{tokenize, TokenKind};
+use fedoq_object::Path;
+use std::fmt;
+
+/// A query in disjunctive normal form: shared range and targets, one
+/// predicate list per disjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnfQuery {
+    range_class: String,
+    var: String,
+    targets: Vec<Path>,
+    disjuncts: Vec<Vec<Predicate>>,
+}
+
+impl DnfQuery {
+    /// Wraps a conjunctive query as a single-branch DNF query.
+    pub fn from_conjunctive(query: Query) -> DnfQuery {
+        DnfQuery {
+            range_class: query.range_class().to_owned(),
+            var: query.var().to_owned(),
+            targets: query.targets().to_vec(),
+            disjuncts: vec![query.predicates().to_vec()],
+        }
+    }
+
+    /// The global range class.
+    pub fn range_class(&self) -> &str {
+        &self.range_class
+    }
+
+    /// The range variable.
+    pub fn var(&self) -> &str {
+        &self.var
+    }
+
+    /// The shared target paths.
+    pub fn targets(&self) -> &[Path] {
+        &self.targets
+    }
+
+    /// The disjuncts (each a conjunction).
+    pub fn disjuncts(&self) -> &[Vec<Predicate>] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn num_branches(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// The `i`-th branch as a standalone conjunctive [`Query`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn branch(&self, i: usize) -> Query {
+        let mut q = Query::with_var(self.range_class.clone(), self.var.clone());
+        for t in &self.targets {
+            let joined = t.steps().collect::<Vec<_>>().join(".");
+            q = q.target(&joined);
+        }
+        for p in &self.disjuncts[i] {
+            q = q.predicate(p.clone());
+        }
+        q
+    }
+
+    /// All branches as conjunctive queries.
+    pub fn branches(&self) -> Vec<Query> {
+        (0..self.disjuncts.len()).map(|i| self.branch(i)).collect()
+    }
+
+    /// Global conjunct numbering: the offset of branch `i`'s first
+    /// predicate when all branches' predicates are concatenated. Merged
+    /// answers report unsolved conjuncts in this numbering.
+    pub fn branch_offset(&self, i: usize) -> usize {
+        self.disjuncts[..i].iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for DnfQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.targets.is_empty() {
+            write!(f, "{}", self.var)?;
+        }
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}.{}", self.var, t)?;
+        }
+        write!(f, " FROM {} {}", self.range_class, self.var)?;
+        for (b, conj) in self.disjuncts.iter().enumerate() {
+            f.write_str(if b == 0 { " WHERE " } else { " OR " })?;
+            for (i, p) in conj.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" AND ")?;
+                }
+                write!(f, "{}.{}", self.var, render_pred(p))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    use fedoq_object::Value;
+    let lit = match p.literal() {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    };
+    format!("{} {} {lit}", p.path(), p.op())
+}
+
+/// Parses a DNF query. Where [`crate::parse()`] accepts only conjunctions,
+/// this grammar adds `OR` between them:
+///
+/// ```text
+/// query := SELECT targets FROM Ident Ident [WHERE conj (OR conj)*]
+/// ```
+///
+/// # Errors
+///
+/// Same conditions as [`crate::parse()`].
+///
+/// # Example
+///
+/// ```
+/// use fedoq_query::parse_dnf;
+///
+/// let q = parse_dnf(
+///     "SELECT X.name FROM Student X \
+///      WHERE X.age < 25 OR X.age > 60 AND X.sex = 'male'")?;
+/// assert_eq!(q.num_branches(), 2);
+/// assert_eq!(q.disjuncts()[0].len(), 1);
+/// assert_eq!(q.disjuncts()[1].len(), 2); // AND binds tighter than OR
+/// # Ok::<(), fedoq_query::QueryError>(())
+/// ```
+pub fn parse_dnf(input: &str) -> Result<DnfQuery, QueryError> {
+    // Split the WHERE clause on top-level OR tokens, then reuse the
+    // conjunctive parser per branch.
+    let tokens = tokenize(input)?;
+    let mut or_positions = Vec::new();
+    let mut where_pos = None;
+    for t in &tokens {
+        match t.kind {
+            TokenKind::Keyword("WHERE") if where_pos.is_none() => where_pos = Some(t.position),
+            TokenKind::Keyword("OR") => or_positions.push(t.position),
+            _ => {}
+        }
+    }
+    let Some(where_pos) = where_pos else {
+        if let Some(&p) = or_positions.first() {
+            return Err(QueryError::Unexpected {
+                position: p,
+                expected: "WHERE before OR",
+                found: "`OR`".into(),
+            });
+        }
+        return Ok(DnfQuery::from_conjunctive(crate::parse(input)?));
+    };
+    if or_positions.is_empty() {
+        return Ok(DnfQuery::from_conjunctive(crate::parse(input)?));
+    }
+
+    let head = &input[..where_pos]; // "SELECT ... FROM C X "
+    let mut branches = Vec::new();
+    let mut start = where_pos + "WHERE".len();
+    for &or_pos in &or_positions {
+        branches.push(&input[start..or_pos]);
+        start = or_pos + 2; // skip "OR" (the keyword is always 2 bytes)
+    }
+    branches.push(&input[start..]);
+
+    let mut parsed: Option<DnfQuery> = None;
+    for branch in branches {
+        let sql = format!("{head} WHERE {branch}");
+        let q = crate::parse(&sql)?;
+        match &mut parsed {
+            None => parsed = Some(DnfQuery::from_conjunctive(q)),
+            Some(dnf) => {
+                debug_assert_eq!(q.range_class(), dnf.range_class);
+                dnf.disjuncts.push(q.predicates().to_vec());
+            }
+        }
+    }
+    Ok(parsed.expect("at least one branch"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::{CmpOp, Value};
+
+    #[test]
+    fn conjunctive_input_is_single_branch() {
+        let q = parse_dnf("SELECT X.name FROM Student X WHERE X.age > 30").unwrap();
+        assert_eq!(q.num_branches(), 1);
+        assert_eq!(q.disjuncts()[0].len(), 1);
+        let q = parse_dnf("SELECT X.name FROM Student X").unwrap();
+        assert_eq!(q.num_branches(), 1);
+        assert!(q.disjuncts()[0].is_empty());
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse_dnf(
+            "SELECT X.name FROM S X WHERE X.a = 1 AND X.b = 2 OR X.c = 3 OR X.d = 4 AND X.e = 5",
+        )
+        .unwrap();
+        assert_eq!(q.num_branches(), 3);
+        assert_eq!(q.disjuncts()[0].len(), 2);
+        assert_eq!(q.disjuncts()[1].len(), 1);
+        assert_eq!(q.disjuncts()[2].len(), 2);
+        assert_eq!(q.branch_offset(0), 0);
+        assert_eq!(q.branch_offset(1), 2);
+        assert_eq!(q.branch_offset(2), 3);
+    }
+
+    #[test]
+    fn branches_share_targets_and_range() {
+        let q = parse_dnf(
+            "SELECT X.name, X.advisor.name FROM Student X WHERE X.age < 25 OR X.age > 60",
+        )
+        .unwrap();
+        let branches = q.branches();
+        assert_eq!(branches.len(), 2);
+        for b in &branches {
+            assert_eq!(b.range_class(), "Student");
+            assert_eq!(b.targets().len(), 2);
+        }
+        assert_eq!(branches[0].predicates()[0].op(), CmpOp::Lt);
+        assert_eq!(branches[1].predicates()[0].op(), CmpOp::Gt);
+    }
+
+    #[test]
+    fn or_inside_a_string_literal_is_not_a_disjunction() {
+        let q = parse_dnf("SELECT X.name FROM S X WHERE X.city = 'OR gate'").unwrap();
+        assert_eq!(q.num_branches(), 1);
+        assert_eq!(q.disjuncts()[0][0].literal(), &Value::text("OR gate"));
+    }
+
+    #[test]
+    fn or_without_where_is_rejected() {
+        let err = parse_dnf("SELECT X.name OR FROM S X").unwrap_err();
+        assert!(matches!(err, QueryError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "SELECT X.name FROM S X WHERE X.a = 1 AND X.b = 2 OR X.c = 'x'";
+        let q = parse_dnf(text).unwrap();
+        assert_eq!(q.to_string(), text);
+        assert_eq!(parse_dnf(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn from_conjunctive_wraps() {
+        let conj = crate::parse("SELECT X.a FROM C X WHERE X.b = 1").unwrap();
+        let dnf = DnfQuery::from_conjunctive(conj.clone());
+        assert_eq!(dnf.num_branches(), 1);
+        assert_eq!(dnf.branch(0), conj);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for parsing and binding queries.
+
+use std::fmt;
+
+/// Errors raised by the query lexer, parser, and binder.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The lexer met a character it cannot tokenize.
+    UnexpectedChar { position: usize, ch: char },
+    /// A string literal was not terminated.
+    UnterminatedString { position: usize },
+    /// A numeric literal did not parse.
+    BadNumber { position: usize, text: String },
+    /// The parser expected something else at this token.
+    Unexpected { position: usize, expected: &'static str, found: String },
+    /// A select/where path used a variable other than the range variable.
+    UnknownVariable { variable: String, expected: String },
+    /// The query's range class is not in the global schema.
+    UnknownClass(String),
+    /// A path step names an attribute the global class does not have.
+    UnknownAttribute { class: String, attr: String },
+    /// A path steps through a primitive attribute.
+    NotComplex { class: String, attr: String },
+    /// A predicate's terminal attribute is complex: objects cannot be
+    /// compared with literals.
+    ComplexTerminal { class: String, attr: String },
+    /// A predicate compares an attribute with a literal of an
+    /// incompatible kind (e.g. a text attribute against an integer); the
+    /// comparison could never be true.
+    LiteralTypeMismatch { class: String, attr: String, literal: String },
+    /// The query has no predicates and no targets.
+    EmptyQuery,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnexpectedChar { position, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {position}")
+            }
+            QueryError::UnterminatedString { position } => {
+                write!(f, "unterminated string literal starting at byte {position}")
+            }
+            QueryError::BadNumber { position, text } => {
+                write!(f, "invalid numeric literal {text:?} at byte {position}")
+            }
+            QueryError::Unexpected { position, expected, found } => {
+                write!(f, "expected {expected} at byte {position}, found {found}")
+            }
+            QueryError::UnknownVariable { variable, expected } => {
+                write!(f, "unknown variable {variable:?}; the range variable is {expected:?}")
+            }
+            QueryError::UnknownClass(c) => write!(f, "unknown global class {c:?}"),
+            QueryError::UnknownAttribute { class, attr } => {
+                write!(f, "global class {class:?} has no attribute {attr:?}")
+            }
+            QueryError::NotComplex { class, attr } => {
+                write!(f, "attribute {class}.{attr} is primitive and cannot be navigated")
+            }
+            QueryError::ComplexTerminal { class, attr } => {
+                write!(f, "predicate compares complex attribute {class}.{attr} with a literal")
+            }
+            QueryError::LiteralTypeMismatch { class, attr, literal } => {
+                write!(f, "attribute {class}.{attr} cannot be compared with literal {literal}")
+            }
+            QueryError::EmptyQuery => write!(f, "query selects nothing and filters nothing"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_positions_and_names() {
+        let e = QueryError::Unexpected { position: 7, expected: "FROM", found: "`WHERE`".into() };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("FROM"));
+        let e = QueryError::UnknownAttribute { class: "Student".into(), attr: "phone".into() };
+        assert!(e.to_string().contains("phone"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        check(QueryError::EmptyQuery);
+    }
+}

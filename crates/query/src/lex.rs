@@ -1,0 +1,320 @@
+//! Tokenizer for the SQL/X query subset.
+
+use crate::error::QueryError;
+use std::fmt;
+
+/// One lexical token with its starting byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the input where the token starts.
+    pub position: usize,
+    /// The token payload.
+    pub kind: TokenKind,
+}
+
+/// The kinds of tokens the query language uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keywords are recognized case-insensitively and normalized upper-case.
+    Keyword(&'static str),
+    /// An identifier (class, variable, or attribute name; may contain `-`
+    /// after the first character, as in the paper's `s-no`).
+    Ident(String),
+    /// A single- or double-quoted string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+const KEYWORDS: [&str; 7] = ["SELECT", "FROM", "WHERE", "AND", "OR", "TRUE", "FALSE"];
+
+/// Tokenizes a query string.
+///
+/// # Errors
+///
+/// Returns [`QueryError::UnexpectedChar`], [`QueryError::UnterminatedString`],
+/// or [`QueryError::BadNumber`] with byte positions.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { position: start, kind: TokenKind::Dot });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { position: start, kind: TokenKind::Comma });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { position: start, kind: TokenKind::Eq });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { position: start, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    return Err(QueryError::UnexpectedChar { position: start, ch: '!' });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { position: start, kind: TokenKind::Le });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { position: start, kind: TokenKind::Ne });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { position: start, kind: TokenKind::Lt });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { position: start, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { position: start, kind: TokenKind::Gt });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                // Collect raw bytes so multi-byte UTF-8 passes through
+                // intact; the input is a valid &str, so any byte run
+                // delimited by ASCII quotes is valid UTF-8.
+                let mut out: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(QueryError::UnterminatedString { position: start }),
+                        Some(&b) if b as char == quote => {
+                            // Doubled quote is an escaped quote.
+                            if bytes.get(i + 1) == Some(&(quote as u8)) {
+                                out.push(quote as u8);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            out.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                let text = String::from_utf8(out).expect("substring of valid UTF-8");
+                tokens.push(Token { position: start, kind: TokenKind::Str(text) });
+            }
+            '0'..='9' | '-' if c != '-' || matches!(bytes.get(i + 1), Some(b'0'..=b'9')) => {
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_float && matches!(bytes.get(i + 1), Some(b'0'..=b'9')) => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| QueryError::BadNumber {
+                        position: start,
+                        text: text.to_owned(),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| QueryError::BadNumber {
+                        position: start,
+                        text: text.to_owned(),
+                    })?)
+                };
+                tokens.push(Token { position: start, kind });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = match KEYWORDS.iter().find(|k| **k == upper) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { position: start, kind });
+            }
+            other => return Err(QueryError::UnexpectedChar { position: start, ch: other }),
+        }
+    }
+    tokens.push(Token { position: input.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM where AnD oR"),
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Keyword("FROM"),
+                TokenKind::Keyword("WHERE"),
+                TokenKind::Keyword("AND"),
+                TokenKind::Keyword("OR"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_allow_hyphens_like_s_no() {
+        assert_eq!(
+            kinds("X.s-no"),
+            vec![
+                TokenKind::Ident("X".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("s-no".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quote_styles() {
+        assert_eq!(
+            kinds("'Taipei' \"CS\""),
+            vec![TokenKind::Str("Taipei".into()), TokenKind::Str("CS".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        assert_eq!(kinds("'O''Brien'"), vec![TokenKind::Str("O'Brien".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn numbers_int_float_negative() {
+        assert_eq!(
+            kinds("42 3.5 -7 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Int(-7),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        let err = tokenize("WHERE 'oops").unwrap_err();
+        assert_eq!(err, QueryError::UnterminatedString { position: 6 });
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert_eq!(err, QueryError::UnexpectedChar { position: 2, ch: ';' });
+        // A bare `!` (not `!=`) is also an error.
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(matches!(err, QueryError::UnexpectedChar { ch: '!', .. }));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("SELECT X").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 7);
+        assert_eq!(toks[2].position, 8); // EOF
+    }
+
+    #[test]
+    fn true_false_are_keywords() {
+        assert_eq!(
+            kinds("true FALSE"),
+            vec![TokenKind::Keyword("TRUE"), TokenKind::Keyword("FALSE"), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Query substrate for FedOQ.
+//!
+//! Global queries are written against the integrated global schema in the
+//! SQL/X-flavoured subset the paper uses (single range class, path
+//! expressions, conjunctive predicates):
+//!
+//! ```sql
+//! SELECT X.name, X.advisor.name
+//! FROM Student X
+//! WHERE X.address.city = 'Taipei'
+//!   AND X.advisor.speciality = 'database'
+//!   AND X.advisor.department.name = 'CS'
+//! ```
+//!
+//! The pipeline is [`parse()`] → [`bind()`] (resolve paths against the global
+//! schema) → [`decompose`] (per-site classification of each predicate as
+//! *local* or *statically unsolved*, yielding the localized strategies'
+//! local queries).
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_query::{parse, Query};
+//! use fedoq_object::CmpOp;
+//!
+//! let q = parse("SELECT X.name FROM Student X WHERE X.age >= 30")?;
+//! assert_eq!(q.range_class(), "Student");
+//! assert_eq!(q.predicates().len(), 1);
+//! assert_eq!(q.predicates()[0].op(), CmpOp::Ge);
+//! # Ok::<(), fedoq_query::QueryError>(())
+//! ```
+
+pub mod ast;
+pub mod bind;
+pub mod decompose;
+pub mod dnf;
+pub mod error;
+pub mod lex;
+pub mod parse;
+
+pub use ast::{Predicate, Query};
+pub use bind::{bind, BoundPath, BoundPredicate, BoundQuery, PredId};
+pub use decompose::{plan_for_db, PredDisposition, SitePlan, TruncatedPred};
+pub use dnf::{parse_dnf, DnfQuery};
+pub use error::QueryError;
+pub use parse::parse;

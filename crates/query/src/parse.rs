@@ -1,0 +1,286 @@
+//! Recursive-descent parser for the SQL/X query subset.
+
+use crate::ast::{Predicate, Query};
+use crate::error::QueryError;
+use crate::lex::{tokenize, Token, TokenKind};
+use fedoq_object::{CmpOp, Path, Value};
+
+/// Parses a global query:
+///
+/// ```text
+/// query  := SELECT targets FROM Ident Ident [WHERE pred (AND pred)*]
+/// targets:= path ("," path)*
+/// path   := Var "." Ident ("." Ident)*
+/// pred   := path op literal
+/// op     := = | != | <> | < | <= | > | >=
+/// literal:= string | int | float | TRUE | FALSE
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`QueryError`] describing the first lexical or syntactic
+/// problem, or [`QueryError::UnknownVariable`] when a path does not start
+/// with the range variable.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_query::parse;
+///
+/// let q = parse(
+///     "SELECT X.name, X.advisor.name FROM Student X \
+///      WHERE X.address.city = 'Taipei' AND X.advisor.speciality = 'database'",
+/// )?;
+/// assert_eq!(q.targets().len(), 2);
+/// assert_eq!(q.predicates().len(), 2);
+/// # Ok::<(), fedoq_query::QueryError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &'static str) -> QueryError {
+        let t = self.peek();
+        QueryError::Unexpected {
+            position: t.position,
+            expected,
+            found: t.kind.to_string(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), QueryError> {
+        match &self.peek().kind {
+            TokenKind::Keyword(k) if *k == kw => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.unexpected(kw)),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &'static str) -> Result<String, QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => match self.advance().kind {
+                TokenKind::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword("SELECT")?;
+        // Targets are parsed before FROM reveals the variable name, so
+        // collect raw (var, path) pairs and validate after.
+        let mut raw_targets = Vec::new();
+        loop {
+            raw_targets.push(self.var_path()?);
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let range_class = self.expect_ident("a range class name")?;
+        let var = self.expect_ident("a range variable")?;
+
+        let mut query = Query::with_var(range_class, var.clone());
+        for (v, path) in raw_targets {
+            if v != var {
+                return Err(QueryError::UnknownVariable { variable: v, expected: var });
+            }
+            query = query.predicate_free_target(path);
+        }
+
+        if let TokenKind::Keyword("WHERE") = self.peek().kind {
+            self.advance();
+            loop {
+                let (v, path) = self.var_path()?;
+                if v != var {
+                    return Err(QueryError::UnknownVariable { variable: v, expected: var });
+                }
+                let op = self.cmp_op()?;
+                let literal = self.literal()?;
+                query = query.predicate(Predicate::new(path, op, literal));
+                if let TokenKind::Keyword("AND") = self.peek().kind {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        match self.peek().kind {
+            TokenKind::Eof => {}
+            _ => return Err(self.unexpected("end of query")),
+        }
+        if query.targets().is_empty() && query.predicates().is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        Ok(query)
+    }
+
+    /// `Var . attr (. attr)*` — returns the variable and the path.
+    fn var_path(&mut self) -> Result<(String, Path), QueryError> {
+        let var = self.expect_ident("a path starting with the range variable")?;
+        if self.peek().kind != TokenKind::Dot {
+            return Err(self.unexpected("`.`"));
+        }
+        self.advance();
+        let mut steps = vec![self.expect_ident("an attribute name")?];
+        while self.peek().kind == TokenKind::Dot {
+            self.advance();
+            steps.push(self.expect_ident("an attribute name")?);
+        }
+        Ok((var, Path::new(steps)))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.unexpected("a comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Value, QueryError> {
+        let v = match &self.peek().kind {
+            TokenKind::Str(s) => Value::Text(s.clone()),
+            TokenKind::Int(v) => Value::Int(*v),
+            TokenKind::Float(v) => Value::Float(*v),
+            TokenKind::Keyword("TRUE") => Value::Bool(true),
+            TokenKind::Keyword("FALSE") => Value::Bool(false),
+            // Unquoted identifiers are accepted as string literals, as in
+            // the paper's own `X.advisor.department.name=CS`.
+            TokenKind::Ident(s) => Value::Text(s.clone()),
+            _ => return Err(self.unexpected("a literal")),
+        };
+        self.advance();
+        Ok(v)
+    }
+}
+
+impl Query {
+    /// Internal: appends a pre-parsed target path (used by the parser,
+    /// which validates the variable separately).
+    fn predicate_free_target(mut self, path: Path) -> Query {
+        // Reconstruct through the public builder without re-parsing.
+        let joined = path.steps().collect::<Vec<_>>().join(".");
+        self = self.target(&joined);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_q1() {
+        let q = parse(
+            "Select X.name, X.advisor.name From Student X \
+             Where X.address.city=Taipei and X.advisor.speciality=database \
+             and X.advisor.department.name=CS",
+        )
+        .unwrap();
+        assert_eq!(q.range_class(), "Student");
+        assert_eq!(q.var(), "X");
+        assert_eq!(q.targets().len(), 2);
+        assert_eq!(q.predicates().len(), 3);
+        assert_eq!(q.predicates()[0].path().to_string(), "address.city");
+        assert_eq!(q.predicates()[0].literal(), &Value::text("Taipei"));
+        assert_eq!(q.predicates()[2].path().to_string(), "advisor.department.name");
+    }
+
+    #[test]
+    fn parses_quoted_and_numeric_literals() {
+        let q = parse("SELECT X.name FROM S X WHERE X.city = 'Taipei' AND X.age >= 30 AND X.gpa < 3.5")
+            .unwrap();
+        assert_eq!(q.predicates()[0].literal(), &Value::text("Taipei"));
+        assert_eq!(q.predicates()[1].op(), CmpOp::Ge);
+        assert_eq!(q.predicates()[1].literal(), &Value::Int(30));
+        assert_eq!(q.predicates()[2].literal(), &Value::Float(3.5));
+    }
+
+    #[test]
+    fn parses_boolean_literals() {
+        let q = parse("SELECT X.a FROM C X WHERE X.flag = TRUE").unwrap();
+        assert_eq!(q.predicates()[0].literal(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn query_without_where() {
+        let q = parse("SELECT X.name FROM Student X").unwrap();
+        assert!(q.predicates().is_empty());
+        assert_eq!(q.targets().len(), 1);
+    }
+
+    #[test]
+    fn wrong_variable_is_rejected() {
+        let err = parse("SELECT Y.name FROM Student X").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownVariable { variable: "Y".into(), expected: "X".into() }
+        );
+        let err = parse("SELECT X.name FROM Student X WHERE Z.age = 3").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownVariable { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_point_at_tokens() {
+        let err = parse("SELECT X.name Student X").unwrap_err();
+        assert!(matches!(err, QueryError::Unexpected { expected: "FROM", .. }));
+        let err = parse("SELECT FROM Student X").unwrap_err();
+        assert!(matches!(err, QueryError::Unexpected { .. }));
+        let err = parse("SELECT X.name FROM Student X WHERE X.age").unwrap_err();
+        assert!(matches!(err, QueryError::Unexpected { expected: "a comparison operator", .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("SELECT X.name FROM Student X WHERE X.age = 3 X").unwrap_err();
+        assert!(matches!(err, QueryError::Unexpected { expected: "end of query", .. }));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let text = "SELECT X.name, X.advisor.name FROM Student X \
+                    WHERE X.address.city = 'Taipei' AND X.age >= 30";
+        let q = parse(text).unwrap();
+        assert_eq!(q.to_string(), text);
+        // Reparsing the rendering yields the same AST.
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn hyphenated_attributes_parse() {
+        let q = parse("SELECT X.s-no FROM Student X WHERE X.s-no = 804301").unwrap();
+        assert_eq!(q.targets()[0].to_string(), "s-no");
+    }
+}

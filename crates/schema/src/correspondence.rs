@@ -1,0 +1,125 @@
+//! Correspondence assertions between component and global names.
+//!
+//! Schema integration needs to know which component classes (and which of
+//! their attributes) are *semantically the same*. By default a component
+//! name maps to the identical global name; a [`Correspondences`] table
+//! overrides that for heterogeneously-named schemas (e.g. `Emp.nm` in one
+//! database corresponding to `Employee.name` globally).
+
+use fedoq_object::DbId;
+use std::collections::HashMap;
+
+/// A set of name-mapping assertions used during integration.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::DbId;
+/// use fedoq_schema::Correspondences;
+///
+/// let db2 = DbId::new(2);
+/// let corr = Correspondences::new()
+///     .map_class(db2, "Emp", "Employee")
+///     .map_attr(db2, "Emp", "nm", "name");
+/// assert_eq!(corr.global_class(db2, "Emp"), "Employee");
+/// assert_eq!(corr.global_attr(db2, "Emp", "nm"), "name");
+/// // Unmapped names pass through unchanged.
+/// assert_eq!(corr.global_class(db2, "Dept"), "Dept");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Correspondences {
+    classes: HashMap<(DbId, String), String>,
+    attrs: HashMap<(DbId, String, String), String>,
+}
+
+impl Correspondences {
+    /// An empty (identity) correspondence table.
+    pub fn new() -> Correspondences {
+        Correspondences::default()
+    }
+
+    /// Asserts that `db`'s class `component` integrates into global class
+    /// `global` (chainable).
+    pub fn map_class(
+        mut self,
+        db: DbId,
+        component: impl Into<String>,
+        global: impl Into<String>,
+    ) -> Correspondences {
+        self.classes.insert((db, component.into()), global.into());
+        self
+    }
+
+    /// Asserts that attribute `attr` of `db`'s class `component`
+    /// corresponds to the global attribute named `global` (chainable).
+    pub fn map_attr(
+        mut self,
+        db: DbId,
+        component: impl Into<String>,
+        attr: impl Into<String>,
+        global: impl Into<String>,
+    ) -> Correspondences {
+        self.attrs.insert((db, component.into(), attr.into()), global.into());
+        self
+    }
+
+    /// The global class name for a component class (identity if unmapped).
+    pub fn global_class<'a>(&'a self, db: DbId, component: &'a str) -> &'a str {
+        self.classes
+            .get(&(db, component.to_owned()))
+            .map(String::as_str)
+            .unwrap_or(component)
+    }
+
+    /// The global attribute name for a component attribute (identity if
+    /// unmapped).
+    pub fn global_attr<'a>(&'a self, db: DbId, component: &'a str, attr: &'a str) -> &'a str {
+        self.attrs
+            .get(&(db, component.to_owned(), attr.to_owned()))
+            .map(String::as_str)
+            .unwrap_or(attr)
+    }
+
+    /// Number of explicit assertions (classes + attributes).
+    pub fn len(&self) -> usize {
+        self.classes.len() + self.attrs.len()
+    }
+
+    /// `true` iff no explicit assertions were made.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.attrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let corr = Correspondences::new();
+        assert!(corr.is_empty());
+        assert_eq!(corr.global_class(DbId::new(0), "Student"), "Student");
+        assert_eq!(corr.global_attr(DbId::new(0), "Student", "age"), "age");
+    }
+
+    #[test]
+    fn explicit_mappings_take_precedence() {
+        let db = DbId::new(1);
+        let corr = Correspondences::new()
+            .map_class(db, "Emp", "Employee")
+            .map_attr(db, "Emp", "nm", "name");
+        assert_eq!(corr.global_class(db, "Emp"), "Employee");
+        assert_eq!(corr.global_attr(db, "Emp", "nm"), "name");
+        assert_eq!(corr.len(), 2);
+    }
+
+    #[test]
+    fn mappings_are_scoped_to_db_and_class() {
+        let corr = Correspondences::new().map_attr(DbId::new(1), "Emp", "nm", "name");
+        // Different database: identity.
+        assert_eq!(corr.global_attr(DbId::new(2), "Emp", "nm"), "nm");
+        // Different class in the same database: identity.
+        assert_eq!(corr.global_attr(DbId::new(1), "Mgr", "nm"), "nm");
+    }
+}

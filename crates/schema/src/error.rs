@@ -1,0 +1,74 @@
+//! Error type for schema integration.
+
+use fedoq_object::DbId;
+use std::fmt;
+
+/// Errors raised while integrating component schemas or building GOid
+/// mapping tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchemaError {
+    /// Two constituent classes define the same global attribute with
+    /// incompatible types.
+    TypeConflict { class: String, attr: String },
+    /// Two complex attributes map to the same global attribute but their
+    /// domain classes integrate into different global classes.
+    DomainConflict { class: String, attr: String },
+    /// A correspondence references a class a database does not define.
+    UnknownComponentClass { db: DbId, class: String },
+    /// A global class name was not found in the global schema.
+    UnknownGlobalClass(String),
+    /// No constituent class of a global class declares a key, so
+    /// isomerism cannot be identified for it.
+    NoKey { class: String },
+    /// Isomeric grouping put two objects from the *same* database into one
+    /// group (keys must identify entities uniquely within a database).
+    DuplicateEntityInDb { db: DbId, class: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::TypeConflict { class, attr } => {
+                write!(f, "constituents of {class:?} disagree on the type of {attr:?}")
+            }
+            SchemaError::DomainConflict { class, attr } => write!(
+                f,
+                "complex attribute {class}.{attr} integrates to different global domain classes"
+            ),
+            SchemaError::UnknownComponentClass { db, class } => {
+                write!(f, "{db} does not define class {class:?}")
+            }
+            SchemaError::UnknownGlobalClass(c) => write!(f, "unknown global class {c:?}"),
+            SchemaError::NoKey { class } => {
+                write!(f, "no constituent of {class:?} declares a key for isomerism")
+            }
+            SchemaError::DuplicateEntityInDb { db, class } => write!(
+                f,
+                "two objects of {class:?} in {db} share a key; keys must be unique per database"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_subjects() {
+        let e = SchemaError::TypeConflict { class: "Student".into(), attr: "age".into() };
+        assert!(e.to_string().contains("Student"));
+        assert!(e.to_string().contains("age"));
+        let e = SchemaError::UnknownComponentClass { db: DbId::new(2), class: "X".into() };
+        assert!(e.to_string().contains("DB2"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        check(SchemaError::UnknownGlobalClass("X".into()));
+    }
+}

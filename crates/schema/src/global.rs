@@ -1,0 +1,349 @@
+//! The integrated global schema.
+//!
+//! A [`GlobalClass`] is constructed by integrating semantically-equivalent
+//! *constituent classes* from the component databases; its attributes are
+//! the **set union** of the constituents' attributes. A global attribute a
+//! constituent does not define is a *missing attribute* of that
+//! constituent — the static source of missing data.
+
+use fedoq_object::{ClassId, DbId, GlobalClassId};
+use fedoq_store::PrimitiveType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The type of a global attribute with its domain resolved to a global
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalAttrType {
+    /// A primitive attribute.
+    Primitive(PrimitiveType),
+    /// A complex attribute whose domain is a global class.
+    Complex(GlobalClassId),
+}
+
+impl GlobalAttrType {
+    /// `true` iff complex.
+    pub fn is_complex(self) -> bool {
+        matches!(self, GlobalAttrType::Complex(_))
+    }
+
+    /// The global domain class, if complex.
+    pub fn domain(self) -> Option<GlobalClassId> {
+        match self {
+            GlobalAttrType::Complex(d) => Some(d),
+            GlobalAttrType::Primitive(_) => None,
+        }
+    }
+}
+
+/// One attribute of a global class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAttr {
+    name: String,
+    ty: GlobalAttrType,
+}
+
+impl GlobalAttr {
+    /// Creates a global attribute.
+    pub fn new(name: impl Into<String>, ty: GlobalAttrType) -> GlobalAttr {
+        GlobalAttr { name: name.into(), ty }
+    }
+
+    /// The global attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resolved type.
+    pub fn ty(&self) -> GlobalAttrType {
+        self.ty
+    }
+}
+
+/// One constituent class of a global class: which component class it is
+/// and how its attribute slots align with the global attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constituent {
+    db: DbId,
+    class: ClassId,
+    class_name: String,
+    /// `attr_map[g]` is the local slot storing global attribute `g`, or
+    /// `None` when `g` is a missing attribute of this constituent.
+    attr_map: Vec<Option<usize>>,
+}
+
+impl Constituent {
+    /// Creates a constituent descriptor.
+    pub fn new(
+        db: DbId,
+        class: ClassId,
+        class_name: impl Into<String>,
+        attr_map: Vec<Option<usize>>,
+    ) -> Constituent {
+        Constituent { db, class, class_name: class_name.into(), attr_map }
+    }
+
+    /// The owning component database.
+    pub fn db(&self) -> DbId {
+        self.db
+    }
+
+    /// The component class id within its database.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The component class name.
+    pub fn class_name(&self) -> &str {
+        &self.class_name
+    }
+
+    /// The local slot holding global attribute `g`, or `None` if missing.
+    pub fn local_slot(&self, g: usize) -> Option<usize> {
+        self.attr_map.get(g).copied().flatten()
+    }
+
+    /// `true` iff global attribute `g` is a *missing attribute* of this
+    /// constituent class.
+    pub fn is_missing(&self, g: usize) -> bool {
+        self.local_slot(g).is_none()
+    }
+
+    /// Indices of the global attributes this constituent is missing.
+    pub fn missing_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attr_map
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(g, _)| g)
+    }
+}
+
+/// A class of the integrated global schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalClass {
+    name: String,
+    attrs: Vec<GlobalAttr>,
+    by_attr: HashMap<String, usize>,
+    constituents: Vec<Constituent>,
+}
+
+impl GlobalClass {
+    /// Assembles a global class. Intended for use by [`crate::integrate()`];
+    /// exposed for tests and hand-built schemas.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: Vec<GlobalAttr>,
+        constituents: Vec<Constituent>,
+    ) -> GlobalClass {
+        let by_attr = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name().to_owned(), i))
+            .collect();
+        GlobalClass { name: name.into(), attrs, by_attr, constituents }
+    }
+
+    /// The global class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of global attributes (the union size).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The global attributes in slot order.
+    pub fn attrs(&self) -> &[GlobalAttr] {
+        &self.attrs
+    }
+
+    /// Slot of the named global attribute.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.by_attr.get(name).copied()
+    }
+
+    /// The attribute definition at a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn attr(&self, idx: usize) -> &GlobalAttr {
+        &self.attrs[idx]
+    }
+
+    /// All constituent classes.
+    pub fn constituents(&self) -> &[Constituent] {
+        &self.constituents
+    }
+
+    /// The constituent hosted by `db`, if any. (A database hosts at most
+    /// one constituent of a global class.)
+    pub fn constituent_for(&self, db: DbId) -> Option<&Constituent> {
+        self.constituents.iter().find(|c| c.db() == db)
+    }
+
+    /// Databases hosting a constituent of this class.
+    pub fn hosting_dbs(&self) -> impl Iterator<Item = DbId> + '_ {
+        self.constituents.iter().map(Constituent::db)
+    }
+}
+
+impl fmt::Display for GlobalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} attrs, {} constituents)",
+            self.name,
+            self.attrs.len(),
+            self.constituents.len()
+        )
+    }
+}
+
+/// The integrated global schema: the classes users query against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSchema {
+    classes: Vec<GlobalClass>,
+    by_name: HashMap<String, GlobalClassId>,
+}
+
+impl GlobalSchema {
+    /// Assembles a global schema from its classes.
+    pub fn new(classes: Vec<GlobalClass>) -> GlobalSchema {
+        let by_name = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name().to_owned(), GlobalClassId::new(i as u32)))
+            .collect();
+        GlobalSchema { classes, by_name }
+    }
+
+    /// Number of global classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` iff no classes were integrated.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The id of a global class by name.
+    pub fn class_id(&self, name: &str) -> Option<GlobalClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class definition by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this schema.
+    pub fn class(&self, id: GlobalClassId) -> &GlobalClass {
+        &self.classes[id.index()]
+    }
+
+    /// The class definition by name.
+    pub fn class_by_name(&self, name: &str) -> Option<&GlobalClass> {
+        self.class_id(name).map(|id| self.class(id))
+    }
+
+    /// Iterates over `(id, class)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GlobalClassId, &GlobalClass)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (GlobalClassId::new(i as u32), c))
+    }
+
+    /// Finds the global class integrating `db`'s component class
+    /// `class_id`, together with its constituent record.
+    pub fn owner_of(&self, db: DbId, class_id: ClassId) -> Option<(GlobalClassId, &Constituent)> {
+        for (gid, class) in self.iter() {
+            if let Some(c) = class.constituents().iter().find(|c| c.db() == db && c.class() == class_id)
+            {
+                return Some((gid, c));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GlobalSchema {
+        // Global Student(s-no, age, sex) from DB0(s-no, age) + DB1(s-no, sex).
+        let student = GlobalClass::new(
+            "Student",
+            vec![
+                GlobalAttr::new("s-no", GlobalAttrType::Primitive(PrimitiveType::Int)),
+                GlobalAttr::new("age", GlobalAttrType::Primitive(PrimitiveType::Int)),
+                GlobalAttr::new("sex", GlobalAttrType::Primitive(PrimitiveType::Text)),
+            ],
+            vec![
+                Constituent::new(DbId::new(0), ClassId::new(0), "Student", vec![Some(0), Some(1), None]),
+                Constituent::new(DbId::new(1), ClassId::new(0), "Student", vec![Some(0), None, Some(1)]),
+            ],
+        );
+        GlobalSchema::new(vec![student])
+    }
+
+    #[test]
+    fn attribute_union_and_lookup() {
+        let g = sample();
+        let s = g.class_by_name("Student").unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_index("sex"), Some(2));
+        assert_eq!(s.attr_index("nope"), None);
+        assert_eq!(s.attr(1).name(), "age");
+    }
+
+    #[test]
+    fn missing_attribute_matrix() {
+        let g = sample();
+        let s = g.class_by_name("Student").unwrap();
+        let c0 = s.constituent_for(DbId::new(0)).unwrap();
+        let c1 = s.constituent_for(DbId::new(1)).unwrap();
+        assert!(c0.is_missing(s.attr_index("sex").unwrap()));
+        assert!(!c0.is_missing(s.attr_index("age").unwrap()));
+        assert!(c1.is_missing(s.attr_index("age").unwrap()));
+        assert_eq!(c0.missing_attrs().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(c0.local_slot(0), Some(0));
+        assert_eq!(c1.local_slot(2), Some(1));
+    }
+
+    #[test]
+    fn hosting_and_owner_lookup() {
+        let g = sample();
+        let s = g.class_by_name("Student").unwrap();
+        let dbs: Vec<DbId> = s.hosting_dbs().collect();
+        assert_eq!(dbs, vec![DbId::new(0), DbId::new(1)]);
+        assert!(s.constituent_for(DbId::new(5)).is_none());
+        let (gid, c) = g.owner_of(DbId::new(1), ClassId::new(0)).unwrap();
+        assert_eq!(gid, g.class_id("Student").unwrap());
+        assert_eq!(c.db(), DbId::new(1));
+        assert!(g.owner_of(DbId::new(9), ClassId::new(0)).is_none());
+    }
+
+    #[test]
+    fn global_attr_type_introspection() {
+        let c = GlobalAttrType::Complex(GlobalClassId::new(3));
+        assert!(c.is_complex());
+        assert_eq!(c.domain(), Some(GlobalClassId::new(3)));
+        let p = GlobalAttrType::Primitive(PrimitiveType::Int);
+        assert!(!p.is_complex());
+        assert_eq!(p.domain(), None);
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let g = sample();
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+        let (_, class) = g.iter().next().unwrap();
+        assert_eq!(class.to_string(), "Student(3 attrs, 2 constituents)");
+    }
+}

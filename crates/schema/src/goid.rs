@@ -1,0 +1,270 @@
+//! GOid mapping tables.
+//!
+//! Each real-world entity gets one [`GOid`]; the mapping tables associate
+//! it with the LOids of its isomeric objects across component databases
+//! (the paper's Figure 5). The catalog is *replicated at every site*: the
+//! simulation charges local CPU time, not network transfer, for probes.
+
+use fedoq_object::{DbId, GOid, GlobalClassId, LOid};
+use std::collections::HashMap;
+
+/// The GOid mapping table of one global class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GoidTable {
+    entries: HashMap<GOid, Vec<LOid>>,
+    reverse: HashMap<LOid, GOid>,
+}
+
+impl GoidTable {
+    /// An empty table.
+    pub fn new() -> GoidTable {
+        GoidTable::default()
+    }
+
+    /// Number of distinct entities (GOids).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no entities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The GOid of a local object, if registered.
+    pub fn goid_of(&self, loid: LOid) -> Option<GOid> {
+        self.reverse.get(&loid).copied()
+    }
+
+    /// The isomeric objects of an entity (all registered LOids).
+    pub fn loids_of(&self, goid: GOid) -> &[LOid] {
+        self.entries.get(&goid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The isomeric siblings of `loid`: the entity's other LOids.
+    pub fn siblings(&self, loid: LOid) -> impl Iterator<Item = LOid> + '_ {
+        let goid = self.goid_of(loid);
+        goid.into_iter()
+            .flat_map(move |g| self.loids_of(g).iter().copied())
+            .filter(move |&l| l != loid)
+    }
+
+    /// The entity's LOid inside database `db`, if the entity has an
+    /// isomeric object there.
+    pub fn loid_in_db(&self, goid: GOid, db: DbId) -> Option<LOid> {
+        self.loids_of(goid).iter().copied().find(|l| l.db() == db)
+    }
+
+    /// Iterates over `(goid, loids)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (GOid, &[LOid])> {
+        self.entries.iter().map(|(g, v)| (*g, v.as_slice()))
+    }
+
+    fn register(&mut self, goid: GOid, group: &[LOid]) {
+        for &loid in group {
+            self.reverse.insert(loid, goid);
+        }
+        self.entries.insert(goid, group.to_vec());
+    }
+}
+
+/// The full set of GOid mapping tables, one per global class, plus the
+/// federation-wide GOid allocator.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, GlobalClassId, LOid};
+/// use fedoq_schema::GoidCatalog;
+///
+/// let mut catalog = GoidCatalog::new(1);
+/// let class = GlobalClassId::new(0);
+/// let s1 = LOid::new(DbId::new(0), 0);
+/// let s2 = LOid::new(DbId::new(1), 0);
+/// let g = catalog.register(class, &[s1, s2]); // isomeric pair
+/// assert_eq!(catalog.table(class).goid_of(s1), Some(g));
+/// assert_eq!(catalog.table(class).loid_in_db(g, DbId::new(1)), Some(s2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoidCatalog {
+    tables: Vec<GoidTable>,
+    next: u64,
+}
+
+impl GoidCatalog {
+    /// Creates a catalog with one empty table per global class.
+    pub fn new(num_classes: usize) -> GoidCatalog {
+        GoidCatalog { tables: vec![GoidTable::new(); num_classes], next: 0 }
+    }
+
+    /// Registers one entity: the group of isomeric LOids representing it.
+    /// Returns the freshly-allocated GOid (unique across all classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or `group` is empty.
+    pub fn register(&mut self, class: GlobalClassId, group: &[LOid]) -> GOid {
+        assert!(!group.is_empty(), "an entity must have at least one local object");
+        let goid = GOid::new(self.next);
+        self.next += 1;
+        self.tables[class.index()].register(goid, group);
+        goid
+    }
+
+    /// The mapping table of one global class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn table(&self, class: GlobalClassId) -> &GoidTable {
+        &self.tables[class.index()]
+    }
+
+    /// Number of global classes covered.
+    pub fn num_classes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of registered entities across all classes.
+    pub fn total_entities(&self) -> usize {
+        self.tables.iter().map(GoidTable::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loid(db: u16, n: u64) -> LOid {
+        LOid::new(DbId::new(db), n)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = GoidCatalog::new(2);
+        let c0 = GlobalClassId::new(0);
+        let g1 = cat.register(c0, &[loid(0, 1), loid(1, 4)]);
+        let g2 = cat.register(c0, &[loid(0, 2)]);
+        assert_ne!(g1, g2);
+        assert_eq!(cat.table(c0).goid_of(loid(1, 4)), Some(g1));
+        assert_eq!(cat.table(c0).goid_of(loid(0, 2)), Some(g2));
+        assert_eq!(cat.table(c0).goid_of(loid(0, 9)), None);
+        assert_eq!(cat.table(c0).loids_of(g1), &[loid(0, 1), loid(1, 4)]);
+        assert_eq!(cat.total_entities(), 2);
+        assert_eq!(cat.num_classes(), 2);
+    }
+
+    #[test]
+    fn goids_unique_across_classes() {
+        let mut cat = GoidCatalog::new(2);
+        let a = cat.register(GlobalClassId::new(0), &[loid(0, 1)]);
+        let b = cat.register(GlobalClassId::new(1), &[loid(0, 2)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn siblings_exclude_self() {
+        let mut cat = GoidCatalog::new(1);
+        let c0 = GlobalClassId::new(0);
+        cat.register(c0, &[loid(0, 1), loid(1, 1), loid(2, 1)]);
+        let sibs: Vec<LOid> = cat.table(c0).siblings(loid(1, 1)).collect();
+        assert_eq!(sibs, vec![loid(0, 1), loid(2, 1)]);
+        // Unregistered LOid has no siblings.
+        assert_eq!(cat.table(c0).siblings(loid(5, 5)).count(), 0);
+    }
+
+    #[test]
+    fn loid_in_db_finds_the_local_copy() {
+        let mut cat = GoidCatalog::new(1);
+        let c0 = GlobalClassId::new(0);
+        let g = cat.register(c0, &[loid(0, 1), loid(2, 7)]);
+        assert_eq!(cat.table(c0).loid_in_db(g, DbId::new(2)), Some(loid(2, 7)));
+        assert_eq!(cat.table(c0).loid_in_db(g, DbId::new(1)), None);
+    }
+
+    #[test]
+    fn iter_covers_all_entities() {
+        let mut cat = GoidCatalog::new(1);
+        let c0 = GlobalClassId::new(0);
+        cat.register(c0, &[loid(0, 1)]);
+        cat.register(c0, &[loid(0, 2), loid(1, 2)]);
+        let total: usize = cat.table(c0).iter().map(|(_, ls)| ls.len()).sum();
+        assert_eq!(total, 3);
+        assert!(!cat.table(c0).is_empty());
+        assert_eq!(cat.table(c0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one local object")]
+    fn empty_group_rejected() {
+        let mut cat = GoidCatalog::new(1);
+        cat.register(GlobalClassId::new(0), &[]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random groups of distinct LOids (one per database).
+        fn arb_groups() -> impl Strategy<Value = Vec<Vec<LOid>>> {
+            proptest::collection::vec(
+                proptest::collection::btree_set(0u16..6, 1..4).prop_map(|dbs| {
+                    dbs.into_iter()
+                        .map(|db| LOid::new(DbId::new(db), u64::from(db) * 1000))
+                        .collect::<Vec<_>>()
+                }),
+                0..20,
+            )
+        }
+
+        proptest! {
+            /// Every registered LOid resolves to its group's GOid, and
+            /// sibling sets partition correctly.
+            #[test]
+            fn registration_round_trips(groups in arb_groups()) {
+                let mut cat = GoidCatalog::new(1);
+                let class = GlobalClassId::new(0);
+                let mut goids = Vec::new();
+                // Make LOids globally unique across groups by offsetting
+                // the serials per group.
+                let groups: Vec<Vec<LOid>> = groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, g)| {
+                        g.into_iter()
+                            .map(|l| LOid::new(l.db(), l.serial() + i as u64))
+                            .collect()
+                    })
+                    .collect();
+                for group in &groups {
+                    goids.push(cat.register(class, group));
+                }
+                prop_assert_eq!(cat.table(class).len(), groups.len());
+                for (group, goid) in groups.iter().zip(&goids) {
+                    for &loid in group {
+                        prop_assert_eq!(cat.table(class).goid_of(loid), Some(*goid));
+                        let siblings: Vec<LOid> =
+                            cat.table(class).siblings(loid).collect();
+                        prop_assert_eq!(siblings.len(), group.len() - 1);
+                        for s in siblings {
+                            prop_assert!(group.contains(&s));
+                            prop_assert_ne!(s, loid);
+                        }
+                    }
+                    // Per-database lookup agrees with membership.
+                    for &loid in group {
+                        prop_assert_eq!(
+                            cat.table(class).loid_in_db(*goid, loid.db()),
+                            Some(loid)
+                        );
+                    }
+                }
+                // GOids are unique.
+                let mut sorted = goids.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), goids.len());
+            }
+        }
+    }
+}

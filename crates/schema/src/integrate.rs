@@ -1,0 +1,306 @@
+//! Global-schema construction.
+//!
+//! Integration follows the paper's model: component classes asserted to be
+//! semantically equivalent (same global name under the
+//! [`Correspondences`]) become one global class whose attribute set is the
+//! **union** of the constituents' attributes. Complex attributes are
+//! re-pointed at the global class their domain integrates into. The
+//! per-constituent attribute map records missing attributes.
+
+use crate::correspondence::Correspondences;
+use crate::error::SchemaError;
+use crate::global::{Constituent, GlobalAttr, GlobalAttrType, GlobalClass, GlobalSchema};
+use fedoq_object::{DbId, GlobalClassId};
+use fedoq_store::{AttrType, ComponentSchema};
+use std::collections::HashMap;
+
+/// Integrates component schemas into a global schema.
+///
+/// Global classes appear in first-encounter order over the input; global
+/// attributes appear in first-encounter order over each class's
+/// constituents. Multi-valued attributes integrate as their element type
+/// (the global schema only needs the navigation structure).
+///
+/// # Errors
+///
+/// * [`SchemaError::TypeConflict`] — constituents disagree on an
+///   attribute's primitive type, or mix primitive with complex;
+/// * [`SchemaError::DomainConflict`] — corresponding complex attributes
+///   whose domains integrate into different global classes.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn integrate(
+    schemas: &[(DbId, &ComponentSchema)],
+    corr: &Correspondences,
+) -> Result<GlobalSchema, SchemaError> {
+    // Pass 1: discover global class names and their constituents.
+    let mut order: Vec<String> = Vec::new();
+    let mut by_name: HashMap<String, GlobalClassId> = HashMap::new();
+    for (db, schema) in schemas {
+        for (_, class) in schema.iter() {
+            let gname = corr.global_class(*db, class.name());
+            if !by_name.contains_key(gname) {
+                by_name.insert(gname.to_owned(), GlobalClassId::new(order.len() as u32));
+                order.push(gname.to_owned());
+            }
+        }
+    }
+
+    // Pass 2: build each global class.
+    // (db, component class id, component class name, (global slot, local slot) pairs)
+    type PendingConstituent = (DbId, fedoq_object::ClassId, String, Vec<(usize, usize)>);
+    let mut classes = Vec::with_capacity(order.len());
+    for gname in &order {
+        let mut attrs: Vec<GlobalAttr> = Vec::new();
+        let mut attr_slots: HashMap<String, usize> = HashMap::new();
+        let mut constituents: Vec<PendingConstituent> = Vec::new();
+
+        for (db, schema) in schemas {
+            for (class_id, class) in schema.iter() {
+                if corr.global_class(*db, class.name()) != gname.as_str() {
+                    continue;
+                }
+                let mut pairs = Vec::with_capacity(class.arity());
+                for (local_slot, attr) in class.attrs().iter().enumerate() {
+                    let ganame = corr.global_attr(*db, class.name(), attr.name());
+                    let gty = resolve_type(*db, attr.ty(), corr, &by_name);
+                    let gslot = match attr_slots.get(ganame) {
+                        Some(&slot) => {
+                            check_compatible(gname, ganame, attrs[slot].ty(), gty)?;
+                            slot
+                        }
+                        None => {
+                            let slot = attrs.len();
+                            attrs.push(GlobalAttr::new(ganame, gty));
+                            attr_slots.insert(ganame.to_owned(), slot);
+                            slot
+                        }
+                    };
+                    pairs.push((gslot, local_slot));
+                }
+                constituents.push((*db, class_id, class.name().to_owned(), pairs));
+            }
+        }
+
+        let arity = attrs.len();
+        let constituents = constituents
+            .into_iter()
+            .map(|(db, class_id, class_name, pairs)| {
+                let mut map = vec![None; arity];
+                for (g, l) in pairs {
+                    map[g] = Some(l);
+                }
+                Constituent::new(db, class_id, class_name, map)
+            })
+            .collect();
+        classes.push(GlobalClass::new(gname.clone(), attrs, constituents));
+    }
+
+    Ok(GlobalSchema::new(classes))
+}
+
+/// Resolves a component attribute type to a global one. `Multi` resolves
+/// to its element type; complex domains resolve through the class
+/// correspondence.
+fn resolve_type(
+    db: DbId,
+    ty: &AttrType,
+    corr: &Correspondences,
+    by_name: &HashMap<String, GlobalClassId>,
+) -> GlobalAttrType {
+    match ty {
+        AttrType::Primitive(p) => GlobalAttrType::Primitive(*p),
+        AttrType::Complex(domain) => {
+            let gdomain = corr.global_class(db, domain);
+            // The domain class exists in the same validated component
+            // schema, so its global class was discovered in pass 1.
+            GlobalAttrType::Complex(by_name[gdomain])
+        }
+        AttrType::Multi(inner) => resolve_type(db, inner, corr, by_name),
+    }
+}
+
+fn check_compatible(
+    class: &str,
+    attr: &str,
+    existing: GlobalAttrType,
+    new: GlobalAttrType,
+) -> Result<(), SchemaError> {
+    match (existing, new) {
+        (GlobalAttrType::Primitive(a), GlobalAttrType::Primitive(b)) if a == b => Ok(()),
+        (GlobalAttrType::Complex(a), GlobalAttrType::Complex(b)) if a == b => Ok(()),
+        (GlobalAttrType::Complex(_), GlobalAttrType::Complex(_)) => {
+            Err(SchemaError::DomainConflict { class: class.to_owned(), attr: attr.to_owned() })
+        }
+        _ => Err(SchemaError::TypeConflict { class: class.to_owned(), attr: attr.to_owned() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_store::{ClassDef, PrimitiveType};
+
+    fn db0() -> ComponentSchema {
+        ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("age", AttrType::int())
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap()
+    }
+
+    fn db1() -> ComponentSchema {
+        ComponentSchema::new(vec![
+            ClassDef::new("Address").attr("city", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("speciality", AttrType::text()),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("address", AttrType::complex("Address"))
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn union_of_attributes() {
+        let (a, b) = (db0(), db1());
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap();
+        let student = g.class_by_name("Student").unwrap();
+        let names: Vec<&str> = student.attrs().iter().map(GlobalAttr::name).collect();
+        assert_eq!(names, ["s-no", "name", "age", "advisor", "address"]);
+        let teacher = g.class_by_name("Teacher").unwrap();
+        let names: Vec<&str> = teacher.attrs().iter().map(GlobalAttr::name).collect();
+        assert_eq!(names, ["name", "department", "speciality"]);
+    }
+
+    #[test]
+    fn missing_attributes_recorded_per_constituent() {
+        let (a, b) = (db0(), db1());
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap();
+        let student = g.class_by_name("Student").unwrap();
+        let address = student.attr_index("address").unwrap();
+        let age = student.attr_index("age").unwrap();
+        assert!(student.constituent_for(DbId::new(0)).unwrap().is_missing(address));
+        assert!(!student.constituent_for(DbId::new(0)).unwrap().is_missing(age));
+        assert!(student.constituent_for(DbId::new(1)).unwrap().is_missing(age));
+    }
+
+    #[test]
+    fn complex_domains_resolve_to_global_classes() {
+        let (a, b) = (db0(), db1());
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap();
+        let student = g.class_by_name("Student").unwrap();
+        let advisor = student.attr(student.attr_index("advisor").unwrap());
+        assert_eq!(advisor.ty().domain(), g.class_id("Teacher"));
+        let address = student.attr(student.attr_index("address").unwrap());
+        assert_eq!(address.ty().domain(), g.class_id("Address"));
+    }
+
+    #[test]
+    fn correspondences_rename_classes_and_attrs() {
+        let a = ComponentSchema::new(vec![ClassDef::new("Emp").attr("nm", AttrType::text())])
+            .unwrap();
+        let b = ComponentSchema::new(vec![ClassDef::new("Employee")
+            .attr("name", AttrType::text())
+            .attr("salary", AttrType::int())])
+        .unwrap();
+        let corr = Correspondences::new()
+            .map_class(DbId::new(0), "Emp", "Employee")
+            .map_attr(DbId::new(0), "Emp", "nm", "name");
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &corr).unwrap();
+        assert_eq!(g.len(), 1);
+        let emp = g.class_by_name("Employee").unwrap();
+        assert_eq!(emp.arity(), 2);
+        assert_eq!(emp.constituents().len(), 2);
+        let c0 = emp.constituent_for(DbId::new(0)).unwrap();
+        assert_eq!(c0.local_slot(emp.attr_index("name").unwrap()), Some(0));
+        assert!(c0.is_missing(emp.attr_index("salary").unwrap()));
+    }
+
+    #[test]
+    fn type_conflict_detected() {
+        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::text())]).unwrap();
+        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap_err();
+        assert_eq!(err, SchemaError::TypeConflict { class: "X".into(), attr: "v".into() });
+    }
+
+    #[test]
+    fn primitive_vs_complex_conflict_detected() {
+        let a = ComponentSchema::new(vec![
+            ClassDef::new("D"),
+            ClassDef::new("X").attr("v", AttrType::complex("D")),
+        ])
+        .unwrap();
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::TypeConflict { .. }));
+    }
+
+    #[test]
+    fn domain_conflict_detected() {
+        let a = ComponentSchema::new(vec![
+            ClassDef::new("D1"),
+            ClassDef::new("X").attr("v", AttrType::complex("D1")),
+        ])
+        .unwrap();
+        let b = ComponentSchema::new(vec![
+            ClassDef::new("D2"),
+            ClassDef::new("X").attr("v", AttrType::complex("D2")),
+        ])
+        .unwrap();
+        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap_err();
+        assert_eq!(err, SchemaError::DomainConflict { class: "X".into(), attr: "v".into() });
+    }
+
+    #[test]
+    fn multi_valued_integrates_as_element_type() {
+        let a = ComponentSchema::new(vec![
+            ClassDef::new("Topic"),
+            ClassDef::new("T").attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic")))),
+        ])
+        .unwrap();
+        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new()).unwrap();
+        let t = g.class_by_name("T").unwrap();
+        assert_eq!(t.attr(0).ty().domain(), g.class_id("Topic"));
+    }
+
+    #[test]
+    fn matching_primitive_types_merge() {
+        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
+            .unwrap();
+        let x = g.class_by_name("X").unwrap();
+        assert_eq!(x.arity(), 1);
+        assert_eq!(x.attr(0).ty(), GlobalAttrType::Primitive(PrimitiveType::Int));
+    }
+
+    #[test]
+    fn single_database_integration_is_identity_like() {
+        let a = db0();
+        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new()).unwrap();
+        assert_eq!(g.len(), 3);
+        let student = g.class_by_name("Student").unwrap();
+        assert_eq!(student.arity(), 4);
+        assert!(student.constituent_for(DbId::new(0)).unwrap().missing_attrs().next().is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! Isomerism identification: grouping local objects into global entities.
+//!
+//! The paper assumes isomeric objects "have been determined" by its
+//! companion technique (Chen, Tsai & Koh 1996). We implement the common
+//! practical instance: objects of corresponding classes that agree on a
+//! declared *key* (e.g. the student number `s-no`) represent the same
+//! real-world entity. Objects without a usable key — the constituent lacks
+//! the key attribute, or the key value is null — become singleton entities.
+
+use crate::error::SchemaError;
+use crate::global::{GlobalClass, GlobalSchema};
+use crate::goid::GoidCatalog;
+use fedoq_object::{GlobalClassId, LOid};
+use fedoq_store::{ComponentDb, IndexKey};
+use std::collections::HashMap;
+
+/// Builds the GOid mapping tables by key-equality grouping.
+///
+/// For each global class, the entity key is the key declared by its first
+/// keyed constituent, translated into global attribute slots. Constituents
+/// that are missing any key attribute contribute only singleton entities.
+///
+/// # Errors
+///
+/// Returns [`SchemaError::DuplicateEntityInDb`] if two objects of one
+/// database share a key — keys must identify entities uniquely per site.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, Value};
+/// use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+/// use fedoq_schema::{identify_isomerism, integrate, Correspondences};
+///
+/// let schema0 = ComponentSchema::new(vec![
+///     ClassDef::new("Student").attr("s-no", AttrType::int()).key(["s-no"]),
+/// ])?;
+/// let schema1 = schema0.clone();
+/// let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema0);
+/// let mut db1 = ComponentDb::new(DbId::new(1), "DB1", schema1);
+/// let john0 = db0.insert_named("Student", &[("s-no", Value::Int(804301))])?;
+/// let john1 = db1.insert_named("Student", &[("s-no", Value::Int(804301))])?;
+///
+/// let global = integrate(&[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+///                        &Correspondences::new())?;
+/// let catalog = identify_isomerism(&[&db0, &db1], &global)?;
+/// let student = global.class_id("Student").unwrap();
+/// // Same key => isomeric objects => same GOid.
+/// assert_eq!(catalog.table(student).goid_of(john0),
+///            catalog.table(student).goid_of(john1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn identify_isomerism(
+    dbs: &[&ComponentDb],
+    global: &GlobalSchema,
+) -> Result<GoidCatalog, SchemaError> {
+    let mut catalog = GoidCatalog::new(global.len());
+    for (gid, class) in global.iter() {
+        group_class(dbs, gid, class, &mut catalog)?;
+    }
+    Ok(catalog)
+}
+
+fn group_class(
+    dbs: &[&ComponentDb],
+    gid: GlobalClassId,
+    class: &GlobalClass,
+    catalog: &mut GoidCatalog,
+) -> Result<(), SchemaError> {
+    let key_slots = entity_key_slots(dbs, class);
+    let mut groups: HashMap<IndexKey, Vec<LOid>> = HashMap::new();
+    let mut singletons: Vec<LOid> = Vec::new();
+
+    for constituent in class.constituents() {
+        let db = dbs
+            .iter()
+            .find(|d| d.id() == constituent.db())
+            .unwrap_or_else(|| panic!("database {} not supplied", constituent.db()));
+        // Translate the global key slots into this constituent's local
+        // slots; None if any key attribute is missing here.
+        let local_key: Option<Vec<usize>> = key_slots.as_ref().and_then(|slots| {
+            slots.iter().map(|&g| constituent.local_slot(g)).collect()
+        });
+        for object in db.extent(constituent.class()).iter() {
+            let key = local_key.as_ref().and_then(|slots| {
+                IndexKey::compound(slots.iter().map(|&s| object.value(s)))
+            });
+            match key {
+                Some(k) => groups.entry(k).or_default().push(object.loid()),
+                None => singletons.push(object.loid()),
+            }
+        }
+    }
+
+    // Deterministic registration order: sort groups by their first LOid.
+    let mut grouped: Vec<Vec<LOid>> = groups.into_values().collect();
+    for g in &mut grouped {
+        g.sort();
+    }
+    grouped.sort();
+    for group in grouped {
+        let mut seen_dbs = Vec::with_capacity(group.len());
+        for l in &group {
+            if seen_dbs.contains(&l.db()) {
+                return Err(SchemaError::DuplicateEntityInDb {
+                    db: l.db(),
+                    class: class.name().to_owned(),
+                });
+            }
+            seen_dbs.push(l.db());
+        }
+        catalog.register(gid, &group);
+    }
+    singletons.sort();
+    for l in singletons {
+        catalog.register(gid, &[l]);
+    }
+    Ok(())
+}
+
+/// The global attribute slots forming the class's entity key: the key of
+/// the first constituent that declares one, or `None` (all singletons).
+fn entity_key_slots(dbs: &[&ComponentDb], class: &GlobalClass) -> Option<Vec<usize>> {
+    for constituent in class.constituents() {
+        let db = dbs.iter().find(|d| d.id() == constituent.db())?;
+        let def = db.schema().class(constituent.class());
+        if def.key_attrs().is_empty() {
+            continue;
+        }
+        let mut slots = Vec::with_capacity(def.key_attrs().len());
+        for key_attr in def.key_attrs() {
+            let local = def.attr_index(key_attr)?;
+            // Find the global slot this local slot implements.
+            let g = (0..class.arity()).find(|&g| constituent.local_slot(g) == Some(local))?;
+            slots.push(g);
+        }
+        return Some(slots);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::Correspondences;
+    use crate::integrate::integrate;
+    use fedoq_object::{DbId, Value};
+    use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+
+    fn keyed_schema() -> ComponentSchema {
+        ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("name", AttrType::text())
+            .key(["s-no"])])
+        .unwrap()
+    }
+
+    #[test]
+    fn same_key_groups_across_dbs() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
+        let a = db0
+            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("John"))])
+            .unwrap();
+        let b = db1
+            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("John"))])
+            .unwrap();
+        let c = db1
+            .insert_named("Student", &[("s-no", Value::Int(2)), ("name", Value::text("Mary"))])
+            .unwrap();
+        let global = integrate(
+            &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let cat = identify_isomerism(&[&db0, &db1], &global).unwrap();
+        let class = global.class_id("Student").unwrap();
+        let t = cat.table(class);
+        assert_eq!(t.goid_of(a), t.goid_of(b));
+        assert_ne!(t.goid_of(a), t.goid_of(c));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn null_keys_become_singletons() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
+        let a = db0.insert_named("Student", &[("name", Value::text("X"))]).unwrap();
+        let b = db1.insert_named("Student", &[("name", Value::text("X"))]).unwrap();
+        let global = integrate(
+            &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let cat = identify_isomerism(&[&db0, &db1], &global).unwrap();
+        let class = global.class_id("Student").unwrap();
+        let t = cat.table(class);
+        assert_ne!(t.goid_of(a), t.goid_of(b));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn missing_key_attribute_means_singletons() {
+        // DB1's Student has no s-no at all; its objects can't join groups.
+        let unkeyed = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("name", AttrType::text())])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", unkeyed);
+        let a = db0
+            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("J"))])
+            .unwrap();
+        let b = db1.insert_named("Student", &[("name", Value::text("J"))]).unwrap();
+        let global = integrate(
+            &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let cat = identify_isomerism(&[&db0, &db1], &global).unwrap();
+        let class = global.class_id("Student").unwrap();
+        let t = cat.table(class);
+        assert_ne!(t.goid_of(a), t.goid_of(b));
+    }
+
+    #[test]
+    fn no_key_class_is_all_singletons() {
+        let schema = ComponentSchema::new(vec![ClassDef::new("Address")
+            .attr("city", AttrType::text())])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let a = db0.insert_named("Address", &[("city", Value::text("Taipei"))]).unwrap();
+        let b = db0.insert_named("Address", &[("city", Value::text("Taipei"))]).unwrap();
+        let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
+        let cat = identify_isomerism(&[&db0], &global).unwrap();
+        let class = global.class_id("Address").unwrap();
+        assert_ne!(cat.table(class).goid_of(a), cat.table(class).goid_of(b));
+    }
+
+    #[test]
+    fn duplicate_key_in_one_db_rejected() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        db0.insert_named("Student", &[("s-no", Value::Int(1))]).unwrap();
+        db0.insert_named("Student", &[("s-no", Value::Int(1))]).unwrap();
+        let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
+        let err = identify_isomerism(&[&db0], &global).unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateEntityInDb { .. }));
+    }
+
+    #[test]
+    fn deterministic_goid_assignment() {
+        let build = || {
+            let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+            let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
+            for i in 0..10 {
+                db0.insert_named("Student", &[("s-no", Value::Int(i))]).unwrap();
+                db1.insert_named("Student", &[("s-no", Value::Int(i + 5))]).unwrap();
+            }
+            let global = integrate(
+                &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+                &Correspondences::new(),
+            )
+            .unwrap();
+            let cat = identify_isomerism(&[&db0, &db1], &global).unwrap();
+            let class = global.class_id("Student").unwrap();
+            let mut pairs: Vec<(LOid, Option<fedoq_object::GOid>)> = db0
+                .extent_by_name("Student")
+                .unwrap()
+                .loids()
+                .map(|l| (l, cat.table(class).goid_of(l)))
+                .collect();
+            pairs.sort();
+            pairs
+        };
+        assert_eq!(build(), build());
+    }
+}

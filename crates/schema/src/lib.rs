@@ -1,0 +1,54 @@
+//! Schema-integration substrate for FedOQ.
+//!
+//! Builds the *global object schema* the users query against:
+//!
+//! * [`correspondence`] — assertions mapping component class/attribute
+//!   names to global names (semantically-equivalent classes are integrated
+//!   even when named differently);
+//! * [`integrate()`] — constructs each global class as the **set union of the
+//!   attributes** of its constituent classes, recording per constituent
+//!   which global attributes are *missing attributes* there;
+//! * [`isomerism`] — identifies isomeric objects (copies of one real-world
+//!   entity in different component databases) by key-attribute equality;
+//! * [`goid`] — the GOid mapping tables, replicated at every site, that
+//!   associate each local object with its global object identifier.
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_object::DbId;
+//! use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+//! use fedoq_schema::{Correspondences, integrate};
+//!
+//! let db0 = ComponentSchema::new(vec![
+//!     ClassDef::new("Student").attr("s-no", AttrType::int()).attr("age", AttrType::int()),
+//! ])?;
+//! let db1 = ComponentSchema::new(vec![
+//!     ClassDef::new("Student").attr("s-no", AttrType::int()).attr("sex", AttrType::text()),
+//! ])?;
+//! let global = integrate(
+//!     &[(DbId::new(0), &db0), (DbId::new(1), &db1)],
+//!     &Correspondences::new(),
+//! )?;
+//! let student = global.class_by_name("Student").unwrap();
+//! // The global class is the union of attributes: s-no, age, sex.
+//! assert_eq!(student.arity(), 3);
+//! // `sex` is a missing attribute of DB0's constituent class.
+//! assert!(student.constituent_for(DbId::new(0)).unwrap().is_missing(
+//!     student.attr_index("sex").unwrap()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod correspondence;
+pub mod error;
+pub mod global;
+pub mod goid;
+pub mod integrate;
+pub mod isomerism;
+
+pub use correspondence::Correspondences;
+pub use error::SchemaError;
+pub use global::{Constituent, GlobalAttr, GlobalAttrType, GlobalClass, GlobalSchema};
+pub use goid::{GoidCatalog, GoidTable};
+pub use integrate::integrate;
+pub use isomerism::identify_isomerism;

@@ -1,0 +1,197 @@
+//! The cost ledger: every charged interval of resource busy time.
+//!
+//! *Total execution time* is the sum of all ledger entries — the paper's
+//! "total execution time" aggregates all the work the federation performs
+//! regardless of overlap.
+
+use crate::time::SimTime;
+use fedoq_object::DbId;
+use std::fmt;
+
+/// The resource an interval of busy time belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A site's processor.
+    Cpu,
+    /// A site's disk.
+    Disk,
+    /// The shared communication network.
+    Net,
+}
+
+/// The processing phase a charge belongs to, following the paper's O/I/P
+/// decomposition plus raw data shipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Bulk retrieval and transfer of base data (CA's step C1).
+    Ship,
+    /// Phase O — looking up and checking assistant objects.
+    O,
+    /// Phase I — integrating / certifying results.
+    I,
+    /// Phase P — predicate evaluation.
+    P,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 4] = [Phase::Ship, Phase::O, Phase::I, Phase::P];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Ship => "ship",
+            Phase::O => "O",
+            Phase::I => "I",
+            Phase::P => "P",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One charged interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// The site doing the work; `None` for the shared network.
+    pub site: Option<DbId>,
+    /// Which resource was busy.
+    pub resource: Resource,
+    /// Which processing phase the work belongs to.
+    pub phase: Phase,
+    /// When the busy interval started.
+    pub start: SimTime,
+    /// How long the resource was busy.
+    pub duration: SimTime,
+}
+
+impl LedgerEntry {
+    /// When the busy interval ended.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// An append-only log of charges with cached aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+    total: SimTime,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Records one charge starting at `start`.
+    pub fn charge(
+        &mut self,
+        site: Option<DbId>,
+        resource: Resource,
+        phase: Phase,
+        start: SimTime,
+        duration: SimTime,
+    ) {
+        self.total += duration;
+        self.entries.push(LedgerEntry { site, resource, phase, start, duration });
+    }
+
+    /// The sum of all charges — the total execution time.
+    pub fn total(&self) -> SimTime {
+        self.total
+    }
+
+    /// Number of entries recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in charge order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total busy time of one resource.
+    pub fn total_for_resource(&self, resource: Resource) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.resource == resource)
+            .fold(SimTime::ZERO, |acc, e| acc + e.duration)
+    }
+
+    /// Total busy time within one phase.
+    pub fn total_for_phase(&self, phase: Phase) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.phase == phase)
+            .fold(SimTime::ZERO, |acc, e| acc + e.duration)
+    }
+
+    /// Total busy time of one site (its CPU and disk; not the network).
+    pub fn total_for_site(&self, site: DbId) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.site == Some(site))
+            .fold(SimTime::ZERO, |acc, e| acc + e.duration)
+    }
+
+    /// Total busy time of the global processing site (entries with no
+    /// owning database that are not network transfers).
+    pub fn total_for_global_site(&self) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.site.is_none() && e.resource != Resource::Net)
+            .fold(SimTime::ZERO, |acc, e| acc + e.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut l = Ledger::new();
+        assert!(l.is_empty());
+        l.charge(Some(DbId::new(0)), Resource::Cpu, Phase::P, us(0.0), us(10.0));
+        l.charge(Some(DbId::new(0)), Resource::Disk, Phase::Ship, us(10.0), us(30.0));
+        l.charge(None, Resource::Net, Phase::Ship, us(40.0), us(5.0));
+        assert_eq!(l.total().as_micros(), 45.0);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn per_resource_phase_site_breakdowns() {
+        let mut l = Ledger::new();
+        l.charge(Some(DbId::new(0)), Resource::Cpu, Phase::P, us(0.0), us(10.0));
+        l.charge(Some(DbId::new(1)), Resource::Cpu, Phase::O, us(0.0), us(20.0));
+        l.charge(None, Resource::Net, Phase::O, us(20.0), us(7.0));
+        assert_eq!(l.total_for_resource(Resource::Cpu).as_micros(), 30.0);
+        assert_eq!(l.total_for_resource(Resource::Net).as_micros(), 7.0);
+        assert_eq!(l.total_for_phase(Phase::O).as_micros(), 27.0);
+        assert_eq!(l.total_for_phase(Phase::I).as_micros(), 0.0);
+        assert_eq!(l.total_for_site(DbId::new(1)).as_micros(), 20.0);
+        assert_eq!(l.total_for_site(DbId::new(9)).as_micros(), 0.0);
+        // Global-site time excludes network entries.
+        l.charge(None, Resource::Cpu, Phase::I, us(30.0), us(4.0));
+        assert_eq!(l.total_for_global_site().as_micros(), 4.0);
+    }
+
+    #[test]
+    fn phase_display_and_all() {
+        assert_eq!(Phase::ALL.len(), 4);
+        assert_eq!(Phase::O.to_string(), "O");
+        assert_eq!(Phase::Ship.to_string(), "ship");
+    }
+}

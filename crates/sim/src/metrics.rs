@@ -1,0 +1,129 @@
+//! Aggregate metrics of one simulated query execution.
+
+use crate::ledger::Phase;
+use std::fmt;
+
+/// The measures the paper reports, plus supporting counters.
+///
+/// Fields are public: this is a passive result record consumed by the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryMetrics {
+    /// Total execution time (µs): sum of all resource busy time.
+    pub total_execution_us: f64,
+    /// Response time (µs): completion time at the global site.
+    pub response_us: f64,
+    /// Bytes moved over the network.
+    pub bytes_transferred: u64,
+    /// CPU comparisons performed.
+    pub comparisons: u64,
+    /// Bytes read from disks.
+    pub disk_bytes: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Busy time per phase (indexed like [`Phase::ALL`]).
+    pub phase_us: [f64; 4],
+}
+
+impl QueryMetrics {
+    /// Busy time charged to one phase, in µs.
+    pub fn phase_us(&self, phase: Phase) -> f64 {
+        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("phase in ALL");
+        self.phase_us[idx]
+    }
+
+    /// Element-wise sum, for accumulating over samples.
+    pub fn add(&self, other: &QueryMetrics) -> QueryMetrics {
+        let mut phase_us = self.phase_us;
+        for (a, b) in phase_us.iter_mut().zip(other.phase_us) {
+            *a += b;
+        }
+        QueryMetrics {
+            total_execution_us: self.total_execution_us + other.total_execution_us,
+            response_us: self.response_us + other.response_us,
+            bytes_transferred: self.bytes_transferred + other.bytes_transferred,
+            comparisons: self.comparisons + other.comparisons,
+            disk_bytes: self.disk_bytes + other.disk_bytes,
+            messages: self.messages + other.messages,
+            phase_us,
+        }
+    }
+
+    /// Divides the time-valued fields by `n` (integer counters are averaged
+    /// too, rounding down), for averaging over samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn scale_down(&self, n: u64) -> QueryMetrics {
+        assert!(n > 0, "cannot average over zero samples");
+        QueryMetrics {
+            total_execution_us: self.total_execution_us / n as f64,
+            response_us: self.response_us / n as f64,
+            bytes_transferred: self.bytes_transferred / n,
+            comparisons: self.comparisons / n,
+            disk_bytes: self.disk_bytes / n,
+            messages: self.messages / n,
+            phase_us: self.phase_us.map(|v| v / n as f64),
+        }
+    }
+}
+
+impl fmt::Display for QueryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} ms, response {:.1} ms, {} B net, {} B disk, {} cmp",
+            self.total_execution_us / 1e3,
+            self.response_us / 1e3,
+            self.bytes_transferred,
+            self.disk_bytes,
+            self.comparisons
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryMetrics {
+        QueryMetrics {
+            total_execution_us: 100.0,
+            response_us: 60.0,
+            bytes_transferred: 10,
+            comparisons: 5,
+            disk_bytes: 20,
+            messages: 2,
+            phase_us: [40.0, 30.0, 20.0, 10.0],
+        }
+    }
+
+    #[test]
+    fn add_then_scale_down_averages() {
+        let avg = sample().add(&sample()).scale_down(2);
+        assert_eq!(avg, sample());
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let m = sample();
+        assert_eq!(m.phase_us(Phase::Ship), 40.0);
+        assert_eq!(m.phase_us(Phase::O), 30.0);
+        assert_eq!(m.phase_us(Phase::I), 20.0);
+        assert_eq!(m.phase_us(Phase::P), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn scale_down_by_zero_panics() {
+        let _ = sample().scale_down(0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = sample().to_string();
+        assert!(s.contains("total 0.1 ms"));
+        assert!(s.contains("5 cmp"));
+    }
+}

@@ -1,0 +1,101 @@
+//! System parameters (the paper's Table 1).
+
+/// The cost parameters of the simulated federation.
+///
+/// Defaults reproduce Table 1 of the paper exactly; fields are public
+/// because this is passive configuration data that experiments sweep.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_sim::SystemParams;
+///
+/// let p = SystemParams::paper_default();
+/// assert_eq!(p.attr_bytes, 32);
+/// assert_eq!(p.disk_us_per_byte, 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// `S_a` — average size of an attribute value, in bytes.
+    pub attr_bytes: u64,
+    /// `S_GOid` — size of a global object identifier, in bytes.
+    pub goid_bytes: u64,
+    /// `S_LOid` — size of a local object identifier, in bytes.
+    pub loid_bytes: u64,
+    /// `S_s` — size of an object signature, in bytes.
+    pub signature_bytes: u64,
+    /// `T_d` — average disk access time, in µs per byte.
+    pub disk_us_per_byte: f64,
+    /// `T_net` — average network transfer time, in µs per byte.
+    pub net_us_per_byte: f64,
+    /// `T_c` — average CPU processing time, in µs per comparison.
+    pub cpu_us_per_cmp: f64,
+    /// `N_iso` — average number of isomeric objects per replicated
+    /// real-world entity.
+    pub avg_isomeric: f64,
+}
+
+impl SystemParams {
+    /// The exact Table-1 setting.
+    pub fn paper_default() -> SystemParams {
+        SystemParams {
+            attr_bytes: 32,
+            goid_bytes: 16,
+            loid_bytes: 16,
+            signature_bytes: 32,
+            disk_us_per_byte: 15.0,
+            net_us_per_byte: 8.0,
+            cpu_us_per_cmp: 0.5,
+            avg_isomeric: 2.0,
+        }
+    }
+
+    /// Bytes occupied by one object projected on `attrs` attributes plus
+    /// its LOid — the unit the strategies read from disk and ship.
+    pub fn object_bytes(&self, attrs: usize) -> u64 {
+        self.loid_bytes + attrs as u64 * self.attr_bytes
+    }
+
+    /// Bytes of one serialized predicate in a check-request message
+    /// (a path reference plus a literal, each of average attribute size).
+    pub fn predicate_bytes(&self) -> u64 {
+        2 * self.attr_bytes
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let p = SystemParams::paper_default();
+        assert_eq!(p.attr_bytes, 32);
+        assert_eq!(p.goid_bytes, 16);
+        assert_eq!(p.loid_bytes, 16);
+        assert_eq!(p.signature_bytes, 32);
+        assert_eq!(p.disk_us_per_byte, 15.0);
+        assert_eq!(p.net_us_per_byte, 8.0);
+        assert_eq!(p.cpu_us_per_cmp, 0.5);
+        assert_eq!(p.avg_isomeric, 2.0);
+        assert_eq!(p, SystemParams::default());
+    }
+
+    #[test]
+    fn object_bytes_includes_loid() {
+        let p = SystemParams::paper_default();
+        assert_eq!(p.object_bytes(0), 16);
+        assert_eq!(p.object_bytes(3), 16 + 96);
+    }
+
+    #[test]
+    fn predicate_bytes_is_two_attrs() {
+        assert_eq!(SystemParams::paper_default().predicate_bytes(), 64);
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of simulated time, in microseconds.
+///
+/// Simulated time is real-valued because Table 1's unit costs are
+/// fractional (0.5 µs per comparison).
+///
+/// # Example
+///
+/// ```
+/// use fedoq_sim::SimTime;
+///
+/// let t = SimTime::from_micros(1500.0) + SimTime::from_micros(500.0);
+/// assert_eq!(t.as_micros(), 2000.0);
+/// assert_eq!(t.to_string(), "2.000 ms");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on negative or non-finite input.
+    pub fn from_micros(us: f64) -> SimTime {
+        debug_assert!(us.is_finite() && us >= 0.0, "time must be finite and non-negative");
+        SimTime(us)
+    }
+
+    /// The time in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0
+    }
+
+    /// The time in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The time in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else {
+            write!(f, "{:.1} µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(100.0);
+        let b = SimTime::from_micros(50.0);
+        assert_eq!((a + b).as_micros(), 150.0);
+        assert_eq!((a - b).as_micros(), 50.0);
+        // Saturating subtraction.
+        assert_eq!((b - a).as_micros(), 0.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_micros(), 150.0);
+    }
+
+    #[test]
+    fn max_and_ordering() {
+        let a = SimTime::from_micros(10.0);
+        let b = SimTime::from_micros(20.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert!(a < b);
+        assert_eq!(SimTime::ZERO.as_micros(), 0.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let t = SimTime::from_micros(2_500_000.0);
+        assert_eq!(t.as_millis(), 2500.0);
+        assert_eq!(t.as_secs(), 2.5);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(12.25).to_string(), "12.2 µs");
+        assert_eq!(SimTime::from_micros(2000.0).to_string(), "2.000 ms");
+        assert_eq!(SimTime::from_micros(3_000_000.0).to_string(), "3.000 s");
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution timelines: a textual rendering of the paper's Figure 8.
+//!
+//! Figure 8 sketches the executing flows of CA, BL, and PL — which steps
+//! run where, and what overlaps what. The ledger records every busy
+//! interval with its start time, so a real execution can be rendered as a
+//! per-site Gantt chart: one lane per component site, one for the global
+//! site, one for the shared network link; each cell shows the phase that
+//! was busy (`s` = shipping, `O`, `I`, `P`).
+
+use crate::ledger::{Ledger, Phase};
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Width of the rendered time axis, in characters.
+const WIDTH: usize = 72;
+
+/// Renders the ledger as a per-site timeline.
+///
+/// `num_dbs` lanes for the component sites, then the global site (its CPU
+/// work; it has no lane entries for network), then the shared link. Time
+/// runs left to right over the horizon of the last interval; overlapping
+/// charges in one lane (which cannot happen for well-formed executions)
+/// show the later phase.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::DbId;
+/// use fedoq_sim::{timeline, Phase, Simulation, Site, SystemParams};
+///
+/// let mut sim = Simulation::new(SystemParams::paper_default(), 2);
+/// sim.disk(Site::Db(DbId::new(0)), 50, Phase::P);
+/// let m = sim.send(Site::Db(DbId::new(0)), Site::Global, 20, Phase::I);
+/// sim.recv(Site::Global, m);
+/// let chart = timeline::render(sim.ledger(), 2);
+/// assert!(chart.contains("DB0"));
+/// assert!(chart.contains("net"));
+/// ```
+pub fn render(ledger: &Ledger, num_dbs: usize) -> String {
+    let horizon = ledger
+        .entries()
+        .iter()
+        .map(|e| e.end())
+        .fold(SimTime::ZERO, SimTime::max);
+    let mut out = String::new();
+    if horizon.as_micros() <= 0.0 {
+        out.push_str("(empty timeline)\n");
+        return out;
+    }
+    let scale = WIDTH as f64 / horizon.as_micros();
+
+    let mut lanes: Vec<(String, Vec<char>)> = Vec::with_capacity(num_dbs + 2);
+    for db in 0..num_dbs {
+        lanes.push((format!("DB{db}"), vec![' '; WIDTH]));
+    }
+    lanes.push(("global".to_owned(), vec![' '; WIDTH]));
+    lanes.push(("net".to_owned(), vec![' '; WIDTH]));
+
+    for entry in ledger.entries() {
+        let lane = match entry.site {
+            Some(db) if db.index() < num_dbs => db.index(),
+            Some(_) => continue, // foreign site: not in this chart
+            None if entry.resource == crate::ledger::Resource::Net => num_dbs + 1,
+            None => num_dbs, // the global site
+        };
+        let from = ((entry.start.as_micros() * scale) as usize).min(WIDTH - 1);
+        let to = ((entry.end().as_micros() * scale).ceil() as usize).clamp(from + 1, WIDTH);
+        let glyph = phase_glyph(entry.phase);
+        for cell in &mut lanes[lane].1[from..to] {
+            *cell = glyph;
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "{:>8} 0 {:—<width$} {horizon}",
+        "",
+        "",
+        width = WIDTH.saturating_sub(2)
+    );
+    for (label, cells) in lanes {
+        let _ = writeln!(out, "{label:>8} |{}|", cells.into_iter().collect::<String>());
+    }
+    out.push_str("          s = shipping base data, O = assistant lookup/check, I = integrate/certify, P = predicates\n");
+    out
+}
+
+fn phase_glyph(phase: Phase) -> char {
+    match phase {
+        Phase::Ship => 's',
+        Phase::O => 'O',
+        Phase::I => 'I',
+        Phase::P => 'P',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SystemParams;
+    use crate::sim::{Simulation, Site};
+    use fedoq_object::DbId;
+
+    #[test]
+    fn empty_ledger_renders_placeholder() {
+        let sim = Simulation::new(SystemParams::paper_default(), 1);
+        assert!(render(sim.ledger(), 1).contains("empty timeline"));
+    }
+
+    #[test]
+    fn lanes_show_phases_in_order() {
+        let mut sim = Simulation::new(SystemParams::paper_default(), 2);
+        let a = Site::Db(DbId::new(0));
+        let b = Site::Db(DbId::new(1));
+        sim.disk(a, 100, Phase::P);
+        sim.cpu(b, 500, Phase::O);
+        let m = sim.send(a, Site::Global, 50, Phase::I);
+        sim.recv(Site::Global, m);
+        sim.cpu(Site::Global, 400, Phase::I);
+        let chart = render(sim.ledger(), 2);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Lane order: DB0, DB1, global, net.
+        assert!(lines[1].starts_with("     DB0"));
+        assert!(lines[1].contains('P'));
+        assert!(lines[2].starts_with("     DB1"));
+        assert!(lines[2].contains('O'));
+        assert!(lines[3].starts_with("  global"));
+        assert!(lines[3].contains('I'));
+        assert!(lines[4].starts_with("     net"));
+        assert!(lines[4].contains('I'));
+    }
+
+    #[test]
+    fn network_activity_lands_in_the_net_lane_only() {
+        let mut sim = Simulation::new(SystemParams::paper_default(), 1);
+        let m = sim.send(Site::Db(DbId::new(0)), Site::Global, 100, Phase::Ship);
+        sim.recv(Site::Global, m);
+        let chart = render(sim.ledger(), 1);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(!lines[1].contains('s'), "DB0 lane must be idle: {}", lines[1]);
+        assert!(lines[3].contains('s'), "net lane must show the transfer");
+    }
+
+    #[test]
+    fn later_work_renders_further_right() {
+        let mut sim = Simulation::new(SystemParams::paper_default(), 1);
+        let a = Site::Db(DbId::new(0));
+        sim.cpu(a, 2000, Phase::P); // 1000 µs
+        sim.cpu(a, 2000, Phase::O); // next 1000 µs
+        let chart = render(sim.ledger(), 1);
+        let lane = chart.lines().nth(1).unwrap();
+        let first_p = lane.find('P').unwrap();
+        let first_o = lane.find('O').unwrap();
+        assert!(first_p < first_o);
+    }
+}

@@ -1,0 +1,391 @@
+//! The component database: one autonomous site's schema plus extents.
+
+use crate::error::StoreError;
+use crate::extent::Extent;
+use crate::schema::{AttrType, ComponentSchema, PrimitiveType};
+use fedoq_object::{ClassId, DbId, LOid, Object, Value, ValueKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One component database of the federation: a named site with its own
+/// schema, extents, and LOid allocation.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, Value};
+/// use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+///
+/// let schema = ComponentSchema::new(vec![
+///     ClassDef::new("Department").attr("name", AttrType::text()),
+///     ClassDef::new("Teacher")
+///         .attr("name", AttrType::text())
+///         .attr("department", AttrType::complex("Department")),
+/// ])?;
+/// let mut db = ComponentDb::new(DbId::new(1), "DB1", schema);
+/// let cs = db.insert_named("Department", &[("name", Value::text("CS"))])?;
+/// let t1 = db.insert_named("Teacher", &[("name", Value::text("Jeffery")),
+///                                       ("department", Value::Ref(cs))])?;
+/// assert_eq!(db.object(t1).unwrap().value(1), &Value::Ref(cs));
+/// # Ok::<(), fedoq_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComponentDb {
+    id: DbId,
+    name: String,
+    schema: ComponentSchema,
+    extents: Vec<Extent>,
+    loid_class: HashMap<LOid, ClassId>,
+    next_serial: u64,
+}
+
+impl ComponentDb {
+    /// Creates an empty component database with the given site id and name.
+    pub fn new(id: DbId, name: impl Into<String>, schema: ComponentSchema) -> ComponentDb {
+        let extents = (0..schema.len())
+            .map(|i| Extent::new(ClassId::new(i as u32)))
+            .collect();
+        ComponentDb {
+            id,
+            name: name.into(),
+            schema,
+            extents,
+            loid_class: HashMap::new(),
+            next_serial: 0,
+        }
+    }
+
+    /// The site id.
+    pub fn id(&self) -> DbId {
+        self.id
+    }
+
+    /// The human-readable site name (e.g. `"DB1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component schema.
+    pub fn schema(&self) -> &ComponentSchema {
+        &self.schema
+    }
+
+    /// Inserts an object with values in class attribute order, allocating a
+    /// fresh LOid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ArityMismatch`] if the value count differs from
+    /// the class arity, [`StoreError::TypeMismatch`] if a non-null value has
+    /// the wrong kind for its attribute, or [`StoreError::UnknownClass`] via
+    /// the named variants.
+    pub fn insert(&mut self, class: ClassId, values: Vec<Value>) -> Result<LOid, StoreError> {
+        let def = self.schema.class(class);
+        if values.len() != def.arity() {
+            return Err(StoreError::ArityMismatch {
+                class: def.name().to_owned(),
+                expected: def.arity(),
+                got: values.len(),
+            });
+        }
+        for (attr, value) in def.attrs().iter().zip(&values) {
+            if !value_matches(attr.ty(), value) {
+                return Err(StoreError::TypeMismatch {
+                    class: def.name().to_owned(),
+                    attr: attr.name().to_owned(),
+                });
+            }
+        }
+        let loid = LOid::new(self.id, self.next_serial);
+        self.next_serial += 1;
+        self.extents[class.index()].insert(Object::new(loid, class, values));
+        self.loid_class.insert(loid, class);
+        Ok(loid)
+    }
+
+    /// Inserts an object by class name with `(attribute, value)` pairs;
+    /// attributes not mentioned are set to null.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownClass`] for an unknown class name,
+    /// [`StoreError::MissingAttribute`] for an unknown attribute name, and
+    /// the same errors as [`ComponentDb::insert`] otherwise.
+    pub fn insert_named(
+        &mut self,
+        class_name: &str,
+        pairs: &[(&str, Value)],
+    ) -> Result<LOid, StoreError> {
+        let class = self
+            .schema
+            .class_id(class_name)
+            .ok_or_else(|| StoreError::UnknownClass(class_name.to_owned()))?;
+        let def = self.schema.class(class);
+        let mut values = vec![Value::Null; def.arity()];
+        for (attr, value) in pairs {
+            let idx = def.attr_index(attr).ok_or_else(|| StoreError::MissingAttribute {
+                class: class_name.to_owned(),
+                attr: (*attr).to_owned(),
+            })?;
+            values[idx] = value.clone();
+        }
+        self.insert(class, values)
+    }
+
+    /// Fetches an object by LOid, from whatever class extent holds it.
+    pub fn object(&self, loid: LOid) -> Option<&Object> {
+        let class = *self.loid_class.get(&loid)?;
+        self.extents[class.index()].get(loid)
+    }
+
+    /// Mutable fetch by LOid.
+    pub fn object_mut(&mut self, loid: LOid) -> Option<&mut Object> {
+        let class = *self.loid_class.get(&loid)?;
+        self.extents[class.index()].get_mut(loid)
+    }
+
+    /// The class holding `loid`, if it exists here.
+    pub fn class_of(&self, loid: LOid) -> Option<ClassId> {
+        self.loid_class.get(&loid).copied()
+    }
+
+    /// The extent of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` does not belong to this database's schema.
+    pub fn extent(&self, class: ClassId) -> &Extent {
+        &self.extents[class.index()]
+    }
+
+    /// The extent of a class by name, if the class exists.
+    pub fn extent_by_name(&self, class_name: &str) -> Option<&Extent> {
+        self.schema.class_id(class_name).map(|c| self.extent(c))
+    }
+
+    /// Total number of stored objects across all extents.
+    pub fn object_count(&self) -> usize {
+        self.extents.iter().map(Extent::len).sum()
+    }
+
+    /// Restores an object under its original LOid (used when loading a
+    /// persisted database; see [`crate::persist`]). Advances the LOid
+    /// allocator past the restored serial.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ComponentDb::insert`], plus
+    /// [`StoreError::DanglingRef`] if `loid` belongs to another database.
+    pub(crate) fn restore(
+        &mut self,
+        class: ClassId,
+        loid: LOid,
+        values: Vec<Value>,
+    ) -> Result<(), StoreError> {
+        if loid.db() != self.id {
+            return Err(StoreError::DanglingRef(loid));
+        }
+        let def = self.schema.class(class);
+        if values.len() != def.arity() {
+            return Err(StoreError::ArityMismatch {
+                class: def.name().to_owned(),
+                expected: def.arity(),
+                got: values.len(),
+            });
+        }
+        for (attr, value) in def.attrs().iter().zip(&values) {
+            if !value_matches(attr.ty(), value) {
+                return Err(StoreError::TypeMismatch {
+                    class: def.name().to_owned(),
+                    attr: attr.name().to_owned(),
+                });
+            }
+        }
+        self.next_serial = self.next_serial.max(loid.serial() + 1);
+        self.extents[class.index()].insert(Object::new(loid, class, values));
+        self.loid_class.insert(loid, class);
+        Ok(())
+    }
+
+    /// Checks that every complex attribute references an existing object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::DanglingRef`] naming the first missing target.
+    pub fn validate_refs(&self) -> Result<(), StoreError> {
+        for extent in &self.extents {
+            for object in extent.iter() {
+                for value in object.values() {
+                    if let Some(target) = value.as_ref_loid() {
+                        if self.object(target).is_none() {
+                            return Err(StoreError::DanglingRef(target));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ComponentDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} classes, {} objects)", self.name, self.schema.len(), self.object_count())
+    }
+}
+
+/// Lenient kind check: nulls fit anywhere; otherwise the value kind must
+/// match the declared attribute type.
+fn value_matches(ty: &AttrType, value: &Value) -> bool {
+    if value.is_null() {
+        return true;
+    }
+    match ty {
+        AttrType::Primitive(p) => matches!(
+            (p, value.kind()),
+            (PrimitiveType::Int, ValueKind::Int)
+                | (PrimitiveType::Float, ValueKind::Float)
+                | (PrimitiveType::Float, ValueKind::Int)
+                | (PrimitiveType::Text, ValueKind::Text)
+                | (PrimitiveType::Bool, ValueKind::Bool)
+        ),
+        AttrType::Complex(_) => matches!(value.kind(), ValueKind::Ref | ValueKind::GRef),
+        AttrType::Multi(inner) => match value {
+            Value::List(items) => items.iter().all(|v| value_matches(inner, v)),
+            _ => value_matches(inner, value),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ClassDef;
+
+    fn mkdb() -> ComponentDb {
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+        ])
+        .unwrap();
+        ComponentDb::new(DbId::new(1), "DB1", schema)
+    }
+
+    #[test]
+    fn insert_allocates_sequential_loids() {
+        let mut db = mkdb();
+        let a = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let b = db.insert_named("Department", &[("name", Value::text("EE"))]).unwrap();
+        assert_eq!(a.serial() + 1, b.serial());
+        assert_eq!(a.db(), DbId::new(1));
+        assert_eq!(db.object_count(), 2);
+    }
+
+    #[test]
+    fn insert_named_defaults_to_null() {
+        let mut db = mkdb();
+        let t = db.insert_named("Teacher", &[("name", Value::text("Haley"))]).unwrap();
+        let obj = db.object(t).unwrap();
+        assert_eq!(obj.value(0), &Value::text("Haley"));
+        assert!(obj.value(1).is_null());
+    }
+
+    #[test]
+    fn unknown_class_and_attr_errors() {
+        let mut db = mkdb();
+        assert!(matches!(
+            db.insert_named("Course", &[]),
+            Err(StoreError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            db.insert_named("Teacher", &[("speciality", Value::text("db"))]),
+            Err(StoreError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut db = mkdb();
+        let dept = db.schema().class_id("Department").unwrap();
+        assert!(matches!(
+            db.insert(dept, vec![]),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert(dept, vec![Value::Int(3)]),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        // Nulls always pass the type check.
+        assert!(db.insert(dept, vec![Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn object_lookup_spans_classes() {
+        let mut db = mkdb();
+        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let t = db
+            .insert_named("Teacher", &[("name", Value::text("Jeffery")), ("department", Value::Ref(d))])
+            .unwrap();
+        assert_eq!(db.class_of(d), db.schema().class_id("Department"));
+        assert_eq!(db.class_of(t), db.schema().class_id("Teacher"));
+        assert_eq!(db.object(t).unwrap().value(1), &Value::Ref(d));
+        assert_eq!(db.extent_by_name("Teacher").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn validate_refs_detects_dangling() {
+        let mut db = mkdb();
+        let ghost = LOid::new(DbId::new(1), 999);
+        db.insert_named("Teacher", &[("name", Value::text("X")), ("department", Value::Ref(ghost))])
+            .unwrap();
+        assert_eq!(db.validate_refs(), Err(StoreError::DanglingRef(ghost)));
+    }
+
+    #[test]
+    fn validate_refs_passes_for_consistent_db() {
+        let mut db = mkdb();
+        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        db.insert_named("Teacher", &[("name", Value::text("J")), ("department", Value::Ref(d))])
+            .unwrap();
+        assert!(db.validate_refs().is_ok());
+    }
+
+    #[test]
+    fn object_mut_updates_in_place() {
+        let mut db = mkdb();
+        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        db.object_mut(d).unwrap().set(0, Value::text("Computer Science"));
+        assert_eq!(db.object(d).unwrap().value(0), &Value::text("Computer Science"));
+    }
+
+    #[test]
+    fn float_attr_accepts_int() {
+        let schema = ComponentSchema::new(vec![ClassDef::new("M").attr("x", AttrType::float())])
+            .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        assert!(db.insert_named("M", &[("x", Value::Int(3))]).is_ok());
+    }
+
+    #[test]
+    fn multi_valued_attr_accepts_lists() {
+        let schema = ComponentSchema::new(vec![ClassDef::new("M")
+            .attr("xs", AttrType::Multi(Box::new(AttrType::int())))])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        assert!(db
+            .insert_named("M", &[("xs", Value::List(vec![Value::Int(1), Value::Int(2)]))])
+            .is_ok());
+        assert!(matches!(
+            db.insert_named("M", &[("xs", Value::List(vec![Value::text("no")]))]),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let db = mkdb();
+        assert_eq!(db.to_string(), "DB1 (2 classes, 0 objects)");
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the store substrate.
+
+use fedoq_object::LOid;
+use std::fmt;
+
+/// Errors raised by schema construction, object insertion, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A class name appears twice in a component schema.
+    DuplicateClass(String),
+    /// An attribute name appears twice in a class definition.
+    DuplicateAttr { class: String, attr: String },
+    /// A complex attribute's domain class is not defined in the schema.
+    UnknownDomainClass { class: String, attr: String, domain: String },
+    /// A class name was not found in the schema.
+    UnknownClass(String),
+    /// An attribute name was not found in a class. This is exactly the
+    /// paper's *missing attribute* situation when raised during path
+    /// compilation.
+    MissingAttribute { class: String, attr: String },
+    /// A path expression stepped through a primitive attribute.
+    NotComplex { class: String, attr: String },
+    /// An inserted object's value vector length differs from the class arity.
+    ArityMismatch { class: String, expected: usize, got: usize },
+    /// A referenced object does not exist in its extent.
+    DanglingRef(LOid),
+    /// An object was inserted with a value of the wrong kind.
+    TypeMismatch { class: String, attr: String },
+    /// A key declared on a class names an attribute it does not have.
+    BadKey { class: String, attr: String },
+    /// An index was requested on a non-indexable (float/complex) attribute.
+    NotIndexable { class: String, attr: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateClass(c) => write!(f, "duplicate class {c:?} in schema"),
+            StoreError::DuplicateAttr { class, attr } => {
+                write!(f, "duplicate attribute {attr:?} in class {class:?}")
+            }
+            StoreError::UnknownDomainClass { class, attr, domain } => write!(
+                f,
+                "complex attribute {class}.{attr} references undefined class {domain:?}"
+            ),
+            StoreError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
+            StoreError::MissingAttribute { class, attr } => {
+                write!(f, "class {class:?} has no attribute {attr:?} (missing attribute)")
+            }
+            StoreError::NotComplex { class, attr } => {
+                write!(f, "attribute {class}.{attr} is primitive and cannot be dereferenced")
+            }
+            StoreError::ArityMismatch { class, expected, got } => write!(
+                f,
+                "class {class:?} expects {expected} attribute values, got {got}"
+            ),
+            StoreError::DanglingRef(l) => write!(f, "reference to nonexistent object {l}"),
+            StoreError::TypeMismatch { class, attr } => {
+                write!(f, "value for {class}.{attr} has the wrong kind")
+            }
+            StoreError::BadKey { class, attr } => {
+                write!(f, "key attribute {attr:?} is not defined in class {class:?}")
+            }
+            StoreError::NotIndexable { class, attr } => {
+                write!(f, "attribute {class}.{attr} cannot be indexed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::DbId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StoreError::MissingAttribute { class: "Student".into(), attr: "address".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("Student") && msg.contains("address"));
+        assert!(msg.contains("missing attribute"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(StoreError::UnknownClass("X".into()));
+    }
+
+    #[test]
+    fn dangling_ref_displays_loid() {
+        let e = StoreError::DanglingRef(LOid::new(DbId::new(1), 9));
+        assert!(e.to_string().contains("o9@DB1"));
+    }
+}

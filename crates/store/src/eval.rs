@@ -1,0 +1,489 @@
+//! Local evaluation: compiled path expressions and predicates.
+//!
+//! Compilation resolves a dotted [`Path`] against one component database's
+//! schema, failing with [`StoreError::MissingAttribute`] when a step names
+//! an attribute the local class does not define — this is precisely the
+//! *static* unsolvability test the query decomposer uses to strip
+//! predicates on missing attributes from local queries.
+//!
+//! Evaluation walks the compiled path through object references, yielding
+//! [`Value::Null`] as soon as a null blocks the walk (the *dynamic* source
+//! of missing data), and records every object fetched and every comparison
+//! made in an [`EvalCounter`] so the simulation can charge for the work.
+
+use crate::db::ComponentDb;
+use crate::error::StoreError;
+use fedoq_object::{ClassId, CmpOp, LOid, Object, Path, Truth, Value};
+use std::fmt;
+
+/// Tally of billable work done by local evaluation.
+///
+/// The simulation converts these into time: comparisons at `T_c` each, and
+/// fetched objects into disk bytes at `T_d` per byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounter {
+    /// Number of value comparisons performed.
+    pub comparisons: u64,
+    /// Number of objects dereferenced/fetched from extents.
+    pub objects_fetched: u64,
+}
+
+impl EvalCounter {
+    /// A zeroed counter.
+    pub fn new() -> EvalCounter {
+        EvalCounter::default()
+    }
+
+    /// Adds another counter's tallies into this one.
+    pub fn absorb(&mut self, other: EvalCounter) {
+        self.comparisons += other.comparisons;
+        self.objects_fetched += other.objects_fetched;
+    }
+}
+
+impl fmt::Display for EvalCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cmp, {} fetch", self.comparisons, self.objects_fetched)
+    }
+}
+
+/// One resolved step of a compiled path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PathStep {
+    /// Class the step starts from.
+    class: ClassId,
+    /// Attribute slot read in that class.
+    attr_idx: usize,
+    /// Domain class, for all but the final (primitive) step.
+    domain: Option<ClassId>,
+}
+
+/// A path expression resolved against one component database's schema.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, Path, Value};
+/// use fedoq_store::{AttrType, ClassDef, CompiledPath, ComponentDb, ComponentSchema, EvalCounter};
+///
+/// let schema = ComponentSchema::new(vec![
+///     ClassDef::new("Department").attr("name", AttrType::text()),
+///     ClassDef::new("Teacher")
+///         .attr("name", AttrType::text())
+///         .attr("department", AttrType::complex("Department")),
+/// ])?;
+/// let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+/// let cs = db.insert_named("Department", &[("name", Value::text("CS"))])?;
+/// let t = db.insert_named("Teacher", &[("name", Value::text("Jeffery")),
+///                                      ("department", Value::Ref(cs))])?;
+///
+/// let teacher = db.schema().class_id("Teacher").unwrap();
+/// let path: Path = "department.name".parse().unwrap();
+/// let compiled = CompiledPath::compile(&db, teacher, &path)?;
+/// let mut counter = EvalCounter::new();
+/// let walk = compiled.walk(&db, db.object(t).unwrap(), &mut counter);
+/// assert_eq!(walk.value, Value::text("CS"));
+/// assert_eq!(walk.visited, vec![cs]);
+/// # Ok::<(), fedoq_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPath {
+    path: Path,
+    root: ClassId,
+    steps: Vec<PathStep>,
+}
+
+/// The outcome of walking a compiled path from one object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathWalk {
+    /// The value reached, or [`Value::Null`] if a null blocked the walk
+    /// (or the terminal attribute itself was null).
+    pub value: Value,
+    /// LOids of the intermediate (branch-class) objects dereferenced, in
+    /// walk order. These are the objects that become *unsolved items* when
+    /// the value is missing.
+    pub visited: Vec<LOid>,
+}
+
+impl CompiledPath {
+    /// Resolves `path` starting from `root` in `db`'s schema.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::MissingAttribute`] — a step names an attribute the
+    ///   class does not define (the missing-attribute conflict);
+    /// * [`StoreError::NotComplex`] — a non-final step names a primitive
+    ///   attribute;
+    /// * [`StoreError::UnknownClass`] — a complex attribute's domain class
+    ///   is absent (cannot happen for validated schemas).
+    pub fn compile(db: &ComponentDb, root: ClassId, path: &Path) -> Result<CompiledPath, StoreError> {
+        let schema = db.schema();
+        let mut steps = Vec::with_capacity(path.len());
+        let mut class = root;
+        let n = path.len();
+        for (i, attr) in path.steps().enumerate() {
+            let def = schema.class(class);
+            let idx = def.attr_index(attr).ok_or_else(|| StoreError::MissingAttribute {
+                class: def.name().to_owned(),
+                attr: attr.to_owned(),
+            })?;
+            let attr_def = &def.attrs()[idx];
+            let domain = if i + 1 < n {
+                let domain_name =
+                    attr_def.ty().domain().ok_or_else(|| StoreError::NotComplex {
+                        class: def.name().to_owned(),
+                        attr: attr.to_owned(),
+                    })?;
+                let domain_id = schema
+                    .class_id(domain_name)
+                    .ok_or_else(|| StoreError::UnknownClass(domain_name.to_owned()))?;
+                Some(domain_id)
+            } else {
+                None
+            };
+            steps.push(PathStep { class, attr_idx: idx, domain });
+            if let Some(d) = domain {
+                class = d;
+            }
+        }
+        Ok(CompiledPath { path: path.clone(), root, steps })
+    }
+
+    /// The source path expression.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The range class this path was compiled against.
+    pub fn root(&self) -> ClassId {
+        self.root
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `false` — compiled paths are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The class each step starts from; `classes()[0]` is the root.
+    pub fn step_class(&self, i: usize) -> Option<ClassId> {
+        self.steps.get(i).map(|s| s.class)
+    }
+
+    /// Walks the path from `object`, fetching referenced objects from `db`.
+    ///
+    /// Each dereference increments `counter.objects_fetched`. A dangling
+    /// reference is treated as null (autonomous sites may be mutually
+    /// inconsistent; a missing target is missing data).
+    pub fn walk(&self, db: &ComponentDb, object: &Object, counter: &mut EvalCounter) -> PathWalk {
+        debug_assert_eq!(object.class(), self.root);
+        let mut visited = Vec::new();
+        let value = self.walk_steps(db, object, 0, &mut visited, counter);
+        PathWalk { value, visited }
+    }
+
+    fn walk_steps(
+        &self,
+        db: &ComponentDb,
+        object: &Object,
+        step_idx: usize,
+        visited: &mut Vec<LOid>,
+        counter: &mut EvalCounter,
+    ) -> Value {
+        let step = &self.steps[step_idx];
+        let value = object.value(step.attr_idx);
+        if step.domain.is_none() {
+            return value.clone();
+        }
+        match value {
+            Value::Null => Value::Null,
+            Value::Ref(loid) => match db.object(*loid) {
+                Some(next) => {
+                    counter.objects_fetched += 1;
+                    visited.push(*loid);
+                    self.walk_steps(db, next, step_idx + 1, visited, counter)
+                }
+                None => Value::Null,
+            },
+            Value::List(items) => {
+                // Multi-valued complex attribute: walk each element and
+                // collect the results (existential comparison semantics).
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::Ref(loid) => match db.object(*loid) {
+                            Some(next) => {
+                                counter.objects_fetched += 1;
+                                visited.push(*loid);
+                                out.push(self.walk_steps(db, next, step_idx + 1, visited, counter));
+                            }
+                            None => out.push(Value::Null),
+                        },
+                        _ => out.push(Value::Null),
+                    }
+                }
+                Value::List(out)
+            }
+            // A GRef or primitive where a local ref was expected cannot be
+            // followed inside this site: treat as missing.
+            _ => Value::Null,
+        }
+    }
+}
+
+/// A predicate `path op literal` compiled against one component database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPredicate {
+    path: CompiledPath,
+    op: CmpOp,
+    literal: Value,
+}
+
+impl CompiledPredicate {
+    /// Compiles `path op literal` against `root` in `db`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPath::compile`].
+    pub fn compile(
+        db: &ComponentDb,
+        root: ClassId,
+        path: &Path,
+        op: CmpOp,
+        literal: Value,
+    ) -> Result<CompiledPredicate, StoreError> {
+        Ok(CompiledPredicate { path: CompiledPath::compile(db, root, path)?, op, literal })
+    }
+
+    /// The compiled path.
+    pub fn compiled_path(&self) -> &CompiledPath {
+        &self.path
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The literal compared against.
+    pub fn literal(&self) -> &Value {
+        &self.literal
+    }
+
+    /// Evaluates the predicate on `object`, charging one comparison plus
+    /// the walk's fetches to `counter`. Returns the three-valued verdict
+    /// and the branch objects visited.
+    pub fn eval(&self, db: &ComponentDb, object: &Object, counter: &mut EvalCounter) -> (Truth, PathWalk) {
+        let walk = self.path.walk(db, object, counter);
+        counter.comparisons += 1;
+        let verdict = walk.value.compare(self.op, &self.literal);
+        (verdict, walk)
+    }
+}
+
+impl fmt::Display for CompiledPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.path.path(), self.op, self.literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef, ComponentSchema};
+    use fedoq_object::DbId;
+
+    fn school_db() -> (ComponentDb, LOid, LOid, LOid) {
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("name", AttrType::text())
+                .attr("age", AttrType::int())
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(1), "DB1", schema);
+        let cs = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let t1 = db
+            .insert_named("Teacher", &[("name", Value::text("Jeffery")), ("department", Value::Ref(cs))])
+            .unwrap();
+        let s1 = db
+            .insert_named(
+                "Student",
+                &[("name", Value::text("John")), ("age", Value::Int(31)), ("advisor", Value::Ref(t1))],
+            )
+            .unwrap();
+        (db, cs, t1, s1)
+    }
+
+    #[test]
+    fn compile_resolves_nested_path() {
+        let (db, ..) = school_db();
+        let student = db.schema().class_id("Student").unwrap();
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
+            .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.step_class(0), db.schema().class_id("Student"));
+        assert_eq!(p.step_class(1), db.schema().class_id("Teacher"));
+        assert_eq!(p.step_class(2), db.schema().class_id("Department"));
+    }
+
+    #[test]
+    fn compile_reports_missing_attribute() {
+        let (db, ..) = school_db();
+        let student = db.schema().class_id("Student").unwrap();
+        let err =
+            CompiledPath::compile(&db, student, &"address.city".parse().unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::MissingAttribute { class: "Student".into(), attr: "address".into() }
+        );
+        // Missing attribute deeper along the path is also found.
+        let err = CompiledPath::compile(&db, student, &"advisor.speciality".parse().unwrap())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::MissingAttribute { class: "Teacher".into(), attr: "speciality".into() }
+        );
+    }
+
+    #[test]
+    fn compile_rejects_stepping_through_primitive() {
+        let (db, ..) = school_db();
+        let student = db.schema().class_id("Student").unwrap();
+        let err = CompiledPath::compile(&db, student, &"age.value".parse().unwrap()).unwrap_err();
+        assert!(matches!(err, StoreError::NotComplex { .. }));
+    }
+
+    #[test]
+    fn walk_follows_references_and_counts_fetches() {
+        let (db, cs, t1, s1) = school_db();
+        let student = db.schema().class_id("Student").unwrap();
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
+            .unwrap();
+        let mut counter = EvalCounter::new();
+        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        assert_eq!(walk.value, Value::text("CS"));
+        assert_eq!(walk.visited, vec![t1, cs]);
+        assert_eq!(counter.objects_fetched, 2);
+    }
+
+    #[test]
+    fn walk_blocked_by_null_yields_null() {
+        let (mut db, _, t1, s1) = school_db();
+        db.object_mut(t1).unwrap().set(1, Value::Null); // department := null
+        let student = db.schema().class_id("Student").unwrap();
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
+            .unwrap();
+        let mut counter = EvalCounter::new();
+        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        assert!(walk.value.is_null());
+        assert_eq!(walk.visited, vec![t1]); // got as far as the teacher
+    }
+
+    #[test]
+    fn walk_treats_dangling_ref_as_null() {
+        let (mut db, _, t1, s1) = school_db();
+        let ghost = LOid::new(DbId::new(1), 999);
+        db.object_mut(t1).unwrap().set(1, Value::Ref(ghost));
+        let student = db.schema().class_id("Student").unwrap();
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
+            .unwrap();
+        let mut counter = EvalCounter::new();
+        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        assert!(walk.value.is_null());
+    }
+
+    #[test]
+    fn predicate_eval_verdicts() {
+        let (db, _, _, s1) = school_db();
+        let student = db.schema().class_id("Student").unwrap();
+        let mut counter = EvalCounter::new();
+
+        let dept_cs = CompiledPredicate::compile(
+            &db,
+            student,
+            &"advisor.department.name".parse().unwrap(),
+            CmpOp::Eq,
+            Value::text("CS"),
+        )
+        .unwrap();
+        let (verdict, _) = dept_cs.eval(&db, db.object(s1).unwrap(), &mut counter);
+        assert_eq!(verdict, Truth::True);
+
+        let age_lt = CompiledPredicate::compile(
+            &db,
+            student,
+            &"age".parse().unwrap(),
+            CmpOp::Lt,
+            Value::Int(30),
+        )
+        .unwrap();
+        let (verdict, _) = age_lt.eval(&db, db.object(s1).unwrap(), &mut counter);
+        assert_eq!(verdict, Truth::False);
+        assert_eq!(counter.comparisons, 2);
+    }
+
+    #[test]
+    fn predicate_on_null_is_unknown() {
+        let (mut db, _, _, s1) = school_db();
+        db.object_mut(s1).unwrap().set(1, Value::Null); // age := null
+        let student = db.schema().class_id("Student").unwrap();
+        let pred = CompiledPredicate::compile(
+            &db,
+            student,
+            &"age".parse().unwrap(),
+            CmpOp::Lt,
+            Value::Int(30),
+        )
+        .unwrap();
+        let mut counter = EvalCounter::new();
+        let (verdict, walk) = pred.eval(&db, db.object(s1).unwrap(), &mut counter);
+        assert_eq!(verdict, Truth::Unknown);
+        assert!(walk.visited.is_empty());
+    }
+
+    #[test]
+    fn multi_valued_complex_walk() {
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("Topic").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic")))),
+        ])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let a = db.insert_named("Topic", &[("name", Value::text("db"))]).unwrap();
+        let b = db.insert_named("Topic", &[("name", Value::text("net"))]).unwrap();
+        let t = db
+            .insert_named("Teacher", &[("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)]))])
+            .unwrap();
+        let teacher = db.schema().class_id("Teacher").unwrap();
+        let pred = CompiledPredicate::compile(
+            &db,
+            teacher,
+            &"topics.name".parse().unwrap(),
+            CmpOp::Eq,
+            Value::text("net"),
+        )
+        .unwrap();
+        let mut counter = EvalCounter::new();
+        let (verdict, walk) = pred.eval(&db, db.object(t).unwrap(), &mut counter);
+        assert_eq!(verdict, Truth::True);
+        assert_eq!(walk.visited, vec![a, b]);
+    }
+
+    #[test]
+    fn counter_absorb_accumulates() {
+        let mut a = EvalCounter { comparisons: 2, objects_fetched: 1 };
+        a.absorb(EvalCounter { comparisons: 3, objects_fetched: 4 });
+        assert_eq!(a, EvalCounter { comparisons: 5, objects_fetched: 5 });
+        assert_eq!(a.to_string(), "5 cmp, 5 fetch");
+    }
+}

@@ -1,0 +1,139 @@
+//! Class extents: the stored instances of one class.
+
+use fedoq_object::{ClassId, LOid, Object};
+use std::collections::HashMap;
+
+/// The extent of one class inside a component database.
+///
+/// Objects are kept in insertion order (scan order) with an LOid hash map
+/// for direct fetches — the access path used when a site receives a list
+/// of assistant-object LOids to check.
+#[derive(Debug, Clone, Default)]
+pub struct Extent {
+    class: ClassId,
+    objects: Vec<Object>,
+    by_loid: HashMap<LOid, usize>,
+}
+
+impl Extent {
+    /// Creates an empty extent for `class`.
+    pub fn new(class: ClassId) -> Extent {
+        Extent { class, objects: Vec::new(), by_loid: HashMap::new() }
+    }
+
+    /// The class this extent stores.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` iff the extent holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Appends an object. Returns the previous object with the same LOid,
+    /// if one existed (it is replaced).
+    pub fn insert(&mut self, object: Object) -> Option<Object> {
+        debug_assert_eq!(object.class(), self.class);
+        match self.by_loid.get(&object.loid()) {
+            Some(&slot) => Some(std::mem::replace(&mut self.objects[slot], object)),
+            None => {
+                self.by_loid.insert(object.loid(), self.objects.len());
+                self.objects.push(object);
+                None
+            }
+        }
+    }
+
+    /// Fetches an object by LOid.
+    pub fn get(&self, loid: LOid) -> Option<&Object> {
+        self.by_loid.get(&loid).map(|&i| &self.objects[i])
+    }
+
+    /// Mutable fetch by LOid.
+    pub fn get_mut(&mut self, loid: LOid) -> Option<&mut Object> {
+        let i = *self.by_loid.get(&loid)?;
+        Some(&mut self.objects[i])
+    }
+
+    /// `true` iff the extent contains `loid`.
+    pub fn contains(&self, loid: LOid) -> bool {
+        self.by_loid.contains_key(&loid)
+    }
+
+    /// Scans the extent in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.objects.iter()
+    }
+
+    /// All LOids in scan order.
+    pub fn loids(&self) -> impl Iterator<Item = LOid> + '_ {
+        self.objects.iter().map(Object::loid)
+    }
+}
+
+impl<'a> IntoIterator for &'a Extent {
+    type Item = &'a Object;
+    type IntoIter = std::slice::Iter<'a, Object>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.objects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::{DbId, Value};
+
+    fn obj(serial: u64, v: i64) -> Object {
+        Object::new(LOid::new(DbId::new(0), serial), ClassId::new(0), vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut e = Extent::new(ClassId::new(0));
+        assert!(e.is_empty());
+        e.insert(obj(1, 10));
+        e.insert(obj(2, 20));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(LOid::new(DbId::new(0), 2)).unwrap().value(0), &Value::Int(20));
+        assert!(e.get(LOid::new(DbId::new(0), 3)).is_none());
+        assert!(e.contains(LOid::new(DbId::new(0), 1)));
+    }
+
+    #[test]
+    fn insert_replaces_same_loid() {
+        let mut e = Extent::new(ClassId::new(0));
+        assert!(e.insert(obj(1, 10)).is_none());
+        let old = e.insert(obj(1, 99)).unwrap();
+        assert_eq!(old.value(0), &Value::Int(10));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0), &Value::Int(99));
+    }
+
+    #[test]
+    fn scan_preserves_insertion_order() {
+        let mut e = Extent::new(ClassId::new(0));
+        for s in [5, 3, 9] {
+            e.insert(obj(s, s as i64));
+        }
+        let serials: Vec<u64> = e.loids().map(LOid::serial).collect();
+        assert_eq!(serials, [5, 3, 9]);
+        let count = (&e).into_iter().count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn get_mut_allows_update() {
+        let mut e = Extent::new(ClassId::new(0));
+        e.insert(obj(1, 10));
+        e.get_mut(LOid::new(DbId::new(0), 1)).unwrap().set(0, Value::Int(11));
+        assert_eq!(e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0), &Value::Int(11));
+    }
+}

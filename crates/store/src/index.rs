@@ -1,0 +1,242 @@
+//! Hash indexes on indexable attributes.
+//!
+//! Used by the isomerism detector (key-equality grouping) and by local
+//! query evaluation when an equality predicate hits an indexed attribute.
+
+use crate::db::ComponentDb;
+use crate::error::StoreError;
+use fedoq_object::{ClassId, LOid, Value};
+use std::collections::HashMap;
+
+/// A hashable projection of a [`Value`] usable as an index key.
+///
+/// Floats and references are not indexable (floats lack `Eq`; reference
+/// identity is database-local); nulls are excluded from indexes — an index
+/// probe must never claim a null matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// Integer key.
+    Int(i64),
+    /// Text key.
+    Text(String),
+    /// Boolean key.
+    Bool(bool),
+    /// Compound key over several attributes.
+    Compound(Vec<IndexKey>),
+}
+
+impl IndexKey {
+    /// Converts a value to an index key; `None` for nulls and non-indexable
+    /// kinds.
+    pub fn from_value(value: &Value) -> Option<IndexKey> {
+        match value {
+            Value::Int(v) => Some(IndexKey::Int(*v)),
+            Value::Text(s) => Some(IndexKey::Text(s.clone())),
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            _ => None,
+        }
+    }
+
+    /// Builds a compound key from several values; `None` if any component
+    /// is null or non-indexable.
+    pub fn compound<'a, I>(values: I) -> Option<IndexKey>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let keys: Option<Vec<IndexKey>> = values.into_iter().map(IndexKey::from_value).collect();
+        keys.map(IndexKey::Compound)
+    }
+}
+
+/// An equality hash index over one or more attributes of a class.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_object::{DbId, Value};
+/// use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema, HashIndex};
+///
+/// let schema = ComponentSchema::new(vec![
+///     ClassDef::new("Student").attr("s-no", AttrType::int()).attr("name", AttrType::text()),
+/// ])?;
+/// let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+/// let john = db.insert_named("Student", &[("s-no", Value::Int(804301)),
+///                                         ("name", Value::text("John"))])?;
+/// let class = db.schema().class_id("Student").unwrap();
+/// let index = HashIndex::build(&db, class, &["s-no"])?;
+/// assert_eq!(index.lookup_values(&[Value::Int(804301)]), vec![john]);
+/// # Ok::<(), fedoq_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    class: ClassId,
+    attrs: Vec<usize>,
+    map: HashMap<IndexKey, Vec<LOid>>,
+}
+
+impl HashIndex {
+    /// Builds an index over `attrs` of `class` by scanning its extent.
+    /// Objects whose key contains a null are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::MissingAttribute`] for unknown attribute names
+    /// and [`StoreError::NotIndexable`] for float/complex attributes.
+    pub fn build(db: &ComponentDb, class: ClassId, attrs: &[&str]) -> Result<HashIndex, StoreError> {
+        let def = db.schema().class(class);
+        let mut slots = Vec::with_capacity(attrs.len());
+        for name in attrs {
+            let idx = def.attr_index(name).ok_or_else(|| StoreError::MissingAttribute {
+                class: def.name().to_owned(),
+                attr: (*name).to_owned(),
+            })?;
+            let ty = def.attrs()[idx].ty();
+            let indexable = matches!(
+                ty,
+                crate::schema::AttrType::Primitive(
+                    crate::schema::PrimitiveType::Int
+                        | crate::schema::PrimitiveType::Text
+                        | crate::schema::PrimitiveType::Bool
+                )
+            );
+            if !indexable {
+                return Err(StoreError::NotIndexable {
+                    class: def.name().to_owned(),
+                    attr: (*name).to_owned(),
+                });
+            }
+            slots.push(idx);
+        }
+        let mut map: HashMap<IndexKey, Vec<LOid>> = HashMap::new();
+        for object in db.extent(class).iter() {
+            if let Some(key) = IndexKey::compound(slots.iter().map(|&i| object.value(i))) {
+                map.entry(key).or_default().push(object.loid());
+            }
+        }
+        Ok(HashIndex { class, attrs: slots, map })
+    }
+
+    /// The indexed class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The indexed attribute slots.
+    pub fn attr_slots(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// LOids whose key equals `key`.
+    pub fn lookup(&self, key: &IndexKey) -> &[LOid] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// LOids whose indexed attributes equal `values` (same order as the
+    /// build call). Returns an empty vec if any value is null/unindexable.
+    pub fn lookup_values(&self, values: &[Value]) -> Vec<LOid> {
+        match IndexKey::compound(values.iter()) {
+            Some(key) => self.lookup(&key).to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Iterates over `(key, loids)` groups — the isomerism detector groups
+    /// same-key objects across databases this way.
+    pub fn groups(&self) -> impl Iterator<Item = (&IndexKey, &[LOid])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef, ComponentSchema};
+    use fedoq_object::DbId;
+
+    fn db_with_students() -> (ComponentDb, Vec<LOid>) {
+        let schema = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("name", AttrType::text())
+            .attr("gpa", AttrType::float())])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let loids = vec![
+            db.insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("a"))])
+                .unwrap(),
+            db.insert_named("Student", &[("s-no", Value::Int(2)), ("name", Value::text("b"))])
+                .unwrap(),
+            db.insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("c"))])
+                .unwrap(),
+            db.insert_named("Student", &[("name", Value::text("no-key"))]).unwrap(),
+        ];
+        (db, loids)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (db, loids) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        assert_eq!(index.lookup_values(&[Value::Int(1)]), vec![loids[0], loids[2]]);
+        assert_eq!(index.lookup_values(&[Value::Int(2)]), vec![loids[1]]);
+        assert!(index.lookup_values(&[Value::Int(9)]).is_empty());
+        assert_eq!(index.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let (db, _) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        assert!(index.lookup_values(&[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn compound_keys() {
+        let (db, loids) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no", "name"]).unwrap();
+        assert_eq!(index.lookup_values(&[Value::Int(1), Value::text("a")]), vec![loids[0]]);
+        assert_eq!(index.lookup_values(&[Value::Int(1), Value::text("c")]), vec![loids[2]]);
+        assert!(index.lookup_values(&[Value::Int(1), Value::text("z")]).is_empty());
+    }
+
+    #[test]
+    fn float_attribute_rejected() {
+        let (db, _) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let err = HashIndex::build(&db, class, &["gpa"]).unwrap_err();
+        assert!(matches!(err, StoreError::NotIndexable { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let (db, _) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let err = HashIndex::build(&db, class, &["nope"]).unwrap_err();
+        assert!(matches!(err, StoreError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn groups_cover_all_indexed_objects() {
+        let (db, _) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        let total: usize = index.groups().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3); // the null-key object is excluded
+    }
+
+    #[test]
+    fn index_key_from_value() {
+        assert_eq!(IndexKey::from_value(&Value::Int(5)), Some(IndexKey::Int(5)));
+        assert_eq!(IndexKey::from_value(&Value::text("x")), Some(IndexKey::Text("x".into())));
+        assert_eq!(IndexKey::from_value(&Value::Bool(true)), Some(IndexKey::Bool(true)));
+        assert_eq!(IndexKey::from_value(&Value::Null), None);
+        assert_eq!(IndexKey::from_value(&Value::Float(1.0)), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! Single-site object DBMS substrate for FedOQ.
+//!
+//! Each site of the federation runs one [`ComponentDb`]: a component schema
+//! ([`schema`]) of classes whose attributes are primitive or *complex*
+//! (references to other classes, forming the class composition hierarchy),
+//! class extents ([`extent`]), and a local evaluator ([`eval`]) that walks
+//! path expressions and scores predicates under three-valued logic while
+//! counting the comparisons and object fetches that the simulation charges
+//! for.
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_object::{DbId, Value};
+//! use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+//!
+//! let schema = ComponentSchema::new(vec![
+//!     ClassDef::new("Teacher")
+//!         .attr("name", AttrType::text())
+//!         .attr("speciality", AttrType::text()),
+//! ])?;
+//! let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+//! let kelly = db.insert_named("Teacher", &[("name", Value::text("Kelly")),
+//!                                          ("speciality", Value::text("database"))])?;
+//! assert_eq!(db.object(kelly).unwrap().value(0), &Value::text("Kelly"));
+//! # Ok::<(), fedoq_store::StoreError>(())
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod eval;
+pub mod extent;
+pub mod index;
+pub mod local_query;
+pub mod persist;
+pub mod schema;
+pub mod stats;
+
+pub use db::ComponentDb;
+pub use error::StoreError;
+pub use eval::{CompiledPath, CompiledPredicate, EvalCounter, PathWalk};
+pub use extent::Extent;
+pub use index::{HashIndex, IndexKey};
+pub use local_query::{LocalQuery, LocalQueryResult, LocalRow};
+pub use persist::{load_db, save_db, PersistError};
+pub use schema::{AttrDef, AttrType, ClassDef, ComponentSchema, PrimitiveType};
+pub use stats::ClassStats;

@@ -1,0 +1,294 @@
+//! Standalone single-site queries with maybe-result semantics.
+//!
+//! The federation decomposes global queries into per-site work itself,
+//! but the store substrate is also useful on its own: [`LocalQuery`]
+//! evaluates a conjunction of path predicates over one class extent and
+//! classifies each object as **certain** (all predicates true) or
+//! **maybe** (none false, some unknown because of nulls), mirroring the
+//! three-valued semantics the federation uses globally.
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_object::{CmpOp, DbId, Value};
+//! use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema, LocalQuery};
+//!
+//! let schema = ComponentSchema::new(vec![ClassDef::new("Student")
+//!     .attr("name", AttrType::text())
+//!     .attr("age", AttrType::int())])?;
+//! let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+//! db.insert_named("Student", &[("name", Value::text("John")), ("age", Value::Int(31))])?;
+//! db.insert_named("Student", &[("name", Value::text("Tony"))])?; // age null
+//!
+//! let query = LocalQuery::build(&db, "Student",
+//!     &[("age", CmpOp::Ge, Value::Int(30))], &["name"])?;
+//! let result = query.execute(&db);
+//! assert_eq!(result.certain().len(), 1); // John
+//! assert_eq!(result.maybe().len(), 1);   // Tony: age unknown
+//! # Ok::<(), fedoq_store::StoreError>(())
+//! ```
+
+use crate::db::ComponentDb;
+use crate::error::StoreError;
+use crate::eval::{CompiledPath, CompiledPredicate, EvalCounter};
+use fedoq_object::{ClassId, CmpOp, LOid, Truth, Value};
+
+/// A compiled conjunctive query over one class of one component database.
+#[derive(Debug, Clone)]
+pub struct LocalQuery {
+    class: ClassId,
+    predicates: Vec<CompiledPredicate>,
+    projection: Vec<CompiledPath>,
+}
+
+/// One selected object with its projected values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalRow {
+    loid: LOid,
+    values: Vec<Value>,
+}
+
+impl LocalRow {
+    /// The selected object.
+    pub fn loid(&self) -> LOid {
+        self.loid
+    }
+
+    /// The projected values, in projection order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+/// The classified result of one local query.
+#[derive(Debug, Clone, Default)]
+pub struct LocalQueryResult {
+    certain: Vec<LocalRow>,
+    maybe: Vec<LocalRow>,
+    counter: EvalCounter,
+}
+
+impl LocalQueryResult {
+    /// Objects satisfying every predicate.
+    pub fn certain(&self) -> &[LocalRow] {
+        &self.certain
+    }
+
+    /// Objects blocked by nulls (no predicate false, some unknown).
+    pub fn maybe(&self) -> &[LocalRow] {
+        &self.maybe
+    }
+
+    /// The evaluation work performed (for cost accounting).
+    pub fn counter(&self) -> EvalCounter {
+        self.counter
+    }
+
+    /// Total selected rows.
+    pub fn len(&self) -> usize {
+        self.certain.len() + self.maybe.len()
+    }
+
+    /// `true` iff nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.certain.is_empty() && self.maybe.is_empty()
+    }
+}
+
+impl LocalQuery {
+    /// Compiles a query over `class_name` with `(path, op, literal)`
+    /// predicates and a projection of path expressions.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::UnknownClass`] — unknown class name;
+    /// * [`StoreError::MissingAttribute`] / [`StoreError::NotComplex`] —
+    ///   a path does not resolve against the schema.
+    pub fn build(
+        db: &ComponentDb,
+        class_name: &str,
+        predicates: &[(&str, CmpOp, Value)],
+        projection: &[&str],
+    ) -> Result<LocalQuery, StoreError> {
+        let class = db
+            .schema()
+            .class_id(class_name)
+            .ok_or_else(|| StoreError::UnknownClass(class_name.to_owned()))?;
+        let predicates = predicates
+            .iter()
+            .map(|(path, op, literal)| {
+                let parsed = path
+                    .parse()
+                    .map_err(|_| StoreError::MissingAttribute {
+                        class: class_name.to_owned(),
+                        attr: (*path).to_owned(),
+                    })?;
+                CompiledPredicate::compile(db, class, &parsed, *op, literal.clone())
+            })
+            .collect::<Result<_, _>>()?;
+        let projection = projection
+            .iter()
+            .map(|path| {
+                let parsed = path
+                    .parse()
+                    .map_err(|_| StoreError::MissingAttribute {
+                        class: class_name.to_owned(),
+                        attr: (*path).to_owned(),
+                    })?;
+                CompiledPath::compile(db, class, &parsed)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(LocalQuery { class, predicates, projection })
+    }
+
+    /// The queried class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of conjuncts.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Scans the class extent, classifying each object.
+    pub fn execute(&self, db: &ComponentDb) -> LocalQueryResult {
+        let mut result = LocalQueryResult::default();
+        'objects: for object in db.extent(self.class).iter() {
+            let mut unknown = false;
+            for predicate in &self.predicates {
+                let (verdict, _) = predicate.eval(db, object, &mut result.counter);
+                match verdict {
+                    Truth::True => {}
+                    Truth::False => continue 'objects,
+                    Truth::Unknown => unknown = true,
+                }
+            }
+            let values = self
+                .projection
+                .iter()
+                .map(|p| p.walk(db, object, &mut result.counter).value)
+                .collect();
+            let row = LocalRow { loid: object.loid(), values };
+            if unknown {
+                result.maybe.push(row);
+            } else {
+                result.certain.push(row);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef, ComponentSchema};
+    use fedoq_object::DbId;
+
+    fn school() -> ComponentDb {
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("name", AttrType::text())
+                .attr("age", AttrType::int())
+                .attr("advisor", AttrType::complex("Teacher")),
+        ])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let cs = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let ee = db.insert_named("Department", &[("name", Value::text("EE"))]).unwrap();
+        let t1 = db
+            .insert_named("Teacher", &[("name", Value::text("Kelly")), ("department", Value::Ref(cs))])
+            .unwrap();
+        let t2 = db
+            .insert_named("Teacher", &[("name", Value::text("Abel")), ("department", Value::Ref(ee))])
+            .unwrap();
+        db.insert_named(
+            "Student",
+            &[("name", Value::text("John")), ("age", Value::Int(31)), ("advisor", Value::Ref(t1))],
+        )
+        .unwrap();
+        db.insert_named(
+            "Student",
+            &[("name", Value::text("Tony")), ("advisor", Value::Ref(t1))], // age null
+        )
+        .unwrap();
+        db.insert_named(
+            "Student",
+            &[("name", Value::text("Mary")), ("age", Value::Int(24)), ("advisor", Value::Ref(t2))],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn conjunction_with_nested_predicates() {
+        let db = school();
+        let q = LocalQuery::build(
+            &db,
+            "Student",
+            &[
+                ("age", CmpOp::Ge, Value::Int(20)),
+                ("advisor.department.name", CmpOp::Eq, Value::text("CS")),
+            ],
+            &["name", "advisor.name"],
+        )
+        .unwrap();
+        assert_eq!(q.num_predicates(), 2);
+        let result = q.execute(&db);
+        assert_eq!(result.certain().len(), 1);
+        assert_eq!(result.certain()[0].values(), &[Value::text("John"), Value::text("Kelly")]);
+        // Tony: age unknown, advisor CS true => maybe. Mary: EE => dropped.
+        assert_eq!(result.maybe().len(), 1);
+        assert_eq!(result.maybe()[0].values()[0], Value::text("Tony"));
+        assert_eq!(result.len(), 2);
+        assert!(!result.is_empty());
+        assert!(result.counter().comparisons > 0);
+    }
+
+    #[test]
+    fn empty_predicates_select_everything_certain() {
+        let db = school();
+        let q = LocalQuery::build(&db, "Student", &[], &["name"]).unwrap();
+        let result = q.execute(&db);
+        assert_eq!(result.certain().len(), 3);
+        assert!(result.maybe().is_empty());
+    }
+
+    #[test]
+    fn build_errors() {
+        let db = school();
+        assert!(matches!(
+            LocalQuery::build(&db, "Course", &[], &[]),
+            Err(StoreError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            LocalQuery::build(&db, "Student", &[("height", CmpOp::Eq, Value::Int(1))], &[]),
+            Err(StoreError::MissingAttribute { .. })
+        ));
+        assert!(matches!(
+            LocalQuery::build(&db, "Student", &[], &["age.years"]),
+            Err(StoreError::NotComplex { .. })
+        ));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let db = school();
+        let q = LocalQuery::build(
+            &db,
+            "Student",
+            &[("name", CmpOp::Eq, Value::text("John"))],
+            &["age"],
+        )
+        .unwrap();
+        let result = q.execute(&db);
+        let row = &result.certain()[0];
+        assert_eq!(row.values(), &[Value::Int(31)]);
+        assert_eq!(row.loid().db(), DbId::new(0));
+    }
+}

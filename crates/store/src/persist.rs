@@ -1,0 +1,520 @@
+//! Persistence: a versioned binary format for component databases.
+//!
+//! Autonomous sites need their data to survive restarts; [`save_db`]
+//! writes one [`ComponentDb`] — schema and extents, LOids preserved — and
+//! [`load_db`] restores it exactly. The format is self-contained
+//! little-endian binary with a magic/version header; loading validates
+//! everything through the normal schema/type checks, so a corrupted or
+//! hand-edited file cannot produce an inconsistent database.
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_object::{DbId, Value};
+//! use fedoq_store::{persist, AttrType, ClassDef, ComponentDb, ComponentSchema};
+//!
+//! let schema = ComponentSchema::new(vec![
+//!     ClassDef::new("Student").attr("s-no", AttrType::int()).key(["s-no"]),
+//! ])?;
+//! let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+//! db.insert_named("Student", &[("s-no", Value::Int(804301))])?;
+//!
+//! let mut buffer = Vec::new();
+//! persist::save_db(&db, &mut buffer)?;
+//! let restored = persist::load_db(&mut buffer.as_slice())?;
+//! assert_eq!(restored.object_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::db::ComponentDb;
+use crate::error::StoreError;
+use crate::schema::{AttrType, ClassDef, ComponentSchema, PrimitiveType};
+use fedoq_object::{ClassId, DbId, GOid, LOid, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// File magic: "FDQ" + format version 1.
+const MAGIC: [u8; 4] = *b"FDQ1";
+
+/// Errors raised while saving or loading a database.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the `FDQ1` magic.
+    BadMagic,
+    /// The input is structurally invalid (truncated, bad tag, bad UTF-8).
+    Corrupt(String),
+    /// The restored data failed schema validation.
+    Store(StoreError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistError::BadMagic => f.write_str("not a FedOQ database file (bad magic)"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt database file: {msg}"),
+            PersistError::Store(e) => write!(f, "restored data failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+/// Writes `db` to `out`. A `&mut` reference works as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`PersistError::Io`].
+pub fn save_db<W: Write>(db: &ComponentDb, out: &mut W) -> Result<(), PersistError> {
+    out.write_all(&MAGIC)?;
+    write_u16(out, db.id().raw())?;
+    write_str(out, db.name())?;
+    // Schema.
+    write_u32(out, db.schema().len() as u32)?;
+    for (_, class) in db.schema().iter() {
+        write_str(out, class.name())?;
+        write_u32(out, class.arity() as u32)?;
+        for attr in class.attrs() {
+            write_str(out, attr.name())?;
+            write_attr_type(out, attr.ty())?;
+        }
+        write_u32(out, class.key_attrs().len() as u32)?;
+        for key in class.key_attrs() {
+            write_str(out, key)?;
+        }
+    }
+    // Extents.
+    for (class_id, _) in db.schema().iter() {
+        let extent = db.extent(class_id);
+        write_u32(out, extent.len() as u32)?;
+        for object in extent.iter() {
+            write_u64(out, object.loid().serial())?;
+            for value in object.values() {
+                write_value(out, value)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a database written by [`save_db`]. A `&mut &[u8]` works as the
+/// reader.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`] for foreign input, [`PersistError::Corrupt`]
+/// for malformed bytes, [`PersistError::Store`] if the restored data fails
+/// validation.
+pub fn load_db<R: Read>(input: &mut R) -> Result<ComponentDb, PersistError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let db_id = DbId::new(read_u16(input)?);
+    let name = read_str(input)?;
+    let num_classes = read_u32(input)? as usize;
+    if num_classes > 1 << 16 {
+        return Err(PersistError::Corrupt("implausible class count".into()));
+    }
+    let mut class_defs = Vec::with_capacity(num_classes);
+    let mut arities = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let class_name = read_str(input)?;
+        let arity = read_u32(input)? as usize;
+        if arity > 1 << 16 {
+            return Err(PersistError::Corrupt("implausible arity".into()));
+        }
+        arities.push(arity);
+        let mut def = ClassDef::new(class_name);
+        for _ in 0..arity {
+            let attr_name = read_str(input)?;
+            let ty = read_attr_type(input)?;
+            def = def.attr(attr_name, ty);
+        }
+        let num_keys = read_u32(input)? as usize;
+        if num_keys > arity {
+            return Err(PersistError::Corrupt("more key attributes than attributes".into()));
+        }
+        let mut keys = Vec::with_capacity(num_keys);
+        for _ in 0..num_keys {
+            keys.push(read_str(input)?);
+        }
+        class_defs.push(def.key(keys));
+    }
+    let schema = ComponentSchema::new(class_defs)?;
+    let mut db = ComponentDb::new(db_id, name, schema);
+    for (class_idx, &arity) in arities.iter().enumerate() {
+        let class = ClassId::new(class_idx as u32);
+        let count = read_u32(input)? as usize;
+        for _ in 0..count {
+            let serial = read_u64(input)?;
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(read_value(input)?);
+            }
+            db.restore(class, LOid::new(db_id, serial), values)?;
+        }
+    }
+    Ok(db)
+}
+
+// --- primitives ---------------------------------------------------------
+
+fn write_u16<W: Write>(out: &mut W, v: u16) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn write_u32<W: Write>(out: &mut W, v: u32) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(out: &mut W, v: u64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn write_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
+    write_u32(out, s.len() as u32)?;
+    out.write_all(s.as_bytes())
+}
+
+fn read_u16<R: Read>(input: &mut R) -> Result<u16, PersistError> {
+    let mut buf = [0u8; 2];
+    input.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(input: &mut R) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    input.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(input: &mut R) -> Result<u64, PersistError> {
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_str<R: Read>(input: &mut R) -> Result<String, PersistError> {
+    let len = read_u32(input)? as usize;
+    if len > 1 << 24 {
+        return Err(PersistError::Corrupt("implausible string length".into()));
+    }
+    let mut buf = vec![0u8; len];
+    input.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| PersistError::Corrupt("invalid UTF-8".into()))
+}
+
+fn write_attr_type<W: Write>(out: &mut W, ty: &AttrType) -> io::Result<()> {
+    match ty {
+        AttrType::Primitive(PrimitiveType::Int) => out.write_all(&[0]),
+        AttrType::Primitive(PrimitiveType::Float) => out.write_all(&[1]),
+        AttrType::Primitive(PrimitiveType::Text) => out.write_all(&[2]),
+        AttrType::Primitive(PrimitiveType::Bool) => out.write_all(&[3]),
+        AttrType::Complex(domain) => {
+            out.write_all(&[4])?;
+            write_str(out, domain)
+        }
+        AttrType::Multi(inner) => {
+            out.write_all(&[5])?;
+            write_attr_type(out, inner)
+        }
+    }
+}
+
+fn read_attr_type<R: Read>(input: &mut R) -> Result<AttrType, PersistError> {
+    let mut tag = [0u8; 1];
+    input.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => AttrType::int(),
+        1 => AttrType::float(),
+        2 => AttrType::text(),
+        3 => AttrType::bool(),
+        4 => AttrType::Complex(read_str(input)?),
+        5 => AttrType::Multi(Box::new(read_attr_type(input)?)),
+        other => return Err(PersistError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+fn write_value<W: Write>(out: &mut W, value: &Value) -> io::Result<()> {
+    match value {
+        Value::Null => out.write_all(&[0]),
+        Value::Int(v) => {
+            out.write_all(&[1])?;
+            out.write_all(&v.to_le_bytes())
+        }
+        Value::Float(v) => {
+            out.write_all(&[2])?;
+            out.write_all(&v.to_bits().to_le_bytes())
+        }
+        Value::Text(s) => {
+            out.write_all(&[3])?;
+            write_str(out, s)
+        }
+        Value::Bool(v) => out.write_all(&[4, u8::from(*v)]),
+        Value::Ref(l) => {
+            out.write_all(&[5])?;
+            write_u16(out, l.db().raw())?;
+            write_u64(out, l.serial())
+        }
+        Value::GRef(g) => {
+            out.write_all(&[6])?;
+            write_u64(out, g.serial())
+        }
+        Value::List(items) => {
+            out.write_all(&[7])?;
+            write_u32(out, items.len() as u32)?;
+            for item in items {
+                write_value(out, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_value<R: Read>(input: &mut R) -> Result<Value, PersistError> {
+    let mut tag = [0u8; 1];
+    input.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => Value::Null,
+        1 => {
+            let mut buf = [0u8; 8];
+            input.read_exact(&mut buf)?;
+            Value::Int(i64::from_le_bytes(buf))
+        }
+        2 => {
+            let mut buf = [0u8; 8];
+            input.read_exact(&mut buf)?;
+            Value::Float(f64::from_bits(u64::from_le_bytes(buf)))
+        }
+        3 => Value::Text(read_str(input)?),
+        4 => {
+            let mut buf = [0u8; 1];
+            input.read_exact(&mut buf)?;
+            Value::Bool(buf[0] != 0)
+        }
+        5 => {
+            let db = DbId::new(read_u16(input)?);
+            Value::Ref(LOid::new(db, read_u64(input)?))
+        }
+        6 => Value::GRef(GOid::new(read_u64(input)?)),
+        7 => {
+            let len = read_u32(input)? as usize;
+            if len > 1 << 16 {
+                return Err(PersistError::Corrupt("implausible list length".into()));
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(read_value(input)?);
+            }
+            Value::List(items)
+        }
+        other => return Err(PersistError::Corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> ComponentDb {
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("Topic").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("salary", AttrType::float())
+                .attr("tenured", AttrType::bool())
+                .attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic"))))
+                .key(["name"]),
+        ])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(2), "Campus", schema);
+        let a = db.insert_named("Topic", &[("name", Value::text("db"))]).unwrap();
+        let b = db.insert_named("Topic", &[("name", Value::text("net"))]).unwrap();
+        db.insert_named(
+            "Teacher",
+            &[
+                ("name", Value::text("Kelly")),
+                ("salary", Value::Float(92.5)),
+                ("tenured", Value::Bool(true)),
+                ("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)])),
+            ],
+        )
+        .unwrap();
+        db.insert_named("Teacher", &[("name", Value::text("Haley"))]).unwrap(); // nulls
+        db
+    }
+
+    fn round_trip(db: &ComponentDb) -> ComponentDb {
+        let mut buffer = Vec::new();
+        save_db(db, &mut buffer).unwrap();
+        load_db(&mut buffer.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let restored = round_trip(&db);
+        assert_eq!(restored.id(), db.id());
+        assert_eq!(restored.name(), db.name());
+        assert_eq!(restored.schema(), db.schema());
+        assert_eq!(restored.object_count(), db.object_count());
+        for (class_id, _) in db.schema().iter() {
+            for object in db.extent(class_id).iter() {
+                assert_eq!(restored.object(object.loid()), Some(object));
+            }
+        }
+        restored.validate_refs().unwrap();
+    }
+
+    #[test]
+    fn restored_db_keeps_allocating_fresh_loids() {
+        let db = sample_db();
+        let max_serial = db
+            .extent_by_name("Teacher")
+            .unwrap()
+            .loids()
+            .chain(db.extent_by_name("Topic").unwrap().loids())
+            .map(LOid::serial)
+            .max()
+            .unwrap();
+        let mut restored = round_trip(&db);
+        let fresh = restored.insert_named("Topic", &[("name", Value::text("ai"))]).unwrap();
+        assert!(fresh.serial() > max_serial);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_db(&mut &b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let db = sample_db();
+        let mut buffer = Vec::new();
+        save_db(&db, &mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        let err = load_db(&mut buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_) | PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn corrupt_value_tag_is_detected() {
+        let db = sample_db();
+        let mut buffer = Vec::new();
+        save_db(&db, &mut buffer).unwrap();
+        // Smash the final byte region where values live.
+        let len = buffer.len();
+        buffer[len - 1] = 0xEE;
+        let result = load_db(&mut buffer.as_slice());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let schema = ComponentSchema::new(vec![ClassDef::new("Empty")
+            .attr("x", AttrType::int())])
+        .unwrap();
+        let db = ComponentDb::new(DbId::new(0), "Nil", schema);
+        let restored = round_trip(&db);
+        assert_eq!(restored.object_count(), 0);
+        assert_eq!(restored.schema().len(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_value() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                Just(Value::Null),
+                any::<i64>().prop_map(Value::Int),
+                any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+                "[ -~]{0,16}".prop_map(Value::Text),
+                any::<bool>().prop_map(Value::Bool),
+            ]
+        }
+
+        proptest! {
+            /// Any database of scalar rows survives a save/load round trip
+            /// bit-for-bit.
+            #[test]
+            fn random_scalar_databases_round_trip(
+                rows in proptest::collection::vec(
+                    (arb_value(), arb_value()), 0..20),
+                db_index in 0u16..8,
+            ) {
+                let schema = ComponentSchema::new(vec![ClassDef::new("R")
+                    .attr("a", AttrType::int())
+                    .attr("b", AttrType::text())])
+                .unwrap();
+                let mut db = ComponentDb::new(DbId::new(db_index), "R", schema);
+                for (a, b) in rows {
+                    // Coerce to the declared kinds; nulls always fit.
+                    let a = match a {
+                        Value::Int(_) | Value::Null => a,
+                        other => Value::Int(other.to_string().len() as i64),
+                    };
+                    let b = match b {
+                        Value::Text(_) | Value::Null => b,
+                        other => Value::Text(other.to_string()),
+                    };
+                    db.insert_named("R", &[("a", a), ("b", b)]).unwrap();
+                }
+                let restored = round_trip(&db);
+                prop_assert_eq!(restored.object_count(), db.object_count());
+                for object in db.extent_by_name("R").unwrap().iter() {
+                    prop_assert_eq!(restored.object(object.loid()), Some(object));
+                }
+            }
+
+            /// Flipping any single byte of the payload never panics the
+            /// loader: it either errors or yields some database.
+            #[test]
+            fn corrupted_bytes_never_panic(flip in 4usize..200, bit in 0u8..8) {
+                let db = sample_db();
+                let mut buffer = Vec::new();
+                save_db(&db, &mut buffer).unwrap();
+                if flip < buffer.len() {
+                    buffer[flip] ^= 1 << bit;
+                }
+                let _ = load_db(&mut buffer.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PersistError::Corrupt("oops".into());
+        assert!(e.to_string().contains("oops"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = PersistError::from(io::Error::other("disk"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,412 @@
+//! Component schemas: classes, attributes, and the composition hierarchy.
+//!
+//! A component schema describes the classes of *one* component database.
+//! Attributes are either **primitive** (int/float/text/bool) or **complex**
+//! — a reference to a domain class, forming the class composition hierarchy
+//! the paper's nested predicates walk. Classes may declare a *key*: a set
+//! of attributes whose values identify the real-world entity, used by the
+//! isomerism detector in `fedoq-schema`.
+
+use crate::error::StoreError;
+use fedoq_object::ClassId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The primitive attribute types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimitiveType::Int => "int",
+            PrimitiveType::Float => "float",
+            PrimitiveType::Text => "text",
+            PrimitiveType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type of an attribute: primitive, complex (a reference to another
+/// class), or multi-valued (the paper's future-work extension).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// A primitive attribute.
+    Primitive(PrimitiveType),
+    /// A complex attribute: a reference into the named domain class.
+    Complex(String),
+    /// A multi-valued attribute of the given element type.
+    Multi(Box<AttrType>),
+}
+
+impl AttrType {
+    /// Shorthand for `Primitive(Int)`.
+    pub fn int() -> AttrType {
+        AttrType::Primitive(PrimitiveType::Int)
+    }
+
+    /// Shorthand for `Primitive(Float)`.
+    pub fn float() -> AttrType {
+        AttrType::Primitive(PrimitiveType::Float)
+    }
+
+    /// Shorthand for `Primitive(Text)`.
+    pub fn text() -> AttrType {
+        AttrType::Primitive(PrimitiveType::Text)
+    }
+
+    /// Shorthand for `Primitive(Bool)`.
+    pub fn bool() -> AttrType {
+        AttrType::Primitive(PrimitiveType::Bool)
+    }
+
+    /// Shorthand for a complex attribute with the given domain class.
+    pub fn complex(domain: impl Into<String>) -> AttrType {
+        AttrType::Complex(domain.into())
+    }
+
+    /// `true` iff this is a complex attribute (directly or as a
+    /// multi-valued attribute of complex elements).
+    pub fn is_complex(&self) -> bool {
+        match self {
+            AttrType::Complex(_) => true,
+            AttrType::Multi(inner) => inner.is_complex(),
+            AttrType::Primitive(_) => false,
+        }
+    }
+
+    /// The domain class name, if complex.
+    pub fn domain(&self) -> Option<&str> {
+        match self {
+            AttrType::Complex(d) => Some(d),
+            AttrType::Multi(inner) => inner.domain(),
+            AttrType::Primitive(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Primitive(p) => write!(f, "{p}"),
+            AttrType::Complex(d) => write!(f, "ref<{d}>"),
+            AttrType::Multi(inner) => write!(f, "set<{inner}>"),
+        }
+    }
+}
+
+/// One attribute definition: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    name: String,
+    ty: AttrType,
+}
+
+impl AttrDef {
+    /// Creates an attribute definition.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> AttrDef {
+        AttrDef { name: name.into(), ty }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute type.
+    pub fn ty(&self) -> &AttrType {
+        &self.ty
+    }
+}
+
+/// A class definition: name, ordered attributes, and an optional key.
+///
+/// Built with a chainable constructor:
+///
+/// ```
+/// use fedoq_store::{AttrType, ClassDef};
+///
+/// let student = ClassDef::new("Student")
+///     .attr("s-no", AttrType::int())
+///     .attr("name", AttrType::text())
+///     .attr("advisor", AttrType::complex("Teacher"))
+///     .key(["s-no"]);
+/// assert_eq!(student.arity(), 3);
+/// assert_eq!(student.attr_index("advisor"), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    name: String,
+    attrs: Vec<AttrDef>,
+    key: Vec<String>,
+}
+
+impl ClassDef {
+    /// Creates an empty class definition with the given name.
+    pub fn new(name: impl Into<String>) -> ClassDef {
+        ClassDef { name: name.into(), attrs: Vec::new(), key: Vec::new() }
+    }
+
+    /// Appends an attribute (chainable).
+    pub fn attr(mut self, name: impl Into<String>, ty: AttrType) -> ClassDef {
+        self.attrs.push(AttrDef::new(name, ty));
+        self
+    }
+
+    /// Declares the key attributes identifying the real-world entity
+    /// (chainable). Used by isomerism identification.
+    pub fn key<I, S>(mut self, attrs: I) -> ClassDef
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.key = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute definitions in slot order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// The declared key attribute names (may be empty).
+    pub fn key_attrs(&self) -> &[String] {
+        &self.key
+    }
+
+    /// Slot index of the named attribute; `None` means the attribute is
+    /// missing from this class (the paper's *missing attribute*).
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The definition of the named attribute, if present.
+    pub fn attr_def(&self, name: &str) -> Option<&AttrDef> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// `true` iff the class defines the named attribute.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attr_index(name).is_some()
+    }
+}
+
+/// The schema of one component database: an ordered set of classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSchema {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ComponentSchema {
+    /// Validates and builds a schema from class definitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if class or attribute names are duplicated, a
+    /// complex attribute references an undefined class, or a key names an
+    /// attribute the class does not define.
+    pub fn new(classes: Vec<ClassDef>) -> Result<ComponentSchema, StoreError> {
+        let mut by_name = HashMap::with_capacity(classes.len());
+        for (i, c) in classes.iter().enumerate() {
+            if by_name.insert(c.name.clone(), ClassId::new(i as u32)).is_some() {
+                return Err(StoreError::DuplicateClass(c.name.clone()));
+            }
+        }
+        for c in &classes {
+            let mut seen = HashMap::new();
+            for a in &c.attrs {
+                if seen.insert(a.name.as_str(), ()).is_some() {
+                    return Err(StoreError::DuplicateAttr {
+                        class: c.name.clone(),
+                        attr: a.name.clone(),
+                    });
+                }
+                if let Some(domain) = a.ty.domain() {
+                    if !by_name.contains_key(domain) {
+                        return Err(StoreError::UnknownDomainClass {
+                            class: c.name.clone(),
+                            attr: a.name.clone(),
+                            domain: domain.to_owned(),
+                        });
+                    }
+                }
+            }
+            for k in &c.key {
+                if !c.has_attr(k) {
+                    return Err(StoreError::BadKey { class: c.name.clone(), attr: k.clone() });
+                }
+            }
+        }
+        Ok(ComponentSchema { classes, by_name })
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` iff the schema defines no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The class id for a name, if defined.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition of a class by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this schema.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.index()]
+    }
+
+    /// The definition of a class by name, if defined.
+    pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
+        self.class_id(name).map(|id| self.class(id))
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId::new(i as u32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn school() -> ComponentSchema {
+        ComponentSchema::new(vec![
+            ClassDef::new("Department").attr("name", AttrType::text()),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .attr("department", AttrType::complex("Department")),
+            ClassDef::new("Student")
+                .attr("s-no", AttrType::int())
+                .attr("name", AttrType::text())
+                .attr("advisor", AttrType::complex("Teacher"))
+                .key(["s-no"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = school();
+        let student = s.class_id("Student").unwrap();
+        assert_eq!(s.class(student).name(), "Student");
+        assert_eq!(s.class_by_name("Teacher").unwrap().arity(), 2);
+        assert!(s.class_id("Course").is_none());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn attr_index_reports_missing_attributes() {
+        let s = school();
+        let student = s.class_by_name("Student").unwrap();
+        assert_eq!(student.attr_index("advisor"), Some(2));
+        assert_eq!(student.attr_index("address"), None);
+        assert!(!student.has_attr("address"));
+    }
+
+    #[test]
+    fn complex_attribute_introspection() {
+        let s = school();
+        let advisor = s.class_by_name("Student").unwrap().attr_def("advisor").unwrap();
+        assert!(advisor.ty().is_complex());
+        assert_eq!(advisor.ty().domain(), Some("Teacher"));
+        let name = s.class_by_name("Student").unwrap().attr_def("name").unwrap();
+        assert!(!name.ty().is_complex());
+        assert_eq!(name.ty().domain(), None);
+    }
+
+    #[test]
+    fn multi_valued_attribute_type() {
+        let t = AttrType::Multi(Box::new(AttrType::complex("Teacher")));
+        assert!(t.is_complex());
+        assert_eq!(t.domain(), Some("Teacher"));
+        assert_eq!(t.to_string(), "set<ref<Teacher>>");
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let err = ComponentSchema::new(vec![ClassDef::new("A"), ClassDef::new("A")]).unwrap_err();
+        assert_eq!(err, StoreError::DuplicateClass("A".into()));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = ComponentSchema::new(vec![ClassDef::new("A")
+            .attr("x", AttrType::int())
+            .attr("x", AttrType::text())])
+        .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateAttr { .. }));
+    }
+
+    #[test]
+    fn unknown_domain_rejected() {
+        let err =
+            ComponentSchema::new(vec![ClassDef::new("A").attr("r", AttrType::complex("Nope"))])
+                .unwrap_err();
+        assert!(matches!(err, StoreError::UnknownDomainClass { .. }));
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let err = ComponentSchema::new(vec![ClassDef::new("A")
+            .attr("x", AttrType::int())
+            .key(["y"])])
+        .unwrap_err();
+        assert!(matches!(err, StoreError::BadKey { .. }));
+    }
+
+    #[test]
+    fn key_attrs_preserved() {
+        let s = school();
+        assert_eq!(s.class_by_name("Student").unwrap().key_attrs(), ["s-no"]);
+        assert!(s.class_by_name("Teacher").unwrap().key_attrs().is_empty());
+    }
+
+    #[test]
+    fn iter_yields_all_classes_in_order() {
+        let s = school();
+        let names: Vec<&str> = s.iter().map(|(_, c)| c.name()).collect();
+        assert_eq!(names, ["Department", "Teacher", "Student"]);
+    }
+
+    #[test]
+    fn display_of_types() {
+        assert_eq!(AttrType::int().to_string(), "int");
+        assert_eq!(AttrType::complex("X").to_string(), "ref<X>");
+        assert_eq!(PrimitiveType::Bool.to_string(), "bool");
+    }
+}

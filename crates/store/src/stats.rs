@@ -1,0 +1,158 @@
+//! Per-class statistics: cardinalities and null ratios.
+//!
+//! The analytic cost model and the workload calibration tests use these to
+//! verify that generated databases hit the Table-2 parameters (object
+//! counts, missing-data ratios, predicate selectivities).
+
+use crate::db::ComponentDb;
+use fedoq_object::{ClassId, CmpOp, Truth, Value};
+
+/// Statistics of one class extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    class: ClassId,
+    count: usize,
+    null_counts: Vec<usize>,
+}
+
+impl ClassStats {
+    /// Scans `class`'s extent in `db` and collects statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` does not belong to `db`'s schema.
+    pub fn collect(db: &ComponentDb, class: ClassId) -> ClassStats {
+        let arity = db.schema().class(class).arity();
+        let mut null_counts = vec![0usize; arity];
+        let mut count = 0usize;
+        for object in db.extent(class).iter() {
+            count += 1;
+            for (i, v) in object.values().enumerate() {
+                if v.is_null() {
+                    null_counts[i] += 1;
+                }
+            }
+        }
+        ClassStats { class, count, null_counts }
+    }
+
+    /// The class measured.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of objects in the extent.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Fraction of objects whose attribute `slot` is null (0 for an empty
+    /// extent).
+    pub fn null_ratio(&self, slot: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.null_counts[slot] as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of objects with at least one null attribute — the paper's
+    /// `R_m` (ratio of objects which have missing data) at instance level.
+    pub fn missing_data_ratio(db: &ComponentDb, class: ClassId) -> f64 {
+        let extent = db.extent(class);
+        if extent.is_empty() {
+            return 0.0;
+        }
+        let with_null = extent.iter().filter(|o| o.has_null()).count();
+        with_null as f64 / extent.len() as f64
+    }
+
+    /// Measured selectivity of `attr op literal` on the extent: the
+    /// fraction of objects evaluating `True` (unknowns are not selected).
+    pub fn selectivity(
+        db: &ComponentDb,
+        class: ClassId,
+        attr: &str,
+        op: CmpOp,
+        literal: &Value,
+    ) -> Option<f64> {
+        let def = db.schema().class(class);
+        let slot = def.attr_index(attr)?;
+        let extent = db.extent(class);
+        if extent.is_empty() {
+            return Some(0.0);
+        }
+        let hits = extent
+            .iter()
+            .filter(|o| o.value(slot).compare(op, literal) == Truth::True)
+            .count();
+        Some(hits as f64 / extent.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef, ComponentSchema};
+    use fedoq_object::DbId;
+
+    fn sample_db() -> ComponentDb {
+        let schema = ComponentSchema::new(vec![ClassDef::new("T")
+            .attr("x", AttrType::int())
+            .attr("y", AttrType::int())])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        for i in 0..10 {
+            let x = Value::Int(i);
+            let y = if i % 2 == 0 { Value::Int(i) } else { Value::Null };
+            db.insert_named("T", &[("x", x), ("y", y)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn counts_and_null_ratios() {
+        let db = sample_db();
+        let class = db.schema().class_id("T").unwrap();
+        let stats = ClassStats::collect(&db, class);
+        assert_eq!(stats.count(), 10);
+        assert_eq!(stats.null_ratio(0), 0.0);
+        assert!((stats.null_ratio(1) - 0.5).abs() < 1e-9);
+        assert_eq!(stats.class(), class);
+    }
+
+    #[test]
+    fn missing_data_ratio_matches_nulls() {
+        let db = sample_db();
+        let class = db.schema().class_id("T").unwrap();
+        assert!((ClassStats::missing_data_ratio(&db, class) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_counts_only_true() {
+        let db = sample_db();
+        let class = db.schema().class_id("T").unwrap();
+        let sel = ClassStats::selectivity(&db, class, "x", CmpOp::Lt, &Value::Int(5)).unwrap();
+        assert!((sel - 0.5).abs() < 1e-9);
+        // Half of the y values are null => unknown => unselected.
+        let sel = ClassStats::selectivity(&db, class, "y", CmpOp::Ge, &Value::Int(0)).unwrap();
+        assert!((sel - 0.5).abs() < 1e-9);
+        assert!(ClassStats::selectivity(&db, class, "zzz", CmpOp::Eq, &Value::Int(0)).is_none());
+    }
+
+    #[test]
+    fn empty_extent_edge_cases() {
+        let schema =
+            ComponentSchema::new(vec![ClassDef::new("E").attr("x", AttrType::int())]).unwrap();
+        let db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let class = db.schema().class_id("E").unwrap();
+        let stats = ClassStats::collect(&db, class);
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.null_ratio(0), 0.0);
+        assert_eq!(ClassStats::missing_data_ratio(&db, class), 0.0);
+        assert_eq!(
+            ClassStats::selectivity(&db, class, "x", CmpOp::Eq, &Value::Int(0)),
+            Some(0.0)
+        );
+    }
+}

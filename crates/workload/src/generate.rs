@@ -1,0 +1,430 @@
+//! Synthetic federation and query generation from a [`SampleConfig`].
+//!
+//! The generated world is a chain of global classes `C1 → C2 → … → Cn`
+//! (the composition hierarchy a nested query walks). Each class has a
+//! pool of *entities* with consistent attribute values; an entity
+//! materializes as isomeric objects in one or more databases. Branch-class
+//! placement follows the references, so every local reference resolves
+//! inside its own database. Missing attributes follow the sampled
+//! `present` matrix; nulls are injected on present predicate attributes at
+//! the sampled `R_m` rate.
+
+use crate::params::SampleConfig;
+use fedoq_core::Federation;
+use fedoq_object::{CmpOp, LOid, Value};
+use fedoq_query::Query;
+use fedoq_schema::Correspondences;
+use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of target attributes every class carries (`t0`, `t1`).
+const TARGET_ATTRS: usize = 2;
+/// Value domain for range predicates.
+const DOMAIN: i64 = 1000;
+
+/// One generated workload: a federation plus a query over it.
+#[derive(Debug, Clone)]
+pub struct GeneratedSample {
+    /// The synthetic federation.
+    pub federation: Federation,
+    /// The global query (unbound; bind with
+    /// [`Federation::parse_and_bind`] or `fedoq_query::bind`).
+    pub query: Query,
+    /// The configuration that produced it.
+    pub config: SampleConfig,
+}
+
+/// Per-class entity pool.
+struct ClassEntities {
+    /// `values[e][j]` — predicate attribute values (consistent across
+    /// copies).
+    pred_values: Vec<Vec<i64>>,
+    /// `targets[e][t]` — target attribute values.
+    target_values: Vec<Vec<i64>>,
+    /// `refs[e]` — referenced entity of the next class (unused for the
+    /// last class).
+    refs: Vec<usize>,
+    /// `placed[db]` — entities materialized in each database, in
+    /// insertion order.
+    placed: Vec<Vec<usize>>,
+}
+
+/// Generates one federation + query pair, deterministically from `seed`.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_workload::{generate, WorkloadParams};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let params = WorkloadParams::paper_default().scaled(0.01);
+/// let config = params.sample(&mut StdRng::seed_from_u64(1));
+/// let sample = generate(&config, 1);
+/// assert_eq!(sample.federation.num_dbs(), 3);
+/// ```
+pub fn generate(config: &SampleConfig, seed: u64) -> GeneratedSample {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f0e0_d00d_cafe);
+    let pools = build_entities(config, &mut rng);
+    let dbs = build_databases(config, &pools, &mut rng);
+    let federation = Federation::new(dbs, &Correspondences::new())
+        .expect("generated schemas always integrate");
+    let query = build_query(config);
+    GeneratedSample { federation, query, config: config.clone() }
+}
+
+fn build_entities(config: &SampleConfig, rng: &mut StdRng) -> Vec<ClassEntities> {
+    let mut pools: Vec<ClassEntities> = Vec::with_capacity(config.n_classes);
+    for k in 0..config.n_classes {
+        let pool_size = config.entity_pool(k);
+        let n_p = config.preds_per_class[k];
+        let sel = config.selectivity[k];
+        let pred_domain = if config.eq_predicates {
+            ((1.0 / sel.max(1e-6)).round() as i64).max(1)
+        } else {
+            DOMAIN
+        };
+        let mut pred_values = Vec::with_capacity(pool_size);
+        let mut target_values = Vec::with_capacity(pool_size);
+        let mut refs = Vec::with_capacity(pool_size);
+        for _ in 0..pool_size {
+            pred_values.push((0..n_p).map(|_| rng.gen_range(0..pred_domain)).collect());
+            target_values.push((0..TARGET_ATTRS).map(|_| rng.gen_range(0..DOMAIN)).collect());
+            refs.push(0); // wired below once the next pool's size is known
+        }
+        pools.push(ClassEntities {
+            pred_values,
+            target_values,
+            refs,
+            placed: vec![Vec::new(); config.n_db],
+        });
+    }
+
+    // Wire entity-level references: class k points into the first
+    // `R_r * pool` entities of class k+1 (the rest stay unreferenced).
+    for k in 0..config.n_classes.saturating_sub(1) {
+        let next_pool = pools[k + 1].pred_values.len();
+        let referenced = ((config.ref_ratio[k] * next_pool as f64).ceil() as usize)
+            .clamp(1, next_pool);
+        let pool = pools[k].pred_values.len();
+        for e in 0..pool {
+            pools[k].refs[e] = rng.gen_range(0..referenced);
+        }
+    }
+
+    // Place the root class: R_iso of entities get N_iso copies.
+    let db_indices: Vec<usize> = (0..config.n_db).collect();
+    let root_pool = pools[0].pred_values.len();
+    for e in 0..root_pool {
+        let copies = if config.n_db > 1 && rng.gen_bool(config.iso_ratio) {
+            config.n_iso.min(config.n_db)
+        } else {
+            1
+        };
+        let mut dbs = db_indices.clone();
+        dbs.shuffle(rng);
+        for &db in dbs.iter().take(copies) {
+            pools[0].placed[db].push(e);
+        }
+    }
+
+    // Branch classes: placement follows the references (every local ref
+    // must resolve locally), topped up with random extras to reach the
+    // sampled N_o.
+    for k in 1..config.n_classes {
+        let pool = pools[k].pred_values.len();
+        for db in 0..config.n_db {
+            let mut present = vec![false; pool];
+            let mut placed = Vec::new();
+            for idx in 0..pools[k - 1].placed[db].len() {
+                let parent = pools[k - 1].placed[db][idx];
+                let target = pools[k - 1].refs[parent];
+                if !present[target] {
+                    present[target] = true;
+                    placed.push(target);
+                }
+            }
+            let want = config.objects[db][k];
+            let mut extras: Vec<usize> = (0..pool).filter(|&e| !present[e]).collect();
+            extras.shuffle(rng);
+            for e in extras {
+                if placed.len() >= want {
+                    break;
+                }
+                placed.push(e);
+            }
+            pools[k].placed[db] = placed;
+        }
+    }
+    pools
+}
+
+fn class_name(k: usize) -> String {
+    format!("C{}", k + 1)
+}
+
+fn build_databases(
+    config: &SampleConfig,
+    pools: &[ClassEntities],
+    rng: &mut StdRng,
+) -> Vec<ComponentDb> {
+    let mut dbs = Vec::with_capacity(config.n_db);
+    for db_idx in 0..config.n_db {
+        let mut class_defs = Vec::with_capacity(config.n_classes);
+        for k in 0..config.n_classes {
+            let mut def = ClassDef::new(class_name(k)).attr("key", AttrType::int());
+            for (j, present) in config.present[db_idx][k].iter().enumerate() {
+                if *present {
+                    def = def.attr(format!("p{j}"), AttrType::int());
+                }
+            }
+            for t in 0..TARGET_ATTRS {
+                def = def.attr(format!("t{t}"), AttrType::int());
+            }
+            if k + 1 < config.n_classes {
+                def = def.attr("next", AttrType::complex(class_name(k + 1)));
+            }
+            class_defs.push(def.key(["key"]));
+        }
+        let schema = ComponentSchema::new(class_defs).expect("generated schema is valid");
+        let mut db = ComponentDb::new(
+            fedoq_object::DbId::new(db_idx as u16),
+            format!("DB{db_idx}"),
+            schema,
+        );
+
+        // Insert bottom-up so references resolve; remember each entity's
+        // LOid per class.
+        let mut loids: Vec<Vec<Option<LOid>>> = (0..config.n_classes)
+            .map(|k| vec![None; pools[k].pred_values.len()])
+            .collect();
+        for k in (0..config.n_classes).rev() {
+            let n_p = config.preds_per_class[k];
+            let class_id = db.schema().class_id(&class_name(k)).expect("class exists");
+            let arity = db.schema().class(class_id).arity();
+            let present = &config.present[db_idx][k];
+            let null_rate = config.null_ratio[db_idx][k];
+            for &e in &pools[k].placed[db_idx] {
+                let mut values = Vec::with_capacity(arity);
+                values.push(Value::Int(e as i64)); // key
+                let null_attr = if null_rate > 0.0 && rng.gen_bool(null_rate) {
+                    let present_count = present.iter().filter(|p| **p).count();
+                    if present_count > 0 {
+                        Some(rng.gen_range(0..present_count))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let mut present_seen = 0;
+                for (j, is_present) in present.iter().enumerate().take(n_p) {
+                    if *is_present {
+                        if null_attr == Some(present_seen) {
+                            values.push(Value::Null);
+                        } else {
+                            values.push(Value::Int(pools[k].pred_values[e][j]));
+                        }
+                        present_seen += 1;
+                    }
+                }
+                for t in 0..TARGET_ATTRS {
+                    values.push(Value::Int(pools[k].target_values[e][t]));
+                }
+                if k + 1 < config.n_classes {
+                    let target_entity = pools[k].refs[e];
+                    let target_loid = loids[k + 1][target_entity]
+                        .expect("reference targets are placed before their referrers");
+                    values.push(Value::Ref(target_loid));
+                }
+                let loid = db.insert(class_id, values).expect("generated object is valid");
+                loids[k][e] = Some(loid);
+            }
+        }
+        dbs.push(db);
+    }
+    dbs
+}
+
+fn build_query(config: &SampleConfig) -> Query {
+    let mut query = Query::new(class_name(0));
+    for t in 0..config.n_targets.min(TARGET_ATTRS) {
+        query = query.target(&format!("t{t}"));
+    }
+    for k in 0..config.n_classes {
+        let sel = config.selectivity[k];
+        for j in 0..config.preds_per_class[k] {
+            let mut path = String::new();
+            for _ in 0..k {
+                path.push_str("next.");
+            }
+            path.push_str(&format!("p{j}"));
+            if config.eq_predicates {
+                query = query.filter(&path, CmpOp::Eq, Value::Int(0));
+            } else {
+                let threshold = ((sel * DOMAIN as f64).round() as i64).clamp(0, DOMAIN);
+                query = query.filter(&path, CmpOp::Lt, Value::Int(threshold));
+            }
+        }
+    }
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WorkloadParams;
+    use fedoq_core::oracle_answer;
+    use fedoq_query::bind;
+    use fedoq_store::ClassStats;
+
+    fn small_config(seed: u64) -> SampleConfig {
+        let params = WorkloadParams::paper_default().scaled(0.02); // ~100-120 objects
+        params.sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = small_config(11);
+        let a = generate(&c, 5);
+        let b = generate(&c, 5);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.federation.num_dbs(), b.federation.num_dbs());
+        let qa = bind(&a.query, a.federation.global_schema()).unwrap();
+        let qb = bind(&b.query, b.federation.global_schema()).unwrap();
+        assert_eq!(oracle_answer(&a.federation, &qa), oracle_answer(&b.federation, &qb));
+    }
+
+    #[test]
+    fn references_always_resolve() {
+        for seed in 0..5 {
+            let c = small_config(seed);
+            let sample = generate(&c, seed);
+            for db in sample.federation.dbs() {
+                db.validate_refs().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn object_counts_match_the_sampled_n_o() {
+        let c = small_config(3);
+        let sample = generate(&c, 3);
+        for (db_idx, db) in sample.federation.dbs().iter().enumerate() {
+            // Root class count is entity-placement driven (averages N_o);
+            // branch classes are topped up to at least reach N_o unless
+            // reference coverage exceeds it.
+            for k in 1..c.n_classes {
+                let extent = db.extent_by_name(&class_name(k)).unwrap();
+                assert!(
+                    extent.len() >= c.objects[db_idx][k].min(c.entity_pool(k)),
+                    "class {k} in db {db_idx}: {} objects",
+                    extent.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isomerism_ratio_is_approximately_r_iso() {
+        let params = WorkloadParams::paper_default().scaled(0.2); // ~1000-1200 per db
+        let c = params.sample(&mut StdRng::seed_from_u64(9));
+        let sample = generate(&c, 9);
+        let fed = &sample.federation;
+        let root = fed.global_schema().class_id("C1").unwrap();
+        let table = fed.catalog().table(root);
+        let total = table.len() as f64;
+        let replicated = table.iter().filter(|(_, ls)| ls.len() > 1).count() as f64;
+        let measured = replicated / total;
+        assert!(
+            (measured - c.iso_ratio).abs() < 0.06,
+            "measured {measured:.3} vs expected {:.3}",
+            c.iso_ratio
+        );
+    }
+
+    #[test]
+    fn predicate_selectivity_is_calibrated() {
+        let params = WorkloadParams::paper_default().scaled(0.5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = params.sample(&mut rng);
+        let sample = generate(&c, 21);
+        let fed = &sample.federation;
+        // Measure the root class's first predicate, if present somewhere.
+        let k = 0;
+        if c.preds_per_class[k] == 0 {
+            return;
+        }
+        for (db_idx, db) in fed.dbs().iter().enumerate() {
+            if !c.present[db_idx][k].first().copied().unwrap_or(false) {
+                continue;
+            }
+            let class = db.schema().class_id("C1").unwrap();
+            let threshold = ((c.selectivity[k] * DOMAIN as f64).round() as i64).clamp(0, DOMAIN);
+            let measured = ClassStats::selectivity(
+                db,
+                class,
+                "p0",
+                CmpOp::Lt,
+                &Value::Int(threshold),
+            )
+            .unwrap();
+            // Nulls depress the measured rate slightly; allow slack.
+            assert!(
+                (measured - c.selectivity[k]).abs() < 0.15,
+                "db {db_idx}: measured {measured:.3} vs target {:.3}",
+                c.selectivity[k]
+            );
+        }
+    }
+
+    #[test]
+    fn null_injection_respects_missing_data_ratio() {
+        let mut params = WorkloadParams::paper_default().scaled(0.5);
+        params.null_ratio = 0.2..=0.2;
+        params.preds_per_class = 2..=2;
+        params.n_classes = 1..=1;
+        let c = params.sample(&mut StdRng::seed_from_u64(4));
+        let sample = generate(&c, 4);
+        for (db_idx, db) in sample.federation.dbs().iter().enumerate() {
+            // Only meaningful when every predicate attribute is present.
+            if !c.present[db_idx][0].iter().all(|p| *p) {
+                continue;
+            }
+            let class = db.schema().class_id("C1").unwrap();
+            let measured = ClassStats::missing_data_ratio(db, class);
+            assert!(
+                (measured - 0.2).abs() < 0.08,
+                "db {db_idx}: measured null ratio {measured:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_shape_matches_config() {
+        let c = small_config(13);
+        let sample = generate(&c, 13);
+        let total_preds: usize = c.preds_per_class.iter().sum();
+        assert_eq!(sample.query.predicates().len(), total_preds);
+        assert_eq!(sample.query.targets().len(), c.n_targets.min(TARGET_ATTRS));
+        // The query binds against the generated global schema.
+        let bound = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        assert_eq!(bound.predicates().len(), total_preds);
+    }
+
+    #[test]
+    fn eq_predicate_mode_generates_equality_queries() {
+        let mut params = WorkloadParams::paper_default().scaled(0.02);
+        params.eq_predicates = true;
+        params.preds_per_class = 1..=3;
+        let c = params.sample(&mut StdRng::seed_from_u64(2));
+        let sample = generate(&c, 2);
+        assert!(sample
+            .query
+            .predicates()
+            .iter()
+            .all(|p| p.op() == CmpOp::Eq));
+    }
+}

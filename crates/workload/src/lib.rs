@@ -1,0 +1,33 @@
+//! Workload substrate for FedOQ.
+//!
+//! Two workload sources drive the tests, examples, and benchmarks:
+//!
+//! * [`university`] — the paper's running example, reproduced datum by
+//!   datum: the DB1/DB2/DB3 schemas of Figure 1, the object instances of
+//!   Figure 4, the GOid mapping of Figure 5, and query Q1 of Figure 3;
+//! * [`params`] + [`generate()`] — the Table-2 parameterized generator: a
+//!   chain of global classes over `N_db` component databases, populated
+//!   with isomeric entities, missing attributes, calibrated predicate
+//!   selectivities, and injected nulls, together with a random conjunctive
+//!   global query.
+//!
+//! # Example
+//!
+//! ```
+//! use fedoq_workload::university;
+//! use fedoq_core::{oracle_answer, Federation};
+//!
+//! let fed = university::federation()?;
+//! let q1 = fed.parse_and_bind(university::Q1)?;
+//! let answer = oracle_answer(&fed, &q1);
+//! assert_eq!(answer.certain().len(), 1); // (Hedy, Kelly)
+//! assert_eq!(answer.maybe().len(), 1);   // (Tony, Haley)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod generate;
+pub mod params;
+pub mod university;
+
+pub use generate::{generate, GeneratedSample};
+pub use params::{SampleConfig, WorkloadParams};

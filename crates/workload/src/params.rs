@@ -1,0 +1,294 @@
+//! The paper's Table-2 database and query parameters.
+//!
+//! [`WorkloadParams`] holds the sampling ranges; [`WorkloadParams::sample`]
+//! draws one concrete [`SampleConfig`] (the paper draws 500 such sets per
+//! experiment point and averages the measured times).
+
+use rand::Rng;
+use std::ops::RangeInclusive;
+
+/// Ranges from which each experiment point draws its sample configurations
+/// (Table 2). Fields are public: experiments sweep them directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// `N_db` — number of component databases.
+    pub n_db: usize,
+    /// `N_c` — number of global classes involved in the query.
+    pub n_classes: RangeInclusive<usize>,
+    /// `N_p^k` — predicates on each involved class.
+    pub preds_per_class: RangeInclusive<usize>,
+    /// `N_o^{i,k}` — objects per constituent class per database.
+    pub objects_per_class: RangeInclusive<usize>,
+    /// `R_r^k` — ratio of next-class objects that are referenced.
+    pub ref_ratio: RangeInclusive<f64>,
+    /// `N_ta^{i,k}` — target attributes in the select list.
+    pub target_attrs: RangeInclusive<usize>,
+    /// `R_m^{i,k}` — ratio of objects given an injected null when the
+    /// constituent has no missing attribute (the paper's "0 ~ 0.2").
+    pub null_ratio: RangeInclusive<f64>,
+    /// `R_iso^k` override; `None` uses the paper's `1 − 0.9^(N_db−1)`.
+    pub iso_ratio: Option<f64>,
+    /// `N_iso` — isomeric copies per replicated entity.
+    pub n_iso: usize,
+    /// Overrides every predicate's selectivity (the Figure-11 sweep);
+    /// `None` uses the paper's `0.45^sqrt(N_p)` class selectivity split
+    /// evenly across the class's predicates.
+    pub forced_selectivity: Option<f64>,
+    /// Generate equality predicates over a small domain instead of range
+    /// predicates — the shape signature pruning (`R_ss`) applies to.
+    pub eq_predicates: bool,
+}
+
+impl WorkloadParams {
+    /// The Table-2 default setting.
+    pub fn paper_default() -> WorkloadParams {
+        WorkloadParams {
+            n_db: 3,
+            n_classes: 1..=4,
+            preds_per_class: 0..=3,
+            objects_per_class: 5000..=6000,
+            ref_ratio: 0.5..=1.0,
+            target_attrs: 0..=2,
+            null_ratio: 0.0..=0.2,
+            iso_ratio: None,
+            n_iso: 2,
+            forced_selectivity: None,
+            eq_predicates: false,
+        }
+    }
+
+    /// The effective `R_iso`: the probability that an entity has isomeric
+    /// copies.
+    pub fn effective_iso_ratio(&self) -> f64 {
+        self.iso_ratio
+            .unwrap_or_else(|| 1.0 - 0.9f64.powi(self.n_db as i32 - 1))
+    }
+
+    /// Returns a copy with the object counts scaled by `factor` (for fast
+    /// tests; the shape of the workload is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(mut self, factor: f64) -> WorkloadParams {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let lo = ((*self.objects_per_class.start() as f64) * factor).round().max(1.0) as usize;
+        let hi = ((*self.objects_per_class.end() as f64) * factor).round().max(1.0) as usize;
+        self.objects_per_class = lo..=hi.max(lo);
+        self
+    }
+
+    /// Draws one concrete sample configuration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SampleConfig {
+        let n_classes = rng.gen_range(self.n_classes.clone());
+        let mut preds_per_class = Vec::with_capacity(n_classes);
+        let mut selectivity = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let n_p = rng.gen_range(self.preds_per_class.clone());
+            preds_per_class.push(n_p);
+            let per_pred = match self.forced_selectivity {
+                Some(s) => s,
+                None if n_p == 0 => 1.0,
+                // R_ps = 0.45^sqrt(N_p), split evenly over the predicates.
+                None => 0.45f64.powf((n_p as f64).sqrt()).powf(1.0 / n_p as f64),
+            };
+            selectivity.push(per_pred);
+        }
+        // `present[db][class][pred]`, filled per database below. Every
+        // predicate attribute must exist in at least one database — a
+        // global attribute is by definition defined by some constituent —
+        // so a final pass repairs all-missing columns.
+        let mut present = Vec::with_capacity(self.n_db);
+        let mut objects = Vec::with_capacity(self.n_db);
+        let mut null_ratio = Vec::with_capacity(self.n_db);
+        for _ in 0..self.n_db {
+            let mut db_present = Vec::with_capacity(n_classes);
+            let mut db_objects = Vec::with_capacity(n_classes);
+            let mut db_nulls = Vec::with_capacity(n_classes);
+            for &n_p in &preds_per_class {
+                // N_pa^{i,k}: how many predicate attributes this
+                // constituent defines.
+                let n_pa = rng.gen_range(0..=n_p);
+                let mut attrs = vec![false; n_p];
+                let mut chosen = 0;
+                while chosen < n_pa {
+                    let j = rng.gen_range(0..n_p);
+                    if !attrs[j] {
+                        attrs[j] = true;
+                        chosen += 1;
+                    }
+                }
+                db_present.push(attrs);
+                db_objects.push(rng.gen_range(self.objects_per_class.clone()));
+                // R_m = 1 is already implied by a missing attribute; the
+                // sampled rate adds instance-level nulls on present attrs.
+                db_nulls.push(rng.gen_range(self.null_ratio.clone()));
+            }
+            present.push(db_present);
+            objects.push(db_objects);
+            null_ratio.push(db_nulls);
+        }
+        for (k, &n_p) in preds_per_class.iter().enumerate() {
+            for j in 0..n_p {
+                let defined_somewhere = present.iter().any(|db| db[k][j]);
+                if !defined_somewhere {
+                    let db = rng.gen_range(0..self.n_db);
+                    present[db][k][j] = true;
+                }
+            }
+        }
+        let ref_ratio = (0..n_classes)
+            .map(|_| rng.gen_range(self.ref_ratio.clone()))
+            .collect();
+        SampleConfig {
+            n_db: self.n_db,
+            n_classes,
+            preds_per_class,
+            selectivity,
+            present,
+            objects,
+            null_ratio,
+            ref_ratio,
+            n_targets: rng.gen_range(self.target_attrs.clone()),
+            iso_ratio: self.effective_iso_ratio(),
+            n_iso: self.n_iso,
+            eq_predicates: self.eq_predicates,
+        }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::paper_default()
+    }
+}
+
+/// One concrete draw from [`WorkloadParams`]: everything
+/// [`crate::generate()`] needs to build a federation and its query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleConfig {
+    /// Number of component databases.
+    pub n_db: usize,
+    /// Number of chained global classes (`C1 → C2 → …`).
+    pub n_classes: usize,
+    /// Predicates per class.
+    pub preds_per_class: Vec<usize>,
+    /// Per-predicate selectivity per class.
+    pub selectivity: Vec<f64>,
+    /// `present[db][class][pred]` — does the constituent define the
+    /// predicate attribute? (`false` = missing attribute.)
+    pub present: Vec<Vec<Vec<bool>>>,
+    /// Target object count per `[db][class]`.
+    pub objects: Vec<Vec<usize>>,
+    /// Null-injection rate per `[db][class]` over present predicate attrs.
+    pub null_ratio: Vec<Vec<f64>>,
+    /// Referenced fraction of the next class, per class.
+    pub ref_ratio: Vec<f64>,
+    /// Number of root target attributes in the select list.
+    pub n_targets: usize,
+    /// Probability that an entity has isomeric copies.
+    pub iso_ratio: f64,
+    /// Copies per replicated entity.
+    pub n_iso: usize,
+    /// Equality predicates over a small domain instead of ranges.
+    pub eq_predicates: bool,
+}
+
+impl SampleConfig {
+    /// Entity-pool size for class `k`: chosen so that the expected number
+    /// of objects per database matches the sampled `N_o`.
+    pub fn entity_pool(&self, class: usize) -> usize {
+        let avg_objects: f64 = (0..self.n_db)
+            .map(|db| self.objects[db][class] as f64)
+            .sum::<f64>()
+            / self.n_db as f64;
+        let avg_copies = 1.0 + self.iso_ratio * (self.n_iso as f64 - 1.0);
+        ((self.n_db as f64 * avg_objects / avg_copies).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_matches_table_2() {
+        let p = WorkloadParams::paper_default();
+        assert_eq!(p.n_db, 3);
+        assert_eq!(p.n_classes, 1..=4);
+        assert_eq!(p.preds_per_class, 0..=3);
+        assert_eq!(p.objects_per_class, 5000..=6000);
+        assert_eq!(p.n_iso, 2);
+        // R_iso = 1 - 0.9^2 = 0.19 for three databases.
+        assert!((p.effective_iso_ratio() - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_ranges() {
+        let p = WorkloadParams::paper_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = p.sample(&mut rng);
+            assert!(p.n_classes.contains(&c.n_classes));
+            assert_eq!(c.preds_per_class.len(), c.n_classes);
+            assert_eq!(c.present.len(), 3);
+            for db in 0..3 {
+                for k in 0..c.n_classes {
+                    assert!(p.objects_per_class.contains(&c.objects[db][k]));
+                    assert_eq!(c.present[db][k].len(), c.preds_per_class[k]);
+                }
+            }
+            for (k, &n_p) in c.preds_per_class.iter().enumerate() {
+                if n_p > 0 && p.forced_selectivity.is_none() {
+                    let class_sel = c.selectivity[k].powi(n_p as i32);
+                    let expect = 0.45f64.powf((n_p as f64).sqrt());
+                    assert!((class_sel - expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = WorkloadParams::paper_default();
+        let a = p.sample(&mut StdRng::seed_from_u64(42));
+        let b = p.sample(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_shrinks_object_counts() {
+        let p = WorkloadParams::paper_default().scaled(0.01);
+        assert_eq!(p.objects_per_class, 50..=60);
+        let tiny = WorkloadParams::paper_default().scaled(0.0001);
+        assert!(*tiny.objects_per_class.start() >= 1);
+    }
+
+    #[test]
+    fn forced_selectivity_applies_to_every_predicate() {
+        let mut p = WorkloadParams::paper_default();
+        p.forced_selectivity = Some(0.3);
+        let c = p.sample(&mut StdRng::seed_from_u64(1));
+        for (k, &n_p) in c.preds_per_class.iter().enumerate() {
+            if n_p > 0 {
+                assert_eq!(c.selectivity[k], 0.3);
+            }
+        }
+    }
+
+    #[test]
+    fn entity_pool_accounts_for_isomerism() {
+        let p = WorkloadParams::paper_default();
+        let c = p.sample(&mut StdRng::seed_from_u64(3));
+        for k in 0..c.n_classes {
+            let pool = c.entity_pool(k);
+            // With R_iso ≈ 0.19 and N_iso = 2, the pool is a bit below
+            // N_db * N_o.
+            let upper: usize = (0..3).map(|db| c.objects[db][k]).sum();
+            assert!(pool <= upper);
+            assert!(pool >= upper / 2);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's running example: the university federation.
+//!
+//! Reproduces Figures 1–5 of the paper exactly:
+//!
+//! * **DB1** — `Student(s-no, name, age, advisor, sex)`,
+//!   `Teacher(name, department)`, `Department(name)`;
+//! * **DB2** — `Student(s-no, name, sex, address, advisor)`,
+//!   `Teacher(name, speciality)`, `Address(city, street, zipcode)`;
+//! * **DB3** — `Department(name, location)`, `Teacher(name, department)`.
+//!
+//! The paper writes these as DB1–DB3; our zero-based site ids make them
+//! `DB0`–`DB2`. Isomeric objects (same `s-no` for students, same `name`
+//! for teachers/departments) reproduce the GOid mapping tables of
+//! Figure 5. Running [`Q1`] must yield the paper's answer: certain
+//! `(Hedy, Kelly)` and maybe `(Tony, Haley)`.
+
+use fedoq_core::{ExecError, Federation};
+use fedoq_object::{DbId, Value};
+use fedoq_schema::Correspondences;
+use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema, StoreError};
+
+/// The paper's query Q1 (Figure 3a).
+pub const Q1: &str = "SELECT X.name, X.advisor.name FROM Student X \
+                      WHERE X.address.city = 'Taipei' \
+                      AND X.advisor.speciality = 'database' \
+                      AND X.advisor.department.name = 'CS'";
+
+/// Builds the three-site university federation with the paper's data.
+///
+/// # Errors
+///
+/// Never errors for the fixed data; the `Result` propagates the
+/// construction APIs' error types.
+pub fn federation() -> Result<Federation, ExecError> {
+    let db1 = build_db1().map_err(ExecError::from)?;
+    let db2 = build_db2().map_err(ExecError::from)?;
+    let db3 = build_db3().map_err(ExecError::from)?;
+    Federation::new(vec![db1, db2, db3], &Correspondences::new())
+}
+
+/// The paper's DB1 (our `DB0`): students with advisors and departments,
+/// but no addresses and no specialities.
+fn build_db1() -> Result<ComponentDb, StoreError> {
+    let schema = ComponentSchema::new(vec![
+        ClassDef::new("Department").attr("name", AttrType::text()).key(["name"]),
+        ClassDef::new("Teacher")
+            .attr("name", AttrType::text())
+            .attr("department", AttrType::complex("Department"))
+            .key(["name"]),
+        ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("name", AttrType::text())
+            .attr("age", AttrType::int())
+            .attr("advisor", AttrType::complex("Teacher"))
+            .attr("sex", AttrType::text())
+            .key(["s-no"]),
+    ])?;
+    let mut db = ComponentDb::new(DbId::new(0), "DB1", schema);
+    let d1 = db.insert_named("Department", &[("name", Value::text("CS"))])?;
+    let _d2 = db.insert_named("Department", &[("name", Value::text("EE"))])?;
+    let t1 = db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Jeffery")), ("department", Value::Ref(d1))],
+    )?;
+    let t2 = db.insert_named("Teacher", &[("name", Value::text("Abel"))])?; // department null
+    let t3 = db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Haley")), ("department", Value::Ref(d1))],
+    )?;
+    // s1: John — sex is null in Figure 4(a).
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(804301)),
+            ("name", Value::text("John")),
+            ("age", Value::Int(31)),
+            ("advisor", Value::Ref(t1)),
+        ],
+    )?;
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(798302)),
+            ("name", Value::text("Tony")),
+            ("age", Value::Int(28)),
+            ("advisor", Value::Ref(t3)),
+            ("sex", Value::text("male")),
+        ],
+    )?;
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(808301)),
+            ("name", Value::text("Mary")),
+            ("age", Value::Int(24)),
+            ("advisor", Value::Ref(t2)),
+            ("sex", Value::text("female")),
+        ],
+    )?;
+    Ok(db)
+}
+
+/// The paper's DB2 (our `DB1`): students with addresses, teachers with
+/// specialities but no departments.
+fn build_db2() -> Result<ComponentDb, StoreError> {
+    let schema = ComponentSchema::new(vec![
+        ClassDef::new("Address")
+            .attr("city", AttrType::text())
+            .attr("street", AttrType::text())
+            .attr("zipcode", AttrType::int()),
+        ClassDef::new("Teacher")
+            .attr("name", AttrType::text())
+            .attr("speciality", AttrType::text())
+            .key(["name"]),
+        ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("name", AttrType::text())
+            .attr("sex", AttrType::text())
+            .attr("address", AttrType::complex("Address"))
+            .attr("advisor", AttrType::complex("Teacher"))
+            .key(["s-no"]),
+    ])?;
+    let mut db = ComponentDb::new(DbId::new(1), "DB2", schema);
+    let a1 = db.insert_named(
+        "Address",
+        &[("city", Value::text("Taipei")), ("street", Value::text("Park")), ("zipcode", Value::Int(100))],
+    )?;
+    let a2 = db.insert_named(
+        "Address",
+        &[
+            ("city", Value::text("HsinChu")),
+            ("street", Value::text("Horber")),
+            ("zipcode", Value::Int(800)),
+        ],
+    )?;
+    let t1 = db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Kelly")), ("speciality", Value::text("database"))],
+    )?;
+    let t2 = db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Jeffery")), ("speciality", Value::text("network"))],
+    )?;
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(762315)),
+            ("name", Value::text("Hedy")),
+            ("sex", Value::text("female")),
+            ("address", Value::Ref(a1)),
+            ("advisor", Value::Ref(t1)),
+        ],
+    )?;
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(804301)),
+            ("name", Value::text("John")),
+            ("sex", Value::text("male")),
+            ("address", Value::Ref(a2)),
+            ("advisor", Value::Ref(t2)),
+        ],
+    )?;
+    db.insert_named(
+        "Student",
+        &[
+            ("s-no", Value::Int(828307)),
+            ("name", Value::text("Fanny")),
+            ("sex", Value::text("female")),
+            ("address", Value::Ref(a1)),
+            ("advisor", Value::Ref(t2)),
+        ],
+    )?;
+    Ok(db)
+}
+
+/// The paper's DB3 (our `DB2`): departments with locations, teachers with
+/// departments but no specialities (and no students at all).
+fn build_db3() -> Result<ComponentDb, StoreError> {
+    let schema = ComponentSchema::new(vec![
+        ClassDef::new("Department")
+            .attr("name", AttrType::text())
+            .attr("location", AttrType::text())
+            .key(["name"]),
+        ClassDef::new("Teacher")
+            .attr("name", AttrType::text())
+            .attr("department", AttrType::complex("Department"))
+            .key(["name"]),
+    ])?;
+    let mut db = ComponentDb::new(DbId::new(2), "DB3", schema);
+    let d1 = db.insert_named(
+        "Department",
+        &[("name", Value::text("EE")), ("location", Value::text("building E"))],
+    )?;
+    let d2 = db.insert_named("Department", &[("name", Value::text("CS"))])?; // location null
+    db.insert_named(
+        "Department",
+        &[("name", Value::text("PH")), ("location", Value::text("building D"))],
+    )?;
+    db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Abel")), ("department", Value::Ref(d1))],
+    )?;
+    db.insert_named(
+        "Teacher",
+        &[("name", Value::text("Kelly")), ("department", Value::Ref(d2))],
+    )?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_core::oracle_answer;
+    use fedoq_object::Value;
+
+    #[test]
+    fn schemas_integrate_to_the_papers_global_schema() {
+        let fed = federation().unwrap();
+        let g = fed.global_schema();
+        assert_eq!(g.len(), 4); // Student, Teacher, Department, Address
+        let student = g.class_by_name("Student").unwrap();
+        // Union: s-no, name, age, advisor, sex, address.
+        assert_eq!(student.arity(), 6);
+        let teacher = g.class_by_name("Teacher").unwrap();
+        // Union: name, department, speciality.
+        assert_eq!(teacher.arity(), 3);
+    }
+
+    #[test]
+    fn missing_attributes_match_the_paper() {
+        let fed = federation().unwrap();
+        let g = fed.global_schema();
+        let student = g.class_by_name("Student").unwrap();
+        let address = student.attr_index("address").unwrap();
+        let age = student.attr_index("age").unwrap();
+        assert!(student.constituent_for(DbId::new(0)).unwrap().is_missing(address));
+        assert!(student.constituent_for(DbId::new(1)).unwrap().is_missing(age));
+        let teacher = g.class_by_name("Teacher").unwrap();
+        let speciality = teacher.attr_index("speciality").unwrap();
+        let department = teacher.attr_index("department").unwrap();
+        assert!(teacher.constituent_for(DbId::new(0)).unwrap().is_missing(speciality));
+        assert!(teacher.constituent_for(DbId::new(1)).unwrap().is_missing(department));
+        assert!(teacher.constituent_for(DbId::new(2)).unwrap().is_missing(speciality));
+    }
+
+    #[test]
+    fn goid_tables_match_figure_5() {
+        let fed = federation().unwrap();
+        let g = fed.global_schema();
+        // 5 student entities (John isomeric), 4 teachers (Jeffery, Abel,
+        // Kelly isomeric; Haley single), 3 departments, 2 addresses.
+        assert_eq!(fed.catalog().table(g.class_id("Student").unwrap()).len(), 5);
+        assert_eq!(fed.catalog().table(g.class_id("Teacher").unwrap()).len(), 4);
+        assert_eq!(fed.catalog().table(g.class_id("Department").unwrap()).len(), 3);
+        assert_eq!(fed.catalog().table(g.class_id("Address").unwrap()).len(), 2);
+        // John's two copies share a GOid.
+        let student = g.class_id("Student").unwrap();
+        let table = fed.catalog().table(student);
+        let pairs = table.iter().filter(|(_, ls)| ls.len() == 2).count();
+        assert_eq!(pairs, 1);
+    }
+
+    #[test]
+    fn q1_answer_matches_the_paper() {
+        let fed = federation().unwrap();
+        let q1 = fed.parse_and_bind(Q1).unwrap();
+        let answer = oracle_answer(&fed, &q1);
+        assert_eq!(answer.certain().len(), 1);
+        assert_eq!(
+            answer.certain()[0].values(),
+            &[Value::text("Hedy"), Value::text("Kelly")]
+        );
+        assert_eq!(answer.maybe().len(), 1);
+        assert_eq!(
+            answer.maybe()[0].row().values(),
+            &[Value::text("Tony"), Value::text("Haley")]
+        );
+        // Tony's unsolved predicates: address.city (p0) and
+        // advisor.speciality (p1); his advisor's department is CS (true).
+        let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+        assert_eq!(unsolved, vec![0, 1]);
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let fed = federation().unwrap();
+        for db in fed.dbs() {
+            db.validate_refs().unwrap();
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! A second domain: three hospitals share patient records under a global
+//! schema, with *renamed* classes and attributes reconciled through
+//! correspondence assertions — the heterogeneity the paper's schema
+//! integration handles before query time.
+//!
+//! ```sh
+//! cargo run --example hospital_federation
+//! ```
+
+use fedoq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // General hospital: patients with physicians, no insurance data.
+    let general = ComponentSchema::new(vec![
+        ClassDef::new("Physician")
+            .attr("name", AttrType::text())
+            .attr("specialty", AttrType::text())
+            .key(["name"]),
+        ClassDef::new("Patient")
+            .attr("ssn", AttrType::int())
+            .attr("name", AttrType::text())
+            .attr("physician", AttrType::complex("Physician"))
+            .key(["ssn"]),
+    ])?;
+    // Clinic: its own vocabulary ("Doc", "Case", "id") and insurance info,
+    // but no physician specialties.
+    let clinic = ComponentSchema::new(vec![
+        ClassDef::new("Doc").attr("nm", AttrType::text()).key(["nm"]),
+        ClassDef::new("Case")
+            .attr("id", AttrType::int())
+            .attr("nm", AttrType::text())
+            .attr("insurer", AttrType::text())
+            .attr("doc", AttrType::complex("Doc"))
+            .key(["id"]),
+    ])?;
+    // Lab: only patients and blood values; some values pending (null).
+    let lab = ComponentSchema::new(vec![ClassDef::new("Patient")
+        .attr("ssn", AttrType::int())
+        .attr("hemoglobin", AttrType::float())
+        .key(["ssn"])])?;
+
+    let mut db0 = ComponentDb::new(DbId::new(0), "General", general);
+    let mut db1 = ComponentDb::new(DbId::new(1), "Clinic", clinic);
+    let mut db2 = ComponentDb::new(DbId::new(2), "Lab", lab);
+
+    let house = db0.insert_named(
+        "Physician",
+        &[("name", Value::text("House")), ("specialty", Value::text("diagnostics"))],
+    )?;
+    let wilson = db0.insert_named(
+        "Physician",
+        &[("name", Value::text("Wilson")), ("specialty", Value::text("oncology"))],
+    )?;
+    db0.insert_named(
+        "Patient",
+        &[("ssn", Value::Int(100)), ("name", Value::text("Rebecca")), ("physician", Value::Ref(house))],
+    )?;
+    db0.insert_named(
+        "Patient",
+        &[("ssn", Value::Int(101)), ("name", Value::text("Victor")), ("physician", Value::Ref(wilson))],
+    )?;
+
+    let cuddy = db1.insert_named("Doc", &[("nm", Value::text("Cuddy"))])?;
+    // Rebecca is also a clinic case — the isomeric copy carrying insurance.
+    db1.insert_named(
+        "Case",
+        &[
+            ("id", Value::Int(100)),
+            ("nm", Value::text("Rebecca")),
+            ("insurer", Value::text("Acme Health")),
+            ("doc", Value::Ref(cuddy)),
+        ],
+    )?;
+    db1.insert_named(
+        "Case",
+        &[("id", Value::Int(102)), ("nm", Value::text("Paul")), ("doc", Value::Ref(cuddy))],
+    )?; // insurer null: pending paperwork
+
+    db2.insert_named("Patient", &[("ssn", Value::Int(100)), ("hemoglobin", Value::Float(13.5))])?;
+    db2.insert_named("Patient", &[("ssn", Value::Int(101))])?; // result pending
+    db2.insert_named("Patient", &[("ssn", Value::Int(102)), ("hemoglobin", Value::Float(10.2))])?;
+
+    // The correspondences reconcile the clinic's vocabulary.
+    let corr = Correspondences::new()
+        .map_class(DbId::new(1), "Case", "Patient")
+        .map_class(DbId::new(1), "Doc", "Physician")
+        .map_attr(DbId::new(1), "Case", "id", "ssn")
+        .map_attr(DbId::new(1), "Case", "nm", "name")
+        .map_attr(DbId::new(1), "Case", "doc", "physician")
+        .map_attr(DbId::new(1), "Doc", "nm", "name");
+    let fed = Federation::new(vec![db0, db1, db2], &corr)?;
+    println!("{fed}");
+    let patient = fed.global_schema().class_by_name("Patient").unwrap();
+    let attrs: Vec<&str> = patient.attrs().iter().map(|a| a.name()).collect();
+    println!("global Patient({})\n", attrs.join(", "));
+
+    // Who is anemic (hemoglobin < 12) among insured patients?
+    let query = fed.parse_and_bind(
+        "SELECT X.name, X.insurer FROM Patient X \
+         WHERE X.hemoglobin < 12.0 AND X.insurer != 'Acme Health'",
+    )?;
+    println!("query: {}\n", query.source());
+
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        let (answer, metrics) = run_strategy(strategy, &fed, &query, SystemParams::paper_default())?;
+        println!("{}: {answer}", strategy.name());
+        for row in answer.certain() {
+            println!("  certain {row}");
+        }
+        for row in answer.maybe() {
+            println!("  maybe   {}", row.row());
+        }
+        println!("  {metrics}\n");
+    }
+    // Rebecca: hemoglobin 13.5 => eliminated. Victor: result pending and
+    // no insurer anywhere => maybe. Paul: anemic, but his insurer is a
+    // null at the clinic => maybe.
+    Ok(())
+}

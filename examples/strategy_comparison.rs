@@ -1,0 +1,74 @@
+//! A miniature version of the paper's simulation study: sweep the number
+//! of component databases over Table-2 workloads (scaled down) and watch
+//! the Figure-10 effect — localized strategies win on response time, but
+//! PL's total cost grows fastest with the number of sites.
+//!
+//! ```sh
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use fedoq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 20;
+const SCALE: f64 = 0.05; // ~275 objects per constituent class
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let strategies: Vec<Box<dyn ExecutionStrategy>> = vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+    ];
+
+    println!(
+        "{SAMPLES} samples per point, objects scaled to {:.0}% of the paper's sizes\n",
+        SCALE * 100.0
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
+        "N_db", "CA total", "BL total", "PL total", "CA resp", "BL resp", "PL resp"
+    );
+
+    for n_db in [2usize, 3, 4, 5, 6] {
+        let mut params = WorkloadParams::paper_default().scaled(SCALE);
+        params.n_db = n_db;
+        let mut sums = vec![QueryMetrics::default(); strategies.len()];
+        for i in 0..SAMPLES {
+            let seed = (n_db * 1000 + i) as u64;
+            let config = params.sample(&mut StdRng::seed_from_u64(seed));
+            let sample = fedoq::workload::generate(&config, seed);
+            let query = bind(&sample.query, sample.federation.global_schema())?;
+            for (s, strategy) in strategies.iter().enumerate() {
+                let (_, metrics) = run_strategy(
+                    strategy.as_ref(),
+                    &sample.federation,
+                    &query,
+                    SystemParams::paper_default(),
+                )?;
+                sums[s] = sums[s].add(&metrics);
+            }
+        }
+        let avg: Vec<QueryMetrics> =
+            sums.into_iter().map(|m| m.scale_down(SAMPLES as u64)).collect();
+        let ms = |v: f64| format!("{:.1} ms", v / 1e3);
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
+            n_db,
+            ms(avg[0].total_execution_us),
+            ms(avg[1].total_execution_us),
+            ms(avg[2].total_execution_us),
+            ms(avg[0].response_us),
+            ms(avg[1].response_us),
+            ms(avg[2].response_us),
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper §4.2): BL/PL respond faster than CA everywhere;\n\
+         BL has the lowest total; PL's total grows fastest as sites are added.\n\
+         Run `cargo run --release -p fedoq-bench --bin figures` for the full\n\
+         reproduction of Figures 9-11 at paper scale."
+    );
+    Ok(())
+}

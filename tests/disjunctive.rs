@@ -1,0 +1,125 @@
+//! Disjunctive-query extension, end to end: every strategy's DNF
+//! execution matches the disjunctive oracle on randomized federations.
+
+use fedoq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::with_signatures()),
+    ]
+}
+
+/// Splits a generated conjunctive query into a two-branch DNF query
+/// (first half OR second half) over the same federation.
+fn split_into_dnf(query: &Query) -> Option<DnfQuery> {
+    let preds = query.predicates();
+    if preds.len() < 2 {
+        return None;
+    }
+    let mid = preds.len() / 2;
+    let render = |ps: &[fedoq::query::Predicate]| {
+        ps.iter()
+            .map(|p| {
+                let lit = match p.literal() {
+                    Value::Text(s) => format!("'{s}'"),
+                    other => other.to_string(),
+                };
+                format!("X.{} {} {lit}", p.path(), p.op())
+            })
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    };
+    let targets = if query.targets().is_empty() {
+        "X.t0".to_owned()
+    } else {
+        query
+            .targets()
+            .iter()
+            .map(|t| format!("X.{t}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let sql = format!(
+        "SELECT {targets} FROM {} X WHERE {} OR {}",
+        query.range_class(),
+        render(&preds[..mid]),
+        render(&preds[mid..]),
+    );
+    Some(parse_dnf(&sql).expect("rendered DNF parses"))
+}
+
+#[test]
+fn strategies_agree_with_the_disjunctive_oracle() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.preds_per_class = 1..=3;
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let Some(dnf) = split_into_dnf(&sample.query) else {
+            continue;
+        };
+        checked += 1;
+        let truth = oracle_disjunctive(&sample.federation, &dnf);
+        for strategy in strategies() {
+            let mut sim = Simulation::new(SystemParams::paper_default(), sample.federation.num_dbs());
+            let answer =
+                run_disjunctive(strategy.as_ref(), &sample.federation, &dnf, &mut sim).unwrap();
+            assert!(
+                truth.same_classification(&answer),
+                "seed {seed}: {} disagrees on {dnf}\n  got {answer}\n  want {truth}",
+                strategy.name()
+            );
+        }
+    }
+    assert!(checked >= 20, "only {checked} multi-predicate samples");
+}
+
+#[test]
+fn disjunctive_university_queries() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    // Students in Taipei OR advised on databases: Hedy certain (both
+    // branches), Tony maybe (both unknown), Mary maybe (Taipei unknown;
+    // speciality unknown), Fanny certain (Taipei), John maybe (address
+    // false, but speciality unknown).
+    let q = parse_dnf(
+        "SELECT X.name FROM Student X \
+         WHERE X.address.city = 'Taipei' OR X.advisor.speciality = 'database'",
+    )
+    .unwrap();
+    let truth = oracle_disjunctive(&fed, &q);
+    for strategy in strategies() {
+        let mut sim = Simulation::new(SystemParams::paper_default(), fed.num_dbs());
+        let answer = run_disjunctive(strategy.as_ref(), &fed, &q, &mut sim).unwrap();
+        assert!(
+            truth.same_classification(&answer),
+            "{}: {answer} vs {truth}",
+            strategy.name()
+        );
+    }
+    let certain: Vec<&Value> = truth.certain().iter().map(|r| &r.values()[0]).collect();
+    assert!(certain.contains(&&Value::text("Hedy")));
+    assert!(certain.contains(&&Value::text("Fanny")));
+    // John fails the address branch but his advisor Jeffery's speciality
+    // is 'network' — known false — so he is eliminated outright.
+    assert!(!truth
+        .maybe()
+        .iter()
+        .any(|m| m.row().values()[0] == Value::text("John")));
+}
+
+#[test]
+fn empty_where_branch_returns_everything_certain() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q = parse_dnf("SELECT X.name FROM Student X").unwrap();
+    let mut sim = Simulation::new(SystemParams::paper_default(), fed.num_dbs());
+    let answer = run_disjunctive(&Centralized, &fed, &q, &mut sim).unwrap();
+    assert_eq!(answer.certain().len(), 5);
+    assert!(answer.maybe().is_empty());
+}

@@ -1,0 +1,151 @@
+//! Sanity properties of the simulated cost metrics, mirroring the
+//! qualitative claims of the paper's Section 4.2.
+
+use fedoq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn averaged(params: &WorkloadParams, strategy: &dyn ExecutionStrategy, seeds: std::ops::Range<u64>) -> QueryMetrics {
+    let mut sum = QueryMetrics::default();
+    let n = seeds.end - seeds.start;
+    for seed in seeds {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        let (_, m) =
+            run_strategy(strategy, &sample.federation, &query, SystemParams::paper_default())
+                .unwrap();
+        sum = sum.add(&m);
+    }
+    sum.scale_down(n)
+}
+
+#[test]
+fn response_never_exceeds_total() {
+    let params = WorkloadParams::paper_default().scaled(0.01);
+    for seed in 0..20u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        for strategy in [
+            &Centralized as &dyn ExecutionStrategy,
+            &BasicLocalized::new(),
+            &ParallelLocalized::new(),
+        ] {
+            let (_, m) =
+                run_strategy(strategy, &sample.federation, &query, SystemParams::paper_default())
+                    .unwrap();
+            assert!(
+                m.total_execution_us >= m.response_us - 1e-6,
+                "{} on seed {seed}: total {} < response {}",
+                strategy.name(),
+                m.total_execution_us,
+                m.response_us
+            );
+            assert!(m.response_us > 0.0);
+        }
+    }
+}
+
+#[test]
+fn times_grow_with_object_count() {
+    let small = WorkloadParams::paper_default().scaled(0.005);
+    let large = WorkloadParams::paper_default().scaled(0.02);
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        let m_small = averaged(&small, strategy, 0..8);
+        let m_large = averaged(&large, strategy, 0..8);
+        assert!(
+            m_large.total_execution_us > m_small.total_execution_us,
+            "{}: {} vs {}",
+            strategy.name(),
+            m_large.total_execution_us,
+            m_small.total_execution_us
+        );
+        assert!(m_large.response_us > m_small.response_us, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn localized_ships_less_and_responds_faster_than_centralized() {
+    let params = WorkloadParams::paper_default().scaled(0.02);
+    let ca = averaged(&params, &Centralized, 10..22);
+    let bl = averaged(&params, &BasicLocalized::new(), 10..22);
+    let pl = averaged(&params, &ParallelLocalized::new(), 10..22);
+    assert!(bl.bytes_transferred < ca.bytes_transferred);
+    assert!(pl.bytes_transferred < ca.bytes_transferred);
+    assert!(bl.response_us < ca.response_us);
+    assert!(pl.response_us < ca.response_us);
+    // The paper's headline ordering at the defaults: BL beats PL too.
+    assert!(bl.total_execution_us < ca.total_execution_us);
+    assert!(bl.total_execution_us <= pl.total_execution_us);
+}
+
+#[test]
+fn pl_checks_at_least_as_many_assistants_as_bl() {
+    // PL resolves assistants for every candidate object; BL only for
+    // survivors — so PL never ships fewer check-request bytes.
+    let mut params = WorkloadParams::paper_default().scaled(0.02);
+    params.preds_per_class = 2..=3; // ensure unsolved predicates exist
+    let bl = averaged(&params, &BasicLocalized::new(), 30..40);
+    let pl = averaged(&params, &ParallelLocalized::new(), 30..40);
+    assert!(
+        pl.bytes_transferred >= bl.bytes_transferred,
+        "pl {} < bl {}",
+        pl.bytes_transferred,
+        bl.bytes_transferred
+    );
+    assert!(pl.comparisons >= bl.comparisons);
+}
+
+#[test]
+fn network_contention_grows_with_databases() {
+    let mut small = WorkloadParams::paper_default().scaled(0.01);
+    small.n_db = 2;
+    let mut large = WorkloadParams::paper_default().scaled(0.01);
+    large.n_db = 6;
+    let ca2 = averaged(&small, &Centralized, 50..58);
+    let ca6 = averaged(&large, &Centralized, 50..58);
+    // More sites => more data over the single shared link => slower.
+    assert!(ca6.bytes_transferred > ca2.bytes_transferred);
+    assert!(ca6.response_us > ca2.response_us);
+}
+
+#[test]
+fn phase_breakdown_covers_the_total() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        let (_, m) = run_strategy(strategy, &fed, &q1, SystemParams::paper_default()).unwrap();
+        let phase_sum: f64 = m.phase_us.iter().sum();
+        assert!(
+            (phase_sum - m.total_execution_us).abs() < 1e-6,
+            "{}: phases sum to {phase_sum}, total {}",
+            strategy.name(),
+            m.total_execution_us
+        );
+    }
+}
+
+#[test]
+fn centralized_phase_profile_is_ship_heavy() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    let (_, ca) = run_strategy(&Centralized, &fed, &q1, SystemParams::paper_default()).unwrap();
+    use fedoq::sim::Phase;
+    assert!(ca.phase_us(Phase::Ship) > ca.phase_us(Phase::O));
+    assert!(ca.phase_us(Phase::Ship) > ca.phase_us(Phase::P));
+    // BL's profile is evaluation- and check-driven instead.
+    let (_, bl) =
+        run_strategy(&BasicLocalized::new(), &fed, &q1, SystemParams::paper_default()).unwrap();
+    assert!(bl.phase_us(Phase::P) > 0.0);
+    assert!(bl.phase_us(Phase::O) > 0.0);
+    assert!(bl.phase_us(Phase::Ship) < ca.phase_us(Phase::Ship));
+}

@@ -1,0 +1,94 @@
+//! Property tests for the SQL/X parser: rendering a parsed query and
+//! reparsing it yields the same AST, for the whole grammar.
+
+use fedoq::prelude::*;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Reserved words cannot be identifiers (as in unquoted SQL).
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}(-[a-z0-9]{1,4})?".prop_filter("not a keyword", |s| {
+        let upper = s.to_ascii_uppercase();
+        !["SELECT", "FROM", "WHERE", "AND", "OR", "TRUE", "FALSE"].contains(&upper.as_str())
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_ident(), 1..4).prop_map(|steps| steps.join("."))
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1000.0..1000.0f64).prop_map(|f| Value::Float((f * 4.0).round() / 4.0)),
+        "[a-zA-Z '.]{0,12}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_ident(),
+        proptest::collection::vec(arb_path(), 1..4),
+        proptest::collection::vec((arb_path(), arb_op(), arb_literal()), 0..4),
+    )
+        .prop_map(|(class, targets, preds)| {
+            let mut q = Query::new(class);
+            for t in targets {
+                q = q.target(&t);
+            }
+            for (p, op, lit) in preds {
+                q = q.filter(&p, op, lit);
+            }
+            q
+        })
+}
+
+proptest! {
+    #[test]
+    fn display_then_parse_is_identity(q in arb_query()) {
+        let rendered = q.to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse {rendered:?}: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn keywords_survive_as_quoted_literals(word in "(?i)(select|from|where|and|true|false)") {
+        // A string literal spelled like a keyword must not confuse the
+        // parser when quoted.
+        let sql = format!("SELECT X.name FROM C X WHERE X.name = '{word}'");
+        let q = parse(&sql).unwrap();
+        prop_assert_eq!(q.predicates()[0].literal(), &Value::text(word));
+    }
+
+    #[test]
+    fn garbage_never_panics(input in ".{0,60}") {
+        let _ = parse(&input); // must return Ok or Err, never panic
+    }
+}
+
+#[test]
+fn float_and_negative_literals_round_trip() {
+    let q = Query::new("C")
+        .target("a")
+        .filter("x", CmpOp::Lt, Value::Float(2.25))
+        .filter("y", CmpOp::Ge, Value::Int(-17));
+    assert_eq!(parse(&q.to_string()).unwrap(), q);
+}
+
+#[test]
+fn bool_literals_round_trip() {
+    let q = Query::new("C").target("a").filter("flag", CmpOp::Eq, Value::Bool(false));
+    assert_eq!(parse(&q.to_string()).unwrap(), q);
+}

@@ -1,0 +1,161 @@
+//! Robustness: degenerate federations, degenerate queries, persistence
+//! round trips, and failure injection (stale GOid mapping entries).
+
+use fedoq::prelude::*;
+use fedoq::schema::GoidCatalog;
+use fedoq::workload::university;
+
+fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::with_signatures()),
+    ]
+}
+
+#[test]
+fn single_database_federation_works() {
+    let schema = ComponentSchema::new(vec![ClassDef::new("T")
+        .attr("x", AttrType::int())
+        .key(["x"])])
+    .unwrap();
+    let mut db = ComponentDb::new(DbId::new(0), "Solo", schema);
+    db.insert_named("T", &[("x", Value::Int(1))]).unwrap();
+    db.insert_named("T", &[]).unwrap(); // x null
+    let fed = Federation::new(vec![db], &Correspondences::new()).unwrap();
+    let q = fed.parse_and_bind("SELECT X.x FROM T X WHERE X.x >= 0").unwrap();
+    let truth = oracle_answer(&fed, &q);
+    assert_eq!(truth.certain().len(), 1);
+    assert_eq!(truth.maybe().len(), 1);
+    for s in strategies() {
+        let (a, m) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
+        assert!(truth.same_classification(&a), "{}", s.name());
+        assert!(m.total_execution_us >= m.response_us);
+    }
+}
+
+#[test]
+fn empty_extents_yield_empty_answers() {
+    let schema = ComponentSchema::new(vec![ClassDef::new("T")
+        .attr("x", AttrType::int())
+        .key(["x"])])
+    .unwrap();
+    let db0 = ComponentDb::new(DbId::new(0), "A", schema.clone());
+    let db1 = ComponentDb::new(DbId::new(1), "B", schema);
+    let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
+    let q = fed.parse_and_bind("SELECT X.x FROM T X WHERE X.x = 1").unwrap();
+    for s in strategies() {
+        let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
+        assert!(a.is_empty(), "{}", s.name());
+    }
+}
+
+#[test]
+fn query_without_predicates_or_targets() {
+    let fed = university::federation().unwrap();
+    // No predicates: every entity is certain, projected on one target.
+    let q = fed.parse_and_bind("SELECT X.s-no FROM Student X").unwrap();
+    for s in strategies() {
+        let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
+        assert_eq!(a.certain().len(), 5, "{}", s.name());
+        assert!(a.maybe().is_empty(), "{}", s.name());
+    }
+}
+
+/// A GOid table entry pointing at an object that no longer exists must
+/// not crash any strategy, and certification must treat the missing
+/// assistant as unable to answer (no false certainty).
+#[test]
+fn stale_goid_mapping_entries_are_tolerated() {
+    let job = |with_salary: bool| {
+        let mut j = ClassDef::new("Job").attr("jid", AttrType::int()).key(["jid"]);
+        if !with_salary {
+            j = j.attr("title", AttrType::text());
+        } else {
+            j = j.attr("salary", AttrType::int());
+        }
+        ComponentSchema::new(vec![
+            j,
+            ClassDef::new("Person")
+                .attr("pid", AttrType::int())
+                .attr("job", AttrType::complex("Job"))
+                .key(["pid"]),
+        ])
+        .unwrap()
+    };
+    let mut db0 = ComponentDb::new(DbId::new(0), "DB0", job(false));
+    let db1 = ComponentDb::new(DbId::new(1), "DB1", job(true));
+    let j0 = db0
+        .insert_named("Job", &[("jid", Value::Int(7)), ("title", Value::text("eng"))])
+        .unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
+
+    // Hand-build a catalog whose Job entry claims an isomeric copy at DB1
+    // that was deleted (a stale mapping-table entry).
+    let schemas: Vec<(DbId, &ComponentSchema)> =
+        vec![(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())];
+    let global = integrate(&schemas, &Correspondences::new()).unwrap();
+    let mut catalog = GoidCatalog::new(global.len());
+    let job_class = global.class_id("Job").unwrap();
+    let person_class = global.class_id("Person").unwrap();
+    let ghost = LOid::new(DbId::new(1), 999);
+    catalog.register(job_class, &[j0, ghost]);
+    let person_loid = db0.extent_by_name("Person").unwrap().loids().next().unwrap();
+    catalog.register(person_class, &[person_loid]);
+    let fed = Federation::from_parts(vec![db0, db1], global, catalog);
+
+    let q = fed.parse_and_bind("SELECT X.pid FROM Person X WHERE X.job.salary > 10").unwrap();
+    for s in strategies() {
+        let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
+        // The ghost assistant cannot answer: the person must stay maybe —
+        // never certain, never spuriously eliminated.
+        assert_eq!(a.maybe().len(), 1, "{}: {a}", s.name());
+        assert!(a.certain().is_empty(), "{}", s.name());
+    }
+}
+
+#[test]
+fn federation_persistence_round_trip() {
+    let fed = university::federation().unwrap();
+    let dir = std::env::temp_dir().join("fedoq_persist_roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    fed.save_to_dir(&dir).unwrap();
+    let restored = Federation::load_from_dir(&dir, &Correspondences::new()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(restored.num_dbs(), fed.num_dbs());
+    // The restored federation answers Q1 identically.
+    let q = restored.parse_and_bind(university::Q1).unwrap();
+    let answer = oracle_answer(&restored, &q);
+    assert_eq!(answer.certain().len(), 1);
+    assert_eq!(answer.certain()[0].values(), &[Value::text("Hedy"), Value::text("Kelly")]);
+    assert_eq!(answer.maybe().len(), 1);
+    for s in strategies() {
+        let (a, _) =
+            run_strategy(s.as_ref(), &restored, &q, SystemParams::paper_default()).unwrap();
+        assert!(answer.same_classification(&a), "{}", s.name());
+    }
+}
+
+#[test]
+fn load_from_empty_dir_errors_cleanly() {
+    let dir = std::env::temp_dir().join("fedoq_persist_empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = Federation::load_from_dir(&dir, &Correspondences::new()).unwrap_err();
+    assert!(err.to_string().contains("no db"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn contradictory_predicates_eliminate_everything() {
+    let fed = university::federation().unwrap();
+    let q = fed
+        .parse_and_bind("SELECT X.name FROM Student X WHERE X.s-no < 100 AND X.s-no > 200")
+        .unwrap();
+    for s in strategies() {
+        let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
+        assert!(a.is_empty(), "{}", s.name());
+    }
+}

@@ -1,0 +1,134 @@
+//! The central correctness property: on consistently-generated
+//! federations, CA, BL, PL, and their signature variants all return the
+//! oracle's classification — the same certain entities and the same maybe
+//! entities with the same unsolved conjunct sets.
+
+use fedoq::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
+    vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::with_signatures()),
+    ]
+}
+
+fn check_agreement(sample: &GeneratedSample, label: &str) {
+    let fed = &sample.federation;
+    let query = bind(&sample.query, fed.global_schema()).unwrap();
+    let truth = oracle_answer(fed, &query);
+    for strategy in strategies() {
+        let (answer, metrics) =
+            run_strategy(strategy.as_ref(), fed, &query, SystemParams::paper_default()).unwrap();
+        assert!(
+            truth.same_classification(&answer),
+            "{label}: {} disagrees with the oracle\n  oracle: {truth}\n  {}: {answer}\n  query: {}",
+            strategy.name(),
+            strategy.name(),
+            sample.query,
+        );
+        assert!(metrics.total_execution_us >= metrics.response_us);
+    }
+}
+
+#[test]
+fn agreement_on_fifty_paper_shaped_samples() {
+    let params = WorkloadParams::paper_default().scaled(0.01); // ~50-60 objects/class/db
+    for seed in 0..50u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_many_databases() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.n_db = 6;
+    for seed in 100..110u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("6db seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_equality_predicates_and_signatures() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.eq_predicates = true;
+    params.preds_per_class = 1..=3;
+    for seed in 200..220u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("eq seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_heavy_nulls() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.null_ratio = 0.3..=0.5;
+    for seed in 300..315u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("nulls seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_full_isomerism() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.iso_ratio = Some(1.0);
+    params.n_iso = 3;
+    for seed in 400..410u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("iso seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_two_databases_and_deep_chains() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.n_db = 2;
+    params.n_classes = 4..=4;
+    params.preds_per_class = 1..=3;
+    for seed in 500..515u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        check_agreement(&sample, &format!("deep seed {seed}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Randomized over the whole Table-2 space (scaled down), plus the
+    /// generator seed.
+    #[test]
+    fn agreement_property(seed in 0u64..10_000, n_db in 2usize..5) {
+        let mut params = WorkloadParams::paper_default().scaled(0.008);
+        params.n_db = n_db;
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let fed = &sample.federation;
+        let query = bind(&sample.query, fed.global_schema()).unwrap();
+        let truth = oracle_answer(fed, &query);
+        for strategy in strategies() {
+            let (answer, _) =
+                run_strategy(strategy.as_ref(), fed, &query, SystemParams::paper_default()).unwrap();
+            prop_assert!(
+                truth.same_classification(&answer),
+                "{} disagrees on seed {seed}: {} vs oracle {}",
+                strategy.name(),
+                answer,
+                truth
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The target-completion extension: localized strategies fetch target
+//! values their own projection cannot supply, matching what the
+//! centralized strategy gets by shipping everything.
+
+use fedoq::prelude::*;
+use fedoq::workload::university;
+
+/// In the university federation, Kelly's department location lives only
+/// at DB3 — no student-hosting site can project
+/// `X.advisor.department.location`.
+const LOCATION_QUERY: &str = "SELECT X.name, X.advisor.department.location FROM Student X \
+                              WHERE X.address.city = 'Taipei' \
+                              AND X.advisor.speciality = 'database'";
+
+#[test]
+fn completion_fills_targets_only_remote_sites_hold() {
+    let fed = university::federation().unwrap();
+    let q = fed.parse_and_bind(LOCATION_QUERY).unwrap();
+
+    // Without completion, the localized strategies return null for the
+    // location (they only project local attributes, as in the paper).
+    let (plain, plain_m) =
+        run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default()).unwrap();
+    let hedy = plain.certain().iter().find(|r| r.values()[0] == Value::text("Hedy")).unwrap();
+    assert!(hedy.values()[1].is_null());
+
+    // With completion, the value is fetched from the assistant...
+    let (completed, completed_m) = run_strategy(
+        &BasicLocalized::new().completing_targets(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
+    let hedy = completed
+        .certain()
+        .iter()
+        .find(|r| r.values()[0] == Value::text("Hedy"))
+        .unwrap();
+    // Kelly's department is CS whose location is null at DB3 too — but
+    // Kelly's own Teacher item is at DB3 with department d2'' (CS, null
+    // location). The fetch happens and returns what DB3 knows.
+    // Use a location-bearing case instead: Abel/EE has "building E".
+    let _ = hedy;
+    // ... and costs extra transfer.
+    assert!(completed_m.bytes_transferred > plain_m.bytes_transferred);
+    // Classification is never affected.
+    assert!(plain.same_classification(&completed));
+}
+
+#[test]
+fn completion_matches_centralized_target_values() {
+    // Build a case where the completed value is non-null: ask for the
+    // advisor's department location of students advised by Abel (EE at
+    // DB3, location "building E").
+    let fed = university::federation().unwrap();
+    let q = fed
+        .parse_and_bind(
+            "SELECT X.name, X.advisor.department.location FROM Student X \
+             WHERE X.s-no = 808301",
+        )
+        .unwrap();
+    let (ca, _) = run_strategy(&Centralized, &fed, &q, SystemParams::paper_default()).unwrap();
+    assert_eq!(ca.certain().len(), 1);
+    assert_eq!(ca.certain()[0].values()[0], Value::text("Mary"));
+    assert_eq!(ca.certain()[0].values()[1], Value::text("building E"));
+
+    for strategy in [
+        &BasicLocalized::new().completing_targets() as &dyn ExecutionStrategy,
+        &ParallelLocalized::new().completing_targets(),
+    ] {
+        let (answer, _) =
+            run_strategy(strategy, &fed, &q, SystemParams::paper_default()).unwrap();
+        assert_eq!(answer.certain().len(), 1, "{}", strategy.name());
+        assert_eq!(
+            answer.certain()[0].values(),
+            ca.certain()[0].values(),
+            "{}: completion must match the centralized projection",
+            strategy.name()
+        );
+    }
+
+    // Without completion the location is null — the paper's behaviour.
+    let (plain, _) =
+        run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default()).unwrap();
+    assert!(plain.certain()[0].values()[1].is_null());
+}
+
+#[test]
+fn completion_never_changes_classification() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.preds_per_class = 1..=3;
+    for seed in 0..20u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        let truth = oracle_answer(&sample.federation, &query);
+        for strategy in [
+            &BasicLocalized::new().completing_targets() as &dyn ExecutionStrategy,
+            &ParallelLocalized::new().completing_targets(),
+            &BasicLocalized::with_signatures().completing_targets(),
+        ] {
+            let (answer, _) = run_strategy(
+                strategy,
+                &sample.federation,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .unwrap();
+            assert!(
+                truth.same_classification(&answer),
+                "seed {seed}: {} diverged",
+                strategy.name()
+            );
+        }
+    }
+}
