@@ -53,7 +53,12 @@ pub struct TimeEstimate {
 
 impl fmt::Display for TimeEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "total {:.1} ms, response {:.1} ms", self.total_us / 1e3, self.response_us / 1e3)
+        write!(
+            f,
+            "total {:.1} ms, response {:.1} ms",
+            self.total_us / 1e3,
+            self.response_us / 1e3
+        )
     }
 }
 
@@ -97,16 +102,16 @@ fn centralized(a: &AnalyticInputs) -> TimeEstimate {
     // Evaluation at the global site: per root entity, each predicate walks
     // its path (≈ class depth / 2 probes) and compares once.
     let entities = a.n_db * a.objects / copies(a);
-    let eval_cpu = entities
-        * a.n_classes
-        * a.preds_per_class
-        * (1.0 + a.n_classes / 2.0)
-        * p.cpu_us_per_cmp;
+    let eval_cpu =
+        entities * a.n_classes * a.preds_per_class * (1.0 + a.n_classes / 2.0) * p.cpu_us_per_cmp;
     let total = a.n_db * disk_per_db + net_total + integrate_cpu + eval_cpu;
     // Response: disks run in parallel; the shared link serializes all
     // transfers; the global site then integrates and evaluates.
     let response = disk_per_db + net_total + integrate_cpu + eval_cpu;
-    TimeEstimate { total_us: total, response_us: response }
+    TimeEstimate {
+        total_us: total,
+        response_us: response,
+    }
 }
 
 /// BL / PL: local evaluation, assistant checking, certification.
@@ -117,8 +122,7 @@ fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
     let scan_bytes = a.objects * a.object_bytes()
         + a.objects * (a.n_classes - 1.0).max(0.0) * a.object_bytes() * a.local_selectivity;
     let scan_disk = scan_bytes * p.disk_us_per_byte;
-    let scan_cpu =
-        a.objects * a.n_classes * a.preds_per_class * 0.5 * p.cpu_us_per_cmp;
+    let scan_cpu = a.objects * a.n_classes * a.preds_per_class * 0.5 * p.cpu_us_per_cmp;
 
     // Unsolved items and assistants.
     let survivors = a.survivors();
@@ -149,13 +153,10 @@ fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
             + unsolved_per_row * (p.loid_bytes as f64 + 1.0));
 
     // Certification at the global site.
-    let certify_cpu = a.n_db
-        * survivors
-        * (1.0 + a.n_iso + a.preds_per_class + 2.0)
-        * p.cpu_us_per_cmp;
+    let certify_cpu =
+        a.n_db * survivors * (1.0 + a.n_iso + a.preds_per_class + 2.0) * p.cpu_us_per_cmp;
 
-    let net_total =
-        a.n_db * (request_bytes + reply_bytes + result_bytes) * p.net_us_per_byte;
+    let net_total = a.n_db * (request_bytes + reply_bytes + result_bytes) * p.net_us_per_byte;
     let per_db_work = scan_disk + scan_cpu + lookup_cpu + static_disk + check_disk + check_cpu;
     let total = a.n_db * per_db_work + net_total + certify_cpu;
 
@@ -173,7 +174,10 @@ fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
     };
     let response =
         scan_disk + scan_cpu + lookup_cpu + static_disk + check_wait + net_total + certify_cpu;
-    TimeEstimate { total_us: total, response_us: response }
+    TimeEstimate {
+        total_us: total,
+        response_us: response,
+    }
 }
 
 fn copies(a: &AnalyticInputs) -> f64 {

@@ -1,0 +1,91 @@
+//! Criterion benchmark: wall-clock overhead of the distributed
+//! site-actor runtime versus the in-process strategies, plus the cost of
+//! riding out an unreliable network (retries and timeouts all run in
+//! virtual time, so only scheduling overhead is real).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoq_core::run_strategy;
+use fedoq_net::{DistributedExecutor, DistributedStrategy, FaultEvent, SimTransport, Transport};
+use fedoq_query::bind;
+use fedoq_sim::{Simulation, SystemParams};
+use fedoq_workload::{generate, university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn strategies() -> Vec<DistributedStrategy> {
+    vec![
+        DistributedStrategy::ca(),
+        DistributedStrategy::bl(),
+        DistributedStrategy::pl(),
+    ]
+}
+
+fn bench_runtime_overhead(c: &mut Criterion) {
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    let mut group = c.benchmark_group("distributed_university_q1");
+    for strategy in strategies() {
+        group.bench_with_input(
+            BenchmarkId::new("sync", strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    run_strategy(
+                        strategy.sync().as_ref(),
+                        &fed,
+                        &query,
+                        SystemParams::paper_default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("actors", strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    DistributedExecutor::new()
+                        .run_local(&fed, &query, *strategy)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lossy_network(c: &mut Criterion) {
+    let params = WorkloadParams::paper_default().scaled(0.02);
+    let config = params.sample(&mut StdRng::seed_from_u64(42));
+    let sample = generate(&config, 42);
+    let fed = &sample.federation;
+    let query = bind(&sample.query, fed.global_schema()).unwrap();
+    let mut group = c.benchmark_group("distributed_synthetic_lossy");
+    for drop_rate in [0.0_f64, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("BL", format!("drop_{drop_rate}")),
+            &drop_rate,
+            |b, &drop_rate| {
+                b.iter(|| {
+                    let sim = Rc::new(RefCell::new(Simulation::new(
+                        SystemParams::paper_default(),
+                        fed.num_dbs(),
+                    )));
+                    let mut t = SimTransport::new(Rc::clone(&sim), 7);
+                    t.inject(FaultEvent::SetDropRate(drop_rate));
+                    let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(t));
+                    DistributedExecutor::new()
+                        .run(fed, &query, DistributedStrategy::bl(), transport, sim)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_overhead, bench_lossy_network);
+criterion_main!(benches);

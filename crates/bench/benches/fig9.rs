@@ -14,7 +14,6 @@ fn bench(c: &mut Criterion) {
     common::bench_points(c, "fig9", common::fig9_points());
 }
 
-
 /// Trimmed sampling so the full suite completes in minutes; override
 /// with Criterion's CLI flags when deeper measurement is needed.
 fn quick() -> Criterion {

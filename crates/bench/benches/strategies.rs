@@ -3,9 +3,7 @@
 //! example and on a default Table-2 synthetic federation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedoq_core::{
-    run_strategy, BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized,
-};
+use fedoq_core::{run_strategy, BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized};
 use fedoq_query::bind;
 use fedoq_sim::SystemParams;
 use fedoq_workload::{generate, university, WorkloadParams};
@@ -32,8 +30,13 @@ fn bench_university(c: &mut Criterion) {
             &strategy,
             |b, strategy| {
                 b.iter(|| {
-                    run_strategy(strategy.as_ref(), &fed, &query, SystemParams::paper_default())
-                        .unwrap()
+                    run_strategy(
+                        strategy.as_ref(),
+                        &fed,
+                        &query,
+                        SystemParams::paper_default(),
+                    )
+                    .unwrap()
                 })
             },
         );
@@ -66,7 +69,6 @@ fn bench_synthetic(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Trimmed sampling so the full suite completes in minutes; override
 /// with Criterion's CLI flags when deeper measurement is needed.

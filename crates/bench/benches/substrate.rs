@@ -23,7 +23,10 @@ fn bench_local_scan(c: &mut Criterion) {
     let query = LocalQuery::build(
         db,
         "C1",
-        &[("key", CmpOp::Ge, Value::Int(0)), ("t0", CmpOp::Lt, Value::Int(500))],
+        &[
+            ("key", CmpOp::Ge, Value::Int(0)),
+            ("t0", CmpOp::Lt, Value::Int(500)),
+        ],
         &["t0", "t1"],
     )
     .expect("generated schema has key and targets");
@@ -97,7 +100,6 @@ fn bench_persistence(c: &mut Criterion) {
         b.iter(|| load_db(&mut encoded.as_slice()).unwrap())
     });
 }
-
 
 /// Trimmed sampling so the full suite completes in minutes; override
 /// with Criterion's CLI flags when deeper measurement is needed.

@@ -10,8 +10,14 @@
 //! `results/<id>.csv`. Sample count and workload scale come from
 //! `FEDOQ_SAMPLES` and `FEDOQ_SCALE` (see `fedoq-bench`).
 
-use fedoq_analytic::{estimate, predict_fig10, predict_fig11, predict_fig9, AnalyticInputs, PredictedPoint, StrategyKind};
-use fedoq_bench::{fig10, fig11, fig9, network_ablation, niso_sweep, render_table, signature_ablation, Measure, Settings};
+use fedoq_analytic::{
+    estimate, predict_fig10, predict_fig11, predict_fig9, AnalyticInputs, PredictedPoint,
+    StrategyKind,
+};
+use fedoq_bench::{
+    fig10, fig11, fig9, network_ablation, niso_sweep, render_table, signature_ablation, Measure,
+    Settings,
+};
 use fedoq_sim::SystemParams;
 use fedoq_workload::WorkloadParams;
 use std::path::PathBuf;
@@ -36,7 +42,10 @@ fn main() {
         print_fig8();
     }
     for (flag, runner) in [
-        ("--fig9", fig9 as fn(Settings) -> fedoq_bench::ExperimentResult),
+        (
+            "--fig9",
+            fig9 as fn(Settings) -> fedoq_bench::ExperimentResult,
+        ),
         ("--fig10", fig10),
         ("--fig11", fig11),
     ] {
@@ -74,7 +83,11 @@ fn run_figure(runner: fn(Settings) -> fedoq_bench::ExperimentResult, settings: S
     println!("{}", render_table(&result, Measure::Total));
     println!("{}", render_table(&result, Measure::Response));
     save(&result);
-    println!("[{} done in {:.1}s]\n", result.id, start.elapsed().as_secs_f64());
+    println!(
+        "[{} done in {:.1}s]\n",
+        result.id,
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn save(result: &fedoq_bench::ExperimentResult) {
@@ -88,14 +101,38 @@ fn save(result: &fedoq_bench::ExperimentResult) {
 fn print_table1() {
     let p = SystemParams::paper_default();
     println!("Table 1 — system parameters");
-    println!("  S_a    average size of attributes          {} bytes", p.attr_bytes);
-    println!("  S_GOid size of GOid                        {} bytes", p.goid_bytes);
-    println!("  S_LOid size of LOid                        {} bytes", p.loid_bytes);
-    println!("  S_s    size of object signatures           {} bytes", p.signature_bytes);
-    println!("  T_d    average disk access time            {} µs/byte", p.disk_us_per_byte);
-    println!("  T_net  average network transfer time       {} µs/byte", p.net_us_per_byte);
-    println!("  T_c    average cpu processing time         {} µs/comparison", p.cpu_us_per_cmp);
-    println!("  N_iso  average isomeric objects per entity {}", p.avg_isomeric);
+    println!(
+        "  S_a    average size of attributes          {} bytes",
+        p.attr_bytes
+    );
+    println!(
+        "  S_GOid size of GOid                        {} bytes",
+        p.goid_bytes
+    );
+    println!(
+        "  S_LOid size of LOid                        {} bytes",
+        p.loid_bytes
+    );
+    println!(
+        "  S_s    size of object signatures           {} bytes",
+        p.signature_bytes
+    );
+    println!(
+        "  T_d    average disk access time            {} µs/byte",
+        p.disk_us_per_byte
+    );
+    println!(
+        "  T_net  average network transfer time       {} µs/byte",
+        p.net_us_per_byte
+    );
+    println!(
+        "  T_c    average cpu processing time         {} µs/comparison",
+        p.cpu_us_per_cmp
+    );
+    println!(
+        "  N_iso  average isomeric objects per entity {}",
+        p.avg_isomeric
+    );
     println!();
 }
 
@@ -103,13 +140,34 @@ fn print_table2() {
     let p = WorkloadParams::paper_default();
     println!("Table 2 — database and query parameters (defaults)");
     println!("  N_db   component databases                 {}", p.n_db);
-    println!("  N_c    global classes involved             {:?}", p.n_classes);
-    println!("  N_p^k  predicates per class                {:?}", p.preds_per_class);
-    println!("  N_o    objects per constituent class       {:?}", p.objects_per_class);
-    println!("  R_r    ratio of objects referenced         {:?}", p.ref_ratio);
-    println!("  N_ta   target attributes                   {:?}", p.target_attrs);
-    println!("  R_m    injected-null ratio                 {:?}", p.null_ratio);
-    println!("  R_iso  entities with isomeric copies       {:.3}", p.effective_iso_ratio());
+    println!(
+        "  N_c    global classes involved             {:?}",
+        p.n_classes
+    );
+    println!(
+        "  N_p^k  predicates per class                {:?}",
+        p.preds_per_class
+    );
+    println!(
+        "  N_o    objects per constituent class       {:?}",
+        p.objects_per_class
+    );
+    println!(
+        "  R_r    ratio of objects referenced         {:?}",
+        p.ref_ratio
+    );
+    println!(
+        "  N_ta   target attributes                   {:?}",
+        p.target_attrs
+    );
+    println!(
+        "  R_m    injected-null ratio                 {:?}",
+        p.null_ratio
+    );
+    println!(
+        "  R_iso  entities with isomeric copies       {:.3}",
+        p.effective_iso_ratio()
+    );
     println!("  N_iso  copies per replicated entity        {}", p.n_iso);
     println!("  R_ps   class selectivity                   0.45^sqrt(N_p)");
     println!();
@@ -132,19 +190,25 @@ fn print_fig8() {
     ] {
         let mut sim = Simulation::new(SystemParams::paper_default(), fed.num_dbs());
         strategy.execute(&fed, &q1, &mut sim).expect("Q1 executes");
-        println!("{} ({}):", strategy.name(), match strategy.name() {
-            "CA" => "O -> I -> P",
-            "BL" => "P -> O -> I",
-            _ => "O -> P -> I",
-        });
+        println!(
+            "{} ({}):",
+            strategy.name(),
+            match strategy.name() {
+                "CA" => "O -> I -> P",
+                "BL" => "P -> O -> I",
+                _ => "O -> P -> I",
+            }
+        );
         println!("{}", timeline::render(sim.ledger(), fed.num_dbs()));
     }
 }
 
 fn print_analytic() {
     println!("Analytic expected-cost model (Table-2 defaults)");
-    let inputs =
-        AnalyticInputs::from_workload(&WorkloadParams::paper_default(), SystemParams::paper_default());
+    let inputs = AnalyticInputs::from_workload(
+        &WorkloadParams::paper_default(),
+        SystemParams::paper_default(),
+    );
     for kind in StrategyKind::ALL {
         println!("  {kind}: {}", estimate(kind, &inputs));
     }

@@ -4,8 +4,8 @@ use fedoq_core::{
     run_strategy, run_strategy_with_network, BasicLocalized, Centralized, ExecutionStrategy,
     ParallelLocalized,
 };
-use fedoq_sim::NetworkModel;
 use fedoq_query::bind;
+use fedoq_sim::NetworkModel;
 use fedoq_sim::{QueryMetrics, SystemParams};
 use fedoq_workload::{generate, WorkloadParams};
 use rand::rngs::StdRng;
@@ -37,7 +37,10 @@ impl Settings {
 
     /// A tiny setting for tests.
     pub fn smoke() -> Settings {
-        Settings { samples: 4, scale: 0.01 }
+        Settings {
+            samples: 4,
+            scale: 0.01,
+        }
     }
 }
 
@@ -78,8 +81,7 @@ impl Dispersion {
                 if n < 2.0 {
                     return Dispersion::default();
                 }
-                let mean_total: f64 =
-                    runs.iter().map(|m| m.total_execution_us).sum::<f64>() / n;
+                let mean_total: f64 = runs.iter().map(|m| m.total_execution_us).sum::<f64>() / n;
                 let mean_resp: f64 = runs.iter().map(|m| m.response_us).sum::<f64>() / n;
                 let var_total = runs
                     .iter()
@@ -191,7 +193,10 @@ pub fn run_point_detailed(
             );
         }
     }
-    let means = sums.into_iter().map(|m| m.scale_down(samples as u64)).collect();
+    let means = sums
+        .into_iter()
+        .map(|m| m.scale_down(samples as u64))
+        .collect();
     (means, Dispersion::from_samples(&raw))
 }
 
@@ -212,48 +217,78 @@ fn sweep(
         let params = make_params(x);
         let (metrics, dispersion) =
             run_point_detailed(&params, &strategies, settings.samples, 0xF1D0 + i as u64);
-        points.push(SweepPoint { x, metrics, dispersion });
+        points.push(SweepPoint {
+            x,
+            metrics,
+            dispersion,
+        });
     }
-    ExperimentResult { id, x_label, series, points }
+    ExperimentResult {
+        id,
+        x_label,
+        series,
+        points,
+    }
 }
 
 /// Figure 9: total execution time (a) and response time (b) as the
 /// average number of objects per constituent class grows.
 pub fn fig9(settings: Settings) -> ExperimentResult {
     let xs = [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0];
-    sweep("fig9", "objects per constituent class", &xs, base_strategies(), settings, move |x| {
-        let mut p = WorkloadParams::paper_default();
-        let lo = ((x * 0.9 * settings.scale).round() as usize).max(1);
-        let hi = ((x * 1.1 * settings.scale).round() as usize).max(1);
-        p.objects_per_class = lo..=hi.max(lo);
-        p
-    })
+    sweep(
+        "fig9",
+        "objects per constituent class",
+        &xs,
+        base_strategies(),
+        settings,
+        move |x| {
+            let mut p = WorkloadParams::paper_default();
+            let lo = ((x * 0.9 * settings.scale).round() as usize).max(1);
+            let hi = ((x * 1.1 * settings.scale).round() as usize).max(1);
+            p.objects_per_class = lo..=hi.max(lo);
+            p
+        },
+    )
 }
 
 /// Figure 10: the same measures as the number of component databases
 /// grows (`R_iso` follows the paper's `1 − 0.9^(N_db−1)`).
 pub fn fig10(settings: Settings) -> ExperimentResult {
     let xs = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
-    sweep("fig10", "component databases", &xs, base_strategies(), settings, move |x| {
-        let mut p = WorkloadParams::paper_default().scaled(settings.scale);
-        p.n_db = x as usize;
-        p
-    })
+    sweep(
+        "fig10",
+        "component databases",
+        &xs,
+        base_strategies(),
+        settings,
+        move |x| {
+            let mut p = WorkloadParams::paper_default().scaled(settings.scale);
+            p.n_db = x as usize;
+            p
+        },
+    )
 }
 
 /// Figure 11: the same measures as the selectivity of the local
 /// predicates grows (`N_o` restricted to 1000–2000 as in the paper).
 pub fn fig11(settings: Settings) -> ExperimentResult {
     let xs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
-    sweep("fig11", "local predicate selectivity", &xs, base_strategies(), settings, move |x| {
-        let mut p = WorkloadParams::paper_default();
-        let lo = ((1000.0 * settings.scale).round() as usize).max(1);
-        let hi = ((2000.0 * settings.scale).round() as usize).max(lo + 1);
-        p.objects_per_class = lo..=hi;
-        p.preds_per_class = 1..=3;
-        p.forced_selectivity = Some(x);
-        p
-    })
+    sweep(
+        "fig11",
+        "local predicate selectivity",
+        &xs,
+        base_strategies(),
+        settings,
+        move |x| {
+            let mut p = WorkloadParams::paper_default();
+            let lo = ((1000.0 * settings.scale).round() as usize).max(1);
+            let hi = ((2000.0 * settings.scale).round() as usize).max(lo + 1);
+            p.objects_per_class = lo..=hi;
+            p.preds_per_class = 1..=3;
+            p.forced_selectivity = Some(x);
+            p
+        },
+    )
 }
 
 /// Extension ablation: BL/PL against their signature-assisted variants on
@@ -290,14 +325,21 @@ pub fn signature_ablation(settings: Settings) -> ExperimentResult {
 /// it.
 pub fn niso_sweep(settings: Settings) -> ExperimentResult {
     let xs = [1.0, 2.0, 3.0, 4.0];
-    sweep("niso_sweep", "copies per replicated entity", &xs, base_strategies(), settings, move |x| {
-        let mut p = WorkloadParams::paper_default().scaled(settings.scale);
-        p.n_db = 4;
-        p.n_iso = x as usize;
-        // Hold the replicated fraction fixed so only the copy count moves.
-        p.iso_ratio = Some(0.3);
-        p
-    })
+    sweep(
+        "niso_sweep",
+        "copies per replicated entity",
+        &xs,
+        base_strategies(),
+        settings,
+        move |x| {
+            let mut p = WorkloadParams::paper_default().scaled(settings.scale);
+            p.n_db = 4;
+            p.n_iso = x as usize;
+            // Hold the replicated fraction fixed so only the copy count moves.
+            p.iso_ratio = Some(0.3);
+            p
+        },
+    )
 }
 
 /// Network-model ablation: the Figure-10 sweep repeated under
@@ -322,7 +364,11 @@ pub fn network_ablation(settings: Settings) -> ExperimentResult {
             0xF1D0 + i as u64,
             NetworkModel::PointToPoint,
         );
-        points.push(SweepPoint { x, metrics, dispersion });
+        points.push(SweepPoint {
+            x,
+            metrics,
+            dispersion,
+        });
     }
     ExperimentResult {
         id: "network_ablation",
@@ -360,7 +406,10 @@ fn run_point_with_network(
             raw[s].push(metrics);
         }
     }
-    let means = sums.into_iter().map(|m| m.scale_down(samples as u64)).collect();
+    let means = sums
+        .into_iter()
+        .map(|m| m.scale_down(samples as u64))
+        .collect();
     (means, Dispersion::from_samples(&raw))
 }
 
@@ -389,15 +438,19 @@ mod tests {
         assert_eq!(result.series.len(), 3);
         let ca = result.series_index("CA").unwrap();
         // CA's total time grows with object count.
-        assert!(
-            result.metric(5, ca).total_execution_us > result.metric(0, ca).total_execution_us
-        );
+        assert!(result.metric(5, ca).total_execution_us > result.metric(0, ca).total_execution_us);
     }
 
     #[test]
     fn series_lookup() {
-        let settings = Settings { samples: 1, scale: 0.005 };
-        let result = fig10(Settings { samples: 1, scale: 0.005 });
+        let settings = Settings {
+            samples: 1,
+            scale: 0.005,
+        };
+        let result = fig10(Settings {
+            samples: 1,
+            scale: 0.005,
+        });
         assert_eq!(result.series_index("BL"), Some(1));
         assert_eq!(result.series_index("nope"), None);
         let _ = settings;

@@ -19,7 +19,6 @@ pub mod report;
 
 pub use experiments::{
     fig10, fig11, fig9, network_ablation, niso_sweep, run_point, run_point_detailed,
-    signature_ablation, Dispersion,
-    ExperimentResult, Settings, StrategySeries, SweepPoint,
+    signature_ablation, Dispersion, ExperimentResult, Settings, StrategySeries, SweepPoint,
 };
 pub use report::{render_table, write_csv, Measure};

@@ -13,7 +13,7 @@ use crate::result::{MaybeRow, QueryAnswer, ResultRow};
 use crate::strategy::ExecutionStrategy;
 use fedoq_object::{DbId, Truth};
 use fedoq_query::BoundQuery;
-use fedoq_sim::{Phase, Simulation, Site};
+use fedoq_sim::{Phase, Simulation, Site, SystemParams};
 use std::collections::BTreeSet;
 
 /// The centralized strategy (the paper's algorithm **CA**).
@@ -33,22 +33,19 @@ impl ExecutionStrategy for Centralized {
         query: &BoundQuery,
         sim: &mut Simulation,
     ) -> Result<QueryAnswer, ExecError> {
-        let schema = fed.global_schema();
-        let mut involved = query.involved_slots();
-        // The range class is always involved: its extent seeds the rows
-        // even when neither targets nor predicates read a root attribute.
-        involved.entry(query.range()).or_default();
-
         // --- Step CA_G1 / CA_C1: request and ship the projected extents.
-        let hosting: BTreeSet<DbId> = involved
-            .keys()
-            .flat_map(|&c| schema.class(c).hosting_dbs())
-            .collect();
-        let requests: Vec<_> = hosting
+        let params = *sim.params();
+        let plan = ship_plan(fed, query, &params);
+        let requests: Vec<_> = plan
+            .sites
             .iter()
             .map(|&db| {
-                let token =
-                    sim.send(Site::Global, Site::Db(db), 2 * sim.params().attr_bytes, Phase::Ship);
+                let token = sim.send(
+                    Site::Global,
+                    Site::Db(db),
+                    2 * sim.params().attr_bytes,
+                    Phase::Ship,
+                );
                 (db, token)
             })
             .collect();
@@ -57,69 +54,118 @@ impl ExecutionStrategy for Centralized {
         }
 
         let mut shipments = Vec::new();
-        for (&class_id, slots) in &involved {
-            for constituent in schema.class(class_id).constituents() {
-                let db = constituent.db();
-                let present = slots
-                    .iter()
-                    .filter(|&&g| !constituent.is_missing(g))
-                    .count();
-                let count = fed.db(db).extent(constituent.class()).len() as u64;
-                let bytes = count * sim.params().object_bytes(present);
-                sim.disk(Site::Db(db), bytes, Phase::Ship);
-                shipments.push((Site::Db(db), Site::Global, bytes, Phase::Ship));
-            }
+        for &(db, bytes) in &plan.shipments {
+            sim.disk(Site::Db(db), bytes, Phase::Ship);
+            shipments.push((Site::Db(db), Site::Global, bytes, Phase::Ship));
         }
         let tokens = sim.send_batch(shipments);
         sim.recv_all(Site::Global, tokens);
 
-        // --- Step CA_G2: materialize the global classes (phases O and I).
-        let (materialized, cost) = Materialized::build(fed, &involved);
-        sim.cpu(Site::Global, cost.o_comparisons, Phase::O);
-        sim.cpu(Site::Global, cost.i_comparisons, Phase::I);
+        // --- Steps CA_G2 / CA_G3 at the global site.
+        centralized_answer(fed, query, sim)
+    }
+}
 
-        // --- Step CA_G3: evaluate the predicates (phase P).
-        let extent = materialized
-            .extent(query.range())
-            .ok_or_else(|| ExecError::Internal("range class not materialized".into()))?;
-        let mut certain = Vec::new();
-        let mut maybe = Vec::new();
-        let mut probes = 0u64;
-        let mut roots: Vec<_> = extent.keys().copied().collect();
-        roots.sort();
-        for goid in roots {
-            let mut eliminated = false;
-            let mut unsolved = Vec::new();
-            for pred in query.predicates() {
-                let value = materialized.walk(goid, pred.path(), &mut probes);
-                probes += 1;
-                match value.compare(pred.op(), pred.literal()) {
-                    Truth::True => {}
-                    Truth::False => {
-                        eliminated = true;
-                        break;
-                    }
-                    Truth::Unknown => unsolved.push(pred.id()),
-                }
-            }
-            if eliminated {
-                continue;
-            }
-            let values = query
-                .targets()
+/// CA's shipping plan: which sites receive the query and how many bytes of
+/// projected extent each involved constituent ships to the global site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShipPlan {
+    /// Sites hosting any involved constituent (they receive the query),
+    /// ascending.
+    pub sites: Vec<DbId>,
+    /// `(hosting site, projected extent bytes)` per involved constituent,
+    /// in deterministic (class, constituent) order.
+    pub shipments: Vec<(DbId, u64)>,
+}
+
+/// Computes CA's step CA_C1 without touching a simulation: every involved
+/// constituent extent, projected on the query's attributes, sized in bytes.
+pub fn ship_plan(fed: &Federation, query: &BoundQuery, params: &SystemParams) -> ShipPlan {
+    let schema = fed.global_schema();
+    let mut involved = query.involved_slots();
+    involved.entry(query.range()).or_default();
+    let sites: BTreeSet<DbId> = involved
+        .keys()
+        .flat_map(|&c| schema.class(c).hosting_dbs())
+        .collect();
+    let mut shipments = Vec::new();
+    for (&class_id, slots) in &involved {
+        for constituent in schema.class(class_id).constituents() {
+            let db = constituent.db();
+            let present = slots
                 .iter()
-                .map(|t| materialized.walk(goid, t, &mut probes))
-                .collect();
-            let row = ResultRow::new(goid, values);
-            if unsolved.is_empty() {
-                certain.push(row);
-            } else {
-                maybe.push(MaybeRow::new(row, unsolved));
+                .filter(|&&g| !constituent.is_missing(g))
+                .count();
+            let count = fed.db(db).extent(constituent.class()).len() as u64;
+            shipments.push((db, count * params.object_bytes(present)));
+        }
+    }
+    ShipPlan {
+        sites: sites.into_iter().collect(),
+        shipments,
+    }
+}
+
+/// Runs CA's global-site share — materialize the global classes (phases O
+/// and I) and evaluate the predicates on them (phase P) — charging the
+/// global site's clock in `sim`. This is the unit of work the distributed
+/// global actor performs once every shipment has arrived.
+pub fn centralized_answer(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+) -> Result<QueryAnswer, ExecError> {
+    let mut involved = query.involved_slots();
+    // The range class is always involved: its extent seeds the rows even
+    // when neither targets nor predicates read a root attribute.
+    involved.entry(query.range()).or_default();
+
+    // --- Step CA_G2: materialize the global classes (phases O and I).
+    let (materialized, cost) = Materialized::build(fed, &involved);
+    sim.cpu(Site::Global, cost.o_comparisons, Phase::O);
+    sim.cpu(Site::Global, cost.i_comparisons, Phase::I);
+
+    // --- Step CA_G3: evaluate the predicates (phase P).
+    let extent = materialized
+        .extent(query.range())
+        .ok_or_else(|| ExecError::Internal("range class not materialized".into()))?;
+    let mut certain = Vec::new();
+    let mut maybe = Vec::new();
+    let mut probes = 0u64;
+    let mut roots: Vec<_> = extent.keys().copied().collect();
+    roots.sort();
+    for goid in roots {
+        let mut eliminated = false;
+        let mut unsolved = Vec::new();
+        for pred in query.predicates() {
+            let value = materialized.walk(goid, pred.path(), &mut probes);
+            probes += 1;
+            match value.compare(pred.op(), pred.literal()) {
+                Truth::True => {}
+                Truth::False => {
+                    eliminated = true;
+                    break;
+                }
+                Truth::Unknown => unsolved.push(pred.id()),
             }
         }
-        sim.cpu(Site::Global, probes, Phase::P);
-        Ok(QueryAnswer::new(certain, maybe))
+        if eliminated {
+            continue;
+        }
+        let values = query
+            .targets()
+            .iter()
+            .map(|t| materialized.walk(goid, t, &mut probes))
+            .collect();
+        let row = ResultRow::new(goid, values);
+        if unsolved.is_empty() {
+            certain.push(row);
+        } else {
+            maybe.push(MaybeRow::new(row, unsolved));
+        }
     }
+    sim.cpu(Site::Global, probes, Phase::P);
+    Ok(QueryAnswer::new(certain, maybe))
 }
 
 #[cfg(test)]
@@ -146,19 +192,37 @@ mod tests {
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
         // Entity 1: both copies; age known.
-        db0.insert_named("Student", &[("s-no", Value::Int(1)), ("age", Value::Int(31))]).unwrap();
-        db1.insert_named("Student", &[("s-no", Value::Int(1)), ("sex", Value::text("m"))]).unwrap();
+        db0.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("age", Value::Int(31))],
+        )
+        .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("sex", Value::text("m"))],
+        )
+        .unwrap();
         // Entity 2: only in DB1; age unknown everywhere.
-        db1.insert_named("Student", &[("s-no", Value::Int(2)), ("sex", Value::text("f"))]).unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(2)), ("sex", Value::text("f"))],
+        )
+        .unwrap();
         // Entity 3: only in DB0; too young.
-        db0.insert_named("Student", &[("s-no", Value::Int(3)), ("age", Value::Int(20))]).unwrap();
+        db0.insert_named(
+            "Student",
+            &[("s-no", Value::Int(3)), ("age", Value::Int(20))],
+        )
+        .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
     #[test]
     fn certain_maybe_and_eliminated() {
         let f = fed();
-        let q = f.parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age >= 30").unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age >= 30")
+            .unwrap();
         let (answer, metrics) =
             run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
         assert_eq!(answer.certain().len(), 1);
@@ -175,8 +239,11 @@ mod tests {
         // Queried on `sex` (missing in DB0): entity 1's DB0 copy would be a
         // maybe result, but its DB1 copy supplies sex = 'm'.
         let f = fed();
-        let q = f.parse_and_bind("SELECT X.s-no FROM Student X WHERE X.sex = 'm'").unwrap();
-        let (answer, _) = run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.sex = 'm'")
+            .unwrap();
+        let (answer, _) =
+            run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
         assert_eq!(answer.certain().len(), 1);
         assert_eq!(answer.certain()[0].values(), &[Value::Int(1)]);
         // Entity 2: sex = 'f' => eliminated. Entity 3: sex unknown => maybe.
@@ -188,7 +255,8 @@ mod tests {
     fn no_predicates_returns_all_entities_certain() {
         let f = fed();
         let q = f.parse_and_bind("SELECT X.s-no FROM Student X").unwrap();
-        let (answer, _) = run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
+        let (answer, _) =
+            run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
         assert_eq!(answer.certain().len(), 3);
         assert!(answer.maybe().is_empty());
     }
@@ -196,7 +264,9 @@ mod tests {
     #[test]
     fn response_time_includes_serialized_shipping() {
         let f = fed();
-        let q = f.parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age >= 30").unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age >= 30")
+            .unwrap();
         let (_, m) = run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
         // All bytes cross the single shared link, so response >= transfer
         // time of all data, and total >= response.

@@ -32,23 +32,23 @@ use std::collections::HashMap;
 /// Accumulated verdicts from assistant checks, keyed by the unsolved item
 /// and the predicate checked.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct CheckReplies {
+pub struct CheckReplies {
     verdicts: HashMap<(LOid, PredId), Vec<Truth>>,
 }
 
 impl CheckReplies {
     /// An empty reply store.
-    pub(crate) fn new() -> CheckReplies {
+    pub fn new() -> CheckReplies {
         CheckReplies::default()
     }
 
     /// Records one assistant's verdict for `(item, pred)`.
-    pub(crate) fn record(&mut self, item: LOid, pred: PredId, verdict: Truth) {
+    pub fn record(&mut self, item: LOid, pred: PredId, verdict: Truth) {
         self.verdicts.entry((item, pred)).or_default().push(verdict);
     }
 
     /// All verdicts recorded for `(item, pred)`.
-    pub(crate) fn verdicts(&self, item: LOid, pred: PredId) -> &[Truth] {
+    pub fn verdicts(&self, item: LOid, pred: PredId) -> &[Truth] {
         self.verdicts
             .get(&(item, pred))
             .map(Vec::as_slice)
@@ -56,15 +56,19 @@ impl CheckReplies {
     }
 
     /// Number of recorded verdicts (for tests and metrics).
-    #[allow(dead_code)] // exercised by unit tests
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.verdicts.values().map(Vec::len).sum()
+    }
+
+    /// `true` iff no verdict has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
     }
 }
 
 /// Certifies the merged local results at the global site (phase I) and
 /// assembles the final answer.
-pub(crate) fn certify(
+pub fn certify(
     fed: &Federation,
     query: &BoundQuery,
     site_rows: Vec<(DbId, Vec<LocalRow>)>,
@@ -101,9 +105,7 @@ pub(crate) fn certify(
         // must have returned it.
         for &loid in table.loids_of(goid) {
             comparisons += 1;
-            if queried_dbs.contains(&loid.db())
-                && !group.iter().any(|(db, _)| *db == loid.db())
-            {
+            if queried_dbs.contains(&loid.db()) && !group.iter().any(|(db, _)| *db == loid.db()) {
                 continue 'entities;
             }
         }
@@ -195,9 +197,14 @@ mod tests {
         r.record(item, PredId::new(0), Truth::True);
         r.record(item, PredId::new(0), Truth::Unknown);
         r.record(item, PredId::new(1), Truth::False);
-        assert_eq!(r.verdicts(item, PredId::new(0)), &[Truth::True, Truth::Unknown]);
+        assert_eq!(
+            r.verdicts(item, PredId::new(0)),
+            &[Truth::True, Truth::Unknown]
+        );
         assert_eq!(r.verdicts(item, PredId::new(1)), &[Truth::False]);
-        assert!(r.verdicts(LOid::new(DbId::new(1), 1), PredId::new(0)).is_empty());
+        assert!(r
+            .verdicts(LOid::new(DbId::new(1), 1), PredId::new(0))
+            .is_empty());
         assert_eq!(r.len(), 3);
     }
 }

@@ -68,7 +68,9 @@ pub(crate) fn merge_branches(query: &DnfQuery, branches: &[QueryAnswer]) -> Quer
         let offset = query.branch_offset(b);
         for row in answer.certain() {
             maybe.remove(&row.goid());
-            certain.entry(row.goid()).or_insert_with(|| row.values().to_vec());
+            certain
+                .entry(row.goid())
+                .or_insert_with(|| row.values().to_vec());
         }
         for m in answer.maybe() {
             if certain.contains_key(&m.goid()) {
@@ -126,22 +128,43 @@ mod tests {
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
         // 1: age 20 (young) — certain via the first branch.
-        db0.insert_named("Student", &[("sid", Value::Int(1)), ("age", Value::Int(20))]).unwrap();
+        db0.insert_named(
+            "Student",
+            &[("sid", Value::Int(1)), ("age", Value::Int(20))],
+        )
+        .unwrap();
         // 2: age 40, city Taipei — certain via the second branch only.
-        db0.insert_named("Student", &[("sid", Value::Int(2)), ("age", Value::Int(40))]).unwrap();
-        db1.insert_named("Student", &[("sid", Value::Int(2)), ("city", Value::text("Taipei"))])
-            .unwrap();
+        db0.insert_named(
+            "Student",
+            &[("sid", Value::Int(2)), ("age", Value::Int(40))],
+        )
+        .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("sid", Value::Int(2)), ("city", Value::text("Taipei"))],
+        )
+        .unwrap();
         // 3: age 40, city unknown — maybe (second branch unknown).
-        db0.insert_named("Student", &[("sid", Value::Int(3)), ("age", Value::Int(40))]).unwrap();
+        db0.insert_named(
+            "Student",
+            &[("sid", Value::Int(3)), ("age", Value::Int(40))],
+        )
+        .unwrap();
         // 4: age 40, city HsinChu — eliminated by both branches.
-        db0.insert_named("Student", &[("sid", Value::Int(4)), ("age", Value::Int(40))]).unwrap();
-        db1.insert_named("Student", &[("sid", Value::Int(4)), ("city", Value::text("HsinChu"))])
-            .unwrap();
+        db0.insert_named(
+            "Student",
+            &[("sid", Value::Int(4)), ("age", Value::Int(40))],
+        )
+        .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("sid", Value::Int(4)), ("city", Value::text("HsinChu"))],
+        )
+        .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
-    const DNF: &str =
-        "SELECT X.sid FROM Student X WHERE X.age < 25 OR X.city = 'Taipei'";
+    const DNF: &str = "SELECT X.sid FROM Student X WHERE X.age < 25 OR X.city = 'Taipei'";
 
     #[test]
     fn kleene_or_merge_across_branches() {
@@ -167,8 +190,7 @@ mod tests {
             assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(3)]);
             // The unsolved conjunct is the second branch's city predicate,
             // reported in global numbering (offset 1).
-            let unsolved: Vec<usize> =
-                answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+            let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
             assert_eq!(unsolved, vec![1], "{}", strategy.name());
             // Entity 4 is gone entirely.
             assert_eq!(answer.len(), 3);
@@ -187,8 +209,8 @@ mod tests {
         let mut sim = Simulation::new(SystemParams::paper_default(), f.num_dbs());
         let answer = run_disjunctive(&Centralized, &f, &q, &mut sim).unwrap();
         assert_eq!(answer.certain().len(), 3); // 2, 3, 4
-        // Entity 1 fails the age branch but nobody knows its city: the
-        // city branch keeps it maybe.
+                                               // Entity 1 fails the age branch but nobody knows its city: the
+                                               // city branch keeps it maybe.
         assert_eq!(answer.maybe().len(), 1);
         assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(1)]);
         let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
@@ -201,10 +223,16 @@ mod tests {
         let dnf = parse_dnf("SELECT X.sid FROM Student X WHERE X.age < 25").unwrap();
         let mut sim = Simulation::new(SystemParams::paper_default(), f.num_dbs());
         let via_dnf = run_disjunctive(&BasicLocalized::new(), &f, &dnf, &mut sim).unwrap();
-        let bound = f.parse_and_bind("SELECT X.sid FROM Student X WHERE X.age < 25").unwrap();
-        let (direct, _) =
-            run_strategy(&BasicLocalized::new(), &f, &bound, SystemParams::paper_default())
-                .unwrap();
+        let bound = f
+            .parse_and_bind("SELECT X.sid FROM Student X WHERE X.age < 25")
+            .unwrap();
+        let (direct, _) = run_strategy(
+            &BasicLocalized::new(),
+            &f,
+            &bound,
+            SystemParams::paper_default(),
+        )
+        .unwrap();
         assert_eq!(via_dnf, direct);
     }
 

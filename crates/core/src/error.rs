@@ -18,6 +18,10 @@ pub enum ExecError {
     Query(QueryError),
     /// The federation violated an invariant the strategies rely on.
     Internal(String),
+    /// A site required by the strategy stayed unreachable past the retry
+    /// budget and the strategy cannot degrade gracefully (CA needs every
+    /// involved extent shipped before it can evaluate anything).
+    Unreachable(String),
 }
 
 impl fmt::Display for ExecError {
@@ -27,6 +31,7 @@ impl fmt::Display for ExecError {
             ExecError::Store(e) => write!(f, "component database error: {e}"),
             ExecError::Query(e) => write!(f, "query error: {e}"),
             ExecError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            ExecError::Unreachable(msg) => write!(f, "site unreachable: {msg}"),
         }
     }
 }
@@ -37,7 +42,7 @@ impl std::error::Error for ExecError {
             ExecError::Schema(e) => Some(e),
             ExecError::Store(e) => Some(e),
             ExecError::Query(e) => Some(e),
-            ExecError::Internal(_) => None,
+            ExecError::Internal(_) | ExecError::Unreachable(_) => None,
         }
     }
 }

@@ -33,7 +33,12 @@ pub fn explain(fed: &Federation, query: &BoundQuery) -> String {
         .hosting_dbs()
         .map(|db| fed.db(db).name().to_owned())
         .collect();
-    let _ = writeln!(out, "range class {} hosted by {}", range.name(), hosts.join(", "));
+    let _ = writeln!(
+        out,
+        "range class {} hosted by {}",
+        range.name(),
+        hosts.join(", ")
+    );
 
     // Conjuncts.
     if query.predicates().is_empty() {
@@ -71,17 +76,25 @@ pub fn explain(fed: &Federation, query: &BoundQuery) -> String {
     for db in fed.dbs() {
         match plan_for_db(query, schema, db.id()) {
             None => {
-                let _ = writeln!(out, "  {}: no local query (does not host {})", db.name(), range.name());
+                let _ = writeln!(
+                    out,
+                    "  {}: no local query (does not host {})",
+                    db.name(),
+                    range.name()
+                );
             }
             Some(plan) => {
-                let locals: Vec<String> =
-                    plan.local_preds().map(|id| id.to_string()).collect();
+                let locals: Vec<String> = plan.local_preds().map(|id| id.to_string()).collect();
                 let _ = writeln!(
                     out,
                     "  {}: local [{}]{}",
                     db.name(),
                     locals.join(", "),
-                    if plan.is_fully_local() { " — fully local" } else { "" }
+                    if plan.is_fully_local() {
+                        " — fully local"
+                    } else {
+                        ""
+                    }
                 );
                 for truncated in plan.truncated_preds(query) {
                     let item_class = schema.class(truncated.item_class);
@@ -122,7 +135,9 @@ mod tests {
 
     fn fed() -> Federation {
         let s0 = ComponentSchema::new(vec![
-            ClassDef::new("Dept").attr("name", AttrType::text()).key(["name"]),
+            ClassDef::new("Dept")
+                .attr("name", AttrType::text())
+                .key(["name"]),
             ClassDef::new("Emp")
                 .attr("id", AttrType::int())
                 .attr("dept", AttrType::complex("Dept"))
@@ -136,9 +151,13 @@ mod tests {
         .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "HQ", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "Payroll", s1);
-        let d = db0.insert_named("Dept", &[("name", Value::text("CS"))]).unwrap();
-        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))]).unwrap();
-        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))]).unwrap();
+        let d = db0
+            .insert_named("Dept", &[("name", Value::text("CS"))])
+            .unwrap();
+        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))])
+            .unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))])
+            .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
@@ -173,7 +192,9 @@ mod tests {
     #[test]
     fn explain_reports_unprojectable_targets() {
         let f = fed();
-        let q = f.parse_and_bind("SELECT X.salary FROM Emp X WHERE X.id >= 0").unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.salary FROM Emp X WHERE X.id >= 0")
+            .unwrap();
         let plan = explain(&f, &q);
         assert!(plan.contains("target salary not projectable here (prefix 0/1)"));
         assert!(plan.contains("fully local"));

@@ -51,14 +51,28 @@ impl Federation {
         let db_refs: Vec<&ComponentDb> = dbs.iter().collect();
         let catalog = identify_isomerism(&db_refs, &global)?;
         let signatures = build_signatures(&dbs);
-        Ok(Federation { dbs, global, catalog, signatures })
+        Ok(Federation {
+            dbs,
+            global,
+            catalog,
+            signatures,
+        })
     }
 
     /// Assembles a federation from prebuilt parts (used by generators that
     /// construct the catalog directly).
-    pub fn from_parts(dbs: Vec<ComponentDb>, global: GlobalSchema, catalog: GoidCatalog) -> Federation {
+    pub fn from_parts(
+        dbs: Vec<ComponentDb>,
+        global: GlobalSchema,
+        catalog: GoidCatalog,
+    ) -> Federation {
         let signatures = build_signatures(&dbs);
-        Federation { dbs, global, catalog, signatures }
+        Federation {
+            dbs,
+            global,
+            catalog,
+            signatures,
+        }
     }
 
     /// Number of component databases.
@@ -217,9 +231,18 @@ mod tests {
         .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
-        db0.insert_named("Student", &[("s-no", Value::Int(1)), ("age", Value::Int(31))]).unwrap();
-        db1.insert_named("Student", &[("s-no", Value::Int(1)), ("sex", Value::text("m"))]).unwrap();
-        db1.insert_named("Student", &[("s-no", Value::Int(2))]).unwrap();
+        db0.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("age", Value::Int(31))],
+        )
+        .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("sex", Value::text("m"))],
+        )
+        .unwrap();
+        db1.insert_named("Student", &[("s-no", Value::Int(2))])
+            .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
@@ -273,7 +296,9 @@ mod tests {
     #[test]
     fn parse_and_bind_round_trip() {
         let fed = two_db_fed();
-        let q = fed.parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age > 30").unwrap();
+        let q = fed
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age > 30")
+            .unwrap();
         assert_eq!(q.predicates().len(), 1);
         assert!(fed.parse_and_bind("SELECT X.y FROM Nope X").is_err());
     }

@@ -1,0 +1,26 @@
+//! Message-level building blocks of the execution strategies.
+//!
+//! The in-process strategies ([`crate::Centralized`],
+//! [`crate::BasicLocalized`], [`crate::ParallelLocalized`]) orchestrate a
+//! query as a fixed sequence of waves over a [`fedoq_sim::Simulation`].
+//! The distributed runtime (the `fedoq-net` crate) runs the *same
+//! computation* as message handlers on per-site actors: a `LocalEval`
+//! request maps to [`evaluate_site`], an `AssistantLookup` request to
+//! [`answer_check_requests`] / [`answer_target_requests`], a `ShipObjects`
+//! request to the [`ship_plan`] shipments, and the final `Certify` step to
+//! [`certify`] (localized) or [`centralized_answer`] (CA).
+//!
+//! Every handler charges the acting site's clock in the simulation it is
+//! given; none of them performs messaging. Keeping computation and
+//! communication separate is what lets the sync strategies and the actor
+//! runtime share one implementation — and is why their certain/maybe
+//! answers are bit-identical (see `tests/distributed_differential.rs`).
+
+pub use crate::centralized::{centralized_answer, ship_plan, ShipPlan};
+pub use crate::certify::{certify, CheckReplies};
+pub use crate::localized::{
+    answer_check_requests, answer_target_requests, evaluate_site, reply_message_bytes,
+    request_message_bytes, result_message_bytes, target_reply_message_bytes, CheckRequest,
+    CheckVerdict, LocalRow, LocalizedConfig, LocalizedMode, SiteEval, TargetReplies, TargetRequest,
+    UnsolvedEntry,
+};

@@ -61,6 +61,7 @@ pub mod disjunctive;
 pub mod error;
 pub mod explain;
 pub mod federation;
+pub mod handlers;
 pub mod localized;
 pub mod materialize;
 pub mod oracle;
@@ -74,5 +75,5 @@ pub use explain::explain;
 pub use federation::Federation;
 pub use localized::{BasicLocalized, ParallelLocalized};
 pub use oracle::{oracle_answer, oracle_disjunctive};
-pub use result::{MaybeRow, QueryAnswer, ResultRow};
+pub use result::{MaybeRow, Provenance, QueryAnswer, ResultRow};
 pub use strategy::{run_strategy, run_strategy_with_network, ExecutionStrategy};

@@ -51,7 +51,10 @@ impl BasicLocalized {
 
     /// BL with signature pruning (the paper's proposed extension).
     pub fn with_signatures() -> BasicLocalized {
-        BasicLocalized { use_signatures: true, ..BasicLocalized::default() }
+        BasicLocalized {
+            use_signatures: true,
+            ..BasicLocalized::default()
+        }
     }
 
     /// Enables target completion (chainable).
@@ -80,8 +83,11 @@ impl ExecutionStrategy for BasicLocalized {
             fed,
             query,
             sim,
-            Mode::Basic,
-            Config { use_signatures: self.use_signatures, complete_targets: self.complete_targets },
+            LocalizedMode::Basic,
+            LocalizedConfig {
+                use_signatures: self.use_signatures,
+                complete_targets: self.complete_targets,
+            },
         )
     }
 }
@@ -104,7 +110,10 @@ impl ParallelLocalized {
 
     /// PL with signature pruning (the paper's proposed extension).
     pub fn with_signatures() -> ParallelLocalized {
-        ParallelLocalized { use_signatures: true, ..ParallelLocalized::default() }
+        ParallelLocalized {
+            use_signatures: true,
+            ..ParallelLocalized::default()
+        }
     }
 
     /// Enables target completion (chainable).
@@ -133,28 +142,36 @@ impl ExecutionStrategy for ParallelLocalized {
             fed,
             query,
             sim,
-            Mode::Parallel,
-            Config { use_signatures: self.use_signatures, complete_targets: self.complete_targets },
+            LocalizedMode::Parallel,
+            LocalizedConfig {
+                use_signatures: self.use_signatures,
+                complete_targets: self.complete_targets,
+            },
         )
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
+/// Which localized algorithm drives a site's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalizedMode {
+    /// BL: assistant lookup after local evaluation (P → O → I).
     Basic,
+    /// PL: static assistant lookup before local evaluation (O → P → I).
     Parallel,
 }
 
 /// Per-execution options shared by BL and PL.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Config {
-    use_signatures: bool,
-    complete_targets: bool,
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct LocalizedConfig {
+    /// Prune assistant checks with replicated object signatures.
+    pub use_signatures: bool,
+    /// Fetch locally-unprojectable target values from assistant objects.
+    pub complete_targets: bool,
 }
 
 /// One local result row produced at a component database.
 #[derive(Debug, Clone)]
-pub(crate) struct LocalRow {
+pub struct LocalRow {
     /// The root object this row came from.
     pub root_loid: LOid,
     /// Its entity (from the GOid mapping table).
@@ -174,7 +191,7 @@ pub(crate) struct LocalRow {
 
 /// One unsolved predicate on one local row.
 #[derive(Debug, Clone)]
-pub(crate) struct UnsolvedEntry {
+pub struct UnsolvedEntry {
     /// Which conjunct is unsolved.
     pub pred: PredId,
     /// The unsolved item holding the missing data: a nested branch object,
@@ -184,28 +201,33 @@ pub(crate) struct UnsolvedEntry {
 }
 
 /// A request to check one assistant object against one unsolved predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CheckRequest {
-    item: LOid,
-    assistant: LOid,
-    pred: PredId,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CheckRequest {
+    /// The unsolved item whose assistants are being consulted.
+    pub item: LOid,
+    /// The assistant object to check (its `db()` is the target site).
+    pub assistant: LOid,
+    /// Which conjunct to check.
+    pub pred: PredId,
     /// Step index of the predicate's bound path where the unsolved
     /// remainder begins (the item's class is `path.class(start)`). The
     /// receiving site translates the remainder into its own attribute
     /// names — sites may name corresponding attributes differently.
-    start: usize,
+    pub start: usize,
 }
 
 /// A request to fetch a target value from an assistant object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TargetRequest {
-    item: LOid,
-    assistant: LOid,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TargetRequest {
+    /// The nested item whose assistants can supply the value.
+    pub item: LOid,
+    /// The assistant object to read (its `db()` is the target site).
+    pub assistant: LOid,
     /// Select-list position of the target.
-    target: usize,
+    pub target: usize,
     /// Step index of the target's bound path where the unprojectable
     /// remainder begins.
-    start: usize,
+    pub start: usize,
 }
 
 /// Output of the PL-only static phase-O pass over all candidate objects.
@@ -225,14 +247,26 @@ struct StaticState {
     sig_eliminated: HashSet<u64>,
 }
 
-struct SiteOutput {
-    db: DbId,
-    rows: Vec<LocalRow>,
+/// Everything one site produces for a localized query: its local result
+/// rows plus the check and target requests it wants answered elsewhere.
+///
+/// This is the unit of work a distributed site actor performs on a
+/// `LocalEval` message (see the `fedoq-net` crate); the in-process
+/// strategies assemble the same outputs wave by wave.
+#[derive(Debug)]
+pub struct SiteEval {
+    /// The evaluating site.
+    pub db: DbId,
+    /// Local maybe rows surviving local evaluation.
+    pub rows: Vec<LocalRow>,
+    /// PL-only: check requests issued before evaluation (phase O ahead of
+    /// phase P); empty under BL.
+    pub static_requests: Vec<CheckRequest>,
     /// Check requests issued after local evaluation (all of BL's, plus
     /// PL's null-caused ones).
-    dynamic_requests: Vec<CheckRequest>,
+    pub dynamic_requests: Vec<CheckRequest>,
     /// Target-value fetches (only with target completion enabled).
-    target_requests: Vec<TargetRequest>,
+    pub target_requests: Vec<TargetRequest>,
 }
 
 /// Everything precompiled once per site before scanning.
@@ -332,10 +366,23 @@ fn build_context<'a>(
         .ok_or_else(|| ExecError::Internal("plan for non-hosting site".into()))?;
     let root_width = involved
         .get(&query.range())
-        .map(|slots| slots.iter().filter(|&&g| !constituent.is_missing(g)).count())
+        .map(|slots| {
+            slots
+                .iter()
+                .filter(|&&g| !constituent.is_missing(g))
+                .count()
+        })
         .unwrap_or(0);
 
-    Ok(SiteContext { db, plan, local_preds, truncated, targets, target_prefixes, root_width })
+    Ok(SiteContext {
+        db,
+        plan,
+        local_preds,
+        truncated,
+        targets,
+        target_prefixes,
+        root_width,
+    })
 }
 
 /// Resolves the unsolved item of a truncated predicate on one object by
@@ -443,7 +490,12 @@ fn requests_for_item(
                 }
             }
         }
-        let request = CheckRequest { item, assistant, pred, start };
+        let request = CheckRequest {
+            item,
+            assistant,
+            pred,
+            start,
+        };
         *comparisons += 1; // dedup probe (shared branch items)
         if seen.insert(request) {
             out.push(request);
@@ -460,7 +512,7 @@ fn scan_static(
     query: &BoundQuery,
     ctx: &SiteContext<'_>,
     sim: &mut Simulation,
-    config: Config,
+    config: LocalizedConfig,
 ) -> StaticScan {
     let mut scan = StaticScan::default();
     if ctx.truncated.is_empty() {
@@ -496,7 +548,11 @@ fn scan_static(
                 .insert((object.loid().serial(), pred.index()), (item, start));
         }
     }
-    sim.disk(site, counter.objects_fetched * params.object_bytes(1), Phase::O);
+    sim.disk(
+        site,
+        counter.objects_fetched * params.object_bytes(1),
+        Phase::O,
+    );
     sim.cpu(site, comparisons + counter.comparisons, Phase::O);
     scan
 }
@@ -509,9 +565,9 @@ fn scan_eval(
     query: &BoundQuery,
     ctx: &SiteContext<'_>,
     sim: &mut Simulation,
-    config: Config,
+    config: LocalizedConfig,
     mut static_state: StaticState,
-) -> SiteOutput {
+) -> SiteEval {
     let db_id = ctx.db.id();
     let site = Site::Db(db_id);
     let extent = ctx.db.extent(ctx.plan.root_constituent());
@@ -527,7 +583,10 @@ fn scan_eval(
     let mut scan_bytes = 0u64;
     for object in extent.iter() {
         scan_bytes += params.object_bytes(ctx.root_width);
-        if static_state.sig_eliminated.contains(&object.loid().serial()) {
+        if static_state
+            .sig_eliminated
+            .contains(&object.loid().serial())
+        {
             continue;
         }
         let mut verdicts = vec![Truth::Unknown; query.predicates().len()];
@@ -561,7 +620,10 @@ fn scan_eval(
         // Statically unsolved predicates: reuse the static pass (PL) or
         // resolve items now (BL).
         for (pred, prefix) in &ctx.truncated {
-            match static_state.items.remove(&(object.loid().serial(), pred.index())) {
+            match static_state
+                .items
+                .remove(&(object.loid().serial(), pred.index()))
+            {
                 Some((item, start)) => unsolved.push((*pred, item, start, true)),
                 None => {
                     let (item, start) = resolve_item(ctx, object, prefix, &mut counter);
@@ -578,8 +640,7 @@ fn scan_eval(
             match compiled {
                 None => {
                     targets.push(Value::Null);
-                    if let (true, Some(prefix)) =
-                        (config.complete_targets, &ctx.target_prefixes[t])
+                    if let (true, Some(prefix)) = (config.complete_targets, &ctx.target_prefixes[t])
                     {
                         {
                             let walk = prefix.walk(ctx.db, object, &mut counter);
@@ -587,10 +648,7 @@ fn scan_eval(
                                 Some(item) => Some((item, prefix.len())),
                                 // A null blocked the prefix: the deepest
                                 // visited object is the item.
-                                None => walk
-                                    .visited
-                                    .last()
-                                    .map(|&item| (item, walk.visited.len())),
+                                None => walk.visited.last().map(|&item| (item, walk.visited.len())),
                             };
                         }
                     }
@@ -620,7 +678,10 @@ fn scan_eval(
         };
         let entries = unsolved
             .iter()
-            .map(|(pred, item, _, _)| UnsolvedEntry { pred: *pred, item: *item })
+            .map(|(pred, item, _, _)| UnsolvedEntry {
+                pred: *pred,
+                item: *item,
+            })
             .collect();
         let remainders = unsolved
             .into_iter()
@@ -638,7 +699,11 @@ fn scan_eval(
             remainders,
         ));
     }
-    sim.disk(site, scan_bytes + counter.objects_fetched * params.object_bytes(1), Phase::P);
+    sim.disk(
+        site,
+        scan_bytes + counter.objects_fetched * params.object_bytes(1),
+        Phase::P,
+    );
     sim.cpu(site, counter.comparisons, Phase::P);
 
     // --- Phase O: assistant lookup for what evaluation surfaced.
@@ -671,7 +736,9 @@ fn scan_eval(
         }
         if config.complete_targets {
             for (t, item) in row.target_items.iter().enumerate() {
-                let Some((item_loid, start)) = item else { continue };
+                let Some((item_loid, start)) = item else {
+                    continue;
+                };
                 let (item_loid, start) = (item_loid, *start);
                 let bound = &query.targets()[t];
                 let item_class = bound.class(start);
@@ -687,8 +754,12 @@ fn scan_eval(
                     if !present {
                         continue;
                     }
-                    let request =
-                        TargetRequest { item: *item_loid, assistant, target: t, start };
+                    let request = TargetRequest {
+                        item: *item_loid,
+                        assistant,
+                        target: t,
+                        start,
+                    };
                     comparisons += 1; // dedup probe
                     if target_seen.insert(request) {
                         target_requests.push(request);
@@ -700,12 +771,155 @@ fn scan_eval(
     }
     sim.cpu(site, comparisons, Phase::O);
 
-    SiteOutput { db: db_id, rows: final_rows, dynamic_requests, target_requests }
+    SiteEval {
+        db: db_id,
+        rows: final_rows,
+        static_requests: Vec::new(),
+        dynamic_requests,
+        target_requests,
+    }
+}
+
+/// Runs one site's full share of a localized query — PL's static lookup
+/// (when `mode` is [`LocalizedMode::Parallel`]), local predicate
+/// evaluation, and post-evaluation assistant lookup — charging the site's
+/// clock in `sim` for its disk and CPU work.
+///
+/// Returns `None` when the site hosts no constituent of the query's range
+/// class (it receives no local query). Messaging is the caller's concern:
+/// the in-process strategies narrate sends/receives to the simulation,
+/// while the distributed runtime moves the same payloads through a
+/// transport.
+pub fn evaluate_site(
+    fed: &Federation,
+    query: &BoundQuery,
+    db: DbId,
+    mode: LocalizedMode,
+    config: LocalizedConfig,
+    sim: &mut Simulation,
+) -> Result<Option<SiteEval>, ExecError> {
+    let Some(plan) = plan_for_db(query, fed.global_schema(), db) else {
+        return Ok(None);
+    };
+    let ctx = build_context(fed, query, &plan)?;
+    let scan = match mode {
+        LocalizedMode::Basic => StaticScan::default(),
+        LocalizedMode::Parallel => scan_static(fed, query, &ctx, sim, config),
+    };
+    let mut eval = scan_eval(fed, query, &ctx, sim, config, scan.state);
+    eval.static_requests = scan.requests;
+    Ok(Some(eval))
+}
+
+/// One assistant's verdict on one unsolved `(item, predicate)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckVerdict {
+    /// The unsolved item the verdict certifies or eliminates.
+    pub item: LOid,
+    /// The conjunct checked.
+    pub pred: PredId,
+    /// The assistant's answer on its own data.
+    pub verdict: Truth,
+}
+
+/// Answers a batch of check requests at their target site `db`: fetch each
+/// assistant, evaluate the remaining predicate on it, and return the
+/// verdicts (steps BL_C3 / PL_C3), charging `db`'s clock for the disk and
+/// CPU work.
+pub fn answer_check_requests(
+    fed: &Federation,
+    query: &BoundQuery,
+    db_id: DbId,
+    requests: &[CheckRequest],
+    sim: &mut Simulation,
+) -> Vec<CheckVerdict> {
+    let params = *sim.params();
+    let site = Site::Db(db_id);
+    let db = fed.db(db_id);
+    let mut counter = EvalCounter::new();
+    let mut read_bytes = 0u64;
+    let mut verdicts = Vec::with_capacity(requests.len());
+    for request in requests {
+        read_bytes += params.object_bytes(1);
+        counter.comparisons += 1; // locate the assistant by LOid
+        let verdict = check_assistant(fed, query, db, request, &mut counter);
+        verdicts.push(CheckVerdict {
+            item: request.item,
+            pred: request.pred,
+            verdict,
+        });
+    }
+    sim.disk(
+        site,
+        read_bytes + counter.objects_fetched * params.object_bytes(1),
+        Phase::O,
+    );
+    sim.cpu(site, counter.comparisons, Phase::O);
+    verdicts
+}
+
+/// Answers a batch of target-value fetches at their target site `db`
+/// (target-completion extension), charging `db`'s clock for the work.
+/// Returns `((item, select-list position), value)` pairs.
+pub fn answer_target_requests(
+    fed: &Federation,
+    query: &BoundQuery,
+    db_id: DbId,
+    requests: &[TargetRequest],
+    sim: &mut Simulation,
+) -> Vec<((LOid, usize), Value)> {
+    let params = *sim.params();
+    let site = Site::Db(db_id);
+    let db = fed.db(db_id);
+    let mut counter = EvalCounter::new();
+    let mut read_bytes = 0u64;
+    let mut values = Vec::with_capacity(requests.len());
+    for request in requests {
+        read_bytes += params.object_bytes(1);
+        counter.comparisons += 1; // locate the assistant by LOid
+        let value = fetch_target_value(fed, query, db, request, &mut counter);
+        values.push(((request.item, request.target), value));
+    }
+    sim.disk(
+        site,
+        read_bytes + counter.objects_fetched * params.object_bytes(1),
+        Phase::O,
+    );
+    sim.cpu(site, counter.comparisons, Phase::O);
+    values
+}
+
+/// Reads one target value from one assistant object, translating the path
+/// remainder into the target site's own attribute names.
+fn fetch_target_value(
+    fed: &Federation,
+    query: &BoundQuery,
+    db: &ComponentDb,
+    request: &TargetRequest,
+    counter: &mut EvalCounter,
+) -> Value {
+    let bound = &query.targets()[request.target];
+    let value = match db.object(request.assistant) {
+        Some(object) => match translate_steps(fed, db.id(), bound, request.start, bound.len()) {
+            Some(remaining) => match CompiledPath::compile(db, object.class(), &remaining) {
+                Ok(path) => path.walk(db, object, counter).value,
+                Err(_) => Value::Null,
+            },
+            None => Value::Null,
+        },
+        None => Value::Null,
+    };
+    // Complex terminals would need a further GOid translation; completion
+    // covers primitive target values.
+    match value {
+        Value::Ref(_) => Value::Null,
+        other => other,
+    }
 }
 
 /// Bytes of one local-results message: per row, the entity id, the local
 /// oid, the projected targets, and one oid + tag per unsolved entry.
-fn result_message_bytes(rows: &[LocalRow], params: &SystemParams) -> u64 {
+pub fn result_message_bytes(rows: &[LocalRow], params: &SystemParams) -> u64 {
     rows.iter()
         .map(|row| {
             params.goid_bytes
@@ -717,8 +931,18 @@ fn result_message_bytes(rows: &[LocalRow], params: &SystemParams) -> u64 {
 }
 
 /// Bytes of one check-request batch: assistant oid + item oid + predicate.
-fn request_message_bytes(count: usize, params: &SystemParams) -> u64 {
+pub fn request_message_bytes(count: usize, params: &SystemParams) -> u64 {
     count as u64 * (2 * params.loid_bytes + params.predicate_bytes())
+}
+
+/// Bytes of one check-reply batch: item oid + assistant oid + verdict tag.
+pub fn reply_message_bytes(count: usize, params: &SystemParams) -> u64 {
+    count as u64 * (2 * params.loid_bytes + 1)
+}
+
+/// Bytes of one target-reply batch: item oid + assistant oid + value.
+pub fn target_reply_message_bytes(count: usize, params: &SystemParams) -> u64 {
+    count as u64 * (2 * params.loid_bytes + params.attr_bytes)
 }
 
 /// Groups requests by the database owning the assistants.
@@ -770,18 +994,11 @@ fn process_check_wave(
     for (target, token, batch) in waves {
         let site = Site::Db(target);
         sim.recv(site, token);
-        let db = fed.db(target);
-        let mut counter = EvalCounter::new();
-        let mut read_bytes = 0u64;
-        for request in &batch {
-            read_bytes += params.object_bytes(1);
-            counter.comparisons += 1; // locate the assistant by LOid
-            let verdict = check_assistant(fed, query, db, request, &mut counter);
-            replies.record(request.item, request.pred, verdict);
+        let requests: Vec<CheckRequest> = batch.iter().map(|r| **r).collect();
+        for v in answer_check_requests(fed, query, target, &requests, sim) {
+            replies.record(v.item, v.pred, v.verdict);
         }
-        sim.disk(site, read_bytes + counter.objects_fetched * params.object_bytes(1), Phase::O);
-        sim.cpu(site, counter.comparisons, Phase::O);
-        let bytes = batch.len() as u64 * (2 * params.loid_bytes + 1);
+        let bytes = reply_message_bytes(batch.len(), &params);
         reply_sends.push((site, Site::Global, bytes, Phase::O));
     }
     let tokens = sim.send_batch(reply_sends);
@@ -802,38 +1019,11 @@ fn process_target_wave(
     for (target_db, token, batch) in waves {
         let site = Site::Db(target_db);
         sim.recv(site, token);
-        let db = fed.db(target_db);
-        let mut counter = EvalCounter::new();
-        let mut read_bytes = 0u64;
-        for request in &batch {
-            read_bytes += params.object_bytes(1);
-            counter.comparisons += 1; // locate the assistant by LOid
-            let bound = &query.targets()[request.target];
-            let value = match db.object(request.assistant) {
-                Some(object) => {
-                    match translate_steps(fed, target_db, bound, request.start, bound.len()) {
-                        Some(remaining) => {
-                            match CompiledPath::compile(db, object.class(), &remaining) {
-                                Ok(path) => path.walk(db, object, &mut counter).value,
-                                Err(_) => Value::Null,
-                            }
-                        }
-                        None => Value::Null,
-                    }
-                }
-                None => Value::Null,
-            };
-            // Complex terminals would need a further GOid translation;
-            // completion covers primitive target values.
-            let value = match value {
-                Value::Ref(_) => Value::Null,
-                other => other,
-            };
-            replies.entry((request.item, request.target)).or_default().push(value);
+        let requests: Vec<TargetRequest> = batch.iter().map(|r| **r).collect();
+        for (key, value) in answer_target_requests(fed, query, target_db, &requests, sim) {
+            replies.entry(key).or_default().push(value);
         }
-        sim.disk(site, read_bytes + counter.objects_fetched * params.object_bytes(1), Phase::O);
-        sim.cpu(site, counter.comparisons, Phase::O);
-        let bytes = batch.len() as u64 * (2 * params.loid_bytes + params.attr_bytes);
+        let bytes = target_reply_message_bytes(batch.len(), &params);
         reply_sends.push((site, Site::Global, bytes, Phase::O));
     }
     let tokens = sim.send_batch(reply_sends);
@@ -841,7 +1031,7 @@ fn process_target_wave(
 }
 
 /// Fetched target values, keyed by `(item, select-list position)`.
-pub(crate) type TargetReplies = HashMap<(LOid, usize), Vec<Value>>;
+pub type TargetReplies = HashMap<(LOid, usize), Vec<Value>>;
 
 /// Evaluates one remaining predicate on one assistant object, translating
 /// the path remainder into the target site's own attribute names.
@@ -856,9 +1046,13 @@ fn check_assistant(
         return Truth::Unknown; // stale mapping-table entry
     };
     let bound = query.predicate(request.pred);
-    let Some(remaining) =
-        translate_steps(fed, db.id(), bound.path(), request.start, bound.path().len())
-    else {
+    let Some(remaining) = translate_steps(
+        fed,
+        db.id(),
+        bound.path(),
+        request.start,
+        bound.path().len(),
+    ) else {
         // This site is missing a deeper attribute on the path: the check
         // cannot decide either way.
         return Truth::Unknown;
@@ -881,8 +1075,8 @@ fn execute_localized(
     fed: &Federation,
     query: &BoundQuery,
     sim: &mut Simulation,
-    mode: Mode,
-    config: Config,
+    mode: LocalizedMode,
+    config: LocalizedConfig,
 ) -> Result<QueryAnswer, ExecError> {
     let schema = fed.global_schema();
     let params = *sim.params();
@@ -897,7 +1091,14 @@ fn execute_localized(
     let queried_dbs: Vec<DbId> = plans.iter().map(|p| p.db()).collect();
     let query_sends = plans
         .iter()
-        .map(|p| (Site::Global, Site::Db(p.db()), 2 * params.attr_bytes, Phase::Ship))
+        .map(|p| {
+            (
+                Site::Global,
+                Site::Db(p.db()),
+                2 * params.attr_bytes,
+                Phase::Ship,
+            )
+        })
         .collect();
     let tokens = sim.send_batch(query_sends);
     for (plan, token) in plans.iter().zip(tokens) {
@@ -916,8 +1117,8 @@ fn execute_localized(
     let mut static_states: Vec<StaticState> = Vec::with_capacity(contexts.len());
     for ctx in &contexts {
         let scan = match mode {
-            Mode::Basic => StaticScan::default(),
-            Mode::Parallel => scan_static(fed, query, ctx, sim, config),
+            LocalizedMode::Basic => StaticScan::default(),
+            LocalizedMode::Parallel => scan_static(fed, query, ctx, sim, config),
         };
         static_requests.push(scan.requests);
         static_states.push(scan.state);
@@ -953,8 +1154,7 @@ fn execute_localized(
         let mut grouped: Vec<_> = grouped.into_iter().collect();
         grouped.sort_by_key(|(db, _)| *db);
         for (target, batch) in grouped {
-            let bytes =
-                batch.len() as u64 * (2 * params.loid_bytes + params.predicate_bytes());
+            let bytes = batch.len() as u64 * (2 * params.loid_bytes + params.predicate_bytes());
             target_sends.push((Site::Db(output.db), Site::Db(target), bytes, Phase::O));
             target_meta.push((target, batch));
         }
@@ -988,7 +1188,15 @@ fn execute_localized(
     // Step BL_G2 / PL_G2: certification at the global site (phase I).
     let site_rows: Vec<(DbId, Vec<LocalRow>)> =
         outputs.into_iter().map(|o| (o.db, o.rows)).collect();
-    Ok(certify(fed, query, site_rows, &replies, &target_replies, &queried_dbs, sim))
+    Ok(certify(
+        fed,
+        query,
+        site_rows,
+        &replies,
+        &target_replies,
+        &queried_dbs,
+        sim,
+    ))
 }
 
 #[cfg(test)]
@@ -1004,7 +1212,11 @@ mod tests {
         let both = BasicLocalized::with_signatures().completing_targets();
         assert!(both.use_signatures && both.complete_targets);
         assert!(ParallelLocalized::with_signatures().use_signatures);
-        assert!(ParallelLocalized::new().completing_targets().complete_targets);
+        assert!(
+            ParallelLocalized::new()
+                .completing_targets()
+                .complete_targets
+        );
         assert_eq!(BasicLocalized::default(), BasicLocalized::new());
         assert_eq!(ParallelLocalized::default(), ParallelLocalized::new());
     }
@@ -1023,11 +1235,21 @@ mod tests {
         let mut seen = HashSet::new();
         let item = LOid::new(DbId::new(0), 1);
         let assistant = LOid::new(DbId::new(1), 2);
-        let request = CheckRequest { item, assistant, pred: PredId::new(0), start: 1 };
+        let request = CheckRequest {
+            item,
+            assistant,
+            pred: PredId::new(0),
+            start: 1,
+        };
         assert!(seen.insert(request));
         assert!(!seen.insert(request));
         // A different start (same item/assistant/pred) is a distinct check.
-        let other = CheckRequest { item, assistant, pred: PredId::new(0), start: 0 };
+        let other = CheckRequest {
+            item,
+            assistant,
+            pred: PredId::new(0),
+            start: 0,
+        };
         assert!(seen.insert(other));
     }
 }

@@ -51,7 +51,9 @@ impl Materialized {
                     };
                     // Phase I: outerjoin probe into the materialized extent.
                     cost.i_comparisons += 1;
-                    let merged = extent.entry(goid).or_insert_with(|| vec![Value::Null; arity]);
+                    let merged = extent
+                        .entry(goid)
+                        .or_insert_with(|| vec![Value::Null; arity]);
                     for &g in slots {
                         let Some(local) = constituent.local_slot(g) else {
                             continue; // missing attribute here
@@ -142,7 +144,9 @@ mod tests {
     /// DB1: Student(s-no, sex), no Teacher.
     fn fed() -> Federation {
         let s0 = ComponentSchema::new(vec![
-            ClassDef::new("Teacher").attr("name", AttrType::text()).key(["name"]),
+            ClassDef::new("Teacher")
+                .attr("name", AttrType::text())
+                .key(["name"]),
             ClassDef::new("Student")
                 .attr("s-no", AttrType::int())
                 .attr("age", AttrType::int())
@@ -157,16 +161,28 @@ mod tests {
         .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
-        let t = db0.insert_named("Teacher", &[("name", Value::text("Kelly"))]).unwrap();
+        let t = db0
+            .insert_named("Teacher", &[("name", Value::text("Kelly"))])
+            .unwrap();
         db0.insert_named(
             "Student",
-            &[("s-no", Value::Int(1)), ("age", Value::Int(31)), ("advisor", Value::Ref(t))],
+            &[
+                ("s-no", Value::Int(1)),
+                ("age", Value::Int(31)),
+                ("advisor", Value::Ref(t)),
+            ],
         )
         .unwrap();
-        db1.insert_named("Student", &[("s-no", Value::Int(1)), ("sex", Value::text("m"))])
-            .unwrap();
-        db1.insert_named("Student", &[("s-no", Value::Int(2)), ("sex", Value::text("f"))])
-            .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("sex", Value::text("m"))],
+        )
+        .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(2)), ("sex", Value::text("f"))],
+        )
+        .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
@@ -208,7 +224,11 @@ mod tests {
         let class = f.global_schema().class_by_name("Student").unwrap();
         let advisor = class.attr_index("advisor").unwrap();
         let table = f.catalog().table(student);
-        let e1 = table.iter().find(|(_, ls)| ls.len() == 2).map(|(g, _)| g).unwrap();
+        let e1 = table
+            .iter()
+            .find(|(_, ls)| ls.len() == 2)
+            .map(|(g, _)| g)
+            .unwrap();
         match m.value_at(student, e1, advisor) {
             Value::GRef(g) => {
                 let name_slot = f
@@ -232,13 +252,21 @@ mod tests {
             .unwrap();
         let student = f.global_schema().class_id("Student").unwrap();
         let table = f.catalog().table(student);
-        let e1 = table.iter().find(|(_, ls)| ls.len() == 2).map(|(g, _)| g).unwrap();
+        let e1 = table
+            .iter()
+            .find(|(_, ls)| ls.len() == 2)
+            .map(|(g, _)| g)
+            .unwrap();
         let mut probes = 0;
         let v = m.walk(e1, &q.targets()[0], &mut probes);
         assert_eq!(v, Value::text("Kelly"));
         assert_eq!(probes, 2);
         // Entity 2 has no advisor anywhere: the walk yields null.
-        let e2 = table.iter().find(|(_, ls)| ls.len() == 1).map(|(g, _)| g).unwrap();
+        let e2 = table
+            .iter()
+            .find(|(_, ls)| ls.len() == 1)
+            .map(|(g, _)| g)
+            .unwrap();
         let v = m.walk(e2, &q.targets()[0], &mut probes);
         assert!(v.is_null());
     }
@@ -250,8 +278,7 @@ mod tests {
         let class = f.global_schema().class_by_name("Student").unwrap();
         let sno = class.attr_index("s-no").unwrap();
         let age = class.attr_index("age").unwrap();
-        let only_sno: HashMap<_, _> =
-            [(student, BTreeSet::from([sno]))].into_iter().collect();
+        let only_sno: HashMap<_, _> = [(student, BTreeSet::from([sno]))].into_iter().collect();
         let (m, _) = Materialized::build(&f, &only_sno);
         let table = f.catalog().table(student);
         for (g, _) in table.iter() {

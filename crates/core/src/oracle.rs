@@ -140,7 +140,9 @@ mod tests {
 
     fn fed() -> Federation {
         let s0 = ComponentSchema::new(vec![
-            ClassDef::new("Dept").attr("name", AttrType::text()).key(["name"]),
+            ClassDef::new("Dept")
+                .attr("name", AttrType::text())
+                .key(["name"]),
             ClassDef::new("Emp")
                 .attr("id", AttrType::int())
                 .attr("dept", AttrType::complex("Dept"))
@@ -154,10 +156,15 @@ mod tests {
         .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
-        let d = db0.insert_named("Dept", &[("name", Value::text("CS"))]).unwrap();
-        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))]).unwrap();
-        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))]).unwrap();
-        db1.insert_named("Emp", &[("id", Value::Int(2)), ("salary", Value::Int(50))]).unwrap();
+        let d = db0
+            .insert_named("Dept", &[("name", Value::text("CS"))])
+            .unwrap();
+        db0.insert_named("Emp", &[("id", Value::Int(1)), ("dept", Value::Ref(d))])
+            .unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(1)), ("salary", Value::Int(90))])
+            .unwrap();
+        db1.insert_named("Emp", &[("id", Value::Int(2)), ("salary", Value::Int(50))])
+            .unwrap();
         Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
     }
 
@@ -186,7 +193,8 @@ mod tests {
         ] {
             let q = f.parse_and_bind(sql).unwrap();
             let oracle = oracle_answer(&f, &q);
-            let (ca, _) = run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
+            let (ca, _) =
+                run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
             assert!(oracle.same_classification(&ca), "disagreement on {sql}");
             // CA materializes the same merged values, so full equality holds.
             assert_eq!(oracle, ca, "value disagreement on {sql}");

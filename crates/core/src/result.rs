@@ -48,11 +48,32 @@ impl fmt::Display for ResultRow {
     }
 }
 
+/// How a maybe result came to be a maybe result.
+///
+/// Under normal execution every assistant object is consulted, so a maybe
+/// result means the data is missing *everywhere* ([`Provenance::Full`]).
+/// Under degraded distributed execution (an assistant or component site
+/// unreachable past the retry budget), a maybe result may merely mean the
+/// protocol could not finish: the row is a sound approximation that a
+/// retry after recovery could still certify or eliminate
+/// ([`Provenance::Degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Provenance {
+    /// Every reachable copy was consulted; the classification is final.
+    #[default]
+    Full,
+    /// One or more sites were unreachable; the classification is a sound
+    /// approximation (never a wrong certain result, but this row might be
+    /// certified or eliminated once the missing sites recover).
+    Degraded,
+}
+
 /// A maybe result: a row plus the conjuncts left unsolved by missing data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaybeRow {
     row: ResultRow,
     unsolved: BTreeSet<PredId>,
+    provenance: Provenance,
 }
 
 impl MaybeRow {
@@ -64,8 +85,32 @@ impl MaybeRow {
     /// certain result, not a maybe result.
     pub fn new<I: IntoIterator<Item = PredId>>(row: ResultRow, unsolved: I) -> MaybeRow {
         let unsolved: BTreeSet<PredId> = unsolved.into_iter().collect();
-        assert!(!unsolved.is_empty(), "a maybe result must have an unsolved predicate");
-        MaybeRow { row, unsolved }
+        assert!(
+            !unsolved.is_empty(),
+            "a maybe result must have an unsolved predicate"
+        );
+        MaybeRow {
+            row,
+            unsolved,
+            provenance: Provenance::Full,
+        }
+    }
+
+    /// The same row with its provenance replaced (chainable).
+    pub fn with_provenance(mut self, provenance: Provenance) -> MaybeRow {
+        self.provenance = provenance;
+        self
+    }
+
+    /// How this maybe result was produced.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// `true` iff this row was produced by a degraded (partially
+    /// unreachable) execution.
+    pub fn is_degraded(&self) -> bool {
+        self.provenance == Provenance::Degraded
     }
 
     /// The underlying row.
@@ -98,7 +143,11 @@ impl fmt::Display for MaybeRow {
             }
             write!(f, "{p}")?;
         }
-        f.write_str("]")
+        f.write_str("]")?;
+        if self.is_degraded() {
+            f.write_str(" (degraded)")?;
+        }
+        Ok(())
     }
 }
 
@@ -148,6 +197,12 @@ impl QueryAnswer {
         self.maybe.iter().map(MaybeRow::goid).collect()
     }
 
+    /// `true` iff any maybe result carries a [`Provenance::Degraded`] tag
+    /// (some site was unreachable while the answer was assembled).
+    pub fn is_degraded(&self) -> bool {
+        self.maybe.iter().any(MaybeRow::is_degraded)
+    }
+
     /// `true` iff both answers return the same entities with the same
     /// certainty and the same unsolved conjunct sets (target values are not
     /// compared — localized strategies project only locally available
@@ -165,7 +220,12 @@ impl QueryAnswer {
 
 impl fmt::Display for QueryAnswer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} certain, {} maybe", self.certain.len(), self.maybe.len())
+        write!(
+            f,
+            "{} certain, {} maybe",
+            self.certain.len(),
+            self.maybe.len()
+        )
     }
 }
 
@@ -195,15 +255,24 @@ mod tests {
 
     #[test]
     fn classification_comparison() {
-        let a = QueryAnswer::new(vec![row(1, 1)], vec![MaybeRow::new(row(2, 2), [PredId::new(0)])]);
+        let a = QueryAnswer::new(
+            vec![row(1, 1)],
+            vec![MaybeRow::new(row(2, 2), [PredId::new(0)])],
+        );
         // Same entities/unsolved sets, different target values.
         let b = QueryAnswer::new(
             vec![ResultRow::new(GOid::new(1), vec![Value::Null])],
-            vec![MaybeRow::new(ResultRow::new(GOid::new(2), vec![]), [PredId::new(0)])],
+            vec![MaybeRow::new(
+                ResultRow::new(GOid::new(2), vec![]),
+                [PredId::new(0)],
+            )],
         );
         assert!(a.same_classification(&b));
         // Different unsolved set.
-        let c = QueryAnswer::new(vec![row(1, 1)], vec![MaybeRow::new(row(2, 2), [PredId::new(1)])]);
+        let c = QueryAnswer::new(
+            vec![row(1, 1)],
+            vec![MaybeRow::new(row(2, 2), [PredId::new(1)])],
+        );
         assert!(!a.same_classification(&c));
         // Maybe entity promoted to certain.
         let d = QueryAnswer::new(vec![row(1, 1), row(2, 2)], vec![]);
@@ -212,7 +281,10 @@ mod tests {
 
     #[test]
     fn goid_sets() {
-        let a = QueryAnswer::new(vec![row(3, 0)], vec![MaybeRow::new(row(5, 0), [PredId::new(2)])]);
+        let a = QueryAnswer::new(
+            vec![row(3, 0)],
+            vec![MaybeRow::new(row(5, 0), [PredId::new(2)])],
+        );
         assert!(a.certain_goids().contains(&GOid::new(3)));
         assert!(a.maybe_goids().contains(&GOid::new(5)));
     }
@@ -226,10 +298,30 @@ mod tests {
     #[test]
     fn maybe_row_accessors_and_display() {
         let m = MaybeRow::new(row(7, 9), [PredId::new(1), PredId::new(0)]);
-        assert_eq!(m.unsolved().collect::<Vec<_>>(), vec![PredId::new(0), PredId::new(1)]);
+        assert_eq!(
+            m.unsolved().collect::<Vec<_>>(),
+            vec![PredId::new(0), PredId::new(1)]
+        );
         assert!(m.is_unsolved(PredId::new(0)));
         assert!(!m.is_unsolved(PredId::new(2)));
         assert_eq!(m.to_string(), "g7(9) maybe[p0,p1]");
+    }
+
+    #[test]
+    fn provenance_defaults_full_and_tags_degraded() {
+        let m = MaybeRow::new(row(3, 3), [PredId::new(0)]);
+        assert_eq!(m.provenance(), Provenance::Full);
+        assert!(!m.is_degraded());
+        let d = m.clone().with_provenance(Provenance::Degraded);
+        assert!(d.is_degraded());
+        assert_eq!(d.to_string(), "g3(3) maybe[p0] (degraded)");
+        // Provenance participates in equality but not in classification.
+        assert_ne!(m, d);
+        let a = QueryAnswer::new(vec![], vec![m]);
+        let b = QueryAnswer::new(vec![], vec![d]);
+        assert!(a.same_classification(&b));
+        assert!(!a.is_degraded());
+        assert!(b.is_degraded());
     }
 
     #[test]

@@ -1,26 +1,79 @@
 //! `fedoq-shell` — an interactive shell over a FedOQ federation.
 //!
 //! ```text
-//! fedoq-shell [--generate <seed>]
+//! fedoq-shell [--generate <seed>] [--transport local|sim]
 //! ```
 //!
 //! Starts on the paper's university federation (or a Table-2 synthetic
 //! one with `--generate`) and accepts SQL/X queries — including
-//! disjunctive ones — plus introspection commands. Type `help` inside.
+//! disjunctive ones — plus introspection commands. With `--transport
+//! sim` (or `transport sim` inside the shell) queries run over the
+//! distributed site-actor runtime on a simulated network whose faults
+//! are controlled by the `faults` and `partition` commands. Type `help`
+//! inside.
 
 use fedoq::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::io::{self, BufRead, Write};
+use std::rc::Rc;
+
+/// How shell queries execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportMode {
+    /// The in-process strategies (supports disjunctive queries).
+    Off,
+    /// Distributed runtime over the instant in-process transport.
+    Local,
+    /// Distributed runtime over the fault-injectable simulated network.
+    Sim,
+}
+
+/// Fault knobs applied to a fresh `SimTransport` before each query.
+struct FaultPlan {
+    seed: u64,
+    drop_rate: f64,
+    latency_us: f64,
+    partitions: Vec<(Site, Site)>,
+    crashed: Vec<Site>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 42,
+            drop_rate: 0.0,
+            latency_us: 50.0,
+            partitions: Vec::new(),
+            crashed: Vec::new(),
+        }
+    }
+}
 
 struct Shell {
     fed: Federation,
     strategy_name: String,
     last_ledger: Option<fedoq::sim::Ledger>,
+    transport: TransportMode,
+    faults: FaultPlan,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut transport = TransportMode::Off;
+    if let Some(i) = args.iter().position(|a| a == "--transport") {
+        transport = match args.get(i + 1).map(String::as_str) {
+            Some("local") => TransportMode::Local,
+            Some("sim") => TransportMode::Sim,
+            other => {
+                let got = other.unwrap_or("nothing");
+                eprintln!("--transport takes `local` or `sim`, got `{got}`");
+                std::process::exit(2);
+            }
+        };
+        args.drain(i..i + 2);
+    }
     let fed = match args.first().map(String::as_str) {
         Some("--generate") => {
             let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -32,7 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sample.federation
         }
         Some(other) if other != "--university" => {
-            eprintln!("unknown option {other}; usage: fedoq-shell [--generate <seed>]");
+            eprintln!(
+                "unknown option {other}; usage: fedoq-shell [--generate <seed>] [--transport local|sim]"
+            );
             std::process::exit(2);
         }
         _ => {
@@ -42,8 +97,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fed
         }
     };
-    let mut shell = Shell { fed, strategy_name: "BL".to_owned(), last_ledger: None };
-    println!("strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)", shell.strategy_name);
+    let mut shell = Shell {
+        fed,
+        strategy_name: "BL".to_owned(),
+        last_ledger: None,
+        transport,
+        faults: FaultPlan::default(),
+    };
+    println!(
+        "strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)",
+        shell.strategy_name
+    );
+    if shell.transport != TransportMode::Off {
+        println!(
+            "transport: {} (distributed site-actor runtime)",
+            shell.transport_name()
+        );
+    }
     println!("type `help` for commands, `quit` to exit\n");
 
     let stdin = io::stdin();
@@ -70,6 +140,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 impl Shell {
     /// Handles one input line; returns `Ok(true)` to exit.
     fn dispatch(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+        // Accept a leading `:` on commands (`:transport sim`) for
+        // readers used to REPL-style prefixes.
+        let line = line.strip_prefix(':').unwrap_or(line);
         let mut words = line.split_whitespace();
         match words.next().map(str::to_ascii_lowercase).as_deref() {
             Some("quit") | Some("exit") => return Ok(true),
@@ -99,7 +172,10 @@ impl Shell {
             }
             Some("timeline") => match &self.last_ledger {
                 Some(ledger) => {
-                    print!("{}", fedoq::sim::timeline::render(ledger, self.fed.num_dbs()));
+                    print!(
+                        "{}",
+                        fedoq::sim::timeline::render(ledger, self.fed.num_dbs())
+                    );
                 }
                 None => println!("run a query first"),
             },
@@ -127,6 +203,9 @@ impl Shell {
                 }
                 _ => println!("usage: strategy CA|BL|PL|BL-S|PL-S"),
             },
+            Some("transport") => self.cmd_transport(&mut words),
+            Some("faults") => self.cmd_faults(&mut words),
+            Some("partition") => self.cmd_partition(&mut words),
             Some("select") => self.query(line)?,
             _ => println!("unrecognized input; type `help`"),
         }
@@ -135,8 +214,132 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
+    }
+
+    fn transport_name(&self) -> &'static str {
+        match self.transport {
+            TransportMode::Off => "off",
+            TransportMode::Local => "local",
+            TransportMode::Sim => "sim",
+        }
+    }
+
+    fn site_name(&self, site: Site) -> String {
+        match site {
+            Site::Global => "global".to_owned(),
+            Site::Db(db) => self.fed.db(db).name().to_owned(),
+        }
+    }
+
+    /// Parses a site name: a component DB name (`DB2`), a zero-based
+    /// index, or `global`.
+    fn parse_site(&self, word: &str) -> Option<Site> {
+        if word.eq_ignore_ascii_case("global") {
+            return Some(Site::Global);
+        }
+        for db in self.fed.dbs() {
+            if db.name().eq_ignore_ascii_case(word) {
+                return Some(Site::Db(db.id()));
+            }
+        }
+        word.parse::<u16>()
+            .ok()
+            .and_then(|i| ((i as usize) < self.fed.num_dbs()).then(|| Site::Db(DbId::new(i))))
+    }
+
+    fn cmd_transport<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            None => println!("transport: {}", self.transport_name()),
+            Some("off") => {
+                self.transport = TransportMode::Off;
+                println!("transport off: queries run in-process");
+            }
+            Some("local") => {
+                self.transport = TransportMode::Local;
+                println!("transport local: distributed runtime, instant lossless delivery");
+            }
+            Some("sim") => {
+                self.transport = TransportMode::Sim;
+                if let Some(seed) = words.next().and_then(|w| w.parse().ok()) {
+                    self.faults.seed = seed;
+                }
+                println!(
+                    "transport sim: simulated network, seed {} (tune with `faults`, `partition`)",
+                    self.faults.seed
+                );
+            }
+            Some(other) => println!("unknown transport {other:?}; use off|local|sim [seed]"),
+        }
+    }
+
+    fn cmd_faults<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        let mut changed = false;
+        let mut words = words.peekable();
+        while let Some(word) = words.next() {
+            changed = true;
+            match word {
+                "drop" => match words.next().and_then(|w| w.parse::<f64>().ok()) {
+                    Some(p) if (0.0..=1.0).contains(&p) => self.faults.drop_rate = p,
+                    _ => println!("usage: faults drop <probability 0..1>"),
+                },
+                "latency" => match words.next().and_then(|w| w.parse::<f64>().ok()) {
+                    Some(us) if us >= 0.0 => self.faults.latency_us = us,
+                    _ => println!("usage: faults latency <microseconds>"),
+                },
+                "crash" => match words.next().and_then(|w| self.parse_site(w)) {
+                    Some(site) => self.faults.crashed.push(site),
+                    None => println!("usage: faults crash <db|global>"),
+                },
+                "clear" => {
+                    self.faults = FaultPlan {
+                        seed: self.faults.seed,
+                        ..Default::default()
+                    }
+                }
+                other => println!("unknown fault knob {other:?}; see `help`"),
+            }
+        }
+        let crashed: Vec<String> = self
+            .faults
+            .crashed
+            .iter()
+            .map(|s| self.site_name(*s))
+            .collect();
+        println!(
+            "faults{}: seed {}, drop {}, latency {} µs, {} partition(s), crashed [{}]",
+            if changed { " set" } else { "" },
+            self.faults.seed,
+            self.faults.drop_rate,
+            self.faults.latency_us,
+            self.faults.partitions.len(),
+            crashed.join(", "),
+        );
+        if self.transport != TransportMode::Sim {
+            println!("(faults apply once `transport sim` is active)");
+        }
+    }
+
+    fn cmd_partition<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match (words.next(), words.next()) {
+            (Some("clear"), _) => {
+                self.faults.partitions.clear();
+                println!("partitions healed");
+            }
+            (Some(a), Some(b)) => match (self.parse_site(a), self.parse_site(b)) {
+                (Some(sa), Some(sb)) if sa != sb => {
+                    self.faults.partitions.push((sa, sb));
+                    println!(
+                        "partitioned {} from {} (heal with `partition clear`)",
+                        self.site_name(sa),
+                        self.site_name(sb)
+                    );
+                }
+                _ => println!("unknown site pair {a:?} {b:?}"),
+            },
+            _ => println!("usage: partition <site> <site> | partition clear"),
+        }
     }
 
     fn schema(&self) {
@@ -144,8 +347,10 @@ impl Shell {
             let attrs: Vec<&str> = class.attrs().iter().map(|a| a.name()).collect();
             println!("{}({})", class.name(), attrs.join(", "));
             for constituent in class.constituents() {
-                let missing: Vec<&str> =
-                    constituent.missing_attrs().map(|g| class.attr(g).name()).collect();
+                let missing: Vec<&str> = constituent
+                    .missing_attrs()
+                    .map(|g| class.attr(g).name())
+                    .collect();
                 let db = self.fed.db(constituent.db());
                 if missing.is_empty() {
                     println!("  {}: complete", db.name());
@@ -200,6 +405,9 @@ impl Shell {
     }
 
     fn query(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if self.transport != TransportMode::Off {
+            return self.query_distributed(sql);
+        }
         let strategy = self
             .make_strategy_by(&self.strategy_name)
             .expect("configured strategy is valid");
@@ -216,8 +424,84 @@ impl Shell {
         if answer.is_empty() {
             println!("(no results)");
         }
-        println!("-- {} via {}: {}", answer, self.strategy_name, sim.metrics());
+        println!(
+            "-- {} via {}: {}",
+            answer,
+            self.strategy_name,
+            sim.metrics()
+        );
         self.last_ledger = Some(sim.ledger().clone());
+        Ok(())
+    }
+
+    /// Runs one conjunctive query over the distributed actor runtime.
+    fn query_distributed(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(strategy) = DistributedStrategy::parse(&self.strategy_name) else {
+            println!(
+                "strategy {} is not available distributed",
+                self.strategy_name
+            );
+            return Ok(());
+        };
+        let query = self.fed.parse_and_bind(sql)?;
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            self.fed.num_dbs(),
+        )));
+        let transport: Rc<RefCell<dyn Transport>> = match self.transport {
+            TransportMode::Local => Rc::new(RefCell::new(LocalTransport::new())),
+            _ => {
+                let mut t = SimTransport::new(Rc::clone(&sim), self.faults.seed)
+                    .with_latency_us(self.faults.latency_us)
+                    .with_drop_rate(self.faults.drop_rate);
+                for &(a, b) in &self.faults.partitions {
+                    t.inject(FaultEvent::Partition(a, b));
+                }
+                for &site in &self.faults.crashed {
+                    t.inject(FaultEvent::Crash(site));
+                }
+                Rc::new(RefCell::new(t))
+            }
+        };
+        let outcome = DistributedExecutor::new().run(
+            &self.fed,
+            &query,
+            strategy,
+            transport,
+            Rc::clone(&sim),
+        )?;
+        for row in outcome.answer.certain() {
+            println!("certain  {row}");
+        }
+        for row in outcome.answer.maybe() {
+            println!("maybe    {row}");
+        }
+        if outcome.answer.is_empty() {
+            println!("(no results)");
+        }
+        if !outcome.degraded_sites.is_empty() {
+            let lost: Vec<&str> = outcome
+                .degraded_sites
+                .iter()
+                .map(|d| self.fed.db(*d).name())
+                .collect();
+            println!(
+                "!! unreachable sites: {} — maybe rows above may be degraded",
+                lost.join(", ")
+            );
+        }
+        println!(
+            "-- {} via {} over {} transport: {} | {} delivered, {} dropped, {} retries, {:.0} µs virtual",
+            outcome.answer,
+            strategy.name(),
+            self.transport_name(),
+            outcome.metrics,
+            outcome.delivered,
+            outcome.dropped,
+            outcome.retries,
+            outcome.virtual_us,
+        );
+        self.last_ledger = Some(sim.borrow().ledger().clone());
         Ok(())
     }
 }

@@ -18,7 +18,9 @@
 //!   contribution) and the certification engine;
 //! * [`workload`] — the university running example and the Table-2
 //!   synthetic generator;
-//! * [`analytic`] — the closed-form expected-cost model.
+//! * [`analytic`] — the closed-form expected-cost model;
+//! * [`net`] — the distributed site-actor runtime with fault-injectable
+//!   transport.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use fedoq_analytic as analytic;
 pub use fedoq_core as core;
+pub use fedoq_net as net;
 pub use fedoq_object as object;
 pub use fedoq_query as query;
 pub use fedoq_schema as schema;
@@ -53,12 +56,17 @@ pub use fedoq_workload as workload;
 pub mod prelude {
     pub use fedoq_core::{
         explain, oracle_answer, oracle_disjunctive, run_disjunctive, run_strategy,
-        run_strategy_with_network, BasicLocalized,
-        Centralized, ExecError, ExecutionStrategy, Federation, MaybeRow, ParallelLocalized,
-        QueryAnswer, ResultRow,
+        run_strategy_with_network, BasicLocalized, Centralized, ExecError, ExecutionStrategy,
+        Federation, MaybeRow, ParallelLocalized, QueryAnswer, ResultRow,
+    };
+    pub use fedoq_net::{
+        DistributedExecutor, DistributedOutcome, DistributedStrategy, FaultEvent, LocalTransport,
+        RpcConfig, SimTransport, Transport,
     };
     pub use fedoq_object::{CmpOp, DbId, GOid, LOid, Path, Truth, Value};
-    pub use fedoq_query::{bind, parse, parse_dnf, plan_for_db, BoundQuery, DnfQuery, PredId, Query};
+    pub use fedoq_query::{
+        bind, parse, parse_dnf, plan_for_db, BoundQuery, DnfQuery, PredId, Query,
+    };
     pub use fedoq_schema::{identify_isomerism, integrate, Correspondences};
     pub use fedoq_sim::{NetworkModel, QueryMetrics, Simulation, Site, SystemParams};
     pub use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};

@@ -1,0 +1,462 @@
+//! Site actors: each component database as a message-serving process.
+//!
+//! [`run_site`] is one component site's event loop; [`run_global`] is the
+//! global (federation) site's. The actors reuse the *exact* computation
+//! of the in-process strategies via [`fedoq_core::handlers`], so their
+//! certain/maybe answers match the sync strategies bit for bit when the
+//! network is healthy — messaging changes *how* the work moves between
+//! sites, never what is computed.
+//!
+//! # Graceful degradation
+//!
+//! Localized strategies localize failure too. When a peer stays
+//! unreachable past the retry budget:
+//!
+//! * unanswered `(item, pred)` assistant checks leave the affected rows
+//!   as **maybe** results tagged [`Provenance::Degraded`] — certification
+//!   simply sees fewer verdicts, which can only move rows from certain to
+//!   maybe, never the reverse;
+//! * a site whose whole `LocalEval` fails is removed from `queried_dbs`,
+//!   disabling absence elimination there (its missing rows are unknown,
+//!   not absent), and every entity with an isomeric copy at the dead site
+//!   is tagged degraded;
+//! * certain rows stay certain: component copies are consistent (object
+//!   isomerism), so data already seen cannot be contradicted by the data
+//!   a dead site holds.
+//!
+//! CA has no such option: evaluation cannot start until every involved
+//! extent has been shipped, so an unreachable site is a hard
+//! [`ExecError::Unreachable`]. That asymmetry is itself a finding the
+//! paper's cost model cannot show — localization buys availability, not
+//! just response time.
+
+use crate::exec::DistributedStrategy;
+use crate::msg::{
+    CertifyReply, LocalEvalReply, LookupReply, Payload, Request, Response, ShipReply,
+};
+use crate::router::Net;
+use crate::rpc::{call, RpcConfig, RpcError};
+use crate::rt::join_all;
+use fedoq_core::handlers::{
+    answer_check_requests, answer_target_requests, centralized_answer, certify, evaluate_site,
+    reply_message_bytes, request_message_bytes, result_message_bytes, ship_plan,
+    target_reply_message_bytes, CheckReplies, CheckRequest, LocalizedConfig, LocalizedMode,
+    TargetReplies, TargetRequest,
+};
+use fedoq_core::{ExecError, Federation, Provenance, QueryAnswer};
+use fedoq_object::{DbId, GOid, LOid};
+use fedoq_query::{plan_for_db, BoundQuery, PredId};
+use fedoq_sim::{Phase, Simulation, Site};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+/// Outer RPCs whose handler issues nested RPCs (`LocalEval`,
+/// `ShipObjects`) get this much more time, so a callee patiently
+/// retrying its *own* peers — or shipping a large reply — is not
+/// mistaken for a dead site.
+pub const FANOUT_TIMEOUT_SCALE: f64 = 50.0;
+
+/// Everything one actor needs: the (immutably shared) federation and
+/// query, the message fabric, the shared cost ledger, and the RPC policy.
+pub struct Ctx<'a> {
+    /// The federation served by the actors.
+    pub fed: &'a Federation,
+    /// The query under execution.
+    pub query: &'a BoundQuery,
+    /// Message fabric.
+    pub net: Net<'a>,
+    /// Shared simulation ledger (charged by handlers and transport).
+    pub sim: Rc<RefCell<Simulation>>,
+    /// Timeout/retry policy for site-to-site RPCs.
+    pub rpc: RpcConfig,
+}
+
+impl<'a> Clone for Ctx<'a> {
+    fn clone(&self) -> Self {
+        Ctx {
+            fed: self.fed,
+            query: self.query,
+            net: self.net.clone(),
+            sim: Rc::clone(&self.sim),
+            rpc: self.rpc,
+        }
+    }
+}
+
+type BoxFut<'f, T> = Pin<Box<dyn Future<Output = T> + 'f>>;
+
+/// Event loop of one component site: serves requests until the runtime
+/// winds down.
+///
+/// `LocalEval` handling is spawned as its own task: in PL every site
+/// issues static assistant lookups to its peers *while* those peers are
+/// evaluating, so a site that blocked inside its own evaluation would
+/// deadlock the federation (each site waiting for a lookup reply from a
+/// site that is not listening). Serving lookups concurrently with the
+/// site's own evaluation is exactly the intra-site parallelism the paper
+/// assumes of PL.
+pub async fn run_site<'a>(ctx: Ctx<'a>, db: DbId) {
+    loop {
+        let env = ctx.net.recv(Site::Db(db)).await;
+        let Payload::Request(ref request) = env.payload else {
+            continue;
+        };
+        match request.clone() {
+            Request::LocalEval {
+                parallel,
+                use_signatures,
+                complete_targets,
+            } => {
+                let ctx = ctx.clone();
+                ctx.net.rt().clone().spawn(async move {
+                    let config = LocalizedConfig {
+                        use_signatures,
+                        complete_targets,
+                    };
+                    let reply = handle_local_eval(&ctx, db, parallel, config).await;
+                    let bytes = {
+                        let sim = ctx.sim.borrow();
+                        let params = sim.params();
+                        result_message_bytes(&reply.rows, params)
+                            + reply_message_bytes(reply.verdicts.len(), params)
+                            + target_reply_message_bytes(reply.target_values.len(), params)
+                    };
+                    ctx.net
+                        .respond(&env, bytes, Response::LocalEval(Box::new(reply)));
+                });
+            }
+            Request::AssistantLookup { checks, targets } => {
+                let mut sim = ctx.sim.borrow_mut();
+                let reply = LookupReply {
+                    verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
+                    values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
+                };
+                let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
+                    + target_reply_message_bytes(reply.values.len(), sim.params());
+                drop(sim);
+                ctx.net
+                    .respond(&env, bytes, Response::AssistantLookup(reply));
+            }
+            Request::ShipObjects => {
+                let mut sim = ctx.sim.borrow_mut();
+                let plan = ship_plan(ctx.fed, ctx.query, sim.params());
+                let bytes: u64 = plan
+                    .shipments
+                    .iter()
+                    .filter(|(site, _)| *site == db)
+                    .map(|(_, b)| *b)
+                    .sum();
+                sim.disk(Site::Db(db), bytes, Phase::Ship);
+                drop(sim);
+                ctx.net
+                    .respond(&env, bytes, Response::ShipObjects(ShipReply { bytes }));
+            }
+            // Certify is the global actor's job; ignore it here.
+            Request::Certify { .. } => {}
+        }
+    }
+}
+
+/// Serves one `LocalEval`: local evaluation, then concurrent assistant
+/// lookups against every peer owning assistants of the unsolved items.
+async fn handle_local_eval(
+    ctx: &Ctx<'_>,
+    db: DbId,
+    parallel: bool,
+    config: LocalizedConfig,
+) -> LocalEvalReply {
+    let mode = if parallel {
+        LocalizedMode::Parallel
+    } else {
+        LocalizedMode::Basic
+    };
+    let eval = {
+        let mut sim = ctx.sim.borrow_mut();
+        evaluate_site(ctx.fed, ctx.query, db, mode, config, &mut sim)
+    };
+    let eval = match eval {
+        Ok(Some(eval)) => eval,
+        // No local query at this site, or a local error: nothing to report.
+        _ => return LocalEvalReply::default(),
+    };
+
+    // Group the lookups by the peer owning the assistants. BTreeMap keeps
+    // the fan-out order deterministic.
+    let mut by_peer: BTreeMap<DbId, (Vec<CheckRequest>, Vec<TargetRequest>)> = BTreeMap::new();
+    for r in eval
+        .static_requests
+        .iter()
+        .chain(eval.dynamic_requests.iter())
+    {
+        by_peer.entry(r.assistant.db()).or_default().0.push(*r);
+    }
+    for r in &eval.target_requests {
+        by_peer.entry(r.assistant.db()).or_default().1.push(*r);
+    }
+
+    let mut reply = LocalEvalReply {
+        rows: eval.rows,
+        ..LocalEvalReply::default()
+    };
+    let mut remote: Vec<(DbId, Vec<CheckRequest>, Vec<TargetRequest>)> = Vec::new();
+    for (peer, (checks, targets)) in by_peer {
+        if peer == db {
+            // Own assistants: answered in place, no message needed.
+            let mut sim = ctx.sim.borrow_mut();
+            reply.verdicts.extend(answer_check_requests(
+                ctx.fed, ctx.query, db, &checks, &mut sim,
+            ));
+            reply.target_values.extend(answer_target_requests(
+                ctx.fed, ctx.query, db, &targets, &mut sim,
+            ));
+        } else {
+            remote.push((peer, checks, targets));
+        }
+    }
+
+    let params = *ctx.sim.borrow().params();
+    let lookups: Vec<BoxFut<'_, Result<Response, RpcError>>> = remote
+        .iter()
+        .map(|(peer, checks, targets)| {
+            let net = ctx.net.clone();
+            let bytes = request_message_bytes(checks.len() + targets.len(), &params);
+            let request = Request::AssistantLookup {
+                checks: checks.clone(),
+                targets: targets.clone(),
+            };
+            let (from, to) = (Site::Db(db), Site::Db(*peer));
+            let cfg = ctx.rpc;
+            Box::pin(async move { call(&net, from, to, request, bytes, Phase::O, cfg).await })
+                as BoxFut<'_, _>
+        })
+        .collect();
+    for ((peer, checks, _), outcome) in remote.iter().zip(join_all(lookups).await) {
+        match outcome {
+            Ok(Response::AssistantLookup(lookup)) => {
+                reply.verdicts.extend(lookup.verdicts);
+                reply.target_values.extend(lookup.values);
+            }
+            // Unreachable peer (or a protocol violation): record which
+            // checks went unanswered so certification can degrade.
+            _ => {
+                reply.degraded_peers.push(*peer);
+                reply
+                    .failed_checks
+                    .extend(checks.iter().map(|c| (c.item, c.pred)));
+            }
+        }
+    }
+    reply
+}
+
+/// Event loop of the global site: serves `Certify` requests by
+/// orchestrating the chosen strategy over the component actors.
+pub async fn run_global(ctx: Ctx<'_>) {
+    loop {
+        let env = ctx.net.recv(Site::Global).await;
+        let Payload::Request(Request::Certify { strategy }) = env.payload else {
+            continue;
+        };
+        let reply = orchestrate(&ctx, strategy).await;
+        ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
+    }
+}
+
+/// Runs one query end to end over the component actors.
+async fn orchestrate(ctx: &Ctx<'_>, strategy: DistributedStrategy) -> CertifyReply {
+    match strategy {
+        DistributedStrategy::Centralized => orchestrate_centralized(ctx).await,
+        DistributedStrategy::BasicLocalized(config) => {
+            orchestrate_localized(ctx, false, config).await
+        }
+        DistributedStrategy::ParallelLocalized(config) => {
+            orchestrate_localized(ctx, true, config).await
+        }
+    }
+}
+
+/// CA over the runtime: ship every involved extent, then evaluate at the
+/// global site. No shipment may be missing, so failure is fatal.
+async fn orchestrate_centralized(ctx: &Ctx<'_>) -> CertifyReply {
+    let params = *ctx.sim.borrow().params();
+    let plan = ship_plan(ctx.fed, ctx.query, &params);
+    let cfg = ctx.rpc.scaled(FANOUT_TIMEOUT_SCALE);
+    let ships: Vec<BoxFut<'_, (DbId, Result<Response, RpcError>)>> = plan
+        .sites
+        .iter()
+        .map(|&site| {
+            let net = ctx.net.clone();
+            Box::pin(async move {
+                let outcome = call(
+                    &net,
+                    Site::Global,
+                    Site::Db(site),
+                    Request::ShipObjects,
+                    2 * params.attr_bytes,
+                    Phase::Ship,
+                    cfg,
+                )
+                .await;
+                (site, outcome)
+            }) as BoxFut<'_, _>
+        })
+        .collect();
+    let mut degraded_sites = Vec::new();
+    for (site, outcome) in join_all(ships).await {
+        match outcome {
+            Ok(Response::ShipObjects(_)) => {}
+            _ => degraded_sites.push(site),
+        }
+    }
+    let answer = if degraded_sites.is_empty() {
+        let mut sim = ctx.sim.borrow_mut();
+        centralized_answer(ctx.fed, ctx.query, &mut sim)
+    } else {
+        let sites = degraded_sites
+            .iter()
+            .map(|&s| ctx.fed.db(s).name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        Err(ExecError::Unreachable(format!(
+            "CA cannot evaluate without the extents of {sites}; \
+             use a localized strategy for graceful degradation"
+        )))
+    };
+    CertifyReply {
+        answer,
+        degraded_sites,
+        retries: ctx.net.retries(),
+    }
+}
+
+/// BL/PL over the runtime: fan `LocalEval` out to every hosting site,
+/// merge the replies, certify, and tag degraded maybe results.
+async fn orchestrate_localized(
+    ctx: &Ctx<'_>,
+    parallel: bool,
+    config: LocalizedConfig,
+) -> CertifyReply {
+    let schema = ctx.fed.global_schema();
+    let hosting: Vec<DbId> = ctx
+        .fed
+        .dbs()
+        .iter()
+        .filter_map(|db| plan_for_db(ctx.query, schema, db.id()).map(|p| p.db()))
+        .collect();
+
+    let params = *ctx.sim.borrow().params();
+    let cfg = ctx.rpc.scaled(FANOUT_TIMEOUT_SCALE);
+    let request = Request::LocalEval {
+        parallel,
+        use_signatures: config.use_signatures,
+        complete_targets: config.complete_targets,
+    };
+    let evals: Vec<BoxFut<'_, (DbId, Result<Response, RpcError>)>> = hosting
+        .iter()
+        .map(|&site| {
+            let net = ctx.net.clone();
+            let request = request.clone();
+            Box::pin(async move {
+                let outcome = call(
+                    &net,
+                    Site::Global,
+                    Site::Db(site),
+                    request,
+                    2 * params.attr_bytes,
+                    Phase::Ship,
+                    cfg,
+                )
+                .await;
+                (site, outcome)
+            }) as BoxFut<'_, _>
+        })
+        .collect();
+
+    let mut site_rows = Vec::new();
+    let mut replies = CheckReplies::new();
+    let mut target_replies = TargetReplies::new();
+    let mut failed_checks: HashSet<(LOid, PredId)> = HashSet::new();
+    let mut degraded: BTreeSet<DbId> = BTreeSet::new();
+    let mut queried_dbs = Vec::new();
+    for (site, outcome) in join_all(evals).await {
+        match outcome {
+            Ok(Response::LocalEval(reply)) => {
+                queried_dbs.push(site);
+                for v in reply.verdicts {
+                    replies.record(v.item, v.pred, v.verdict);
+                }
+                for (key, value) in reply.target_values {
+                    target_replies.entry(key).or_default().push(value);
+                }
+                failed_checks.extend(reply.failed_checks);
+                degraded.extend(reply.degraded_peers.iter().copied());
+                site_rows.push((site, reply.rows));
+            }
+            _ => {
+                // The whole site is gone: no absence elimination against
+                // it, and every entity with a copy there is degraded.
+                degraded.insert(site);
+            }
+        }
+    }
+
+    // Entities whose certification is incomplete: a row with an unsolved
+    // item whose assistant lookup went unanswered.
+    let mut degraded_goids: HashSet<GOid> = HashSet::new();
+    for (_, rows) in &site_rows {
+        for row in rows {
+            let hit = row.unsolved.iter().any(|entry| {
+                entry
+                    .item
+                    .is_some_and(|item| failed_checks.contains(&(item, entry.pred)))
+            });
+            if hit {
+                degraded_goids.insert(row.goid);
+            }
+        }
+    }
+
+    let answer = {
+        let mut sim = ctx.sim.borrow_mut();
+        certify(
+            ctx.fed,
+            ctx.query,
+            site_rows,
+            &replies,
+            &target_replies,
+            &queried_dbs,
+            &mut sim,
+        )
+    };
+
+    // Re-tag the maybe rows touched by a failure. Certain rows are left
+    // alone: isomeric copies are consistent, so certified data cannot be
+    // contradicted by whatever the dead sites hold.
+    let table = ctx.fed.catalog().table(ctx.query.range());
+    let maybe = answer
+        .maybe()
+        .iter()
+        .map(|m| {
+            let touched = degraded_goids.contains(&m.goid())
+                || table
+                    .loids_of(m.goid())
+                    .iter()
+                    .any(|l| degraded.contains(&l.db()));
+            if touched {
+                m.clone().with_provenance(Provenance::Degraded)
+            } else {
+                m.clone()
+            }
+        })
+        .collect();
+    let answer = QueryAnswer::new(answer.certain().to_vec(), maybe);
+
+    CertifyReply {
+        answer: Ok(answer),
+        degraded_sites: degraded.into_iter().collect(),
+        retries: ctx.net.retries(),
+    }
+}

@@ -1,0 +1,245 @@
+//! The distributed executor: strategies over the actor runtime.
+//!
+//! [`DistributedExecutor::run`] spins up one actor per component site
+//! plus the global actor on the deterministic runtime, sends a single
+//! `Certify` request as the client, and drives the virtual clock until
+//! the answer comes back. The result carries the answer together with
+//! the degradation and cost diagnostics of the run.
+
+use crate::actor::{run_global, run_site, Ctx};
+use crate::msg::{Request, Response};
+use crate::router::Net;
+use crate::rpc::{call, RpcConfig};
+use crate::rt::Runtime;
+use crate::transport::{LocalTransport, Transport};
+use fedoq_core::handlers::LocalizedConfig;
+use fedoq_core::{
+    BasicLocalized, Centralized, ExecError, ExecutionStrategy, Federation, ParallelLocalized,
+    QueryAnswer,
+};
+use fedoq_object::DbId;
+use fedoq_query::BoundQuery;
+use fedoq_sim::{Phase, QueryMetrics, Simulation, Site, SystemParams};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A strategy choice for the distributed runtime, mirroring the three
+/// in-process strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributedStrategy {
+    /// CA: ship everything, evaluate at the global site.
+    Centralized,
+    /// BL: local evaluation first, assistant lookup for survivors.
+    BasicLocalized(LocalizedConfig),
+    /// PL: static assistant lookup overlapping local evaluation.
+    ParallelLocalized(LocalizedConfig),
+}
+
+impl DistributedStrategy {
+    /// CA.
+    pub fn ca() -> DistributedStrategy {
+        DistributedStrategy::Centralized
+    }
+
+    /// BL without signature pruning.
+    pub fn bl() -> DistributedStrategy {
+        DistributedStrategy::BasicLocalized(LocalizedConfig::default())
+    }
+
+    /// PL without signature pruning.
+    pub fn pl() -> DistributedStrategy {
+        DistributedStrategy::ParallelLocalized(LocalizedConfig::default())
+    }
+
+    /// The same strategy with signature pruning enabled (no-op for CA).
+    pub fn with_signatures(self) -> DistributedStrategy {
+        match self {
+            DistributedStrategy::Centralized => self,
+            DistributedStrategy::BasicLocalized(mut c) => {
+                c.use_signatures = true;
+                DistributedStrategy::BasicLocalized(c)
+            }
+            DistributedStrategy::ParallelLocalized(mut c) => {
+                c.use_signatures = true;
+                DistributedStrategy::ParallelLocalized(c)
+            }
+        }
+    }
+
+    /// The paper's name for the strategy (`-S` marks signature pruning).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistributedStrategy::Centralized => "CA",
+            DistributedStrategy::BasicLocalized(c) if c.use_signatures => "BL-S",
+            DistributedStrategy::BasicLocalized(_) => "BL",
+            DistributedStrategy::ParallelLocalized(c) if c.use_signatures => "PL-S",
+            DistributedStrategy::ParallelLocalized(_) => "PL",
+        }
+    }
+
+    /// Parses a strategy name (`ca`, `bl`, `pl`, `bl-s`, `pl-s`).
+    pub fn parse(name: &str) -> Option<DistributedStrategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "ca" => Some(DistributedStrategy::ca()),
+            "bl" => Some(DistributedStrategy::bl()),
+            "pl" => Some(DistributedStrategy::pl()),
+            "bl-s" => Some(DistributedStrategy::bl().with_signatures()),
+            "pl-s" => Some(DistributedStrategy::pl().with_signatures()),
+            _ => None,
+        }
+    }
+
+    /// The equivalent in-process strategy (for differential testing).
+    pub fn sync(&self) -> Box<dyn ExecutionStrategy> {
+        match self {
+            DistributedStrategy::Centralized => Box::new(Centralized),
+            DistributedStrategy::BasicLocalized(c) => Box::new(BasicLocalized {
+                use_signatures: c.use_signatures,
+                complete_targets: c.complete_targets,
+            }),
+            DistributedStrategy::ParallelLocalized(c) => Box::new(ParallelLocalized {
+                use_signatures: c.use_signatures,
+                complete_targets: c.complete_targets,
+            }),
+        }
+    }
+}
+
+/// Everything one distributed execution produced.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// The certified answer.
+    pub answer: QueryAnswer,
+    /// Sites that stayed unreachable past the retry budget.
+    pub degraded_sites: Vec<DbId>,
+    /// Total RPC retries performed.
+    pub retries: u64,
+    /// Messages the transport delivered.
+    pub delivered: u64,
+    /// Messages the transport dropped (faults).
+    pub dropped: u64,
+    /// Cost-model metrics accumulated in the shared simulation.
+    pub metrics: QueryMetrics,
+    /// Virtual time the runtime advanced (µs); includes network latency
+    /// and retry backoffs, unlike the cost-model clocks.
+    pub virtual_us: f64,
+}
+
+impl DistributedOutcome {
+    /// `true` iff any maybe row was tagged degraded or a site was lost.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_sites.is_empty() || self.answer.is_degraded()
+    }
+}
+
+/// Runs distributed queries over a transport.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributedExecutor {
+    rpc: RpcConfig,
+}
+
+impl DistributedExecutor {
+    /// An executor with the default RPC policy.
+    pub fn new() -> DistributedExecutor {
+        DistributedExecutor::default()
+    }
+
+    /// Overrides the RPC timeout/retry policy.
+    pub fn with_rpc(mut self, rpc: RpcConfig) -> DistributedExecutor {
+        self.rpc = rpc;
+        self
+    }
+
+    /// The RPC policy in force.
+    pub fn rpc(&self) -> RpcConfig {
+        self.rpc
+    }
+
+    /// Executes `query` with `strategy` over `transport`, charging
+    /// `sim`'s ledger for every disk/CPU/network action.
+    pub fn run(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        strategy: DistributedStrategy,
+        transport: Rc<RefCell<dyn Transport>>,
+        sim: Rc<RefCell<Simulation>>,
+    ) -> Result<DistributedOutcome, ExecError> {
+        let rt = Runtime::new();
+        let net = Net::new(rt.handle(), Rc::clone(&transport), fed.num_dbs());
+        for db in fed.dbs() {
+            let ctx = Ctx {
+                fed,
+                query,
+                net: net.clone(),
+                sim: Rc::clone(&sim),
+                rpc: self.rpc,
+            };
+            rt.handle().spawn(run_site(ctx, db.id()));
+        }
+        rt.handle().spawn(run_global(Ctx {
+            fed,
+            query,
+            net: net.clone(),
+            sim: Rc::clone(&sim),
+            rpc: self.rpc,
+        }));
+
+        // The client: one Certify RPC to the global actor. It must not
+        // time out on its own — end-to-end patience is the point — so it
+        // gets an effectively unbounded window and no retries.
+        let client_net = net.clone();
+        let response = rt
+            .run(async move {
+                let cfg = RpcConfig {
+                    timeout_us: 1e15,
+                    per_byte_us: 0.0,
+                    retries: 0,
+                    backoff_us: 0.0,
+                    backoff_factor: 1.0,
+                };
+                call(
+                    &client_net,
+                    Site::Global,
+                    Site::Global,
+                    Request::Certify { strategy },
+                    0,
+                    Phase::Ship,
+                    cfg,
+                )
+                .await
+            })
+            .map_err(|deadlock| ExecError::Internal(deadlock.to_string()))?
+            .map_err(|e| ExecError::Internal(format!("global actor lost: {e}")))?;
+
+        let Response::Certify(reply) = response else {
+            return Err(ExecError::Internal("mismatched response to Certify".into()));
+        };
+        let (delivered, dropped) = transport.borrow().stats();
+        Ok(DistributedOutcome {
+            answer: reply.answer?,
+            degraded_sites: reply.degraded_sites,
+            retries: reply.retries,
+            delivered,
+            dropped,
+            metrics: sim.borrow().metrics(),
+            virtual_us: rt.handle().now_us(),
+        })
+    }
+
+    /// Convenience: runs over the in-process [`LocalTransport`] with a
+    /// fresh paper-default simulation.
+    pub fn run_local(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        strategy: DistributedStrategy,
+    ) -> Result<DistributedOutcome, ExecError> {
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            fed.num_dbs(),
+        )));
+        let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(LocalTransport::new()));
+        self.run(fed, query, strategy, transport, sim)
+    }
+}

@@ -1,0 +1,146 @@
+//! Typed messages exchanged by the site actors.
+//!
+//! Every message travels inside an [`Envelope`] carrying its routing
+//! information, its simulated wire size, and the execution phase its
+//! transfer is charged to. Four request kinds cover the paper's three
+//! strategies:
+//!
+//! * [`Request::Certify`] — client → global actor: run one query end to
+//!   end and return the certified answer;
+//! * [`Request::LocalEval`] — global → component site: evaluate your local
+//!   query (BL/PL); the response carries the site's local rows plus the
+//!   assistant verdicts it gathered from its peers;
+//! * [`Request::AssistantLookup`] — site → site: check these assistant
+//!   objects against their unsolved predicates (and fetch target values);
+//! * [`Request::ShipObjects`] — global → component site: ship your
+//!   projected extents (CA).
+
+use crate::exec::DistributedStrategy;
+use fedoq_core::handlers::{CheckRequest, CheckVerdict, LocalRow, TargetRequest};
+use fedoq_core::{ExecError, QueryAnswer};
+use fedoq_object::{DbId, LOid, Value};
+use fedoq_query::PredId;
+use fedoq_sim::{Phase, Site};
+
+/// A routed message: request or response.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending site.
+    pub from: Site,
+    /// Receiving site.
+    pub to: Site,
+    /// RPC correlation id: responses carry their request's id.
+    pub rpc: u64,
+    /// Simulated wire size (fed into the `fedoq-sim` ledger).
+    pub bytes: u64,
+    /// Execution phase the transfer is charged to.
+    pub phase: Phase,
+    /// The message itself.
+    pub payload: Payload,
+}
+
+/// Either half of an RPC.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A request, delivered to the receiving actor's mailbox.
+    Request(Request),
+    /// A response, delivered to the caller's pending-RPC table.
+    Response(Response),
+}
+
+/// A request served by a site actor.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run one query end to end (client → global actor).
+    Certify {
+        /// Which strategy drives the execution.
+        strategy: DistributedStrategy,
+    },
+    /// Evaluate the local query at a component site (BL/PL).
+    LocalEval {
+        /// `true` for PL (static assistant lookup before evaluation).
+        parallel: bool,
+        /// Signature pruning / target completion options.
+        use_signatures: bool,
+        /// Fetch locally-unprojectable target values from assistants.
+        complete_targets: bool,
+    },
+    /// Check assistant objects against unsolved predicates.
+    AssistantLookup {
+        /// Predicate checks to answer.
+        checks: Vec<CheckRequest>,
+        /// Target-value fetches to answer.
+        targets: Vec<TargetRequest>,
+    },
+    /// Ship the projected extents to the global site (CA).
+    ShipObjects,
+}
+
+impl Request {
+    /// Short wire tag (diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Certify { .. } => "Certify",
+            Request::LocalEval { .. } => "LocalEval",
+            Request::AssistantLookup { .. } => "AssistantLookup",
+            Request::ShipObjects => "ShipObjects",
+        }
+    }
+}
+
+/// A response to one [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The certified answer (global actor → client).
+    Certify(Box<CertifyReply>),
+    /// A site's local evaluation results.
+    LocalEval(Box<LocalEvalReply>),
+    /// Verdicts and values for an assistant lookup.
+    AssistantLookup(LookupReply),
+    /// Acknowledgement of a CA extent shipment.
+    ShipObjects(ShipReply),
+}
+
+/// Final result of one distributed query execution.
+#[derive(Debug, Clone)]
+pub struct CertifyReply {
+    /// The certified answer, or the error that stopped execution.
+    pub answer: Result<QueryAnswer, ExecError>,
+    /// Sites that stayed unreachable past the retry budget.
+    pub degraded_sites: Vec<DbId>,
+    /// Total RPC retries performed while executing.
+    pub retries: u64,
+}
+
+/// One component site's contribution to a localized execution.
+#[derive(Debug, Clone, Default)]
+pub struct LocalEvalReply {
+    /// Local maybe rows surviving this site's evaluation.
+    pub rows: Vec<LocalRow>,
+    /// Assistant verdicts this site gathered from its peers (and itself).
+    pub verdicts: Vec<CheckVerdict>,
+    /// Fetched target values, `((item, select position), value)`.
+    pub target_values: Vec<((LOid, usize), Value)>,
+    /// `(item, pred)` pairs whose assistant lookups stayed unanswered
+    /// because a peer was unreachable: certification must treat the
+    /// affected rows as degraded maybe results.
+    pub failed_checks: Vec<(LOid, PredId)>,
+    /// Peers this site could not reach.
+    pub degraded_peers: Vec<DbId>,
+}
+
+/// Verdicts and values answered for one [`Request::AssistantLookup`].
+#[derive(Debug, Clone, Default)]
+pub struct LookupReply {
+    /// One verdict per check request, in request order.
+    pub verdicts: Vec<CheckVerdict>,
+    /// One `((item, select position), value)` pair per target request.
+    pub values: Vec<((LOid, usize), Value)>,
+}
+
+/// Acknowledgement of one CA extent shipment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShipReply {
+    /// Bytes of projected extent shipped by the site.
+    pub bytes: u64,
+}

@@ -1,0 +1,227 @@
+//! The message router: mailboxes, RPC correlation, and delivery.
+//!
+//! [`Net`] sits between the actors and the [`Transport`]: a send asks the
+//! transport for the message's fate, then either delivers it (after the
+//! transport's virtual-time delay) or silently drops it — the sender finds
+//! out through its RPC timeout, exactly like a real datagram network.
+//! Requests land in the receiving site's FIFO mailbox; responses resolve
+//! the caller's pending RPC by correlation id. A response whose RPC is no
+//! longer pending (the caller timed out and retried) is discarded as
+//! stale, giving at-most-once completion per attempt.
+
+use crate::msg::{Envelope, Payload, Response};
+use crate::rt::Handle;
+use crate::transport::Transport;
+use fedoq_sim::Site;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct Mailbox {
+    queue: VecDeque<Envelope>,
+    waker: Option<Waker>,
+}
+
+/// A pending RPC's completion slot.
+#[derive(Default)]
+struct Slot {
+    value: Option<Response>,
+    waker: Option<Waker>,
+}
+
+struct NetInner {
+    transport: Rc<RefCell<dyn Transport>>,
+    /// One mailbox per component site, then the global site.
+    mailboxes: Vec<Rc<RefCell<Mailbox>>>,
+    pending: RefCell<HashMap<u64, Rc<RefCell<Slot>>>>,
+    next_rpc: Cell<u64>,
+    retries: Cell<u64>,
+    stale: Cell<u64>,
+}
+
+/// Handle to the message fabric shared by every actor.
+pub struct Net<'a> {
+    rt: Handle<'a>,
+    inner: Rc<NetInner>,
+}
+
+impl<'a> Clone for Net<'a> {
+    fn clone(&self) -> Self {
+        Net {
+            rt: self.rt.clone(),
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<'a> Net<'a> {
+    /// A router over `num_dbs` component sites plus the global site.
+    pub fn new(rt: Handle<'a>, transport: Rc<RefCell<dyn Transport>>, num_dbs: usize) -> Net<'a> {
+        Net {
+            rt,
+            inner: Rc::new(NetInner {
+                transport,
+                mailboxes: (0..num_dbs + 1)
+                    .map(|_| Rc::new(RefCell::new(Mailbox::default())))
+                    .collect(),
+                pending: RefCell::new(HashMap::new()),
+                next_rpc: Cell::new(1),
+                retries: Cell::new(0),
+                stale: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The runtime handle messages are scheduled on.
+    pub fn rt(&self) -> &Handle<'a> {
+        &self.rt
+    }
+
+    fn mailbox(&self, site: Site) -> Rc<RefCell<Mailbox>> {
+        let i = match site {
+            Site::Db(db) => db.index(),
+            Site::Global => self.inner.mailboxes.len() - 1,
+        };
+        Rc::clone(&self.inner.mailboxes[i])
+    }
+
+    /// Sends `env` through the transport; dropped messages vanish without
+    /// a trace (the sender's timeout is the only signal).
+    pub fn send(&self, env: Envelope) {
+        let fate = self
+            .inner
+            .transport
+            .borrow_mut()
+            .dispatch(&env, self.rt.now_us());
+        let Some(delay_us) = fate else { return };
+        if delay_us <= 0.0 {
+            self.deliver(env);
+        } else {
+            let this = self.clone();
+            self.rt.spawn(async move {
+                this.rt.sleep(delay_us).await;
+                this.deliver(env);
+            });
+        }
+    }
+
+    /// Sends the response half of an RPC back to its caller.
+    pub fn respond(&self, request: &Envelope, bytes: u64, response: Response) {
+        self.send(Envelope {
+            from: request.to,
+            to: request.from,
+            rpc: request.rpc,
+            bytes,
+            phase: request.phase,
+            payload: Payload::Response(response),
+        });
+    }
+
+    fn deliver(&self, env: Envelope) {
+        match env.payload {
+            Payload::Request(_) => {
+                let mailbox = self.mailbox(env.to);
+                let mut mb = mailbox.borrow_mut();
+                mb.queue.push_back(env);
+                if let Some(waker) = mb.waker.take() {
+                    waker.wake();
+                }
+            }
+            Payload::Response(response) => {
+                let slot = self.inner.pending.borrow_mut().remove(&env.rpc);
+                match slot {
+                    Some(slot) => {
+                        let mut s = slot.borrow_mut();
+                        s.value = Some(response);
+                        if let Some(waker) = s.waker.take() {
+                            waker.wake();
+                        }
+                    }
+                    // The caller timed out and moved on: stale response.
+                    None => self.inner.stale.set(self.inner.stale.get() + 1),
+                }
+            }
+        }
+    }
+
+    /// Waits for the next request addressed to `site`.
+    pub fn recv(&self, site: Site) -> Recv {
+        Recv {
+            mailbox: self.mailbox(site),
+        }
+    }
+
+    /// Allocates a fresh RPC id and its completion future.
+    pub fn register_rpc(&self) -> (u64, ResponseFuture) {
+        let id = self.inner.next_rpc.get();
+        self.inner.next_rpc.set(id + 1);
+        let slot = Rc::new(RefCell::new(Slot::default()));
+        self.inner.pending.borrow_mut().insert(id, Rc::clone(&slot));
+        (id, ResponseFuture { slot })
+    }
+
+    /// Forgets a pending RPC (after a timeout); a late response becomes
+    /// stale instead of resolving a retired future.
+    pub fn cancel_rpc(&self, id: u64) {
+        self.inner.pending.borrow_mut().remove(&id);
+    }
+
+    /// Records one retry attempt (for diagnostics).
+    pub fn note_retry(&self) {
+        self.inner.retries.set(self.inner.retries.get() + 1);
+    }
+
+    /// Total retry attempts recorded so far.
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.get()
+    }
+
+    /// Responses that arrived after their caller gave up.
+    pub fn stale_responses(&self) -> u64 {
+        self.inner.stale.get()
+    }
+}
+
+/// Future returned by [`Net::recv`].
+pub struct Recv {
+    mailbox: Rc<RefCell<Mailbox>>,
+}
+
+impl Future for Recv {
+    type Output = Envelope;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Envelope> {
+        let mut mb = self.mailbox.borrow_mut();
+        match mb.queue.pop_front() {
+            Some(env) => Poll::Ready(env),
+            None => {
+                mb.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future resolving to the response of a registered RPC.
+pub struct ResponseFuture {
+    slot: Rc<RefCell<Slot>>,
+}
+
+impl Future for ResponseFuture {
+    type Output = Response;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Response> {
+        let mut slot = self.slot.borrow_mut();
+        match slot.value.take() {
+            Some(response) => Poll::Ready(response),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! RPC over the router: per-request timeouts and bounded retry.
+//!
+//! [`call`] sends a request, waits up to the configured timeout for its
+//! response, and on silence retries after an exponentially growing
+//! backoff. Each attempt registers a *fresh* correlation id, so a reply
+//! to an abandoned attempt is discarded as stale rather than confused
+//! with the retry's. When the retry budget is exhausted the callee is
+//! declared [`RpcError::Unreachable`]; what that means is the caller's
+//! decision — the global actor degrades localized answers, while CA has
+//! to give up.
+
+use crate::msg::{Envelope, Payload, Request, Response};
+use crate::router::Net;
+use crate::rt;
+use fedoq_sim::{Phase, Site};
+use std::fmt;
+
+/// Timeout/retry policy for one RPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcConfig {
+    /// How long one attempt waits for a response (virtual µs), before
+    /// the size-dependent allowance.
+    pub timeout_us: f64,
+    /// Extra patience per request byte (virtual µs). Large batches take
+    /// proportionally long to transfer — at the paper's 8 µs/B in each
+    /// direction — so a fixed timeout would declare any site serving a
+    /// big request dead. The default covers a round trip at the paper
+    /// rate with >2× headroom.
+    pub per_byte_us: f64,
+    /// Retries after the first attempt (total attempts = `retries + 1`).
+    pub retries: u32,
+    /// Backoff before the first retry (virtual µs).
+    pub backoff_us: f64,
+    /// Multiplier applied to the backoff after every retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            timeout_us: 20_000.0,
+            per_byte_us: 40.0,
+            retries: 3,
+            backoff_us: 5_000.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// The same policy with timeout and backoff scaled by `factor`.
+    ///
+    /// Outer RPCs whose handlers issue nested RPCs (a `LocalEval` fans out
+    /// `AssistantLookup`s) need a window wide enough for the *inner* retry
+    /// schedule to run to completion, otherwise the outer timeout fires
+    /// while the callee is still patiently retrying.
+    pub fn scaled(self, factor: f64) -> RpcConfig {
+        RpcConfig {
+            timeout_us: self.timeout_us * factor,
+            backoff_us: self.backoff_us * factor,
+            ..self
+        }
+    }
+}
+
+/// Why an RPC failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response within the retry budget.
+    Unreachable {
+        /// The silent callee.
+        to: Site,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Unreachable { to, attempts } => {
+                write!(f, "{to} unreachable after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Sends `request` from `from` to `to` and waits for its response,
+/// retrying with exponential backoff on timeout.
+pub async fn call(
+    net: &Net<'_>,
+    from: Site,
+    to: Site,
+    request: Request,
+    bytes: u64,
+    phase: Phase,
+    cfg: RpcConfig,
+) -> Result<Response, RpcError> {
+    let attempts = cfg.retries + 1;
+    let mut backoff_us = cfg.backoff_us;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            net.note_retry();
+            net.rt().sleep(backoff_us).await;
+            backoff_us *= cfg.backoff_factor;
+        }
+        let (id, response) = net.register_rpc();
+        net.send(Envelope {
+            from,
+            to,
+            rpc: id,
+            bytes,
+            phase,
+            payload: Payload::Request(request.clone()),
+        });
+        let window_us = cfg.timeout_us + bytes as f64 * cfg.per_byte_us;
+        match rt::timeout(net.rt(), window_us, response).await {
+            Some(response) => return Ok(response),
+            None => net.cancel_rpc(id),
+        }
+    }
+    Err(RpcError::Unreachable { to, attempts })
+}

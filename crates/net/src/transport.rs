@@ -1,0 +1,395 @@
+//! Message transports: zero-overhead local delivery and a seeded
+//! fault-injectable simulated network.
+//!
+//! A [`Transport`] decides the *fate* of each envelope — deliver after
+//! some virtual-time delay, or drop it. Everything else (mailboxes, RPC
+//! correlation, retries) lives above the transport, so the same actor code
+//! runs unchanged over [`LocalTransport`] (every message arrives
+//! instantly) and [`SimTransport`] (per-link latency, seeded drops, site
+//! crashes, and partitions, with every delivered byte charged to the
+//! `fedoq-sim` ledger).
+//!
+//! Fault injection is deterministic: the drop decisions consume a seeded
+//! PRNG in dispatch order, and dispatch order is itself deterministic
+//! under the FIFO executor, so one seed reproduces one execution exactly.
+
+use crate::msg::Envelope;
+use fedoq_object::DbId;
+use fedoq_sim::{Simulation, Site};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Decides the fate of messages between sites.
+pub trait Transport {
+    /// Human-readable transport name (shell `:transport`).
+    fn name(&self) -> &'static str;
+
+    /// Decides the fate of `env` at virtual time `now_us`: the delivery
+    /// delay in virtual microseconds, or `None` to drop the message.
+    fn dispatch(&mut self, env: &Envelope, now_us: f64) -> Option<f64>;
+
+    /// `(delivered, dropped)` message counts so far.
+    fn stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// In-process transport: every message is delivered instantly and nothing
+/// is ever dropped. The distributed executor over this transport computes
+/// exactly what the in-process strategies compute.
+#[derive(Debug, Default)]
+pub struct LocalTransport {
+    delivered: u64,
+}
+
+impl LocalTransport {
+    /// A fresh local transport.
+    pub fn new() -> LocalTransport {
+        LocalTransport::default()
+    }
+}
+
+impl Transport for LocalTransport {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn dispatch(&mut self, _env: &Envelope, _now_us: f64) -> Option<f64> {
+        self.delivered += 1;
+        Some(0.0)
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.delivered, 0)
+    }
+}
+
+/// A scheduled or immediate change to the simulated network's health.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The site stops sending and receiving (it becomes unreachable; its
+    /// in-process state survives, modelling a network-level crash).
+    Crash(Site),
+    /// The site rejoins the network.
+    Restart(Site),
+    /// Messages between the two sites are dropped (both directions).
+    Partition(Site, Site),
+    /// All partitions are removed and all crashed sites rejoin.
+    Heal,
+    /// Every message is now dropped with this probability.
+    SetDropRate(f64),
+}
+
+/// Orders a site pair so partitions are direction-independent.
+fn pair_key(a: Site, b: Site) -> (u32, u32) {
+    fn key(s: Site) -> u32 {
+        match s {
+            Site::Db(db) => db.index() as u32,
+            Site::Global => u32::MAX,
+        }
+    }
+    let (ka, kb) = (key(a), key(b));
+    (ka.min(kb), ka.max(kb))
+}
+
+/// The current health of the simulated network.
+#[derive(Debug, Default)]
+struct FaultState {
+    drop_rate: f64,
+    crashed: HashSet<Site>,
+    partitions: HashSet<(u32, u32)>,
+}
+
+impl FaultState {
+    fn apply(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Crash(site) => {
+                self.crashed.insert(site);
+            }
+            FaultEvent::Restart(site) => {
+                self.crashed.remove(&site);
+            }
+            FaultEvent::Partition(a, b) => {
+                self.partitions.insert(pair_key(a, b));
+            }
+            FaultEvent::Heal => {
+                self.crashed.clear();
+                self.partitions.clear();
+            }
+            FaultEvent::SetDropRate(p) => {
+                self.drop_rate = p.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    fn blocks(&self, from: Site, to: Site) -> bool {
+        self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.partitions.contains(&pair_key(from, to))
+    }
+}
+
+/// Simulated network with seeded deterministic fault injection.
+///
+/// Delivered messages are charged to the wrapped [`Simulation`]'s ledger
+/// (`Resource::Net`, the envelope's phase) and delayed by a per-link
+/// latency plus the transfer time of their bytes. Faults can be set up
+/// front ([`SimTransport::inject`]) or scheduled at a virtual time
+/// ([`SimTransport::inject_at`]) to strike mid-query.
+pub struct SimTransport {
+    sim: Rc<RefCell<Simulation>>,
+    rng: SmallRng,
+    state: FaultState,
+    /// Scheduled events, ascending by time; applied as time passes.
+    schedule: Vec<(f64, FaultEvent)>,
+    latency_us: f64,
+    jitter_us: f64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl SimTransport {
+    /// Default per-link latency, in virtual microseconds.
+    pub const DEFAULT_LATENCY_US: f64 = 50.0;
+
+    /// A healthy simulated network over `sim`, seeded for reproducible
+    /// fault decisions.
+    pub fn new(sim: Rc<RefCell<Simulation>>, seed: u64) -> SimTransport {
+        SimTransport {
+            sim,
+            rng: SmallRng::seed_from_u64(seed),
+            state: FaultState::default(),
+            schedule: Vec::new(),
+            latency_us: Self::DEFAULT_LATENCY_US,
+            jitter_us: 0.0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the fixed per-link latency (chainable).
+    pub fn with_latency_us(mut self, latency_us: f64) -> SimTransport {
+        self.latency_us = latency_us.max(0.0);
+        self
+    }
+
+    /// Adds uniform random extra latency in `[0, jitter_us)` (chainable).
+    pub fn with_jitter_us(mut self, jitter_us: f64) -> SimTransport {
+        self.jitter_us = jitter_us.max(0.0);
+        self
+    }
+
+    /// Drops every message with probability `p` (chainable).
+    pub fn with_drop_rate(mut self, p: f64) -> SimTransport {
+        self.state.apply(FaultEvent::SetDropRate(p));
+        self
+    }
+
+    /// Applies a fault event immediately.
+    pub fn inject(&mut self, event: FaultEvent) {
+        self.state.apply(event);
+    }
+
+    /// Schedules a fault event to strike at virtual time `at_us`.
+    pub fn inject_at(&mut self, at_us: f64, event: FaultEvent) {
+        self.schedule.push((at_us, event));
+        self.schedule.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+
+    /// The current per-message drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.state.drop_rate
+    }
+
+    /// The fixed per-link latency in virtual microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_us
+    }
+
+    /// Sites currently crashed (unreachable).
+    pub fn crashed_sites(&self) -> Vec<DbId> {
+        let mut out: Vec<DbId> = self
+            .state
+            .crashed
+            .iter()
+            .filter_map(|s| match s {
+                Site::Db(db) => Some(*db),
+                Site::Global => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of partitioned site pairs.
+    pub fn partition_count(&self) -> usize {
+        self.state.partitions.len()
+    }
+
+    fn apply_due(&mut self, now_us: f64) {
+        while let Some(&(at, event)) = self.schedule.first() {
+            if at > now_us {
+                break;
+            }
+            self.state.apply(event);
+            self.schedule.remove(0);
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn dispatch(&mut self, env: &Envelope, now_us: f64) -> Option<f64> {
+        self.apply_due(now_us);
+        // A site always reaches itself (the client is colocated with the
+        // global actor); everything else is subject to faults.
+        if env.from != env.to {
+            if self.state.blocks(env.from, env.to) {
+                self.dropped += 1;
+                return None;
+            }
+            if self.state.drop_rate > 0.0 && self.rng.gen_bool(self.state.drop_rate) {
+                self.dropped += 1;
+                return None;
+            }
+        }
+        self.delivered += 1;
+        let (wire_us, transfer_us) = {
+            let mut sim = self.sim.borrow_mut();
+            let token = sim.send(env.from, env.to, env.bytes, env.phase);
+            sim.recv(env.to, token);
+            let transfer = env.bytes as f64 * sim.params().net_us_per_byte;
+            (token.arrival().as_micros(), transfer)
+        };
+        let _ = wire_us; // sim clocks and virtual time are separate domains
+        let jitter = if self.jitter_us > 0.0 {
+            self.rng.gen_range(0.0..self.jitter_us)
+        } else {
+            0.0
+        };
+        Some(self.latency_us + transfer_us + jitter)
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.delivered, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_sim::{Phase, SystemParams};
+
+    fn env(from: u16, to: u16, bytes: u64) -> Envelope {
+        Envelope {
+            from: Site::Db(DbId::new(from)),
+            to: Site::Db(DbId::new(to)),
+            rpc: 0,
+            bytes,
+            phase: Phase::O,
+            payload: crate::msg::Payload::Request(crate::msg::Request::ShipObjects),
+        }
+    }
+
+    fn transport(seed: u64) -> SimTransport {
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            4,
+        )));
+        SimTransport::new(sim, seed)
+    }
+
+    #[test]
+    fn local_transport_is_instant_and_lossless() {
+        let mut t = LocalTransport::new();
+        assert_eq!(t.name(), "local");
+        for _ in 0..10 {
+            assert_eq!(t.dispatch(&env(0, 1, 100), 0.0), Some(0.0));
+        }
+        assert_eq!(t.stats(), (10, 0));
+    }
+
+    #[test]
+    fn delivery_charges_the_sim_ledger() {
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            4,
+        )));
+        let mut t = SimTransport::new(Rc::clone(&sim), 7);
+        let delay = t.dispatch(&env(0, 1, 100), 0.0).unwrap();
+        // 50 µs latency + 100 B * 8 µs/B transfer.
+        assert_eq!(delay, 850.0);
+        let m = sim.borrow().metrics();
+        assert_eq!(m.bytes_transferred, 100);
+        assert_eq!(m.messages, 1);
+    }
+
+    #[test]
+    fn crash_partition_and_heal_control_reachability() {
+        let mut t = transport(1);
+        let a = Site::Db(DbId::new(0));
+        let b = Site::Db(DbId::new(1));
+        t.inject(FaultEvent::Crash(a));
+        assert_eq!(t.dispatch(&env(0, 1, 8), 0.0), None);
+        assert_eq!(t.dispatch(&env(1, 0, 8), 0.0), None); // both directions
+        assert_eq!(t.crashed_sites(), vec![DbId::new(0)]);
+        t.inject(FaultEvent::Restart(a));
+        assert!(t.dispatch(&env(0, 1, 8), 0.0).is_some());
+        t.inject(FaultEvent::Partition(a, b));
+        assert_eq!(t.partition_count(), 1);
+        assert_eq!(t.dispatch(&env(1, 0, 8), 0.0), None);
+        assert!(t.dispatch(&env(2, 3, 8), 0.0).is_some()); // others unaffected
+        t.inject(FaultEvent::Heal);
+        assert!(t.dispatch(&env(1, 0, 8), 0.0).is_some());
+        let (delivered, dropped) = t.stats();
+        assert_eq!((delivered, dropped), (3, 3));
+    }
+
+    #[test]
+    fn scheduled_faults_strike_when_time_passes() {
+        let mut t = transport(1);
+        t.inject_at(100.0, FaultEvent::Crash(Site::Db(DbId::new(1))));
+        t.inject_at(200.0, FaultEvent::Heal);
+        assert!(t.dispatch(&env(0, 1, 8), 50.0).is_some());
+        assert_eq!(t.dispatch(&env(0, 1, 8), 150.0), None);
+        assert!(t.dispatch(&env(0, 1, 8), 250.0).is_some());
+    }
+
+    #[test]
+    fn drops_are_seed_deterministic() {
+        let fates = |seed: u64| -> Vec<bool> {
+            let mut t = transport(seed).with_drop_rate(0.5);
+            (0..32)
+                .map(|_| t.dispatch(&env(0, 1, 8), 0.0).is_some())
+                .collect()
+        };
+        assert_eq!(fates(42), fates(42));
+        assert_ne!(fates(42), fates(43)); // astronomically unlikely to match
+        let delivered = fates(42).iter().filter(|&&d| d).count();
+        assert!(
+            delivered > 0 && delivered < 32,
+            "drop rate should be partial"
+        );
+    }
+
+    #[test]
+    fn self_sends_bypass_faults() {
+        let mut t = transport(1).with_drop_rate(1.0);
+        t.inject(FaultEvent::Crash(Site::Global));
+        let e = Envelope {
+            from: Site::Global,
+            to: Site::Global,
+            rpc: 0,
+            bytes: 0,
+            phase: Phase::Ship,
+            payload: crate::msg::Payload::Request(crate::msg::Request::ShipObjects),
+        };
+        assert!(t.dispatch(&e, 0.0).is_some());
+    }
+}

@@ -33,7 +33,11 @@ pub struct Object {
 impl Object {
     /// Creates an object with its attribute values in class order.
     pub fn new(loid: LOid, class: ClassId, values: Vec<Value>) -> Object {
-        Object { loid, class, values }
+        Object {
+            loid,
+            class,
+            values,
+        }
     }
 
     /// The object's local identifier.

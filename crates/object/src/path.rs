@@ -54,13 +54,18 @@ impl Path {
         S: Into<String>,
     {
         let steps: Vec<String> = steps.into_iter().map(Into::into).collect();
-        assert!(!steps.is_empty(), "a path expression must have at least one step");
+        assert!(
+            !steps.is_empty(),
+            "a path expression must have at least one step"
+        );
         Path { steps }
     }
 
     /// Creates a single-step path.
     pub fn attr(name: impl Into<String>) -> Path {
-        Path { steps: vec![name.into()] }
+        Path {
+            steps: vec![name.into()],
+        }
     }
 
     /// Number of steps in the path.
@@ -97,7 +102,9 @@ impl Path {
     /// All steps except the last: the complex-attribute prefix that walks
     /// through branch classes.
     pub fn branch_prefix(&self) -> impl Iterator<Item = &str> {
-        self.steps[..self.steps.len() - 1].iter().map(String::as_str)
+        self.steps[..self.steps.len() - 1]
+            .iter()
+            .map(String::as_str)
     }
 
     /// Returns the sub-path that remains after removing the first `n`
@@ -106,7 +113,9 @@ impl Path {
         if n >= self.steps.len() {
             return None;
         }
-        Some(Path { steps: self.steps[n..].to_vec() })
+        Some(Path {
+            steps: self.steps[n..].to_vec(),
+        })
     }
 
     /// `true` if `prefix` is a (proper or improper) prefix of this path.
@@ -129,7 +138,9 @@ impl FromStr for Path {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let steps: Vec<String> = s.split('.').map(str::trim).map(String::from).collect();
         if steps.is_empty() || steps.iter().any(|p| p.is_empty()) {
-            return Err(ParsePathError { input: s.to_owned() });
+            return Err(ParsePathError {
+                input: s.to_owned(),
+            });
         }
         Ok(Path { steps })
     }

@@ -302,7 +302,14 @@ mod tests {
 
     #[test]
     fn null_comparisons_are_unknown() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(Value::Null.compare(op, &Value::Int(1)), Truth::Unknown);
             assert_eq!(Value::Int(1).compare(op, &Value::Null), Truth::Unknown);
             assert_eq!(Value::Null.compare(op, &Value::Null), Truth::Unknown);
@@ -311,17 +318,38 @@ mod tests {
 
     #[test]
     fn integer_comparisons() {
-        assert_eq!(Value::Int(2).compare(CmpOp::Lt, &Value::Int(3)), Truth::True);
-        assert_eq!(Value::Int(3).compare(CmpOp::Lt, &Value::Int(3)), Truth::False);
-        assert_eq!(Value::Int(3).compare(CmpOp::Le, &Value::Int(3)), Truth::True);
-        assert_eq!(Value::Int(4).compare(CmpOp::Ne, &Value::Int(3)), Truth::True);
+        assert_eq!(
+            Value::Int(2).compare(CmpOp::Lt, &Value::Int(3)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::Int(3).compare(CmpOp::Lt, &Value::Int(3)),
+            Truth::False
+        );
+        assert_eq!(
+            Value::Int(3).compare(CmpOp::Le, &Value::Int(3)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::Int(4).compare(CmpOp::Ne, &Value::Int(3)),
+            Truth::True
+        );
     }
 
     #[test]
     fn mixed_numeric_comparison_coerces() {
-        assert_eq!(Value::Int(2).compare(CmpOp::Lt, &Value::Float(2.5)), Truth::True);
-        assert_eq!(Value::Float(2.5).compare(CmpOp::Gt, &Value::Int(2)), Truth::True);
-        assert_eq!(Value::Float(2.0).compare(CmpOp::Eq, &Value::Int(2)), Truth::True);
+        assert_eq!(
+            Value::Int(2).compare(CmpOp::Lt, &Value::Float(2.5)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::Float(2.5).compare(CmpOp::Gt, &Value::Int(2)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::Float(2.0).compare(CmpOp::Eq, &Value::Int(2)),
+            Truth::True
+        );
     }
 
     #[test]
@@ -338,17 +366,32 @@ mod tests {
 
     #[test]
     fn cross_kind_equality_is_false_ordering_unknown() {
-        assert_eq!(Value::text("1").compare(CmpOp::Eq, &Value::Int(1)), Truth::False);
-        assert_eq!(Value::text("1").compare(CmpOp::Ne, &Value::Int(1)), Truth::True);
-        assert_eq!(Value::text("1").compare(CmpOp::Lt, &Value::Int(1)), Truth::Unknown);
+        assert_eq!(
+            Value::text("1").compare(CmpOp::Eq, &Value::Int(1)),
+            Truth::False
+        );
+        assert_eq!(
+            Value::text("1").compare(CmpOp::Ne, &Value::Int(1)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::text("1").compare(CmpOp::Lt, &Value::Int(1)),
+            Truth::Unknown
+        );
     }
 
     #[test]
     fn reference_identity_comparison() {
         let a = LOid::new(DbId::new(0), 1);
         let b = LOid::new(DbId::new(0), 2);
-        assert_eq!(Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(a)), Truth::True);
-        assert_eq!(Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(b)), Truth::False);
+        assert_eq!(
+            Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(a)),
+            Truth::True
+        );
+        assert_eq!(
+            Value::Ref(a).compare(CmpOp::Eq, &Value::Ref(b)),
+            Truth::False
+        );
         assert_eq!(
             Value::GRef(GOid::new(1)).compare(CmpOp::Ne, &Value::GRef(GOid::new(2))),
             Truth::True

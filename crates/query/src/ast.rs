@@ -44,7 +44,13 @@ impl Predicate {
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}", self.path, self.op, display_literal(&self.literal))
+        write!(
+            f,
+            "{} {} {}",
+            self.path,
+            self.op,
+            display_literal(&self.literal)
+        )
     }
 }
 
@@ -101,7 +107,8 @@ impl Query {
     ///
     /// Panics if `path` is not a valid dotted path.
     pub fn target(mut self, path: &str) -> Query {
-        self.targets.push(path.parse().expect("invalid target path"));
+        self.targets
+            .push(path.parse().expect("invalid target path"));
         self
     }
 
@@ -111,8 +118,11 @@ impl Query {
     ///
     /// Panics if `path` is not a valid dotted path.
     pub fn filter(mut self, path: &str, op: CmpOp, literal: Value) -> Query {
-        self.predicates
-            .push(Predicate::new(path.parse().expect("invalid predicate path"), op, literal));
+        self.predicates.push(Predicate::new(
+            path.parse().expect("invalid predicate path"),
+            op,
+            literal,
+        ));
         self
     }
 
@@ -158,7 +168,14 @@ impl fmt::Display for Query {
         write!(f, " FROM {} {}", self.range_class, self.var)?;
         for (i, p) in self.predicates.iter().enumerate() {
             f.write_str(if i == 0 { " WHERE " } else { " AND " })?;
-            write!(f, "{}.{} {} {}", self.var, p.path(), p.op(), display_literal(p.literal()))?;
+            write!(
+                f,
+                "{}.{} {} {}",
+                self.var,
+                p.path(),
+                p.op(),
+                display_literal(p.literal())
+            )?;
         }
         Ok(())
     }
@@ -192,9 +209,11 @@ mod tests {
 
     #[test]
     fn display_is_sqlx_like() {
-        let q = Query::with_var("Teacher", "T")
-            .target("name")
-            .filter("department.name", CmpOp::Ne, Value::text("CS"));
+        let q = Query::with_var("Teacher", "T").target("name").filter(
+            "department.name",
+            CmpOp::Ne,
+            Value::text("CS"),
+        );
         assert_eq!(
             q.to_string(),
             "SELECT T.name FROM Teacher T WHERE T.department.name != 'CS'"

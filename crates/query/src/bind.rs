@@ -196,7 +196,11 @@ impl BoundQuery {
     /// navigation are included.
     pub fn involved_slots(&self) -> HashMap<GlobalClassId, BTreeSet<usize>> {
         let mut out: HashMap<GlobalClassId, BTreeSet<usize>> = HashMap::new();
-        for path in self.targets.iter().chain(self.predicates.iter().map(|p| &p.path)) {
+        for path in self
+            .targets
+            .iter()
+            .chain(self.predicates.iter().map(|p| &p.path))
+        {
             for (class, slot) in path.steps() {
                 out.entry(class).or_default().insert(slot);
             }
@@ -236,7 +240,12 @@ pub fn bind(query: &Query, schema: &GlobalSchema) -> Result<BoundQuery, QueryErr
             literal: p.literal().clone(),
         });
     }
-    Ok(BoundQuery { source: query.clone(), range, targets, predicates })
+    Ok(BoundQuery {
+        source: query.clone(),
+        range,
+        targets,
+        predicates,
+    })
 }
 
 /// Rejects comparisons that could never be decided: the terminal
@@ -254,8 +263,10 @@ fn check_literal(
     };
     let compatible = matches!(
         (ty, literal.kind()),
-        (PrimitiveType::Int | PrimitiveType::Float, ValueKind::Int | ValueKind::Float)
-            | (PrimitiveType::Text, ValueKind::Text)
+        (
+            PrimitiveType::Int | PrimitiveType::Float,
+            ValueKind::Int | ValueKind::Float
+        ) | (PrimitiveType::Text, ValueKind::Text)
             | (PrimitiveType::Bool, ValueKind::Bool)
     );
     if compatible {
@@ -282,10 +293,12 @@ fn bind_path(
     let mut terminal_domain = None;
     for (i, attr) in path.steps().enumerate() {
         let def = schema.class(class);
-        let slot = def.attr_index(attr).ok_or_else(|| QueryError::UnknownAttribute {
-            class: def.name().to_owned(),
-            attr: attr.to_owned(),
-        })?;
+        let slot = def
+            .attr_index(attr)
+            .ok_or_else(|| QueryError::UnknownAttribute {
+                class: def.name().to_owned(),
+                attr: attr.to_owned(),
+            })?;
         classes.push(class);
         slots.push(slot);
         let ty = def.attr(slot).ty();
@@ -309,7 +322,12 @@ fn bind_path(
             terminal_domain = Some(domain);
         }
     }
-    Ok(BoundPath { path: path.clone(), classes, slots, terminal_domain })
+    Ok(BoundPath {
+        path: path.clone(),
+        classes,
+        slots,
+        terminal_domain,
+    })
 }
 
 #[cfg(test)]
@@ -345,16 +363,18 @@ mod tests {
                 .attr("advisor", AttrType::complex("Teacher")),
         ])
         .unwrap();
-        integrate(&[(DbId::new(0), &db0), (DbId::new(1), &db1)], &Correspondences::new()).unwrap()
+        integrate(
+            &[(DbId::new(0), &db0), (DbId::new(1), &db1)],
+            &Correspondences::new(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn binds_nested_paths_with_class_chain() {
         let g = global();
-        let q = parse(
-            "SELECT X.name FROM Student X WHERE X.advisor.department.name = 'CS'",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT X.name FROM Student X WHERE X.advisor.department.name = 'CS'").unwrap();
         let b = bind(&q, &g).unwrap();
         assert_eq!(b.range(), g.class_id("Student").unwrap());
         let p = &b.predicates()[0];
@@ -369,18 +389,30 @@ mod tests {
     fn unknown_class_and_attribute() {
         let g = global();
         let q = parse("SELECT X.name FROM Course X").unwrap();
-        assert_eq!(bind(&q, &g).unwrap_err(), QueryError::UnknownClass("Course".into()));
+        assert_eq!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::UnknownClass("Course".into())
+        );
         let q = parse("SELECT X.phone FROM Student X").unwrap();
-        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::UnknownAttribute { .. }));
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::UnknownAttribute { .. }
+        ));
         let q = parse("SELECT X.name FROM Student X WHERE X.advisor.rank = 3").unwrap();
-        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::UnknownAttribute { .. }));
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::UnknownAttribute { .. }
+        ));
     }
 
     #[test]
     fn navigation_through_primitive_rejected() {
         let g = global();
         let q = parse("SELECT X.age.years FROM Student X").unwrap();
-        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::NotComplex { .. }));
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::NotComplex { .. }
+        ));
     }
 
     #[test]
@@ -390,7 +422,10 @@ mod tests {
         let b = bind(&q, &g).unwrap();
         assert!(b.targets()[0].terminal_complex());
         let q = parse("SELECT X.name FROM Student X WHERE X.advisor = 'Kelly'").unwrap();
-        assert!(matches!(bind(&q, &g).unwrap_err(), QueryError::ComplexTerminal { .. }));
+        assert!(matches!(
+            bind(&q, &g).unwrap_err(),
+            QueryError::ComplexTerminal { .. }
+        ));
     }
 
     #[test]

@@ -91,17 +91,20 @@ impl SitePlan {
         &'a self,
         bound: &'a BoundQuery,
     ) -> impl Iterator<Item = TruncatedPred> + 'a {
-        self.dispositions.iter().enumerate().filter_map(move |(i, d)| match d {
-            PredDisposition::Local => None,
-            PredDisposition::Truncated { prefix_len } => {
-                let path = bound.predicates()[i].path();
-                Some(TruncatedPred {
-                    pred: PredId::new(i),
-                    prefix_len: *prefix_len,
-                    item_class: path.class(*prefix_len),
-                })
-            }
-        })
+        self.dispositions
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, d)| match d {
+                PredDisposition::Local => None,
+                PredDisposition::Truncated { prefix_len } => {
+                    let path = bound.predicates()[i].path();
+                    Some(TruncatedPred {
+                        pred: PredId::new(i),
+                        prefix_len: *prefix_len,
+                        item_class: path.class(*prefix_len),
+                    })
+                }
+            })
     }
 
     /// `true` iff every predicate is local here (no missing attributes on
@@ -168,7 +171,12 @@ pub fn plan_for_db(bound: &BoundQuery, schema: &GlobalSchema, db: DbId) -> Optio
         .iter()
         .map(|t| navigable_prefix(t, schema, db))
         .collect();
-    Some(SitePlan { db, root_constituent, dispositions, target_prefix_lens })
+    Some(SitePlan {
+        db,
+        root_constituent,
+        dispositions,
+        target_prefix_lens,
+    })
 }
 
 fn classify(path: &BoundPath, schema: &GlobalSchema, db: DbId) -> PredDisposition {
@@ -232,9 +240,11 @@ mod tests {
                 .attr("advisor", AttrType::complex("Teacher")),
         ])
         .unwrap();
-        let schema =
-            integrate(&[(DbId::new(0), &db0), (DbId::new(1), &db1)], &Correspondences::new())
-                .unwrap();
+        let schema = integrate(
+            &[(DbId::new(0), &db0), (DbId::new(1), &db1)],
+            &Correspondences::new(),
+        )
+        .unwrap();
         let q = parse(
             "Select X.name, X.advisor.name From Student X \
              Where X.address.city = 'Taipei' and X.advisor.speciality = 'database' \

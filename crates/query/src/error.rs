@@ -13,7 +13,11 @@ pub enum QueryError {
     /// A numeric literal did not parse.
     BadNumber { position: usize, text: String },
     /// The parser expected something else at this token.
-    Unexpected { position: usize, expected: &'static str, found: String },
+    Unexpected {
+        position: usize,
+        expected: &'static str,
+        found: String,
+    },
     /// A select/where path used a variable other than the range variable.
     UnknownVariable { variable: String, expected: String },
     /// The query's range class is not in the global schema.
@@ -28,7 +32,11 @@ pub enum QueryError {
     /// A predicate compares an attribute with a literal of an
     /// incompatible kind (e.g. a text attribute against an integer); the
     /// comparison could never be true.
-    LiteralTypeMismatch { class: String, attr: String, literal: String },
+    LiteralTypeMismatch {
+        class: String,
+        attr: String,
+        literal: String,
+    },
     /// The query has no predicates and no targets.
     EmptyQuery,
 }
@@ -45,24 +53,44 @@ impl fmt::Display for QueryError {
             QueryError::BadNumber { position, text } => {
                 write!(f, "invalid numeric literal {text:?} at byte {position}")
             }
-            QueryError::Unexpected { position, expected, found } => {
+            QueryError::Unexpected {
+                position,
+                expected,
+                found,
+            } => {
                 write!(f, "expected {expected} at byte {position}, found {found}")
             }
             QueryError::UnknownVariable { variable, expected } => {
-                write!(f, "unknown variable {variable:?}; the range variable is {expected:?}")
+                write!(
+                    f,
+                    "unknown variable {variable:?}; the range variable is {expected:?}"
+                )
             }
             QueryError::UnknownClass(c) => write!(f, "unknown global class {c:?}"),
             QueryError::UnknownAttribute { class, attr } => {
                 write!(f, "global class {class:?} has no attribute {attr:?}")
             }
             QueryError::NotComplex { class, attr } => {
-                write!(f, "attribute {class}.{attr} is primitive and cannot be navigated")
+                write!(
+                    f,
+                    "attribute {class}.{attr} is primitive and cannot be navigated"
+                )
             }
             QueryError::ComplexTerminal { class, attr } => {
-                write!(f, "predicate compares complex attribute {class}.{attr} with a literal")
+                write!(
+                    f,
+                    "predicate compares complex attribute {class}.{attr} with a literal"
+                )
             }
-            QueryError::LiteralTypeMismatch { class, attr, literal } => {
-                write!(f, "attribute {class}.{attr} cannot be compared with literal {literal}")
+            QueryError::LiteralTypeMismatch {
+                class,
+                attr,
+                literal,
+            } => {
+                write!(
+                    f,
+                    "attribute {class}.{attr} cannot be compared with literal {literal}"
+                )
             }
             QueryError::EmptyQuery => write!(f, "query selects nothing and filters nothing"),
         }
@@ -77,10 +105,17 @@ mod tests {
 
     #[test]
     fn messages_mention_positions_and_names() {
-        let e = QueryError::Unexpected { position: 7, expected: "FROM", found: "`WHERE`".into() };
+        let e = QueryError::Unexpected {
+            position: 7,
+            expected: "FROM",
+            found: "`WHERE`".into(),
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains("FROM"));
-        let e = QueryError::UnknownAttribute { class: "Student".into(), attr: "phone".into() };
+        let e = QueryError::UnknownAttribute {
+            class: "Student".into(),
+            attr: "phone".into(),
+        };
         assert!(e.to_string().contains("phone"));
     }
 

@@ -87,45 +87,75 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { position: start, kind: TokenKind::Dot });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Dot,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { position: start, kind: TokenKind::Comma });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { position: start, kind: TokenKind::Eq });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Eq,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { position: start, kind: TokenKind::Ne });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                 } else {
-                    return Err(QueryError::UnexpectedChar { position: start, ch: '!' });
+                    return Err(QueryError::UnexpectedChar {
+                        position: start,
+                        ch: '!',
+                    });
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Token { position: start, kind: TokenKind::Le });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Token { position: start, kind: TokenKind::Ne });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { position: start, kind: TokenKind::Lt });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { position: start, kind: TokenKind::Ge });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { position: start, kind: TokenKind::Gt });
+                    tokens.push(Token {
+                        position: start,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
             }
@@ -156,7 +186,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                     }
                 }
                 let text = String::from_utf8(out).expect("substring of valid UTF-8");
-                tokens.push(Token { position: start, kind: TokenKind::Str(text) });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Str(text),
+                });
             }
             '0'..='9' | '-' if c != '-' || matches!(bytes.get(i + 1), Some(b'0'..=b'9')) => {
                 i += 1;
@@ -183,7 +216,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                         text: text.to_owned(),
                     })?)
                 };
-                tokens.push(Token { position: start, kind });
+                tokens.push(Token {
+                    position: start,
+                    kind,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 i += 1;
@@ -198,12 +234,23 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_owned()),
                 };
-                tokens.push(Token { position: start, kind });
+                tokens.push(Token {
+                    position: start,
+                    kind,
+                });
             }
-            other => return Err(QueryError::UnexpectedChar { position: start, ch: other }),
+            other => {
+                return Err(QueryError::UnexpectedChar {
+                    position: start,
+                    ch: other,
+                })
+            }
         }
     }
-    tokens.push(Token { position: input.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        position: input.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -212,7 +259,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -264,13 +315,20 @@ mod tests {
     fn string_literals_both_quote_styles() {
         assert_eq!(
             kinds("'Taipei' \"CS\""),
-            vec![TokenKind::Str("Taipei".into()), TokenKind::Str("CS".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Str("Taipei".into()),
+                TokenKind::Str("CS".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
     #[test]
     fn doubled_quote_escapes() {
-        assert_eq!(kinds("'O''Brien'"), vec![TokenKind::Str("O'Brien".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'O''Brien'"),
+            vec![TokenKind::Str("O'Brien".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -296,7 +354,13 @@ mod tests {
     #[test]
     fn unexpected_char_errors() {
         let err = tokenize("a ; b").unwrap_err();
-        assert_eq!(err, QueryError::UnexpectedChar { position: 2, ch: ';' });
+        assert_eq!(
+            err,
+            QueryError::UnexpectedChar {
+                position: 2,
+                ch: ';'
+            }
+        );
         // A bare `!` (not `!=`) is also an error.
         let err = tokenize("a ! b").unwrap_err();
         assert!(matches!(err, QueryError::UnexpectedChar { ch: '!', .. }));
@@ -314,7 +378,11 @@ mod tests {
     fn true_false_are_keywords() {
         assert_eq!(
             kinds("true FALSE"),
-            vec![TokenKind::Keyword("TRUE"), TokenKind::Keyword("FALSE"), TokenKind::Eof]
+            vec![
+                TokenKind::Keyword("TRUE"),
+                TokenKind::Keyword("FALSE"),
+                TokenKind::Eof
+            ]
         );
     }
 }

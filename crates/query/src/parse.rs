@@ -107,7 +107,10 @@ impl Parser {
         let mut query = Query::with_var(range_class, var.clone());
         for (v, path) in raw_targets {
             if v != var {
-                return Err(QueryError::UnknownVariable { variable: v, expected: var });
+                return Err(QueryError::UnknownVariable {
+                    variable: v,
+                    expected: var,
+                });
             }
             query = query.predicate_free_target(path);
         }
@@ -117,7 +120,10 @@ impl Parser {
             loop {
                 let (v, path) = self.var_path()?;
                 if v != var {
-                    return Err(QueryError::UnknownVariable { variable: v, expected: var });
+                    return Err(QueryError::UnknownVariable {
+                        variable: v,
+                        expected: var,
+                    });
                 }
                 let op = self.cmp_op()?;
                 let literal = self.literal()?;
@@ -215,13 +221,17 @@ mod tests {
         assert_eq!(q.predicates().len(), 3);
         assert_eq!(q.predicates()[0].path().to_string(), "address.city");
         assert_eq!(q.predicates()[0].literal(), &Value::text("Taipei"));
-        assert_eq!(q.predicates()[2].path().to_string(), "advisor.department.name");
+        assert_eq!(
+            q.predicates()[2].path().to_string(),
+            "advisor.department.name"
+        );
     }
 
     #[test]
     fn parses_quoted_and_numeric_literals() {
-        let q = parse("SELECT X.name FROM S X WHERE X.city = 'Taipei' AND X.age >= 30 AND X.gpa < 3.5")
-            .unwrap();
+        let q =
+            parse("SELECT X.name FROM S X WHERE X.city = 'Taipei' AND X.age >= 30 AND X.gpa < 3.5")
+                .unwrap();
         assert_eq!(q.predicates()[0].literal(), &Value::text("Taipei"));
         assert_eq!(q.predicates()[1].op(), CmpOp::Ge);
         assert_eq!(q.predicates()[1].literal(), &Value::Int(30));
@@ -246,7 +256,10 @@ mod tests {
         let err = parse("SELECT Y.name FROM Student X").unwrap_err();
         assert_eq!(
             err,
-            QueryError::UnknownVariable { variable: "Y".into(), expected: "X".into() }
+            QueryError::UnknownVariable {
+                variable: "Y".into(),
+                expected: "X".into()
+            }
         );
         let err = parse("SELECT X.name FROM Student X WHERE Z.age = 3").unwrap_err();
         assert!(matches!(err, QueryError::UnknownVariable { .. }));
@@ -255,17 +268,35 @@ mod tests {
     #[test]
     fn syntax_errors_point_at_tokens() {
         let err = parse("SELECT X.name Student X").unwrap_err();
-        assert!(matches!(err, QueryError::Unexpected { expected: "FROM", .. }));
+        assert!(matches!(
+            err,
+            QueryError::Unexpected {
+                expected: "FROM",
+                ..
+            }
+        ));
         let err = parse("SELECT FROM Student X").unwrap_err();
         assert!(matches!(err, QueryError::Unexpected { .. }));
         let err = parse("SELECT X.name FROM Student X WHERE X.age").unwrap_err();
-        assert!(matches!(err, QueryError::Unexpected { expected: "a comparison operator", .. }));
+        assert!(matches!(
+            err,
+            QueryError::Unexpected {
+                expected: "a comparison operator",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         let err = parse("SELECT X.name FROM Student X WHERE X.age = 3 X").unwrap_err();
-        assert!(matches!(err, QueryError::Unexpected { expected: "end of query", .. }));
+        assert!(matches!(
+            err,
+            QueryError::Unexpected {
+                expected: "end of query",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -59,7 +59,8 @@ impl Correspondences {
         attr: impl Into<String>,
         global: impl Into<String>,
     ) -> Correspondences {
-        self.attrs.insert((db, component.into(), attr.into()), global.into());
+        self.attrs
+            .insert((db, component.into(), attr.into()), global.into());
         self
     }
 

@@ -30,7 +30,10 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::TypeConflict { class, attr } => {
-                write!(f, "constituents of {class:?} disagree on the type of {attr:?}")
+                write!(
+                    f,
+                    "constituents of {class:?} disagree on the type of {attr:?}"
+                )
             }
             SchemaError::DomainConflict { class, attr } => write!(
                 f,
@@ -41,7 +44,10 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::UnknownGlobalClass(c) => write!(f, "unknown global class {c:?}"),
             SchemaError::NoKey { class } => {
-                write!(f, "no constituent of {class:?} declares a key for isomerism")
+                write!(
+                    f,
+                    "no constituent of {class:?} declares a key for isomerism"
+                )
             }
             SchemaError::DuplicateEntityInDb { db, class } => write!(
                 f,
@@ -59,10 +65,16 @@ mod tests {
 
     #[test]
     fn messages_name_the_subjects() {
-        let e = SchemaError::TypeConflict { class: "Student".into(), attr: "age".into() };
+        let e = SchemaError::TypeConflict {
+            class: "Student".into(),
+            attr: "age".into(),
+        };
         assert!(e.to_string().contains("Student"));
         assert!(e.to_string().contains("age"));
-        let e = SchemaError::UnknownComponentClass { db: DbId::new(2), class: "X".into() };
+        let e = SchemaError::UnknownComponentClass {
+            db: DbId::new(2),
+            class: "X".into(),
+        };
         assert!(e.to_string().contains("DB2"));
     }
 

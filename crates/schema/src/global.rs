@@ -46,7 +46,10 @@ pub struct GlobalAttr {
 impl GlobalAttr {
     /// Creates a global attribute.
     pub fn new(name: impl Into<String>, ty: GlobalAttrType) -> GlobalAttr {
-        GlobalAttr { name: name.into(), ty }
+        GlobalAttr {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// The global attribute name.
@@ -80,7 +83,12 @@ impl Constituent {
         class_name: impl Into<String>,
         attr_map: Vec<Option<usize>>,
     ) -> Constituent {
-        Constituent { db, class, class_name: class_name.into(), attr_map }
+        Constituent {
+            db,
+            class,
+            class_name: class_name.into(),
+            attr_map,
+        }
     }
 
     /// The owning component database.
@@ -141,7 +149,12 @@ impl GlobalClass {
             .enumerate()
             .map(|(i, a)| (a.name().to_owned(), i))
             .collect();
-        GlobalClass { name: name.into(), attrs, by_attr, constituents }
+        GlobalClass {
+            name: name.into(),
+            attrs,
+            by_attr,
+            constituents,
+        }
     }
 
     /// The global class name.
@@ -261,7 +274,10 @@ impl GlobalSchema {
     /// `class_id`, together with its constituent record.
     pub fn owner_of(&self, db: DbId, class_id: ClassId) -> Option<(GlobalClassId, &Constituent)> {
         for (gid, class) in self.iter() {
-            if let Some(c) = class.constituents().iter().find(|c| c.db() == db && c.class() == class_id)
+            if let Some(c) = class
+                .constituents()
+                .iter()
+                .find(|c| c.db() == db && c.class() == class_id)
             {
                 return Some((gid, c));
             }
@@ -284,8 +300,18 @@ mod tests {
                 GlobalAttr::new("sex", GlobalAttrType::Primitive(PrimitiveType::Text)),
             ],
             vec![
-                Constituent::new(DbId::new(0), ClassId::new(0), "Student", vec![Some(0), Some(1), None]),
-                Constituent::new(DbId::new(1), ClassId::new(0), "Student", vec![Some(0), None, Some(1)]),
+                Constituent::new(
+                    DbId::new(0),
+                    ClassId::new(0),
+                    "Student",
+                    vec![Some(0), Some(1), None],
+                ),
+                Constituent::new(
+                    DbId::new(1),
+                    ClassId::new(0),
+                    "Student",
+                    vec![Some(0), None, Some(1)],
+                ),
             ],
         );
         GlobalSchema::new(vec![student])

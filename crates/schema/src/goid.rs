@@ -94,7 +94,10 @@ pub struct GoidCatalog {
 impl GoidCatalog {
     /// Creates a catalog with one empty table per global class.
     pub fn new(num_classes: usize) -> GoidCatalog {
-        GoidCatalog { tables: vec![GoidTable::new(); num_classes], next: 0 }
+        GoidCatalog {
+            tables: vec![GoidTable::new(); num_classes],
+            next: 0,
+        }
     }
 
     /// Registers one entity: the group of isomeric LOids representing it.
@@ -104,7 +107,10 @@ impl GoidCatalog {
     ///
     /// Panics if `class` is out of range or `group` is empty.
     pub fn register(&mut self, class: GlobalClassId, group: &[LOid]) -> GOid {
-        assert!(!group.is_empty(), "an entity must have at least one local object");
+        assert!(
+            !group.is_empty(),
+            "an entity must have at least one local object"
+        );
         let goid = GOid::new(self.next);
         self.next += 1;
         self.tables[class.index()].register(goid, group);

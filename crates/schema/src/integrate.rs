@@ -132,9 +132,15 @@ fn check_compatible(
         (GlobalAttrType::Primitive(a), GlobalAttrType::Primitive(b)) if a == b => Ok(()),
         (GlobalAttrType::Complex(a), GlobalAttrType::Complex(b)) if a == b => Ok(()),
         (GlobalAttrType::Complex(_), GlobalAttrType::Complex(_)) => {
-            Err(SchemaError::DomainConflict { class: class.to_owned(), attr: attr.to_owned() })
+            Err(SchemaError::DomainConflict {
+                class: class.to_owned(),
+                attr: attr.to_owned(),
+            })
         }
-        _ => Err(SchemaError::TypeConflict { class: class.to_owned(), attr: attr.to_owned() }),
+        _ => Err(SchemaError::TypeConflict {
+            class: class.to_owned(),
+            attr: attr.to_owned(),
+        }),
     }
 }
 
@@ -176,8 +182,11 @@ mod tests {
     #[test]
     fn union_of_attributes() {
         let (a, b) = (db0(), db1());
-        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap();
+        let g = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap();
         let student = g.class_by_name("Student").unwrap();
         let names: Vec<&str> = student.attrs().iter().map(GlobalAttr::name).collect();
         assert_eq!(names, ["s-no", "name", "age", "advisor", "address"]);
@@ -189,21 +198,36 @@ mod tests {
     #[test]
     fn missing_attributes_recorded_per_constituent() {
         let (a, b) = (db0(), db1());
-        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap();
+        let g = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap();
         let student = g.class_by_name("Student").unwrap();
         let address = student.attr_index("address").unwrap();
         let age = student.attr_index("age").unwrap();
-        assert!(student.constituent_for(DbId::new(0)).unwrap().is_missing(address));
-        assert!(!student.constituent_for(DbId::new(0)).unwrap().is_missing(age));
-        assert!(student.constituent_for(DbId::new(1)).unwrap().is_missing(age));
+        assert!(student
+            .constituent_for(DbId::new(0))
+            .unwrap()
+            .is_missing(address));
+        assert!(!student
+            .constituent_for(DbId::new(0))
+            .unwrap()
+            .is_missing(age));
+        assert!(student
+            .constituent_for(DbId::new(1))
+            .unwrap()
+            .is_missing(age));
     }
 
     #[test]
     fn complex_domains_resolve_to_global_classes() {
         let (a, b) = (db0(), db1());
-        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap();
+        let g = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap();
         let student = g.class_by_name("Student").unwrap();
         let advisor = student.attr(student.attr_index("advisor").unwrap());
         assert_eq!(advisor.ty().domain(), g.class_id("Teacher"));
@@ -213,8 +237,8 @@ mod tests {
 
     #[test]
     fn correspondences_rename_classes_and_attrs() {
-        let a = ComponentSchema::new(vec![ClassDef::new("Emp").attr("nm", AttrType::text())])
-            .unwrap();
+        let a =
+            ComponentSchema::new(vec![ClassDef::new("Emp").attr("nm", AttrType::text())]).unwrap();
         let b = ComponentSchema::new(vec![ClassDef::new("Employee")
             .attr("name", AttrType::text())
             .attr("salary", AttrType::int())])
@@ -236,9 +260,18 @@ mod tests {
     fn type_conflict_detected() {
         let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
         let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::text())]).unwrap();
-        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap_err();
-        assert_eq!(err, SchemaError::TypeConflict { class: "X".into(), attr: "v".into() });
+        let err = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::TypeConflict {
+                class: "X".into(),
+                attr: "v".into()
+            }
+        );
     }
 
     #[test]
@@ -249,8 +282,11 @@ mod tests {
         ])
         .unwrap();
         let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
-        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap_err();
+        let err = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SchemaError::TypeConflict { .. }));
     }
 
@@ -266,16 +302,28 @@ mod tests {
             ClassDef::new("X").attr("v", AttrType::complex("D2")),
         ])
         .unwrap();
-        let err = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap_err();
-        assert_eq!(err, SchemaError::DomainConflict { class: "X".into(), attr: "v".into() });
+        let err = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::DomainConflict {
+                class: "X".into(),
+                attr: "v".into()
+            }
+        );
     }
 
     #[test]
     fn multi_valued_integrates_as_element_type() {
         let a = ComponentSchema::new(vec![
             ClassDef::new("Topic"),
-            ClassDef::new("T").attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic")))),
+            ClassDef::new("T").attr(
+                "topics",
+                AttrType::Multi(Box::new(AttrType::complex("Topic"))),
+            ),
         ])
         .unwrap();
         let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new()).unwrap();
@@ -287,11 +335,17 @@ mod tests {
     fn matching_primitive_types_merge() {
         let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
         let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
-        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &Correspondences::new())
-            .unwrap();
+        let g = integrate(
+            &[(DbId::new(0), &a), (DbId::new(1), &b)],
+            &Correspondences::new(),
+        )
+        .unwrap();
         let x = g.class_by_name("X").unwrap();
         assert_eq!(x.arity(), 1);
-        assert_eq!(x.attr(0).ty(), GlobalAttrType::Primitive(PrimitiveType::Int));
+        assert_eq!(
+            x.attr(0).ty(),
+            GlobalAttrType::Primitive(PrimitiveType::Int)
+        );
     }
 
     #[test]
@@ -301,6 +355,11 @@ mod tests {
         assert_eq!(g.len(), 3);
         let student = g.class_by_name("Student").unwrap();
         assert_eq!(student.arity(), 4);
-        assert!(student.constituent_for(DbId::new(0)).unwrap().missing_attrs().next().is_none());
+        assert!(student
+            .constituent_for(DbId::new(0))
+            .unwrap()
+            .missing_attrs()
+            .next()
+            .is_none());
     }
 }

@@ -78,13 +78,13 @@ fn group_class(
             .unwrap_or_else(|| panic!("database {} not supplied", constituent.db()));
         // Translate the global key slots into this constituent's local
         // slots; None if any key attribute is missing here.
-        let local_key: Option<Vec<usize>> = key_slots.as_ref().and_then(|slots| {
-            slots.iter().map(|&g| constituent.local_slot(g)).collect()
-        });
+        let local_key: Option<Vec<usize>> = key_slots
+            .as_ref()
+            .and_then(|slots| slots.iter().map(|&g| constituent.local_slot(g)).collect());
         for object in db.extent(constituent.class()).iter() {
-            let key = local_key.as_ref().and_then(|slots| {
-                IndexKey::compound(slots.iter().map(|&s| object.value(s)))
-            });
+            let key = local_key
+                .as_ref()
+                .and_then(|slots| IndexKey::compound(slots.iter().map(|&s| object.value(s))));
             match key {
                 Some(k) => groups.entry(k).or_default().push(object.loid()),
                 None => singletons.push(object.loid()),
@@ -160,13 +160,22 @@ mod tests {
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
         let a = db0
-            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("John"))])
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("John"))],
+            )
             .unwrap();
         let b = db1
-            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("John"))])
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("John"))],
+            )
             .unwrap();
         let c = db1
-            .insert_named("Student", &[("s-no", Value::Int(2)), ("name", Value::text("Mary"))])
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(2)), ("name", Value::text("Mary"))],
+            )
             .unwrap();
         let global = integrate(
             &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
@@ -185,8 +194,12 @@ mod tests {
     fn null_keys_become_singletons() {
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
-        let a = db0.insert_named("Student", &[("name", Value::text("X"))]).unwrap();
-        let b = db1.insert_named("Student", &[("name", Value::text("X"))]).unwrap();
+        let a = db0
+            .insert_named("Student", &[("name", Value::text("X"))])
+            .unwrap();
+        let b = db1
+            .insert_named("Student", &[("name", Value::text("X"))])
+            .unwrap();
         let global = integrate(
             &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
             &Correspondences::new(),
@@ -202,15 +215,20 @@ mod tests {
     #[test]
     fn missing_key_attribute_means_singletons() {
         // DB1's Student has no s-no at all; its objects can't join groups.
-        let unkeyed = ComponentSchema::new(vec![ClassDef::new("Student")
-            .attr("name", AttrType::text())])
-        .unwrap();
+        let unkeyed =
+            ComponentSchema::new(vec![ClassDef::new("Student").attr("name", AttrType::text())])
+                .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
         let mut db1 = ComponentDb::new(DbId::new(1), "DB1", unkeyed);
         let a = db0
-            .insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("J"))])
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("J"))],
+            )
             .unwrap();
-        let b = db1.insert_named("Student", &[("name", Value::text("J"))]).unwrap();
+        let b = db1
+            .insert_named("Student", &[("name", Value::text("J"))])
+            .unwrap();
         let global = integrate(
             &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
             &Correspondences::new(),
@@ -224,12 +242,16 @@ mod tests {
 
     #[test]
     fn no_key_class_is_all_singletons() {
-        let schema = ComponentSchema::new(vec![ClassDef::new("Address")
-            .attr("city", AttrType::text())])
-        .unwrap();
+        let schema =
+            ComponentSchema::new(vec![ClassDef::new("Address").attr("city", AttrType::text())])
+                .unwrap();
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema);
-        let a = db0.insert_named("Address", &[("city", Value::text("Taipei"))]).unwrap();
-        let b = db0.insert_named("Address", &[("city", Value::text("Taipei"))]).unwrap();
+        let a = db0
+            .insert_named("Address", &[("city", Value::text("Taipei"))])
+            .unwrap();
+        let b = db0
+            .insert_named("Address", &[("city", Value::text("Taipei"))])
+            .unwrap();
         let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
         let cat = identify_isomerism(&[&db0], &global).unwrap();
         let class = global.class_id("Address").unwrap();
@@ -239,8 +261,10 @@ mod tests {
     #[test]
     fn duplicate_key_in_one_db_rejected() {
         let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
-        db0.insert_named("Student", &[("s-no", Value::Int(1))]).unwrap();
-        db0.insert_named("Student", &[("s-no", Value::Int(1))]).unwrap();
+        db0.insert_named("Student", &[("s-no", Value::Int(1))])
+            .unwrap();
+        db0.insert_named("Student", &[("s-no", Value::Int(1))])
+            .unwrap();
         let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
         let err = identify_isomerism(&[&db0], &global).unwrap_err();
         assert!(matches!(err, SchemaError::DuplicateEntityInDb { .. }));
@@ -252,8 +276,10 @@ mod tests {
             let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
             let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
             for i in 0..10 {
-                db0.insert_named("Student", &[("s-no", Value::Int(i))]).unwrap();
-                db1.insert_named("Student", &[("s-no", Value::Int(i + 5))]).unwrap();
+                db0.insert_named("Student", &[("s-no", Value::Int(i))])
+                    .unwrap();
+                db1.insert_named("Student", &[("s-no", Value::Int(i + 5))])
+                    .unwrap();
             }
             let global = integrate(
                 &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],

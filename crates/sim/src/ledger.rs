@@ -95,7 +95,13 @@ impl Ledger {
         duration: SimTime,
     ) {
         self.total += duration;
-        self.entries.push(LedgerEntry { site, resource, phase, start, duration });
+        self.entries.push(LedgerEntry {
+            site,
+            resource,
+            phase,
+            start,
+            duration,
+        });
     }
 
     /// The sum of all charges — the total execution time.
@@ -164,8 +170,20 @@ mod tests {
     fn totals_accumulate() {
         let mut l = Ledger::new();
         assert!(l.is_empty());
-        l.charge(Some(DbId::new(0)), Resource::Cpu, Phase::P, us(0.0), us(10.0));
-        l.charge(Some(DbId::new(0)), Resource::Disk, Phase::Ship, us(10.0), us(30.0));
+        l.charge(
+            Some(DbId::new(0)),
+            Resource::Cpu,
+            Phase::P,
+            us(0.0),
+            us(10.0),
+        );
+        l.charge(
+            Some(DbId::new(0)),
+            Resource::Disk,
+            Phase::Ship,
+            us(10.0),
+            us(30.0),
+        );
         l.charge(None, Resource::Net, Phase::Ship, us(40.0), us(5.0));
         assert_eq!(l.total().as_micros(), 45.0);
         assert_eq!(l.len(), 3);
@@ -174,8 +192,20 @@ mod tests {
     #[test]
     fn per_resource_phase_site_breakdowns() {
         let mut l = Ledger::new();
-        l.charge(Some(DbId::new(0)), Resource::Cpu, Phase::P, us(0.0), us(10.0));
-        l.charge(Some(DbId::new(1)), Resource::Cpu, Phase::O, us(0.0), us(20.0));
+        l.charge(
+            Some(DbId::new(0)),
+            Resource::Cpu,
+            Phase::P,
+            us(0.0),
+            us(10.0),
+        );
+        l.charge(
+            Some(DbId::new(1)),
+            Resource::Cpu,
+            Phase::O,
+            us(0.0),
+            us(20.0),
+        );
         l.charge(None, Resource::Net, Phase::O, us(20.0), us(7.0));
         assert_eq!(l.total_for_resource(Resource::Cpu).as_micros(), 30.0);
         assert_eq!(l.total_for_resource(Resource::Net).as_micros(), 7.0);

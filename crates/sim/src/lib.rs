@@ -38,8 +38,8 @@ pub mod ledger;
 pub mod metrics;
 pub mod params;
 pub mod sim;
-pub mod timeline;
 pub mod time;
+pub mod timeline;
 
 pub use ledger::{Ledger, LedgerEntry, Phase, Resource};
 pub use metrics::QueryMetrics;

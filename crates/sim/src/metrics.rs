@@ -28,7 +28,10 @@ pub struct QueryMetrics {
 impl QueryMetrics {
     /// Busy time charged to one phase, in µs.
     pub fn phase_us(&self, phase: Phase) -> f64 {
-        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("phase in ALL");
+        let idx = Phase::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("phase in ALL");
         self.phase_us[idx]
     }
 

@@ -93,11 +93,7 @@ impl Simulation {
     }
 
     /// Creates a simulation with an explicit network arbitration model.
-    pub fn with_network(
-        params: SystemParams,
-        num_dbs: usize,
-        network: NetworkModel,
-    ) -> Simulation {
+    pub fn with_network(params: SystemParams, num_dbs: usize, network: NetworkModel) -> Simulation {
         Simulation {
             params,
             network,
@@ -159,7 +155,8 @@ impl Simulation {
         let i = self.index(site);
         let start = self.clocks[i];
         self.clocks[i] += dur;
-        self.ledger.charge(Self::ledger_site(site), Resource::Cpu, phase, start, dur);
+        self.ledger
+            .charge(Self::ledger_site(site), Resource::Cpu, phase, start, dur);
     }
 
     /// Charges a disk read/write of `bytes` at `site` (advances its clock).
@@ -172,7 +169,8 @@ impl Simulation {
         let i = self.index(site);
         let start = self.clocks[i];
         self.clocks[i] += dur;
-        self.ledger.charge(Self::ledger_site(site), Resource::Disk, phase, start, dur);
+        self.ledger
+            .charge(Self::ledger_site(site), Resource::Disk, phase, start, dur);
     }
 
     /// Sends `bytes` from `from` to `to` over the shared link.
@@ -185,7 +183,10 @@ impl Simulation {
     pub fn send(&mut self, from: Site, to: Site, bytes: u64, phase: Phase) -> MessageToken {
         let ready = self.now(from);
         if bytes == 0 {
-            return MessageToken { arrival: ready, bytes: 0 };
+            return MessageToken {
+                arrival: ready,
+                bytes: 0,
+            };
         }
         self.bytes_transferred += bytes;
         self.messages += 1;
@@ -219,7 +220,13 @@ impl Simulation {
                 .partial_cmp(&self.now(sends[b].0))
                 .expect("clocks are finite")
         });
-        let mut tokens = vec![MessageToken { arrival: SimTime::ZERO, bytes: 0 }; sends.len()];
+        let mut tokens = vec![
+            MessageToken {
+                arrival: SimTime::ZERO,
+                bytes: 0
+            };
+            sends.len()
+        ];
         for i in order {
             let (from, to, bytes, phase) = sends[i];
             tokens[i] = self.send(from, to, bytes, phase);
@@ -346,11 +353,8 @@ mod tests {
 
     #[test]
     fn point_to_point_links_carry_disjoint_pairs_in_parallel() {
-        let mut s = Simulation::with_network(
-            SystemParams::paper_default(),
-            4,
-            NetworkModel::PointToPoint,
-        );
+        let mut s =
+            Simulation::with_network(SystemParams::paper_default(), 4, NetworkModel::PointToPoint);
         assert_eq!(s.network(), NetworkModel::PointToPoint);
         let a = Site::Db(DbId::new(0));
         let b = Site::Db(DbId::new(1));
@@ -382,7 +386,7 @@ mod tests {
         let b = Site::Db(DbId::new(1));
         s.cpu(b, 100, Phase::P); // b ready at 50 µs
         s.cpu(a, 10, Phase::P); // a ready at 5 µs
-        // Issue b's send first in call order; readiness order must win.
+                                // Issue b's send first in call order; readiness order must win.
         let tokens = s.send_batch(vec![
             (b, Site::Global, 10, Phase::Ship),
             (a, Site::Global, 10, Phase::Ship),

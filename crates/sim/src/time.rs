@@ -30,7 +30,10 @@ impl SimTime {
     ///
     /// Panics (debug builds) on negative or non-finite input.
     pub fn from_micros(us: f64) -> SimTime {
-        debug_assert!(us.is_finite() && us >= 0.0, "time must be finite and non-negative");
+        debug_assert!(
+            us.is_finite() && us >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime(us)
     }
 

@@ -79,7 +79,11 @@ pub fn render(ledger: &Ledger, num_dbs: usize) -> String {
         width = WIDTH.saturating_sub(2)
     );
     for (label, cells) in lanes {
-        let _ = writeln!(out, "{label:>8} |{}|", cells.into_iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{label:>8} |{}|",
+            cells.into_iter().collect::<String>()
+        );
     }
     out.push_str("          s = shipping base data, O = assistant lookup/check, I = integrate/certify, P = predicates\n");
     out
@@ -137,7 +141,11 @@ mod tests {
         sim.recv(Site::Global, m);
         let chart = render(sim.ledger(), 1);
         let lines: Vec<&str> = chart.lines().collect();
-        assert!(!lines[1].contains('s'), "DB0 lane must be idle: {}", lines[1]);
+        assert!(
+            !lines[1].contains('s'),
+            "DB0 lane must be idle: {}",
+            lines[1]
+        );
         assert!(lines[3].contains('s'), "net lane must show the transfer");
     }
 

@@ -123,10 +123,12 @@ impl ComponentDb {
         let def = self.schema.class(class);
         let mut values = vec![Value::Null; def.arity()];
         for (attr, value) in pairs {
-            let idx = def.attr_index(attr).ok_or_else(|| StoreError::MissingAttribute {
-                class: class_name.to_owned(),
-                attr: (*attr).to_owned(),
-            })?;
+            let idx = def
+                .attr_index(attr)
+                .ok_or_else(|| StoreError::MissingAttribute {
+                    class: class_name.to_owned(),
+                    attr: (*attr).to_owned(),
+                })?;
             values[idx] = value.clone();
         }
         self.insert(class, values)
@@ -230,7 +232,13 @@ impl ComponentDb {
 
 impl fmt::Display for ComponentDb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} classes, {} objects)", self.name, self.schema.len(), self.object_count())
+        write!(
+            f,
+            "{} ({} classes, {} objects)",
+            self.name,
+            self.schema.len(),
+            self.object_count()
+        )
     }
 }
 
@@ -276,8 +284,12 @@ mod tests {
     #[test]
     fn insert_allocates_sequential_loids() {
         let mut db = mkdb();
-        let a = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
-        let b = db.insert_named("Department", &[("name", Value::text("EE"))]).unwrap();
+        let a = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        let b = db
+            .insert_named("Department", &[("name", Value::text("EE"))])
+            .unwrap();
         assert_eq!(a.serial() + 1, b.serial());
         assert_eq!(a.db(), DbId::new(1));
         assert_eq!(db.object_count(), 2);
@@ -286,7 +298,9 @@ mod tests {
     #[test]
     fn insert_named_defaults_to_null() {
         let mut db = mkdb();
-        let t = db.insert_named("Teacher", &[("name", Value::text("Haley"))]).unwrap();
+        let t = db
+            .insert_named("Teacher", &[("name", Value::text("Haley"))])
+            .unwrap();
         let obj = db.object(t).unwrap();
         assert_eq!(obj.value(0), &Value::text("Haley"));
         assert!(obj.value(1).is_null());
@@ -324,9 +338,17 @@ mod tests {
     #[test]
     fn object_lookup_spans_classes() {
         let mut db = mkdb();
-        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let d = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
         let t = db
-            .insert_named("Teacher", &[("name", Value::text("Jeffery")), ("department", Value::Ref(d))])
+            .insert_named(
+                "Teacher",
+                &[
+                    ("name", Value::text("Jeffery")),
+                    ("department", Value::Ref(d)),
+                ],
+            )
             .unwrap();
         assert_eq!(db.class_of(d), db.schema().class_id("Department"));
         assert_eq!(db.class_of(t), db.schema().class_id("Teacher"));
@@ -338,44 +360,66 @@ mod tests {
     fn validate_refs_detects_dangling() {
         let mut db = mkdb();
         let ghost = LOid::new(DbId::new(1), 999);
-        db.insert_named("Teacher", &[("name", Value::text("X")), ("department", Value::Ref(ghost))])
-            .unwrap();
+        db.insert_named(
+            "Teacher",
+            &[
+                ("name", Value::text("X")),
+                ("department", Value::Ref(ghost)),
+            ],
+        )
+        .unwrap();
         assert_eq!(db.validate_refs(), Err(StoreError::DanglingRef(ghost)));
     }
 
     #[test]
     fn validate_refs_passes_for_consistent_db() {
         let mut db = mkdb();
-        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
-        db.insert_named("Teacher", &[("name", Value::text("J")), ("department", Value::Ref(d))])
+        let d = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
             .unwrap();
+        db.insert_named(
+            "Teacher",
+            &[("name", Value::text("J")), ("department", Value::Ref(d))],
+        )
+        .unwrap();
         assert!(db.validate_refs().is_ok());
     }
 
     #[test]
     fn object_mut_updates_in_place() {
         let mut db = mkdb();
-        let d = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
-        db.object_mut(d).unwrap().set(0, Value::text("Computer Science"));
-        assert_eq!(db.object(d).unwrap().value(0), &Value::text("Computer Science"));
+        let d = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        db.object_mut(d)
+            .unwrap()
+            .set(0, Value::text("Computer Science"));
+        assert_eq!(
+            db.object(d).unwrap().value(0),
+            &Value::text("Computer Science")
+        );
     }
 
     #[test]
     fn float_attr_accepts_int() {
-        let schema = ComponentSchema::new(vec![ClassDef::new("M").attr("x", AttrType::float())])
-            .unwrap();
+        let schema =
+            ComponentSchema::new(vec![ClassDef::new("M").attr("x", AttrType::float())]).unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
         assert!(db.insert_named("M", &[("x", Value::Int(3))]).is_ok());
     }
 
     #[test]
     fn multi_valued_attr_accepts_lists() {
-        let schema = ComponentSchema::new(vec![ClassDef::new("M")
-            .attr("xs", AttrType::Multi(Box::new(AttrType::int())))])
+        let schema = ComponentSchema::new(vec![
+            ClassDef::new("M").attr("xs", AttrType::Multi(Box::new(AttrType::int())))
+        ])
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
         assert!(db
-            .insert_named("M", &[("xs", Value::List(vec![Value::Int(1), Value::Int(2)]))])
+            .insert_named(
+                "M",
+                &[("xs", Value::List(vec![Value::Int(1), Value::Int(2)]))]
+            )
             .is_ok());
         assert!(matches!(
             db.insert_named("M", &[("xs", Value::List(vec![Value::text("no")]))]),

@@ -12,7 +12,11 @@ pub enum StoreError {
     /// An attribute name appears twice in a class definition.
     DuplicateAttr { class: String, attr: String },
     /// A complex attribute's domain class is not defined in the schema.
-    UnknownDomainClass { class: String, attr: String, domain: String },
+    UnknownDomainClass {
+        class: String,
+        attr: String,
+        domain: String,
+    },
     /// A class name was not found in the schema.
     UnknownClass(String),
     /// An attribute name was not found in a class. This is exactly the
@@ -22,7 +26,11 @@ pub enum StoreError {
     /// A path expression stepped through a primitive attribute.
     NotComplex { class: String, attr: String },
     /// An inserted object's value vector length differs from the class arity.
-    ArityMismatch { class: String, expected: usize, got: usize },
+    ArityMismatch {
+        class: String,
+        expected: usize,
+        got: usize,
+    },
     /// A referenced object does not exist in its extent.
     DanglingRef(LOid),
     /// An object was inserted with a value of the wrong kind.
@@ -40,18 +48,32 @@ impl fmt::Display for StoreError {
             StoreError::DuplicateAttr { class, attr } => {
                 write!(f, "duplicate attribute {attr:?} in class {class:?}")
             }
-            StoreError::UnknownDomainClass { class, attr, domain } => write!(
+            StoreError::UnknownDomainClass {
+                class,
+                attr,
+                domain,
+            } => write!(
                 f,
                 "complex attribute {class}.{attr} references undefined class {domain:?}"
             ),
             StoreError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
             StoreError::MissingAttribute { class, attr } => {
-                write!(f, "class {class:?} has no attribute {attr:?} (missing attribute)")
+                write!(
+                    f,
+                    "class {class:?} has no attribute {attr:?} (missing attribute)"
+                )
             }
             StoreError::NotComplex { class, attr } => {
-                write!(f, "attribute {class}.{attr} is primitive and cannot be dereferenced")
+                write!(
+                    f,
+                    "attribute {class}.{attr} is primitive and cannot be dereferenced"
+                )
             }
-            StoreError::ArityMismatch { class, expected, got } => write!(
+            StoreError::ArityMismatch {
+                class,
+                expected,
+                got,
+            } => write!(
                 f,
                 "class {class:?} expects {expected} attribute values, got {got}"
             ),
@@ -60,7 +82,10 @@ impl fmt::Display for StoreError {
                 write!(f, "value for {class}.{attr} has the wrong kind")
             }
             StoreError::BadKey { class, attr } => {
-                write!(f, "key attribute {attr:?} is not defined in class {class:?}")
+                write!(
+                    f,
+                    "key attribute {attr:?} is not defined in class {class:?}"
+                )
             }
             StoreError::NotIndexable { class, attr } => {
                 write!(f, "attribute {class}.{attr} cannot be indexed")
@@ -78,7 +103,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = StoreError::MissingAttribute { class: "Student".into(), attr: "address".into() };
+        let e = StoreError::MissingAttribute {
+            class: "Student".into(),
+            attr: "address".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains("Student") && msg.contains("address"));
         assert!(msg.contains("missing attribute"));

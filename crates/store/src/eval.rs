@@ -43,7 +43,11 @@ impl EvalCounter {
 
 impl fmt::Display for EvalCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cmp, {} fetch", self.comparisons, self.objects_fetched)
+        write!(
+            f,
+            "{} cmp, {} fetch",
+            self.comparisons, self.objects_fetched
+        )
     }
 }
 
@@ -116,21 +120,29 @@ impl CompiledPath {
     ///   attribute;
     /// * [`StoreError::UnknownClass`] — a complex attribute's domain class
     ///   is absent (cannot happen for validated schemas).
-    pub fn compile(db: &ComponentDb, root: ClassId, path: &Path) -> Result<CompiledPath, StoreError> {
+    pub fn compile(
+        db: &ComponentDb,
+        root: ClassId,
+        path: &Path,
+    ) -> Result<CompiledPath, StoreError> {
         let schema = db.schema();
         let mut steps = Vec::with_capacity(path.len());
         let mut class = root;
         let n = path.len();
         for (i, attr) in path.steps().enumerate() {
             let def = schema.class(class);
-            let idx = def.attr_index(attr).ok_or_else(|| StoreError::MissingAttribute {
-                class: def.name().to_owned(),
-                attr: attr.to_owned(),
-            })?;
+            let idx = def
+                .attr_index(attr)
+                .ok_or_else(|| StoreError::MissingAttribute {
+                    class: def.name().to_owned(),
+                    attr: attr.to_owned(),
+                })?;
             let attr_def = &def.attrs()[idx];
             let domain = if i + 1 < n {
-                let domain_name =
-                    attr_def.ty().domain().ok_or_else(|| StoreError::NotComplex {
+                let domain_name = attr_def
+                    .ty()
+                    .domain()
+                    .ok_or_else(|| StoreError::NotComplex {
                         class: def.name().to_owned(),
                         attr: attr.to_owned(),
                     })?;
@@ -141,12 +153,20 @@ impl CompiledPath {
             } else {
                 None
             };
-            steps.push(PathStep { class, attr_idx: idx, domain });
+            steps.push(PathStep {
+                class,
+                attr_idx: idx,
+                domain,
+            });
             if let Some(d) = domain {
                 class = d;
             }
         }
-        Ok(CompiledPath { path: path.clone(), root, steps })
+        Ok(CompiledPath {
+            path: path.clone(),
+            root,
+            steps,
+        })
     }
 
     /// The source path expression.
@@ -256,7 +276,11 @@ impl CompiledPredicate {
         op: CmpOp,
         literal: Value,
     ) -> Result<CompiledPredicate, StoreError> {
-        Ok(CompiledPredicate { path: CompiledPath::compile(db, root, path)?, op, literal })
+        Ok(CompiledPredicate {
+            path: CompiledPath::compile(db, root, path)?,
+            op,
+            literal,
+        })
     }
 
     /// The compiled path.
@@ -277,7 +301,12 @@ impl CompiledPredicate {
     /// Evaluates the predicate on `object`, charging one comparison plus
     /// the walk's fetches to `counter`. Returns the three-valued verdict
     /// and the branch objects visited.
-    pub fn eval(&self, db: &ComponentDb, object: &Object, counter: &mut EvalCounter) -> (Truth, PathWalk) {
+    pub fn eval(
+        &self,
+        db: &ComponentDb,
+        object: &Object,
+        counter: &mut EvalCounter,
+    ) -> (Truth, PathWalk) {
         let walk = self.path.walk(db, object, counter);
         counter.comparisons += 1;
         let verdict = walk.value.compare(self.op, &self.literal);
@@ -310,14 +339,26 @@ mod tests {
         ])
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(1), "DB1", schema);
-        let cs = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
+        let cs = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
         let t1 = db
-            .insert_named("Teacher", &[("name", Value::text("Jeffery")), ("department", Value::Ref(cs))])
+            .insert_named(
+                "Teacher",
+                &[
+                    ("name", Value::text("Jeffery")),
+                    ("department", Value::Ref(cs)),
+                ],
+            )
             .unwrap();
         let s1 = db
             .insert_named(
                 "Student",
-                &[("name", Value::text("John")), ("age", Value::Int(31)), ("advisor", Value::Ref(t1))],
+                &[
+                    ("name", Value::text("John")),
+                    ("age", Value::Int(31)),
+                    ("advisor", Value::Ref(t1)),
+                ],
             )
             .unwrap();
         (db, cs, t1, s1)
@@ -343,14 +384,20 @@ mod tests {
             CompiledPath::compile(&db, student, &"address.city".parse().unwrap()).unwrap_err();
         assert_eq!(
             err,
-            StoreError::MissingAttribute { class: "Student".into(), attr: "address".into() }
+            StoreError::MissingAttribute {
+                class: "Student".into(),
+                attr: "address".into()
+            }
         );
         // Missing attribute deeper along the path is also found.
         let err = CompiledPath::compile(&db, student, &"advisor.speciality".parse().unwrap())
             .unwrap_err();
         assert_eq!(
             err,
-            StoreError::MissingAttribute { class: "Teacher".into(), attr: "speciality".into() }
+            StoreError::MissingAttribute {
+                class: "Teacher".into(),
+                attr: "speciality".into()
+            }
         );
     }
 
@@ -454,15 +501,24 @@ mod tests {
     fn multi_valued_complex_walk() {
         let schema = ComponentSchema::new(vec![
             ClassDef::new("Topic").attr("name", AttrType::text()),
-            ClassDef::new("Teacher")
-                .attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic")))),
+            ClassDef::new("Teacher").attr(
+                "topics",
+                AttrType::Multi(Box::new(AttrType::complex("Topic"))),
+            ),
         ])
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
-        let a = db.insert_named("Topic", &[("name", Value::text("db"))]).unwrap();
-        let b = db.insert_named("Topic", &[("name", Value::text("net"))]).unwrap();
+        let a = db
+            .insert_named("Topic", &[("name", Value::text("db"))])
+            .unwrap();
+        let b = db
+            .insert_named("Topic", &[("name", Value::text("net"))])
+            .unwrap();
         let t = db
-            .insert_named("Teacher", &[("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)]))])
+            .insert_named(
+                "Teacher",
+                &[("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)]))],
+            )
             .unwrap();
         let teacher = db.schema().class_id("Teacher").unwrap();
         let pred = CompiledPredicate::compile(
@@ -481,9 +537,21 @@ mod tests {
 
     #[test]
     fn counter_absorb_accumulates() {
-        let mut a = EvalCounter { comparisons: 2, objects_fetched: 1 };
-        a.absorb(EvalCounter { comparisons: 3, objects_fetched: 4 });
-        assert_eq!(a, EvalCounter { comparisons: 5, objects_fetched: 5 });
+        let mut a = EvalCounter {
+            comparisons: 2,
+            objects_fetched: 1,
+        };
+        a.absorb(EvalCounter {
+            comparisons: 3,
+            objects_fetched: 4,
+        });
+        assert_eq!(
+            a,
+            EvalCounter {
+                comparisons: 5,
+                objects_fetched: 5
+            }
+        );
         assert_eq!(a.to_string(), "5 cmp, 5 fetch");
     }
 }

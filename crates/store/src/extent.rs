@@ -18,7 +18,11 @@ pub struct Extent {
 impl Extent {
     /// Creates an empty extent for `class`.
     pub fn new(class: ClassId) -> Extent {
-        Extent { class, objects: Vec::new(), by_loid: HashMap::new() }
+        Extent {
+            class,
+            objects: Vec::new(),
+            by_loid: HashMap::new(),
+        }
     }
 
     /// The class this extent stores.
@@ -92,7 +96,11 @@ mod tests {
     use fedoq_object::{DbId, Value};
 
     fn obj(serial: u64, v: i64) -> Object {
-        Object::new(LOid::new(DbId::new(0), serial), ClassId::new(0), vec![Value::Int(v)])
+        Object::new(
+            LOid::new(DbId::new(0), serial),
+            ClassId::new(0),
+            vec![Value::Int(v)],
+        )
     }
 
     #[test]
@@ -102,7 +110,10 @@ mod tests {
         e.insert(obj(1, 10));
         e.insert(obj(2, 20));
         assert_eq!(e.len(), 2);
-        assert_eq!(e.get(LOid::new(DbId::new(0), 2)).unwrap().value(0), &Value::Int(20));
+        assert_eq!(
+            e.get(LOid::new(DbId::new(0), 2)).unwrap().value(0),
+            &Value::Int(20)
+        );
         assert!(e.get(LOid::new(DbId::new(0), 3)).is_none());
         assert!(e.contains(LOid::new(DbId::new(0), 1)));
     }
@@ -114,7 +125,10 @@ mod tests {
         let old = e.insert(obj(1, 99)).unwrap();
         assert_eq!(old.value(0), &Value::Int(10));
         assert_eq!(e.len(), 1);
-        assert_eq!(e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0), &Value::Int(99));
+        assert_eq!(
+            e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0),
+            &Value::Int(99)
+        );
     }
 
     #[test]
@@ -133,7 +147,12 @@ mod tests {
     fn get_mut_allows_update() {
         let mut e = Extent::new(ClassId::new(0));
         e.insert(obj(1, 10));
-        e.get_mut(LOid::new(DbId::new(0), 1)).unwrap().set(0, Value::Int(11));
-        assert_eq!(e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0), &Value::Int(11));
+        e.get_mut(LOid::new(DbId::new(0), 1))
+            .unwrap()
+            .set(0, Value::Int(11));
+        assert_eq!(
+            e.get(LOid::new(DbId::new(0), 1)).unwrap().value(0),
+            &Value::Int(11)
+        );
     }
 }

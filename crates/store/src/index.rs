@@ -82,14 +82,20 @@ impl HashIndex {
     ///
     /// Returns [`StoreError::MissingAttribute`] for unknown attribute names
     /// and [`StoreError::NotIndexable`] for float/complex attributes.
-    pub fn build(db: &ComponentDb, class: ClassId, attrs: &[&str]) -> Result<HashIndex, StoreError> {
+    pub fn build(
+        db: &ComponentDb,
+        class: ClassId,
+        attrs: &[&str],
+    ) -> Result<HashIndex, StoreError> {
         let def = db.schema().class(class);
         let mut slots = Vec::with_capacity(attrs.len());
         for name in attrs {
-            let idx = def.attr_index(name).ok_or_else(|| StoreError::MissingAttribute {
-                class: def.name().to_owned(),
-                attr: (*name).to_owned(),
-            })?;
+            let idx = def
+                .attr_index(name)
+                .ok_or_else(|| StoreError::MissingAttribute {
+                    class: def.name().to_owned(),
+                    attr: (*name).to_owned(),
+                })?;
             let ty = def.attrs()[idx].ty();
             let indexable = matches!(
                 ty,
@@ -113,7 +119,11 @@ impl HashIndex {
                 map.entry(key).or_default().push(object.loid());
             }
         }
-        Ok(HashIndex { class, attrs: slots, map })
+        Ok(HashIndex {
+            class,
+            attrs: slots,
+            map,
+        })
     }
 
     /// The indexed class.
@@ -166,13 +176,23 @@ mod tests {
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
         let loids = vec![
-            db.insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("a"))])
+            db.insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("a"))],
+            )
+            .unwrap(),
+            db.insert_named(
+                "Student",
+                &[("s-no", Value::Int(2)), ("name", Value::text("b"))],
+            )
+            .unwrap(),
+            db.insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("c"))],
+            )
+            .unwrap(),
+            db.insert_named("Student", &[("name", Value::text("no-key"))])
                 .unwrap(),
-            db.insert_named("Student", &[("s-no", Value::Int(2)), ("name", Value::text("b"))])
-                .unwrap(),
-            db.insert_named("Student", &[("s-no", Value::Int(1)), ("name", Value::text("c"))])
-                .unwrap(),
-            db.insert_named("Student", &[("name", Value::text("no-key"))]).unwrap(),
         ];
         (db, loids)
     }
@@ -182,7 +202,10 @@ mod tests {
         let (db, loids) = db_with_students();
         let class = db.schema().class_id("Student").unwrap();
         let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
-        assert_eq!(index.lookup_values(&[Value::Int(1)]), vec![loids[0], loids[2]]);
+        assert_eq!(
+            index.lookup_values(&[Value::Int(1)]),
+            vec![loids[0], loids[2]]
+        );
         assert_eq!(index.lookup_values(&[Value::Int(2)]), vec![loids[1]]);
         assert!(index.lookup_values(&[Value::Int(9)]).is_empty());
         assert_eq!(index.distinct_keys(), 2);
@@ -201,9 +224,17 @@ mod tests {
         let (db, loids) = db_with_students();
         let class = db.schema().class_id("Student").unwrap();
         let index = HashIndex::build(&db, class, &["s-no", "name"]).unwrap();
-        assert_eq!(index.lookup_values(&[Value::Int(1), Value::text("a")]), vec![loids[0]]);
-        assert_eq!(index.lookup_values(&[Value::Int(1), Value::text("c")]), vec![loids[2]]);
-        assert!(index.lookup_values(&[Value::Int(1), Value::text("z")]).is_empty());
+        assert_eq!(
+            index.lookup_values(&[Value::Int(1), Value::text("a")]),
+            vec![loids[0]]
+        );
+        assert_eq!(
+            index.lookup_values(&[Value::Int(1), Value::text("c")]),
+            vec![loids[2]]
+        );
+        assert!(index
+            .lookup_values(&[Value::Int(1), Value::text("z")])
+            .is_empty());
     }
 
     #[test]
@@ -234,8 +265,14 @@ mod tests {
     #[test]
     fn index_key_from_value() {
         assert_eq!(IndexKey::from_value(&Value::Int(5)), Some(IndexKey::Int(5)));
-        assert_eq!(IndexKey::from_value(&Value::text("x")), Some(IndexKey::Text("x".into())));
-        assert_eq!(IndexKey::from_value(&Value::Bool(true)), Some(IndexKey::Bool(true)));
+        assert_eq!(
+            IndexKey::from_value(&Value::text("x")),
+            Some(IndexKey::Text("x".into()))
+        );
+        assert_eq!(
+            IndexKey::from_value(&Value::Bool(true)),
+            Some(IndexKey::Bool(true))
+        );
         assert_eq!(IndexKey::from_value(&Value::Null), None);
         assert_eq!(IndexKey::from_value(&Value::Float(1.0)), None);
     }

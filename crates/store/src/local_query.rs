@@ -117,28 +117,28 @@ impl LocalQuery {
         let predicates = predicates
             .iter()
             .map(|(path, op, literal)| {
-                let parsed = path
-                    .parse()
-                    .map_err(|_| StoreError::MissingAttribute {
-                        class: class_name.to_owned(),
-                        attr: (*path).to_owned(),
-                    })?;
+                let parsed = path.parse().map_err(|_| StoreError::MissingAttribute {
+                    class: class_name.to_owned(),
+                    attr: (*path).to_owned(),
+                })?;
                 CompiledPredicate::compile(db, class, &parsed, *op, literal.clone())
             })
             .collect::<Result<_, _>>()?;
         let projection = projection
             .iter()
             .map(|path| {
-                let parsed = path
-                    .parse()
-                    .map_err(|_| StoreError::MissingAttribute {
-                        class: class_name.to_owned(),
-                        attr: (*path).to_owned(),
-                    })?;
+                let parsed = path.parse().map_err(|_| StoreError::MissingAttribute {
+                    class: class_name.to_owned(),
+                    attr: (*path).to_owned(),
+                })?;
                 CompiledPath::compile(db, class, &parsed)
             })
             .collect::<Result<_, _>>()?;
-        Ok(LocalQuery { class, predicates, projection })
+        Ok(LocalQuery {
+            class,
+            predicates,
+            projection,
+        })
     }
 
     /// The queried class.
@@ -169,7 +169,10 @@ impl LocalQuery {
                 .iter()
                 .map(|p| p.walk(db, object, &mut result.counter).value)
                 .collect();
-            let row = LocalRow { loid: object.loid(), values };
+            let row = LocalRow {
+                loid: object.loid(),
+                values,
+            };
             if unknown {
                 result.maybe.push(row);
             } else {
@@ -199,17 +202,37 @@ mod tests {
         ])
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
-        let cs = db.insert_named("Department", &[("name", Value::text("CS"))]).unwrap();
-        let ee = db.insert_named("Department", &[("name", Value::text("EE"))]).unwrap();
+        let cs = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        let ee = db
+            .insert_named("Department", &[("name", Value::text("EE"))])
+            .unwrap();
         let t1 = db
-            .insert_named("Teacher", &[("name", Value::text("Kelly")), ("department", Value::Ref(cs))])
+            .insert_named(
+                "Teacher",
+                &[
+                    ("name", Value::text("Kelly")),
+                    ("department", Value::Ref(cs)),
+                ],
+            )
             .unwrap();
         let t2 = db
-            .insert_named("Teacher", &[("name", Value::text("Abel")), ("department", Value::Ref(ee))])
+            .insert_named(
+                "Teacher",
+                &[
+                    ("name", Value::text("Abel")),
+                    ("department", Value::Ref(ee)),
+                ],
+            )
             .unwrap();
         db.insert_named(
             "Student",
-            &[("name", Value::text("John")), ("age", Value::Int(31)), ("advisor", Value::Ref(t1))],
+            &[
+                ("name", Value::text("John")),
+                ("age", Value::Int(31)),
+                ("advisor", Value::Ref(t1)),
+            ],
         )
         .unwrap();
         db.insert_named(
@@ -219,7 +242,11 @@ mod tests {
         .unwrap();
         db.insert_named(
             "Student",
-            &[("name", Value::text("Mary")), ("age", Value::Int(24)), ("advisor", Value::Ref(t2))],
+            &[
+                ("name", Value::text("Mary")),
+                ("age", Value::Int(24)),
+                ("advisor", Value::Ref(t2)),
+            ],
         )
         .unwrap();
         db
@@ -241,7 +268,10 @@ mod tests {
         assert_eq!(q.num_predicates(), 2);
         let result = q.execute(&db);
         assert_eq!(result.certain().len(), 1);
-        assert_eq!(result.certain()[0].values(), &[Value::text("John"), Value::text("Kelly")]);
+        assert_eq!(
+            result.certain()[0].values(),
+            &[Value::text("John"), Value::text("Kelly")]
+        );
         // Tony: age unknown, advisor CS true => maybe. Mary: EE => dropped.
         assert_eq!(result.maybe().len(), 1);
         assert_eq!(result.maybe()[0].values()[0], Value::text("Tony"));

@@ -157,7 +157,9 @@ pub fn load_db<R: Read>(input: &mut R) -> Result<ComponentDb, PersistError> {
         }
         let num_keys = read_u32(input)? as usize;
         if num_keys > arity {
-            return Err(PersistError::Corrupt("more key attributes than attributes".into()));
+            return Err(PersistError::Corrupt(
+                "more key attributes than attributes".into(),
+            ));
         }
         let mut keys = Vec::with_capacity(num_keys);
         for _ in 0..num_keys {
@@ -348,13 +350,20 @@ mod tests {
                 .attr("name", AttrType::text())
                 .attr("salary", AttrType::float())
                 .attr("tenured", AttrType::bool())
-                .attr("topics", AttrType::Multi(Box::new(AttrType::complex("Topic"))))
+                .attr(
+                    "topics",
+                    AttrType::Multi(Box::new(AttrType::complex("Topic"))),
+                )
                 .key(["name"]),
         ])
         .unwrap();
         let mut db = ComponentDb::new(DbId::new(2), "Campus", schema);
-        let a = db.insert_named("Topic", &[("name", Value::text("db"))]).unwrap();
-        let b = db.insert_named("Topic", &[("name", Value::text("net"))]).unwrap();
+        let a = db
+            .insert_named("Topic", &[("name", Value::text("db"))])
+            .unwrap();
+        let b = db
+            .insert_named("Topic", &[("name", Value::text("net"))])
+            .unwrap();
         db.insert_named(
             "Teacher",
             &[
@@ -365,7 +374,8 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_named("Teacher", &[("name", Value::text("Haley"))]).unwrap(); // nulls
+        db.insert_named("Teacher", &[("name", Value::text("Haley"))])
+            .unwrap(); // nulls
         db
     }
 
@@ -403,7 +413,9 @@ mod tests {
             .max()
             .unwrap();
         let mut restored = round_trip(&db);
-        let fresh = restored.insert_named("Topic", &[("name", Value::text("ai"))]).unwrap();
+        let fresh = restored
+            .insert_named("Topic", &[("name", Value::text("ai"))])
+            .unwrap();
         assert!(fresh.serial() > max_serial);
     }
 
@@ -421,7 +433,10 @@ mod tests {
         save_db(&db, &mut buffer).unwrap();
         buffer.truncate(buffer.len() / 2);
         let err = load_db(&mut buffer.as_slice()).unwrap_err();
-        assert!(matches!(err, PersistError::Io(_) | PersistError::Corrupt(_)));
+        assert!(matches!(
+            err,
+            PersistError::Io(_) | PersistError::Corrupt(_)
+        ));
     }
 
     #[test]
@@ -438,9 +453,8 @@ mod tests {
 
     #[test]
     fn empty_database_round_trips() {
-        let schema = ComponentSchema::new(vec![ClassDef::new("Empty")
-            .attr("x", AttrType::int())])
-        .unwrap();
+        let schema =
+            ComponentSchema::new(vec![ClassDef::new("Empty").attr("x", AttrType::int())]).unwrap();
         let db = ComponentDb::new(DbId::new(0), "Nil", schema);
         let restored = round_trip(&db);
         assert_eq!(restored.object_count(), 0);
@@ -455,7 +469,9 @@ mod tests {
             prop_oneof![
                 Just(Value::Null),
                 any::<i64>().prop_map(Value::Int),
-                any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+                any::<f64>()
+                    .prop_filter("finite", |f| f.is_finite())
+                    .prop_map(Value::Float),
                 "[ -~]{0,16}".prop_map(Value::Text),
                 any::<bool>().prop_map(Value::Bool),
             ]

@@ -115,7 +115,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Creates an attribute definition.
     pub fn new(name: impl Into<String>, ty: AttrType) -> AttrDef {
-        AttrDef { name: name.into(), ty }
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// The attribute name.
@@ -154,7 +157,11 @@ pub struct ClassDef {
 impl ClassDef {
     /// Creates an empty class definition with the given name.
     pub fn new(name: impl Into<String>) -> ClassDef {
-        ClassDef { name: name.into(), attrs: Vec::new(), key: Vec::new() }
+        ClassDef {
+            name: name.into(),
+            attrs: Vec::new(),
+            key: Vec::new(),
+        }
     }
 
     /// Appends an attribute (chainable).
@@ -229,7 +236,10 @@ impl ComponentSchema {
     pub fn new(classes: Vec<ClassDef>) -> Result<ComponentSchema, StoreError> {
         let mut by_name = HashMap::with_capacity(classes.len());
         for (i, c) in classes.iter().enumerate() {
-            if by_name.insert(c.name.clone(), ClassId::new(i as u32)).is_some() {
+            if by_name
+                .insert(c.name.clone(), ClassId::new(i as u32))
+                .is_some()
+            {
                 return Err(StoreError::DuplicateClass(c.name.clone()));
             }
         }
@@ -254,7 +264,10 @@ impl ComponentSchema {
             }
             for k in &c.key {
                 if !c.has_attr(k) {
-                    return Err(StoreError::BadKey { class: c.name.clone(), attr: k.clone() });
+                    return Err(StoreError::BadKey {
+                        class: c.name.clone(),
+                        attr: k.clone(),
+                    });
                 }
             }
         }
@@ -341,10 +354,18 @@ mod tests {
     #[test]
     fn complex_attribute_introspection() {
         let s = school();
-        let advisor = s.class_by_name("Student").unwrap().attr_def("advisor").unwrap();
+        let advisor = s
+            .class_by_name("Student")
+            .unwrap()
+            .attr_def("advisor")
+            .unwrap();
         assert!(advisor.ty().is_complex());
         assert_eq!(advisor.ty().domain(), Some("Teacher"));
-        let name = s.class_by_name("Student").unwrap().attr_def("name").unwrap();
+        let name = s
+            .class_by_name("Student")
+            .unwrap()
+            .attr_def("name")
+            .unwrap();
         assert!(!name.ty().is_complex());
         assert_eq!(name.ty().domain(), None);
     }

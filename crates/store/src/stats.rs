@@ -33,7 +33,11 @@ impl ClassStats {
                 }
             }
         }
-        ClassStats { class, count, null_counts }
+        ClassStats {
+            class,
+            count,
+            null_counts,
+        }
     }
 
     /// The class measured.
@@ -104,7 +108,11 @@ mod tests {
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
         for i in 0..10 {
             let x = Value::Int(i);
-            let y = if i % 2 == 0 { Value::Int(i) } else { Value::Null };
+            let y = if i % 2 == 0 {
+                Value::Int(i)
+            } else {
+                Value::Null
+            };
             db.insert_named("T", &[("x", x), ("y", y)]).unwrap();
         }
         db

@@ -69,10 +69,14 @@ pub fn generate(config: &SampleConfig, seed: u64) -> GeneratedSample {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f0e0_d00d_cafe);
     let pools = build_entities(config, &mut rng);
     let dbs = build_databases(config, &pools, &mut rng);
-    let federation = Federation::new(dbs, &Correspondences::new())
-        .expect("generated schemas always integrate");
+    let federation =
+        Federation::new(dbs, &Correspondences::new()).expect("generated schemas always integrate");
     let query = build_query(config);
-    GeneratedSample { federation, query, config: config.clone() }
+    GeneratedSample {
+        federation,
+        query,
+        config: config.clone(),
+    }
 }
 
 fn build_entities(config: &SampleConfig, rng: &mut StdRng) -> Vec<ClassEntities> {
@@ -91,7 +95,11 @@ fn build_entities(config: &SampleConfig, rng: &mut StdRng) -> Vec<ClassEntities>
         let mut refs = Vec::with_capacity(pool_size);
         for _ in 0..pool_size {
             pred_values.push((0..n_p).map(|_| rng.gen_range(0..pred_domain)).collect());
-            target_values.push((0..TARGET_ATTRS).map(|_| rng.gen_range(0..DOMAIN)).collect());
+            target_values.push(
+                (0..TARGET_ATTRS)
+                    .map(|_| rng.gen_range(0..DOMAIN))
+                    .collect(),
+            );
             refs.push(0); // wired below once the next pool's size is known
         }
         pools.push(ClassEntities {
@@ -106,8 +114,8 @@ fn build_entities(config: &SampleConfig, rng: &mut StdRng) -> Vec<ClassEntities>
     // `R_r * pool` entities of class k+1 (the rest stay unreferenced).
     for k in 0..config.n_classes.saturating_sub(1) {
         let next_pool = pools[k + 1].pred_values.len();
-        let referenced = ((config.ref_ratio[k] * next_pool as f64).ceil() as usize)
-            .clamp(1, next_pool);
+        let referenced =
+            ((config.ref_ratio[k] * next_pool as f64).ceil() as usize).clamp(1, next_pool);
         let pool = pools[k].pred_values.len();
         for e in 0..pool {
             pools[k].refs[e] = rng.gen_range(0..referenced);
@@ -239,7 +247,9 @@ fn build_databases(
                         .expect("reference targets are placed before their referrers");
                     values.push(Value::Ref(target_loid));
                 }
-                let loid = db.insert(class_id, values).expect("generated object is valid");
+                let loid = db
+                    .insert(class_id, values)
+                    .expect("generated object is valid");
                 loids[k][e] = Some(loid);
             }
         }
@@ -294,7 +304,10 @@ mod tests {
         assert_eq!(a.federation.num_dbs(), b.federation.num_dbs());
         let qa = bind(&a.query, a.federation.global_schema()).unwrap();
         let qb = bind(&b.query, b.federation.global_schema()).unwrap();
-        assert_eq!(oracle_answer(&a.federation, &qa), oracle_answer(&b.federation, &qb));
+        assert_eq!(
+            oracle_answer(&a.federation, &qa),
+            oracle_answer(&b.federation, &qb)
+        );
     }
 
     #[test]
@@ -363,14 +376,9 @@ mod tests {
             }
             let class = db.schema().class_id("C1").unwrap();
             let threshold = ((c.selectivity[k] * DOMAIN as f64).round() as i64).clamp(0, DOMAIN);
-            let measured = ClassStats::selectivity(
-                db,
-                class,
-                "p0",
-                CmpOp::Lt,
-                &Value::Int(threshold),
-            )
-            .unwrap();
+            let measured =
+                ClassStats::selectivity(db, class, "p0", CmpOp::Lt, &Value::Int(threshold))
+                    .unwrap();
             // Nulls depress the measured rate slightly; allow slack.
             assert!(
                 (measured - c.selectivity[k]).abs() < 0.15,

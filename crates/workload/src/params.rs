@@ -72,8 +72,12 @@ impl WorkloadParams {
     /// Panics if `factor` is not positive.
     pub fn scaled(mut self, factor: f64) -> WorkloadParams {
         assert!(factor > 0.0, "scale factor must be positive");
-        let lo = ((*self.objects_per_class.start() as f64) * factor).round().max(1.0) as usize;
-        let hi = ((*self.objects_per_class.end() as f64) * factor).round().max(1.0) as usize;
+        let lo = ((*self.objects_per_class.start() as f64) * factor)
+            .round()
+            .max(1.0) as usize;
+        let hi = ((*self.objects_per_class.end() as f64) * factor)
+            .round()
+            .max(1.0) as usize;
         self.objects_per_class = lo..=hi.max(lo);
         self
     }

@@ -42,7 +42,9 @@ pub fn federation() -> Result<Federation, ExecError> {
 /// but no addresses and no specialities.
 fn build_db1() -> Result<ComponentDb, StoreError> {
     let schema = ComponentSchema::new(vec![
-        ClassDef::new("Department").attr("name", AttrType::text()).key(["name"]),
+        ClassDef::new("Department")
+            .attr("name", AttrType::text())
+            .key(["name"]),
         ClassDef::new("Teacher")
             .attr("name", AttrType::text())
             .attr("department", AttrType::complex("Department"))
@@ -60,12 +62,18 @@ fn build_db1() -> Result<ComponentDb, StoreError> {
     let _d2 = db.insert_named("Department", &[("name", Value::text("EE"))])?;
     let t1 = db.insert_named(
         "Teacher",
-        &[("name", Value::text("Jeffery")), ("department", Value::Ref(d1))],
+        &[
+            ("name", Value::text("Jeffery")),
+            ("department", Value::Ref(d1)),
+        ],
     )?;
     let t2 = db.insert_named("Teacher", &[("name", Value::text("Abel"))])?; // department null
     let t3 = db.insert_named(
         "Teacher",
-        &[("name", Value::text("Haley")), ("department", Value::Ref(d1))],
+        &[
+            ("name", Value::text("Haley")),
+            ("department", Value::Ref(d1)),
+        ],
     )?;
     // s1: John — sex is null in Figure 4(a).
     db.insert_named(
@@ -123,7 +131,11 @@ fn build_db2() -> Result<ComponentDb, StoreError> {
     let mut db = ComponentDb::new(DbId::new(1), "DB2", schema);
     let a1 = db.insert_named(
         "Address",
-        &[("city", Value::text("Taipei")), ("street", Value::text("Park")), ("zipcode", Value::Int(100))],
+        &[
+            ("city", Value::text("Taipei")),
+            ("street", Value::text("Park")),
+            ("zipcode", Value::Int(100)),
+        ],
     )?;
     let a2 = db.insert_named(
         "Address",
@@ -135,11 +147,17 @@ fn build_db2() -> Result<ComponentDb, StoreError> {
     )?;
     let t1 = db.insert_named(
         "Teacher",
-        &[("name", Value::text("Kelly")), ("speciality", Value::text("database"))],
+        &[
+            ("name", Value::text("Kelly")),
+            ("speciality", Value::text("database")),
+        ],
     )?;
     let t2 = db.insert_named(
         "Teacher",
-        &[("name", Value::text("Jeffery")), ("speciality", Value::text("network"))],
+        &[
+            ("name", Value::text("Jeffery")),
+            ("speciality", Value::text("network")),
+        ],
     )?;
     db.insert_named(
         "Student",
@@ -190,20 +208,32 @@ fn build_db3() -> Result<ComponentDb, StoreError> {
     let mut db = ComponentDb::new(DbId::new(2), "DB3", schema);
     let d1 = db.insert_named(
         "Department",
-        &[("name", Value::text("EE")), ("location", Value::text("building E"))],
+        &[
+            ("name", Value::text("EE")),
+            ("location", Value::text("building E")),
+        ],
     )?;
     let d2 = db.insert_named("Department", &[("name", Value::text("CS"))])?; // location null
     db.insert_named(
         "Department",
-        &[("name", Value::text("PH")), ("location", Value::text("building D"))],
+        &[
+            ("name", Value::text("PH")),
+            ("location", Value::text("building D")),
+        ],
     )?;
     db.insert_named(
         "Teacher",
-        &[("name", Value::text("Abel")), ("department", Value::Ref(d1))],
+        &[
+            ("name", Value::text("Abel")),
+            ("department", Value::Ref(d1)),
+        ],
     )?;
     db.insert_named(
         "Teacher",
-        &[("name", Value::text("Kelly")), ("department", Value::Ref(d2))],
+        &[
+            ("name", Value::text("Kelly")),
+            ("department", Value::Ref(d2)),
+        ],
     )?;
     Ok(db)
 }
@@ -234,14 +264,29 @@ mod tests {
         let student = g.class_by_name("Student").unwrap();
         let address = student.attr_index("address").unwrap();
         let age = student.attr_index("age").unwrap();
-        assert!(student.constituent_for(DbId::new(0)).unwrap().is_missing(address));
-        assert!(student.constituent_for(DbId::new(1)).unwrap().is_missing(age));
+        assert!(student
+            .constituent_for(DbId::new(0))
+            .unwrap()
+            .is_missing(address));
+        assert!(student
+            .constituent_for(DbId::new(1))
+            .unwrap()
+            .is_missing(age));
         let teacher = g.class_by_name("Teacher").unwrap();
         let speciality = teacher.attr_index("speciality").unwrap();
         let department = teacher.attr_index("department").unwrap();
-        assert!(teacher.constituent_for(DbId::new(0)).unwrap().is_missing(speciality));
-        assert!(teacher.constituent_for(DbId::new(1)).unwrap().is_missing(department));
-        assert!(teacher.constituent_for(DbId::new(2)).unwrap().is_missing(speciality));
+        assert!(teacher
+            .constituent_for(DbId::new(0))
+            .unwrap()
+            .is_missing(speciality));
+        assert!(teacher
+            .constituent_for(DbId::new(1))
+            .unwrap()
+            .is_missing(department));
+        assert!(teacher
+            .constituent_for(DbId::new(2))
+            .unwrap()
+            .is_missing(speciality));
     }
 
     #[test]
@@ -252,7 +297,10 @@ mod tests {
         // Kelly isomeric; Haley single), 3 departments, 2 addresses.
         assert_eq!(fed.catalog().table(g.class_id("Student").unwrap()).len(), 5);
         assert_eq!(fed.catalog().table(g.class_id("Teacher").unwrap()).len(), 4);
-        assert_eq!(fed.catalog().table(g.class_id("Department").unwrap()).len(), 3);
+        assert_eq!(
+            fed.catalog().table(g.class_id("Department").unwrap()).len(),
+            3
+        );
         assert_eq!(fed.catalog().table(g.class_id("Address").unwrap()).len(), 2);
         // John's two copies share a GOid.
         let student = g.class_id("Student").unwrap();

@@ -31,10 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. Signature pruning --------------------------------------------
     println!("== object signatures (BL vs BL-S) ==");
     let q1 = fed.parse_and_bind(university::Q1)?;
-    let (_, plain) = run_strategy(&BasicLocalized::new(), &fed, &q1, SystemParams::paper_default())?;
-    let (_, pruned) =
-        run_strategy(&BasicLocalized::with_signatures(), &fed, &q1, SystemParams::paper_default())?;
-    println!("  BL   moved {} bytes over the network", plain.bytes_transferred);
+    let (_, plain) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q1,
+        SystemParams::paper_default(),
+    )?;
+    let (_, pruned) = run_strategy(
+        &BasicLocalized::with_signatures(),
+        &fed,
+        &q1,
+        SystemParams::paper_default(),
+    )?;
+    println!(
+        "  BL   moved {} bytes over the network",
+        plain.bytes_transferred
+    );
     println!(
         "  BL-S moved {} bytes ({}% saved), identical answers\n",
         pruned.bytes_transferred,
@@ -46,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = fed.parse_and_bind(
         "SELECT X.name, X.advisor.department.location FROM Student X WHERE X.s-no = 808301",
     )?;
-    let (without, _) = run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default())?;
+    let (without, _) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )?;
     let (with, _) = run_strategy(
         &BasicLocalized::new().completing_targets(),
         &fed,
@@ -54,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SystemParams::paper_default(),
     )?;
     println!("  without completion: {}", without.certain()[0]);
-    println!("  with completion:    {} (the location lives only at DB3)\n", with.certain()[0]);
+    println!(
+        "  with completion:    {} (the location lives only at DB3)\n",
+        with.certain()[0]
+    );
 
     // --- 4. Persistence ----------------------------------------------------
     println!("== persistence ==");
@@ -78,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SystemParams::paper_default(),
             network,
         )?;
-        println!("  PL under {network:?}: response {:.1} ms", m.response_us / 1e3);
+        println!(
+            "  PL under {network:?}: response {:.1} ms",
+            m.response_us / 1e3
+        );
     }
     Ok(())
 }

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Clinic: its own vocabulary ("Doc", "Case", "id") and insurance info,
     // but no physician specialties.
     let clinic = ComponentSchema::new(vec![
-        ClassDef::new("Doc").attr("nm", AttrType::text()).key(["nm"]),
+        ClassDef::new("Doc")
+            .attr("nm", AttrType::text())
+            .key(["nm"]),
         ClassDef::new("Case")
             .attr("id", AttrType::int())
             .attr("nm", AttrType::text())
@@ -45,19 +47,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let house = db0.insert_named(
         "Physician",
-        &[("name", Value::text("House")), ("specialty", Value::text("diagnostics"))],
+        &[
+            ("name", Value::text("House")),
+            ("specialty", Value::text("diagnostics")),
+        ],
     )?;
     let wilson = db0.insert_named(
         "Physician",
-        &[("name", Value::text("Wilson")), ("specialty", Value::text("oncology"))],
+        &[
+            ("name", Value::text("Wilson")),
+            ("specialty", Value::text("oncology")),
+        ],
     )?;
     db0.insert_named(
         "Patient",
-        &[("ssn", Value::Int(100)), ("name", Value::text("Rebecca")), ("physician", Value::Ref(house))],
+        &[
+            ("ssn", Value::Int(100)),
+            ("name", Value::text("Rebecca")),
+            ("physician", Value::Ref(house)),
+        ],
     )?;
     db0.insert_named(
         "Patient",
-        &[("ssn", Value::Int(101)), ("name", Value::text("Victor")), ("physician", Value::Ref(wilson))],
+        &[
+            ("ssn", Value::Int(101)),
+            ("name", Value::text("Victor")),
+            ("physician", Value::Ref(wilson)),
+        ],
     )?;
 
     let cuddy = db1.insert_named("Doc", &[("nm", Value::text("Cuddy"))])?;
@@ -73,12 +89,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db1.insert_named(
         "Case",
-        &[("id", Value::Int(102)), ("nm", Value::text("Paul")), ("doc", Value::Ref(cuddy))],
+        &[
+            ("id", Value::Int(102)),
+            ("nm", Value::text("Paul")),
+            ("doc", Value::Ref(cuddy)),
+        ],
     )?; // insurer null: pending paperwork
 
-    db2.insert_named("Patient", &[("ssn", Value::Int(100)), ("hemoglobin", Value::Float(13.5))])?;
+    db2.insert_named(
+        "Patient",
+        &[("ssn", Value::Int(100)), ("hemoglobin", Value::Float(13.5))],
+    )?;
     db2.insert_named("Patient", &[("ssn", Value::Int(101))])?; // result pending
-    db2.insert_named("Patient", &[("ssn", Value::Int(102)), ("hemoglobin", Value::Float(10.2))])?;
+    db2.insert_named(
+        "Patient",
+        &[("ssn", Value::Int(102)), ("hemoglobin", Value::Float(10.2))],
+    )?;
 
     // The correspondences reconcile the clinic's vocabulary.
     let corr = Correspondences::new()
@@ -106,7 +132,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &BasicLocalized::new(),
         &ParallelLocalized::new(),
     ] {
-        let (answer, metrics) = run_strategy(strategy, &fed, &query, SystemParams::paper_default())?;
+        let (answer, metrics) =
+            run_strategy(strategy, &fed, &query, SystemParams::paper_default())?;
         println!("{}: {answer}", strategy.name());
         for row in answer.certain() {
             println!("  certain {row}");

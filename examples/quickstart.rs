@@ -11,7 +11,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Site 0 records employees' departments; site 1 records salaries.
     // Neither knows everything — the classic missing-attribute conflict.
     let schema0 = ComponentSchema::new(vec![
-        ClassDef::new("Department").attr("name", AttrType::text()).key(["name"]),
+        ClassDef::new("Department")
+            .attr("name", AttrType::text())
+            .key(["name"]),
         ClassDef::new("Employee")
             .attr("eid", AttrType::int())
             .attr("name", AttrType::text())
@@ -32,30 +34,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ada exists at both sites (an isomeric pair, matched on eid).
     db0.insert_named(
         "Employee",
-        &[("eid", Value::Int(1)), ("name", Value::text("Ada")), ("dept", Value::Ref(research))],
+        &[
+            ("eid", Value::Int(1)),
+            ("name", Value::text("Ada")),
+            ("dept", Value::Ref(research)),
+        ],
     )?;
     db1.insert_named(
         "Employee",
-        &[("eid", Value::Int(1)), ("name", Value::text("Ada")), ("salary", Value::Int(120))],
+        &[
+            ("eid", Value::Int(1)),
+            ("name", Value::text("Ada")),
+            ("salary", Value::Int(120)),
+        ],
     )?;
     // Bob only at HQ: his salary is missing data, forever maybe.
     db0.insert_named(
         "Employee",
-        &[("eid", Value::Int(2)), ("name", Value::text("Bob")), ("dept", Value::Ref(research))],
+        &[
+            ("eid", Value::Int(2)),
+            ("name", Value::text("Bob")),
+            ("dept", Value::Ref(research)),
+        ],
     )?;
     // Eve only at Payroll, and underpaid.
     db1.insert_named(
         "Employee",
-        &[("eid", Value::Int(3)), ("name", Value::text("Eve")), ("salary", Value::Int(80))],
+        &[
+            ("eid", Value::Int(3)),
+            ("name", Value::text("Eve")),
+            ("salary", Value::Int(80)),
+        ],
     )?;
     // Mallory fails on the department.
     db0.insert_named(
         "Employee",
-        &[("eid", Value::Int(4)), ("name", Value::text("Mallory")), ("dept", Value::Ref(sales))],
+        &[
+            ("eid", Value::Int(4)),
+            ("name", Value::text("Mallory")),
+            ("dept", Value::Ref(sales)),
+        ],
     )?;
     db1.insert_named(
         "Employee",
-        &[("eid", Value::Int(4)), ("name", Value::text("Mallory")), ("salary", Value::Int(200))],
+        &[
+            ("eid", Value::Int(4)),
+            ("name", Value::text("Mallory")),
+            ("salary", Value::Int(200)),
+        ],
     )?;
 
     // Integrate: the global Employee is the union (eid, name, dept, salary).

@@ -49,8 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 sums[s] = sums[s].add(&metrics);
             }
         }
-        let avg: Vec<QueryMetrics> =
-            sums.into_iter().map(|m| m.scale_down(SAMPLES as u64)).collect();
+        let avg: Vec<QueryMetrics> = sums
+            .into_iter()
+            .map(|m| m.scale_down(SAMPLES as u64))
+            .collect();
         let ms = |v: f64| format!("{:.1} ms", v / 1e3);
         println!(
             "{:>6} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",

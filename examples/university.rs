@@ -16,8 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for db in fed.dbs() {
         println!("{}:", db.name());
         for (_, class) in db.schema().iter() {
-            let attrs: Vec<String> =
-                class.attrs().iter().map(|a| format!("{}: {}", a.name(), a.ty())).collect();
+            let attrs: Vec<String> = class
+                .attrs()
+                .iter()
+                .map(|a| format!("{}: {}", a.name(), a.ty()))
+                .collect();
             println!("  {}({})", class.name(), attrs.join(", "));
         }
     }
@@ -27,8 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let attrs: Vec<&str> = class.attrs().iter().map(|a| a.name()).collect();
         println!("  {}({})", class.name(), attrs.join(", "));
         for constituent in class.constituents() {
-            let missing: Vec<&str> =
-                constituent.missing_attrs().map(|g| class.attr(g).name()).collect();
+            let missing: Vec<&str> = constituent
+                .missing_attrs()
+                .map(|g| class.attr(g).name())
+                .collect();
             if !missing.is_empty() {
                 println!(
                     "    {} is missing: {}",
@@ -62,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for db in fed.dbs() {
         match plan_for_db(&q1, fed.global_schema(), db.id()) {
             Some(plan) => println!("  {}", plan.describe(&q1)),
-            None => println!("  {} hosts no Student constituent: no local query", db.name()),
+            None => println!(
+                "  {} hosts no Student constituent: no local query",
+                db.name()
+            ),
         }
     }
 
@@ -84,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unsolved()
                 .map(|p| q1.predicates()[p.index()].to_string())
                 .collect();
-            println!("         maybe   {} — unsolved: {}", row.row(), unsolved.join("; "));
+            println!(
+                "         maybe   {} — unsolved: {}",
+                row.row(),
+                unsolved.join("; ")
+            );
         }
         println!("         {metrics}");
     }

@@ -7,7 +7,9 @@ use fedoq::prelude::*;
 /// Two databases over a Person -> Job composition. DB0 lacks `salary` on
 /// Job; DB1 lacks `title`. Jobs are keyed by `jid`, people by `pid`.
 fn schema(with_title: bool, with_salary: bool) -> ComponentSchema {
-    let mut job = ClassDef::new("Job").attr("jid", AttrType::int()).key(["jid"]);
+    let mut job = ClassDef::new("Job")
+        .attr("jid", AttrType::int())
+        .key(["jid"]);
     if with_title {
         job = job.attr("title", AttrType::text());
     }
@@ -34,7 +36,10 @@ fn build(salary_db1: Option<i64>) -> World {
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", schema(false, true));
     // A job existing in both databases (isomeric via jid=7).
     let j0 = db0
-        .insert_named("Job", &[("jid", Value::Int(7)), ("title", Value::text("engineer"))])
+        .insert_named(
+            "Job",
+            &[("jid", Value::Int(7)), ("title", Value::text("engineer"))],
+        )
         .unwrap();
     let mut pairs = vec![("jid", Value::Int(7))];
     if let Some(s) = salary_db1 {
@@ -42,8 +47,11 @@ fn build(salary_db1: Option<i64>) -> World {
     }
     db1.insert_named("Job", &pairs).unwrap();
     // The person exists only in DB0 and references the local job copy.
-    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
-    World { fed: Federation::new(vec![db0, db1], &Correspondences::new()).unwrap() }
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))])
+        .unwrap();
+    World {
+        fed: Federation::new(vec![db0, db1], &Correspondences::new()).unwrap(),
+    }
 }
 
 fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
@@ -63,8 +71,14 @@ fn assistant_solves_the_unsolved_item() {
     let world = build(Some(150));
     let q = world.fed.parse_and_bind(QUERY).unwrap();
     for s in strategies() {
-        let (a, _) = run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
-        assert_eq!(a.certain().len(), 1, "{}: assistant salary=150 must certify", s.name());
+        let (a, _) =
+            run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
+        assert_eq!(
+            a.certain().len(),
+            1,
+            "{}: assistant salary=150 must certify",
+            s.name()
+        );
         assert!(a.maybe().is_empty(), "{}", s.name());
     }
 }
@@ -74,8 +88,13 @@ fn assistant_violation_eliminates() {
     let world = build(Some(50));
     let q = world.fed.parse_and_bind(QUERY).unwrap();
     for s in strategies() {
-        let (a, _) = run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
-        assert!(a.is_empty(), "{}: assistant salary=50 must eliminate, got {a}", s.name());
+        let (a, _) =
+            run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
+        assert!(
+            a.is_empty(),
+            "{}: assistant salary=50 must eliminate, got {a}",
+            s.name()
+        );
     }
 }
 
@@ -84,9 +103,15 @@ fn null_assistant_keeps_the_maybe_result() {
     let world = build(None);
     let q = world.fed.parse_and_bind(QUERY).unwrap();
     for s in strategies() {
-        let (a, _) = run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
+        let (a, _) =
+            run_strategy(s.as_ref(), &world.fed, &q, SystemParams::paper_default()).unwrap();
         assert!(a.certain().is_empty(), "{}", s.name());
-        assert_eq!(a.maybe().len(), 1, "{}: null assistant cannot decide", s.name());
+        assert_eq!(
+            a.maybe().len(),
+            1,
+            "{}: null assistant cannot decide",
+            s.name()
+        );
         assert_eq!(a.maybe()[0].unsolved().count(), 1);
     }
 }
@@ -97,9 +122,13 @@ fn no_assistant_keeps_the_maybe_result() {
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema(true, false));
     let db1 = ComponentDb::new(DbId::new(1), "DB1", schema(false, true));
     let j0 = db0
-        .insert_named("Job", &[("jid", Value::Int(9)), ("title", Value::text("lonely"))])
+        .insert_named(
+            "Job",
+            &[("jid", Value::Int(9)), ("title", Value::text("lonely"))],
+        )
         .unwrap();
-    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))])
+        .unwrap();
     let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
     let q = fed.parse_and_bind(QUERY).unwrap();
     for s in strategies() {
@@ -113,7 +142,9 @@ fn no_assistant_keeps_the_maybe_result() {
 #[test]
 fn different_assistants_jointly_satisfy() {
     let job_full = |title: bool, salary: bool, location: bool| {
-        let mut j = ClassDef::new("Job").attr("jid", AttrType::int()).key(["jid"]);
+        let mut j = ClassDef::new("Job")
+            .attr("jid", AttrType::int())
+            .key(["jid"]);
         if title {
             j = j.attr("title", AttrType::text());
         }
@@ -137,12 +168,23 @@ fn different_assistants_jointly_satisfy() {
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", job_full(false, true, false));
     let mut db2 = ComponentDb::new(DbId::new(2), "DB2", job_full(false, false, true));
     let j0 = db0
-        .insert_named("Job", &[("jid", Value::Int(7)), ("title", Value::text("eng"))])
+        .insert_named(
+            "Job",
+            &[("jid", Value::Int(7)), ("title", Value::text("eng"))],
+        )
         .unwrap();
-    db1.insert_named("Job", &[("jid", Value::Int(7)), ("salary", Value::Int(200))]).unwrap();
-    db2.insert_named("Job", &[("jid", Value::Int(7)), ("location", Value::text("Taipei"))])
+    db1.insert_named(
+        "Job",
+        &[("jid", Value::Int(7)), ("salary", Value::Int(200))],
+    )
+    .unwrap();
+    db2.insert_named(
+        "Job",
+        &[("jid", Value::Int(7)), ("location", Value::text("Taipei"))],
+    )
+    .unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))])
         .unwrap();
-    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
     let fed = Federation::new(vec![db0, db1, db2], &Correspondences::new()).unwrap();
     let q = fed
         .parse_and_bind(
@@ -151,19 +193,35 @@ fn different_assistants_jointly_satisfy() {
         .unwrap();
     for s in strategies() {
         let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
-        assert_eq!(a.certain().len(), 1, "{}: joint satisfaction must certify", s.name());
+        assert_eq!(
+            a.certain().len(),
+            1,
+            "{}: joint satisfaction must certify",
+            s.name()
+        );
     }
     // And one violating assistant overrides the other's satisfaction.
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", job_full(true, false, false));
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", job_full(false, true, false));
     let mut db2 = ComponentDb::new(DbId::new(2), "DB2", job_full(false, false, true));
     let j0 = db0
-        .insert_named("Job", &[("jid", Value::Int(7)), ("title", Value::text("eng"))])
+        .insert_named(
+            "Job",
+            &[("jid", Value::Int(7)), ("title", Value::text("eng"))],
+        )
         .unwrap();
-    db1.insert_named("Job", &[("jid", Value::Int(7)), ("salary", Value::Int(200))]).unwrap();
-    db2.insert_named("Job", &[("jid", Value::Int(7)), ("location", Value::text("HsinChu"))])
+    db1.insert_named(
+        "Job",
+        &[("jid", Value::Int(7)), ("salary", Value::Int(200))],
+    )
+    .unwrap();
+    db2.insert_named(
+        "Job",
+        &[("jid", Value::Int(7)), ("location", Value::text("HsinChu"))],
+    )
+    .unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))])
         .unwrap();
-    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
     let fed = Federation::new(vec![db0, db1, db2], &Correspondences::new()).unwrap();
     let q = fed
         .parse_and_bind(
@@ -172,7 +230,11 @@ fn different_assistants_jointly_satisfy() {
         .unwrap();
     for s in strategies() {
         let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
-        assert!(a.is_empty(), "{}: the location violation must eliminate", s.name());
+        assert!(
+            a.is_empty(),
+            "{}: the location violation must eliminate",
+            s.name()
+        );
     }
 }
 
@@ -182,7 +244,9 @@ fn different_assistants_jointly_satisfy() {
 #[test]
 fn absent_isomeric_root_copy_eliminates() {
     let person = |with_age: bool| {
-        let mut p = ClassDef::new("Person").attr("pid", AttrType::int()).key(["pid"]);
+        let mut p = ClassDef::new("Person")
+            .attr("pid", AttrType::int())
+            .key(["pid"]);
         if with_age {
             p = p.attr("age", AttrType::int());
         }
@@ -190,22 +254,38 @@ fn absent_isomeric_root_copy_eliminates() {
     };
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", person(false));
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", person(true));
-    db0.insert_named("Person", &[("pid", Value::Int(1))]).unwrap();
-    db1.insert_named("Person", &[("pid", Value::Int(1)), ("age", Value::Int(10))]).unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1))])
+        .unwrap();
+    db1.insert_named("Person", &[("pid", Value::Int(1)), ("age", Value::Int(10))])
+        .unwrap();
     // A second entity whose copy passes.
-    db0.insert_named("Person", &[("pid", Value::Int(2))]).unwrap();
-    db1.insert_named("Person", &[("pid", Value::Int(2)), ("age", Value::Int(40))]).unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(2))])
+        .unwrap();
+    db1.insert_named("Person", &[("pid", Value::Int(2)), ("age", Value::Int(40))])
+        .unwrap();
     // A third entity only in DB0: nobody knows its age.
-    db0.insert_named("Person", &[("pid", Value::Int(3))]).unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(3))])
+        .unwrap();
     let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
-    let q = fed.parse_and_bind("SELECT X.pid FROM Person X WHERE X.age >= 30").unwrap();
+    let q = fed
+        .parse_and_bind("SELECT X.pid FROM Person X WHERE X.age >= 30")
+        .unwrap();
     let truth = oracle_answer(&fed, &q);
     assert_eq!(truth.certain().len(), 1); // pid 2
     assert_eq!(truth.maybe().len(), 1); // pid 3
     for s in strategies() {
         let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
-        assert!(truth.same_classification(&a), "{}: {a} vs {truth}", s.name());
+        assert!(
+            truth.same_classification(&a),
+            "{}: {a} vs {truth}",
+            s.name()
+        );
         assert_eq!(a.certain()[0].values(), &[Value::Int(2)], "{}", s.name());
-        assert_eq!(a.maybe()[0].row().values(), &[Value::Int(3)], "{}", s.name());
+        assert_eq!(
+            a.maybe()[0].row().values(),
+            &[Value::Int(3)],
+            "{}",
+            s.name()
+        );
     }
 }

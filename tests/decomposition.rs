@@ -12,7 +12,10 @@ fn q1_decomposes_into_q1_prime_and_q1_double_prime() {
 
     // Q1' (paper's DB1, our DB0): keeps only the department predicate.
     let plan0 = plan_for_db(&q1, schema, DbId::new(0)).unwrap();
-    assert_eq!(plan0.local_preds().collect::<Vec<_>>(), vec![PredId::new(2)]);
+    assert_eq!(
+        plan0.local_preds().collect::<Vec<_>>(),
+        vec![PredId::new(2)]
+    );
     let text = plan0.describe(&q1);
     assert_eq!(
         text,
@@ -102,14 +105,22 @@ fn dispositions_drive_local_evaluation_counts() {
         .parse_and_bind("SELECT X.name FROM Student X WHERE X.address.city = 'Taipei'")
         .unwrap();
     let dense = fed
-        .parse_and_bind(
-            "SELECT X.name FROM Student X WHERE X.s-no >= 0 AND X.name != 'Nobody'",
-        )
+        .parse_and_bind("SELECT X.name FROM Student X WHERE X.s-no >= 0 AND X.name != 'Nobody'")
         .unwrap();
-    let (_, sparse_m) =
-        run_strategy(&BasicLocalized::new(), &fed, &sparse, SystemParams::paper_default()).unwrap();
-    let (_, dense_m) =
-        run_strategy(&BasicLocalized::new(), &fed, &dense, SystemParams::paper_default()).unwrap();
+    let (_, sparse_m) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &sparse,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
+    let (_, dense_m) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &dense,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     // The sparse query is local at only one site; the dense one at both.
     assert!(dense_m.comparisons > sparse_m.comparisons);
 }

@@ -68,7 +68,8 @@ fn strategies_agree_with_the_disjunctive_oracle() {
         checked += 1;
         let truth = oracle_disjunctive(&sample.federation, &dnf);
         for strategy in strategies() {
-            let mut sim = Simulation::new(SystemParams::paper_default(), sample.federation.num_dbs());
+            let mut sim =
+                Simulation::new(SystemParams::paper_default(), sample.federation.num_dbs());
             let answer =
                 run_disjunctive(strategy.as_ref(), &sample.federation, &dnf, &mut sim).unwrap();
             assert!(

@@ -1,0 +1,116 @@
+//! Differential testing of the distributed runtime: over a healthy
+//! network — instant in-process delivery or simulated latency without
+//! faults — every distributed strategy must classify entities exactly
+//! like its in-process twin (same certain set, same maybe set with the
+//! same unsolved conjuncts), with no degraded rows and no lost sites.
+
+use fedoq_core::{run_strategy, Federation};
+use fedoq_net::{DistributedExecutor, DistributedStrategy, SimTransport, Transport};
+use fedoq_query::{bind, BoundQuery};
+use fedoq_sim::{Simulation, SystemParams};
+use fedoq_workload::{generate, university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn strategies() -> Vec<DistributedStrategy> {
+    vec![
+        DistributedStrategy::ca(),
+        DistributedStrategy::bl(),
+        DistributedStrategy::pl(),
+        DistributedStrategy::bl().with_signatures(),
+        DistributedStrategy::pl().with_signatures(),
+    ]
+}
+
+/// Asserts that `strategy` over both transports matches its sync twin.
+fn check_matches_sync(fed: &Federation, query: &BoundQuery, label: &str) {
+    for strategy in strategies() {
+        let (sync_answer, _) = run_strategy(
+            strategy.sync().as_ref(),
+            fed,
+            query,
+            SystemParams::paper_default(),
+        )
+        .unwrap();
+
+        // Instant in-process transport.
+        let local = DistributedExecutor::new()
+            .run_local(fed, query, strategy)
+            .unwrap();
+        assert!(
+            sync_answer.same_classification(&local.answer),
+            "{label}: {} over LocalTransport disagrees with sync\n  sync: {sync_answer}\n  dist: {}",
+            strategy.name(),
+            local.answer,
+        );
+        assert!(local.degraded_sites.is_empty());
+        assert!(!local.answer.is_degraded());
+        assert_eq!(local.dropped, 0);
+
+        // Simulated network with latency but no faults.
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            fed.num_dbs(),
+        )));
+        let transport: Rc<RefCell<dyn Transport>> =
+            Rc::new(RefCell::new(SimTransport::new(Rc::clone(&sim), 42)));
+        let simmed = DistributedExecutor::new()
+            .run(fed, query, strategy, transport, sim)
+            .unwrap();
+        assert!(
+            sync_answer.same_classification(&simmed.answer),
+            "{label}: {} over healthy SimTransport disagrees with sync\n  sync: {sync_answer}\n  dist: {}",
+            strategy.name(),
+            simmed.answer,
+        );
+        assert!(simmed.degraded_sites.is_empty());
+        assert!(!simmed.answer.is_degraded());
+        assert_eq!(simmed.dropped, 0);
+        // Latency advanced the virtual clock; the cost model is separate.
+        assert!(simmed.virtual_us > 0.0, "{label}: no virtual time elapsed");
+    }
+}
+
+#[test]
+fn university_federation_matches_sync() {
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    check_matches_sync(&fed, &query, "university Q1");
+}
+
+#[test]
+fn generated_federations_match_sync() {
+    let params = WorkloadParams::paper_default().scaled(0.01);
+    for seed in [3u64, 17, 29, 71] {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        check_matches_sync(&sample.federation, &query, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn many_databases_match_sync() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.n_db = 6;
+    for seed in [100u64, 101] {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        check_matches_sync(&sample.federation, &query, &format!("6db seed {seed}"));
+    }
+}
+
+#[test]
+fn heavy_nulls_match_sync() {
+    let mut params = WorkloadParams::paper_default().scaled(0.01);
+    params.null_ratio = 0.3..=0.5;
+    for seed in [300u64, 301, 302] {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        check_matches_sync(&sample.federation, &query, &format!("nulls seed {seed}"));
+    }
+}

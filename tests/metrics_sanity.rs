@@ -5,16 +5,24 @@ use fedoq::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn averaged(params: &WorkloadParams, strategy: &dyn ExecutionStrategy, seeds: std::ops::Range<u64>) -> QueryMetrics {
+fn averaged(
+    params: &WorkloadParams,
+    strategy: &dyn ExecutionStrategy,
+    seeds: std::ops::Range<u64>,
+) -> QueryMetrics {
     let mut sum = QueryMetrics::default();
     let n = seeds.end - seeds.start;
     for seed in seeds {
         let config = params.sample(&mut StdRng::seed_from_u64(seed));
         let sample = fedoq::workload::generate(&config, seed);
         let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
-        let (_, m) =
-            run_strategy(strategy, &sample.federation, &query, SystemParams::paper_default())
-                .unwrap();
+        let (_, m) = run_strategy(
+            strategy,
+            &sample.federation,
+            &query,
+            SystemParams::paper_default(),
+        )
+        .unwrap();
         sum = sum.add(&m);
     }
     sum.scale_down(n)
@@ -32,9 +40,13 @@ fn response_never_exceeds_total() {
             &BasicLocalized::new(),
             &ParallelLocalized::new(),
         ] {
-            let (_, m) =
-                run_strategy(strategy, &sample.federation, &query, SystemParams::paper_default())
-                    .unwrap();
+            let (_, m) = run_strategy(
+                strategy,
+                &sample.federation,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .unwrap();
             assert!(
                 m.total_execution_us >= m.response_us - 1e-6,
                 "{} on seed {seed}: total {} < response {}",
@@ -65,7 +77,11 @@ fn times_grow_with_object_count() {
             m_large.total_execution_us,
             m_small.total_execution_us
         );
-        assert!(m_large.response_us > m_small.response_us, "{}", strategy.name());
+        assert!(
+            m_large.response_us > m_small.response_us,
+            "{}",
+            strategy.name()
+        );
     }
 }
 
@@ -143,8 +159,13 @@ fn centralized_phase_profile_is_ship_heavy() {
     assert!(ca.phase_us(Phase::Ship) > ca.phase_us(Phase::O));
     assert!(ca.phase_us(Phase::Ship) > ca.phase_us(Phase::P));
     // BL's profile is evaluation- and check-driven instead.
-    let (_, bl) =
-        run_strategy(&BasicLocalized::new(), &fed, &q1, SystemParams::paper_default()).unwrap();
+    let (_, bl) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q1,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     assert!(bl.phase_us(Phase::P) > 0.0);
     assert!(bl.phase_us(Phase::O) > 0.0);
     assert!(bl.phase_us(Phase::Ship) < ca.phase_us(Phase::Ship));

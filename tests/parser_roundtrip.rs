@@ -89,6 +89,8 @@ fn float_and_negative_literals_round_trip() {
 
 #[test]
 fn bool_literals_round_trip() {
-    let q = Query::new("C").target("a").filter("flag", CmpOp::Eq, Value::Bool(false));
+    let q = Query::new("C")
+        .target("a")
+        .filter("flag", CmpOp::Eq, Value::Bool(false));
     assert_eq!(parse(&q.to_string()).unwrap(), q);
 }

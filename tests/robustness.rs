@@ -25,7 +25,9 @@ fn single_database_federation_works() {
     db.insert_named("T", &[("x", Value::Int(1))]).unwrap();
     db.insert_named("T", &[]).unwrap(); // x null
     let fed = Federation::new(vec![db], &Correspondences::new()).unwrap();
-    let q = fed.parse_and_bind("SELECT X.x FROM T X WHERE X.x >= 0").unwrap();
+    let q = fed
+        .parse_and_bind("SELECT X.x FROM T X WHERE X.x >= 0")
+        .unwrap();
     let truth = oracle_answer(&fed, &q);
     assert_eq!(truth.certain().len(), 1);
     assert_eq!(truth.maybe().len(), 1);
@@ -45,7 +47,9 @@ fn empty_extents_yield_empty_answers() {
     let db0 = ComponentDb::new(DbId::new(0), "A", schema.clone());
     let db1 = ComponentDb::new(DbId::new(1), "B", schema);
     let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
-    let q = fed.parse_and_bind("SELECT X.x FROM T X WHERE X.x = 1").unwrap();
+    let q = fed
+        .parse_and_bind("SELECT X.x FROM T X WHERE X.x = 1")
+        .unwrap();
     for s in strategies() {
         let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
         assert!(a.is_empty(), "{}", s.name());
@@ -70,7 +74,9 @@ fn query_without_predicates_or_targets() {
 #[test]
 fn stale_goid_mapping_entries_are_tolerated() {
     let job = |with_salary: bool| {
-        let mut j = ClassDef::new("Job").attr("jid", AttrType::int()).key(["jid"]);
+        let mut j = ClassDef::new("Job")
+            .attr("jid", AttrType::int())
+            .key(["jid"]);
         if !with_salary {
             j = j.attr("title", AttrType::text());
         } else {
@@ -88,9 +94,13 @@ fn stale_goid_mapping_entries_are_tolerated() {
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", job(false));
     let db1 = ComponentDb::new(DbId::new(1), "DB1", job(true));
     let j0 = db0
-        .insert_named("Job", &[("jid", Value::Int(7)), ("title", Value::text("eng"))])
+        .insert_named(
+            "Job",
+            &[("jid", Value::Int(7)), ("title", Value::text("eng"))],
+        )
         .unwrap();
-    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))]).unwrap();
+    db0.insert_named("Person", &[("pid", Value::Int(1)), ("job", Value::Ref(j0))])
+        .unwrap();
 
     // Hand-build a catalog whose Job entry claims an isomeric copy at DB1
     // that was deleted (a stale mapping-table entry).
@@ -102,11 +112,18 @@ fn stale_goid_mapping_entries_are_tolerated() {
     let person_class = global.class_id("Person").unwrap();
     let ghost = LOid::new(DbId::new(1), 999);
     catalog.register(job_class, &[j0, ghost]);
-    let person_loid = db0.extent_by_name("Person").unwrap().loids().next().unwrap();
+    let person_loid = db0
+        .extent_by_name("Person")
+        .unwrap()
+        .loids()
+        .next()
+        .unwrap();
     catalog.register(person_class, &[person_loid]);
     let fed = Federation::from_parts(vec![db0, db1], global, catalog);
 
-    let q = fed.parse_and_bind("SELECT X.pid FROM Person X WHERE X.job.salary > 10").unwrap();
+    let q = fed
+        .parse_and_bind("SELECT X.pid FROM Person X WHERE X.job.salary > 10")
+        .unwrap();
     for s in strategies() {
         let (a, _) = run_strategy(s.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
         // The ghost assistant cannot answer: the person must stay maybe —
@@ -130,7 +147,10 @@ fn federation_persistence_round_trip() {
     let q = restored.parse_and_bind(university::Q1).unwrap();
     let answer = oracle_answer(&restored, &q);
     assert_eq!(answer.certain().len(), 1);
-    assert_eq!(answer.certain()[0].values(), &[Value::text("Hedy"), Value::text("Kelly")]);
+    assert_eq!(
+        answer.certain()[0].values(),
+        &[Value::text("Hedy"), Value::text("Kelly")]
+    );
     assert_eq!(answer.maybe().len(), 1);
     for s in strategies() {
         let (a, _) =

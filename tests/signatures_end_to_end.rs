@@ -85,35 +85,49 @@ fn signatures_reduce_transfer_on_equality_workloads() {
 #[test]
 fn signature_prunes_a_definite_violation_without_transfer() {
     let schema_a = ComponentSchema::new(vec![
-        ClassDef::new("Item").attr("iid", AttrType::int()).key(["iid"]),
+        ClassDef::new("Item")
+            .attr("iid", AttrType::int())
+            .key(["iid"]),
         ClassDef::new("Owner")
             .attr("oid", AttrType::int())
             .attr("item", AttrType::complex("Item"))
             .key(["oid"]),
     ])
     .unwrap();
-    let schema_b = ComponentSchema::new(vec![
-        ClassDef::new("Item")
-            .attr("iid", AttrType::int())
-            .attr("color", AttrType::text())
-            .key(["iid"]),
-    ])
+    let schema_b = ComponentSchema::new(vec![ClassDef::new("Item")
+        .attr("iid", AttrType::int())
+        .attr("color", AttrType::text())
+        .key(["iid"])])
     .unwrap();
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema_a);
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", schema_b);
     let i0 = db0.insert_named("Item", &[("iid", Value::Int(1))]).unwrap();
-    db1.insert_named("Item", &[("iid", Value::Int(1)), ("color", Value::text("red"))]).unwrap();
-    db0.insert_named("Owner", &[("oid", Value::Int(1)), ("item", Value::Ref(i0))]).unwrap();
+    db1.insert_named(
+        "Item",
+        &[("iid", Value::Int(1)), ("color", Value::text("red"))],
+    )
+    .unwrap();
+    db0.insert_named("Owner", &[("oid", Value::Int(1)), ("item", Value::Ref(i0))])
+        .unwrap();
     let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
     let q = fed
         .parse_and_bind("SELECT X.oid FROM Owner X WHERE X.item.color = 'blue'")
         .unwrap();
 
-    let (plain_answer, plain) =
-        run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default()).unwrap();
-    let (sig_answer, sig) =
-        run_strategy(&BasicLocalized::with_signatures(), &fed, &q, SystemParams::paper_default())
-            .unwrap();
+    let (plain_answer, plain) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
+    let (sig_answer, sig) = run_strategy(
+        &BasicLocalized::with_signatures(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     // Both eliminate the owner (red != blue) …
     assert!(plain_answer.is_empty());
     assert!(sig_answer.is_empty());
@@ -132,32 +146,37 @@ fn signature_prunes_a_definite_violation_without_transfer() {
 #[test]
 fn null_marker_prevents_unsound_pruning() {
     let schema_a = ComponentSchema::new(vec![
-        ClassDef::new("Item").attr("iid", AttrType::int()).key(["iid"]),
+        ClassDef::new("Item")
+            .attr("iid", AttrType::int())
+            .key(["iid"]),
         ClassDef::new("Owner")
             .attr("oid", AttrType::int())
             .attr("item", AttrType::complex("Item"))
             .key(["oid"]),
     ])
     .unwrap();
-    let schema_b = ComponentSchema::new(vec![
-        ClassDef::new("Item")
-            .attr("iid", AttrType::int())
-            .attr("color", AttrType::text())
-            .key(["iid"]),
-    ])
+    let schema_b = ComponentSchema::new(vec![ClassDef::new("Item")
+        .attr("iid", AttrType::int())
+        .attr("color", AttrType::text())
+        .key(["iid"])])
     .unwrap();
     let mut db0 = ComponentDb::new(DbId::new(0), "DB0", schema_a);
     let mut db1 = ComponentDb::new(DbId::new(1), "DB1", schema_b);
     let i0 = db0.insert_named("Item", &[("iid", Value::Int(1))]).unwrap();
     db1.insert_named("Item", &[("iid", Value::Int(1))]).unwrap(); // color null
-    db0.insert_named("Owner", &[("oid", Value::Int(1)), ("item", Value::Ref(i0))]).unwrap();
+    db0.insert_named("Owner", &[("oid", Value::Int(1)), ("item", Value::Ref(i0))])
+        .unwrap();
     let fed = Federation::new(vec![db0, db1], &Correspondences::new()).unwrap();
     let q = fed
         .parse_and_bind("SELECT X.oid FROM Owner X WHERE X.item.color = 'blue'")
         .unwrap();
-    let (answer, _) =
-        run_strategy(&BasicLocalized::with_signatures(), &fed, &q, SystemParams::paper_default())
-            .unwrap();
+    let (answer, _) = run_strategy(
+        &BasicLocalized::with_signatures(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     // Must stay maybe, not be eliminated by the signature miss.
     assert_eq!(answer.maybe().len(), 1);
     assert!(answer.certain().is_empty());

@@ -23,8 +23,13 @@ fn check_agreement(sample: &GeneratedSample, label: &str) {
     let query = bind(&sample.query, fed.global_schema()).unwrap();
     let truth = oracle_answer(fed, &query);
     for strategy in strategies() {
-        let (answer, metrics) =
-            run_strategy(strategy.as_ref(), fed, &query, SystemParams::paper_default()).unwrap();
+        let (answer, metrics) = run_strategy(
+            strategy.as_ref(),
+            fed,
+            &query,
+            SystemParams::paper_default(),
+        )
+        .unwrap();
         assert!(
             truth.same_classification(&answer),
             "{label}: {} disagrees with the oracle\n  oracle: {truth}\n  {}: {answer}\n  query: {}",

@@ -19,9 +19,18 @@ fn completion_fills_targets_only_remote_sites_hold() {
 
     // Without completion, the localized strategies return null for the
     // location (they only project local attributes, as in the paper).
-    let (plain, plain_m) =
-        run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default()).unwrap();
-    let hedy = plain.certain().iter().find(|r| r.values()[0] == Value::text("Hedy")).unwrap();
+    let (plain, plain_m) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
+    let hedy = plain
+        .certain()
+        .iter()
+        .find(|r| r.values()[0] == Value::text("Hedy"))
+        .unwrap();
     assert!(hedy.values()[1].is_null());
 
     // With completion, the value is fetched from the assistant...
@@ -69,8 +78,7 @@ fn completion_matches_centralized_target_values() {
         &BasicLocalized::new().completing_targets() as &dyn ExecutionStrategy,
         &ParallelLocalized::new().completing_targets(),
     ] {
-        let (answer, _) =
-            run_strategy(strategy, &fed, &q, SystemParams::paper_default()).unwrap();
+        let (answer, _) = run_strategy(strategy, &fed, &q, SystemParams::paper_default()).unwrap();
         assert_eq!(answer.certain().len(), 1, "{}", strategy.name());
         assert_eq!(
             answer.certain()[0].values(),
@@ -81,8 +89,13 @@ fn completion_matches_centralized_target_values() {
     }
 
     // Without completion the location is null — the paper's behaviour.
-    let (plain, _) =
-        run_strategy(&BasicLocalized::new(), &fed, &q, SystemParams::paper_default()).unwrap();
+    let (plain, _) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     assert!(plain.certain()[0].values()[1].is_null());
 }
 

@@ -80,12 +80,24 @@ fn figure_7_intermediate_conclusions_hold() {
     for strategy in strategies() {
         let (answer, _) =
             run_strategy(strategy.as_ref(), &fed, &q, SystemParams::paper_default()).unwrap();
-        let certain: Vec<&Value> =
-            answer.certain().iter().map(|r| &r.values()[0]).collect();
-        assert_eq!(certain, [&Value::text("Hedy"), &Value::text("Fanny")], "{}", strategy.name());
-        let maybe: Vec<&Value> =
-            answer.maybe().iter().map(|r| &r.row().values()[0]).collect();
-        assert_eq!(maybe, [&Value::text("Tony"), &Value::text("Mary")], "{}", strategy.name());
+        let certain: Vec<&Value> = answer.certain().iter().map(|r| &r.values()[0]).collect();
+        assert_eq!(
+            certain,
+            [&Value::text("Hedy"), &Value::text("Fanny")],
+            "{}",
+            strategy.name()
+        );
+        let maybe: Vec<&Value> = answer
+            .maybe()
+            .iter()
+            .map(|r| &r.row().values()[0])
+            .collect();
+        assert_eq!(
+            maybe,
+            [&Value::text("Tony"), &Value::text("Mary")],
+            "{}",
+            strategy.name()
+        );
     }
 
     // Mary is eliminated in Q1 because Abel's assistant t1'' (DB3) puts
@@ -126,7 +138,9 @@ fn cross_site_certification_promotes_maybe_to_certain() {
     // age exists only in DB1, address only in DB2: only John's two copies
     // jointly satisfy both.
     let q = fed
-        .parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30 AND X.address.city = 'HsinChu'")
+        .parse_and_bind(
+            "SELECT X.name FROM Student X WHERE X.age > 30 AND X.address.city = 'HsinChu'",
+        )
         .unwrap();
     let truth = oracle_answer(&fed, &q);
     assert_eq!(truth.certain().len(), 1);
@@ -139,7 +153,12 @@ fn cross_site_certification_promotes_maybe_to_certain() {
             "{}: {answer} vs oracle {truth}",
             strategy.name()
         );
-        assert_eq!(answer.certain()[0].values(), &[Value::text("John")], "{}", strategy.name());
+        assert_eq!(
+            answer.certain()[0].values(),
+            &[Value::text("John")],
+            "{}",
+            strategy.name()
+        );
     }
 }
 
@@ -148,10 +167,20 @@ fn response_times_order_as_the_paper_reports() {
     let fed = university::federation().unwrap();
     let q1 = fed.parse_and_bind(university::Q1).unwrap();
     let (_, ca) = run_strategy(&Centralized, &fed, &q1, SystemParams::paper_default()).unwrap();
-    let (_, bl) =
-        run_strategy(&BasicLocalized::new(), &fed, &q1, SystemParams::paper_default()).unwrap();
-    let (_, pl) =
-        run_strategy(&ParallelLocalized::new(), &fed, &q1, SystemParams::paper_default()).unwrap();
+    let (_, bl) = run_strategy(
+        &BasicLocalized::new(),
+        &fed,
+        &q1,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
+    let (_, pl) = run_strategy(
+        &ParallelLocalized::new(),
+        &fed,
+        &q1,
+        SystemParams::paper_default(),
+    )
+    .unwrap();
     // The localized approaches ship far fewer bytes than shipping every
     // involved extent.
     assert!(bl.bytes_transferred < ca.bytes_transferred);

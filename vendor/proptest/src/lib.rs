@@ -1,0 +1,406 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the subset of the proptest 1.x API the workspace
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `boxed`, strategies for ranges, tuples, `Just`, regex-like string
+//! literals, [`any`], [`collection::vec`] / [`collection::btree_set`],
+//! and the [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline test stand-in:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated binding is `Debug`-printable by the
+//!   caller's assertions) but is not minimized.
+//! * **Deterministic seeding** — each `proptest!` test derives its RNG
+//!   seed from the test's name, so runs are reproducible without a
+//!   `proptest-regressions` file (existing regression files are
+//!   ignored).
+//! * The string strategy supports the regex subset the workspace uses:
+//!   literals, escapes, character classes with ranges, groups,
+//!   alternation, and the `?`, `*`, `+`, `{n}`, `{m,n}` quantifiers.
+
+use std::rc::Rc;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, OneOf, Strategy};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Retained for struct-literal compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the offline suite fast
+        // while still exercising each property broadly.
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The deterministic RNG driving generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from arbitrary bytes (FNV-1a folded through SplitMix64).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Seeds from a 64-bit value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, span)`; `span > 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across a wide dynamic range (no NaN/inf: the
+        // workspace's properties are about data semantics, not float
+        // edge cases, and upstream-compatible bit-fishing needs no
+        // shrinking support).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * (2f64).powi(exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text displayable.
+        (0x20 + rng.below(0x5f) as u8) as char
+    }
+}
+
+/// The canonical strategy for `T` (upstream `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{strategy::Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo {
+                return self.lo;
+            }
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+    ///
+    /// Gives up (with a smaller set) if the element domain cannot supply
+    /// enough distinct values.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < 64 * (n + 1) {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, TestRng};
+}
+
+/// Boxes heterogeneous strategies for [`prop_oneof!`].
+pub fn __boxed_for_oneof<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Rc::new(move |rng| s.new_value(rng)))
+}
+
+/// Runs strategies-in-a-loop tests. Mirrors upstream `proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(x in 0u64..10, ys in proptest::collection::vec(any::<bool>(), 0..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::__boxed_for_oneof($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::from_name("t");
+        let s = (0u16..6, -5i64..=5).prop_map(|(a, b)| (a, b * 2));
+        for _ in 0..200 {
+            let (a, b) = s.new_value(&mut rng);
+            assert!(a < 6);
+            assert!((-10..=10).contains(&b));
+            assert_eq!(b % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = TestRng::from_name("s");
+        let s = "[a-c]{2,4}(-[xy])?";
+        for _ in 0..200 {
+            let v = Strategy::new_value(&s, &mut rng);
+            let (head, tail) = match v.find('-') {
+                Some(i) => (&v[..i], &v[i..]),
+                None => (&v[..], ""),
+            };
+            assert!((2..=4).contains(&head.len()), "{v:?}");
+            assert!(head.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+            assert!(tail.is_empty() || tail == "-x" || tail == "-y", "{v:?}");
+        }
+    }
+
+    #[test]
+    fn collections_and_oneof() {
+        let mut rng = TestRng::from_name("c");
+        let v = crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..5);
+        let s = crate::collection::btree_set(0u16..6, 1..4);
+        for _ in 0..100 {
+            let xs = v.new_value(&mut rng);
+            assert!((1..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x == 1 || x == 2));
+            let set = s.new_value(&mut rng);
+            assert!((1..4).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::from_name("f");
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_binds_patterns((a, b) in (any::<bool>(), 0usize..3), c in Just(7)) {
+            prop_assert!(b < 3, "b = {b}");
+            prop_assert_eq!(c, 7);
+            prop_assert_ne!(b, 99);
+            let _ = a;
+        }
+    }
+}

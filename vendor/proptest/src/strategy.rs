@@ -1,0 +1,411 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use crate::{Arbitrary, TestRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of random values (upstream `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `f`, resampling (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1024 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy (upstream `BoxedStrategy`).
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs [`crate::prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Wraps the options; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// See [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+}
+
+/// String strategies from regex-like patterns (the subset the workspace
+/// uses; see the crate docs).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let ast = regex::parse(self);
+        let mut out = String::new();
+        regex::generate(&ast, rng, &mut out);
+        out
+    }
+}
+
+/// A tiny regex-subset parser/generator for string strategies.
+mod regex {
+    use crate::TestRng;
+
+    /// Cap for unbounded quantifiers (`*`, `+`).
+    const UNBOUNDED_CAP: u32 = 8;
+
+    #[derive(Debug, Clone)]
+    pub(super) enum Node {
+        /// A sequence of alternatives (at least one).
+        Alt(Vec<Vec<Node>>),
+        /// One literal character.
+        Literal(char),
+        /// A character class: concrete choices expanded from ranges.
+        Class(Vec<char>),
+        /// A quantified node: repeat between `min` and `max` times.
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub(super) fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex {pattern:?}: trailing input at {pos}"
+        );
+        node
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+        let mut alternatives = vec![parse_seq(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alternatives.push(parse_seq(chars, pos));
+        }
+        Node::Alt(alternatives)
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos);
+            seq.push(parse_quantifier(chars, pos, atom));
+        }
+        seq
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unsupported regex: unclosed group"
+                );
+                *pos += 1;
+                inner
+            }
+            '[' => {
+                *pos += 1;
+                let mut choices = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let lo = read_char(chars, pos);
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        *pos += 1;
+                        let hi = read_char(chars, pos);
+                        assert!(lo <= hi, "bad class range {lo}-{hi}");
+                        choices.extend(lo..=hi);
+                    } else {
+                        choices.push(lo);
+                    }
+                }
+                assert!(*pos < chars.len(), "unsupported regex: unclosed class");
+                *pos += 1; // ']'
+                assert!(!choices.is_empty(), "empty character class");
+                Node::Class(choices)
+            }
+            '.' => {
+                *pos += 1;
+                Node::Class((' '..='~').collect())
+            }
+            _ => Node::Literal(read_char(chars, pos)),
+        }
+    }
+
+    fn read_char(chars: &[char], pos: &mut usize) -> char {
+        let c = chars[*pos];
+        *pos += 1;
+        if c == '\\' {
+            let escaped = chars[*pos];
+            *pos += 1;
+            match escaped {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+        if *pos >= chars.len() {
+            return atom;
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            '+' => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min.parse().expect("regex {m,n}: bad minimum");
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().expect("regex {m,n}: bad maximum")
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "unsupported regex: unclosed {{}}");
+                *pos += 1;
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+
+    pub(super) fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Alt(alternatives) => {
+                let i = rng.below(alternatives.len() as u64) as usize;
+                for part in &alternatives[i] {
+                    generate(part, rng, out);
+                }
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Class(choices) => {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = min + rng.below((max - min + 1) as u64) as u32;
+                for _ in 0..n {
+                    generate(inner, rng, out);
+                }
+            }
+        }
+    }
+}
