@@ -92,7 +92,7 @@ pub fn bench_points(c: &mut Criterion, figure: &str, points: Vec<Point>) {
                             SystemParams::paper_default(),
                         )
                         .unwrap()
-                    })
+                    });
                 },
             );
         }

@@ -39,7 +39,7 @@ fn bench_runtime_overhead(c: &mut Criterion) {
                         SystemParams::paper_default(),
                     )
                     .unwrap()
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -50,7 +50,7 @@ fn bench_runtime_overhead(c: &mut Criterion) {
                     DistributedExecutor::new()
                         .run_local(&fed, &query, *strategy)
                         .unwrap()
-                })
+                });
             },
         );
     }
@@ -80,7 +80,7 @@ fn bench_lossy_network(c: &mut Criterion) {
                     DistributedExecutor::new()
                         .run(fed, &query, DistributedStrategy::bl(), transport, sim)
                         .unwrap()
-                })
+                });
             },
         );
     }

@@ -37,7 +37,7 @@ fn bench_university(c: &mut Criterion) {
                         SystemParams::paper_default(),
                     )
                     .unwrap()
-                })
+                });
             },
         );
     }
@@ -63,7 +63,7 @@ fn bench_synthetic(c: &mut Criterion) {
                         SystemParams::paper_default(),
                     )
                     .unwrap()
-                })
+                });
             },
         );
     }

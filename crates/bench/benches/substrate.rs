@@ -48,7 +48,7 @@ fn bench_signature_probes(c: &mut Criterion) {
                 }
             }
             hits
-        })
+        });
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_goid_lookup(c: &mut Criterion) {
                 }
             }
             found
-        })
+        });
     });
 }
 
@@ -77,7 +77,7 @@ fn bench_parse_and_bind(c: &mut Criterion) {
         b.iter(|| {
             let q = parse(university::Q1).unwrap();
             bind(&q, fed.global_schema()).unwrap()
-        })
+        });
     });
 }
 
@@ -94,10 +94,10 @@ fn bench_persistence(c: &mut Criterion) {
                 buffer
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     c.bench_function("substrate/persist_load", |b| {
-        b.iter(|| load_db(&mut encoded.as_slice()).unwrap())
+        b.iter(|| load_db(&mut encoded.as_slice()).unwrap());
     });
 }
 

@@ -1,0 +1,534 @@
+//! Pillar 1: the static plan-soundness analyzer.
+//!
+//! [`analyze_plan`] abstractly interprets a [`PlanIr`] over the
+//! three-valued truth lattice ([`crate::lattice`]), consuming only the
+//! decomposed query and the schema's availability facts — never instance
+//! data. It verifies the strategy's phase-order invariant, that every
+//! maybe-producing predicate is covered by a reachable assistant lookup
+//! (or is provably uncertifiable and must surface as maybe), that
+//! certification is never sourced from a site lacking the attribute, and
+//! flags dead conjunctions and target-completion gaps.
+
+use crate::diag::{Diagnostic, Report};
+use crate::lattice::TruthSet;
+use crate::lints;
+use crate::plan::{
+    deciders, derive_plan, terminal_capable, PlanConfig, PlanIr, PlanStep, StrategyKind,
+};
+use fedoq_object::{CmpOp, GlobalClassId, Value};
+use fedoq_query::{plan_for_db, BoundQuery, PredId};
+use fedoq_schema::GlobalSchema;
+use std::ops::Range;
+
+/// Derives the canonical plan for `strategy` and analyzes it — the
+/// everyday entry point (`fedoq-check --plans`, the shell's `check`).
+pub fn analyze_query(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    strategy: StrategyKind,
+    config: &PlanConfig,
+) -> Report {
+    let plan = derive_plan(bound, schema, strategy, config);
+    analyze_plan(bound, schema, &plan)
+}
+
+/// Analyzes every strategy's derived plan.
+pub fn analyze_all(bound: &BoundQuery, schema: &GlobalSchema) -> Vec<Report> {
+    StrategyKind::ALL
+        .iter()
+        .map(|s| analyze_query(bound, schema, *s, &PlanConfig::default()))
+        .collect()
+}
+
+/// Statically analyzes one plan against the schema's availability facts.
+pub fn analyze_plan(bound: &BoundQuery, schema: &GlobalSchema, plan: &PlanIr) -> Report {
+    let source = bound.source().to_string();
+    let mut report = Report::new(
+        format!("{} plan for `{source}`", plan.strategy),
+        source.clone(),
+    );
+    check_phase_order(plan, &mut report);
+    check_coverage(bound, schema, plan, &mut report);
+    check_certify_sources(bound, schema, plan, &mut report);
+    check_dead_subqueries(bound, &mut report);
+    check_target_gaps(bound, schema, plan, &mut report);
+    report
+}
+
+/// Byte span of predicate `pred` in the rendered query text, anchored on
+/// its dotted path (`X.advisor.speciality`). The rendered literal may be
+/// quoted differently than the bound value, so the path is the reliable
+/// anchor.
+fn pred_span(bound: &BoundQuery, pred: PredId, source: &str) -> Option<Range<usize>> {
+    let rendered = bound.predicate(pred).to_string();
+    let path = rendered.split(' ').next()?;
+    let needle = format!("{}.{path}", bound.source().var());
+    source.find(&needle).map(|s| s..s + needle.len())
+}
+
+/// FQ100: every step's phase rank (under the plan's strategy) must be
+/// non-decreasing.
+fn check_phase_order(plan: &PlanIr, report: &mut Report) {
+    let order: Vec<String> = plan
+        .strategy
+        .phase_order()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut max_rank = 0;
+    let mut max_phase = None;
+    for step in &plan.steps {
+        let phase = step.phase();
+        let rank = plan.strategy.phase_rank(phase);
+        if rank < max_rank {
+            let prior = max_phase.unwrap_or(phase);
+            report.push(
+                Diagnostic::new(
+                    lints::PHASE_ORDER,
+                    format!(
+                        "step `{}` runs in phase {phase}, but phase {prior} work already ran; \
+                         {} requires {}",
+                        step.describe(),
+                        plan.strategy,
+                        order.join("->"),
+                    ),
+                )
+                .with_hint(format!(
+                    "reorder the plan so every {phase} step precedes the first {prior} step"
+                )),
+            );
+        } else {
+            max_rank = rank;
+            max_phase = Some(phase);
+        }
+    }
+}
+
+/// FQ101/FQ105: every maybe-producing predicate must either be covered
+/// by a lookup reaching a decider, or be provably uncertifiable.
+fn check_coverage(bound: &BoundQuery, schema: &GlobalSchema, plan: &PlanIr, report: &mut Report) {
+    if plan.strategy == StrategyKind::Ca {
+        check_centralized_coverage(bound, schema, plan, report);
+        return;
+    }
+    for db in crate::plan::all_dbs(schema) {
+        let Some(site_plan) = plan_for_db(bound, schema, db) else {
+            continue;
+        };
+        for tp in site_plan.truncated_preds(bound) {
+            // The abstract value of a truncated predicate is {U}: it is
+            // maybe-producing by construction, and only a decider's
+            // verdict can remove Unknown from the possibilities.
+            debug_assert!(TruthSet::UNKNOWN.may_be_unknown());
+            let path = bound.predicate(tp.pred).path();
+            let ds = deciders(schema, path, tp.prefix_len);
+            let span = pred_span(bound, tp.pred, &report.source);
+            if ds.is_empty() {
+                let mut d = Diagnostic::new(
+                    lints::UNCERTIFIABLE_MAYBE,
+                    format!(
+                        "predicate {} is blocked at {db} (prefix {}/{}) and no site can decide \
+                         it: matching rows must surface as maybe answers",
+                        tp.pred,
+                        tp.prefix_len,
+                        path.len()
+                    ),
+                );
+                if let Some(span) = span {
+                    d = d.with_span(span);
+                }
+                report.push(d);
+                continue;
+            }
+            let covered = plan.steps.iter().any(|s| {
+                matches!(
+                    s,
+                    PlanStep::Lookup { from, assistant, pred }
+                        if *from == db && *pred == tp.pred && ds.contains(assistant)
+                )
+            });
+            if !covered {
+                let names: Vec<String> = ds.iter().map(ToString::to_string).collect();
+                let mut d = Diagnostic::new(
+                    lints::UNCOVERED_MAYBE,
+                    format!(
+                        "predicate {} is maybe-producing at {db} but no assistant lookup \
+                         reaches a decider",
+                        tp.pred
+                    ),
+                )
+                .with_hint(format!(
+                    "add a lookup from {db} to one of the capable sites: {}",
+                    names.join(", ")
+                ));
+                if let Some(span) = span {
+                    d = d.with_span(span);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// CA coverage: the merged global objects decide a predicate iff every
+/// step of its path is defined by *some* shipped constituent and the
+/// plan actually merges copies.
+fn check_centralized_coverage(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    plan: &PlanIr,
+    report: &mut Report,
+) {
+    let shipped: Vec<_> = plan
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            PlanStep::Ship { db } => Some(*db),
+            _ => None,
+        })
+        .collect();
+    let merges = plan
+        .steps
+        .iter()
+        .any(|s| matches!(s, PlanStep::MergeCopies));
+    for pred in bound.predicates() {
+        let uncovered_step = pred.path().steps().find(|(class, slot)| {
+            !shipped.iter().any(|db| {
+                schema
+                    .class(*class)
+                    .constituent_for(*db)
+                    .is_some_and(|c| !c.is_missing(*slot))
+            })
+        });
+        let problem = if !merges {
+            Some("the plan never merges isomeric copies".to_owned())
+        } else {
+            uncovered_step.map(|(class, slot)| {
+                let class = schema.class(class);
+                format!(
+                    "no shipped site defines {}.{}",
+                    class.name(),
+                    class.attr(slot).name()
+                )
+            })
+        };
+        if let Some(problem) = problem {
+            let mut d = Diagnostic::new(
+                lints::UNCOVERED_MAYBE,
+                format!(
+                    "predicate {} cannot be decided from the shipped extents: {problem}",
+                    pred.id()
+                ),
+            )
+            .with_hint("ship every involved extent and merge copies before evaluating".to_owned());
+            if let Some(span) = pred_span(bound, pred.id(), &report.source) {
+                d = d.with_span(span);
+            }
+            report.push(d);
+        }
+    }
+}
+
+/// FQ102: certification may only consume verdicts from sites defining
+/// the predicate's terminal attribute.
+fn check_certify_sources(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    plan: &PlanIr,
+    report: &mut Report,
+) {
+    for step in &plan.steps {
+        let PlanStep::Certify { sources } = step else {
+            continue;
+        };
+        for (pred, db) in sources {
+            if pred.index() >= bound.predicates().len() {
+                continue;
+            }
+            let path = bound.predicate(*pred).path();
+            let capable = terminal_capable(schema, path);
+            if !capable.contains(db) {
+                let last = path.len() - 1;
+                let class = schema.class(path.class(last));
+                let names: Vec<String> = capable.iter().map(ToString::to_string).collect();
+                let mut d = Diagnostic::new(
+                    lints::INCAPABLE_CERTIFIER,
+                    format!(
+                        "certification of {pred} takes verdicts from {db}, whose {} constituent \
+                         lacks `{}`: it can only answer unknown",
+                        class.name(),
+                        class.attr(path.slot(last)).name()
+                    ),
+                )
+                .with_hint(if names.is_empty() {
+                    "no site defines the attribute; the predicate is uncertifiable".to_owned()
+                } else {
+                    format!(
+                        "source verdicts from a defining site instead: {}",
+                        names.join(", ")
+                    )
+                });
+                if let Some(span) = pred_span(bound, *pred, &report.source) {
+                    d = d.with_span(span);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// The numeric view of a literal, when it has one.
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// `true` iff `a` and `b` (predicates over the same path) can never both
+/// hold. Conservative: only flags contradictions provable from the
+/// literals alone.
+fn contradicts(a: (CmpOp, &Value), b: (CmpOp, &Value)) -> bool {
+    use CmpOp::{Eq, Ge, Gt, Le, Lt, Ne};
+    let ((op_a, lit_a), (op_b, lit_b)) = (a, b);
+    // Equality conflicts work for every literal type.
+    match (op_a, op_b) {
+        (Eq, Eq) if lit_a != lit_b => return true,
+        (Eq, Ne) | (Ne, Eq) if lit_a == lit_b => return true,
+        _ => {}
+    }
+    // Order conflicts need a numeric view.
+    let (Some(x), Some(y)) = (num(lit_a), num(lit_b)) else {
+        return false;
+    };
+    let unsat = |(op1, v1): (CmpOp, f64), (op2, v2): (CmpOp, f64)| -> bool {
+        match (op1, op2) {
+            // v = v1 against an upper/lower bound.
+            (Eq, Lt) => v1 >= v2,
+            (Eq, Le) => v1 > v2,
+            (Eq, Gt) => v1 <= v2,
+            (Eq, Ge) => v1 < v2,
+            // x < v1 (or <= v1) against x > v2 (or >= v2).
+            (Lt, Gt) | (Lt, Ge) | (Le, Gt) => v1 <= v2,
+            (Le, Ge) => v1 < v2,
+            _ => false,
+        }
+    };
+    unsat((op_a, x), (op_b, y)) || unsat((op_b, y), (op_a, x))
+}
+
+/// FQ103: conjunct pairs over the same path whose literal constraints
+/// are mutually exclusive.
+fn check_dead_subqueries(bound: &BoundQuery, report: &mut Report) {
+    let preds = bound.predicates();
+    for i in 0..preds.len() {
+        for j in i + 1..preds.len() {
+            let (a, b) = (&preds[i], &preds[j]);
+            let same_path: bool = {
+                let sa: Vec<(GlobalClassId, usize)> = a.path().steps().collect();
+                let sb: Vec<(GlobalClassId, usize)> = b.path().steps().collect();
+                sa == sb
+            };
+            if !same_path {
+                continue;
+            }
+            if contradicts((a.op(), a.literal()), (b.op(), b.literal())) {
+                let mut d = Diagnostic::new(
+                    lints::DEAD_SUBQUERY,
+                    format!(
+                        "conjuncts {} and {} over the same path can never both hold: \
+                         the query returns no certain rows",
+                        a.id(),
+                        b.id()
+                    ),
+                )
+                .with_hint("remove or rewrite one of the contradictory conjuncts".to_owned());
+                if let Some(span) = pred_span(bound, b.id(), &report.source) {
+                    d = d.with_span(span);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// FQ104: a localized plan must fetch locally unprojectable targets (CA
+/// projects from the merged copies, so it is exempt).
+fn check_target_gaps(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    plan: &PlanIr,
+    report: &mut Report,
+) {
+    if plan.strategy == StrategyKind::Ca {
+        return;
+    }
+    for db in crate::plan::all_dbs(schema) {
+        let Some(site_plan) = plan_for_db(bound, schema, db) else {
+            continue;
+        };
+        for (i, target) in bound.targets().iter().enumerate() {
+            let prefix = site_plan.target_prefix_len(i);
+            if prefix >= target.len() {
+                continue;
+            }
+            let completed = plan.steps.iter().any(|s| {
+                matches!(
+                    s,
+                    PlanStep::CompleteTarget { from, target: t, .. } if *from == db && *t == i
+                )
+            });
+            if !completed {
+                report.push(
+                    Diagnostic::new(
+                        lints::TARGET_GAP,
+                        format!(
+                            "target #{i} (`{}.{}`) projects only {prefix}/{} steps at {db} and \
+                             no completion step fetches the rest: its values come back null",
+                            bound.source().var(),
+                            bound.source().targets()[i],
+                            target.len()
+                        ),
+                    )
+                    .with_hint(
+                        "enable complete_targets (or add a CompleteTarget step) so assistants \
+                         supply the missing values"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::DbId;
+    use fedoq_workload::university;
+
+    fn setting() -> (GlobalSchema, BoundQuery) {
+        let fed = university::federation().expect("university federation builds");
+        let bound = fed
+            .parse_and_bind(university::Q1)
+            .expect("Q1 binds against the university schema");
+        (fed.global_schema().clone(), bound)
+    }
+
+    #[test]
+    fn derived_plans_are_sound() {
+        let (schema, bound) = setting();
+        for report in analyze_all(&bound, &schema) {
+            assert!(report.is_sound(), "{report}");
+        }
+    }
+
+    #[test]
+    fn mislabeled_strategy_violates_phase_order() {
+        let (schema, bound) = setting();
+        let mut plan = derive_plan(&bound, &schema, StrategyKind::Pl, &PlanConfig::default());
+        plan.strategy = StrategyKind::Bl; // lookups now precede evaluation
+        let report = analyze_plan(&bound, &schema, &plan);
+        assert!(report.fired("FQ100"), "{report}");
+        assert!(!report.is_sound());
+    }
+
+    #[test]
+    fn stripped_lookups_leave_a_maybe_uncovered() {
+        let (schema, bound) = setting();
+        let mut plan = derive_plan(&bound, &schema, StrategyKind::Bl, &PlanConfig::default());
+        plan.steps
+            .retain(|s| !matches!(s, PlanStep::Lookup { pred, .. } if pred.index() == 1));
+        let report = analyze_plan(&bound, &schema, &plan);
+        assert!(report.fired("FQ101"), "{report}");
+        // The finding points into the query text at the speciality
+        // predicate.
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.lint.id == "FQ101")
+            .expect("FQ101 fired");
+        let span = d.span.clone().expect("span attached");
+        assert!(report.source[span].contains("speciality"));
+    }
+
+    #[test]
+    fn incapable_certify_source_is_rejected() {
+        let (schema, bound) = setting();
+        let mut plan = derive_plan(&bound, &schema, StrategyKind::Bl, &PlanConfig::default());
+        for step in &mut plan.steps {
+            if let PlanStep::Certify { sources } = step {
+                // DB0's Teacher constituent lacks `speciality`.
+                sources.push((PredId::new(1), DbId::new(0)));
+            }
+        }
+        let report = analyze_plan(&bound, &schema, &plan);
+        assert!(report.fired("FQ102"), "{report}");
+    }
+
+    #[test]
+    fn contradictory_conjuncts_are_dead() {
+        let fed = university::federation().expect("university federation builds");
+        let bound = fed
+            .parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30 AND X.age < 20")
+            .expect("query binds");
+        let report = analyze_query(
+            &bound,
+            fed.global_schema(),
+            StrategyKind::Bl,
+            &PlanConfig::default(),
+        );
+        assert!(report.fired("FQ103"), "{report}");
+        assert!(report.is_sound(), "FQ103 is a warning, not a deny");
+    }
+
+    #[test]
+    fn missing_completion_step_is_a_target_gap() {
+        let (schema, bound) = setting();
+        // Universally projectable targets: no gap regardless of config.
+        let no_completion = PlanConfig {
+            complete_targets: false,
+        };
+        let report = analyze_query(&bound, &schema, StrategyKind::Bl, &no_completion);
+        assert!(!report.fired("FQ104"), "{report}");
+
+        // A query targeting address.city: DB0 cannot project it.
+        let fed = university::federation().expect("university federation builds");
+        let bound = fed
+            .parse_and_bind("SELECT X.address.city FROM Student X WHERE X.s-no >= 0")
+            .expect("query binds");
+        let report = analyze_query(
+            &bound,
+            fed.global_schema(),
+            StrategyKind::Bl,
+            &no_completion,
+        );
+        assert!(report.fired("FQ104"), "{report}");
+        let covered = analyze_query(
+            &bound,
+            fed.global_schema(),
+            StrategyKind::Bl,
+            &PlanConfig::default(),
+        );
+        assert!(!covered.fired("FQ104"), "{covered}");
+    }
+
+    #[test]
+    fn contradiction_table_is_conservative() {
+        use CmpOp::*;
+        let i = Value::Int(5);
+        let j = Value::Int(10);
+        assert!(contradicts((Eq, &i), (Eq, &j)));
+        assert!(contradicts((Eq, &i), (Ne, &i)));
+        assert!(contradicts((Gt, &j), (Lt, &i)));
+        assert!(contradicts((Ge, &j), (Le, &i)));
+        assert!(contradicts((Eq, &i), (Gt, &j)));
+        assert!(!contradicts((Gt, &i), (Lt, &j))); // 5 < x < 10 is satisfiable
+        assert!(!contradicts((Ne, &i), (Ne, &j)));
+        let t = Value::text("a");
+        let u = Value::text("b");
+        assert!(contradicts((Eq, &t), (Eq, &u)));
+        assert!(!contradicts((Lt, &t), (Gt, &u))); // no numeric view: stay quiet
+    }
+}

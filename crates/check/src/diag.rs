@@ -1,0 +1,221 @@
+//! The diagnostics format shared by both analysis pillars.
+//!
+//! Every finding is a [`Diagnostic`]: a stable lint id from the
+//! [`catalog`](crate::lints), a severity, a message, an optional byte
+//! span into the rendered query text, and a fix hint. Diagnostics are
+//! collected into a [`Report`]; a report with any deny-level entry fails
+//! the `fedoq-check` CLI (and the CI job running it).
+
+use std::fmt;
+use std::ops::Range;
+
+/// How severely a lint finding is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a property worth knowing, never a defect.
+    Info,
+    /// Suspicious but not unsound; does not fail the check run.
+    Warn,
+    /// Unsound: the plan or protocol can produce a wrong answer.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// One lint of the catalog: a stable id, a slug, and its default severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable id (`FQ1xx` = plan soundness, `FQ2xx` = actor protocol).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub slug: &'static str,
+    /// Severity findings of this lint carry.
+    pub severity: Severity,
+    /// One-line description for `fedoq-check --lints`.
+    pub summary: &'static str,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// What went wrong, concretely.
+    pub message: String,
+    /// Byte span into [`Report::source`] (the rendered query text), when
+    /// the finding points at a specific predicate or target.
+    pub span: Option<Range<usize>>,
+    /// How to fix it.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A finding with neither span nor hint.
+    pub fn new(lint: Lint, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            lint,
+            message: message.into(),
+            span: None,
+            hint: None,
+        }
+    }
+
+    /// Attaches a source span (chainable).
+    pub fn with_span(mut self, span: Range<usize>) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a fix hint (chainable).
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Diagnostic {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]: {}",
+            self.lint.severity, self.lint.id, self.lint.slug, self.message
+        )?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n  = help: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The findings of one analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Label identifying what was analyzed (query + strategy, or the
+    /// protocol run).
+    pub subject: String,
+    /// The rendered query text spans point into (empty for protocol
+    /// findings).
+    pub source: String,
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report about `subject` with source text `source`.
+    pub fn new(subject: impl Into<String>, source: impl Into<String>) -> Report {
+        Report {
+            subject: subject.into(),
+            source: source.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Absorbs another report's findings (keeping this report's subject).
+    pub fn absorb(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// `true` iff no deny-level finding was recorded.
+    pub fn is_sound(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.lint.severity == Severity::Deny)
+    }
+
+    /// Count of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.lint.severity == severity)
+            .count()
+    }
+
+    /// `true` iff the given lint id fired at least once.
+    pub fn fired(&self, lint_id: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.lint.id == lint_id)
+    }
+
+    /// The distinct lint ids that fired, in first-fire order.
+    pub fn fired_ids(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for d in &self.diagnostics {
+            if !out.contains(&d.lint.id) {
+                out.push(d.lint.id);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "{}: clean", self.subject);
+        }
+        writeln!(
+            f,
+            "{}: {} deny, {} warn, {} info",
+            self.subject,
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+            if let Some(span) = &d.span {
+                if !self.source.is_empty() && span.end <= self.source.len() {
+                    writeln!(f, "  --> {}", self.source)?;
+                    let mut carets = String::with_capacity(span.end + 6);
+                    carets.push_str("      ");
+                    for i in 0..span.end {
+                        carets.push(if i < span.start { ' ' } else { '^' });
+                    }
+                    writeln!(f, "{carets}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints;
+
+    #[test]
+    fn severity_gates_soundness() {
+        let mut r = Report::new("q", "SELECT X FROM C X");
+        assert!(r.is_sound());
+        r.push(Diagnostic::new(lints::TARGET_GAP, "gap"));
+        assert!(r.is_sound()); // warn only
+        r.push(Diagnostic::new(lints::PHASE_ORDER, "bad").with_hint("reorder"));
+        assert!(!r.is_sound());
+        assert!(r.fired("FQ100"));
+        assert_eq!(r.fired_ids(), vec!["FQ104", "FQ100"]);
+        assert_eq!(r.count(Severity::Deny), 1);
+    }
+
+    #[test]
+    fn display_renders_span_carets() {
+        let mut r = Report::new("q", "SELECT X.a FROM C X WHERE X.a = 1");
+        r.push(Diagnostic::new(lints::DEAD_SUBQUERY, "unsat").with_span(26..33));
+        let text = r.to_string();
+        assert!(text.contains("FQ103"));
+        assert!(text.contains("^^^^^^^"));
+    }
+}

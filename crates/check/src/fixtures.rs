@@ -1,0 +1,151 @@
+//! Seeded-unsound inputs proving the checker detects what it claims to.
+//!
+//! Each [`UnsoundCase`] plants one specific defect — a mislabeled phase
+//! order, a stripped assistant lookup, an incapable certify source, a
+//! silent actor, a double-replying actor — into the university example
+//! and records which lint must fire. `fedoq-check --self-test` (and the
+//! `check_soundness` integration test) fails unless every case is
+//! rejected with its expected id: a checker that stops detecting is
+//! itself a defect.
+
+use crate::analyze::analyze_plan;
+use crate::diag::Report;
+use crate::plan::{derive_plan, PlanConfig, PlanStep, StrategyKind};
+use crate::protocol::{analyze_run, run_protocol, ActorBug, Schedule};
+use fedoq_net::DistributedStrategy;
+use fedoq_object::DbId;
+use fedoq_query::PredId;
+use fedoq_workload::university;
+
+/// One deliberately unsound input and the lint that must reject it.
+#[derive(Debug, Clone)]
+pub struct UnsoundCase {
+    /// Short case name (shown by `--self-test`).
+    pub name: &'static str,
+    /// The lint id that must fire.
+    pub expect: &'static str,
+    /// The checker's findings on the seeded input.
+    pub report: Report,
+}
+
+/// Builds and checks all five seeded-unsound cases.
+pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
+    let fed = university::federation().expect("university federation builds");
+    let schema = fed.global_schema().clone();
+    let bound = fed
+        .parse_and_bind(university::Q1)
+        .expect("Q1 binds against the university schema");
+    let config = PlanConfig::default();
+    let mut cases = Vec::new();
+
+    // 1. A PL-shaped plan (lookups before evaluation) labeled BL: its
+    //    steps violate BL's P->O->I phase order.
+    let mut plan = derive_plan(&bound, &schema, StrategyKind::Pl, &config);
+    plan.strategy = StrategyKind::Bl;
+    cases.push(UnsoundCase {
+        name: "phase-order",
+        expect: "FQ100",
+        report: analyze_plan(&bound, &schema, &plan),
+    });
+
+    // 2. A BL plan with the speciality lookups stripped: the predicate
+    //    stays maybe-producing although a decider exists.
+    let mut plan = derive_plan(&bound, &schema, StrategyKind::Bl, &config);
+    plan.steps
+        .retain(|s| !matches!(s, PlanStep::Lookup { pred, .. } if pred.index() == 1));
+    cases.push(UnsoundCase {
+        name: "uncovered-maybe",
+        expect: "FQ101",
+        report: analyze_plan(&bound, &schema, &plan),
+    });
+
+    // 3. A BL plan whose certification also consumes speciality verdicts
+    //    from DB0 — whose Teacher constituent lacks the attribute.
+    let mut plan = derive_plan(&bound, &schema, StrategyKind::Bl, &config);
+    for step in &mut plan.steps {
+        if let PlanStep::Certify { sources } = step {
+            sources.push((PredId::new(1), DbId::new(0)));
+        }
+    }
+    cases.push(UnsoundCase {
+        name: "incapable-certifier",
+        expect: "FQ102",
+        report: analyze_plan(&bound, &schema, &plan),
+    });
+
+    // 4. A silent site: its delivered requests orphan their correlation
+    //    ids.
+    let run = run_protocol(
+        &fed,
+        &bound,
+        DistributedStrategy::bl(),
+        &Schedule::uniform(),
+        ActorBug::Silent(DbId::new(1)),
+    );
+    let mut report = Report::new("BL protocol with a silent DB1", bound.source().to_string());
+    analyze_run(&run, None, &mut report);
+    cases.push(UnsoundCase {
+        name: "orphaned-rpc",
+        expect: "FQ202",
+        report,
+    });
+
+    // 5. A double-replying site: the router discards the second reply as
+    //    stale, so only the trace audit can see the bug.
+    let run = run_protocol(
+        &fed,
+        &bound,
+        DistributedStrategy::bl(),
+        &Schedule::uniform(),
+        ActorBug::DoubleReply(DbId::new(1)),
+    );
+    let mut report = Report::new(
+        "BL protocol with a double-replying DB1",
+        bound.source().to_string(),
+    );
+    analyze_run(&run, None, &mut report);
+    cases.push(UnsoundCase {
+        name: "double-reply",
+        expect: "FQ201",
+        report,
+    });
+
+    cases
+}
+
+/// Verifies every seeded case is rejected with its expected lint id.
+/// `Err` carries a human-readable explanation of the first failure.
+pub fn self_test() -> Result<Vec<UnsoundCase>, String> {
+    let cases = seeded_unsound_cases();
+    for case in &cases {
+        if !case.report.fired(case.expect) {
+            return Err(format!(
+                "seeded case `{}` was NOT rejected: expected {} to fire, got {:?}\n{}",
+                case.name,
+                case.expect,
+                case.report.fired_ids(),
+                case.report
+            ));
+        }
+        if case.report.is_sound() {
+            return Err(format!(
+                "seeded case `{}` fired {} but the report still counts as sound",
+                case.name, case.expect
+            ));
+        }
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seeded_case_is_rejected() {
+        let cases = self_test().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(cases.len(), 5);
+        let expected: Vec<&str> = cases.iter().map(|c| c.expect).collect();
+        assert_eq!(expected, vec!["FQ100", "FQ101", "FQ102", "FQ202", "FQ201"]);
+    }
+}

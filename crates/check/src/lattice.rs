@@ -1,0 +1,165 @@
+//! The abstract domain of the plan analyzer: sets of three-valued
+//! truths.
+//!
+//! The analyzer never looks at instance data, so it cannot know what a
+//! predicate evaluates to — only what it *may* evaluate to at each site.
+//! That abstraction is a [`TruthSet`]: a subset of
+//! `{True, False, Unknown}` ordered by inclusion. Joins union the
+//! possibilities; the Kleene connectives lift pointwise. A predicate
+//! blocked by a missing attribute is `{Unknown}`; a locally evaluable
+//! predicate over nullable data is the full set; certification by a
+//! capable decider removes `Unknown` from the possibilities.
+
+use fedoq_object::Truth;
+use std::fmt;
+
+/// A subset of the three truth values — the analyzer's abstract value
+/// for one predicate at one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TruthSet(u8);
+
+const BIT_FALSE: u8 = 1;
+const BIT_UNKNOWN: u8 = 2;
+const BIT_TRUE: u8 = 4;
+
+fn bit(t: Truth) -> u8 {
+    match t {
+        Truth::False => BIT_FALSE,
+        Truth::Unknown => BIT_UNKNOWN,
+        Truth::True => BIT_TRUE,
+    }
+}
+
+impl TruthSet {
+    /// The empty set (bottom: an unreachable evaluation).
+    pub const EMPTY: TruthSet = TruthSet(0);
+    /// All three values (top: nothing is known statically).
+    pub const ANY: TruthSet = TruthSet(BIT_FALSE | BIT_UNKNOWN | BIT_TRUE);
+    /// Only `Unknown` — a predicate statically blocked by a missing
+    /// attribute.
+    pub const UNKNOWN: TruthSet = TruthSet(BIT_UNKNOWN);
+    /// `{True, False}` — a decided predicate (no nulls possible).
+    pub const DECIDED: TruthSet = TruthSet(BIT_FALSE | BIT_TRUE);
+
+    /// The singleton set of one truth value.
+    pub fn just(t: Truth) -> TruthSet {
+        TruthSet(bit(t))
+    }
+
+    /// `true` iff `t` is a possible outcome.
+    pub fn contains(self, t: Truth) -> bool {
+        self.0 & bit(t) != 0
+    }
+
+    /// `true` iff no outcome is possible.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` iff the predicate may come out unknown — the static
+    /// signature of a *maybe-producing* predicate.
+    pub fn may_be_unknown(self) -> bool {
+        self.contains(Truth::Unknown)
+    }
+
+    /// `true` iff every possible outcome is decided (no `Unknown`).
+    pub fn is_certain(self) -> bool {
+        !self.is_empty() && !self.may_be_unknown()
+    }
+
+    /// Least upper bound: either evaluation may happen.
+    pub fn join(self, other: TruthSet) -> TruthSet {
+        TruthSet(self.0 | other.0)
+    }
+
+    /// Greatest lower bound: outcomes possible under both abstractions.
+    pub fn meet(self, other: TruthSet) -> TruthSet {
+        TruthSet(self.0 & other.0)
+    }
+
+    /// Removes `Unknown` from the possibilities — the effect of a
+    /// successful certification by a capable decider.
+    pub fn certified(self) -> TruthSet {
+        TruthSet(self.0 & !BIT_UNKNOWN)
+    }
+
+    /// Iterates over the contained truth values.
+    pub fn iter(self) -> impl Iterator<Item = Truth> {
+        [Truth::False, Truth::Unknown, Truth::True]
+            .into_iter()
+            .filter(move |t| self.contains(*t))
+    }
+
+    /// Strong Kleene conjunction lifted to sets: every pairwise `and` of
+    /// possible outcomes is a possible outcome of the conjunction.
+    pub fn and(self, other: TruthSet) -> TruthSet {
+        let mut out = TruthSet::EMPTY;
+        for a in self.iter() {
+            for b in other.iter() {
+                out = out.join(TruthSet::just(a.and(b)));
+            }
+        }
+        out
+    }
+
+    /// Conjunction of many abstract predicate values (`{True}` for an
+    /// empty iterator, the identity of `and`).
+    pub fn and_all<I: IntoIterator<Item = TruthSet>>(iter: I) -> TruthSet {
+        iter.into_iter()
+            .fold(TruthSet::just(Truth::True), TruthSet::and)
+    }
+}
+
+impl fmt::Display for TruthSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self
+            .iter()
+            .map(|t| match t {
+                Truth::False => "F",
+                Truth::Unknown => "U",
+                Truth::True => "T",
+            })
+            .collect();
+        write!(f, "{{{}}}", names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_operations() {
+        assert!(TruthSet::ANY.contains(Truth::Unknown));
+        assert!(TruthSet::UNKNOWN.may_be_unknown());
+        assert!(!TruthSet::DECIDED.may_be_unknown());
+        assert!(TruthSet::DECIDED.is_certain());
+        assert_eq!(TruthSet::UNKNOWN.join(TruthSet::DECIDED), TruthSet::ANY);
+        assert_eq!(TruthSet::ANY.meet(TruthSet::DECIDED), TruthSet::DECIDED);
+        assert_eq!(TruthSet::ANY.certified(), TruthSet::DECIDED);
+        assert!(TruthSet::UNKNOWN.certified().is_empty());
+        assert_eq!(TruthSet::ANY.to_string(), "{F,U,T}");
+    }
+
+    #[test]
+    fn lifted_conjunction_matches_kleene() {
+        // False dominates: anything AND a possibly-false value may be false.
+        let f = TruthSet::just(Truth::False);
+        assert_eq!(TruthSet::ANY.and(f), f);
+        // {T} and {U} = {U}: an undecided conjunct keeps the row maybe.
+        let t = TruthSet::just(Truth::True);
+        assert_eq!(t.and(TruthSet::UNKNOWN), TruthSet::UNKNOWN);
+        // A certified conjunction of decided predicates stays decided.
+        assert_eq!(
+            TruthSet::and_all([TruthSet::DECIDED, TruthSet::DECIDED]),
+            TruthSet::DECIDED
+        );
+        // Empty conjunction is vacuously true.
+        assert_eq!(TruthSet::and_all([]), TruthSet::just(Truth::True));
+        // One blocked conjunct poisons certainty of the whole query.
+        let q = TruthSet::and_all([TruthSet::DECIDED, TruthSet::UNKNOWN]);
+        assert!(q.may_be_unknown());
+        assert!(q.contains(Truth::False));
+        assert!(!q.contains(Truth::True));
+    }
+}

@@ -1,0 +1,165 @@
+//! The lint catalog: every check `fedoq-check` can report, with stable
+//! ids.
+//!
+//! `FQ1xx` lints come from the plan-soundness analyzer
+//! ([`crate::analyze`]); `FQ2xx` lints come from the actor-protocol
+//! checker ([`crate::protocol`]). Ids are stable across releases so CI
+//! suppressions and documentation can reference them.
+
+use crate::diag::{Lint, Severity};
+
+/// FQ100: a plan step runs in a phase earlier steps should follow.
+///
+/// The paper's strategies are *defined* by their phase orders — CA is
+/// O→I→P, BL is P→O→I, PL is O→P→I. A plan whose steps violate its
+/// strategy's order computes something else entirely (e.g. certifying
+/// before the assistant verdicts exist).
+pub const PHASE_ORDER: Lint = Lint {
+    id: "FQ100",
+    slug: "phase-order",
+    severity: Severity::Deny,
+    summary: "plan steps violate the strategy's phase-order invariant",
+};
+
+/// FQ101: a maybe-producing predicate has a reachable decider but no
+/// lookup step covering it.
+///
+/// A predicate truncated at a site produces unknown verdicts there; if
+/// some other site *could* decide it (it defines the whole remaining
+/// path) but the plan never asks, rows are reported maybe — or worse,
+/// certified from incomplete evidence — when the federation actually
+/// holds the answer.
+pub const UNCOVERED_MAYBE: Lint = Lint {
+    id: "FQ101",
+    slug: "uncovered-maybe",
+    severity: Severity::Deny,
+    summary: "maybe-producing predicate has deciders but no assistant lookup",
+};
+
+/// FQ102: certification consumes verdicts from a site that lacks the
+/// attribute.
+///
+/// A site whose constituent class is missing the predicate's terminal
+/// attribute can only ever answer *unknown*; sourcing certification from
+/// it risks promoting a maybe row to certain on no evidence.
+pub const INCAPABLE_CERTIFIER: Lint = Lint {
+    id: "FQ102",
+    slug: "incapable-certifier",
+    severity: Severity::Deny,
+    summary: "certification sourced from a site lacking the attribute",
+};
+
+/// FQ103: a conjunction is provably unsatisfiable from the literals
+/// alone.
+///
+/// Two conjuncts over the same path whose value constraints cannot be
+/// met simultaneously (e.g. `p = 1 and p = 2`) make the whole query
+/// dead: it can never return a certain row and the plan's work is
+/// wasted.
+pub const DEAD_SUBQUERY: Lint = Lint {
+    id: "FQ103",
+    slug: "dead-subquery",
+    severity: Severity::Warn,
+    summary: "conjunction is statically unsatisfiable",
+};
+
+/// FQ104: a target path is not fully projectable at a site and no
+/// completion step fetches the remainder.
+pub const TARGET_GAP: Lint = Lint {
+    id: "FQ104",
+    slug: "target-gap",
+    severity: Severity::Warn,
+    summary: "locally unprojectable target has no completion step",
+};
+
+/// FQ105: a truncated predicate has *no* decider anywhere in the
+/// federation.
+///
+/// Informational: nothing is wrong — the paper's semantics require the
+/// affected rows to surface as maybe results, and the analyzer confirms
+/// the plan cannot (and must not) certify them.
+pub const UNCERTIFIABLE_MAYBE: Lint = Lint {
+    id: "FQ105",
+    slug: "uncertifiable-maybe",
+    severity: Severity::Info,
+    summary: "predicate has no decider; matching rows must surface as maybe",
+};
+
+/// FQ200: an execution reached a state where no progress is possible.
+pub const DEADLOCK: Lint = Lint {
+    id: "FQ200",
+    slug: "deadlock",
+    severity: Severity::Deny,
+    summary: "message protocol deadlocks under some delivery schedule",
+};
+
+/// FQ201: one request was answered more than once.
+///
+/// The router gives at-most-once completion per correlation id, so the
+/// extra replies are silently discarded as stale — masking an actor bug
+/// that would double-charge a real network.
+pub const DOUBLE_REPLY: Lint = Lint {
+    id: "FQ201",
+    slug: "double-reply",
+    severity: Severity::Deny,
+    summary: "a request was answered more than once",
+};
+
+/// FQ202: a delivered request's correlation id never received a reply.
+pub const ORPHANED_RPC: Lint = Lint {
+    id: "FQ202",
+    slug: "orphaned-rpc",
+    severity: Severity::Deny,
+    summary: "a delivered request was never answered (orphaned correlation id)",
+};
+
+/// FQ203: a response was sent for a correlation id no request used.
+pub const UNSOLICITED_RESPONSE: Lint = Lint {
+    id: "FQ203",
+    slug: "unsolicited-response",
+    severity: Severity::Deny,
+    summary: "response sent for an unknown correlation id",
+};
+
+/// FQ204: the certified answer changed under a different delivery
+/// schedule.
+///
+/// The deterministic runtime makes answers a function of the delivery
+/// order; a strategy whose classification depends on that order is
+/// mishandling stale responses or racing its own phases.
+pub const SCHEDULE_DIVERGENCE: Lint = Lint {
+    id: "FQ204",
+    slug: "schedule-divergence",
+    severity: Severity::Deny,
+    summary: "answer classification depends on the message delivery schedule",
+};
+
+/// Every lint in the catalog, in id order.
+pub const ALL: [Lint; 11] = [
+    PHASE_ORDER,
+    UNCOVERED_MAYBE,
+    INCAPABLE_CERTIFIER,
+    DEAD_SUBQUERY,
+    TARGET_GAP,
+    UNCERTIFIABLE_MAYBE,
+    DEADLOCK,
+    DOUBLE_REPLY,
+    ORPHANED_RPC,
+    UNSOLICITED_RESPONSE,
+    SCHEDULE_DIVERGENCE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let ids: BTreeSet<&str> = ALL.iter().map(|l| l.id).collect();
+        assert_eq!(ids.len(), ALL.len());
+        assert!(ALL.iter().all(|l| l.id.starts_with("FQ")));
+        // Plan lints are FQ1xx, protocol lints FQ2xx.
+        assert!(ALL.iter().filter(|l| l.id < "FQ200").count() == 6);
+    }
+}

@@ -1,0 +1,249 @@
+//! The `fedoq-check` CLI: static plan-soundness analysis and
+//! actor-protocol checking over the workspace examples.
+//!
+//! ```text
+//! fedoq-check [--all]            run every check (default)
+//! fedoq-check --plans            plan-soundness analysis only
+//! fedoq-check --protocol         actor-protocol audit only
+//! fedoq-check --self-test        seeded-unsound cases must be rejected
+//! fedoq-check --lints            print the lint catalog
+//! fedoq-check --sql "SELECT .."  analyze one query (university schema)
+//! fedoq-check --strategy bl      restrict --sql/--plans to one strategy
+//! fedoq-check --seeds N          generated workloads per strategy (default 8)
+//! ```
+//!
+//! Exit status: 0 when no deny-level finding fired, 1 otherwise, 2 on
+//! usage or setup errors. This is the contract the CI `check` job relies
+//! on.
+
+use fedoq_check::plan::PlanConfig;
+use fedoq_check::{analyze_query, check_protocol, lints, Report, Severity, StrategyKind};
+use fedoq_query::bind;
+use fedoq_workload::{generate, university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Options {
+    plans: bool,
+    protocol: bool,
+    self_test: bool,
+    list_lints: bool,
+    sql: Option<String>,
+    strategy: Option<StrategyKind>,
+    seeds: u64,
+}
+
+fn usage() -> String {
+    "usage: fedoq-check [--all|--plans|--protocol|--self-test|--lints] \
+     [--sql QUERY] [--strategy ca|bl|pl] [--seeds N]"
+        .to_owned()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        plans: false,
+        protocol: false,
+        self_test: false,
+        list_lints: false,
+        sql: None,
+        strategy: None,
+        seeds: 8,
+    };
+    let mut explicit = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => explicit = false,
+            "--plans" => {
+                opts.plans = true;
+                explicit = true;
+            }
+            "--protocol" => {
+                opts.protocol = true;
+                explicit = true;
+            }
+            "--self-test" => {
+                opts.self_test = true;
+                explicit = true;
+            }
+            "--lints" => {
+                opts.list_lints = true;
+                explicit = true;
+            }
+            "--sql" => {
+                let q = it.next().ok_or_else(|| "--sql needs a query".to_owned())?;
+                opts.sql = Some(q.clone());
+                explicit = true;
+            }
+            "--strategy" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| "--strategy needs a name".to_owned())?;
+                opts.strategy = Some(
+                    StrategyKind::parse(name)
+                        .ok_or_else(|| format!("unknown strategy `{name}`"))?,
+                );
+            }
+            "--seeds" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--seeds needs a count".to_owned())?;
+                opts.seeds = n.parse().map_err(|_| format!("bad seed count `{n}`"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if !explicit {
+        opts.plans = true;
+        opts.protocol = true;
+        opts.self_test = true;
+    }
+    Ok(opts)
+}
+
+fn strategies(filter: Option<StrategyKind>) -> Vec<StrategyKind> {
+    match filter {
+        Some(s) => vec![s],
+        None => StrategyKind::ALL.to_vec(),
+    }
+}
+
+/// Prints a report (findings only — clean reports stay quiet unless
+/// `verbose`) and folds its counts into the totals.
+fn emit(report: &Report, totals: &mut (usize, usize, usize), verbose: bool) {
+    totals.0 += report.count(Severity::Deny);
+    totals.1 += report.count(Severity::Warn);
+    totals.2 += report.count(Severity::Info);
+    if verbose || !report.diagnostics.is_empty() {
+        print!("{report}");
+    }
+}
+
+fn run_plans(opts: &Options, totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    let fed = university::federation().map_err(|e| e.to_string())?;
+    let bound = fed
+        .parse_and_bind(university::Q1)
+        .map_err(|e| e.to_string())?;
+    let config = PlanConfig::default();
+    println!("== plan soundness: university {} ==", university::Q1);
+    for strategy in strategies(opts.strategy) {
+        let report = analyze_query(&bound, fed.global_schema(), strategy, &config);
+        emit(&report, totals, true);
+    }
+
+    println!("== plan soundness: {} generated workloads ==", opts.seeds);
+    let params = WorkloadParams::paper_default().scaled(0.05);
+    for seed in 0..opts.seeds {
+        let sample_config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&sample_config, seed);
+        let bound = bind(&sample.query, sample.federation.global_schema())
+            .map_err(|e| format!("seed {seed}: {e}"))?;
+        for strategy in strategies(opts.strategy) {
+            let report =
+                analyze_query(&bound, sample.federation.global_schema(), strategy, &config);
+            emit(&report, totals, false);
+        }
+    }
+    println!("analyzed {} generated workloads", opts.seeds);
+    Ok(())
+}
+
+fn run_protocol_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    let fed = university::federation().map_err(|e| e.to_string())?;
+    let bound = fed
+        .parse_and_bind(university::Q1)
+        .map_err(|e| e.to_string())?;
+    println!("== actor protocol: university {} ==", university::Q1);
+    let report = check_protocol(&fed, &bound);
+    emit(&report, totals, true);
+    Ok(())
+}
+
+fn run_self_test() -> Result<(), String> {
+    println!("== self-test: seeded-unsound inputs ==");
+    let cases = fedoq_check::self_test()?;
+    for case in &cases {
+        println!(
+            "rejected `{}` with {} ({:?})",
+            case.name,
+            case.expect,
+            case.report.fired_ids()
+        );
+    }
+    Ok(())
+}
+
+fn run_sql(opts: &Options, sql: &str, totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    let fed = university::federation().map_err(|e| e.to_string())?;
+    let bound = fed.parse_and_bind(sql).map_err(|e| e.to_string())?;
+    for strategy in strategies(opts.strategy) {
+        let report = analyze_query(
+            &bound,
+            fed.global_schema(),
+            strategy,
+            &PlanConfig::default(),
+        );
+        emit(&report, totals, true);
+    }
+    Ok(())
+}
+
+fn list_lints() {
+    println!("{:<8} {:<22} {:<6} summary", "id", "slug", "level");
+    for lint in lints::ALL {
+        println!(
+            "{:<8} {:<22} {:<6} {}",
+            lint.id,
+            lint.slug,
+            lint.severity.to_string(),
+            lint.summary
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_lints {
+        list_lints();
+        return ExitCode::SUCCESS;
+    }
+
+    let mut totals = (0usize, 0usize, 0usize);
+    let outcome: Result<(), String> = (|| {
+        if let Some(sql) = &opts.sql {
+            run_sql(&opts, sql, &mut totals)?;
+        }
+        if opts.plans {
+            run_plans(&opts, &mut totals)?;
+        }
+        if opts.protocol {
+            run_protocol_audit(&mut totals)?;
+        }
+        if opts.self_test {
+            run_self_test()?;
+        }
+        Ok(())
+    })();
+
+    if let Err(message) = outcome {
+        eprintln!("fedoq-check: {message}");
+        return ExitCode::from(2);
+    }
+    let (deny, warn, info) = totals;
+    println!("fedoq-check: {deny} deny, {warn} warn, {info} info");
+    if deny > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

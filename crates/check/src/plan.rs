@@ -1,0 +1,430 @@
+//! A strategy-agnostic plan IR the analyzer can interpret.
+//!
+//! The runtime strategies never materialize their step sequence — it is
+//! implicit in control flow. The analyzer needs it explicit: a
+//! [`PlanIr`] is the linearized sequence of phase-tagged steps a
+//! strategy performs for one query, derived purely from the decomposed
+//! query and the schema's availability facts ([`derive_plan`]). Fixtures
+//! and tutorials can also build *unsound* plans by editing the derived
+//! steps, which is exactly what the seeded self-test does.
+
+use fedoq_object::DbId;
+use fedoq_query::{plan_for_db, BoundPath, BoundQuery, PredId};
+use fedoq_schema::GlobalSchema;
+use fedoq_sim::{Phase, Site};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which of the paper's strategies a plan implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Centralized: ship all extents, evaluate at the global site
+    /// (O→I→P after shipping).
+    Ca,
+    /// BasicLocalized: evaluate locally, then look up assistants, then
+    /// certify (P→O→I).
+    Bl,
+    /// ParallelLocalized: static assistant lookups overlap local
+    /// evaluation (O→P→I).
+    Pl,
+}
+
+impl StrategyKind {
+    /// All strategies, in the paper's order.
+    pub const ALL: [StrategyKind; 3] = [StrategyKind::Ca, StrategyKind::Bl, StrategyKind::Pl];
+
+    /// The paper's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Ca => "CA",
+            StrategyKind::Bl => "BL",
+            StrategyKind::Pl => "PL",
+        }
+    }
+
+    /// Parses a strategy name (`ca`, `bl`, `pl`; signature-pruning
+    /// suffixes are accepted and ignored — pruning does not change the
+    /// phase structure).
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "ca" => Some(StrategyKind::Ca),
+            "bl" | "bl-s" => Some(StrategyKind::Bl),
+            "pl" | "pl-s" => Some(StrategyKind::Pl),
+            _ => None,
+        }
+    }
+
+    /// The strategy's phase order, starting from the shipping phase.
+    pub fn phase_order(self) -> [Phase; 4] {
+        match self {
+            StrategyKind::Ca => [Phase::Ship, Phase::O, Phase::I, Phase::P],
+            StrategyKind::Bl => [Phase::Ship, Phase::P, Phase::O, Phase::I],
+            StrategyKind::Pl => [Phase::Ship, Phase::O, Phase::P, Phase::I],
+        }
+    }
+
+    /// Rank of `phase` in this strategy's order (lower runs earlier).
+    pub fn phase_rank(self, phase: Phase) -> usize {
+        self.phase_order()
+            .iter()
+            .position(|p| *p == phase)
+            .unwrap_or(usize::MAX)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of a linearized plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Ship a site's projected extents to the global site (CA).
+    Ship {
+        /// The shipping site.
+        db: DbId,
+    },
+    /// Merge isomeric copies into global objects at the global site
+    /// (CA's phase O).
+    MergeCopies,
+    /// Ask an assistant site to decide a predicate's unsolved items.
+    Lookup {
+        /// Site holding the unsolved items.
+        from: DbId,
+        /// Site answering from its assistant copies.
+        assistant: DbId,
+        /// The predicate being decided.
+        pred: PredId,
+    },
+    /// Fetch a locally unprojectable target's values from an assistant.
+    CompleteTarget {
+        /// Site with the projection gap.
+        from: DbId,
+        /// Site supplying the values.
+        assistant: DbId,
+        /// Target index in the select list.
+        target: usize,
+    },
+    /// Evaluate the local query at a site (phase P).
+    LocalEval {
+        /// Evaluating site (`Site::Global` for CA's merged evaluation).
+        site: Site,
+        /// Predicates evaluated here.
+        preds: Vec<PredId>,
+    },
+    /// Integrate verdicts into the certified answer (phase I).
+    Certify {
+        /// `(predicate, site)` pairs certification may take verdicts
+        /// from.
+        sources: Vec<(PredId, DbId)>,
+    },
+}
+
+impl PlanStep {
+    /// The execution phase this step belongs to.
+    pub fn phase(&self) -> Phase {
+        match self {
+            PlanStep::Ship { .. } => Phase::Ship,
+            PlanStep::MergeCopies | PlanStep::Lookup { .. } | PlanStep::CompleteTarget { .. } => {
+                Phase::O
+            }
+            PlanStep::LocalEval { .. } => Phase::P,
+            PlanStep::Certify { .. } => Phase::I,
+        }
+    }
+
+    /// A short human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            PlanStep::Ship { db } => format!("ship extents of {db}"),
+            PlanStep::MergeCopies => "merge isomeric copies at global".to_owned(),
+            PlanStep::Lookup {
+                from,
+                assistant,
+                pred,
+            } => format!("lookup {pred}: {from} -> {assistant}"),
+            PlanStep::CompleteTarget {
+                from,
+                assistant,
+                target,
+            } => format!("complete target #{target}: {from} -> {assistant}"),
+            PlanStep::LocalEval { site, preds } => {
+                let ps: Vec<String> = preds.iter().map(ToString::to_string).collect();
+                format!("eval [{}] at {site}", ps.join(","))
+            }
+            PlanStep::Certify { sources } => format!("certify ({} verdict sources)", sources.len()),
+        }
+    }
+}
+
+/// A strategy's linearized plan for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanIr {
+    /// The strategy the plan claims to implement.
+    pub strategy: StrategyKind,
+    /// The steps, in execution order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl fmt::Display for PlanIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} plan ({} steps):", self.strategy, self.steps.len())?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i}. [{}] {}", step.phase(), step.describe())?;
+        }
+        Ok(())
+    }
+}
+
+/// Options for plan derivation, mirroring the runtime's
+/// `LocalizedConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Emit [`PlanStep::CompleteTarget`] steps for locally
+    /// unprojectable targets (the runtime's `complete_targets`).
+    pub complete_targets: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            complete_targets: true,
+        }
+    }
+}
+
+/// Every component database the schema knows about.
+pub fn all_dbs(schema: &GlobalSchema) -> Vec<DbId> {
+    let mut dbs: BTreeSet<DbId> = BTreeSet::new();
+    for (_, class) in schema.iter() {
+        dbs.extend(class.hosting_dbs());
+    }
+    dbs.into_iter().collect()
+}
+
+/// Sites able to decide `path` from step `from` on: every remaining step
+/// must be defined by the site's constituent of the step's class. These
+/// are the *deciders* an assistant lookup can target.
+pub fn deciders(schema: &GlobalSchema, path: &BoundPath, from: usize) -> Vec<DbId> {
+    all_dbs(schema)
+        .into_iter()
+        .filter(|&db| {
+            path.steps().skip(from).all(|(class, slot)| {
+                schema
+                    .class(class)
+                    .constituent_for(db)
+                    .is_some_and(|c| !c.is_missing(slot))
+            })
+        })
+        .collect()
+}
+
+/// Sites whose constituent of the path's terminal class defines the
+/// terminal attribute — the only sites whose verdicts can certify the
+/// predicate.
+pub fn terminal_capable(schema: &GlobalSchema, path: &BoundPath) -> Vec<DbId> {
+    let last = path.len() - 1;
+    let class = schema.class(path.class(last));
+    class
+        .constituents()
+        .iter()
+        .filter(|c| !c.is_missing(path.slot(last)))
+        .map(fedoq_schema::Constituent::db)
+        .collect()
+}
+
+/// Derives the canonical (sound-by-construction) plan a strategy
+/// executes for `bound`, from schema-level availability facts alone.
+pub fn derive_plan(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    strategy: StrategyKind,
+    config: &PlanConfig,
+) -> PlanIr {
+    match strategy {
+        StrategyKind::Ca => derive_centralized(bound, schema),
+        StrategyKind::Bl => derive_localized(bound, schema, StrategyKind::Bl, config),
+        StrategyKind::Pl => derive_localized(bound, schema, StrategyKind::Pl, config),
+    }
+}
+
+fn derive_centralized(bound: &BoundQuery, schema: &GlobalSchema) -> PlanIr {
+    let mut ship_dbs: BTreeSet<DbId> = BTreeSet::new();
+    for class in bound.involved_classes() {
+        ship_dbs.extend(schema.class(class).hosting_dbs());
+    }
+    let mut steps: Vec<PlanStep> = ship_dbs
+        .into_iter()
+        .map(|db| PlanStep::Ship { db })
+        .collect();
+    steps.push(PlanStep::MergeCopies);
+    // Phase I: missing values are instantiated from whichever merged copy
+    // defines the attribute, so certification may source any
+    // terminal-capable site.
+    let mut sources = Vec::new();
+    for pred in bound.predicates() {
+        for db in terminal_capable(schema, pred.path()) {
+            sources.push((pred.id(), db));
+        }
+    }
+    steps.push(PlanStep::Certify { sources });
+    steps.push(PlanStep::LocalEval {
+        site: Site::Global,
+        preds: bound
+            .predicates()
+            .iter()
+            .map(fedoq_query::BoundPredicate::id)
+            .collect(),
+    });
+    PlanIr {
+        strategy: StrategyKind::Ca,
+        steps,
+    }
+}
+
+fn derive_localized(
+    bound: &BoundQuery,
+    schema: &GlobalSchema,
+    strategy: StrategyKind,
+    config: &PlanConfig,
+) -> PlanIr {
+    let hosting: Vec<_> = all_dbs(schema)
+        .into_iter()
+        .filter_map(|db| plan_for_db(bound, schema, db))
+        .collect();
+
+    let mut evals = Vec::new();
+    let mut lookups = Vec::new();
+    let mut completions = Vec::new();
+    let mut sources = Vec::new();
+    for site_plan in &hosting {
+        let db = site_plan.db();
+        evals.push(PlanStep::LocalEval {
+            site: Site::Db(db),
+            preds: site_plan.local_preds().collect(),
+        });
+        for pred in site_plan.local_preds() {
+            sources.push((pred, db));
+        }
+        for tp in site_plan.truncated_preds(bound) {
+            let path = bound.predicate(tp.pred).path();
+            for assistant in deciders(schema, path, tp.prefix_len) {
+                lookups.push(PlanStep::Lookup {
+                    from: db,
+                    assistant,
+                    pred: tp.pred,
+                });
+                sources.push((tp.pred, assistant));
+            }
+        }
+        if config.complete_targets {
+            for (i, target) in bound.targets().iter().enumerate() {
+                let prefix = site_plan.target_prefix_len(i);
+                if prefix < target.len() {
+                    for assistant in deciders(schema, target, prefix) {
+                        completions.push(PlanStep::CompleteTarget {
+                            from: db,
+                            assistant,
+                            target: i,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut steps = Vec::new();
+    match strategy {
+        // BL: P (local evaluation) -> O (lookups) -> I (certification).
+        StrategyKind::Bl => {
+            steps.extend(evals);
+            steps.extend(lookups);
+            steps.extend(completions);
+        }
+        // PL: O (static lookups) -> P (evaluation) -> I.
+        StrategyKind::Pl => {
+            steps.extend(lookups);
+            steps.extend(completions);
+            steps.extend(evals);
+        }
+        StrategyKind::Ca => unreachable!("derive_localized is never called for CA"),
+    }
+    steps.push(PlanStep::Certify { sources });
+    PlanIr { strategy, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_workload::university;
+
+    fn setting() -> (GlobalSchema, BoundQuery) {
+        let fed = university::federation().expect("university federation builds");
+        let bound = fed
+            .parse_and_bind(university::Q1)
+            .expect("Q1 binds against the university schema");
+        (fed.global_schema().clone(), bound)
+    }
+
+    #[test]
+    fn phase_ranks_encode_the_paper_orders() {
+        assert_eq!(StrategyKind::Ca.phase_rank(Phase::O), 1);
+        assert_eq!(StrategyKind::Ca.phase_rank(Phase::P), 3);
+        assert_eq!(StrategyKind::Bl.phase_rank(Phase::P), 1);
+        assert_eq!(StrategyKind::Bl.phase_rank(Phase::I), 3);
+        assert_eq!(StrategyKind::Pl.phase_rank(Phase::O), 1);
+        assert_eq!(StrategyKind::Pl.phase_rank(Phase::P), 2);
+        assert_eq!(StrategyKind::parse("BL-S"), Some(StrategyKind::Bl));
+        assert_eq!(StrategyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn derived_plans_follow_their_phase_order() {
+        let (schema, bound) = setting();
+        for strategy in StrategyKind::ALL {
+            let plan = derive_plan(&bound, &schema, strategy, &PlanConfig::default());
+            let mut max_rank = 0;
+            for step in &plan.steps {
+                let rank = strategy.phase_rank(step.phase());
+                assert!(
+                    rank >= max_rank,
+                    "{strategy}: step `{}` out of order",
+                    step.describe()
+                );
+                max_rank = rank;
+            }
+        }
+    }
+
+    #[test]
+    fn bl_plan_covers_every_truncated_predicate() {
+        let (schema, bound) = setting();
+        let plan = derive_plan(&bound, &schema, StrategyKind::Bl, &PlanConfig::default());
+        // DB0 lacks address and speciality: its two truncated predicates
+        // must each get at least one lookup.
+        let db0 = DbId::new(0);
+        for pred in [PredId::new(0), PredId::new(1)] {
+            assert!(
+                plan.steps.iter().any(|s| matches!(
+                    s,
+                    PlanStep::Lookup { from, pred: p, .. } if *from == db0 && *p == pred
+                )),
+                "no lookup covers {pred} at {db0}"
+            );
+        }
+        assert!(plan.to_string().contains("certify"));
+    }
+
+    #[test]
+    fn deciders_follow_availability() {
+        let (schema, bound) = setting();
+        // Predicate 1 is advisor.speciality; only the paper's DB2 (our
+        // DB1) stores Teacher.speciality.
+        let path = bound.predicate(PredId::new(1)).path();
+        assert_eq!(deciders(&schema, path, 1), vec![DbId::new(1)]);
+        assert_eq!(terminal_capable(&schema, path), vec![DbId::new(1)]);
+        assert_eq!(all_dbs(&schema).len(), 3);
+    }
+}

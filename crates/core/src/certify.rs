@@ -49,10 +49,7 @@ impl CheckReplies {
 
     /// All verdicts recorded for `(item, pred)`.
     pub fn verdicts(&self, item: LOid, pred: PredId) -> &[Truth] {
-        self.verdicts
-            .get(&(item, pred))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.verdicts.get(&(item, pred)).map_or(&[], Vec::as_slice)
     }
 
     /// Number of recorded verdicts (for tests and metrics).

@@ -190,7 +190,10 @@ mod tests {
             assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(3)]);
             // The unsolved conjunct is the second branch's city predicate,
             // reported in global numbering (offset 1).
-            let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+            let unsolved: Vec<usize> = answer.maybe()[0]
+                .unsolved()
+                .map(fedoq_query::PredId::index)
+                .collect();
             assert_eq!(unsolved, vec![1], "{}", strategy.name());
             // Entity 4 is gone entirely.
             assert_eq!(answer.len(), 3);
@@ -213,7 +216,10 @@ mod tests {
                                                // city branch keeps it maybe.
         assert_eq!(answer.maybe().len(), 1);
         assert_eq!(answer.maybe()[0].row().values(), &[Value::Int(1)]);
-        let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+        let unsolved: Vec<usize> = answer.maybe()[0]
+            .unsolved()
+            .map(fedoq_query::PredId::index)
+            .collect();
         assert_eq!(unsolved, vec![1]);
     }
 

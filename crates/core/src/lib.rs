@@ -55,6 +55,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Library code must surface errors as values, never panic on them:
+// test modules, which may unwrap freely, are exempt via cfg_attr.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod centralized;
 pub mod certify;
 pub mod disjunctive;

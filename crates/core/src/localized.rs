@@ -364,15 +364,12 @@ fn build_context<'a>(
     let constituent = range_class
         .constituent_for(db_id)
         .ok_or_else(|| ExecError::Internal("plan for non-hosting site".into()))?;
-    let root_width = involved
-        .get(&query.range())
-        .map(|slots| {
-            slots
-                .iter()
-                .filter(|&&g| !constituent.is_missing(g))
-                .count()
-        })
-        .unwrap_or(0);
+    let root_width = involved.get(&query.range()).map_or(0, |slots| {
+        slots
+            .iter()
+            .filter(|&&g| !constituent.is_missing(g))
+            .count()
+    });
 
     Ok(SiteContext {
         db,
@@ -662,8 +659,7 @@ fn scan_eval(
                                 .value
                                 .as_ref_loid()
                                 .and_then(|l| fed.catalog().table(*domain).goid_of(l))
-                                .map(Value::GRef)
-                                .unwrap_or(Value::Null);
+                                .map_or(Value::Null, Value::GRef);
                             targets.push(translated);
                         }
                         None => targets.push(walk.value),
@@ -749,8 +745,7 @@ fn scan_eval(
                     comparisons += 1; // remote-schema presence probe
                     let present = class
                         .constituent_for(assistant.db())
-                        .map(|c| !c.is_missing(first_slot))
-                        .unwrap_or(false);
+                        .is_some_and(|c| !c.is_missing(first_slot));
                     if !present {
                         continue;
                     }
@@ -1088,7 +1083,7 @@ fn execute_localized(
             plans.push(plan);
         }
     }
-    let queried_dbs: Vec<DbId> = plans.iter().map(|p| p.db()).collect();
+    let queried_dbs: Vec<DbId> = plans.iter().map(fedoq_query::SitePlan::db).collect();
     let query_sends = plans
         .iter()
         .map(|p| {

@@ -103,8 +103,7 @@ fn merged_value(fed: &Federation, class: GlobalClassId, goid: GOid, slot: usize)
                 .catalog()
                 .table(d)
                 .goid_of(*target)
-                .map(Value::GRef)
-                .unwrap_or(Value::Null),
+                .map_or(Value::Null, Value::GRef),
             _ => value.clone(),
         };
     }

@@ -13,6 +13,7 @@
 //! inside.
 
 use fedoq::prelude::*;
+use fedoq::schema::GlobalAttr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
@@ -203,6 +204,17 @@ impl Shell {
                 }
                 _ => println!("usage: strategy CA|BL|PL|BL-S|PL-S"),
             },
+            Some("check") => {
+                let sql = line[5..].trim();
+                if sql.is_empty() {
+                    println!("usage: check SELECT ...");
+                } else {
+                    let bound = self.fed.parse_and_bind(sql)?;
+                    for report in fedoq::check::analyze_all(&bound, self.fed.global_schema()) {
+                        print!("{report}");
+                    }
+                }
+            }
             Some("transport") => self.cmd_transport(&mut words),
             Some("faults") => self.cmd_faults(&mut words),
             Some("partition") => self.cmd_partition(&mut words),
@@ -214,7 +226,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -344,7 +356,7 @@ impl Shell {
 
     fn schema(&self) {
         for (_, class) in self.fed.global_schema().iter() {
-            let attrs: Vec<&str> = class.attrs().iter().map(|a| a.name()).collect();
+            let attrs: Vec<&str> = class.attrs().iter().map(GlobalAttr::name).collect();
             println!("{}({})", class.name(), attrs.join(", "));
             for constituent in class.constituents() {
                 let missing: Vec<&str> = constituent
@@ -377,7 +389,7 @@ impl Shell {
             table.iter().map(|(g, ls)| (g, ls.to_vec())).collect();
         entries.sort();
         for (g, loids) in entries {
-            let copies: Vec<String> = loids.iter().map(|l| l.to_string()).collect();
+            let copies: Vec<String> = loids.iter().map(ToString::to_string).collect();
             println!("{g} = {{{}}}", copies.join(", "));
         }
     }

@@ -20,7 +20,9 @@
 //!   synthetic generator;
 //! * [`analytic`] — the closed-form expected-cost model;
 //! * [`net`] — the distributed site-actor runtime with fault-injectable
-//!   transport.
+//!   transport;
+//! * [`check`] — the static plan-soundness analyzer and actor-protocol
+//!   checker (`fedoq-check`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 //! ```
 
 pub use fedoq_analytic as analytic;
+pub use fedoq_check as check;
 pub use fedoq_core as core;
 pub use fedoq_net as net;
 pub use fedoq_object as object;

@@ -177,10 +177,9 @@ async fn handle_local_eval(
         let mut sim = ctx.sim.borrow_mut();
         evaluate_site(ctx.fed, ctx.query, db, mode, config, &mut sim)
     };
-    let eval = match eval {
-        Ok(Some(eval)) => eval,
-        // No local query at this site, or a local error: nothing to report.
-        _ => return LocalEvalReply::default(),
+    // No local query at this site, or a local error: nothing to report.
+    let Ok(Some(eval)) = eval else {
+        return LocalEvalReply::default();
     };
 
     // Group the lookups by the peer owning the assistants. BTreeMap keeps

@@ -137,7 +137,7 @@ impl FromStr for Path {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let steps: Vec<String> = s.split('.').map(str::trim).map(String::from).collect();
-        if steps.is_empty() || steps.iter().any(|p| p.is_empty()) {
+        if steps.is_empty() || steps.iter().any(std::string::String::is_empty) {
             return Err(ParsePathError {
                 input: s.to_owned(),
             });

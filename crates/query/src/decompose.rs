@@ -196,8 +196,7 @@ fn navigable_prefix(path: &BoundPath, schema: &GlobalSchema, db: DbId) -> usize 
         let present = schema
             .class(class)
             .constituent_for(db)
-            .map(|c| !c.is_missing(slot))
-            .unwrap_or(false);
+            .is_some_and(|c| !c.is_missing(slot));
         if !present {
             return i;
         }

@@ -68,8 +68,7 @@ impl Correspondences {
     pub fn global_class<'a>(&'a self, db: DbId, component: &'a str) -> &'a str {
         self.classes
             .get(&(db, component.to_owned()))
-            .map(String::as_str)
-            .unwrap_or(component)
+            .map_or(component, String::as_str)
     }
 
     /// The global attribute name for a component attribute (identity if
@@ -77,8 +76,7 @@ impl Correspondences {
     pub fn global_attr<'a>(&'a self, db: DbId, component: &'a str, attr: &'a str) -> &'a str {
         self.attrs
             .get(&(db, component.to_owned(), attr.to_owned()))
-            .map(String::as_str)
-            .unwrap_or(attr)
+            .map_or(attr, String::as_str)
     }
 
     /// Number of explicit assertions (classes + attributes).

@@ -38,7 +38,7 @@ impl GoidTable {
 
     /// The isomeric objects of an entity (all registered LOids).
     pub fn loids_of(&self, goid: GOid) -> &[LOid] {
-        self.entries.get(&goid).map(Vec::as_slice).unwrap_or(&[])
+        self.entries.get(&goid).map_or(&[], Vec::as_slice)
     }
 
     /// The isomeric siblings of `loid`: the entity's other LOids.

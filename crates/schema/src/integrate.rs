@@ -147,9 +147,11 @@ fn check_compatible(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedoq_store::{ClassDef, PrimitiveType};
+    use fedoq_store::{ClassDef, PrimitiveType, StoreError};
 
-    fn db0() -> ComponentSchema {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn db0() -> Result<ComponentSchema, StoreError> {
         ComponentSchema::new(vec![
             ClassDef::new("Department").attr("name", AttrType::text()),
             ClassDef::new("Teacher")
@@ -161,10 +163,9 @@ mod tests {
                 .attr("age", AttrType::int())
                 .attr("advisor", AttrType::complex("Teacher")),
         ])
-        .unwrap()
     }
 
-    fn db1() -> ComponentSchema {
+    fn db1() -> Result<ComponentSchema, StoreError> {
         ComponentSchema::new(vec![
             ClassDef::new("Address").attr("city", AttrType::text()),
             ClassDef::new("Teacher")
@@ -176,190 +177,195 @@ mod tests {
                 .attr("address", AttrType::complex("Address"))
                 .attr("advisor", AttrType::complex("Teacher")),
         ])
-        .unwrap()
+    }
+
+    fn class<'a>(g: &'a GlobalSchema, name: &str) -> Result<&'a GlobalClass, String> {
+        g.class_by_name(name)
+            .ok_or_else(|| format!("no global class {name}"))
+    }
+
+    fn slot(class: &GlobalClass, attr: &str) -> Result<usize, String> {
+        class
+            .attr_index(attr)
+            .ok_or_else(|| format!("no attr {attr}"))
+    }
+
+    fn constituent(class: &GlobalClass, db: DbId) -> Result<&Constituent, String> {
+        class
+            .constituent_for(db)
+            .ok_or_else(|| format!("no constituent for {db}"))
     }
 
     #[test]
-    fn union_of_attributes() {
-        let (a, b) = (db0(), db1());
+    fn union_of_attributes() -> TestResult {
+        let (a, b) = (db0()?, db1()?);
         let g = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
-        )
-        .unwrap();
-        let student = g.class_by_name("Student").unwrap();
+        )?;
+        let student = class(&g, "Student")?;
         let names: Vec<&str> = student.attrs().iter().map(GlobalAttr::name).collect();
         assert_eq!(names, ["s-no", "name", "age", "advisor", "address"]);
-        let teacher = g.class_by_name("Teacher").unwrap();
+        let teacher = class(&g, "Teacher")?;
         let names: Vec<&str> = teacher.attrs().iter().map(GlobalAttr::name).collect();
         assert_eq!(names, ["name", "department", "speciality"]);
+        Ok(())
     }
 
     #[test]
-    fn missing_attributes_recorded_per_constituent() {
-        let (a, b) = (db0(), db1());
+    fn missing_attributes_recorded_per_constituent() -> TestResult {
+        let (a, b) = (db0()?, db1()?);
         let g = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
-        )
-        .unwrap();
-        let student = g.class_by_name("Student").unwrap();
-        let address = student.attr_index("address").unwrap();
-        let age = student.attr_index("age").unwrap();
-        assert!(student
-            .constituent_for(DbId::new(0))
-            .unwrap()
-            .is_missing(address));
-        assert!(!student
-            .constituent_for(DbId::new(0))
-            .unwrap()
-            .is_missing(age));
-        assert!(student
-            .constituent_for(DbId::new(1))
-            .unwrap()
-            .is_missing(age));
+        )?;
+        let student = class(&g, "Student")?;
+        let address = slot(student, "address")?;
+        let age = slot(student, "age")?;
+        assert!(constituent(student, DbId::new(0))?.is_missing(address));
+        assert!(!constituent(student, DbId::new(0))?.is_missing(age));
+        assert!(constituent(student, DbId::new(1))?.is_missing(age));
+        Ok(())
     }
 
     #[test]
-    fn complex_domains_resolve_to_global_classes() {
-        let (a, b) = (db0(), db1());
+    fn complex_domains_resolve_to_global_classes() -> TestResult {
+        let (a, b) = (db0()?, db1()?);
         let g = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
-        )
-        .unwrap();
-        let student = g.class_by_name("Student").unwrap();
-        let advisor = student.attr(student.attr_index("advisor").unwrap());
+        )?;
+        let student = class(&g, "Student")?;
+        let advisor = student.attr(slot(student, "advisor")?);
         assert_eq!(advisor.ty().domain(), g.class_id("Teacher"));
-        let address = student.attr(student.attr_index("address").unwrap());
+        let address = student.attr(slot(student, "address")?);
         assert_eq!(address.ty().domain(), g.class_id("Address"));
+        Ok(())
     }
 
     #[test]
-    fn correspondences_rename_classes_and_attrs() {
-        let a =
-            ComponentSchema::new(vec![ClassDef::new("Emp").attr("nm", AttrType::text())]).unwrap();
+    fn correspondences_rename_classes_and_attrs() -> TestResult {
+        let a = ComponentSchema::new(vec![ClassDef::new("Emp").attr("nm", AttrType::text())])?;
         let b = ComponentSchema::new(vec![ClassDef::new("Employee")
             .attr("name", AttrType::text())
-            .attr("salary", AttrType::int())])
-        .unwrap();
+            .attr("salary", AttrType::int())])?;
         let corr = Correspondences::new()
             .map_class(DbId::new(0), "Emp", "Employee")
             .map_attr(DbId::new(0), "Emp", "nm", "name");
-        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &corr).unwrap();
+        let g = integrate(&[(DbId::new(0), &a), (DbId::new(1), &b)], &corr)?;
         assert_eq!(g.len(), 1);
-        let emp = g.class_by_name("Employee").unwrap();
+        let emp = class(&g, "Employee")?;
         assert_eq!(emp.arity(), 2);
         assert_eq!(emp.constituents().len(), 2);
-        let c0 = emp.constituent_for(DbId::new(0)).unwrap();
-        assert_eq!(c0.local_slot(emp.attr_index("name").unwrap()), Some(0));
-        assert!(c0.is_missing(emp.attr_index("salary").unwrap()));
+        let c0 = constituent(emp, DbId::new(0))?;
+        assert_eq!(c0.local_slot(slot(emp, "name")?), Some(0));
+        assert!(c0.is_missing(slot(emp, "salary")?));
+        Ok(())
     }
 
     #[test]
-    fn type_conflict_detected() {
-        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
-        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::text())]).unwrap();
+    fn type_conflict_detected() -> TestResult {
+        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())])?;
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::text())])?;
         let err = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
         )
-        .unwrap_err();
+        .err();
         assert_eq!(
             err,
-            SchemaError::TypeConflict {
+            Some(SchemaError::TypeConflict {
                 class: "X".into(),
                 attr: "v".into()
-            }
+            })
         );
+        Ok(())
     }
 
     #[test]
-    fn primitive_vs_complex_conflict_detected() {
+    fn primitive_vs_complex_conflict_detected() -> TestResult {
         let a = ComponentSchema::new(vec![
             ClassDef::new("D"),
             ClassDef::new("X").attr("v", AttrType::complex("D")),
-        ])
-        .unwrap();
-        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+        ])?;
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())])?;
         let err = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
         )
-        .unwrap_err();
-        assert!(matches!(err, SchemaError::TypeConflict { .. }));
+        .err();
+        assert!(matches!(err, Some(SchemaError::TypeConflict { .. })));
+        Ok(())
     }
 
     #[test]
-    fn domain_conflict_detected() {
+    fn domain_conflict_detected() -> TestResult {
         let a = ComponentSchema::new(vec![
             ClassDef::new("D1"),
             ClassDef::new("X").attr("v", AttrType::complex("D1")),
-        ])
-        .unwrap();
+        ])?;
         let b = ComponentSchema::new(vec![
             ClassDef::new("D2"),
             ClassDef::new("X").attr("v", AttrType::complex("D2")),
-        ])
-        .unwrap();
+        ])?;
         let err = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
         )
-        .unwrap_err();
+        .err();
         assert_eq!(
             err,
-            SchemaError::DomainConflict {
+            Some(SchemaError::DomainConflict {
                 class: "X".into(),
                 attr: "v".into()
-            }
+            })
         );
+        Ok(())
     }
 
     #[test]
-    fn multi_valued_integrates_as_element_type() {
+    fn multi_valued_integrates_as_element_type() -> TestResult {
         let a = ComponentSchema::new(vec![
             ClassDef::new("Topic"),
             ClassDef::new("T").attr(
                 "topics",
                 AttrType::Multi(Box::new(AttrType::complex("Topic"))),
             ),
-        ])
-        .unwrap();
-        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new()).unwrap();
-        let t = g.class_by_name("T").unwrap();
+        ])?;
+        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new())?;
+        let t = class(&g, "T")?;
         assert_eq!(t.attr(0).ty().domain(), g.class_id("Topic"));
+        Ok(())
     }
 
     #[test]
-    fn matching_primitive_types_merge() {
-        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
-        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())]).unwrap();
+    fn matching_primitive_types_merge() -> TestResult {
+        let a = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())])?;
+        let b = ComponentSchema::new(vec![ClassDef::new("X").attr("v", AttrType::int())])?;
         let g = integrate(
             &[(DbId::new(0), &a), (DbId::new(1), &b)],
             &Correspondences::new(),
-        )
-        .unwrap();
-        let x = g.class_by_name("X").unwrap();
+        )?;
+        let x = class(&g, "X")?;
         assert_eq!(x.arity(), 1);
         assert_eq!(
             x.attr(0).ty(),
             GlobalAttrType::Primitive(PrimitiveType::Int)
         );
+        Ok(())
     }
 
     #[test]
-    fn single_database_integration_is_identity_like() {
-        let a = db0();
-        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new()).unwrap();
+    fn single_database_integration_is_identity_like() -> TestResult {
+        let a = db0()?;
+        let g = integrate(&[(DbId::new(0), &a)], &Correspondences::new())?;
         assert_eq!(g.len(), 3);
-        let student = g.class_by_name("Student").unwrap();
+        let student = class(&g, "Student")?;
         assert_eq!(student.arity(), 4);
-        assert!(student
-            .constituent_for(DbId::new(0))
-            .unwrap()
+        assert!(constituent(student, DbId::new(0))?
             .missing_attrs()
             .next()
             .is_none());
+        Ok(())
     }
 }

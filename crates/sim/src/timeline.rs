@@ -40,7 +40,7 @@ pub fn render(ledger: &Ledger, num_dbs: usize) -> String {
     let horizon = ledger
         .entries()
         .iter()
-        .map(|e| e.end())
+        .map(super::ledger::LedgerEntry::end)
         .fold(SimTime::ZERO, SimTime::max);
     let mut out = String::new();
     if horizon.as_micros() <= 0.0 {

@@ -326,7 +326,9 @@ mod tests {
     use crate::schema::{AttrType, ClassDef, ComponentSchema};
     use fedoq_object::DbId;
 
-    fn school_db() -> (ComponentDb, LOid, LOid, LOid) {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn school_db() -> Result<(ComponentDb, LOid, LOid, LOid), StoreError> {
         let schema = ComponentSchema::new(vec![
             ClassDef::new("Department").attr("name", AttrType::text()),
             ClassDef::new("Teacher")
@@ -336,203 +338,194 @@ mod tests {
                 .attr("name", AttrType::text())
                 .attr("age", AttrType::int())
                 .attr("advisor", AttrType::complex("Teacher")),
-        ])
-        .unwrap();
+        ])?;
         let mut db = ComponentDb::new(DbId::new(1), "DB1", schema);
-        let cs = db
-            .insert_named("Department", &[("name", Value::text("CS"))])
-            .unwrap();
-        let t1 = db
-            .insert_named(
-                "Teacher",
-                &[
-                    ("name", Value::text("Jeffery")),
-                    ("department", Value::Ref(cs)),
-                ],
-            )
-            .unwrap();
-        let s1 = db
-            .insert_named(
-                "Student",
-                &[
-                    ("name", Value::text("John")),
-                    ("age", Value::Int(31)),
-                    ("advisor", Value::Ref(t1)),
-                ],
-            )
-            .unwrap();
-        (db, cs, t1, s1)
+        let cs = db.insert_named("Department", &[("name", Value::text("CS"))])?;
+        let t1 = db.insert_named(
+            "Teacher",
+            &[
+                ("name", Value::text("Jeffery")),
+                ("department", Value::Ref(cs)),
+            ],
+        )?;
+        let s1 = db.insert_named(
+            "Student",
+            &[
+                ("name", Value::text("John")),
+                ("age", Value::Int(31)),
+                ("advisor", Value::Ref(t1)),
+            ],
+        )?;
+        Ok((db, cs, t1, s1))
+    }
+
+    fn class_id(db: &ComponentDb, name: &str) -> Result<ClassId, String> {
+        db.schema()
+            .class_id(name)
+            .ok_or_else(|| format!("no class {name}"))
+    }
+
+    fn object(db: &ComponentDb, loid: LOid) -> Result<&Object, String> {
+        db.object(loid).ok_or_else(|| format!("no object {loid}"))
     }
 
     #[test]
-    fn compile_resolves_nested_path() {
-        let (db, ..) = school_db();
-        let student = db.schema().class_id("Student").unwrap();
-        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
-            .unwrap();
+    fn compile_resolves_nested_path() -> TestResult {
+        let (db, ..) = school_db()?;
+        let student = class_id(&db, "Student")?;
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse()?)?;
         assert_eq!(p.len(), 3);
         assert_eq!(p.step_class(0), db.schema().class_id("Student"));
         assert_eq!(p.step_class(1), db.schema().class_id("Teacher"));
         assert_eq!(p.step_class(2), db.schema().class_id("Department"));
+        Ok(())
     }
 
     #[test]
-    fn compile_reports_missing_attribute() {
-        let (db, ..) = school_db();
-        let student = db.schema().class_id("Student").unwrap();
-        let err =
-            CompiledPath::compile(&db, student, &"address.city".parse().unwrap()).unwrap_err();
+    fn compile_reports_missing_attribute() -> TestResult {
+        let (db, ..) = school_db()?;
+        let student = class_id(&db, "Student")?;
+        let err = CompiledPath::compile(&db, student, &"address.city".parse()?);
         assert_eq!(
             err,
-            StoreError::MissingAttribute {
+            Err(StoreError::MissingAttribute {
                 class: "Student".into(),
                 attr: "address".into()
-            }
+            })
         );
         // Missing attribute deeper along the path is also found.
-        let err = CompiledPath::compile(&db, student, &"advisor.speciality".parse().unwrap())
-            .unwrap_err();
+        let err = CompiledPath::compile(&db, student, &"advisor.speciality".parse()?);
         assert_eq!(
             err,
-            StoreError::MissingAttribute {
+            Err(StoreError::MissingAttribute {
                 class: "Teacher".into(),
                 attr: "speciality".into()
-            }
+            })
         );
+        Ok(())
     }
 
     #[test]
-    fn compile_rejects_stepping_through_primitive() {
-        let (db, ..) = school_db();
-        let student = db.schema().class_id("Student").unwrap();
-        let err = CompiledPath::compile(&db, student, &"age.value".parse().unwrap()).unwrap_err();
-        assert!(matches!(err, StoreError::NotComplex { .. }));
+    fn compile_rejects_stepping_through_primitive() -> TestResult {
+        let (db, ..) = school_db()?;
+        let student = class_id(&db, "Student")?;
+        let err = CompiledPath::compile(&db, student, &"age.value".parse()?);
+        assert!(matches!(err, Err(StoreError::NotComplex { .. })));
+        Ok(())
     }
 
     #[test]
-    fn walk_follows_references_and_counts_fetches() {
-        let (db, cs, t1, s1) = school_db();
-        let student = db.schema().class_id("Student").unwrap();
-        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
-            .unwrap();
+    fn walk_follows_references_and_counts_fetches() -> TestResult {
+        let (db, cs, t1, s1) = school_db()?;
+        let student = class_id(&db, "Student")?;
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse()?)?;
         let mut counter = EvalCounter::new();
-        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        let walk = p.walk(&db, object(&db, s1)?, &mut counter);
         assert_eq!(walk.value, Value::text("CS"));
         assert_eq!(walk.visited, vec![t1, cs]);
         assert_eq!(counter.objects_fetched, 2);
+        Ok(())
     }
 
     #[test]
-    fn walk_blocked_by_null_yields_null() {
-        let (mut db, _, t1, s1) = school_db();
-        db.object_mut(t1).unwrap().set(1, Value::Null); // department := null
-        let student = db.schema().class_id("Student").unwrap();
-        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
-            .unwrap();
+    fn walk_blocked_by_null_yields_null() -> TestResult {
+        let (mut db, _, t1, s1) = school_db()?;
+        db.object_mut(t1)
+            .ok_or("teacher missing")?
+            .set(1, Value::Null); // department := null
+        let student = class_id(&db, "Student")?;
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse()?)?;
         let mut counter = EvalCounter::new();
-        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        let walk = p.walk(&db, object(&db, s1)?, &mut counter);
         assert!(walk.value.is_null());
         assert_eq!(walk.visited, vec![t1]); // got as far as the teacher
+        Ok(())
     }
 
     #[test]
-    fn walk_treats_dangling_ref_as_null() {
-        let (mut db, _, t1, s1) = school_db();
+    fn walk_treats_dangling_ref_as_null() -> TestResult {
+        let (mut db, _, t1, s1) = school_db()?;
         let ghost = LOid::new(DbId::new(1), 999);
-        db.object_mut(t1).unwrap().set(1, Value::Ref(ghost));
-        let student = db.schema().class_id("Student").unwrap();
-        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse().unwrap())
-            .unwrap();
+        db.object_mut(t1)
+            .ok_or("teacher missing")?
+            .set(1, Value::Ref(ghost));
+        let student = class_id(&db, "Student")?;
+        let p = CompiledPath::compile(&db, student, &"advisor.department.name".parse()?)?;
         let mut counter = EvalCounter::new();
-        let walk = p.walk(&db, db.object(s1).unwrap(), &mut counter);
+        let walk = p.walk(&db, object(&db, s1)?, &mut counter);
         assert!(walk.value.is_null());
+        Ok(())
     }
 
     #[test]
-    fn predicate_eval_verdicts() {
-        let (db, _, _, s1) = school_db();
-        let student = db.schema().class_id("Student").unwrap();
+    fn predicate_eval_verdicts() -> TestResult {
+        let (db, _, _, s1) = school_db()?;
+        let student = class_id(&db, "Student")?;
         let mut counter = EvalCounter::new();
 
         let dept_cs = CompiledPredicate::compile(
             &db,
             student,
-            &"advisor.department.name".parse().unwrap(),
+            &"advisor.department.name".parse()?,
             CmpOp::Eq,
             Value::text("CS"),
-        )
-        .unwrap();
-        let (verdict, _) = dept_cs.eval(&db, db.object(s1).unwrap(), &mut counter);
+        )?;
+        let (verdict, _) = dept_cs.eval(&db, object(&db, s1)?, &mut counter);
         assert_eq!(verdict, Truth::True);
 
-        let age_lt = CompiledPredicate::compile(
-            &db,
-            student,
-            &"age".parse().unwrap(),
-            CmpOp::Lt,
-            Value::Int(30),
-        )
-        .unwrap();
-        let (verdict, _) = age_lt.eval(&db, db.object(s1).unwrap(), &mut counter);
+        let age_lt =
+            CompiledPredicate::compile(&db, student, &"age".parse()?, CmpOp::Lt, Value::Int(30))?;
+        let (verdict, _) = age_lt.eval(&db, object(&db, s1)?, &mut counter);
         assert_eq!(verdict, Truth::False);
         assert_eq!(counter.comparisons, 2);
+        Ok(())
     }
 
     #[test]
-    fn predicate_on_null_is_unknown() {
-        let (mut db, _, _, s1) = school_db();
-        db.object_mut(s1).unwrap().set(1, Value::Null); // age := null
-        let student = db.schema().class_id("Student").unwrap();
-        let pred = CompiledPredicate::compile(
-            &db,
-            student,
-            &"age".parse().unwrap(),
-            CmpOp::Lt,
-            Value::Int(30),
-        )
-        .unwrap();
+    fn predicate_on_null_is_unknown() -> TestResult {
+        let (mut db, _, _, s1) = school_db()?;
+        db.object_mut(s1)
+            .ok_or("student missing")?
+            .set(1, Value::Null); // age := null
+        let student = class_id(&db, "Student")?;
+        let pred =
+            CompiledPredicate::compile(&db, student, &"age".parse()?, CmpOp::Lt, Value::Int(30))?;
         let mut counter = EvalCounter::new();
-        let (verdict, walk) = pred.eval(&db, db.object(s1).unwrap(), &mut counter);
+        let (verdict, walk) = pred.eval(&db, object(&db, s1)?, &mut counter);
         assert_eq!(verdict, Truth::Unknown);
         assert!(walk.visited.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn multi_valued_complex_walk() {
+    fn multi_valued_complex_walk() -> TestResult {
         let schema = ComponentSchema::new(vec![
             ClassDef::new("Topic").attr("name", AttrType::text()),
             ClassDef::new("Teacher").attr(
                 "topics",
                 AttrType::Multi(Box::new(AttrType::complex("Topic"))),
             ),
-        ])
-        .unwrap();
+        ])?;
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
-        let a = db
-            .insert_named("Topic", &[("name", Value::text("db"))])
-            .unwrap();
-        let b = db
-            .insert_named("Topic", &[("name", Value::text("net"))])
-            .unwrap();
-        let t = db
-            .insert_named(
-                "Teacher",
-                &[("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)]))],
-            )
-            .unwrap();
-        let teacher = db.schema().class_id("Teacher").unwrap();
+        let a = db.insert_named("Topic", &[("name", Value::text("db"))])?;
+        let b = db.insert_named("Topic", &[("name", Value::text("net"))])?;
+        let t = db.insert_named(
+            "Teacher",
+            &[("topics", Value::List(vec![Value::Ref(a), Value::Ref(b)]))],
+        )?;
+        let teacher = class_id(&db, "Teacher")?;
         let pred = CompiledPredicate::compile(
             &db,
             teacher,
-            &"topics.name".parse().unwrap(),
+            &"topics.name".parse()?,
             CmpOp::Eq,
             Value::text("net"),
-        )
-        .unwrap();
+        )?;
         let mut counter = EvalCounter::new();
-        let (verdict, walk) = pred.eval(&db, db.object(t).unwrap(), &mut counter);
+        let (verdict, walk) = pred.eval(&db, object(&db, t)?, &mut counter);
         assert_eq!(verdict, Truth::True);
         assert_eq!(walk.visited, vec![a, b]);
+        Ok(())
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl HashIndex {
 
     /// LOids whose key equals `key`.
     pub fn lookup(&self, key: &IndexKey) -> &[LOid] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// LOids whose indexed attributes equal `values` (same order as the

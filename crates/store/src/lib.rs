@@ -26,6 +26,10 @@
 //! # Ok::<(), fedoq_store::StoreError>(())
 //! ```
 
+// Library code must surface errors as values, never panic on them:
+// test modules, which may unwrap freely, are exempt via cfg_attr.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod db;
 pub mod error;
 pub mod eval;

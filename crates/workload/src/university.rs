@@ -326,7 +326,10 @@ mod tests {
         );
         // Tony's unsolved predicates: address.city (p0) and
         // advisor.speciality (p1); his advisor's department is CS (true).
-        let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+        let unsolved: Vec<usize> = answer.maybe()[0]
+            .unsolved()
+            .map(fedoq_query::PredId::index)
+            .collect();
         assert_eq!(unsolved, vec![0, 1]);
     }
 

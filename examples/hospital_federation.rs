@@ -8,6 +8,7 @@
 //! ```
 
 use fedoq::prelude::*;
+use fedoq::schema::GlobalAttr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // General hospital: patients with physicians, no insurance data.
@@ -117,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fed = Federation::new(vec![db0, db1, db2], &corr)?;
     println!("{fed}");
     let patient = fed.global_schema().class_by_name("Patient").unwrap();
-    let attrs: Vec<&str> = patient.attrs().iter().map(|a| a.name()).collect();
+    let attrs: Vec<&str> = patient.attrs().iter().map(GlobalAttr::name).collect();
     println!("global Patient({})\n", attrs.join(", "));
 
     // Who is anemic (hemoglobin < 12) among insured patients?

@@ -7,6 +7,7 @@
 //! ```
 
 use fedoq::prelude::*;
+use fedoq::schema::GlobalAttr;
 use fedoq::workload::university;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== Integrated global schema (Figure 2) ===");
     for (_, class) in fed.global_schema().iter() {
-        let attrs: Vec<&str> = class.attrs().iter().map(|a| a.name()).collect();
+        let attrs: Vec<&str> = class.attrs().iter().map(GlobalAttr::name).collect();
         println!("  {}({})", class.name(), attrs.join(", "));
         for constituent in class.constituents() {
             let missing: Vec<&str> = constituent
@@ -53,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rendered: Vec<String> = entries
             .iter()
             .map(|(g, ls)| {
-                let copies: Vec<String> = ls.iter().map(|l| l.to_string()).collect();
+                let copies: Vec<String> = ls.iter().map(ToString::to_string).collect();
                 format!("{g}={{{}}}", copies.join(","))
             })
             .collect();

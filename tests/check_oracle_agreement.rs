@@ -1,0 +1,68 @@
+//! Property: the static analyzer's verdict agrees with the runtime
+//! oracle. On generated university-shaped workloads, a plan the analyzer
+//! certifies sound never yields an *overturned certain row* — every row
+//! the strategy certifies certain is certain under the oracle's
+//! full-information answer. (The analyzer works from schema facts alone;
+//! the oracle sees every object.)
+
+use fedoq_check::{analyze_query, PlanConfig, StrategyKind};
+use fedoq_core::{
+    oracle_answer, run_strategy, BasicLocalized, Centralized, ExecutionStrategy, ParallelLocalized,
+};
+use fedoq_query::bind;
+use fedoq_sim::SystemParams;
+use fedoq_workload::{generate, WorkloadParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn runtime_of(kind: StrategyKind) -> Box<dyn ExecutionStrategy> {
+    match kind {
+        StrategyKind::Ca => Box::new(Centralized),
+        StrategyKind::Bl => Box::new(BasicLocalized::new()),
+        StrategyKind::Pl => Box::new(ParallelLocalized::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// 256 generated workloads x 3 strategies: analyzer-sound plans keep
+    /// every certified-certain row certain under the oracle.
+    #[test]
+    fn sound_plans_never_overturn_certain_rows(seed in 0u64..100_000, n_db in 2usize..5) {
+        let mut params = WorkloadParams::paper_default().scaled(0.008);
+        params.n_db = n_db;
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let fed = &sample.federation;
+        let schema = fed.global_schema();
+        let query = bind(&sample.query, schema).unwrap();
+        let truth = oracle_answer(fed, &query);
+        for kind in StrategyKind::ALL {
+            let report = analyze_query(&query, schema, kind, &PlanConfig::default());
+            prop_assert!(
+                report.is_sound(),
+                "derived {kind} plan flagged unsound on seed {seed}: {}\n{report}",
+                sample.query
+            );
+            let (answer, _) = run_strategy(
+                runtime_of(kind).as_ref(),
+                fed,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .unwrap();
+            let certified = answer.certain_goids();
+            let oracle_certain = truth.certain_goids();
+            prop_assert!(
+                certified.is_subset(&oracle_certain),
+                "{kind} certified rows the oracle overturns on seed {seed}: {:?} not in {:?}\n\
+                 query: {}",
+                certified.difference(&oracle_certain).collect::<Vec<_>>(),
+                oracle_certain,
+                sample.query
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The checker's core contract: every shipped example passes clean, and
+//! every seeded-unsound input is rejected with its stable lint id.
+
+use fedoq_check::{analyze_all, analyze_query, check_protocol, PlanConfig, StrategyKind};
+use fedoq_query::bind;
+use fedoq_workload::{generate, university, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Queries shipped with the repository's examples and tutorial.
+const SHIPPED_QUERIES: &[&str] = &[
+    university::Q1,
+    "SELECT X.name FROM Student X WHERE X.address.city = 'Taipei'",
+    "SELECT X.name FROM Student X WHERE X.advisor.department.name = 'CS'",
+    "SELECT X.name, X.address.city FROM Student X WHERE X.age >= 20",
+];
+
+#[test]
+fn shipped_examples_pass_clean() {
+    let fed = university::federation().unwrap();
+    for sql in SHIPPED_QUERIES {
+        let bound = fed.parse_and_bind(sql).unwrap();
+        for report in analyze_all(&bound, fed.global_schema()) {
+            assert!(report.is_sound(), "{sql}\n{report}");
+        }
+    }
+}
+
+#[test]
+fn generated_workload_plans_pass_clean() {
+    let params = WorkloadParams::paper_default().scaled(0.02);
+    for seed in 0..12u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let bound = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        for report in analyze_all(&bound, sample.federation.global_schema()) {
+            assert!(report.is_sound(), "seed {seed}: {}\n{report}", sample.query);
+        }
+    }
+}
+
+#[test]
+fn protocol_audit_passes_clean_on_the_university_example() {
+    let fed = university::federation().unwrap();
+    let bound = fed.parse_and_bind(university::Q1).unwrap();
+    let report = check_protocol(&fed, &bound);
+    assert!(report.is_sound(), "{report}");
+}
+
+#[test]
+fn all_five_seeded_unsound_inputs_are_rejected_with_stable_ids() {
+    let cases = fedoq_check::self_test().unwrap_or_else(|e| panic!("{e}"));
+    let ids: Vec<(&str, &str)> = cases.iter().map(|c| (c.name, c.expect)).collect();
+    assert_eq!(
+        ids,
+        vec![
+            ("phase-order", "FQ100"),
+            ("uncovered-maybe", "FQ101"),
+            ("incapable-certifier", "FQ102"),
+            ("orphaned-rpc", "FQ202"),
+            ("double-reply", "FQ201"),
+        ]
+    );
+    for case in &cases {
+        assert!(
+            !case.report.is_sound(),
+            "`{}` must be deny-level: {}",
+            case.name,
+            case.report
+        );
+    }
+}
+
+#[test]
+fn warnings_do_not_fail_soundness_but_are_reported() {
+    let fed = university::federation().unwrap();
+    let bound = fed
+        .parse_and_bind("SELECT X.name FROM Student X WHERE X.age > 30 AND X.age < 20")
+        .unwrap();
+    let report = analyze_query(
+        &bound,
+        fed.global_schema(),
+        StrategyKind::Ca,
+        &PlanConfig::default(),
+    );
+    assert!(report.fired("FQ103"), "{report}");
+    assert!(report.is_sound(), "FQ103 is warn-level: {report}");
+}

@@ -42,7 +42,10 @@ fn q1_answer_matches_the_paper_for_every_strategy() {
             strategy.name()
         );
         // Tony stays maybe on the address and speciality conjuncts only.
-        let unsolved: Vec<usize> = answer.maybe()[0].unsolved().map(|p| p.index()).collect();
+        let unsolved: Vec<usize> = answer.maybe()[0]
+            .unsolved()
+            .map(fedoq::prelude::PredId::index)
+            .collect();
         assert_eq!(unsolved, vec![0, 1], "{}", strategy.name());
         assert!(metrics.total_execution_us > 0.0);
         assert!(metrics.response_us > 0.0);
