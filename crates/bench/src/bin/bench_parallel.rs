@@ -1,0 +1,340 @@
+//! Parallel-pipeline benchmark: sequential vs parallel+batched+cached.
+//!
+//! Runs the fig-9 university workload (the Table-2 synthetic generator
+//! at the paper's 3000-objects-per-class point) through all three
+//! strategies twice over:
+//!
+//! * **sequential** — `PipelineConfig { threads: 1, batch: 1, cache:
+//!   off }`: one probe per site message, the paper's own cost model;
+//! * **pipeline** — 8 scan threads, probes coalesced 64 per message,
+//!   and the shared GOid-lookup cache; measured cold (first run) and
+//!   warm (second run over the same cache).
+//!
+//! Answers must be identical across all runs. The harness writes
+//! `results/BENCH_parallel.json` with per-strategy latency, site
+//! messages, cache hit rate, and speedup, and fails loudly when the
+//! warm pipeline misses the acceptance bars (≥2x speedup per strategy,
+//! ≥4x fewer site messages for PL).
+//!
+//! Environment knobs:
+//!
+//! * `FEDOQ_QUICK=1` — CI smoke mode: tiny workload, only sanity bars
+//!   (speedup ≥ 1.0, identical answers) are enforced;
+//! * `FEDOQ_SAMPLES` / `FEDOQ_SCALE` — as for the figure harness.
+
+use fedoq_bench::Settings;
+use fedoq_core::{
+    run_strategy_with_pipeline, BasicLocalized, Centralized, ExecutionStrategy, LookupCache,
+    ParallelLocalized, PipelineConfig,
+};
+use fedoq_query::bind;
+use fedoq_sim::{QueryMetrics, SystemParams};
+use fedoq_workload::{generate, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The fig-9 x-value benchmarked (objects per constituent class).
+const OBJECTS_PER_CLASS: f64 = 3000.0;
+/// Scan threads for the pipeline configuration.
+const THREADS: usize = 8;
+/// Probes coalesced per site message.
+const BATCH: usize = 64;
+/// Scan-chunk granularity; finer than the library default so the
+/// benchmark extents split across all eight workers.
+const CHUNK: usize = 32;
+/// Base seed; per-sample seeds mirror the figure harness.
+const BASE_SEED: u64 = 9;
+
+/// Accumulated measurements for one strategy.
+struct StrategyRow {
+    name: &'static str,
+    sequential: QueryMetrics,
+    cold: QueryMetrics,
+    warm: QueryMetrics,
+    cache_hits: u64,
+    cache_misses: u64,
+    identical: bool,
+}
+
+impl StrategyRow {
+    fn speedup(&self) -> f64 {
+        ratio(self.sequential.response_us, self.warm.response_us)
+    }
+
+    fn message_ratio(&self) -> f64 {
+        ratio(self.sequential.messages as f64, self.warm.messages as f64)
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// `a / b`, or 0 when `b` is 0 (a warm run can answer entirely from
+/// cache and send no messages at all).
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn ExecutionStrategy>)> {
+    vec![
+        ("CA", Box::new(Centralized) as Box<dyn ExecutionStrategy>),
+        ("BL", Box::new(BasicLocalized::new())),
+        ("PL", Box::new(ParallelLocalized::new())),
+    ]
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("FEDOQ_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut settings = Settings::from_env();
+    if quick {
+        // CI smoke: a handful of tiny federations.
+        if std::env::var("FEDOQ_SAMPLES").is_err() {
+            settings.samples = 3;
+        }
+        if std::env::var("FEDOQ_SCALE").is_err() {
+            settings.scale = 0.02;
+        }
+    } else if std::env::var("FEDOQ_SAMPLES").is_err() || std::env::var("FEDOQ_SCALE").is_err() {
+        // Full mode defaults tuned so the run finishes in seconds while
+        // the extents stay big enough for the scan threads to matter.
+        if std::env::var("FEDOQ_SAMPLES").is_err() {
+            settings.samples = 6;
+        }
+        if std::env::var("FEDOQ_SCALE").is_err() {
+            settings.scale = 0.1;
+        }
+    }
+
+    let sequential_cfg = PipelineConfig {
+        threads: 1,
+        batch: 1,
+        cache: false,
+        ..PipelineConfig::default()
+    };
+    let pipeline_cfg = PipelineConfig {
+        threads: THREADS,
+        chunk: CHUNK,
+        batch: BATCH,
+        cache: true,
+    };
+
+    let mut params = WorkloadParams::paper_default();
+    let lo = ((OBJECTS_PER_CLASS * 0.9 * settings.scale).round() as usize).max(1);
+    let hi = ((OBJECTS_PER_CLASS * 1.1 * settings.scale).round() as usize).max(lo);
+    params.objects_per_class = lo..=hi;
+    let sys = SystemParams::paper_default();
+
+    println!(
+        "bench_parallel: fig9 workload, {} samples, {}..={} objects/class, \
+         pipeline = {} threads / batch {} / cache on{}",
+        settings.samples,
+        lo,
+        hi,
+        THREADS,
+        BATCH,
+        if quick { " [quick]" } else { "" },
+    );
+
+    let mut rows: Vec<StrategyRow> = strategies()
+        .iter()
+        .map(|(name, _)| StrategyRow {
+            name,
+            sequential: QueryMetrics::default(),
+            cold: QueryMetrics::default(),
+            warm: QueryMetrics::default(),
+            cache_hits: 0,
+            cache_misses: 0,
+            identical: true,
+        })
+        .collect();
+
+    for i in 0..settings.samples {
+        let seed = BASE_SEED.wrapping_mul(1000).wrapping_add(i as u64);
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema())
+            .expect("generated queries always bind");
+        for ((_, strategy), row) in strategies().iter().zip(rows.iter_mut()) {
+            let (seq_answer, seq_metrics) = run_strategy_with_pipeline(
+                strategy.as_ref(),
+                &sample.federation,
+                &query,
+                sys,
+                sequential_cfg,
+                None,
+            )
+            .expect("sequential run");
+            // One cache per (sample, strategy): the first pipeline run
+            // is the cold pass that fills it, the second answers warm.
+            let cache = RefCell::new(LookupCache::default());
+            let (cold_answer, cold_metrics) = run_strategy_with_pipeline(
+                strategy.as_ref(),
+                &sample.federation,
+                &query,
+                sys,
+                pipeline_cfg,
+                Some(&cache),
+            )
+            .expect("cold pipeline run");
+            let (warm_answer, warm_metrics) = run_strategy_with_pipeline(
+                strategy.as_ref(),
+                &sample.federation,
+                &query,
+                sys,
+                pipeline_cfg,
+                Some(&cache),
+            )
+            .expect("warm pipeline run");
+            let stats = cache.borrow().stats();
+            row.sequential = row.sequential.add(&seq_metrics);
+            row.cold = row.cold.add(&cold_metrics);
+            row.warm = row.warm.add(&warm_metrics);
+            row.cache_hits += stats.hits;
+            row.cache_misses += stats.misses;
+            row.identical &= seq_answer == cold_answer && seq_answer == warm_answer;
+        }
+    }
+
+    let mut failures = Vec::new();
+    for row in &rows {
+        println!(
+            "  {:4} seq {:>12.0}us / {:>6} msgs | warm {:>12.0}us / {:>6} msgs | \
+             speedup {:>6.2}x | msg ratio {:>6.2}x | hit rate {:.0}%",
+            row.name,
+            row.sequential.response_us,
+            row.sequential.messages,
+            row.warm.response_us,
+            row.warm.messages,
+            row.speedup(),
+            row.message_ratio(),
+            row.hit_rate() * 100.0,
+        );
+        if !row.identical {
+            failures.push(format!("{}: answers diverged across pipelines", row.name));
+        }
+        let speedup_bar = if quick { 1.0 } else { 2.0 };
+        if row.speedup() < speedup_bar {
+            failures.push(format!(
+                "{}: warm speedup {:.2}x below the {:.1}x bar",
+                row.name,
+                row.speedup(),
+                speedup_bar
+            ));
+        }
+        if !quick && row.name == "PL" && row.message_ratio() < 4.0 {
+            failures.push(format!(
+                "PL: message ratio {:.2}x below the 4.0x bar",
+                row.message_ratio()
+            ));
+        }
+    }
+
+    let json = render_json(&rows, &settings, quick);
+    let out = Path::new("results").join("BENCH_parallel.json");
+    if let Some(parent) = out.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    match fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_parallel: all bars met");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn render_metrics(json: &mut String, label: &str, m: &QueryMetrics) {
+    let _ = write!(
+        json,
+        "      \"{label}\": {{\"response_us\": {:.3}, \"total_us\": {:.3}, \
+         \"messages\": {}, \"bytes\": {}, \"comparisons\": {}}}",
+        m.response_us, m.total_execution_us, m.messages, m.bytes_transferred, m.comparisons
+    );
+}
+
+/// Hand-rolled JSON: every key is a fixed ASCII literal and every value
+/// a number or bool, so no escaping is needed (and no serde either).
+fn render_json(rows: &[StrategyRow], settings: &Settings, quick: bool) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"parallel-pipeline\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"fig9 university synthetic ({OBJECTS_PER_CLASS} objects/class)\","
+    );
+    let _ = writeln!(json, "  \"samples\": {},", settings.samples);
+    let _ = writeln!(json, "  \"scale\": {},", settings.scale);
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    json.push_str("  \"strategies\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", row.name);
+        render_metrics(&mut json, "sequential", &row.sequential);
+        json.push_str(",\n");
+        render_metrics(&mut json, "pipeline_cold", &row.cold);
+        json.push_str(",\n");
+        render_metrics(&mut json, "pipeline_warm", &row.warm);
+        json.push_str(",\n");
+        let _ = writeln!(
+            json,
+            "      \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},",
+            row.cache_hits,
+            row.cache_misses,
+            row.hit_rate()
+        );
+        let _ = writeln!(json, "      \"speedup\": {:.4},", finite(row.speedup()));
+        let _ = writeln!(
+            json,
+            "      \"message_ratio\": {:.4},",
+            finite(row.message_ratio())
+        );
+        let _ = writeln!(json, "      \"identical\": {}", row.identical);
+        json.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Caps infinities for JSON (a warm run can send zero messages).
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        1e9
+    }
+}

@@ -59,4 +59,6 @@ pub use diag::{Diagnostic, Lint, Report, Severity};
 pub use fixtures::{seeded_unsound_cases, self_test, UnsoundCase};
 pub use lattice::TruthSet;
 pub use plan::{derive_plan, PlanConfig, PlanIr, PlanStep, StrategyKind};
-pub use protocol::{check_protocol, run_protocol, ActorBug, ProtocolRun, Schedule};
+pub use protocol::{
+    check_protocol, run_protocol, run_protocol_with_pipeline, ActorBug, ProtocolRun, Schedule,
+};

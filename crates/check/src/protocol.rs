@@ -27,7 +27,7 @@
 use crate::diag::{Diagnostic, Report};
 use crate::lints;
 use fedoq_core::handlers::{answer_check_requests, answer_target_requests};
-use fedoq_core::{Federation, QueryAnswer};
+use fedoq_core::{Federation, LookupCache, PipelineConfig, QueryAnswer};
 use fedoq_net::actor::{run_global, run_site, Ctx};
 use fedoq_net::msg::{Envelope, LookupReply, Payload, Request, Response, ShipReply};
 use fedoq_net::router::Net;
@@ -73,6 +73,8 @@ fn payload_kind(payload: &Payload) -> (&'static str, bool) {
                 Response::LocalEval(_) => "LocalEval",
                 Response::AssistantLookup(_) => "AssistantLookup",
                 Response::ShipObjects(_) => "ShipObjects",
+                Response::BatchAssistantLookup(_) => "BatchAssistantLookup",
+                Response::BatchCertify(_) => "BatchCertify",
             },
             true,
         ),
@@ -244,6 +246,20 @@ async fn run_double_reply_site(ctx: Ctx<'_>, db: DbId) {
                 // The bug: a second reply on the same correlation id.
                 ctx.net.respond(&env, 0, Response::AssistantLookup(reply));
             }
+            Request::BatchAssistantLookup { checks, targets } => {
+                let reply = {
+                    let mut sim = ctx.sim.borrow_mut();
+                    LookupReply {
+                        verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
+                        values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
+                    }
+                };
+                ctx.net
+                    .respond(&env, 0, Response::BatchAssistantLookup(reply.clone()));
+                // The bug again, on the batched path.
+                ctx.net
+                    .respond(&env, 0, Response::BatchAssistantLookup(reply));
+            }
             Request::LocalEval { .. } => {
                 ctx.net
                     .respond(&env, 0, Response::LocalEval(Box::default()));
@@ -252,7 +268,7 @@ async fn run_double_reply_site(ctx: Ctx<'_>, db: DbId) {
                 ctx.net
                     .respond(&env, 0, Response::ShipObjects(ShipReply::default()));
             }
-            Request::Certify { .. } => {}
+            Request::Certify { .. } | Request::BatchCertify { .. } => {}
         }
     }
 }
@@ -294,6 +310,30 @@ pub fn run_protocol(
     schedule: &Schedule,
     bug: ActorBug,
 ) -> ProtocolRun {
+    run_protocol_with_pipeline(
+        fed,
+        query,
+        strategy,
+        schedule,
+        bug,
+        PipelineConfig::sequential(),
+    )
+}
+
+/// Like [`run_protocol`] under an explicit [`PipelineConfig`]: a batched
+/// pipeline makes the actors speak `BatchAssistantLookup` fragments, and
+/// an enabled cache is shared by the run's actors (fresh per run).
+pub fn run_protocol_with_pipeline(
+    fed: &Federation,
+    query: &BoundQuery,
+    strategy: DistributedStrategy,
+    schedule: &Schedule,
+    bug: ActorBug,
+    pipeline: PipelineConfig,
+) -> ProtocolRun {
+    let cache = pipeline
+        .cache
+        .then(|| Rc::new(RefCell::new(LookupCache::default())));
     let events: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
     let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(TraceTransport::new(
         schedule.clone(),
@@ -313,6 +353,8 @@ pub fn run_protocol(
             net: net.clone(),
             sim: Rc::clone(&sim),
             rpc,
+            pipeline,
+            cache: cache.clone(),
         };
         match bug {
             ActorBug::Silent(b) if b == db.id() => rt.handle().spawn(run_silent_site(ctx, db.id())),
@@ -328,6 +370,8 @@ pub fn run_protocol(
         net: net.clone(),
         sim: Rc::clone(&sim),
         rpc,
+        pipeline,
+        cache,
     }));
 
     let client_net = net.clone();
@@ -487,23 +531,47 @@ pub fn check_protocol(fed: &Federation, query: &BoundQuery) -> Report {
         DistributedStrategy::bl(),
         DistributedStrategy::pl(),
     ];
-    for strategy in strategies {
-        let reference = run_protocol(
-            fed,
-            query,
-            strategy,
-            &Schedule::uniform(),
-            ActorBug::Healthy,
-        );
-        analyze_run(&reference, None, &mut report);
-        let reference_answer = reference.answer.ok();
-        for schedule in Schedule::permutations() {
-            let run = run_protocol(fed, query, strategy, &schedule, ActorBug::Healthy);
-            analyze_run(&run, reference_answer.as_ref(), &mut report);
-        }
-        for schedule in Schedule::stragglers() {
-            let run = run_protocol(fed, query, strategy, &schedule, ActorBug::Healthy);
-            analyze_run(&run, None, &mut report);
+    // Both wire dialects are audited: the legacy one-message-per-peer
+    // shape, and the batched pipeline speaking BatchAssistantLookup
+    // fragments with the shared lookup cache enabled.
+    let pipelines = [
+        PipelineConfig::sequential(),
+        PipelineConfig::sequential().with_batch(4).with_cache(),
+    ];
+    for pipeline in pipelines {
+        for strategy in strategies {
+            let reference = run_protocol_with_pipeline(
+                fed,
+                query,
+                strategy,
+                &Schedule::uniform(),
+                ActorBug::Healthy,
+                pipeline,
+            );
+            analyze_run(&reference, None, &mut report);
+            let reference_answer = reference.answer.ok();
+            for schedule in Schedule::permutations() {
+                let run = run_protocol_with_pipeline(
+                    fed,
+                    query,
+                    strategy,
+                    &schedule,
+                    ActorBug::Healthy,
+                    pipeline,
+                );
+                analyze_run(&run, reference_answer.as_ref(), &mut report);
+            }
+            for schedule in Schedule::stragglers() {
+                let run = run_protocol_with_pipeline(
+                    fed,
+                    query,
+                    strategy,
+                    &schedule,
+                    ActorBug::Healthy,
+                    pipeline,
+                );
+                analyze_run(&run, None, &mut report);
+            }
         }
     }
     report

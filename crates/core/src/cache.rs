@@ -1,0 +1,317 @@
+//! A shared LRU cache for GOid-mapping and assistant-attribute lookups.
+//!
+//! The localized strategies keep re-deriving the same facts: the sibling
+//! set of an item in the GOid mapping tables, an assistant's verdict on
+//! an unsolved predicate, a target value fetched from an isomeric copy,
+//! and — for CA — the projected extents already shipped to the global
+//! site. All of these are pure functions of the federation's *data*, so
+//! they stay valid until a store mutates.
+//!
+//! Invalidation is generation-based: [`Federation::generation`] bumps on
+//! every mutation, and [`LookupCache::sync_generation`] drops the whole
+//! cache when the observed generation moves. There is no per-entry
+//! dependency tracking — a mutation anywhere flushes everything — which
+//! is crude but impossible to get wrong: a stale verdict can silently
+//! misclassify a maybe answer (the FQ101 situation), so the protocol
+//! errs on the side of recomputation.
+//!
+//! [`Federation::generation`]: crate::federation::Federation::generation
+
+use fedoq_object::{DbId, LOid, Truth, Value};
+use fedoq_query::BoundQuery;
+use std::collections::HashMap;
+
+/// Key of one cached lookup. Query-dependent namespaces carry a query
+/// fingerprint (see [`query_fingerprint`]) so distinct queries never
+/// collide; data-only namespaces (siblings) are shared across queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// An assistant's verdict on the remainder of predicate `pred`
+    /// starting at step `start` — the payload of one check probe.
+    Verdict {
+        /// The assistant object that was checked.
+        assistant: LOid,
+        /// Conjunct index within the fingerprinted query.
+        pred: usize,
+        /// Step index where the checked remainder begins.
+        start: usize,
+        /// Fingerprint of the query the predicate belongs to.
+        query: u64,
+    },
+    /// A target value fetched from an assistant (target completion).
+    Target {
+        /// The assistant object that was read.
+        assistant: LOid,
+        /// Select-list position of the target.
+        target: usize,
+        /// Step index where the unprojectable remainder begins.
+        start: usize,
+        /// Fingerprint of the query the target belongs to.
+        query: u64,
+    },
+    /// The presence-filtered assistant set of one unsolved item: the
+    /// GOid-mapping lookup, filtered to sites whose constituent holds the
+    /// first missing attribute (`slot`).
+    Siblings {
+        /// Global class of the item (index form).
+        class: u32,
+        /// First unsolved global attribute slot.
+        slot: usize,
+        /// The item whose isomeric copies are wanted.
+        item: LOid,
+    },
+    /// One projected-extent shipment CA already delivered to the global
+    /// site (value: its byte size). A warm entry lets a repeated query
+    /// skip the re-ship entirely.
+    Shipment {
+        /// The site that shipped.
+        db: DbId,
+        /// Position within the ship plan.
+        index: usize,
+        /// Fingerprint of the shipped-for query.
+        query: u64,
+    },
+}
+
+/// Value of one cached lookup, variant-matched to its [`CacheKey`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheValue {
+    /// A check verdict.
+    Verdict(Truth),
+    /// A fetched target value.
+    Target(Value),
+    /// A presence-filtered assistant set.
+    Siblings(Vec<LOid>),
+    /// Shipped bytes of one CA shipment.
+    Shipment(u64),
+}
+
+/// Hit/miss/eviction/invalidation counters, monotone over the cache's
+/// lifetime (surviving generation flushes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to recomputation.
+    pub misses: u64,
+    /// Entries dropped by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by generation invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes answered from the cache (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: CacheValue,
+    last_use: u64,
+}
+
+/// The shared lookup cache: a bounded map with least-recently-used
+/// eviction and whole-cache generation invalidation.
+#[derive(Debug, Clone)]
+pub struct LookupCache {
+    capacity: usize,
+    generation: u64,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl Default for LookupCache {
+    fn default() -> Self {
+        LookupCache::with_capacity(65_536)
+    }
+}
+
+impl LookupCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> LookupCache {
+        LookupCache {
+            capacity: capacity.max(1),
+            generation: 0,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Aligns the cache with the federation's mutation generation,
+    /// flushing every entry (and counting them as invalidations) when the
+    /// generation moved since the last sync.
+    pub fn sync_generation(&mut self, generation: u64) {
+        if generation != self.generation {
+            self.stats.invalidations += self.map.len() as u64;
+            self.map.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// The generation the current contents were computed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CacheValue> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_use = self.tick;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value`, evicting the least-recently-used entry
+    /// when the capacity bound is hit.
+    pub fn put(&mut self, key: CacheKey, value: CacheValue) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_use: self.tick,
+            },
+        );
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry and resets the counters (the cache keeps its
+    /// capacity and generation) — the shell's `cachestats reset`.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A deterministic fingerprint of a bound query (FNV-1a over its debug
+/// rendering), namespacing query-dependent cache entries. Stable within a
+/// process run, which is the cache's lifetime.
+pub fn query_fingerprint(query: &BoundQuery) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{query:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vkey(serial: u64) -> CacheKey {
+        CacheKey::Verdict {
+            assistant: LOid::new(DbId::new(0), serial),
+            pred: 0,
+            start: 1,
+            query: 7,
+        }
+    }
+
+    #[test]
+    fn hits_misses_and_recency() {
+        let mut cache = LookupCache::with_capacity(8);
+        assert!(cache.get(&vkey(1)).is_none());
+        cache.put(vkey(1), CacheValue::Verdict(Truth::True));
+        assert_eq!(cache.get(&vkey(1)), Some(CacheValue::Verdict(Truth::True)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = LookupCache::with_capacity(2);
+        cache.put(vkey(1), CacheValue::Verdict(Truth::True));
+        cache.put(vkey(2), CacheValue::Verdict(Truth::False));
+        let _ = cache.get(&vkey(1)); // 2 is now coldest
+        cache.put(vkey(3), CacheValue::Verdict(Truth::Unknown));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&vkey(2)).is_none());
+        assert!(cache.get(&vkey(1)).is_some());
+        // Re-putting an existing key never evicts.
+        cache.put(vkey(1), CacheValue::Verdict(Truth::True));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn generation_sync_flushes_once_per_move() {
+        let mut cache = LookupCache::default();
+        cache.put(vkey(1), CacheValue::Shipment(128));
+        cache.sync_generation(0); // unchanged: no flush
+        assert_eq!(cache.len(), 1);
+        cache.sync_generation(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.generation(), 1);
+        cache.sync_generation(1);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn reset_clears_entries_and_counters() {
+        let mut cache = LookupCache::with_capacity(4);
+        cache.put(vkey(1), CacheValue::Verdict(Truth::True));
+        let _ = cache.get(&vkey(1));
+        cache.reset();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.capacity(), 4);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

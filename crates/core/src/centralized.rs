@@ -6,15 +6,19 @@
 //! the constituents over GOids (phases O and I) and then evaluates the
 //! predicates on the integrated objects (phase P).
 
+use crate::cache::{query_fingerprint, CacheKey, CacheValue, LookupCache};
 use crate::error::ExecError;
 use crate::federation::Federation;
 use crate::materialize::Materialized;
+use crate::pipeline::PipelineConfig;
 use crate::result::{MaybeRow, QueryAnswer, ResultRow};
 use crate::strategy::ExecutionStrategy;
 use fedoq_object::{DbId, Truth};
 use fedoq_query::BoundQuery;
 use fedoq_sim::{Phase, Simulation, Site, SystemParams};
-use std::collections::BTreeSet;
+use fedoq_store::{map_chunks, worker_shares};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The centralized strategy (the paper's algorithm **CA**).
 ///
@@ -33,37 +37,109 @@ impl ExecutionStrategy for Centralized {
         query: &BoundQuery,
         sim: &mut Simulation,
     ) -> Result<QueryAnswer, ExecError> {
-        // --- Step CA_G1 / CA_C1: request and ship the projected extents.
-        let params = *sim.params();
-        let plan = ship_plan(fed, query, &params);
-        let requests: Vec<_> = plan
-            .sites
-            .iter()
-            .map(|&db| {
-                let token = sim.send(
-                    Site::Global,
-                    Site::Db(db),
-                    2 * sim.params().attr_bytes,
-                    Phase::Ship,
-                );
-                (db, token)
-            })
-            .collect();
-        for &(db, token) in &requests {
-            sim.recv(Site::Db(db), token);
-        }
-
-        let mut shipments = Vec::new();
-        for &(db, bytes) in &plan.shipments {
-            sim.disk(Site::Db(db), bytes, Phase::Ship);
-            shipments.push((Site::Db(db), Site::Global, bytes, Phase::Ship));
-        }
-        let tokens = sim.send_batch(shipments);
-        sim.recv_all(Site::Global, tokens);
-
-        // --- Steps CA_G2 / CA_G3 at the global site.
-        centralized_answer(fed, query, sim)
+        centralized_execute_with(fed, query, sim, PipelineConfig::sequential(), None)
     }
+
+    fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+        pipeline: PipelineConfig,
+        cache: Option<&RefCell<LookupCache>>,
+    ) -> Result<QueryAnswer, ExecError> {
+        centralized_execute_with(fed, query, sim, pipeline, cache)
+    }
+}
+
+/// CA under an explicit pipeline: the ship phase (steps CA_G1/CA_C1)
+/// followed by the global-site share.
+///
+/// With the cache enabled, each projected-extent shipment is remembered
+/// under `(site, plan position, query)`; a repeat of the same query under
+/// an unchanged federation generation finds every shipment warm and skips
+/// the query broadcast, the disk reads, and the wire transfer entirely —
+/// the global site still holds the extents it was shipped last time.
+///
+/// # Errors
+///
+/// As for [`Centralized`]'s `execute`.
+pub fn centralized_execute_with(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<QueryAnswer, ExecError> {
+    let cache = if pipeline.cache { cache } else { None };
+    // --- Step CA_G1 / CA_C1: request and ship the projected extents.
+    let params = *sim.params();
+    let plan = ship_plan(fed, query, &params);
+
+    let mut cold = vec![true; plan.shipments.len()];
+    if let Some(cache) = cache {
+        let fingerprint = query_fingerprint(query);
+        let mut cache = cache.borrow_mut();
+        for (index, &(db, bytes)) in plan.shipments.iter().enumerate() {
+            let key = CacheKey::Shipment {
+                db,
+                index,
+                query: fingerprint,
+            };
+            if cache.get(&key) == Some(CacheValue::Shipment(bytes)) {
+                cold[index] = false;
+            } else {
+                cache.put(key, CacheValue::Shipment(bytes));
+            }
+        }
+    }
+
+    // Only sites still owing a shipment receive the query. Without a
+    // cache every shipment is cold and this is exactly the full site
+    // list, preserving the legacy cost profile bit for bit.
+    let contact: Vec<DbId> = if cache.is_some() {
+        plan.sites
+            .iter()
+            .copied()
+            .filter(|&db| {
+                plan.shipments
+                    .iter()
+                    .zip(&cold)
+                    .any(|(&(owner, _), &is_cold)| owner == db && is_cold)
+            })
+            .collect()
+    } else {
+        plan.sites.clone()
+    };
+    let requests: Vec<_> = contact
+        .iter()
+        .map(|&db| {
+            let token = sim.send(
+                Site::Global,
+                Site::Db(db),
+                2 * params.attr_bytes,
+                Phase::Ship,
+            );
+            (db, token)
+        })
+        .collect();
+    for &(db, token) in &requests {
+        sim.recv(Site::Db(db), token);
+    }
+
+    let mut shipments = Vec::new();
+    for (index, &(db, bytes)) in plan.shipments.iter().enumerate() {
+        if !cold[index] {
+            continue;
+        }
+        sim.disk(Site::Db(db), bytes, Phase::Ship);
+        shipments.push((Site::Db(db), Site::Global, bytes, Phase::Ship));
+    }
+    let tokens = sim.send_batch(shipments);
+    sim.recv_all(Site::Global, tokens);
+
+    // --- Steps CA_G2 / CA_G3 at the global site.
+    centralized_answer_with(fed, query, sim, pipeline)
 }
 
 /// CA's shipping plan: which sites receive the query and how many bytes of
@@ -88,6 +164,10 @@ pub fn ship_plan(fed: &Federation, query: &BoundQuery, params: &SystemParams) ->
         .keys()
         .flat_map(|&c| schema.class(c).hosting_dbs())
         .collect();
+    // `involved_slots` hands back a HashMap; order it before walking so
+    // the shipment list really is in (class, constituent) order — the
+    // shipment cache keys entries by position in this list.
+    let involved: BTreeMap<_, _> = involved.into_iter().collect();
     let mut shipments = Vec::new();
     for (&class_id, slots) in &involved {
         for constituent in schema.class(class_id).constituents() {
@@ -115,6 +195,25 @@ pub fn centralized_answer(
     query: &BoundQuery,
     sim: &mut Simulation,
 ) -> Result<QueryAnswer, ExecError> {
+    centralized_answer_with(fed, query, sim, PipelineConfig::sequential())
+}
+
+/// [`centralized_answer`] under an explicit pipeline: the sorted roots are
+/// split into chunks that parallel workers evaluate independently, and
+/// the per-chunk partials are merged back in chunk order — the answer is
+/// byte-identical to the sequential walk. The simulation charges every
+/// probe either way; a parallel configuration merely overlaps the chunk
+/// costs on the global site's clock, advancing it by the critical path.
+///
+/// # Errors
+///
+/// As for [`centralized_answer`].
+pub fn centralized_answer_with(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    pipeline: PipelineConfig,
+) -> Result<QueryAnswer, ExecError> {
     let mut involved = query.involved_slots();
     // The range class is always involved: its extent seeds the rows even
     // when neither targets nor predicates read a root attribute.
@@ -129,42 +228,60 @@ pub fn centralized_answer(
     let extent = materialized
         .extent(query.range())
         .ok_or_else(|| ExecError::Internal("range class not materialized".into()))?;
-    let mut certain = Vec::new();
-    let mut maybe = Vec::new();
-    let mut probes = 0u64;
     let mut roots: Vec<_> = extent.keys().copied().collect();
     roots.sort();
-    for goid in roots {
-        let mut eliminated = false;
-        let mut unsolved = Vec::new();
-        for pred in query.predicates() {
-            let value = materialized.walk(goid, pred.path(), &mut probes);
-            probes += 1;
-            match value.compare(pred.op(), pred.literal()) {
-                Truth::True => {}
-                Truth::False => {
-                    eliminated = true;
-                    break;
+
+    let partials = map_chunks(&roots, pipeline.threads, pipeline.chunk, |_, chunk| {
+        let mut certain = Vec::new();
+        let mut maybe = Vec::new();
+        let mut probes = 0u64;
+        for &goid in chunk {
+            let mut eliminated = false;
+            let mut unsolved = Vec::new();
+            for pred in query.predicates() {
+                let value = materialized.walk(goid, pred.path(), &mut probes);
+                probes += 1;
+                match value.compare(pred.op(), pred.literal()) {
+                    Truth::True => {}
+                    Truth::False => {
+                        eliminated = true;
+                        break;
+                    }
+                    Truth::Unknown => unsolved.push(pred.id()),
                 }
-                Truth::Unknown => unsolved.push(pred.id()),
+            }
+            if eliminated {
+                continue;
+            }
+            let values = query
+                .targets()
+                .iter()
+                .map(|t| materialized.walk(goid, t, &mut probes))
+                .collect();
+            let row = ResultRow::new(goid, values);
+            if unsolved.is_empty() {
+                certain.push(row);
+            } else {
+                maybe.push(MaybeRow::new(row, unsolved));
             }
         }
-        if eliminated {
-            continue;
-        }
-        let values = query
-            .targets()
-            .iter()
-            .map(|t| materialized.walk(goid, t, &mut probes))
-            .collect();
-        let row = ResultRow::new(goid, values);
-        if unsolved.is_empty() {
-            certain.push(row);
-        } else {
-            maybe.push(MaybeRow::new(row, unsolved));
-        }
+        (certain, maybe, probes)
+    });
+
+    let mut certain = Vec::new();
+    let mut maybe = Vec::new();
+    let mut chunk_probes = Vec::with_capacity(partials.len());
+    for (chunk_certain, chunk_maybe, probes) in partials {
+        certain.extend(chunk_certain);
+        maybe.extend(chunk_maybe);
+        chunk_probes.push(probes);
     }
-    sim.cpu(Site::Global, probes, Phase::P);
+    if pipeline.is_parallel() {
+        let shares = worker_shares(&chunk_probes, pipeline.threads);
+        sim.cpu_parallel(Site::Global, &shares, Phase::P);
+    } else {
+        sim.cpu(Site::Global, chunk_probes.iter().sum(), Phase::P);
+    }
     Ok(QueryAnswer::new(certain, maybe))
 }
 

@@ -23,6 +23,9 @@ pub struct Federation {
     global: GlobalSchema,
     catalog: GoidCatalog,
     signatures: HashMap<LOid, ObjectSignature>,
+    /// Mutation counter: bumped by [`Federation::mutate`] so caches keyed
+    /// on federation data (see `crate::cache`) can invalidate.
+    generation: u64,
 }
 
 impl Federation {
@@ -56,6 +59,7 @@ impl Federation {
             global,
             catalog,
             signatures,
+            generation: 0,
         })
     }
 
@@ -72,7 +76,44 @@ impl Federation {
             global,
             catalog,
             signatures,
+            generation: 0,
         }
+    }
+
+    /// The mutation generation: 0 at construction, +1 per successful
+    /// [`Federation::mutate`]. Lookup caches compare this against the
+    /// generation their entries were computed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Applies a store mutation to one component database, then restores
+    /// the federation invariants: the GOid mapping tables and the
+    /// signature catalog are rebuilt (both are derived from store data)
+    /// and the mutation generation is bumped.
+    ///
+    /// The closure's own failure leaves the federation untouched — the
+    /// rebuild only runs after `f` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Internal`] when `db` is out of range,
+    /// [`ExecError::Store`] when `f` fails, and [`ExecError::Schema`]
+    /// when isomerism re-identification fails afterwards.
+    pub fn mutate<R, F>(&mut self, db: DbId, f: F) -> Result<R, ExecError>
+    where
+        F: FnOnce(&mut ComponentDb) -> Result<R, fedoq_store::StoreError>,
+    {
+        let slot = self
+            .dbs
+            .get_mut(db.index())
+            .ok_or_else(|| ExecError::Internal(format!("no database {db}")))?;
+        let out = f(slot)?;
+        let db_refs: Vec<&ComponentDb> = self.dbs.iter().collect();
+        self.catalog = identify_isomerism(&db_refs, &self.global)?;
+        self.signatures = build_signatures(&self.dbs);
+        self.generation += 1;
+        Ok(out)
     }
 
     /// Number of component databases.
@@ -291,6 +332,40 @@ mod tests {
         assert!(sig.may_contain("s-no", &Value::Int(2)));
         assert!(sig.may_be_null("sex"));
         assert!(!sig.may_contain("s-no", &Value::Int(99)));
+    }
+
+    #[test]
+    fn mutate_rebuilds_catalog_and_bumps_generation() {
+        let mut fed = two_db_fed();
+        assert_eq!(fed.generation(), 0);
+        let class = fed.global_schema().class_id("Student").unwrap();
+        assert_eq!(fed.catalog().table(class).len(), 2);
+
+        // Insert a new isomeric copy of entity 2 in DB0: the catalog must
+        // pick it up, and every new object must gain a signature.
+        let loid = fed
+            .mutate(DbId::new(0), |db| {
+                db.insert_named(
+                    "Student",
+                    &[("s-no", Value::Int(2)), ("age", Value::Int(44))],
+                )
+            })
+            .unwrap();
+        assert_eq!(fed.generation(), 1);
+        assert_eq!(fed.catalog().table(class).len(), 2);
+        assert!(fed.signature(loid).is_some());
+
+        // A failing closure surfaces the store error without bumping.
+        let err = fed.mutate(DbId::new(1), |db| {
+            db.insert_named("Nope", &[("s-no", Value::Int(9))])
+        });
+        assert!(err.is_err());
+        assert_eq!(fed.generation(), 1);
+
+        // Retract it again: the entity collapses back to its DB1 copies.
+        fed.mutate(DbId::new(0), |db| db.retract(loid)).unwrap();
+        assert_eq!(fed.generation(), 2);
+        assert!(fed.signature(loid).is_none());
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! runtime share one implementation — and is why their certain/maybe
 //! answers are bit-identical (see `tests/distributed_differential.rs`).
 
-pub use crate::centralized::{centralized_answer, ship_plan, ShipPlan};
+pub use crate::centralized::{
+    centralized_answer, centralized_answer_with, centralized_execute_with, ship_plan, ShipPlan,
+};
 pub use crate::certify::{certify, CheckReplies};
 pub use crate::localized::{
-    answer_check_requests, answer_target_requests, evaluate_site, reply_message_bytes,
-    request_message_bytes, result_message_bytes, target_reply_message_bytes, CheckRequest,
-    CheckVerdict, LocalRow, LocalizedConfig, LocalizedMode, SiteEval, TargetReplies, TargetRequest,
-    UnsolvedEntry,
+    answer_check_requests, answer_target_requests, evaluate_site, evaluate_site_with,
+    reply_message_bytes, request_message_bytes, result_message_bytes, target_reply_message_bytes,
+    CheckRequest, CheckVerdict, LocalRow, LocalizedConfig, LocalizedMode, SiteEval, TargetReplies,
+    TargetRequest, UnsolvedEntry,
 };

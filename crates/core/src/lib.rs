@@ -59,6 +59,7 @@
 // test modules, which may unwrap freely, are exempt via cfg_attr.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod centralized;
 pub mod certify;
 pub mod disjunctive;
@@ -69,9 +70,11 @@ pub mod handlers;
 pub mod localized;
 pub mod materialize;
 pub mod oracle;
+pub mod pipeline;
 pub mod result;
 pub mod strategy;
 
+pub use cache::{query_fingerprint, CacheStats, LookupCache};
 pub use centralized::Centralized;
 pub use disjunctive::run_disjunctive;
 pub use error::ExecError;
@@ -79,5 +82,8 @@ pub use explain::explain;
 pub use federation::Federation;
 pub use localized::{BasicLocalized, ParallelLocalized};
 pub use oracle::{oracle_answer, oracle_disjunctive};
+pub use pipeline::PipelineConfig;
 pub use result::{MaybeRow, Provenance, QueryAnswer, ResultRow};
-pub use strategy::{run_strategy, run_strategy_with_network, ExecutionStrategy};
+pub use strategy::{
+    run_strategy, run_strategy_with_network, run_strategy_with_pipeline, ExecutionStrategy,
+};

@@ -22,15 +22,20 @@
 //! a definite violation — the row is eliminated locally and nothing is
 //! transferred. Signature pruning never changes answers.
 
+use crate::cache::{query_fingerprint, CacheKey, CacheValue, LookupCache};
 use crate::certify::{certify, CheckReplies};
 use crate::error::ExecError;
 use crate::federation::Federation;
+use crate::pipeline::PipelineConfig;
 use crate::result::QueryAnswer;
 use crate::strategy::ExecutionStrategy;
 use fedoq_object::{CmpOp, DbId, GOid, GlobalClassId, LOid, Object, Path, Truth, Value};
 use fedoq_query::{plan_for_db, BoundQuery, PredDisposition, PredId, SitePlan};
 use fedoq_sim::{MessageToken, Phase, Simulation, Site, SystemParams};
-use fedoq_store::{CompiledPath, CompiledPredicate, ComponentDb, EvalCounter};
+use fedoq_store::{
+    map_chunks, worker_shares, CompiledPath, CompiledPredicate, ComponentDb, EvalCounter,
+};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
 /// The basic localized strategy (the paper's algorithm **BL**).
@@ -90,6 +95,28 @@ impl ExecutionStrategy for BasicLocalized {
             },
         )
     }
+
+    fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+        pipeline: PipelineConfig,
+        cache: Option<&RefCell<LookupCache>>,
+    ) -> Result<QueryAnswer, ExecError> {
+        execute_localized_with(
+            fed,
+            query,
+            sim,
+            LocalizedMode::Basic,
+            LocalizedConfig {
+                use_signatures: self.use_signatures,
+                complete_targets: self.complete_targets,
+            },
+            pipeline,
+            cache,
+        )
+    }
 }
 
 /// The parallel localized strategy (the paper's algorithm **PL**).
@@ -147,6 +174,28 @@ impl ExecutionStrategy for ParallelLocalized {
                 use_signatures: self.use_signatures,
                 complete_targets: self.complete_targets,
             },
+        )
+    }
+
+    fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+        pipeline: PipelineConfig,
+        cache: Option<&RefCell<LookupCache>>,
+    ) -> Result<QueryAnswer, ExecError> {
+        execute_localized_with(
+            fed,
+            query,
+            sim,
+            LocalizedMode::Parallel,
+            LocalizedConfig {
+                use_signatures: self.use_signatures,
+                complete_targets: self.complete_targets,
+            },
+            pipeline,
+            cache,
         )
     }
 }
@@ -437,6 +486,51 @@ fn local_attr_name(
     Some(def.attrs()[local_slot].name().to_owned())
 }
 
+/// Looks up the presence-filtered assistant set of one unsolved item —
+/// the GOid-mapping lookup plus one remote-schema presence probe per
+/// sibling — consulting the shared cache when one is given. The filtered
+/// set depends only on `(class, slot, item)`, so predicate checks and
+/// target completion share entries.
+fn filtered_siblings(
+    fed: &Federation,
+    item_class: GlobalClassId,
+    first_slot: usize,
+    item: LOid,
+    cache: Option<&RefCell<LookupCache>>,
+    comparisons: &mut u64,
+) -> Vec<LOid> {
+    *comparisons += 1; // GOid-table probe for the item
+    let key = CacheKey::Siblings {
+        class: item_class.index() as u32,
+        slot: first_slot,
+        item,
+    };
+    if let Some(cache) = cache {
+        if let Some(CacheValue::Siblings(assistants)) = cache.borrow_mut().get(&key) {
+            return assistants;
+        }
+    }
+    let class = fed.global_schema().class(item_class);
+    let mut survivors = Vec::new();
+    for assistant in fed.catalog().table(item_class).siblings(item) {
+        // Consult the remote schema: only ask sites whose constituent can
+        // start evaluating the remaining path.
+        *comparisons += 1;
+        let present = class
+            .constituent_for(assistant.db())
+            .is_some_and(|c| !c.is_missing(first_slot));
+        if present {
+            survivors.push(assistant);
+        }
+    }
+    if let Some(cache) = cache {
+        cache
+            .borrow_mut()
+            .put(key, CacheValue::Siblings(survivors.clone()));
+    }
+    survivors
+}
+
 /// Expands one unsolved item into check requests against its assistants,
 /// consulting the GOid tables, the other sites' schemas, and (optionally)
 /// the replicated signatures.
@@ -451,6 +545,7 @@ fn requests_for_item(
     pred: PredId,
     start: usize,
     use_signatures: bool,
+    cache: Option<&RefCell<LookupCache>>,
     comparisons: &mut u64,
     seen: &mut HashSet<CheckRequest>,
     out: &mut Vec<CheckRequest>,
@@ -458,19 +553,7 @@ fn requests_for_item(
     let bound_pred = query.predicate(pred);
     let item_class = bound_pred.path().class(start);
     let first_slot = bound_pred.path().slot(start);
-    let table = fed.catalog().table(item_class);
-    *comparisons += 1; // GOid-table probe for the item
-    let class = fed.global_schema().class(item_class);
-    for assistant in table.siblings(item) {
-        // Consult the remote schema: only ask sites whose constituent can
-        // start evaluating the remaining path.
-        *comparisons += 1;
-        let Some(constituent) = class.constituent_for(assistant.db()) else {
-            continue;
-        };
-        if constituent.is_missing(first_slot) {
-            continue;
-        }
+    for assistant in filtered_siblings(fed, item_class, first_slot, item, cache, comparisons) {
         let single_step = start + 1 == bound_pred.path().len();
         if use_signatures && single_step && bound_pred.op() == CmpOp::Eq {
             *comparisons += 2; // value-bits probe + null-marker probe
@@ -510,6 +593,8 @@ fn scan_static(
     ctx: &SiteContext<'_>,
     sim: &mut Simulation,
     config: LocalizedConfig,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
 ) -> StaticScan {
     let mut scan = StaticScan::default();
     if ctx.truncated.is_empty() {
@@ -518,6 +603,73 @@ fn scan_static(
     let site = Site::Db(ctx.db.id());
     let params = *sim.params();
     let extent = ctx.db.extent(ctx.plan.root_constituent());
+    if pipeline.is_parallel() {
+        // Chunked like the phase-P scan. Workers cannot share the
+        // (single-threaded) cache, so each chunk resolves its siblings
+        // from the catalog and dedups locally; the merge below re-dedups
+        // across chunks in chunk order, which reproduces the sequential
+        // first-occurrence request order exactly. Workers may repeat a
+        // sibling walk a sequential pass would have memoized — that is
+        // charged as genuine (overlapped) work.
+        let partials = map_chunks(
+            extent.objects(),
+            pipeline.threads,
+            pipeline.chunk,
+            |_, chunk| {
+                let mut counter = EvalCounter::new();
+                let mut comparisons = 0u64;
+                let mut seen = HashSet::new();
+                let mut requests = Vec::new();
+                let mut sig_eliminated = Vec::new();
+                let mut items = Vec::new();
+                for object in chunk {
+                    for (pred, prefix) in &ctx.truncated {
+                        let (item, start) = resolve_item(ctx, object, prefix, &mut counter);
+                        if let Some(item_loid) = item {
+                            let ok = requests_for_item(
+                                fed,
+                                query,
+                                item_loid,
+                                *pred,
+                                start,
+                                config.use_signatures,
+                                None,
+                                &mut comparisons,
+                                &mut seen,
+                                &mut requests,
+                            );
+                            if !ok {
+                                sig_eliminated.push(object.loid().serial());
+                            }
+                        }
+                        items.push(((object.loid().serial(), pred.index()), (item, start)));
+                    }
+                }
+                (requests, items, sig_eliminated, counter, comparisons)
+            },
+        );
+        let mut seen = HashSet::new();
+        let mut disk_costs = Vec::with_capacity(partials.len());
+        let mut cpu_costs = Vec::with_capacity(partials.len());
+        for (requests, items, sig_eliminated, counter, comparisons) in partials {
+            for request in requests {
+                if seen.insert(request) {
+                    scan.requests.push(request);
+                }
+            }
+            scan.state.items.extend(items);
+            scan.state.sig_eliminated.extend(sig_eliminated);
+            disk_costs.push(counter.objects_fetched * params.object_bytes(1));
+            cpu_costs.push(comparisons + counter.comparisons);
+        }
+        sim.disk_parallel(
+            site,
+            &worker_shares(&disk_costs, pipeline.threads),
+            Phase::O,
+        );
+        sim.cpu_parallel(site, &worker_shares(&cpu_costs, pipeline.threads), Phase::O);
+        return scan;
+    }
     let mut counter = EvalCounter::new();
     let mut comparisons = 0u64;
     let mut seen = HashSet::new();
@@ -532,6 +684,7 @@ fn scan_static(
                     *pred,
                     start,
                     config.use_signatures,
+                    cache,
                     &mut comparisons,
                     &mut seen,
                     &mut scan.requests,
@@ -554,153 +707,204 @@ fn scan_static(
     scan
 }
 
+/// Per unsolved entry of one local row: its item, the remainder start
+/// step, and whether the static pass already issued its checks.
+type RowRemainders = Vec<(Option<LOid>, usize, bool)>;
+
+/// Evaluates one candidate object (the phase-P body): local predicates,
+/// static-state reuse, target projection, and the root GOid probe. Pure
+/// over the federation — chunked parallel scans call it concurrently —
+/// with every charged probe accumulated in `counter`.
+fn eval_object(
+    fed: &Federation,
+    query: &BoundQuery,
+    ctx: &SiteContext<'_>,
+    config: LocalizedConfig,
+    static_state: &StaticState,
+    object: &Object,
+    counter: &mut EvalCounter,
+) -> Option<(LocalRow, RowRemainders)> {
+    if static_state
+        .sig_eliminated
+        .contains(&object.loid().serial())
+    {
+        return None;
+    }
+    let mut verdicts = vec![Truth::Unknown; query.predicates().len()];
+    let mut unsolved: Vec<(PredId, Option<LOid>, usize, bool)> = Vec::new();
+    for (i, compiled) in ctx.local_preds.iter().enumerate() {
+        let Some(pred) = compiled else { continue };
+        let (verdict, walk) = pred.eval(ctx.db, object, counter);
+        match verdict {
+            Truth::True => verdicts[i] = Truth::True,
+            Truth::False => return None,
+            Truth::Unknown => {
+                // A null blocked the walk: the deepest visited object
+                // holds the missing data, and the remainder starts at
+                // its depth.
+                unsolved.push((
+                    PredId::new(i),
+                    walk.visited.last().copied(),
+                    walk.visited.len(),
+                    false,
+                ));
+            }
+        }
+    }
+    // Statically unsolved predicates: reuse the static pass (PL) or
+    // resolve items now (BL).
+    for (pred, prefix) in &ctx.truncated {
+        match static_state
+            .items
+            .get(&(object.loid().serial(), pred.index()))
+            .copied()
+        {
+            Some((item, start)) => unsolved.push((*pred, item, start, true)),
+            None => {
+                let (item, start) = resolve_item(ctx, object, prefix, counter);
+                unsolved.push((*pred, item, start, false));
+            }
+        }
+    }
+
+    // Project targets; with target completion, resolve the nested
+    // item whose assistants can supply an unprojectable value.
+    let mut targets = Vec::with_capacity(ctx.targets.len());
+    let mut target_items = vec![None; ctx.targets.len()];
+    for (t, compiled) in ctx.targets.iter().enumerate() {
+        match compiled {
+            None => {
+                targets.push(Value::Null);
+                if let (true, Some(prefix)) = (config.complete_targets, &ctx.target_prefixes[t]) {
+                    let walk = prefix.walk(ctx.db, object, counter);
+                    target_items[t] = match walk.value.as_ref_loid() {
+                        Some(item) => Some((item, prefix.len())),
+                        // A null blocked the prefix: the deepest
+                        // visited object is the item.
+                        None => walk.visited.last().map(|&item| (item, walk.visited.len())),
+                    };
+                }
+            }
+            Some((path, terminal_domain)) => {
+                let walk = path.walk(ctx.db, object, counter);
+                match terminal_domain {
+                    Some(domain) => {
+                        counter.comparisons += 1; // LOid -> GOid probe
+                        let translated = walk
+                            .value
+                            .as_ref_loid()
+                            .and_then(|l| fed.catalog().table(*domain).goid_of(l))
+                            .map_or(Value::Null, Value::GRef);
+                        targets.push(translated);
+                    }
+                    None => targets.push(walk.value),
+                }
+            }
+        }
+    }
+
+    counter.comparisons += 1; // root GOid probe
+    let goid = fed.catalog().table(query.range()).goid_of(object.loid())?;
+    let entries = unsolved
+        .iter()
+        .map(|(pred, item, _, _)| UnsolvedEntry {
+            pred: *pred,
+            item: *item,
+        })
+        .collect();
+    let remainders = unsolved
+        .into_iter()
+        .map(|(_, item, start, from_static)| (item, start, from_static))
+        .collect();
+    Some((
+        LocalRow {
+            root_loid: object.loid(),
+            goid,
+            verdicts,
+            unsolved: entries,
+            targets,
+            target_items,
+        },
+        remainders,
+    ))
+}
+
 /// Steps BL_C1/BL_C2 (and PL_C2): evaluate the local predicates over the
 /// root extent (phase P), then look up assistants for the unsolved data
 /// local evaluation surfaced (phase O).
+#[allow(clippy::too_many_arguments)]
 fn scan_eval(
     fed: &Federation,
     query: &BoundQuery,
     ctx: &SiteContext<'_>,
     sim: &mut Simulation,
     config: LocalizedConfig,
-    mut static_state: StaticState,
+    static_state: &StaticState,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
 ) -> SiteEval {
     let db_id = ctx.db.id();
     let site = Site::Db(db_id);
     let extent = ctx.db.extent(ctx.plan.root_constituent());
-    let range_table = fed.catalog().table(query.range());
     let params = *sim.params();
 
-    // --- Phase P.
-    let mut counter = EvalCounter::new();
-    // Row plus, per unsolved entry, its remainder start step and whether
-    // its checks were already issued by the static pass.
-    type RowRemainders = Vec<(Option<LOid>, usize, bool)>;
+    // --- Phase P: chunked over the root extent. Workers evaluate
+    // disjoint chunks against the immutable federation; partials merge in
+    // chunk order, so the row list is byte-identical to a sequential
+    // scan. Parallel charges overlap the per-worker shares on the site's
+    // clock instead of summing them.
     let mut rows: Vec<(LocalRow, RowRemainders)> = Vec::new();
-    let mut scan_bytes = 0u64;
-    for object in extent.iter() {
-        scan_bytes += params.object_bytes(ctx.root_width);
-        if static_state
-            .sig_eliminated
-            .contains(&object.loid().serial())
-        {
-            continue;
-        }
-        let mut verdicts = vec![Truth::Unknown; query.predicates().len()];
-        let mut unsolved: Vec<(PredId, Option<LOid>, usize, bool)> = Vec::new();
-        let mut eliminated = false;
-        for (i, compiled) in ctx.local_preds.iter().enumerate() {
-            let Some(pred) = compiled else { continue };
-            let (verdict, walk) = pred.eval(ctx.db, object, &mut counter);
-            match verdict {
-                Truth::True => verdicts[i] = Truth::True,
-                Truth::False => {
-                    eliminated = true;
-                    break;
-                }
-                Truth::Unknown => {
-                    // A null blocked the walk: the deepest visited object
-                    // holds the missing data, and the remainder starts at
-                    // its depth.
-                    unsolved.push((
-                        PredId::new(i),
-                        walk.visited.last().copied(),
-                        walk.visited.len(),
-                        false,
-                    ));
-                }
-            }
-        }
-        if eliminated {
-            continue;
-        }
-        // Statically unsolved predicates: reuse the static pass (PL) or
-        // resolve items now (BL).
-        for (pred, prefix) in &ctx.truncated {
-            match static_state
-                .items
-                .remove(&(object.loid().serial(), pred.index()))
-            {
-                Some((item, start)) => unsolved.push((*pred, item, start, true)),
-                None => {
-                    let (item, start) = resolve_item(ctx, object, prefix, &mut counter);
-                    unsolved.push((*pred, item, start, false));
-                }
-            }
-        }
-
-        // Project targets; with target completion, resolve the nested
-        // item whose assistants can supply an unprojectable value.
-        let mut targets = Vec::with_capacity(ctx.targets.len());
-        let mut target_items = vec![None; ctx.targets.len()];
-        for (t, compiled) in ctx.targets.iter().enumerate() {
-            match compiled {
-                None => {
-                    targets.push(Value::Null);
-                    if let (true, Some(prefix)) = (config.complete_targets, &ctx.target_prefixes[t])
+    if pipeline.is_parallel() {
+        let partials = map_chunks(
+            extent.objects(),
+            pipeline.threads,
+            pipeline.chunk,
+            |_, chunk| {
+                let mut counter = EvalCounter::new();
+                let mut chunk_rows = Vec::new();
+                let mut scan_bytes = 0u64;
+                for object in chunk {
+                    scan_bytes += params.object_bytes(ctx.root_width);
+                    if let Some(pair) =
+                        eval_object(fed, query, ctx, config, static_state, object, &mut counter)
                     {
-                        {
-                            let walk = prefix.walk(ctx.db, object, &mut counter);
-                            target_items[t] = match walk.value.as_ref_loid() {
-                                Some(item) => Some((item, prefix.len())),
-                                // A null blocked the prefix: the deepest
-                                // visited object is the item.
-                                None => walk.visited.last().map(|&item| (item, walk.visited.len())),
-                            };
-                        }
+                        chunk_rows.push(pair);
                     }
                 }
-                Some((path, terminal_domain)) => {
-                    let walk = path.walk(ctx.db, object, &mut counter);
-                    match terminal_domain {
-                        Some(domain) => {
-                            counter.comparisons += 1; // LOid -> GOid probe
-                            let translated = walk
-                                .value
-                                .as_ref_loid()
-                                .and_then(|l| fed.catalog().table(*domain).goid_of(l))
-                                .map_or(Value::Null, Value::GRef);
-                            targets.push(translated);
-                        }
-                        None => targets.push(walk.value),
-                    }
-                }
+                (chunk_rows, counter, scan_bytes)
+            },
+        );
+        let mut disk_costs = Vec::with_capacity(partials.len());
+        let mut cpu_costs = Vec::with_capacity(partials.len());
+        for (chunk_rows, counter, scan_bytes) in partials {
+            rows.extend(chunk_rows);
+            disk_costs.push(scan_bytes + counter.objects_fetched * params.object_bytes(1));
+            cpu_costs.push(counter.comparisons);
+        }
+        sim.disk_parallel(
+            site,
+            &worker_shares(&disk_costs, pipeline.threads),
+            Phase::P,
+        );
+        sim.cpu_parallel(site, &worker_shares(&cpu_costs, pipeline.threads), Phase::P);
+    } else {
+        let mut counter = EvalCounter::new();
+        let mut scan_bytes = 0u64;
+        for object in extent.iter() {
+            scan_bytes += params.object_bytes(ctx.root_width);
+            if let Some(pair) =
+                eval_object(fed, query, ctx, config, static_state, object, &mut counter)
+            {
+                rows.push(pair);
             }
         }
-
-        counter.comparisons += 1; // root GOid probe
-        let Some(goid) = range_table.goid_of(object.loid()) else {
-            continue;
-        };
-        let entries = unsolved
-            .iter()
-            .map(|(pred, item, _, _)| UnsolvedEntry {
-                pred: *pred,
-                item: *item,
-            })
-            .collect();
-        let remainders = unsolved
-            .into_iter()
-            .map(|(_, item, start, from_static)| (item, start, from_static))
-            .collect();
-        rows.push((
-            LocalRow {
-                root_loid: object.loid(),
-                goid,
-                verdicts,
-                unsolved: entries,
-                targets,
-                target_items,
-            },
-            remainders,
-        ));
+        sim.disk(
+            site,
+            scan_bytes + counter.objects_fetched * params.object_bytes(1),
+            Phase::P,
+        );
+        sim.cpu(site, counter.comparisons, Phase::P);
     }
-    sim.disk(
-        site,
-        scan_bytes + counter.objects_fetched * params.object_bytes(1),
-        Phase::P,
-    );
-    sim.cpu(site, counter.comparisons, Phase::P);
 
     // --- Phase O: assistant lookup for what evaluation surfaced.
     let mut comparisons = 0u64;
@@ -722,6 +926,7 @@ fn scan_eval(
                 entry.pred,
                 *start,
                 config.use_signatures,
+                cache,
                 &mut comparisons,
                 &mut seen,
                 &mut dynamic_requests,
@@ -739,16 +944,14 @@ fn scan_eval(
                 let bound = &query.targets()[t];
                 let item_class = bound.class(start);
                 let first_slot = bound.slot(start);
-                let class = fed.global_schema().class(item_class);
-                comparisons += 1; // GOid-table probe for the item
-                for assistant in fed.catalog().table(item_class).siblings(*item_loid) {
-                    comparisons += 1; // remote-schema presence probe
-                    let present = class
-                        .constituent_for(assistant.db())
-                        .is_some_and(|c| !c.is_missing(first_slot));
-                    if !present {
-                        continue;
-                    }
+                for assistant in filtered_siblings(
+                    fed,
+                    item_class,
+                    first_slot,
+                    *item_loid,
+                    cache,
+                    &mut comparisons,
+                ) {
                     let request = TargetRequest {
                         item: *item_loid,
                         assistant,
@@ -793,15 +996,47 @@ pub fn evaluate_site(
     config: LocalizedConfig,
     sim: &mut Simulation,
 ) -> Result<Option<SiteEval>, ExecError> {
+    evaluate_site_with(
+        fed,
+        query,
+        db,
+        mode,
+        config,
+        sim,
+        PipelineConfig::sequential(),
+        None,
+    )
+}
+
+/// [`evaluate_site`] under an explicit pipeline: the phase-P extent scan
+/// runs chunked over the pipeline's worker threads, and assistant-set
+/// lookups consult the shared cache when one is given. The produced
+/// [`SiteEval`] is identical for every configuration.
+///
+/// # Errors
+///
+/// As for [`evaluate_site`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_site_with(
+    fed: &Federation,
+    query: &BoundQuery,
+    db: DbId,
+    mode: LocalizedMode,
+    config: LocalizedConfig,
+    sim: &mut Simulation,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<Option<SiteEval>, ExecError> {
+    let cache = if pipeline.cache { cache } else { None };
     let Some(plan) = plan_for_db(query, fed.global_schema(), db) else {
         return Ok(None);
     };
     let ctx = build_context(fed, query, &plan)?;
     let scan = match mode {
         LocalizedMode::Basic => StaticScan::default(),
-        LocalizedMode::Parallel => scan_static(fed, query, &ctx, sim, config),
+        LocalizedMode::Parallel => scan_static(fed, query, &ctx, sim, config, pipeline, cache),
     };
-    let mut eval = scan_eval(fed, query, &ctx, sim, config, scan.state);
+    let mut eval = scan_eval(fed, query, &ctx, sim, config, &scan.state, pipeline, cache);
     eval.static_requests = scan.requests;
     Ok(Some(eval))
 }
@@ -949,11 +1184,20 @@ fn group_by_target(requests: &[CheckRequest]) -> HashMap<DbId, Vec<&CheckRequest
     out
 }
 
-/// Sends one wave of check-request batches; returns `(target, token,
-/// batch)` triples for later processing.
+/// Sends one wave of check-request batches, fragmenting each
+/// `(source, target)` batch per the pipeline's batch size; returns
+/// `(target, token, fragment)` triples for later processing. With a
+/// cache, each request is first probed against the replicated verdict
+/// store: hits are recorded into `replies` directly — verdict merging is
+/// commutative, so recording order is immaterial — and never reach the
+/// wire.
 fn send_request_wave<'a>(
     sources: &[(DbId, &'a [CheckRequest])],
     sim: &mut Simulation,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+    fingerprint: u64,
+    replies: &mut CheckReplies,
 ) -> Vec<(DbId, MessageToken, Vec<&'a CheckRequest>)> {
     let params = *sim.params();
     let mut sends = Vec::new();
@@ -962,9 +1206,30 @@ fn send_request_wave<'a>(
         let mut grouped: Vec<_> = group_by_target(requests).into_iter().collect();
         grouped.sort_by_key(|(db, _)| *db); // deterministic wire order
         for (target, batch) in grouped {
-            let bytes = request_message_bytes(batch.len(), &params);
-            sends.push((Site::Db(*source), Site::Db(target), bytes, Phase::O));
-            meta.push((target, batch));
+            let mut misses = Vec::with_capacity(batch.len());
+            for request in batch {
+                let hit = cache.and_then(|c| {
+                    let key = CacheKey::Verdict {
+                        assistant: request.assistant,
+                        pred: request.pred.index(),
+                        start: request.start,
+                        query: fingerprint,
+                    };
+                    match c.borrow_mut().get(&key) {
+                        Some(CacheValue::Verdict(verdict)) => Some(verdict),
+                        _ => None,
+                    }
+                });
+                match hit {
+                    Some(verdict) => replies.record(request.item, request.pred, verdict),
+                    None => misses.push(request),
+                }
+            }
+            for fragment in pipeline.split(&misses) {
+                let bytes = request_message_bytes(fragment.len(), &params);
+                sends.push((Site::Db(*source), Site::Db(target), bytes, Phase::O));
+                meta.push((target, fragment.to_vec()));
+            }
         }
     }
     let tokens = sim.send_batch(sends);
@@ -976,13 +1241,16 @@ fn send_request_wave<'a>(
 
 /// Processes one wave of check requests at their target sites: fetch each
 /// assistant, evaluate the remaining predicate, and send the verdicts to
-/// the global site (steps BL_C3 / PL_C3).
+/// the global site (steps BL_C3 / PL_C3). Freshly computed verdicts fill
+/// the cache for subsequent queries.
 fn process_check_wave(
     fed: &Federation,
     query: &BoundQuery,
     waves: Vec<(DbId, MessageToken, Vec<&CheckRequest>)>,
     sim: &mut Simulation,
     replies: &mut CheckReplies,
+    cache: Option<&RefCell<LookupCache>>,
+    fingerprint: u64,
 ) {
     let params = *sim.params();
     let mut reply_sends = Vec::new();
@@ -990,7 +1258,21 @@ fn process_check_wave(
         let site = Site::Db(target);
         sim.recv(site, token);
         let requests: Vec<CheckRequest> = batch.iter().map(|r| **r).collect();
-        for v in answer_check_requests(fed, query, target, &requests, sim) {
+        for (request, v) in requests
+            .iter()
+            .zip(answer_check_requests(fed, query, target, &requests, sim))
+        {
+            if let Some(c) = cache {
+                c.borrow_mut().put(
+                    CacheKey::Verdict {
+                        assistant: request.assistant,
+                        pred: request.pred.index(),
+                        start: request.start,
+                        query: fingerprint,
+                    },
+                    CacheValue::Verdict(v.verdict),
+                );
+            }
             replies.record(v.item, v.pred, v.verdict);
         }
         let bytes = reply_message_bytes(batch.len(), &params);
@@ -1000,26 +1282,82 @@ fn process_check_wave(
     sim.recv_all(Site::Global, tokens);
 }
 
+/// One site's pending target-fetch work: the wire fragments addressed to
+/// it from one `(source, target)` batch, with per-request cache hits kept
+/// in their original batch positions. Target merging takes the *first*
+/// non-null value per `(item, slot)`, so — unlike check verdicts — reply
+/// order is observable and hits must be spliced back in place.
+struct TargetWave<'a> {
+    target: DbId,
+    tokens: Vec<MessageToken>,
+    /// The full batch in request order; `Some` carries a cached value.
+    batch: Vec<(&'a TargetRequest, Option<Value>)>,
+    /// Sizes of the wire fragments (the cache misses, split per the
+    /// pipeline's batch size) — replies fragment the same way.
+    frag_sizes: Vec<usize>,
+}
+
 /// Processes target-value fetches at their target sites and sends the
-/// values to the global site (target-completion extension).
+/// values to the global site (target-completion extension). Cache misses
+/// are answered remotely and fill the cache; hits contribute their stored
+/// value at their original batch position.
 fn process_target_wave(
     fed: &Federation,
     query: &BoundQuery,
-    waves: Vec<(DbId, MessageToken, Vec<&TargetRequest>)>,
+    waves: Vec<TargetWave<'_>>,
     sim: &mut Simulation,
     replies: &mut TargetReplies,
+    cache: Option<&RefCell<LookupCache>>,
+    fingerprint: u64,
 ) {
     let params = *sim.params();
     let mut reply_sends = Vec::new();
-    for (target_db, token, batch) in waves {
-        let site = Site::Db(target_db);
-        sim.recv(site, token);
-        let requests: Vec<TargetRequest> = batch.iter().map(|r| **r).collect();
-        for (key, value) in answer_target_requests(fed, query, target_db, &requests, sim) {
-            replies.entry(key).or_default().push(value);
+    for wave in waves {
+        let site = Site::Db(wave.target);
+        for token in wave.tokens {
+            sim.recv(site, token);
         }
-        let bytes = target_reply_message_bytes(batch.len(), &params);
-        reply_sends.push((site, Site::Global, bytes, Phase::O));
+        let misses: Vec<TargetRequest> = wave
+            .batch
+            .iter()
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(r, _)| **r)
+            .collect();
+        let mut answered = answer_target_requests(fed, query, wave.target, &misses, sim)
+            .into_iter()
+            .map(|(_, value)| value);
+        for (request, hit) in wave.batch {
+            let value = match hit {
+                Some(value) => value,
+                None => {
+                    let value = answered.next().expect("one answer per miss");
+                    if let Some(c) = cache {
+                        c.borrow_mut().put(
+                            CacheKey::Target {
+                                assistant: request.assistant,
+                                target: request.target,
+                                start: request.start,
+                                query: fingerprint,
+                            },
+                            CacheValue::Target(value.clone()),
+                        );
+                    }
+                    value
+                }
+            };
+            replies
+                .entry((request.item, request.target))
+                .or_default()
+                .push(value);
+        }
+        for size in wave.frag_sizes {
+            reply_sends.push((
+                site,
+                Site::Global,
+                target_reply_message_bytes(size, &params),
+                Phase::O,
+            ));
+        }
     }
     let tokens = sim.send_batch(reply_sends);
     sim.recv_all(Site::Global, tokens);
@@ -1073,6 +1411,38 @@ fn execute_localized(
     mode: LocalizedMode,
     config: LocalizedConfig,
 ) -> Result<QueryAnswer, ExecError> {
+    execute_localized_with(
+        fed,
+        query,
+        sim,
+        mode,
+        config,
+        PipelineConfig::sequential(),
+        None,
+    )
+}
+
+/// Shared orchestration of BL and PL under an explicit pipeline: the
+/// phase-P scans run chunked, check/target batches fragment into at most
+/// `batch` probes per message, and the shared cache short-circuits
+/// repeated assistant lookups. The default pipeline without a cache
+/// reproduces the legacy sequential execution — message for message.
+#[allow(clippy::too_many_arguments)]
+fn execute_localized_with(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    mode: LocalizedMode,
+    config: LocalizedConfig,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<QueryAnswer, ExecError> {
+    let cache = if pipeline.cache { cache } else { None };
+    let fingerprint = if cache.is_some() {
+        query_fingerprint(query)
+    } else {
+        0
+    };
     let schema = fed.global_schema();
     let params = *sim.params();
 
@@ -1113,24 +1483,32 @@ fn execute_localized(
     for ctx in &contexts {
         let scan = match mode {
             LocalizedMode::Basic => StaticScan::default(),
-            LocalizedMode::Parallel => scan_static(fed, query, ctx, sim, config),
+            LocalizedMode::Parallel => scan_static(fed, query, ctx, sim, config, pipeline, cache),
         };
         static_requests.push(scan.requests);
         static_states.push(scan.state);
     }
+    let mut replies = CheckReplies::new();
     let static_sources: Vec<(DbId, &[CheckRequest])> = contexts
         .iter()
         .zip(&static_requests)
         .map(|(ctx, requests)| (ctx.db.id(), requests.as_slice()))
         .collect();
-    let static_waves = send_request_wave(&static_sources, sim);
-
-    let mut replies = CheckReplies::new();
+    let static_waves = send_request_wave(
+        &static_sources,
+        sim,
+        pipeline,
+        cache,
+        fingerprint,
+        &mut replies,
+    );
 
     // Local evaluation everywhere.
     let mut outputs = Vec::with_capacity(contexts.len());
-    for (ctx, state) in contexts.iter().zip(static_states) {
-        outputs.push(scan_eval(fed, query, ctx, sim, config, state));
+    for (ctx, state) in contexts.iter().zip(&static_states) {
+        outputs.push(scan_eval(
+            fed, query, ctx, sim, config, state, pipeline, cache,
+        ));
     }
 
     // Post-evaluation check requests, target fetches, and local results.
@@ -1138,7 +1516,14 @@ fn execute_localized(
         .iter()
         .map(|o| (o.db, o.dynamic_requests.as_slice()))
         .collect();
-    let dynamic_waves = send_request_wave(&dynamic_sources, sim);
+    let dynamic_waves = send_request_wave(
+        &dynamic_sources,
+        sim,
+        pipeline,
+        cache,
+        fingerprint,
+        &mut replies,
+    );
     let mut target_sends = Vec::new();
     let mut target_meta = Vec::new();
     for output in &outputs {
@@ -1149,16 +1534,48 @@ fn execute_localized(
         let mut grouped: Vec<_> = grouped.into_iter().collect();
         grouped.sort_by_key(|(db, _)| *db);
         for (target, batch) in grouped {
-            let bytes = batch.len() as u64 * (2 * params.loid_bytes + params.predicate_bytes());
-            target_sends.push((Site::Db(output.db), Site::Db(target), bytes, Phase::O));
-            target_meta.push((target, batch));
+            // Probe the cache per request; misses fragment onto the wire.
+            let mut annotated = Vec::with_capacity(batch.len());
+            let mut misses = Vec::new();
+            for request in batch {
+                let hit = cache.and_then(|c| {
+                    let key = CacheKey::Target {
+                        assistant: request.assistant,
+                        target: request.target,
+                        start: request.start,
+                        query: fingerprint,
+                    };
+                    match c.borrow_mut().get(&key) {
+                        Some(CacheValue::Target(value)) => Some(value),
+                        _ => None,
+                    }
+                });
+                if hit.is_none() {
+                    misses.push(request);
+                }
+                annotated.push((request, hit));
+            }
+            let mut frag_sizes = Vec::new();
+            let mut send_indices = Vec::new();
+            for fragment in pipeline.split(&misses) {
+                let bytes =
+                    fragment.len() as u64 * (2 * params.loid_bytes + params.predicate_bytes());
+                send_indices.push(target_sends.len());
+                target_sends.push((Site::Db(output.db), Site::Db(target), bytes, Phase::O));
+                frag_sizes.push(fragment.len());
+            }
+            target_meta.push((target, annotated, frag_sizes, send_indices));
         }
     }
     let target_tokens = sim.send_batch(target_sends);
-    let target_waves: Vec<_> = target_meta
+    let target_waves: Vec<TargetWave<'_>> = target_meta
         .into_iter()
-        .zip(target_tokens)
-        .map(|((t, b), token)| (t, token, b))
+        .map(|(target, batch, frag_sizes, send_indices)| TargetWave {
+            target,
+            tokens: send_indices.iter().map(|&i| target_tokens[i]).collect(),
+            batch,
+            frag_sizes,
+        })
         .collect();
     let result_sends = outputs
         .iter()
@@ -1175,10 +1592,34 @@ fn execute_localized(
     sim.recv_all(Site::Global, tokens);
 
     // Remote checking (PL's static wave first — it arrived first).
-    process_check_wave(fed, query, static_waves, sim, &mut replies);
-    process_check_wave(fed, query, dynamic_waves, sim, &mut replies);
+    process_check_wave(
+        fed,
+        query,
+        static_waves,
+        sim,
+        &mut replies,
+        cache,
+        fingerprint,
+    );
+    process_check_wave(
+        fed,
+        query,
+        dynamic_waves,
+        sim,
+        &mut replies,
+        cache,
+        fingerprint,
+    );
     let mut target_replies = TargetReplies::new();
-    process_target_wave(fed, query, target_waves, sim, &mut target_replies);
+    process_target_wave(
+        fed,
+        query,
+        target_waves,
+        sim,
+        &mut target_replies,
+        cache,
+        fingerprint,
+    );
 
     // Step BL_G2 / PL_G2: certification at the global site (phase I).
     let site_rows: Vec<(DbId, Vec<LocalRow>)> =

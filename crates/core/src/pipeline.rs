@@ -1,0 +1,144 @@
+//! Execution-pipeline tuning: chunked parallel scans, probe batching,
+//! and lookup caching.
+//!
+//! A [`PipelineConfig`] travels alongside a strategy and controls *how*
+//! it executes, never *what* it computes: every combination of threads,
+//! batch size, and cache produces byte-identical answers (the
+//! differential suite in `tests/parallel_differential.rs` pins this).
+//! The default configuration reproduces the historical sequential
+//! behavior exactly, including its simulated cost metrics.
+
+/// Tuning knobs of the parallel batched execution pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineConfig {
+    /// Worker threads for chunked extent scans; `1` scans sequentially on
+    /// the caller's thread.
+    pub threads: usize,
+    /// Objects per scan chunk (clamped to at least 1).
+    pub chunk: usize,
+    /// GOid probes coalesced per site round-trip. `0` keeps the legacy
+    /// wire layout (everything for one peer in a single message); `1`
+    /// sends one probe per message — the paper's original
+    /// one-`AssistantLookup`-per-maybe model; `K > 1` sends fragments of
+    /// up to `K` probes.
+    pub batch: usize,
+    /// Consult (and fill) the shared [`LookupCache`] for assistant
+    /// verdicts, target values, GOid-mapping siblings, and shipped
+    /// extents.
+    ///
+    /// [`LookupCache`]: crate::cache::LookupCache
+    pub cache: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            threads: 1,
+            chunk: 256,
+            batch: 0,
+            cache: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The sequential pipeline: single thread, legacy message coalescing,
+    /// no cache. Identical to `PipelineConfig::default()`.
+    pub fn sequential() -> PipelineConfig {
+        PipelineConfig::default()
+    }
+
+    /// A parallel configuration over `threads` workers (chunk size and
+    /// batching left at their defaults).
+    pub fn parallel(threads: usize) -> PipelineConfig {
+        PipelineConfig {
+            threads: threads.max(1),
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Sets the probe batch size (chainable).
+    pub fn with_batch(mut self, batch: usize) -> PipelineConfig {
+        self.batch = batch;
+        self
+    }
+
+    /// Enables the lookup cache (chainable).
+    pub fn with_cache(mut self) -> PipelineConfig {
+        self.cache = true;
+        self
+    }
+
+    /// `true` when chunked scans run on more than one worker.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Number of wire fragments a batch of `n` probes splits into under
+    /// this configuration (0 probes need no message at all).
+    pub fn fragments(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else if self.batch == 0 {
+            1
+        } else {
+            n.div_ceil(self.batch)
+        }
+    }
+
+    /// Splits `items` into the wire fragments [`fragments`] counts.
+    ///
+    /// [`fragments`]: PipelineConfig::fragments
+    pub fn split<'a, T>(&self, items: &'a [T]) -> Vec<&'a [T]> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let size = if self.batch == 0 {
+            items.len()
+        } else {
+            self.batch
+        };
+        items.chunks(size).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_sequential_legacy_shape() {
+        let d = PipelineConfig::default();
+        assert_eq!(d, PipelineConfig::sequential());
+        assert!(!d.is_parallel());
+        assert_eq!(d.fragments(0), 0);
+        assert_eq!(d.fragments(1), 1);
+        assert_eq!(d.fragments(500), 1);
+        assert_eq!(d.split(&[1, 2, 3]), vec![&[1, 2, 3][..]]);
+    }
+
+    #[test]
+    fn batching_fragments_probe_sets() {
+        let k4 = PipelineConfig::parallel(8).with_batch(4);
+        assert!(k4.is_parallel());
+        assert_eq!(k4.fragments(0), 0);
+        assert_eq!(k4.fragments(4), 1);
+        assert_eq!(k4.fragments(5), 2);
+        assert_eq!(k4.fragments(64), 16);
+        let items: Vec<u32> = (0..10).collect();
+        let frags = k4.split(&items);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[2], &[8, 9]);
+        // Per-probe messages at K = 1 — the paper's original model.
+        let k1 = PipelineConfig::sequential().with_batch(1);
+        assert_eq!(k1.fragments(7), 7);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = PipelineConfig::parallel(0).with_batch(64).with_cache();
+        assert_eq!(p.threads, 1); // clamped
+        assert_eq!(p.batch, 64);
+        assert!(p.cache);
+    }
+}

@@ -1,10 +1,13 @@
 //! The execution-strategy interface.
 
+use crate::cache::LookupCache;
 use crate::error::ExecError;
 use crate::federation::Federation;
+use crate::pipeline::PipelineConfig;
 use crate::result::QueryAnswer;
 use fedoq_query::BoundQuery;
 use fedoq_sim::{NetworkModel, QueryMetrics, Simulation, SystemParams};
+use std::cell::RefCell;
 
 /// A query execution strategy for global queries over missing data.
 ///
@@ -29,6 +32,35 @@ pub trait ExecutionStrategy {
         query: &BoundQuery,
         sim: &mut Simulation,
     ) -> Result<QueryAnswer, ExecError>;
+
+    /// Executes `query` under an explicit [`PipelineConfig`] with an
+    /// optional shared [`LookupCache`].
+    ///
+    /// The pipeline tunes *how* the strategy runs — chunked parallel
+    /// scans, probe batching, cached lookups — never the answer: for any
+    /// configuration the result must equal `execute`'s. The default
+    /// implementation ignores the tuning and runs sequentially, which is
+    /// always correct; CA/BL/PL override it.
+    ///
+    /// Callers owning a persistent cache must
+    /// [`sync_generation`](LookupCache::sync_generation) it against
+    /// [`Federation::generation`] first (the [`run_strategy_with_pipeline`]
+    /// wrapper does).
+    ///
+    /// # Errors
+    ///
+    /// As for [`execute`](ExecutionStrategy::execute).
+    fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+        pipeline: PipelineConfig,
+        cache: Option<&RefCell<LookupCache>>,
+    ) -> Result<QueryAnswer, ExecError> {
+        let _ = (pipeline, cache);
+        self.execute(fed, query, sim)
+    }
 }
 
 /// Convenience wrapper: runs `strategy` in a fresh simulation and returns
@@ -75,6 +107,32 @@ pub fn run_strategy_with_network<S: ExecutionStrategy + ?Sized>(
 ) -> Result<(QueryAnswer, QueryMetrics), ExecError> {
     let mut sim = Simulation::with_network(params, fed.num_dbs(), network);
     let answer = strategy.execute(fed, query, &mut sim)?;
+    let metrics = sim.metrics();
+    Ok((answer, metrics))
+}
+
+/// Like [`run_strategy`] with an explicit [`PipelineConfig`] and an
+/// optional shared [`LookupCache`]. The cache is generation-synced
+/// against the federation before execution, so a query following a store
+/// mutation never observes stale entries; pass the same `RefCell` across
+/// calls to measure warm-cache behavior.
+///
+/// # Errors
+///
+/// Propagates the strategy's [`ExecError`].
+pub fn run_strategy_with_pipeline<S: ExecutionStrategy + ?Sized>(
+    strategy: &S,
+    fed: &Federation,
+    query: &BoundQuery,
+    params: SystemParams,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<(QueryAnswer, QueryMetrics), ExecError> {
+    if let Some(cache) = cache {
+        cache.borrow_mut().sync_generation(fed.generation());
+    }
+    let mut sim = Simulation::with_network(params, fed.num_dbs(), NetworkModel::SharedBus);
+    let answer = strategy.execute_with(fed, query, &mut sim, pipeline, cache)?;
     let metrics = sim.metrics();
     Ok((answer, metrics))
 }

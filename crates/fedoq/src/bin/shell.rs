@@ -58,6 +58,16 @@ struct Shell {
     last_ledger: Option<fedoq::sim::Ledger>,
     transport: TransportMode,
     faults: FaultPlan,
+    /// Parallel-scan / batching / caching tuning (`parallel`, `batch`,
+    /// `cache` commands). The default reproduces the paper's sequential
+    /// execution exactly.
+    pipeline: PipelineConfig,
+    /// Persistent executor for distributed runs: its lookup cache
+    /// survives across queries, so re-running a query with `cache on`
+    /// shows warm-cache behavior.
+    executor: DistributedExecutor,
+    /// The in-process twin of the executor's cache (`transport off`).
+    local_cache: RefCell<LookupCache>,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -104,6 +114,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         last_ledger: None,
         transport,
         faults: FaultPlan::default(),
+        pipeline: PipelineConfig::default(),
+        executor: DistributedExecutor::new(),
+        local_cache: RefCell::new(LookupCache::default()),
     };
     println!(
         "strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)",
@@ -218,6 +231,10 @@ impl Shell {
             Some("transport") => self.cmd_transport(&mut words),
             Some("faults") => self.cmd_faults(&mut words),
             Some("partition") => self.cmd_partition(&mut words),
+            Some("parallel") => self.cmd_parallel(&mut words),
+            Some("batch") => self.cmd_batch(&mut words),
+            Some("cache") => self.cmd_cache(&mut words),
+            Some("cachestats") => self.cmd_cachestats(),
             Some("select") => self.query(line)?,
             _ => println!("unrecognized input; type `help`"),
         }
@@ -226,7 +243,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -354,6 +371,100 @@ impl Shell {
         }
     }
 
+    /// One-line summary of the pipeline tuning in force.
+    fn pipeline_summary(&self) -> String {
+        format!(
+            "parallel {} ({} thread(s)), batch {}, cache {}",
+            if self.pipeline.is_parallel() {
+                "on"
+            } else {
+                "off"
+            },
+            self.pipeline.threads,
+            if self.pipeline.batch == 0 {
+                "off".to_owned()
+            } else {
+                self.pipeline.batch.to_string()
+            },
+            if self.pipeline.cache { "on" } else { "off" },
+        )
+    }
+
+    /// Applies a pipeline change to the persistent executor (its clone
+    /// shares the lookup cache, so tuning never drops warm entries).
+    fn apply_pipeline(&mut self) {
+        self.executor = self.executor.clone().with_pipeline(self.pipeline);
+        println!("pipeline: {}", self.pipeline_summary());
+    }
+
+    fn cmd_parallel<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            Some("on") => {
+                let threads: usize = words.next().and_then(|w| w.parse().ok()).unwrap_or(8);
+                self.pipeline.threads = threads.max(2);
+                self.apply_pipeline();
+            }
+            Some("off") => {
+                self.pipeline.threads = 1;
+                self.apply_pipeline();
+            }
+            None => println!("pipeline: {}", self.pipeline_summary()),
+            Some(other) => println!("unknown mode {other:?}; usage: parallel on|off [threads]"),
+        }
+    }
+
+    fn cmd_batch<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next().and_then(|w| w.parse::<usize>().ok()) {
+            Some(k) => {
+                self.pipeline = self.pipeline.with_batch(k);
+                self.apply_pipeline();
+            }
+            None => println!("usage: batch <K>   (0 turns batching off)"),
+        }
+    }
+
+    fn cmd_cache<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            Some("on") => {
+                self.pipeline.cache = true;
+                self.apply_pipeline();
+            }
+            Some("off") => {
+                self.pipeline.cache = false;
+                self.apply_pipeline();
+            }
+            None => println!("pipeline: {}", self.pipeline_summary()),
+            Some(other) => println!("unknown mode {other:?}; usage: cache on|off"),
+        }
+    }
+
+    fn cmd_cachestats(&self) {
+        // The in-process strategies and the distributed executor keep
+        // separate caches; show the one the current transport uses.
+        let (stats, entries) = if self.transport == TransportMode::Off {
+            (
+                self.local_cache.borrow().stats(),
+                self.local_cache.borrow().len(),
+            )
+        } else {
+            (self.executor.cache_stats(), self.executor.cache_len())
+        };
+        println!(
+            "lookup cache ({} transport): {} entries, {} hits, {} misses ({:.1}% hit rate), \
+             {} evictions, {} invalidations",
+            self.transport_name(),
+            entries,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.evictions,
+            stats.invalidations,
+        );
+        if !self.pipeline.cache {
+            println!("(caching is off; enable with `cache on`)");
+        }
+    }
+
     fn schema(&self) {
         for (_, class) in self.fed.global_schema().iter() {
             let attrs: Vec<&str> = class.attrs().iter().map(GlobalAttr::name).collect();
@@ -420,6 +531,15 @@ impl Shell {
         if self.transport != TransportMode::Off {
             return self.query_distributed(sql);
         }
+        // A tuned pipeline runs conjunctive queries through the
+        // parallel/batched/cached path; disjunctive queries (and the
+        // default pipeline) take the legacy sequential path.
+        if self.pipeline != PipelineConfig::default() {
+            if let Ok(bound) = self.fed.parse_and_bind(sql) {
+                return self.query_pipelined(&bound);
+            }
+            println!("(pipeline tuning applies to conjunctive queries; running sequentially)");
+        }
         let strategy = self
             .make_strategy_by(&self.strategy_name)
             .expect("configured strategy is valid");
@@ -440,6 +560,41 @@ impl Shell {
             "-- {} via {}: {}",
             answer,
             self.strategy_name,
+            sim.metrics()
+        );
+        self.last_ledger = Some(sim.ledger().clone());
+        Ok(())
+    }
+
+    /// Runs one conjunctive query in-process under the tuned pipeline,
+    /// sharing the shell's persistent lookup cache across queries.
+    fn query_pipelined(&mut self, query: &BoundQuery) -> Result<(), Box<dyn std::error::Error>> {
+        let strategy = self
+            .make_strategy_by(&self.strategy_name)
+            .expect("configured strategy is valid");
+        if self.pipeline.cache {
+            self.local_cache
+                .borrow_mut()
+                .sync_generation(self.fed.generation());
+        }
+        let cache = self.pipeline.cache.then_some(&self.local_cache);
+        let mut sim = Simulation::new(SystemParams::paper_default(), self.fed.num_dbs());
+        let answer = strategy.execute_with(&self.fed, query, &mut sim, self.pipeline, cache)?;
+        for row in answer.certain() {
+            println!("certain  {row}");
+        }
+        for row in answer.maybe() {
+            let unsolved: Vec<String> = row.unsolved().map(|p| p.to_string()).collect();
+            println!("maybe    {}  [unsolved: {}]", row.row(), unsolved.join(","));
+        }
+        if answer.is_empty() {
+            println!("(no results)");
+        }
+        println!(
+            "-- {} via {} [{}]: {}",
+            answer,
+            self.strategy_name,
+            self.pipeline_summary(),
             sim.metrics()
         );
         self.last_ledger = Some(sim.ledger().clone());
@@ -475,13 +630,9 @@ impl Shell {
                 Rc::new(RefCell::new(t))
             }
         };
-        let outcome = DistributedExecutor::new().run(
-            &self.fed,
-            &query,
-            strategy,
-            transport,
-            Rc::clone(&sim),
-        )?;
+        let outcome = self
+            .executor
+            .run(&self.fed, &query, strategy, transport, Rc::clone(&sim))?;
         for row in outcome.answer.certain() {
             println!("certain  {row}");
         }

@@ -58,9 +58,10 @@ pub use fedoq_workload as workload;
 /// The common imports for working with FedOQ.
 pub mod prelude {
     pub use fedoq_core::{
-        explain, oracle_answer, oracle_disjunctive, run_disjunctive, run_strategy,
-        run_strategy_with_network, BasicLocalized, Centralized, ExecError, ExecutionStrategy,
-        Federation, MaybeRow, ParallelLocalized, QueryAnswer, ResultRow,
+        explain, oracle_answer, oracle_disjunctive, query_fingerprint, run_disjunctive,
+        run_strategy, run_strategy_with_network, run_strategy_with_pipeline, BasicLocalized,
+        CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, LookupCache, MaybeRow,
+        ParallelLocalized, PipelineConfig, QueryAnswer, ResultRow,
     };
     pub use fedoq_net::{
         DistributedExecutor, DistributedOutcome, DistributedStrategy, FaultEvent, LocalTransport,

@@ -37,18 +37,21 @@ use crate::msg::{
 use crate::router::Net;
 use crate::rpc::{call, RpcConfig, RpcError};
 use crate::rt::join_all;
+use fedoq_core::cache::{CacheKey, CacheValue};
 use fedoq_core::handlers::{
-    answer_check_requests, answer_target_requests, centralized_answer, certify, evaluate_site,
-    reply_message_bytes, request_message_bytes, result_message_bytes, ship_plan,
-    target_reply_message_bytes, CheckReplies, CheckRequest, LocalizedConfig, LocalizedMode,
-    TargetReplies, TargetRequest,
+    answer_check_requests, answer_target_requests, centralized_answer_with, certify,
+    evaluate_site_with, reply_message_bytes, request_message_bytes, result_message_bytes,
+    ship_plan, target_reply_message_bytes, CheckReplies, CheckRequest, CheckVerdict,
+    LocalizedConfig, LocalizedMode, TargetReplies, TargetRequest,
 };
-use fedoq_core::{ExecError, Federation, Provenance, QueryAnswer};
-use fedoq_object::{DbId, GOid, LOid};
+use fedoq_core::{
+    query_fingerprint, ExecError, Federation, LookupCache, PipelineConfig, Provenance, QueryAnswer,
+};
+use fedoq_object::{DbId, GOid, LOid, Value};
 use fedoq_query::{plan_for_db, BoundQuery, PredId};
 use fedoq_sim::{Phase, Simulation, Site};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -72,6 +75,14 @@ pub struct Ctx<'a> {
     pub sim: Rc<RefCell<Simulation>>,
     /// Timeout/retry policy for site-to-site RPCs.
     pub rpc: RpcConfig,
+    /// Parallel-scan / batching / caching configuration. The default
+    /// (sequential, unbatched, uncached) reproduces the legacy wire
+    /// behavior bit for bit.
+    pub pipeline: PipelineConfig,
+    /// The shared GOid-lookup cache, conceptually replicated at every
+    /// site (like the GOid mapping tables themselves). `None`, or a
+    /// pipeline with caching off, disables it.
+    pub cache: Option<Rc<RefCell<LookupCache>>>,
 }
 
 impl<'a> Clone for Ctx<'a> {
@@ -82,6 +93,19 @@ impl<'a> Clone for Ctx<'a> {
             net: self.net.clone(),
             sim: Rc::clone(&self.sim),
             rpc: self.rpc,
+            pipeline: self.pipeline,
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// The lookup cache, when the pipeline actually enables it.
+    fn active_cache(&self) -> Option<&RefCell<LookupCache>> {
+        if self.pipeline.cache {
+            self.cache.as_deref()
+        } else {
+            None
         }
     }
 }
@@ -140,6 +164,18 @@ pub async fn run_site<'a>(ctx: Ctx<'a>, db: DbId) {
                 ctx.net
                     .respond(&env, bytes, Response::AssistantLookup(reply));
             }
+            Request::BatchAssistantLookup { checks, targets } => {
+                let mut sim = ctx.sim.borrow_mut();
+                let reply = LookupReply {
+                    verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
+                    values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
+                };
+                let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
+                    + target_reply_message_bytes(reply.values.len(), sim.params());
+                drop(sim);
+                ctx.net
+                    .respond(&env, bytes, Response::BatchAssistantLookup(reply));
+            }
             Request::ShipObjects => {
                 let mut sim = ctx.sim.borrow_mut();
                 let plan = ship_plan(ctx.fed, ctx.query, sim.params());
@@ -154,8 +190,8 @@ pub async fn run_site<'a>(ctx: Ctx<'a>, db: DbId) {
                 ctx.net
                     .respond(&env, bytes, Response::ShipObjects(ShipReply { bytes }));
             }
-            // Certify is the global actor's job; ignore it here.
-            Request::Certify { .. } => {}
+            // Certification is the global actor's job; ignore it here.
+            Request::Certify { .. } | Request::BatchCertify { .. } => {}
         }
     }
 }
@@ -175,7 +211,16 @@ async fn handle_local_eval(
     };
     let eval = {
         let mut sim = ctx.sim.borrow_mut();
-        evaluate_site(ctx.fed, ctx.query, db, mode, config, &mut sim)
+        evaluate_site_with(
+            ctx.fed,
+            ctx.query,
+            db,
+            mode,
+            config,
+            &mut sim,
+            ctx.pipeline,
+            ctx.cache.as_deref(),
+        )
     };
     // No local query at this site, or a local error: nothing to report.
     let Ok(Some(eval)) = eval else {
@@ -216,6 +261,26 @@ async fn handle_local_eval(
         }
     }
 
+    // Batched (or cached) lookups take the fragment path; the default
+    // pipeline keeps the legacy one-message-per-peer wire shape.
+    if ctx.pipeline.batch > 0 || ctx.active_cache().is_some() {
+        let lookups: Vec<BoxFut<'_, PeerLookup>> = remote
+            .iter()
+            .map(|(peer, checks, targets)| {
+                Box::pin(batched_peer_lookup(ctx, db, *peer, checks, targets)) as BoxFut<'_, _>
+            })
+            .collect();
+        for outcome in join_all(lookups).await {
+            reply.verdicts.extend(outcome.verdicts);
+            reply.target_values.extend(outcome.values);
+            reply.failed_checks.extend(outcome.failed_checks);
+            if outcome.degraded {
+                reply.degraded_peers.push(outcome.peer);
+            }
+        }
+        return reply;
+    }
+
     let params = *ctx.sim.borrow().params();
     let lookups: Vec<BoxFut<'_, Result<Response, RpcError>>> = remote
         .iter()
@@ -251,16 +316,239 @@ async fn handle_local_eval(
     reply
 }
 
+/// One peer's contribution to a batched lookup round: answered verdicts
+/// and values in request order, plus what stayed unanswered.
+struct PeerLookup {
+    peer: DbId,
+    verdicts: Vec<CheckVerdict>,
+    values: Vec<((LOid, usize), Value)>,
+    failed_checks: Vec<(LOid, PredId)>,
+    degraded: bool,
+}
+
+/// One batched-lookup fragment: coalesced checks and target fetches.
+type Fragment = (Vec<CheckRequest>, Vec<TargetRequest>);
+
+/// Splits a failed fragment of ≥ 2 probes into two non-empty halves
+/// (checks order first, then targets), so the retry isolates the loss.
+fn split_fragment(
+    mut checks: Vec<CheckRequest>,
+    mut targets: Vec<TargetRequest>,
+) -> (Fragment, Fragment) {
+    let mid = (checks.len() + targets.len()) / 2;
+    if mid <= checks.len() {
+        let back_checks = checks.split_off(mid);
+        ((checks, Vec::new()), (back_checks, targets))
+    } else {
+        let back_targets = targets.split_off(mid - checks.len());
+        ((checks, targets), (Vec::new(), back_targets))
+    }
+}
+
+/// Resolves one peer's probes through `BatchAssistantLookup` fragments
+/// of at most K probes, consulting the shared cache first.
+///
+/// A cache hit never touches the wire. A fragment whose RPC exhausts its
+/// retry budget is split in half and each half retried on a fresh
+/// correlation id — a transient drop costs one fragment, not the peer's
+/// whole wave — until single probes remain; only those are given up as
+/// failed. Answers are reassembled in original request order, so a
+/// cached or batched run reports verdicts and values in exactly the
+/// order the unbatched path would (target certification keeps the first
+/// value it sees per item).
+async fn batched_peer_lookup(
+    ctx: &Ctx<'_>,
+    db: DbId,
+    peer: DbId,
+    checks: &[CheckRequest],
+    targets: &[TargetRequest],
+) -> PeerLookup {
+    let params = *ctx.sim.borrow().params();
+    let fingerprint = if ctx.active_cache().is_some() {
+        query_fingerprint(ctx.query)
+    } else {
+        0
+    };
+
+    // Cache pass: a hit is a probe the wire never sees.
+    let mut check_hits: Vec<Option<CheckVerdict>> = Vec::with_capacity(checks.len());
+    let mut check_misses: Vec<CheckRequest> = Vec::new();
+    let mut target_hits: Vec<Option<Value>> = Vec::with_capacity(targets.len());
+    let mut target_misses: Vec<TargetRequest> = Vec::new();
+    for request in checks {
+        let hit = ctx.active_cache().and_then(|c| {
+            let key = CacheKey::Verdict {
+                assistant: request.assistant,
+                pred: request.pred.index(),
+                start: request.start,
+                query: fingerprint,
+            };
+            match c.borrow_mut().get(&key) {
+                Some(CacheValue::Verdict(verdict)) => Some(CheckVerdict {
+                    item: request.item,
+                    pred: request.pred,
+                    verdict,
+                }),
+                _ => None,
+            }
+        });
+        if hit.is_none() {
+            check_misses.push(*request);
+        }
+        check_hits.push(hit);
+    }
+    for request in targets {
+        let hit = ctx.active_cache().and_then(|c| {
+            let key = CacheKey::Target {
+                assistant: request.assistant,
+                target: request.target,
+                start: request.start,
+                query: fingerprint,
+            };
+            match c.borrow_mut().get(&key) {
+                Some(CacheValue::Target(value)) => Some(value),
+                _ => None,
+            }
+        });
+        if hit.is_none() {
+            target_misses.push(*request);
+        }
+        target_hits.push(hit);
+    }
+
+    // Coalesce the misses into fragments of at most K probes (batch 0,
+    // reachable with the cache alone, keeps the one-message shape).
+    let mut queue: VecDeque<Fragment> = VecDeque::new();
+    if ctx.pipeline.batch == 0 {
+        if !check_misses.is_empty() || !target_misses.is_empty() {
+            queue.push_back((check_misses, target_misses));
+        }
+    } else {
+        for chunk in check_misses.chunks(ctx.pipeline.batch) {
+            queue.push_back((chunk.to_vec(), Vec::new()));
+        }
+        for chunk in target_misses.chunks(ctx.pipeline.batch) {
+            queue.push_back((Vec::new(), chunk.to_vec()));
+        }
+    }
+
+    // Drain the fragment queue with split-retry. Halves go to the front,
+    // front half first, preserving overall answer order.
+    let mut verdict_by_request: HashMap<CheckRequest, CheckVerdict> = HashMap::new();
+    let mut value_by_request: HashMap<TargetRequest, Value> = HashMap::new();
+    while let Some((frag_checks, frag_targets)) = queue.pop_front() {
+        let bytes = request_message_bytes(frag_checks.len() + frag_targets.len(), &params);
+        let request = Request::BatchAssistantLookup {
+            checks: frag_checks.clone(),
+            targets: frag_targets.clone(),
+        };
+        let outcome = call(
+            &ctx.net,
+            Site::Db(db),
+            Site::Db(peer),
+            request,
+            bytes,
+            Phase::O,
+            ctx.rpc,
+        )
+        .await;
+        match outcome {
+            Ok(Response::BatchAssistantLookup(lookup)) => {
+                for (request, verdict) in frag_checks.iter().zip(lookup.verdicts) {
+                    verdict_by_request.insert(*request, verdict);
+                }
+                for (request, value) in frag_targets.iter().zip(lookup.values) {
+                    value_by_request.insert(*request, value.1);
+                }
+            }
+            _ if frag_checks.len() + frag_targets.len() > 1 => {
+                let (front, back) = split_fragment(frag_checks, frag_targets);
+                queue.push_front(back);
+                queue.push_front(front);
+            }
+            // A single probe past the retry budget is lost for good.
+            _ => {}
+        }
+    }
+
+    // Reassemble in request order, populating the cache from fresh
+    // answers and recording what stayed unanswered.
+    let mut result = PeerLookup {
+        peer,
+        verdicts: Vec::with_capacity(checks.len()),
+        values: Vec::with_capacity(targets.len()),
+        failed_checks: Vec::new(),
+        degraded: false,
+    };
+    for (request, hit) in checks.iter().zip(check_hits) {
+        let answered = hit.or_else(|| verdict_by_request.get(request).copied());
+        match answered {
+            Some(verdict) => {
+                if let Some(c) = ctx.active_cache() {
+                    c.borrow_mut().put(
+                        CacheKey::Verdict {
+                            assistant: request.assistant,
+                            pred: request.pred.index(),
+                            start: request.start,
+                            query: fingerprint,
+                        },
+                        CacheValue::Verdict(verdict.verdict),
+                    );
+                }
+                result.verdicts.push(verdict);
+            }
+            None => {
+                result.failed_checks.push((request.item, request.pred));
+                result.degraded = true;
+            }
+        }
+    }
+    for (request, hit) in targets.iter().zip(target_hits) {
+        let answered = hit.or_else(|| value_by_request.get(request).cloned());
+        match answered {
+            Some(value) => {
+                if let Some(c) = ctx.active_cache() {
+                    c.borrow_mut().put(
+                        CacheKey::Target {
+                            assistant: request.assistant,
+                            target: request.target,
+                            start: request.start,
+                            query: fingerprint,
+                        },
+                        CacheValue::Target(value.clone()),
+                    );
+                }
+                result.values.push(((request.item, request.target), value));
+            }
+            None => result.degraded = true,
+        }
+    }
+    result
+}
+
 /// Event loop of the global site: serves `Certify` requests by
 /// orchestrating the chosen strategy over the component actors.
 pub async fn run_global(ctx: Ctx<'_>) {
     loop {
         let env = ctx.net.recv(Site::Global).await;
-        let Payload::Request(Request::Certify { strategy }) = env.payload else {
+        let Payload::Request(ref request) = env.payload else {
             continue;
         };
-        let reply = orchestrate(&ctx, strategy).await;
-        ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
+        match request.clone() {
+            Request::Certify { strategy } => {
+                let reply = orchestrate(&ctx, strategy).await;
+                ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
+            }
+            // Coalesced executions: one round-trip, answered in order.
+            Request::BatchCertify { strategies } => {
+                let mut replies = Vec::with_capacity(strategies.len());
+                for strategy in strategies {
+                    replies.push(orchestrate(&ctx, strategy).await);
+                }
+                ctx.net.respond(&env, 0, Response::BatchCertify(replies));
+            }
+            _ => {}
+        }
     }
 }
 
@@ -283,8 +571,30 @@ async fn orchestrate_centralized(ctx: &Ctx<'_>) -> CertifyReply {
     let params = *ctx.sim.borrow().params();
     let plan = ship_plan(ctx.fed, ctx.query, &params);
     let cfg = ctx.rpc.scaled(FANOUT_TIMEOUT_SCALE);
-    let ships: Vec<BoxFut<'_, (DbId, Result<Response, RpcError>)>> = plan
-        .sites
+    // With the cache on, shipments the global site already holds from a
+    // previous run of this query are warm: a site is contacted only if
+    // it owns at least one cold shipment. Cache entries are recorded
+    // only after the ships succeed, so a degraded run stays cold.
+    let mut contact = plan.sites.clone();
+    let mut fresh: Vec<(CacheKey, u64)> = Vec::new();
+    if let Some(cache) = ctx.active_cache() {
+        let fingerprint = query_fingerprint(ctx.query);
+        let mut cold: BTreeSet<DbId> = BTreeSet::new();
+        let mut cache = cache.borrow_mut();
+        for (index, (site, bytes)) in plan.shipments.iter().enumerate() {
+            let key = CacheKey::Shipment {
+                db: *site,
+                index,
+                query: fingerprint,
+            };
+            if cache.get(&key).is_none() {
+                cold.insert(*site);
+                fresh.push((key, *bytes));
+            }
+        }
+        contact.retain(|site| cold.contains(site));
+    }
+    let ships: Vec<BoxFut<'_, (DbId, Result<Response, RpcError>)>> = contact
         .iter()
         .map(|&site| {
             let net = ctx.net.clone();
@@ -311,8 +621,14 @@ async fn orchestrate_centralized(ctx: &Ctx<'_>) -> CertifyReply {
         }
     }
     let answer = if degraded_sites.is_empty() {
+        if let Some(cache) = ctx.active_cache() {
+            let mut cache = cache.borrow_mut();
+            for (key, bytes) in fresh {
+                cache.put(key, CacheValue::Shipment(bytes));
+            }
+        }
         let mut sim = ctx.sim.borrow_mut();
-        centralized_answer(ctx.fed, ctx.query, &mut sim)
+        centralized_answer_with(ctx.fed, ctx.query, &mut sim, ctx.pipeline)
     } else {
         let sites = degraded_sites
             .iter()

@@ -14,8 +14,8 @@ use crate::rt::Runtime;
 use crate::transport::{LocalTransport, Transport};
 use fedoq_core::handlers::LocalizedConfig;
 use fedoq_core::{
-    BasicLocalized, Centralized, ExecError, ExecutionStrategy, Federation, ParallelLocalized,
-    QueryAnswer,
+    BasicLocalized, CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, LookupCache,
+    ParallelLocalized, PipelineConfig, QueryAnswer,
 };
 use fedoq_object::DbId;
 use fedoq_query::BoundQuery;
@@ -133,13 +133,23 @@ impl DistributedOutcome {
 }
 
 /// Runs distributed queries over a transport.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The executor owns a [`PipelineConfig`] (parallel scans, probe
+/// batching, lookup caching) and a persistent [`LookupCache`] that
+/// survives across `run` calls — run the same query twice with the cache
+/// enabled and the second run answers warm probes without touching the
+/// wire. Clones share the cache. The cache is generation-synced against
+/// the federation on every run, so store mutations invalidate it.
+#[derive(Debug, Clone, Default)]
 pub struct DistributedExecutor {
     rpc: RpcConfig,
+    pipeline: PipelineConfig,
+    cache: Rc<RefCell<LookupCache>>,
 }
 
 impl DistributedExecutor {
-    /// An executor with the default RPC policy.
+    /// An executor with the default RPC policy and a sequential,
+    /// unbatched, uncached pipeline (the legacy wire behavior).
     pub fn new() -> DistributedExecutor {
         DistributedExecutor::default()
     }
@@ -155,6 +165,32 @@ impl DistributedExecutor {
         self.rpc
     }
 
+    /// Overrides the pipeline (parallelism, batch size, caching).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> DistributedExecutor {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// The pipeline configuration in force.
+    pub fn pipeline(&self) -> PipelineConfig {
+        self.pipeline
+    }
+
+    /// Hit/miss/eviction counters of the persistent lookup cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Entries currently held by the persistent lookup cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Drops every cache entry and resets the counters.
+    pub fn reset_cache(&self) {
+        self.cache.borrow_mut().reset();
+    }
+
     /// Executes `query` with `strategy` over `transport`, charging
     /// `sim`'s ledger for every disk/CPU/network action.
     pub fn run(
@@ -165,15 +201,96 @@ impl DistributedExecutor {
         transport: Rc<RefCell<dyn Transport>>,
         sim: Rc<RefCell<Simulation>>,
     ) -> Result<DistributedOutcome, ExecError> {
+        let response = self.drive(fed, query, Request::Certify { strategy }, &transport, &sim)?;
+        let (Response::Certify(reply), virtual_us) = response else {
+            return Err(ExecError::Internal("mismatched response to Certify".into()));
+        };
+        let (delivered, dropped) = transport.borrow().stats();
+        Ok(DistributedOutcome {
+            answer: reply.answer?,
+            degraded_sites: reply.degraded_sites,
+            retries: reply.retries,
+            delivered,
+            dropped,
+            metrics: sim.borrow().metrics(),
+            virtual_us,
+        })
+    }
+
+    /// Executes several strategies over the same query in one client
+    /// round-trip (`BatchCertify`), in order, over one shared runtime.
+    ///
+    /// The transport stats, cost-model metrics, and virtual clock are
+    /// those of the *whole batch* — the jobs share the simulation — so
+    /// every returned outcome carries the same totals. Any job's
+    /// execution error fails the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](DistributedExecutor::run), for any job.
+    pub fn run_batch(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        strategies: &[DistributedStrategy],
+        transport: Rc<RefCell<dyn Transport>>,
+        sim: Rc<RefCell<Simulation>>,
+    ) -> Result<Vec<DistributedOutcome>, ExecError> {
+        let request = Request::BatchCertify {
+            strategies: strategies.to_vec(),
+        };
+        let response = self.drive(fed, query, request, &transport, &sim)?;
+        let (Response::BatchCertify(replies), virtual_us) = response else {
+            return Err(ExecError::Internal(
+                "mismatched response to BatchCertify".into(),
+            ));
+        };
+        let (delivered, dropped) = transport.borrow().stats();
+        let metrics = sim.borrow().metrics();
+        replies
+            .into_iter()
+            .map(|reply| {
+                Ok(DistributedOutcome {
+                    answer: reply.answer?,
+                    degraded_sites: reply.degraded_sites,
+                    retries: reply.retries,
+                    delivered,
+                    dropped,
+                    metrics,
+                    virtual_us,
+                })
+            })
+            .collect()
+    }
+
+    /// Spins up the actors, sends one client request to the global
+    /// actor, and drives the runtime until its response arrives.
+    fn drive(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        request: Request,
+        transport: &Rc<RefCell<dyn Transport>>,
+        sim: &Rc<RefCell<Simulation>>,
+    ) -> Result<(Response, f64), ExecError> {
+        // A store mutation since the last run flushes the cache.
+        self.cache.borrow_mut().sync_generation(fed.generation());
+        let cache = if self.pipeline.cache {
+            Some(Rc::clone(&self.cache))
+        } else {
+            None
+        };
         let rt = Runtime::new();
-        let net = Net::new(rt.handle(), Rc::clone(&transport), fed.num_dbs());
+        let net = Net::new(rt.handle(), Rc::clone(transport), fed.num_dbs());
         for db in fed.dbs() {
             let ctx = Ctx {
                 fed,
                 query,
                 net: net.clone(),
-                sim: Rc::clone(&sim),
+                sim: Rc::clone(sim),
                 rpc: self.rpc,
+                pipeline: self.pipeline,
+                cache: cache.clone(),
             };
             rt.handle().spawn(run_site(ctx, db.id()));
         }
@@ -181,13 +298,15 @@ impl DistributedExecutor {
             fed,
             query,
             net: net.clone(),
-            sim: Rc::clone(&sim),
+            sim: Rc::clone(sim),
             rpc: self.rpc,
+            pipeline: self.pipeline,
+            cache,
         }));
 
-        // The client: one Certify RPC to the global actor. It must not
-        // time out on its own — end-to-end patience is the point — so it
-        // gets an effectively unbounded window and no retries.
+        // The client: one RPC to the global actor. It must not time out
+        // on its own — end-to-end patience is the point — so it gets an
+        // effectively unbounded window and no retries.
         let client_net = net.clone();
         let response = rt
             .run(async move {
@@ -202,7 +321,7 @@ impl DistributedExecutor {
                     &client_net,
                     Site::Global,
                     Site::Global,
-                    Request::Certify { strategy },
+                    request,
                     0,
                     Phase::Ship,
                     cfg,
@@ -211,20 +330,7 @@ impl DistributedExecutor {
             })
             .map_err(|deadlock| ExecError::Internal(deadlock.to_string()))?
             .map_err(|e| ExecError::Internal(format!("global actor lost: {e}")))?;
-
-        let Response::Certify(reply) = response else {
-            return Err(ExecError::Internal("mismatched response to Certify".into()));
-        };
-        let (delivered, dropped) = transport.borrow().stats();
-        Ok(DistributedOutcome {
-            answer: reply.answer?,
-            degraded_sites: reply.degraded_sites,
-            retries: reply.retries,
-            delivered,
-            dropped,
-            metrics: sim.borrow().metrics(),
-            virtual_us: rt.handle().now_us(),
-        })
+        Ok((response, rt.handle().now_us()))
     }
 
     /// Convenience: runs over the in-process [`LocalTransport`] with a

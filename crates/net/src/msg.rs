@@ -14,6 +14,17 @@
 //!   objects against their unsolved predicates (and fetch target values);
 //! * [`Request::ShipObjects`] — global → component site: ship your
 //!   projected extents (CA).
+//!
+//! Two further kinds support the batched pipeline
+//! ([`fedoq_core::PipelineConfig`]):
+//!
+//! * [`Request::BatchAssistantLookup`] — site → site: an assistant-lookup
+//!   *fragment* coalescing up to K GOid probes into one round-trip. Unlike
+//!   the legacy all-probes-in-one `AssistantLookup`, a failed fragment is
+//!   split in half and each half retried on a fresh correlation id, so a
+//!   transient drop costs one fragment rather than the whole wave;
+//! * [`Request::BatchCertify`] — client → global actor: several strategy
+//!   executions coalesced into one client round-trip, answered together.
 
 use crate::exec::DistributedStrategy;
 use fedoq_core::handlers::{CheckRequest, CheckVerdict, LocalRow, TargetRequest};
@@ -74,6 +85,20 @@ pub enum Request {
     },
     /// Ship the projected extents to the global site (CA).
     ShipObjects,
+    /// One fragment of a batched assistant lookup: at most K coalesced
+    /// probes (checks plus targets), retried by splitting on failure.
+    BatchAssistantLookup {
+        /// Predicate checks coalesced into this fragment.
+        checks: Vec<CheckRequest>,
+        /// Target-value fetches coalesced into this fragment.
+        targets: Vec<TargetRequest>,
+    },
+    /// Run several strategies over the same query in one client
+    /// round-trip (client → global actor).
+    BatchCertify {
+        /// The strategies to execute, answered in order.
+        strategies: Vec<DistributedStrategy>,
+    },
 }
 
 impl Request {
@@ -84,6 +109,8 @@ impl Request {
             Request::LocalEval { .. } => "LocalEval",
             Request::AssistantLookup { .. } => "AssistantLookup",
             Request::ShipObjects => "ShipObjects",
+            Request::BatchAssistantLookup { .. } => "BatchAssistantLookup",
+            Request::BatchCertify { .. } => "BatchCertify",
         }
     }
 }
@@ -99,6 +126,10 @@ pub enum Response {
     AssistantLookup(LookupReply),
     /// Acknowledgement of a CA extent shipment.
     ShipObjects(ShipReply),
+    /// Verdicts and values for one batched-lookup fragment.
+    BatchAssistantLookup(LookupReply),
+    /// One certified answer per strategy of a [`Request::BatchCertify`].
+    BatchCertify(Vec<CertifyReply>),
 }
 
 /// Final result of one distributed query execution.

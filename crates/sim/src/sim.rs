@@ -159,6 +159,37 @@ impl Simulation {
             .charge(Self::ledger_site(site), Resource::Cpu, phase, start, dur);
     }
 
+    /// Charges CPU work split across parallel workers at `site`.
+    ///
+    /// Each entry of `shares` is one worker's comparison count. Every
+    /// share is charged to the ledger from the same start instant (the
+    /// workers genuinely overlap, so *total* execution time counts all of
+    /// the busy time), but the site clock — and therefore the response
+    /// time — advances only by the largest share: the critical path of
+    /// the fork/join. With a single share this is exactly [`cpu`].
+    ///
+    /// [`cpu`]: Simulation::cpu
+    pub fn cpu_parallel(&mut self, site: Site, shares: &[u64], phase: Phase) {
+        let total: u64 = shares.iter().sum();
+        if total == 0 {
+            return;
+        }
+        self.comparisons += total;
+        let i = self.index(site);
+        let start = self.clocks[i];
+        let mut max_dur = SimTime::ZERO;
+        for &share in shares {
+            if share == 0 {
+                continue;
+            }
+            let dur = SimTime::from_micros(share as f64 * self.params.cpu_us_per_cmp);
+            max_dur = max_dur.max(dur);
+            self.ledger
+                .charge(Self::ledger_site(site), Resource::Cpu, phase, start, dur);
+        }
+        self.clocks[i] = start + max_dur;
+    }
+
     /// Charges a disk read/write of `bytes` at `site` (advances its clock).
     pub fn disk(&mut self, site: Site, bytes: u64, phase: Phase) {
         if bytes == 0 {
@@ -171,6 +202,33 @@ impl Simulation {
         self.clocks[i] += dur;
         self.ledger
             .charge(Self::ledger_site(site), Resource::Disk, phase, start, dur);
+    }
+
+    /// Charges disk transfers split across parallel workers at `site`.
+    ///
+    /// The disk analogue of [`cpu_parallel`]: all shares are charged as
+    /// overlapping busy time, the clock advances by the largest share.
+    ///
+    /// [`cpu_parallel`]: Simulation::cpu_parallel
+    pub fn disk_parallel(&mut self, site: Site, shares: &[u64], phase: Phase) {
+        let total: u64 = shares.iter().sum();
+        if total == 0 {
+            return;
+        }
+        self.disk_bytes += total;
+        let i = self.index(site);
+        let start = self.clocks[i];
+        let mut max_dur = SimTime::ZERO;
+        for &share in shares {
+            if share == 0 {
+                continue;
+            }
+            let dur = SimTime::from_micros(share as f64 * self.params.disk_us_per_byte);
+            max_dur = max_dur.max(dur);
+            self.ledger
+                .charge(Self::ledger_site(site), Resource::Disk, phase, start, dur);
+        }
+        self.clocks[i] = start + max_dur;
     }
 
     /// Sends `bytes` from `from` to `to` over the shared link.
@@ -322,6 +380,39 @@ mod tests {
         assert_eq!(m.bytes(), 0);
         assert_eq!(s.metrics().total_execution_us, 0.0);
         assert!(s.ledger().is_empty());
+    }
+
+    #[test]
+    fn parallel_charges_count_all_work_but_advance_by_the_critical_path() {
+        let mut s = sim();
+        let a = Site::Db(DbId::new(0));
+        // Three workers: 10, 30, 20 comparisons at 0.5 µs each.
+        s.cpu_parallel(a, &[10, 30, 20], Phase::P);
+        assert_eq!(s.now(a).as_micros(), 15.0); // max share only
+        assert_eq!(s.metrics().total_execution_us, 30.0); // all busy time
+        assert_eq!(s.metrics().comparisons, 60);
+        // Disk analogue: 15 µs/byte at the defaults.
+        s.disk_parallel(a, &[4, 2], Phase::P);
+        assert_eq!(s.now(a).as_micros(), 15.0 + 60.0);
+        assert_eq!(s.metrics().disk_bytes, 6);
+    }
+
+    #[test]
+    fn single_share_parallel_equals_sequential() {
+        let mut a = sim();
+        let mut b = sim();
+        let site = Site::Db(DbId::new(1));
+        a.cpu(site, 42, Phase::O);
+        a.disk(site, 17, Phase::I);
+        b.cpu_parallel(site, &[42], Phase::O);
+        b.disk_parallel(site, &[17], Phase::I);
+        assert_eq!(a.now(site), b.now(site));
+        assert_eq!(a.metrics(), b.metrics());
+        // Zero and empty shares charge nothing.
+        b.cpu_parallel(site, &[], Phase::P);
+        b.cpu_parallel(site, &[0, 0], Phase::P);
+        b.disk_parallel(site, &[0], Phase::P);
+        assert_eq!(a.metrics(), b.metrics());
     }
 
     #[test]

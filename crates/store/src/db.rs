@@ -209,6 +209,27 @@ impl ComponentDb {
         Ok(())
     }
 
+    /// Retracts the object with `loid` from its extent, returning it.
+    ///
+    /// References held by other objects are left in place: a dangling
+    /// reference reads as null under the three-valued evaluator, which is
+    /// exactly the paper's missing-data situation — retracting an
+    /// isomeric copy downgrades answers that depended on it to maybes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::DanglingRef`] if no object with `loid`
+    /// exists here.
+    pub fn retract(&mut self, loid: LOid) -> Result<Object, StoreError> {
+        let class = self
+            .loid_class
+            .remove(&loid)
+            .ok_or(StoreError::DanglingRef(loid))?;
+        self.extents[class.index()]
+            .remove(loid)
+            .ok_or(StoreError::DanglingRef(loid))
+    }
+
     /// Checks that every complex attribute references an existing object.
     ///
     /// # Errors
@@ -383,6 +404,28 @@ mod tests {
         )
         .unwrap();
         assert!(db.validate_refs().is_ok());
+    }
+
+    #[test]
+    fn retract_removes_and_reports_missing() {
+        let mut db = mkdb();
+        let d = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        let t = db
+            .insert_named(
+                "Teacher",
+                &[("name", Value::text("J")), ("department", Value::Ref(d))],
+            )
+            .unwrap();
+        let gone = db.retract(d).unwrap();
+        assert_eq!(gone.value(0), &Value::text("CS"));
+        assert!(db.object(d).is_none());
+        assert_eq!(db.object_count(), 1);
+        // The teacher now dangles — visible to validate_refs.
+        assert_eq!(db.validate_refs(), Err(StoreError::DanglingRef(d)));
+        assert_eq!(db.retract(d), Err(StoreError::DanglingRef(d)));
+        let _ = t;
     }
 
     #[test]

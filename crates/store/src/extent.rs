@@ -54,6 +54,25 @@ impl Extent {
         }
     }
 
+    /// Removes the object with `loid`, preserving the scan order of the
+    /// remaining objects. Returns the removed object, if it existed.
+    pub fn remove(&mut self, loid: LOid) -> Option<Object> {
+        let slot = self.by_loid.remove(&loid)?;
+        let removed = self.objects.remove(slot);
+        for idx in self.by_loid.values_mut() {
+            if *idx > slot {
+                *idx -= 1;
+            }
+        }
+        Some(removed)
+    }
+
+    /// The stored objects as a contiguous slice, in scan order — the
+    /// access path of the chunked parallel scans.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
     /// Fetches an object by LOid.
     pub fn get(&self, loid: LOid) -> Option<&Object> {
         self.by_loid.get(&loid).map(|&i| &self.objects[i])
@@ -141,6 +160,25 @@ mod tests {
         assert_eq!(serials, [5, 3, 9]);
         let count = (&e).into_iter().count();
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn remove_preserves_scan_order_and_fixes_slots() {
+        let mut e = Extent::new(ClassId::new(0));
+        for s in [5, 3, 9, 7] {
+            e.insert(obj(s, s as i64));
+        }
+        let gone = e.remove(LOid::new(DbId::new(0), 3)).unwrap();
+        assert_eq!(gone.value(0), &Value::Int(3));
+        assert!(e.remove(LOid::new(DbId::new(0), 3)).is_none());
+        let serials: Vec<u64> = e.loids().map(LOid::serial).collect();
+        assert_eq!(serials, [5, 9, 7]);
+        // Later objects are still reachable through the fixed-up map.
+        assert_eq!(
+            e.get(LOid::new(DbId::new(0), 7)).unwrap().value(0),
+            &Value::Int(7)
+        );
+        assert_eq!(e.objects().len(), 3);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod eval;
 pub mod extent;
 pub mod index;
 pub mod local_query;
+pub mod par;
 pub mod persist;
 pub mod schema;
 pub mod stats;
@@ -45,7 +46,8 @@ pub use error::StoreError;
 pub use eval::{CompiledPath, CompiledPredicate, EvalCounter, PathWalk};
 pub use extent::Extent;
 pub use index::{HashIndex, IndexKey};
-pub use local_query::{LocalQuery, LocalQueryResult, LocalRow};
+pub use local_query::{LocalQuery, LocalQueryResult, LocalRow, ParallelScan};
+pub use par::{map_chunks, worker_shares};
 pub use persist::{load_db, save_db, PersistError};
 pub use schema::{AttrDef, AttrType, ClassDef, ComponentSchema, PrimitiveType};
 pub use stats::ClassStats;

@@ -31,7 +31,7 @@
 use crate::db::ComponentDb;
 use crate::error::StoreError;
 use crate::eval::{CompiledPath, CompiledPredicate, EvalCounter};
-use fedoq_object::{ClassId, CmpOp, LOid, Truth, Value};
+use fedoq_object::{ClassId, CmpOp, LOid, Object, Truth, Value};
 
 /// A compiled conjunctive query over one class of one component database.
 #[derive(Debug, Clone)]
@@ -154,7 +154,41 @@ impl LocalQuery {
     /// Scans the class extent, classifying each object.
     pub fn execute(&self, db: &ComponentDb) -> LocalQueryResult {
         let mut result = LocalQueryResult::default();
-        'objects: for object in db.extent(self.class).iter() {
+        self.scan_slice(db, db.extent(self.class).objects(), &mut result);
+        result
+    }
+
+    /// Scans the class extent in chunks of `chunk` objects over up to
+    /// `threads` worker threads (see [`crate::par`]), merging the partial
+    /// results in chunk order. The classification, row order, and
+    /// evaluation counters are byte-identical to [`execute`]: the merge is
+    /// a deterministic left-to-right concatenation, so parallelism is
+    /// invisible in the output.
+    ///
+    /// [`execute`]: LocalQuery::execute
+    pub fn execute_chunked(&self, db: &ComponentDb, threads: usize, chunk: usize) -> ParallelScan {
+        let objects = db.extent(self.class).objects();
+        let partials = crate::par::map_chunks(objects, threads, chunk, |_, slice| {
+            let mut partial = LocalQueryResult::default();
+            self.scan_slice(db, slice, &mut partial);
+            partial
+        });
+        let mut result = LocalQueryResult::default();
+        let mut chunk_comparisons = Vec::with_capacity(partials.len());
+        for partial in partials {
+            chunk_comparisons.push(partial.counter.comparisons);
+            result.certain.extend(partial.certain);
+            result.maybe.extend(partial.maybe);
+            result.counter.absorb(partial.counter);
+        }
+        ParallelScan {
+            result,
+            chunk_comparisons,
+        }
+    }
+
+    fn scan_slice(&self, db: &ComponentDb, objects: &[Object], result: &mut LocalQueryResult) {
+        'objects: for object in objects {
             let mut unknown = false;
             for predicate in &self.predicates {
                 let (verdict, _) = predicate.eval(db, object, &mut result.counter);
@@ -179,8 +213,18 @@ impl LocalQuery {
                 result.certain.push(row);
             }
         }
-        result
     }
+}
+
+/// A chunked scan's merged result plus its per-chunk comparison counts,
+/// which a cost model can turn into per-worker shares
+/// ([`crate::par::worker_shares`]).
+#[derive(Debug, Clone, Default)]
+pub struct ParallelScan {
+    /// The merged classification, identical to a sequential scan.
+    pub result: LocalQueryResult,
+    /// Comparisons performed per chunk, in chunk order.
+    pub chunk_comparisons: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -304,6 +348,32 @@ mod tests {
             LocalQuery::build(&db, "Student", &[], &["age.years"]),
             Err(StoreError::NotComplex { .. })
         ));
+    }
+
+    #[test]
+    fn chunked_execution_is_indistinguishable_from_sequential() {
+        let db = school();
+        let q = LocalQuery::build(
+            &db,
+            "Student",
+            &[
+                ("age", CmpOp::Ge, Value::Int(20)),
+                ("advisor.department.name", CmpOp::Eq, Value::text("CS")),
+            ],
+            &["name"],
+        )
+        .unwrap();
+        let sequential = q.execute(&db);
+        for (threads, chunk) in [(1, 1), (2, 1), (8, 2), (8, 64)] {
+            let scan = q.execute_chunked(&db, threads, chunk);
+            assert_eq!(scan.result.certain(), sequential.certain());
+            assert_eq!(scan.result.maybe(), sequential.maybe());
+            assert_eq!(scan.result.counter(), sequential.counter());
+            assert_eq!(
+                scan.chunk_comparisons.iter().sum::<u64>(),
+                sequential.counter().comparisons
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Chunked parallel mapping over extent slices.
+//!
+//! The scan-and-evaluate loops of the query pipeline are embarrassingly
+//! parallel: each object is classified independently and the per-chunk
+//! partial results merge associatively. [`map_chunks`] splits a slice
+//! into fixed-size chunks and maps a pure function over them on a
+//! work-stealing pool of scoped threads — workers pull the next
+//! unclaimed chunk from a shared atomic cursor, so a straggler chunk
+//! never idles the rest of the pool. Results are returned **in chunk
+//! order** regardless of which worker produced them, which is the whole
+//! determinism argument: the merged output is byte-identical to a
+//! sequential left-to-right scan.
+//!
+//! [`worker_shares`] models the same schedule for the cost simulation:
+//! given per-chunk work counts it returns the per-worker totals of a
+//! round-robin assignment, which the simulation charges as overlapping
+//! busy time (`Simulation::cpu_parallel`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `items` into chunks of `chunk` elements and maps `f` over each
+/// chunk on up to `threads` scoped worker threads, returning the per-chunk
+/// results in chunk order.
+///
+/// `f` receives the chunk index and the chunk slice. With `threads <= 1`
+/// (or a single chunk) the map runs inline on the caller's thread; the
+/// output is identical either way.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins every worker first).
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    if threads <= 1 || n_chunks <= 1 {
+        return items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| f(i, slice))
+            .collect();
+    }
+    let workers = threads.min(n_chunks);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut produced = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(items.len());
+                    produced.push((c, f(c, &items[lo..hi])));
+                }
+                produced
+            }));
+        }
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n_chunks);
+        for handle in handles {
+            tagged.extend(handle.join().expect("chunk worker panicked"));
+        }
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+/// Per-worker work totals of a round-robin assignment of `costs` (one
+/// entry per chunk) to `threads` workers: worker `w` takes chunks `w`,
+/// `w + threads`, `w + 2·threads`, …
+///
+/// This is the deterministic schedule the simulation charges for — the
+/// real pool's dynamic stealing can only do better, so the modeled
+/// critical path is a safe upper bound.
+pub fn worker_shares(costs: &[u64], threads: usize) -> Vec<u64> {
+    let threads = threads.max(1).min(costs.len().max(1));
+    let mut shares = vec![0u64; threads];
+    for (i, &c) in costs.iter().enumerate() {
+        shares[i % threads] += c;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_map_matches_sequential_in_any_pool_size() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.chunks(7).map(|c| c.iter().sum()).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_chunks(&items, threads, 7, |_, slice| slice.iter().sum::<u64>());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_indices_arrive_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let got = map_chunks(&items, 8, 9, |i, _| i);
+        let expect: Vec<usize> = (0..items.len().div_ceil(9)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_chunks(&empty, 8, 16, |_, s| s.len()).is_empty());
+        assert_eq!(map_chunks(&[1u8], 8, 16, |_, s| s.len()), vec![1]);
+        // chunk=0 is clamped to 1 rather than looping forever.
+        assert_eq!(map_chunks(&[1u8, 2], 1, 0, |_, s| s.len()), vec![1, 1]);
+    }
+
+    #[test]
+    fn shares_preserve_total_work() {
+        let costs = [5u64, 1, 9, 2, 2, 7];
+        for threads in [1, 2, 3, 4, 8] {
+            let shares = worker_shares(&costs, threads);
+            assert_eq!(shares.iter().sum::<u64>(), costs.iter().sum::<u64>());
+            assert!(shares.len() <= threads.max(1));
+        }
+        assert_eq!(worker_shares(&costs, 2), vec![5 + 9 + 2, 1 + 2 + 7]);
+        assert_eq!(worker_shares(&[], 4), vec![0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Batched lookups under transport faults: a dropped
+//! `BatchAssistantLookup` fragment splits in half and retries without
+//! ever duplicating a certification, and when a peer stays unreachable
+//! past the retry budget the localized strategies degrade — tagging the
+//! affected rows instead of guessing.
+
+use fedoq_core::{run_strategy, Federation, MaybeRow, PipelineConfig, QueryAnswer, ResultRow};
+use fedoq_net::{
+    DistributedExecutor, DistributedOutcome, DistributedStrategy, FaultEvent, SimTransport,
+    Transport,
+};
+use fedoq_object::DbId;
+use fedoq_query::BoundQuery;
+use fedoq_sim::{Simulation, Site, SystemParams};
+use fedoq_workload::university;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Batched+cached pipeline with a deliberately small fragment size so a
+/// multi-probe batch exists to split on failure.
+fn batched_pipeline() -> PipelineConfig {
+    PipelineConfig::sequential().with_batch(2).with_cache()
+}
+
+fn run_faulty(
+    fed: &Federation,
+    query: &BoundQuery,
+    strategy: DistributedStrategy,
+    pipeline: PipelineConfig,
+    seed: u64,
+    faults: impl FnOnce(&mut SimTransport),
+) -> Result<DistributedOutcome, fedoq_core::ExecError> {
+    let sim = Rc::new(RefCell::new(Simulation::new(
+        SystemParams::paper_default(),
+        fed.num_dbs(),
+    )));
+    let mut transport = SimTransport::new(Rc::clone(&sim), seed);
+    faults(&mut transport);
+    let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(transport));
+    DistributedExecutor::new()
+        .with_pipeline(pipeline)
+        .run(fed, query, strategy, transport, sim)
+}
+
+fn sync_answer(fed: &Federation, query: &BoundQuery, strategy: DistributedStrategy) -> QueryAnswer {
+    run_strategy(
+        strategy.sync().as_ref(),
+        fed,
+        query,
+        SystemParams::paper_default(),
+    )
+    .unwrap()
+    .0
+}
+
+/// No GOid may be certified twice — a split fragment retried over a
+/// lossy link must not replay a verdict into a second certification.
+fn assert_no_duplicate_certifications(answer: &QueryAnswer, label: &str) {
+    let unique: BTreeSet<_> = answer.certain().iter().map(ResultRow::goid).collect();
+    assert_eq!(
+        unique.len(),
+        answer.certain().len(),
+        "{label}: duplicate certified rows: {answer}"
+    );
+    let maybes: BTreeSet<_> = answer.maybe().iter().map(MaybeRow::goid).collect();
+    for goid in &maybes {
+        assert!(
+            !unique.contains(goid),
+            "{label}: {goid} is both certain and maybe"
+        );
+    }
+}
+
+#[test]
+fn dropped_batches_split_retry_and_agree_with_sync() {
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    for strategy in [DistributedStrategy::bl(), DistributedStrategy::pl()] {
+        let reference = sync_answer(&fed, &query, strategy);
+        let mut saw_drop = false;
+        for seed in 0..24u64 {
+            let out = run_faulty(&fed, &query, strategy, batched_pipeline(), seed, |t| {
+                t.inject(FaultEvent::SetDropRate(0.15));
+            })
+            .unwrap();
+            let label = format!("{} seed {seed}", strategy.name());
+            assert_no_duplicate_certifications(&out.answer, &label);
+            if out.dropped > 0 {
+                saw_drop = true;
+                assert!(out.retries > 0, "{label}: drops without retries");
+            }
+            if out.degraded_sites.is_empty() && !out.answer.is_degraded() {
+                assert!(
+                    reference.same_classification(&out.answer),
+                    "{label}: lossy batched run disagrees with sync\n  sync: \
+                     {reference}\n  dist: {}",
+                    out.answer
+                );
+            }
+        }
+        assert!(
+            saw_drop,
+            "{}: no seed in 0..24 dropped a batch at 15% loss",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn batch_sizes_agree_over_a_healed_partition() {
+    // The same partition-then-heal schedule, executed once per batch
+    // size: every dialect must recover to the sync classification, with
+    // the batched runs having split or retried their way through.
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    for strategy in [DistributedStrategy::bl(), DistributedStrategy::pl()] {
+        let reference = sync_answer(&fed, &query, strategy);
+        for batch in [1usize, 2, 64] {
+            let pipeline = PipelineConfig::sequential().with_batch(batch);
+            let out = run_faulty(&fed, &query, strategy, pipeline, 5, |t| {
+                t.inject(FaultEvent::Partition(
+                    Site::Db(DbId::new(0)),
+                    Site::Db(DbId::new(1)),
+                ));
+                // Early enough for the peer lookups' own retry budget
+                // (~115k µs of patience) to carry the run across.
+                t.inject_at(60_000.0, FaultEvent::Heal);
+            })
+            .unwrap();
+            let label = format!("{} batch {batch}", strategy.name());
+            assert_no_duplicate_certifications(&out.answer, &label);
+            assert!(
+                out.degraded_sites.is_empty(),
+                "{label}: healed partition still lost a site"
+            );
+            assert!(
+                reference.same_classification(&out.answer),
+                "{label}: post-heal answer disagrees with sync"
+            );
+            assert!(!out.answer.is_degraded(), "{label}: degraded after heal");
+        }
+    }
+}
+
+#[test]
+fn unreachable_peer_degrades_batched_lookups_gracefully() {
+    // A peer crashed for the whole run: batched BL/PL still answer, mark
+    // the loss (degraded sites or degraded provenance), and certify
+    // nothing the full-information run would not.
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    for crashed in 0..fed.num_dbs() {
+        let db = DbId::new(u16::try_from(crashed).unwrap());
+        for strategy in [DistributedStrategy::bl(), DistributedStrategy::pl()] {
+            let reference = sync_answer(&fed, &query, strategy);
+            let out = run_faulty(&fed, &query, strategy, batched_pipeline(), 11, |t| {
+                t.inject(FaultEvent::Crash(Site::Db(db)));
+            })
+            .unwrap();
+            let label = format!("{} with {db} down", strategy.name());
+            assert_no_duplicate_certifications(&out.answer, &label);
+            for row in out.answer.certain() {
+                assert!(
+                    reference.certain_goids().contains(&row.goid()),
+                    "{label}: certified {} which sync does not",
+                    row.goid()
+                );
+            }
+            assert!(
+                out.degraded_sites.contains(&db) || out.answer == reference,
+                "{label}: loss neither reported nor harmless"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_survives_faults_without_stale_answers() {
+    // One executor, one persistent cache: a clean run warms it, then a
+    // lossy run may answer probes from the cache — fewer messages, same
+    // classification whenever nothing was written off.
+    let fed = university::federation().unwrap();
+    let query = fed.parse_and_bind(university::Q1).unwrap();
+    for strategy in [DistributedStrategy::bl(), DistributedStrategy::pl()] {
+        let reference = sync_answer(&fed, &query, strategy);
+        let executor = DistributedExecutor::new().with_pipeline(batched_pipeline());
+
+        let clean = {
+            let sim = Rc::new(RefCell::new(Simulation::new(
+                SystemParams::paper_default(),
+                fed.num_dbs(),
+            )));
+            let transport: Rc<RefCell<dyn Transport>> =
+                Rc::new(RefCell::new(SimTransport::new(Rc::clone(&sim), 1)));
+            executor
+                .run(&fed, &query, strategy, transport, sim)
+                .unwrap()
+        };
+        assert!(reference.same_classification(&clean.answer));
+        assert!(executor.cache_len() > 0, "clean run cached nothing");
+
+        let lossy = {
+            let sim = Rc::new(RefCell::new(Simulation::new(
+                SystemParams::paper_default(),
+                fed.num_dbs(),
+            )));
+            let mut transport = SimTransport::new(Rc::clone(&sim), 2);
+            transport.inject(FaultEvent::SetDropRate(0.15));
+            let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(transport));
+            executor
+                .run(&fed, &query, strategy, transport, sim)
+                .unwrap()
+        };
+        let label = format!("{} warm lossy", strategy.name());
+        assert_no_duplicate_certifications(&lossy.answer, &label);
+        if lossy.degraded_sites.is_empty() && !lossy.answer.is_degraded() {
+            assert!(
+                reference.same_classification(&lossy.answer),
+                "{label}: disagrees with sync"
+            );
+        }
+        assert!(
+            lossy.delivered <= clean.delivered,
+            "{label}: warm run sent more messages ({} vs {})",
+            lossy.delivered,
+            clean.delivered
+        );
+    }
+}

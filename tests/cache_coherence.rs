@@ -1,0 +1,167 @@
+//! Metamorphic cache-coherence tests: a store mutation between two runs
+//! of the same query must leave a cached execution indistinguishable
+//! from a cold one. The lookup cache is keyed by federation generation;
+//! [`Federation::mutate`] bumps the generation, and the next
+//! pipeline-run flushes every stale entry before answering.
+//!
+//! The mutation used is the paper's own lever: inserting (and later
+//! retracting) an *isomeric copy* — a second local object for an entity
+//! whose missing attribute the copy supplies — which flips a maybe
+//! result to certain, so a stale cache would visibly return the wrong
+//! classification.
+
+use fedoq::check::{analyze_query, PlanConfig, StrategyKind};
+use fedoq::prelude::*;
+use std::cell::RefCell;
+
+fn pipeline() -> PipelineConfig {
+    PipelineConfig::parallel(4).with_batch(4).with_cache()
+}
+
+fn run_cached(
+    strategy: &dyn ExecutionStrategy,
+    fed: &Federation,
+    query: &BoundQuery,
+    cache: &RefCell<LookupCache>,
+) -> QueryAnswer {
+    run_strategy_with_pipeline(
+        strategy,
+        fed,
+        query,
+        SystemParams::paper_default(),
+        pipeline(),
+        Some(cache),
+    )
+    .unwrap()
+    .0
+}
+
+/// A run over a fresh cache — the reference a stale cache must match.
+fn run_cold(strategy: &dyn ExecutionStrategy, fed: &Federation, query: &BoundQuery) -> QueryAnswer {
+    let cache = RefCell::new(LookupCache::default());
+    run_cached(strategy, fed, query, &cache)
+}
+
+/// Inserts the isomeric Teacher copy that supplies Haley's missing
+/// speciality (DB2 holds specialities; Haley only exists in DB1).
+fn insert_haley_copy(fed: &mut Federation) -> LOid {
+    fed.mutate(DbId::new(1), |db| {
+        db.insert_named(
+            "Teacher",
+            &[
+                ("name", Value::text("Haley")),
+                ("speciality", Value::text("database")),
+            ],
+        )
+    })
+    .unwrap()
+}
+
+#[test]
+fn mutation_invalidates_the_cache_for_every_strategy() {
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        let mut fed = fedoq::workload::university::federation().unwrap();
+        let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+        let cache = RefCell::new(LookupCache::default());
+
+        // Warm the cache: two identical runs agree.
+        let before = run_cached(strategy, &fed, &q1, &cache);
+        assert_eq!(before, run_cached(strategy, &fed, &q1, &cache));
+
+        // Mutate: Haley's new DB2 copy certifies (Tony, Haley).
+        let loid = insert_haley_copy(&mut fed);
+
+        // The stale cache must answer exactly like a cold one.
+        let stale = run_cached(strategy, &fed, &q1, &cache);
+        assert_eq!(
+            stale,
+            run_cold(strategy, &fed, &q1),
+            "{}: stale cache diverged from cold run after insert",
+            strategy.name()
+        );
+        assert!(
+            cache.borrow().stats().invalidations > 0,
+            "{}: generation bump flushed nothing",
+            strategy.name()
+        );
+        // The mutation is observable (the speciality conjunct resolves,
+        // shrinking Tony's unsolved set) — a cache that silently served
+        // the old answer would fail this.
+        assert_ne!(
+            stale,
+            before,
+            "{}: inserting the isomeric copy changed nothing",
+            strategy.name()
+        );
+
+        // Retract: the answer round-trips back, again matching cold.
+        fed.mutate(DbId::new(1), |db| db.retract(loid)).unwrap();
+        let restored = run_cached(strategy, &fed, &q1, &cache);
+        assert_eq!(
+            restored,
+            run_cold(strategy, &fed, &q1),
+            "{}: stale cache diverged from cold run after retract",
+            strategy.name()
+        );
+        assert_eq!(
+            restored,
+            before,
+            "{}: insert/retract round trip moved the answer",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn unrelated_runs_share_one_generation_counter() {
+    // Two queries alternating over one cache: a mutation invalidates
+    // both, and each keeps matching its own cold reference afterwards.
+    let mut fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    let q2 = fed
+        .parse_and_bind("SELECT X.name FROM Student X WHERE X.advisor.speciality = 'database'")
+        .unwrap();
+    let bl = BasicLocalized::new();
+    let cache = RefCell::new(LookupCache::default());
+
+    let a1 = run_cached(&bl, &fed, &q1, &cache);
+    let a2 = run_cached(&bl, &fed, &q2, &cache);
+    assert_eq!(a1, run_cached(&bl, &fed, &q1, &cache));
+    assert_eq!(a2, run_cached(&bl, &fed, &q2, &cache));
+
+    let loid = insert_haley_copy(&mut fed);
+    assert_eq!(run_cached(&bl, &fed, &q2, &cache), run_cold(&bl, &fed, &q2));
+    assert_eq!(run_cached(&bl, &fed, &q1, &cache), run_cold(&bl, &fed, &q1));
+
+    fed.mutate(DbId::new(1), |db| db.retract(loid)).unwrap();
+    assert_eq!(run_cached(&bl, &fed, &q1, &cache), a1);
+    assert_eq!(run_cached(&bl, &fed, &q2, &cache), a2);
+}
+
+#[test]
+fn plans_stay_sound_across_isomeric_mutations() {
+    // FQ101 flags a maybe-producing predicate whose assistant lookup is
+    // unreachable. Inserting/retracting an isomeric copy changes the
+    // availability facts the analyzer consumes — the plan must stay
+    // sound in every state the cached executions run against.
+    let mut fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    let check = |fed: &Federation, label: &str| {
+        for kind in [StrategyKind::Ca, StrategyKind::Bl, StrategyKind::Pl] {
+            let report = analyze_query(&q1, fed.global_schema(), kind, &PlanConfig::default());
+            assert!(
+                report.is_sound(),
+                "{label}: {kind:?} plan unsound: {report:?}"
+            );
+        }
+    };
+    check(&fed, "pristine");
+    let loid = insert_haley_copy(&mut fed);
+    check(&fed, "after insert");
+    fed.mutate(DbId::new(1), |db| db.retract(loid)).unwrap();
+    check(&fed, "after retract");
+}

@@ -10,22 +10,32 @@ fn averaged(
     strategy: &dyn ExecutionStrategy,
     seeds: std::ops::Range<u64>,
 ) -> QueryMetrics {
-    let mut sum = QueryMetrics::default();
     let n = seeds.end - seeds.start;
-    for seed in seeds {
-        let config = params.sample(&mut StdRng::seed_from_u64(seed));
-        let sample = fedoq::workload::generate(&config, seed);
-        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
-        let (_, m) = run_strategy(
-            strategy,
-            &sample.federation,
-            &query,
-            SystemParams::paper_default(),
-        )
-        .unwrap();
-        sum = sum.add(&m);
-    }
-    sum.scale_down(n)
+    let mut runs: Vec<QueryMetrics> = seeds
+        .map(|seed| {
+            let config = params.sample(&mut StdRng::seed_from_u64(seed));
+            let sample = fedoq::workload::generate(&config, seed);
+            let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+            let (_, m) = run_strategy(
+                strategy,
+                &sample.federation,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .unwrap();
+            m
+        })
+        .collect();
+    // Aggregate in a canonical order so the float sums — and therefore
+    // the asserted averages — do not depend on seed iteration order.
+    runs.sort_by(|a, b| {
+        (a.total_execution_us, a.response_us, a.bytes_transferred)
+            .partial_cmp(&(b.total_execution_us, b.response_us, b.bytes_transferred))
+            .unwrap()
+    });
+    runs.iter()
+        .fold(QueryMetrics::default(), |sum, m| sum.add(m))
+        .scale_down(n)
 }
 
 #[test]
