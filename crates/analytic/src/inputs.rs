@@ -1,7 +1,6 @@
 //! Aggregate workload quantities feeding the analytical model.
 
 use fedoq_sim::SystemParams;
-use fedoq_workload::WorkloadParams;
 
 /// Expected-value aggregates of one experiment point.
 ///
@@ -34,34 +33,33 @@ pub struct AnalyticInputs {
 }
 
 impl AnalyticInputs {
-    /// Builds aggregates from a [`WorkloadParams`] by taking range
-    /// midpoints — the expectation of the paper's 500-sample draw.
-    pub fn from_workload(params: &WorkloadParams, system: SystemParams) -> AnalyticInputs {
-        let mid_usize =
-            |r: &std::ops::RangeInclusive<usize>| (*r.start() as f64 + *r.end() as f64) / 2.0;
-        let preds = mid_usize(&params.preds_per_class);
+    /// The expectation of the paper's default workload (`WorkloadParams::
+    /// paper_default()` in `fedoq-workload`, reduced to range midpoints):
+    /// 3 databases, 1–4 chained classes, 5000–6000 objects, 0–3
+    /// predicates per class, 0–20% nulls, `R_iso = 1 − 0.9^(N_db−1)`,
+    /// `N_iso = 2`. The general conversion from arbitrary workload
+    /// parameters lives in `fedoq_workload::analytic_inputs` (this crate
+    /// sits below the workload generator).
+    pub fn paper_default(system: SystemParams) -> AnalyticInputs {
+        let preds: f64 = (0.0 + 3.0) / 2.0;
         // E[N_pa] = N_p/2, so on average half the predicate attributes are
         // missing per site; nulls add the sampled R_m on top.
-        let null_mid = (params.null_ratio.start() + params.null_ratio.end()) / 2.0;
+        let null_mid: f64 = (0.0 + 0.2) / 2.0;
         let unsolved_ratio = (0.5 + null_mid).min(1.0);
-        let per_pred_sel = match params.forced_selectivity {
-            Some(s) => s,
-            None if preds < 0.5 => 1.0,
-            None => 0.45f64.powf(preds.sqrt()).powf(1.0 / preds.max(1.0)),
-        };
+        let per_pred_sel = 0.45f64.powf(preds.sqrt()).powf(1.0 / preds.max(1.0));
         // Local predicates are roughly half the class's predicates.
         let local_selectivity = per_pred_sel.powf(preds / 2.0);
         AnalyticInputs {
             params: system,
-            n_db: params.n_db as f64,
-            n_classes: mid_usize(&params.n_classes),
-            objects: mid_usize(&params.objects_per_class),
+            n_db: 3.0,
+            n_classes: (1.0 + 4.0) / 2.0,
+            objects: (5000.0 + 6000.0) / 2.0,
             preds_per_class: preds,
             // key + present predicate attrs (≈ N_p/2) + two targets + ref.
             attrs_per_class: 1.0 + preds / 2.0 + 2.0 + 1.0,
             local_selectivity,
-            iso_ratio: params.effective_iso_ratio(),
-            n_iso: params.n_iso as f64,
+            iso_ratio: 1.0 - 0.9f64.powi(2),
+            n_iso: 2.0,
             unsolved_ratio,
         }
     }
@@ -88,11 +86,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn from_workload_takes_midpoints() {
-        let a = AnalyticInputs::from_workload(
-            &WorkloadParams::paper_default(),
-            SystemParams::paper_default(),
-        );
+    fn paper_default_takes_midpoints() {
+        let a = AnalyticInputs::paper_default(SystemParams::paper_default());
         assert_eq!(a.n_db, 3.0);
         assert_eq!(a.n_classes, 2.5);
         assert_eq!(a.objects, 5500.0);
@@ -103,10 +98,7 @@ mod tests {
 
     #[test]
     fn derived_quantities() {
-        let a = AnalyticInputs::from_workload(
-            &WorkloadParams::paper_default(),
-            SystemParams::paper_default(),
-        );
+        let a = AnalyticInputs::paper_default(SystemParams::paper_default());
         // loid 16 + attrs*(32).
         assert!(a.object_bytes() > 16.0);
         assert!(a.assistants_per_item() > 0.0 && a.assistants_per_item() < 1.0);

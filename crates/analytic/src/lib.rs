@@ -12,8 +12,9 @@
 
 pub mod inputs;
 pub mod model;
-pub mod sweep;
 
 pub use inputs::AnalyticInputs;
-pub use model::{estimate, StrategyKind, TimeEstimate};
-pub use sweep::{predict_fig10, predict_fig11, predict_fig9, PredictedPoint};
+pub use model::{
+    breakdown, breakdown_tuned, certify_cpu, estimate, estimate_tuned, localized_site_terms,
+    CostBreakdown, PipelineKnobs, SiteTerms, StrategyKind, TimeEstimate,
+};

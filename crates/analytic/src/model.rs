@@ -3,6 +3,21 @@
 //! Every term mirrors a charge the executed simulation makes; see the
 //! per-strategy functions. Times are in microseconds, matching
 //! `fedoq_sim::QueryMetrics`.
+//!
+//! The formulas are factored into *shared terms* so that two consumers
+//! compose the same arithmetic:
+//!
+//! * [`estimate`] — the closed-form sweep (`fedoq-analytic::sweep`),
+//!   which prices a whole strategy from aggregate workload expectations;
+//! * `fedoq-plan` — the adaptive planner, which prices each strategy
+//!   (including a per-site hybrid) from measured catalog statistics and
+//!   the pipeline knobs actually in force.
+//!
+//! [`localized_site_terms`] and [`certify_cpu`] are the per-site building
+//! blocks; [`CostBreakdown`] composes them into the paper's two measures.
+//! [`PipelineKnobs`] folds the PR-3 execution pipeline (worker threads,
+//! probe batching, lookup-cache warmth) into the same formula set: the
+//! baseline knobs reproduce the untuned estimates exactly.
 
 use crate::inputs::AnalyticInputs;
 use std::fmt;
@@ -62,87 +77,219 @@ impl fmt::Display for TimeEstimate {
     }
 }
 
-/// Estimates the expected execution times of `strategy` under `inputs`.
+/// Execution-pipeline tuning folded into the cost formulas.
 ///
-/// # Example
-///
-/// ```
-/// use fedoq_analytic::{estimate, AnalyticInputs, StrategyKind};
-/// use fedoq_sim::SystemParams;
-/// use fedoq_workload::WorkloadParams;
-///
-/// let inputs = AnalyticInputs::from_workload(
-///     &WorkloadParams::paper_default(), SystemParams::paper_default());
-/// let ca = estimate(StrategyKind::Centralized, &inputs);
-/// let bl = estimate(StrategyKind::BasicLocalized, &inputs);
-/// // The paper's headline: BL beats CA on both measures at the defaults.
-/// assert!(bl.total_us < ca.total_us);
-/// assert!(bl.response_us < ca.response_us);
-/// ```
-pub fn estimate(strategy: StrategyKind, inputs: &AnalyticInputs) -> TimeEstimate {
-    match strategy {
-        StrategyKind::Centralized => centralized(inputs),
-        StrategyKind::BasicLocalized => localized(inputs, false),
-        StrategyKind::ParallelLocalized => localized(inputs, true),
+/// The baseline (`threads = 1`, `warmth = 0`, `batch = 0`) reproduces the
+/// untuned estimates term for term; the planner derives non-baseline
+/// knobs from the `PipelineConfig` in force and the lookup cache's
+/// observed hit rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineKnobs {
+    /// Worker threads available for chunked extent scans (≥ 1).
+    pub threads: f64,
+    /// Expected lookup-cache hit fraction in `[0, 1]`: warm entries
+    /// short-circuit assistant checks (and CA extent shipping) without
+    /// touching disk or wire.
+    pub warmth: f64,
+    /// Probe-batch size (0 = unbatched); affects the message-count
+    /// estimate only — the simulation charges the wire per byte.
+    pub batch: f64,
+}
+
+impl PipelineKnobs {
+    /// The untuned single-threaded, cold, unbatched baseline.
+    pub fn baseline() -> PipelineKnobs {
+        PipelineKnobs {
+            threads: 1.0,
+            warmth: 0.0,
+            batch: 0.0,
+        }
+    }
+
+    /// Threads clamped to at least one (guards degenerate inputs).
+    fn threads(&self) -> f64 {
+        self.threads.max(1.0)
+    }
+
+    /// Cold fraction `1 − warmth`, clamped to `[0, 1]`.
+    fn cold(&self) -> f64 {
+        (1.0 - self.warmth).clamp(0.0, 1.0)
     }
 }
 
-/// CA: ship everything, integrate, evaluate.
-fn centralized(a: &AnalyticInputs) -> TimeEstimate {
-    let p = &a.params;
-    // Per-database shipped bytes: every involved constituent extent,
-    // projected.
-    let bytes_per_db = a.n_classes * a.objects * a.object_bytes();
-    let disk_per_db = bytes_per_db * p.disk_us_per_byte;
-    let net_total = a.n_db * bytes_per_db * p.net_us_per_byte;
-    // Integration: per object, a GOid probe, a join probe, and one merge
-    // comparison per projected attribute.
-    let total_objects = a.n_db * a.n_classes * a.objects;
-    let integrate_cpu = total_objects * (2.0 + a.attrs_per_class) * p.cpu_us_per_cmp;
-    // Evaluation at the global site: per root entity, each predicate walks
-    // its path (≈ class depth / 2 probes) and compares once.
-    let entities = a.n_db * a.objects / copies(a);
-    let eval_cpu =
-        entities * a.n_classes * a.preds_per_class * (1.0 + a.n_classes / 2.0) * p.cpu_us_per_cmp;
-    let total = a.n_db * disk_per_db + net_total + integrate_cpu + eval_cpu;
-    // Response: disks run in parallel; the shared link serializes all
-    // transfers; the global site then integrates and evaluates.
-    let response = disk_per_db + net_total + integrate_cpu + eval_cpu;
-    TimeEstimate {
-        total_us: total,
-        response_us: response,
+impl Default for PipelineKnobs {
+    fn default() -> Self {
+        PipelineKnobs::baseline()
     }
 }
 
-/// BL / PL: local evaluation, assistant checking, certification.
-fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
+/// One strategy's expected cost, decomposed the way the simulation
+/// charges it. Composes heterogeneous per-site terms, so the planner's
+/// hybrid assignment prices with the same arithmetic as the uniform
+/// strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Busy time summed over every component site, µs.
+    pub sites_us: f64,
+    /// The slowest site's share of the response critical path, µs.
+    pub site_path_us: f64,
+    /// Serialized shared-link time for all transfers, µs.
+    pub net_us: f64,
+    /// Global-site work (integrate + evaluate for CA, certification for
+    /// the localized strategies), µs.
+    pub global_us: f64,
+    /// Estimated messages put on the wire.
+    pub messages: f64,
+}
+
+impl CostBreakdown {
+    /// Expected total execution time: all busy time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.sites_us + self.net_us + self.global_us
+    }
+
+    /// Expected response time: sites run in parallel, the shared link
+    /// serializes, the global site finishes, µs.
+    pub fn response_us(&self) -> f64 {
+        self.site_path_us + self.net_us + self.global_us
+    }
+
+    /// Both measures as a [`TimeEstimate`].
+    pub fn estimate(&self) -> TimeEstimate {
+        TimeEstimate {
+            total_us: self.total_us(),
+            response_us: self.response_us(),
+        }
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sites {:.1} ms, net {:.1} ms, global {:.1} ms (≈{:.0} msgs)",
+            self.sites_us / 1e3,
+            self.net_us / 1e3,
+            self.global_us / 1e3,
+            self.messages
+        )
+    }
+}
+
+/// One site's share of a localized (BL or PL) execution, before network
+/// and certification composition.
+///
+/// Disk and CPU terms are already divided over the pipeline's worker
+/// threads; check-related terms are already scaled by the cache's cold
+/// fraction. Byte counts are per site.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SiteTerms {
+    /// Root-extent scan plus dereferenced branch objects, disk µs.
+    pub scan_disk_us: f64,
+    /// Local predicate evaluation, CPU µs.
+    pub scan_cpu_us: f64,
+    /// GOid-table assistant lookups, CPU µs.
+    pub lookup_cpu_us: f64,
+    /// PL's extra static prefix walk, disk µs (0 for BL).
+    pub static_disk_us: f64,
+    /// Assistant fetches at the target sites this site's checks hit,
+    /// disk µs.
+    pub check_disk_us: f64,
+    /// Assistant predicate evaluation at the target sites, CPU µs.
+    pub check_cpu_us: f64,
+    /// Check-request bytes this site puts on the wire.
+    pub request_bytes: f64,
+    /// Check-reply bytes returned to this site.
+    pub reply_bytes: f64,
+    /// Local-result bytes shipped to the global site.
+    pub result_bytes: f64,
+    /// Expected survivors of local evaluation (rows shipped).
+    pub survivors: f64,
+    /// Expected assistant checks issued.
+    pub checks: f64,
+}
+
+impl SiteTerms {
+    /// All busy time this site's share contributes to total execution.
+    pub fn site_work_us(&self) -> f64 {
+        self.scan_disk_us
+            + self.scan_cpu_us
+            + self.lookup_cpu_us
+            + self.static_disk_us
+            + self.check_disk_us
+            + self.check_cpu_us
+    }
+
+    /// This site's share of the response critical path. PL overlaps
+    /// check processing with local evaluation (its requests are on the
+    /// wire early); BL serializes the request send after its own scan.
+    pub fn site_path_us(&self, parallel: bool, net_us_per_byte: f64) -> f64 {
+        let check_wait = if parallel {
+            self.check_disk_us + self.check_cpu_us
+        } else {
+            (self.check_disk_us + self.check_cpu_us) + (self.request_bytes * net_us_per_byte)
+        };
+        self.scan_disk_us + self.scan_cpu_us + self.lookup_cpu_us + self.static_disk_us + check_wait
+    }
+
+    /// Total bytes this site puts on (or attracts to) the shared link.
+    pub fn bytes(&self) -> f64 {
+        self.request_bytes + self.reply_bytes + self.result_bytes
+    }
+
+    /// Estimated messages: local query + result, plus a request/reply
+    /// pair per check fragment (`batch` probes per fragment; 0 means one
+    /// unfragmented wave).
+    pub fn messages(&self, batch: f64) -> f64 {
+        let fragments = if self.checks <= 0.0 {
+            0.0
+        } else if batch >= 1.0 {
+            (self.checks / batch).ceil()
+        } else {
+            1.0
+        };
+        2.0 + 2.0 * fragments
+    }
+}
+
+/// The per-site localized terms for one (average or measured) site.
+///
+/// `parallel` selects PL's schedule: checks for every candidate object
+/// issued during a static pre-pass, instead of BL's checks for survivors
+/// only after local evaluation.
+pub fn localized_site_terms(a: &AnalyticInputs, parallel: bool, k: &PipelineKnobs) -> SiteTerms {
     let p = &a.params;
+    let threads = k.threads();
+    let cold = k.cold();
     // Local scan: read the root extent plus the branch objects each
     // object's predicate walks dereference.
     let scan_bytes = a.objects * a.object_bytes()
         + a.objects * (a.n_classes - 1.0).max(0.0) * a.object_bytes() * a.local_selectivity;
-    let scan_disk = scan_bytes * p.disk_us_per_byte;
-    let scan_cpu = a.objects * a.n_classes * a.preds_per_class * 0.5 * p.cpu_us_per_cmp;
+    let scan_disk_us = scan_bytes * p.disk_us_per_byte / threads;
+    let scan_cpu_us =
+        a.objects * a.n_classes * a.preds_per_class * 0.5 * p.cpu_us_per_cmp / threads;
 
     // Unsolved items and assistants.
     let survivors = a.survivors();
     let unsolved_per_row = a.n_classes * a.preds_per_class * a.unsolved_ratio;
     // BL looks up assistants for survivors only; PL for every object.
     let checked_rows = if parallel { a.objects } else { survivors };
-    let checks = checked_rows * unsolved_per_row * a.assistants_per_item();
-    let lookup_cpu = checked_rows * unsolved_per_row * (1.0 + a.n_iso) * p.cpu_us_per_cmp;
+    let checks = checked_rows * unsolved_per_row * a.assistants_per_item() * cold;
+    let lookup_cpu_us =
+        checked_rows * unsolved_per_row * (1.0 + a.n_iso) * p.cpu_us_per_cmp / threads;
     // PL additionally walks prefixes for every object during its static
     // pass (extra disk).
-    let static_disk = if parallel {
+    let static_disk_us = if parallel {
         a.objects * (a.n_classes - 1.0).max(0.0) * 0.5 * a.object_bytes() * p.disk_us_per_byte
+            / threads
     } else {
         0.0
     };
 
     // Check requests and processing at the target sites.
     let request_bytes = checks * (2.0 * p.loid_bytes as f64 + p.predicate_bytes() as f64);
-    let check_disk = checks * a.object_bytes() * p.disk_us_per_byte;
-    let check_cpu = checks * 2.0 * p.cpu_us_per_cmp;
+    let check_disk_us = checks * a.object_bytes() * p.disk_us_per_byte;
+    let check_cpu_us = checks * 2.0 * p.cpu_us_per_cmp;
     let reply_bytes = checks * (2.0 * p.loid_bytes as f64 + 1.0);
 
     // Local results to the global site.
@@ -152,31 +299,72 @@ fn localized(a: &AnalyticInputs, parallel: bool) -> TimeEstimate {
             + 2.0 * p.attr_bytes as f64
             + unsolved_per_row * (p.loid_bytes as f64 + 1.0));
 
-    // Certification at the global site.
-    let certify_cpu =
-        a.n_db * survivors * (1.0 + a.n_iso + a.preds_per_class + 2.0) * p.cpu_us_per_cmp;
+    SiteTerms {
+        scan_disk_us,
+        scan_cpu_us,
+        lookup_cpu_us,
+        static_disk_us,
+        check_disk_us,
+        check_cpu_us,
+        request_bytes,
+        reply_bytes,
+        result_bytes,
+        survivors,
+        checks,
+    }
+}
 
-    let net_total = a.n_db * (request_bytes + reply_bytes + result_bytes) * p.net_us_per_byte;
-    let per_db_work = scan_disk + scan_cpu + lookup_cpu + static_disk + check_disk + check_cpu;
-    let total = a.n_db * per_db_work + net_total + certify_cpu;
+/// Certification CPU at the global site for one site's `survivors`:
+/// per survivor, a GOid probe, sibling merges, per-predicate verdict
+/// combination, and the certain/maybe classification.
+pub fn certify_cpu(a: &AnalyticInputs, survivors: f64) -> f64 {
+    survivors * (1.0 + a.n_iso + a.preds_per_class + 2.0) * a.params.cpu_us_per_cmp
+}
 
-    // Response: sites work in parallel; the shared link serializes the
-    // messages; checking at a target site overlaps other sites' work but
-    // still queues behind the target's own scan. PL overlaps the check
-    // processing with local evaluation (its requests are on the wire
-    // early); BL serializes lookup after its own scan.
-    let check_wait = if parallel {
-        // Checking starts as soon as the target finishes its own work.
-        check_disk + check_cpu
-    } else {
-        // Requests only leave after scan + lookup at the source.
-        (check_disk + check_cpu) + (request_bytes * p.net_us_per_byte)
-    };
-    let response =
-        scan_disk + scan_cpu + lookup_cpu + static_disk + check_wait + net_total + certify_cpu;
-    TimeEstimate {
-        total_us: total,
-        response_us: response,
+/// CA: ship everything, integrate, evaluate.
+fn centralized(a: &AnalyticInputs, k: &PipelineKnobs) -> CostBreakdown {
+    let p = &a.params;
+    // Per-database shipped bytes: every involved constituent extent,
+    // projected. A warm shipment cache short-circuits both the extent
+    // read and the transfer.
+    let bytes_per_db = a.n_classes * a.objects * a.object_bytes() * k.cold();
+    let disk_per_db = bytes_per_db * p.disk_us_per_byte / k.threads();
+    let net_us = a.n_db * bytes_per_db * p.net_us_per_byte;
+    // Integration: per object, a GOid probe, a join probe, and one merge
+    // comparison per projected attribute.
+    let total_objects = a.n_db * a.n_classes * a.objects;
+    let integrate_cpu = total_objects * (2.0 + a.attrs_per_class) * p.cpu_us_per_cmp;
+    // Evaluation at the global site: per root entity, each predicate walks
+    // its path (≈ class depth / 2 probes) and compares once.
+    let entities = a.n_db * a.objects / copies(a);
+    let eval_cpu =
+        entities * a.n_classes * a.preds_per_class * (1.0 + a.n_classes / 2.0) * p.cpu_us_per_cmp;
+    CostBreakdown {
+        sites_us: a.n_db * disk_per_db,
+        // Response: disks run in parallel; the shared link serializes all
+        // transfers; the global site then integrates and evaluates.
+        site_path_us: disk_per_db,
+        net_us,
+        global_us: integrate_cpu + eval_cpu,
+        // One ship request and one extent transfer per site.
+        messages: 2.0 * a.n_db,
+    }
+}
+
+/// BL / PL: local evaluation, assistant checking, certification.
+fn localized(a: &AnalyticInputs, parallel: bool, k: &PipelineKnobs) -> CostBreakdown {
+    let p = &a.params;
+    let t = localized_site_terms(a, parallel, k);
+    let net_us = a.n_db * t.bytes() * p.net_us_per_byte;
+    CostBreakdown {
+        sites_us: a.n_db * t.site_work_us(),
+        // Response: sites work in parallel; the shared link serializes the
+        // messages; checking at a target site overlaps other sites' work
+        // but still queues behind the target's own scan.
+        site_path_us: t.site_path_us(parallel, p.net_us_per_byte),
+        net_us,
+        global_us: a.n_db * certify_cpu(a, t.survivors),
+        messages: a.n_db * t.messages(k.batch),
     }
 }
 
@@ -184,17 +372,61 @@ fn copies(a: &AnalyticInputs) -> f64 {
     1.0 + a.iso_ratio * (a.n_iso - 1.0)
 }
 
+/// The full cost decomposition of `strategy` under `inputs` with the
+/// pipeline `knobs` in force.
+pub fn breakdown_tuned(
+    strategy: StrategyKind,
+    inputs: &AnalyticInputs,
+    knobs: &PipelineKnobs,
+) -> CostBreakdown {
+    match strategy {
+        StrategyKind::Centralized => centralized(inputs, knobs),
+        StrategyKind::BasicLocalized => localized(inputs, false, knobs),
+        StrategyKind::ParallelLocalized => localized(inputs, true, knobs),
+    }
+}
+
+/// The full cost decomposition of `strategy` under `inputs` at the
+/// untuned baseline pipeline.
+pub fn breakdown(strategy: StrategyKind, inputs: &AnalyticInputs) -> CostBreakdown {
+    breakdown_tuned(strategy, inputs, &PipelineKnobs::baseline())
+}
+
+/// Estimates the expected execution times of `strategy` under `inputs`.
+///
+/// # Example
+///
+/// ```
+/// use fedoq_analytic::{estimate, AnalyticInputs, StrategyKind};
+/// use fedoq_sim::SystemParams;
+///
+/// let inputs = AnalyticInputs::paper_default(SystemParams::paper_default());
+/// let ca = estimate(StrategyKind::Centralized, &inputs);
+/// let bl = estimate(StrategyKind::BasicLocalized, &inputs);
+/// // The paper's headline: BL beats CA on both measures at the defaults.
+/// assert!(bl.total_us < ca.total_us);
+/// assert!(bl.response_us < ca.response_us);
+/// ```
+pub fn estimate(strategy: StrategyKind, inputs: &AnalyticInputs) -> TimeEstimate {
+    breakdown(strategy, inputs).estimate()
+}
+
+/// Like [`estimate`] with explicit [`PipelineKnobs`].
+pub fn estimate_tuned(
+    strategy: StrategyKind,
+    inputs: &AnalyticInputs,
+    knobs: &PipelineKnobs,
+) -> TimeEstimate {
+    breakdown_tuned(strategy, inputs, knobs).estimate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fedoq_sim::SystemParams;
-    use fedoq_workload::WorkloadParams;
 
     fn defaults() -> AnalyticInputs {
-        AnalyticInputs::from_workload(
-            &WorkloadParams::paper_default(),
-            SystemParams::paper_default(),
-        )
+        AnalyticInputs::paper_default(SystemParams::paper_default())
     }
 
     #[test]
@@ -262,5 +494,115 @@ mod tests {
         assert_eq!(StrategyKind::Centralized.to_string(), "CA");
         assert_eq!(StrategyKind::BasicLocalized.name(), "BL");
         assert_eq!(StrategyKind::ParallelLocalized.name(), "PL");
+    }
+
+    #[test]
+    fn baseline_knobs_reproduce_untuned_estimates() {
+        let a = defaults();
+        for s in StrategyKind::ALL {
+            let plain = estimate(s, &a);
+            let tuned = estimate_tuned(s, &a, &PipelineKnobs::baseline());
+            assert_eq!(plain, tuned, "{s}");
+        }
+    }
+
+    #[test]
+    fn threads_shrink_the_parallel_terms() {
+        let a = defaults();
+        let four = PipelineKnobs {
+            threads: 4.0,
+            ..PipelineKnobs::baseline()
+        };
+        for s in StrategyKind::ALL {
+            let cold = estimate(s, &a);
+            let fast = estimate_tuned(s, &a, &four);
+            assert!(fast.response_us < cold.response_us, "{s}");
+            assert!(fast.total_us <= cold.total_us, "{s}");
+        }
+    }
+
+    #[test]
+    fn warmth_shrinks_check_and_ship_costs() {
+        let a = defaults();
+        let warm = PipelineKnobs {
+            warmth: 0.9,
+            ..PipelineKnobs::baseline()
+        };
+        for s in StrategyKind::ALL {
+            let cold = estimate(s, &a);
+            let cached = estimate_tuned(s, &a, &warm);
+            assert!(cached.total_us < cold.total_us, "{s}");
+        }
+        // A fully warm cache never goes negative.
+        let boiling = PipelineKnobs {
+            warmth: 1.5,
+            ..PipelineKnobs::baseline()
+        };
+        for s in StrategyKind::ALL {
+            let e = estimate_tuned(s, &a, &boiling);
+            assert!(e.total_us >= 0.0 && e.response_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batching_reduces_the_message_estimate() {
+        let a = defaults();
+        let unbatched = breakdown(StrategyKind::BasicLocalized, &a);
+        let batched = breakdown_tuned(
+            StrategyKind::BasicLocalized,
+            &a,
+            &PipelineKnobs {
+                batch: 1.0,
+                ..PipelineKnobs::baseline()
+            },
+        );
+        // batch = 1 sends one fragment per check; batch = 0 sends one
+        // wave, so the unbatched estimate is smaller.
+        assert!(batched.messages >= unbatched.messages);
+        let coarse = breakdown_tuned(
+            StrategyKind::BasicLocalized,
+            &a,
+            &PipelineKnobs {
+                batch: 1e9,
+                ..PipelineKnobs::baseline()
+            },
+        );
+        assert_eq!(coarse.messages, unbatched.messages);
+    }
+
+    #[test]
+    fn breakdown_composes_like_the_estimate() {
+        let a = defaults();
+        for s in StrategyKind::ALL {
+            let b = breakdown(s, &a);
+            let e = estimate(s, &a);
+            assert_eq!(b.total_us(), e.total_us);
+            assert_eq!(b.response_us(), e.response_us);
+            assert!(b.messages > 0.0);
+            assert!(!b.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn site_terms_compose_uniform_localized() {
+        // Hand-composing the per-site terms reproduces the uniform
+        // breakdown — the contract the planner's hybrid pricing relies on.
+        let a = defaults();
+        let k = PipelineKnobs::baseline();
+        for parallel in [false, true] {
+            let t = localized_site_terms(&a, parallel, &k);
+            let kind = if parallel {
+                StrategyKind::ParallelLocalized
+            } else {
+                StrategyKind::BasicLocalized
+            };
+            let b = breakdown(kind, &a);
+            assert_eq!(b.sites_us, a.n_db * t.site_work_us());
+            assert_eq!(
+                b.site_path_us,
+                t.site_path_us(parallel, a.params.net_us_per_byte)
+            );
+            assert_eq!(b.net_us, a.n_db * t.bytes() * a.params.net_us_per_byte);
+        }
     }
 }

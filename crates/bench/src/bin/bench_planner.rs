@@ -1,0 +1,345 @@
+//! Adaptive-planner benchmark: cost-based plan choice vs fixed
+//! strategies.
+//!
+//! Three workloads exercise the planner where the paper's figures show
+//! the strategy ranking flipping:
+//!
+//! * **fig9** — the university synthetic at 3000 objects per class;
+//! * **fig10** — six component databases instead of three;
+//! * **fig11** — null ratios pushed to 0.3–0.5, inflating maybe
+//!   results and assistant traffic.
+//!
+//! Per sample the harness measures every fixed strategy (CA, BL, PL)
+//! sequentially, then lets `run_adaptive` plan and execute the same
+//! query `REPEATS` times over one statistics catalog so the EWMA
+//! feedback loop converges; the last repeat is what the adaptive row
+//! records. Answers must classify identically across every run.
+//!
+//! Acceptance bars (full mode): adaptive within 10% of the best fixed
+//! strategy on *every* workload, and at least 2x faster than the worst
+//! fixed strategy on *at least one*. `FEDOQ_QUICK=1` shrinks the
+//! workloads and only enforces identical answers.
+//!
+//! Writes `results/BENCH_planner.json`.
+
+use fedoq_bench::Settings;
+use fedoq_core::{
+    collect_catalog, run_adaptive, run_strategy, BasicLocalized, Centralized, ExecutionStrategy,
+    Federation, ParallelLocalized, PipelineConfig,
+};
+use fedoq_plan::PlanKind;
+use fedoq_query::{bind, BoundQuery};
+use fedoq_sim::SystemParams;
+use fedoq_workload::{generate, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Adaptive runs per sample; the last one is measured (converged).
+const REPEATS: usize = 3;
+/// Base seed; per-sample seeds mirror the figure harness.
+const BASE_SEED: u64 = 17;
+/// Full-mode bar: adaptive within this factor of the best fixed plan.
+const NEAR_BEST_BAR: f64 = 1.10;
+/// Full-mode bar: adaptive at least this much faster than the worst
+/// fixed plan on at least one workload.
+const BEAT_WORST_BAR: f64 = 2.0;
+
+const FIXED: [&str; 3] = ["CA", "BL", "PL"];
+
+fn fixed_strategy(name: &str) -> Box<dyn ExecutionStrategy> {
+    match name {
+        "CA" => Box::new(Centralized),
+        "BL" => Box::new(BasicLocalized::new()),
+        _ => Box::new(ParallelLocalized::new()),
+    }
+}
+
+/// One benchmarked workload: a Table-2 parameterization stressed where
+/// the paper's figures show the ranking flip.
+struct Workload {
+    name: &'static str,
+    params: WorkloadParams,
+}
+
+fn workloads(scale: f64) -> Vec<Workload> {
+    let fig9 = {
+        let mut p = WorkloadParams::paper_default();
+        let lo = ((3000.0 * 0.9 * scale).round() as usize).max(1);
+        let hi = ((3000.0 * 1.1 * scale).round() as usize).max(lo);
+        p.objects_per_class = lo..=hi;
+        p
+    };
+    let fig10 = {
+        let mut p = WorkloadParams::paper_default().scaled(scale);
+        p.n_db = 6;
+        p
+    };
+    let fig11 = {
+        let mut p = WorkloadParams::paper_default().scaled(scale);
+        p.null_ratio = 0.3..=0.5;
+        p
+    };
+    vec![
+        Workload {
+            name: "fig9_3000_objects",
+            params: fig9,
+        },
+        Workload {
+            name: "fig10_6_databases",
+            params: fig10,
+        },
+        Workload {
+            name: "fig11_high_nulls",
+            params: fig11,
+        },
+    ]
+}
+
+/// Accumulated measurements for one workload.
+struct WorkloadRow {
+    name: &'static str,
+    /// Summed response time per fixed strategy, µs (CA, BL, PL order).
+    fixed_us: [f64; 3],
+    /// Summed response time of the converged adaptive run, µs.
+    adaptive_us: f64,
+    /// How often the converged run executed each plan kind.
+    picks: [usize; 4],
+    identical: bool,
+    samples: usize,
+}
+
+impl WorkloadRow {
+    fn best_fixed(&self) -> (&'static str, f64) {
+        let (i, us) = self
+            .fixed_us
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("three fixed strategies");
+        (FIXED[i], *us)
+    }
+
+    fn worst_fixed(&self) -> (&'static str, f64) {
+        let (i, us) = self
+            .fixed_us
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("three fixed strategies");
+        (FIXED[i], *us)
+    }
+
+    /// `adaptive / best_fixed` — ≤ 1.0 means adaptive won outright.
+    fn vs_best(&self) -> f64 {
+        self.adaptive_us / self.best_fixed().1.max(f64::MIN_POSITIVE)
+    }
+
+    /// `worst_fixed / adaptive` — how badly a wrong fixed choice loses.
+    fn vs_worst(&self) -> f64 {
+        self.worst_fixed().1 / self.adaptive_us.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs one workload sample through every fixed strategy and the
+/// adaptive planner, folding the measurements into `row`.
+fn run_sample(fed: &Federation, query: &BoundQuery, sys: SystemParams, row: &mut WorkloadRow) {
+    let mut reference = None;
+    for (i, name) in FIXED.iter().enumerate() {
+        let (answer, metrics) = run_strategy(fixed_strategy(name).as_ref(), fed, query, sys)
+            .expect("fixed strategy run");
+        row.fixed_us[i] += metrics.response_us;
+        if let Some(reference) = &reference {
+            row.identical &= answer.same_classification(reference);
+        } else {
+            reference = Some(answer);
+        }
+    }
+    let reference = reference.expect("at least one fixed run");
+
+    // One catalog per sample: repeats share it, so the EWMA feedback
+    // observed on run k reranks the candidates for run k + 1.
+    let mut catalog = collect_catalog(fed, sys);
+    let mut last = None;
+    for _ in 0..REPEATS {
+        let outcome = run_adaptive(fed, query, &mut catalog, PipelineConfig::default(), None)
+            .expect("adaptive run");
+        row.identical &= outcome.answer.same_classification(&reference);
+        last = Some(outcome);
+    }
+    let last = last.expect("REPEATS >= 1");
+    row.adaptive_us += last.metrics.response_us;
+    let pick = PlanKind::ALL
+        .iter()
+        .position(|k| *k == last.executed)
+        .expect("executed kind is enumerated");
+    row.picks[pick] += 1;
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("FEDOQ_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut settings = Settings::from_env();
+    if std::env::var("FEDOQ_SAMPLES").is_err() {
+        settings.samples = if quick { 3 } else { 8 };
+    }
+    if std::env::var("FEDOQ_SCALE").is_err() {
+        settings.scale = if quick { 0.02 } else { 0.1 };
+    }
+    let sys = SystemParams::paper_default();
+
+    println!(
+        "bench_planner: {} samples/workload, scale {}, {} adaptive repeats{}",
+        settings.samples,
+        settings.scale,
+        REPEATS,
+        if quick { " [quick]" } else { "" },
+    );
+
+    let mut rows = Vec::new();
+    for workload in workloads(settings.scale) {
+        let mut row = WorkloadRow {
+            name: workload.name,
+            fixed_us: [0.0; 3],
+            adaptive_us: 0.0,
+            picks: [0; 4],
+            identical: true,
+            samples: settings.samples,
+        };
+        for i in 0..settings.samples {
+            let seed = BASE_SEED.wrapping_mul(1000).wrapping_add(i as u64);
+            let config = workload.params.sample(&mut StdRng::seed_from_u64(seed));
+            let sample = generate(&config, seed);
+            let query = bind(&sample.query, sample.federation.global_schema())
+                .expect("generated queries always bind");
+            run_sample(&sample.federation, &query, sys, &mut row);
+        }
+        let picks: Vec<String> = PlanKind::ALL
+            .iter()
+            .zip(row.picks)
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{} x{n}", k.label()))
+            .collect();
+        println!(
+            "  {:18} adaptive {:>11.0}us | best {:>4} {:>11.0}us | worst {:>4} {:>11.0}us | \
+             vs best {:>5.2}x | vs worst {:>5.2}x | picked {}",
+            row.name,
+            row.adaptive_us,
+            row.best_fixed().0,
+            row.best_fixed().1,
+            row.worst_fixed().0,
+            row.worst_fixed().1,
+            row.vs_best(),
+            row.vs_worst(),
+            picks.join(", "),
+        );
+        rows.push(row);
+    }
+
+    let mut failures = Vec::new();
+    for row in &rows {
+        if !row.identical {
+            failures.push(format!(
+                "{}: adaptive answers diverged from the fixed strategies",
+                row.name
+            ));
+        }
+        if !quick && row.vs_best() > NEAR_BEST_BAR {
+            failures.push(format!(
+                "{}: adaptive {:.2}x the best fixed plan (bar {NEAR_BEST_BAR}x)",
+                row.name,
+                row.vs_best()
+            ));
+        }
+    }
+    if !quick && !rows.iter().any(|r| r.vs_worst() >= BEAT_WORST_BAR) {
+        failures.push(format!(
+            "no workload where adaptive beats the worst fixed plan by {BEAT_WORST_BAR}x"
+        ));
+    }
+
+    let json = render_json(&rows, &settings, quick);
+    let out = Path::new("results").join("BENCH_planner.json");
+    if let Some(parent) = out.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    match fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_planner: all bars met");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON: every key is a fixed ASCII literal and every value
+/// a number, bool, or plan label, so no escaping is needed.
+fn render_json(rows: &[WorkloadRow], settings: &Settings, quick: bool) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"adaptive-planner\",");
+    let _ = writeln!(json, "  \"samples\": {},", settings.samples);
+    let _ = writeln!(json, "  \"scale\": {},", settings.scale);
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(json, "      \"samples\": {},", row.samples);
+        json.push_str("      \"fixed_response_us\": {");
+        for (j, name) in FIXED.iter().enumerate() {
+            let _ = write!(
+                json,
+                "\"{name}\": {:.3}{}",
+                row.fixed_us[j],
+                if j + 1 == FIXED.len() { "" } else { ", " }
+            );
+        }
+        json.push_str("},\n");
+        let _ = writeln!(
+            json,
+            "      \"adaptive_response_us\": {:.3},",
+            row.adaptive_us
+        );
+        let _ = writeln!(json, "      \"best_fixed\": \"{}\",", row.best_fixed().0);
+        let _ = writeln!(json, "      \"worst_fixed\": \"{}\",", row.worst_fixed().0);
+        let _ = writeln!(json, "      \"vs_best\": {:.4},", row.vs_best());
+        let _ = writeln!(json, "      \"vs_worst\": {:.4},", row.vs_worst());
+        json.push_str("      \"picks\": {");
+        for (j, kind) in PlanKind::ALL.iter().enumerate() {
+            let _ = write!(
+                json,
+                "\"{}\": {}{}",
+                kind.label(),
+                row.picks[j],
+                if j + 1 == PlanKind::ALL.len() {
+                    ""
+                } else {
+                    ", "
+                }
+            );
+        }
+        json.push_str("},\n");
+        let _ = writeln!(json, "      \"identical\": {}", row.identical);
+        json.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -10,16 +10,15 @@
 //! `results/<id>.csv`. Sample count and workload scale come from
 //! `FEDOQ_SAMPLES` and `FEDOQ_SCALE` (see `fedoq-bench`).
 
-use fedoq_analytic::{
-    estimate, predict_fig10, predict_fig11, predict_fig9, AnalyticInputs, PredictedPoint,
-    StrategyKind,
-};
+use fedoq_analytic::{estimate, StrategyKind};
 use fedoq_bench::{
     fig10, fig11, fig9, network_ablation, niso_sweep, render_table, signature_ablation, Measure,
     Settings,
 };
 use fedoq_sim::SystemParams;
-use fedoq_workload::WorkloadParams;
+use fedoq_workload::{
+    analytic_inputs, predict_fig10, predict_fig11, predict_fig9, PredictedPoint, WorkloadParams,
+};
 use std::path::PathBuf;
 
 fn main() {
@@ -205,7 +204,7 @@ fn print_fig8() {
 
 fn print_analytic() {
     println!("Analytic expected-cost model (Table-2 defaults)");
-    let inputs = AnalyticInputs::from_workload(
+    let inputs = analytic_inputs(
         &WorkloadParams::paper_default(),
         SystemParams::paper_default(),
     );

@@ -353,6 +353,35 @@ fn check_dead_subqueries(bound: &BoundQuery, report: &mut Report) {
     }
 }
 
+/// FQ106: compares the statistics catalog's scan generation against the
+/// federation's current mutation generation — the adaptive planner's
+/// pre-flight check (the shell's `plan` command runs it before ranking).
+///
+/// Generations are plain counters so this pillar stays independent of
+/// the planner crate: pass `StatsCatalog::generation()` and
+/// `Federation::generation()`.
+pub fn analyze_staleness(subject: &str, catalog_generation: u64, fed_generation: u64) -> Report {
+    let mut report = Report::new(subject, String::new());
+    if catalog_generation != fed_generation {
+        report.push(
+            Diagnostic::new(
+                lints::STALE_CATALOG,
+                format!(
+                    "statistics catalog was scanned at generation {catalog_generation} but the \
+                     federation is at generation {fed_generation}: cardinalities, null fractions, \
+                     and isomeric overlap may misprice every candidate plan"
+                ),
+            )
+            .with_hint(
+                "refresh the catalog before planning (`stats refresh` in the shell, or \
+                 `refresh_catalog`/`StatsCatalog::rescan` in code); observations survive a rescan"
+                    .to_owned(),
+            ),
+        );
+    }
+    report
+}
+
 /// FQ104: a localized plan must fetch locally unprojectable targets (CA
 /// projects from the merged copies, so it is exempt).
 fn check_target_gaps(
@@ -422,6 +451,21 @@ mod tests {
         for report in analyze_all(&bound, &schema) {
             assert!(report.is_sound(), "{report}");
         }
+    }
+
+    #[test]
+    fn stale_catalog_warns_and_hints_a_refresh() {
+        let fresh = analyze_staleness("plan for q", 3, 3);
+        assert!(fresh.diagnostics.is_empty());
+        assert!(fresh.is_sound());
+        let stale = analyze_staleness("plan for q", 3, 5);
+        assert!(stale.fired("FQ106"), "{stale}");
+        // Warn-level: the plan is still correct, just possibly mispriced.
+        assert!(stale.is_sound());
+        let d = &stale.diagnostics[0];
+        assert!(d.message.contains("generation 3"));
+        assert!(d.message.contains("generation 5"));
+        assert!(d.hint.as_deref().unwrap_or("").contains("refresh"));
     }
 
     #[test]

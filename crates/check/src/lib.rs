@@ -54,7 +54,7 @@ pub mod lints;
 pub mod plan;
 pub mod protocol;
 
-pub use analyze::{analyze_all, analyze_plan, analyze_query};
+pub use analyze::{analyze_all, analyze_plan, analyze_query, analyze_staleness};
 pub use diag::{Diagnostic, Lint, Report, Severity};
 pub use fixtures::{seeded_unsound_cases, self_test, UnsoundCase};
 pub use lattice::TruthSet;

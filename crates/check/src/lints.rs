@@ -85,6 +85,21 @@ pub const UNCERTIFIABLE_MAYBE: Lint = Lint {
     summary: "predicate has no decider; matching rows must surface as maybe",
 };
 
+/// FQ106: a plan was priced against a statistics catalog older than the
+/// federation's mutation generation.
+///
+/// The adaptive planner ranks strategies from scanned cardinalities,
+/// null fractions, and isomeric overlap; once a store mutates, those
+/// numbers describe a federation that no longer exists. The chosen plan
+/// still returns the correct answer (planning never changes results) —
+/// it just may no longer be the cheapest.
+pub const STALE_CATALOG: Lint = Lint {
+    id: "FQ106",
+    slug: "stale-catalog",
+    severity: Severity::Warn,
+    summary: "plan priced against a statistics catalog older than the federation",
+};
+
 /// FQ200: an execution reached a state where no progress is possible.
 pub const DEADLOCK: Lint = Lint {
     id: "FQ200",
@@ -135,13 +150,14 @@ pub const SCHEDULE_DIVERGENCE: Lint = Lint {
 };
 
 /// Every lint in the catalog, in id order.
-pub const ALL: [Lint; 11] = [
+pub const ALL: [Lint; 12] = [
     PHASE_ORDER,
     UNCOVERED_MAYBE,
     INCAPABLE_CERTIFIER,
     DEAD_SUBQUERY,
     TARGET_GAP,
     UNCERTIFIABLE_MAYBE,
+    STALE_CATALOG,
     DEADLOCK,
     DOUBLE_REPLY,
     ORPHANED_RPC,
@@ -160,6 +176,6 @@ mod tests {
         assert_eq!(ids.len(), ALL.len());
         assert!(ALL.iter().all(|l| l.id.starts_with("FQ")));
         // Plan lints are FQ1xx, protocol lints FQ2xx.
-        assert!(ALL.iter().filter(|l| l.id < "FQ200").count() == 6);
+        assert!(ALL.iter().filter(|l| l.id < "FQ200").count() == 7);
     }
 }

@@ -8,10 +8,12 @@
 //! relational `EXPLAIN`, used by `fedoq-shell`'s `explain` command.
 
 use crate::federation::Federation;
+use crate::pipeline::PipelineConfig;
 use fedoq_query::{plan_for_db, BoundQuery};
 use std::fmt::Write as _;
 
-/// Renders the execution plan of `query` over `fed`.
+/// Renders the execution plan of `query` over `fed` under the default
+/// sequential pipeline.
 ///
 /// # Example
 ///
@@ -24,8 +26,35 @@ use std::fmt::Write as _;
 /// # Ok::<(), fedoq_core::ExecError>(())
 /// ```
 pub fn explain(fed: &Federation, query: &BoundQuery) -> String {
+    explain_with_pipeline(fed, query, PipelineConfig::sequential())
+}
+
+/// Like [`explain`] but describing the pipeline the query would actually
+/// run under — thread count, scan chunking, probe batching, and lookup
+/// caching — so the plan matches an execution through
+/// [`run_strategy_with_pipeline`](crate::run_strategy_with_pipeline)
+/// with the same configuration.
+pub fn explain_with_pipeline(
+    fed: &Federation,
+    query: &BoundQuery,
+    pipeline: PipelineConfig,
+) -> String {
     let schema = fed.global_schema();
     let mut out = String::new();
+
+    // Pipeline the plan runs under (tunes how, never what).
+    let _ = writeln!(
+        out,
+        "pipeline: {} thread{} (chunk {}), {}, cache {}",
+        pipeline.threads,
+        if pipeline.threads == 1 { "" } else { "s" },
+        pipeline.chunk,
+        match pipeline.batch {
+            0 => "coalesced probe messages".to_owned(),
+            k => format!("probe batches of {k}"),
+        },
+        if pipeline.cache { "on" } else { "off" }
+    );
 
     // Header: range class and hosting sites.
     let range = schema.class(query.range());
@@ -168,6 +197,9 @@ mod tests {
             .parse_and_bind("SELECT X.id FROM Emp X WHERE X.dept.name = 'CS' AND X.salary > 60")
             .unwrap();
         let plan = explain(&f, &q);
+        assert!(
+            plan.contains("pipeline: 1 thread (chunk 256), coalesced probe messages, cache off")
+        );
         assert!(plan.contains("range class Emp hosted by HQ, Payroll"));
         assert!(plan.contains("p0: dept.name = CS"));
         assert!(plan.contains("p1: salary > 60"));
@@ -198,5 +230,16 @@ mod tests {
         let plan = explain(&f, &q);
         assert!(plan.contains("target salary not projectable here (prefix 0/1)"));
         assert!(plan.contains("fully local"));
+    }
+
+    #[test]
+    fn explain_reflects_the_tuned_pipeline() {
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.id FROM Emp X WHERE X.salary > 60")
+            .unwrap();
+        let tuned = PipelineConfig::parallel(8).with_batch(16).with_cache();
+        let plan = explain_with_pipeline(&f, &q, tuned);
+        assert!(plan.contains("pipeline: 8 threads (chunk 256), probe batches of 16, cache on"));
     }
 }

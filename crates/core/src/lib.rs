@@ -78,12 +78,13 @@ pub use cache::{query_fingerprint, CacheStats, LookupCache};
 pub use centralized::Centralized;
 pub use disjunctive::run_disjunctive;
 pub use error::ExecError;
-pub use explain::explain;
+pub use explain::{explain, explain_with_pipeline};
 pub use federation::Federation;
-pub use localized::{BasicLocalized, ParallelLocalized};
+pub use localized::{BasicLocalized, HybridLocalized, ParallelLocalized};
 pub use oracle::{oracle_answer, oracle_disjunctive};
 pub use pipeline::PipelineConfig;
 pub use result::{MaybeRow, Provenance, QueryAnswer, ResultRow};
 pub use strategy::{
-    run_strategy, run_strategy_with_network, run_strategy_with_pipeline, ExecutionStrategy,
+    collect_catalog, refresh_catalog, run_adaptive, run_strategy, run_strategy_with_network,
+    run_strategy_with_pipeline, AdaptiveOutcome, ExecutionStrategy,
 };

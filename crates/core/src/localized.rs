@@ -200,6 +200,74 @@ impl ExecutionStrategy for ParallelLocalized {
     }
 }
 
+/// The hybrid localized strategy (**HY**): a per-site BL/PL assignment
+/// chosen by the planner.
+///
+/// Sites listed in `parallel_sites` run PL's schedule (static assistant
+/// lookups before local evaluation); every other site runs BL's. A site
+/// whose predicates cannot produce maybe results issues no assistant
+/// checks under BL, so the planner pins such *clean* sites to BL and
+/// reserves PL's prefetch overlap for the sites that need it. The answer
+/// is identical to BL's and PL's by the strategies' shared invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridLocalized {
+    /// Sites that run PL's static-prefetch schedule.
+    pub parallel_sites: Vec<DbId>,
+    /// Prune assistant checks with replicated object signatures.
+    pub use_signatures: bool,
+    /// Fetch locally-unprojectable target values from assistant objects
+    /// (FedOQ extension; the paper projects local attributes only).
+    pub complete_targets: bool,
+}
+
+impl HybridLocalized {
+    /// A hybrid running PL's schedule at `parallel_sites` and BL's
+    /// everywhere else.
+    pub fn new(parallel_sites: impl IntoIterator<Item = DbId>) -> HybridLocalized {
+        HybridLocalized {
+            parallel_sites: parallel_sites.into_iter().collect(),
+            ..HybridLocalized::default()
+        }
+    }
+}
+
+impl ExecutionStrategy for HybridLocalized {
+    fn name(&self) -> &'static str {
+        "HY"
+    }
+
+    fn execute(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+    ) -> Result<QueryAnswer, ExecError> {
+        self.execute_with(fed, query, sim, PipelineConfig::sequential(), None)
+    }
+
+    fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        sim: &mut Simulation,
+        pipeline: PipelineConfig,
+        cache: Option<&RefCell<LookupCache>>,
+    ) -> Result<QueryAnswer, ExecError> {
+        execute_localized_policy(
+            fed,
+            query,
+            sim,
+            &ModePolicy::ParallelAt(self.parallel_sites.clone()),
+            LocalizedConfig {
+                use_signatures: self.use_signatures,
+                complete_targets: self.complete_targets,
+            },
+            pipeline,
+            cache,
+        )
+    }
+}
+
 /// Which localized algorithm drives a site's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LocalizedMode {
@@ -207,6 +275,31 @@ pub enum LocalizedMode {
     Basic,
     /// PL: static assistant lookup before local evaluation (O → P → I).
     Parallel,
+}
+
+/// How localized modes are assigned across sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModePolicy {
+    /// Every site runs the same schedule (plain BL or PL).
+    Uniform(LocalizedMode),
+    /// The listed sites run PL's static schedule; every other site BL's.
+    ParallelAt(Vec<DbId>),
+}
+
+impl ModePolicy {
+    /// The schedule `db` runs under this policy.
+    fn mode_for(&self, db: DbId) -> LocalizedMode {
+        match self {
+            ModePolicy::Uniform(mode) => *mode,
+            ModePolicy::ParallelAt(sites) => {
+                if sites.contains(&db) {
+                    LocalizedMode::Parallel
+                } else {
+                    LocalizedMode::Basic
+                }
+            }
+        }
+    }
 }
 
 /// Per-execution options shared by BL and PL.
@@ -1437,6 +1530,31 @@ fn execute_localized_with(
     pipeline: PipelineConfig,
     cache: Option<&RefCell<LookupCache>>,
 ) -> Result<QueryAnswer, ExecError> {
+    execute_localized_policy(
+        fed,
+        query,
+        sim,
+        &ModePolicy::Uniform(mode),
+        config,
+        pipeline,
+        cache,
+    )
+}
+
+/// [`execute_localized_with`] generalized to a per-site [`ModePolicy`]:
+/// each hosting site runs BL's or PL's schedule independently, which is
+/// sound because the schedules only differ in *when* assistant checks go
+/// on the wire, never in what gets checked.
+#[allow(clippy::too_many_arguments)]
+fn execute_localized_policy(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    policy: &ModePolicy,
+    config: LocalizedConfig,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<QueryAnswer, ExecError> {
     let cache = if pipeline.cache { cache } else { None };
     let fingerprint = if cache.is_some() {
         query_fingerprint(query)
@@ -1481,7 +1599,7 @@ fn execute_localized_with(
     let mut static_requests: Vec<Vec<CheckRequest>> = Vec::with_capacity(contexts.len());
     let mut static_states: Vec<StaticState> = Vec::with_capacity(contexts.len());
     for ctx in &contexts {
-        let scan = match mode {
+        let scan = match policy.mode_for(ctx.db.id()) {
             LocalizedMode::Basic => StaticScan::default(),
             LocalizedMode::Parallel => scan_static(fed, query, ctx, sim, config, pipeline, cache),
         };

@@ -68,6 +68,12 @@ struct Shell {
     executor: DistributedExecutor,
     /// The in-process twin of the executor's cache (`transport off`).
     local_cache: RefCell<LookupCache>,
+    /// Lazily scanned statistics catalog for the cost-based planner
+    /// (`plan`, `stats`, `adaptive on`). Survives across queries so the
+    /// EWMA feedback loop converges on repeated workloads.
+    catalog: Option<StatsCatalog>,
+    /// When set, `SELECT` lets the planner pick the strategy per query.
+    adaptive: bool,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -117,6 +123,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline: PipelineConfig::default(),
         executor: DistributedExecutor::new(),
         local_cache: RefCell::new(LookupCache::default()),
+        catalog: None,
+        adaptive: false,
     };
     println!(
         "strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)",
@@ -181,7 +189,10 @@ impl Shell {
                     println!("usage: explain SELECT ...");
                 } else {
                     let bound = self.fed.parse_and_bind(sql)?;
-                    print!("{}", explain(&self.fed, &bound));
+                    print!(
+                        "{}",
+                        explain_with_pipeline(&self.fed, &bound, self.pipeline)
+                    );
                 }
             }
             Some("timeline") => match &self.last_ledger {
@@ -206,6 +217,7 @@ impl Shell {
                         std::path::Path::new(dir),
                         &Correspondences::new(),
                     )?;
+                    self.catalog = None; // stats described the old federation
                     println!("loaded: {}", self.fed);
                 }
                 None => println!("usage: load <dir>"),
@@ -228,6 +240,8 @@ impl Shell {
                     }
                 }
             }
+            Some("adaptive") => self.cmd_adaptive(&mut words),
+            Some("stats") => self.cmd_stats(&mut words),
             Some("transport") => self.cmd_transport(&mut words),
             Some("faults") => self.cmd_faults(&mut words),
             Some("partition") => self.cmd_partition(&mut words),
@@ -243,7 +257,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         show the per-site local queries (Q1' style)\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -505,7 +519,7 @@ impl Shell {
         }
     }
 
-    fn plan(&self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+    fn plan(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
         let bound = self.fed.parse_and_bind(sql)?;
         for db in self.fed.dbs() {
             match plan_for_db(&bound, self.fed.global_schema(), db.id()) {
@@ -513,7 +527,115 @@ impl Shell {
                 None => println!("-- {} hosts no constituent of the range class", db.name()),
             }
         }
+        self.ensure_catalog();
+        let catalog = self.catalog.as_ref().expect("catalog just ensured");
+        // `plan` deliberately prices against the catalog as-is so a
+        // stale one surfaces as FQ106 rather than silently refreshing;
+        // `stats refresh` (or an adaptive run) brings it up to date.
+        let staleness =
+            fedoq::check::analyze_staleness("plan", catalog.generation(), self.fed.generation());
+        if staleness.fired("FQ106") {
+            print!("{staleness}");
+        }
+        let knobs = self.plan_knobs();
+        let choice = choose(
+            catalog,
+            self.fed.global_schema(),
+            &bound,
+            &knobs,
+            query_fingerprint(&bound),
+            // Hybrid per-site assignments only exist in-process; the
+            // distributed runtime speaks uniform CA/BL/PL.
+            self.transport == TransportMode::Off,
+        );
+        print!("{choice}");
         Ok(())
+    }
+
+    /// The cost-model knobs matching the shell's pipeline tuning, with
+    /// cache warmth read from whichever cache the transport uses.
+    fn plan_knobs(&self) -> fedoq::plan::PipelineKnobs {
+        let warmth = if !self.pipeline.cache {
+            0.0
+        } else if self.transport == TransportMode::Off {
+            self.local_cache.borrow().stats().hit_rate()
+        } else {
+            self.executor.cache_stats().hit_rate()
+        };
+        fedoq::plan::PipelineKnobs {
+            threads: self.pipeline.threads.max(1) as f64,
+            warmth,
+            batch: self.pipeline.batch as f64,
+        }
+    }
+
+    /// Scans the statistics catalog on first use.
+    fn ensure_catalog(&mut self) {
+        if self.catalog.is_none() {
+            let catalog = collect_catalog(&self.fed, SystemParams::paper_default());
+            println!(
+                "scanned statistics catalog: {} site(s) @ generation {}",
+                catalog.sites().len(),
+                catalog.generation()
+            );
+            self.catalog = Some(catalog);
+        }
+    }
+
+    fn cmd_adaptive<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            Some("on") => {
+                self.adaptive = true;
+                self.ensure_catalog();
+                println!(
+                    "adaptive on: each SELECT runs the planner's cheapest plan \
+                     (inspect with `plan`, `stats`)"
+                );
+            }
+            Some("off") => {
+                self.adaptive = false;
+                println!(
+                    "adaptive off: SELECT uses `strategy {}`",
+                    self.strategy_name
+                );
+            }
+            None => println!("adaptive: {}", if self.adaptive { "on" } else { "off" }),
+            Some(other) => println!("unknown mode {other:?}; usage: adaptive on|off"),
+        }
+    }
+
+    fn cmd_stats<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            None => {
+                self.ensure_catalog();
+                let catalog = self.catalog.as_ref().expect("catalog just ensured");
+                print!("{}", catalog.summary());
+                if catalog.is_stale(self.fed.generation()) {
+                    println!(
+                        "(stale: federation is at generation {}; `stats refresh` re-scans)",
+                        self.fed.generation()
+                    );
+                }
+            }
+            Some("refresh") => match self.catalog.as_mut() {
+                Some(catalog) if catalog.is_stale(self.fed.generation()) => {
+                    refresh_catalog(catalog, &self.fed);
+                    println!(
+                        "catalog re-scanned @ generation {} ({} observation(s) kept)",
+                        catalog.generation(),
+                        catalog.observed_len()
+                    );
+                }
+                Some(catalog) => {
+                    println!(
+                        "catalog already fresh (generation {})",
+                        catalog.generation()
+                    );
+                }
+                None => self.ensure_catalog(),
+            },
+            Some(other) => println!("unknown subcommand {other:?}; usage: stats [refresh]"),
+        }
     }
 
     fn make_strategy_by(&self, name: &str) -> Option<Box<dyn ExecutionStrategy>> {
@@ -530,6 +652,14 @@ impl Shell {
     fn query(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
         if self.transport != TransportMode::Off {
             return self.query_distributed(sql);
+        }
+        // Adaptive planning covers conjunctive queries; disjunctive
+        // ones fall through to the configured fixed strategy.
+        if self.adaptive {
+            if let Ok(bound) = self.fed.parse_and_bind(sql) {
+                return self.query_adaptive(&bound);
+            }
+            println!("(adaptive planning applies to conjunctive queries; running fixed strategy)");
         }
         // A tuned pipeline runs conjunctive queries through the
         // parallel/batched/cached path; disjunctive queries (and the
@@ -601,14 +731,51 @@ impl Shell {
         Ok(())
     }
 
+    /// Runs one conjunctive query through the cost-based planner: the
+    /// catalog ranks CA/BL/PL/HY, the winner executes, and the measured
+    /// response feeds the EWMA loop for next time.
+    fn query_adaptive(&mut self, query: &BoundQuery) -> Result<(), Box<dyn std::error::Error>> {
+        self.ensure_catalog();
+        let catalog = self.catalog.as_mut().expect("catalog just ensured");
+        let cache = self.pipeline.cache.then_some(&self.local_cache);
+        let outcome = run_adaptive(&self.fed, query, catalog, self.pipeline, cache)?;
+        for row in outcome.answer.certain() {
+            println!("certain  {row}");
+        }
+        for row in outcome.answer.maybe() {
+            let unsolved: Vec<String> = row.unsolved().map(|p| p.to_string()).collect();
+            println!("maybe    {}  [unsolved: {}]", row.row(), unsolved.join(","));
+        }
+        if outcome.answer.is_empty() {
+            println!("(no results)");
+        }
+        let best = outcome.choice.best();
+        println!(
+            "-- {} via adaptive {} (scored {:.0} µs over {} candidate(s)): {}",
+            outcome.answer,
+            outcome.executed.label(),
+            best.score_us,
+            outcome.choice.ranked.len(),
+            outcome.metrics
+        );
+        Ok(())
+    }
+
     /// Runs one conjunctive query over the distributed actor runtime.
     fn query_distributed(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
-        let Some(strategy) = DistributedStrategy::parse(&self.strategy_name) else {
-            println!(
-                "strategy {} is not available distributed",
-                self.strategy_name
-            );
-            return Ok(());
+        let strategy = if self.adaptive {
+            None // the planner picks one per query
+        } else {
+            match DistributedStrategy::parse(&self.strategy_name) {
+                Some(s) => Some(s),
+                None => {
+                    println!(
+                        "strategy {} is not available distributed",
+                        self.strategy_name
+                    );
+                    return Ok(());
+                }
+            }
         };
         let query = self.fed.parse_and_bind(sql)?;
         let sim = Rc::new(RefCell::new(Simulation::new(
@@ -630,9 +797,32 @@ impl Shell {
                 Rc::new(RefCell::new(t))
             }
         };
-        let outcome = self
-            .executor
-            .run(&self.fed, &query, strategy, transport, Rc::clone(&sim))?;
+        let (outcome, via) = match strategy {
+            Some(strategy) => {
+                let outcome =
+                    self.executor
+                        .run(&self.fed, &query, strategy, transport, Rc::clone(&sim))?;
+                (outcome, strategy.name().to_owned())
+            }
+            None => {
+                self.ensure_catalog();
+                let catalog = self.catalog.as_mut().expect("catalog just ensured");
+                let adaptive = self.executor.run_adaptive(
+                    &self.fed,
+                    &query,
+                    catalog,
+                    transport,
+                    Rc::clone(&sim),
+                )?;
+                let via = format!(
+                    "adaptive {} (scored {:.0} µs over {} candidate(s))",
+                    adaptive.executed.label(),
+                    adaptive.choice.best().score_us,
+                    adaptive.choice.ranked.len()
+                );
+                (adaptive.outcome, via)
+            }
+        };
         for row in outcome.answer.certain() {
             println!("certain  {row}");
         }
@@ -656,7 +846,7 @@ impl Shell {
         println!(
             "-- {} via {} over {} transport: {} | {} delivered, {} dropped, {} retries, {:.0} µs virtual",
             outcome.answer,
-            strategy.name(),
+            via,
             self.transport_name(),
             outcome.metrics,
             outcome.delivered,

@@ -19,6 +19,8 @@
 //! * [`workload`] — the university running example and the Table-2
 //!   synthetic generator;
 //! * [`analytic`] — the closed-form expected-cost model;
+//! * [`plan`] — the statistics catalog and cost-based adaptive strategy
+//!   planner (CA/BL/PL/hybrid selection with execution feedback);
 //! * [`net`] — the distributed site-actor runtime with fault-injectable
 //!   transport;
 //! * [`check`] — the static plan-soundness analyzer and actor-protocol
@@ -49,6 +51,7 @@ pub use fedoq_check as check;
 pub use fedoq_core as core;
 pub use fedoq_net as net;
 pub use fedoq_object as object;
+pub use fedoq_plan as plan;
 pub use fedoq_query as query;
 pub use fedoq_schema as schema;
 pub use fedoq_sim as sim;
@@ -58,16 +61,18 @@ pub use fedoq_workload as workload;
 /// The common imports for working with FedOQ.
 pub mod prelude {
     pub use fedoq_core::{
-        explain, oracle_answer, oracle_disjunctive, query_fingerprint, run_disjunctive,
-        run_strategy, run_strategy_with_network, run_strategy_with_pipeline, BasicLocalized,
-        CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, LookupCache, MaybeRow,
-        ParallelLocalized, PipelineConfig, QueryAnswer, ResultRow,
+        collect_catalog, explain, explain_with_pipeline, oracle_answer, oracle_disjunctive,
+        query_fingerprint, refresh_catalog, run_adaptive, run_disjunctive, run_strategy,
+        run_strategy_with_network, run_strategy_with_pipeline, AdaptiveOutcome, BasicLocalized,
+        CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, HybridLocalized,
+        LookupCache, MaybeRow, ParallelLocalized, PipelineConfig, QueryAnswer, ResultRow,
     };
     pub use fedoq_net::{
-        DistributedExecutor, DistributedOutcome, DistributedStrategy, FaultEvent, LocalTransport,
-        RpcConfig, SimTransport, Transport,
+        AdaptiveDistributedOutcome, DistributedExecutor, DistributedOutcome, DistributedStrategy,
+        FaultEvent, LocalTransport, RpcConfig, SimTransport, Transport,
     };
     pub use fedoq_object::{CmpOp, DbId, GOid, LOid, Path, Truth, Value};
+    pub use fedoq_plan::{choose, PlanChoice, PlanKind, RankedPlan, StatsCatalog};
     pub use fedoq_query::{
         bind, parse, parse_dnf, plan_for_db, BoundQuery, DnfQuery, PredId, Query,
     };

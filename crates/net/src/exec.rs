@@ -14,12 +14,13 @@ use crate::rt::Runtime;
 use crate::transport::{LocalTransport, Transport};
 use fedoq_core::handlers::LocalizedConfig;
 use fedoq_core::{
-    BasicLocalized, CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, LookupCache,
-    ParallelLocalized, PipelineConfig, QueryAnswer,
+    query_fingerprint, refresh_catalog, BasicLocalized, CacheStats, Centralized, ExecError,
+    ExecutionStrategy, Federation, LookupCache, ParallelLocalized, PipelineConfig, QueryAnswer,
 };
 use fedoq_object::DbId;
+use fedoq_plan::{choose, PipelineKnobs, PlanChoice, PlanKind, StatsCatalog};
 use fedoq_query::BoundQuery;
-use fedoq_sim::{Phase, QueryMetrics, Simulation, Site, SystemParams};
+use fedoq_sim::{Phase, QueryMetrics, Resource, Simulation, Site, SystemParams};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -130,6 +131,19 @@ impl DistributedOutcome {
     pub fn is_degraded(&self) -> bool {
         !self.degraded_sites.is_empty() || self.answer.is_degraded()
     }
+}
+
+/// What [`DistributedExecutor::run_adaptive`] did: the planner's ranking
+/// plus the executed run's outcome.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDistributedOutcome {
+    /// The executed run's answer and diagnostics.
+    pub outcome: DistributedOutcome,
+    /// The full ranking the planner produced (CA/BL/PL; no hybrid on
+    /// the wire).
+    pub choice: PlanChoice,
+    /// The plan that actually ran (`choice.best().kind`).
+    pub executed: PlanKind,
 }
 
 /// Runs distributed queries over a transport.
@@ -333,6 +347,79 @@ impl DistributedExecutor {
         Ok((response, rt.handle().now_us()))
     }
 
+    /// The adaptive distributed executor: prices CA/BL/PL against the
+    /// statistics catalog, runs the cheapest over `transport`, and feeds
+    /// the measured response time and transport cost back into the
+    /// catalog.
+    ///
+    /// The per-site hybrid is excluded — the wire protocol ships one
+    /// uniform strategy per `Certify` — so planning here ranks the three
+    /// strategies the site actors implement. A stale catalog (the
+    /// federation mutated since the last scan) is re-scanned first,
+    /// keeping its accumulated observations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](DistributedExecutor::run).
+    pub fn run_adaptive(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        catalog: &mut StatsCatalog,
+        transport: Rc<RefCell<dyn Transport>>,
+        sim: Rc<RefCell<Simulation>>,
+    ) -> Result<AdaptiveDistributedOutcome, ExecError> {
+        refresh_catalog(catalog, fed);
+        let fingerprint = query_fingerprint(query);
+        let warmth = if self.pipeline.cache {
+            self.cache.borrow().stats().hit_rate()
+        } else {
+            0.0
+        };
+        let knobs = PipelineKnobs {
+            threads: self.pipeline.threads.max(1) as f64,
+            warmth,
+            batch: self.pipeline.batch as f64,
+        };
+        let choice = choose(
+            catalog,
+            fed.global_schema(),
+            query,
+            &knobs,
+            fingerprint,
+            false,
+        );
+        let executed = choice.best().kind;
+        let strategy = match executed {
+            PlanKind::Centralized => DistributedStrategy::ca(),
+            PlanKind::BasicLocalized => DistributedStrategy::bl(),
+            PlanKind::ParallelLocalized => DistributedStrategy::pl(),
+            PlanKind::Hybrid => {
+                return Err(ExecError::Internal(
+                    "planner ranked a hybrid despite allow_hybrid = false".into(),
+                ))
+            }
+        };
+        let before_net = sim.borrow().ledger().total_for_resource(Resource::Net);
+        let before_bytes = sim.borrow().metrics().bytes_transferred;
+        let outcome = self.run(fed, query, strategy, transport, Rc::clone(&sim))?;
+        catalog.observe_response(fingerprint, executed.label(), outcome.metrics.response_us);
+        // The sim may be shared across runs: feed back only this run's
+        // slice of the wire traffic.
+        let net_busy =
+            (sim.borrow().ledger().total_for_resource(Resource::Net) - before_net).as_micros();
+        let bytes = outcome
+            .metrics
+            .bytes_transferred
+            .saturating_sub(before_bytes);
+        catalog.observe_net(bytes, net_busy);
+        Ok(AdaptiveDistributedOutcome {
+            outcome,
+            choice,
+            executed,
+        })
+    }
+
     /// Convenience: runs over the in-process [`LocalTransport`] with a
     /// fresh paper-default simulation.
     pub fn run_local(
@@ -347,5 +434,46 @@ impl DistributedExecutor {
         )));
         let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(LocalTransport::new()));
         self.run(fed, query, strategy, transport, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_core::collect_catalog;
+    use fedoq_workload::university;
+
+    #[test]
+    fn adaptive_distributed_run_plans_executes_and_learns() {
+        let fed = university::federation().unwrap();
+        let query = fed.parse_and_bind(university::Q1).unwrap();
+        let mut catalog = collect_catalog(&fed, SystemParams::paper_default());
+        let exec = DistributedExecutor::new();
+        let run = |catalog: &mut StatsCatalog| {
+            let sim = Rc::new(RefCell::new(Simulation::new(
+                SystemParams::paper_default(),
+                fed.num_dbs(),
+            )));
+            let transport: Rc<RefCell<dyn Transport>> =
+                Rc::new(RefCell::new(LocalTransport::new()));
+            exec.run_adaptive(&fed, &query, catalog, transport, sim)
+                .unwrap()
+        };
+        let first = run(&mut catalog);
+        // Only uniform strategies can go on the wire.
+        assert_eq!(first.choice.ranked.len(), 3);
+        assert!(first.choice.plan(PlanKind::Hybrid).is_none());
+        assert_eq!(first.executed, first.choice.best().kind);
+        // The answer classifies like the fixed strategy's own run.
+        let fixed = exec
+            .run_local(&fed, &query, DistributedStrategy::bl())
+            .unwrap();
+        assert!(first.outcome.answer.same_classification(&fixed.answer));
+        // Feedback landed: the second run scores with an observation.
+        assert_eq!(catalog.observed_len(), 1);
+        let second = run(&mut catalog);
+        let seen = second.choice.plan(first.executed).unwrap();
+        assert!(seen.observed_us.is_some());
+        assert!(seen.confidence > 0.0);
     }
 }

@@ -70,6 +70,8 @@ pub mod rpc;
 pub mod rt;
 pub mod transport;
 
-pub use exec::{DistributedExecutor, DistributedOutcome, DistributedStrategy};
+pub use exec::{
+    AdaptiveDistributedOutcome, DistributedExecutor, DistributedOutcome, DistributedStrategy,
+};
 pub use rpc::{RpcConfig, RpcError};
 pub use transport::{FaultEvent, LocalTransport, SimTransport, Transport};

@@ -1,0 +1,707 @@
+//! The statistics catalog: what the planner knows about the federation.
+//!
+//! [`StatsCatalog::collect`] scans every component database once and
+//! records, per site and per global class, the extent cardinality,
+//! per-attribute null fractions and availability, a small numeric sketch
+//! (min/max/distinct) for selectivity estimation, and the per-class
+//! isomeric-overlap counts from the GOid mapping tables. On top of the
+//! scanned snapshot the catalog accumulates *observations*: transport
+//! cost samples (from the simulation ledger or the `fedoq-net` runtime)
+//! and per-query, per-plan response times, both folded in with an
+//! exponentially weighted moving average so repeated workloads converge
+//! on measured truth even when the scanned statistics go stale.
+//!
+//! The catalog is stamped with the federation's mutation generation at
+//! collection time; [`StatsCatalog::is_stale`] compares it against the
+//! current generation (lint `FQ106` warns on planning against a stale
+//! catalog).
+
+use fedoq_object::{CmpOp, DbId, GlobalClassId, Value};
+use fedoq_schema::{GlobalSchema, GoidCatalog};
+use fedoq_sim::SystemParams;
+use fedoq_store::ComponentDb;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Selectivity assumed when the sketch has nothing to say.
+const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// An exponentially weighted moving average with a sample counter.
+///
+/// `confidence()` grows from 0 toward 1 with the number of samples
+/// (`1 − (1 − α)^n`), matching the weight the EWMA has actually shifted
+/// away from its prior — the planner uses it to blend observed times
+/// over model estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    mean: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    /// An empty average with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        Ewma {
+            alpha: alpha.clamp(f64::EPSILON, 1.0),
+            mean: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        if self.samples == 0 {
+            self.mean = x;
+        } else {
+            self.mean += self.alpha * (x - self.mean);
+        }
+        self.samples += 1;
+    }
+
+    /// The current average (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of observations folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// How much weight the observations carry: `1 − (1 − α)^n`.
+    pub fn confidence(&self) -> f64 {
+        1.0 - (1.0 - self.alpha).powi(self.samples.min(i32::MAX as u64) as i32)
+    }
+}
+
+/// Statistics of one global attribute at one site's constituent class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrStats {
+    /// Does the constituent define the attribute at all?
+    pub present: bool,
+    /// Fraction of stored objects whose value is null (1 when absent).
+    pub null_fraction: f64,
+    /// Smallest numeric value seen, if the attribute is numeric.
+    pub min: Option<f64>,
+    /// Largest numeric value seen, if the attribute is numeric.
+    pub max: Option<f64>,
+    /// Distinct non-null values seen.
+    pub distinct: usize,
+}
+
+impl AttrStats {
+    /// Stats of a missing attribute: never evaluable locally.
+    pub fn absent() -> AttrStats {
+        AttrStats {
+            present: false,
+            null_fraction: 1.0,
+            min: None,
+            max: None,
+            distinct: 0,
+        }
+    }
+
+    /// Fraction of objects for which a predicate on this attribute is
+    /// unsolved at this site (missing attribute, or stored null).
+    pub fn unsolved_fraction(&self) -> f64 {
+        if self.present {
+            self.null_fraction
+        } else {
+            1.0
+        }
+    }
+
+    /// Estimated fraction of objects satisfying `attr op literal`
+    /// (evaluating `True`; unknowns never select).
+    pub fn selectivity(&self, op: CmpOp, literal: &Value) -> f64 {
+        if !self.present {
+            return 0.0;
+        }
+        let eq = || {
+            if self.distinct > 0 {
+                1.0 / self.distinct as f64
+            } else {
+                0.0
+            }
+        };
+        let numeric = |x: f64| match (self.min, self.max) {
+            (Some(lo), Some(hi)) => {
+                let below = if hi > lo {
+                    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+                } else if x > lo {
+                    1.0
+                } else {
+                    0.0
+                };
+                match op {
+                    CmpOp::Eq => eq(),
+                    CmpOp::Ne => 1.0 - eq(),
+                    CmpOp::Lt | CmpOp::Le => below,
+                    CmpOp::Gt | CmpOp::Ge => 1.0 - below,
+                }
+            }
+            _ => DEFAULT_SELECTIVITY,
+        };
+        let base = match literal {
+            Value::Int(i) => numeric(*i as f64),
+            Value::Float(f) => numeric(*f),
+            Value::Bool(_) => 0.5,
+            Value::Text(_) => match op {
+                CmpOp::Eq => eq(),
+                CmpOp::Ne => 1.0 - eq(),
+                _ => DEFAULT_SELECTIVITY,
+            },
+            _ => DEFAULT_SELECTIVITY,
+        };
+        (base * (1.0 - self.null_fraction)).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics of one global class's constituent at one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteClassStats {
+    /// Objects in the constituent extent.
+    pub cardinality: usize,
+    /// Per-global-slot attribute statistics.
+    pub attrs: Vec<AttrStats>,
+    /// Global attributes the constituent does not define.
+    pub missing_attrs: usize,
+}
+
+impl SiteClassStats {
+    /// The stats of global attribute slot `g`.
+    pub fn attr(&self, g: usize) -> &AttrStats {
+        &self.attrs[g]
+    }
+}
+
+/// Everything measured about one component site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteStats {
+    /// The site.
+    pub db: DbId,
+    /// Its display name.
+    pub name: String,
+    /// Per-hosted-global-class statistics.
+    pub classes: HashMap<GlobalClassId, SiteClassStats>,
+    /// Total objects stored at the site.
+    pub objects: usize,
+}
+
+impl SiteStats {
+    /// Stats of the constituent of `class`, if the site hosts one.
+    pub fn class(&self, class: GlobalClassId) -> Option<&SiteClassStats> {
+        self.classes.get(&class)
+    }
+}
+
+/// Isomeric-overlap counts of one global class, from its GOid table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassIsoStats {
+    /// Distinct real-world entities.
+    pub entities: usize,
+    /// Entities with at least two isomeric copies.
+    pub replicated: usize,
+    /// Total local objects across all copies.
+    pub copies: usize,
+}
+
+impl ClassIsoStats {
+    /// `R_iso`: fraction of entities with isomeric copies.
+    pub fn iso_ratio(&self) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            self.replicated as f64 / self.entities as f64
+        }
+    }
+
+    /// `N_iso`: average copies per *replicated* entity (1 when nothing
+    /// is replicated).
+    pub fn n_iso(&self) -> f64 {
+        if self.replicated == 0 {
+            1.0
+        } else {
+            let singleton = self.entities - self.replicated;
+            (self.copies - singleton) as f64 / self.replicated as f64
+        }
+    }
+}
+
+/// The planner's knowledge base: scanned statistics plus observations.
+#[derive(Debug, Clone)]
+pub struct StatsCatalog {
+    generation: u64,
+    params: SystemParams,
+    alpha: f64,
+    sites: Vec<SiteStats>,
+    iso: HashMap<GlobalClassId, ClassIsoStats>,
+    class_names: HashMap<GlobalClassId, String>,
+    net_us_per_byte: Ewma,
+    observed: HashMap<(u64, String), Ewma>,
+}
+
+impl StatsCatalog {
+    /// Default EWMA smoothing factor for observations.
+    pub const DEFAULT_ALPHA: f64 = 0.4;
+
+    /// Scans every database and builds a fresh catalog stamped with
+    /// `generation` (the federation's mutation generation).
+    pub fn collect<'a>(
+        dbs: impl IntoIterator<Item = &'a ComponentDb>,
+        schema: &GlobalSchema,
+        goids: &GoidCatalog,
+        generation: u64,
+        params: SystemParams,
+    ) -> StatsCatalog {
+        let mut catalog = StatsCatalog {
+            generation,
+            params,
+            alpha: Self::DEFAULT_ALPHA,
+            sites: Vec::new(),
+            iso: HashMap::new(),
+            class_names: HashMap::new(),
+            net_us_per_byte: Ewma::new(Self::DEFAULT_ALPHA),
+            observed: HashMap::new(),
+        };
+        catalog.rescan(dbs, schema, goids, generation);
+        catalog
+    }
+
+    /// Re-scans the data statistics in place, keeping the transport and
+    /// response observations (the feedback loop survives a refresh).
+    pub fn rescan<'a>(
+        &mut self,
+        dbs: impl IntoIterator<Item = &'a ComponentDb>,
+        schema: &GlobalSchema,
+        goids: &GoidCatalog,
+        generation: u64,
+    ) {
+        self.generation = generation;
+        self.sites.clear();
+        self.iso.clear();
+        self.class_names.clear();
+        for db in dbs {
+            let mut classes = HashMap::new();
+            let mut objects = 0usize;
+            for (gid, class) in schema.iter() {
+                let Some(constituent) = class.constituent_for(db.id()) else {
+                    continue;
+                };
+                let stats = scan_constituent(db, class.arity(), constituent);
+                objects += stats.cardinality;
+                classes.insert(gid, stats);
+            }
+            self.sites.push(SiteStats {
+                db: db.id(),
+                name: db.name().to_owned(),
+                classes,
+                objects,
+            });
+        }
+        for (gid, class) in schema.iter() {
+            self.class_names.insert(gid, class.name().to_owned());
+            let table = goids.table(gid);
+            let mut replicated = 0usize;
+            let mut copies = 0usize;
+            for (_, loids) in table.iter() {
+                copies += loids.len();
+                if loids.len() > 1 {
+                    replicated += 1;
+                }
+            }
+            self.iso.insert(
+                gid,
+                ClassIsoStats {
+                    entities: table.len(),
+                    replicated,
+                    copies,
+                },
+            );
+        }
+    }
+
+    /// The federation generation the data statistics were scanned at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `true` when the federation has mutated since the last scan.
+    pub fn is_stale(&self, fed_generation: u64) -> bool {
+        self.generation != fed_generation
+    }
+
+    /// The Table-1 unit costs the catalog prices with.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Per-site statistics, in collection order.
+    pub fn sites(&self) -> &[SiteStats] {
+        &self.sites
+    }
+
+    /// Statistics of one site.
+    pub fn site(&self, db: DbId) -> Option<&SiteStats> {
+        self.sites.iter().find(|s| s.db == db)
+    }
+
+    /// Isomeric-overlap counts of one global class.
+    pub fn class_iso(&self, class: GlobalClassId) -> Option<&ClassIsoStats> {
+        self.iso.get(&class)
+    }
+
+    /// The transport price in force: the observed per-byte cost when
+    /// samples exist, the Table-1 default otherwise.
+    pub fn net_us_per_byte(&self) -> f64 {
+        if self.net_us_per_byte.is_empty() {
+            self.params.net_us_per_byte
+        } else {
+            self.net_us_per_byte.mean()
+        }
+    }
+
+    /// Folds one transport sample in: `busy_us` of serialized link time
+    /// for `bytes` transferred (from the sim ledger's network resource or
+    /// the distributed runtime's clock).
+    pub fn observe_net(&mut self, bytes: u64, busy_us: f64) {
+        if bytes > 0 && busy_us.is_finite() && busy_us >= 0.0 {
+            self.net_us_per_byte.observe(busy_us / bytes as f64);
+        }
+    }
+
+    /// Folds one measured response time in for `(fingerprint, plan)`.
+    pub fn observe_response(&mut self, fingerprint: u64, plan: &str, response_us: f64) {
+        self.observed
+            .entry((fingerprint, plan.to_owned()))
+            .or_insert_with(|| Ewma::new(self.alpha))
+            .observe(response_us);
+    }
+
+    /// The observed `(mean response µs, confidence)` for
+    /// `(fingerprint, plan)`, if any execution has been fed back.
+    pub fn observed_response(&self, fingerprint: u64, plan: &str) -> Option<(f64, f64)> {
+        self.observed
+            .get(&(fingerprint, plan.to_owned()))
+            .filter(|e| !e.is_empty())
+            .map(|e| (e.mean(), e.confidence()))
+    }
+
+    /// Number of `(query, plan)` pairs with feedback.
+    pub fn observed_len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// A human-readable dump for the shell's `stats` command.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stats catalog @ generation {} ({} sites, net {:.2} µs/B{})",
+            self.generation,
+            self.sites.len(),
+            self.net_us_per_byte(),
+            if self.net_us_per_byte.is_empty() {
+                " default"
+            } else {
+                " observed"
+            }
+        );
+        for site in &self.sites {
+            let _ = writeln!(out, "  {} — {} objects", site.name, site.objects);
+            let mut classes: Vec<_> = site.classes.iter().collect();
+            classes.sort_by_key(|(gid, _)| *gid);
+            for (gid, stats) in classes {
+                let unknown = String::from("?");
+                let name = self.class_names.get(gid).unwrap_or(&unknown);
+                let worst_null = stats
+                    .attrs
+                    .iter()
+                    .filter(|a| a.present)
+                    .map(|a| a.null_fraction)
+                    .fold(0.0f64, f64::max);
+                let iso = self.iso.get(gid).copied().unwrap_or(ClassIsoStats {
+                    entities: 0,
+                    replicated: 0,
+                    copies: 0,
+                });
+                let _ = writeln!(
+                    out,
+                    "    {}: {} objects, {} missing attrs, worst null {:.0}%, R_iso {:.2}, N_iso {:.1}",
+                    name,
+                    stats.cardinality,
+                    stats.missing_attrs,
+                    worst_null * 100.0,
+                    iso.iso_ratio(),
+                    iso.n_iso()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  feedback: {} (query, plan) pairs observed",
+            self.observed.len()
+        );
+        out
+    }
+}
+
+/// Scans one constituent extent into per-attribute statistics.
+fn scan_constituent(
+    db: &ComponentDb,
+    arity: usize,
+    constituent: &fedoq_schema::Constituent,
+) -> SiteClassStats {
+    let extent = db.extent(constituent.class());
+    let count = extent.len();
+    let mut attrs = Vec::with_capacity(arity);
+    let mut missing_attrs = 0usize;
+    for g in 0..arity {
+        let Some(slot) = constituent.local_slot(g) else {
+            missing_attrs += 1;
+            attrs.push(AttrStats::absent());
+            continue;
+        };
+        let mut nulls = 0usize;
+        let mut min = None;
+        let mut max = None;
+        let mut distinct: HashSet<u64> = HashSet::new();
+        for object in extent.iter() {
+            let value = object.value(slot);
+            if value.is_null() {
+                nulls += 1;
+                continue;
+            }
+            distinct.insert(value_key(value));
+            if let Some(x) = numeric(value) {
+                min = Some(min.map_or(x, |m: f64| m.min(x)));
+                max = Some(max.map_or(x, |m: f64| m.max(x)));
+            }
+        }
+        attrs.push(AttrStats {
+            present: true,
+            null_fraction: if count == 0 {
+                0.0
+            } else {
+                nulls as f64 / count as f64
+            },
+            min,
+            max,
+            distinct: distinct.len(),
+        });
+    }
+    SiteClassStats {
+        cardinality: count,
+        attrs,
+        missing_attrs,
+    }
+}
+
+/// Numeric view of a value, for the min/max sketch.
+fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// A hashable canonical key for distinct-counting heterogeneous values.
+fn value_key(value: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match value {
+        Value::Null => 0u8.hash(&mut h),
+        Value::Int(i) => (1u8, i).hash(&mut h),
+        Value::Float(f) => (2u8, f.to_bits()).hash(&mut h),
+        Value::Text(s) => (3u8, s).hash(&mut h),
+        Value::Bool(b) => (4u8, b).hash(&mut h),
+        Value::Ref(l) => (5u8, format!("{l:?}")).hash(&mut h),
+        Value::GRef(g) => (6u8, format!("{g:?}")).hash(&mut h),
+        Value::List(vs) => {
+            (7u8, vs.len()).hash(&mut h);
+            for v in vs {
+                value_key(v).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_schema::{identify_isomerism, integrate, Correspondences};
+    use fedoq_store::{AttrType, ClassDef, ComponentSchema};
+
+    fn two_site_setup() -> (Vec<ComponentDb>, GlobalSchema, GoidCatalog) {
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        for i in 0..10 {
+            let age = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(20 + i)
+            };
+            db0.insert_named("Student", &[("s-no", Value::Int(i)), ("age", age)])
+                .unwrap();
+        }
+        for i in 0..4 {
+            db1.insert_named("Student", &[("s-no", Value::Int(i))])
+                .unwrap();
+        }
+        let schema = integrate(
+            &[(db0.id(), db0.schema()), (db1.id(), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let goids = identify_isomerism(&[&db0, &db1], &schema).unwrap();
+        (vec![db0, db1], schema, goids)
+    }
+
+    fn catalog() -> (StatsCatalog, GlobalSchema) {
+        let (dbs, schema, goids) = two_site_setup();
+        let c = StatsCatalog::collect(
+            dbs.iter(),
+            &schema,
+            &goids,
+            7,
+            SystemParams::paper_default(),
+        );
+        (c, schema)
+    }
+
+    #[test]
+    fn collect_measures_cardinality_nulls_and_availability() {
+        let (c, schema) = catalog();
+        let student = schema.class_id("Student").unwrap();
+        let age = schema.class(student).attr_index("age").unwrap();
+        let db0 = c.site(DbId::new(0)).unwrap().class(student).unwrap();
+        let db1 = c.site(DbId::new(1)).unwrap().class(student).unwrap();
+        assert_eq!(db0.cardinality, 10);
+        assert_eq!(db1.cardinality, 4);
+        // age: 2 of 10 null at DB0; missing entirely at DB1.
+        assert!((db0.attr(age).null_fraction - 0.2).abs() < 1e-9);
+        assert!(db0.attr(age).present);
+        assert!(!db1.attr(age).present);
+        assert_eq!(db1.attr(age).unsolved_fraction(), 1.0);
+        assert_eq!(db1.missing_attrs, 1);
+        // The numeric sketch saw ages 21..29 minus the nulls.
+        assert_eq!(db0.attr(age).min, Some(21.0));
+        assert_eq!(db0.attr(age).max, Some(29.0));
+        assert_eq!(db0.attr(age).distinct, 8);
+    }
+
+    #[test]
+    fn iso_stats_come_from_the_goid_tables() {
+        let (c, schema) = catalog();
+        let student = schema.class_id("Student").unwrap();
+        let iso = c.class_iso(student).unwrap();
+        // 10 entities; s-no 0..3 replicated at DB1.
+        assert_eq!(iso.entities, 10);
+        assert_eq!(iso.replicated, 4);
+        assert_eq!(iso.copies, 14);
+        assert!((iso.iso_ratio() - 0.4).abs() < 1e-9);
+        assert!((iso.n_iso() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_uses_the_sketch_and_null_fraction() {
+        let (c, schema) = catalog();
+        let student = schema.class_id("Student").unwrap();
+        let age = schema.class(student).attr_index("age").unwrap();
+        let stats = c.site(DbId::new(0)).unwrap().class(student).unwrap();
+        let a = stats.attr(age);
+        // age >= 21 selects everything non-null: 0.8.
+        let high = a.selectivity(CmpOp::Ge, &Value::Int(21));
+        assert!((high - 0.8).abs() < 1e-9);
+        // age < 21 selects nothing.
+        assert_eq!(a.selectivity(CmpOp::Lt, &Value::Int(21)), 0.0);
+        // Equality uses the distinct count.
+        let eq = a.selectivity(CmpOp::Eq, &Value::Int(25));
+        assert!((eq - 0.8 / 8.0).abs() < 1e-9);
+        // A missing attribute never selects.
+        let absent = c
+            .site(DbId::new(1))
+            .unwrap()
+            .class(student)
+            .unwrap()
+            .attr(age);
+        assert_eq!(absent.selectivity(CmpOp::Ge, &Value::Int(0)), 0.0);
+    }
+
+    #[test]
+    fn staleness_tracks_the_generation_stamp() {
+        let (mut c, schema) = catalog();
+        assert_eq!(c.generation(), 7);
+        assert!(!c.is_stale(7));
+        assert!(c.is_stale(8));
+        // A rescan clears staleness but keeps observations.
+        c.observe_response(99, "CA", 1000.0);
+        let (dbs, schema2, goids) = two_site_setup();
+        assert_eq!(schema.len(), schema2.len());
+        c.rescan(dbs.iter(), &schema2, &goids, 8);
+        assert!(!c.is_stale(8));
+        assert!(c.observed_response(99, "CA").is_some());
+    }
+
+    #[test]
+    fn ewma_feedback_converges_and_reports_confidence() {
+        let mut e = Ewma::new(0.5);
+        assert!(e.is_empty());
+        assert_eq!(e.confidence(), 0.0);
+        e.observe(100.0);
+        assert_eq!(e.mean(), 100.0);
+        for _ in 0..20 {
+            e.observe(10.0);
+        }
+        assert!((e.mean() - 10.0).abs() < 1.0);
+        assert!(e.confidence() > 0.99);
+
+        let mut c = catalog().0;
+        c.observe_response(42, "BL", 500.0);
+        c.observe_response(42, "BL", 300.0);
+        let (mean, conf) = c.observed_response(42, "BL").unwrap();
+        assert!(mean < 500.0 && mean > 300.0);
+        assert!(conf > 0.0 && conf < 1.0);
+        assert!(c.observed_response(42, "PL").is_none());
+        assert_eq!(c.observed_len(), 1);
+    }
+
+    #[test]
+    fn net_observations_override_the_default() {
+        let mut c = catalog().0;
+        assert_eq!(c.net_us_per_byte(), 8.0);
+        c.observe_net(1000, 16_000.0);
+        assert!((c.net_us_per_byte() - 16.0).abs() < 1e-9);
+        // Zero-byte and garbage samples are ignored.
+        c.observe_net(0, 5.0);
+        c.observe_net(10, f64::NAN);
+        assert!((c.net_us_per_byte() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_sites_classes_and_feedback() {
+        let (c, _) = catalog();
+        let s = c.summary();
+        assert!(s.contains("generation 7"));
+        assert!(s.contains("DB0"));
+        assert!(s.contains("Student"));
+        assert!(s.contains("feedback: 0"));
+    }
+}

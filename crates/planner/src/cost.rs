@@ -1,0 +1,269 @@
+//! Deriving cost-model inputs for one query from the catalog.
+//!
+//! [`profile`] turns a bound query plus the scanned statistics into the
+//! [`AnalyticInputs`] the shared formula set (`fedoq-analytic::model`)
+//! prices — one aggregate view for the uniform strategies, and one
+//! per-hosting-site view for the hybrid assignment. Selectivities come
+//! from the per-attribute sketches, unsolved fractions from measured
+//! missing-attribute availability and null fractions, isomeric overlap
+//! from the GOid tables, and the network price from observed transport
+//! samples when any exist.
+
+use crate::catalog::StatsCatalog;
+use fedoq_analytic::AnalyticInputs;
+use fedoq_object::DbId;
+use fedoq_query::{plan_for_db, BoundQuery};
+use fedoq_schema::GlobalSchema;
+
+/// The planner's view of one hosting site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteProfile {
+    /// The site.
+    pub db: DbId,
+    /// Per-site cost-model inputs (`objects`, selectivity, unsolved
+    /// fraction measured at this site; federation-wide `n_db` and iso).
+    pub inputs: AnalyticInputs,
+    /// `true` when this site can produce maybe results for the query:
+    /// some predicate is statically unsolved here, or a locally
+    /// evaluable predicate attribute stores nulls. Sites where this is
+    /// `false` never need assistant lookups.
+    pub maybe_producing: bool,
+}
+
+/// The planner's view of one query over the whole federation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// Federation-average inputs for the uniform CA/BL/PL pricing.
+    pub inputs: AnalyticInputs,
+    /// Per-site inputs for the hybrid pricing (hosting sites only).
+    pub sites: Vec<SiteProfile>,
+}
+
+/// Builds the cost-model inputs for `query` from the catalog.
+pub fn profile(catalog: &StatsCatalog, schema: &GlobalSchema, query: &BoundQuery) -> QueryProfile {
+    let mut params = *catalog.params();
+    // Observed transport samples re-price the shared link.
+    params.net_us_per_byte = catalog.net_us_per_byte();
+
+    let range = query.range();
+    let mut involved = query.involved_classes();
+    if !involved.contains(&range) {
+        involved.push(range);
+    }
+    let n_classes = involved.len().max(1) as f64;
+    let preds = query.predicates();
+    let n_db = catalog.sites().len().max(1) as f64;
+
+    // Isomeric overlap averaged over the involved classes.
+    let (mut iso_ratio, mut n_iso, mut iso_classes) = (0.0, 0.0, 0usize);
+    for &class in &involved {
+        if let Some(iso) = catalog.class_iso(class) {
+            iso_ratio += iso.iso_ratio();
+            n_iso += iso.n_iso();
+            iso_classes += 1;
+        }
+    }
+    if iso_classes > 0 {
+        iso_ratio /= iso_classes as f64;
+        n_iso /= iso_classes as f64;
+    } else {
+        n_iso = 1.0;
+    }
+
+    // Projected attributes per class: key, the involved predicate slots,
+    // and the select-list targets.
+    let involved_slots: usize = query
+        .involved_slots()
+        .values()
+        .map(std::collections::BTreeSet::len)
+        .sum();
+    let attrs_per_class =
+        1.0 + (involved_slots as f64 + query.targets().len() as f64) / n_classes + 1.0;
+
+    let mut sites = Vec::new();
+    for site in catalog.sites() {
+        let Some(plan) = plan_for_db(query, schema, site.db) else {
+            continue;
+        };
+        let objects = site
+            .class(range)
+            .map_or(0.0, |stats| stats.cardinality as f64);
+
+        // Walk the conjuncts: locally evaluable predicates contribute
+        // their estimated selectivity; unsolved ones contribute a full
+        // unsolved share and no local filtering.
+        let mut sel_product = 1.0;
+        let mut unsolved_sum = 0.0;
+        let mut maybe_producing = false;
+        for pred in preds {
+            let path = pred.path();
+            let terminal = path.len().saturating_sub(1);
+            let attr_stats = |db: DbId| {
+                catalog
+                    .site(db)
+                    .and_then(|s| s.class(path.class(terminal)))
+                    .map(|c| c.attr(path.slot(terminal)).clone())
+            };
+            if plan.disposition(pred.id()).is_local() {
+                let stats = attr_stats(site.db);
+                let (sel, nulls) = stats.map_or((0.5, 0.0), |a| {
+                    (a.selectivity(pred.op(), pred.literal()), a.null_fraction)
+                });
+                sel_product *= sel.clamp(0.0, 1.0);
+                unsolved_sum += nulls;
+                if nulls > 0.0 {
+                    maybe_producing = true;
+                }
+            } else {
+                unsolved_sum += 1.0;
+                maybe_producing = true;
+            }
+        }
+        let unsolved_ratio = if preds.is_empty() {
+            0.0
+        } else {
+            (unsolved_sum / preds.len() as f64).clamp(0.0, 1.0)
+        };
+        // survivors() raises local_selectivity to n_classes; invert so
+        // the expected survivor count is objects × Π sel.
+        let local_selectivity = sel_product.max(1e-12).powf(1.0 / n_classes);
+
+        sites.push(SiteProfile {
+            db: site.db,
+            inputs: AnalyticInputs {
+                params,
+                n_db,
+                n_classes,
+                objects,
+                preds_per_class: preds.len() as f64 / n_classes,
+                attrs_per_class,
+                local_selectivity,
+                iso_ratio,
+                n_iso,
+                unsolved_ratio,
+            },
+            maybe_producing,
+        });
+    }
+
+    // Aggregate: the average hosting site.
+    let hosts = sites.len().max(1) as f64;
+    let mean = |f: fn(&SiteProfile) -> f64| sites.iter().map(f).sum::<f64>() / hosts;
+    let inputs = AnalyticInputs {
+        params,
+        n_db,
+        n_classes,
+        objects: mean(|s| s.inputs.objects),
+        preds_per_class: preds.len() as f64 / n_classes,
+        attrs_per_class,
+        local_selectivity: if sites.is_empty() {
+            1.0
+        } else {
+            mean(|s| s.inputs.local_selectivity)
+        },
+        iso_ratio,
+        n_iso,
+        unsolved_ratio: if sites.is_empty() {
+            0.0
+        } else {
+            mean(|s| s.inputs.unsolved_ratio)
+        },
+    };
+    QueryProfile { inputs, sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::{DbId, Value};
+    use fedoq_schema::{identify_isomerism, integrate, Correspondences};
+    use fedoq_sim::SystemParams;
+    use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+
+    fn setup() -> (StatsCatalog, GlobalSchema, BoundQuery) {
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        for i in 0..10 {
+            db0.insert_named(
+                "Student",
+                &[("s-no", Value::Int(i)), ("age", Value::Int(20 + i))],
+            )
+            .unwrap();
+        }
+        for i in 0..6 {
+            db1.insert_named("Student", &[("s-no", Value::Int(i))])
+                .unwrap();
+        }
+        let schema = integrate(
+            &[(db0.id(), db0.schema()), (db1.id(), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let goids = identify_isomerism(&[&db0, &db1], &schema).unwrap();
+        let catalog = StatsCatalog::collect(
+            [&db0, &db1],
+            &schema,
+            &goids,
+            0,
+            SystemParams::paper_default(),
+        );
+        let query = fedoq_query::bind(
+            &fedoq_query::parse("SELECT X.s-no FROM Student X WHERE X.age >= 25").unwrap(),
+            &schema,
+        )
+        .unwrap();
+        (catalog, schema, query)
+    }
+
+    #[test]
+    fn profile_measures_each_hosting_site() {
+        let (catalog, schema, query) = setup();
+        let p = profile(&catalog, &schema, &query);
+        assert_eq!(p.sites.len(), 2);
+        let db0 = &p.sites[0];
+        let db1 = &p.sites[1];
+        assert_eq!(db0.inputs.objects, 10.0);
+        assert_eq!(db1.inputs.objects, 6.0);
+        // age is evaluable (and never null) at DB0: no maybes there.
+        assert!(!db0.maybe_producing);
+        assert_eq!(db0.inputs.unsolved_ratio, 0.0);
+        // age is a missing attribute at DB1: every row unsolved.
+        assert!(db1.maybe_producing);
+        assert_eq!(db1.inputs.unsolved_ratio, 1.0);
+        // DB0's sketch: ages 20..29, so `>= 25` keeps 1 − 5/9 of the rows.
+        let survivors = db0.inputs.survivors();
+        assert!((survivors - 10.0 * (4.0 / 9.0)).abs() < 1e-6, "{survivors}");
+        // Aggregate inputs average the sites.
+        assert_eq!(p.inputs.objects, 8.0);
+        assert_eq!(p.inputs.n_db, 2.0);
+        assert!((p.inputs.unsolved_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iso_overlap_feeds_the_inputs() {
+        let (catalog, schema, query) = setup();
+        let p = profile(&catalog, &schema, &query);
+        // 6 of 10 entities replicated, 2 copies each.
+        assert!((p.inputs.iso_ratio - 0.6).abs() < 1e-9);
+        assert!((p.inputs.n_iso - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_transport_reprices_the_link() {
+        let (mut catalog, schema, query) = setup();
+        let base = profile(&catalog, &schema, &query);
+        assert_eq!(base.inputs.params.net_us_per_byte, 8.0);
+        catalog.observe_net(100, 3200.0);
+        let tuned = profile(&catalog, &schema, &query);
+        assert!((tuned.inputs.params.net_us_per_byte - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # fedoq-plan — statistics catalog and adaptive strategy planner
+//!
+//! The paper's analysis (and `fedoq-analytic`'s sweep) shows that none
+//! of CA, BL, or PL dominates: the winner flips with extent sizes, the
+//! unsolved fraction, isomeric overlap, and the network's price per
+//! byte. This crate closes the loop — it *measures* those quantities
+//! instead of assuming them, prices every candidate schedule with the
+//! same formula set the analytic sweep uses, and folds observed
+//! execution times back in so repeated workloads converge on the true
+//! winner even where the model is wrong.
+//!
+//! Three layers:
+//!
+//! - [`StatsCatalog`] ([`catalog`]) scans the component databases for
+//!   per-site per-class cardinalities, per-attribute null fractions and
+//!   value sketches, missing-attribute availability, and isomeric
+//!   overlap from the GOid tables; it also accumulates EWMA transport
+//!   and response-time observations.
+//! - [`profile`] ([`cost`]) turns a bound query plus the catalog into
+//!   the [`AnalyticInputs`] the shared cost model prices — one
+//!   aggregate view and one per-hosting-site view.
+//! - [`choose()`] ([`choose`](mod@choose)) enumerates CA/BL/PL plus a
+//!   per-site *hybrid* assignment (clean sites skip assistant lookups),
+//!   blends model estimates with observed feedback, and returns a
+//!   ranked [`PlanChoice`].
+//!
+//! The executor in `fedoq-core` drives the loop: plan → run → observe →
+//! replan.
+
+pub mod catalog;
+pub mod choose;
+pub mod cost;
+
+pub use catalog::{AttrStats, ClassIsoStats, Ewma, SiteClassStats, SiteStats, StatsCatalog};
+pub use choose::{choose, PlanChoice, PlanKind, RankedPlan, SiteMode};
+pub use cost::{profile, QueryProfile, SiteProfile};
+
+// Re-export the shared formula-set surface so planner consumers don't
+// need a direct fedoq-analytic dependency for the common types.
+pub use fedoq_analytic::{AnalyticInputs, CostBreakdown, PipelineKnobs, StrategyKind};

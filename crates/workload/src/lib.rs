@@ -27,7 +27,9 @@
 
 pub mod generate;
 pub mod params;
+pub mod predict;
 pub mod university;
 
 pub use generate::{generate, GeneratedSample};
 pub use params::{SampleConfig, WorkloadParams};
+pub use predict::{analytic_inputs, predict_fig10, predict_fig11, predict_fig9, PredictedPoint};

@@ -1,15 +1,50 @@
 //! Analytic predictions of the paper's figures.
 //!
-//! Each function sweeps the same parameter as the corresponding executed
-//! experiment in `fedoq-bench`, returning per-strategy [`TimeEstimate`]s
-//! so the harness can print the predicted curves next to the measured
-//! ones. Predictions are shape-level: orderings, growth directions, and
+//! This module joins the workload parameter model (this crate) to the
+//! closed-form cost model (`fedoq-analytic`, which sits below it):
+//! [`analytic_inputs`] reduces a [`WorkloadParams`] to the model's
+//! expected-value aggregates, and each `predict_fig*` function sweeps
+//! the same parameter as the corresponding executed experiment in
+//! `fedoq-bench`, returning per-strategy [`TimeEstimate`]s so the
+//! harness can print the predicted curves next to the measured ones.
+//! Predictions are shape-level: orderings, growth directions, and
 //! crossovers (see EXPERIMENTS.md for the comparison).
 
-use crate::inputs::AnalyticInputs;
-use crate::model::{estimate, StrategyKind, TimeEstimate};
+use crate::params::WorkloadParams;
+use fedoq_analytic::{estimate, AnalyticInputs, StrategyKind, TimeEstimate};
 use fedoq_sim::SystemParams;
-use fedoq_workload::WorkloadParams;
+
+/// Builds model aggregates from a [`WorkloadParams`] by taking range
+/// midpoints — the expectation of the paper's 500-sample draw.
+pub fn analytic_inputs(params: &WorkloadParams, system: SystemParams) -> AnalyticInputs {
+    let mid_usize =
+        |r: &std::ops::RangeInclusive<usize>| (*r.start() as f64 + *r.end() as f64) / 2.0;
+    let preds = mid_usize(&params.preds_per_class);
+    // E[N_pa] = N_p/2, so on average half the predicate attributes are
+    // missing per site; nulls add the sampled R_m on top.
+    let null_mid = (params.null_ratio.start() + params.null_ratio.end()) / 2.0;
+    let unsolved_ratio = (0.5 + null_mid).min(1.0);
+    let per_pred_sel = match params.forced_selectivity {
+        Some(s) => s,
+        None if preds < 0.5 => 1.0,
+        None => 0.45f64.powf(preds.sqrt()).powf(1.0 / preds.max(1.0)),
+    };
+    // Local predicates are roughly half the class's predicates.
+    let local_selectivity = per_pred_sel.powf(preds / 2.0);
+    AnalyticInputs {
+        params: system,
+        n_db: params.n_db as f64,
+        n_classes: mid_usize(&params.n_classes),
+        objects: mid_usize(&params.objects_per_class),
+        preds_per_class: preds,
+        // key + present predicate attrs (≈ N_p/2) + two targets + ref.
+        attrs_per_class: 1.0 + preds / 2.0 + 2.0 + 1.0,
+        local_selectivity,
+        iso_ratio: params.effective_iso_ratio(),
+        n_iso: params.n_iso as f64,
+        unsolved_ratio,
+    }
+}
 
 /// One predicted sweep point: the swept value and CA/BL/PL estimates
 /// (ordered like [`StrategyKind::ALL`]).
@@ -28,7 +63,7 @@ pub fn predict_fig9() -> Vec<PredictedPoint> {
     [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0]
         .into_iter()
         .map(|objects| {
-            let mut inputs = AnalyticInputs::from_workload(
+            let mut inputs = analytic_inputs(
                 &WorkloadParams::paper_default(),
                 SystemParams::paper_default(),
             );
@@ -45,7 +80,7 @@ pub fn predict_fig10() -> Vec<PredictedPoint> {
         .map(|n_db| {
             let mut params = WorkloadParams::paper_default();
             params.n_db = n_db;
-            let inputs = AnalyticInputs::from_workload(&params, SystemParams::paper_default());
+            let inputs = analytic_inputs(&params, SystemParams::paper_default());
             (n_db as f64, predict(&inputs))
         })
         .collect()
@@ -60,7 +95,7 @@ pub fn predict_fig11() -> Vec<PredictedPoint> {
             let mut params = WorkloadParams::paper_default();
             params.objects_per_class = 1000..=2000;
             params.forced_selectivity = Some(selectivity);
-            let mut inputs = AnalyticInputs::from_workload(&params, SystemParams::paper_default());
+            let mut inputs = analytic_inputs(&params, SystemParams::paper_default());
             // The forced value is the per-predicate selectivity; the
             // class-level local selectivity compounds over the local
             // predicates (≈ N_p/2 of them).
@@ -73,6 +108,19 @@ pub fn predict_fig11() -> Vec<PredictedPoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn paper_default_inputs_match_the_analytic_baseline() {
+        // AnalyticInputs::paper_default hardcodes the midpoints of
+        // WorkloadParams::paper_default; the general conversion must
+        // reproduce it exactly (the analytic crate's tests depend on it).
+        let general = analytic_inputs(
+            &WorkloadParams::paper_default(),
+            SystemParams::paper_default(),
+        );
+        let baked = AnalyticInputs::paper_default(SystemParams::paper_default());
+        assert_eq!(general, baked);
+    }
 
     #[test]
     fn fig9_prediction_grows_and_orders_like_the_paper() {

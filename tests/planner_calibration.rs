@@ -1,0 +1,164 @@
+//! Calibration tests for the cost-based planner: the model's ranking
+//! must agree with what the simulation actually measures, and the EWMA
+//! feedback loop must converge onto the measured winner.
+//!
+//! These run the fig-9 workload (the Table-2 generator at the paper's
+//! 3000-objects-per-class point, scaled down) — the regime where the
+//! paper's own figures separate CA from the localized strategies — plus
+//! the university running example.
+
+use fedoq::plan::PipelineKnobs;
+use fedoq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measured response time of one uniform plan, µs.
+fn measure(kind: PlanKind, fed: &Federation, query: &BoundQuery) -> f64 {
+    let strategy: Box<dyn ExecutionStrategy> = match kind {
+        PlanKind::Centralized => Box::new(Centralized),
+        PlanKind::BasicLocalized => Box::new(BasicLocalized::new()),
+        _ => Box::new(ParallelLocalized::new()),
+    };
+    let (_, metrics) =
+        run_strategy(strategy.as_ref(), fed, query, SystemParams::paper_default()).unwrap();
+    metrics.response_us
+}
+
+/// The uniform plan kinds the calibration compares (hybrid has no
+/// uniform fixed twin to measure against).
+const UNIFORM: [PlanKind; 3] = [
+    PlanKind::Centralized,
+    PlanKind::BasicLocalized,
+    PlanKind::ParallelLocalized,
+];
+
+/// Asserts the model's cheapest uniform plan is measurably (near-)best:
+/// its simulated response time within `slack` of the true minimum.
+fn check_calibrated(fed: &Federation, query: &BoundQuery, slack: f64, label: &str) {
+    let catalog = collect_catalog(fed, SystemParams::paper_default());
+    let choice = choose(
+        &catalog,
+        fed.global_schema(),
+        query,
+        &PipelineKnobs::baseline(),
+        query_fingerprint(query),
+        false,
+    );
+    let predicted = choice.best().kind;
+    let measured: Vec<(PlanKind, f64)> = UNIFORM
+        .iter()
+        .map(|&k| (k, measure(k, fed, query)))
+        .collect();
+    let best = measured
+        .iter()
+        .map(|(_, us)| *us)
+        .fold(f64::INFINITY, f64::min);
+    let predicted_us = measured
+        .iter()
+        .find(|(k, _)| *k == predicted)
+        .map(|(_, us)| *us)
+        .expect("choose only ranks uniform kinds here");
+    assert!(
+        predicted_us <= best * slack,
+        "{label}: model picked {} ({predicted_us:.0} µs) but the measured best is {:.0} µs \
+         (ranking: {})",
+        predicted.label(),
+        best,
+        measured
+            .iter()
+            .map(|(k, us)| format!("{} {us:.0}us", k.label()))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+}
+
+#[test]
+fn model_ranking_matches_measurement_on_fig9() {
+    let mut params = WorkloadParams::paper_default();
+    // 3000 objects/class at 2% scale keeps extents non-trivial while
+    // the three strategies all run in milliseconds.
+    params.objects_per_class = 54..=66;
+    for seed in 0..6u64 {
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        check_calibrated(
+            &sample.federation,
+            &query,
+            1.15,
+            &format!("fig9 seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn model_ranking_matches_measurement_on_the_university() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    check_calibrated(&fed, &q1, 1.15, "university Q1");
+}
+
+#[test]
+fn feedback_converges_on_the_measured_winner() {
+    // After a few adaptive rounds the blended score is dominated by
+    // observation, so the executed plan must be the measured-best
+    // uniform plan (or tie it within 10%).
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    let mut catalog = collect_catalog(&fed, SystemParams::paper_default());
+    let mut last = None;
+    for _ in 0..5 {
+        last =
+            Some(run_adaptive(&fed, &q1, &mut catalog, PipelineConfig::default(), None).unwrap());
+    }
+    let last = last.expect("five rounds ran");
+
+    let best_measured = UNIFORM
+        .iter()
+        .map(|&k| measure(k, &fed, &q1))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        last.metrics.response_us <= best_measured * 1.10,
+        "converged plan {} measured {:.0} µs vs best uniform {:.0} µs",
+        last.executed.label(),
+        last.metrics.response_us,
+        best_measured
+    );
+
+    // The winner's ranking entry is observation-backed by now.
+    let winner = last
+        .choice
+        .plan(last.executed)
+        .expect("executed plan is ranked");
+    assert!(
+        winner.confidence > 0.5,
+        "after five rounds the winner's confidence is only {:.2}",
+        winner.confidence
+    );
+    assert!(
+        winner.observed_us.is_some(),
+        "winner carries no observed response time"
+    );
+}
+
+#[test]
+fn stale_catalog_fires_the_fq106_lint_until_refreshed() {
+    // Calibration depends on the catalog describing the live
+    // federation; the FQ106 staleness lint is the guard rail.
+    let mut fed = fedoq::workload::university::federation().unwrap();
+    let mut catalog = collect_catalog(&fed, SystemParams::paper_default());
+    let report = fedoq::check::analyze_staleness("plan", catalog.generation(), fed.generation());
+    assert!(!report.fired("FQ106"), "fresh catalog flagged stale");
+
+    fed.mutate(DbId::new(0), |db| {
+        db.insert_named("Teacher", &[("name", Value::text("Zelda"))])
+            .map(|_| ())
+    })
+    .unwrap();
+    let report = fedoq::check::analyze_staleness("plan", catalog.generation(), fed.generation());
+    assert!(report.fired("FQ106"), "stale catalog not flagged");
+
+    refresh_catalog(&mut catalog, &fed);
+    let report = fedoq::check::analyze_staleness("plan", catalog.generation(), fed.generation());
+    assert!(!report.fired("FQ106"), "refreshed catalog still flagged");
+}

@@ -1,0 +1,131 @@
+//! Differential testing of the adaptive planner: plan choice is a pure
+//! cost decision and must never change what a query *answers*.
+//!
+//! Two invariants, randomized over the Table-2 workload space:
+//!
+//! * the adaptive run's answer is **byte-identical** to re-running the
+//!   plan it chose as a fixed strategy (same certain rows, same maybe
+//!   rows, same unsolved conjuncts, same provenance);
+//! * the adaptive answer **classifies identically** to every fixed
+//!   strategy — CA, BL, PL, their signature variants, and hybrid
+//!   per-site assignments over arbitrary parallel-site subsets.
+//!
+//! Any divergence is a planner bug (e.g. a hybrid assignment skipping a
+//! lookup a maybe-producing predicate needed).
+
+use fedoq::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The chosen plan, reconstructed as a fixed strategy.
+fn executed_strategy(outcome: &AdaptiveOutcome) -> Box<dyn ExecutionStrategy> {
+    match outcome.executed {
+        PlanKind::Centralized => Box::new(Centralized),
+        PlanKind::BasicLocalized => Box::new(BasicLocalized::new()),
+        PlanKind::ParallelLocalized => Box::new(ParallelLocalized::new()),
+        PlanKind::Hybrid => Box::new(HybridLocalized::new(
+            outcome
+                .choice
+                .best()
+                .modes
+                .iter()
+                .filter(|m| m.parallel)
+                .map(|m| m.db),
+        )),
+    }
+}
+
+fn fixed_strategies(fed: &Federation) -> Vec<Box<dyn ExecutionStrategy>> {
+    let dbs: Vec<DbId> = fed.dbs().iter().map(ComponentDb::id).collect();
+    let mut all: Vec<Box<dyn ExecutionStrategy>> = vec![
+        Box::new(Centralized),
+        Box::new(BasicLocalized::new()),
+        Box::new(ParallelLocalized::new()),
+        Box::new(BasicLocalized::with_signatures()),
+        Box::new(ParallelLocalized::with_signatures()),
+        // Hybrid extremes: all-BL and all-PL schedules...
+        Box::new(HybridLocalized::new([])),
+        Box::new(HybridLocalized::new(dbs.clone())),
+    ];
+    // ...plus every leave-one-out subset (arbitrary mixed assignments).
+    for skip in &dbs {
+        all.push(Box::new(HybridLocalized::new(
+            dbs.iter().copied().filter(|db| db != skip),
+        )));
+    }
+    all
+}
+
+/// Runs the planner and every fixed strategy on one sample.
+fn check_sample(fed: &Federation, query: &BoundQuery, label: &str) {
+    let params = SystemParams::paper_default();
+    let mut catalog = collect_catalog(fed, params);
+    let outcome = run_adaptive(fed, query, &mut catalog, PipelineConfig::default(), None).unwrap();
+
+    // Byte-identical to the chosen plan run as a fixed strategy.
+    let (replay, _) =
+        run_strategy(executed_strategy(&outcome).as_ref(), fed, query, params).unwrap();
+    prop_assert_eq!(
+        &outcome.answer,
+        &replay,
+        "{}: adaptive answer differs from replaying its own {} plan",
+        label,
+        outcome.executed.label()
+    );
+
+    // Same classification as every fixed strategy.
+    for strategy in fixed_strategies(fed) {
+        let (fixed, _) = run_strategy(strategy.as_ref(), fed, query, params).unwrap();
+        prop_assert!(
+            outcome.answer.same_classification(&fixed),
+            "{}: adaptive ({}) classifies differently from fixed {}: {} vs {}",
+            label,
+            outcome.executed.label(),
+            strategy.name(),
+            outcome.answer,
+            fixed
+        );
+    }
+}
+
+#[test]
+fn university_q1_is_planner_invariant() {
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    check_sample(&fed, &q1, "university Q1");
+}
+
+#[test]
+fn repeated_adaptive_runs_never_change_the_answer() {
+    // The EWMA feedback rescores (and may reroute) later runs; the
+    // answer must stay fixed while the plan moves.
+    let fed = fedoq::workload::university::federation().unwrap();
+    let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
+    let mut catalog = collect_catalog(&fed, SystemParams::paper_default());
+    let first = run_adaptive(&fed, &q1, &mut catalog, PipelineConfig::default(), None).unwrap();
+    for round in 1..5 {
+        let again = run_adaptive(&fed, &q1, &mut catalog, PipelineConfig::default(), None).unwrap();
+        assert_eq!(
+            again.answer, first.answer,
+            "answer moved on adaptive round {round}"
+        );
+    }
+    assert!(catalog.observed_len() >= 1, "feedback was never recorded");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Randomized over the Table-2 space (scaled down), the generator
+    /// seed, and the federation width.
+    #[test]
+    fn adaptive_agrees_with_every_fixed_strategy(seed in 0u64..10_000, n_db in 2usize..5) {
+        let mut params = WorkloadParams::paper_default().scaled(0.008);
+        params.n_db = n_db;
+        let config = params.sample(&mut StdRng::seed_from_u64(seed));
+        let sample = fedoq::workload::generate(&config, seed);
+        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
+        check_sample(&sample.federation, &query, &format!("seed {seed}"));
+    }
+}
