@@ -1,7 +1,7 @@
 //! `fedoq-shell` — an interactive shell over a FedOQ federation.
 //!
 //! ```text
-//! fedoq-shell [--generate <seed>] [--transport local|sim]
+//! fedoq-shell [--generate <seed>] [--transport local|sim|tcp] [--connect <host:port>]
 //! ```
 //!
 //! Starts on the paper's university federation (or a Table-2 synthetic
@@ -9,8 +9,10 @@
 //! disjunctive ones — plus introspection commands. With `--transport
 //! sim` (or `transport sim` inside the shell) queries run over the
 //! distributed site-actor runtime on a simulated network whose faults
-//! are controlled by the `faults` and `partition` commands. Type `help`
-//! inside.
+//! are controlled by the `faults` and `partition` commands. With
+//! `--transport tcp` (or `connect <host:port>` inside the shell)
+//! queries are sent to a running `fedoq-serve` frontend — a real
+//! multi-process federation. Type `help` inside.
 
 use fedoq::prelude::*;
 use fedoq::schema::GlobalAttr;
@@ -29,6 +31,9 @@ enum TransportMode {
     Local,
     /// Distributed runtime over the fault-injectable simulated network.
     Sim,
+    /// Queries sent to a `fedoq-serve` frontend over real TCP
+    /// (`connect <host:port>`).
+    Tcp,
 }
 
 /// Fault knobs applied to a fresh `SimTransport` before each query.
@@ -74,6 +79,8 @@ struct Shell {
     catalog: Option<StatsCatalog>,
     /// When set, `SELECT` lets the planner pick the strategy per query.
     adaptive: bool,
+    /// Live connection to a `fedoq-serve` frontend (`transport tcp`).
+    wire: Option<fedoq_wire::WireClient>,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -83,12 +90,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         transport = match args.get(i + 1).map(String::as_str) {
             Some("local") => TransportMode::Local,
             Some("sim") => TransportMode::Sim,
+            Some("tcp") => TransportMode::Tcp,
             other => {
                 let got = other.unwrap_or("nothing");
-                eprintln!("--transport takes `local` or `sim`, got `{got}`");
+                eprintln!("--transport takes `local`, `sim`, or `tcp`, got `{got}`");
                 std::process::exit(2);
             }
         };
+        args.drain(i..i + 2);
+    }
+    let mut wire = None;
+    if let Some(i) = args.iter().position(|a| a == "--connect") {
+        let Some(addr) = args.get(i + 1).cloned() else {
+            eprintln!("--connect takes a fedoq-serve address (host:port)");
+            std::process::exit(2);
+        };
+        match fedoq_wire::WireClient::connect(&addr) {
+            Ok(client) => {
+                transport = TransportMode::Tcp;
+                wire = Some(client);
+                println!("connected to fedoq-serve at {addr}");
+            }
+            Err(e) => {
+                eprintln!("could not connect to {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
         args.drain(i..i + 2);
     }
     let fed = match args.first().map(String::as_str) {
@@ -125,6 +152,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         local_cache: RefCell::new(LookupCache::default()),
         catalog: None,
         adaptive: false,
+        wire,
     };
     println!(
         "strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)",
@@ -243,6 +271,7 @@ impl Shell {
             Some("adaptive") => self.cmd_adaptive(&mut words),
             Some("stats") => self.cmd_stats(&mut words),
             Some("transport") => self.cmd_transport(&mut words),
+            Some("connect") => self.cmd_connect(&mut words),
             Some("faults") => self.cmd_faults(&mut words),
             Some("partition") => self.cmd_partition(&mut words),
             Some("parallel") => self.cmd_parallel(&mut words),
@@ -257,7 +286,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  connect <host:port>     dial a fedoq-serve frontend (switches to `transport tcp`)\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -266,6 +295,7 @@ impl Shell {
             TransportMode::Off => "off",
             TransportMode::Local => "local",
             TransportMode::Sim => "sim",
+            TransportMode::Tcp => "tcp",
         }
     }
 
@@ -313,7 +343,92 @@ impl Shell {
                     self.faults.seed
                 );
             }
-            Some(other) => println!("unknown transport {other:?}; use off|local|sim [seed]"),
+            Some("tcp") => match words.next() {
+                Some(addr) => self.connect(addr),
+                None if self.wire.is_some() => {
+                    self.transport = TransportMode::Tcp;
+                    println!("transport tcp: reusing the open fedoq-serve connection");
+                }
+                None => println!("usage: transport tcp <host:port> (or `connect <host:port>`)"),
+            },
+            Some(other) => {
+                println!("unknown transport {other:?}; use off|local|sim [seed]|tcp <addr>")
+            }
+        }
+    }
+
+    fn cmd_connect<'w>(&mut self, words: &mut impl Iterator<Item = &'w str>) {
+        match words.next() {
+            Some(addr) => self.connect(addr),
+            None => println!("usage: connect <host:port>   (a running fedoq-serve frontend)"),
+        }
+    }
+
+    /// Dials a `fedoq-serve` frontend and switches to `transport tcp`.
+    fn connect(&mut self, addr: &str) {
+        match fedoq_wire::WireClient::connect(addr) {
+            Ok(client) => {
+                self.wire = Some(client);
+                self.transport = TransportMode::Tcp;
+                println!(
+                    "connected to fedoq-serve at {addr}; SELECTs now run over TCP \
+                     (strategy {}, `adaptive on` for the planner)",
+                    self.strategy_name
+                );
+            }
+            Err(e) => println!("could not connect to {addr}: {e}"),
+        }
+    }
+
+    /// Runs one query against the connected `fedoq-serve` frontend.
+    fn query_wire(&mut self, sql: &str) {
+        let Some(client) = self.wire.as_mut() else {
+            println!("transport tcp needs a connection; use `connect <host:port>`");
+            return;
+        };
+        let strategy = if self.adaptive {
+            "adaptive".to_owned()
+        } else {
+            self.strategy_name.to_ascii_lowercase()
+        };
+        match client.query(sql, &strategy) {
+            Ok(Ok(answer)) => {
+                // Rows arrive pre-rendered: `C <row>` / `M <row>`.
+                for row in &answer.rows {
+                    match row.split_once(' ') {
+                        Some(("C", rest)) => println!("certain  {rest}"),
+                        Some(("M", rest)) => println!("maybe    {rest}"),
+                        _ => println!("{row}"),
+                    }
+                }
+                if answer.rows.is_empty() {
+                    println!("(no results)");
+                }
+                if !answer.degraded_sites.is_empty() {
+                    let lost: Vec<String> = answer
+                        .degraded_sites
+                        .iter()
+                        .map(|db| self.fed.db(DbId::new(*db)).name().to_owned())
+                        .collect();
+                    println!(
+                        "!! unreachable sites: {} — maybe rows above may be degraded",
+                        lost.join(", ")
+                    );
+                }
+                println!(
+                    "-- via {} over tcp: {} forwarded, {} lost, {} retries, {:.0} µs at the server",
+                    answer.executed,
+                    answer.forwarded,
+                    answer.lost,
+                    answer.retries,
+                    answer.server_us,
+                );
+            }
+            Ok(Err(e)) => println!("server error: {e}"),
+            Err(e) => {
+                println!("connection lost: {e} (reconnect with `connect <host:port>`)");
+                self.wire = None;
+            }
         }
     }
 
@@ -650,6 +765,10 @@ impl Shell {
     }
 
     fn query(&mut self, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if self.transport == TransportMode::Tcp {
+            self.query_wire(sql);
+            return Ok(());
+        }
         if self.transport != TransportMode::Off {
             return self.query_distributed(sql);
         }

@@ -32,7 +32,7 @@
 
 use crate::exec::DistributedStrategy;
 use crate::msg::{
-    CertifyReply, LocalEvalReply, LookupReply, Payload, Request, Response, ShipReply,
+    CertifyReply, Envelope, LocalEvalReply, LookupReply, Payload, Request, Response, ShipReply,
 };
 use crate::router::Net;
 use crate::rpc::{call, RpcConfig, RpcError};
@@ -128,71 +128,89 @@ pub async fn run_site<'a>(ctx: Ctx<'a>, db: DbId) {
         let Payload::Request(ref request) = env.payload else {
             continue;
         };
-        match request.clone() {
-            Request::LocalEval {
-                parallel,
+        if matches!(request, Request::LocalEval { .. }) {
+            let rt = ctx.net.rt().clone();
+            rt.spawn(serve_site_request(ctx.clone(), db, env));
+        } else {
+            serve_site_request(ctx.clone(), db, env).await;
+        }
+    }
+}
+
+/// Serves one request addressed to component site `db` and sends its
+/// response (if the request warrants one).
+///
+/// This is [`run_site`]'s body factored out so an out-of-process server
+/// (the `fedoq-wire` crate's `fedoq-site` binary) can feed requests
+/// arriving over a real wire into the same handler code. `LocalEval` is
+/// handled inline here; callers that must serve assistant lookups
+/// concurrently with their own evaluation (every site in PL) spawn this
+/// future instead of awaiting it, exactly as [`run_site`] does.
+pub async fn serve_site_request<'a>(ctx: Ctx<'a>, db: DbId, env: Envelope) {
+    let Payload::Request(ref request) = env.payload else {
+        return;
+    };
+    match request.clone() {
+        Request::LocalEval {
+            parallel,
+            use_signatures,
+            complete_targets,
+        } => {
+            let config = LocalizedConfig {
                 use_signatures,
                 complete_targets,
-            } => {
-                let ctx = ctx.clone();
-                ctx.net.rt().clone().spawn(async move {
-                    let config = LocalizedConfig {
-                        use_signatures,
-                        complete_targets,
-                    };
-                    let reply = handle_local_eval(&ctx, db, parallel, config).await;
-                    let bytes = {
-                        let sim = ctx.sim.borrow();
-                        let params = sim.params();
-                        result_message_bytes(&reply.rows, params)
-                            + reply_message_bytes(reply.verdicts.len(), params)
-                            + target_reply_message_bytes(reply.target_values.len(), params)
-                    };
-                    ctx.net
-                        .respond(&env, bytes, Response::LocalEval(Box::new(reply)));
-                });
-            }
-            Request::AssistantLookup { checks, targets } => {
-                let mut sim = ctx.sim.borrow_mut();
-                let reply = LookupReply {
-                    verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
-                    values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
-                };
-                let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
-                    + target_reply_message_bytes(reply.values.len(), sim.params());
-                drop(sim);
-                ctx.net
-                    .respond(&env, bytes, Response::AssistantLookup(reply));
-            }
-            Request::BatchAssistantLookup { checks, targets } => {
-                let mut sim = ctx.sim.borrow_mut();
-                let reply = LookupReply {
-                    verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
-                    values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
-                };
-                let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
-                    + target_reply_message_bytes(reply.values.len(), sim.params());
-                drop(sim);
-                ctx.net
-                    .respond(&env, bytes, Response::BatchAssistantLookup(reply));
-            }
-            Request::ShipObjects => {
-                let mut sim = ctx.sim.borrow_mut();
-                let plan = ship_plan(ctx.fed, ctx.query, sim.params());
-                let bytes: u64 = plan
-                    .shipments
-                    .iter()
-                    .filter(|(site, _)| *site == db)
-                    .map(|(_, b)| *b)
-                    .sum();
-                sim.disk(Site::Db(db), bytes, Phase::Ship);
-                drop(sim);
-                ctx.net
-                    .respond(&env, bytes, Response::ShipObjects(ShipReply { bytes }));
-            }
-            // Certification is the global actor's job; ignore it here.
-            Request::Certify { .. } | Request::BatchCertify { .. } => {}
+            };
+            let reply = handle_local_eval(&ctx, db, parallel, config).await;
+            let bytes = {
+                let sim = ctx.sim.borrow();
+                let params = sim.params();
+                result_message_bytes(&reply.rows, params)
+                    + reply_message_bytes(reply.verdicts.len(), params)
+                    + target_reply_message_bytes(reply.target_values.len(), params)
+            };
+            ctx.net
+                .respond(&env, bytes, Response::LocalEval(Box::new(reply)));
         }
+        Request::AssistantLookup { checks, targets } => {
+            let mut sim = ctx.sim.borrow_mut();
+            let reply = LookupReply {
+                verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
+                values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
+            };
+            let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
+                + target_reply_message_bytes(reply.values.len(), sim.params());
+            drop(sim);
+            ctx.net
+                .respond(&env, bytes, Response::AssistantLookup(reply));
+        }
+        Request::BatchAssistantLookup { checks, targets } => {
+            let mut sim = ctx.sim.borrow_mut();
+            let reply = LookupReply {
+                verdicts: answer_check_requests(ctx.fed, ctx.query, db, &checks, &mut sim),
+                values: answer_target_requests(ctx.fed, ctx.query, db, &targets, &mut sim),
+            };
+            let bytes = reply_message_bytes(reply.verdicts.len(), sim.params())
+                + target_reply_message_bytes(reply.values.len(), sim.params());
+            drop(sim);
+            ctx.net
+                .respond(&env, bytes, Response::BatchAssistantLookup(reply));
+        }
+        Request::ShipObjects => {
+            let mut sim = ctx.sim.borrow_mut();
+            let plan = ship_plan(ctx.fed, ctx.query, sim.params());
+            let bytes: u64 = plan
+                .shipments
+                .iter()
+                .filter(|(site, _)| *site == db)
+                .map(|(_, b)| *b)
+                .sum();
+            sim.disk(Site::Db(db), bytes, Phase::Ship);
+            drop(sim);
+            ctx.net
+                .respond(&env, bytes, Response::ShipObjects(ShipReply { bytes }));
+        }
+        // Certification is the global actor's job; ignore it here.
+        Request::Certify { .. } | Request::BatchCertify { .. } => {}
     }
 }
 

@@ -74,4 +74,5 @@ pub use exec::{
     AdaptiveDistributedOutcome, DistributedExecutor, DistributedOutcome, DistributedStrategy,
 };
 pub use rpc::{RpcConfig, RpcError};
+pub use rt::{IdleStep, Runtime};
 pub use transport::{FaultEvent, LocalTransport, SimTransport, Transport};

@@ -92,6 +92,16 @@ impl<'a> Net<'a> {
     /// Sends `env` through the transport; dropped messages vanish without
     /// a trace (the sender's timeout is the only signal).
     pub fn send(&self, env: Envelope) {
+        // A forwarding transport (real wire) takes the envelope out of
+        // process; replies come back through `inject`.
+        if self
+            .inner
+            .transport
+            .borrow_mut()
+            .forward(&env, self.rt.now_us())
+        {
+            return;
+        }
         let fate = self
             .inner
             .transport
@@ -145,6 +155,26 @@ impl<'a> Net<'a> {
                     None => self.inner.stale.set(self.inner.stale.get() + 1),
                 }
             }
+        }
+    }
+
+    /// Delivers an envelope that arrived from outside the process
+    /// (received over a real wire by a forwarding transport), bypassing
+    /// the transport's fate decision: requests land in the addressee's
+    /// mailbox, responses resolve their pending RPC.
+    pub fn inject(&self, env: Envelope) {
+        self.deliver(env);
+    }
+
+    /// Seeds the RPC id counter at `base` (if `base` is ahead of it).
+    ///
+    /// In-process runs never need this — ids are unique per router. When
+    /// several routers in several OS processes share TCP connections,
+    /// correlation ids must not collide across processes, so each
+    /// process seeds its routers from a disjoint range.
+    pub fn seed_rpc_ids(&self, base: u64) {
+        if base > self.inner.next_rpc.get() {
+            self.inner.next_rpc.set(base);
         }
     }
 

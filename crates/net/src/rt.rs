@@ -246,6 +246,111 @@ impl<'a> Runtime<'a> {
     }
 }
 
+/// What an idle driver tells [`Runtime::run_driven`] to do when every
+/// task is blocked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdleStep {
+    /// Advance the virtual clock to this time (µs; clamped to be
+    /// monotonic) and keep running. Timers whose deadline has passed
+    /// fire; tasks woken by the driver (e.g. through
+    /// [`crate::router::Net::inject`]) run.
+    Advance(f64),
+    /// Nothing will ever arrive: stop with [`Deadlock`].
+    Halt,
+}
+
+impl<'a> Runtime<'a> {
+    /// Drives `main` like [`Runtime::run`], but delegates idle moments
+    /// to `on_idle` instead of jumping the virtual clock.
+    ///
+    /// [`Runtime::run`] is a *simulation* driver: when every task is
+    /// blocked, time teleports to the earliest timer. A runtime bridged
+    /// to a real network cannot teleport — a pending RPC timer must
+    /// race *actual* I/O. `on_idle(now_us, next_timer_us)` is called
+    /// whenever no task is ready; a wall-clock driver typically blocks
+    /// on its socket queues (up to the next timer's real deadline),
+    /// delivers whatever arrived, and returns
+    /// [`IdleStep::Advance`]`(wall_elapsed_us)` so virtual time tracks
+    /// the wall clock and RPC timeouts become real deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deadlock`] when `on_idle` answers [`IdleStep::Halt`].
+    pub fn run_driven<T: 'a>(
+        &self,
+        main: impl Future<Output = T> + 'a,
+        mut on_idle: impl FnMut(f64, Option<f64>) -> IdleStep,
+    ) -> Result<T, Deadlock> {
+        let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let out2 = Rc::clone(&out);
+        self.handle().spawn(async move {
+            let value = main.await;
+            *out2.borrow_mut() = Some(value);
+        });
+        loop {
+            {
+                let mut woken = self.woken.lock().expect("wake queue poisoned");
+                let mut inner = self.inner.borrow_mut();
+                for id in woken.drain(..) {
+                    if inner.tasks.contains_key(&id) && !inner.ready.contains(&id) {
+                        inner.ready.push_back(id);
+                    }
+                }
+            }
+            let next = self.inner.borrow_mut().ready.pop_front();
+            if let Some(id) = next {
+                let Some(mut fut) = self.inner.borrow_mut().tasks.remove(&id) else {
+                    continue;
+                };
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    id,
+                    queue: Arc::clone(&self.woken),
+                }));
+                let mut cx = Context::from_waker(&waker);
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {}
+                    Poll::Pending => {
+                        self.inner.borrow_mut().tasks.insert(id, fut);
+                    }
+                }
+                if let Some(value) = out.borrow_mut().take() {
+                    return Ok(value);
+                }
+                continue;
+            }
+            // Nothing ready: fire any timer already due, otherwise ask
+            // the driver how to proceed.
+            {
+                let mut inner = self.inner.borrow_mut();
+                if !self.woken.lock().expect("wake queue poisoned").is_empty() {
+                    continue; // a poll raced a wake; loop again
+                }
+                let due = inner
+                    .timers
+                    .peek()
+                    .is_some_and(|Reverse(t)| t.at_us <= inner.now_us);
+                if due {
+                    if let Some(Reverse(timer)) = inner.timers.pop() {
+                        timer.waker.wake();
+                    }
+                    continue;
+                }
+            }
+            let (now, next_timer) = {
+                let inner = self.inner.borrow();
+                (inner.now_us, inner.timers.peek().map(|Reverse(t)| t.at_us))
+            };
+            match on_idle(now, next_timer) {
+                IdleStep::Advance(to_us) => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.now_us = inner.now_us.max(to_us);
+                }
+                IdleStep::Halt => return Err(Deadlock),
+            }
+        }
+    }
+}
+
 /// Polls a set of unpinned futures concurrently; resolves to their outputs
 /// in input order once all are done.
 pub fn join_all<F: Future + Unpin>(futs: Vec<F>) -> JoinAll<F> {

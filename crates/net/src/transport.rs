@@ -31,6 +31,20 @@ pub trait Transport {
     /// delay in virtual microseconds, or `None` to drop the message.
     fn dispatch(&mut self, env: &Envelope, now_us: f64) -> Option<f64>;
 
+    /// Intercepts `env` for out-of-process delivery. A transport that
+    /// moves envelopes to another OS process (e.g. `fedoq-wire`'s TCP
+    /// transport) returns `true` after taking ownership of the send: the
+    /// router must not deliver the envelope to a local mailbox, and any
+    /// reply arrives later through [`crate::router::Net::inject`]. A
+    /// send that fails on the wire still returns `true` — the message is
+    /// simply lost, and the sender's RPC timeout is the only signal,
+    /// exactly like a dropped datagram. The in-process transports never
+    /// forward.
+    fn forward(&mut self, env: &Envelope, now_us: f64) -> bool {
+        let _ = (env, now_us);
+        false
+    }
+
     /// `(delivered, dropped)` message counts so far.
     fn stats(&self) -> (u64, u64) {
         (0, 0)

@@ -1,0 +1,79 @@
+//! Shared command-line parsing for the wire daemons.
+
+use fedoq_core::PipelineConfig;
+use fedoq_net::RpcConfig;
+
+/// A parsed `--key value` flag list.
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parses `args` as alternating `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments and flags missing a value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{arg}'"));
+            };
+            let Some(value) = args.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            pairs.push((key.to_string(), value));
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The last value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The last value of `--key` parsed as `T`, or `default`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value '{raw}' for --{key}")),
+        }
+    }
+
+    /// Every value of a repeatable `--key`.
+    pub fn get_all(&self, key: &str) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    /// The RPC policy from `--rpc-timeout-us`, `--rpc-retries`,
+    /// `--rpc-backoff-us` (defaults where absent).
+    pub fn rpc(&self) -> Result<RpcConfig, String> {
+        let mut rpc = RpcConfig::default();
+        rpc.timeout_us = self.get_parsed("rpc-timeout-us", rpc.timeout_us)?;
+        rpc.retries = self.get_parsed("rpc-retries", rpc.retries)?;
+        rpc.backoff_us = self.get_parsed("rpc-backoff-us", rpc.backoff_us)?;
+        Ok(rpc)
+    }
+
+    /// The pipeline from `--threads`, `--batch`, `--cache` (defaults:
+    /// sequential, unbatched, uncached — the differential baseline).
+    pub fn pipeline(&self) -> Result<PipelineConfig, String> {
+        let mut pipeline = PipelineConfig::default();
+        pipeline.threads = self.get_parsed("threads", pipeline.threads)?;
+        pipeline.batch = self.get_parsed("batch", pipeline.batch)?;
+        pipeline.cache = self.get_parsed("cache", pipeline.cache)?;
+        Ok(pipeline)
+    }
+}

@@ -1,0 +1,467 @@
+//! Throughput load driver for the multi-process serving layer.
+//!
+//! Boots a real federation — three `fedoq-site` processes plus a
+//! `fedoq-serve` frontend, found next to this binary in the target
+//! directory — and drives it two ways:
+//!
+//! * **closed loop** — N clients (1/4/16/64), each a thread with its
+//!   own connection issuing the university Q1 back-to-back for a fixed
+//!   window; reports sustained qps and p50/p99 latency per strategy
+//!   (CA/BL/PL and the adaptive planner);
+//! * **open loop** — queries arrive on a fixed schedule (60% of the
+//!   best closed-loop rate) regardless of completions, served by a
+//!   connection pool; latency includes queue wait, so a saturated
+//!   frontend shows up as a p99 cliff rather than a flattering
+//!   closed-loop slowdown.
+//!
+//! Writes `results/BENCH_throughput.json` (anchored at the workspace
+//! root, independent of the invocation directory). `FEDOQ_QUICK=1`
+//! shrinks the matrix to a CI smoke: 1/4 clients, short windows, and
+//! only sanity bars (every run completes queries, answers never error).
+
+use fedoq_wire::WireClient;
+use fedoq_workload::university;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serve-side worker threads.
+const SERVE_WORKERS: usize = 8;
+/// Open-loop connection pool size.
+const POOL: usize = 32;
+/// Open-loop arrival rate as a fraction of the best closed-loop rate.
+const OPEN_FRACTION: f64 = 0.6;
+
+struct Daemon {
+    child: Child,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A sibling binary in the same target directory as this one.
+fn sibling(name: &str) -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let dir = me.parent().ok_or("bench binary has no parent dir")?;
+    let path = dir.join(name);
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "{} not found next to the bench binary; build it first \
+             (cargo build -p fedoq-wire --bins)",
+            path.display()
+        ))
+    }
+}
+
+/// `results/` at the workspace root, wherever the bench is run from.
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn spawn_daemon(bin: &Path, args: &[String]) -> Result<(Daemon, String), String> {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("stdout not piped")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| format!("{}: expected LISTENING, got {line:?}", bin.display()))?
+        .to_string();
+    Ok((Daemon { child }, addr))
+}
+
+fn boot_federation() -> Result<(Vec<Daemon>, Daemon, String), String> {
+    let site_bin = sibling("fedoq-site")?;
+    let serve_bin = sibling("fedoq-serve")?;
+    let rpc = [
+        "--rpc-timeout-us".to_string(),
+        "5000000".to_string(),
+        "--rpc-retries".to_string(),
+        "3".to_string(),
+    ];
+    let mut sites = Vec::new();
+    let mut addrs = Vec::new();
+    for db in 0..3u16 {
+        let mut args = vec![
+            "--db".to_string(),
+            db.to_string(),
+            "--workload".to_string(),
+            "university".to_string(),
+        ];
+        args.extend(rpc.iter().cloned());
+        let (daemon, addr) = spawn_daemon(&site_bin, &args)?;
+        sites.push(daemon);
+        addrs.push(addr);
+    }
+    let mut args = vec!["--workload".to_string(), "university".to_string()];
+    for addr in &addrs {
+        args.push("--site".to_string());
+        args.push(addr.clone());
+    }
+    args.push("--workers".to_string());
+    args.push(SERVE_WORKERS.to_string());
+    args.extend(rpc.iter().cloned());
+    let (serve, serve_addr) = spawn_daemon(&serve_bin, &args)?;
+    Ok((sites, serve, serve_addr))
+}
+
+/// Latencies of one run, in milliseconds.
+#[derive(Default)]
+struct Latencies {
+    ms: Vec<f64>,
+    errors: u64,
+}
+
+impl Latencies {
+    fn merge(&mut self, other: Latencies) {
+        self.ms.extend(other.ms);
+        self.errors += other.errors;
+    }
+
+    fn percentile(&self, q: f64) -> f64 {
+        if self.ms.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    fn mean(&self) -> f64 {
+        if self.ms.is_empty() {
+            return f64::NAN;
+        }
+        self.ms.iter().sum::<f64>() / self.ms.len() as f64
+    }
+}
+
+/// One measured configuration in the report.
+struct Run {
+    strategy: &'static str,
+    clients: usize,
+    queries: usize,
+    errors: u64,
+    wall_s: f64,
+    qps: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Closed loop: `clients` threads issue back-to-back queries until the
+/// window closes.
+fn run_closed(addr: &str, strategy: &'static str, clients: usize, window: Duration) -> Run {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut lats = Latencies::default();
+            let Ok(mut client) = WireClient::connect(&addr) else {
+                lats.errors += 1;
+                barrier.wait();
+                return lats;
+            };
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let t = Instant::now();
+                match client.query(university::Q1, strategy) {
+                    Ok(Ok(_)) => lats.ms.push(t.elapsed().as_secs_f64() * 1e3),
+                    Ok(Err(_)) | Err(_) => lats.errors += 1,
+                }
+            }
+            lats
+        }));
+    }
+    barrier.wait();
+    let begin = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut all = Latencies::default();
+    for handle in handles {
+        if let Ok(lats) = handle.join() {
+            all.merge(lats);
+        }
+    }
+    let wall_s = begin.elapsed().as_secs_f64();
+    Run {
+        strategy,
+        clients,
+        queries: all.ms.len(),
+        errors: all.errors,
+        wall_s,
+        qps: all.ms.len() as f64 / wall_s,
+        mean_ms: all.mean(),
+        p50_ms: all.percentile(0.50),
+        p99_ms: all.percentile(0.99),
+    }
+}
+
+/// Open loop: arrivals on a fixed schedule, a connection pool serving
+/// them; latency counts from scheduled arrival to completion.
+fn run_open(addr: &str, strategy: &'static str, rate_qps: f64, window: Duration) -> Run {
+    let offered = (rate_qps * window.as_secs_f64()).floor().max(1.0) as usize;
+    let interval = Duration::from_secs_f64(1.0 / rate_qps.max(1e-9));
+    let arrivals: Arc<(Mutex<Vec<Instant>>, Condvar)> =
+        Arc::new((Mutex::new(Vec::new()), Condvar::new()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let pool = POOL.min(offered).max(1);
+    let mut handles = Vec::new();
+    for _ in 0..pool {
+        let addr = addr.to_string();
+        let arrivals = Arc::clone(&arrivals);
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut lats = Latencies::default();
+            let Ok(mut client) = WireClient::connect(&addr) else {
+                lats.errors += 1;
+                return lats;
+            };
+            loop {
+                let arrival = {
+                    let (queue, cond) = &*arrivals;
+                    let mut queue = queue
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    loop {
+                        if let Some(at) = queue.pop() {
+                            break Some(at);
+                        }
+                        if done.load(Ordering::Relaxed) {
+                            break None;
+                        }
+                        let (guard, _) = cond
+                            .wait_timeout(queue, Duration::from_millis(20))
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        queue = guard;
+                    }
+                };
+                let Some(arrival) = arrival else { return lats };
+                match client.query(university::Q1, strategy) {
+                    Ok(Ok(_)) => lats.ms.push(arrival.elapsed().as_secs_f64() * 1e3),
+                    Ok(Err(_)) | Err(_) => lats.errors += 1,
+                }
+            }
+        }));
+    }
+
+    let begin = Instant::now();
+    for n in 0..offered {
+        let at = begin + interval.mul_f64(n as f64);
+        if let Some(sleep) = at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        let (queue, cond) = &*arrivals;
+        queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(0, at);
+        cond.notify_one();
+    }
+    // Let the pool drain the tail, then release the workers.
+    loop {
+        let empty = {
+            let (queue, _) = &*arrivals;
+            queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+        };
+        if empty || begin.elapsed() > window.mul_f32(4.0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    done.store(true, Ordering::Relaxed);
+    arrivals.1.notify_all();
+    let mut all = Latencies::default();
+    for handle in handles {
+        if let Ok(lats) = handle.join() {
+            all.merge(lats);
+        }
+    }
+    let wall_s = begin.elapsed().as_secs_f64();
+    Run {
+        strategy,
+        clients: pool,
+        queries: all.ms.len(),
+        errors: all.errors,
+        wall_s,
+        qps: rate_qps,
+        mean_ms: all.mean(),
+        p50_ms: all.percentile(0.50),
+        p99_ms: all.percentile(0.99),
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(closed: &[Run], open: &[Run], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"meta\": {{");
+    let _ = writeln!(out, "    \"bench\": \"throughput\",");
+    let _ = writeln!(out, "    \"workload\": \"university\",");
+    let _ = writeln!(out, "    \"sites\": 3,");
+    let _ = writeln!(out, "    \"serve_workers\": {SERVE_WORKERS},");
+    let _ = writeln!(out, "    \"quick\": {quick}");
+    let _ = writeln!(out, "  }},");
+    for (key, runs) in [("closed_loop", closed), ("open_loop", open)] {
+        let _ = writeln!(out, "  \"{key}\": [");
+        for (i, run) in runs.iter().enumerate() {
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"strategy\": \"{}\", \"clients\": {}, \"queries\": {}, \
+                 \"errors\": {}, \"wall_s\": {}, \"qps\": {}, \"mean_ms\": {}, \
+                 \"p50_ms\": {}, \"p99_ms\": {}}}{comma}",
+                run.strategy,
+                run.clients,
+                run.queries,
+                run.errors,
+                num(run.wall_s),
+                num(run.qps),
+                num(run.mean_ms),
+                num(run.p50_ms),
+                num(run.p99_ms),
+            );
+        }
+        let trailing = if key == "closed_loop" { "," } else { "" };
+        let _ = writeln!(out, "  ]{trailing}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("FEDOQ_QUICK").is_ok_and(|v| v == "1");
+    let (client_counts, window): (&[usize], Duration) = if quick {
+        (&[1, 4], Duration::from_millis(800))
+    } else {
+        (&[1, 4, 16, 64], Duration::from_secs(3))
+    };
+    let strategies: &[&'static str] = &["ca", "bl", "pl", "adaptive"];
+
+    let (sites, serve, addr) = match boot_federation() {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("federation up at {addr} ({} sites)", sites.len());
+
+    // Warm up: connections dialed, site sessions built, planner primed.
+    {
+        let mut client = match WireClient::connect(&addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: warmup connect: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for strategy in strategies {
+            if let Err(e) = client.query(university::Q1, strategy) {
+                eprintln!("error: warmup {strategy}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut closed = Vec::new();
+    for &strategy in strategies {
+        for &clients in client_counts {
+            let run = run_closed(&addr, strategy, clients, window);
+            println!(
+                "closed {strategy:>8} x{clients:<3} {:>7} q {:>8.1} qps p50 {:>7.2} ms p99 {:>7.2} ms ({} errors)",
+                run.queries, run.qps, run.p50_ms, run.p99_ms, run.errors
+            );
+            closed.push(run);
+        }
+    }
+
+    let mut open = Vec::new();
+    for &strategy in strategies {
+        let best = closed
+            .iter()
+            .filter(|r| r.strategy == strategy)
+            .map(|r| r.qps)
+            .fold(0.0f64, f64::max);
+        let rate = (best * OPEN_FRACTION).max(1.0);
+        let run = run_open(&addr, strategy, rate, window);
+        println!(
+            "open   {strategy:>8} @{rate:>6.1} qps {:>7} q p50 {:>7.2} ms p99 {:>7.2} ms ({} errors)",
+            run.queries, run.p50_ms, run.p99_ms, run.errors
+        );
+        open.push(run);
+    }
+
+    drop(serve);
+    drop(sites);
+
+    let json = render_json(&closed, &open, quick);
+    let out = results_dir().join("BENCH_throughput.json");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+
+    // Sanity bars: every configuration completed work, cleanly.
+    let mut failures = Vec::new();
+    for run in closed.iter().chain(&open) {
+        if run.queries == 0 {
+            failures.push(format!(
+                "{} x{}: no queries completed",
+                run.strategy, run.clients
+            ));
+        }
+        if run.errors > 0 {
+            failures.push(format!(
+                "{} x{}: {} queries errored",
+                run.strategy, run.clients, run.errors
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("bench_throughput: all bars met");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

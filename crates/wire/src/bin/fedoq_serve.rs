@@ -1,0 +1,53 @@
+//! `fedoq-serve` — the FedOQ query frontend: concurrent clients
+//! multiplexed onto a federation of `fedoq-site` daemons.
+//!
+//! ```text
+//! fedoq-serve --listen 127.0.0.1:0 \
+//!     --site 127.0.0.1:7100 --site 127.0.0.1:7101 --site 127.0.0.1:7102 \
+//!     --workload university --workers 4
+//! ```
+//!
+//! Prints `LISTENING <addr>` once bound; clients speak the
+//! `Query`/`Answer` frame protocol (see `fedoq_wire::WireClient`, or
+//! the shell's `connect` command). Flags:
+//!
+//! * `--site <addr>` — one per component site, in site-id order
+//!   (required);
+//! * `--listen <addr>` — client listen address (default `127.0.0.1:0`);
+//! * `--workload <spec>` — `university` or `gen:<scale>:<seed>`
+//!   (default `university`);
+//! * `--workers <n>` — worker threads (default 4);
+//! * `--rpc-timeout-us / --rpc-retries / --rpc-backoff-us` — site RPC
+//!   policy;
+//! * `--threads / --batch / --cache` — pipeline configuration.
+
+use fedoq_wire::args::Flags;
+use fedoq_wire::{run_serve_daemon, ServeOpts};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fedoq-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let flags = Flags::parse(std::env::args().skip(1))?;
+    let sites = flags.get_all("site");
+    if sites.is_empty() {
+        return Err("at least one --site <addr> is required".to_string());
+    }
+    let opts = ServeOpts {
+        listen: flags.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        sites,
+        workload: flags.get("workload").unwrap_or("university").to_string(),
+        workers: flags.get_parsed("workers", 4)?,
+        rpc: flags.rpc()?,
+        pipeline: flags.pipeline()?,
+    };
+    run_serve_daemon(opts)
+}

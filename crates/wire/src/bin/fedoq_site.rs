@@ -1,0 +1,47 @@
+//! `fedoq-site` — one component site of a FedOQ federation, as a
+//! standalone TCP daemon.
+//!
+//! ```text
+//! fedoq-site --db 0 --listen 127.0.0.1:0 --workload university
+//! ```
+//!
+//! Prints `LISTENING <addr>` once bound, then serves the site half of
+//! the `fedoq-net` protocol until killed. Flags:
+//!
+//! * `--db <n>` — which component site to host (required);
+//! * `--listen <addr>` — listen address (default `127.0.0.1:0`);
+//! * `--workload <spec>` — `university` or `gen:<scale>:<seed>`
+//!   (default `university`);
+//! * `--rpc-timeout-us / --rpc-retries / --rpc-backoff-us` — peer RPC
+//!   policy;
+//! * `--threads / --batch / --cache` — pipeline configuration.
+
+use fedoq_wire::args::Flags;
+use fedoq_wire::{run_site_daemon, SiteOpts};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fedoq-site: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let flags = Flags::parse(std::env::args().skip(1))?;
+    let db = flags
+        .get_parsed::<i64>("db", -1)?
+        .try_into()
+        .map_err(|_| "--db <site id> is required".to_string())?;
+    let opts = SiteOpts {
+        db,
+        listen: flags.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        workload: flags.get("workload").unwrap_or("university").to_string(),
+        rpc: flags.rpc()?,
+        pipeline: flags.pipeline()?,
+    };
+    run_site_daemon(opts)
+}

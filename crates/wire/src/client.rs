@@ -1,0 +1,67 @@
+//! A blocking client for the `fedoq-serve` query protocol.
+
+use crate::frame::{read_frame, write_frame, ClientAnswer, Frame, Role};
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One synchronous connection to a `fedoq-serve` frontend.
+pub struct WireClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl WireClient {
+    /// Dials `addr` and introduces itself.
+    pub fn connect(addr: &str) -> io::Result<WireClient> {
+        let parsed = addr
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad address"))?;
+        let mut writer = TcpStream::connect_timeout(&parsed, Duration::from_secs(5))?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                role: Role::Client,
+                site: None,
+            },
+        )?;
+        Ok(WireClient {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Runs one query under `strategy` (`ca`/`bl`/`pl`/`bl-s`/`pl-s`/
+    /// `adaptive`); blocks until the answer arrives.
+    ///
+    /// The outer `Result` is transport failure; the inner one is the
+    /// server's verdict (a rendered answer or an execution error).
+    pub fn query(&mut self, sql: &str, strategy: &str) -> io::Result<Result<ClientAnswer, String>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &Frame::Query {
+                id,
+                sql: sql.to_string(),
+                strategy: strategy.to_string(),
+            },
+        )?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                Some(Frame::Answer { id: got, reply }) if got == id => return Ok(reply),
+                Some(_) => continue,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-query",
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Binary codec primitives: a little-endian byte writer and a bounds-
+//! checked reader.
+//!
+//! The wire format is deliberately boring: fixed-width little-endian
+//! integers, `f64` as its IEEE-754 bit pattern (so re-encoding is
+//! byte-identical even for NaN payloads), strings and sequences as a
+//! `u32` length followed by their elements. Decoders never panic on
+//! malformed input — every read is bounds-checked and every enum tag is
+//! matched exhaustively, returning [`WireError`] instead.
+
+use std::fmt;
+
+/// Maximum element count accepted for one sequence. Well above anything
+/// FedOQ ships, far below anything that could make a hostile length
+/// prefix allocate unbounded memory.
+pub const MAX_SEQ: usize = 1 << 24;
+
+/// Maximum [`crate::frame`] payload (and therefore string) size: 64 MiB.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Maximum nesting depth accepted when decoding recursive values
+/// (`Value::List` in practice).
+pub const MAX_DEPTH: usize = 64;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value it promised.
+    Truncated,
+    /// A tag, length, or invariant made no sense.
+    Malformed(&'static str),
+    /// A declared length exceeded the frame/sequence cap.
+    TooLarge,
+    /// The frame header's magic bytes were wrong.
+    BadMagic,
+    /// The frame header's protocol version is not ours.
+    BadVersion(u32),
+    /// The payload decoded but left unread trailing bytes.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated payload"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::TooLarge => f.write_str("declared length exceeds cap"),
+            WireError::BadMagic => f.write_str("bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends little-endian primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bit pattern, little-endian (NaN-preserving).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A boolean as one byte (0 or 1).
+    pub fn boolean(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// A `usize` as a `u64` (the wire is 64-bit regardless of host).
+    pub fn size(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// A UTF-8 string: `u32` byte length + bytes.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// A sequence header: the element count as `u32`.
+    pub fn seq(&mut self, count: usize) {
+        self.u32(count as u32);
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, bounds-checked.
+#[derive(Debug)]
+pub struct Reader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'b [u8]) -> Reader<'b> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// IEEE-754 bit pattern, little-endian.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A boolean byte; anything but 0/1 is malformed.
+    pub fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte not 0/1")),
+        }
+    }
+
+    /// A `u64` the host must be able to index with.
+    pub fn size(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::TooLarge)
+    }
+
+    /// A UTF-8 string (`u32` byte length + bytes).
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::TooLarge);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    /// A sequence header; the count is capped at [`MAX_SEQ`].
+    pub fn seq(&mut self) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count > MAX_SEQ {
+            return Err(WireError::TooLarge);
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.i64(-42);
+        w.f64(f64::from_bits(0x7ff8_0000_0000_0001)); // NaN payload
+        w.boolean(true);
+        w.str("héllo");
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7ff8_0000_0000_0001);
+        assert!(r.boolean().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(r.boolean(), Err(WireError::Malformed(_))));
+        // A string length promising more than the buffer holds.
+        let mut w = Writer::new();
+        w.u32(100);
+        w.u8(b'x');
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).str(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_sequence_headers_are_rejected() {
+        let mut w = Writer::new();
+        w.u32((MAX_SEQ + 1) as u32);
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).seq(), Err(WireError::TooLarge));
+    }
+}

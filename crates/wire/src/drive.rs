@@ -1,0 +1,53 @@
+//! The wall-clock idle driver: virtual time that tracks real time.
+//!
+//! `fedoq-net`'s runtime is a virtual-time simulator — when every task
+//! blocks, [`fedoq_net::Runtime::run`] teleports the clock to the next
+//! timer. Across real sockets that is fatally wrong: an RPC timeout
+//! would "elapse" the instant the runtime went idle, long before the
+//! peer had a chance to answer. [`wall_driver`] closes the gap through
+//! [`fedoq_net::Runtime::run_driven`]: whenever the runtime idles, it
+//! blocks on the [`Hub`]'s inbound queue (up to the next timer's *real*
+//! deadline), delivers whatever arrived, and advances the virtual clock
+//! to the wall-clock time elapsed since the run began. Virtual
+//! microseconds thus track real microseconds, and the existing
+//! size-aware RPC timeout/backoff machinery becomes a real deadline
+//! scheduler with no changes above this layer.
+
+use crate::hub::{Hub, Inbound};
+use fedoq_net::IdleStep;
+use std::time::{Duration, Instant};
+
+/// Longest single block while idle; bounds how stale the virtual clock
+/// can get while nothing is happening.
+const MAX_IDLE_WAIT: Duration = Duration::from_millis(50);
+
+/// An `on_idle` callback for [`fedoq_net::Runtime::run_driven`] that
+/// drains `hub` into `deliver` and keeps virtual time tracking the wall
+/// clock (µs elapsed since `start`).
+///
+/// The driver never halts on its own: a server loop is *supposed* to
+/// idle forever between queries. Callers that want a bounded run put a
+/// timer in the main future instead.
+pub fn wall_driver(
+    hub: Hub,
+    start: Instant,
+    mut deliver: impl FnMut(Inbound),
+) -> impl FnMut(f64, Option<f64>) -> IdleStep {
+    move |_now_us, next_timer_us| {
+        let mut frames = hub.drain();
+        if frames.is_empty() {
+            // Block until something arrives or the next timer is due.
+            let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+            let wait = next_timer_us
+                .map_or(MAX_IDLE_WAIT, |t| {
+                    Duration::from_secs_f64(((t - elapsed_us).max(0.0) + 1.0) / 1e6)
+                })
+                .min(MAX_IDLE_WAIT);
+            frames = hub.wait_inbound(wait);
+        }
+        for frame in frames {
+            deliver(frame);
+        }
+        IdleStep::Advance(start.elapsed().as_secs_f64() * 1e6)
+    }
+}

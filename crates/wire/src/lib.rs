@@ -1,0 +1,59 @@
+//! FedOQ on a real wire: TCP transport and multi-process serving.
+//!
+//! `fedoq-net` runs the paper's strategies as site actors exchanging
+//! typed messages — but inside one process, over a virtual-time
+//! simulator. This crate puts the same actors on a real network without
+//! touching a line of strategy code:
+//!
+//! * [`codec`] / [`proto`] / [`frame`] — a length-prefixed binary
+//!   encoding of every protocol message, canonical (byte-identical
+//!   re-encode) and panic-free on malformed input;
+//! * [`hub`] — TCP connections, reader threads, and correlation-id
+//!   response routing, with datagram loss semantics on any failure;
+//! * [`transport`] — [`transport::TcpTransport`], a forwarding
+//!   [`fedoq_net::Transport`] that keeps local envelopes in-process and
+//!   frames remote ones onto the wire;
+//! * [`drive`] — the wall-clock idle driver mapping virtual time onto
+//!   real time, so the existing RPC timeout/backoff machinery becomes
+//!   a real deadline scheduler;
+//! * [`site`] / [`serve`] — the `fedoq-site` and `fedoq-serve` daemons:
+//!   one component site per process, and a concurrent query frontend
+//!   multiplexing clients over worker threads;
+//! * [`client`] — a blocking client for the serve protocol;
+//! * [`fed`] — deterministic workload reconstruction, so every process
+//!   agrees on extents and GOid mappings without a bootstrap protocol.
+//!
+//! The load-bearing guarantee is *differential*: a query answered over
+//! TCP classifies byte-identically (same certain rows, same maybe rows,
+//! same provenance) to the same query over the in-process
+//! [`fedoq_net::LocalTransport`] — `tests/tcp_differential.rs` proves it
+//! by diffing canonical renderings across both paths, and the site-kill
+//! tests show the inherited failure semantics (degraded maybe-rows for
+//! BL/PL, [`fedoq_core::ExecError::Unreachable`] for CA) survive real
+//! process death.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod args;
+pub mod client;
+pub mod codec;
+pub mod drive;
+pub mod fed;
+pub mod frame;
+pub mod hub;
+pub mod proto;
+pub mod render;
+pub mod serve;
+pub mod site;
+pub mod transport;
+
+pub use client::WireClient;
+pub use codec::WireError;
+pub use fed::build_workload;
+pub use frame::{ClientAnswer, Frame, Role};
+pub use hub::Hub;
+pub use proto::{decode_envelope, encode_envelope};
+pub use render::render_answer;
+pub use serve::{run_serve_daemon, ServeOpts};
+pub use site::{run_site_daemon, SiteOpts};
+pub use transport::{Locality, TcpTransport};

@@ -1,0 +1,26 @@
+//! Canonical answer rendering: one line per row, diffable across
+//! transports.
+//!
+//! The differential guarantee of the wire layer is *byte identity*: a
+//! query served over TCP must classify exactly like the same query over
+//! the in-process [`fedoq_net::LocalTransport`]. Rather than shipping
+//! the whole object model to clients, answers travel as their canonical
+//! rendering — `QueryAnswer` already sorts rows by GOid, and the
+//! `ResultRow`/`MaybeRow` display forms include values, unsolved
+//! predicates, and the degraded marker — so two answers are equal iff
+//! their rendered lines are equal.
+
+use fedoq_core::QueryAnswer;
+
+/// Renders `answer` to its canonical line list: certain rows as
+/// `C {row}`, then maybe rows as `M {row} maybe[..]`, in GOid order.
+pub fn render_answer(answer: &QueryAnswer) -> Vec<String> {
+    let mut lines = Vec::with_capacity(answer.certain().len() + answer.maybe().len());
+    for row in answer.certain() {
+        lines.push(format!("C {row}"));
+    }
+    for row in answer.maybe() {
+        lines.push(format!("M {row}"));
+    }
+    lines
+}

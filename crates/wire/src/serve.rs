@@ -1,0 +1,372 @@
+//! The query frontend: concurrent clients multiplexed onto a federation
+//! of site daemons.
+//!
+//! `fedoq-serve` accepts any number of client connections speaking the
+//! [`Frame::Query`]/[`Frame::Answer`] protocol and executes each query
+//! as the *global integrator* of the distributed runtime — spawning
+//! [`fedoq_net::actor::run_global`] on a per-query runtime whose
+//! [`TcpTransport`] forwards `LocalEval`/`ShipObjects` requests to the
+//! remote site daemons.
+//!
+//! Concurrency model: a fixed pool of worker threads, each owning a full
+//! private execution stack — its federation copy (parsing, binding,
+//! GOid integration), its [`Hub`] with connections to every site, its
+//! statistics catalog ([`fedoq_plan::StatsCatalog`]) for `adaptive`
+//! queries, and its persistent lookup cache. Client reader threads push
+//! jobs onto a shared queue; workers pull, execute, and write the
+//! answer back on the client's connection (correlated by the client's
+//! id, so one connection may have many queries in flight on different
+//! workers). Nothing is shared between workers, so there are no locks
+//! on the execution path and per-worker RPC-id ranges stay disjoint by
+//! construction.
+//!
+//! Failure semantics are inherited, not reimplemented: a dead site
+//! surfaces as RPC timeouts inside the runtime, which the global actor
+//! already converts into degraded maybe-rows (BL/PL) or
+//! [`fedoq_core::ExecError::Unreachable`] (CA).
+
+use crate::drive::wall_driver;
+use crate::fed::build_workload;
+use crate::frame::{read_frame, write_frame, ClientAnswer, Frame, Role};
+use crate::hub::Hub;
+use crate::render::render_answer;
+use crate::transport::{Locality, TcpTransport};
+use fedoq_core::{
+    collect_catalog, query_fingerprint, refresh_catalog, Federation, LookupCache, PipelineConfig,
+};
+use fedoq_net::actor::{run_global, Ctx};
+use fedoq_net::msg::{Request, Response};
+use fedoq_net::router::Net;
+use fedoq_net::rpc::call;
+use fedoq_net::{DistributedStrategy, RpcConfig, Runtime, Transport};
+use fedoq_plan::{choose, PipelineKnobs, PlanKind, StatsCatalog};
+use fedoq_sim::{Phase, Resource, Simulation, Site, SystemParams};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration of one serve frontend.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Client listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Site daemon addresses, indexed by site id.
+    pub sites: Vec<String>,
+    /// Workload spec shared by every process (see [`crate::fed`]).
+    pub workload: String,
+    /// Worker threads (each a fully independent execution stack).
+    pub workers: usize,
+    /// Timeout/retry policy for global → site RPCs.
+    pub rpc: RpcConfig,
+    /// Pipeline configuration for the global actor.
+    pub pipeline: PipelineConfig,
+}
+
+/// One query waiting for a worker.
+struct Job {
+    id: u64,
+    sql: String,
+    strategy: String,
+    reply: Arc<Mutex<TcpStream>>,
+}
+
+#[derive(Default)]
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        let mut jobs = self
+            .jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        jobs.push_back(job);
+        drop(jobs);
+        self.cond.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self
+            .jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self
+                .cond
+                .wait(jobs)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Disjoint RPC-id base for job `seq` of worker `worker`: the upper
+/// half of the bucket space (sites use the lower; see [`crate::site`]).
+fn rpc_base(worker: usize, seq: u64) -> u64 {
+    ((0x80 + (worker as u64 & 0x3F)) << 56) | ((seq & 0xFF_FFFF) << 32)
+}
+
+/// Runs the frontend forever (until the process is killed).
+///
+/// Prints `LISTENING <addr>` on stdout once the client listener is
+/// bound.
+///
+/// # Errors
+///
+/// Returns an error string if the workload spec is invalid or the
+/// listener cannot bind.
+pub fn run_serve_daemon(opts: ServeOpts) -> Result<(), String> {
+    // Fail fast on a bad spec before accepting anyone.
+    build_workload(&opts.workload)?;
+    let listener =
+        TcpListener::bind(&opts.listen).map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("LISTENING {addr}");
+    let _ = io::stdout().flush();
+
+    let queue = Arc::new(JobQueue::default());
+    for worker in 0..opts.workers.max(1) {
+        let opts = opts.clone();
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || worker_loop(worker, &opts, &queue));
+    }
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || client_loop(stream, &queue));
+    }
+    Ok(())
+}
+
+/// Reads queries off one client connection into the job queue.
+fn client_loop(stream: TcpStream, queue: &JobQueue) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Query { id, sql, strategy })) => queue.push(Job {
+                id,
+                sql,
+                strategy,
+                reply: Arc::clone(&writer),
+            }),
+            Ok(Some(_)) => continue, // Hello and anything else: ignored
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// One worker: a private execution stack draining the job queue.
+fn worker_loop(worker: usize, opts: &ServeOpts, queue: &JobQueue) {
+    let Ok((fed, _)) = build_workload(&opts.workload) else {
+        return; // validated by run_serve_daemon; unreachable in practice
+    };
+    let mut catalog = collect_catalog(&fed, SystemParams::paper_default());
+    let hub = Hub::new(Role::Serve, None);
+    let pairs: Vec<(u16, String)> = opts
+        .sites
+        .iter()
+        .enumerate()
+        .map(|(db, addr)| (db as u16, addr.clone()))
+        .collect();
+    hub.set_site_addrs(&pairs);
+    // Eager best-effort dial so the first query pays no connect latency;
+    // failures fall back to the lazy dial in the routing path.
+    for (db, _) in &pairs {
+        let _ = hub.connect_site(*db);
+    }
+    let cache = Rc::new(RefCell::new(LookupCache::default()));
+    let mut job_seq = 0u64;
+    loop {
+        let job = queue.pop();
+        let reply = execute(
+            &fed,
+            &mut catalog,
+            &hub,
+            &cache,
+            opts,
+            worker,
+            &mut job_seq,
+            &job,
+        );
+        let frame = Frame::Answer { id: job.id, reply };
+        let mut stream = job
+            .reply
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = write_frame(&mut *stream, &frame);
+    }
+}
+
+/// Executes one query end to end as the global integrator.
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    fed: &Federation,
+    catalog: &mut StatsCatalog,
+    hub: &Hub,
+    cache: &Rc<RefCell<LookupCache>>,
+    opts: &ServeOpts,
+    worker: usize,
+    job_seq: &mut u64,
+    job: &Job,
+) -> Result<ClientAnswer, String> {
+    let query = fed.parse_and_bind(&job.sql).map_err(|e| e.to_string())?;
+    let fingerprint = query_fingerprint(&query);
+
+    // Strategy selection: a fixed name, or the adaptive planner ranking
+    // CA/BL/PL against this worker's statistics catalog (the hybrid is
+    // excluded — the wire ships one uniform strategy per Certify).
+    let adaptive = job.strategy.eq_ignore_ascii_case("adaptive");
+    let (strategy, planned) = if adaptive {
+        refresh_catalog(catalog, fed);
+        let warmth = if opts.pipeline.cache {
+            cache.borrow().stats().hit_rate()
+        } else {
+            0.0
+        };
+        let knobs = PipelineKnobs {
+            threads: opts.pipeline.threads.max(1) as f64,
+            warmth,
+            batch: opts.pipeline.batch as f64,
+        };
+        let choice = choose(
+            catalog,
+            fed.global_schema(),
+            &query,
+            &knobs,
+            fingerprint,
+            false,
+        );
+        let kind = choice.best().kind;
+        let strategy = match kind {
+            PlanKind::Centralized => DistributedStrategy::ca(),
+            PlanKind::BasicLocalized => DistributedStrategy::bl(),
+            PlanKind::ParallelLocalized => DistributedStrategy::pl(),
+            PlanKind::Hybrid => {
+                return Err("planner ranked a hybrid despite allow_hybrid = false".into())
+            }
+        };
+        (strategy, Some(kind))
+    } else {
+        let strategy = DistributedStrategy::parse(&job.strategy)
+            .ok_or_else(|| format!("unknown strategy '{}'", job.strategy))?;
+        (strategy, None)
+    };
+
+    cache.borrow_mut().sync_generation(fed.generation());
+    let cache_opt = if opts.pipeline.cache {
+        Some(Rc::clone(cache))
+    } else {
+        None
+    };
+    let sim = Rc::new(RefCell::new(Simulation::new(
+        SystemParams::paper_default(),
+        fed.num_dbs(),
+    )));
+    let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(TcpTransport::new(
+        hub.clone(),
+        Locality::Global,
+        fingerprint,
+        job.sql.clone(),
+    )));
+    let rt = Runtime::new();
+    let net = Net::new(rt.handle(), Rc::clone(&transport), fed.num_dbs());
+    net.seed_rpc_ids(rpc_base(worker, *job_seq));
+    *job_seq += 1;
+    rt.handle().spawn(run_global(Ctx {
+        fed,
+        query: &query,
+        net: net.clone(),
+        sim: Rc::clone(&sim),
+        rpc: opts.rpc,
+        pipeline: opts.pipeline,
+        cache: cache_opt,
+    }));
+
+    // The client half: one self-RPC to the in-process global actor with
+    // an effectively unbounded window (end-to-end patience is the
+    // point), driven by the wall clock so the actor's *own* RPCs to the
+    // site daemons get real deadlines.
+    let start = Instant::now();
+    let client_net = net.clone();
+    let inject_net = net.clone();
+    let request = Request::Certify { strategy };
+    let response = rt
+        .run_driven(
+            async move {
+                let cfg = RpcConfig {
+                    timeout_us: 1e15,
+                    per_byte_us: 0.0,
+                    retries: 0,
+                    backoff_us: 0.0,
+                    backoff_factor: 1.0,
+                };
+                call(
+                    &client_net,
+                    Site::Global,
+                    Site::Global,
+                    request,
+                    0,
+                    Phase::Ship,
+                    cfg,
+                )
+                .await
+            },
+            wall_driver(hub.clone(), start, move |inbound| {
+                if let Frame::Envelope { env, .. } = inbound.frame {
+                    inject_net.inject(env);
+                }
+            }),
+        )
+        .map_err(|deadlock| deadlock.to_string())?
+        .map_err(|e| format!("global actor lost: {e}"))?;
+    let server_us = start.elapsed().as_secs_f64() * 1e6;
+
+    let Response::Certify(reply) = response else {
+        return Err("mismatched response to Certify".into());
+    };
+    let (forwarded, lost) = transport.borrow().stats();
+
+    // Adaptive feedback: the measured response and wire traffic sharpen
+    // the next plan.
+    if let Some(kind) = planned {
+        let metrics = sim.borrow().metrics();
+        catalog.observe_response(fingerprint, kind.label(), metrics.response_us);
+        let net_busy = sim
+            .borrow()
+            .ledger()
+            .total_for_resource(Resource::Net)
+            .as_micros();
+        catalog.observe_net(metrics.bytes_transferred, net_busy);
+    }
+
+    match reply.answer {
+        Ok(answer) => Ok(ClientAnswer {
+            executed: strategy.name().to_string(),
+            rows: render_answer(&answer),
+            degraded_sites: reply
+                .degraded_sites
+                .iter()
+                .map(|db| db.index() as u16)
+                .collect(),
+            retries: reply.retries,
+            forwarded,
+            lost,
+            server_us,
+        }),
+        Err(e) => Err(e.to_string()),
+    }
+}

@@ -1,0 +1,163 @@
+//! The component-site daemon: one site actor behind a TCP listener.
+//!
+//! `fedoq-site` hosts exactly one component database of a federation
+//! (rebuilt deterministically from the shared workload spec) and serves
+//! the site half of the `fedoq-net` protocol — `LocalEval`,
+//! `AssistantLookup`/`BatchAssistantLookup`, `ShipObjects` — to any
+//! serve frontend or peer site that dials in.
+//!
+//! The actor code is unchanged from the in-process runtime; what this
+//! module adds is *session management*. Site handlers evaluate against
+//! a bound query, but wire messages carry only a query fingerprint tag
+//! (plus the SQL on requests). The daemon keeps one long-lived session
+//! per fingerprint: a [`fedoq_net::router::Net`] router, a
+//! [`TcpTransport`], a fresh simulation ledger, and a spawned
+//! [`fedoq_net::actor::run_site`] loop, all bound to the lazily parsed
+//! query. Envelopes are injected into their session's router; responses
+//! the actor sends to remote sites leave through the shared [`Hub`].
+//!
+//! Everything runs on one deterministic runtime driven by the
+//! wall-clock driver, so the site's own nested RPCs (assistant lookups
+//! at peer sites) get real deadlines.
+
+use crate::drive::wall_driver;
+use crate::fed::build_workload;
+use crate::frame::{Frame, Role};
+use crate::hub::{Hub, Inbound};
+use crate::transport::{Locality, TcpTransport};
+use fedoq_core::{Federation, PipelineConfig};
+use fedoq_net::actor::{run_site, Ctx};
+use fedoq_net::msg::Payload;
+use fedoq_net::router::Net;
+use fedoq_net::{RpcConfig, Runtime, Transport};
+use fedoq_object::DbId;
+use fedoq_query::BoundQuery;
+use fedoq_sim::{Simulation, SystemParams};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Configuration of one site daemon.
+#[derive(Debug, Clone)]
+pub struct SiteOpts {
+    /// Which component site this daemon hosts.
+    pub db: u16,
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Workload spec shared by every process (see [`crate::fed`]).
+    pub workload: String,
+    /// Timeout/retry policy for this site's own peer RPCs.
+    pub rpc: RpcConfig,
+    /// Pipeline configuration for this site's handlers.
+    pub pipeline: PipelineConfig,
+}
+
+/// Disjoint RPC-id base for session `seq` of site `db` (serve workers
+/// use the upper half of the space; see [`crate::serve`]). Sites fold
+/// into 63 buckets — a collision across *distinct* sessions is further
+/// disambiguated by the per-session router, so the fold is safe.
+fn rpc_base(db: u16, seq: u64) -> u64 {
+    ((1 + (db as u64 & 0x3F)) << 56) | ((seq & 0xFF_FFFF) << 32)
+}
+
+/// Runs the daemon forever (until the process is killed).
+///
+/// Prints `LISTENING <addr>` on stdout once the listener is bound — the
+/// line parent processes wait for before dialing.
+///
+/// # Errors
+///
+/// Returns an error string if the workload spec is invalid, the site id
+/// is out of range, or the listener cannot bind.
+pub fn run_site_daemon(opts: SiteOpts) -> Result<(), String> {
+    let (fed, _) = build_workload(&opts.workload)?;
+    if (opts.db as usize) >= fed.num_dbs() {
+        return Err(format!(
+            "site {} out of range: workload has {} sites",
+            opts.db,
+            fed.num_dbs()
+        ));
+    }
+    // Sessions are bound to `'static` actor futures on a long-lived
+    // runtime; the federation and each distinct query are leaked once
+    // per process, which is the intended lifetime of a daemon.
+    let fed: &'static Federation = Box::leak(Box::new(fed));
+    let hub = Hub::new(Role::Site, Some(opts.db));
+    let addr = hub
+        .listen(&opts.listen)
+        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+
+    let rt: Runtime<'static> = Runtime::new();
+    let handle = rt.handle();
+    let db_id = DbId::new(opts.db);
+    let start = Instant::now();
+
+    // One router per query fingerprint, created on first sight of the
+    // query's SQL.
+    let mut sessions: HashMap<u64, Net<'static>> = HashMap::new();
+    let mut session_seq: u64 = 0;
+
+    let session_hub = hub.clone();
+    let rpc = opts.rpc;
+    let pipeline = opts.pipeline;
+    let db = opts.db;
+    let deliver = move |inbound: Inbound| {
+        let Frame::Envelope { tag, sql, env } = inbound.frame else {
+            return;
+        };
+        let net = match sessions.entry(tag) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if sql.is_empty() {
+                    // A response for a session we never opened: stale.
+                    return;
+                }
+                let Ok(query) = fed.parse_and_bind(&sql) else {
+                    // An unparseable query can never have produced a
+                    // valid fingerprint at the frontend; drop it.
+                    return;
+                };
+                let query: &'static BoundQuery = Box::leak(Box::new(query));
+                let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(
+                    TcpTransport::new(session_hub.clone(), Locality::Db(db), tag, sql),
+                ));
+                let net = Net::new(handle.clone(), transport, fed.num_dbs());
+                net.seed_rpc_ids(rpc_base(db, session_seq));
+                session_seq += 1;
+                let sim = Rc::new(RefCell::new(Simulation::new(
+                    SystemParams::paper_default(),
+                    fed.num_dbs(),
+                )));
+                let ctx = Ctx {
+                    fed,
+                    query,
+                    net: net.clone(),
+                    sim,
+                    rpc,
+                    pipeline,
+                    cache: None,
+                };
+                handle.spawn(run_site(ctx, db_id));
+                v.insert(net)
+            }
+        };
+        // Requests go to the actor's mailbox; responses resolve the
+        // session's pending peer RPCs. Only envelopes addressed to this
+        // site are valid here.
+        match env.payload {
+            Payload::Request(_) | Payload::Response(_) => net.inject(env),
+        }
+    };
+
+    // The daemon's main future never completes; the wall driver blocks
+    // on the hub between frames, so an idle site costs no CPU.
+    let driver = wall_driver(hub, start, deliver);
+    match rt.run_driven(std::future::pending::<std::convert::Infallible>(), driver) {
+        Ok(never) => match never {},
+        Err(deadlock) => Err(format!("site daemon stopped: {deadlock}")),
+    }
+}

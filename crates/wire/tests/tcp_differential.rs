@@ -1,0 +1,208 @@
+//! Differential tests: the federation over real TCP, in real processes,
+//! must classify exactly like the in-process `LocalTransport`.
+//!
+//! Each test spawns one `fedoq-site` process per university site plus a
+//! `fedoq-serve` frontend (the actual release binaries, via
+//! `CARGO_BIN_EXE_*`), runs queries through a [`WireClient`], and diffs
+//! the canonically rendered answers against
+//! [`DistributedExecutor::run_local`] over the same workload. The
+//! site-kill tests then prove the inherited failure semantics survive
+//! real process death: localized strategies degrade (provenance
+//! intact), the centralized strategy reports the site unreachable.
+
+use fedoq_net::{DistributedExecutor, DistributedStrategy};
+use fedoq_wire::{render_answer, WireClient};
+use fedoq_workload::university;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// A child process killed on drop, so failing tests leak nothing.
+struct Daemon {
+    child: Child,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `bin` and waits for its `LISTENING <addr>` announcement.
+fn spawn_daemon(bin: &str, args: &[String]) -> (Daemon, String) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("daemon announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("{bin}: expected LISTENING announcement, got {line:?}"))
+        .to_string();
+    (Daemon { child }, addr)
+}
+
+/// Boots three university site daemons plus the serve frontend, with
+/// `rpc` flags applied to every process. Returns the processes (sites
+/// first, in id order) and the serve address.
+fn boot_federation(rpc: &[&str]) -> (Vec<Daemon>, Daemon, String) {
+    let mut sites = Vec::new();
+    let mut addrs = Vec::new();
+    for db in 0..3u16 {
+        let mut args = vec![
+            "--db".to_string(),
+            db.to_string(),
+            "--workload".to_string(),
+            "university".to_string(),
+        ];
+        args.extend(rpc.iter().map(|s| (*s).to_string()));
+        let (daemon, addr) = spawn_daemon(env!("CARGO_BIN_EXE_fedoq-site"), &args);
+        sites.push(daemon);
+        addrs.push(addr);
+    }
+    let mut args = vec!["--workload".to_string(), "university".to_string()];
+    for addr in &addrs {
+        args.push("--site".to_string());
+        args.push(addr.clone());
+    }
+    args.push("--workers".to_string());
+    args.push("2".to_string());
+    args.extend(rpc.iter().map(|s| (*s).to_string()));
+    let (serve, serve_addr) = spawn_daemon(env!("CARGO_BIN_EXE_fedoq-serve"), &args);
+    (sites, serve, serve_addr)
+}
+
+/// The in-process baseline rendering for one strategy.
+fn local_baseline(strategy: DistributedStrategy) -> Vec<String> {
+    let fed = university::federation().expect("university federation");
+    let query = fed.parse_and_bind(university::Q1).expect("bind Q1");
+    let outcome = DistributedExecutor::new()
+        .run_local(&fed, &query, strategy)
+        .expect("local execution");
+    render_answer(&outcome.answer)
+}
+
+#[test]
+fn tcp_answers_match_local_transport_for_every_strategy() {
+    // Generous deadlines: classification must come from the data, never
+    // from a scheduling hiccup on a loaded CI box.
+    let rpc = ["--rpc-timeout-us", "5000000", "--rpc-retries", "3"];
+    let (_sites, _serve, addr) = boot_federation(&rpc);
+    let mut client = WireClient::connect(&addr).expect("connect to serve");
+
+    for name in ["ca", "bl", "pl", "bl-s", "pl-s"] {
+        let strategy = DistributedStrategy::parse(name).expect("known strategy");
+        let expected = local_baseline(strategy);
+        let answer = client
+            .query(university::Q1, name)
+            .expect("transport")
+            .unwrap_or_else(|e| panic!("{name} over TCP failed: {e}"));
+        assert_eq!(
+            answer.rows, expected,
+            "strategy {name}: TCP and local answers diverge"
+        );
+        assert_eq!(answer.executed, strategy.name());
+        assert!(
+            answer.degraded_sites.is_empty(),
+            "no site died, yet {name} reported degraded sites {:?}",
+            answer.degraded_sites
+        );
+        assert!(!answer.is_degraded());
+        assert!(answer.forwarded > 0, "{name} never touched the wire");
+    }
+}
+
+#[test]
+fn adaptive_over_tcp_executes_a_ranked_strategy_faithfully() {
+    let rpc = ["--rpc-timeout-us", "5000000", "--rpc-retries", "3"];
+    let (_sites, _serve, addr) = boot_federation(&rpc);
+    let mut client = WireClient::connect(&addr).expect("connect to serve");
+
+    // Several rounds: the planner may revise its choice as it observes
+    // real responses, but every answer must match the executed
+    // strategy's own local baseline.
+    for round in 0..3 {
+        let answer = client
+            .query(university::Q1, "adaptive")
+            .expect("transport")
+            .unwrap_or_else(|e| panic!("adaptive round {round} failed: {e}"));
+        assert!(
+            ["CA", "BL", "PL"].contains(&answer.executed.as_str()),
+            "adaptive executed unexpected strategy {:?}",
+            answer.executed
+        );
+        let strategy =
+            DistributedStrategy::parse(&answer.executed).expect("planner strategies parse");
+        assert_eq!(
+            answer.rows,
+            local_baseline(strategy),
+            "adaptive round {round} ({}) diverges from local",
+            answer.executed
+        );
+    }
+}
+
+#[test]
+fn killed_site_degrades_localized_and_fails_centralized() {
+    // Tight deadlines so the dead site is declared quickly.
+    let rpc = [
+        "--rpc-timeout-us",
+        "300000",
+        "--rpc-retries",
+        "1",
+        "--rpc-backoff-us",
+        "50000",
+    ];
+    let (mut sites, _serve, addr) = boot_federation(&rpc);
+    let mut client = WireClient::connect(&addr).expect("connect to serve");
+
+    // Warm path first: all sites alive, clean answers.
+    let healthy = client
+        .query(university::Q1, "bl")
+        .expect("transport")
+        .expect("healthy BL run");
+    assert!(!healthy.is_degraded());
+
+    // Kill site 2 (DB3 holds Q1's assistant data, so its loss is
+    // visible) and let the sockets die.
+    let mut victim = sites.remove(2);
+    victim.child.kill().expect("kill site 2");
+    victim.child.wait().expect("reap site 2");
+    drop(victim);
+
+    // Localized strategies answer anyway, flagged degraded.
+    for name in ["bl", "pl"] {
+        let answer = client
+            .query(university::Q1, name)
+            .expect("transport")
+            .unwrap_or_else(|e| panic!("{name} with a dead site must degrade, not fail: {e}"));
+        assert!(
+            answer.is_degraded(),
+            "{name}: dead site produced a clean answer: degraded_sites={:?} rows={:?}",
+            answer.degraded_sites,
+            answer.rows
+        );
+        assert!(
+            answer.degraded_sites.contains(&2)
+                || answer.rows.iter().any(|r| r.contains("(degraded)")),
+            "{name}: degradation does not implicate the killed site"
+        );
+    }
+
+    // The centralized strategy cannot ship from a dead site: hard error.
+    let err = client
+        .query(university::Q1, "ca")
+        .expect("transport")
+        .expect_err("CA with a dead site must fail");
+    assert!(
+        err.contains("unreachable"),
+        "CA error should report the site unreachable, got: {err}"
+    );
+}
