@@ -1,0 +1,441 @@
+//! The FQ300-series concurrency analyzer for the TCP serving layer.
+//!
+//! The serving layer (`fedoq-wire`'s hub, job queue, and worker pool)
+//! coordinates real OS threads through the instrumented primitives of
+//! [`fedoq_sync`]. This module consumes their traces from two angles:
+//!
+//! * [`analyze_trace`] — pure trace interpretation. Builds the
+//!   lock-acquisition-order graph from `Acquire` events (each held lock
+//!   contributes an edge to the newly acquired one) and reports any
+//!   cycle as FQ300; runs the Eraser lockset algorithm over
+//!   [`fedoq_sync::TracedData`] accesses (intersecting the locks held at
+//!   every access to a cell) and reports empty-intersection shared
+//!   writes as FQ301; audits condvar discipline (raw *untimed* waits
+//!   lose wakeups — FQ302; guarded and raw-timed waits are accepted).
+//! * [`explore_serving`] — the deterministic schedule explorer. Boots a
+//!   real federation *in this process* ([`fedoq_wire::spawn_site`] ×3 +
+//!   [`fedoq_wire::spawn_serve`]), then replays the same query set under
+//!   seeded chaos schedules ([`fedoq_sync::Chaos`]: yields, short
+//!   sleeps, rare stragglers). Each seed's trace is fingerprinted with
+//!   [`fedoq_sync::Trace::signature`]; seeds that reproduce an already
+//!   seen acquisition interleaving are counted but not re-analyzed — a
+//!   bounded DPOR-style reduction that spends the schedule budget on
+//!   *distinct* interleavings. Every schedule's rendered answers must be
+//!   byte-identical to the single-threaded
+//!   [`fedoq_net::DistributedExecutor::run_local`] baseline; divergence
+//!   is FQ303 (the thread-schedule analogue of FQ204).
+//!
+//! The explorer leaks its daemon threads by design (site and serve
+//! stacks run until process exit), so it is built for one-shot CLI and
+//! test processes, not long-lived embedders.
+
+use crate::diag::{Diagnostic, Report};
+use crate::lints;
+use fedoq_net::{DistributedExecutor, DistributedStrategy, RpcConfig};
+use fedoq_sync::{begin_trace, set_chaos, Chaos, EventKind, LockId, Trace};
+use fedoq_wire::{render_answer, spawn_serve, spawn_site, ServeOpts, SiteOpts, WireClient};
+use fedoq_workload::university;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------
+// Trace interpretation: FQ300 / FQ301 / FQ302.
+// ---------------------------------------------------------------------
+
+/// Runs the three trace lints over `trace`, pushing findings into
+/// `report`. Lock-order edges and condvar findings are keyed by *label*
+/// (the class of lock), so one diagnostic covers every instance of a
+/// pattern; lockset intersection runs per *instance* (two threads must
+/// share an actual lock, not just a label, to be protected).
+pub fn analyze_trace(trace: &Trace, report: &mut Report) {
+    lock_order_cycles(trace, report);
+    lockset_races(trace, report);
+    condvar_discipline(trace, report);
+}
+
+/// FQ300: cycles in the label-level lock-acquisition-order graph.
+fn lock_order_cycles(trace: &Trace, report: &mut Report) {
+    // held → acquired edges, collapsed to labels.
+    let mut edges: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+    for ev in &trace.events {
+        let EventKind::Acquire { lock, held } = &ev.kind else {
+            continue;
+        };
+        for h in held {
+            if h.label != lock.label {
+                edges.entry(h.label).or_default().insert(lock.label);
+            }
+        }
+    }
+    // For every edge a→b, a path b→…→a closes a cycle. Dedup cycles by
+    // their unordered endpoint pair so each inversion reports once.
+    let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for (&a, succs) in &edges {
+        for &b in succs {
+            let key = if a < b { (a, b) } else { (b, a) };
+            if seen.contains(&key) {
+                continue;
+            }
+            if let Some(path) = find_path(&edges, b, a) {
+                seen.insert(key);
+                let mut cycle = vec![a];
+                cycle.extend(path);
+                report.push(
+                    Diagnostic::new(
+                        lints::LOCK_ORDER_CYCLE,
+                        format!(
+                            "locks are acquired in cyclic order: {}",
+                            cycle
+                                .iter()
+                                .map(|l| format!("`{l}`"))
+                                .collect::<Vec<_>>()
+                                .join(" -> ")
+                        ),
+                    )
+                    .with_hint(format!(
+                        "impose one global acquisition order (e.g. always take `{}` before \
+                         `{}`), or narrow one critical section so the locks are never held \
+                         together",
+                        key.0, key.1
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// BFS path `from → … → to` through the label graph, inclusive of `to`.
+fn find_path(
+    edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+    from: &'static str,
+    to: &'static str,
+) -> Option<Vec<&'static str>> {
+    let mut prev: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut visited = BTreeSet::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![node];
+            let mut cur = node;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in edges.get(node).into_iter().flatten() {
+            if visited.insert(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// FQ301: the Eraser lockset discipline over [`fedoq_sync::TracedData`]
+/// accesses.
+fn lockset_races(trace: &Trace, report: &mut Report) {
+    struct CellState {
+        threads: BTreeSet<u64>,
+        any_write: bool,
+        /// Intersection of locks held across all accesses; `None`
+        /// before the first access.
+        lockset: Option<BTreeSet<LockId>>,
+    }
+    let mut cells: BTreeMap<LockId, CellState> = BTreeMap::new();
+    for ev in &trace.events {
+        let EventKind::Access { cell, write, locks } = &ev.kind else {
+            continue;
+        };
+        let state = cells.entry(*cell).or_insert(CellState {
+            threads: BTreeSet::new(),
+            any_write: false,
+            lockset: None,
+        });
+        state.threads.insert(ev.thread);
+        state.any_write |= write;
+        let held: BTreeSet<LockId> = locks.iter().copied().collect();
+        state.lockset = Some(match state.lockset.take() {
+            None => held,
+            Some(prev) => prev.intersection(&held).copied().collect(),
+        });
+    }
+    let mut fired: BTreeSet<&'static str> = BTreeSet::new();
+    for (cell, state) in &cells {
+        let unprotected = matches!(&state.lockset, Some(set) if set.is_empty());
+        if state.threads.len() >= 2 && state.any_write && unprotected && fired.insert(cell.label) {
+            report.push(
+                Diagnostic::new(
+                    lints::LOCKSET_RACE,
+                    format!(
+                        "cell `{}` is written by {} threads with no common lock",
+                        cell.label,
+                        state.threads.len()
+                    ),
+                )
+                .with_hint(format!(
+                    "guard every access to `{}` with one shared fedoq_sync::Mutex \
+                     (the lockset intersection across accesses must stay non-empty)",
+                    cell.label
+                )),
+            );
+        }
+    }
+}
+
+/// FQ302: raw untimed condvar waits (nothing re-checks the predicate,
+/// nothing bounds a lost wakeup).
+fn condvar_discipline(trace: &Trace, report: &mut Report) {
+    let mut fired: BTreeSet<(&'static str, &'static str)> = BTreeSet::new();
+    for ev in &trace.events {
+        let EventKind::WaitBegin {
+            cond,
+            lock,
+            timed,
+            guarded,
+        } = &ev.kind
+        else {
+            continue;
+        };
+        if !timed && !guarded && fired.insert((cond, lock.label)) {
+            report.push(
+                Diagnostic::new(
+                    lints::CONDVAR_WAKEUP_LOSS,
+                    format!(
+                        "condvar `{cond}` is waited on raw and untimed (lock `{}`); a notify \
+                         landing before the park is lost and the waiter sleeps forever",
+                        lock.label
+                    ),
+                )
+                .with_hint(
+                    "use wait_while / wait_timeout_while (the shim re-checks the predicate), \
+                     or wait_timeout where empty wakeups are handled by contract",
+                ),
+            );
+        }
+    }
+}
+
+/// FQ303 helper: diffs one schedule's rendered answer against the
+/// schedule-independent baseline, reporting divergence. `what` names
+/// the workload (strategy, query) and `seed` the schedule that
+/// produced `got`.
+pub fn check_divergence(
+    what: &str,
+    seed: u64,
+    got: &[String],
+    baseline: &[String],
+    report: &mut Report,
+) {
+    if got != baseline {
+        report.push(
+            Diagnostic::new(
+                lints::ANSWER_DIVERGENCE,
+                format!(
+                    "seed {seed}: {what} diverged from the single-threaded baseline \
+                     ({} vs {} rows)",
+                    got.len(),
+                    baseline.len()
+                ),
+            )
+            .with_hint(
+                "worker interleaving is leaking into results; make the answer a pure \
+                 function of the query and the data, not of thread timing",
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The schedule explorer: FQ303 (plus FQ300–302 on live traces).
+// ---------------------------------------------------------------------
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Chaos seeds to try, in order.
+    pub seeds: Vec<u64>,
+    /// Stop once this many *distinct* acquisition interleavings have
+    /// been analyzed (the DPOR-style budget; seeds reproducing a seen
+    /// signature are skipped cheaply).
+    pub target_schedules: usize,
+    /// Serve worker threads.
+    pub workers: usize,
+    /// Strategies each schedule executes (every one is diffed against
+    /// its single-threaded baseline).
+    pub strategies: Vec<&'static str>,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            seeds: (1..=12).collect(),
+            target_schedules: 6,
+            workers: 2,
+            strategies: vec!["ca", "bl", "pl"],
+        }
+    }
+}
+
+/// What one explorer run did, beyond the findings.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// The findings (FQ300–FQ303).
+    pub report: Report,
+    /// Seeds actually executed.
+    pub schedules_run: usize,
+    /// Distinct acquisition interleavings among them.
+    pub distinct_schedules: usize,
+}
+
+/// Generous wall-clock RPC policy: schedule exploration perturbs timing
+/// on purpose, so classification must never hinge on a deadline.
+fn explorer_rpc() -> RpcConfig {
+    RpcConfig {
+        timeout_us: 5_000_000.0,
+        retries: 3,
+        ..RpcConfig::default()
+    }
+}
+
+/// Boots a university federation inside this process and drives it
+/// through seeded chaos schedules, asserting answer-divergence-freedom
+/// (FQ303) and running the trace lints (FQ300–302) over every distinct
+/// interleaving.
+///
+/// Panics only if the in-process federation cannot boot at all (bind
+/// failure); analysis findings are returned, never panicked.
+pub fn explore_serving(opts: &ExploreOpts) -> ExploreOutcome {
+    let mut report = Report::new(
+        format!(
+            "schedule explorer: university Q1 x {:?}, {} workers, {} seeds",
+            opts.strategies,
+            opts.workers,
+            opts.seeds.len()
+        ),
+        String::new(),
+    );
+
+    // Single-threaded baselines first, before any chaos is installed.
+    let mut baseline: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    let fed = university::federation().expect("university federation builds");
+    let query = fed.parse_and_bind(university::Q1).expect("Q1 binds");
+    for &name in &opts.strategies {
+        let strategy = DistributedStrategy::parse(name).expect("known strategy");
+        let outcome = DistributedExecutor::new()
+            .run_local(&fed, &query, strategy)
+            .expect("local baseline executes");
+        baseline.insert(name, render_answer(&outcome.answer));
+    }
+
+    // One in-process federation for the whole exploration: three site
+    // stacks plus the serve frontend, all on loopback.
+    let rpc = explorer_rpc();
+    let mut site_addrs = Vec::new();
+    for db in 0..3u16 {
+        let addr = spawn_site(&SiteOpts {
+            db,
+            listen: "127.0.0.1:0".into(),
+            workload: "university".into(),
+            rpc,
+            pipeline: Default::default(),
+        })
+        .expect("site spawns in-process");
+        site_addrs.push(addr.to_string());
+    }
+    let serve_addr = spawn_serve(&ServeOpts {
+        listen: "127.0.0.1:0".into(),
+        sites: site_addrs,
+        workload: "university".into(),
+        workers: opts.workers.max(1),
+        rpc,
+        pipeline: Default::default(),
+    })
+    .expect("serve spawns in-process");
+
+    let mut session = begin_trace();
+    let mut signatures: BTreeSet<u64> = BTreeSet::new();
+    let mut schedules_run = 0usize;
+    for &seed in &opts.seeds {
+        if signatures.len() >= opts.target_schedules {
+            break;
+        }
+        set_chaos(Some(Chaos::seeded(seed)));
+        // A fresh connection per seed so connection setup is part of the
+        // perturbed schedule too.
+        let answers: Vec<(&'static str, Result<Vec<String>, String>)> =
+            match WireClient::connect(&serve_addr.to_string()) {
+                Ok(mut client) => opts
+                    .strategies
+                    .iter()
+                    .map(|&name| {
+                        let got = match client.query(university::Q1, name) {
+                            Ok(Ok(answer)) => Ok(answer.rows),
+                            Ok(Err(e)) => Err(format!("server error: {e}")),
+                            Err(e) => Err(format!("transport error: {e}")),
+                        };
+                        (name, got)
+                    })
+                    .collect(),
+                Err(e) => vec![("connect", Err(format!("connect error: {e}")))],
+            };
+        set_chaos(None);
+        schedules_run += 1;
+
+        let slice = session.take();
+        for (name, got) in &answers {
+            match got {
+                Ok(rows) => {
+                    if let Some(expected) = baseline.get(name) {
+                        check_divergence(
+                            &format!("strategy {name}"),
+                            seed,
+                            rows,
+                            expected,
+                            &mut report,
+                        );
+                    }
+                }
+                Err(e) => {
+                    report.push(Diagnostic::new(
+                        lints::ANSWER_DIVERGENCE,
+                        format!("seed {seed}: strategy {name} failed under chaos: {e}"),
+                    ));
+                }
+            }
+        }
+        // Only distinct interleavings pay for trace analysis.
+        if signatures.insert(slice.signature(&[])) {
+            analyze_trace(&slice, &mut report);
+        }
+    }
+    drop(session.finish());
+
+    ExploreOutcome {
+        distinct_schedules: signatures.len(),
+        schedules_run,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let mut report = Report::new("empty", "");
+        analyze_trace(&Trace::default(), &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn path_finder_handles_chains_and_absence() {
+        let mut edges: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+        edges.entry("a").or_default().insert("b");
+        edges.entry("b").or_default().insert("c");
+        assert_eq!(find_path(&edges, "a", "c"), Some(vec!["a", "b", "c"]));
+        assert_eq!(find_path(&edges, "c", "a"), None);
+    }
+}

@@ -2,20 +2,35 @@
 //!
 //! Each [`UnsoundCase`] plants one specific defect — a mislabeled phase
 //! order, a stripped assistant lookup, an incapable certify source, a
-//! silent actor, a double-replying actor — into the university example
-//! and records which lint must fire. `fedoq-check --self-test` (and the
-//! `check_soundness` integration test) fails unless every case is
-//! rejected with its expected id: a checker that stops detecting is
-//! itself a defect.
+//! silent actor, a double-replying actor, a lock-order inversion, an
+//! unguarded shared cell, a raw condvar wait, a schedule-dependent
+//! result, a ghost wire variant, a disabled codec bound, a silent
+//! grammar change — into the university example (or a miniature threaded
+//! model, or a doctored wire surface) and records which lint must fire.
+//! `fedoq-check --self-test` (and the `check_soundness` integration
+//! test) fails unless every case is rejected with its expected id: a
+//! checker that stops detecting is itself a defect.
+//!
+//! The concurrency cases (FQ300–FQ302) execute real threads on the
+//! instrumented [`crate::sync`] shim and feed the recorded trace to
+//! [`analyze_trace`]; the wire cases (FQ304–FQ306) clone the codec's
+//! real self-computed surface and doctor exactly one table each, so the
+//! lints are exercised through the same entry points production uses.
 
 use crate::analyze::analyze_plan;
+use crate::concurrency::{analyze_trace, check_divergence};
 use crate::diag::Report;
 use crate::plan::{derive_plan, PlanConfig, PlanStep, StrategyKind};
 use crate::protocol::{analyze_run, run_protocol, ActorBug, Schedule};
+use crate::sync::{begin_trace, Condvar, Mutex, TracedData};
+use crate::wirecheck::analyze_wire;
 use fedoq_net::DistributedStrategy;
 use fedoq_object::DbId;
 use fedoq_query::PredId;
+use fedoq_wire::ProbeOutcome;
 use fedoq_workload::university;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One deliberately unsound input and the lint that must reject it.
 #[derive(Debug, Clone)]
@@ -28,7 +43,7 @@ pub struct UnsoundCase {
     pub report: Report,
 }
 
-/// Builds and checks all five seeded-unsound cases.
+/// Builds and checks all twelve seeded-unsound cases.
 pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
     let fed = university::federation().expect("university federation builds");
     let schema = fed.global_schema().clone();
@@ -110,6 +125,194 @@ pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
         report,
     });
 
+    cases.extend(concurrency_cases());
+    cases.extend(wire_cases());
+    cases
+}
+
+/// The FQ300–FQ303 cases: miniature threaded models executing real
+/// threads on the instrumented shim, each planting one concurrency bug
+/// pattern the serving layer must never exhibit.
+fn concurrency_cases() -> Vec<UnsoundCase> {
+    let mut cases = Vec::new();
+
+    // 6. Lock-order inversion: one thread takes a before b, another
+    //    takes b before a. The threads are joined sequentially, so the
+    //    fixture never actually deadlocks — the acquisition graph still
+    //    carries the cycle, which is exactly what FQ300 judges.
+    let session = begin_trace();
+    let a = Arc::new(Mutex::new("fixture.lock-a", ()));
+    let b = Arc::new(Mutex::new("fixture.lock-b", ()));
+    let forward = {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+    };
+    let _ = forward.join();
+    let backward = std::thread::spawn(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    let _ = backward.join();
+    let trace = session.finish();
+    let mut report = Report::new("threads locking fixture.lock-a/b in opposite orders", "");
+    analyze_trace(&trace, &mut report);
+    cases.push(UnsoundCase {
+        name: "lock-order-cycle",
+        expect: "FQ300",
+        report,
+    });
+
+    // 7. Lockset race: two threads pound a shared counter holding no
+    //    lock at all — the empty-intersection case Eraser exists for.
+    let session = begin_trace();
+    let cell = Arc::new(TracedData::new("fixture.unguarded-counter", 0u64));
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for _ in 0..16 {
+                    cell.update(|v| *v += 1);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        let _ = w.join();
+    }
+    let trace = session.finish();
+    let mut report = Report::new("two threads incrementing an unguarded counter", "");
+    analyze_trace(&trace, &mut report);
+    cases.push(UnsoundCase {
+        name: "lockset-race",
+        expect: "FQ301",
+        report,
+    });
+
+    // 8. Raw untimed condvar wait: the caller's own predicate loop is
+    //    invisible to the shim, so nothing bounds a lost wakeup — the
+    //    exact pattern the job queue must avoid.
+    let session = begin_trace();
+    let pair = Arc::new((
+        Mutex::new("fixture.raw-flag", false),
+        Condvar::new("fixture.raw-ready"),
+    ));
+    let waiter = {
+        let pair = Arc::clone(&pair);
+        std::thread::spawn(move || {
+            let (lock, cond) = &*pair;
+            let mut flag = lock.lock();
+            while !*flag {
+                flag = cond.wait(flag); // raw untimed: the FQ302 pattern
+            }
+        })
+    };
+    // Let the waiter reach the park before releasing it, so the trace
+    // actually contains the raw wait being judged.
+    std::thread::sleep(Duration::from_millis(20));
+    *pair.0.lock() = true;
+    while !waiter.is_finished() {
+        pair.1.notify_all();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = waiter.join();
+    let trace = session.finish();
+    let mut report = Report::new("a worker parked in a raw untimed condvar wait", "");
+    analyze_trace(&trace, &mut report);
+    cases.push(UnsoundCase {
+        name: "condvar-wakeup-loss",
+        expect: "FQ302",
+        report,
+    });
+
+    // 9. Schedule-dependent answers: two workers drain a job queue and
+    //    append results in *completion* order; job 0 is made slow, so
+    //    the output order depends on which worker got it — the bug
+    //    FQ303 exists to catch, in miniature.
+    let queue = Arc::new(Mutex::new("fixture.model-jobs", vec![3u64, 2, 1, 0]));
+    let out = Arc::new(Mutex::new("fixture.model-out", Vec::<String>::new()));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let out = Arc::clone(&out);
+            std::thread::spawn(move || loop {
+                let Some(job) = queue.lock().pop() else {
+                    return;
+                };
+                if job == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                out.lock().push(format!("C row{job}"));
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let got = out.lock().clone();
+    let baseline: Vec<String> = (0..4).map(|j| format!("C row{j}")).collect();
+    let mut report = Report::new(
+        "a two-worker model answering in completion order",
+        String::new(),
+    );
+    check_divergence("model query", 0, &got, &baseline, &mut report);
+    cases.push(UnsoundCase {
+        name: "schedule-divergent-answer",
+        expect: "FQ303",
+        report,
+    });
+
+    cases
+}
+
+/// The FQ304–FQ306 cases: the codec's *real* self-computed surface with
+/// exactly one table doctored each — a variant added without a decoder
+/// arm, a disabled depth bound, a grammar change without a version bump.
+fn wire_cases() -> Vec<UnsoundCase> {
+    let clean = fedoq_wire::surface();
+    let mut cases = Vec::new();
+
+    // 10. A ghost variant: the encoder table gains a tag the decoder
+    //     does not accept — what the surface would look like if a
+    //     variant were added to an enum without extending the codec.
+    let mut surface = clean.clone();
+    if let Some(family) = surface.families.iter_mut().find(|f| f.name == "value") {
+        family.encoder.push((9, "GhostVariant"));
+    }
+    let mut report = Report::new("a value variant added without a decoder arm", "");
+    analyze_wire(&surface, &mut report);
+    cases.push(UnsoundCase {
+        name: "ghost-wire-variant",
+        expect: "FQ304",
+        report,
+    });
+
+    // 11. A disabled bound: the over-deep value probe reports Accepted,
+    //     as it would if the depth cap were removed from the decoder.
+    let mut surface = clean.clone();
+    surface.bounds.overdeep_value = ProbeOutcome::Accepted;
+    let mut report = Report::new("a codec whose value-depth bound was removed", "");
+    analyze_wire(&surface, &mut report);
+    cases.push(UnsoundCase {
+        name: "unbounded-value-depth",
+        expect: "FQ305",
+        report,
+    });
+
+    // 12. A silent grammar change: the fingerprint moved while the
+    //     version (and pin) stood still.
+    let mut surface = clean;
+    surface.fingerprint ^= 0xDEAD_BEEF;
+    let mut report = Report::new("a grammar change shipped without a version bump", "");
+    analyze_wire(&surface, &mut report);
+    cases.push(UnsoundCase {
+        name: "silent-grammar-change",
+        expect: "FQ306",
+        report,
+    });
+
     cases
 }
 
@@ -144,8 +347,14 @@ mod tests {
     #[test]
     fn every_seeded_case_is_rejected() {
         let cases = self_test().unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 12);
         let expected: Vec<&str> = cases.iter().map(|c| c.expect).collect();
-        assert_eq!(expected, vec!["FQ100", "FQ101", "FQ102", "FQ202", "FQ201"]);
+        assert_eq!(
+            expected,
+            vec![
+                "FQ100", "FQ101", "FQ102", "FQ202", "FQ201", "FQ300", "FQ301", "FQ302", "FQ303",
+                "FQ304", "FQ305", "FQ306",
+            ]
+        );
     }
 }

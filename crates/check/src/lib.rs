@@ -20,6 +20,15 @@
 //!   delivery reorderings and straggler spikes, auditing the message
 //!   trace for deadlocks, orphaned correlation ids, double replies,
 //!   unsolicited responses, and schedule-dependent answers.
+//! * **Concurrency & wire safety** ([`concurrency`], [`wirecheck`]) —
+//!   the TCP serving layer's real OS threads run on the instrumented
+//!   [`sync`] shim; [`concurrency`] interprets the recorded traces
+//!   (lock-order cycles FQ300, Eraser lockset races FQ301, condvar
+//!   wakeup loss FQ302) and a seeded schedule explorer asserts the
+//!   served answers are schedule-independent (FQ303). [`wirecheck`]
+//!   abstractly interprets the wire codec's self-computed surface:
+//!   enum-tag exhaustiveness and collisions (FQ304), frame size/depth
+//!   bounds (FQ305), and version-skew soundness (FQ306).
 //!
 //! Both pillars report structured [`diag::Diagnostic`]s carrying a
 //! stable lint id from the [`lints`] catalog, a severity, an optional
@@ -47,14 +56,21 @@
 //! ```
 
 pub mod analyze;
+pub mod concurrency;
 pub mod diag;
 pub mod fixtures;
 pub mod lattice;
 pub mod lints;
 pub mod plan;
 pub mod protocol;
+pub mod wirecheck;
+
+/// The instrumented synchronization shim the serving layer is built on
+/// (re-exported so checker-side code and fixtures name one crate).
+pub use fedoq_sync as sync;
 
 pub use analyze::{analyze_all, analyze_plan, analyze_query, analyze_staleness};
+pub use concurrency::{analyze_trace, explore_serving, ExploreOpts, ExploreOutcome};
 pub use diag::{Diagnostic, Lint, Report, Severity};
 pub use fixtures::{seeded_unsound_cases, self_test, UnsoundCase};
 pub use lattice::TruthSet;
@@ -62,3 +78,4 @@ pub use plan::{derive_plan, PlanConfig, PlanIr, PlanStep, StrategyKind};
 pub use protocol::{
     check_protocol, run_protocol, run_protocol_with_pipeline, ActorBug, ProtocolRun, Schedule,
 };
+pub use wirecheck::analyze_wire;

@@ -3,7 +3,9 @@
 //!
 //! `FQ1xx` lints come from the plan-soundness analyzer
 //! ([`crate::analyze`]); `FQ2xx` lints come from the actor-protocol
-//! checker ([`crate::protocol`]). Ids are stable across releases so CI
+//! checker ([`crate::protocol`]); `FQ3xx` lints come from the
+//! concurrency analyzer ([`crate::concurrency`]) and the wire-codec
+//! auditor ([`crate::wirecheck`]). Ids are stable across releases so CI
 //! suppressions and documentation can reference them.
 
 use crate::diag::{Lint, Severity};
@@ -149,8 +151,103 @@ pub const SCHEDULE_DIVERGENCE: Lint = Lint {
     summary: "answer classification depends on the message delivery schedule",
 };
 
+/// FQ300: two threads acquire the same locks in opposite orders.
+///
+/// The serving layer holds locks across writer flushes and job
+/// hand-offs; a cycle in the lock-acquisition-order graph means some
+/// interleaving deadlocks both threads — on a real deployment that is a
+/// hung frontend, not a failed test.
+pub const LOCK_ORDER_CYCLE: Lint = Lint {
+    id: "FQ300",
+    slug: "lock-order-cycle",
+    severity: Severity::Deny,
+    summary: "threads acquire locks in cyclic order; some schedule deadlocks",
+};
+
+/// FQ301: a shared cell is written without any common lock (Eraser's
+/// lockset discipline).
+///
+/// If the intersection of locks held across all accesses to a cell is
+/// empty while at least two threads touch it and at least one writes,
+/// no mutual exclusion protects the cell; on the real wire that is a
+/// data race, and under the explorer it shows up as answers that depend
+/// on thread timing.
+pub const LOCKSET_RACE: Lint = Lint {
+    id: "FQ301",
+    slug: "lockset-race",
+    severity: Severity::Deny,
+    summary: "shared cell accessed by multiple threads with no common lock",
+};
+
+/// FQ302: a condition variable is waited on raw and untimed.
+///
+/// An untimed `wait` outside a predicate loop loses wakeups: a notify
+/// that lands between the predicate check and the park never arrives,
+/// and the waiter sleeps forever. Guarded waits (`wait_while`,
+/// `wait_timeout_while`) re-check the predicate; raw *timed* waits are
+/// accepted where the timeout is the contract (the hub's inbound poll).
+pub const CONDVAR_WAKEUP_LOSS: Lint = Lint {
+    id: "FQ302",
+    slug: "condvar-wakeup-loss",
+    severity: Severity::Deny,
+    summary: "raw untimed condvar wait can miss its wakeup and sleep forever",
+};
+
+/// FQ303: the served answer changed across explored thread schedules.
+///
+/// The schedule explorer runs the same query set against the same
+/// federation under seeded thread perturbations; every schedule must
+/// produce byte-identical rendered answers. Divergence means worker
+/// interleaving leaks into results — the concurrent analogue of FQ204.
+pub const ANSWER_DIVERGENCE: Lint = Lint {
+    id: "FQ303",
+    slug: "answer-divergence",
+    severity: Severity::Deny,
+    summary: "served answer depends on the thread schedule",
+};
+
+/// FQ304: encoder and decoder tag tables disagree for a wire family.
+///
+/// Every tag the encoder can emit must be accepted by the decoder
+/// (otherwise peers reject live traffic), and every tag the decoder
+/// accepts must be emitted by some variant (otherwise dead tags mask
+/// version skew). Computed from the shipped codec, not a description.
+pub const TAG_TABLE_MISMATCH: Lint = Lint {
+    id: "FQ304",
+    slug: "tag-table-mismatch",
+    severity: Severity::Deny,
+    summary: "encoder/decoder tag tables disagree for a wire enum family",
+};
+
+/// FQ305: a resource-bound probe was accepted or panicked.
+///
+/// Oversized frame/sequence/string headers and over-deep value nests
+/// are attacker-controlled allocations; each probe must be *rejected*
+/// with a decode error. Acceptance is an unbounded allocation, a panic
+/// is a remote crash.
+pub const BOUND_VIOLATION: Lint = Lint {
+    id: "FQ305",
+    slug: "bound-violation",
+    severity: Severity::Deny,
+    summary: "hostile size/depth input not cleanly rejected by the codec",
+};
+
+/// FQ306: wire versioning is unsound — skewed frames get through, or
+/// the grammar changed without a version bump.
+///
+/// Frames stamped `VERSION ± 1` must be rejected (not panic, not parse);
+/// and the grammar fingerprint may only move together with the version.
+/// A silent grammar change ships peers that disagree about bytes while
+/// claiming the same version.
+pub const VERSION_SKEW: Lint = Lint {
+    id: "FQ306",
+    slug: "version-skew",
+    severity: Severity::Deny,
+    summary: "version-skewed frames accepted, or grammar changed without a version bump",
+};
+
 /// Every lint in the catalog, in id order.
-pub const ALL: [Lint; 12] = [
+pub const ALL: [Lint; 19] = [
     PHASE_ORDER,
     UNCOVERED_MAYBE,
     INCAPABLE_CERTIFIER,
@@ -163,6 +260,13 @@ pub const ALL: [Lint; 12] = [
     ORPHANED_RPC,
     UNSOLICITED_RESPONSE,
     SCHEDULE_DIVERGENCE,
+    LOCK_ORDER_CYCLE,
+    LOCKSET_RACE,
+    CONDVAR_WAKEUP_LOSS,
+    ANSWER_DIVERGENCE,
+    TAG_TABLE_MISMATCH,
+    BOUND_VIOLATION,
+    VERSION_SKEW,
 ];
 
 #[cfg(test)]
@@ -175,7 +279,15 @@ mod tests {
         let ids: BTreeSet<&str> = ALL.iter().map(|l| l.id).collect();
         assert_eq!(ids.len(), ALL.len());
         assert!(ALL.iter().all(|l| l.id.starts_with("FQ")));
-        // Plan lints are FQ1xx, protocol lints FQ2xx.
+        // Plan lints are FQ1xx, protocol lints FQ2xx, concurrency and
+        // wire-safety lints FQ3xx.
         assert!(ALL.iter().filter(|l| l.id < "FQ200").count() == 7);
+        assert!(
+            ALL.iter()
+                .filter(|l| ("FQ200".."FQ300").contains(&l.id))
+                .count()
+                == 5
+        );
+        assert!(ALL.iter().filter(|l| l.id >= "FQ300").count() == 7);
     }
 }

@@ -5,6 +5,8 @@
 //! fedoq-check [--all]            run every check (default)
 //! fedoq-check --plans            plan-soundness analysis only
 //! fedoq-check --protocol         actor-protocol audit only
+//! fedoq-check --concurrency      schedule-explore the TCP serving layer
+//! fedoq-check --wire             audit the wire codec surface
 //! fedoq-check --self-test        seeded-unsound cases must be rejected
 //! fedoq-check --lints            print the lint catalog
 //! fedoq-check --sql "SELECT .."  analyze one query (university schema)
@@ -17,7 +19,10 @@
 //! on.
 
 use fedoq_check::plan::PlanConfig;
-use fedoq_check::{analyze_query, check_protocol, lints, Report, Severity, StrategyKind};
+use fedoq_check::{
+    analyze_query, analyze_wire, check_protocol, explore_serving, lints, ExploreOpts, Report,
+    Severity, StrategyKind,
+};
 use fedoq_query::bind;
 use fedoq_workload::{generate, university, WorkloadParams};
 use rand::rngs::StdRng;
@@ -27,6 +32,8 @@ use std::process::ExitCode;
 struct Options {
     plans: bool,
     protocol: bool,
+    concurrency: bool,
+    wire: bool,
     self_test: bool,
     list_lints: bool,
     sql: Option<String>,
@@ -35,7 +42,7 @@ struct Options {
 }
 
 fn usage() -> String {
-    "usage: fedoq-check [--all|--plans|--protocol|--self-test|--lints] \
+    "usage: fedoq-check [--all|--plans|--protocol|--concurrency|--wire|--self-test|--lints] \
      [--sql QUERY] [--strategy ca|bl|pl] [--seeds N]"
         .to_owned()
 }
@@ -44,6 +51,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         plans: false,
         protocol: false,
+        concurrency: false,
+        wire: false,
         self_test: false,
         list_lints: false,
         sql: None,
@@ -61,6 +70,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--protocol" => {
                 opts.protocol = true;
+                explicit = true;
+            }
+            "--concurrency" => {
+                opts.concurrency = true;
+                explicit = true;
+            }
+            "--wire" => {
+                opts.wire = true;
                 explicit = true;
             }
             "--self-test" => {
@@ -98,6 +115,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if !explicit {
         opts.plans = true;
         opts.protocol = true;
+        opts.concurrency = true;
+        opts.wire = true;
         opts.self_test = true;
     }
     Ok(opts)
@@ -157,6 +176,31 @@ fn run_protocol_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> 
         .map_err(|e| e.to_string())?;
     println!("== actor protocol: university {} ==", university::Q1);
     let report = check_protocol(&fed, &bound);
+    emit(&report, totals, true);
+    Ok(())
+}
+
+fn run_concurrency_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    println!("== concurrency: schedule-exploring the TCP serving layer ==");
+    let outcome = explore_serving(&ExploreOpts::default());
+    println!(
+        "explored {} schedules ({} distinct interleavings)",
+        outcome.schedules_run, outcome.distinct_schedules
+    );
+    emit(&outcome.report, totals, true);
+    Ok(())
+}
+
+fn run_wire_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    let surface = fedoq_wire::surface();
+    println!(
+        "== wire codec: version {}, grammar {:#018x}, {} tag families ==",
+        surface.version,
+        surface.fingerprint,
+        surface.families.len()
+    );
+    let mut report = Report::new("wire codec surface", String::new());
+    analyze_wire(&surface, &mut report);
     emit(&report, totals, true);
     Ok(())
 }
@@ -228,6 +272,12 @@ fn main() -> ExitCode {
         }
         if opts.protocol {
             run_protocol_audit(&mut totals)?;
+        }
+        if opts.concurrency {
+            run_concurrency_audit(&mut totals)?;
+        }
+        if opts.wire {
+            run_wire_audit(&mut totals)?;
         }
         if opts.self_test {
             run_self_test()?;

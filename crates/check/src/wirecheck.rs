@@ -1,0 +1,185 @@
+//! The FQ304–FQ306 wire-codec auditor.
+//!
+//! [`analyze_wire`] judges a [`fedoq_wire::WireSurface`] — the
+//! self-description `fedoq-wire` computes from its *shipped*
+//! encoder/decoder code (exemplar encodings per enum variant, decoder
+//! tag probing, hostile-input probes, version-skew probes). Because the
+//! surface is derived from the real codec rather than a hand-written
+//! table, these lints fail exactly when the code drifts:
+//!
+//! * **FQ304** — per-family encoder/decoder tag agreement: a variant
+//!   the encoder emits but the decoder rejects breaks live peers; a tag
+//!   the decoder accepts but nothing emits is a dead tag masking skew;
+//!   duplicate encoder tags are a collision (two variants
+//!   indistinguishable on the wire).
+//! * **FQ305** — resource bounds: the oversized-frame/seq/string and
+//!   over-deep-value probes must each be *rejected*. `Accepted` is an
+//!   attacker-sized allocation; `Panicked` is a remote crash.
+//! * **FQ306** — versioning: frames stamped `VERSION ± 1` must be
+//!   rejected cleanly, and the grammar fingerprint may only change
+//!   together with the version (a silent grammar change ships peers
+//!   that disagree about bytes while claiming compatibility).
+
+use crate::diag::{Diagnostic, Report};
+use crate::lints;
+use fedoq_wire::{ProbeOutcome, WireSurface};
+
+/// Runs the three codec lints over `surface`, pushing findings into
+/// `report`.
+pub fn analyze_wire(surface: &WireSurface, report: &mut Report) {
+    tag_tables(surface, report);
+    bounds(surface, report);
+    versioning(surface, report);
+}
+
+/// FQ304: encoder/decoder tag-table agreement per family.
+fn tag_tables(surface: &WireSurface, report: &mut Report) {
+    for family in &surface.families {
+        let mut seen: Vec<u8> = Vec::new();
+        for (tag, variant) in &family.encoder {
+            if seen.contains(tag) {
+                report.push(
+                    Diagnostic::new(
+                        lints::TAG_TABLE_MISMATCH,
+                        format!(
+                            "family `{}`: tag {tag} is emitted by more than one variant \
+                             (including `{variant}`)",
+                            family.name
+                        ),
+                    )
+                    .with_hint("assign each variant a distinct tag byte"),
+                );
+            }
+            seen.push(*tag);
+            if !family.decoder_accepts.contains(tag) {
+                report.push(
+                    Diagnostic::new(
+                        lints::TAG_TABLE_MISMATCH,
+                        format!(
+                            "family `{}`: encoder emits tag {tag} (`{variant}`) but the \
+                             decoder rejects it as unknown",
+                            family.name
+                        ),
+                    )
+                    .with_hint(format!(
+                        "add a decoder arm for `{variant}` — peers currently drop every \
+                         frame carrying it"
+                    )),
+                );
+            }
+        }
+        for tag in &family.decoder_accepts {
+            if !family.encoder.iter().any(|(t, _)| t == tag) {
+                report.push(
+                    Diagnostic::new(
+                        lints::TAG_TABLE_MISMATCH,
+                        format!(
+                            "family `{}`: decoder accepts tag {tag} that no encoder \
+                             variant emits (dead tag)",
+                            family.name
+                        ),
+                    )
+                    .with_hint(
+                        "remove the dead decoder arm, or add the missing variant to the \
+                         encoder table — dead tags mask version skew",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn bound_finding(
+    report: &mut Report,
+    what: &str,
+    outcome: ProbeOutcome,
+    cap: impl std::fmt::Display,
+) {
+    match outcome {
+        ProbeOutcome::Rejected => {}
+        ProbeOutcome::Accepted => report.push(
+            Diagnostic::new(
+                lints::BOUND_VIOLATION,
+                format!("{what} beyond the cap ({cap}) was accepted as well-formed"),
+            )
+            .with_hint("reject attacker-controlled sizes before allocating"),
+        ),
+        ProbeOutcome::Panicked => report.push(
+            Diagnostic::new(
+                lints::BOUND_VIOLATION,
+                format!("{what} beyond the cap ({cap}) made the decoder panic"),
+            )
+            .with_hint("return a WireError instead of panicking on hostile input"),
+        ),
+    }
+}
+
+/// FQ305: hostile size/depth probes must all be rejected.
+fn bounds(surface: &WireSurface, report: &mut Report) {
+    let b = &surface.bounds;
+    bound_finding(report, "a frame length", b.oversized_frame, b.max_frame);
+    bound_finding(report, "a sequence count", b.oversized_seq, b.max_seq);
+    bound_finding(report, "a string length", b.oversized_str, b.max_frame);
+    bound_finding(report, "value nesting", b.overdeep_value, b.max_depth);
+}
+
+/// FQ306: skewed versions must be rejected; the grammar may only change
+/// together with the version.
+fn versioning(surface: &WireSurface, report: &mut Report) {
+    for probe in &surface.skew {
+        match probe.outcome {
+            ProbeOutcome::Rejected => {}
+            ProbeOutcome::Accepted => report.push(
+                Diagnostic::new(
+                    lints::VERSION_SKEW,
+                    format!(
+                        "a frame stamped version {} was accepted by a version-{} decoder",
+                        probe.version, surface.version
+                    ),
+                )
+                .with_hint("reject mismatched versions in the frame header check"),
+            ),
+            ProbeOutcome::Panicked => report.push(
+                Diagnostic::new(
+                    lints::VERSION_SKEW,
+                    format!(
+                        "a frame stamped version {} made the version-{} decoder panic",
+                        probe.version, surface.version
+                    ),
+                )
+                .with_hint("version mismatch must be a clean WireError, never a panic"),
+            ),
+        }
+    }
+    if surface.version == surface.pin_version && surface.fingerprint != surface.pin_fingerprint {
+        report.push(
+            Diagnostic::new(
+                lints::VERSION_SKEW,
+                format!(
+                    "the wire grammar changed (fingerprint {:#018x}, pinned {:#018x}) but \
+                     the protocol version is still {}",
+                    surface.fingerprint, surface.pin_fingerprint, surface.version
+                ),
+            )
+            .with_hint(
+                "bump fedoq_wire::frame::VERSION and re-pin GRAMMAR_PIN — old and new \
+                 peers would otherwise disagree about bytes while claiming compatibility",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_surface_is_clean() {
+        let mut report = Report::new("wire", "");
+        analyze_wire(&fedoq_wire::surface(), &mut report);
+        assert!(
+            report.diagnostics.is_empty(),
+            "shipped codec must audit clean:\n{report}"
+        );
+    }
+}

@@ -258,13 +258,18 @@ impl Shell {
                 _ => println!("usage: strategy CA|BL|PL|BL-S|PL-S"),
             },
             Some("check") => {
-                let sql = line[5..].trim();
-                if sql.is_empty() {
-                    println!("usage: check SELECT ...");
-                } else {
-                    let bound = self.fed.parse_and_bind(sql)?;
-                    for report in fedoq::check::analyze_all(&bound, self.fed.global_schema()) {
-                        print!("{report}");
+                let rest = line[5..].trim();
+                match rest.split_whitespace().next() {
+                    None => println!("usage: check SELECT ... | check wire | check concurrency"),
+                    Some(word) if word.eq_ignore_ascii_case("wire") => self.check_wire(),
+                    Some(word) if word.eq_ignore_ascii_case("concurrency") => {
+                        self.check_concurrency();
+                    }
+                    Some(_) => {
+                        let bound = self.fed.parse_and_bind(rest)?;
+                        for report in fedoq::check::analyze_all(&bound, self.fed.global_schema()) {
+                            print!("{report}");
+                        }
                     }
                 }
             }
@@ -286,7 +291,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  connect <host:port>     dial a fedoq-serve frontend (switches to `transport tcp`)\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  check wire              audit the TCP codec surface (FQ304-FQ306)\n  check concurrency       schedule-explore the serving layer (FQ300-FQ303)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  connect <host:port>     dial a fedoq-serve frontend (switches to `transport tcp`)\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -352,7 +357,7 @@ impl Shell {
                 None => println!("usage: transport tcp <host:port> (or `connect <host:port>`)"),
             },
             Some(other) => {
-                println!("unknown transport {other:?}; use off|local|sim [seed]|tcp <addr>")
+                println!("unknown transport {other:?}; use off|local|sim [seed]|tcp <addr>");
             }
         }
     }
@@ -591,6 +596,41 @@ impl Shell {
         );
         if !self.pipeline.cache {
             println!("(caching is off; enable with `cache on`)");
+        }
+    }
+
+    /// `check wire` — audits the TCP codec surface with the FQ304–FQ306
+    /// lints (tag exhaustiveness, size/depth bounds, version skew).
+    fn check_wire(&self) {
+        let surface = fedoq_wire::surface();
+        println!(
+            "wire codec: version {}, grammar {:#018x}, {} tag families",
+            surface.version,
+            surface.fingerprint,
+            surface.families.len()
+        );
+        let mut report = fedoq::check::Report::new("wire codec surface", String::new());
+        fedoq::check::analyze_wire(&surface, &mut report);
+        if report.diagnostics.is_empty() {
+            println!("clean: FQ304-FQ306 found nothing");
+        } else {
+            print!("{report}");
+        }
+    }
+
+    /// `check concurrency` — schedule-explores the TCP serving layer in
+    /// this process and reports FQ300–FQ303 findings.
+    fn check_concurrency(&self) {
+        println!("schedule-exploring the TCP serving layer (this takes a few seconds)...");
+        let outcome = fedoq::check::explore_serving(&fedoq::check::ExploreOpts::default());
+        println!(
+            "explored {} schedules ({} distinct interleavings)",
+            outcome.schedules_run, outcome.distinct_schedules
+        );
+        if outcome.report.diagnostics.is_empty() {
+            println!("clean: FQ300-FQ303 found nothing");
+        } else {
+            print!("{}", outcome.report);
         }
     }
 

@@ -1,0 +1,995 @@
+//! Instrumented synchronization primitives for the FQ300 concurrency
+//! lints.
+//!
+//! The TCP serving layer (`fedoq-wire`'s hub and job queue) coordinates
+//! real OS threads with mutexes and condvars. This crate wraps
+//! [`std::sync::Mutex`], [`std::sync::Condvar`], and [`std::sync::mpsc`]
+//! with *labeled* shims that, when a trace session is active, record
+//! every acquisition (with the set of locks already held by the thread),
+//! every release, every condvar wait (tagged raw/guarded and
+//! timed/untimed), every notification, and every access to a
+//! [`TracedData`] cell together with the thread's lockset at that
+//! moment. `fedoq-check` replays the trace to build the lock-order graph
+//! (FQ300), run the Eraser lockset algorithm (FQ301), and audit condvar
+//! discipline (FQ302); [`Trace::signature`] condenses a run into an
+//! interleaving fingerprint so the schedule explorer can count *distinct*
+//! interleavings instead of re-exploring redundant ones.
+//!
+//! Outside a session the wrappers cost one relaxed atomic load per
+//! operation, so production binaries (`fedoq-serve`, `fedoq-site`,
+//! `bench_throughput`) use them unconditionally.
+//!
+//! Two deliberate policy choices live here rather than in callers:
+//!
+//! * **Poison recovery.** A panicked thread poisons any `std` lock it
+//!   held; unwrap-on-poison then cascades the panic through every other
+//!   thread. [`Mutex::lock`] instead recovers the inner guard, counts
+//!   the event ([`poison_recoveries`]), records it in the trace, and
+//!   prints a one-time diagnostic per lock label — shared state may be
+//!   mid-update, but the process keeps serving (hub/serve state is
+//!   droppable-connection shaped, so this is the right trade).
+//! * **Condvar discipline.** Raw untimed [`Condvar::wait`] is how
+//!   wakeup-loss bugs are written; the shim marks such waits so FQ302
+//!   can flag them, and offers [`Condvar::wait_while`] /
+//!   [`Condvar::wait_timeout_while`] whose predicate re-check is done by
+//!   the shim itself (recorded as `guarded`, never flagged).
+//!
+//! A seeded chaos scheduler ([`set_chaos`]) perturbs sync operations
+//! with yields, short sleeps, and rare long "straggler" stalls so the
+//! FQ303 schedule explorer can drive the same code through different
+//! interleavings reproducibly-in-distribution from a seed.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Identity: labeled lock/cell instances and per-thread ids.
+// ---------------------------------------------------------------------
+
+/// Identity of one lock (or traced cell) instance: the static label
+/// names the *class* (e.g. every hub writer lock shares
+/// `"hub.writer"`), the instance id distinguishes individuals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId {
+    /// The class label given at construction.
+    pub label: &'static str,
+    /// Globally unique instance number.
+    pub instance: u64,
+}
+
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// Locks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<LockId>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+fn held_snapshot() -> Vec<LockId> {
+    HELD.with(|h| h.borrow().clone())
+}
+
+fn held_push(id: LockId) {
+    HELD.with(|h| h.borrow_mut().push(id));
+}
+
+fn held_remove(id: LockId) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|l| *l == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// The trace buffer and session control.
+// ---------------------------------------------------------------------
+
+/// One recorded synchronization event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Stable per-process thread number (assigned at first sync op).
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of events a trace records.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A mutex was acquired; `held` is the set of locks the thread
+    /// already held (the acquisition-graph edges `held[i] → lock`).
+    Acquire {
+        /// The lock acquired.
+        lock: LockId,
+        /// Locks held before this acquisition, in acquisition order.
+        held: Vec<LockId>,
+    },
+    /// A mutex was released.
+    Release {
+        /// The lock released.
+        lock: LockId,
+    },
+    /// A condvar wait began (the associated lock is released for the
+    /// duration of the wait and reacquired before `WaitEnd`).
+    WaitBegin {
+        /// Label of the condvar waited on.
+        cond: &'static str,
+        /// The lock released around the wait.
+        lock: LockId,
+        /// Whether the wait carries a timeout.
+        timed: bool,
+        /// Whether the shim itself re-checks a predicate (`wait_while`
+        /// family). Raw waits rely on caller discipline FQ302 cannot
+        /// verify, so raw *untimed* waits are flagged.
+        guarded: bool,
+    },
+    /// The matching wait returned (lock reacquired).
+    WaitEnd {
+        /// Label of the condvar waited on.
+        cond: &'static str,
+        /// The lock reacquired after the wait.
+        lock: LockId,
+    },
+    /// `notify_one` / `notify_all` was called.
+    Notify {
+        /// Label of the condvar notified.
+        cond: &'static str,
+        /// `true` for `notify_all`.
+        all: bool,
+    },
+    /// A [`TracedData`] cell was accessed; `locks` is the thread's
+    /// lockset at that moment (Eraser input for FQ301).
+    Access {
+        /// The cell accessed.
+        cell: LockId,
+        /// Whether the access mutated the cell.
+        write: bool,
+        /// Shim locks held during the access.
+        locks: Vec<LockId>,
+    },
+    /// A poisoned lock was recovered instead of panicking.
+    PoisonRecovered {
+        /// The lock that was poisoned.
+        lock: LockId,
+    },
+    /// A message was sent on an instrumented channel.
+    ChannelSend {
+        /// The channel's label.
+        channel: &'static str,
+    },
+    /// A message was received from an instrumented channel.
+    ChannelRecv {
+        /// The channel's label.
+        channel: &'static str,
+    },
+}
+
+/// Hard cap on buffered events so a runaway run cannot exhaust memory;
+/// [`Trace::truncated`] reports when the cap was hit.
+pub const EVENT_CAP: usize = 1 << 20;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: StdMutex<Vec<Event>> = StdMutex::new(Vec::new());
+static SESSION: StdMutex<()> = StdMutex::new(());
+static TRUNCATED: AtomicBool = AtomicBool::new(false);
+
+fn record(kind: EventKind) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let ev = Event {
+        thread: thread_id(),
+        kind,
+    };
+    let mut buf = lock_recovering(&EVENTS);
+    if buf.len() < EVENT_CAP {
+        buf.push(ev);
+    } else {
+        TRUNCATED.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Locks an internal `std` mutex, recovering from poison (internal
+/// state is a plain `Vec`/set that stays valid mid-panic).
+fn lock_recovering<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An active recording session. Sessions are serialized process-wide
+/// (beginning one blocks until any other finishes or is dropped), so
+/// concurrent tests cannot pollute each other's traces.
+pub struct TraceSession {
+    _guard: SessionGuard,
+}
+
+struct SessionGuard(#[allow(dead_code)] StdMutexGuard<'static, ()>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Starts recording sync events; blocks while another session is live.
+pub fn begin_trace() -> TraceSession {
+    let guard = SESSION
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    lock_recovering(&EVENTS).clear();
+    TRUNCATED.store(false, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::SeqCst);
+    TraceSession {
+        _guard: SessionGuard(guard),
+    }
+}
+
+impl TraceSession {
+    /// Stops recording and returns everything captured.
+    pub fn finish(self) -> Trace {
+        ENABLED.store(false, Ordering::SeqCst);
+        let events = std::mem::take(&mut *lock_recovering(&EVENTS));
+        Trace {
+            events,
+            truncated: TRUNCATED.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the events recorded so far without ending the session —
+    /// the per-seed slices the schedule explorer fingerprints.
+    pub fn take(&mut self) -> Trace {
+        let events = std::mem::take(&mut *lock_recovering(&EVENTS));
+        Trace {
+            events,
+            truncated: TRUNCATED.swap(false, Ordering::Relaxed),
+        }
+    }
+}
+
+/// A finished recording.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The events, in global buffer-append order.
+    pub events: Vec<Event>,
+    /// Whether [`EVENT_CAP`] cut the recording short.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// An order-sensitive fingerprint of the interleaving: FNV-1a over
+    /// the sequence of lock acquisitions (restricted to `labels` unless
+    /// empty), with thread ids normalized by first appearance so the
+    /// same logical schedule hashes equally across runs. Two runs with
+    /// equal signatures took the same acquisition interleaving — the
+    /// reduction the schedule explorer uses to skip redundant seeds.
+    pub fn signature(&self, labels: &[&str]) -> u64 {
+        let mut order: HashMap<u64, u64> = HashMap::new();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |byte: u8, h: &mut u64| {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(0x0100_0000_01b3);
+        };
+        for ev in &self.events {
+            let EventKind::Acquire { lock, .. } = &ev.kind else {
+                continue;
+            };
+            if !labels.is_empty() && !labels.contains(&lock.label) {
+                continue;
+            }
+            let next = order.len() as u64;
+            let norm = *order.entry(ev.thread).or_insert(next);
+            for b in norm.to_le_bytes() {
+                mix(b, &mut h);
+            }
+            for b in lock.label.bytes() {
+                mix(b, &mut h);
+            }
+            mix(0xff, &mut h);
+        }
+        h
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poison accounting.
+// ---------------------------------------------------------------------
+
+static POISON_COUNT: AtomicU64 = AtomicU64::new(0);
+static POISON_SEEN: StdMutex<BTreeSet<&'static str>> = StdMutex::new(BTreeSet::new());
+
+/// How many poisoned acquisitions have been recovered process-wide.
+pub fn poison_recoveries() -> u64 {
+    POISON_COUNT.load(Ordering::Relaxed)
+}
+
+fn note_poison(lock: LockId) {
+    POISON_COUNT.fetch_add(1, Ordering::Relaxed);
+    record(EventKind::PoisonRecovered { lock });
+    let mut seen = lock_recovering(&POISON_SEEN);
+    if seen.insert(lock.label) {
+        eprintln!(
+            "fedoq-sync: recovered poisoned lock `{}` (a thread panicked while holding it); \
+             guarded state may be mid-update",
+            lock.label
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos: seeded schedule perturbation.
+// ---------------------------------------------------------------------
+
+/// Seeded perturbation policy for the schedule explorer: before each
+/// acquisition/notification the shim may yield, sleep briefly, or (the
+/// straggler case) stall long enough to reorder whole work items —
+/// the permuted/straggler schedule families of the FQ200 playbook
+/// transplanted to real threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Chaos {
+    /// RNG seed; equal seeds draw identical perturbation streams.
+    pub seed: u64,
+    /// Per-op probability (permille) of `thread::yield_now`.
+    pub yield_permille: u32,
+    /// Per-op probability (permille) of a short sleep.
+    pub sleep_permille: u32,
+    /// Upper bound of the short sleep, microseconds.
+    pub max_sleep_us: u64,
+    /// Per-op probability (permille) of a long straggler stall.
+    pub straggler_permille: u32,
+    /// Straggler stall length, microseconds.
+    pub straggler_us: u64,
+}
+
+impl Chaos {
+    /// The default explorer profile for `seed`.
+    pub fn seeded(seed: u64) -> Chaos {
+        Chaos {
+            seed,
+            yield_permille: 300,
+            sleep_permille: 120,
+            max_sleep_us: 200,
+            straggler_permille: 8,
+            straggler_us: 4_000,
+        }
+    }
+}
+
+struct ChaosState {
+    cfg: Chaos,
+    rng: SmallRng,
+}
+
+static CHAOS_ON: AtomicBool = AtomicBool::new(false);
+static CHAOS: StdMutex<Option<ChaosState>> = StdMutex::new(None);
+
+/// Installs (or with `None` removes) the chaos policy process-wide.
+pub fn set_chaos(chaos: Option<Chaos>) {
+    let mut slot = lock_recovering(&CHAOS);
+    *slot = chaos.map(|cfg| ChaosState {
+        cfg,
+        rng: SmallRng::seed_from_u64(cfg.seed),
+    });
+    CHAOS_ON.store(slot.is_some(), Ordering::SeqCst);
+}
+
+enum Perturb {
+    Nothing,
+    Yield,
+    Sleep(Duration),
+}
+
+fn draw_perturb() -> Perturb {
+    let mut slot = lock_recovering(&CHAOS);
+    let Some(state) = slot.as_mut() else {
+        return Perturb::Nothing;
+    };
+    let roll: u32 = state.rng.gen_range(0u32..1000);
+    let c = state.cfg;
+    if roll < c.straggler_permille {
+        Perturb::Sleep(Duration::from_micros(c.straggler_us))
+    } else if roll < c.straggler_permille + c.sleep_permille {
+        let us = state.rng.gen_range(0u64..=c.max_sleep_us);
+        Perturb::Sleep(Duration::from_micros(us))
+    } else if roll < c.straggler_permille + c.sleep_permille + c.yield_permille {
+        Perturb::Yield
+    } else {
+        Perturb::Nothing
+    }
+}
+
+fn perturb() {
+    if !CHAOS_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    match draw_perturb() {
+        Perturb::Nothing => {}
+        Perturb::Yield => std::thread::yield_now(),
+        Perturb::Sleep(d) => std::thread::sleep(d),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex.
+// ---------------------------------------------------------------------
+
+/// A labeled, instrumented [`std::sync::Mutex`]: acquisitions record
+/// the holder's prior lockset, poison is recovered with a diagnostic.
+pub struct Mutex<T> {
+    label: &'static str,
+    instance: u64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex of class `label` guarding `value`.
+    pub fn new(label: &'static str, value: T) -> Mutex<T> {
+        Mutex {
+            label,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// This instance's identity.
+    pub fn id(&self) -> LockId {
+        LockId {
+            label: self.label,
+            instance: self.instance,
+        }
+    }
+
+    /// Acquires the lock, recovering (with a diagnostic) if poisoned.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        perturb();
+        let inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                note_poison(self.id());
+                poisoned.into_inner()
+            }
+        };
+        let held = held_snapshot();
+        held_push(self.id());
+        record(EventKind::Acquire {
+            lock: self.id(),
+            held,
+        });
+        MutexGuard {
+            inner: Some(inner),
+            lock: self,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("label", &self.label)
+            .field("instance", &self.instance)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard for an instrumented [`Mutex`]; releasing records the event.
+pub struct MutexGuard<'a, T> {
+    /// `None` only transiently while suspended inside a condvar wait.
+    inner: Option<StdMutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Hands the raw guard to a condvar wait, recording the release.
+    fn suspend(mut self) -> (StdMutexGuard<'a, T>, &'a Mutex<T>) {
+        let inner = self.inner.take().expect("guard is live");
+        let lock = self.lock;
+        held_remove(lock.id());
+        record(EventKind::Release { lock: lock.id() });
+        (inner, lock)
+    }
+
+    /// Rewraps the raw guard a condvar wait returned, recording the
+    /// reacquisition.
+    fn resume(inner: StdMutexGuard<'a, T>, lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        let held = held_snapshot();
+        held_push(lock.id());
+        record(EventKind::Acquire {
+            lock: lock.id(),
+            held,
+        });
+        MutexGuard {
+            inner: Some(inner),
+            lock,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            held_remove(self.lock.id());
+            record(EventKind::Release {
+                lock: self.lock.id(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar.
+// ---------------------------------------------------------------------
+
+/// A labeled, instrumented [`std::sync::Condvar`].
+///
+/// Raw [`wait`](Condvar::wait) is recorded as unguarded+untimed, which
+/// FQ302 flags: nothing re-checks the predicate, so a stolen or
+/// spurious wakeup is silently lost. Prefer
+/// [`wait_while`](Condvar::wait_while) /
+/// [`wait_timeout_while`](Condvar::wait_timeout_while) (shim-guarded),
+/// or [`wait_timeout`](Condvar::wait_timeout) where the caller
+/// tolerates empty wakeups by design.
+pub struct Condvar {
+    label: &'static str,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condvar labeled `label`.
+    pub fn new(label: &'static str) -> Condvar {
+        Condvar {
+            label,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// The label given at construction.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn begin(&self, lock: LockId, timed: bool, guarded: bool) {
+        record(EventKind::WaitBegin {
+            cond: self.label,
+            lock,
+            timed,
+            guarded,
+        });
+    }
+
+    fn end(&self, lock: LockId) {
+        record(EventKind::WaitEnd {
+            cond: self.label,
+            lock,
+        });
+    }
+
+    /// Raw untimed wait — flagged by FQ302; see the type docs.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let id = guard.lock.id();
+        self.begin(id, false, false);
+        let (inner, lock) = guard.suspend();
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => {
+                note_poison(id);
+                poisoned.into_inner()
+            }
+        };
+        self.end(id);
+        MutexGuard::resume(inner, lock)
+    }
+
+    /// Raw timed wait; returns the guard and whether it timed out.
+    /// Not flagged: the timeout bounds any lost wakeup, and callers of
+    /// this form handle empty results by contract.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let id = guard.lock.id();
+        self.begin(id, true, false);
+        let (inner, lock) = guard.suspend();
+        let (inner, timed_out) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                note_poison(id);
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        };
+        self.end(id);
+        (MutexGuard::resume(inner, lock), timed_out)
+    }
+
+    /// Guarded untimed wait: blocks while `condition` returns `true`,
+    /// with the predicate re-checked by the shim on every wakeup.
+    pub fn wait_while<'a, T, F>(&self, guard: MutexGuard<'a, T>, condition: F) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let id = guard.lock.id();
+        self.begin(id, false, true);
+        let (inner, lock) = guard.suspend();
+        let inner = match self.inner.wait_while(inner, condition) {
+            Ok(g) => g,
+            Err(poisoned) => {
+                note_poison(id);
+                poisoned.into_inner()
+            }
+        };
+        self.end(id);
+        MutexGuard::resume(inner, lock)
+    }
+
+    /// Guarded timed wait: blocks while `condition` returns `true` or
+    /// until `timeout`; returns the guard and whether it timed out.
+    pub fn wait_timeout_while<'a, T, F>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+        condition: F,
+    ) -> (MutexGuard<'a, T>, bool)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let id = guard.lock.id();
+        self.begin(id, true, true);
+        let (inner, lock) = guard.suspend();
+        let (inner, timed_out) = match self.inner.wait_timeout_while(inner, timeout, condition) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                note_poison(id);
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        };
+        self.end(id);
+        (MutexGuard::resume(inner, lock), timed_out)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        perturb();
+        record(EventKind::Notify {
+            cond: self.label,
+            all: false,
+        });
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        perturb();
+        record(EventKind::Notify {
+            cond: self.label,
+            all: true,
+        });
+        self.inner.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TracedData: shared cells for lockset (FQ301) analysis.
+// ---------------------------------------------------------------------
+
+/// A shared cell whose accesses are recorded with the accessor's
+/// lockset — the input of the Eraser-style FQ301 race lint.
+///
+/// The cell is internally atomic (a private `std` mutex invisible to
+/// the lockset model), so even deliberately "racy" fixtures execute
+/// without undefined behavior; what FQ301 judges is the *protocol*:
+/// two threads touching the cell, at least one writing, with no shim
+/// lock in common.
+pub struct TracedData<T> {
+    label: &'static str,
+    instance: u64,
+    cell: StdMutex<T>,
+}
+
+impl<T> TracedData<T> {
+    /// A new traced cell of class `label` holding `value`.
+    pub fn new(label: &'static str, value: T) -> TracedData<T> {
+        TracedData {
+            label,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            cell: StdMutex::new(value),
+        }
+    }
+
+    /// This cell's identity.
+    pub fn id(&self) -> LockId {
+        LockId {
+            label: self.label,
+            instance: self.instance,
+        }
+    }
+
+    fn access(&self, write: bool) {
+        record(EventKind::Access {
+            cell: self.id(),
+            write,
+            locks: held_snapshot(),
+        });
+    }
+
+    /// Reads the cell (recorded as a read access).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        perturb();
+        self.access(false);
+        lock_recovering(&self.cell).clone()
+    }
+
+    /// Replaces the cell's value (recorded as a write access).
+    pub fn set(&self, value: T) {
+        perturb();
+        self.access(true);
+        *lock_recovering(&self.cell) = value;
+    }
+
+    /// Read-modify-write (recorded as a write access).
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        perturb();
+        self.access(true);
+        f(&mut lock_recovering(&self.cell))
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TracedData<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracedData")
+            .field("label", &self.label)
+            .field("instance", &self.instance)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Channels.
+// ---------------------------------------------------------------------
+
+/// An unbounded instrumented mpsc channel labeled `label`; sends and
+/// receives are recorded so channel-shaped handoffs appear in traces.
+pub fn channel<T>(label: &'static str) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender { label, inner: tx }, Receiver { label, inner: rx })
+}
+
+/// Sending half of an instrumented channel.
+pub struct Sender<T> {
+    label: &'static str,
+    inner: std::sync::mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            label: self.label,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, recording the event; `Err` means the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        perturb();
+        record(EventKind::ChannelSend {
+            channel: self.label,
+        });
+        self.inner.send(value).map_err(|e| e.0)
+    }
+}
+
+/// Receiving half of an instrumented channel.
+pub struct Receiver<T> {
+    label: &'static str,
+    inner: std::sync::mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive; `None` means every sender is gone.
+    pub fn recv(&self) -> Option<T> {
+        let got = self.inner.recv().ok();
+        if got.is_some() {
+            record(EventKind::ChannelRecv {
+                channel: self.label,
+            });
+        }
+        got
+    }
+
+    /// Timed receive; `None` on timeout or disconnection.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let got = self.inner.recv_timeout(timeout).ok();
+        if got.is_some() {
+            record(EventKind::ChannelRecv {
+                channel: self.label,
+            });
+        }
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_records_prior_lockset_and_release_pairs_up() {
+        let session = begin_trace();
+        let a = Mutex::new("test.outer", ());
+        let b = Mutex::new("test.inner", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let trace = session.finish();
+        let acquires: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { lock, held } => Some((lock.label, held.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires.len(), 2);
+        assert_eq!(acquires[0], ("test.outer", vec![]));
+        assert_eq!(acquires[1].0, "test.inner");
+        assert_eq!(acquires[1].1[0].label, "test.outer");
+        let releases = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Release { .. }))
+            .count();
+        assert_eq!(releases, 2);
+    }
+
+    #[test]
+    fn guarded_wait_round_trips_and_marks_guarded() {
+        let session = begin_trace();
+        let pair = Arc::new((Mutex::new("test.queue", false), Condvar::new("test.ready")));
+        let worker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cond) = &*pair;
+                let guard = lock.lock();
+                let guard = cond.wait_while(guard, |ready| !*ready);
+                assert!(*guard);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (lock, cond) = &*pair;
+            *lock.lock() = true;
+            cond.notify_all();
+        }
+        worker.join().expect("worker");
+        let trace = session.finish();
+        let wait = trace
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::WaitBegin { guarded, timed, .. } => Some((*guarded, *timed)),
+                _ => None,
+            })
+            .expect("a wait was recorded");
+        assert_eq!(wait, (true, false));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WaitEnd { .. })));
+    }
+
+    #[test]
+    fn traced_data_snapshots_the_lockset() {
+        let session = begin_trace();
+        let guard_lock = Mutex::new("test.guard", ());
+        let cell = TracedData::new("test.cell", 0u64);
+        {
+            let _g = guard_lock.lock();
+            cell.update(|v| *v += 1);
+        }
+        cell.set(5);
+        assert_eq!(cell.get(), 5);
+        let trace = session.finish();
+        let accesses: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Access { write, locks, .. } => Some((*write, locks.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accesses, vec![(true, 1), (true, 0), (false, 0)]);
+    }
+
+    #[test]
+    fn poison_is_recovered_and_counted() {
+        let m = Arc::new(Mutex::new("test.poisoned", 7u64));
+        let before = poison_recoveries();
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+        assert!(poison_recoveries() > before);
+    }
+
+    #[test]
+    fn signature_distinguishes_interleavings_and_normalizes_threads() {
+        let a = Mutex::new("sig.a", ());
+        let b = Mutex::new("sig.b", ());
+        let session = begin_trace();
+        drop(a.lock());
+        drop(b.lock());
+        let one = session.finish().signature(&[]);
+        let session = begin_trace();
+        drop(b.lock());
+        drop(a.lock());
+        let two = session.finish().signature(&[]);
+        assert_ne!(one, two, "different orders hash differently");
+        let session = begin_trace();
+        drop(a.lock());
+        drop(b.lock());
+        let again = session.finish().signature(&[]);
+        assert_eq!(one, again, "same order hashes equally");
+    }
+
+    #[test]
+    fn channel_round_trip_is_recorded() {
+        let session = begin_trace();
+        let (tx, rx) = channel::<u32>("test.chan");
+        tx.send(9).expect("receiver lives");
+        assert_eq!(rx.recv(), Some(9));
+        let trace = session.finish();
+        assert!(trace.events.iter().any(
+            |e| matches!(e.kind, EventKind::ChannelSend { channel } if channel == "test.chan")
+        ));
+        assert!(trace.events.iter().any(
+            |e| matches!(e.kind, EventKind::ChannelRecv { channel } if channel == "test.chan")
+        ));
+    }
+}

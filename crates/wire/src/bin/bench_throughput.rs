@@ -19,6 +19,7 @@
 //! shrinks the matrix to a CI smoke: 1/4 clients, short windows, and
 //! only sanity bars (every run completes queries, answers never error).
 
+use fedoq_sync::{Condvar, Mutex};
 use fedoq_wire::WireClient;
 use fedoq_workload::university;
 use std::fmt::Write as _;
@@ -26,7 +27,7 @@ use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Serve-side worker threads.
@@ -219,13 +220,23 @@ fn run_closed(addr: &str, strategy: &'static str, clients: usize, window: Durati
     }
 }
 
+/// Open-loop arrival queue on the instrumented shim: the pool parks in
+/// a *guarded* timed wait (`wait_timeout_while`), so the FQ302 condvar
+/// lint stays clean and poisoned locks recover instead of unwrapping.
+struct Arrivals {
+    queue: Mutex<Vec<Instant>>,
+    ready: Condvar,
+}
+
 /// Open loop: arrivals on a fixed schedule, a connection pool serving
 /// them; latency counts from scheduled arrival to completion.
 fn run_open(addr: &str, strategy: &'static str, rate_qps: f64, window: Duration) -> Run {
     let offered = (rate_qps * window.as_secs_f64()).floor().max(1.0) as usize;
     let interval = Duration::from_secs_f64(1.0 / rate_qps.max(1e-9));
-    let arrivals: Arc<(Mutex<Vec<Instant>>, Condvar)> =
-        Arc::new((Mutex::new(Vec::new()), Condvar::new()));
+    let arrivals = Arc::new(Arrivals {
+        queue: Mutex::new("bench.arrivals", Vec::new()),
+        ready: Condvar::new("bench.arrival-ready"),
+    });
     let done = Arc::new(AtomicBool::new(false));
 
     let pool = POOL.min(offered).max(1);
@@ -242,24 +253,21 @@ fn run_open(addr: &str, strategy: &'static str, rate_qps: f64, window: Duration)
             };
             loop {
                 let arrival = {
-                    let (queue, cond) = &*arrivals;
-                    let mut queue = queue
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    loop {
-                        if let Some(at) = queue.pop() {
-                            break Some(at);
-                        }
-                        if done.load(Ordering::Relaxed) {
-                            break None;
-                        }
-                        let (guard, _) = cond
-                            .wait_timeout(queue, Duration::from_millis(20))
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        queue = guard;
-                    }
+                    let queue = arrivals.queue.lock();
+                    let (mut queue, _) =
+                        arrivals
+                            .ready
+                            .wait_timeout_while(queue, Duration::from_millis(20), |q| {
+                                q.is_empty() && !done.load(Ordering::Relaxed)
+                            });
+                    queue.pop()
                 };
-                let Some(arrival) = arrival else { return lats };
+                let Some(arrival) = arrival else {
+                    if done.load(Ordering::Relaxed) {
+                        return lats;
+                    }
+                    continue; // timed out with an empty queue; re-park
+                };
                 match client.query(university::Q1, strategy) {
                     Ok(Ok(_)) => lats.ms.push(arrival.elapsed().as_secs_f64() * 1e3),
                     Ok(Err(_)) | Err(_) => lats.errors += 1,
@@ -274,29 +282,19 @@ fn run_open(addr: &str, strategy: &'static str, rate_qps: f64, window: Duration)
         if let Some(sleep) = at.checked_duration_since(Instant::now()) {
             std::thread::sleep(sleep);
         }
-        let (queue, cond) = &*arrivals;
-        queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(0, at);
-        cond.notify_one();
+        arrivals.queue.lock().insert(0, at);
+        arrivals.ready.notify_one();
     }
     // Let the pool drain the tail, then release the workers.
     loop {
-        let empty = {
-            let (queue, _) = &*arrivals;
-            queue
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .is_empty()
-        };
+        let empty = arrivals.queue.lock().is_empty();
         if empty || begin.elapsed() > window.mul_f32(4.0) {
             break;
         }
         std::thread::sleep(Duration::from_millis(20));
     }
     done.store(true, Ordering::Relaxed);
-    arrivals.1.notify_all();
+    arrivals.ready.notify_all();
     let mut all = Latencies::default();
     for handle in handles {
         if let Ok(lats) = handle.join() {

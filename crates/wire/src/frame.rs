@@ -116,7 +116,7 @@ pub enum Frame {
     },
 }
 
-fn enc_role(w: &mut Writer, role: Role) {
+pub(crate) fn enc_role(w: &mut Writer, role: Role) {
     w.u8(match role {
         Role::Serve => 0,
         Role::Site => 1,
@@ -124,7 +124,7 @@ fn enc_role(w: &mut Writer, role: Role) {
     });
 }
 
-fn dec_role(r: &mut Reader) -> Result<Role, WireError> {
+pub(crate) fn dec_role(r: &mut Reader) -> Result<Role, WireError> {
     match r.u8()? {
         0 => Ok(Role::Serve),
         1 => Ok(Role::Site),

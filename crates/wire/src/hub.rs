@@ -23,10 +23,11 @@
 use crate::frame::{read_frame, write_frame, Frame, Role};
 use fedoq_net::msg::{Envelope, Payload};
 use fedoq_sim::Site;
+use fedoq_sync::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Identifier of one live connection.
@@ -90,19 +91,21 @@ impl Hub {
     pub fn new(role: Role, site: Option<u16>) -> Hub {
         Hub {
             sh: Arc::new(Shared {
-                state: Mutex::new(State::default()),
-                cond: Condvar::new(),
+                state: Mutex::new("hub.state", State::default()),
+                cond: Condvar::new("hub.inbound"),
                 role,
                 site,
             }),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.sh
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Acquires the state lock. The instrumented mutex recovers from
+    /// poison (with a diagnostic and a [`fedoq_sync::poison_recoveries`]
+    /// count) instead of cascading a worker's panic: hub state is
+    /// connection-table shaped, and a torn entry surfaces as one lost
+    /// connection, not a dead process.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.sh.state.lock()
     }
 
     /// Starts listening on `addr` (e.g. `127.0.0.1:0`); accepted
@@ -159,7 +162,8 @@ impl Hub {
             let mut st = self.lock();
             let conn = st.next_conn;
             st.next_conn += 1;
-            st.writers.insert(conn, Arc::new(Mutex::new(stream)));
+            st.writers
+                .insert(conn, Arc::new(Mutex::new("hub.writer", stream)));
             conn
         };
         match reader {
@@ -241,11 +245,11 @@ impl Hub {
     pub fn wait_inbound(&self, timeout: Duration) -> Vec<Inbound> {
         let mut st = self.lock();
         if st.inbound.is_empty() {
-            let (guard, _) = self
-                .sh
-                .cond
-                .wait_timeout(st, timeout)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Raw *timed* wait by contract: callers tolerate an empty
+            // return (the wall driver re-polls), so a stolen wakeup only
+            // costs one timeout — which is why FQ302 does not flag the
+            // timed-raw form.
+            let (guard, _) = self.sh.cond.wait_timeout(st, timeout);
             st = guard;
         }
         st.inbound.drain(..).collect()
@@ -298,9 +302,7 @@ impl Hub {
         };
         let Some(writer) = writer else { return false };
         let ok = {
-            let mut stream = writer
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut stream = writer.lock();
             write_frame(&mut *stream, frame).is_ok()
         };
         if !ok {

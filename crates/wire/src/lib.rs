@@ -35,6 +35,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod args;
+pub mod audit;
 pub mod client;
 pub mod codec;
 pub mod drive;
@@ -47,6 +48,7 @@ pub mod serve;
 pub mod site;
 pub mod transport;
 
+pub use audit::{surface, BoundsProbe, ProbeOutcome, SkewProbe, TagFamily, WireSurface};
 pub use client::WireClient;
 pub use codec::WireError;
 pub use fed::build_workload;
@@ -54,6 +56,6 @@ pub use frame::{ClientAnswer, Frame, Role};
 pub use hub::Hub;
 pub use proto::{decode_envelope, encode_envelope};
 pub use render::render_answer;
-pub use serve::{run_serve_daemon, ServeOpts};
-pub use site::{run_site_daemon, SiteOpts};
+pub use serve::{run_serve_daemon, spawn_serve, ServeOpts};
+pub use site::{run_site_daemon, spawn_site, SiteOpts};
 pub use transport::{Locality, TcpTransport};

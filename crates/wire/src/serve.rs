@@ -41,12 +41,14 @@ use fedoq_net::rpc::call;
 use fedoq_net::{DistributedStrategy, RpcConfig, Runtime, Transport};
 use fedoq_plan::{choose, PipelineKnobs, PlanKind, StatsCatalog};
 use fedoq_sim::{Phase, Resource, Simulation, Site, SystemParams};
+use fedoq_sync::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write as _};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::rc::Rc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of one serve frontend.
@@ -74,36 +76,37 @@ struct Job {
     reply: Arc<Mutex<TcpStream>>,
 }
 
-#[derive(Default)]
 struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     cond: Condvar,
 }
 
 impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            jobs: Mutex::new("serve.jobs", VecDeque::new()),
+            cond: Condvar::new("serve.job-ready"),
+        }
+    }
+
     fn push(&self, job: Job) {
-        let mut jobs = self
-            .jobs
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut jobs = self.jobs.lock();
         jobs.push_back(job);
         drop(jobs);
         self.cond.notify_one();
     }
 
     fn pop(&self) -> Job {
-        let mut jobs = self
-            .jobs
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Shim-guarded wait: the predicate re-check lives inside
+        // `wait_while`, so a stolen wakeup (two workers racing one
+        // notify) just parks again instead of popping from an empty
+        // queue — the discipline FQ302 audits.
+        let mut jobs = self.jobs.lock();
         loop {
             if let Some(job) = jobs.pop_front() {
                 return job;
             }
-            jobs = self
-                .cond
-                .wait(jobs)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            jobs = self.cond.wait_while(jobs, |q| q.is_empty());
         }
     }
 }
@@ -112,6 +115,40 @@ impl JobQueue {
 /// half of the bucket space (sites use the lower; see [`crate::site`]).
 fn rpc_base(worker: usize, seq: u64) -> u64 {
     ((0x80 + (worker as u64 & 0x3F)) << 56) | ((seq & 0xFF_FFFF) << 32)
+}
+
+/// Boots the frontend in-process: binds the client listener, spawns the
+/// worker pool and the accept loop on background threads, and returns
+/// the bound address. The frontend runs until the process exits — the
+/// entry point the schedule explorer and loopback tests use to host a
+/// serve stack inside their own process.
+///
+/// # Errors
+///
+/// Returns an error string if the workload spec is invalid or the
+/// listener cannot bind.
+pub fn spawn_serve(opts: &ServeOpts) -> Result<SocketAddr, String> {
+    // Fail fast on a bad spec before accepting anyone.
+    build_workload(&opts.workload)?;
+    let listener =
+        TcpListener::bind(&opts.listen).map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let queue = Arc::new(JobQueue::new());
+    for worker in 0..opts.workers.max(1) {
+        let opts = opts.clone();
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || worker_loop(worker, &opts, &queue));
+    }
+
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || client_loop(stream, &queue));
+        }
+    });
+    Ok(addr)
 }
 
 /// Runs the frontend forever (until the process is killed).
@@ -124,27 +161,12 @@ fn rpc_base(worker: usize, seq: u64) -> u64 {
 /// Returns an error string if the workload spec is invalid or the
 /// listener cannot bind.
 pub fn run_serve_daemon(opts: ServeOpts) -> Result<(), String> {
-    // Fail fast on a bad spec before accepting anyone.
-    build_workload(&opts.workload)?;
-    let listener =
-        TcpListener::bind(&opts.listen).map_err(|e| format!("bind {}: {e}", opts.listen))?;
-    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let addr = spawn_serve(&opts)?;
     println!("LISTENING {addr}");
     let _ = io::stdout().flush();
-
-    let queue = Arc::new(JobQueue::default());
-    for worker in 0..opts.workers.max(1) {
-        let opts = opts.clone();
-        let queue = Arc::clone(&queue);
-        std::thread::spawn(move || worker_loop(worker, &opts, &queue));
+    loop {
+        std::thread::park();
     }
-
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let queue = Arc::clone(&queue);
-        std::thread::spawn(move || client_loop(stream, &queue));
-    }
-    Ok(())
 }
 
 /// Reads queries off one client connection into the job queue.
@@ -153,7 +175,7 @@ fn client_loop(stream: TcpStream, queue: &JobQueue) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let writer = Arc::new(Mutex::new(write_half));
+    let writer = Arc::new(Mutex::new("serve.client-writer", write_half));
     let mut reader = BufReader::new(stream);
     loop {
         match read_frame(&mut reader) {
@@ -192,21 +214,26 @@ fn worker_loop(worker: usize, opts: &ServeOpts, queue: &JobQueue) {
     let mut job_seq = 0u64;
     loop {
         let job = queue.pop();
-        let reply = execute(
-            &fed,
-            &mut catalog,
-            &hub,
-            &cache,
-            opts,
-            worker,
-            &mut job_seq,
-            &job,
-        );
+        // A panicking query must cost one answer, not the worker: the
+        // client gets an error frame, shim locks the panic poisoned are
+        // recovered with a diagnostic, and the worker pulls the next
+        // job. (The catalog/cache may miss one feedback observation —
+        // statistics, not correctness.)
+        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(
+                &fed,
+                &mut catalog,
+                &hub,
+                &cache,
+                opts,
+                worker,
+                &mut job_seq,
+                &job,
+            )
+        }))
+        .unwrap_or_else(|_| Err("query execution panicked; worker recovered".into()));
         let frame = Frame::Answer { id: job.id, reply };
-        let mut stream = job
-            .reply
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut stream = job.reply.lock();
         let _ = write_frame(&mut *stream, &frame);
     }
 }

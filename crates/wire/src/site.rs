@@ -62,6 +62,39 @@ fn rpc_base(db: u16, seq: u64) -> u64 {
     ((1 + (db as u64 & 0x3F)) << 56) | ((seq & 0xFF_FFFF) << 32)
 }
 
+/// Boots one site in-process: binds the listener, spawns the drive loop
+/// on a background thread, and returns the bound address. The site runs
+/// until the process exits — the entry point the schedule explorer and
+/// loopback tests use to host component sites inside their own process.
+///
+/// The federation (and each distinct query session) is rebuilt and
+/// leaked *inside* the drive thread; repeated spawns therefore leak one
+/// federation each, which is the intended lifetime of a daemon and an
+/// acceptable bound for an explorer run.
+///
+/// # Errors
+///
+/// Returns an error string if the workload spec is invalid, the site id
+/// is out of range, or the listener cannot bind.
+pub fn spawn_site(opts: &SiteOpts) -> Result<std::net::SocketAddr, String> {
+    let (fed, _) = build_workload(&opts.workload)?;
+    if (opts.db as usize) >= fed.num_dbs() {
+        return Err(format!(
+            "site {} out of range: workload has {} sites",
+            opts.db,
+            fed.num_dbs()
+        ));
+    }
+    drop(fed); // validated; the drive thread rebuilds its own copy
+    let hub = Hub::new(Role::Site, Some(opts.db));
+    let addr = hub
+        .listen(&opts.listen)
+        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let opts = opts.clone();
+    std::thread::spawn(move || drive_site(hub, &opts));
+    Ok(addr)
+}
+
 /// Runs the daemon forever (until the process is killed).
 ///
 /// Prints `LISTENING <addr>` on stdout once the listener is bound — the
@@ -80,16 +113,24 @@ pub fn run_site_daemon(opts: SiteOpts) -> Result<(), String> {
             fed.num_dbs()
         ));
     }
-    // Sessions are bound to `'static` actor futures on a long-lived
-    // runtime; the federation and each distinct query are leaked once
-    // per process, which is the intended lifetime of a daemon.
-    let fed: &'static Federation = Box::leak(Box::new(fed));
+    drop(fed);
     let hub = Hub::new(Role::Site, Some(opts.db));
     let addr = hub
         .listen(&opts.listen)
         .map_err(|e| format!("bind {}: {e}", opts.listen))?;
     println!("LISTENING {addr}");
     let _ = std::io::stdout().flush();
+    drive_site(hub, &opts)
+}
+
+/// The site's long-lived drive loop: rebuilds the federation, then runs
+/// the session-managing runtime against `hub` forever.
+fn drive_site(hub: Hub, opts: &SiteOpts) -> Result<(), String> {
+    // Sessions are bound to `'static` actor futures on a long-lived
+    // runtime; the federation and each distinct query are leaked once
+    // per drive loop, which is the intended lifetime of a daemon.
+    let (fed, _) = build_workload(&opts.workload)?;
+    let fed: &'static Federation = Box::leak(Box::new(fed));
 
     let rt: Runtime<'static> = Runtime::new();
     let handle = rt.handle();

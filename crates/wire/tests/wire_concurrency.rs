@@ -1,0 +1,305 @@
+//! Concurrency tests for the TCP serving layer, driven by the
+//! FQ300-series analyzers.
+//!
+//! Every test here makes the same two-sided claim: under a stressed or
+//! perturbed thread schedule the serving layer (1) keeps its answers
+//! byte-identical to the single-threaded
+//! [`DistributedExecutor::run_local`] baseline, and (2) leaves a sync
+//! trace that the FQ300–FQ302 lints judge clean (no lock-order cycles,
+//! no lockset races, no raw untimed condvar waits). The schedule
+//! explorer test adds FQ303 (answer-divergence-freedom across seeded
+//! chaos schedules); the kill test adds real process death mid-job.
+//!
+//! The in-process entry points ([`spawn_site`]/[`spawn_serve`]) leak
+//! their daemon threads by design, so each test boots its own stack on
+//! fresh ports and the process exits when the suite does.
+
+use fedoq_check::{analyze_trace, explore_serving, ExploreOpts, Report};
+use fedoq_net::{DistributedExecutor, DistributedStrategy, RpcConfig};
+use fedoq_sync::{begin_trace, set_chaos, Chaos};
+use fedoq_wire::{render_answer, spawn_serve, spawn_site, ServeOpts, SiteOpts, WireClient};
+use fedoq_workload::university;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+/// Generous deadlines: classification must come from the data, never
+/// from a scheduling hiccup on a loaded CI box.
+fn patient_rpc() -> RpcConfig {
+    RpcConfig {
+        timeout_us: 5_000_000.0,
+        retries: 3,
+        ..RpcConfig::default()
+    }
+}
+
+/// Boots three in-process university sites plus a serve frontend with
+/// `workers` worker threads; returns the serve address.
+fn boot_in_process(workers: usize, rpc: RpcConfig) -> SocketAddr {
+    let mut site_addrs = Vec::new();
+    for db in 0..3u16 {
+        let addr = spawn_site(&SiteOpts {
+            db,
+            listen: "127.0.0.1:0".into(),
+            workload: "university".into(),
+            rpc,
+            pipeline: Default::default(),
+        })
+        .expect("site spawns");
+        site_addrs.push(addr.to_string());
+    }
+    spawn_serve(&ServeOpts {
+        listen: "127.0.0.1:0".into(),
+        sites: site_addrs,
+        workload: "university".into(),
+        workers,
+        rpc,
+        pipeline: Default::default(),
+    })
+    .expect("serve spawns")
+}
+
+/// The single-threaded baseline rendering for one strategy.
+fn local_baseline(strategy: DistributedStrategy) -> Vec<String> {
+    let fed = university::federation().expect("university federation");
+    let query = fed.parse_and_bind(university::Q1).expect("bind Q1");
+    let outcome = DistributedExecutor::new()
+        .run_local(&fed, &query, strategy)
+        .expect("local execution");
+    render_answer(&outcome.answer)
+}
+
+/// Asserts the FQ300–FQ302 lints find nothing in `trace`.
+fn assert_trace_clean(trace: &fedoq_sync::Trace, what: &str) {
+    let mut report = Report::new(what, String::new());
+    analyze_trace(trace, &mut report);
+    assert!(
+        report.diagnostics.is_empty(),
+        "{what}: shipped serving layer must trace clean:\n{report}"
+    );
+}
+
+/// The TSan smoke target: hub + serve + three sites on loopback, every
+/// strategy answering byte-identically, all inside one process so the
+/// sanitizer sees every thread.
+#[test]
+fn loopback_smoke_hub_serve() {
+    let session = begin_trace();
+    let addr = boot_in_process(2, patient_rpc());
+    let mut client = WireClient::connect(&addr.to_string()).expect("connect");
+    for name in ["ca", "bl", "pl"] {
+        let strategy = DistributedStrategy::parse(name).expect("known strategy");
+        let answer = client
+            .query(university::Q1, name)
+            .expect("transport")
+            .unwrap_or_else(|e| panic!("{name} over loopback failed: {e}"));
+        assert_eq!(
+            answer.rows,
+            local_baseline(strategy),
+            "strategy {name}: loopback and local answers diverge"
+        );
+    }
+    assert_trace_clean(&session.finish(), "loopback smoke");
+}
+
+/// The full explorer: seeded chaos schedules, DPOR-style signature
+/// dedup, FQ300–FQ303 all clean on the shipped code.
+#[test]
+fn schedule_explorer_finds_no_findings_on_shipped_code() {
+    let outcome = explore_serving(&ExploreOpts {
+        seeds: (100..=107).collect(),
+        target_schedules: 4,
+        workers: 2,
+        strategies: vec!["bl", "pl"],
+    });
+    assert!(outcome.schedules_run > 0, "explorer never ran a schedule");
+    assert!(
+        outcome.distinct_schedules > 0,
+        "explorer saw no distinct interleavings"
+    );
+    assert!(
+        outcome.report.diagnostics.is_empty(),
+        "explorer found FQ300-series issues in the shipped serving layer:\n{}",
+        outcome.report
+    );
+}
+
+/// Queue pressure: more in-flight jobs than workers from several
+/// concurrent clients, under chaos perturbation. Every answer must
+/// still be byte-identical to the baseline, and the trace clean.
+#[test]
+fn full_job_queue_keeps_answers_byte_identical() {
+    let session = begin_trace();
+    let addr = boot_in_process(2, patient_rpc());
+    set_chaos(Some(Chaos::seeded(42)));
+    let expected = local_baseline(DistributedStrategy::bl());
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(&addr.to_string()).expect("connect");
+                for round in 0..4 {
+                    let answer = client
+                        .query(university::Q1, "bl")
+                        .expect("transport")
+                        .unwrap_or_else(|e| panic!("client {c} round {round}: {e}"));
+                    assert_eq!(
+                        answer.rows, expected,
+                        "client {c} round {round}: answer depends on queue pressure"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+    set_chaos(None);
+    assert_trace_clean(&session.finish(), "full job queue");
+}
+
+/// Connection churn: clients connect, run one query, and disconnect
+/// concurrently. Reconnects must neither corrupt answers nor trip the
+/// trace lints.
+#[test]
+fn concurrent_reconnect_is_schedule_safe() {
+    let session = begin_trace();
+    let addr = boot_in_process(2, patient_rpc());
+    let expected = local_baseline(DistributedStrategy::pl());
+    let churners: Vec<_> = (0..3)
+        .map(|c| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..5 {
+                    let mut client = WireClient::connect(&addr.to_string()).expect("connect");
+                    let answer = client
+                        .query(university::Q1, "pl")
+                        .expect("transport")
+                        .unwrap_or_else(|e| panic!("churner {c} round {round}: {e}"));
+                    assert_eq!(
+                        answer.rows, expected,
+                        "churner {c} round {round}: reconnect corrupted the answer"
+                    );
+                    drop(client); // explicit: the disconnect is the point
+                }
+            })
+        })
+        .collect();
+    for handle in churners {
+        handle.join().expect("churner thread");
+    }
+    assert_trace_clean(&session.finish(), "concurrent reconnect");
+}
+
+/// A site process killed while jobs are in flight: the localized
+/// strategy must degrade (never hang, never panic the worker), the
+/// frontend must keep serving afterwards, and the serve-side trace must
+/// stay clean — including the poison-recovery path never firing.
+#[test]
+fn killed_site_mid_job_degrades_and_serving_continues() {
+    // The victim site is a real child process; its two peers and the
+    // serve frontend live in this process so the trace sees them.
+    let mut site_addrs = Vec::new();
+    let rpc = RpcConfig {
+        timeout_us: 300_000.0,
+        retries: 1,
+        backoff_us: 50_000.0,
+        ..RpcConfig::default()
+    };
+    for db in 0..2u16 {
+        let addr = spawn_site(&SiteOpts {
+            db,
+            listen: "127.0.0.1:0".into(),
+            workload: "university".into(),
+            rpc,
+            pipeline: Default::default(),
+        })
+        .expect("site spawns");
+        site_addrs.push(addr.to_string());
+    }
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_fedoq-site"))
+        .args([
+            "--db",
+            "2",
+            "--workload",
+            "university",
+            "--rpc-timeout-us",
+            "300000",
+            "--rpc-retries",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn victim site");
+    let victim_addr = announced_addr(&mut victim);
+    site_addrs.push(victim_addr);
+
+    let session = begin_trace();
+    let addr = spawn_serve(&ServeOpts {
+        listen: "127.0.0.1:0".into(),
+        sites: site_addrs,
+        workload: "university".into(),
+        workers: 2,
+        rpc,
+        pipeline: Default::default(),
+    })
+    .expect("serve spawns");
+    let mut client = WireClient::connect(&addr.to_string()).expect("connect");
+
+    // Healthy first, so the kill is the only variable.
+    let healthy = client
+        .query(university::Q1, "bl")
+        .expect("transport")
+        .expect("healthy BL run");
+    assert!(!healthy.is_degraded(), "no site died yet");
+
+    // Launch a query and kill the victim while it is in flight.
+    let poison_before = fedoq_sync::poison_recoveries();
+    let in_flight = std::thread::spawn(move || {
+        let got = client.query(university::Q1, "bl");
+        (client, got)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    victim.kill().expect("kill victim");
+    victim.wait().expect("reap victim");
+
+    let (mut client, got) = in_flight.join().expect("in-flight query thread");
+    // Depending on where the kill landed, the in-flight answer is
+    // either still complete or degraded — but never a hang or a panic.
+    let answer = got
+        .expect("transport")
+        .unwrap_or_else(|e| panic!("BL with a dying site must degrade, not fail: {e}"));
+    assert_eq!(answer.executed, "BL");
+
+    // The frontend keeps serving: the site is now definitely dead, so
+    // the answer must be flagged degraded and implicate it.
+    let after = client
+        .query(university::Q1, "bl")
+        .expect("transport")
+        .expect("BL after the kill");
+    assert!(
+        after.is_degraded(),
+        "dead site produced a clean answer: {:?}",
+        after.degraded_sites
+    );
+    assert_eq!(
+        fedoq_sync::poison_recoveries(),
+        poison_before,
+        "a site death must not poison any serve-side lock"
+    );
+    assert_trace_clean(&session.finish(), "kill mid-job");
+}
+
+/// Reads the `LISTENING <addr>` announcement off a child daemon.
+fn announced_addr(child: &mut Child) -> String {
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("daemon announcement");
+    line.trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("expected LISTENING announcement, got {line:?}"))
+        .to_string()
+}

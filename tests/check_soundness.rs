@@ -48,7 +48,7 @@ fn protocol_audit_passes_clean_on_the_university_example() {
 }
 
 #[test]
-fn all_five_seeded_unsound_inputs_are_rejected_with_stable_ids() {
+fn all_twelve_seeded_unsound_inputs_are_rejected_with_stable_ids() {
     let cases = fedoq_check::self_test().unwrap_or_else(|e| panic!("{e}"));
     let ids: Vec<(&str, &str)> = cases.iter().map(|c| (c.name, c.expect)).collect();
     assert_eq!(
@@ -59,6 +59,13 @@ fn all_five_seeded_unsound_inputs_are_rejected_with_stable_ids() {
             ("incapable-certifier", "FQ102"),
             ("orphaned-rpc", "FQ202"),
             ("double-reply", "FQ201"),
+            ("lock-order-cycle", "FQ300"),
+            ("lockset-race", "FQ301"),
+            ("condvar-wakeup-loss", "FQ302"),
+            ("schedule-divergent-answer", "FQ303"),
+            ("ghost-wire-variant", "FQ304"),
+            ("unbounded-value-depth", "FQ305"),
+            ("silent-grammar-change", "FQ306"),
         ]
     );
     for case in &cases {
