@@ -30,7 +30,7 @@ use fedoq_core::{
 use fedoq_plan::PlanKind;
 use fedoq_query::{bind, BoundQuery};
 use fedoq_sim::SystemParams;
-use fedoq_workload::{generate, WorkloadParams};
+use fedoq_workload::{generate, SampleConfig, WorkloadParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -63,6 +63,33 @@ fn fixed_strategy(name: &str) -> Box<dyn ExecutionStrategy> {
 struct Workload {
     name: &'static str,
     params: WorkloadParams,
+    /// Post-sample reshaping of the drawn config (e.g. forcing a
+    /// bimodal per-site profile the range-based params cannot express).
+    shape: Option<fn(&mut SampleConfig)>,
+    /// Pipeline the adaptive runs plan for and execute with.
+    pipeline: PipelineConfig,
+}
+
+/// Bimodal site profile for the hybrid (HY) workload: most sites
+/// define every predicate attribute — maybe-free, so the hybrid pins
+/// them to BL's schedule and they skip assistant lookups entirely —
+/// while two sites miss *all* predicate attributes. Missing attributes
+/// (unlike nulls) leave local selectivity at 1.0, so every object
+/// survives as a maybe and the assist request wave is proportional to
+/// the extent; on a multi-threaded pipeline PL's static prefetch disk
+/// is divided across workers while BL's serialized request send is
+/// not, so the assist-heavy sites want PL, the clean sites want BL,
+/// and the per-site assignment is the cost-optimal plan.
+fn mixed_profile(config: &mut SampleConfig) {
+    for db in 0..config.n_db {
+        for class in 0..config.n_classes {
+            config.null_ratio[db][class] = 0.0;
+            let defines = db % 3 != 1;
+            for present in &mut config.present[db][class] {
+                *present = defines;
+            }
+        }
+    }
 }
 
 fn workloads(scale: f64) -> Vec<Workload> {
@@ -83,18 +110,45 @@ fn workloads(scale: f64) -> Vec<Workload> {
         p.null_ratio = 0.3..=0.5;
         p
     };
+    let mixed = {
+        let mut p = WorkloadParams::paper_default().scaled(scale);
+        p.n_db = 6;
+        p.n_classes = 3..=3;
+        p.preds_per_class = 1..=1;
+        p.null_ratio = 0.0..=0.0;
+        p.forced_selectivity = Some(1.0);
+        p.iso_ratio = Some(0.5);
+        p.n_iso = 2;
+        p
+    };
+    let threaded = PipelineConfig {
+        threads: 4,
+        ..PipelineConfig::default()
+    };
     vec![
         Workload {
             name: "fig9_3000_objects",
             params: fig9,
+            shape: None,
+            pipeline: PipelineConfig::default(),
         },
         Workload {
             name: "fig10_6_databases",
             params: fig10,
+            shape: None,
+            pipeline: PipelineConfig::default(),
         },
         Workload {
             name: "fig11_high_nulls",
             params: fig11,
+            shape: None,
+            pipeline: PipelineConfig::default(),
+        },
+        Workload {
+            name: "mixed_profile_hybrid",
+            params: mixed,
+            shape: Some(mixed_profile),
+            pipeline: threaded,
         },
     ]
 }
@@ -146,7 +200,13 @@ impl WorkloadRow {
 
 /// Runs one workload sample through every fixed strategy and the
 /// adaptive planner, folding the measurements into `row`.
-fn run_sample(fed: &Federation, query: &BoundQuery, sys: SystemParams, row: &mut WorkloadRow) {
+fn run_sample(
+    fed: &Federation,
+    query: &BoundQuery,
+    sys: SystemParams,
+    pipeline: PipelineConfig,
+    row: &mut WorkloadRow,
+) {
     let mut reference = None;
     for (i, name) in FIXED.iter().enumerate() {
         let (answer, metrics) = run_strategy(fixed_strategy(name).as_ref(), fed, query, sys)
@@ -165,8 +225,7 @@ fn run_sample(fed: &Federation, query: &BoundQuery, sys: SystemParams, row: &mut
     let mut catalog = collect_catalog(fed, sys);
     let mut last = None;
     for _ in 0..REPEATS {
-        let outcome = run_adaptive(fed, query, &mut catalog, PipelineConfig::default(), None)
-            .expect("adaptive run");
+        let outcome = run_adaptive(fed, query, &mut catalog, pipeline, None).expect("adaptive run");
         row.identical &= outcome.answer.same_classification(&reference);
         last = Some(outcome);
     }
@@ -210,11 +269,14 @@ fn main() -> ExitCode {
         };
         for i in 0..settings.samples {
             let seed = BASE_SEED.wrapping_mul(1000).wrapping_add(i as u64);
-            let config = workload.params.sample(&mut StdRng::seed_from_u64(seed));
+            let mut config = workload.params.sample(&mut StdRng::seed_from_u64(seed));
+            if let Some(shape) = workload.shape {
+                shape(&mut config);
+            }
             let sample = generate(&config, seed);
             let query = bind(&sample.query, sample.federation.global_schema())
                 .expect("generated queries always bind");
-            run_sample(&sample.federation, &query, sys, &mut row);
+            run_sample(&sample.federation, &query, sys, workload.pipeline, &mut row);
         }
         let picks: Vec<String> = PlanKind::ALL
             .iter()
@@ -244,6 +306,16 @@ fn main() -> ExitCode {
             failures.push(format!(
                 "{}: adaptive answers diverged from the fixed strategies",
                 row.name
+            ));
+        }
+        // The mixed-profile workload exists to prove HY is reachable:
+        // the converged adaptive run must pick the per-site hybrid at
+        // least once, in quick mode too, so the HY-never-picked
+        // regression cannot silently return.
+        if row.name == "mixed_profile_hybrid" && row.picks[3] == 0 {
+            failures.push(format!(
+                "{}: adaptive never picked HY (picks: CA {}, BL {}, PL {}, HY {})",
+                row.name, row.picks[0], row.picks[1], row.picks[2], row.picks[3]
             ));
         }
         if !quick && row.vs_best() > NEAR_BEST_BAR {

@@ -1,0 +1,355 @@
+//! Scheduler throughput/latency/fairness benchmark.
+//!
+//! Runs the deterministic scheduler simulation over the university
+//! federation at three admission levels (1, 16, and 128 queries in
+//! flight) with the seeded mixed workload, and reports per level:
+//!
+//! * p50/p99 query latency (virtual µs from submission to completion),
+//! * the deadline-miss rate among deadline-carrying queries,
+//! * Jain's fairness index over per-query latencies,
+//! * the peak observed concurrency (overlapping execution windows),
+//! * replan/retry/stale counters from the dispatch trace.
+//!
+//! Every certified answer is checked byte-for-byte against a serial
+//! run of the same plan — the benchmark exits nonzero on any wrong
+//! answer, any failed query, or an unsound replan trace, so the
+//! numbers it publishes are backed by the same differential oracle the
+//! test suite uses.
+//!
+//! `FEDOQ_QUICK=1` shrinks the workload for CI smoke runs.
+//!
+//! Writes `results/BENCH_sched.json`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use fedoq_core::{run_strategy, Federation, QueryAnswer};
+use fedoq_net::DistributedStrategy;
+use fedoq_sched::{mixed_specs, QueryVerdict, SchedConfig, SchedSim};
+use fedoq_sim::SystemParams;
+use fedoq_workload::university;
+
+/// Workload seed; the whole benchmark is a pure function of it.
+const SEED: u64 = 42;
+
+/// Admission levels exercised, smallest to largest.
+const LEVELS: [usize; 3] = [1, 16, 128];
+
+/// One admission level's measurements.
+struct LevelRow {
+    max_inflight: usize,
+    answered: usize,
+    failed: usize,
+    wrong_answers: usize,
+    deadline_queries: usize,
+    deadline_misses: usize,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    jain_fairness: f64,
+    peak_inflight: usize,
+    replans: usize,
+    replan_sound: bool,
+    retries: u64,
+    stale: u64,
+    virtual_us: f64,
+}
+
+impl LevelRow {
+    fn deadline_miss_rate(&self) -> f64 {
+        if self.deadline_queries == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_queries as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample (`q` in `[0, 1]`).
+fn percentile(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let idx = ((values.len() - 1) as f64 * q).round() as usize;
+    values[idx]
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`: 1.0 when every query saw
+/// the same latency, `1/n` when one query absorbed all of it.
+fn jain(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (values.len() as f64 * sq)
+    }
+}
+
+/// Peak number of simultaneously executing queries, from the overlap
+/// of `[started_us, finished_us)` windows of admitted queries.
+fn peak_concurrency(windows: &[(f64, f64)]) -> usize {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(windows.len() * 2);
+    for &(start, finish) in windows {
+        edges.push((start, 1));
+        edges.push((finish, -1));
+    }
+    // Ends sort before starts at the same instant: back-to-back
+    // windows are not "concurrent".
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in edges {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak.max(0) as usize
+}
+
+/// The serial reference answer for an executed plan label (HY merges
+/// and certifies exactly like BL, so BL is its reference).
+fn reference<'a>(
+    fed: &Federation,
+    cache: &'a mut HashMap<(String, String), QueryAnswer>,
+    sql: &str,
+    executed: &str,
+) -> &'a QueryAnswer {
+    cache
+        .entry((sql.to_string(), executed.to_string()))
+        .or_insert_with(|| {
+            let strategy =
+                DistributedStrategy::parse(executed).unwrap_or_else(DistributedStrategy::bl);
+            let query = fed.parse_and_bind(sql).expect("bind");
+            let (answer, _) = run_strategy(
+                strategy.sync().as_ref(),
+                fed,
+                &query,
+                SystemParams::paper_default(),
+            )
+            .expect("serial reference execution");
+            answer
+        })
+}
+
+fn run_level(
+    fed: &Federation,
+    n_queries: usize,
+    max_inflight: usize,
+    cache: &mut HashMap<(String, String), QueryAnswer>,
+) -> LevelRow {
+    let specs = mixed_specs(n_queries, SEED);
+    let config = SchedConfig {
+        max_inflight,
+        ..SchedConfig::default()
+    };
+    let run = SchedSim::new(SEED)
+        .with_config(config)
+        .run(fed, &specs)
+        .unwrap_or_else(|e| panic!("inflight {max_inflight}: scheduler run failed: {e}"));
+    let outcome = &run.outcome;
+
+    let mut latencies = Vec::new();
+    let mut windows = Vec::new();
+    let mut answered = 0usize;
+    let mut failed = 0usize;
+    let mut wrong = 0usize;
+    let mut deadline_queries = 0usize;
+    let mut deadline_misses = 0usize;
+    for query in &outcome.queries {
+        let spec = &specs[query.id as usize];
+        if spec.deadline_us.is_some() {
+            deadline_queries += 1;
+            if query.verdict.deadline_missed() {
+                deadline_misses += 1;
+            }
+        }
+        if query.executed != "-" && query.finished_us >= query.started_us {
+            windows.push((query.started_us, query.finished_us));
+        }
+        match &query.verdict {
+            QueryVerdict::Answered(answer) => {
+                answered += 1;
+                latencies.push(query.finished_us - query.submitted_us);
+                let expected = reference(fed, cache, &spec.sql, &query.executed);
+                let exact = query.degraded_sites.is_empty() && !answer.is_degraded();
+                if exact && *answer != *expected {
+                    wrong += 1;
+                    eprintln!(
+                        "WRONG ANSWER: inflight {max_inflight} query {} ({}) \
+                         diverges from the serial reference",
+                        query.id, query.executed
+                    );
+                }
+            }
+            QueryVerdict::Failed(message) => {
+                failed += 1;
+                eprintln!(
+                    "FAILED: inflight {max_inflight} query {} ({}): {message}",
+                    query.id, query.executed
+                );
+            }
+            QueryVerdict::DeadlineExpiredInQueue | QueryVerdict::DeadlineMiss => {}
+        }
+    }
+
+    let mut report = fedoq_check::Report::new("bench_sched replans", "");
+    fedoq_check::analyze_replans(&outcome.replans, &mut report);
+
+    let mut p50_input = latencies.clone();
+    let mut p99_input = latencies.clone();
+    LevelRow {
+        max_inflight,
+        answered,
+        failed,
+        wrong_answers: wrong,
+        deadline_queries,
+        deadline_misses,
+        p50_latency_us: percentile(&mut p50_input, 0.50),
+        p99_latency_us: percentile(&mut p99_input, 0.99),
+        jain_fairness: jain(&latencies),
+        peak_inflight: peak_concurrency(&windows),
+        replans: outcome.replans.len(),
+        replan_sound: report.is_sound(),
+        retries: outcome.retries,
+        stale: outcome.stale,
+        virtual_us: outcome.virtual_us,
+    }
+}
+
+fn render_json(rows: &[LevelRow], n_queries: usize, quick: bool) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"scheduler\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"queries\": {n_queries},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"levels\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"max_inflight\": {},", row.max_inflight);
+        let _ = writeln!(json, "      \"peak_inflight\": {},", row.peak_inflight);
+        let _ = writeln!(json, "      \"answered\": {},", row.answered);
+        let _ = writeln!(json, "      \"failed\": {},", row.failed);
+        let _ = writeln!(json, "      \"wrong_answers\": {},", row.wrong_answers);
+        let _ = writeln!(
+            json,
+            "      \"deadline_queries\": {},",
+            row.deadline_queries
+        );
+        let _ = writeln!(json, "      \"deadline_misses\": {},", row.deadline_misses);
+        let _ = writeln!(
+            json,
+            "      \"deadline_miss_rate\": {:.4},",
+            row.deadline_miss_rate()
+        );
+        let _ = writeln!(json, "      \"p50_latency_us\": {:.1},", row.p50_latency_us);
+        let _ = writeln!(json, "      \"p99_latency_us\": {:.1},", row.p99_latency_us);
+        let _ = writeln!(json, "      \"jain_fairness\": {:.4},", row.jain_fairness);
+        let _ = writeln!(json, "      \"replans\": {},", row.replans);
+        let _ = writeln!(json, "      \"replan_sound\": {},", row.replan_sound);
+        let _ = writeln!(json, "      \"retries\": {},", row.retries);
+        let _ = writeln!(json, "      \"stale\": {},", row.stale);
+        let _ = writeln!(json, "      \"virtual_us\": {:.1}", row.virtual_us);
+        let _ = write!(json, "    }}");
+        let _ = writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("FEDOQ_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let n_queries = if quick { 32 } else { 256 };
+    let fed = university::federation().expect("university federation");
+    let mut cache = HashMap::new();
+
+    eprintln!(
+        "bench_sched: {n_queries} queries, seed {SEED}, levels {LEVELS:?}{}",
+        if quick { " [quick]" } else { "" },
+    );
+
+    let mut rows = Vec::new();
+    for max_inflight in LEVELS {
+        let row = run_level(&fed, n_queries, max_inflight, &mut cache);
+        eprintln!(
+            "  inflight {:>3}: peak {:>3}, answered {}/{}, wrong {}, \
+             p50 {:.0}us, p99 {:.0}us, jain {:.3}, miss rate {:.2}, replans {}",
+            row.max_inflight,
+            row.peak_inflight,
+            row.answered,
+            n_queries,
+            row.wrong_answers,
+            row.p50_latency_us,
+            row.p99_latency_us,
+            row.jain_fairness,
+            row.deadline_miss_rate(),
+            row.replans,
+        );
+        rows.push(row);
+    }
+
+    let mut failures = Vec::new();
+    for row in &rows {
+        if row.wrong_answers > 0 {
+            failures.push(format!(
+                "inflight {}: {} wrong answers",
+                row.max_inflight, row.wrong_answers
+            ));
+        }
+        if row.failed > 0 {
+            failures.push(format!(
+                "inflight {}: {} queries failed on a healthy federation",
+                row.max_inflight, row.failed
+            ));
+        }
+        if row.answered == 0 {
+            failures.push(format!("inflight {}: no query answered", row.max_inflight));
+        }
+        if !row.replan_sound {
+            failures.push(format!(
+                "inflight {}: replan trace failed the FQ307 audit",
+                row.max_inflight
+            ));
+        }
+    }
+    // The widest level must actually achieve real concurrency — the
+    // point of the benchmark is many queries genuinely in flight.
+    if let Some(widest) = rows.last() {
+        let want = if quick { 8 } else { 128 };
+        if widest.peak_inflight < want {
+            failures.push(format!(
+                "inflight {}: peak observed concurrency {} < {want}",
+                widest.max_inflight, widest.peak_inflight
+            ));
+        }
+    }
+
+    let json = render_json(&rows, n_queries, quick);
+    let out = Path::new("results").join("BENCH_sched.json");
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("error: could not create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = fs::write(&out, &json) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_sched: wrote {}", out.display());
+
+    if failures.is_empty() {
+        eprintln!("bench_sched: all bars met");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("bench_sched: BAR MISSED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -5,8 +5,10 @@
 //! silent actor, a double-replying actor, a lock-order inversion, an
 //! unguarded shared cell, a raw condvar wait, a schedule-dependent
 //! result, a ghost wire variant, a disabled codec bound, a silent
-//! grammar change — into the university example (or a miniature threaded
-//! model, or a doctored wire surface) and records which lint must fire.
+//! grammar change, a replan that re-dispatches merged work — into the
+//! university example (or a miniature threaded model, a doctored wire
+//! surface, or a doctored dispatch trace) and records which lint must
+//! fire.
 //! `fedoq-check --self-test` (and the `check_soundness` integration
 //! test) fails unless every case is rejected with its expected id: a
 //! checker that stops detecting is itself a defect.
@@ -22,6 +24,7 @@ use crate::concurrency::{analyze_trace, check_divergence};
 use crate::diag::Report;
 use crate::plan::{derive_plan, PlanConfig, PlanStep, StrategyKind};
 use crate::protocol::{analyze_run, run_protocol, ActorBug, Schedule};
+use crate::replan::analyze_replans;
 use crate::sync::{begin_trace, Condvar, Mutex, TracedData};
 use crate::wirecheck::analyze_wire;
 use fedoq_net::DistributedStrategy;
@@ -43,7 +46,7 @@ pub struct UnsoundCase {
     pub report: Report,
 }
 
-/// Builds and checks all twelve seeded-unsound cases.
+/// Builds and checks all thirteen seeded-unsound cases.
 pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
     let fed = university::federation().expect("university federation builds");
     let schema = fed.global_schema().clone();
@@ -127,6 +130,7 @@ pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
 
     cases.extend(concurrency_cases());
     cases.extend(wire_cases());
+    cases.extend(replan_cases());
     cases
 }
 
@@ -316,6 +320,28 @@ fn wire_cases() -> Vec<UnsoundCase> {
     cases
 }
 
+/// The FQ307 case: a doctored scheduler replan decision that
+/// re-dispatches a site whose reply was already merged — what the
+/// dispatch trace would record if the merge-once guard were lost.
+fn replan_cases() -> Vec<UnsoundCase> {
+    let replan = fedoq_sched::ReplanEvent {
+        query: 7,
+        at_us: 12_000.0,
+        hosting: vec![DbId::new(0), DbId::new(1), DbId::new(2)],
+        completed: vec![DbId::new(0), DbId::new(1)],
+        // DB1 is already merged, yet the replan dispatches it again.
+        redispatched: vec![DbId::new(1), DbId::new(2)],
+        retained: Vec::new(),
+    };
+    let mut report = Report::new("a replan re-dispatching a merged site", "");
+    analyze_replans(&[replan], &mut report);
+    vec![UnsoundCase {
+        name: "replan-overlap",
+        expect: "FQ307",
+        report,
+    }]
+}
+
 /// Verifies every seeded case is rejected with its expected lint id.
 /// `Err` carries a human-readable explanation of the first failure.
 pub fn self_test() -> Result<Vec<UnsoundCase>, String> {
@@ -347,13 +373,13 @@ mod tests {
     #[test]
     fn every_seeded_case_is_rejected() {
         let cases = self_test().unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(cases.len(), 12);
+        assert_eq!(cases.len(), 13);
         let expected: Vec<&str> = cases.iter().map(|c| c.expect).collect();
         assert_eq!(
             expected,
             vec![
                 "FQ100", "FQ101", "FQ102", "FQ202", "FQ201", "FQ300", "FQ301", "FQ302", "FQ303",
-                "FQ304", "FQ305", "FQ306",
+                "FQ304", "FQ305", "FQ306", "FQ307",
             ]
         );
     }

@@ -63,6 +63,7 @@ pub mod lattice;
 pub mod lints;
 pub mod plan;
 pub mod protocol;
+pub mod replan;
 pub mod wirecheck;
 
 /// The instrumented synchronization shim the serving layer is built on
@@ -78,4 +79,5 @@ pub use plan::{derive_plan, PlanConfig, PlanIr, PlanStep, StrategyKind};
 pub use protocol::{
     check_protocol, run_protocol, run_protocol_with_pipeline, ActorBug, ProtocolRun, Schedule,
 };
+pub use replan::analyze_replans;
 pub use wirecheck::analyze_wire;

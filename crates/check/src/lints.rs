@@ -246,8 +246,24 @@ pub const VERSION_SKEW: Lint = Lint {
     summary: "version-skewed frames accepted, or grammar changed without a version bump",
 };
 
+/// FQ307: a mid-flight replan re-dispatched completed work or dropped a
+/// hosting site.
+///
+/// The scheduler may re-price and re-dispatch *unfinished* sites when
+/// they straggle, but a site whose reply is already merged must never
+/// be dispatched again (certifying its verdicts twice can promote a
+/// maybe row on double-counted evidence), and every hosting site must
+/// stay covered — completed, re-dispatched, or retained in flight — or
+/// its absence elimination is silently lost.
+pub const REPLAN_UNSOUND: Lint = Lint {
+    id: "FQ307",
+    slug: "replan-unsound",
+    severity: Severity::Deny,
+    summary: "mid-flight replan re-dispatched merged work or dropped a hosting site",
+};
+
 /// Every lint in the catalog, in id order.
-pub const ALL: [Lint; 19] = [
+pub const ALL: [Lint; 20] = [
     PHASE_ORDER,
     UNCOVERED_MAYBE,
     INCAPABLE_CERTIFIER,
@@ -267,6 +283,7 @@ pub const ALL: [Lint; 19] = [
     TAG_TABLE_MISMATCH,
     BOUND_VIOLATION,
     VERSION_SKEW,
+    REPLAN_UNSOUND,
 ];
 
 #[cfg(test)]
@@ -288,6 +305,6 @@ mod tests {
                 .count()
                 == 5
         );
-        assert!(ALL.iter().filter(|l| l.id >= "FQ300").count() == 7);
+        assert!(ALL.iter().filter(|l| l.id >= "FQ300").count() == 8);
     }
 }

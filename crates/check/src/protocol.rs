@@ -268,7 +268,9 @@ async fn run_double_reply_site(ctx: Ctx<'_>, db: DbId) {
                 ctx.net
                     .respond(&env, 0, Response::ShipObjects(ShipReply::default()));
             }
-            Request::Certify { .. } | Request::BatchCertify { .. } => {}
+            Request::Certify { .. }
+            | Request::BatchCertify { .. }
+            | Request::HybridCertify { .. } => {}
         }
     }
 }

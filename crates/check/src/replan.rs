@@ -1,0 +1,108 @@
+//! The replan-soundness auditor (FQ307).
+//!
+//! The concurrent scheduler may re-price and re-dispatch *unfinished*
+//! sites mid-flight when they straggle; each decision is recorded as a
+//! [`ReplanEvent`] in the dispatch trace. This module audits those
+//! events for the two ways a replan can corrupt an answer:
+//!
+//! * **re-dispatching merged work** — a site whose reply is already
+//!   folded into the merge must never be asked again: certifying its
+//!   verdicts twice double-counts evidence and can promote a maybe row;
+//! * **dropping a hosting site** — every hosting site must remain
+//!   covered (completed, re-dispatched, or retained in flight), or its
+//!   extent silently stops participating in absence elimination.
+//!
+//! The scheduler's merge accumulator enforces the first property
+//! structurally at run time; this auditor proves it *held* for a
+//! recorded run, so a refactor that loses the guard is caught by the
+//! same trace-replay tests that check fairness.
+
+use crate::diag::{Diagnostic, Report};
+use crate::lints;
+use fedoq_sched::ReplanEvent;
+
+/// Audits every recorded replan decision, appending FQ307 findings.
+pub fn analyze_replans(replans: &[ReplanEvent], report: &mut Report) {
+    for replan in replans {
+        for site in &replan.redispatched {
+            if replan.completed.contains(site) {
+                report.push(
+                    Diagnostic::new(
+                        lints::REPLAN_UNSOUND,
+                        format!(
+                            "query {}: replan at {:.0}us re-dispatched site {site:?} \
+                             whose reply was already merged",
+                            replan.query, replan.at_us
+                        ),
+                    )
+                    .with_hint(
+                        "skip sites the merge accumulator already recorded; \
+                         re-certifying merged verdicts double-counts evidence"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        for site in &replan.hosting {
+            let covered = replan.completed.contains(site)
+                || replan.redispatched.contains(site)
+                || replan.retained.contains(site);
+            if !covered {
+                report.push(
+                    Diagnostic::new(
+                        lints::REPLAN_UNSOUND,
+                        format!(
+                            "query {}: replan at {:.0}us left hosting site {site:?} \
+                             uncovered (neither completed, re-dispatched, nor retained)",
+                            replan.query, replan.at_us
+                        ),
+                    )
+                    .with_hint(
+                        "every hosting site must stay covered by some dispatch or a \
+                         merged reply, or its absence elimination is lost"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_object::DbId;
+
+    fn event(completed: &[u16], redispatched: &[u16], retained: &[u16]) -> ReplanEvent {
+        ReplanEvent {
+            query: 0,
+            at_us: 1_000.0,
+            hosting: vec![DbId::new(0), DbId::new(1), DbId::new(2)],
+            completed: completed.iter().map(|&d| DbId::new(d)).collect(),
+            redispatched: redispatched.iter().map(|&d| DbId::new(d)).collect(),
+            retained: retained.iter().map(|&d| DbId::new(d)).collect(),
+        }
+    }
+
+    #[test]
+    fn sound_replans_pass() {
+        let mut report = Report::new("sound replan", "");
+        analyze_replans(&[event(&[0], &[1], &[2])], &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn redispatching_merged_work_is_denied() {
+        let mut report = Report::new("overlapping replan", "");
+        analyze_replans(&[event(&[0, 1], &[1], &[2])], &mut report);
+        assert!(report.fired("FQ307"));
+        assert!(!report.is_sound());
+    }
+
+    #[test]
+    fn dropping_a_hosting_site_is_denied() {
+        let mut report = Report::new("lossy replan", "");
+        analyze_replans(&[event(&[0], &[1], &[])], &mut report);
+        assert!(report.fired("FQ307"));
+    }
+}

@@ -26,3 +26,4 @@ pub use crate::localized::{
     CheckRequest, CheckVerdict, LocalRow, LocalizedConfig, LocalizedMode, SiteEval, TargetReplies,
     TargetRequest, UnsolvedEntry,
 };
+pub use crate::merge::LocalizedMerge;

@@ -69,6 +69,7 @@ pub mod federation;
 pub mod handlers;
 pub mod localized;
 pub mod materialize;
+pub mod merge;
 pub mod oracle;
 pub mod pipeline;
 pub mod result;
@@ -81,6 +82,7 @@ pub use error::ExecError;
 pub use explain::{explain, explain_with_pipeline};
 pub use federation::Federation;
 pub use localized::{BasicLocalized, HybridLocalized, ParallelLocalized};
+pub use merge::LocalizedMerge;
 pub use oracle::{oracle_answer, oracle_disjunctive};
 pub use pipeline::PipelineConfig;
 pub use result::{MaybeRow, Provenance, QueryAnswer, ResultRow};

@@ -13,7 +13,7 @@
 //! unreachable past the retry budget:
 //!
 //! * unanswered `(item, pred)` assistant checks leave the affected rows
-//!   as **maybe** results tagged [`Provenance::Degraded`] — certification
+//!   as **maybe** results tagged [`Provenance::Degraded`](fedoq_core::Provenance::Degraded) — certification
 //!   simply sees fewer verdicts, which can only move rows from certain to
 //!   maybe, never the reverse;
 //! * a site whose whole `LocalEval` fails is removed from `queried_dbs`,
@@ -39,19 +39,17 @@ use crate::rpc::{call, RpcConfig, RpcError};
 use crate::rt::join_all;
 use fedoq_core::cache::{CacheKey, CacheValue};
 use fedoq_core::handlers::{
-    answer_check_requests, answer_target_requests, centralized_answer_with, certify,
-    evaluate_site_with, reply_message_bytes, request_message_bytes, result_message_bytes,
-    ship_plan, target_reply_message_bytes, CheckReplies, CheckRequest, CheckVerdict,
-    LocalizedConfig, LocalizedMode, TargetReplies, TargetRequest,
+    answer_check_requests, answer_target_requests, centralized_answer_with, evaluate_site_with,
+    reply_message_bytes, request_message_bytes, result_message_bytes, ship_plan,
+    target_reply_message_bytes, CheckRequest, CheckVerdict, LocalizedConfig, LocalizedMerge,
+    LocalizedMode, TargetRequest,
 };
-use fedoq_core::{
-    query_fingerprint, ExecError, Federation, LookupCache, PipelineConfig, Provenance, QueryAnswer,
-};
-use fedoq_object::{DbId, GOid, LOid, Value};
+use fedoq_core::{query_fingerprint, ExecError, Federation, LookupCache, PipelineConfig};
+use fedoq_object::{DbId, LOid, Value};
 use fedoq_query::{plan_for_db, BoundQuery, PredId};
 use fedoq_sim::{Phase, Simulation, Site};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -210,7 +208,7 @@ pub async fn serve_site_request<'a>(ctx: Ctx<'a>, db: DbId, env: Envelope) {
                 .respond(&env, bytes, Response::ShipObjects(ShipReply { bytes }));
         }
         // Certification is the global actor's job; ignore it here.
-        Request::Certify { .. } | Request::BatchCertify { .. } => {}
+        Request::Certify { .. } | Request::BatchCertify { .. } | Request::HybridCertify { .. } => {}
     }
 }
 
@@ -544,29 +542,79 @@ async fn batched_peer_lookup(
     result
 }
 
-/// Event loop of the global site: serves `Certify` requests by
-/// orchestrating the chosen strategy over the component actors.
+/// Which localized schedule each hosting site runs.
+///
+/// The paper's BL and PL assign one schedule to every site; the per-site
+/// hybrid (`HY`) lets the planner assign each site its own. Execution is
+/// identical plumbing either way — the schedule only decides each site's
+/// `LocalEval` `parallel` flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteSchedule {
+    /// Every hosting site runs the same schedule (`false` = BL's,
+    /// `true` = PL's).
+    Uniform(bool),
+    /// The listed sites run PL's schedule; every other hosting site runs
+    /// BL's.
+    ParallelAt(Vec<DbId>),
+}
+
+impl SiteSchedule {
+    /// Does `db` run PL's static-prefetch schedule?
+    pub fn parallel_at(&self, db: DbId) -> bool {
+        match self {
+            SiteSchedule::Uniform(parallel) => *parallel,
+            SiteSchedule::ParallelAt(sites) => sites.contains(&db),
+        }
+    }
+}
+
+/// Event loop of the global site: serves `Certify`, `HybridCertify`, and
+/// `BatchCertify` requests by orchestrating the chosen plan over the
+/// component actors.
+///
+/// Each certification request is spawned as its own task, so several
+/// in-flight queries (the concurrent scheduler's normal regime) make
+/// progress through one global actor instead of queueing head-of-line.
 pub async fn run_global(ctx: Ctx<'_>) {
     loop {
         let env = ctx.net.recv(Site::Global).await;
-        let Payload::Request(ref request) = env.payload else {
+        let Payload::Request(_) = env.payload else {
             continue;
         };
-        match request.clone() {
-            Request::Certify { strategy } => {
-                let reply = orchestrate(&ctx, strategy).await;
-                ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
-            }
-            // Coalesced executions: one round-trip, answered in order.
-            Request::BatchCertify { strategies } => {
-                let mut replies = Vec::with_capacity(strategies.len());
-                for strategy in strategies {
-                    replies.push(orchestrate(&ctx, strategy).await);
-                }
-                ctx.net.respond(&env, 0, Response::BatchCertify(replies));
-            }
-            _ => {}
+        let rt = ctx.net.rt().clone();
+        rt.spawn(serve_global_request(ctx.clone(), env));
+    }
+}
+
+/// Serves one request addressed to the global actor and sends its
+/// response. Factored out of [`run_global`] so each certification can run
+/// as its own task.
+async fn serve_global_request<'a>(ctx: Ctx<'a>, env: Envelope) {
+    let Payload::Request(ref request) = env.payload else {
+        return;
+    };
+    match request.clone() {
+        Request::Certify { strategy } => {
+            let reply = orchestrate(&ctx, strategy).await;
+            ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
         }
+        Request::HybridCertify {
+            parallel_sites,
+            config,
+        } => {
+            let schedule = SiteSchedule::ParallelAt(parallel_sites);
+            let reply = orchestrate_localized(&ctx, &schedule, config).await;
+            ctx.net.respond(&env, 0, Response::Certify(Box::new(reply)));
+        }
+        // Coalesced executions: one round-trip, answered in order.
+        Request::BatchCertify { strategies } => {
+            let mut replies = Vec::with_capacity(strategies.len());
+            for strategy in strategies {
+                replies.push(orchestrate(&ctx, strategy).await);
+            }
+            ctx.net.respond(&env, 0, Response::BatchCertify(replies));
+        }
+        _ => {}
     }
 }
 
@@ -575,10 +623,10 @@ async fn orchestrate(ctx: &Ctx<'_>, strategy: DistributedStrategy) -> CertifyRep
     match strategy {
         DistributedStrategy::Centralized => orchestrate_centralized(ctx).await,
         DistributedStrategy::BasicLocalized(config) => {
-            orchestrate_localized(ctx, false, config).await
+            orchestrate_localized(ctx, &SiteSchedule::Uniform(false), config).await
         }
         DistributedStrategy::ParallelLocalized(config) => {
-            orchestrate_localized(ctx, true, config).await
+            orchestrate_localized(ctx, &SiteSchedule::Uniform(true), config).await
         }
     }
 }
@@ -665,11 +713,12 @@ async fn orchestrate_centralized(ctx: &Ctx<'_>) -> CertifyReply {
     }
 }
 
-/// BL/PL over the runtime: fan `LocalEval` out to every hosting site,
-/// merge the replies, certify, and tag degraded maybe results.
+/// BL/PL/HY over the runtime: fan `LocalEval` out to every hosting site
+/// (each with its schedule's `parallel` flag), merge the replies through
+/// [`LocalizedMerge`], certify, and tag degraded maybe results.
 async fn orchestrate_localized(
     ctx: &Ctx<'_>,
-    parallel: bool,
+    schedule: &SiteSchedule,
     config: LocalizedConfig,
 ) -> CertifyReply {
     let schema = ctx.fed.global_schema();
@@ -682,16 +731,15 @@ async fn orchestrate_localized(
 
     let params = *ctx.sim.borrow().params();
     let cfg = ctx.rpc.scaled(FANOUT_TIMEOUT_SCALE);
-    let request = Request::LocalEval {
-        parallel,
-        use_signatures: config.use_signatures,
-        complete_targets: config.complete_targets,
-    };
     let evals: Vec<BoxFut<'_, (DbId, Result<Response, RpcError>)>> = hosting
         .iter()
         .map(|&site| {
             let net = ctx.net.clone();
-            let request = request.clone();
+            let request = Request::LocalEval {
+                parallel: schedule.parallel_at(site),
+                use_signatures: config.use_signatures,
+                complete_targets: config.complete_targets,
+            };
             Box::pin(async move {
                 let outcome = call(
                     &net,
@@ -708,88 +756,35 @@ async fn orchestrate_localized(
         })
         .collect();
 
-    let mut site_rows = Vec::new();
-    let mut replies = CheckReplies::new();
-    let mut target_replies = TargetReplies::new();
-    let mut failed_checks: HashSet<(LOid, PredId)> = HashSet::new();
-    let mut degraded: BTreeSet<DbId> = BTreeSet::new();
-    let mut queried_dbs = Vec::new();
+    let mut merge = LocalizedMerge::new();
     for (site, outcome) in join_all(evals).await {
         match outcome {
             Ok(Response::LocalEval(reply)) => {
-                queried_dbs.push(site);
-                for v in reply.verdicts {
-                    replies.record(v.item, v.pred, v.verdict);
-                }
-                for (key, value) in reply.target_values {
-                    target_replies.entry(key).or_default().push(value);
-                }
-                failed_checks.extend(reply.failed_checks);
-                degraded.extend(reply.degraded_peers.iter().copied());
-                site_rows.push((site, reply.rows));
+                merge.record_site(
+                    site,
+                    reply.rows,
+                    reply.verdicts,
+                    reply.target_values,
+                    reply.failed_checks,
+                    reply.degraded_peers,
+                );
             }
+            // The whole site is gone: no absence elimination against it,
+            // and every entity with a copy there is degraded.
             _ => {
-                // The whole site is gone: no absence elimination against
-                // it, and every entity with a copy there is degraded.
-                degraded.insert(site);
+                merge.record_site_loss(site);
             }
         }
     }
 
-    // Entities whose certification is incomplete: a row with an unsolved
-    // item whose assistant lookup went unanswered.
-    let mut degraded_goids: HashSet<GOid> = HashSet::new();
-    for (_, rows) in &site_rows {
-        for row in rows {
-            let hit = row.unsolved.iter().any(|entry| {
-                entry
-                    .item
-                    .is_some_and(|item| failed_checks.contains(&(item, entry.pred)))
-            });
-            if hit {
-                degraded_goids.insert(row.goid);
-            }
-        }
-    }
-
-    let answer = {
+    let (answer, degraded_sites) = {
         let mut sim = ctx.sim.borrow_mut();
-        certify(
-            ctx.fed,
-            ctx.query,
-            site_rows,
-            &replies,
-            &target_replies,
-            &queried_dbs,
-            &mut sim,
-        )
+        merge.finish(ctx.fed, ctx.query, &mut sim)
     };
-
-    // Re-tag the maybe rows touched by a failure. Certain rows are left
-    // alone: isomeric copies are consistent, so certified data cannot be
-    // contradicted by whatever the dead sites hold.
-    let table = ctx.fed.catalog().table(ctx.query.range());
-    let maybe = answer
-        .maybe()
-        .iter()
-        .map(|m| {
-            let touched = degraded_goids.contains(&m.goid())
-                || table
-                    .loids_of(m.goid())
-                    .iter()
-                    .any(|l| degraded.contains(&l.db()));
-            if touched {
-                m.clone().with_provenance(Provenance::Degraded)
-            } else {
-                m.clone()
-            }
-        })
-        .collect();
-    let answer = QueryAnswer::new(answer.certain().to_vec(), maybe);
 
     CertifyReply {
         answer: Ok(answer),
-        degraded_sites: degraded.into_iter().collect(),
+        degraded_sites,
         retries: ctx.net.retries(),
     }
 }

@@ -139,8 +139,7 @@ impl DistributedOutcome {
 pub struct AdaptiveDistributedOutcome {
     /// The executed run's answer and diagnostics.
     pub outcome: DistributedOutcome,
-    /// The full ranking the planner produced (CA/BL/PL; no hybrid on
-    /// the wire).
+    /// The full ranking the planner produced (CA/BL/PL/HY).
     pub choice: PlanChoice,
     /// The plan that actually ran (`choice.best().kind`).
     pub executed: PlanKind,
@@ -347,14 +346,53 @@ impl DistributedExecutor {
         Ok((response, rt.handle().now_us()))
     }
 
-    /// The adaptive distributed executor: prices CA/BL/PL against the
+    /// Executes `query` under a per-site hybrid plan: the listed sites
+    /// run PL's static-prefetch schedule, every other hosting site runs
+    /// BL's. One `HybridCertify` round-trip; the answer is identical to
+    /// BL's and PL's by the strategies' shared invariant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](DistributedExecutor::run).
+    pub fn run_hybrid(
+        &self,
+        fed: &Federation,
+        query: &BoundQuery,
+        parallel_sites: Vec<DbId>,
+        config: LocalizedConfig,
+        transport: Rc<RefCell<dyn Transport>>,
+        sim: Rc<RefCell<Simulation>>,
+    ) -> Result<DistributedOutcome, ExecError> {
+        let request = Request::HybridCertify {
+            parallel_sites,
+            config,
+        };
+        let response = self.drive(fed, query, request, &transport, &sim)?;
+        let (Response::Certify(reply), virtual_us) = response else {
+            return Err(ExecError::Internal(
+                "mismatched response to HybridCertify".into(),
+            ));
+        };
+        let (delivered, dropped) = transport.borrow().stats();
+        Ok(DistributedOutcome {
+            answer: reply.answer?,
+            degraded_sites: reply.degraded_sites,
+            retries: reply.retries,
+            delivered,
+            dropped,
+            metrics: sim.borrow().metrics(),
+            virtual_us,
+        })
+    }
+
+    /// The adaptive distributed executor: prices CA/BL/PL/HY against the
     /// statistics catalog, runs the cheapest over `transport`, and feeds
     /// the measured response time and transport cost back into the
     /// catalog.
     ///
-    /// The per-site hybrid is excluded — the wire protocol ships one
-    /// uniform strategy per `Certify` — so planning here ranks the three
-    /// strategies the site actors implement. A stale catalog (the
+    /// A winning hybrid executes for real: `HybridCertify` carries the
+    /// plan's per-site modes, and each hosting site runs its own BL or PL
+    /// schedule from one non-uniform fan-out. A stale catalog (the
     /// federation mutated since the last scan) is re-scanned first,
     /// keeping its accumulated observations.
     ///
@@ -387,22 +425,51 @@ impl DistributedExecutor {
             query,
             &knobs,
             fingerprint,
-            false,
+            true,
         );
-        let executed = choice.best().kind;
-        let strategy = match executed {
-            PlanKind::Centralized => DistributedStrategy::ca(),
-            PlanKind::BasicLocalized => DistributedStrategy::bl(),
-            PlanKind::ParallelLocalized => DistributedStrategy::pl(),
-            PlanKind::Hybrid => {
-                return Err(ExecError::Internal(
-                    "planner ranked a hybrid despite allow_hybrid = false".into(),
-                ))
-            }
-        };
+        let best = choice.best();
+        let executed = best.kind;
         let before_net = sim.borrow().ledger().total_for_resource(Resource::Net);
         let before_bytes = sim.borrow().metrics().bytes_transferred;
-        let outcome = self.run(fed, query, strategy, transport, Rc::clone(&sim))?;
+        let outcome = match executed {
+            PlanKind::Centralized => self.run(
+                fed,
+                query,
+                DistributedStrategy::ca(),
+                transport,
+                Rc::clone(&sim),
+            )?,
+            PlanKind::BasicLocalized => self.run(
+                fed,
+                query,
+                DistributedStrategy::bl(),
+                transport,
+                Rc::clone(&sim),
+            )?,
+            PlanKind::ParallelLocalized => self.run(
+                fed,
+                query,
+                DistributedStrategy::pl(),
+                transport,
+                Rc::clone(&sim),
+            )?,
+            PlanKind::Hybrid => {
+                let parallel_sites: Vec<DbId> = best
+                    .modes
+                    .iter()
+                    .filter(|m| m.parallel)
+                    .map(|m| m.db)
+                    .collect();
+                self.run_hybrid(
+                    fed,
+                    query,
+                    parallel_sites,
+                    LocalizedConfig::default(),
+                    transport,
+                    Rc::clone(&sim),
+                )?
+            }
+        };
         catalog.observe_response(fingerprint, executed.label(), outcome.metrics.response_us);
         // The sim may be shared across runs: feed back only this run's
         // slice of the wire traffic.
@@ -460,9 +527,9 @@ mod tests {
                 .unwrap()
         };
         let first = run(&mut catalog);
-        // Only uniform strategies can go on the wire.
-        assert_eq!(first.choice.ranked.len(), 3);
-        assert!(first.choice.plan(PlanKind::Hybrid).is_none());
+        // The hybrid is priced alongside the uniform strategies.
+        assert_eq!(first.choice.ranked.len(), 4);
+        assert!(first.choice.plan(PlanKind::Hybrid).is_some());
         assert_eq!(first.executed, first.choice.best().kind);
         // The answer classifies like the fixed strategy's own run.
         let fixed = exec
@@ -475,5 +542,38 @@ mod tests {
         let seen = second.choice.plan(first.executed).unwrap();
         assert!(seen.observed_us.is_some());
         assert!(seen.confidence > 0.0);
+    }
+
+    #[test]
+    fn hybrid_certify_executes_non_uniform_site_schedules() {
+        let fed = university::federation().unwrap();
+        let query = fed.parse_and_bind(university::Q1).unwrap();
+        let exec = DistributedExecutor::new();
+        // Site 1 runs PL's schedule, everyone else BL's; the answer must
+        // classify like a uniform run (the strategies' shared invariant).
+        let sim = Rc::new(RefCell::new(Simulation::new(
+            SystemParams::paper_default(),
+            fed.num_dbs(),
+        )));
+        let transport: Rc<RefCell<dyn Transport>> = Rc::new(RefCell::new(LocalTransport::new()));
+        let hybrid = exec
+            .run_hybrid(
+                &fed,
+                &query,
+                vec![DbId::new(1)],
+                LocalizedConfig::default(),
+                transport,
+                sim,
+            )
+            .unwrap();
+        let uniform = exec
+            .run_local(&fed, &query, DistributedStrategy::bl())
+            .unwrap();
+        assert!(hybrid.answer.same_classification(&uniform.answer));
+        assert_eq!(
+            format!("{}", hybrid.answer),
+            format!("{}", uniform.answer),
+            "hybrid row order and provenance must match the uniform run"
+        );
     }
 }

@@ -70,6 +70,7 @@ pub mod rpc;
 pub mod rt;
 pub mod transport;
 
+pub use actor::SiteSchedule;
 pub use exec::{
     AdaptiveDistributedOutcome, DistributedExecutor, DistributedOutcome, DistributedStrategy,
 };

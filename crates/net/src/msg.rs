@@ -27,7 +27,7 @@
 //!   executions coalesced into one client round-trip, answered together.
 
 use crate::exec::DistributedStrategy;
-use fedoq_core::handlers::{CheckRequest, CheckVerdict, LocalRow, TargetRequest};
+use fedoq_core::handlers::{CheckRequest, CheckVerdict, LocalRow, LocalizedConfig, TargetRequest};
 use fedoq_core::{ExecError, QueryAnswer};
 use fedoq_object::{DbId, LOid, Value};
 use fedoq_query::PredId;
@@ -99,6 +99,17 @@ pub enum Request {
         /// The strategies to execute, answered in order.
         strategies: Vec<DistributedStrategy>,
     },
+    /// Run one query under a per-site hybrid plan (client → global
+    /// actor): the listed sites execute PL's static-prefetch schedule,
+    /// every other hosting site executes BL's. Answered with
+    /// [`Response::Certify`] — the hybrid is a localized execution with
+    /// non-uniform per-site modes, not a new protocol.
+    HybridCertify {
+        /// Sites running PL's schedule; the rest run BL's.
+        parallel_sites: Vec<DbId>,
+        /// Signature pruning / target completion options.
+        config: LocalizedConfig,
+    },
 }
 
 impl Request {
@@ -111,6 +122,7 @@ impl Request {
             Request::ShipObjects => "ShipObjects",
             Request::BatchAssistantLookup { .. } => "BatchAssistantLookup",
             Request::BatchCertify { .. } => "BatchCertify",
+            Request::HybridCertify { .. } => "HybridCertify",
         }
     }
 }

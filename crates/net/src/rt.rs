@@ -353,11 +353,60 @@ impl<'a> Runtime<'a> {
 
 /// Polls a set of unpinned futures concurrently; resolves to their outputs
 /// in input order once all are done.
+///
+/// Children get their own wakers: a wake re-polls only the child that
+/// asked for it, not every pending sibling. (Broadcast re-polling is not
+/// just wasted work — a pending `Sleep` registers a fresh timer on every
+/// poll, so re-polling N sleepers on each of N wakes multiplies timer
+/// entries geometrically and a large join never finishes.)
 pub fn join_all<F: Future + Unpin>(futs: Vec<F>) -> JoinAll<F> {
     let n = futs.len();
+    let shared = Arc::new(JoinShared {
+        woken: Mutex::new((0..n).map(|_| true).collect()),
+        parent: Mutex::new(None),
+    });
     JoinAll {
         futs: futs.into_iter().map(Some).collect(),
         outs: (0..n).map(|_| None).collect(),
+        wakers: (0..n)
+            .map(|index| {
+                Waker::from(Arc::new(ChildWaker {
+                    index,
+                    shared: Arc::clone(&shared),
+                }))
+            })
+            .collect(),
+        shared,
+        pending: n,
+    }
+}
+
+/// Wake flags shared between a [`JoinAll`] and its children's wakers.
+struct JoinShared {
+    /// Per-child "poll me again" flags (all start `true`).
+    woken: Mutex<Vec<bool>>,
+    /// The join's own waker, refreshed on every poll.
+    parent: Mutex<Option<Waker>>,
+}
+
+/// Wakes child `index`: flags it for re-polling and wakes the join.
+struct ChildWaker {
+    index: usize,
+    shared: Arc<JoinShared>,
+}
+
+impl Wake for ChildWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.woken.lock().expect("join wake flags poisoned")[self.index] = true;
+        let parent = self
+            .shared
+            .parent
+            .lock()
+            .expect("join parent waker poisoned")
+            .take();
+        if let Some(waker) = parent {
+            waker.wake();
+        }
     }
 }
 
@@ -365,6 +414,9 @@ pub fn join_all<F: Future + Unpin>(futs: Vec<F>) -> JoinAll<F> {
 pub struct JoinAll<F: Future> {
     futs: Vec<Option<F>>,
     outs: Vec<Option<F::Output>>,
+    wakers: Vec<Waker>,
+    shared: Arc<JoinShared>,
+    pending: usize,
 }
 
 // `JoinAll` never pins its fields structurally (the contained futures are
@@ -376,19 +428,40 @@ impl<F: Future + Unpin> Future for JoinAll<F> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        let mut done = true;
-        for (slot, out) in this.futs.iter_mut().zip(this.outs.iter_mut()) {
-            if let Some(fut) = slot {
-                match Pin::new(fut).poll(cx) {
-                    Poll::Ready(value) => {
-                        *out = Some(value);
-                        *slot = None;
+        // Store the parent waker *before* draining the flags: a child
+        // woken after the drain finds the waker and re-queues the join.
+        *this
+            .shared
+            .parent
+            .lock()
+            .expect("join parent waker poisoned") = Some(cx.waker().clone());
+        loop {
+            let to_poll: Vec<usize> = {
+                let mut woken = this.shared.woken.lock().expect("join wake flags poisoned");
+                let flagged = woken
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| **w)
+                    .map(|(i, _)| i)
+                    .collect();
+                woken.iter_mut().for_each(|w| *w = false);
+                flagged
+            };
+            if to_poll.is_empty() {
+                break;
+            }
+            for i in to_poll {
+                if let Some(fut) = &mut this.futs[i] {
+                    let mut child_cx = Context::from_waker(&this.wakers[i]);
+                    if let Poll::Ready(value) = Pin::new(fut).poll(&mut child_cx) {
+                        this.outs[i] = Some(value);
+                        this.futs[i] = None;
+                        this.pending -= 1;
                     }
-                    Poll::Pending => done = false,
                 }
             }
         }
-        if done {
+        if this.pending == 0 {
             Poll::Ready(
                 this.outs
                     .iter_mut()

@@ -19,7 +19,7 @@ use fedoq_sim::{Simulation, Site};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Decides the fate of messages between sites.
@@ -91,10 +91,17 @@ pub enum FaultEvent {
     Restart(Site),
     /// Messages between the two sites are dropped (both directions).
     Partition(Site, Site),
-    /// All partitions are removed and all crashed sites rejoin.
+    /// All partitions are removed, all crashed sites rejoin, and all
+    /// slowdowns are lifted.
     Heal,
     /// Every message is now dropped with this probability.
     SetDropRate(f64),
+    /// The site straggles: every message it sends or receives takes this
+    /// many times the normal latency (a factor `< 1` is clamped to 1; a
+    /// second `Slow` on the same site replaces the first). Messages still
+    /// arrive — this models a congested or overloaded site, the replan
+    /// trigger, where `Crash` models an unreachable one.
+    Slow(Site, f64),
 }
 
 /// Orders a site pair so partitions are direction-independent.
@@ -115,6 +122,7 @@ struct FaultState {
     drop_rate: f64,
     crashed: HashSet<Site>,
     partitions: HashSet<(u32, u32)>,
+    slow: HashMap<Site, f64>,
 }
 
 impl FaultState {
@@ -132,9 +140,13 @@ impl FaultState {
             FaultEvent::Heal => {
                 self.crashed.clear();
                 self.partitions.clear();
+                self.slow.clear();
             }
             FaultEvent::SetDropRate(p) => {
                 self.drop_rate = p.clamp(0.0, 1.0);
+            }
+            FaultEvent::Slow(site, factor) => {
+                self.slow.insert(site, factor.max(1.0));
             }
         }
     }
@@ -143,6 +155,14 @@ impl FaultState {
         self.crashed.contains(&from)
             || self.crashed.contains(&to)
             || self.partitions.contains(&pair_key(from, to))
+    }
+
+    /// The latency multiplier for a message between `from` and `to`: the
+    /// worst slowdown of either endpoint (1 when both are healthy).
+    fn slow_factor(&self, from: Site, to: Site) -> f64 {
+        let f = self.slow.get(&from).copied().unwrap_or(1.0);
+        let t = self.slow.get(&to).copied().unwrap_or(1.0);
+        f.max(t)
     }
 }
 
@@ -287,7 +307,12 @@ impl Transport for SimTransport {
         } else {
             0.0
         };
-        Some(self.latency_us + transfer_us + jitter)
+        let slow = if env.from != env.to {
+            self.state.slow_factor(env.from, env.to)
+        } else {
+            1.0
+        };
+        Some((self.latency_us + transfer_us) * slow + jitter)
     }
 
     fn stats(&self) -> (u64, u64) {
@@ -390,6 +415,18 @@ mod tests {
             delivered > 0 && delivered < 32,
             "drop rate should be partial"
         );
+    }
+
+    #[test]
+    fn slow_sites_multiply_latency_until_heal() {
+        let mut t = transport(1);
+        let healthy = t.dispatch(&env(0, 1, 0), 0.0).unwrap();
+        t.inject(FaultEvent::Slow(Site::Db(DbId::new(1)), 4.0));
+        assert_eq!(t.dispatch(&env(0, 1, 0), 0.0).unwrap(), healthy * 4.0);
+        assert_eq!(t.dispatch(&env(1, 2, 0), 0.0).unwrap(), healthy * 4.0);
+        assert_eq!(t.dispatch(&env(2, 3, 0), 0.0).unwrap(), healthy);
+        t.inject(FaultEvent::Heal);
+        assert_eq!(t.dispatch(&env(0, 1, 0), 0.0).unwrap(), healthy);
     }
 
     #[test]

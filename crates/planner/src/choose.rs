@@ -11,9 +11,10 @@
 //! means no checks.
 
 use crate::catalog::StatsCatalog;
-use crate::cost::{profile, QueryProfile};
+use crate::cost::{profile, QueryProfile, SiteProfile};
 use fedoq_analytic::{
-    breakdown_tuned, certify_cpu, localized_site_terms, CostBreakdown, PipelineKnobs, StrategyKind,
+    breakdown_tuned, certify_cpu, localized_site_terms, CostBreakdown, PipelineKnobs, SiteTerms,
+    StrategyKind,
 };
 use fedoq_object::DbId;
 use fedoq_query::BoundQuery;
@@ -165,10 +166,42 @@ impl fmt::Display for PlanChoice {
     }
 }
 
-/// Prices the hybrid assignment from the per-site profiles: every site
-/// gets the cheaper of BL's and PL's schedules, and sites that cannot
-/// produce maybes are pinned to BL (no unsolved rows → no lookups).
-fn hybrid(profile: &QueryProfile, knobs: &PipelineKnobs) -> Option<(Vec<SiteMode>, CostBreakdown)> {
+/// Picks one site's schedule: the cheaper of BL's and PL's for a
+/// maybe-producing site (busy time plus its serialized bytes at the
+/// given network price), pinned to BL for a clean site (no unsolved
+/// rows → no lookups to prefetch).
+fn site_mode(site: &SiteProfile, net_us_per_byte: f64, knobs: &PipelineKnobs) -> (SiteTerms, bool) {
+    let basic = localized_site_terms(&site.inputs, false, knobs);
+    if !site.maybe_producing {
+        return (basic, false);
+    }
+    let par = localized_site_terms(&site.inputs, true, knobs);
+    let cost = |t: &SiteTerms, parallel: bool| {
+        t.site_path_us(parallel, net_us_per_byte) + t.bytes() * net_us_per_byte
+    };
+    if cost(&par, true) < cost(&basic, false) {
+        (par, true)
+    } else {
+        (basic, false)
+    }
+}
+
+/// Prices one localized plan from the per-site profiles. `mode` fixes
+/// every site's schedule (uniform BL/PL); `None` lets each site take
+/// the cheaper of the two — the hybrid assignment — with maybe-free
+/// sites pinned to BL (no unsolved rows → no lookups).
+///
+/// All three localized candidates go through this one function so their
+/// estimates are comparable: pricing the uniform strategies from
+/// federation-*averaged* inputs while the hybrid sums honest per-site
+/// terms made the uniforms systematically optimistic whenever the site
+/// profiles were skewed — exactly the workloads where the hybrid is the
+/// right plan — and HY was never selected.
+fn localized_plan(
+    profile: &QueryProfile,
+    mode: Option<bool>,
+    knobs: &PipelineKnobs,
+) -> Option<(Vec<SiteMode>, CostBreakdown)> {
     if profile.sites.is_empty() {
         return None;
     }
@@ -176,35 +209,17 @@ fn hybrid(profile: &QueryProfile, knobs: &PipelineKnobs) -> Option<(Vec<SiteMode
     let mut modes = Vec::with_capacity(profile.sites.len());
     let mut b = CostBreakdown::default();
     for site in &profile.sites {
-        let basic = localized_site_terms(&site.inputs, false, knobs);
-        let terms = if site.maybe_producing {
-            // Pick whichever schedule is cheaper for this site's share
-            // of the makespan: busy time plus its serialized bytes.
-            let par = localized_site_terms(&site.inputs, true, knobs);
-            let cost = |t: &fedoq_analytic::SiteTerms, parallel: bool| {
-                t.site_path_us(parallel, net_us_per_byte) + t.bytes() * net_us_per_byte
-            };
-            if cost(&par, true) < cost(&basic, false) {
-                modes.push(SiteMode {
-                    db: site.db,
-                    parallel: true,
-                });
-                (par, true)
-            } else {
-                modes.push(SiteMode {
-                    db: site.db,
-                    parallel: false,
-                });
-                (basic, false)
-            }
-        } else {
-            modes.push(SiteMode {
-                db: site.db,
-                parallel: false,
-            });
-            (basic, false)
+        let (terms, parallel) = match mode {
+            Some(parallel) => (
+                localized_site_terms(&site.inputs, parallel, knobs),
+                parallel,
+            ),
+            None => site_mode(site, net_us_per_byte, knobs),
         };
-        let (terms, parallel) = terms;
+        modes.push(SiteMode {
+            db: site.db,
+            parallel,
+        });
         b.sites_us += terms.site_work_us();
         b.site_path_us = b
             .site_path_us
@@ -214,6 +229,38 @@ fn hybrid(profile: &QueryProfile, knobs: &PipelineKnobs) -> Option<(Vec<SiteMode
         b.messages += terms.messages(knobs.batch);
     }
     Some((modes, b))
+}
+
+/// Re-prices the per-site assignment for an in-flight hybrid execution
+/// and returns fresh schedules for the `unfinished` sites only.
+///
+/// The profile is rebuilt from the *current* catalog, so transport and
+/// response samples fed back mid-query ([`StatsCatalog::observe_net`])
+/// shift the network price before the unfinished sites are re-assigned.
+/// Completed sites are never returned — their replies are already
+/// merged, and re-dispatching them would risk certifying the same
+/// maybes twice. Sites in `unfinished` that do not host the query are
+/// skipped.
+pub fn replan(
+    catalog: &StatsCatalog,
+    schema: &GlobalSchema,
+    query: &BoundQuery,
+    knobs: &PipelineKnobs,
+    unfinished: &[DbId],
+) -> Vec<SiteMode> {
+    let prof = profile(catalog, schema, query);
+    let net_us_per_byte = prof.inputs.params.net_us_per_byte;
+    prof.sites
+        .iter()
+        .filter(|site| unfinished.contains(&site.db))
+        .map(|site| {
+            let (_, parallel) = site_mode(site, net_us_per_byte, knobs);
+            SiteMode {
+                db: site.db,
+                parallel,
+            }
+        })
+        .collect()
 }
 
 /// Enumerates and ranks every candidate plan for `query`.
@@ -233,13 +280,33 @@ pub fn choose(
     let prof = profile(catalog, schema, query);
     let mut ranked = Vec::new();
     for kind in PlanKind::ALL {
-        let (modes, breakdown) = match kind.uniform() {
-            Some(strategy) => (Vec::new(), breakdown_tuned(strategy, &prof.inputs, knobs)),
-            None => {
+        let (modes, breakdown) = match kind {
+            PlanKind::Centralized => (
+                Vec::new(),
+                breakdown_tuned(StrategyKind::Centralized, &prof.inputs, knobs),
+            ),
+            PlanKind::BasicLocalized | PlanKind::ParallelLocalized => {
+                let parallel = kind == PlanKind::ParallelLocalized;
+                match localized_plan(&prof, Some(parallel), knobs) {
+                    // The uniform modes carry no per-site assignment.
+                    Some((_, b)) => (Vec::new(), b),
+                    // No hosting sites profiled: fall back to the
+                    // federation-averaged estimate.
+                    None => (
+                        Vec::new(),
+                        breakdown_tuned(
+                            kind.uniform().expect("BL/PL are uniform"),
+                            &prof.inputs,
+                            knobs,
+                        ),
+                    ),
+                }
+            }
+            PlanKind::Hybrid => {
                 if !allow_hybrid {
                     continue;
                 }
-                let Some((modes, b)) = hybrid(&prof, knobs) else {
+                let Some((modes, b)) = localized_plan(&prof, None, knobs) else {
                     continue;
                 };
                 (modes, b)
@@ -264,7 +331,16 @@ pub fn choose(
             score_us,
         });
     }
-    ranked.sort_by(|a, b| a.score_us.total_cmp(&b.score_us));
+    // Equal response-time scores are broken by expected total busy
+    // time: at the same makespan, prefer the plan that burns less
+    // federation-wide work (the hybrid skips PL's static prefetch on
+    // maybe-free sites, so it wins this tie-break exactly when its
+    // assignment differs from a uniform mode).
+    ranked.sort_by(|a, b| {
+        a.score_us
+            .total_cmp(&b.score_us)
+            .then(a.breakdown.total_us().total_cmp(&b.breakdown.total_us()))
+    });
     PlanChoice {
         ranked,
         generation: catalog.generation(),
@@ -408,6 +484,50 @@ mod tests {
         // A different fingerprint is unaffected.
         let other = choose(&catalog, &schema, &query, &knobs, 10, true);
         assert_eq!(other.best().kind, cold_best);
+    }
+
+    #[test]
+    fn replan_covers_only_unfinished_hosting_sites() {
+        let (catalog, schema, query) = setup(true);
+        let knobs = PipelineKnobs::baseline();
+        // Replanning everything reproduces the full hybrid assignment.
+        let all = [DbId::new(0), DbId::new(1)];
+        let fresh = replan(&catalog, &schema, &query, &knobs, &all);
+        let hy = choose(&catalog, &schema, &query, &knobs, 1, true);
+        assert_eq!(fresh, hy.plan(PlanKind::Hybrid).unwrap().modes);
+        // A completed site drops out; a site that does not host the
+        // query is ignored rather than invented.
+        let partial = replan(
+            &catalog,
+            &schema,
+            &query,
+            &knobs,
+            &[DbId::new(1), DbId::new(9)],
+        );
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].db, DbId::new(1));
+        // DB1 is clean (no nulls, hosts every predicate attribute): the
+        // replan keeps it pinned to BL no matter the network price.
+        assert!(!partial[0].parallel);
+        assert!(replan(&catalog, &schema, &query, &knobs, &[]).is_empty());
+    }
+
+    #[test]
+    fn replan_reprices_from_midflight_transport_samples() {
+        let (mut catalog, schema, query) = setup(true);
+        let knobs = PipelineKnobs::baseline();
+        let before = replan(&catalog, &schema, &query, &knobs, &[DbId::new(0)]);
+        assert_eq!(before.len(), 1);
+        // Mid-flight feedback says the link got drastically slower: the
+        // replan must price against the observed rate, not the static
+        // parameter. Whichever mode wins, the decision is recomputed —
+        // assert the observable part: the catalog's link price moved
+        // and the assignment is still exactly the unfinished site.
+        catalog.observe_net(100, 80_000.0);
+        assert!(catalog.net_us_per_byte() > 100.0);
+        let after = replan(&catalog, &schema, &query, &knobs, &[DbId::new(0)]);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].db, DbId::new(0));
     }
 
     #[test]

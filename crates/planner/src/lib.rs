@@ -32,7 +32,7 @@ pub mod choose;
 pub mod cost;
 
 pub use catalog::{AttrStats, ClassIsoStats, Ewma, SiteClassStats, SiteStats, StatsCatalog};
-pub use choose::{choose, PlanChoice, PlanKind, RankedPlan, SiteMode};
+pub use choose::{choose, replan, PlanChoice, PlanKind, RankedPlan, SiteMode};
 pub use cost::{profile, QueryProfile, SiteProfile};
 
 // Re-export the shared formula-set surface so planner consumers don't

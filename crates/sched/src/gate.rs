@@ -1,0 +1,461 @@
+//! Concurrency gates for the scheduler: slot-limited admission and
+//! deficit-round-robin RPC dispatch.
+//!
+//! Both gates hand out RAII permits over the deterministic runtime:
+//!
+//! * [`Admission`] bounds how many queries execute at once. Waiters are
+//!   served strictly by priority (higher first), FIFO within a priority
+//!   — the front of the queue is always the oldest highest-priority
+//!   query.
+//! * [`DrrGate`] bounds how many site RPCs are on the wire at once and
+//!   shares that capacity across priority *lanes* by deficit round
+//!   robin: each lane accumulates `quantum × (1 + priority)` credit per
+//!   replenish round and spends one credit per dispatch, so a
+//!   priority-3 query gets four dispatch opportunities for every one a
+//!   priority-0 query gets — but the priority-0 query is never starved.
+//!
+//! Every future here is cancellation-safe: dropping a pending `acquire`
+//! removes the waiter, and dropping one that was granted but never
+//! polled returns the slot. That matters because the scheduler races
+//! every acquisition against the query's deadline.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// One queued acquisition: granted by the gate, consumed by the future.
+#[derive(Debug, Default)]
+struct WaitState {
+    granted: bool,
+    canceled: bool,
+    waker: Option<Waker>,
+}
+
+fn grant(state: &Rc<RefCell<WaitState>>) {
+    let mut s = state.borrow_mut();
+    s.granted = true;
+    if let Some(waker) = s.waker.take() {
+        waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission: strict priority, FIFO within priority.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct AdmitInner {
+    free: usize,
+    seq: u64,
+    // Key `(255 - priority, seq)`: ascending iteration order is highest
+    // priority first, oldest first within a priority.
+    waiters: BTreeMap<(u8, u64), Rc<RefCell<WaitState>>>,
+}
+
+/// The admission gate: at most `slots` queries execute concurrently.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    inner: Rc<RefCell<AdmitInner>>,
+}
+
+impl Admission {
+    /// A gate with `slots` concurrent-execution slots.
+    pub fn new(slots: usize) -> Admission {
+        Admission {
+            inner: Rc::new(RefCell::new(AdmitInner {
+                free: slots.max(1),
+                seq: 0,
+                waiters: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Queues for an execution slot; resolves to its RAII permit.
+    pub fn acquire(&self, priority: u8) -> Admit {
+        let state = Rc::new(RefCell::new(WaitState::default()));
+        let key = {
+            let mut g = self.inner.borrow_mut();
+            let key = (255 - priority, g.seq);
+            g.seq += 1;
+            g.waiters.insert(key, Rc::clone(&state));
+            key
+        };
+        Self::pump(&self.inner);
+        Admit {
+            inner: Rc::clone(&self.inner),
+            state,
+            key,
+            done: false,
+        }
+    }
+
+    /// Free slots right now (for tests and metrics).
+    pub fn available(&self) -> usize {
+        self.inner.borrow().free
+    }
+
+    fn pump(inner: &Rc<RefCell<AdmitInner>>) {
+        loop {
+            let state = {
+                let mut g = inner.borrow_mut();
+                while let Some((&key, s)) = g.waiters.iter().next() {
+                    if s.borrow().canceled {
+                        g.waiters.remove(&key);
+                    } else {
+                        break;
+                    }
+                }
+                if g.free == 0 {
+                    return;
+                }
+                let Some((&key, _)) = g.waiters.iter().next() else {
+                    return;
+                };
+                g.free -= 1;
+                g.waiters.remove(&key).unwrap()
+            };
+            grant(&state);
+        }
+    }
+
+    fn release(inner: &Rc<RefCell<AdmitInner>>) {
+        inner.borrow_mut().free += 1;
+        Self::pump(inner);
+    }
+}
+
+/// A pending [`Admission::acquire`]. Resolves to an [`AdmitPermit`].
+#[derive(Debug)]
+pub struct Admit {
+    inner: Rc<RefCell<AdmitInner>>,
+    state: Rc<RefCell<WaitState>>,
+    key: (u8, u64),
+    done: bool,
+}
+
+impl Future for Admit {
+    type Output = AdmitPermit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<AdmitPermit> {
+        let mut s = self.state.borrow_mut();
+        if s.granted {
+            drop(s);
+            self.done = true;
+            return Poll::Ready(AdmitPermit {
+                inner: Rc::clone(&self.inner),
+            });
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl Drop for Admit {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let granted = self.state.borrow().granted;
+        if granted {
+            // Granted but never taken (e.g. lost the deadline race by a
+            // hair): return the slot.
+            Admission::release(&self.inner);
+        } else {
+            self.state.borrow_mut().canceled = true;
+            self.inner.borrow_mut().waiters.remove(&self.key);
+        }
+    }
+}
+
+/// An execution slot; dropping it re-admits the next waiter.
+#[derive(Debug)]
+pub struct AdmitPermit {
+    inner: Rc<RefCell<AdmitInner>>,
+}
+
+impl Drop for AdmitPermit {
+    fn drop(&mut self) {
+        Admission::release(&self.inner);
+    }
+}
+
+// ---------------------------------------------------------------------
+// DrrGate: deficit round robin across priority lanes.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Lane {
+    deficit: f64,
+    waiters: VecDeque<Rc<RefCell<WaitState>>>,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    free: usize,
+    quantum: f64,
+    cursor: u8,
+    lanes: BTreeMap<u8, Lane>,
+}
+
+/// The RPC-dispatch gate: at most `slots` site RPCs in flight, shared
+/// across priority lanes by deficit round robin.
+#[derive(Debug, Clone)]
+pub struct DrrGate {
+    inner: Rc<RefCell<GateInner>>,
+}
+
+impl DrrGate {
+    /// A gate with `slots` wire slots and the given replenish quantum.
+    pub fn new(slots: usize, quantum: f64) -> DrrGate {
+        DrrGate {
+            inner: Rc::new(RefCell::new(GateInner {
+                free: slots.max(1),
+                quantum: if quantum > 0.0 { quantum } else { 1.0 },
+                cursor: 0,
+                lanes: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Queues in lane `priority` for a wire slot.
+    pub fn acquire(&self, priority: u8) -> Acquire {
+        let state = Rc::new(RefCell::new(WaitState::default()));
+        self.inner
+            .borrow_mut()
+            .lanes
+            .entry(priority)
+            .or_default()
+            .waiters
+            .push_back(Rc::clone(&state));
+        Self::pump(&self.inner);
+        Acquire {
+            inner: Rc::clone(&self.inner),
+            state,
+            done: false,
+        }
+    }
+
+    /// Free wire slots right now (for tests and metrics).
+    pub fn available(&self) -> usize {
+        self.inner.borrow().free
+    }
+
+    fn pump(inner: &Rc<RefCell<GateInner>>) {
+        loop {
+            let state = {
+                let mut g = inner.borrow_mut();
+                // Prune canceled waiters and emptied lanes; an emptied
+                // lane forfeits its accumulated deficit.
+                for lane in g.lanes.values_mut() {
+                    lane.waiters.retain(|w| !w.borrow().canceled);
+                }
+                g.lanes.retain(|_, lane| !lane.waiters.is_empty());
+                if g.free == 0 || g.lanes.is_empty() {
+                    return;
+                }
+                // Visit lanes round-robin from the cursor; grant the
+                // first lane holding credit. If no lane holds credit,
+                // replenish every waiting lane by its weight and retry —
+                // guaranteed progress since the quantum is positive.
+                let keys: Vec<u8> = g.lanes.keys().copied().collect();
+                let cursor = g.cursor;
+                let ordered = keys
+                    .iter()
+                    .copied()
+                    .filter(|&k| k >= cursor)
+                    .chain(keys.iter().copied().filter(|&k| k < cursor));
+                let mut granted = None;
+                for k in ordered {
+                    let lane = g.lanes.get_mut(&k).unwrap();
+                    if lane.deficit >= 1.0 {
+                        lane.deficit -= 1.0;
+                        granted = Some((k, lane.waiters.pop_front().unwrap()));
+                        break;
+                    }
+                }
+                match granted {
+                    Some((k, state)) => {
+                        g.free -= 1;
+                        g.cursor = k.wrapping_add(1);
+                        state
+                    }
+                    None => {
+                        let quantum = g.quantum;
+                        for (&k, lane) in &mut g.lanes {
+                            lane.deficit += quantum * (1.0 + f64::from(k));
+                        }
+                        continue;
+                    }
+                }
+            };
+            grant(&state);
+        }
+    }
+
+    fn release(inner: &Rc<RefCell<GateInner>>) {
+        inner.borrow_mut().free += 1;
+        Self::pump(inner);
+    }
+}
+
+/// A pending [`DrrGate::acquire`]. Resolves to a [`GatePermit`].
+#[derive(Debug)]
+pub struct Acquire {
+    inner: Rc<RefCell<GateInner>>,
+    state: Rc<RefCell<WaitState>>,
+    done: bool,
+}
+
+impl Future for Acquire {
+    type Output = GatePermit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<GatePermit> {
+        let mut s = self.state.borrow_mut();
+        if s.granted {
+            drop(s);
+            self.done = true;
+            return Poll::Ready(GatePermit {
+                inner: Rc::clone(&self.inner),
+            });
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let granted = self.state.borrow().granted;
+        if granted {
+            DrrGate::release(&self.inner);
+        } else {
+            self.state.borrow_mut().canceled = true;
+        }
+    }
+}
+
+/// A wire slot; dropping it dispatches the next waiter.
+#[derive(Debug)]
+pub struct GatePermit {
+    inner: Rc<RefCell<GateInner>>,
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        DrrGate::release(&self.inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_net::Runtime;
+
+    #[test]
+    fn admission_is_strict_priority_then_fifo() {
+        let rt = Runtime::new();
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let admission = Admission::new(1);
+        let h = rt.handle();
+        // A holder pins the single slot while the real waiters queue.
+        {
+            let admission = admission.clone();
+            let h2 = h.clone();
+            h.spawn(async move {
+                let _permit = admission.acquire(0).await;
+                h2.sleep(1_000.0).await;
+            });
+        }
+        // Waiters queue at t=10 in spawn order with priorities 0, 3, 3.
+        for (tag, priority) in [(0u32, 0u8), (1, 3), (2, 3)] {
+            let admission = admission.clone();
+            let order = Rc::clone(&order);
+            let h2 = h.clone();
+            h.spawn(async move {
+                h2.sleep(10.0).await;
+                let _permit = admission.acquire(priority).await;
+                order.borrow_mut().push(tag);
+            });
+        }
+        let h2 = h.clone();
+        let done = Rc::clone(&order);
+        rt.run(async move {
+            while done.borrow().len() < 3 {
+                h2.sleep(100.0).await;
+            }
+        })
+        .unwrap();
+        // Priority 3 first (FIFO among equals), then priority 0.
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(admission.available(), 1);
+    }
+
+    #[test]
+    fn drr_shares_by_weight_without_starvation() {
+        let rt = Runtime::new();
+        let grants: Rc<RefCell<Vec<u8>>> = Rc::default();
+        let gate = DrrGate::new(1, 1.0);
+        let h = rt.handle();
+        {
+            let gate = gate.clone();
+            let h2 = h.clone();
+            h.spawn(async move {
+                let _permit = gate.acquire(0).await;
+                h2.sleep(1_000.0).await;
+            });
+        }
+        // 20 waiters in lane 0 and 20 in lane 3 queue behind the holder;
+        // each grantee keeps the slot for 10 µs so grants serialize.
+        for priority in [0u8, 3] {
+            for _ in 0..20 {
+                let gate = gate.clone();
+                let grants = Rc::clone(&grants);
+                let h2 = h.clone();
+                h.spawn(async move {
+                    h2.sleep(10.0).await;
+                    let _permit = gate.acquire(priority).await;
+                    grants.borrow_mut().push(priority);
+                    h2.sleep(10.0).await;
+                });
+            }
+        }
+        let h2 = h.clone();
+        let done = Rc::clone(&grants);
+        rt.run(async move {
+            while done.borrow().len() < 40 {
+                h2.sleep(100.0).await;
+            }
+        })
+        .unwrap();
+        let grants = grants.borrow();
+        assert_eq!(grants.len(), 40);
+        // Weight 4 vs 1: the heavy lane dominates early grants, yet the
+        // light lane is never starved.
+        let head = &grants[..10];
+        let heavy = head.iter().filter(|&&p| p == 3).count();
+        assert!(heavy >= 6, "lane 3 got only {heavy}/10 early grants");
+        assert!(head.contains(&0), "lane 0 starved in {head:?}");
+    }
+
+    #[test]
+    fn dropping_a_pending_acquire_cancels_it_and_keeps_the_slot_flowing() {
+        let rt = Runtime::new();
+        let gate = DrrGate::new(1, 1.0);
+        let gate2 = gate.clone();
+        rt.run(async move {
+            let first = gate2.acquire(0).await;
+            let second = gate2.acquire(0); // pending: no free slot
+            drop(second); // canceled, no slot leaked
+            drop(first);
+            let _third = gate2.acquire(0).await; // slot came back
+        })
+        .unwrap();
+        assert_eq!(gate.available(), 1);
+    }
+}

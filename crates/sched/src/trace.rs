@@ -1,0 +1,147 @@
+//! The scheduler's dispatch trace: what happened, to which query, when.
+//!
+//! Every admission decision, site dispatch, reply, loss, replan, and
+//! completion is appended to one shared [`DispatchTrace`] in virtual-time
+//! order. The trace is the scheduler's testimony: the differential and
+//! fairness suites replay it to prove ordering properties (no
+//! starvation, no double-merge, replans only over unfinished sites), and
+//! `fedoq-check`'s FQ307 lint audits the recorded [`ReplanEvent`]s for
+//! replan soundness.
+
+use fedoq_object::DbId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One mid-flight replan decision, recorded for audit.
+///
+/// Soundness (checked by `fedoq-check`'s FQ307 lint): a replan must
+/// never re-dispatch a site whose reply is already merged
+/// (`redispatched ∩ completed = ∅` — re-certifying merged verdicts
+/// double-counts maybes), and must leave no hosting site uncovered
+/// (`completed ∪ redispatched ∪ retained ⊇ hosting` — a dropped site
+/// would silently lose absence elimination).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanEvent {
+    /// The replanned query.
+    pub query: u64,
+    /// Virtual time of the decision (µs).
+    pub at_us: f64,
+    /// Every hosting site of the query's plan.
+    pub hosting: Vec<DbId>,
+    /// Sites whose replies were already merged at decision time.
+    pub completed: Vec<DbId>,
+    /// Unfinished sites re-dispatched with a freshly priced mode.
+    pub redispatched: Vec<DbId>,
+    /// Unfinished sites left to their original in-flight dispatch.
+    pub retained: Vec<DbId>,
+}
+
+/// One scheduler action, stamped with virtual time.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// The query arrived and entered the admission queue.
+    Submitted {
+        /// The query's id.
+        query: u64,
+        /// Virtual time (µs).
+        at_us: f64,
+    },
+    /// The query won an execution slot.
+    Admitted {
+        /// The query's id.
+        query: u64,
+        /// Virtual time (µs).
+        at_us: f64,
+    },
+    /// The deadline expired while the query was still queued.
+    RejectedAtDeadline {
+        /// The query's id.
+        query: u64,
+        /// Virtual time (µs).
+        at_us: f64,
+    },
+    /// A site RPC left through the dispatch gate.
+    Dispatched {
+        /// The dispatching query.
+        query: u64,
+        /// The target site.
+        site: DbId,
+        /// `true` when the site runs PL's static-prefetch schedule.
+        parallel: bool,
+        /// 0 for the original plan, 1+ for replan redispatches.
+        generation: u32,
+        /// Virtual time (µs).
+        at_us: f64,
+    },
+    /// A site's `LocalEval` reply arrived.
+    Replied {
+        /// The query.
+        query: u64,
+        /// The replying site.
+        site: DbId,
+        /// Virtual time (µs).
+        at_us: f64,
+        /// `true` when the reply was discarded because the site was
+        /// already merged (e.g. the original dispatch of a replanned
+        /// site answered after its replacement).
+        stale: bool,
+    },
+    /// A site stayed unreachable past every in-flight attempt.
+    SiteLost {
+        /// The query.
+        query: u64,
+        /// The lost site.
+        site: DbId,
+        /// Virtual time (µs).
+        at_us: f64,
+    },
+    /// The planner re-planned the query's unfinished sites mid-flight.
+    Replanned(ReplanEvent),
+    /// The query finished (answered, failed, or timed out).
+    Finished {
+        /// The query.
+        query: u64,
+        /// Virtual time (µs).
+        at_us: f64,
+        /// `true` when the deadline expired before the answer.
+        deadline_missed: bool,
+    },
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    replans: Vec<ReplanEvent>,
+}
+
+/// Shared append-only event log (cheaply cloneable handle).
+#[derive(Debug, Clone, Default)]
+pub struct DispatchTrace {
+    inner: Rc<RefCell<TraceInner>>,
+}
+
+impl DispatchTrace {
+    /// An empty trace.
+    pub fn new() -> DispatchTrace {
+        DispatchTrace::default()
+    }
+
+    /// Appends one event; replans are additionally indexed separately.
+    pub fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if let TraceEvent::Replanned(replan) = &event {
+            inner.replans.push(replan.clone());
+        }
+        inner.events.push(event);
+    }
+
+    /// A copy of every recorded event, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// A copy of every recorded replan, in record order.
+    pub fn replans(&self) -> Vec<ReplanEvent> {
+        self.inner.borrow().replans.clone()
+    }
+}

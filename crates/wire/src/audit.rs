@@ -52,7 +52,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// changes, FQ306 fires until [`crate::frame::VERSION`] is bumped *and*
 /// this pin is updated to the value printed by the
 /// `grammar_pin_matches_current_surface` test.
-pub const GRAMMAR_PIN: (u32, u64) = (1, 0xff80_777a_f09c_84bd);
+pub const GRAMMAR_PIN: (u32, u64) = (2, 0x6078_3e7d_89a0_4681);
 
 /// One tagged enum family of the wire grammar.
 #[derive(Debug, Clone)]
@@ -274,6 +274,7 @@ fn request_exemplars() -> Vec<(&'static str, Vec<u8>)> {
             Request::ShipObjects => "ShipObjects",
             Request::BatchAssistantLookup { .. } => "BatchAssistantLookup",
             Request::BatchCertify { .. } => "BatchCertify",
+            Request::HybridCertify { .. } => "HybridCertify",
         }
     }
     [
@@ -295,6 +296,10 @@ fn request_exemplars() -> Vec<(&'static str, Vec<u8>)> {
             targets: vec![],
         },
         Request::BatchCertify { strategies: vec![] },
+        Request::HybridCertify {
+            parallel_sites: vec![],
+            config: LocalizedConfig::default(),
+        },
     ]
     .iter()
     .map(|r| {

@@ -25,7 +25,9 @@ use std::io::{self, Read, Write};
 /// Frame magic: `FQW1` little-endian.
 pub const MAGIC: u32 = 0x3157_5146;
 /// Protocol version; bumped on any layout change.
-pub const VERSION: u32 = 1;
+///
+/// v2: added `Request::HybridCertify` (per-site BL/PL schedules).
+pub const VERSION: u32 = 2;
 
 /// What kind of endpoint dialed a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -395,6 +395,17 @@ pub(crate) fn enc_request(w: &mut Writer, req: &Request) {
                 enc_strategy(w, *s);
             }
         }
+        Request::HybridCertify {
+            parallel_sites,
+            config,
+        } => {
+            w.u8(6);
+            w.seq(parallel_sites.len());
+            for db in parallel_sites {
+                enc_db(w, *db);
+            }
+            enc_localized_config(w, *config);
+        }
     }
 }
 
@@ -421,6 +432,10 @@ pub(crate) fn dec_request(r: &mut Reader) -> Result<Request, WireError> {
         }
         5 => Ok(Request::BatchCertify {
             strategies: dec_seq(r, dec_strategy)?,
+        }),
+        6 => Ok(Request::HybridCertify {
+            parallel_sites: dec_seq(r, dec_db)?,
+            config: dec_localized_config(r)?,
         }),
         _ => Err(WireError::Malformed("request tag")),
     }

@@ -31,6 +31,7 @@ use crate::frame::{read_frame, write_frame, ClientAnswer, Frame, Role};
 use crate::hub::Hub;
 use crate::render::render_answer;
 use crate::transport::{Locality, TcpTransport};
+use fedoq_core::handlers::LocalizedConfig;
 use fedoq_core::{
     collect_catalog, query_fingerprint, refresh_catalog, Federation, LookupCache, PipelineConfig,
 };
@@ -43,7 +44,7 @@ use fedoq_plan::{choose, PipelineKnobs, PlanKind, StatsCatalog};
 use fedoq_sim::{Phase, Resource, Simulation, Site, SystemParams};
 use fedoq_sync::{Condvar, Mutex};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -73,25 +74,43 @@ struct Job {
     id: u64,
     sql: String,
     strategy: String,
+    priority: u8,
     reply: Arc<Mutex<TcpStream>>,
 }
 
+/// The frontend's admission queue: the OS-thread analogue of
+/// [`fedoq_sched::Admission`], with the same discipline — strict
+/// priority, FIFO within a priority. The worker pool is the slot
+/// budget, so ordering the queue this way *is* admission control:
+/// whenever a worker frees up, the oldest highest-priority query is
+/// admitted next.
 struct JobQueue {
-    jobs: Mutex<VecDeque<Job>>,
+    jobs: Mutex<JobLadder>,
     cond: Condvar,
+}
+
+#[derive(Default)]
+struct JobLadder {
+    seq: u64,
+    // Key `(255 - priority, seq)`: ascending iteration order is highest
+    // priority first, oldest first within a priority — identical to the
+    // scheduler's admission gate.
+    waiting: BTreeMap<(u8, u64), Job>,
 }
 
 impl JobQueue {
     fn new() -> JobQueue {
         JobQueue {
-            jobs: Mutex::new("serve.jobs", VecDeque::new()),
+            jobs: Mutex::new("serve.jobs", JobLadder::default()),
             cond: Condvar::new("serve.job-ready"),
         }
     }
 
     fn push(&self, job: Job) {
         let mut jobs = self.jobs.lock();
-        jobs.push_back(job);
+        let key = (255 - job.priority, jobs.seq);
+        jobs.seq += 1;
+        jobs.waiting.insert(key, job);
         drop(jobs);
         self.cond.notify_one();
     }
@@ -103,11 +122,31 @@ impl JobQueue {
         // queue — the discipline FQ302 audits.
         let mut jobs = self.jobs.lock();
         loop {
-            if let Some(job) = jobs.pop_front() {
-                return job;
+            let front = jobs.waiting.iter().next().map(|(&key, _)| key);
+            if let Some(key) = front {
+                if let Some(job) = jobs.waiting.remove(&key) {
+                    return job;
+                }
             }
-            jobs = self.cond.wait_while(jobs, |q| q.is_empty());
+            jobs = self.cond.wait_while(jobs, |q| q.waiting.is_empty());
         }
+    }
+}
+
+/// Splits a client strategy string into `(strategy, priority)`.
+///
+/// Clients opt into scheduling priority with an `@N` suffix on the
+/// strategy name (`"bl@3"`, `"adaptive@1"`); the bare name keeps
+/// priority 0. Carried inside the existing string field so the wire
+/// grammar — and therefore the FQ306 version fingerprint — is
+/// unchanged, and old clients are unaffected.
+fn split_priority(raw: &str) -> (&str, u8) {
+    match raw.rsplit_once('@') {
+        Some((name, prio)) => match prio.parse::<u8>() {
+            Ok(p) => (name, p),
+            Err(_) => (raw, 0),
+        },
+        None => (raw, 0),
     }
 }
 
@@ -179,12 +218,16 @@ fn client_loop(stream: TcpStream, queue: &JobQueue) {
     let mut reader = BufReader::new(stream);
     loop {
         match read_frame(&mut reader) {
-            Ok(Some(Frame::Query { id, sql, strategy })) => queue.push(Job {
-                id,
-                sql,
-                strategy,
-                reply: Arc::clone(&writer),
-            }),
+            Ok(Some(Frame::Query { id, sql, strategy })) => {
+                let (name, priority) = split_priority(&strategy);
+                queue.push(Job {
+                    id,
+                    sql,
+                    strategy: name.to_string(),
+                    priority,
+                    reply: Arc::clone(&writer),
+                });
+            }
             Ok(Some(_)) => continue, // Hello and anything else: ignored
             Ok(None) | Err(_) => return,
         }
@@ -254,10 +297,11 @@ fn execute(
     let fingerprint = query_fingerprint(&query);
 
     // Strategy selection: a fixed name, or the adaptive planner ranking
-    // CA/BL/PL against this worker's statistics catalog (the hybrid is
-    // excluded — the wire ships one uniform strategy per Certify).
+    // CA/BL/PL/HY against this worker's statistics catalog. A hybrid
+    // winner ships as one `HybridCertify` carrying the per-site
+    // schedule; uniform winners ship as a plain `Certify`.
     let adaptive = job.strategy.eq_ignore_ascii_case("adaptive");
-    let (strategy, planned) = if adaptive {
+    let (request, executed, planned) = if adaptive {
         refresh_catalog(catalog, fed);
         let warmth = if opts.pipeline.cache {
             cache.borrow().stats().hit_rate()
@@ -275,22 +319,39 @@ fn execute(
             &query,
             &knobs,
             fingerprint,
-            false,
+            true,
         );
-        let kind = choice.best().kind;
-        let strategy = match kind {
-            PlanKind::Centralized => DistributedStrategy::ca(),
-            PlanKind::BasicLocalized => DistributedStrategy::bl(),
-            PlanKind::ParallelLocalized => DistributedStrategy::pl(),
-            PlanKind::Hybrid => {
-                return Err("planner ranked a hybrid despite allow_hybrid = false".into())
-            }
+        let best = choice.best();
+        let kind = best.kind;
+        let request = match kind {
+            PlanKind::Centralized => Request::Certify {
+                strategy: DistributedStrategy::ca(),
+            },
+            PlanKind::BasicLocalized => Request::Certify {
+                strategy: DistributedStrategy::bl(),
+            },
+            PlanKind::ParallelLocalized => Request::Certify {
+                strategy: DistributedStrategy::pl(),
+            },
+            PlanKind::Hybrid => Request::HybridCertify {
+                parallel_sites: best
+                    .modes
+                    .iter()
+                    .filter(|m| m.parallel)
+                    .map(|m| m.db)
+                    .collect(),
+                config: LocalizedConfig::default(),
+            },
         };
-        (strategy, Some(kind))
+        (request, kind.label().to_string(), Some(kind))
     } else {
         let strategy = DistributedStrategy::parse(&job.strategy)
             .ok_or_else(|| format!("unknown strategy '{}'", job.strategy))?;
-        (strategy, None)
+        (
+            Request::Certify { strategy },
+            strategy.name().to_string(),
+            None,
+        )
     };
 
     cache.borrow_mut().sync_generation(fed.generation());
@@ -330,7 +391,6 @@ fn execute(
     let start = Instant::now();
     let client_net = net.clone();
     let inject_net = net.clone();
-    let request = Request::Certify { strategy };
     let response = rt
         .run_driven(
             async move {
@@ -382,7 +442,7 @@ fn execute(
 
     match reply.answer {
         Ok(answer) => Ok(ClientAnswer {
-            executed: strategy.name().to_string(),
+            executed,
             rows: render_answer(&answer),
             degraded_sites: reply
                 .degraded_sites
@@ -395,5 +455,45 @@ fn execute(
             server_us,
         }),
         Err(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_suffix_parses_and_defaults() {
+        assert_eq!(split_priority("bl"), ("bl", 0));
+        assert_eq!(split_priority("bl@3"), ("bl", 3));
+        assert_eq!(split_priority("adaptive@1"), ("adaptive", 1));
+        // Malformed suffixes are left alone so the strategy parser can
+        // report the whole unknown name.
+        assert_eq!(split_priority("bl@fast"), ("bl@fast", 0));
+    }
+
+    #[test]
+    fn job_queue_admits_by_priority_then_arrival() {
+        let queue = JobQueue::new();
+        for (id, priority) in [(0u64, 0u8), (1, 3), (2, 0), (3, 3)] {
+            let (a, b) = std::net::TcpListener::bind("127.0.0.1:0")
+                .and_then(|l| {
+                    let addr = l.local_addr()?;
+                    let a = TcpStream::connect(addr)?;
+                    let (b, _) = l.accept()?;
+                    Ok((a, b))
+                })
+                .expect("loopback pair");
+            drop(b);
+            queue.push(Job {
+                id,
+                sql: String::new(),
+                strategy: String::new(),
+                priority,
+                reply: Arc::new(Mutex::new("test.reply", a)),
+            });
+        }
+        let order: Vec<u64> = (0..4).map(|_| queue.pop().id).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
     }
 }

@@ -48,7 +48,7 @@ fn protocol_audit_passes_clean_on_the_university_example() {
 }
 
 #[test]
-fn all_twelve_seeded_unsound_inputs_are_rejected_with_stable_ids() {
+fn all_thirteen_seeded_unsound_inputs_are_rejected_with_stable_ids() {
     let cases = fedoq_check::self_test().unwrap_or_else(|e| panic!("{e}"));
     let ids: Vec<(&str, &str)> = cases.iter().map(|c| (c.name, c.expect)).collect();
     assert_eq!(
@@ -66,6 +66,7 @@ fn all_twelve_seeded_unsound_inputs_are_rejected_with_stable_ids() {
             ("ghost-wire-variant", "FQ304"),
             ("unbounded-value-depth", "FQ305"),
             ("silent-grammar-change", "FQ306"),
+            ("replan-overlap", "FQ307"),
         ]
     );
     for case in &cases {

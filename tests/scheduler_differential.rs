@@ -1,0 +1,258 @@
+//! Differential suite for the concurrent scheduler: whatever the
+//! scheduler answers must be byte-identical to a serial run of the same
+//! plan — at every concurrency level, with mid-flight replans, and
+//! (degradation aside) under scripted faults.
+//!
+//! Every assertion message carries the scenario seed; re-running with
+//! that seed reproduces the failing schedule exactly.
+
+use fedoq_core::{run_strategy, Federation, QueryAnswer};
+use fedoq_net::DistributedStrategy;
+use fedoq_query::BoundQuery;
+use fedoq_sched::{
+    mixed_specs, FaultScript, QuerySpec, QueryVerdict, SchedConfig, SchedSim, SchedStrategy,
+};
+use fedoq_sim::SystemParams;
+use fedoq_workload::university;
+
+fn quick() -> bool {
+    std::env::var("FEDOQ_QUICK").is_ok()
+}
+
+fn seeds() -> Vec<u64> {
+    if quick() {
+        vec![7]
+    } else {
+        vec![7, 101, 9001]
+    }
+}
+
+/// The serial reference answer for an executed plan label.
+///
+/// `HY` mixes per-site schedules but merges and certifies exactly like
+/// BL, so BL is its reference; the scheduler's other labels are the
+/// strategy names themselves.
+fn reference(fed: &Federation, query: &BoundQuery, executed: &str) -> QueryAnswer {
+    let strategy = DistributedStrategy::parse(executed).unwrap_or_else(DistributedStrategy::bl);
+    let (answer, _) = run_strategy(
+        strategy.sync().as_ref(),
+        fed,
+        query,
+        SystemParams::paper_default(),
+    )
+    .expect("serial reference execution");
+    answer
+}
+
+#[test]
+fn healthy_runs_match_serial_answers_at_every_concurrency() {
+    let fed = university::federation().expect("federation");
+    for seed in seeds() {
+        // Deadlines off: this test is about answers, not latency.
+        let specs: Vec<QuerySpec> = mixed_specs(if quick() { 8 } else { 24 }, seed)
+            .into_iter()
+            .map(|mut spec| {
+                spec.deadline_us = None;
+                spec
+            })
+            .collect();
+        for max_inflight in [1usize, 8, 64] {
+            let config = SchedConfig {
+                max_inflight,
+                ..SchedConfig::default()
+            };
+            let run = SchedSim::new(seed)
+                .with_config(config)
+                .run(&fed, &specs)
+                .unwrap_or_else(|e| panic!("seed {seed} inflight {max_inflight}: {e}"));
+            for outcome in &run.outcome.queries {
+                let spec = &specs[outcome.id as usize];
+                let answer = match &outcome.verdict {
+                    QueryVerdict::Answered(answer) => answer,
+                    other => panic!(
+                        "seed {seed} inflight {max_inflight} query {}: \
+                         expected an answer, got {other:?}",
+                        outcome.id
+                    ),
+                };
+                assert!(
+                    outcome.degraded_sites.is_empty(),
+                    "seed {seed} inflight {max_inflight} query {}: \
+                     degraded without faults: {:?}",
+                    outcome.id,
+                    outcome.degraded_sites
+                );
+                let query = fed.parse_and_bind(&spec.sql).expect("bind");
+                let expected = reference(&fed, &query, &outcome.executed);
+                assert_eq!(
+                    *answer, expected,
+                    "seed {seed} inflight {max_inflight} query {} ({}): \
+                     concurrent answer diverges from the serial run",
+                    outcome.id, outcome.executed
+                );
+            }
+        }
+    }
+}
+
+/// The straggler workload's query: every Teacher-hosting site is
+/// queried; DB1 and DB3 evaluate `department.name` locally (fast,
+/// unaffected calibration points) while DB2 must be assisted — so
+/// slowing DB2 makes exactly one dispatch straggle.
+const TEACHER_Q: &str = "SELECT X.name FROM Teacher X WHERE X.department.name = 'CS'";
+
+/// A workload of adaptive queries with knobs that make the straggler
+/// monitor fire early.
+fn straggler_specs(n: usize) -> Vec<QuerySpec> {
+    (0..n)
+        .map(|i| QuerySpec {
+            id: i as u64,
+            sql: TEACHER_Q.to_string(),
+            priority: (i % 4) as u8,
+            deadline_us: None,
+            arrival_us: (i as f64) * 1_000.0,
+            strategy: SchedStrategy::Adaptive,
+        })
+        .collect()
+}
+
+#[test]
+fn straggler_triggers_replans_without_changing_answers() {
+    let fed = university::federation().expect("federation");
+    let config = SchedConfig {
+        straggler_factor: 3.0,
+        min_straggler_us: 5_000.0,
+        probe_interval_us: 2_000.0,
+        ..SchedConfig::default()
+    };
+    let script = FaultScript::Straggler {
+        site: fedoq_object::DbId::new(1),
+        factor: 40.0,
+        at_us: 0.0,
+    };
+    for seed in seeds() {
+        let specs = straggler_specs(6);
+        let run = SchedSim::new(seed)
+            .with_config(config)
+            .with_script(script.clone())
+            .run(&fed, &specs)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The slow site straggles past 3x the healthy sites' mean
+        // latency, so at least one adaptive query must have replanned.
+        assert!(
+            !run.outcome.replans.is_empty(),
+            "seed {seed}: no mid-flight replan despite a 40x straggler \
+             (executed: {:?})",
+            run.outcome
+                .queries
+                .iter()
+                .map(|o| o.executed.clone())
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            run.outcome.queries.iter().any(|o| o.replanned),
+            "seed {seed}: no query outcome marked replanned"
+        );
+        // Replan soundness via the FQ307 auditor: never re-dispatch
+        // merged work, never drop a hosting site on the floor.
+        let mut report = fedoq_check::Report::new("scheduler replans", "");
+        fedoq_check::analyze_replans(&run.outcome.replans, &mut report);
+        assert!(
+            report.is_sound(),
+            "seed {seed}: replan trace failed the FQ307 audit: {report}"
+        );
+        // A slow site still answers: every query certifies the same
+        // answer the serial run would.
+        let query = fed.parse_and_bind(TEACHER_Q).expect("bind");
+        for outcome in &run.outcome.queries {
+            let answer = match &outcome.verdict {
+                QueryVerdict::Answered(answer) => answer,
+                other => panic!(
+                    "seed {seed} query {}: expected an answer under a \
+                     slow (not dead) site, got {other:?}",
+                    outcome.id
+                ),
+            };
+            assert!(
+                outcome.degraded_sites.is_empty(),
+                "seed {seed} query {}: degraded under a slow (not dead) site",
+                outcome.id
+            );
+            let expected = reference(&fed, &query, &outcome.executed);
+            assert_eq!(
+                *answer, expected,
+                "seed {seed} query {} ({}): replanned answer diverges",
+                outcome.id, outcome.executed
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_scripts_never_produce_wrong_answers() {
+    let fed = university::federation().expect("federation");
+    let scripts = [
+        FaultScript::CrashMidQuery {
+            site: fedoq_object::DbId::new(1),
+            at_us: 10_000.0,
+            heal_us: 400_000.0,
+        },
+        FaultScript::PartitionThenHeal {
+            a: fedoq_object::DbId::new(0),
+            b: fedoq_object::DbId::new(1),
+            at_us: 5_000.0,
+            heal_us: 300_000.0,
+        },
+    ];
+    for seed in seeds() {
+        for script in &scripts {
+            let specs = mixed_specs(if quick() { 8 } else { 16 }, seed);
+            let run = SchedSim::new(seed)
+                .with_script(script.clone())
+                .run(&fed, &specs)
+                .unwrap_or_else(|e| panic!("seed {seed} script {}: {e}", script.name()));
+            for outcome in &run.outcome.queries {
+                let spec = &specs[outcome.id as usize];
+                let label = format!(
+                    "seed {seed} script {} query {} ({})",
+                    script.name(),
+                    outcome.id,
+                    outcome.executed
+                );
+                match &outcome.verdict {
+                    QueryVerdict::Answered(answer) => {
+                        let query = fed.parse_and_bind(&spec.sql).expect("bind");
+                        let expected = reference(&fed, &query, &outcome.executed);
+                        if outcome.degraded_sites.is_empty() && !answer.is_degraded() {
+                            assert_eq!(
+                                *answer, expected,
+                                "{label}: non-degraded answer diverges from serial"
+                            );
+                        } else {
+                            // Graceful degradation may widen the maybe
+                            // set, but a certain row must never be a lie.
+                            assert!(
+                                answer.certain_goids().is_subset(&expected.certain_goids()),
+                                "{label}: degraded answer invented certainty \
+                                 ({:?} vs {:?})",
+                                answer.certain_goids(),
+                                expected.certain_goids()
+                            );
+                        }
+                    }
+                    // Only CA refuses to answer when a site is down.
+                    QueryVerdict::Failed(message) => assert_eq!(
+                        outcome.executed, "CA",
+                        "{label}: non-CA plan failed instead of degrading: {message}"
+                    ),
+                    QueryVerdict::DeadlineExpiredInQueue | QueryVerdict::DeadlineMiss => {
+                        assert!(
+                            spec.deadline_us.is_some(),
+                            "{label}: deadline verdict for a spec without a deadline"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
