@@ -135,6 +135,7 @@ fn main() -> ExitCode {
         chunk: CHUNK,
         batch: BATCH,
         cache: true,
+        ..PipelineConfig::default()
     };
 
     let mut params = WorkloadParams::paper_default();

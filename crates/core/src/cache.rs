@@ -17,9 +17,11 @@
 //!
 //! [`Federation::generation`]: crate::federation::Federation::generation
 
+use crate::materialize::CentralExtents;
 use fedoq_object::{DbId, LOid, Truth, Value};
 use fedoq_query::BoundQuery;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Key of one cached lookup. Query-dependent namespaces carry a query
 /// fingerprint (see [`query_fingerprint`]) so distinct queries never
@@ -118,6 +120,18 @@ struct Entry {
     last_use: u64,
 }
 
+/// One warm CA materialization (shared, since rebuilding it is the very
+/// cost being avoided).
+#[derive(Debug, Clone)]
+struct MatEntry {
+    value: Arc<CentralExtents>,
+    last_use: u64,
+}
+
+/// Warm materializations kept per cache — they are orders of magnitude
+/// larger than ordinary entries, so they get their own small bound.
+const MATERIALIZED_CAPACITY: usize = 8;
+
 /// The shared lookup cache: a bounded map with least-recently-used
 /// eviction and whole-cache generation invalidation.
 #[derive(Debug, Clone)]
@@ -126,6 +140,8 @@ pub struct LookupCache {
     generation: u64,
     tick: u64,
     map: HashMap<CacheKey, Entry>,
+    /// Warm CA materializations, keyed by `(query fingerprint, indexed)`.
+    materialized: HashMap<(u64, bool), MatEntry>,
     stats: CacheStats,
 }
 
@@ -143,6 +159,7 @@ impl LookupCache {
             generation: 0,
             tick: 0,
             map: HashMap::new(),
+            materialized: HashMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -152,8 +169,9 @@ impl LookupCache {
     /// generation moved since the last sync.
     pub fn sync_generation(&mut self, generation: u64) {
         if generation != self.generation {
-            self.stats.invalidations += self.map.len() as u64;
+            self.stats.invalidations += (self.map.len() + self.materialized.len()) as u64;
             self.map.clear();
+            self.materialized.clear();
             self.generation = generation;
         }
     }
@@ -203,6 +221,54 @@ impl LookupCache {
         );
     }
 
+    /// Looks up the warm CA materialization of one `(query, indexed)`
+    /// pair, counting a hit or miss and refreshing recency.
+    pub(crate) fn materialized(&mut self, query: u64, indexed: bool) -> Option<Arc<CentralExtents>> {
+        self.tick += 1;
+        match self.materialized.get_mut(&(query, indexed)) {
+            Some(entry) => {
+                entry.last_use = self.tick;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remembers a freshly built CA materialization, evicting the
+    /// least-recently-used one past the (small) materialization bound.
+    pub(crate) fn put_materialized(
+        &mut self,
+        query: u64,
+        indexed: bool,
+        value: Arc<CentralExtents>,
+    ) {
+        self.tick += 1;
+        let key = (query, indexed);
+        if self.materialized.len() >= MATERIALIZED_CAPACITY && !self.materialized.contains_key(&key)
+        {
+            if let Some(victim) = self
+                .materialized
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+            {
+                self.materialized.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.materialized.insert(
+            key,
+            MatEntry {
+                value,
+                last_use: self.tick,
+            },
+        );
+    }
+
     /// Current entry count.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -227,6 +293,7 @@ impl LookupCache {
     /// capacity and generation) — the shell's `cachestats reset`.
     pub fn reset(&mut self) {
         self.map.clear();
+        self.materialized.clear();
         self.stats = CacheStats::default();
     }
 }

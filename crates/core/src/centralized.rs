@@ -9,16 +9,17 @@
 use crate::cache::{query_fingerprint, CacheKey, CacheValue, LookupCache};
 use crate::error::ExecError;
 use crate::federation::Federation;
-use crate::materialize::Materialized;
+use crate::materialize::CentralExtents;
 use crate::pipeline::PipelineConfig;
 use crate::result::{MaybeRow, QueryAnswer, ResultRow};
 use crate::strategy::ExecutionStrategy;
-use fedoq_object::{DbId, Truth};
+use fedoq_object::{DbId, GOid, Truth};
 use fedoq_query::BoundQuery;
 use fedoq_sim::{Phase, Simulation, Site, SystemParams};
 use fedoq_store::{map_chunks, worker_shares};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The centralized strategy (the paper's algorithm **CA**).
 ///
@@ -139,7 +140,7 @@ pub fn centralized_execute_with(
     sim.recv_all(Site::Global, tokens);
 
     // --- Steps CA_G2 / CA_G3 at the global site.
-    centralized_answer_with(fed, query, sim, pipeline)
+    centralized_answer_cached(fed, query, sim, pipeline, cache)
 }
 
 /// CA's shipping plan: which sites receive the query and how many bytes of
@@ -214,24 +215,71 @@ pub fn centralized_answer_with(
     sim: &mut Simulation,
     pipeline: PipelineConfig,
 ) -> Result<QueryAnswer, ExecError> {
+    centralized_answer_cached(fed, query, sim, pipeline, None)
+}
+
+/// [`centralized_answer_with`] with access to the shared lookup cache.
+///
+/// With the cache enabled, the built [`CentralExtents`] (materialized
+/// extents, sorted roots, and — under `pipeline.index` — the root
+/// equality indexes) is remembered under the query's fingerprint: a warm
+/// repeat skips phases O and I entirely, the global site still holding
+/// the integrated extents from the previous run. With `pipeline.index`,
+/// phase P scans only the equality-index candidates instead of every
+/// root; the skipped roots would be eliminated by a definite `False`, so
+/// the answer stays byte-identical.
+pub(crate) fn centralized_answer_cached(
+    fed: &Federation,
+    query: &BoundQuery,
+    sim: &mut Simulation,
+    pipeline: PipelineConfig,
+    cache: Option<&RefCell<LookupCache>>,
+) -> Result<QueryAnswer, ExecError> {
+    let cache = if pipeline.cache { cache } else { None };
     let mut involved = query.involved_slots();
     // The range class is always involved: its extent seeds the rows even
     // when neither targets nor predicates read a root attribute.
     involved.entry(query.range()).or_default();
 
-    // --- Step CA_G2: materialize the global classes (phases O and I).
-    let (materialized, cost) = Materialized::build(fed, &involved);
-    sim.cpu(Site::Global, cost.o_comparisons, Phase::O);
-    sim.cpu(Site::Global, cost.i_comparisons, Phase::I);
+    // --- Step CA_G2: materialize the global classes (phases O and I) —
+    // or reuse the warm extents from the previous run of this query.
+    let fingerprint = cache.map(|_| query_fingerprint(query));
+    let warm = match (cache, fingerprint) {
+        (Some(cache), Some(fp)) => cache.borrow_mut().materialized(fp, pipeline.index),
+        _ => None,
+    };
+    let central = match warm {
+        Some(central) => central,
+        None => {
+            let (central, cost, index_probes) =
+                CentralExtents::build(fed, query, &involved, pipeline.index)?;
+            sim.cpu(Site::Global, cost.o_comparisons, Phase::O);
+            sim.cpu(Site::Global, cost.i_comparisons + index_probes, Phase::I);
+            let central = Arc::new(central);
+            if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+                cache
+                    .borrow_mut()
+                    .put_materialized(fp, pipeline.index, central.clone());
+            }
+            central
+        }
+    };
+    let materialized = &central.mat;
 
-    // --- Step CA_G3: evaluate the predicates (phase P).
-    let extent = materialized
-        .extent(query.range())
-        .ok_or_else(|| ExecError::Internal("range class not materialized".into()))?;
-    let mut roots: Vec<_> = extent.keys().copied().collect();
-    roots.sort();
+    // --- Step CA_G3: evaluate the predicates (phase P), over the index
+    // candidates when an equality predicate has a built slot index.
+    let mut index_probes = 0u64;
+    let candidates = if pipeline.index {
+        central.candidates(query, &mut index_probes)
+    } else {
+        None
+    };
+    if index_probes > 0 {
+        sim.cpu(Site::Global, index_probes, Phase::P);
+    }
+    let roots: &[GOid] = candidates.as_deref().unwrap_or(&central.roots);
 
-    let partials = map_chunks(&roots, pipeline.threads, pipeline.chunk, |_, chunk| {
+    let partials = map_chunks(roots, pipeline.threads, pipeline.chunk, |_, chunk| {
         let mut certain = Vec::new();
         let mut maybe = Vec::new();
         let mut probes = 0u64;
@@ -376,6 +424,71 @@ mod tests {
             run_strategy(&Centralized, &f, &q, SystemParams::paper_default()).unwrap();
         assert_eq!(answer.certain().len(), 3);
         assert!(answer.maybe().is_empty());
+    }
+
+    #[test]
+    fn warm_cache_skips_materialization_and_index_narrows_phase_p() {
+        use crate::strategy::run_strategy_with_pipeline;
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.sex = 'm'")
+            .unwrap();
+        let params = SystemParams::paper_default();
+        let (baseline, _) = run_strategy(&Centralized, &f, &q, params).unwrap();
+
+        let pipeline = PipelineConfig::sequential().with_cache().with_index();
+        let cache = std::cell::RefCell::new(crate::cache::LookupCache::default());
+        let (cold, cold_metrics) =
+            run_strategy_with_pipeline(&Centralized, &f, &q, params, pipeline, Some(&cache))
+                .unwrap();
+        let (warm, warm_metrics) =
+            run_strategy_with_pipeline(&Centralized, &f, &q, params, pipeline, Some(&cache))
+                .unwrap();
+        // The cached + indexed runs answer byte-identically to the
+        // legacy sequential execution.
+        assert_eq!(cold, baseline);
+        assert_eq!(warm, baseline);
+        // The warm run reuses the materialized extents (phases O and I
+        // skipped) and the shipments (ship phase skipped): strictly
+        // cheaper than the cold run, and the cache really was hit.
+        assert!(warm_metrics.total_execution_us < cold_metrics.total_execution_us);
+        assert!(cache.borrow().stats().hits > 0);
+    }
+
+    #[test]
+    fn float_literals_never_take_the_index_path() {
+        use crate::strategy::run_strategy_with_pipeline;
+        // A float-typed attribute: the equality index cannot serve it
+        // (floats are not indexable), so the indexed run must fall back
+        // to the full scan — and still answer identically.
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("gpa", AttrType::float())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        for (sno, gpa) in [(1, Some(3.5)), (2, Some(2.0)), (3, None)] {
+            db0.insert_named(
+                "Student",
+                &[
+                    ("s-no", Value::Int(sno)),
+                    ("gpa", gpa.map_or(Value::Null, Value::Float)),
+                ],
+            )
+            .unwrap();
+        }
+        let f = Federation::new(vec![db0], &Correspondences::new()).unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.gpa = 3.5")
+            .unwrap();
+        let params = SystemParams::paper_default();
+        let (baseline, _) = run_strategy(&Centralized, &f, &q, params).unwrap();
+        let pipeline = PipelineConfig::sequential().with_index();
+        let (indexed, _) =
+            run_strategy_with_pipeline(&Centralized, &f, &q, params, pipeline, None).unwrap();
+        assert_eq!(indexed, baseline);
+        assert_eq!(baseline.certain().len(), 1);
+        assert_eq!(baseline.maybe().len(), 1); // the null-gpa student
     }
 
     #[test]

@@ -4,8 +4,11 @@
 use crate::error::ExecError;
 use fedoq_object::{DbId, LOid, ObjectSignature};
 use fedoq_query::{bind, parse, BoundQuery};
-use fedoq_schema::{identify_isomerism, integrate, Correspondences, GlobalSchema, GoidCatalog};
-use fedoq_store::ComponentDb;
+use fedoq_schema::{
+    identify_isomerism, identify_isomerism_with_keys, integrate, Correspondences, EntityKeyMap,
+    GlobalSchema, GoidCatalog,
+};
+use fedoq_store::{Change, ComponentDb};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -22,6 +25,10 @@ pub struct Federation {
     dbs: Vec<ComponentDb>,
     global: GlobalSchema,
     catalog: GoidCatalog,
+    /// Entity-key map for incremental catalog maintenance; `None` for
+    /// federations assembled from prebuilt parts, whose catalog we cannot
+    /// re-derive — those fall back to full rebuilds on mutation.
+    keymap: Option<EntityKeyMap>,
     signatures: HashMap<LOid, ObjectSignature>,
     /// Mutation counter: bumped by [`Federation::mutate`] so caches keyed
     /// on federation data (see `crate::cache`) can invalidate.
@@ -39,7 +46,7 @@ impl Federation {
     /// Returns [`ExecError::Schema`] when integration or isomerism
     /// identification fails, and [`ExecError::Internal`] when database ids
     /// are out of order.
-    pub fn new(dbs: Vec<ComponentDb>, corr: &Correspondences) -> Result<Federation, ExecError> {
+    pub fn new(mut dbs: Vec<ComponentDb>, corr: &Correspondences) -> Result<Federation, ExecError> {
         for (i, db) in dbs.iter().enumerate() {
             if db.id().index() != i {
                 return Err(ExecError::Internal(format!(
@@ -52,29 +59,40 @@ impl Federation {
             dbs.iter().map(|d| (d.id(), d.schema())).collect();
         let global = integrate(&schemas, corr)?;
         let db_refs: Vec<&ComponentDb> = dbs.iter().collect();
-        let catalog = identify_isomerism(&db_refs, &global)?;
+        let (catalog, keymap) = identify_isomerism_with_keys(&db_refs, &global)?;
         let signatures = build_signatures(&dbs);
+        for db in &mut dbs {
+            db.set_change_tracking(true); // feeds incremental maintenance
+        }
         Ok(Federation {
             dbs,
             global,
             catalog,
+            keymap: Some(keymap),
             signatures,
             generation: 0,
         })
     }
 
     /// Assembles a federation from prebuilt parts (used by generators that
-    /// construct the catalog directly).
+    /// construct the catalog directly). Lacking the entity-key map behind
+    /// the supplied catalog, such a federation rebuilds the catalog in
+    /// full on every [`Federation::mutate`] — signatures are still
+    /// maintained incrementally.
     pub fn from_parts(
-        dbs: Vec<ComponentDb>,
+        mut dbs: Vec<ComponentDb>,
         global: GlobalSchema,
         catalog: GoidCatalog,
     ) -> Federation {
         let signatures = build_signatures(&dbs);
+        for db in &mut dbs {
+            db.set_change_tracking(true);
+        }
         Federation {
             dbs,
             global,
             catalog,
+            keymap: None,
             signatures,
             generation: 0,
         }
@@ -88,18 +106,25 @@ impl Federation {
     }
 
     /// Applies a store mutation to one component database, then restores
-    /// the federation invariants: the GOid mapping tables and the
-    /// signature catalog are rebuilt (both are derived from store data)
-    /// and the mutation generation is bumped.
+    /// the federation invariants — the GOid mapping tables and the
+    /// signature catalog — and bumps the mutation generation.
+    ///
+    /// When the database's change log is available (the normal case), the
+    /// catalog and signatures are maintained *incrementally*: cost is
+    /// O(objects touched), not O(total extent size), which is what keeps
+    /// repeated mutation affordable at millions of objects. A federation
+    /// without an entity-key map ([`Federation::from_parts`]) or whose
+    /// change log was disabled falls back to the full rebuild.
     ///
     /// The closure's own failure leaves the federation untouched — the
-    /// rebuild only runs after `f` succeeds.
+    /// maintenance only runs after `f` succeeds.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::Internal`] when `db` is out of range,
     /// [`ExecError::Store`] when `f` fails, and [`ExecError::Schema`]
-    /// when isomerism re-identification fails afterwards.
+    /// when isomerism maintenance fails afterwards (e.g. the mutation
+    /// created two objects with one entity key in a single database).
     pub fn mutate<R, F>(&mut self, db: DbId, f: F) -> Result<R, ExecError>
     where
         F: FnOnce(&mut ComponentDb) -> Result<R, fedoq_store::StoreError>,
@@ -109,9 +134,53 @@ impl Federation {
             .get_mut(db.index())
             .ok_or_else(|| ExecError::Internal(format!("no database {db}")))?;
         let out = f(slot)?;
-        let db_refs: Vec<&ComponentDb> = self.dbs.iter().collect();
-        self.catalog = identify_isomerism(&db_refs, &self.global)?;
-        self.signatures = build_signatures(&self.dbs);
+        let tracked = slot.change_tracking();
+        let changes = slot.drain_changes();
+        slot.set_change_tracking(true); // re-arm even if `f` disabled it
+        let mutated = &self.dbs[db.index()];
+
+        // Catalog: incremental when the key map and a trustworthy change
+        // log are both present.
+        if let (true, Some(keymap)) = (tracked, self.keymap.as_mut()) {
+            for change in &changes {
+                match *change {
+                    Change::Insert(l) => keymap.apply_insert(&mut self.catalog, mutated, l)?,
+                    Change::Retract(l) => keymap.apply_retract(&mut self.catalog, l),
+                    Change::Update(l) => keymap.apply_update(&mut self.catalog, mutated, l)?,
+                }
+            }
+        } else {
+            let db_refs: Vec<&ComponentDb> = self.dbs.iter().collect();
+            if self.keymap.is_some() {
+                let (catalog, keymap) = identify_isomerism_with_keys(&db_refs, &self.global)?;
+                self.catalog = catalog;
+                self.keymap = Some(keymap);
+            } else {
+                self.catalog = identify_isomerism(&db_refs, &self.global)?;
+            }
+        }
+
+        // Signatures: the change log pinpoints exactly which entries moved.
+        if tracked {
+            let mutated = &self.dbs[db.index()];
+            for change in &changes {
+                match *change {
+                    Change::Insert(l) | Change::Update(l) => match signature_of(mutated, l) {
+                        Some(sig) => {
+                            self.signatures.insert(l, sig);
+                        }
+                        None => {
+                            self.signatures.remove(&l);
+                        }
+                    },
+                    Change::Retract(l) => {
+                        self.signatures.remove(&l);
+                    }
+                }
+            }
+        } else {
+            self.signatures = build_signatures(&self.dbs);
+        }
         self.generation += 1;
         Ok(out)
     }
@@ -236,21 +305,30 @@ impl fmt::Display for Federation {
 fn build_signatures(dbs: &[ComponentDb]) -> HashMap<LOid, ObjectSignature> {
     let mut out = HashMap::new();
     for db in dbs {
-        for (class_id, class) in db.schema().iter() {
+        for (class_id, _) in db.schema().iter() {
             for object in db.extent(class_id).iter() {
-                let mut sig = ObjectSignature::new();
-                for (attr, value) in class.attrs().iter().zip(object.values()) {
-                    if value.is_null() {
-                        sig.insert_null(attr.name());
-                    } else {
-                        sig.insert(attr.name(), value);
-                    }
+                if let Some(sig) = signature_of(db, object.loid()) {
+                    out.insert(object.loid(), sig);
                 }
-                out.insert(object.loid(), sig);
             }
         }
     }
     out
+}
+
+/// The signature of one live object, or `None` if it no longer exists.
+fn signature_of(db: &ComponentDb, loid: LOid) -> Option<ObjectSignature> {
+    let object = db.object(loid)?;
+    let class = db.schema().class(object.class());
+    let mut sig = ObjectSignature::new();
+    for (attr, value) in class.attrs().iter().zip(object.values()) {
+        if value.is_null() {
+            sig.insert_null(attr.name());
+        } else {
+            sig.insert(attr.name(), value);
+        }
+    }
+    Some(sig)
 }
 
 #[cfg(test)]
@@ -366,6 +444,56 @@ mod tests {
         fed.mutate(DbId::new(0), |db| db.retract(loid)).unwrap();
         assert_eq!(fed.generation(), 2);
         assert!(fed.signature(loid).is_none());
+    }
+
+    #[test]
+    fn incremental_mutation_agrees_with_fresh_integration() {
+        let mut fed = two_db_fed();
+        let class = fed.global_schema().class_id("Student").unwrap();
+        // A mixed batch: join an entity, found one, update a key, retract.
+        let joined = fed
+            .mutate(DbId::new(0), |db| {
+                let joined = db.insert_named(
+                    "Student",
+                    &[("s-no", Value::Int(2)), ("age", Value::Int(40))],
+                )?;
+                let away = db.insert_named("Student", &[("s-no", Value::Int(7))])?;
+                db.retract(away)?;
+                Ok(joined)
+            })
+            .unwrap();
+        fed.mutate(DbId::new(0), |db| {
+            db.object_mut(joined)
+                .expect("object just inserted")
+                .set(0, Value::Int(9));
+            Ok(())
+        })
+        .unwrap();
+
+        // An independently integrated federation over the same store data
+        // must group entities identically (GOid numbering may differ).
+        let rebuilt = Federation::new(fed.dbs().to_vec(), &Correspondences::new()).unwrap();
+        let group_of = |fed: &Federation, l: LOid| -> Vec<LOid> {
+            let g = fed.catalog().table(class).goid_of(l).unwrap();
+            let mut ls = fed.catalog().table(class).loids_of(g).to_vec();
+            ls.sort();
+            ls
+        };
+        assert_eq!(
+            fed.catalog().table(class).len(),
+            rebuilt.catalog().table(class).len()
+        );
+        for db in fed.dbs() {
+            for l in db.extent_by_name("Student").unwrap().loids() {
+                assert_eq!(group_of(&fed, l), group_of(&rebuilt, l));
+                assert!(fed.signature(l).is_some());
+            }
+        }
+        // The updated object's signature reflects the new key.
+        assert!(fed
+            .signature(joined)
+            .unwrap()
+            .may_contain("s-no", &Value::Int(9)));
     }
 
     #[test]

@@ -33,7 +33,8 @@ use fedoq_object::{CmpOp, DbId, GOid, GlobalClassId, LOid, Object, Path, Truth, 
 use fedoq_query::{plan_for_db, BoundQuery, PredDisposition, PredId, SitePlan};
 use fedoq_sim::{MessageToken, Phase, Simulation, Site, SystemParams};
 use fedoq_store::{
-    map_chunks, worker_shares, CompiledPath, CompiledPredicate, ComponentDb, EvalCounter,
+    map_chunks, worker_shares, CompiledPath, CompiledPredicate, ComponentDb, EvalCounter, Extent,
+    IndexKey,
 };
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -922,6 +923,82 @@ fn eval_object(
     ))
 }
 
+/// Index-seeded phase-P candidates (FedOQ extension, `pipeline.index`).
+///
+/// Picks the first local predicate that is a bare single-step equality
+/// whose literal is indexable and whose root attribute carries a
+/// maintained index, and returns the union of the index's exact matches
+/// and its null-key unknowns, in extent scan order. Every object outside
+/// that union holds a known non-null value different from the literal, so
+/// the sequential scan would eliminate it with a definite `False` before
+/// producing a row; skipping those objects leaves the surviving row list
+/// byte-identical while phase P touches only `matches + unknowns` objects
+/// instead of the whole extent.
+///
+/// Returns `None` (scan everything) when no predicate qualifies — path
+/// traversals, non-equality operators, float literals (never indexed),
+/// or simply no maintained index on the attribute.
+fn index_candidates<'a>(
+    ctx: &SiteContext<'_>,
+    extent: &'a Extent,
+    probes: &mut u64,
+) -> Option<Vec<&'a Object>> {
+    for compiled in ctx.local_preds.iter().flatten() {
+        if compiled.op() != CmpOp::Eq || compiled.compiled_path().len() != 1 {
+            continue;
+        }
+        let Some(slot) = compiled.compiled_path().step_attr(0) else {
+            continue;
+        };
+        let Some(index) = ctx.db.index_on(ctx.plan.root_constituent(), &[slot]) else {
+            continue;
+        };
+        let Some(key) = IndexKey::from_value(compiled.literal()) else {
+            continue;
+        };
+        *probes += 1; // index hash probe
+        let objects = extent.objects();
+        let mut positions: Vec<usize> = index
+            .matches(&key)
+            .iter()
+            .chain(index.unknowns().iter())
+            .filter_map(|&loid| {
+                *probes += 1; // candidate LOid -> extent slot probe
+                extent.position(loid)
+            })
+            .collect();
+        positions.sort_unstable();
+        return Some(positions.iter().map(|&p| &objects[p]).collect());
+    }
+    None
+}
+
+/// One worker's phase-P partial: its surviving rows, eval counter, and
+/// scanned bytes.
+type ScanPartial = (Vec<(LocalRow, RowRemainders)>, EvalCounter, u64);
+
+/// Merges chunked phase-P partials in chunk order (reproducing the
+/// sequential row order) and charges the overlapped per-worker disk and
+/// CPU shares to the site's clock.
+fn merge_scan_partials(
+    sim: &mut Simulation,
+    site: Site,
+    threads: usize,
+    partials: Vec<ScanPartial>,
+    rows: &mut Vec<(LocalRow, RowRemainders)>,
+) {
+    let params = *sim.params();
+    let mut disk_costs = Vec::with_capacity(partials.len());
+    let mut cpu_costs = Vec::with_capacity(partials.len());
+    for (chunk_rows, counter, scan_bytes) in partials {
+        rows.extend(chunk_rows);
+        disk_costs.push(scan_bytes + counter.objects_fetched * params.object_bytes(1));
+        cpu_costs.push(counter.comparisons);
+    }
+    sim.disk_parallel(site, &worker_shares(&disk_costs, threads), Phase::P);
+    sim.cpu_parallel(site, &worker_shares(&cpu_costs, threads), Phase::P);
+}
+
 /// Steps BL_C1/BL_C2 (and PL_C2): evaluate the local predicates over the
 /// root extent (phase P), then look up assistants for the unsolved data
 /// local evaluation surfaced (phase O).
@@ -945,9 +1022,55 @@ fn scan_eval(
     // disjoint chunks against the immutable federation; partials merge in
     // chunk order, so the row list is byte-identical to a sequential
     // scan. Parallel charges overlap the per-worker shares on the site's
-    // clock instead of summing them.
+    // clock instead of summing them. With `pipeline.index`, a maintained
+    // index narrows the scan to its candidate set first (same rows, but
+    // disk and CPU scale with selectivity instead of extent size).
     let mut rows: Vec<(LocalRow, RowRemainders)> = Vec::new();
-    if pipeline.is_parallel() {
+    let mut index_probes = 0u64;
+    let candidates: Option<Vec<&Object>> = if pipeline.index {
+        index_candidates(ctx, extent, &mut index_probes)
+    } else {
+        None
+    };
+    if index_probes > 0 {
+        sim.cpu(site, index_probes, Phase::P);
+    }
+    if let Some(cands) = &candidates {
+        if pipeline.is_parallel() {
+            let partials = map_chunks(cands, pipeline.threads, pipeline.chunk, |_, chunk| {
+                let mut counter = EvalCounter::new();
+                let mut chunk_rows = Vec::new();
+                let mut scan_bytes = 0u64;
+                for &object in chunk {
+                    scan_bytes += params.object_bytes(ctx.root_width);
+                    if let Some(pair) =
+                        eval_object(fed, query, ctx, config, static_state, object, &mut counter)
+                    {
+                        chunk_rows.push(pair);
+                    }
+                }
+                (chunk_rows, counter, scan_bytes)
+            });
+            merge_scan_partials(sim, site, pipeline.threads, partials, &mut rows);
+        } else {
+            let mut counter = EvalCounter::new();
+            let mut scan_bytes = 0u64;
+            for &object in cands {
+                scan_bytes += params.object_bytes(ctx.root_width);
+                if let Some(pair) =
+                    eval_object(fed, query, ctx, config, static_state, object, &mut counter)
+                {
+                    rows.push(pair);
+                }
+            }
+            sim.disk(
+                site,
+                scan_bytes + counter.objects_fetched * params.object_bytes(1),
+                Phase::P,
+            );
+            sim.cpu(site, counter.comparisons, Phase::P);
+        }
+    } else if pipeline.is_parallel() {
         let partials = map_chunks(
             extent.objects(),
             pipeline.threads,
@@ -967,19 +1090,7 @@ fn scan_eval(
                 (chunk_rows, counter, scan_bytes)
             },
         );
-        let mut disk_costs = Vec::with_capacity(partials.len());
-        let mut cpu_costs = Vec::with_capacity(partials.len());
-        for (chunk_rows, counter, scan_bytes) in partials {
-            rows.extend(chunk_rows);
-            disk_costs.push(scan_bytes + counter.objects_fetched * params.object_bytes(1));
-            cpu_costs.push(counter.comparisons);
-        }
-        sim.disk_parallel(
-            site,
-            &worker_shares(&disk_costs, pipeline.threads),
-            Phase::P,
-        );
-        sim.cpu_parallel(site, &worker_shares(&cpu_costs, pipeline.threads), Phase::P);
+        merge_scan_partials(sim, site, pipeline.threads, partials, &mut rows);
     } else {
         let mut counter = EvalCounter::new();
         let mut scan_bytes = 0u64;

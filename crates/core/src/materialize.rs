@@ -6,9 +6,11 @@
 //! and local references translated into global references — the paper's
 //! Figure 6.
 
+use crate::error::ExecError;
 use crate::federation::Federation;
-use fedoq_object::{GOid, GlobalClassId, Value};
-use fedoq_query::BoundPath;
+use fedoq_object::{CmpOp, GOid, GlobalClassId, Value};
+use fedoq_query::{BoundPath, BoundQuery};
+use fedoq_store::IndexKey;
 use std::collections::{BTreeSet, HashMap};
 
 /// CPU work incurred while materializing, split by the paper's phases.
@@ -109,6 +111,145 @@ impl Materialized {
             }
         }
         unreachable!("paths are non-empty")
+    }
+}
+
+/// An equality index over one slot of a materialized root extent.
+///
+/// Roots whose value is not indexable — nulls, floats, lists, global
+/// references — land in the `loose` bucket: equality against them can be
+/// `True` or `Unknown` (never provably `False` from the index alone), so
+/// they stay candidates for every probe.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlotIndex {
+    map: HashMap<IndexKey, Vec<GOid>>,
+    loose: Vec<GOid>,
+}
+
+impl SlotIndex {
+    /// Builds the index in one pass over the (sorted) root list, so each
+    /// per-key group and the loose bucket come out sorted.
+    fn build(mat: &Materialized, class: GlobalClassId, slot: usize, roots: &[GOid]) -> SlotIndex {
+        let mut index = SlotIndex::default();
+        for &goid in roots {
+            match IndexKey::from_value(mat.value_at(class, goid, slot)) {
+                Some(key) => index.map.entry(key).or_default().push(goid),
+                None => index.loose.push(goid),
+            }
+        }
+        index
+    }
+
+    /// Candidate roots for `slot = key`: the exact matches plus the loose
+    /// bucket, merged in sorted root order. Every root outside this set
+    /// holds a known indexable value different from the key, so the full
+    /// scan would eliminate it with a definite `False`.
+    fn candidates(&self, key: &IndexKey) -> Vec<GOid> {
+        let matches = self.map.get(key).map_or(&[][..], Vec::as_slice);
+        let mut out = Vec::with_capacity(matches.len() + self.loose.len());
+        let (mut a, mut b) = (0, 0);
+        while a < matches.len() && b < self.loose.len() {
+            if matches[a] < self.loose[b] {
+                out.push(matches[a]);
+                a += 1;
+            } else {
+                out.push(self.loose[b]);
+                b += 1;
+            }
+        }
+        out.extend_from_slice(&matches[a..]);
+        out.extend_from_slice(&self.loose[b..]);
+        out
+    }
+}
+
+/// The global site's reusable CA state for one query: the materialized
+/// extents, the sorted root list, and (when built with indexing) per-slot
+/// equality indexes over the root extent. Cached warm under the query's
+/// fingerprint so a repeat run skips phases O and I entirely and phase P
+/// touches only index candidates.
+#[derive(Debug, Clone)]
+pub(crate) struct CentralExtents {
+    /// The materialized global extents.
+    pub mat: Materialized,
+    /// The query's range class.
+    pub range: GlobalClassId,
+    /// Sorted GOids of the materialized range extent — CA's row order.
+    pub roots: Vec<GOid>,
+    eq: HashMap<usize, SlotIndex>,
+}
+
+impl CentralExtents {
+    /// Materializes the involved classes and, with `with_index`, builds an
+    /// equality index for every root slot a bare single-step equality
+    /// predicate of `query` probes. Returns the build cost plus the index
+    /// construction probes (one per root per indexed slot).
+    pub(crate) fn build(
+        fed: &Federation,
+        query: &BoundQuery,
+        involved: &HashMap<GlobalClassId, BTreeSet<usize>>,
+        with_index: bool,
+    ) -> Result<(CentralExtents, BuildCost, u64), ExecError> {
+        let (mat, cost) = Materialized::build(fed, involved);
+        let range = query.range();
+        let extent = mat
+            .extent(range)
+            .ok_or_else(|| ExecError::Internal("range class not materialized".into()))?;
+        let mut roots: Vec<GOid> = extent.keys().copied().collect();
+        roots.sort();
+        let mut eq = HashMap::new();
+        let mut index_probes = 0u64;
+        if with_index {
+            for pred in query.predicates() {
+                if pred.op() != CmpOp::Eq || pred.path().len() != 1 {
+                    continue;
+                }
+                if pred.path().class(0) != range
+                    || IndexKey::from_value(pred.literal()).is_none()
+                {
+                    continue;
+                }
+                let slot = pred.path().slot(0);
+                if eq.contains_key(&slot) {
+                    continue;
+                }
+                index_probes += roots.len() as u64;
+                eq.insert(slot, SlotIndex::build(&mat, range, slot, &roots));
+            }
+        }
+        Ok((
+            CentralExtents {
+                mat,
+                range,
+                roots,
+                eq,
+            },
+            cost,
+            index_probes,
+        ))
+    }
+
+    /// Index-narrowed candidate roots for `query` (sorted), charging one
+    /// probe per consulted index; `None` when no equality predicate has a
+    /// built slot index — the caller scans every root.
+    pub(crate) fn candidates(&self, query: &BoundQuery, probes: &mut u64) -> Option<Vec<GOid>> {
+        for pred in query.predicates() {
+            if pred.op() != CmpOp::Eq
+                || pred.path().len() != 1
+                || pred.path().class(0) != self.range
+            {
+                continue;
+            }
+            let Some(index) = self.eq.get(&pred.path().slot(0)) else {
+                continue;
+            };
+            let Some(key) = IndexKey::from_value(pred.literal()) else {
+                continue;
+            };
+            *probes += 1; // index hash probe
+            return Some(index.candidates(&key));
+        }
+        None
     }
 }
 

@@ -28,6 +28,15 @@ pub struct PipelineConfig {
     ///
     /// [`LookupCache`]: crate::cache::LookupCache
     pub cache: bool,
+    /// Use maintained secondary indexes to seed candidate sets for
+    /// single-attribute equality predicates instead of scanning whole
+    /// extents. Answers stay byte-identical to the sequential scan: the
+    /// index path only skips objects whose indexed value is known
+    /// non-null and non-matching — objects the scan would eliminate with
+    /// a definite `False` anyway. Predicates the index cannot serve
+    /// (float literals, path traversals, non-equality operators) fall
+    /// back to the full scan.
+    pub index: bool,
 }
 
 impl Default for PipelineConfig {
@@ -37,6 +46,7 @@ impl Default for PipelineConfig {
             chunk: 256,
             batch: 0,
             cache: false,
+            index: false,
         }
     }
 }
@@ -66,6 +76,12 @@ impl PipelineConfig {
     /// Enables the lookup cache (chainable).
     pub fn with_cache(mut self) -> PipelineConfig {
         self.cache = true;
+        self
+    }
+
+    /// Enables index-seeded candidate scans (chainable).
+    pub fn with_index(mut self) -> PipelineConfig {
+        self.index = true;
         self
     }
 
@@ -136,9 +152,13 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = PipelineConfig::parallel(0).with_batch(64).with_cache();
+        let p = PipelineConfig::parallel(0)
+            .with_batch(64)
+            .with_cache()
+            .with_index();
         assert_eq!(p.threads, 1); // clamped
         assert_eq!(p.batch, 64);
         assert!(p.cache);
+        assert!(p.index);
     }
 }

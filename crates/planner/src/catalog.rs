@@ -26,6 +26,19 @@ use std::fmt::Write as _;
 /// Selectivity assumed when the sketch has nothing to say.
 const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
 
+/// Extents at most this large are scanned in full; anything larger is
+/// sketched from a deterministic stride sample of [`SAMPLE_TARGET`]
+/// objects, making catalog collection O(arity · SAMPLE_TARGET) per
+/// constituent instead of O(arity · n) — the difference between seconds
+/// and minutes at 10^7 objects.
+pub const SAMPLE_THRESHOLD: usize = 65_536;
+
+/// Objects examined per attribute when an extent is sampled. At 8192
+/// samples a null-fraction estimate's standard error is below 0.006, and
+/// the scale-up distinct estimator stays within the bench-checked 10%
+/// band on uniform and key-like columns.
+pub const SAMPLE_TARGET: usize = 8_192;
+
 /// An exponentially weighted moving average with a sample counter.
 ///
 /// `confidence()` grows from 0 toward 1 with the number of samples
@@ -166,12 +179,16 @@ impl AttrStats {
 /// Statistics of one global class's constituent at one site.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SiteClassStats {
-    /// Objects in the constituent extent.
+    /// Objects in the constituent extent (always exact — counting is
+    /// O(1) even when the attribute sketches are sampled).
     pub cardinality: usize,
     /// Per-global-slot attribute statistics.
     pub attrs: Vec<AttrStats>,
     /// Global attributes the constituent does not define.
     pub missing_attrs: usize,
+    /// `true` when the attribute sketches were estimated from a stride
+    /// sample instead of a full extent scan (see [`SAMPLE_THRESHOLD`]).
+    pub sampled: bool,
 }
 
 impl SiteClassStats {
@@ -452,7 +469,9 @@ impl StatsCatalog {
     }
 }
 
-/// Scans one constituent extent into per-attribute statistics.
+/// Scans one constituent extent into per-attribute statistics. Extents
+/// past [`SAMPLE_THRESHOLD`] are sketched from a deterministic stride
+/// sample; everything below it is scanned exactly.
 fn scan_constituent(
     db: &ComponentDb,
     arity: usize,
@@ -460,6 +479,15 @@ fn scan_constituent(
 ) -> SiteClassStats {
     let extent = db.extent(constituent.class());
     let count = extent.len();
+    let sampled = count > SAMPLE_THRESHOLD;
+    // A deterministic stride keeps the estimate reproducible run to run
+    // and unbiased under any insertion-order-correlated skew milder than
+    // perfect stride-aligned periodicity.
+    let stride = if sampled {
+        count.div_ceil(SAMPLE_TARGET)
+    } else {
+        1
+    };
     let mut attrs = Vec::with_capacity(arity);
     let mut missing_attrs = 0usize;
     for g in 0..arity {
@@ -468,11 +496,13 @@ fn scan_constituent(
             attrs.push(AttrStats::absent());
             continue;
         };
+        let mut seen = 0usize;
         let mut nulls = 0usize;
         let mut min = None;
         let mut max = None;
         let mut distinct: HashSet<u64> = HashSet::new();
-        for object in extent.iter() {
+        for object in extent.objects().iter().step_by(stride) {
+            seen += 1;
             let value = object.value(slot);
             if value.is_null() {
                 nulls += 1;
@@ -486,21 +516,41 @@ fn scan_constituent(
         }
         attrs.push(AttrStats {
             present: true,
-            null_fraction: if count == 0 {
+            null_fraction: if seen == 0 {
                 0.0
             } else {
-                nulls as f64 / count as f64
+                nulls as f64 / seen as f64
             },
             min,
             max,
-            distinct: distinct.len(),
+            distinct: estimate_distinct(distinct.len(), seen, count),
         });
     }
     SiteClassStats {
         cardinality: count,
         attrs,
         missing_attrs,
+        sampled,
     }
+}
+
+/// Scales a sample's distinct count up to the extent.
+///
+/// When nearly every sampled value is distinct (a key-like column), the
+/// unsampled rows almost certainly keep introducing fresh values, so the
+/// sample ratio extrapolates linearly; otherwise the column's domain is
+/// small and the sample has already seen most of it, so the sample count
+/// stands. Either way the estimate is capped by the extent size.
+fn estimate_distinct(sample_distinct: usize, sample_size: usize, total: usize) -> usize {
+    if sample_size == 0 || sample_size >= total {
+        return sample_distinct;
+    }
+    let scaled = if (sample_distinct as f64) >= 0.95 * sample_size as f64 {
+        (sample_distinct as f64 * total as f64 / sample_size as f64).round() as usize
+    } else {
+        sample_distinct
+    };
+    scaled.min(total)
 }
 
 /// Numeric view of a value, for the min/max sketch.
@@ -643,6 +693,51 @@ mod tests {
             .unwrap()
             .attr(age);
         assert_eq!(absent.selectivity(CmpOp::Ge, &Value::Int(0)), 0.0);
+    }
+
+    #[test]
+    fn large_extents_are_sampled_within_error_bounds() {
+        const N: usize = 70_000; // past SAMPLE_THRESHOLD
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        for i in 0..N as i64 {
+            let age = if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 50)
+            };
+            db0.insert_named("Student", &[("s-no", Value::Int(i)), ("age", age)])
+                .unwrap();
+        }
+        let schema = integrate(&[(db0.id(), db0.schema())], &Correspondences::new()).unwrap();
+        let goids = identify_isomerism(&[&db0], &schema).unwrap();
+        let c = StatsCatalog::collect([&db0], &schema, &goids, 0, SystemParams::paper_default());
+        let student = schema.class_id("Student").unwrap();
+        let stats = c.site(DbId::new(0)).unwrap().class(student).unwrap();
+        assert!(stats.sampled);
+        // Cardinality stays exact even under sampling.
+        assert_eq!(stats.cardinality, N);
+        let sno = schema.class(student).attr_index("s-no").unwrap();
+        let age = schema.class(student).attr_index("age").unwrap();
+        // Key-like column: the scale-up estimator lands within 10%.
+        let d = stats.attr(sno).distinct as f64;
+        assert!(
+            (d - N as f64).abs() / N as f64 <= 0.10,
+            "distinct estimate {d} strays more than 10% from {N}"
+        );
+        // Small-domain column: the sample has seen the whole domain.
+        let d = stats.attr(age).distinct;
+        assert!((45..=50).contains(&d), "age distinct estimate {d}");
+        // Null fraction within two points of the true 10%.
+        assert!((stats.attr(age).null_fraction - 0.1).abs() < 0.02);
+        // Small extents keep exact statistics.
+        let (small, schema2) = catalog();
+        let student2 = schema2.class_id("Student").unwrap();
+        assert!(!small.site(DbId::new(0)).unwrap().class(student2).unwrap().sampled);
     }
 
     #[test]

@@ -8,11 +8,39 @@
 use fedoq_object::{DbId, GOid, GlobalClassId, LOid};
 use std::collections::HashMap;
 
-/// The GOid mapping table of one global class.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Number of shards in each [`GoidTable`]. Sharding bounds rehash pauses
+/// at the 10^6–10^7 entity scale (a full-table rehash would stall the
+/// certification path) and gives parallel certification probes disjoint
+/// regions to walk.
+pub const GOID_SHARDS: usize = 16;
+
+#[inline]
+fn goid_shard(goid: GOid) -> usize {
+    (goid.serial() as usize) & (GOID_SHARDS - 1)
+}
+
+#[inline]
+fn loid_shard(loid: LOid) -> usize {
+    // Cheap mix of site and serial; the low serial bits alone would put
+    // every site's object k in the same shard.
+    ((loid.serial() ^ (u64::from(loid.db().raw()) << 3)) as usize) & (GOID_SHARDS - 1)
+}
+
+/// The GOid mapping table of one global class, sharded [`GOID_SHARDS`]
+/// ways on both directions of the mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoidTable {
-    entries: HashMap<GOid, Vec<LOid>>,
-    reverse: HashMap<LOid, GOid>,
+    entries: Vec<HashMap<GOid, Vec<LOid>>>,
+    reverse: Vec<HashMap<LOid, GOid>>,
+}
+
+impl Default for GoidTable {
+    fn default() -> GoidTable {
+        GoidTable {
+            entries: vec![HashMap::new(); GOID_SHARDS],
+            reverse: vec![HashMap::new(); GOID_SHARDS],
+        }
+    }
 }
 
 impl GoidTable {
@@ -23,22 +51,24 @@ impl GoidTable {
 
     /// Number of distinct entities (GOids).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.iter().map(HashMap::len).sum()
     }
 
     /// `true` iff no entities are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.iter().all(HashMap::is_empty)
     }
 
     /// The GOid of a local object, if registered.
     pub fn goid_of(&self, loid: LOid) -> Option<GOid> {
-        self.reverse.get(&loid).copied()
+        self.reverse[loid_shard(loid)].get(&loid).copied()
     }
 
     /// The isomeric objects of an entity (all registered LOids).
     pub fn loids_of(&self, goid: GOid) -> &[LOid] {
-        self.entries.get(&goid).map_or(&[], Vec::as_slice)
+        self.entries[goid_shard(goid)]
+            .get(&goid)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// The isomeric siblings of `loid`: the entity's other LOids.
@@ -57,14 +87,57 @@ impl GoidTable {
 
     /// Iterates over `(goid, loids)` entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (GOid, &[LOid])> {
-        self.entries.iter().map(|(g, v)| (*g, v.as_slice()))
+        self.entries
+            .iter()
+            .flat_map(|shard| shard.iter().map(|(g, v)| (*g, v.as_slice())))
+    }
+
+    /// Number of shards (constant, but callers shouldn't hardcode it).
+    pub fn num_shards(&self) -> usize {
+        GOID_SHARDS
+    }
+
+    /// One shard's entities, for parallel certification sweeps. Entities
+    /// are distributed by GOid; the union over all shards is [`iter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    ///
+    /// [`iter`]: GoidTable::iter
+    pub fn shard(&self, shard: usize) -> impl Iterator<Item = (GOid, &[LOid])> {
+        self.entries[shard].iter().map(|(g, v)| (*g, v.as_slice()))
     }
 
     fn register(&mut self, goid: GOid, group: &[LOid]) {
         for &loid in group {
-            self.reverse.insert(loid, goid);
+            self.reverse[loid_shard(loid)].insert(loid, goid);
         }
-        self.entries.insert(goid, group.to_vec());
+        self.entries[goid_shard(goid)].insert(goid, group.to_vec());
+    }
+
+    fn add_member(&mut self, goid: GOid, loid: LOid) {
+        self.reverse[loid_shard(loid)].insert(loid, goid);
+        let group = self.entries[goid_shard(goid)].entry(goid).or_default();
+        if !group.contains(&loid) {
+            group.push(loid);
+        }
+    }
+
+    /// Removes one LOid; returns its GOid and whether the entity vanished
+    /// (lost its last member).
+    fn remove_member(&mut self, loid: LOid) -> Option<(GOid, bool)> {
+        let goid = self.reverse[loid_shard(loid)].remove(&loid)?;
+        let shard = &mut self.entries[goid_shard(goid)];
+        let mut emptied = false;
+        if let Some(group) = shard.get_mut(&goid) {
+            group.retain(|&l| l != loid);
+            if group.is_empty() {
+                shard.remove(&goid);
+                emptied = true;
+            }
+        }
+        Some((goid, emptied))
     }
 }
 
@@ -115,6 +188,28 @@ impl GoidCatalog {
         self.next += 1;
         self.tables[class.index()].register(goid, group);
         goid
+    }
+
+    /// Adds `loid` as a further isomeric member of an existing entity
+    /// (incremental maintenance: an insert whose key matched `goid`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn add_member(&mut self, class: GlobalClassId, goid: GOid, loid: LOid) {
+        self.tables[class.index()].add_member(goid, loid);
+    }
+
+    /// Removes `loid` from whichever entity holds it, searching all
+    /// classes (a retracted object's class is no longer known). Returns
+    /// the class, the GOid, and whether the entity lost its last member.
+    pub fn remove_member(&mut self, loid: LOid) -> Option<(GlobalClassId, GOid, bool)> {
+        for (index, table) in self.tables.iter_mut().enumerate() {
+            if let Some((goid, emptied)) = table.remove_member(loid) {
+                return Some((GlobalClassId::new(index as u32), goid, emptied));
+            }
+        }
+        None
     }
 
     /// The mapping table of one global class.

@@ -10,7 +10,7 @@
 use crate::error::SchemaError;
 use crate::global::{GlobalClass, GlobalSchema};
 use crate::goid::GoidCatalog;
-use fedoq_object::{GlobalClassId, LOid};
+use fedoq_object::{ClassId, DbId, GOid, GlobalClassId, LOid};
 use fedoq_store::{ComponentDb, IndexKey};
 use std::collections::HashMap;
 
@@ -56,9 +56,28 @@ pub fn identify_isomerism(
 ) -> Result<GoidCatalog, SchemaError> {
     let mut catalog = GoidCatalog::new(global.len());
     for (gid, class) in global.iter() {
-        group_class(dbs, gid, class, &mut catalog)?;
+        group_class(dbs, gid, class, &mut catalog, None)?;
     }
     Ok(catalog)
+}
+
+/// Like [`identify_isomerism`], but also returns the [`EntityKeyMap`]
+/// that lets subsequent inserts/retracts maintain the catalog
+/// *incrementally* (O(changes) per mutation instead of O(extents)).
+///
+/// # Errors
+///
+/// Same conditions as [`identify_isomerism`].
+pub fn identify_isomerism_with_keys(
+    dbs: &[&ComponentDb],
+    global: &GlobalSchema,
+) -> Result<(GoidCatalog, EntityKeyMap), SchemaError> {
+    let mut catalog = GoidCatalog::new(global.len());
+    let mut keymap = EntityKeyMap::new(global.len());
+    for (gid, class) in global.iter() {
+        group_class(dbs, gid, class, &mut catalog, Some(&mut keymap))?;
+    }
+    Ok((catalog, keymap))
 }
 
 fn group_class(
@@ -66,6 +85,7 @@ fn group_class(
     gid: GlobalClassId,
     class: &GlobalClass,
     catalog: &mut GoidCatalog,
+    mut keymap: Option<&mut EntityKeyMap>,
 ) -> Result<(), SchemaError> {
     let key_slots = entity_key_slots(dbs, class);
     let mut groups: HashMap<IndexKey, Vec<LOid>> = HashMap::new();
@@ -81,6 +101,16 @@ fn group_class(
         let local_key: Option<Vec<usize>> = key_slots
             .as_ref()
             .and_then(|slots| slots.iter().map(|&g| constituent.local_slot(g)).collect());
+        if let Some(km) = keymap.as_deref_mut() {
+            km.targets.insert(
+                (constituent.db(), constituent.class()),
+                Target {
+                    gid,
+                    class_name: class.name().to_owned(),
+                    key_slots: local_key.clone(),
+                },
+            );
+        }
         for object in db.extent(constituent.class()).iter() {
             let key = local_key
                 .as_ref()
@@ -93,12 +123,12 @@ fn group_class(
     }
 
     // Deterministic registration order: sort groups by their first LOid.
-    let mut grouped: Vec<Vec<LOid>> = groups.into_values().collect();
-    for g in &mut grouped {
+    let mut grouped: Vec<(IndexKey, Vec<LOid>)> = groups.into_iter().collect();
+    for (_, g) in &mut grouped {
         g.sort();
     }
-    grouped.sort();
-    for group in grouped {
+    grouped.sort_by(|a, b| a.1.cmp(&b.1));
+    for (key, group) in grouped {
         let mut seen_dbs = Vec::with_capacity(group.len());
         for l in &group {
             if seen_dbs.contains(&l.db()) {
@@ -109,13 +139,131 @@ fn group_class(
             }
             seen_dbs.push(l.db());
         }
-        catalog.register(gid, &group);
+        let goid = catalog.register(gid, &group);
+        if let Some(km) = keymap.as_deref_mut() {
+            km.by_key[gid.index()].insert(key.clone(), goid);
+            km.key_of[gid.index()].insert(goid, key);
+        }
     }
     singletons.sort();
     for l in singletons {
         catalog.register(gid, &[l]);
     }
     Ok(())
+}
+
+/// Where one local class lives in the global schema, and how to read its
+/// entity key.
+#[derive(Debug, Clone)]
+struct Target {
+    gid: GlobalClassId,
+    class_name: String,
+    key_slots: Option<Vec<usize>>,
+}
+
+/// The key side of isomerism identification, kept alive after the bulk
+/// pass so single inserts and retracts can maintain the [`GoidCatalog`]
+/// in O(1) instead of re-scanning every extent.
+///
+/// Built by [`identify_isomerism_with_keys`]. For each global class it
+/// remembers entity-key → GOid (and the inverse), plus how each local
+/// class's objects map into global classes and key slots.
+///
+/// GOid *numbering* under incremental maintenance differs from what a
+/// fresh [`identify_isomerism`] would assign (new entities take fresh
+/// serials instead of re-sorting), but the grouping — which objects share
+/// a GOid — is identical.
+#[derive(Debug, Clone, Default)]
+pub struct EntityKeyMap {
+    by_key: Vec<HashMap<IndexKey, GOid>>,
+    key_of: Vec<HashMap<GOid, IndexKey>>,
+    targets: HashMap<(DbId, ClassId), Target>,
+}
+
+impl EntityKeyMap {
+    fn new(num_classes: usize) -> EntityKeyMap {
+        EntityKeyMap {
+            by_key: vec![HashMap::new(); num_classes],
+            key_of: vec![HashMap::new(); num_classes],
+            targets: HashMap::new(),
+        }
+    }
+
+    /// Folds one freshly-inserted object into the catalog: joins the
+    /// entity whose key it shares, or founds a new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::DuplicateEntityInDb`] if the object's key
+    /// collides with an existing object of the same database — the same
+    /// condition the bulk pass rejects.
+    pub fn apply_insert(
+        &mut self,
+        catalog: &mut GoidCatalog,
+        db: &ComponentDb,
+        loid: LOid,
+    ) -> Result<(), SchemaError> {
+        let Some(object) = db.object(loid) else {
+            return Ok(()); // inserted then retracted within one batch
+        };
+        let Some(target) = self.targets.get(&(db.id(), object.class())) else {
+            return Ok(()); // class not integrated into the global schema
+        };
+        let key = target
+            .key_slots
+            .as_ref()
+            .and_then(|slots| IndexKey::compound(slots.iter().map(|&s| object.value(s))));
+        let gid = target.gid;
+        match key {
+            Some(key) => {
+                if let Some(&goid) = self.by_key[gid.index()].get(&key) {
+                    if catalog.table(gid).loid_in_db(goid, db.id()).is_some() {
+                        return Err(SchemaError::DuplicateEntityInDb {
+                            db: db.id(),
+                            class: target.class_name.clone(),
+                        });
+                    }
+                    catalog.add_member(gid, goid, loid);
+                } else {
+                    let goid = catalog.register(gid, &[loid]);
+                    self.by_key[gid.index()].insert(key.clone(), goid);
+                    self.key_of[gid.index()].insert(goid, key);
+                }
+            }
+            None => {
+                catalog.register(gid, &[loid]); // null/absent key: singleton
+            }
+        }
+        Ok(())
+    }
+
+    /// Unlinks a retracted object from its entity; a keyed entity that
+    /// loses its last member also releases its key.
+    pub fn apply_retract(&mut self, catalog: &mut GoidCatalog, loid: LOid) {
+        if let Some((gid, goid, emptied)) = catalog.remove_member(loid) {
+            if emptied {
+                if let Some(key) = self.key_of[gid.index()].remove(&goid) {
+                    self.by_key[gid.index()].remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Re-files an updated object: its key may have changed, which can
+    /// move it between entities.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EntityKeyMap::apply_insert`].
+    pub fn apply_update(
+        &mut self,
+        catalog: &mut GoidCatalog,
+        db: &ComponentDb,
+        loid: LOid,
+    ) -> Result<(), SchemaError> {
+        self.apply_retract(catalog, loid);
+        self.apply_insert(catalog, db, loid)
+    }
 }
 
 /// The global attribute slots forming the class's entity key: the key of
@@ -267,6 +415,110 @@ mod tests {
             .unwrap();
         let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
         let err = identify_isomerism(&[&db0], &global).unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateEntityInDb { .. }));
+    }
+
+    /// The grouping (which LOids share an entity), independent of GOid
+    /// numbering — incremental maintenance preserves grouping, not
+    /// numbering.
+    fn grouping(
+        cat: &crate::GoidCatalog,
+        class: fedoq_object::GlobalClassId,
+    ) -> Vec<Vec<LOid>> {
+        let mut groups: Vec<Vec<LOid>> = cat
+            .table(class)
+            .iter()
+            .map(|(_, ls)| {
+                let mut ls = ls.to_vec();
+                ls.sort();
+                ls
+            })
+            .collect();
+        groups.sort();
+        groups
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
+        for i in 0..8 {
+            db0.insert_named("Student", &[("s-no", Value::Int(i))])
+                .unwrap();
+        }
+        let global = integrate(
+            &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let (mut cat, mut keys) = identify_isomerism_with_keys(&[&db0, &db1], &global).unwrap();
+        let class = global.class_id("Student").unwrap();
+
+        // Insert an isomeric copy (joins entity 3), a new entity, and a
+        // null-keyed singleton in DB1; apply each incrementally.
+        let join = db1
+            .insert_named("Student", &[("s-no", Value::Int(3))])
+            .unwrap();
+        let fresh = db1
+            .insert_named("Student", &[("s-no", Value::Int(100))])
+            .unwrap();
+        let nullk = db1
+            .insert_named("Student", &[("name", Value::text("x"))])
+            .unwrap();
+        for l in [join, fresh, nullk] {
+            keys.apply_insert(&mut cat, &db1, l).unwrap();
+        }
+        assert_eq!(
+            grouping(&cat, class),
+            grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)
+        );
+
+        // Retract the joined copy and the fresh entity.
+        db1.retract(join).unwrap();
+        keys.apply_retract(&mut cat, join);
+        db1.retract(fresh).unwrap();
+        keys.apply_retract(&mut cat, fresh);
+        assert_eq!(
+            grouping(&cat, class),
+            grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)
+        );
+
+        // An update that changes the key moves the object between
+        // entities.
+        let moved = db1
+            .insert_named("Student", &[("s-no", Value::Int(5))])
+            .unwrap();
+        keys.apply_insert(&mut cat, &db1, moved).unwrap();
+        db1.object_mut(moved).unwrap().set(0, Value::Int(6));
+        keys.apply_update(&mut cat, &db1, moved).unwrap();
+        assert_eq!(
+            grouping(&cat, class),
+            grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)
+        );
+        // And a key released by emptying its entity can be re-founded.
+        db1.retract(moved).unwrap();
+        keys.apply_retract(&mut cat, moved);
+        let back = db1
+            .insert_named("Student", &[("s-no", Value::Int(6))])
+            .unwrap();
+        keys.apply_insert(&mut cat, &db1, back).unwrap();
+        assert_eq!(
+            grouping(&cat, class),
+            grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)
+        );
+    }
+
+    #[test]
+    fn incremental_insert_rejects_duplicate_key_in_db() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        db0.insert_named("Student", &[("s-no", Value::Int(1))])
+            .unwrap();
+        let global = integrate(&[(DbId::new(0), db0.schema())], &Correspondences::new()).unwrap();
+        let (mut cat, mut keys) = identify_isomerism_with_keys(&[&db0], &global).unwrap();
+        let dup = db0
+            .insert_named("Student", &[("s-no", Value::Int(1))])
+            .unwrap();
+        let err = keys.apply_insert(&mut cat, &db0, dup).unwrap_err();
         assert!(matches!(err, SchemaError::DuplicateEntityInDb { .. }));
     }
 

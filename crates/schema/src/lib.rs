@@ -49,6 +49,6 @@ pub mod isomerism;
 pub use correspondence::Correspondences;
 pub use error::SchemaError;
 pub use global::{Constituent, GlobalAttr, GlobalAttrType, GlobalClass, GlobalSchema};
-pub use goid::{GoidCatalog, GoidTable};
+pub use goid::{GoidCatalog, GoidTable, GOID_SHARDS};
 pub use integrate::integrate;
-pub use isomerism::identify_isomerism;
+pub use isomerism::{identify_isomerism, identify_isomerism_with_keys, EntityKeyMap};

@@ -2,10 +2,31 @@
 
 use crate::error::StoreError;
 use crate::extent::Extent;
+use crate::index::{resolve_index_slots, MaintainedIndex};
 use crate::schema::{AttrType, ComponentSchema, PrimitiveType};
 use fedoq_object::{ClassId, DbId, LOid, Object, Value, ValueKind};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// One recorded mutation of a change-tracking [`ComponentDb`] (see
+/// [`ComponentDb::set_change_tracking`]). The federation layer drains
+/// these to update its derived structures (GOid tables, signatures)
+/// incrementally instead of rebuilding them from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Change {
+    /// A fresh object was inserted (or restored from persistence).
+    Insert(LOid),
+    /// An object was retracted.
+    Retract(LOid),
+    /// An object was updated in place through [`ComponentDb::object_mut`].
+    Update(LOid),
+}
+
+/// A handle to a maintained secondary index (see
+/// [`ComponentDb::create_index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub(crate) usize);
 
 /// One component database of the federation: a named site with its own
 /// schema, extents, and LOid allocation.
@@ -37,6 +58,13 @@ pub struct ComponentDb {
     extents: Vec<Extent>,
     loid_class: HashMap<LOid, ClassId>,
     next_serial: u64,
+    /// Mutation counter: bumped by every insert/restore/retract/in-place
+    /// update. Standalone [`crate::HashIndex`]es stamp themselves with it
+    /// and refuse stale probes.
+    generation: u64,
+    indexes: Vec<MaintainedIndex>,
+    track_changes: bool,
+    changes: Vec<Change>,
 }
 
 impl ComponentDb {
@@ -52,6 +80,114 @@ impl ComponentDb {
             extents,
             loid_class: HashMap::new(),
             next_serial: 0,
+            generation: 0,
+            indexes: Vec::new(),
+            track_changes: false,
+            changes: Vec::new(),
+        }
+    }
+
+    /// The mutation generation: 0 at construction, +1 per mutation
+    /// (insert, restore, retract, or in-place update).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Turns the change log on or off. While on, every mutation records a
+    /// [`Change`]; [`ComponentDb::drain_changes`] hands them over. Turning
+    /// tracking off clears any pending entries.
+    pub fn set_change_tracking(&mut self, on: bool) {
+        self.track_changes = on;
+        if !on {
+            self.changes.clear();
+        }
+    }
+
+    /// `true` while the change log is recording mutations.
+    pub fn change_tracking(&self) -> bool {
+        self.track_changes
+    }
+
+    /// Takes (and clears) the recorded changes since the last drain.
+    pub fn drain_changes(&mut self) -> Vec<Change> {
+        std::mem::take(&mut self.changes)
+    }
+
+    fn record(&mut self, change: Change) {
+        self.generation += 1;
+        if self.track_changes {
+            self.changes.push(change);
+        }
+    }
+
+    /// Creates (or finds) a maintained equality index over `attrs` of
+    /// `class_name`. Unlike a standalone [`crate::HashIndex`], the returned
+    /// index is owned by the database and kept in sync by every subsequent
+    /// mutation, so it can never go stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownClass`] for an unknown class name,
+    /// [`StoreError::MissingAttribute`] for unknown attribute names, and
+    /// [`StoreError::NotIndexable`] for float/complex attributes.
+    pub fn create_index(&mut self, class_name: &str, attrs: &[&str]) -> Result<IndexId, StoreError> {
+        let class = self
+            .schema
+            .class_id(class_name)
+            .ok_or_else(|| StoreError::UnknownClass(class_name.to_owned()))?;
+        let slots = resolve_index_slots(self, class, attrs)?;
+        if let Some(pos) = self
+            .indexes
+            .iter()
+            .position(|ix| ix.class == class && ix.attrs == slots)
+        {
+            return Ok(IndexId(pos));
+        }
+        let mut index = MaintainedIndex::new(class, slots);
+        for object in self.extents[class.index()].iter() {
+            index.add(object);
+        }
+        self.indexes.push(index);
+        Ok(IndexId(self.indexes.len() - 1))
+    }
+
+    /// The maintained index with handle `id`, if it exists.
+    pub fn index(&self, id: IndexId) -> Option<&MaintainedIndex> {
+        self.indexes.get(id.0)
+    }
+
+    /// The maintained index over exactly `slots` of `class`, if one was
+    /// created — the probe point of the indexed query fast path.
+    pub fn index_on(&self, class: ClassId, slots: &[usize]) -> Option<&MaintainedIndex> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.class == class && ix.attrs == slots)
+    }
+
+    /// Number of maintained indexes.
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    fn index_add(&mut self, class: ClassId, loid: LOid) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let Some(object) = self.extents[class.index()].get(loid) else {
+            return;
+        };
+        for index in self.indexes.iter_mut().filter(|ix| ix.class == class) {
+            index.add(object);
+        }
+    }
+
+    fn index_remove(&mut self, object: &Object) {
+        for index in self
+            .indexes
+            .iter_mut()
+            .filter(|ix| ix.class == object.class())
+        {
+            index.remove(object);
         }
     }
 
@@ -100,6 +236,8 @@ impl ComponentDb {
         self.next_serial += 1;
         self.extents[class.index()].insert(Object::new(loid, class, values));
         self.loid_class.insert(loid, class);
+        self.index_add(class, loid);
+        self.record(Change::Insert(loid));
         Ok(loid)
     }
 
@@ -140,10 +278,29 @@ impl ComponentDb {
         self.extents[class.index()].get(loid)
     }
 
-    /// Mutable fetch by LOid.
-    pub fn object_mut(&mut self, loid: LOid) -> Option<&mut Object> {
+    /// Mutable fetch by LOid. The returned guard dereferences to the
+    /// object; when it drops, the database reindexes the object, bumps the
+    /// mutation generation, and records the update in the change log — so
+    /// in-place mutation cannot silently bypass the maintained indexes.
+    pub fn object_mut(&mut self, loid: LOid) -> Option<ObjectMut<'_>> {
         let class = *self.loid_class.get(&loid)?;
-        self.extents[class.index()].get_mut(loid)
+        if !self.extents[class.index()].contains(loid) {
+            return None;
+        }
+        // Un-index under the pre-update values; the guard's drop re-adds
+        // the object under whatever values it ends up with.
+        if !self.indexes.is_empty() {
+            if let Some(object) = self.extents[class.index()].get(loid) {
+                for index in self.indexes.iter_mut().filter(|ix| ix.class == class) {
+                    index.remove(object);
+                }
+            }
+        }
+        Some(ObjectMut {
+            db: self,
+            loid,
+            class,
+        })
     }
 
     /// The class holding `loid`, if it exists here.
@@ -204,8 +361,19 @@ impl ComponentDb {
             }
         }
         self.next_serial = self.next_serial.max(loid.serial() + 1);
+        // A restore may replace an object under the same LOid: un-index
+        // the old version before the extent swap.
+        if !self.indexes.is_empty() {
+            if let Some(old) = self.extents[class.index()].get(loid) {
+                for index in self.indexes.iter_mut().filter(|ix| ix.class == class) {
+                    index.remove(old);
+                }
+            }
+        }
         self.extents[class.index()].insert(Object::new(loid, class, values));
         self.loid_class.insert(loid, class);
+        self.index_add(class, loid);
+        self.record(Change::Insert(loid));
         Ok(())
     }
 
@@ -225,9 +393,12 @@ impl ComponentDb {
             .loid_class
             .remove(&loid)
             .ok_or(StoreError::DanglingRef(loid))?;
-        self.extents[class.index()]
+        let removed = self.extents[class.index()]
             .remove(loid)
-            .ok_or(StoreError::DanglingRef(loid))
+            .ok_or(StoreError::DanglingRef(loid))?;
+        self.index_remove(&removed);
+        self.record(Change::Retract(loid));
+        Ok(removed)
     }
 
     /// Checks that every complex attribute references an existing object.
@@ -248,6 +419,42 @@ impl ComponentDb {
             }
         }
         Ok(())
+    }
+}
+
+/// The mutable-access guard returned by [`ComponentDb::object_mut`].
+///
+/// Dereferences to the [`Object`]; on drop it reindexes the object and
+/// bumps the database's mutation generation.
+#[derive(Debug)]
+pub struct ObjectMut<'a> {
+    db: &'a mut ComponentDb,
+    loid: LOid,
+    class: ClassId,
+}
+
+impl Deref for ObjectMut<'_> {
+    type Target = Object;
+
+    fn deref(&self) -> &Object {
+        self.db.extents[self.class.index()]
+            .get(self.loid)
+            .expect("guard holds a live object")
+    }
+}
+
+impl DerefMut for ObjectMut<'_> {
+    fn deref_mut(&mut self) -> &mut Object {
+        self.db.extents[self.class.index()]
+            .get_mut(self.loid)
+            .expect("guard holds a live object")
+    }
+}
+
+impl Drop for ObjectMut<'_> {
+    fn drop(&mut self) {
+        self.db.index_add(self.class, self.loid);
+        self.db.record(Change::Update(self.loid));
     }
 }
 
@@ -289,6 +496,7 @@ fn value_matches(ty: &AttrType, value: &Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::IndexKey;
     use crate::schema::ClassDef;
 
     fn mkdb() -> ComponentDb {
@@ -474,5 +682,130 @@ mod tests {
     fn display_summarizes() {
         let db = mkdb();
         assert_eq!(db.to_string(), "DB1 (2 classes, 0 objects)");
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut db = mkdb();
+        assert_eq!(db.generation(), 0);
+        let d = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        assert_eq!(db.generation(), 1);
+        db.object_mut(d).unwrap().set(0, Value::text("EE"));
+        assert_eq!(db.generation(), 2);
+        db.retract(d).unwrap();
+        assert_eq!(db.generation(), 3);
+    }
+
+    #[test]
+    fn change_log_records_when_tracking() {
+        let mut db = mkdb();
+        let untracked = db
+            .insert_named("Department", &[("name", Value::text("CS"))])
+            .unwrap();
+        assert!(db.drain_changes().is_empty());
+        db.set_change_tracking(true);
+        let d = db
+            .insert_named("Department", &[("name", Value::text("EE"))])
+            .unwrap();
+        db.object_mut(d).unwrap().set(0, Value::text("ME"));
+        db.retract(untracked).unwrap();
+        assert_eq!(
+            db.drain_changes(),
+            vec![
+                Change::Insert(d),
+                Change::Update(d),
+                Change::Retract(untracked)
+            ]
+        );
+        assert!(db.drain_changes().is_empty());
+        db.set_change_tracking(false);
+        db.retract(d).unwrap();
+        assert!(db.drain_changes().is_empty());
+    }
+
+    fn indexed_db() -> (ComponentDb, IndexId) {
+        let schema = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("dept", AttrType::text())])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let id = db.create_index("Student", &["dept"]).unwrap();
+        (db, id)
+    }
+
+    #[test]
+    fn maintained_index_follows_inserts_updates_retracts() {
+        let (mut db, id) = indexed_db();
+        let a = db
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("dept", Value::text("cs"))],
+            )
+            .unwrap();
+        let b = db
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(2)), ("dept", Value::text("cs"))],
+            )
+            .unwrap();
+        let c = db.insert_named("Student", &[("s-no", Value::Int(3))]).unwrap(); // dept null
+        let key = IndexKey::Text("cs".into());
+        let ix = db.index(id).unwrap();
+        assert_eq!(ix.matches(&key), &[a, b]);
+        assert!(ix.unknowns().contains(&c));
+
+        // In-place update moves the object between keys.
+        db.object_mut(a).unwrap().set(1, Value::text("ee"));
+        let ix = db.index(id).unwrap();
+        assert_eq!(ix.matches(&key), &[b]);
+        assert_eq!(ix.matches(&IndexKey::Text("ee".into())), &[a]);
+
+        // Filling in the null removes it from the unknown set.
+        db.object_mut(c).unwrap().set(1, Value::text("cs"));
+        let ix = db.index(id).unwrap();
+        assert!(!ix.unknowns().contains(&c));
+        assert_eq!(ix.matches(&key), &[b, c]);
+
+        // Retraction drops the entry entirely.
+        db.retract(b).unwrap();
+        let ix = db.index(id).unwrap();
+        assert_eq!(ix.matches(&key), &[c]);
+        db.retract(c).unwrap();
+        db.retract(a).unwrap();
+        let ix = db.index(id).unwrap();
+        assert_eq!(ix.distinct_keys(), 0);
+        assert!(ix.unknowns().is_empty());
+    }
+
+    #[test]
+    fn create_index_is_idempotent_and_validates() {
+        let (mut db, id) = indexed_db();
+        assert_eq!(db.create_index("Student", &["dept"]).unwrap(), id);
+        assert_eq!(db.num_indexes(), 1);
+        assert!(matches!(
+            db.create_index("Nope", &["x"]),
+            Err(StoreError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            db.create_index("Student", &["gpa"]),
+            Err(StoreError::MissingAttribute { .. })
+        ));
+        let class = db.schema().class_id("Student").unwrap();
+        let dept_slot = 1;
+        assert!(db.index_on(class, &[dept_slot]).is_some());
+        assert!(db.index_on(class, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn index_built_over_existing_extent() {
+        let schema = ComponentSchema::new(vec![ClassDef::new("S")
+            .attr("k", AttrType::int())])
+        .unwrap();
+        let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
+        let a = db.insert_named("S", &[("k", Value::Int(7))]).unwrap();
+        let id = db.create_index("S", &["k"]).unwrap();
+        assert_eq!(db.index(id).unwrap().matches(&IndexKey::Int(7)), &[a]);
     }
 }

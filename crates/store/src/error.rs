@@ -39,6 +39,14 @@ pub enum StoreError {
     BadKey { class: String, attr: String },
     /// An index was requested on a non-indexable (float/complex) attribute.
     NotIndexable { class: String, attr: String },
+    /// An index probe ran against a database that has been mutated since
+    /// the index was built; the index contents can no longer be trusted.
+    StaleIndex {
+        /// The database generation the index was built under.
+        built_at: u64,
+        /// The database generation at probe time.
+        now: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -89,6 +97,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::NotIndexable { class, attr } => {
                 write!(f, "attribute {class}.{attr} cannot be indexed")
+            }
+            StoreError::StaleIndex { built_at, now } => {
+                write!(
+                    f,
+                    "stale index: built at generation {built_at}, database is at generation {now}"
+                )
             }
         }
     }

@@ -194,6 +194,11 @@ impl CompiledPath {
         self.steps.get(i).map(|s| s.class)
     }
 
+    /// The local attribute slot each step reads.
+    pub fn step_attr(&self, i: usize) -> Option<usize> {
+        self.steps.get(i).map(|s| s.attr_idx)
+    }
+
     /// Walks the path from `object`, fetching referenced objects from `db`.
     ///
     /// Each dereference increments `counter.objects_fetched`. A dangling

@@ -56,12 +56,17 @@ impl Extent {
 
     /// Removes the object with `loid`, preserving the scan order of the
     /// remaining objects. Returns the removed object, if it existed.
+    ///
+    /// Costs O(tail): only the objects *after* the removed slot shift, and
+    /// only their map entries are touched — retracting recent objects is
+    /// cheap even in a million-object extent (the previous implementation
+    /// walked the whole LOid map on every removal).
     pub fn remove(&mut self, loid: LOid) -> Option<Object> {
         let slot = self.by_loid.remove(&loid)?;
         let removed = self.objects.remove(slot);
-        for idx in self.by_loid.values_mut() {
-            if *idx > slot {
-                *idx -= 1;
+        for (offset, object) in self.objects[slot..].iter().enumerate() {
+            if let Some(s) = self.by_loid.get_mut(&object.loid()) {
+                *s = slot + offset;
             }
         }
         Some(removed)
@@ -87,6 +92,12 @@ impl Extent {
     /// `true` iff the extent contains `loid`.
     pub fn contains(&self, loid: LOid) -> bool {
         self.by_loid.contains_key(&loid)
+    }
+
+    /// The scan-order slot of `loid`, if present — lets index probes sort
+    /// their candidates back into sequential-scan order.
+    pub fn position(&self, loid: LOid) -> Option<usize> {
+        self.by_loid.get(&loid).copied()
     }
 
     /// Scans the extent in insertion order.

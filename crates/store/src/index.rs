@@ -5,8 +5,8 @@
 
 use crate::db::ComponentDb;
 use crate::error::StoreError;
-use fedoq_object::{ClassId, LOid, Value};
-use std::collections::HashMap;
+use fedoq_object::{ClassId, LOid, Object, Value};
+use std::collections::{HashMap, HashSet};
 
 /// A hashable projection of a [`Value`] usable as an index key.
 ///
@@ -38,13 +38,22 @@ impl IndexKey {
     }
 
     /// Builds a compound key from several values; `None` if any component
-    /// is null or non-indexable.
+    /// is null or non-indexable. A single-component key is returned bare,
+    /// so single-attribute probes built with [`IndexKey::from_value`] hit
+    /// the same entries.
     pub fn compound<'a, I>(values: I) -> Option<IndexKey>
     where
         I: IntoIterator<Item = &'a Value>,
     {
-        let keys: Option<Vec<IndexKey>> = values.into_iter().map(IndexKey::from_value).collect();
-        keys.map(IndexKey::Compound)
+        let mut keys: Vec<IndexKey> = values
+            .into_iter()
+            .map(IndexKey::from_value)
+            .collect::<Option<_>>()?;
+        Some(if keys.len() == 1 {
+            keys.pop().expect("len checked")
+        } else {
+            IndexKey::Compound(keys)
+        })
     }
 }
 
@@ -72,11 +81,55 @@ pub struct HashIndex {
     class: ClassId,
     attrs: Vec<usize>,
     map: HashMap<IndexKey, Vec<LOid>>,
+    nulls: Vec<LOid>,
+    generation: u64,
+}
+
+/// Resolves index attribute names into slots, rejecting non-indexable
+/// (float/complex/multi) attributes.
+pub(crate) fn resolve_index_slots(
+    db: &ComponentDb,
+    class: ClassId,
+    attrs: &[&str],
+) -> Result<Vec<usize>, StoreError> {
+    let def = db.schema().class(class);
+    let mut slots = Vec::with_capacity(attrs.len());
+    for name in attrs {
+        let idx = def
+            .attr_index(name)
+            .ok_or_else(|| StoreError::MissingAttribute {
+                class: def.name().to_owned(),
+                attr: (*name).to_owned(),
+            })?;
+        let ty = def.attrs()[idx].ty();
+        let indexable = matches!(
+            ty,
+            crate::schema::AttrType::Primitive(
+                crate::schema::PrimitiveType::Int
+                    | crate::schema::PrimitiveType::Text
+                    | crate::schema::PrimitiveType::Bool
+            )
+        );
+        if !indexable {
+            return Err(StoreError::NotIndexable {
+                class: def.name().to_owned(),
+                attr: (*name).to_owned(),
+            });
+        }
+        slots.push(idx);
+    }
+    Ok(slots)
 }
 
 impl HashIndex {
     /// Builds an index over `attrs` of `class` by scanning its extent.
-    /// Objects whose key contains a null are skipped.
+    /// Objects whose key contains a null are excluded from the key map but
+    /// remembered in the null list — an equality probe can then return the
+    /// exact matches *and* the objects whose match status is unknown.
+    ///
+    /// The index is stamped with the database's current mutation
+    /// generation; the checked probes ([`HashIndex::probe`]) refuse to
+    /// answer once the database has moved on.
     ///
     /// # Errors
     ///
@@ -87,42 +140,21 @@ impl HashIndex {
         class: ClassId,
         attrs: &[&str],
     ) -> Result<HashIndex, StoreError> {
-        let def = db.schema().class(class);
-        let mut slots = Vec::with_capacity(attrs.len());
-        for name in attrs {
-            let idx = def
-                .attr_index(name)
-                .ok_or_else(|| StoreError::MissingAttribute {
-                    class: def.name().to_owned(),
-                    attr: (*name).to_owned(),
-                })?;
-            let ty = def.attrs()[idx].ty();
-            let indexable = matches!(
-                ty,
-                crate::schema::AttrType::Primitive(
-                    crate::schema::PrimitiveType::Int
-                        | crate::schema::PrimitiveType::Text
-                        | crate::schema::PrimitiveType::Bool
-                )
-            );
-            if !indexable {
-                return Err(StoreError::NotIndexable {
-                    class: def.name().to_owned(),
-                    attr: (*name).to_owned(),
-                });
-            }
-            slots.push(idx);
-        }
+        let slots = resolve_index_slots(db, class, attrs)?;
         let mut map: HashMap<IndexKey, Vec<LOid>> = HashMap::new();
+        let mut nulls = Vec::new();
         for object in db.extent(class).iter() {
-            if let Some(key) = IndexKey::compound(slots.iter().map(|&i| object.value(i))) {
-                map.entry(key).or_default().push(object.loid());
+            match IndexKey::compound(slots.iter().map(|&i| object.value(i))) {
+                Some(key) => map.entry(key).or_default().push(object.loid()),
+                None => nulls.push(object.loid()),
             }
         }
         Ok(HashIndex {
             class,
             attrs: slots,
             map,
+            nulls,
+            generation: db.generation(),
         })
     }
 
@@ -136,12 +168,20 @@ impl HashIndex {
         &self.attrs
     }
 
+    /// The database mutation generation this index was built under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
 
     /// LOids whose key equals `key`.
+    ///
+    /// This accessor does **not** check staleness — use [`HashIndex::probe`]
+    /// when the database may have been mutated since the build.
     pub fn lookup(&self, key: &IndexKey) -> &[LOid] {
         self.map.get(key).map_or(&[], Vec::as_slice)
     }
@@ -155,10 +195,129 @@ impl HashIndex {
         }
     }
 
+    /// Objects whose key contains a null: their equality status against any
+    /// probe key is *unknown*, never a match.
+    pub fn null_loids(&self) -> &[LOid] {
+        &self.nulls
+    }
+
+    /// Staleness-checked lookup: LOids whose key equals `key`, or
+    /// [`StoreError::StaleIndex`] if `db` has been mutated since the index
+    /// was built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::StaleIndex`] on generation mismatch.
+    pub fn probe<'a>(&'a self, db: &ComponentDb, key: &IndexKey) -> Result<&'a [LOid], StoreError> {
+        self.check_fresh(db)?;
+        Ok(self.lookup(key))
+    }
+
+    /// Staleness-checked [`HashIndex::lookup_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::StaleIndex`] on generation mismatch.
+    pub fn probe_values(&self, db: &ComponentDb, values: &[Value]) -> Result<Vec<LOid>, StoreError> {
+        self.check_fresh(db)?;
+        Ok(self.lookup_values(values))
+    }
+
+    fn check_fresh(&self, db: &ComponentDb) -> Result<(), StoreError> {
+        if db.generation() != self.generation {
+            return Err(StoreError::StaleIndex {
+                built_at: self.generation,
+                now: db.generation(),
+            });
+        }
+        Ok(())
+    }
+
     /// Iterates over `(key, loids)` groups — the isomerism detector groups
     /// same-key objects across databases this way.
     pub fn groups(&self) -> impl Iterator<Item = (&IndexKey, &[LOid])> {
         self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+/// A secondary index owned and *maintained* by a [`ComponentDb`]: every
+/// insert, retract, restore, and in-place update keeps it in sync, so it
+/// can never go stale the way a standalone [`HashIndex`] can.
+///
+/// Created through [`ComponentDb::create_index`] and probed through
+/// [`ComponentDb::index_on`].
+#[derive(Debug, Clone)]
+pub struct MaintainedIndex {
+    pub(crate) class: ClassId,
+    pub(crate) attrs: Vec<usize>,
+    pub(crate) map: HashMap<IndexKey, Vec<LOid>>,
+    pub(crate) nulls: HashSet<LOid>,
+}
+
+impl MaintainedIndex {
+    pub(crate) fn new(class: ClassId, attrs: Vec<usize>) -> MaintainedIndex {
+        MaintainedIndex {
+            class,
+            attrs,
+            map: HashMap::new(),
+            nulls: HashSet::new(),
+        }
+    }
+
+    /// The indexed class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The indexed attribute slots, in index-key order.
+    pub fn attr_slots(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Number of distinct (fully non-null) keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// LOids whose key equals `key` (insertion order).
+    pub fn matches(&self, key: &IndexKey) -> &[LOid] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Objects whose key contains a null: equality against any probe key
+    /// is unknown for them, never a claimed match.
+    pub fn unknowns(&self) -> &HashSet<LOid> {
+        &self.nulls
+    }
+
+    fn key_of(&self, object: &Object) -> Option<IndexKey> {
+        IndexKey::compound(self.attrs.iter().map(|&i| object.value(i)))
+    }
+
+    pub(crate) fn add(&mut self, object: &Object) {
+        match self.key_of(object) {
+            Some(key) => self.map.entry(key).or_default().push(object.loid()),
+            None => {
+                self.nulls.insert(object.loid());
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, object: &Object) {
+        let loid = object.loid();
+        match self.key_of(object) {
+            Some(key) => {
+                if let Some(group) = self.map.get_mut(&key) {
+                    group.retain(|&l| l != loid);
+                    if group.is_empty() {
+                        self.map.remove(&key);
+                    }
+                }
+            }
+            None => {
+                self.nulls.remove(&loid);
+            }
+        }
     }
 }
 
@@ -260,6 +419,44 @@ mod tests {
         let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
         let total: usize = index.groups().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 3); // the null-key object is excluded
+    }
+
+    #[test]
+    fn stale_probe_is_rejected_after_mutation() {
+        let (mut db, _) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        let built_at = index.generation();
+        // Fresh probes succeed.
+        assert_eq!(
+            index.probe(&db, &IndexKey::Int(2)).unwrap().len(),
+            1
+        );
+        db.insert_named("Student", &[("s-no", Value::Int(2))]).unwrap();
+        // Any mutation invalidates the standalone index.
+        let err = index.probe(&db, &IndexKey::Int(2)).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::StaleIndex {
+                built_at,
+                now: db.generation()
+            }
+        );
+        assert!(index.probe_values(&db, &[Value::Int(2)]).is_err());
+        // Rebuilding re-stamps and probes work again.
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        assert_eq!(index.probe(&db, &IndexKey::Int(2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn null_keyed_objects_are_listed_not_matched() {
+        let (db, loids) = db_with_students();
+        let class = db.schema().class_id("Student").unwrap();
+        let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
+        assert_eq!(index.null_loids(), &[loids[3]]);
+        for key in [IndexKey::Int(1), IndexKey::Int(2), IndexKey::Int(9)] {
+            assert!(!index.lookup(&key).contains(&loids[3]));
+        }
     }
 
     #[test]

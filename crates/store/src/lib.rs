@@ -36,17 +36,19 @@ pub mod eval;
 pub mod extent;
 pub mod index;
 pub mod local_query;
+pub mod pages;
 pub mod par;
 pub mod persist;
 pub mod schema;
 pub mod stats;
 
-pub use db::ComponentDb;
+pub use db::{Change, ComponentDb, IndexId, ObjectMut};
 pub use error::StoreError;
 pub use eval::{CompiledPath, CompiledPredicate, EvalCounter, PathWalk};
 pub use extent::Extent;
-pub use index::{HashIndex, IndexKey};
+pub use index::{HashIndex, IndexKey, MaintainedIndex};
 pub use local_query::{LocalQuery, LocalQueryResult, LocalRow, ParallelScan};
+pub use pages::{load_db_paged, recover_db_paged, save_db_paged, PagedDb, RecoveryReport};
 pub use par::{map_chunks, worker_shares};
 pub use persist::{load_db, save_db, PersistError};
 pub use schema::{AttrDef, AttrType, ClassDef, ComponentSchema, PrimitiveType};

@@ -36,6 +36,11 @@ use std::io::{self, Read, Write};
 /// File magic: "FDQ" + format version 1.
 const MAGIC: [u8; 4] = *b"FDQ1";
 
+/// Maximum nesting depth of encoded attribute types and values. The wire
+/// codec enforces the same style of fail-closed bound (FQ305): without it,
+/// a crafted file of nested `Multi`/`List` tags drives unbounded recursion.
+pub(crate) const MAX_DEPTH: u32 = 32;
+
 /// Errors raised while saving or loading a database.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -90,22 +95,7 @@ impl From<StoreError> for PersistError {
 /// Propagates I/O failures as [`PersistError::Io`].
 pub fn save_db<W: Write>(db: &ComponentDb, out: &mut W) -> Result<(), PersistError> {
     out.write_all(&MAGIC)?;
-    write_u16(out, db.id().raw())?;
-    write_str(out, db.name())?;
-    // Schema.
-    write_u32(out, db.schema().len() as u32)?;
-    for (_, class) in db.schema().iter() {
-        write_str(out, class.name())?;
-        write_u32(out, class.arity() as u32)?;
-        for attr in class.attrs() {
-            write_str(out, attr.name())?;
-            write_attr_type(out, attr.ty())?;
-        }
-        write_u32(out, class.key_attrs().len() as u32)?;
-        for key in class.key_attrs() {
-            write_str(out, key)?;
-        }
-    }
+    write_header(db, out)?;
     // Extents.
     for (class_id, _) in db.schema().iter() {
         let extent = db.extent(class_id);
@@ -134,14 +124,58 @@ pub fn load_db<R: Read>(input: &mut R) -> Result<ComponentDb, PersistError> {
     if magic != MAGIC {
         return Err(PersistError::BadMagic);
     }
+    let (mut db, arities) = read_header(input)?;
+    let db_id = db.id();
+    for (class_idx, &arity) in arities.iter().enumerate() {
+        let class = ClassId::new(class_idx as u32);
+        let count = read_u32(input)? as usize;
+        for _ in 0..count {
+            let serial = read_u64(input)?;
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(read_value(input, 0)?);
+            }
+            db.restore(class, LOid::new(db_id, serial), values)?;
+        }
+    }
+    Ok(db)
+}
+
+/// Writes the common header (site id, name, schema) shared by the flat
+/// `FDQ1` and the paged `FQP1` formats (the magic itself is written by the
+/// caller).
+pub(crate) fn write_header<W: Write>(db: &ComponentDb, out: &mut W) -> Result<(), PersistError> {
+    write_u16(out, db.id().raw())?;
+    write_str(out, db.name())?;
+    write_u32(out, db.schema().len() as u32)?;
+    for (_, class) in db.schema().iter() {
+        write_str(out, class.name())?;
+        write_u32(out, class.arity() as u32)?;
+        for attr in class.attrs() {
+            write_str(out, attr.name())?;
+            write_attr_type(out, attr.ty())?;
+        }
+        write_u32(out, class.key_attrs().len() as u32)?;
+        for key in class.key_attrs() {
+            write_str(out, key)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the header written by [`write_header`], returning an empty
+/// database plus the per-class arities (needed to decode extent rows).
+pub(crate) fn read_header<R: Read>(
+    input: &mut R,
+) -> Result<(ComponentDb, Vec<usize>), PersistError> {
     let db_id = DbId::new(read_u16(input)?);
     let name = read_str(input)?;
     let num_classes = read_u32(input)? as usize;
     if num_classes > 1 << 16 {
         return Err(PersistError::Corrupt("implausible class count".into()));
     }
-    let mut class_defs = Vec::with_capacity(num_classes);
-    let mut arities = Vec::with_capacity(num_classes);
+    let mut class_defs = Vec::with_capacity(num_classes.min(1 << 10));
+    let mut arities = Vec::with_capacity(num_classes.min(1 << 10));
     for _ in 0..num_classes {
         let class_name = read_str(input)?;
         let arity = read_u32(input)? as usize;
@@ -152,7 +186,7 @@ pub fn load_db<R: Read>(input: &mut R) -> Result<ComponentDb, PersistError> {
         let mut def = ClassDef::new(class_name);
         for _ in 0..arity {
             let attr_name = read_str(input)?;
-            let ty = read_attr_type(input)?;
+            let ty = read_attr_type(input, 0)?;
             def = def.attr(attr_name, ty);
         }
         let num_keys = read_u32(input)? as usize;
@@ -168,67 +202,69 @@ pub fn load_db<R: Read>(input: &mut R) -> Result<ComponentDb, PersistError> {
         class_defs.push(def.key(keys));
     }
     let schema = ComponentSchema::new(class_defs)?;
-    let mut db = ComponentDb::new(db_id, name, schema);
-    for (class_idx, &arity) in arities.iter().enumerate() {
-        let class = ClassId::new(class_idx as u32);
-        let count = read_u32(input)? as usize;
-        for _ in 0..count {
-            let serial = read_u64(input)?;
-            let mut values = Vec::with_capacity(arity);
-            for _ in 0..arity {
-                values.push(read_value(input)?);
-            }
-            db.restore(class, LOid::new(db_id, serial), values)?;
-        }
-    }
-    Ok(db)
+    Ok((ComponentDb::new(db_id, name, schema), arities))
 }
 
 // --- primitives ---------------------------------------------------------
 
-fn write_u16<W: Write>(out: &mut W, v: u16) -> io::Result<()> {
+pub(crate) fn write_u16<W: Write>(out: &mut W, v: u16) -> io::Result<()> {
     out.write_all(&v.to_le_bytes())
 }
 
-fn write_u32<W: Write>(out: &mut W, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32<W: Write>(out: &mut W, v: u32) -> io::Result<()> {
     out.write_all(&v.to_le_bytes())
 }
 
-fn write_u64<W: Write>(out: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(out: &mut W, v: u64) -> io::Result<()> {
     out.write_all(&v.to_le_bytes())
 }
 
-fn write_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
+pub(crate) fn write_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
     write_u32(out, s.len() as u32)?;
     out.write_all(s.as_bytes())
 }
 
-fn read_u16<R: Read>(input: &mut R) -> Result<u16, PersistError> {
+pub(crate) fn read_u16<R: Read>(input: &mut R) -> Result<u16, PersistError> {
     let mut buf = [0u8; 2];
     input.read_exact(&mut buf)?;
     Ok(u16::from_le_bytes(buf))
 }
 
-fn read_u32<R: Read>(input: &mut R) -> Result<u32, PersistError> {
+pub(crate) fn read_u32<R: Read>(input: &mut R) -> Result<u32, PersistError> {
     let mut buf = [0u8; 4];
     input.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_u64<R: Read>(input: &mut R) -> Result<u64, PersistError> {
+pub(crate) fn read_u64<R: Read>(input: &mut R) -> Result<u64, PersistError> {
     let mut buf = [0u8; 8];
     input.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_str<R: Read>(input: &mut R) -> Result<String, PersistError> {
-    let len = read_u32(input)? as usize;
+pub(crate) fn read_str<R: Read>(input: &mut R) -> Result<String, PersistError> {
+    let len = read_u32(input)? as u64;
     if len > 1 << 24 {
         return Err(PersistError::Corrupt("implausible string length".into()));
     }
-    let mut buf = vec![0u8; len];
-    input.read_exact(&mut buf)?;
+    // Never pre-allocate from the untrusted length: `take` + `read_to_end`
+    // grows the buffer only as bytes actually arrive, so a lying prefix on
+    // truncated input errors out instead of reserving gigabytes.
+    let mut buf = Vec::new();
+    input.take(len).read_to_end(&mut buf)?;
+    if buf.len() as u64 != len {
+        return Err(PersistError::Corrupt("truncated string".into()));
+    }
     String::from_utf8(buf).map_err(|_| PersistError::Corrupt("invalid UTF-8".into()))
+}
+
+fn check_depth(depth: u32) -> Result<(), PersistError> {
+    if depth >= MAX_DEPTH {
+        return Err(PersistError::Corrupt(format!(
+            "nesting deeper than {MAX_DEPTH} levels"
+        )));
+    }
+    Ok(())
 }
 
 fn write_attr_type<W: Write>(out: &mut W, ty: &AttrType) -> io::Result<()> {
@@ -248,7 +284,8 @@ fn write_attr_type<W: Write>(out: &mut W, ty: &AttrType) -> io::Result<()> {
     }
 }
 
-fn read_attr_type<R: Read>(input: &mut R) -> Result<AttrType, PersistError> {
+fn read_attr_type<R: Read>(input: &mut R, depth: u32) -> Result<AttrType, PersistError> {
+    check_depth(depth)?;
     let mut tag = [0u8; 1];
     input.read_exact(&mut tag)?;
     Ok(match tag[0] {
@@ -257,12 +294,12 @@ fn read_attr_type<R: Read>(input: &mut R) -> Result<AttrType, PersistError> {
         2 => AttrType::text(),
         3 => AttrType::bool(),
         4 => AttrType::Complex(read_str(input)?),
-        5 => AttrType::Multi(Box::new(read_attr_type(input)?)),
+        5 => AttrType::Multi(Box::new(read_attr_type(input, depth + 1)?)),
         other => return Err(PersistError::Corrupt(format!("unknown type tag {other}"))),
     })
 }
 
-fn write_value<W: Write>(out: &mut W, value: &Value) -> io::Result<()> {
+pub(crate) fn write_value<W: Write>(out: &mut W, value: &Value) -> io::Result<()> {
     match value {
         Value::Null => out.write_all(&[0]),
         Value::Int(v) => {
@@ -298,7 +335,8 @@ fn write_value<W: Write>(out: &mut W, value: &Value) -> io::Result<()> {
     }
 }
 
-fn read_value<R: Read>(input: &mut R) -> Result<Value, PersistError> {
+pub(crate) fn read_value<R: Read>(input: &mut R, depth: u32) -> Result<Value, PersistError> {
+    check_depth(depth)?;
     let mut tag = [0u8; 1];
     input.read_exact(&mut tag)?;
     Ok(match tag[0] {
@@ -329,9 +367,10 @@ fn read_value<R: Read>(input: &mut R) -> Result<Value, PersistError> {
             if len > 1 << 16 {
                 return Err(PersistError::Corrupt("implausible list length".into()));
             }
-            let mut items = Vec::with_capacity(len);
+            // Bounded by actual input, not the untrusted count.
+            let mut items = Vec::new();
             for _ in 0..len {
-                items.push(read_value(input)?);
+                items.push(read_value(input, depth + 1)?);
             }
             Value::List(items)
         }
@@ -521,6 +560,41 @@ mod tests {
                     buffer[flip] ^= 1 << bit;
                 }
                 let _ = load_db(&mut buffer.as_slice());
+            }
+
+            /// A lying length prefix (string or list) errors out instead of
+            /// allocating what it claims: decoding is bounded by the bytes
+            /// that actually arrive, never by the untrusted prefix.
+            #[test]
+            fn corrupt_lengths_error_instead_of_allocating(
+                claimed in 1u32 << 20..u32::MAX,
+                tail in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                // Text value whose declared length dwarfs the input.
+                let mut buf = vec![3u8];
+                buf.extend_from_slice(&claimed.to_le_bytes());
+                buf.extend_from_slice(&tail);
+                prop_assert!(read_value(&mut buf.as_slice(), 0).is_err());
+                // List value claiming billions of elements.
+                let mut buf = vec![7u8];
+                buf.extend_from_slice(&claimed.to_le_bytes());
+                buf.extend_from_slice(&tail);
+                prop_assert!(read_value(&mut buf.as_slice(), 0).is_err());
+            }
+
+            /// Nesting deeper than MAX_DEPTH is rejected, not recursed into:
+            /// a stream of list tags cannot blow the stack.
+            #[test]
+            fn deep_nesting_is_capped(extra in 0u32..64) {
+                let depth = MAX_DEPTH + extra;
+                let mut buf = Vec::new();
+                for _ in 0..depth {
+                    buf.push(7u8); // list of...
+                    buf.extend_from_slice(&1u32.to_le_bytes()); // ...one element
+                }
+                buf.push(0u8); // innermost: Null
+                let err = read_value(&mut buf.as_slice(), 0).unwrap_err();
+                prop_assert!(err.to_string().contains("nesting"));
             }
         }
     }

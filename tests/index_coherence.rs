@@ -1,0 +1,187 @@
+//! Index-coherence regressions at the federation level: maintained
+//! indexes and the warm CA materialization cache must stay consistent
+//! across [`Federation::mutate`].
+//!
+//! The store keeps every [`MaintainedIndex`] synchronous with its
+//! extent (insert/retract/restore update the posting lists in place),
+//! and the execution cache is generation-keyed, so a mutate-then-probe
+//! sequence over a *shared* cache must answer exactly like a cold
+//! sequential run on the mutated data — a stale posting list or a warm
+//! materialization surviving a generation bump would both show up here
+//! as a wrong certain set.
+//!
+//! [`MaintainedIndex`]: fedoq::store::MaintainedIndex
+
+use fedoq::object::ClassId;
+use fedoq::prelude::*;
+use fedoq::store::{save_db_paged, PagedDb};
+use std::cell::RefCell;
+
+/// A two-site federation of `Item(id [key], tag)` with a maintained
+/// index on `tag` at both sites: `n` objects per site, `tag = id % 10`,
+/// disjoint key ranges (no isomeric copies).
+fn item_federation(n: usize) -> Federation {
+    let dbs = (0..2u16)
+        .map(|site| {
+            let schema = ComponentSchema::new(vec![ClassDef::new("Item")
+                .attr("id", AttrType::int())
+                .attr("tag", AttrType::int())
+                .key(["id"])])
+            .unwrap();
+            let mut db = ComponentDb::new(DbId::new(site), format!("S{site}"), schema);
+            for i in 0..n {
+                let id = i64::from(site) * 1_000_000 + i as i64;
+                db.insert(ClassId::new(0), vec![Value::Int(id), Value::Int(id % 10)])
+                    .unwrap();
+            }
+            db.create_index("Item", &["tag"]).unwrap();
+            db
+        })
+        .collect();
+    Federation::new(dbs, &Correspondences::new()).unwrap()
+}
+
+/// The ground truth: the legacy sequential path, no index, no cache.
+fn oracle(fed: &Federation, query: &BoundQuery) -> QueryAnswer {
+    run_strategy(&Centralized, fed, query, SystemParams::paper_default())
+        .unwrap()
+        .0
+}
+
+fn indexed_cached(
+    strategy: &dyn ExecutionStrategy,
+    fed: &Federation,
+    query: &BoundQuery,
+    cache: &RefCell<LookupCache>,
+) -> QueryAnswer {
+    run_strategy_with_pipeline(
+        strategy,
+        fed,
+        query,
+        SystemParams::paper_default(),
+        PipelineConfig::sequential().with_cache().with_index(),
+        Some(cache),
+    )
+    .unwrap()
+    .0
+}
+
+/// Insert a matching object, probe, retract it, probe again — all over
+/// one long-lived cache. Every indexed answer must equal the sequential
+/// oracle on the data as it stands at that moment.
+#[test]
+fn mutate_then_probe_keeps_indexed_answers_fresh() {
+    let mut fed = item_federation(200);
+    let query = fed.parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3").unwrap();
+    let cache = RefCell::new(LookupCache::default());
+
+    for strategy in [
+        &Centralized as &dyn ExecutionStrategy,
+        &BasicLocalized::new(),
+        &ParallelLocalized::new(),
+    ] {
+        // Warm the cache on the pristine data (two runs: fill + hit).
+        let before = oracle(&fed, &query);
+        assert_eq!(indexed_cached(strategy, &fed, &query, &cache), before);
+        assert_eq!(indexed_cached(strategy, &fed, &query, &cache), before);
+
+        // Insert a fresh match at site 0: the maintained index must
+        // list it and the generation bump must flush the warm state.
+        let loid = fed
+            .mutate(DbId::new(0), |db| {
+                db.insert(ClassId::new(0), vec![Value::Int(777_777), Value::Int(3)])
+            })
+            .unwrap();
+        let after_insert = oracle(&fed, &query);
+        assert_eq!(
+            after_insert.certain().len(),
+            before.certain().len() + 1,
+            "the inserted object matches the query"
+        );
+        assert_eq!(
+            indexed_cached(strategy, &fed, &query, &cache),
+            after_insert,
+            "{}: indexed answer stale after insert",
+            strategy.name()
+        );
+
+        // Retract it again: the posting list must forget the LOid.
+        fed.mutate(DbId::new(0), |db| db.retract(loid)).unwrap();
+        assert_eq!(
+            indexed_cached(strategy, &fed, &query, &cache),
+            before,
+            "{}: indexed answer stale after retract",
+            strategy.name()
+        );
+    }
+}
+
+/// Flipping an object's indexed attribute must move it between posting
+/// lists (ObjectMut-drop maintenance), visible through the full stack.
+#[test]
+fn updates_move_objects_between_posting_lists() {
+    let mut fed = item_federation(100);
+    let query = fed.parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3").unwrap();
+    let cache = RefCell::new(LookupCache::default());
+    let before = oracle(&fed, &query);
+    assert_eq!(indexed_cached(&Centralized, &fed, &query, &cache), before);
+
+    // Object id=4 has tag 4; rewrite it to 3. The ObjectMut guard
+    // reindexes on drop.
+    fed.mutate(DbId::new(0), |db| {
+        let loid = db.extent(ClassId::new(0)).objects()[4].loid();
+        db.object_mut(loid).expect("object exists").set(1, Value::Int(3));
+        Ok(())
+    })
+    .unwrap();
+    let after = oracle(&fed, &query);
+    assert_eq!(after.certain().len(), before.certain().len() + 1);
+    assert_eq!(
+        indexed_cached(&Centralized, &fed, &query, &cache),
+        after,
+        "indexed answer stale after in-place update"
+    );
+}
+
+/// A 10^5-object extent survives the paged on-disk format byte-for-byte
+/// and splits into many length-capped pages read back lazily.
+#[test]
+fn paged_roundtrip_at_one_hundred_thousand_objects() {
+    const N: usize = 100_000;
+    let schema = ComponentSchema::new(vec![ClassDef::new("Item")
+        .attr("id", AttrType::int())
+        .attr("tag", AttrType::int())
+        .key(["id"])])
+    .unwrap();
+    let mut db = ComponentDb::new(DbId::new(0), "BIG", schema);
+    for i in 0..N as i64 {
+        let tag = if i % 97 == 0 { Value::Null } else { Value::Int(i % 50) };
+        db.insert(ClassId::new(0), vec![Value::Int(i), tag]).unwrap();
+    }
+
+    let mut buf = Vec::new();
+    save_db_paged(&db, &mut buf, 0).unwrap();
+    let paged = PagedDb::open(&buf).unwrap();
+    assert_eq!(paged.object_count(), N as u64);
+    let pages = paged.num_pages(ClassId::new(0));
+    assert!(pages > 1, "a 10^5 extent must span multiple pages");
+
+    // Lazy page reads reassemble the extent in order without a full
+    // restore.
+    let mut streamed = 0usize;
+    for page in 0..pages {
+        let objects = paged.read_page(ClassId::new(0), page).unwrap();
+        for object in &objects {
+            assert_eq!(object.value(0), &Value::Int(streamed as i64));
+            streamed += 1;
+        }
+    }
+    assert_eq!(streamed, N);
+
+    let restored = paged.restore().unwrap();
+    assert_eq!(
+        restored.extent(ClassId::new(0)).objects(),
+        db.extent(ClassId::new(0)).objects(),
+        "restored extent differs from the original"
+    );
+}

@@ -19,6 +19,34 @@ const BATCHES: [usize; 3] = [1, 4, 64];
 /// the library default (one chunk on small extents).
 const CHUNKS: [usize; 2] = [7, 256];
 
+/// Builds maintained single-attribute indexes on every indexable
+/// attribute at every site, so `PipelineConfig::index` runs actually
+/// exercise the index-seeded scan paths (without any index they silently
+/// fall back to the full scans the baseline uses).
+fn with_indexes(mut fed: Federation) -> Federation {
+    use fedoq::object::ClassId;
+    let ids: Vec<DbId> = fed.dbs().iter().map(ComponentDb::id).collect();
+    for db_id in ids {
+        fed.mutate(db_id, |db| {
+            let mut specs = Vec::new();
+            for i in 0..db.schema().len() {
+                let def = db.schema().class(ClassId::new(i as u32));
+                for attr in def.attrs() {
+                    specs.push((def.name().to_owned(), attr.name().to_owned()));
+                }
+            }
+            for (class, attr) in specs {
+                // Non-indexable (float/complex/multi) attributes error;
+                // every indexable one gets an index.
+                let _ = db.create_index(&class, &[&attr]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    fed
+}
+
 fn strategies() -> Vec<Box<dyn ExecutionStrategy>> {
     vec![
         Box::new(Centralized),
@@ -39,34 +67,17 @@ fn check_all_configs(fed: &Federation, query: &BoundQuery, label: &str) {
             for batch in BATCHES {
                 for chunk in CHUNKS {
                     for cached in [false, true] {
-                        let pipeline = PipelineConfig {
-                            threads,
-                            chunk,
-                            batch,
-                            cache: cached,
-                        };
-                        let cache = RefCell::new(LookupCache::default());
-                        let copt = cached.then_some(&cache);
-                        let (cold, _) = run_strategy_with_pipeline(
-                            strategy.as_ref(),
-                            fed,
-                            query,
-                            params,
-                            pipeline,
-                            copt,
-                        )
-                        .unwrap();
-                        assert_eq!(
-                            cold,
-                            baseline,
-                            "{label}: {} diverged under threads={threads} chunk={chunk} \
-                             batch={batch} cache={cached} (cold)",
-                            strategy.name(),
-                        );
-                        if cached {
-                            // A second run answers warm probes from the
-                            // cache — the answer must not move.
-                            let (warm, _) = run_strategy_with_pipeline(
+                        for indexed in [false, true] {
+                            let pipeline = PipelineConfig {
+                                threads,
+                                chunk,
+                                batch,
+                                cache: cached,
+                                index: indexed,
+                            };
+                            let cache = RefCell::new(LookupCache::default());
+                            let copt = cached.then_some(&cache);
+                            let (cold, _) = run_strategy_with_pipeline(
                                 strategy.as_ref(),
                                 fed,
                                 query,
@@ -76,12 +87,32 @@ fn check_all_configs(fed: &Federation, query: &BoundQuery, label: &str) {
                             )
                             .unwrap();
                             assert_eq!(
-                                warm,
+                                cold,
                                 baseline,
                                 "{label}: {} diverged under threads={threads} chunk={chunk} \
-                                 batch={batch} (warm cache)",
+                                 batch={batch} cache={cached} index={indexed} (cold)",
                                 strategy.name(),
                             );
+                            if cached {
+                                // A second run answers warm probes from the
+                                // cache — the answer must not move.
+                                let (warm, _) = run_strategy_with_pipeline(
+                                    strategy.as_ref(),
+                                    fed,
+                                    query,
+                                    params,
+                                    pipeline,
+                                    copt,
+                                )
+                                .unwrap();
+                                assert_eq!(
+                                    warm,
+                                    baseline,
+                                    "{label}: {} diverged under threads={threads} \
+                                     chunk={chunk} batch={batch} index={indexed} (warm cache)",
+                                    strategy.name(),
+                                );
+                            }
                         }
                     }
                 }
@@ -92,7 +123,7 @@ fn check_all_configs(fed: &Federation, query: &BoundQuery, label: &str) {
 
 #[test]
 fn university_q1_is_pipeline_invariant() {
-    let fed = fedoq::workload::university::federation().unwrap();
+    let fed = with_indexes(fedoq::workload::university::federation().unwrap());
     let q1 = fed.parse_and_bind(fedoq::workload::university::Q1).unwrap();
     check_all_configs(&fed, &q1, "university Q1");
 }
@@ -103,12 +134,9 @@ fn generated_workloads_are_pipeline_invariant() {
     for seed in 0..4u64 {
         let config = params.sample(&mut StdRng::seed_from_u64(seed));
         let sample = fedoq::workload::generate(&config, seed);
-        let query = bind(&sample.query, sample.federation.global_schema()).unwrap();
-        check_all_configs(
-            &sample.federation,
-            &query,
-            &format!("generated seed {seed}"),
-        );
+        let fed = with_indexes(sample.federation);
+        let query = bind(&sample.query, fed.global_schema()).unwrap();
+        check_all_configs(&fed, &query, &format!("generated seed {seed}"));
     }
 }
 
