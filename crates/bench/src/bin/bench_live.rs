@@ -1,0 +1,358 @@
+//! Standing-query maintenance benchmark: incremental reclassification
+//! versus naive re-execution.
+//!
+//! Builds a generated federation with eight global classes (the chain
+//! `C1 → … → C8` across three databases, with the paper's missing
+//! attributes and injected nulls), registers a fleet of standing
+//! queries (64 by default) — two query shapes per class, one
+//! predicating on the sometimes-missing `p0` (maybe rows with
+//! provenance conditions) and one on the always-present `t0` — spread
+//! across all four live strategies, then applies a seeded stream of
+//! sparse single-class mutations and reports:
+//!
+//! * p50/p99 delta-propagation latency (wall µs from the mutation call
+//!   to every affected subscriber holding its delta batch);
+//! * the incremental-vs-naive speedup: reactor maintenance re-evaluates
+//!   only footprint-affected subscriptions (one class in eight per
+//!   mutation), the naive baseline re-runs every standing query from
+//!   scratch after every mutation;
+//! * evaluation counts for both sides (the mechanism behind the wall
+//!   numbers);
+//! * `wrong_deltas`: after **every** mutation, every subscription's
+//!   maintained conditioned answer is rendered and compared
+//!   byte-for-byte against the from-scratch evaluation — the naive
+//!   baseline *is* the correctness oracle, so the published speedup is
+//!   backed by the same differential the test suite uses.
+//!
+//! Exits nonzero on any wrong delta, an FQ308-unsound reclassification
+//! trace, or a speedup below the bar (5x full, 3x quick).
+//!
+//! `FEDOQ_QUICK=1` shrinks the fleet and the mutation stream for CI.
+//!
+//! Writes `results/BENCH_live.json`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fedoq_core::Federation;
+use fedoq_live::{
+    evaluate, render_conditioned, LiveEvent, LiveReactor, LiveStrategy, Registration, SubId,
+};
+use fedoq_object::Value;
+use fedoq_query::BoundQuery;
+use fedoq_sim::SystemParams;
+use fedoq_workload::WorkloadParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload and mutation-stream seed; the whole benchmark is a pure
+/// function of it.
+const SEED: u64 = 42;
+
+/// Global classes in the generated chain. Each standing query watches
+/// exactly one, so a single-class mutation re-evaluates 1/8 of the
+/// fleet — the sparsity the footprint filter exploits.
+const N_CLASSES: usize = 8;
+
+/// Value domain shared with the generator's predicate attributes.
+const DOMAIN: i64 = 1000;
+
+fn class_name(k: usize) -> String {
+    format!("C{}", k + 1)
+}
+
+/// Builds the benchmark federation: eight classes, three databases,
+/// one predicate attribute per class (missing at some sites, null at
+/// the sampled rate) — a few hundred objects per class per site.
+fn build_federation() -> Federation {
+    let mut params = WorkloadParams::paper_default().scaled(0.05);
+    params.n_classes = N_CLASSES..=N_CLASSES;
+    params.preds_per_class = 1..=1;
+    let config = params.sample(&mut StdRng::seed_from_u64(SEED));
+    fedoq_workload::generate(&config, SEED).federation
+}
+
+/// The fleet's query for slot `i`: class `i % 8`, alternating between
+/// a maybe-producing predicate on `p0` (missing at some sites) and a
+/// certain-only predicate on `t0`, with a per-slot threshold so no two
+/// slots are byte-identical.
+fn slot_query(i: usize) -> String {
+    let class = class_name(i % N_CLASSES);
+    let threshold = 300 + (i as i64 * 53) % 400;
+    if (i / N_CLASSES).is_multiple_of(2) {
+        format!("SELECT X.t0 FROM {class} X WHERE X.p0 < {threshold}")
+    } else {
+        format!("SELECT X.t0, X.t1 FROM {class} X WHERE X.t0 < {threshold}")
+    }
+}
+
+/// Applies one seeded single-class mutation: pick a class, an attribute
+/// (`t0` flips certain rows, `p0` flips maybe rows, occasionally to
+/// null to *create* a maybe row), a site holding that attribute, and an
+/// object — then set it through the reactor so maintenance runs.
+fn apply_mutation(reactor: &mut LiveReactor, rng: &mut StdRng) {
+    let k = rng.gen_range(0..N_CLASSES);
+    let name = class_name(k);
+    let (attr, value) = match rng.gen_range(0..10u32) {
+        0..=3 => ("t0", Value::Int(rng.gen_range(0..DOMAIN))),
+        4..=7 => ("p0", Value::Int(rng.gen_range(0..DOMAIN))),
+        _ => ("p0", Value::Null),
+    };
+    // Candidate (site, slot, extent size) triples where the attribute
+    // exists; `p0` is deliberately missing at some sites.
+    let candidates: Vec<_> = reactor
+        .federation()
+        .dbs()
+        .iter()
+        .filter_map(|db| {
+            let class_id = db.schema().class_id(&name)?;
+            let slot = db.schema().class(class_id).attr_index(attr)?;
+            let len = db.extent(class_id).len();
+            (len > 0).then_some((db.id(), class_id, slot, len))
+        })
+        .collect();
+    let Some(&(db_id, class_id, slot, len)) = candidates
+        .get(rng.gen_range(0..candidates.len().max(1)))
+        .or(candidates.first())
+    else {
+        return; // attribute absent everywhere: nothing to mutate
+    };
+    let pick = rng.gen_range(0..len);
+    let loid = reactor.federation().dbs()[db_id.index()]
+        .extent(class_id)
+        .loids()
+        .nth(pick)
+        .expect("pick is within the extent");
+    reactor
+        .mutate(db_id, move |db| {
+            if let Some(mut object) = db.object_mut(loid) {
+                object.set(slot, value);
+            }
+            Ok(())
+        })
+        .expect("benchmark mutations are valid by construction");
+}
+
+/// Nearest-rank percentile of an unsorted sample (`q` in `[0, 1]`).
+fn percentile(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let idx = ((values.len() - 1) as f64 * q).round() as usize;
+    values[idx]
+}
+
+struct Fleet {
+    subs: Vec<(SubId, Registration, LiveStrategy, BoundQuery)>,
+}
+
+/// Registers the fleet and drains the initial snapshots.
+fn register_fleet(reactor: &mut LiveReactor, size: usize) -> Fleet {
+    let mut subs = Vec::with_capacity(size);
+    for i in 0..size {
+        let sql = slot_query(i);
+        let strategy = LiveStrategy::all()[i % 4];
+        let query = reactor
+            .federation()
+            .parse_and_bind(&sql)
+            .expect("fleet queries bind");
+        let reg = reactor
+            .register(&sql, strategy, (i % 10) as u8)
+            .expect("register");
+        assert!(reg.admitted, "default ladder admits 256");
+        let Some(LiveEvent::Initial { .. }) = reg.events.try_recv() else {
+            panic!("admitted registrations snapshot immediately");
+        };
+        subs.push((reg.sub, reg, strategy, query));
+    }
+    Fleet { subs }
+}
+
+struct Outcome {
+    mutations: usize,
+    deltas_total: usize,
+    wrong_deltas: usize,
+    evals_incremental: u64,
+    evals_naive: u64,
+    incremental_wall_us: f64,
+    naive_wall_us: f64,
+    p50_delta_us: f64,
+    p99_delta_us: f64,
+    fq308_sound: bool,
+}
+
+fn run(fleet_size: usize, mutations: usize) -> Outcome {
+    let fed = build_federation();
+    let mut reactor = LiveReactor::new(fed);
+    let mut fleet = register_fleet(&mut reactor, fleet_size);
+    let evals_initial = reactor.eval_count();
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    let mut latencies = Vec::with_capacity(mutations);
+    let mut deltas_total = 0usize;
+    let mut wrong = 0usize;
+    let mut naive_wall_us = 0.0f64;
+    let mut evals_naive = 0u64;
+    let mut incremental_wall_us = 0.0f64;
+
+    for step in 0..mutations {
+        // Incremental side: the mutation plus footprint-filtered
+        // re-evaluation and delta delivery, timed end to end.
+        let t0 = Instant::now();
+        apply_mutation(&mut reactor, &mut rng);
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        incremental_wall_us += us;
+        latencies.push(us);
+
+        for (_, reg, _, _) in &fleet.subs {
+            while let Some(event) = reg.events.try_recv() {
+                if let LiveEvent::Deltas { deltas, .. } = event {
+                    deltas_total += deltas.len();
+                }
+            }
+        }
+
+        // Naive side: re-run every standing query from scratch. This is
+        // both the baseline being beaten and the correctness oracle.
+        let t1 = Instant::now();
+        for (sub, _, strategy, query) in &mut fleet.subs {
+            let fresh = evaluate(
+                reactor.federation(),
+                query,
+                *strategy,
+                SystemParams::paper_default(),
+                reactor.down_sites(),
+            )
+            .expect("from-scratch evaluation");
+            evals_naive += 1;
+            let maintained = reactor.answer(*sub).expect("active subscription");
+            if render_conditioned(maintained) != render_conditioned(&fresh) {
+                wrong += 1;
+                eprintln!(
+                    "WRONG DELTA: step {step} {sub}: maintained answer diverges \
+                     from the from-scratch evaluation"
+                );
+            }
+        }
+        naive_wall_us += t1.elapsed().as_secs_f64() * 1e6;
+    }
+
+    let mut report = fedoq_check::Report::new("bench_live reclassifications", "");
+    fedoq_check::analyze_live(reactor.trace(), &mut report);
+
+    let mut p50_input = latencies.clone();
+    let mut p99_input = latencies;
+    Outcome {
+        mutations,
+        deltas_total,
+        wrong_deltas: wrong,
+        evals_incremental: reactor.eval_count() - evals_initial,
+        evals_naive,
+        incremental_wall_us,
+        naive_wall_us,
+        p50_delta_us: percentile(&mut p50_input, 0.50),
+        p99_delta_us: percentile(&mut p99_input, 0.99),
+        fq308_sound: report.is_sound(),
+    }
+}
+
+fn render_json(o: &Outcome, fleet_size: usize, quick: bool, speedup: f64) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"live\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"classes\": {N_CLASSES},");
+    let _ = writeln!(json, "  \"standing_queries\": {fleet_size},");
+    let _ = writeln!(json, "  \"mutations\": {},", o.mutations);
+    let _ = writeln!(json, "  \"deltas_total\": {},", o.deltas_total);
+    let _ = writeln!(json, "  \"wrong_deltas\": {},", o.wrong_deltas);
+    let _ = writeln!(json, "  \"evals_incremental\": {},", o.evals_incremental);
+    let _ = writeln!(json, "  \"evals_naive\": {},", o.evals_naive);
+    let _ = writeln!(json, "  \"p50_delta_us\": {:.1},", o.p50_delta_us);
+    let _ = writeln!(json, "  \"p99_delta_us\": {:.1},", o.p99_delta_us);
+    let _ = writeln!(
+        json,
+        "  \"incremental_wall_us\": {:.1},",
+        o.incremental_wall_us
+    );
+    let _ = writeln!(json, "  \"naive_wall_us\": {:.1},", o.naive_wall_us);
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"fq308_sound\": {}", o.fq308_sound);
+    let _ = writeln!(json, "}}");
+    json
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("FEDOQ_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let fleet_size = if quick { 16 } else { 64 };
+    let mutations = if quick { 24 } else { 200 };
+    let bar = if quick { 3.0 } else { 5.0 };
+
+    eprintln!(
+        "bench_live: {fleet_size} standing queries over {N_CLASSES} classes, \
+         {mutations} mutations, seed {SEED}{}",
+        if quick { " [quick]" } else { "" },
+    );
+
+    let outcome = run(fleet_size, mutations);
+    let speedup = if outcome.incremental_wall_us > 0.0 {
+        outcome.naive_wall_us / outcome.incremental_wall_us
+    } else {
+        f64::INFINITY
+    };
+
+    eprintln!(
+        "  {}/{} sub-evals ({} deltas), p50 {:.0}us, p99 {:.0}us, \
+         incremental {:.0}us vs naive {:.0}us => {speedup:.1}x",
+        outcome.evals_incremental,
+        outcome.evals_naive,
+        outcome.deltas_total,
+        outcome.p50_delta_us,
+        outcome.p99_delta_us,
+        outcome.incremental_wall_us,
+        outcome.naive_wall_us,
+    );
+
+    let mut failures = Vec::new();
+    if outcome.wrong_deltas > 0 {
+        failures.push(format!("{} wrong deltas", outcome.wrong_deltas));
+    }
+    if !outcome.fq308_sound {
+        failures.push("reclassification trace failed the FQ308 audit".to_owned());
+    }
+    if outcome.deltas_total == 0 {
+        failures.push("no deltas emitted: the mutation stream never hit a watch".to_owned());
+    }
+    if speedup < bar {
+        failures.push(format!(
+            "incremental speedup {speedup:.2}x below the {bar:.0}x bar"
+        ));
+    }
+
+    let json = render_json(&outcome, fleet_size, quick, speedup);
+    let out = Path::new("results").join("BENCH_live.json");
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("error: could not create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = fs::write(&out, &json) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_live: wrote {}", out.display());
+
+    if failures.is_empty() {
+        eprintln!("bench_live: all bars met");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("bench_live: BAR MISSED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -150,18 +150,26 @@ fn build_site(site: usize, n: usize, matches: &[usize; 3]) -> ComponentDb {
         };
         db.insert(
             item,
-            vec![Value::Int(id), tag(matches[0]), tag(matches[1]), tag(matches[2])],
+            vec![
+                Value::Int(id),
+                tag(matches[0]),
+                tag(matches[1]),
+                tag(matches[2]),
+            ],
         )
         .expect("insert");
     }
     for attr in ["t0", "t1", "t2"] {
-        db.create_index("Item", &[attr]).expect("int tags are indexable");
+        db.create_index("Item", &[attr])
+            .expect("int tags are indexable");
     }
     db
 }
 
 fn build_federation(site_objects: usize, matches: &[usize; 3]) -> Federation {
-    let dbs = (0..2).map(|s| build_site(s, site_objects, matches)).collect();
+    let dbs = (0..2)
+        .map(|s| build_site(s, site_objects, matches))
+        .collect();
     Federation::new(dbs, &Correspondences::new()).expect("federation")
 }
 
@@ -199,9 +207,20 @@ fn check_stats(fed: &Federation, site_objects: usize, matches: &[usize; 3]) -> S
         fed.generation(),
         SystemParams::paper_default(),
     );
-    let item = fed.global_schema().class_id("Item").expect("Item is global");
-    let id_slot = fed.global_schema().class(item).attr_index("id").expect("id");
-    let tag_slot = fed.global_schema().class(item).attr_index("t2").expect("t2");
+    let item = fed
+        .global_schema()
+        .class_id("Item")
+        .expect("Item is global");
+    let id_slot = fed
+        .global_schema()
+        .class(item)
+        .attr_index("id")
+        .expect("id");
+    let tag_slot = fed
+        .global_schema()
+        .class(item)
+        .attr_index("t2")
+        .expect("t2");
     let stats = catalog
         .site(DbId::new(0))
         .expect("site 0")
@@ -246,14 +265,11 @@ fn check_persistence(
         restored.push(paged.restore().expect("restore"));
     }
     let fed2 = Federation::new(restored, &Correspondences::new()).expect("restored federation");
-    let query = fed2.parse_and_bind(sql).expect("query binds on restored schema");
-    let (answer, _) = run_strategy(
-        &Centralized,
-        &fed2,
-        &query,
-        SystemParams::paper_default(),
-    )
-    .expect("restored run");
+    let query = fed2
+        .parse_and_bind(sql)
+        .expect("query binds on restored schema");
+    let (answer, _) = run_strategy(&Centralized, &fed2, &query, SystemParams::paper_default())
+        .expect("restored run");
     PersistRow {
         site_objects,
         bytes,
@@ -578,7 +594,11 @@ fn render_json(
             row.tag_distinct_est,
             row.tag_distinct_truth
         );
-        json.push_str(if i + 1 == stats_rows.len() { "\n" } else { ",\n" });
+        json.push_str(if i + 1 == stats_rows.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
     }
     json.push_str("  ],\n");
     json.push_str("  \"persistence\": [\n");

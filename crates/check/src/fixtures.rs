@@ -5,10 +5,10 @@
 //! silent actor, a double-replying actor, a lock-order inversion, an
 //! unguarded shared cell, a raw condvar wait, a schedule-dependent
 //! result, a ghost wire variant, a disabled codec bound, a silent
-//! grammar change, a replan that re-dispatches merged work — into the
-//! university example (or a miniature threaded model, a doctored wire
-//! surface, or a doctored dispatch trace) and records which lint must
-//! fire.
+//! grammar change, a replan that re-dispatches merged work, a live
+//! reactor certifying a maybe with no flipping change on record — into
+//! the university example (or a miniature threaded model, a doctored
+//! wire surface, or a doctored trace) and records which lint must fire.
 //! `fedoq-check --self-test` (and the `check_soundness` integration
 //! test) fails unless every case is rejected with its expected id: a
 //! checker that stops detecting is itself a defect.
@@ -46,7 +46,7 @@ pub struct UnsoundCase {
     pub report: Report,
 }
 
-/// Builds and checks all thirteen seeded-unsound cases.
+/// Builds and checks all fourteen seeded-unsound cases.
 pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
     let fed = university::federation().expect("university federation builds");
     let schema = fed.global_schema().clone();
@@ -131,6 +131,7 @@ pub fn seeded_unsound_cases() -> Vec<UnsoundCase> {
     cases.extend(concurrency_cases());
     cases.extend(wire_cases());
     cases.extend(replan_cases());
+    cases.extend(live_cases());
     cases
 }
 
@@ -342,6 +343,43 @@ fn replan_cases() -> Vec<UnsoundCase> {
     }]
 }
 
+/// The FQ308 case: a doctored live-reactor trail that certifies a maybe
+/// row although the only logged change touched an unrelated class and no
+/// site ever healed — what the trace would record if the reactor's
+/// footprint filter certified from stale state.
+fn live_cases() -> Vec<UnsoundCase> {
+    use fedoq_live::{LiveTraceEvent, SubId};
+    use fedoq_object::{GOid, GlobalClassId};
+    let trail = vec![
+        LiveTraceEvent::Registered {
+            sub: SubId::new(0),
+            classes: vec![GlobalClassId::new(0)],
+        },
+        // The only recorded cause touches class 3...
+        LiveTraceEvent::Change {
+            seq: 0,
+            db: DbId::new(1),
+            class: Some(GlobalClassId::new(3)),
+        },
+        // ...yet the reactor certifies a row whose condition lived
+        // entirely in class 0 on a never-healed site.
+        LiveTraceEvent::Resolved {
+            sub: SubId::new(0),
+            goid: GOid::new(42),
+            to_certain: true,
+            classes: vec![GlobalClassId::new(0)],
+            sites: vec![DbId::new(0)],
+        },
+    ];
+    let mut report = Report::new("a live reactor certifying a maybe with no cause", "");
+    crate::live::analyze_live(&trail, &mut report);
+    vec![UnsoundCase {
+        name: "live-unfounded-flip",
+        expect: "FQ308",
+        report,
+    }]
+}
+
 /// Verifies every seeded case is rejected with its expected lint id.
 /// `Err` carries a human-readable explanation of the first failure.
 pub fn self_test() -> Result<Vec<UnsoundCase>, String> {
@@ -373,13 +411,13 @@ mod tests {
     #[test]
     fn every_seeded_case_is_rejected() {
         let cases = self_test().unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(cases.len(), 13);
+        assert_eq!(cases.len(), 14);
         let expected: Vec<&str> = cases.iter().map(|c| c.expect).collect();
         assert_eq!(
             expected,
             vec![
                 "FQ100", "FQ101", "FQ102", "FQ202", "FQ201", "FQ300", "FQ301", "FQ302", "FQ303",
-                "FQ304", "FQ305", "FQ306", "FQ307",
+                "FQ304", "FQ305", "FQ306", "FQ307", "FQ308",
             ]
         );
     }

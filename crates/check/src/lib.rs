@@ -29,12 +29,17 @@
 //!   abstractly interprets the wire codec's self-computed surface:
 //!   enum-tag exhaustiveness and collisions (FQ304), frame size/depth
 //!   bounds (FQ305), and version-skew soundness (FQ306).
+//! * **Trace audits** ([`replan`], [`live`]) — recorded runtime
+//!   decisions replayed after the fact: mid-flight replans must never
+//!   re-dispatch merged work or drop a hosting site (FQ307), and every
+//!   maybe resolution a live reactor emits must be founded on a logged
+//!   change or heal that could have flipped its condition (FQ308).
 //!
 //! Both pillars report structured [`diag::Diagnostic`]s carrying a
 //! stable lint id from the [`lints`] catalog, a severity, an optional
 //! span into the query text, and a fix hint. The `fedoq-check` binary
 //! runs them over the workspace examples and exits nonzero on any
-//! deny-level finding; [`fixtures`] holds five seeded-unsound inputs the
+//! deny-level finding; [`fixtures`] holds the seeded-unsound inputs the
 //! checker must keep rejecting (`fedoq-check --self-test`).
 //!
 //! # Example
@@ -61,6 +66,7 @@ pub mod diag;
 pub mod fixtures;
 pub mod lattice;
 pub mod lints;
+pub mod live;
 pub mod plan;
 pub mod protocol;
 pub mod replan;
@@ -75,6 +81,7 @@ pub use concurrency::{analyze_trace, explore_serving, ExploreOpts, ExploreOutcom
 pub use diag::{Diagnostic, Lint, Report, Severity};
 pub use fixtures::{seeded_unsound_cases, self_test, UnsoundCase};
 pub use lattice::TruthSet;
+pub use live::analyze_live;
 pub use plan::{derive_plan, PlanConfig, PlanIr, PlanStep, StrategyKind};
 pub use protocol::{
     check_protocol, run_protocol, run_protocol_with_pipeline, ActorBug, ProtocolRun, Schedule,

@@ -4,9 +4,11 @@
 //! `FQ1xx` lints come from the plan-soundness analyzer
 //! ([`crate::analyze`]); `FQ2xx` lints come from the actor-protocol
 //! checker ([`crate::protocol`]); `FQ3xx` lints come from the
-//! concurrency analyzer ([`crate::concurrency`]) and the wire-codec
-//! auditor ([`crate::wirecheck`]). Ids are stable across releases so CI
-//! suppressions and documentation can reference them.
+//! concurrency analyzer ([`crate::concurrency`]), the wire-codec
+//! auditor ([`crate::wirecheck`]), the replan auditor
+//! ([`crate::replan`]), and the live-trace auditor ([`crate::live`]).
+//! Ids are stable across releases so CI suppressions and documentation
+//! can reference them.
 
 use crate::diag::{Lint, Severity};
 
@@ -262,8 +264,27 @@ pub const REPLAN_UNSOUND: Lint = Lint {
     summary: "mid-flight replan re-dispatched merged work or dropped a hosting site",
 };
 
+/// FQ308: a live delta stream certified (or eliminated) a maybe row
+/// without any logged change or heal that could have flipped its
+/// condition.
+///
+/// The live reactor records every consumed change, every reachability
+/// transition, and every maybe resolution with the classes/sites of the
+/// condition atoms it attributes the flip to. A resolution is *founded*
+/// only if some earlier logged change touched one of those classes (or
+/// was class-unresolvable, a wildcard) or some earlier heal restored one
+/// of those sites. An unfounded resolution means the incremental path
+/// invented evidence — the exact failure the differential suite exists
+/// to rule out, made auditable from a recorded trace.
+pub const UNFOUNDED_FLIP: Lint = Lint {
+    id: "FQ308",
+    slug: "live-unfounded-flip",
+    severity: Severity::Deny,
+    summary: "live delta resolved a maybe with no logged change satisfying its condition",
+};
+
 /// Every lint in the catalog, in id order.
-pub const ALL: [Lint; 20] = [
+pub const ALL: [Lint; 21] = [
     PHASE_ORDER,
     UNCOVERED_MAYBE,
     INCAPABLE_CERTIFIER,
@@ -284,6 +305,7 @@ pub const ALL: [Lint; 20] = [
     BOUND_VIOLATION,
     VERSION_SKEW,
     REPLAN_UNSOUND,
+    UNFOUNDED_FLIP,
 ];
 
 #[cfg(test)]
@@ -305,6 +327,6 @@ mod tests {
                 .count()
                 == 5
         );
-        assert!(ALL.iter().filter(|l| l.id >= "FQ300").count() == 8);
+        assert!(ALL.iter().filter(|l| l.id >= "FQ300").count() == 9);
     }
 }

@@ -1,0 +1,141 @@
+//! The live-trace auditor (FQ308).
+//!
+//! The subscription reactor in `fedoq-live` records an audit trail: the
+//! change records it consumed (with their resolved global classes), the
+//! reachability transitions it observed, and — for every maybe row it
+//! certified or eliminated — the classes and sites of the condition
+//! atoms it attributes the flip to. This module replays that trail and
+//! checks each resolution is *founded*:
+//!
+//! * some **earlier** logged change touched one of the resolution's
+//!   classes, or was class-unresolvable (a wildcard — the reactor is
+//!   allowed to re-evaluate everything for it); or
+//! * some **earlier** heal restored one of the resolution's sites
+//!   (degraded rows re-condition when a partition heals).
+//!
+//! A resolution with neither is a reclassification the recorded inputs
+//! cannot explain: either the reactor invented evidence or the trace is
+//! incomplete — both must fail loudly rather than ship a wrong certain
+//! row to a subscriber.
+
+use crate::diag::{Diagnostic, Report};
+use crate::lints;
+use fedoq_live::LiveTraceEvent;
+use fedoq_object::{DbId, GlobalClassId};
+
+/// Audits a recorded reactor trail, appending FQ308 findings.
+pub fn analyze_live(trace: &[LiveTraceEvent], report: &mut Report) {
+    // Everything a *later* resolution may cite as its cause.
+    let mut touched: Vec<Option<GlobalClassId>> = Vec::new();
+    let mut healed: Vec<DbId> = Vec::new();
+    for event in trace {
+        match event {
+            LiveTraceEvent::Change { class, .. } => touched.push(*class),
+            LiveTraceEvent::SiteHealed { db } => healed.push(*db),
+            LiveTraceEvent::Resolved {
+                sub,
+                goid,
+                to_certain,
+                classes,
+                sites,
+            } => {
+                let wildcard = touched.iter().any(Option::is_none);
+                let by_change = wildcard || classes.iter().any(|c| touched.contains(&Some(*c)));
+                let by_heal = sites.iter().any(|s| healed.contains(s));
+                if !by_change && !by_heal {
+                    let verdict = if *to_certain {
+                        "certified"
+                    } else {
+                        "eliminated"
+                    };
+                    report.push(
+                        Diagnostic::new(
+                            lints::UNFOUNDED_FLIP,
+                            format!(
+                                "subscription {sub}: {verdict} maybe row {goid} but no \
+                                 logged change touched its condition's classes {classes:?} \
+                                 and no heal restored its sites {sites:?}",
+                            ),
+                        )
+                        .with_hint(
+                            "a resolution must follow a change record whose class is in \
+                             the flipped condition (or is unresolvable) or a heal of one \
+                             of its sites; re-check the reactor's footprint filtering"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            LiveTraceEvent::Registered { .. }
+            | LiveTraceEvent::SiteDown { .. }
+            | LiveTraceEvent::Unregistered { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedoq_live::SubId;
+    use fedoq_object::GOid;
+
+    fn resolved(classes: &[u32], sites: &[u16]) -> LiveTraceEvent {
+        LiveTraceEvent::Resolved {
+            sub: SubId::new(0),
+            goid: GOid::new(7),
+            to_certain: true,
+            classes: classes.iter().map(|&c| GlobalClassId::new(c)).collect(),
+            sites: sites.iter().map(|&d| DbId::new(d)).collect(),
+        }
+    }
+
+    fn change(seq: u64, class: Option<u32>) -> LiveTraceEvent {
+        LiveTraceEvent::Change {
+            seq,
+            db: DbId::new(0),
+            class: class.map(GlobalClassId::new),
+        }
+    }
+
+    #[test]
+    fn a_resolution_after_a_matching_change_is_founded() {
+        let mut report = Report::new("founded flip", "");
+        analyze_live(&[change(0, Some(2)), resolved(&[2], &[0])], &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn a_wildcard_change_founds_any_resolution() {
+        let mut report = Report::new("wildcard flip", "");
+        analyze_live(&[change(0, None), resolved(&[5], &[])], &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn a_heal_founds_a_resolution_on_that_site() {
+        let mut report = Report::new("healed flip", "");
+        analyze_live(
+            &[
+                LiveTraceEvent::SiteHealed { db: DbId::new(1) },
+                resolved(&[9], &[1]),
+            ],
+            &mut report,
+        );
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn a_resolution_with_no_cause_is_denied() {
+        let mut report = Report::new("unfounded flip", "");
+        analyze_live(&[change(0, Some(1)), resolved(&[2], &[0])], &mut report);
+        assert!(report.fired("FQ308"));
+        assert!(!report.is_sound());
+    }
+
+    #[test]
+    fn cause_must_precede_the_resolution() {
+        let mut report = Report::new("flip before its change", "");
+        analyze_live(&[resolved(&[2], &[]), change(0, Some(2))], &mut report);
+        assert!(report.fired("FQ308"));
+    }
+}

@@ -7,6 +7,7 @@
 //! fedoq-check --protocol         actor-protocol audit only
 //! fedoq-check --concurrency      schedule-explore the TCP serving layer
 //! fedoq-check --wire             audit the wire codec surface
+//! fedoq-check --live             audit a live reactor's resolution trail
 //! fedoq-check --self-test        seeded-unsound cases must be rejected
 //! fedoq-check --lints            print the lint catalog
 //! fedoq-check --sql "SELECT .."  analyze one query (university schema)
@@ -34,6 +35,7 @@ struct Options {
     protocol: bool,
     concurrency: bool,
     wire: bool,
+    live: bool,
     self_test: bool,
     list_lints: bool,
     sql: Option<String>,
@@ -42,7 +44,7 @@ struct Options {
 }
 
 fn usage() -> String {
-    "usage: fedoq-check [--all|--plans|--protocol|--concurrency|--wire|--self-test|--lints] \
+    "usage: fedoq-check [--all|--plans|--protocol|--concurrency|--wire|--live|--self-test|--lints] \
      [--sql QUERY] [--strategy ca|bl|pl] [--seeds N]"
         .to_owned()
 }
@@ -53,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         protocol: false,
         concurrency: false,
         wire: false,
+        live: false,
         self_test: false,
         list_lints: false,
         sql: None,
@@ -78,6 +81,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--wire" => {
                 opts.wire = true;
+                explicit = true;
+            }
+            "--live" => {
+                opts.live = true;
                 explicit = true;
             }
             "--self-test" => {
@@ -117,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         opts.protocol = true;
         opts.concurrency = true;
         opts.wire = true;
+        opts.live = true;
         opts.self_test = true;
     }
     Ok(opts)
@@ -205,6 +213,56 @@ fn run_wire_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> {
     Ok(())
 }
 
+/// Drives a real reactor over the university federation — four standing
+/// Q1 subscriptions, a mutation that resolves the paper's maybe row, a
+/// partition-and-heal cycle — and audits the recorded trail for FQ308.
+fn run_live_audit(totals: &mut (usize, usize, usize)) -> Result<(), String> {
+    use fedoq_live::{LiveReactor, LiveStrategy};
+    use fedoq_object::{DbId, Value};
+
+    println!("== live reactor: auditing a standing-query trail ==");
+    let fed = university::federation().map_err(|e| e.to_string())?;
+    let mut reactor = LiveReactor::new(fed);
+    for strategy in LiveStrategy::all() {
+        reactor
+            .register(university::Q1, strategy, 5)
+            .map_err(|e| e.to_string())?;
+    }
+    // Haley (Tony's advisor) gains a copy with a non-database
+    // speciality: the paper's maybe row resolves to eliminated.
+    reactor
+        .mutate(DbId::new(1), |db| {
+            db.insert_named(
+                "Teacher",
+                &[
+                    ("name", Value::text("Haley")),
+                    ("speciality", Value::text("network")),
+                ],
+            )
+            .map(|_| ())
+        })
+        .map_err(|e| e.to_string())?;
+    reactor
+        .set_site_down(DbId::new(1))
+        .map_err(|e| e.to_string())?;
+    reactor.heal_site(DbId::new(1)).map_err(|e| e.to_string())?;
+    let trail = reactor.take_trace();
+    let resolutions = trail
+        .iter()
+        .filter(|e| matches!(e, fedoq_live::LiveTraceEvent::Resolved { .. }))
+        .count();
+    println!(
+        "audited {} trail events ({} resolutions, {} evaluations)",
+        trail.len(),
+        resolutions,
+        reactor.eval_count()
+    );
+    let mut report = Report::new("university Q1 standing-query trail", String::new());
+    fedoq_check::analyze_live(&trail, &mut report);
+    emit(&report, totals, true);
+    Ok(())
+}
+
 fn run_self_test() -> Result<(), String> {
     println!("== self-test: seeded-unsound inputs ==");
     let cases = fedoq_check::self_test()?;
@@ -278,6 +336,9 @@ fn main() -> ExitCode {
         }
         if opts.wire {
             run_wire_audit(&mut totals)?;
+        }
+        if opts.live {
+            run_live_audit(&mut totals)?;
         }
         if opts.self_test {
             run_self_test()?;

@@ -223,7 +223,11 @@ impl LookupCache {
 
     /// Looks up the warm CA materialization of one `(query, indexed)`
     /// pair, counting a hit or miss and refreshing recency.
-    pub(crate) fn materialized(&mut self, query: u64, indexed: bool) -> Option<Arc<CentralExtents>> {
+    pub(crate) fn materialized(
+        &mut self,
+        query: u64,
+        indexed: bool,
+    ) -> Option<Arc<CentralExtents>> {
         self.tick += 1;
         match self.materialized.get_mut(&(query, indexed)) {
             Some(entry) => {

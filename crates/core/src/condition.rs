@@ -1,0 +1,453 @@
+//! Provenance-carrying maybe results: conditional-table-style conditions.
+//!
+//! A maybe result says "no predicate is false, at least one is unknown" —
+//! but not *why*. Following Grahne's conditional tables, this module
+//! attaches to every maybe row a [`Condition`]: the set of
+//! (site, object, attribute) facts the row is contingent on. Each
+//! [`ConditionAtom`] names one isomeric copy whose contribution to the
+//! merged attribute value is missing — either the constituent class lacks
+//! the attribute at that site ([`Missing::Attr`]) or the stored value is
+//! null ([`Missing::Null`]).
+//!
+//! Conditions are what make *incremental* reclassification possible: a
+//! standing query need only re-evaluate a maybe row when a logged change
+//! (or a site-reachability transition) could flip one of its atoms. The
+//! annotation is derived from the same merge semantics as
+//! [`crate::oracle`], so it agrees with the condition-free classification
+//! by construction — and the `live_differential` suite checks that it
+//! does.
+
+use crate::federation::Federation;
+use crate::result::{Provenance, QueryAnswer};
+use fedoq_object::{DbId, GOid, GlobalClassId, LOid, Value};
+use fedoq_query::{BoundPath, BoundQuery};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why one copy contributes nothing to a merged attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Missing {
+    /// The constituent class at that site lacks the attribute entirely.
+    Attr,
+    /// The attribute exists at that site but the stored value is null
+    /// (or references an object with no global identity).
+    Null,
+}
+
+impl fmt::Display for Missing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Missing::Attr => f.write_str("missing"),
+            Missing::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// One atomic dependency of a maybe row: global attribute `slot` of
+/// `class` is unknown at copy `loid` on site `db` because of `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConditionAtom {
+    db: DbId,
+    loid: LOid,
+    class: GlobalClassId,
+    slot: usize,
+    kind: Missing,
+}
+
+impl ConditionAtom {
+    /// Creates an atom (used by tests and the FQ308 fixtures).
+    pub fn new(
+        db: DbId,
+        loid: LOid,
+        class: GlobalClassId,
+        slot: usize,
+        kind: Missing,
+    ) -> ConditionAtom {
+        ConditionAtom {
+            db,
+            loid,
+            class,
+            slot,
+            kind,
+        }
+    }
+
+    /// The site holding the copy.
+    pub fn db(&self) -> DbId {
+        self.db
+    }
+
+    /// The copy's local identity.
+    pub fn loid(&self) -> LOid {
+        self.loid
+    }
+
+    /// The global class of the copy.
+    pub fn class(&self) -> GlobalClassId {
+        self.class
+    }
+
+    /// The global attribute slot whose value is unknown.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Why the copy contributes nothing.
+    pub fn kind(&self) -> Missing {
+        self.kind
+    }
+
+    /// Human-readable rendering against the federation's schema, e.g.
+    /// `DB1.Student[l42].speciality null`.
+    pub fn describe(&self, fed: &Federation) -> String {
+        let class = fed.global_schema().class(self.class);
+        format!(
+            "{}.{}[{}].{} {}",
+            fed.db(self.db).name(),
+            class.name(),
+            self.loid,
+            class.attr(self.slot).name(),
+            self.kind,
+        )
+    }
+}
+
+impl fmt::Display for ConditionAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}/{}/c{}.a{}:{}",
+            self.db.index(),
+            self.loid,
+            self.class.index(),
+            self.slot,
+            self.kind
+        )
+    }
+}
+
+/// The condition of one maybe row: the conjunction of missing facts it is
+/// contingent on. Resolving *any* atom (a null filled in, an attribute
+/// gaining a copy that carries it, a retraction) can flip the row, so the
+/// reactor re-evaluates on any change touching the condition's classes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Condition {
+    atoms: BTreeSet<ConditionAtom>,
+}
+
+impl Condition {
+    /// Builds a condition from atoms.
+    pub fn from_atoms<I: IntoIterator<Item = ConditionAtom>>(atoms: I) -> Condition {
+        Condition {
+            atoms: atoms.into_iter().collect(),
+        }
+    }
+
+    /// The atoms, in canonical order.
+    pub fn atoms(&self) -> impl Iterator<Item = &ConditionAtom> + '_ {
+        self.atoms.iter()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `true` iff no missing fact could be named (e.g. a degraded
+    /// distributed answer whose maybe status reflects unreachability, not
+    /// data). Consumers must treat such rows as contingent on everything.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The global classes the condition touches.
+    pub fn classes(&self) -> BTreeSet<GlobalClassId> {
+        self.atoms.iter().map(ConditionAtom::class).collect()
+    }
+
+    /// The sites the condition touches.
+    pub fn sites(&self) -> BTreeSet<DbId> {
+        self.atoms.iter().map(ConditionAtom::db).collect()
+    }
+
+    /// `true` iff some atom lives on `db`.
+    pub fn touches_site(&self, db: DbId) -> bool {
+        self.atoms.iter().any(|a| a.db == db)
+    }
+
+    /// `true` iff some atom belongs to `class`.
+    pub fn touches_class(&self, class: GlobalClassId) -> bool {
+        self.atoms.iter().any(|a| a.class == class)
+    }
+
+    /// Human-readable rendering against the federation's schema.
+    pub fn describe(&self, fed: &Federation) -> String {
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.describe(fed)).collect();
+        parts.join(" & ")
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query answer with each maybe row's condition attached on the side.
+///
+/// The underlying [`QueryAnswer`] is untouched — every equality and
+/// classification check in the repo keeps working on it — and the
+/// conditions ride along keyed by GOid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionedAnswer {
+    answer: QueryAnswer,
+    conditions: BTreeMap<GOid, Condition>,
+}
+
+impl ConditionedAnswer {
+    /// The plain answer.
+    pub fn answer(&self) -> &QueryAnswer {
+        &self.answer
+    }
+
+    /// Consumes self, returning the plain answer.
+    pub fn into_answer(self) -> QueryAnswer {
+        self.answer
+    }
+
+    /// The condition of one maybe row, if `goid` is a maybe result.
+    pub fn condition(&self, goid: GOid) -> Option<&Condition> {
+        self.conditions.get(&goid)
+    }
+
+    /// All (goid, condition) pairs, ascending by GOid.
+    pub fn conditions(&self) -> impl Iterator<Item = (GOid, &Condition)> + '_ {
+        self.conditions.iter().map(|(g, c)| (*g, c))
+    }
+
+    /// Re-tags provenance from site reachability: a maybe row whose
+    /// condition touches a site in `down` becomes
+    /// [`Provenance::Degraded`] (its classification could still change
+    /// once the site answers again); every other maybe row is
+    /// [`Provenance::Full`]. Idempotent, so the live reactor applies it
+    /// after every evaluation with the current down set.
+    pub fn with_degraded_sites(&self, down: &BTreeSet<DbId>) -> ConditionedAnswer {
+        let maybe = self
+            .answer
+            .maybe()
+            .iter()
+            .map(|row| {
+                let hit = self
+                    .conditions
+                    .get(&row.goid())
+                    .is_some_and(|c| c.sites().iter().any(|s| down.contains(s)));
+                let provenance = if hit {
+                    Provenance::Degraded
+                } else {
+                    Provenance::Full
+                };
+                row.clone().with_provenance(provenance)
+            })
+            .collect();
+        ConditionedAnswer {
+            answer: QueryAnswer::new(self.answer.certain().to_vec(), maybe),
+            conditions: self.conditions.clone(),
+        }
+    }
+}
+
+/// Attaches a [`Condition`] to every maybe row of `answer`.
+///
+/// The atoms are derived by re-walking each unsolved predicate's path with
+/// the oracle's merge semantics and recording, at the step where the
+/// merged value came out null, *which copies* failed to supply it and why.
+/// Certain rows get no entry; an eliminated entity is not in the answer at
+/// all.
+pub fn annotate_conditions(
+    fed: &Federation,
+    query: &BoundQuery,
+    answer: &QueryAnswer,
+) -> ConditionedAnswer {
+    let mut conditions = BTreeMap::new();
+    for row in answer.maybe() {
+        let mut atoms = BTreeSet::new();
+        for pred in row.unsolved() {
+            let path = query.predicate(pred).path();
+            walk_atoms(fed, row.goid(), path, &mut atoms);
+        }
+        conditions.insert(row.goid(), Condition { atoms });
+    }
+    ConditionedAnswer {
+        answer: answer.clone(),
+        conditions,
+    }
+}
+
+/// Walks a bound path exactly like the oracle does and, at the first step
+/// whose merged value is null, records the per-copy reasons.
+fn walk_atoms(fed: &Federation, root: GOid, path: &BoundPath, atoms: &mut BTreeSet<ConditionAtom>) {
+    let mut goid = root;
+    let n = path.len();
+    for i in 0..n {
+        let value = crate::oracle::merged_value(fed, path.class(i), goid, path.slot(i));
+        if value.is_null() {
+            step_atoms(fed, path.class(i), goid, path.slot(i), atoms);
+            return;
+        }
+        if i + 1 == n {
+            return; // non-null terminal: this path was not the problem
+        }
+        match value {
+            Value::GRef(next) => goid = next,
+            _ => return, // malformed mid-path value; nothing nameable
+        }
+    }
+}
+
+/// Records one atom per copy of `goid` whose contribution to global
+/// attribute `slot` is missing.
+fn step_atoms(
+    fed: &Federation,
+    class: GlobalClassId,
+    goid: GOid,
+    slot: usize,
+    atoms: &mut BTreeSet<ConditionAtom>,
+) {
+    let global_class = fed.global_schema().class(class);
+    for &loid in fed.catalog().table(class).loids_of(goid) {
+        let Some(constituent) = global_class.constituent_for(loid.db()) else {
+            continue;
+        };
+        let kind = match constituent.local_slot(slot) {
+            None => Missing::Attr,
+            // A live copy reaches here only with a null (or a globally
+            // dangling reference, equally unusable) value — a usable one
+            // would have made the merge non-null.
+            Some(_) => match fed.db(loid.db()).object(loid) {
+                Some(_) => Missing::Null,
+                None => continue,
+            },
+        };
+        atoms.insert(ConditionAtom {
+            db: loid.db(),
+            loid,
+            class,
+            slot,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_answer;
+    use fedoq_object::DbId;
+    use fedoq_schema::Correspondences;
+    use fedoq_store::{AttrType, ClassDef, ComponentDb, ComponentSchema};
+
+    /// Two sites: DB0 carries `age`, DB1 carries `sex`. Entity 1 is
+    /// isomeric with a null `age`; entity 2 exists only at DB1 (no copy
+    /// carries `age` at all).
+    fn fed() -> Federation {
+        let s0 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("age", AttrType::int())
+            .key(["s-no"])])
+        .unwrap();
+        let s1 = ComponentSchema::new(vec![ClassDef::new("Student")
+            .attr("s-no", AttrType::int())
+            .attr("sex", AttrType::text())
+            .key(["s-no"])])
+        .unwrap();
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", s0);
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", s1);
+        db0.insert_named("Student", &[("s-no", Value::Int(1)), ("age", Value::Null)])
+            .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(1)), ("sex", Value::text("m"))],
+        )
+        .unwrap();
+        db1.insert_named("Student", &[("s-no", Value::Int(2))])
+            .unwrap();
+        Federation::new(vec![db0, db1], &Correspondences::new()).unwrap()
+    }
+
+    #[test]
+    fn maybe_rows_carry_atoms_naming_the_missing_copies() {
+        let f = fed();
+        let class = f.global_schema().class_id("Student").unwrap();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.age > 30")
+            .unwrap();
+        let answer = oracle_answer(&f, &q);
+        assert_eq!(answer.maybe().len(), 2); // both entities: age unknown
+        let conditioned = annotate_conditions(&f, &q, &answer);
+
+        // Agreement with the condition-free classification: exactly the
+        // maybe GOids have conditions, and none is empty here.
+        let keyed: BTreeSet<GOid> = conditioned.conditions().map(|(g, _)| g).collect();
+        assert_eq!(keyed, answer.maybe_goids());
+
+        let slot = f
+            .global_schema()
+            .class(class)
+            .attrs()
+            .iter()
+            .position(|a| a.name() == "age")
+            .unwrap();
+        for (_, condition) in conditioned.conditions() {
+            assert!(!condition.is_empty());
+            assert!(condition.touches_class(class));
+            for atom in condition.atoms() {
+                assert_eq!(atom.slot(), slot);
+            }
+        }
+
+        // Entity 1: the DB0 copy has a null age, the DB1 copy lacks the
+        // attribute — one atom of each kind.
+        let e1 = answer.maybe()[0].goid();
+        let c1 = conditioned.condition(e1).unwrap();
+        let kinds: Vec<Missing> = c1.atoms().map(ConditionAtom::kind).collect();
+        assert!(kinds.contains(&Missing::Null));
+        assert!(kinds.contains(&Missing::Attr));
+        assert!(c1.touches_site(DbId::new(0)));
+        assert!(c1.touches_site(DbId::new(1)));
+
+        // Entity 2: only the attribute-less DB1 copy exists.
+        let e2 = answer.maybe()[1].goid();
+        let c2 = conditioned.condition(e2).unwrap();
+        assert_eq!(c2.len(), 1);
+        assert_eq!(c2.atoms().next().unwrap().kind(), Missing::Attr);
+        assert!(!c2.touches_site(DbId::new(0)));
+    }
+
+    #[test]
+    fn certain_rows_have_no_condition_and_rendering_is_stable() {
+        let f = fed();
+        let q = f
+            .parse_and_bind("SELECT X.s-no FROM Student X WHERE X.sex = 'm'")
+            .unwrap();
+        let answer = oracle_answer(&f, &q);
+        assert_eq!(answer.certain().len(), 1);
+        assert_eq!(answer.maybe().len(), 1); // entity 2: sex null at DB1
+        let conditioned = annotate_conditions(&f, &q, &answer);
+        let certain = answer.certain()[0].goid();
+        assert!(conditioned.condition(certain).is_none());
+
+        let maybe = answer.maybe()[0].goid();
+        let condition = conditioned.condition(maybe).unwrap();
+        assert_eq!(condition.atoms().next().unwrap().kind(), Missing::Null);
+        let shown = condition.describe(&f);
+        assert!(shown.contains("DB1.Student["), "got {shown}");
+        assert!(shown.ends_with("sex null"), "got {shown}");
+        assert!(!condition.to_string().is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //! the replicated signature catalog.
 
 use crate::error::ExecError;
-use fedoq_object::{DbId, LOid, ObjectSignature};
+use fedoq_object::{DbId, GlobalClassId, LOid, ObjectSignature};
 use fedoq_query::{bind, parse, BoundQuery};
 use fedoq_schema::{
     identify_isomerism, identify_isomerism_with_keys, integrate, Correspondences, EntityKeyMap,
@@ -11,6 +11,75 @@ use fedoq_schema::{
 use fedoq_store::{Change, ComponentDb};
 use std::collections::HashMap;
 use std::fmt;
+
+/// One entry in the federation's ordered change log.
+///
+/// Every [`Federation::mutate`] appends the store-level changes it drained,
+/// annotated with the mutated site and — when resolvable — the *global*
+/// class the changed object belongs(ed) to, so consumers can filter by
+/// class footprint without re-deriving the mapping themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeRecord {
+    seq: u64,
+    db: DbId,
+    change: Change,
+    class: Option<GlobalClassId>,
+}
+
+impl ChangeRecord {
+    /// Position in the federation-wide stream (monotonic, gap-free).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The component database the mutation ran against.
+    pub fn db(&self) -> DbId {
+        self.db
+    }
+
+    /// The store-level change.
+    pub fn change(&self) -> Change {
+        self.change
+    }
+
+    /// The global class of the changed object. `None` when the object's
+    /// class does not participate in the integration, or when an object
+    /// inserted and retracted within one `mutate` batch left no trace to
+    /// resolve against — consumers should treat `None` conservatively
+    /// (i.e. as potentially affecting any class).
+    pub fn class(&self) -> Option<GlobalClassId> {
+        self.class
+    }
+
+    /// The changed object's local identity.
+    pub fn loid(&self) -> LOid {
+        match self.change {
+            Change::Insert(l) | Change::Retract(l) | Change::Update(l) => l,
+        }
+    }
+}
+
+/// A consumer's position in the federation change log.
+///
+/// Multiple consumers (index maintenance, the live reactor, audits) each
+/// hold their own cursor over the *same* ordered stream; reads return
+/// borrowed slices, so no consumer forces a clone of the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChangeCursor {
+    next: u64,
+}
+
+impl ChangeCursor {
+    /// A cursor at the very beginning of the stream (sequence 0).
+    pub fn start() -> ChangeCursor {
+        ChangeCursor::default()
+    }
+
+    /// The sequence number of the next record this cursor will observe.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+}
 
 /// A distributed heterogeneous object database federation.
 ///
@@ -33,6 +102,12 @@ pub struct Federation {
     /// Mutation counter: bumped by [`Federation::mutate`] so caches keyed
     /// on federation data (see `crate::cache`) can invalidate.
     generation: u64,
+    /// Ordered change log appended by [`Federation::mutate`]; record `i`
+    /// carries sequence `log_base + i`. Trimmed explicitly via
+    /// [`Federation::trim_changes`].
+    changelog: Vec<ChangeRecord>,
+    /// Sequence number of `changelog[0]` (records below it were trimmed).
+    log_base: u64,
 }
 
 impl Federation {
@@ -71,6 +146,8 @@ impl Federation {
             keymap: Some(keymap),
             signatures,
             generation: 0,
+            changelog: Vec::new(),
+            log_base: 0,
         })
     }
 
@@ -95,6 +172,8 @@ impl Federation {
             keymap: None,
             signatures,
             generation: 0,
+            changelog: Vec::new(),
+            log_base: 0,
         }
     }
 
@@ -137,6 +216,24 @@ impl Federation {
         let tracked = slot.change_tracking();
         let changes = slot.drain_changes();
         slot.set_change_tracking(true); // re-arm even if `f` disabled it
+
+        // Change log: annotate each record with the changed object's
+        // *global* class while that is still resolvable — a retracted
+        // object's local class is already gone from the store, but the
+        // pre-batch catalog (not yet maintained below) may still map it.
+        for change in &changes {
+            let loid = match *change {
+                Change::Insert(l) | Change::Retract(l) | Change::Update(l) => l,
+            };
+            let class = self.resolve_global_class(db, loid);
+            let seq = self.log_base + self.changelog.len() as u64;
+            self.changelog.push(ChangeRecord {
+                seq,
+                db,
+                change: *change,
+                class,
+            });
+        }
         let mutated = &self.dbs[db.index()];
 
         // Catalog: incremental when the key map and a trustworthy change
@@ -183,6 +280,47 @@ impl Federation {
         }
         self.generation += 1;
         Ok(out)
+    }
+
+    /// The global class of a changed object: via its live local class
+    /// when the object still exists, otherwise via the (pre-maintenance)
+    /// catalog, which still maps LOids retracted in the current batch.
+    fn resolve_global_class(&self, db: DbId, loid: LOid) -> Option<GlobalClassId> {
+        if let Some(local) = self.dbs[db.index()].class_of(loid) {
+            return self.global.owner_of(db, local).map(|(g, _)| g);
+        }
+        self.global
+            .iter()
+            .filter(|(_, c)| c.constituent_for(db).is_some())
+            .find(|(g, _)| self.catalog.table(*g).goid_of(loid).is_some())
+            .map(|(g, _)| g)
+    }
+
+    /// A cursor positioned at the current *end* of the change log: reading
+    /// from it observes only changes applied after this call.
+    pub fn change_cursor(&self) -> ChangeCursor {
+        ChangeCursor {
+            next: self.log_base + self.changelog.len() as u64,
+        }
+    }
+
+    /// The ordered change records at or after `cursor`, as a borrowed
+    /// slice — multiple consumers each hold their own cursor over the same
+    /// underlying stream without cloning it. After processing, advance
+    /// with [`Federation::change_cursor`]. Records trimmed away are gone;
+    /// a consumer can detect the gap by comparing the first record's
+    /// [`ChangeRecord::seq`] against its cursor position.
+    pub fn changes_since(&self, cursor: ChangeCursor) -> &[ChangeRecord] {
+        let from = (cursor.next.saturating_sub(self.log_base) as usize).min(self.changelog.len());
+        &self.changelog[from..]
+    }
+
+    /// Drops records before `cursor`. Call once every consumer has read
+    /// past it; the sequence numbering is unaffected.
+    pub fn trim_changes(&mut self, cursor: ChangeCursor) {
+        let upto = (cursor.next.saturating_sub(self.log_base) as usize).min(self.changelog.len());
+        self.changelog.drain(..upto);
+        self.log_base += upto as u64;
     }
 
     /// Number of component databases.
@@ -494,6 +632,54 @@ mod tests {
             .signature(joined)
             .unwrap()
             .may_contain("s-no", &Value::Int(9)));
+    }
+
+    #[test]
+    fn change_log_is_ordered_class_annotated_and_trimmable() {
+        let mut fed = two_db_fed();
+        let class = fed.global_schema().class_id("Student").unwrap();
+        let mut cursor = fed.change_cursor();
+        assert!(fed.changes_since(cursor).is_empty());
+
+        // One insert, then a batch of insert + same-batch retract.
+        let joined = fed
+            .mutate(DbId::new(0), |db| {
+                db.insert_named(
+                    "Student",
+                    &[("s-no", Value::Int(3)), ("age", Value::Int(20))],
+                )
+            })
+            .unwrap();
+        let records = fed.changes_since(cursor);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq(), 0);
+        assert_eq!(records[0].db(), DbId::new(0));
+        assert_eq!(records[0].loid(), joined);
+        assert!(matches!(records[0].change(), Change::Insert(_)));
+        assert_eq!(records[0].class(), Some(class));
+        cursor = fed.change_cursor();
+
+        // A retract of a pre-existing object resolves its class via the
+        // catalog even though the store has already forgotten it.
+        fed.mutate(DbId::new(0), |db| db.retract(joined).map(|_| ()))
+            .unwrap();
+        let records = fed.changes_since(cursor);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq(), 1);
+        assert!(matches!(records[0].change(), Change::Retract(_)));
+        assert_eq!(records[0].class(), Some(class));
+
+        // Two consumers observe the same stream; trimming below the
+        // slower cursor preserves sequence numbering.
+        let slow = cursor;
+        assert_eq!(fed.changes_since(slow).len(), 1);
+        fed.trim_changes(slow);
+        assert_eq!(fed.changes_since(slow).len(), 1);
+        assert_eq!(fed.changes_since(slow)[0].seq(), 1);
+        let done = fed.change_cursor();
+        fed.trim_changes(done);
+        assert!(fed.changes_since(slow).is_empty());
+        assert_eq!(done.position(), 2);
     }
 
     #[test]

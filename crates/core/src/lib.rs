@@ -62,6 +62,7 @@
 pub mod cache;
 pub mod centralized;
 pub mod certify;
+pub mod condition;
 pub mod disjunctive;
 pub mod error;
 pub mod explain;
@@ -77,10 +78,11 @@ pub mod strategy;
 
 pub use cache::{query_fingerprint, CacheStats, LookupCache};
 pub use centralized::Centralized;
+pub use condition::{annotate_conditions, Condition, ConditionAtom, ConditionedAnswer, Missing};
 pub use disjunctive::run_disjunctive;
 pub use error::ExecError;
 pub use explain::{explain, explain_with_pipeline};
-pub use federation::Federation;
+pub use federation::{ChangeCursor, ChangeRecord, Federation};
 pub use localized::{BasicLocalized, HybridLocalized, ParallelLocalized};
 pub use merge::LocalizedMerge;
 pub use oracle::{oracle_answer, oracle_disjunctive};

@@ -204,9 +204,7 @@ impl CentralExtents {
                 if pred.op() != CmpOp::Eq || pred.path().len() != 1 {
                     continue;
                 }
-                if pred.path().class(0) != range
-                    || IndexKey::from_value(pred.literal()).is_none()
-                {
+                if pred.path().class(0) != range || IndexKey::from_value(pred.literal()).is_none() {
                     continue;
                 }
                 let slot = pred.path().slot(0);

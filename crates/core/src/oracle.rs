@@ -80,8 +80,14 @@ pub fn oracle_disjunctive(fed: &Federation, query: &DnfQuery) -> QueryAnswer {
 
 /// The merged value of one global attribute of one entity: the first
 /// non-null value among the entity's isomeric copies, with local
-/// references lifted to global identities.
-fn merged_value(fed: &Federation, class: GlobalClassId, goid: GOid, slot: usize) -> Value {
+/// references lifted to global identities. Shared with `crate::condition`,
+/// whose atom collection must agree with this merge exactly.
+pub(crate) fn merged_value(
+    fed: &Federation,
+    class: GlobalClassId,
+    goid: GOid,
+    slot: usize,
+) -> Value {
     let global_class = fed.global_schema().class(class);
     let domain = global_class.attr(slot).ty().domain();
     for &loid in fed.catalog().table(class).loids_of(goid) {

@@ -57,6 +57,14 @@ impl Default for FaultPlan {
     }
 }
 
+/// One locally watched standing query.
+struct LocalWatch {
+    sub: SubId,
+    strategy: LiveStrategy,
+    sql: String,
+    events: fedoq::sync::Receiver<LiveEvent>,
+}
+
 struct Shell {
     fed: Federation,
     strategy_name: String,
@@ -81,6 +89,14 @@ struct Shell {
     adaptive: bool,
     /// Live connection to a `fedoq-serve` frontend (`transport tcp`).
     wire: Option<fedoq_wire::WireClient>,
+    /// Standing-query reactor over a copy of the federation (`watch`).
+    /// The `mutate` command applies every change to both copies, so the
+    /// reactor's answers always describe the shell's own data.
+    live: Option<LiveReactor>,
+    /// Local watches by display id (the reactor's subscription id).
+    watches: std::collections::BTreeMap<u64, LocalWatch>,
+    /// Watches registered on the TCP connection, by server watch id.
+    wire_watches: std::collections::BTreeMap<u64, String>,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -153,6 +169,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         catalog: None,
         adaptive: false,
         wire,
+        live: None,
+        watches: std::collections::BTreeMap::new(),
+        wire_watches: std::collections::BTreeMap::new(),
     };
     println!(
         "strategy: {} (change with `strategy CA|BL|PL|BL-S|PL-S`)",
@@ -246,6 +265,11 @@ impl Shell {
                         &Correspondences::new(),
                     )?;
                     self.catalog = None; // stats described the old federation
+                    if self.live.is_some() {
+                        self.live = None;
+                        self.watches.clear();
+                        println!("(standing watches dropped: federation replaced)");
+                    }
                     println!("loaded: {}", self.fed);
                 }
                 None => println!("usage: load <dir>"),
@@ -273,6 +297,27 @@ impl Shell {
                     }
                 }
             }
+            Some("watch") => {
+                let rest = line[5..].trim();
+                if rest.is_empty() {
+                    println!("usage: watch [ca|bl|pl|hy] SELECT ...");
+                } else {
+                    self.cmd_watch(rest);
+                }
+            }
+            Some("watches") => self.cmd_watches(),
+            Some("unwatch") => match words.next() {
+                Some(id) => self.cmd_unwatch(id),
+                None => println!("usage: unwatch <id>"),
+            },
+            Some("mutate") => {
+                let rest = line[6..].trim();
+                if rest.is_empty() {
+                    println!("usage: mutate <site> insert <Class> <a>=<v>,.. | update <Class> where .. set ..");
+                } else {
+                    self.cmd_mutate(rest);
+                }
+            }
             Some("adaptive") => self.cmd_adaptive(&mut words),
             Some("stats") => self.cmd_stats(&mut words),
             Some("transport") => self.cmd_transport(&mut words),
@@ -291,7 +336,7 @@ impl Shell {
 
     fn help(&self) {
         println!(
-            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  check wire              audit the TCP codec surface (FQ304-FQ306)\n  check concurrency       schedule-explore the serving layer (FQ300-FQ303)\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  connect <host:port>     dial a fedoq-serve frontend (switches to `transport tcp`)\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
+            "commands:\n  SELECT ...              run a query (AND/OR predicates supported)\n  plan SELECT ...         per-site local queries + ranked plan costs\n  explain SELECT ...      show the full execution plan\n  check SELECT ...        statically lint the plans (fedoq-check)\n  check wire              audit the TCP codec surface (FQ304-FQ306)\n  check concurrency       schedule-explore the serving layer (FQ300-FQ303)\n  watch [ca|bl|pl|hy] SELECT ...   register a standing query (prints the snapshot)\n  watches                 list standing queries\n  unwatch <id>            drop a standing query\n  mutate <site> insert <Class> <a>=<v>,..   insert; deltas print per watch\n  mutate <site> update <Class> where .. set ..   in-place update\n  adaptive on|off         let the cost-based planner pick each SELECT's strategy\n  stats [refresh]         show / re-scan the planner's statistics catalog\n  schema                  show the integrated global schema\n  dbs                     show the component databases\n  goids <Class>           show a class's GOid mapping table\n  strategy CA|BL|PL|BL-S|PL-S   choose the execution strategy\n  transport off|local|sim [seed] run queries in-process or distributed\n  connect <host:port>     dial a fedoq-serve frontend (switches to `transport tcp`)\n  faults [drop <p>] [latency <us>] [crash <db>] [clear]  sim-net faults\n  partition <a> <b> | partition clear    cut links (sites: DB names or `global`)\n  parallel on|off [threads]   chunked parallel extent scans (default 8 threads)\n  batch <K>               coalesce up to K lookup probes per message (0 = off)\n  cache on|off            shared GOid-lookup cache (warm across queries)\n  cachestats              lookup-cache hit/miss/eviction counters\n  timeline                per-site Gantt chart of the last query\n  save <dir> / load <dir> persist / restore the federation\n  quit                    exit"
         );
     }
 
@@ -631,6 +676,238 @@ impl Shell {
             println!("clean: FQ300-FQ303 found nothing");
         } else {
             print!("{}", outcome.report);
+        }
+    }
+
+    /// The live strategy `watch` uses when none is named: the shell's
+    /// SELECT strategy, with the signature variants mapped to their
+    /// plain forms (the reactor re-evaluates, it never certifies).
+    fn default_live_strategy(&self) -> LiveStrategy {
+        match self.strategy_name.as_str() {
+            "CA" => LiveStrategy::CA,
+            "PL" | "PL-S" => LiveStrategy::PL,
+            _ => LiveStrategy::BL,
+        }
+    }
+
+    /// `watch [ca|bl|pl|hy] SELECT ...` — registers a standing query.
+    ///
+    /// Over `transport tcp` the watch lives in the server's session for
+    /// this connection; otherwise a local [`LiveReactor`] over a copy of
+    /// the federation maintains it (see [`Shell::cmd_mutate`]).
+    fn cmd_watch(&mut self, rest: &str) {
+        let (strategy, sql) = match rest.split_once(char::is_whitespace) {
+            Some((first, tail)) => match LiveStrategy::parse(first) {
+                Some(s) => (s, tail.trim()),
+                None => (self.default_live_strategy(), rest),
+            },
+            None => (self.default_live_strategy(), rest),
+        };
+        if self.transport == TransportMode::Tcp {
+            let Some(client) = self.wire.as_mut() else {
+                println!("transport tcp needs a connection; use `connect <host:port>`");
+                return;
+            };
+            match client.subscribe(sql, &strategy.label().to_ascii_lowercase(), 5) {
+                Ok((watch, Ok(rows))) => {
+                    for row in &rows {
+                        println!("  {row}");
+                    }
+                    println!(
+                        "watching w{watch} via {} over tcp ({} row(s); deltas arrive with `mutate`)",
+                        strategy.label(),
+                        rows.len()
+                    );
+                    self.wire_watches.insert(watch, sql.to_owned());
+                }
+                Ok((_, Err(e))) => println!("server refused the watch: {e}"),
+                Err(e) => {
+                    println!("connection lost: {e} (reconnect with `connect <host:port>`)");
+                    self.wire = None;
+                }
+            }
+            return;
+        }
+        if self.live.is_none() {
+            self.live = Some(LiveReactor::new(self.fed.clone()));
+        }
+        let reactor = self.live.as_mut().expect("reactor just ensured");
+        match reactor.register(sql, strategy, 5) {
+            Ok(reg) => {
+                if let Some(LiveEvent::Initial { answer, .. }) = reg.events.try_recv() {
+                    for line in fedoq::live::render_conditioned(&answer) {
+                        println!("  {line}");
+                    }
+                }
+                println!(
+                    "watching {} via {}{} (resolve rows with `mutate`, drop with `unwatch {}`)",
+                    reg.sub,
+                    strategy.label(),
+                    if reg.admitted { "" } else { " [queued]" },
+                    reg.sub.raw()
+                );
+                self.watches.insert(
+                    reg.sub.raw(),
+                    LocalWatch {
+                        sub: reg.sub,
+                        strategy,
+                        sql: sql.to_owned(),
+                        events: reg.events,
+                    },
+                );
+            }
+            Err(e) => println!("watch error: {e}"),
+        }
+    }
+
+    /// `watches` — lists the standing queries on both transports.
+    fn cmd_watches(&self) {
+        for (id, watch) in &self.watches {
+            println!("w{id} [{}] {}", watch.strategy.label(), watch.sql);
+        }
+        for (id, sql) in &self.wire_watches {
+            println!("w{id} [tcp] {sql}");
+        }
+        if self.watches.is_empty() && self.wire_watches.is_empty() {
+            println!("(no standing watches; start one with `watch SELECT ...`)");
+        }
+    }
+
+    /// `unwatch <id>` — drops a standing query by id (`w3` or `3`).
+    fn cmd_unwatch(&mut self, word: &str) {
+        let Ok(id) = word.trim_start_matches(['w', 'W']).parse::<u64>() else {
+            println!("usage: unwatch <id>   (ids are listed by `watches`)");
+            return;
+        };
+        if let Some(watch) = self.watches.remove(&id) {
+            if let Some(reactor) = self.live.as_mut() {
+                reactor.unsubscribe(watch.sub);
+            }
+            println!("unwatched w{id}");
+            return;
+        }
+        if self.wire_watches.remove(&id).is_some() {
+            if let Some(client) = self.wire.as_mut() {
+                match client.unsubscribe(id) {
+                    Ok(()) => println!("unwatched w{id} (tcp)"),
+                    Err(e) => {
+                        println!("connection lost: {e}");
+                        self.wire = None;
+                    }
+                }
+            } else {
+                println!("unwatched w{id} (connection already closed)");
+            }
+            return;
+        }
+        println!("no watch w{id}; see `watches`");
+    }
+
+    /// `mutate <site> <spec>` — applies an insert/update and reports the
+    /// deltas it triggered on every standing watch.
+    ///
+    /// Locally the change is applied to **both** the shell's federation
+    /// and the reactor's copy, so queries and watches keep describing
+    /// the same data. Over `transport tcp` the mutation runs in the
+    /// server's per-connection session instead.
+    fn cmd_mutate(&mut self, rest: &str) {
+        let Some((site_word, spec)) = rest.split_once(char::is_whitespace) else {
+            println!(
+                "usage: mutate <site> insert <Class> <a>=<v>,.. | update <Class> where .. set .."
+            );
+            return;
+        };
+        let spec = spec.trim();
+        if self.transport == TransportMode::Tcp {
+            let Some(client) = self.wire.as_mut() else {
+                println!("transport tcp needs a connection; use `connect <host:port>`");
+                return;
+            };
+            let Ok(db) = site_word.parse::<u16>() else {
+                println!("over tcp, name the site by index (the server has its own workload)");
+                return;
+            };
+            match client.mutate(db, spec) {
+                Ok((Ok(answer), deltas)) => {
+                    for row in &answer.rows {
+                        println!("{row}");
+                    }
+                    for event in deltas {
+                        match event.reply {
+                            Ok(lines) => {
+                                for line in lines {
+                                    println!("  w{} #{}: {line}", event.watch, event.seq);
+                                }
+                            }
+                            Err(e) => println!("  w{} error: {e}", event.watch),
+                        }
+                    }
+                }
+                Ok((Err(e), _)) => println!("server error: {e}"),
+                Err(e) => {
+                    println!("connection lost: {e} (reconnect with `connect <host:port>`)");
+                    self.wire = None;
+                }
+            }
+            return;
+        }
+        let Some(Site::Db(db)) = self.parse_site(site_word) else {
+            println!("unknown component site {site_word:?}; mutations target a DB, not `global`");
+            return;
+        };
+        let mutation = match fedoq_wire::parse_mutation(spec) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("bad mutation: {e}");
+                return;
+            }
+        };
+        // Apply to the shell's own federation first: a failure here
+        // leaves both copies untouched.
+        let summary = match self
+            .fed
+            .mutate(db, |store| fedoq_wire::apply_mutation(store, &mutation))
+        {
+            Ok(summary) => summary,
+            Err(e) => {
+                println!("mutation failed: {e}");
+                return;
+            }
+        };
+        self.catalog = None; // stats described the pre-mutation extents
+        println!("{summary} at {}", self.fed.db(db).name());
+        let Some(reactor) = self.live.as_mut() else {
+            return;
+        };
+        match reactor.mutate(db, |store| fedoq_wire::apply_mutation(store, &mutation)) {
+            Ok((_, outcome)) => {
+                println!(
+                    "-- {} watch(es) re-evaluated, {} delta(s)",
+                    outcome.affected, outcome.deltas
+                );
+                self.drain_watches();
+            }
+            Err(e) => println!("reactor error: {e} (watches may be stale)"),
+        }
+    }
+
+    /// Prints every pending delta batch on every local watch.
+    fn drain_watches(&mut self) {
+        for (id, watch) in &self.watches {
+            while let Some(event) = watch.events.try_recv() {
+                match event {
+                    LiveEvent::Initial { answer, .. } => {
+                        for line in fedoq::live::render_conditioned(&answer) {
+                            println!("  w{id}: {line}");
+                        }
+                    }
+                    LiveEvent::Deltas { seq, deltas } => {
+                        for delta in &deltas {
+                            println!("  w{id} #{seq}: {delta}");
+                        }
+                    }
+                }
+            }
         }
     }
 

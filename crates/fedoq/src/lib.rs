@@ -23,6 +23,8 @@
 //!   planner (CA/BL/PL/hybrid selection with execution feedback);
 //! * [`net`] — the distributed site-actor runtime with fault-injectable
 //!   transport;
+//! * [`live`] — standing queries: provenance-carrying maybe results and
+//!   incremental reclassification over a change-logged federation;
 //! * [`check`] — the static plan-soundness analyzer and actor-protocol
 //!   checker (`fedoq-check`).
 //!
@@ -49,6 +51,7 @@
 pub use fedoq_analytic as analytic;
 pub use fedoq_check as check;
 pub use fedoq_core as core;
+pub use fedoq_live as live;
 pub use fedoq_net as net;
 pub use fedoq_object as object;
 pub use fedoq_plan as plan;
@@ -56,6 +59,7 @@ pub use fedoq_query as query;
 pub use fedoq_schema as schema;
 pub use fedoq_sim as sim;
 pub use fedoq_store as store;
+pub use fedoq_sync as sync;
 pub use fedoq_workload as workload;
 
 /// The common imports for working with FedOQ.
@@ -67,6 +71,7 @@ pub mod prelude {
         CacheStats, Centralized, ExecError, ExecutionStrategy, Federation, HybridLocalized,
         LookupCache, MaybeRow, ParallelLocalized, PipelineConfig, QueryAnswer, ResultRow,
     };
+    pub use fedoq_live::{LiveEvent, LiveReactor, LiveStrategy, SubId};
     pub use fedoq_net::{
         AdaptiveDistributedOutcome, DistributedExecutor, DistributedOutcome, DistributedStrategy,
         FaultEvent, LocalTransport, RpcConfig, SimTransport, Transport,

@@ -1,0 +1,282 @@
+//! Reclassification deltas: what changed in a standing query's answer.
+//!
+//! After any mutation batch (or reachability transition), an affected
+//! subscription's answer is re-derived and *diffed* against the retained
+//! one. The diff is reported as [`Delta`] events; the most informative —
+//! [`Delta::MaybeResolved`] — names the [`ConditionAtom`]s of the old
+//! maybe row's condition that the trigger flipped, the conditional-table
+//! payoff: the subscriber learns not just *that* a maybe became certain
+//! or vanished, but *which* missing fact stopped being missing.
+
+use fedoq_core::{Condition, ConditionAtom, ConditionedAnswer, MaybeRow, ResultRow};
+use fedoq_object::{DbId, GOid, GlobalClassId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What caused a re-evaluation: the classes a change batch touched, or a
+/// reachability transition. Used to attribute flipped condition atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trigger {
+    /// Global classes the triggering change batch touched; `None` means
+    /// at least one record's class was unresolvable, so *any* atom may
+    /// have flipped (a wildcard).
+    pub classes: Option<BTreeSet<GlobalClassId>>,
+    /// Sites that just healed (their atoms count as flipped).
+    pub healed: BTreeSet<DbId>,
+    /// The sites currently unreachable, for degradation reporting.
+    pub down: BTreeSet<DbId>,
+}
+
+impl Trigger {
+    /// A trigger for a mutation batch touching `classes` (`None` =
+    /// wildcard) while `down` sites are unreachable.
+    pub fn changes(classes: Option<BTreeSet<GlobalClassId>>, down: BTreeSet<DbId>) -> Trigger {
+        Trigger {
+            classes,
+            healed: BTreeSet::new(),
+            down,
+        }
+    }
+
+    /// A trigger for a reachability transition.
+    pub fn reachability(healed: BTreeSet<DbId>, down: BTreeSet<DbId>) -> Trigger {
+        Trigger {
+            classes: Some(BTreeSet::new()),
+            healed,
+            down,
+        }
+    }
+}
+
+/// How a maybe row resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolution {
+    /// Every predicate became true: the row is now a certain result.
+    ToCertain(ResultRow),
+    /// Some predicate became false: the row left the answer entirely.
+    Eliminated,
+}
+
+/// One incremental change to a standing query's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// A new certain result appeared (it was not a maybe before).
+    CertainAdded(ResultRow),
+    /// A certain result left the certain set (retraction or value flip);
+    /// if it survives as a maybe, a [`Delta::MaybeAdded`] accompanies it.
+    CertainRemoved(GOid),
+    /// A new maybe result appeared, with its condition.
+    MaybeAdded {
+        /// The new maybe row.
+        row: MaybeRow,
+        /// What the row is contingent on.
+        condition: Condition,
+    },
+    /// A maybe result resolved; `flipped` names the atoms of its old
+    /// condition attributed to the trigger (never empty in practice —
+    /// when no atom matches the trigger, the whole old condition is
+    /// named).
+    MaybeResolved {
+        /// The resolved entity.
+        goid: GOid,
+        /// Certified or eliminated.
+        outcome: Resolution,
+        /// The condition atoms that flipped.
+        flipped: Vec<ConditionAtom>,
+    },
+    /// A maybe row's provenance changed with site reachability: `sites`
+    /// lists the unreachable sites its condition touches (empty = the
+    /// row is back to full provenance after a heal).
+    Degraded {
+        /// The affected entity.
+        goid: GOid,
+        /// Unreachable sites the row's condition depends on.
+        sites: Vec<DbId>,
+    },
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delta::CertainAdded(row) => write!(f, "+C {row}"),
+            Delta::CertainRemoved(goid) => write!(f, "-C {goid}"),
+            Delta::MaybeAdded { row, condition } => {
+                write!(f, "+M {row} ? {condition}")
+            }
+            Delta::MaybeResolved {
+                goid,
+                outcome,
+                flipped,
+            } => {
+                match outcome {
+                    Resolution::ToCertain(row) => write!(f, "M>C {row}")?,
+                    Resolution::Eliminated => write!(f, "M>X {goid}")?,
+                }
+                f.write_str(" !")?;
+                for atom in flipped {
+                    write!(f, " {atom}")?;
+                }
+                Ok(())
+            }
+            Delta::Degraded { goid, sites } => {
+                write!(f, "~M {goid} down[")?;
+                for (i, db) in sites.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "d{}", db.index())?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+/// The stream a subscriber receives: one initial snapshot, then delta
+/// batches. Sequence numbers are per-subscription and gap-free, so a
+/// consumer can detect a lost batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveEvent {
+    /// Sent once when the subscription activates (admission granted).
+    Initial {
+        /// Always 0.
+        seq: u64,
+        /// The conditioned answer at registration time.
+        answer: ConditionedAnswer,
+    },
+    /// The deltas one trigger produced for this subscription.
+    Deltas {
+        /// Monotonic per-subscription batch number (1, 2, ...).
+        seq: u64,
+        /// The changes, in deterministic order.
+        deltas: Vec<Delta>,
+    },
+}
+
+/// Renders a conditioned answer to its canonical line list: certain rows
+/// as `C {row}`, then maybe rows as `M {row} ? {condition}` (`?` `*` when
+/// no missing fact could be named — e.g. degraded rows contingent on an
+/// unreachable site), in GOid order. Two conditioned answers are equal
+/// iff their rendered lines are equal — the byte-identity form the wire
+/// layer ships and the differential suite diffs.
+pub fn render_conditioned(answer: &ConditionedAnswer) -> Vec<String> {
+    let plain = answer.answer();
+    let mut lines = Vec::with_capacity(plain.certain().len() + plain.maybe().len());
+    for row in plain.certain() {
+        lines.push(format!("C {row}"));
+    }
+    for row in plain.maybe() {
+        match answer.condition(row.goid()) {
+            Some(c) if !c.is_empty() => lines.push(format!("M {row} ? {c}")),
+            _ => lines.push(format!("M {row} ? *")),
+        }
+    }
+    lines
+}
+
+/// The atoms of `condition` attributable to `trigger`; falls back to the
+/// whole condition when nothing matches, so a resolution always names
+/// what it stopped depending on.
+fn flipped_atoms(condition: Option<&Condition>, trigger: &Trigger) -> Vec<ConditionAtom> {
+    let Some(condition) = condition else {
+        return Vec::new();
+    };
+    let matched: Vec<ConditionAtom> = condition
+        .atoms()
+        .filter(|a| {
+            trigger.healed.contains(&a.db())
+                || match &trigger.classes {
+                    None => true,
+                    Some(set) => set.contains(&a.class()),
+                }
+        })
+        .copied()
+        .collect();
+    if matched.is_empty() {
+        condition.atoms().copied().collect()
+    } else {
+        matched
+    }
+}
+
+/// Diffs two conditioned answers of the same query, attributing flips to
+/// `trigger`. Deterministic: deltas are grouped by kind, ascending by
+/// GOid within each group.
+pub fn diff(old: &ConditionedAnswer, new: &ConditionedAnswer, trigger: &Trigger) -> Vec<Delta> {
+    let old_certain = old.answer().certain_goids();
+    let new_certain = new.answer().certain_goids();
+    let old_maybe = old.answer().maybe_goids();
+    let new_maybe = new.answer().maybe_goids();
+    let mut deltas = Vec::new();
+
+    // Arrivals in the certain set: fresh rows or certified maybes.
+    for row in new.answer().certain() {
+        let goid = row.goid();
+        if old_certain.contains(&goid) {
+            continue;
+        }
+        if old_maybe.contains(&goid) {
+            deltas.push(Delta::MaybeResolved {
+                goid,
+                outcome: Resolution::ToCertain(row.clone()),
+                flipped: flipped_atoms(old.condition(goid), trigger),
+            });
+        } else {
+            deltas.push(Delta::CertainAdded(row.clone()));
+        }
+    }
+
+    // Departures from the certain set (a demotion to maybe also emits
+    // the matching MaybeAdded below).
+    for goid in old_certain.difference(&new_certain) {
+        deltas.push(Delta::CertainRemoved(*goid));
+    }
+
+    // Maybe rows: new arrivals, resolutions, and degradation flips.
+    for row in new.answer().maybe() {
+        let goid = row.goid();
+        if !old_maybe.contains(&goid) {
+            deltas.push(Delta::MaybeAdded {
+                row: row.clone(),
+                condition: new.condition(goid).cloned().unwrap_or_default(),
+            });
+        }
+    }
+    for goid in &old_maybe {
+        if !new_maybe.contains(goid) && !new_certain.contains(goid) {
+            deltas.push(Delta::MaybeResolved {
+                goid: *goid,
+                outcome: Resolution::Eliminated,
+                flipped: flipped_atoms(old.condition(*goid), trigger),
+            });
+        }
+    }
+    for row in new.answer().maybe() {
+        let goid = row.goid();
+        if !old_maybe.contains(&goid) {
+            continue;
+        }
+        let was = old
+            .answer()
+            .maybe()
+            .iter()
+            .find(|r| r.goid() == goid)
+            .map(MaybeRow::is_degraded);
+        if was != Some(row.is_degraded()) {
+            let sites: Vec<DbId> = if row.is_degraded() {
+                new.condition(goid)
+                    .map(|c| {
+                        c.sites()
+                            .into_iter()
+                            .filter(|s| trigger.down.contains(s))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            deltas.push(Delta::Degraded { goid, sites });
+        }
+    }
+    deltas
+}

@@ -1,0 +1,46 @@
+//! # fedoq-live: standing queries over a federation with missing data
+//!
+//! The paper's strategies classify an answer **once**: rows whose
+//! predicates merge to *true* are certain, rows left unknown by nulls
+//! and missing attributes are maybe. This crate keeps that
+//! classification **alive**. A [`LiveReactor`] owns the federation;
+//! standing queries register against it, and every maybe row is
+//! annotated with the *condition* — the concrete (site, object,
+//! attribute) facts — it is contingent on. When a mutation batch or a
+//! site-reachability transition flips one of those facts, only the
+//! affected subscriptions re-evaluate, and subscribers receive
+//! [`Delta`]s that name what flipped.
+//!
+//! The maintained answer is, at every step, byte-identical to running
+//! the query from scratch — incremental maintenance changes *when* work
+//! happens, never *what* the answer is.
+//!
+//! ```
+//! use fedoq_live::{LiveEvent, LiveReactor, LiveStrategy};
+//! use fedoq_workload::university::{federation, Q1};
+//!
+//! let mut reactor = LiveReactor::new(federation()?);
+//! let reg = reactor.register(Q1, LiveStrategy::BL, 5)?;
+//! assert!(reg.admitted);
+//! let Some(LiveEvent::Initial { answer, .. }) = reg.events.try_recv() else {
+//!     unreachable!("admitted registrations snapshot immediately");
+//! };
+//! // The paper's Figure 5 classification, now with provenance: one
+//! // certain row, one maybe row whose condition names the missing
+//! // speciality copies it hinges on.
+//! assert_eq!(answer.answer().certain().len(), 1);
+//! assert_eq!(answer.answer().maybe().len(), 1);
+//! let goid = answer.answer().maybe()[0].goid();
+//! assert!(!answer.condition(goid).expect("maybe rows are conditioned").is_empty());
+//! # Ok::<(), fedoq_core::ExecError>(())
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod delta;
+pub mod reactor;
+pub mod trace;
+
+pub use delta::{diff, render_conditioned, Delta, LiveEvent, Resolution, Trigger};
+pub use reactor::{evaluate, LiveReactor, LiveStrategy, PumpOutcome, Registration, SubId};
+pub use trace::LiveTraceEvent;

@@ -1,0 +1,63 @@
+//! The reactor's audit trail, consumed by the FQ308 lint in `fedoq-check`.
+//!
+//! Every reactor run records what it observed (registrations, logged
+//! changes, reachability transitions) and what it concluded (maybe
+//! resolutions with their flipped classes/sites). Reclassification
+//! soundness is then externally checkable: a resolution is *founded* only
+//! if some earlier logged change or heal could have flipped the condition
+//! it names. The `fedoq-check` analyzer that enforces this lives with the
+//! other lints; the event types live here, next to the machinery that
+//! emits them (the same split as `fedoq-sched`'s `ReplanEvent`).
+
+use crate::reactor::SubId;
+use fedoq_object::{DbId, GOid, GlobalClassId};
+
+/// One observable step of a reactor run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveTraceEvent {
+    /// A subscription activated with this class footprint.
+    Registered {
+        /// The subscription.
+        sub: SubId,
+        /// Its query's class footprint.
+        classes: Vec<GlobalClassId>,
+    },
+    /// One change record was consumed from the federation log.
+    Change {
+        /// The record's stream position.
+        seq: u64,
+        /// The mutated site.
+        db: DbId,
+        /// The resolved global class (`None` = unresolvable, wildcard).
+        class: Option<GlobalClassId>,
+    },
+    /// A site became unreachable.
+    SiteDown {
+        /// The site.
+        db: DbId,
+    },
+    /// A site became reachable again.
+    SiteHealed {
+        /// The site.
+        db: DbId,
+    },
+    /// A maybe row resolved (certified or eliminated), naming the
+    /// classes and sites of the condition atoms that flipped.
+    Resolved {
+        /// The subscription whose answer changed.
+        sub: SubId,
+        /// The resolved entity.
+        goid: GOid,
+        /// `true` = certified, `false` = eliminated.
+        to_certain: bool,
+        /// Classes of the flipped condition atoms.
+        classes: Vec<GlobalClassId>,
+        /// Sites of the flipped condition atoms.
+        sites: Vec<DbId>,
+    },
+    /// A subscription was removed.
+    Unregistered {
+        /// The subscription.
+        sub: SubId,
+    },
+}

@@ -737,7 +737,14 @@ mod tests {
         // Small extents keep exact statistics.
         let (small, schema2) = catalog();
         let student2 = schema2.class_id("Student").unwrap();
-        assert!(!small.site(DbId::new(0)).unwrap().class(student2).unwrap().sampled);
+        assert!(
+            !small
+                .site(DbId::new(0))
+                .unwrap()
+                .class(student2)
+                .unwrap()
+                .sampled
+        );
     }
 
     #[test]

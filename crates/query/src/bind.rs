@@ -191,6 +191,14 @@ impl BoundQuery {
         out
     }
 
+    /// The set of global classes the query touches, deduplicated — the
+    /// subscription *footprint* the live reactor's dependency index is
+    /// keyed on: a logged change can only affect this query's answer if
+    /// its class is in (or unresolvable against) this set.
+    pub fn class_footprint(&self) -> BTreeSet<GlobalClassId> {
+        self.involved_classes().into_iter().collect()
+    }
+
     /// Per global class, the attribute slots the query reads — the
     /// projection the centralized strategy ships. Complex slots used for
     /// navigation are included.

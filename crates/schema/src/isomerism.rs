@@ -252,6 +252,13 @@ impl EntityKeyMap {
     /// Re-files an updated object: its key may have changed, which can
     /// move it between entities.
     ///
+    /// An update that leaves the entity key unchanged keeps its GOid.
+    /// Re-filing unconditionally would release and re-found single-member
+    /// entities under a fresh GOid, and that renumbering masquerades as
+    /// entity churn downstream — e.g. a standing query would report the
+    /// row as eliminated and re-added when only a non-key attribute
+    /// changed.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`EntityKeyMap::apply_insert`].
@@ -261,6 +268,34 @@ impl EntityKeyMap {
         db: &ComponentDb,
         loid: LOid,
     ) -> Result<(), SchemaError> {
+        if let Some(object) = db.object(loid) {
+            let Some(target) = self.targets.get(&(db.id(), object.class())) else {
+                return Ok(()); // class not integrated into the global schema
+            };
+            let gid = target.gid;
+            let current = catalog.table(gid).goid_of(loid);
+            match target.key_slots.as_ref() {
+                // Unkeyed classes group as singletons; membership cannot
+                // change, so the mapping stands as-is.
+                None => return Ok(()),
+                Some(slots) => {
+                    let key = IndexKey::compound(slots.iter().map(|&s| object.value(s)));
+                    match (key, current) {
+                        // Key unchanged: still filed under the same entity.
+                        (Some(key), Some(goid))
+                            if self.by_key[gid.index()].get(&key) == Some(&goid) =>
+                        {
+                            return Ok(());
+                        }
+                        // Key still null on a singleton: nothing to re-file.
+                        (None, Some(goid)) if !self.key_of[gid.index()].contains_key(&goid) => {
+                            return Ok(());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
         self.apply_retract(catalog, loid);
         self.apply_insert(catalog, db, loid)
     }
@@ -421,10 +456,7 @@ mod tests {
     /// The grouping (which LOids share an entity), independent of GOid
     /// numbering — incremental maintenance preserves grouping, not
     /// numbering.
-    fn grouping(
-        cat: &crate::GoidCatalog,
-        class: fedoq_object::GlobalClassId,
-    ) -> Vec<Vec<LOid>> {
+    fn grouping(cat: &crate::GoidCatalog, class: fedoq_object::GlobalClassId) -> Vec<Vec<LOid>> {
         let mut groups: Vec<Vec<LOid>> = cat
             .table(class)
             .iter()
@@ -502,6 +534,67 @@ mod tests {
             .insert_named("Student", &[("s-no", Value::Int(6))])
             .unwrap();
         keys.apply_insert(&mut cat, &db1, back).unwrap();
+        assert_eq!(
+            grouping(&cat, class),
+            grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)
+        );
+    }
+
+    /// A non-key update must not renumber the entity: before this held,
+    /// updating a single-member entity released and re-founded it under a
+    /// fresh GOid, which downstream consumers (standing-query deltas, the
+    /// lookup cache) read as the entity disappearing and reappearing.
+    #[test]
+    fn non_key_update_keeps_the_goid() {
+        let mut db0 = ComponentDb::new(DbId::new(0), "DB0", keyed_schema());
+        let mut db1 = ComponentDb::new(DbId::new(1), "DB1", keyed_schema());
+        let solo = db0
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(1)), ("name", Value::text("Mary"))],
+            )
+            .unwrap();
+        let paired = db0
+            .insert_named(
+                "Student",
+                &[("s-no", Value::Int(2)), ("name", Value::text("John"))],
+            )
+            .unwrap();
+        db1.insert_named(
+            "Student",
+            &[("s-no", Value::Int(2)), ("name", Value::text("John"))],
+        )
+        .unwrap();
+        let nullk = db0
+            .insert_named("Student", &[("name", Value::text("x"))])
+            .unwrap();
+        let global = integrate(
+            &[(DbId::new(0), db0.schema()), (DbId::new(1), db1.schema())],
+            &Correspondences::new(),
+        )
+        .unwrap();
+        let (mut cat, mut keys) = identify_isomerism_with_keys(&[&db0, &db1], &global).unwrap();
+        let class = global.class_id("Student").unwrap();
+        let before = [
+            cat.table(class).goid_of(solo),
+            cat.table(class).goid_of(paired),
+            cat.table(class).goid_of(nullk),
+        ];
+        for loid in [solo, paired, nullk] {
+            db0.object_mut(loid).unwrap().set(1, Value::text("renamed"));
+            keys.apply_update(&mut cat, &db0, loid).unwrap();
+        }
+        let after = [
+            cat.table(class).goid_of(solo),
+            cat.table(class).goid_of(paired),
+            cat.table(class).goid_of(nullk),
+        ];
+        assert_eq!(before, after, "non-key updates renumbered a GOid");
+
+        // A *key* update still re-files: s-no 1 → 2 joins John's entity.
+        db0.object_mut(solo).unwrap().set(0, Value::Int(3));
+        keys.apply_update(&mut cat, &db0, solo).unwrap();
+        assert_ne!(cat.table(class).goid_of(solo), before[0]);
         assert_eq!(
             grouping(&cat, class),
             grouping(&identify_isomerism(&[&db0, &db1], &global).unwrap(), class)

@@ -130,7 +130,11 @@ impl ComponentDb {
     /// Returns [`StoreError::UnknownClass`] for an unknown class name,
     /// [`StoreError::MissingAttribute`] for unknown attribute names, and
     /// [`StoreError::NotIndexable`] for float/complex attributes.
-    pub fn create_index(&mut self, class_name: &str, attrs: &[&str]) -> Result<IndexId, StoreError> {
+    pub fn create_index(
+        &mut self,
+        class_name: &str,
+        attrs: &[&str],
+    ) -> Result<IndexId, StoreError> {
         let class = self
             .schema
             .class_id(class_name)
@@ -750,7 +754,9 @@ mod tests {
                 &[("s-no", Value::Int(2)), ("dept", Value::text("cs"))],
             )
             .unwrap();
-        let c = db.insert_named("Student", &[("s-no", Value::Int(3))]).unwrap(); // dept null
+        let c = db
+            .insert_named("Student", &[("s-no", Value::Int(3))])
+            .unwrap(); // dept null
         let key = IndexKey::Text("cs".into());
         let ix = db.index(id).unwrap();
         assert_eq!(ix.matches(&key), &[a, b]);
@@ -800,9 +806,8 @@ mod tests {
 
     #[test]
     fn index_built_over_existing_extent() {
-        let schema = ComponentSchema::new(vec![ClassDef::new("S")
-            .attr("k", AttrType::int())])
-        .unwrap();
+        let schema =
+            ComponentSchema::new(vec![ClassDef::new("S").attr("k", AttrType::int())]).unwrap();
         let mut db = ComponentDb::new(DbId::new(0), "DB0", schema);
         let a = db.insert_named("S", &[("k", Value::Int(7))]).unwrap();
         let id = db.create_index("S", &["k"]).unwrap();

@@ -218,7 +218,11 @@ impl HashIndex {
     /// # Errors
     ///
     /// Returns [`StoreError::StaleIndex`] on generation mismatch.
-    pub fn probe_values(&self, db: &ComponentDb, values: &[Value]) -> Result<Vec<LOid>, StoreError> {
+    pub fn probe_values(
+        &self,
+        db: &ComponentDb,
+        values: &[Value],
+    ) -> Result<Vec<LOid>, StoreError> {
         self.check_fresh(db)?;
         Ok(self.lookup_values(values))
     }
@@ -428,11 +432,9 @@ mod tests {
         let index = HashIndex::build(&db, class, &["s-no"]).unwrap();
         let built_at = index.generation();
         // Fresh probes succeed.
-        assert_eq!(
-            index.probe(&db, &IndexKey::Int(2)).unwrap().len(),
-            1
-        );
-        db.insert_named("Student", &[("s-no", Value::Int(2))]).unwrap();
+        assert_eq!(index.probe(&db, &IndexKey::Int(2)).unwrap().len(), 1);
+        db.insert_named("Student", &[("s-no", Value::Int(2))])
+            .unwrap();
         // Any mutation invalidates the standalone index.
         let err = index.probe(&db, &IndexKey::Int(2)).unwrap_err();
         assert_eq!(

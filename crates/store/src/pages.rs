@@ -202,7 +202,9 @@ impl<'a> PagedDb<'a> {
                     break 'classes;
                 };
                 if objects > MAX_PAGE_OBJECTS {
-                    return Err(PersistError::Corrupt("implausible page object count".into()));
+                    return Err(PersistError::Corrupt(
+                        "implausible page object count".into(),
+                    ));
                 }
                 let len = len as usize;
                 if offset + len > bytes.len() {
@@ -314,7 +316,9 @@ impl<'a> PagedDb<'a> {
             ));
         }
         if !cursor.is_empty() {
-            return Err(PersistError::Corrupt("page payload has trailing bytes".into()));
+            return Err(PersistError::Corrupt(
+                "page payload has trailing bytes".into(),
+            ));
         }
         Ok(objects)
     }
@@ -581,9 +585,6 @@ mod tests {
             crate::persist::save_db(&db, &mut b).unwrap();
             b
         };
-        assert!(matches!(
-            PagedDb::open(&flat),
-            Err(PersistError::BadMagic)
-        ));
+        assert!(matches!(PagedDb::open(&flat), Err(PersistError::BadMagic)));
     }
 }

@@ -838,6 +838,19 @@ impl<T> Receiver<T> {
         got
     }
 
+    /// Non-blocking receive; `None` when the channel is currently empty
+    /// or every sender is gone. Used by delta subscribers (shell `watch`,
+    /// serve sessions) that drain between commands without stalling.
+    pub fn try_recv(&self) -> Option<T> {
+        let got = self.inner.try_recv().ok();
+        if got.is_some() {
+            record(EventKind::ChannelRecv {
+                channel: self.label,
+            });
+        }
+        got
+    }
+
     /// Timed receive; `None` on timeout or disconnection.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
         let got = self.inner.recv_timeout(timeout).ok();

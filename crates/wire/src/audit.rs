@@ -52,7 +52,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// changes, FQ306 fires until [`crate::frame::VERSION`] is bumped *and*
 /// this pin is updated to the value printed by the
 /// `grammar_pin_matches_current_surface` test.
-pub const GRAMMAR_PIN: (u32, u64) = (2, 0x6078_3e7d_89a0_4681);
+pub const GRAMMAR_PIN: (u32, u64) = (3, 0x65ba_bf2a_2240_639c);
 
 /// One tagged enum family of the wire grammar.
 #[derive(Debug, Clone)]
@@ -362,6 +362,10 @@ fn frame_exemplars() -> Vec<(&'static str, Vec<u8>)> {
             Frame::Envelope { .. } => "Envelope",
             Frame::Query { .. } => "Query",
             Frame::Answer { .. } => "Answer",
+            Frame::Subscribe { .. } => "Subscribe",
+            Frame::Delta { .. } => "Delta",
+            Frame::Unsubscribe { .. } => "Unsubscribe",
+            Frame::Mutate { .. } => "Mutate",
         }
     }
     let env = Envelope {
@@ -391,6 +395,23 @@ fn frame_exemplars() -> Vec<(&'static str, Vec<u8>)> {
         Frame::Answer {
             id: 0,
             reply: Err(String::new()),
+        },
+        Frame::Subscribe {
+            id: 0,
+            sql: String::new(),
+            strategy: String::new(),
+            priority: 0,
+        },
+        Frame::Delta {
+            id: 0,
+            seq: 0,
+            reply: Err(String::new()),
+        },
+        Frame::Unsubscribe { id: 0 },
+        Frame::Mutate {
+            id: 0,
+            db: 0,
+            spec: String::new(),
         },
     ]
     .iter()

@@ -5,11 +5,27 @@ use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// One standing-query event received from the serve.
+///
+/// `seq` 0 is the initial snapshot (canonical conditioned rows); later
+/// batches are delta display strings. An `Err` reply reports why the
+/// watch could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEvent {
+    /// The watch this batch belongs to.
+    pub watch: u64,
+    /// Snapshot (0) or delta-batch ordinal.
+    pub seq: u64,
+    /// Rendered rows/deltas, or the error that killed the watch.
+    pub reply: Result<Vec<String>, String>,
+}
+
 /// One synchronous connection to a `fedoq-serve` frontend.
 pub struct WireClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    pending: Vec<DeltaEvent>,
 }
 
 impl WireClient {
@@ -32,7 +48,18 @@ impl WireClient {
             writer,
             reader,
             next_id: 1,
+            pending: Vec::new(),
         })
+    }
+
+    fn stash(&mut self, frame: &Frame) {
+        if let Frame::Delta { id, seq, reply } = frame {
+            self.pending.push(DeltaEvent {
+                watch: *id,
+                seq: *seq,
+                reply: reply.clone(),
+            });
+        }
     }
 
     /// Runs one query under `strategy` (`ca`/`bl`/`pl`/`bl-s`/`pl-s`/
@@ -54,7 +81,7 @@ impl WireClient {
         loop {
             match read_frame(&mut self.reader)? {
                 Some(Frame::Answer { id: got, reply }) if got == id => return Ok(reply),
-                Some(_) => continue,
+                Some(other) => self.stash(&other),
                 None => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -63,5 +90,108 @@ impl WireClient {
                 }
             }
         }
+    }
+
+    /// Registers a standing query; blocks until the initial snapshot
+    /// (`seq` 0) arrives. Returns the watch id (pass it to
+    /// [`WireClient::unsubscribe`]) and the snapshot rows.
+    ///
+    /// The outer `Result` is transport failure; the inner one is the
+    /// server's verdict (canonical conditioned rows, or why the watch
+    /// was refused).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server closing the connection mid-subscribe.
+    pub fn subscribe(
+        &mut self,
+        sql: &str,
+        strategy: &str,
+        priority: u8,
+    ) -> io::Result<(u64, Result<Vec<String>, String>)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &Frame::Subscribe {
+                id,
+                sql: sql.to_string(),
+                strategy: strategy.to_string(),
+                priority,
+            },
+        )?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                Some(Frame::Delta {
+                    id: got,
+                    seq: 0,
+                    reply,
+                }) if got == id => return Ok((id, reply)),
+                Some(other) => self.stash(&other),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-subscribe",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Tears a watch down (fire-and-forget: the server sends no ack).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing the frame.
+    pub fn unsubscribe(&mut self, watch: u64) -> io::Result<()> {
+        write_frame(&mut self.writer, &Frame::Unsubscribe { id: watch })
+    }
+
+    /// Applies one mutation spec to site `db` on the server's live
+    /// session; blocks until the acknowledging answer. The ack is a
+    /// delivery barrier: every delta the mutation caused has already
+    /// arrived, so it is returned alongside (plus any deltas stashed
+    /// from earlier calls).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server closing the connection mid-mutate.
+    #[allow(clippy::type_complexity)]
+    pub fn mutate(
+        &mut self,
+        db: u16,
+        spec: &str,
+    ) -> io::Result<(Result<ClientAnswer, String>, Vec<DeltaEvent>)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &Frame::Mutate {
+                id,
+                db,
+                spec: spec.to_string(),
+            },
+        )?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                Some(Frame::Answer { id: got, reply }) if got == id => {
+                    return Ok((reply, std::mem::take(&mut self.pending)))
+                }
+                Some(other) => self.stash(&other),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-mutate",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Returns delta events stashed while waiting for other replies
+    /// (the serve only emits deltas in response to this connection's
+    /// own frames, so there is nothing to poll for beyond this buffer).
+    pub fn take_deltas(&mut self) -> Vec<DeltaEvent> {
+        std::mem::take(&mut self.pending)
     }
 }

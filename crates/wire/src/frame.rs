@@ -12,7 +12,12 @@
 //!   site can lazily bind sessions it has never seen);
 //! * [`Frame::Query`] / [`Frame::Answer`] — the client protocol spoken
 //!   by `fedoq-serve`: submit one SQL query under a strategy name, get
-//!   back the canonically rendered answer or an error string.
+//!   back the canonically rendered answer or an error string;
+//! * [`Frame::Subscribe`] / [`Frame::Delta`] / [`Frame::Unsubscribe`] /
+//!   [`Frame::Mutate`] — the standing-query protocol: register a live
+//!   subscription, receive its initial snapshot and every subsequent
+//!   reclassification delta as canonically rendered strings, apply
+//!   mutations that drive those deltas, and tear the watch down.
 //!
 //! A frame that fails to decode poisons only its connection (the reader
 //! drops it); it can never panic the process.
@@ -27,7 +32,9 @@ pub const MAGIC: u32 = 0x3157_5146;
 /// Protocol version; bumped on any layout change.
 ///
 /// v2: added `Request::HybridCertify` (per-site BL/PL schedules).
-pub const VERSION: u32 = 2;
+/// v3: standing-query subscription frames (Subscribe/Delta/Unsubscribe/
+/// Mutate).
+pub const VERSION: u32 = 3;
 
 /// What kind of endpoint dialed a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +122,49 @@ pub enum Frame {
         id: u64,
         /// The rendered answer, or the error that stopped execution.
         reply: Result<ClientAnswer, String>,
+    },
+    /// Client → serve: register a standing query.
+    Subscribe {
+        /// Client-chosen watch id, echoed on every delta.
+        id: u64,
+        /// The standing query's SQL.
+        sql: String,
+        /// Strategy name (`ca`/`bl`/`pl`/`hy`).
+        strategy: String,
+        /// Admission priority on the serve's ladder (higher wins).
+        priority: u8,
+    },
+    /// Serve → client: one batch of standing-query output.
+    ///
+    /// `seq` 0 is the initial snapshot (canonical `C ..`/`M .. ? ..`
+    /// row strings); `seq >= 1` carries reclassification deltas in
+    /// their display form. Rows travel as strings for the same reason
+    /// [`ClientAnswer`] rows do: byte-for-byte diffing across
+    /// transports without linking the object model.
+    Delta {
+        /// The watch id this batch belongs to.
+        id: u64,
+        /// Snapshot (0) or delta-batch ordinal (monotonic per watch).
+        seq: u64,
+        /// Rendered rows/deltas, or the error that killed the watch.
+        reply: Result<Vec<String>, String>,
+    },
+    /// Client → serve: tear down a standing query.
+    Unsubscribe {
+        /// The watch id to drop.
+        id: u64,
+    },
+    /// Client → serve: apply one mutation to a component site's store.
+    ///
+    /// Acknowledged with a [`Frame::Answer`] (executed = `mutate`);
+    /// any deltas it triggers follow as [`Frame::Delta`] frames.
+    Mutate {
+        /// Correlation id, echoed on the acknowledging answer.
+        id: u64,
+        /// The component site to mutate.
+        db: u16,
+        /// The mutation spec (`insert Class a=v,..` / `update ..`).
+        spec: String,
     },
 }
 
@@ -223,6 +273,46 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                 }
             }
         }
+        Frame::Subscribe {
+            id,
+            sql,
+            strategy,
+            priority,
+        } => {
+            w.u8(5);
+            w.u64(*id);
+            w.str(sql);
+            w.str(strategy);
+            w.u8(*priority);
+        }
+        Frame::Delta { id, seq, reply } => {
+            w.u8(6);
+            w.u64(*id);
+            w.u64(*seq);
+            match reply {
+                Ok(rows) => {
+                    w.u8(0);
+                    w.seq(rows.len());
+                    for row in rows {
+                        w.str(row);
+                    }
+                }
+                Err(msg) => {
+                    w.u8(1);
+                    w.str(msg);
+                }
+            }
+        }
+        Frame::Unsubscribe { id } => {
+            w.u8(7);
+            w.u64(*id);
+        }
+        Frame::Mutate { id, db, spec } => {
+            w.u8(8);
+            w.u64(*id);
+            w.u16(*db);
+            w.str(spec);
+        }
     }
     w.finish()
 }
@@ -270,6 +360,42 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, WireError> {
                 _ => return Err(WireError::Malformed("result tag")),
             };
             Frame::Answer { id, reply }
+        }
+        5 => {
+            let id = r.u64()?;
+            let sql = r.str()?;
+            let strategy = r.str()?;
+            let priority = r.u8()?;
+            Frame::Subscribe {
+                id,
+                sql,
+                strategy,
+                priority,
+            }
+        }
+        6 => {
+            let id = r.u64()?;
+            let seq = r.u64()?;
+            let reply = match r.u8()? {
+                0 => {
+                    let n = r.seq()?;
+                    let mut rows = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        rows.push(r.str()?);
+                    }
+                    Ok(rows)
+                }
+                1 => Err(r.str()?),
+                _ => return Err(WireError::Malformed("result tag")),
+            };
+            Frame::Delta { id, seq, reply }
+        }
+        7 => Frame::Unsubscribe { id: r.u64()? },
+        8 => {
+            let id = r.u64()?;
+            let db = r.u16()?;
+            let spec = r.str()?;
+            Frame::Mutate { id, db, spec }
         }
         _ => return Err(WireError::Malformed("frame tag")),
     };
@@ -362,6 +488,28 @@ mod tests {
                 id: 9,
                 reply: Err("no such strategy".into()),
             },
+            Frame::Subscribe {
+                id: 1,
+                sql: "SELECT X.name FROM Teacher X WHERE X.speciality = 'database'".into(),
+                strategy: "hy".into(),
+                priority: 7,
+            },
+            Frame::Delta {
+                id: 1,
+                seq: 0,
+                reply: Ok(vec!["C (Hedy)".into(), "M (Tony) ? d1/3.a1:null".into()]),
+            },
+            Frame::Delta {
+                id: 1,
+                seq: 3,
+                reply: Err("watch evaluation failed".into()),
+            },
+            Frame::Mutate {
+                id: 10,
+                db: 1,
+                spec: "insert Teacher name='Haley',speciality='network'".into(),
+            },
+            Frame::Unsubscribe { id: 1 },
         ];
         let mut pipe = Vec::new();
         for f in &frames {

@@ -20,6 +20,9 @@
 //!   one component site per process, and a concurrent query frontend
 //!   multiplexing clients over worker threads;
 //! * [`client`] — a blocking client for the serve protocol;
+//! * [`live`] — per-connection standing-query sessions: the
+//!   Subscribe/Delta/Unsubscribe/Mutate half of the grammar, backed by
+//!   a [`fedoq_live::LiveReactor`] over the serve's workload;
 //! * [`fed`] — deterministic workload reconstruction, so every process
 //!   agrees on extents and GOid mappings without a bootstrap protocol.
 //!
@@ -42,6 +45,7 @@ pub mod drive;
 pub mod fed;
 pub mod frame;
 pub mod hub;
+pub mod live;
 pub mod proto;
 pub mod render;
 pub mod serve;
@@ -49,11 +53,12 @@ pub mod site;
 pub mod transport;
 
 pub use audit::{surface, BoundsProbe, ProbeOutcome, SkewProbe, TagFamily, WireSurface};
-pub use client::WireClient;
+pub use client::{DeltaEvent, WireClient};
 pub use codec::WireError;
 pub use fed::build_workload;
 pub use frame::{ClientAnswer, Frame, Role};
 pub use hub::Hub;
+pub use live::{apply_mutation, parse_mutation, LiveSession, Mutation};
 pub use proto::{decode_envelope, encode_envelope};
 pub use render::render_answer;
 pub use serve::{run_serve_daemon, spawn_serve, ServeOpts};

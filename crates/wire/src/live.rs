@@ -1,0 +1,415 @@
+//! Standing-query subscription sessions for `fedoq-serve`.
+//!
+//! A client opts into the live protocol with [`Frame::Subscribe`]; the
+//! serving connection then owns a [`LiveSession`] — a private
+//! [`LiveReactor`] over the serve's workload federation — and speaks
+//! the subscription half of the wire grammar:
+//!
+//! * `Subscribe` registers a standing query; the reactor's initial
+//!   snapshot comes back as a [`Frame::Delta`] with `seq` 0, each row
+//!   in its canonical conditioned rendering;
+//! * `Mutate` applies one parsed [`Mutation`] to the session's
+//!   federation copy — every delta the reactor emits is flushed as
+//!   [`Frame::Delta`] frames *before* the acknowledging
+//!   [`Frame::Answer`], so the ack is a barrier: once a client reads
+//!   it, every delta that mutation caused has been delivered;
+//! * `Unsubscribe` tears one watch down.
+//!
+//! Sessions are **per-connection**: standing queries evaluate in-process
+//! on the session's own federation copy (the [`fedoq_live`] reactor, not
+//! the distributed runtime), and mutations are visible only to watches
+//! on the same connection. What the wire adds is the protocol surface —
+//! the rendering, framing, and delivery-order guarantees a remote
+//! subscriber needs; the maintenance guarantee (maintained answer ==
+//! from-scratch answer, byte for byte) is the reactor's.
+//!
+//! The mutation spec is a tiny imperative grammar, kept to what the
+//! reclassification machinery needs exercised over a wire:
+//!
+//! ```text
+//! insert <Class> <attr>=<value>[,<attr>=<value>...]
+//! update <Class> where <attr>=<value>[,...] set <attr>=<value>[,...]
+//! ```
+//!
+//! Values are `null`, integer or float literals, or strings (quoting
+//! optional: `'CS'` and `CS` are the same text; commas inside strings
+//! are not supported).
+
+use crate::frame::Frame;
+use fedoq_core::Federation;
+use fedoq_live::{render_conditioned, LiveEvent, LiveReactor, LiveStrategy, SubId};
+use fedoq_object::{DbId, Value};
+use fedoq_store::{ComponentDb, StoreError};
+use fedoq_sync::Receiver;
+use std::collections::BTreeMap;
+
+/// One parsed mutation spec (see the module docs for the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Insert one object with the named attribute values.
+    Insert {
+        /// The class to insert into.
+        class: String,
+        /// `(attribute, value)` pairs; unnamed attributes stay null.
+        sets: Vec<(String, Value)>,
+    },
+    /// Update every object of `class` whose attributes equal `matches`.
+    Update {
+        /// The class whose extent is scanned.
+        class: String,
+        /// Equality filters selecting the objects to update.
+        matches: Vec<(String, Value)>,
+        /// `(attribute, value)` pairs written to each selected object.
+        sets: Vec<(String, Value)>,
+    },
+}
+
+fn parse_value(token: &str) -> Value {
+    let token = token.trim();
+    if token.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        return Value::Float(f);
+    }
+    let unquoted = token
+        .strip_prefix('\'')
+        .and_then(|t| t.strip_suffix('\''))
+        .unwrap_or(token);
+    Value::text(unquoted)
+}
+
+fn parse_assignments(raw: &str) -> Result<Vec<(String, Value)>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err("expected at least one <attr>=<value>".to_string());
+    }
+    raw.split(',')
+        .map(|pair| {
+            let (attr, value) = pair.split_once('=').ok_or_else(|| {
+                format!("bad assignment '{}' (expected <attr>=<value>)", pair.trim())
+            })?;
+            Ok((attr.trim().to_string(), parse_value(value)))
+        })
+        .collect()
+}
+
+/// Parses one mutation spec.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the spec does not match the
+/// grammar. Unknown classes and attributes are *not* detected here —
+/// they surface as [`StoreError`]s when the mutation is applied.
+pub fn parse_mutation(spec: &str) -> Result<Mutation, String> {
+    let spec = spec.trim();
+    let (verb, rest) = spec
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("bad mutation '{spec}' (expected insert/update ...)"))?;
+    let (class, body) = rest
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("bad mutation '{spec}' (expected a class then a body)"))?;
+    let class = class.trim().to_string();
+    match verb.to_ascii_lowercase().as_str() {
+        "insert" => Ok(Mutation::Insert {
+            class,
+            sets: parse_assignments(body)?,
+        }),
+        "update" => {
+            let body = body.trim();
+            let clauses = body.strip_prefix("where").ok_or_else(|| {
+                format!("bad update '{spec}' (expected 'where <filters> set <assignments>')")
+            })?;
+            let (matches, sets) = clauses
+                .split_once(" set ")
+                .ok_or_else(|| format!("bad update '{spec}' (missing 'set' clause)"))?;
+            Ok(Mutation::Update {
+                class,
+                matches: parse_assignments(matches)?,
+                sets: parse_assignments(sets)?,
+            })
+        }
+        other => Err(format!(
+            "unknown mutation verb '{other}' (expected insert or update)"
+        )),
+    }
+}
+
+/// Applies one parsed mutation to a component store, returning a short
+/// human-readable summary (`inserted Teacher l7` / `updated 2 Student
+/// object(s)`).
+///
+/// # Errors
+///
+/// [`StoreError`] on unknown classes or attributes, arity/type
+/// violations, or key conflicts — exactly the store's own insert rules.
+pub fn apply_mutation(db: &mut ComponentDb, mutation: &Mutation) -> Result<String, StoreError> {
+    match mutation {
+        Mutation::Insert { class, sets } => {
+            let pairs: Vec<(&str, Value)> = sets
+                .iter()
+                .map(|(attr, value)| (attr.as_str(), value.clone()))
+                .collect();
+            let loid = db.insert_named(class, &pairs)?;
+            Ok(format!("inserted {class} {loid}"))
+        }
+        Mutation::Update {
+            class,
+            matches,
+            sets,
+        } => {
+            let class_id = db
+                .schema()
+                .class_id(class)
+                .ok_or_else(|| StoreError::UnknownClass(class.clone()))?;
+            let def = db.schema().class(class_id);
+            let slot = |attr: &String| {
+                def.attr_index(attr)
+                    .ok_or_else(|| StoreError::MissingAttribute {
+                        class: class.clone(),
+                        attr: attr.clone(),
+                    })
+            };
+            let match_slots: Vec<(usize, &Value)> = matches
+                .iter()
+                .map(|(attr, value)| Ok((slot(attr)?, value)))
+                .collect::<Result<_, StoreError>>()?;
+            let set_slots: Vec<(usize, Value)> = sets
+                .iter()
+                .map(|(attr, value)| Ok((slot(attr)?, value.clone())))
+                .collect::<Result<_, StoreError>>()?;
+            let targets: Vec<_> = db
+                .extent(class_id)
+                .objects()
+                .iter()
+                .filter(|o| match_slots.iter().all(|(s, v)| o.value(*s) == *v))
+                .map(fedoq_object::Object::loid)
+                .collect();
+            for &loid in &targets {
+                if let Some(mut object) = db.object_mut(loid) {
+                    for (s, v) in &set_slots {
+                        object.set(*s, v.clone());
+                    }
+                }
+            }
+            Ok(format!("updated {} {class} object(s)", targets.len()))
+        }
+    }
+}
+
+struct Watch {
+    sub: SubId,
+    events: Receiver<LiveEvent>,
+}
+
+/// One connection's standing-query state: a private reactor plus the
+/// client-id → subscription map.
+pub struct LiveSession {
+    reactor: LiveReactor,
+    watches: BTreeMap<u64, Watch>,
+}
+
+impl LiveSession {
+    /// Creates a session over its own federation copy.
+    pub fn new(fed: Federation) -> LiveSession {
+        LiveSession {
+            reactor: LiveReactor::new(fed),
+            watches: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a standing query under the client's watch id. The
+    /// initial snapshot arrives via [`LiveSession::drain`].
+    ///
+    /// # Errors
+    ///
+    /// A duplicate watch id, an unknown strategy name, or a query that
+    /// fails to parse/bind/evaluate.
+    pub fn subscribe(
+        &mut self,
+        id: u64,
+        sql: &str,
+        strategy: &str,
+        priority: u8,
+    ) -> Result<(), String> {
+        if self.watches.contains_key(&id) {
+            return Err(format!("watch id {id} is already subscribed"));
+        }
+        let strategy = LiveStrategy::parse(strategy)
+            .ok_or_else(|| format!("unknown strategy '{strategy}' (expected ca/bl/pl/hy)"))?;
+        let registration = self
+            .reactor
+            .register(sql, strategy, priority)
+            .map_err(|e| e.to_string())?;
+        self.watches.insert(
+            id,
+            Watch {
+                sub: registration.sub,
+                events: registration.events,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops one watch. Returns `false` for an unknown id.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        match self.watches.remove(&id) {
+            Some(watch) => self.reactor.unsubscribe(watch.sub),
+            None => false,
+        }
+    }
+
+    /// Parses and applies one mutation spec to site `db`, re-evaluating
+    /// affected watches. Returns a summary naming what was mutated and
+    /// how many subscriptions re-evaluated; the deltas themselves are
+    /// picked up by [`LiveSession::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Spec syntax errors, an out-of-range site id, and store rejections,
+    /// all as display strings (they travel in an error [`Frame::Answer`]).
+    pub fn mutate(&mut self, db: u16, spec: &str) -> Result<String, String> {
+        let mutation = parse_mutation(spec)?;
+        if usize::from(db) >= self.reactor.federation().dbs().len() {
+            return Err(format!("no site {db} in this federation"));
+        }
+        let (summary, outcome) = self
+            .reactor
+            .mutate(DbId::new(db), |cdb| apply_mutation(cdb, &mutation))
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{summary} at site {db}; {} subscription(s) re-evaluated, {} delta batch(es)",
+            outcome.affected, outcome.deltas
+        ))
+    }
+
+    /// Collects every pending subscription event as [`Frame::Delta`]
+    /// frames, in ascending watch-id order: the initial snapshot
+    /// (`seq` 0) as canonical conditioned rows, later batches as delta
+    /// display strings.
+    pub fn drain(&mut self) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        for (&id, watch) in &self.watches {
+            while let Some(event) = watch.events.try_recv() {
+                let (seq, rows) = match event {
+                    LiveEvent::Initial { seq, answer } => (seq, render_conditioned(&answer)),
+                    LiveEvent::Deltas { seq, deltas } => {
+                        (seq, deltas.iter().map(ToString::to_string).collect())
+                    }
+                };
+                frames.push(Frame::Delta {
+                    id,
+                    seq,
+                    reply: Ok(rows),
+                });
+            }
+        }
+        frames
+    }
+
+    /// Number of live watches.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fed::build_workload;
+
+    #[test]
+    fn mutation_specs_parse_and_reject() {
+        assert_eq!(
+            parse_mutation("insert Teacher name='Haley',speciality=network").unwrap(),
+            Mutation::Insert {
+                class: "Teacher".into(),
+                sets: vec![
+                    ("name".into(), Value::text("Haley")),
+                    ("speciality".into(), Value::text("network")),
+                ],
+            }
+        );
+        assert_eq!(
+            parse_mutation("update Student where s-no=3 set age=21, advisor=null").unwrap(),
+            Mutation::Update {
+                class: "Student".into(),
+                matches: vec![("s-no".into(), Value::Int(3))],
+                sets: vec![
+                    ("age".into(), Value::Int(21)),
+                    ("advisor".into(), Value::Null)
+                ],
+            }
+        );
+        for bad in [
+            "",
+            "insert",
+            "insert Teacher",
+            "delete Teacher name=x",
+            "update Teacher name=x",
+            "update Teacher where name=x",
+            "insert Teacher name",
+        ] {
+            assert!(parse_mutation(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn session_snapshots_mutates_and_resolves_over_frames() {
+        let (fed, _) = build_workload("university").unwrap();
+        let mut session = LiveSession::new(fed);
+        session
+            .subscribe(7, fedoq_workload::university::Q1, "bl", 5)
+            .unwrap();
+        let frames = session.drain();
+        let [Frame::Delta {
+            id: 7,
+            seq: 0,
+            reply: Ok(rows),
+        }] = &frames[..]
+        else {
+            panic!("expected one initial snapshot, got {frames:?}");
+        };
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        assert!(rows[0].starts_with("C "), "{rows:?}");
+        assert!(
+            rows[1].starts_with("M ") && rows[1].contains(" ? "),
+            "{rows:?}"
+        );
+
+        // Haley gains a non-database speciality copy: the maybe row
+        // resolves to eliminated, and the ack barrier's content names it.
+        let summary = session
+            .mutate(1, "insert Teacher name='Haley',speciality='network'")
+            .unwrap();
+        assert!(
+            summary.contains("1 subscription(s) re-evaluated"),
+            "{summary}"
+        );
+        let frames = session.drain();
+        let [Frame::Delta {
+            id: 7,
+            seq: 1,
+            reply: Ok(rows),
+        }] = &frames[..]
+        else {
+            panic!("expected one delta batch, got {frames:?}");
+        };
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert!(rows[0].starts_with("M>X "), "{rows:?}");
+
+        // Errors stay strings: bad spec, bad site, duplicate watch.
+        assert!(session.mutate(0, "frobnicate").is_err());
+        assert!(session.mutate(9, "insert Teacher name=x").is_err());
+        assert!(session
+            .subscribe(7, "SELECT X.name FROM Teacher X", "ca", 0)
+            .is_err());
+        assert!(session.unsubscribe(7));
+        assert!(!session.unsubscribe(7));
+        assert_eq!(session.watch_count(), 0);
+    }
+}

@@ -29,6 +29,7 @@ use crate::drive::wall_driver;
 use crate::fed::build_workload;
 use crate::frame::{read_frame, write_frame, ClientAnswer, Frame, Role};
 use crate::hub::Hub;
+use crate::live::LiveSession;
 use crate::render::render_answer;
 use crate::transport::{Locality, TcpTransport};
 use fedoq_core::handlers::LocalizedConfig;
@@ -180,11 +181,13 @@ pub fn spawn_serve(opts: &ServeOpts) -> Result<SocketAddr, String> {
         std::thread::spawn(move || worker_loop(worker, &opts, &queue));
     }
 
+    let workload = Arc::new(opts.workload.clone());
     std::thread::spawn(move || {
         for stream in listener.incoming() {
             let Ok(stream) = stream else { continue };
             let queue = Arc::clone(&queue);
-            std::thread::spawn(move || client_loop(stream, &queue));
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || client_loop(stream, &queue, &workload));
         }
     });
     Ok(addr)
@@ -208,14 +211,44 @@ pub fn run_serve_daemon(opts: ServeOpts) -> Result<(), String> {
     }
 }
 
-/// Reads queries off one client connection into the job queue.
-fn client_loop(stream: TcpStream, queue: &JobQueue) {
+/// Lazily builds the connection's standing-query session on first use.
+/// A workload that fails to build (validated at boot, so only on a
+/// serve-side regression) surfaces as an error string to the client.
+fn live_session<'a>(
+    live: &'a mut Option<LiveSession>,
+    workload: &str,
+) -> Result<&'a mut LiveSession, String> {
+    if live.is_none() {
+        let (fed, _) = build_workload(workload)?;
+        *live = Some(LiveSession::new(fed));
+    }
+    live.as_mut().ok_or_else(|| "no live session".to_string())
+}
+
+/// Writes every pending subscription delta for this connection.
+fn flush_deltas(live: &mut Option<LiveSession>, writer: &Arc<Mutex<TcpStream>>) {
+    if let Some(session) = live.as_mut() {
+        for frame in session.drain() {
+            let mut stream = writer.lock();
+            let _ = write_frame(&mut *stream, &frame);
+        }
+    }
+}
+
+/// Reads queries off one client connection into the job queue, and
+/// handles the standing-query frames inline: subscriptions evaluate
+/// in-process on the connection's private [`LiveSession`] (see
+/// [`crate::live`]), so they never occupy a worker slot. Deltas a
+/// mutation causes are flushed *before* its acknowledging answer — the
+/// ack is the client's delivery barrier.
+fn client_loop(stream: TcpStream, queue: &JobQueue, workload: &str) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let writer = Arc::new(Mutex::new("serve.client-writer", write_half));
     let mut reader = BufReader::new(stream);
+    let mut live: Option<LiveSession> = None;
     loop {
         match read_frame(&mut reader) {
             Ok(Some(Frame::Query { id, sql, strategy })) => {
@@ -227,6 +260,49 @@ fn client_loop(stream: TcpStream, queue: &JobQueue) {
                     priority,
                     reply: Arc::clone(&writer),
                 });
+            }
+            Ok(Some(Frame::Subscribe {
+                id,
+                sql,
+                strategy,
+                priority,
+            })) => {
+                let result = live_session(&mut live, workload)
+                    .and_then(|session| session.subscribe(id, &sql, &strategy, priority));
+                if let Err(message) = result {
+                    let frame = Frame::Delta {
+                        id,
+                        seq: 0,
+                        reply: Err(message),
+                    };
+                    let mut stream = writer.lock();
+                    let _ = write_frame(&mut *stream, &frame);
+                }
+                flush_deltas(&mut live, &writer);
+            }
+            Ok(Some(Frame::Unsubscribe { id })) => {
+                if let Some(session) = live.as_mut() {
+                    session.unsubscribe(id);
+                }
+                flush_deltas(&mut live, &writer);
+            }
+            Ok(Some(Frame::Mutate { id, db, spec })) => {
+                let start = Instant::now();
+                let reply = live_session(&mut live, workload)
+                    .and_then(|session| session.mutate(db, &spec))
+                    .map(|summary| ClientAnswer {
+                        executed: "mutate".to_string(),
+                        rows: vec![summary],
+                        degraded_sites: vec![],
+                        retries: 0,
+                        forwarded: 0,
+                        lost: 0,
+                        server_us: start.elapsed().as_secs_f64() * 1e6,
+                    });
+                flush_deltas(&mut live, &writer);
+                let frame = Frame::Answer { id, reply };
+                let mut stream = writer.lock();
+                let _ = write_frame(&mut *stream, &frame);
             }
             Ok(Some(_)) => continue, // Hello and anything else: ignored
             Ok(None) | Err(_) => return,

@@ -1,0 +1,106 @@
+//! Standing queries over real TCP: the subscription protocol end to end.
+//!
+//! A loopback `fedoq-serve` frontend hosts the session; a [`WireClient`]
+//! subscribes, mutates, and unsubscribes over the wire. The load-bearing
+//! assertion is the wire layer's usual one, extended to conditioned
+//! answers: the snapshot a remote subscriber receives is **byte-identical**
+//! to evaluating the same standing query in-process
+//! ([`fedoq_live::evaluate`] + [`fedoq_live::render_conditioned`]), and
+//! after a mutation the deltas delivered before the ack barrier name the
+//! resolved row.
+//!
+//! Subscriptions evaluate in-process on the serve's workload copy, so no
+//! site daemons are needed — the serve boots with an empty site table.
+
+use fedoq_live::{evaluate, render_conditioned, LiveStrategy};
+use fedoq_sim::SystemParams;
+use fedoq_wire::{spawn_serve, ServeOpts, WireClient};
+use fedoq_workload::university;
+use std::collections::BTreeSet;
+
+fn boot() -> WireClient {
+    let addr = spawn_serve(&ServeOpts {
+        listen: "127.0.0.1:0".into(),
+        sites: vec![],
+        workload: "university".into(),
+        workers: 1,
+        rpc: Default::default(),
+        pipeline: Default::default(),
+    })
+    .expect("serve spawns in-process");
+    WireClient::connect(&addr.to_string()).expect("client dials loopback")
+}
+
+/// The in-process reference rendering for one strategy.
+fn reference_snapshot(strategy: LiveStrategy) -> Vec<String> {
+    let fed = university::federation().expect("university federation");
+    let query = fed.parse_and_bind(university::Q1).expect("bind Q1");
+    let answer = evaluate(
+        &fed,
+        &query,
+        strategy,
+        SystemParams::paper_default(),
+        &BTreeSet::new(),
+    )
+    .expect("in-process evaluation");
+    render_conditioned(&answer)
+}
+
+#[test]
+fn remote_snapshot_is_byte_identical_to_in_process_evaluation() {
+    let mut client = boot();
+    for (name, strategy) in [
+        ("ca", LiveStrategy::CA),
+        ("bl", LiveStrategy::BL),
+        ("pl", LiveStrategy::PL),
+        ("hy", LiveStrategy::HY),
+    ] {
+        let (watch, reply) = client
+            .subscribe(university::Q1, name, 5)
+            .expect("subscribe over TCP");
+        let rows = reply.expect("watch accepted");
+        assert_eq!(rows, reference_snapshot(strategy), "strategy {name}");
+        client.unsubscribe(watch).expect("unsubscribe");
+    }
+}
+
+#[test]
+fn mutation_deltas_arrive_before_the_ack_barrier() {
+    let mut client = boot();
+    let (watch, reply) = client
+        .subscribe(university::Q1, "bl", 5)
+        .expect("subscribe over TCP");
+    let rows = reply.expect("watch accepted");
+    assert_eq!(rows.len(), 2, "{rows:?}");
+
+    // Haley gains a non-database speciality copy at DB2: the paper's
+    // maybe row (Tony) resolves to eliminated.
+    let (ack, deltas) = client
+        .mutate(1, "insert Teacher name='Haley',speciality='network'")
+        .expect("mutate over TCP");
+    let ack = ack.expect("mutation accepted");
+    assert_eq!(ack.executed, "mutate");
+    assert!(
+        ack.rows.iter().any(|r| r.contains("inserted Teacher")),
+        "{:?}",
+        ack.rows
+    );
+    assert_eq!(deltas.len(), 1, "{deltas:?}");
+    assert_eq!(deltas[0].watch, watch);
+    assert_eq!(deltas[0].seq, 1);
+    let lines = deltas[0].reply.as_ref().expect("delta batch");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].starts_with("M>X "), "{lines:?}");
+
+    // Errors travel as strings without poisoning the connection.
+    let (bad, _) = client
+        .mutate(9, "insert Teacher name=x")
+        .expect("transport ok");
+    assert!(bad.is_err());
+    let (_, refused) = client
+        .subscribe(university::Q1, "warp", 0)
+        .expect("transport ok");
+    assert!(refused.is_err());
+
+    client.unsubscribe(watch).expect("unsubscribe");
+}

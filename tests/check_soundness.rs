@@ -48,7 +48,7 @@ fn protocol_audit_passes_clean_on_the_university_example() {
 }
 
 #[test]
-fn all_thirteen_seeded_unsound_inputs_are_rejected_with_stable_ids() {
+fn all_fourteen_seeded_unsound_inputs_are_rejected_with_stable_ids() {
     let cases = fedoq_check::self_test().unwrap_or_else(|e| panic!("{e}"));
     let ids: Vec<(&str, &str)> = cases.iter().map(|c| (c.name, c.expect)).collect();
     assert_eq!(
@@ -67,6 +67,7 @@ fn all_thirteen_seeded_unsound_inputs_are_rejected_with_stable_ids() {
             ("unbounded-value-depth", "FQ305"),
             ("silent-grammar-change", "FQ306"),
             ("replan-overlap", "FQ307"),
+            ("live-unfounded-flip", "FQ308"),
         ]
     );
     for case in &cases {

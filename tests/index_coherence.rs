@@ -72,7 +72,9 @@ fn indexed_cached(
 #[test]
 fn mutate_then_probe_keeps_indexed_answers_fresh() {
     let mut fed = item_federation(200);
-    let query = fed.parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3").unwrap();
+    let query = fed
+        .parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3")
+        .unwrap();
     let cache = RefCell::new(LookupCache::default());
 
     for strategy in [
@@ -121,7 +123,9 @@ fn mutate_then_probe_keeps_indexed_answers_fresh() {
 #[test]
 fn updates_move_objects_between_posting_lists() {
     let mut fed = item_federation(100);
-    let query = fed.parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3").unwrap();
+    let query = fed
+        .parse_and_bind("SELECT X.id FROM Item X WHERE X.tag = 3")
+        .unwrap();
     let cache = RefCell::new(LookupCache::default());
     let before = oracle(&fed, &query);
     assert_eq!(indexed_cached(&Centralized, &fed, &query, &cache), before);
@@ -130,7 +134,9 @@ fn updates_move_objects_between_posting_lists() {
     // reindexes on drop.
     fed.mutate(DbId::new(0), |db| {
         let loid = db.extent(ClassId::new(0)).objects()[4].loid();
-        db.object_mut(loid).expect("object exists").set(1, Value::Int(3));
+        db.object_mut(loid)
+            .expect("object exists")
+            .set(1, Value::Int(3));
         Ok(())
     })
     .unwrap();
@@ -155,8 +161,13 @@ fn paged_roundtrip_at_one_hundred_thousand_objects() {
     .unwrap();
     let mut db = ComponentDb::new(DbId::new(0), "BIG", schema);
     for i in 0..N as i64 {
-        let tag = if i % 97 == 0 { Value::Null } else { Value::Int(i % 50) };
-        db.insert(ClassId::new(0), vec![Value::Int(i), tag]).unwrap();
+        let tag = if i % 97 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i % 50)
+        };
+        db.insert(ClassId::new(0), vec![Value::Int(i), tag])
+            .unwrap();
     }
 
     let mut buf = Vec::new();
